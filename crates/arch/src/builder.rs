@@ -1,0 +1,521 @@
+//! Routing-resource-graph construction.
+//!
+//! Builds the fabric of Fig. 7: length-`L` segmented wires with staggered
+//! break points, connection blocks tapping `Fc·W` tracks per pin, and
+//! switch boxes connecting same-track wires where channels cross and where
+//! collinear segments abut (a disjoint/planar pattern, the paper's
+//! `Fs = 3`).
+
+use crate::error::ArchError;
+use crate::grid::{Grid, TileKind};
+use crate::params::ArchParams;
+use crate::rrgraph::{RrEdge, RrGraph, RrKind, RrNode, RrNodeId, SwitchClass};
+use std::collections::{HashMap, HashSet};
+
+/// Builds the routing-resource graph for `params` on `grid` with channel
+/// width `channel_width`.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidParameter`] for invalid parameters or a zero
+/// channel width.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::builder::build_rr_graph;
+/// use nemfpga_arch::grid::Grid;
+/// use nemfpga_arch::params::ArchParams;
+///
+/// let rr = build_rr_graph(&ArchParams::paper_table1(), Grid::new(4, 4, 2)?, 20)?;
+/// assert!(rr.num_nodes() > 0);
+/// assert!(rr.num_edges() > rr.num_nodes());
+/// # Ok::<(), nemfpga_arch::error::ArchError>(())
+/// ```
+pub fn build_rr_graph(
+    params: &ArchParams,
+    grid: Grid,
+    channel_width: usize,
+) -> Result<RrGraph, ArchError> {
+    params.validate()?;
+    if channel_width == 0 {
+        return Err(ArchError::InvalidParameter {
+            name: "channel_width",
+            value: "0".to_owned(),
+        });
+    }
+    let mut b = Builder::new(*params, grid, channel_width);
+    b.build_tiles();
+    b.build_wires();
+    b.build_pin_edges();
+    b.build_switch_boxes();
+    Ok(b.finish())
+}
+
+struct Builder {
+    params: ArchParams,
+    grid: Grid,
+    w: usize,
+    nodes: Vec<RrNode>,
+    edges: Vec<Vec<RrEdge>>,
+    tile_source: HashMap<(usize, usize), RrNodeId>,
+    tile_sink: HashMap<(usize, usize), RrNodeId>,
+    tile_opins: HashMap<(usize, usize), Vec<RrNodeId>>,
+    tile_ipins: HashMap<(usize, usize), Vec<RrNodeId>>,
+    /// `chanx_at[chan_y][x][track]` — wire covering column `x` (1-based).
+    chanx_at: Vec<Vec<Vec<RrNodeId>>>,
+    /// `chany_at[chan_x][y][track]` — wire covering row `y` (1-based).
+    chany_at: Vec<Vec<Vec<RrNodeId>>>,
+}
+
+impl Builder {
+    fn new(params: ArchParams, grid: Grid, w: usize) -> Self {
+        Self {
+            params,
+            grid,
+            w,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            tile_source: HashMap::new(),
+            tile_sink: HashMap::new(),
+            tile_opins: HashMap::new(),
+            tile_ipins: HashMap::new(),
+            chanx_at: Vec::new(),
+            chany_at: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, kind: RrKind, capacity: u16) -> RrNodeId {
+        let id = RrNodeId(self.nodes.len() as u32);
+        self.nodes.push(RrNode { kind, capacity });
+        self.edges.push(Vec::new());
+        id
+    }
+
+    fn add_edge(&mut self, from: RrNodeId, to: RrNodeId, switch: SwitchClass) {
+        self.edges[from.index()].push(RrEdge { to, switch });
+    }
+
+    /// Creates source/sink/pin nodes for every block tile.
+    fn build_tiles(&mut self) {
+        let lb_opins = self.params.lb_outputs();
+        let lb_ipins = self.params.lb_inputs;
+        let io_pins = self.params.io_rate;
+        let tiles: Vec<(usize, usize, TileKind)> = (0..self.grid.total_width())
+            .flat_map(|x| {
+                (0..self.grid.total_height()).map(move |y| (x, y, TileKind::Lb))
+            })
+            .map(|(x, y, _)| (x, y, self.grid.tile(x, y)))
+            .collect();
+        for (x, y, kind) in tiles {
+            let (n_opins, n_ipins) = match kind {
+                TileKind::Lb => (lb_opins, lb_ipins),
+                TileKind::Io => (io_pins, io_pins),
+                TileKind::Empty => continue,
+            };
+            let src = self.add_node(
+                RrKind::Source { x: x as u16, y: y as u16 },
+                n_opins as u16,
+            );
+            let snk = self.add_node(RrKind::Sink { x: x as u16, y: y as u16 }, n_ipins as u16);
+            self.tile_source.insert((x, y), src);
+            self.tile_sink.insert((x, y), snk);
+            let mut opins = Vec::with_capacity(n_opins);
+            for pin in 0..n_opins {
+                let p = self.add_node(
+                    RrKind::Opin { x: x as u16, y: y as u16, pin: pin as u16 },
+                    1,
+                );
+                self.add_edge(src, p, SwitchClass::Internal);
+                opins.push(p);
+            }
+            let mut ipins = Vec::with_capacity(n_ipins);
+            for pin in 0..n_ipins {
+                let p = self.add_node(
+                    RrKind::Ipin { x: x as u16, y: y as u16, pin: pin as u16 },
+                    1,
+                );
+                self.add_edge(p, snk, SwitchClass::Internal);
+                ipins.push(p);
+            }
+            self.tile_opins.insert((x, y), opins);
+            self.tile_ipins.insert((x, y), ipins);
+        }
+    }
+
+    /// Creates the segmented channel wires with per-track staggered breaks.
+    fn build_wires(&mut self) {
+        let l = self.params.segment_length;
+        let (gw, gh) = (self.grid.width, self.grid.height);
+
+        // Horizontal channels: chan_y in 0..=gh, positions x in 1..=gw.
+        self.chanx_at = vec![vec![vec![RrNodeId(u32::MAX); self.w]; gw + 1]; gh + 1];
+        for chan_y in 0..=gh {
+            for track in 0..self.w {
+                let mut start = 1usize;
+                for x in 1..=gw {
+                    let break_here = (x + track) % l == 0 || x == gw;
+                    if break_here {
+                        let id = self.add_node(
+                            RrKind::ChanX {
+                                chan_y: chan_y as u16,
+                                x_start: start as u16,
+                                x_end: x as u16,
+                                track: track as u16,
+                            },
+                            1,
+                        );
+                        for pos in start..=x {
+                            self.chanx_at[chan_y][pos - 1 + 1][track] = id;
+                        }
+                        start = x + 1;
+                    }
+                }
+            }
+        }
+
+        // Vertical channels: chan_x in 0..=gw, positions y in 1..=gh.
+        self.chany_at = vec![vec![vec![RrNodeId(u32::MAX); self.w]; gh + 1]; gw + 1];
+        for chan_x in 0..=gw {
+            for track in 0..self.w {
+                let mut start = 1usize;
+                for y in 1..=gh {
+                    let break_here = (y + track) % l == 0 || y == gh;
+                    if break_here {
+                        let id = self.add_node(
+                            RrKind::ChanY {
+                                chan_x: chan_x as u16,
+                                y_start: start as u16,
+                                y_end: y as u16,
+                                track: track as u16,
+                            },
+                            1,
+                        );
+                        for pos in start..=y {
+                            self.chany_at[chan_x][pos][track] = id;
+                        }
+                        start = y + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Channels adjacent to the tile at `(x, y)`:
+    /// `(is_horizontal, channel_index, position_within_channel)`.
+    fn adjacent_channels(&self, x: usize, y: usize) -> Vec<(bool, usize, usize)> {
+        let (gw, gh) = (self.grid.width, self.grid.height);
+        match self.grid.tile(x, y) {
+            TileKind::Lb => vec![
+                (true, y, x),      // chanx above
+                (true, y - 1, x),  // chanx below
+                (false, x, y),     // chany right
+                (false, x - 1, y), // chany left
+            ],
+            TileKind::Io => {
+                if y == 0 {
+                    vec![(true, 0, x)]
+                } else if y == gh + 1 {
+                    vec![(true, gh, x)]
+                } else if x == 0 {
+                    vec![(false, 0, y)]
+                } else {
+                    vec![(false, gw, y)]
+                }
+            }
+            TileKind::Empty => Vec::new(),
+        }
+    }
+
+    fn wire_at(&self, horizontal: bool, chan: usize, pos: usize, track: usize) -> RrNodeId {
+        if horizontal {
+            self.chanx_at[chan][pos][track]
+        } else {
+            self.chany_at[chan][pos][track]
+        }
+    }
+
+    /// Evenly spread `count` track indices for pin `pin` of the tile at
+    /// `(x, y)`, staggered so neighbouring pins and tiles tap different
+    /// tracks (hash-based offsets avoid the stride/width resonance that
+    /// would leave track domains uncovered).
+    fn pin_tracks(&self, x: usize, y: usize, pin: usize, count: usize) -> Vec<usize> {
+        let w = self.w;
+        let offset = (pin
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(x.wrapping_mul(0x85EB_CA6B))
+            .wrapping_add(y.wrapping_mul(0xC2B2_AE35)))
+            % w;
+        (0..count).map(|i| (offset + (i * w) / count) % w).collect()
+    }
+
+    /// Connection-block and output-driver edges for every pin.
+    fn build_pin_edges(&mut self) {
+        let fc_out = self.params.fc_out_tracks(self.w);
+        let fc_in = self.params.fc_in_tracks(self.w);
+        // Sorted for a deterministic edge order (HashMap iteration order
+        // would otherwise leak into router tie-breaking).
+        let mut tiles: Vec<(usize, usize)> = self.tile_opins.keys().copied().collect();
+        tiles.sort_unstable();
+        for (x, y) in tiles {
+            let channels = self.adjacent_channels(x, y);
+            let opins = self.tile_opins[&(x, y)].clone();
+            for (pin_idx, opin) in opins.iter().enumerate() {
+                for &(h, chan, pos) in &channels {
+                    for t in self.pin_tracks(x, y, pin_idx, fc_out) {
+                        let wire = self.wire_at(h, chan, pos, t);
+                        self.add_edge(*opin, wire, SwitchClass::OutputDriver);
+                    }
+                }
+            }
+            let ipins = self.tile_ipins[&(x, y)].clone();
+            for (pin_idx, ipin) in ipins.iter().enumerate() {
+                for &(h, chan, pos) in &channels {
+                    // Offset input pins differently from output pins.
+                    for t in self.pin_tracks(x, y, pin_idx + 13, fc_in) {
+                        let wire = self.wire_at(h, chan, pos, t);
+                        self.add_edge(wire, *ipin, SwitchClass::ConnectionBox);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Switch-box edges: same-track wires connect where channels cross and
+    /// where collinear segments abut (disjoint pattern).
+    fn build_switch_boxes(&mut self) {
+        let (gw, gh) = (self.grid.width, self.grid.height);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let connect = |b: &mut Self, seen: &mut HashSet<(u32, u32)>, a: RrNodeId, c: RrNodeId| {
+            if a == c {
+                return;
+            }
+            let key = (a.0.min(c.0), a.0.max(c.0));
+            if seen.insert(key) {
+                b.add_edge(a, c, SwitchClass::SwitchBox);
+                b.add_edge(c, a, SwitchClass::SwitchBox);
+            }
+        };
+
+        // Collinear abutments.
+        for chan_y in 0..=gh {
+            for track in 0..self.w {
+                for x in 1..gw {
+                    let a = self.chanx_at[chan_y][x][track];
+                    let c = self.chanx_at[chan_y][x + 1][track];
+                    connect(self, &mut seen, a, c);
+                }
+            }
+        }
+        for chan_x in 0..=gw {
+            for track in 0..self.w {
+                for y in 1..gh {
+                    let a = self.chany_at[chan_x][y][track];
+                    let c = self.chany_at[chan_x][y + 1][track];
+                    connect(self, &mut seen, a, c);
+                }
+            }
+        }
+
+        // Crossings: intersection of chanx `cy` and chany `cx`. A purely
+        // disjoint (same-track) pattern would partition the fabric into W
+        // independent track domains, so — like the Wilton Fs=3 switch box —
+        // the horizontal track rotates by the crossing position when
+        // turning onto a vertical wire. The rotation must be *non-linear*
+        // in (cx, cy): any affine a·cx + b·cy offset conserves
+        // (t_h + b·cy) = (t_v − a·cx) across every hop and still splits
+        // the fabric into W disjoint domains. The (cx+1)(cy+1) cross-term
+        // has no such invariant, so turning nets genuinely mix tracks
+        // while per-end flexibility stays at Fs ≈ 3.
+        for cx in 0..=gw {
+            for cy in 0..=gh {
+                for track in 0..self.w {
+                    let v_track = (track + (cx + 1) * (cy + 1)) % self.w;
+                    let mut horizontals = Vec::with_capacity(2);
+                    if cx >= 1 {
+                        horizontals.push(self.chanx_at[cy][cx][track]);
+                    }
+                    if cx + 1 <= gw {
+                        horizontals.push(self.chanx_at[cy][cx + 1][track]);
+                    }
+                    let mut verticals = Vec::with_capacity(2);
+                    if cy >= 1 {
+                        verticals.push(self.chany_at[cx][cy][v_track]);
+                    }
+                    if cy + 1 <= gh {
+                        verticals.push(self.chany_at[cx][cy + 1][v_track]);
+                    }
+                    for &h in &horizontals {
+                        for &v in &verticals {
+                            connect(self, &mut seen, h, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> RrGraph {
+        RrGraph {
+            params: self.params,
+            grid: self.grid,
+            channel_width: self.w,
+            nodes: self.nodes,
+            edges: self.edges,
+            tile_source: self.tile_source,
+            tile_sink: self.tile_sink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RrGraph {
+        build_rr_graph(&ArchParams::paper_table1(), Grid::new(4, 4, 2).unwrap(), 12).unwrap()
+    }
+
+    #[test]
+    fn node_counts_are_consistent() {
+        let rr = small();
+        // 16 LB tiles + 16 IO tiles, each with source+sink.
+        assert_eq!(rr.source_at(1, 1).is_some(), true);
+        assert_eq!(rr.source_at(0, 0), None); // corner is empty
+        assert!(rr.num_wires() > 0);
+        // Wires per horizontal channel with W=12 over 4 columns, L=4:
+        // each track has ceil with stagger -- just sanity-bound the total.
+        let expected_min = 2 * 5 * 12; // channels * tracks (>=1 wire each)
+        assert!(rr.num_wires() >= expected_min);
+    }
+
+    #[test]
+    fn wire_spans_respect_segment_length() {
+        let rr = small();
+        for id in rr.node_ids() {
+            let kind = rr.node(id).kind;
+            if kind.is_wire() {
+                let span = kind.span_tiles();
+                assert!(span >= 1 && span <= rr.params.segment_length, "span {span}");
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_produces_mixed_span_wires() {
+        // With L=4 on a 4-wide grid, different tracks break at different
+        // columns, so spans 1..4 should all appear.
+        let rr = small();
+        let spans: HashSet<usize> = rr
+            .node_ids()
+            .filter(|id| rr.node(*id).kind.is_wire())
+            .map(|id| rr.node(id).kind.span_tiles())
+            .collect();
+        assert!(spans.len() >= 3, "spans seen: {spans:?}");
+        assert!(spans.contains(&4));
+    }
+
+    #[test]
+    fn every_opin_drives_wires_and_every_ipin_is_driven() {
+        let rr = small();
+        let mut incoming = vec![0usize; rr.num_nodes()];
+        for id in rr.node_ids() {
+            for e in rr.edges_from(id) {
+                incoming[e.to.index()] += 1;
+            }
+        }
+        for id in rr.node_ids() {
+            match rr.node(id).kind {
+                RrKind::Opin { .. } => {
+                    assert!(!rr.edges_from(id).is_empty(), "opin {id:?} drives nothing")
+                }
+                RrKind::Ipin { .. } => {
+                    assert!(incoming[id.index()] >= 2, "ipin {id:?} barely driven")
+                }
+                RrKind::ChanX { .. } | RrKind::ChanY { .. } => {
+                    assert!(!rr.edges_from(id).is_empty(), "wire {id:?} is a dead end");
+                    assert!(incoming[id.index()] > 0, "wire {id:?} is unreachable");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn source_reaches_distant_sink() {
+        // BFS from the source at (1,1) must reach the sink at (4,4).
+        let rr = small();
+        let start = rr.source_at(1, 1).unwrap();
+        let goal = rr.sink_at(4, 4).unwrap();
+        let mut visited = vec![false; rr.num_nodes()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        visited[start.index()] = true;
+        let mut found = false;
+        while let Some(n) = queue.pop_front() {
+            if n == goal {
+                found = true;
+                break;
+            }
+            for e in rr.edges_from(n) {
+                if !visited[e.to.index()] {
+                    visited[e.to.index()] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        assert!(found, "no path from (1,1) to (4,4)");
+    }
+
+    #[test]
+    fn io_tiles_connect_to_their_single_channel() {
+        let rr = small();
+        // Bottom IO at (2, 0) must reach some wire, and some wire must
+        // reach its sink.
+        let src = rr.source_at(2, 0).unwrap();
+        let mut reached_wire = false;
+        for e in rr.edges_from(src) {
+            for e2 in rr.edges_from(e.to) {
+                if rr.node(e2.to).kind.is_wire() {
+                    reached_wire = true;
+                }
+            }
+        }
+        assert!(reached_wire);
+    }
+
+    #[test]
+    fn switch_box_edges_are_bidirectional() {
+        let rr = small();
+        let mut sb_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for id in rr.node_ids() {
+            for e in rr.edges_from(id) {
+                if e.switch == SwitchClass::SwitchBox {
+                    sb_pairs.insert((id.0, e.to.0));
+                }
+            }
+        }
+        for &(a, b) in &sb_pairs {
+            assert!(sb_pairs.contains(&(b, a)), "sb edge {a}->{b} lacks reverse");
+        }
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(build_rr_graph(
+            &ArchParams::paper_table1(),
+            Grid::new(2, 2, 2).unwrap(),
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn graph_scales_with_channel_width() {
+        let p = ArchParams::paper_table1();
+        let g = Grid::new(4, 4, 2).unwrap();
+        let rr8 = build_rr_graph(&p, g, 8).unwrap();
+        let rr16 = build_rr_graph(&p, g, 16).unwrap();
+        assert!(rr16.num_wires() > rr8.num_wires());
+        assert!(rr16.num_edges() > rr8.num_edges());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for architecture modelling.
+
+use std::fmt;
+
+/// Errors produced while building architecture models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// An architecture parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, stringified.
+        value: String,
+    },
+    /// The grid cannot host the requested design.
+    GridTooSmall {
+        /// What did not fit.
+        what: &'static str,
+        /// Capacity available.
+        capacity: usize,
+        /// Amount required.
+        required: usize,
+    },
+    /// A routing-resource-graph invariant failed validation.
+    InvalidRrGraph {
+        /// Description of the violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid architecture parameter {name} = {value}")
+            }
+            Self::GridTooSmall { what, capacity, required } => {
+                write!(f, "grid holds {capacity} {what}, design needs {required}")
+            }
+            Self::InvalidRrGraph { message } => {
+                write!(f, "invalid routing-resource graph: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = ArchError::GridTooSmall { what: "logic blocks", capacity: 4, required: 9 };
+        assert!(e.to_string().contains("logic blocks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ArchError>();
+    }
+}

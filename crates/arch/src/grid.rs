@@ -1,0 +1,220 @@
+//! The FPGA tile grid: a square array of logic-block tiles ringed by I/O
+//! pad tiles (the classic island-style floorplan of Fig. 7a).
+//!
+//! Coordinates follow the VPR convention: logic blocks occupy
+//! `x ∈ 1..=width`, `y ∈ 1..=height`; the border (`x = 0`, `x = width+1`,
+//! `y = 0`, `y = height+1`, corners excluded) holds I/O tiles, each with
+//! `io_rate` pad slots.
+
+use crate::error::ArchError;
+use serde::{Deserialize, Serialize};
+
+/// What occupies a grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileKind {
+    /// A logic-block tile.
+    Lb,
+    /// An I/O pad tile (perimeter).
+    Io,
+    /// Nothing (the four corners).
+    Empty,
+}
+
+/// The tile grid.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::grid::{Grid, TileKind};
+///
+/// let g = Grid::for_design(90, 30, 2)?;
+/// assert!(g.lb_capacity() >= 90);
+/// assert!(g.io_capacity() >= 30);
+/// assert_eq!(g.tile(0, 0), TileKind::Empty);
+/// # Ok::<(), nemfpga_arch::error::ArchError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Grid {
+    /// Logic-block columns.
+    pub width: usize,
+    /// Logic-block rows.
+    pub height: usize,
+    /// Pads per I/O tile.
+    pub io_rate: usize,
+}
+
+impl Grid {
+    /// Builds an explicit grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] for zero dimensions.
+    pub fn new(width: usize, height: usize, io_rate: usize) -> Result<Self, ArchError> {
+        if width == 0 || height == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "grid dimensions",
+                value: format!("{width}x{height}"),
+            });
+        }
+        if io_rate == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "io_rate",
+                value: io_rate.to_string(),
+            });
+        }
+        Ok(Self { width, height, io_rate })
+    }
+
+    /// The smallest square grid hosting `lbs` logic blocks and `ios` pads
+    /// (VPR's auto-sizing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] if both counts are zero.
+    pub fn for_design(lbs: usize, ios: usize, io_rate: usize) -> Result<Self, ArchError> {
+        if lbs == 0 && ios == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "design size",
+                value: "0 logic blocks, 0 ios".to_owned(),
+            });
+        }
+        let mut side = (lbs as f64).sqrt().ceil() as usize;
+        side = side.max(1);
+        loop {
+            let g = Self { width: side, height: side, io_rate };
+            if g.lb_capacity() >= lbs && g.io_capacity() >= ios {
+                return Ok(g);
+            }
+            side += 1;
+        }
+    }
+
+    /// Logic blocks the grid can hold.
+    #[inline]
+    pub fn lb_capacity(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// I/O pads the grid can hold (perimeter tiles × `io_rate`).
+    #[inline]
+    pub fn io_capacity(&self) -> usize {
+        2 * (self.width + self.height) * self.io_rate
+    }
+
+    /// Full grid width including the I/O ring.
+    #[inline]
+    pub fn total_width(&self) -> usize {
+        self.width + 2
+    }
+
+    /// Full grid height including the I/O ring.
+    #[inline]
+    pub fn total_height(&self) -> usize {
+        self.height + 2
+    }
+
+    /// What occupies `(x, y)` (full-grid coordinates).
+    pub fn tile(&self, x: usize, y: usize) -> TileKind {
+        let on_x_border = x == 0 || x == self.width + 1;
+        let on_y_border = y == 0 || y == self.height + 1;
+        if x > self.width + 1 || y > self.height + 1 || (on_x_border && on_y_border) {
+            TileKind::Empty
+        } else if on_x_border || on_y_border {
+            TileKind::Io
+        } else {
+            TileKind::Lb
+        }
+    }
+
+    /// All logic-block coordinates.
+    pub fn lb_tiles(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::with_capacity(self.lb_capacity());
+        for y in 1..=self.height {
+            for x in 1..=self.width {
+                v.push((x, y));
+            }
+        }
+        v
+    }
+
+    /// All I/O tile coordinates (each holds `io_rate` pads).
+    pub fn io_tiles(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for x in 1..=self.width {
+            v.push((x, 0));
+            v.push((x, self.height + 1));
+        }
+        for y in 1..=self.height {
+            v.push((0, y));
+            v.push((self.width + 1, y));
+        }
+        v
+    }
+
+    /// Manhattan distance between two tiles (the placement cost metric).
+    #[inline]
+    pub fn manhattan(a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_sizing_fits_the_design() {
+        let g = Grid::for_design(90, 30, 2).unwrap();
+        assert!(g.lb_capacity() >= 90);
+        assert!(g.io_capacity() >= 30);
+        // And it is minimal: one tile smaller would not fit the LBs.
+        assert!((g.width - 1) * (g.height - 1) < 90);
+    }
+
+    #[test]
+    fn io_heavy_designs_grow_the_ring() {
+        // Very IO-heavy: 4 LBs but 200 pads forces a bigger perimeter.
+        let g = Grid::for_design(4, 200, 2).unwrap();
+        assert!(g.io_capacity() >= 200);
+        assert!(g.width > 2);
+    }
+
+    #[test]
+    fn tile_classification() {
+        let g = Grid::new(3, 3, 2).unwrap();
+        assert_eq!(g.tile(0, 0), TileKind::Empty); // corner
+        assert_eq!(g.tile(4, 4), TileKind::Empty); // corner
+        assert_eq!(g.tile(2, 0), TileKind::Io);
+        assert_eq!(g.tile(0, 2), TileKind::Io);
+        assert_eq!(g.tile(2, 2), TileKind::Lb);
+        assert_eq!(g.tile(9, 2), TileKind::Empty); // out of range
+    }
+
+    #[test]
+    fn tile_lists_are_consistent_with_capacity() {
+        let g = Grid::new(4, 3, 2).unwrap();
+        assert_eq!(g.lb_tiles().len(), 12);
+        assert_eq!(g.io_tiles().len(), 2 * (4 + 3));
+        assert_eq!(g.io_capacity(), 2 * (4 + 3) * 2);
+        for (x, y) in g.lb_tiles() {
+            assert_eq!(g.tile(x, y), TileKind::Lb);
+        }
+        for (x, y) in g.io_tiles() {
+            assert_eq!(g.tile(x, y), TileKind::Io);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Grid::manhattan((1, 1), (4, 3)), 5);
+        assert_eq!(Grid::manhattan((4, 3), (1, 1)), 5);
+        assert_eq!(Grid::manhattan((2, 2), (2, 2)), 0);
+    }
+
+    #[test]
+    fn degenerate_grids_rejected() {
+        assert!(Grid::new(0, 3, 2).is_err());
+        assert!(Grid::new(3, 3, 0).is_err());
+        assert!(Grid::for_design(0, 0, 2).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # nemfpga-arch
+//!
+//! Island-style FPGA architecture model (paper Fig. 7 / Table 1):
+//!
+//! * [`params`] — architecture parameters ([`params::ArchParams`]: N=10
+//!   4-LUT clusters, L=4 segments, Fc,in=0.2, Fc,out=0.1, Fs=3).
+//! * [`grid`] — the LB array with its I/O ring ([`grid::Grid`]).
+//! * [`rrgraph`] — routing-resource-graph types ([`rrgraph::RrGraph`]).
+//! * [`builder`] — RRG construction ([`builder::build_rr_graph`]).
+//! * [`validate`] — structural RRG checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemfpga_arch::{build_rr_graph, validate_rr_graph, ArchParams, Grid};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ArchParams::paper_table1();
+//! let grid = Grid::for_design(90, 40, params.io_rate)?;
+//! let rr = build_rr_graph(&params, grid, 24)?;
+//! validate_rr_graph(&rr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod grid;
+pub mod params;
+pub mod rrgraph;
+pub mod validate;
+
+pub use builder::build_rr_graph;
+pub use error::ArchError;
+pub use grid::{Grid, TileKind};
+pub use params::ArchParams;
+pub use rrgraph::{RrEdge, RrGraph, RrKind, RrNode, RrNodeId, SwitchClass};
+pub use validate::validate_rr_graph;

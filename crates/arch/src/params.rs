@@ -1,0 +1,163 @@
+//! Architecture parameters (paper Table 1).
+
+use crate::error::ArchError;
+use serde::{Deserialize, Serialize};
+
+/// Island-style FPGA architecture parameters.
+///
+/// The defaults are the paper's Table 1: `N = 10` 4-LUTs per logic block,
+/// segment wires of length `L = 4`, `Fc,in = 0.2`, `Fc,out = 0.1`,
+/// `Fs = 3`. The logic-block input count follows the standard
+/// `I = (K/2)·(N+1)` sizing rule the VPR literature uses, giving 22.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::params::ArchParams;
+///
+/// let p = ArchParams::paper_table1();
+/// assert_eq!(p.cluster_size, 10);
+/// assert_eq!(p.lb_inputs, 22);
+/// p.validate()?;
+/// # Ok::<(), nemfpga_arch::error::ArchError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// LUTs per logic block (`N`).
+    pub cluster_size: usize,
+    /// Inputs per LUT (`K`).
+    pub lut_inputs: usize,
+    /// Logic block input pins (`I`).
+    pub lb_inputs: usize,
+    /// Segment wire length in tiles (`L`).
+    pub segment_length: usize,
+    /// Fraction of channel tracks each LB input pin can connect to
+    /// (`Fc,in`).
+    pub fc_in: f64,
+    /// Fraction of channel tracks each LB output pin can connect to
+    /// (`Fc,out`).
+    pub fc_out: f64,
+    /// Switch-box flexibility: wires each wire end can reach (`Fs`).
+    pub fs: usize,
+    /// I/O pads per perimeter tile position.
+    pub io_rate: usize,
+}
+
+impl ArchParams {
+    /// The paper's Table 1 architecture.
+    pub fn paper_table1() -> Self {
+        let n = 10;
+        let k = 4;
+        Self {
+            cluster_size: n,
+            lut_inputs: k,
+            lb_inputs: k * (n + 1) / 2, // 22
+            segment_length: 4,
+            fc_in: 0.2,
+            fc_out: 0.1,
+            fs: 3,
+            io_rate: 2,
+        }
+    }
+
+    /// Logic block output pins (one per LUT, per the paper's Fig. 7b).
+    #[inline]
+    pub fn lb_outputs(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// Tracks each input pin taps for a channel of width `w`
+    /// (`max(1, round(Fc,in · w))`).
+    #[inline]
+    pub fn fc_in_tracks(&self, w: usize) -> usize {
+        ((self.fc_in * w as f64).round() as usize).clamp(1, w)
+    }
+
+    /// Tracks each output pin can drive for a channel of width `w`.
+    #[inline]
+    pub fn fc_out_tracks(&self, w: usize) -> usize {
+        ((self.fc_out * w as f64).round() as usize).clamp(1, w)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let bad = |name: &'static str, value: String| {
+            Err(ArchError::InvalidParameter { name, value })
+        };
+        if self.cluster_size == 0 {
+            return bad("cluster_size", self.cluster_size.to_string());
+        }
+        if self.lut_inputs == 0 || self.lut_inputs > 6 {
+            return bad("lut_inputs", self.lut_inputs.to_string());
+        }
+        if self.lb_inputs < self.lut_inputs {
+            return bad("lb_inputs", self.lb_inputs.to_string());
+        }
+        if self.segment_length == 0 {
+            return bad("segment_length", self.segment_length.to_string());
+        }
+        if !(0.0 < self.fc_in && self.fc_in <= 1.0) {
+            return bad("fc_in", self.fc_in.to_string());
+        }
+        if !(0.0 < self.fc_out && self.fc_out <= 1.0) {
+            return bad("fc_out", self.fc_out.to_string());
+        }
+        if self.fs == 0 {
+            return bad("fs", self.fs.to_string());
+        }
+        if self.io_rate == 0 {
+            return bad("io_rate", self.io_rate.to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        Self::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let p = ArchParams::paper_table1();
+        assert_eq!(p.cluster_size, 10);
+        assert_eq!(p.lut_inputs, 4);
+        assert_eq!(p.segment_length, 4);
+        assert!((p.fc_in - 0.2).abs() < 1e-12);
+        assert!((p.fc_out - 0.1).abs() < 1e-12);
+        assert_eq!(p.fs, 3);
+        assert_eq!(p.lb_outputs(), 10);
+    }
+
+    #[test]
+    fn fc_track_counts_at_w118() {
+        // The paper's W = 118: Fc,in = 0.2 -> ~24 tracks per input pin.
+        let p = ArchParams::paper_table1();
+        assert_eq!(p.fc_in_tracks(118), 24);
+        assert_eq!(p.fc_out_tracks(118), 12);
+        // Degenerate widths still give at least one track.
+        assert_eq!(p.fc_in_tracks(1), 1);
+    }
+
+    #[test]
+    fn invalid_parameters_caught() {
+        let mut p = ArchParams::paper_table1();
+        p.fc_in = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = ArchParams::paper_table1();
+        p.segment_length = 0;
+        assert!(p.validate().is_err());
+        let mut p = ArchParams::paper_table1();
+        p.lut_inputs = 7;
+        assert!(p.validate().is_err());
+    }
+}

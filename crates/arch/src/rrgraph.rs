@@ -1,0 +1,236 @@
+//! Routing-resource graph (RRG) types.
+//!
+//! The RRG is the routing fabric as a directed graph, VPR-style: per-tile
+//! `SOURCE`/`SINK` nodes, output/input pins, and channel wire segments.
+//! Edges carry a [`SwitchClass`] so downstream timing/power models can
+//! attach the right electrical implementation (pass transistor, NEM relay,
+//! buffer) to each hop.
+
+use crate::grid::Grid;
+use crate::params::ArchParams;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a node within an [`RrGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RrNodeId(pub u32);
+
+impl RrNodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What device implements an RRG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchClass {
+    /// Free logical connection inside a block (source→opin, ipin→sink).
+    Internal,
+    /// A buffered output driver from a block pin onto a wire.
+    OutputDriver,
+    /// A programmable switch-box switch between wires (the paper's main
+    /// battleground: NMOS pass transistor + SRAM vs. NEM relay).
+    SwitchBox,
+    /// A programmable connection-box switch from a wire to an input pin.
+    ConnectionBox,
+}
+
+/// Node kinds. Coordinates are full-grid tile coordinates; channel wires
+/// record their channel index, span, and track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrKind {
+    /// Per-tile net source (capacity = output pins of the tile).
+    Source {
+        /// Tile x.
+        x: u16,
+        /// Tile y.
+        y: u16,
+    },
+    /// Per-tile net sink (capacity = input pins of the tile).
+    Sink {
+        /// Tile x.
+        x: u16,
+        /// Tile y.
+        y: u16,
+    },
+    /// Block output pin.
+    Opin {
+        /// Tile x.
+        x: u16,
+        /// Tile y.
+        y: u16,
+        /// Pin index within the tile.
+        pin: u16,
+    },
+    /// Block input pin.
+    Ipin {
+        /// Tile x.
+        x: u16,
+        /// Tile y.
+        y: u16,
+        /// Pin index within the tile.
+        pin: u16,
+    },
+    /// Horizontal channel wire segment.
+    ChanX {
+        /// Channel index (between tile rows `chan_y` and `chan_y + 1`).
+        chan_y: u16,
+        /// First covered column.
+        x_start: u16,
+        /// Last covered column.
+        x_end: u16,
+        /// Track index within the channel.
+        track: u16,
+    },
+    /// Vertical channel wire segment.
+    ChanY {
+        /// Channel index (between tile columns `chan_x` and `chan_x + 1`).
+        chan_x: u16,
+        /// First covered row.
+        y_start: u16,
+        /// Last covered row.
+        y_end: u16,
+        /// Track index within the channel.
+        track: u16,
+    },
+}
+
+impl RrKind {
+    /// `true` for channel wire nodes.
+    #[inline]
+    pub fn is_wire(&self) -> bool {
+        matches!(self, Self::ChanX { .. } | Self::ChanY { .. })
+    }
+
+    /// Tiles the node spans (1 for pins/sources/sinks).
+    pub fn span_tiles(&self) -> usize {
+        match self {
+            Self::ChanX { x_start, x_end, .. } => (*x_end - *x_start) as usize + 1,
+            Self::ChanY { y_start, y_end, .. } => (*y_end - *y_start) as usize + 1,
+            _ => 1,
+        }
+    }
+
+    /// Geometric center in tile units, for the router's A* heuristic.
+    pub fn center(&self) -> (f64, f64) {
+        match *self {
+            Self::Source { x, y } | Self::Sink { x, y } => (x as f64, y as f64),
+            Self::Opin { x, y, .. } | Self::Ipin { x, y, .. } => (x as f64, y as f64),
+            Self::ChanX { chan_y, x_start, x_end, .. } => {
+                ((x_start as f64 + x_end as f64) / 2.0, chan_y as f64 + 0.5)
+            }
+            Self::ChanY { chan_x, y_start, y_end, .. } => {
+                (chan_x as f64 + 0.5, (y_start as f64 + y_end as f64) / 2.0)
+            }
+        }
+    }
+}
+
+/// One node: a kind plus a routing capacity (how many nets may legally use
+/// it — 1 for wires and pins, pin-count for sources/sinks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RrNode {
+    /// Node kind.
+    pub kind: RrKind,
+    /// Legal simultaneous users.
+    pub capacity: u16,
+}
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RrEdge {
+    /// Target node.
+    pub to: RrNodeId,
+    /// Implementing switch class.
+    pub switch: SwitchClass,
+}
+
+/// The routing-resource graph.
+#[derive(Debug, Clone)]
+pub struct RrGraph {
+    /// Architecture parameters the graph was built for.
+    pub params: ArchParams,
+    /// The tile grid.
+    pub grid: Grid,
+    /// Channel width `W` the graph was built with.
+    pub channel_width: usize,
+    pub(crate) nodes: Vec<RrNode>,
+    pub(crate) edges: Vec<Vec<RrEdge>>,
+    pub(crate) tile_source: HashMap<(usize, usize), RrNodeId>,
+    pub(crate) tile_sink: HashMap<(usize, usize), RrNodeId>,
+}
+
+impl RrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Node lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    #[inline]
+    pub fn node(&self, id: RrNodeId) -> &RrNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Outgoing edges of `id`.
+    #[inline]
+    pub fn edges_from(&self, id: RrNodeId) -> &[RrEdge] {
+        &self.edges[id.index()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = RrNodeId> {
+        (0..self.nodes.len() as u32).map(RrNodeId)
+    }
+
+    /// The net-source node of the tile at `(x, y)`, if it is a block tile.
+    pub fn source_at(&self, x: usize, y: usize) -> Option<RrNodeId> {
+        self.tile_source.get(&(x, y)).copied()
+    }
+
+    /// The net-sink node of the tile at `(x, y)`, if it is a block tile.
+    pub fn sink_at(&self, x: usize, y: usize) -> Option<RrNodeId> {
+        self.tile_sink.get(&(x, y)).copied()
+    }
+
+    /// Count of wire nodes (for reporting/validation).
+    pub fn num_wires(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_wire()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_geometry() {
+        let wire = RrKind::ChanX { chan_y: 2, x_start: 1, x_end: 4, track: 0 };
+        assert!(wire.is_wire());
+        assert_eq!(wire.span_tiles(), 4);
+        assert_eq!(wire.center(), (2.5, 2.5));
+        let pin = RrKind::Ipin { x: 3, y: 4, pin: 0 };
+        assert!(!pin.is_wire());
+        assert_eq!(pin.span_tiles(), 1);
+        assert_eq!(pin.center(), (3.0, 4.0));
+    }
+
+    #[test]
+    fn vertical_wire_geometry() {
+        let wire = RrKind::ChanY { chan_x: 0, y_start: 2, y_end: 3, track: 5 };
+        assert_eq!(wire.span_tiles(), 2);
+        assert_eq!(wire.center(), (0.5, 2.5));
+    }
+}

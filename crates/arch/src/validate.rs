@@ -1,0 +1,122 @@
+//! Structural validation of routing-resource graphs.
+
+use crate::error::ArchError;
+use crate::rrgraph::{RrGraph, RrKind};
+
+/// Checks RRG invariants: every output pin drives at least one wire, every
+/// input pin is reachable, no wire is a dead end, and a representative
+/// corner-to-corner path exists.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidRrGraph`] describing the first violation.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::builder::build_rr_graph;
+/// use nemfpga_arch::grid::Grid;
+/// use nemfpga_arch::params::ArchParams;
+/// use nemfpga_arch::validate::validate_rr_graph;
+///
+/// let rr = build_rr_graph(&ArchParams::paper_table1(), Grid::new(3, 3, 2)?, 8)?;
+/// validate_rr_graph(&rr)?;
+/// # Ok::<(), nemfpga_arch::error::ArchError>(())
+/// ```
+pub fn validate_rr_graph(rr: &RrGraph) -> Result<(), ArchError> {
+    let fail = |message: String| Err(ArchError::InvalidRrGraph { message });
+
+    let mut incoming = vec![0u32; rr.num_nodes()];
+    for id in rr.node_ids() {
+        for e in rr.edges_from(id) {
+            if e.to.index() >= rr.num_nodes() {
+                return fail(format!("edge from {id:?} targets nonexistent node {:?}", e.to));
+            }
+            incoming[e.to.index()] += 1;
+        }
+    }
+    for id in rr.node_ids() {
+        let node = rr.node(id);
+        let out = rr.edges_from(id).len();
+        let inc = incoming[id.index()] as usize;
+        match node.kind {
+            RrKind::Source { x, y } => {
+                if out == 0 {
+                    return fail(format!("source at ({x},{y}) has no output pins"));
+                }
+            }
+            RrKind::Sink { x, y } => {
+                if inc == 0 {
+                    return fail(format!("sink at ({x},{y}) has no input pins"));
+                }
+            }
+            RrKind::Opin { x, y, pin } => {
+                if out == 0 {
+                    return fail(format!("opin {pin} at ({x},{y}) drives nothing"));
+                }
+            }
+            RrKind::Ipin { x, y, pin } => {
+                if inc == 0 {
+                    return fail(format!("ipin {pin} at ({x},{y}) is undriven"));
+                }
+            }
+            RrKind::ChanX { .. } | RrKind::ChanY { .. } => {
+                if out == 0 || inc == 0 {
+                    return fail(format!("wire {id:?} is disconnected (in {inc}, out {out})"));
+                }
+                if node.capacity != 1 {
+                    return fail(format!("wire {id:?} capacity {} != 1", node.capacity));
+                }
+            }
+        }
+    }
+
+    // Corner-to-corner reachability (BFS).
+    let (gw, gh) = (rr.grid.width, rr.grid.height);
+    let start = rr
+        .source_at(1, 1)
+        .ok_or_else(|| ArchError::InvalidRrGraph { message: "no source at (1,1)".to_owned() })?;
+    let goal = rr.sink_at(gw, gh).ok_or_else(|| ArchError::InvalidRrGraph {
+        message: format!("no sink at ({gw},{gh})"),
+    })?;
+    let mut visited = vec![false; rr.num_nodes()];
+    let mut queue = std::collections::VecDeque::from([start]);
+    visited[start.index()] = true;
+    while let Some(n) = queue.pop_front() {
+        if n == goal {
+            return Ok(());
+        }
+        for e in rr.edges_from(n) {
+            if !visited[e.to.index()] {
+                visited[e.to.index()] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    fail(format!("no path from source (1,1) to sink ({gw},{gh})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_rr_graph;
+    use crate::grid::Grid;
+    use crate::params::ArchParams;
+
+    #[test]
+    fn built_graphs_validate_across_sizes_and_widths() {
+        let p = ArchParams::paper_table1();
+        for (side, w) in [(2, 6), (4, 10), (6, 20)] {
+            let rr = build_rr_graph(&p, Grid::new(side, side, 2).unwrap(), w).unwrap();
+            validate_rr_graph(&rr).unwrap_or_else(|e| panic!("{side}x{side} W={w}: {e}"));
+        }
+    }
+
+    #[test]
+    fn narrow_channels_still_validate() {
+        // Even W=2 must yield a legal (if congested) fabric.
+        let p = ArchParams::paper_table1();
+        let rr = build_rr_graph(&p, Grid::new(3, 3, 2).unwrap(), 2).unwrap();
+        validate_rr_graph(&rr).unwrap();
+    }
+}

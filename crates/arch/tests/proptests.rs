@@ -1,0 +1,107 @@
+//! Property-based tests of the routing-resource graph: structural
+//! invariants hold for arbitrary grid shapes, channel widths, and segment
+//! lengths.
+
+use nemfpga_arch::builder::build_rr_graph;
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_arch::rrgraph::RrKind;
+use nemfpga_arch::validate::validate_rr_graph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every buildable fabric validates: no dead-end wires, every pin
+    /// connected, corner-to-corner path exists.
+    #[test]
+    fn all_fabrics_validate(
+        w in 1usize..6,
+        h in 1usize..6,
+        width in 2usize..24,
+        seg in 1usize..6,
+    ) {
+        let mut params = ArchParams::paper_table1();
+        params.segment_length = seg;
+        let grid = Grid::new(w, h, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+        validate_rr_graph(&rr).expect("fabric validates");
+    }
+
+    /// Wire spans never exceed the segment length or the grid dimension,
+    /// and every channel position/track maps to exactly one wire.
+    #[test]
+    fn wire_segmentation_covers_channels(
+        side in 2usize..7,
+        width in 2usize..16,
+        seg in 1usize..8,
+    ) {
+        let mut params = ArchParams::paper_table1();
+        params.segment_length = seg;
+        let grid = Grid::new(side, side, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+
+        let mut chanx_cover = vec![vec![0usize; width]; side + 1];
+        for id in rr.node_ids() {
+            let kind = rr.node(id).kind;
+            if let RrKind::ChanX { chan_y, x_start, x_end, track } = kind {
+                prop_assert!(kind.span_tiles() <= seg.min(side));
+                prop_assert!(x_start >= 1 && x_end as usize <= side);
+                for _x in x_start..=x_end {
+                    chanx_cover[chan_y as usize][track as usize] += 1;
+                }
+            }
+        }
+        // Every (channel, track) pair is covered exactly `side` times
+        // (once per column position).
+        for lane in chanx_cover {
+            for covered in lane {
+                prop_assert_eq!(covered, side);
+            }
+        }
+    }
+
+    /// Node and edge counts grow monotonically with channel width.
+    #[test]
+    fn fabric_monotone_in_width(side in 2usize..6, w1 in 2usize..12, dw in 1usize..8) {
+        let params = ArchParams::paper_table1();
+        let grid = Grid::new(side, side, 2).expect("grid builds");
+        let a = build_rr_graph(&params, grid, w1).expect("builds");
+        let b = build_rr_graph(&params, grid, w1 + dw).expect("builds");
+        prop_assert!(b.num_wires() > a.num_wires());
+        prop_assert!(b.num_edges() >= a.num_edges());
+    }
+
+    /// Grid auto-sizing always fits the request and is minimal in LB count.
+    #[test]
+    fn grid_sizing_fits_and_is_tight(lbs in 1usize..400, ios in 1usize..200) {
+        let g = Grid::for_design(lbs, ios, 2).expect("sizes");
+        prop_assert!(g.lb_capacity() >= lbs);
+        prop_assert!(g.io_capacity() >= ios);
+        if g.width > 1 {
+            let smaller = Grid::new(g.width - 1, g.height - 1, 2).expect("builds");
+            prop_assert!(
+                smaller.lb_capacity() < lbs || smaller.io_capacity() < ios,
+                "grid {}x{} not minimal for {lbs} LBs / {ios} IOs",
+                g.width,
+                g.height
+            );
+        }
+    }
+
+    /// Every source/sink lookup agrees with the tile map.
+    #[test]
+    fn source_sink_lookup_matches_tiles(side in 1usize..6, width in 2usize..10) {
+        let params = ArchParams::paper_table1();
+        let grid = Grid::new(side, side, 2).expect("builds");
+        let rr = build_rr_graph(&params, grid, width).expect("builds");
+        for x in 0..grid.total_width() {
+            for y in 0..grid.total_height() {
+                let has_block =
+                    grid.tile(x, y) != nemfpga_arch::grid::TileKind::Empty;
+                prop_assert_eq!(rr.source_at(x, y).is_some(), has_block);
+                prop_assert_eq!(rr.sink_at(x, y).is_some(), has_block);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benches for the VPR-class CAD substrate: RR-graph
+//! construction, packing, placement, and PathFinder routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nemfpga_arch::{build_rr_graph, ArchParams, Grid};
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_pnr::pack::pack;
+use nemfpga_pnr::place::{place, PlaceConfig};
+use nemfpga_pnr::route::{route, RouteConfig};
+
+fn bench_rr_graph(c: &mut Criterion) {
+    let params = ArchParams::paper_table1();
+    c.bench_function("cad/rr_graph_10x10_w60", |b| {
+        b.iter(|| build_rr_graph(&params, Grid::new(10, 10, 2).expect("grid"), 60).expect("builds"))
+    });
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let netlist = SynthConfig::tiny("bench", 500, 42).generate().expect("generates");
+    let params = ArchParams::paper_table1();
+    c.bench_function("cad/pack_500_luts", |b| {
+        b.iter(|| pack(netlist.clone(), &params).expect("packs"))
+    });
+}
+
+fn bench_place(c: &mut Criterion) {
+    let params = ArchParams::paper_table1();
+    let design = pack(
+        SynthConfig::tiny("bench", 300, 42).generate().expect("generates"),
+        &params,
+    )
+    .expect("packs");
+    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+        .expect("grid");
+    let mut group = c.benchmark_group("cad");
+    group.sample_size(10);
+    group.bench_function("place_300_luts_fast", |b| {
+        b.iter(|| place(&design, grid, &PlaceConfig::fast(42)).expect("places"))
+    });
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let params = ArchParams::paper_table1();
+    let design = pack(
+        SynthConfig::tiny("bench", 300, 42).generate().expect("generates"),
+        &params,
+    )
+    .expect("packs");
+    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+        .expect("grid");
+    let placement = place(&design, grid, &PlaceConfig::fast(42)).expect("places");
+    // A comfortable width: measures steady-state router speed, not
+    // congestion pathology.
+    let rr = build_rr_graph(&params, grid, 64).expect("builds");
+    let mut group = c.benchmark_group("cad");
+    group.sample_size(10);
+    group.bench_function("route_300_luts_w64", |b| {
+        b.iter(|| route(&rr, &design, &placement, &RouteConfig::new()).expect("routes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rr_graph, bench_pack, bench_place, bench_route);
+criterion_main!(benches);

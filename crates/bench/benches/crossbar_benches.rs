@@ -1,0 +1,61 @@
+//! Criterion benches for crossbar programming (Sec. 2.2–2.3): the 2×2
+//! demo, larger arrays, and the programming-window solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::program::program;
+use nemfpga_crossbar::waveform::{run_demo, WaveformConfig};
+use nemfpga_crossbar::window::solve_window;
+use nemfpga_device::variation::{PopulationStats, VariationModel};
+use nemfpga_device::NemRelayDevice;
+
+fn bench_demo_2x2_exhaustive(c: &mut Criterion) {
+    // The paper's hardware demo in software: all 16 configurations with
+    // full program/test/reset waveforms.
+    let levels = ProgrammingLevels::paper_demo();
+    let cfg = WaveformConfig::paper_fig5();
+    c.bench_function("crossbar/fig5_exhaustive_16_configs", |b| {
+        b.iter(|| {
+            for code in 0..16u64 {
+                let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())
+                    .expect("builds");
+                let wave =
+                    run_demo(&mut xbar, &Configuration::from_code(2, 2, code), &levels, &cfg)
+                        .expect("runs");
+                assert!(wave.verify());
+            }
+        })
+    });
+}
+
+fn bench_program_32x32(c: &mut Criterion) {
+    let device = NemRelayDevice::fabricated();
+    let levels = ProgrammingLevels::paper_demo();
+    let mut target = Configuration::all_off(32, 32);
+    for i in 0..32 {
+        target.set(i, (i * 7 + 3) % 32, true);
+        target.set(i, (i * 11 + 5) % 32, true);
+    }
+    c.bench_function("crossbar/program_32x32", |b| {
+        b.iter(|| {
+            let mut xbar = CrossbarArray::uniform(32, 32, device.clone()).expect("builds");
+            program(&mut xbar, &target, &levels).expect("programs")
+        })
+    });
+}
+
+fn bench_window_solver(c: &mut Criterion) {
+    let pop = VariationModel::fabrication_default().sample_population(
+        &NemRelayDevice::fabricated(),
+        100,
+        42,
+    );
+    let stats = PopulationStats::of(&pop);
+    c.bench_function("crossbar/solve_window_100_relays", |b| {
+        b.iter(|| solve_window(&stats).expect("solves"))
+    });
+}
+
+criterion_group!(benches, bench_demo_2x2_exhaustive, bench_program_32x32, bench_window_solver);
+criterion_main!(benches);

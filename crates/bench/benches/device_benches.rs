@@ -1,0 +1,48 @@
+//! Criterion benches for the NEM relay device models (Sec. 2 substrate):
+//! closed-form electromechanics, quasi-static I-V sweeps, and the Fig. 6
+//! Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nemfpga_device::iv::{sweep, SweepConfig};
+use nemfpga_device::variation::{PopulationStats, VariationModel};
+use nemfpga_device::{NemRelayDevice, Relay};
+use nemfpga_tech::units::Volts;
+use std::hint::black_box;
+
+fn bench_pull_in_voltage(c: &mut Criterion) {
+    let device = NemRelayDevice::fabricated();
+    c.bench_function("device/pull_in_voltage", |b| {
+        b.iter(|| black_box(&device).pull_in_voltage())
+    });
+}
+
+fn bench_iv_sweep(c: &mut Criterion) {
+    // The Fig. 2b measurement: 400 quasi-static points with hysteresis.
+    c.bench_function("device/iv_sweep_fig2b", |b| {
+        b.iter(|| {
+            let mut relay = Relay::new(NemRelayDevice::fabricated());
+            sweep(&mut relay, Volts::new(8.0), &SweepConfig::paper_fig2b()).expect("sweeps")
+        })
+    });
+}
+
+fn bench_population(c: &mut Criterion) {
+    // The Fig. 6 population: 100 varied devices plus statistics.
+    let nominal = NemRelayDevice::fabricated();
+    let model = VariationModel::fabrication_default();
+    c.bench_function("device/fig6_population_100", |b| {
+        b.iter(|| {
+            let pop = model.sample_population(black_box(&nominal), 100, 42);
+            PopulationStats::of(&pop)
+        })
+    });
+    c.bench_function("device/monte_carlo_10k", |b| {
+        b.iter(|| {
+            let pop = model.sample_population(black_box(&nominal), 10_000, 42);
+            PopulationStats::of(&pop)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pull_in_voltage, bench_iv_sweep, bench_population);
+criterion_main!(benches);

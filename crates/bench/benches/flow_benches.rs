@@ -1,0 +1,44 @@
+//! Criterion benches for the full Fig. 10 evaluation flow and the Fig. 12
+//! trade-off sweep (the headline experiments, timed end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_netlist::synth::SynthConfig;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let netlist = SynthConfig::tiny("flow", 120, 42).generate().expect("generates");
+    let cfg = EvaluationConfig::fast(42);
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem(4.0),
+    ];
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("evaluate_120_luts_two_variants", |b| {
+        b.iter(|| evaluate(netlist.clone(), &cfg, &variants).expect("evaluates"))
+    });
+    group.finish();
+}
+
+fn bench_tradeoff_sweep(c: &mut Criterion) {
+    let netlist = SynthConfig::tiny("sweep", 120, 42).generate().expect("generates");
+    let cfg = EvaluationConfig::fast(42);
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("fig12_sweep_120_luts", |b| {
+        b.iter(|| tradeoff_sweep(netlist.clone(), &cfg, &PAPER_DIVISORS).expect("sweeps"))
+    });
+    group.finish();
+}
+
+fn bench_activity(c: &mut Criterion) {
+    let netlist = SynthConfig::tiny("act", 2000, 42).generate().expect("generates");
+    c.bench_function("flow/activities_2000_luts", |b| {
+        b.iter(|| nemfpga_power::activity::compute_activities(&netlist, 0.5).expect("computes"))
+    });
+}
+
+criterion_group!(benches, bench_evaluate, bench_tradeoff_sweep, bench_activity);
+criterion_main!(benches);

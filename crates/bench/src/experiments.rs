@@ -1,0 +1,425 @@
+//! Experiment drivers, one per paper artifact.
+//!
+//! Each `run_*` function regenerates the data behind one table or figure
+//! and returns it as a plain struct; the `repro` binary renders them as
+//! text tables. EXPERIMENTS.md records paper-vs-measured for each.
+
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::sweep::{tradeoff_sweep, TradeoffCurve, PAPER_DIVISORS};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::waveform::{run_demo, Waveform, WaveformConfig};
+use nemfpga_crossbar::window::{solve_window, SolvedWindow};
+use nemfpga_device::iv::{sweep as iv_sweep, IvCurve, SweepConfig};
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_device::variation::{histogram, PopulationStats, VariationModel};
+use nemfpga_device::{EquivalentCircuit, Relay};
+use nemfpga_netlist::synth::{large4, mcnc20, SynthConfig};
+use nemfpga_tech::units::Volts;
+
+/// Scales a preset benchmark down by `scale` (LUT count multiplied, IO
+/// reduced with the square root, preserving Rent-flavoured proportions).
+///
+/// # Panics
+///
+/// Panics if `scale` is not in (0, 1].
+pub fn scaled(mut cfg: SynthConfig, scale: f64) -> SynthConfig {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got {scale}");
+    cfg.luts = ((cfg.luts as f64 * scale).round() as usize).max(20);
+    let io_scale = scale.sqrt();
+    cfg.inputs = ((cfg.inputs as f64 * io_scale).round() as usize).max(4);
+    cfg.outputs = ((cfg.outputs as f64 * io_scale).round() as usize).max(4);
+    cfg.target_depth = cfg.target_depth.max(3);
+    cfg
+}
+
+/// The benchmark suite of the paper (MCNC-20 + the four large designs),
+/// scaled by `scale` and truncated to `limit` circuits.
+pub fn benchmark_suite(scale: f64, limit: usize) -> Vec<SynthConfig> {
+    mcnc20()
+        .into_iter()
+        .chain(large4())
+        .map(|c| scaled(c, scale))
+        .take(limit)
+        .collect()
+}
+
+// --------------------------------------------------------------------
+// Fig. 2b — hysteretic I-V of the fabricated relay
+// --------------------------------------------------------------------
+
+/// Fig. 2b data: the measured-style I-V sweep of the fabricated device.
+pub struct Fig2b {
+    /// The up/down sweep.
+    pub curve: IvCurve,
+    /// Device model used.
+    pub device: NemRelayDevice,
+}
+
+/// Regenerates Fig. 2b.
+pub fn run_fig2b() -> Fig2b {
+    let device = NemRelayDevice::fabricated();
+    let mut relay = Relay::new(device.clone());
+    let curve = iv_sweep(&mut relay, Volts::new(8.0), &SweepConfig::paper_fig2b())
+        .expect("paper sweep parameters are valid");
+    Fig2b { curve, device }
+}
+
+// --------------------------------------------------------------------
+// Fig. 4 — half-select constraint check
+// --------------------------------------------------------------------
+
+/// Fig. 4 data: the three programming levels against the nominal device.
+pub struct Fig4 {
+    /// Levels used in the demo.
+    pub levels: ProgrammingLevels,
+    /// Pull-in voltage of the nominal device.
+    pub vpi: Volts,
+    /// Pull-out voltage of the nominal device.
+    pub vpo: Volts,
+    /// Whether every half-select inequality holds.
+    pub satisfied: bool,
+}
+
+/// Regenerates the Fig. 4 constraint check.
+pub fn run_fig4() -> Fig4 {
+    let device = NemRelayDevice::fabricated();
+    let levels = ProgrammingLevels::paper_demo();
+    Fig4 {
+        levels,
+        vpi: device.pull_in_voltage(),
+        vpo: device.pull_out_voltage(),
+        satisfied: levels.validate_for(&device).is_ok(),
+    }
+}
+
+// --------------------------------------------------------------------
+// Fig. 5 — 2×2 crossbar program/test/reset waveforms
+// --------------------------------------------------------------------
+
+/// Fig. 5 data: waveforms for the two highlighted configurations plus the
+/// exhaustive verification result.
+pub struct Fig5 {
+    /// Fig. 5b-style waveform (diagonal configuration).
+    pub wave_b: Waveform,
+    /// Fig. 5c-style waveform (crossed configuration).
+    pub wave_c: Waveform,
+    /// Number of the 16 configurations that programmed and verified.
+    pub verified_configurations: usize,
+}
+
+/// Regenerates Fig. 5.
+pub fn run_fig5() -> Fig5 {
+    let levels = ProgrammingLevels::paper_demo();
+    let cfg = WaveformConfig::paper_fig5();
+    let demo = |code: u64| {
+        let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())
+            .expect("2x2 is a valid shape");
+        run_demo(&mut xbar, &Configuration::from_code(2, 2, code), &levels, &cfg)
+            .expect("demo configuration programs")
+    };
+    let verified_configurations = (0..16u64).filter(|&code| demo(code).verify()).count();
+    Fig5 { wave_b: demo(0b1001), wave_c: demo(0b0110), verified_configurations }
+}
+
+// --------------------------------------------------------------------
+// Fig. 6 — Vpi/Vpo distributions over 100 relays + programming window
+// --------------------------------------------------------------------
+
+/// Fig. 6 data.
+pub struct Fig6 {
+    /// Population statistics of the 100 sampled relays.
+    pub stats: PopulationStats,
+    /// Histogram of pull-in voltages (0.1 V bins).
+    pub vpi_hist: Vec<(Volts, usize)>,
+    /// Histogram of pull-out voltages (0.1 V bins).
+    pub vpo_hist: Vec<(Volts, usize)>,
+    /// The solved programming window with its noise margins.
+    pub window: SolvedWindow,
+    /// Whether the paper's own demo levels (5.2 V / 0.8 V) also satisfy
+    /// this population.
+    pub paper_levels_feasible: bool,
+}
+
+/// Regenerates Fig. 6 (population seed fixed for reproducibility).
+pub fn run_fig6() -> Fig6 {
+    let population = VariationModel::fabrication_default().sample_population(
+        &NemRelayDevice::fabricated(),
+        100,
+        0xF16_6,
+    );
+    let stats = PopulationStats::of(&population);
+    let vpis: Vec<Volts> = population.iter().map(|d| d.pull_in_voltage()).collect();
+    let vpos: Vec<Volts> = population.iter().map(|d| d.pull_out_voltage()).collect();
+    let window = solve_window(&stats).expect("fitted variation model is programmable");
+    Fig6 {
+        stats,
+        vpi_hist: histogram(&vpis, Volts::new(0.1)),
+        vpo_hist: histogram(&vpos, Volts::new(0.1)),
+        window,
+        paper_levels_feasible: ProgrammingLevels::paper_demo()
+            .validate_for_population(&stats)
+            .is_ok(),
+    }
+}
+
+// --------------------------------------------------------------------
+// Fig. 9 — baseline power breakdown
+// --------------------------------------------------------------------
+
+/// Fig. 9 data: dynamic and leakage fractions of the CMOS-only baseline.
+pub struct Fig9 {
+    /// Dynamic fractions: wires, routing buffers, LUTs, clocking.
+    pub dynamic_fractions: [f64; 4],
+    /// Leakage fractions: buffers, SRAM, pass switches, logic.
+    pub leakage_fractions: [f64; 4],
+    /// Benchmark used.
+    pub benchmark: String,
+}
+
+/// Regenerates Fig. 9 on a representative benchmark (`scale` shrinks it).
+///
+/// `frisc` is used because its flip-flop fraction (~25%) exercises the
+/// clock-network component; pure-combinational circuits would report 0%
+/// clocking. Component shares drift a few points with circuit size and
+/// structure, as they would in the paper's own per-circuit data.
+pub fn run_fig9(scale: f64, seed: u64) -> Fig9 {
+    let cfg = EvaluationConfig::paper_defaults(seed);
+    let netlist = scaled(nemfpga_netlist::synth::preset_by_name("frisc").expect("preset"), scale)
+        .generate()
+        .expect("preset generates");
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node)];
+    let eval = evaluate(netlist, &cfg, &variants).expect("baseline evaluates");
+    let v = &eval.variants[0];
+    Fig9 {
+        dynamic_fractions: v.power.dynamic.fractions(),
+        leakage_fractions: v.power.leakage.fractions(),
+        benchmark: eval.benchmark,
+    }
+}
+
+// --------------------------------------------------------------------
+// Fig. 11 — scaled relay equivalent circuit
+// --------------------------------------------------------------------
+
+/// Fig. 11 data.
+pub struct Fig11 {
+    /// The 22 nm-scaled device.
+    pub device: NemRelayDevice,
+    /// Equivalent circuit computed from the geometry.
+    pub computed: EquivalentCircuit,
+    /// The values printed in the paper.
+    pub paper: EquivalentCircuit,
+}
+
+/// Regenerates Fig. 11.
+pub fn run_fig11() -> Fig11 {
+    let device = NemRelayDevice::scaled_22nm();
+    Fig11 {
+        computed: EquivalentCircuit::of(&device),
+        paper: EquivalentCircuit::paper_22nm(),
+        device,
+    }
+}
+
+// --------------------------------------------------------------------
+// Fig. 12 + headline — the architecture study
+// --------------------------------------------------------------------
+
+/// One benchmark's Fig. 12 result.
+pub struct Fig12Entry {
+    /// Trade-off curve over the divisor sweep.
+    pub curve: TradeoffCurve,
+    /// Minimum channel width found for this benchmark.
+    pub w_min: Option<usize>,
+    /// LUT count of the (possibly scaled) netlist.
+    pub luts: usize,
+}
+
+/// Runs the Fig. 12 sweep over a benchmark list. Progress goes to stderr
+/// (runs on paper-size circuits take a while).
+pub fn run_fig12(benchmarks: &[SynthConfig], seed: u64) -> Vec<Fig12Entry> {
+    benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let t0 = std::time::Instant::now();
+            let netlist = b.generate().expect("preset generates");
+            let luts = netlist.num_luts();
+            eprintln!(
+                "[fig12 {}/{}] {} ({} LUTs)...",
+                i + 1,
+                benchmarks.len(),
+                b.name,
+                luts
+            );
+            let cfg = EvaluationConfig::paper_defaults(seed);
+            let (curve, eval) =
+                tradeoff_sweep(netlist, &cfg, &PAPER_DIVISORS).expect("sweep runs");
+            eprintln!(
+                "[fig12 {}/{}] {} done in {:.0}s (Wmin {:?})",
+                i + 1,
+                benchmarks.len(),
+                b.name,
+                t0.elapsed().as_secs_f64(),
+                eval.w_min
+            );
+            Fig12Entry { curve, w_min: eval.w_min, luts }
+        })
+        .collect()
+}
+
+/// Geometric mean of the preferred corners over a set of Fig. 12 entries:
+/// the headline row (paper: 2× dynamic, 10× leakage, 2.1× area at
+/// iso-delay).
+pub fn headline_corner(entries: &[Fig12Entry], min_speedup: f64) -> nemfpga::TradeoffPoint {
+    assert!(!entries.is_empty(), "need at least one benchmark");
+    let n = entries.len() as f64;
+    let mut speedup = 1.0;
+    let mut dynamic = 1.0;
+    let mut leakage = 1.0;
+    let mut area = 1.0;
+    let mut divisor = 0.0;
+    for e in entries {
+        let c = e.curve.preferred_corner(min_speedup);
+        speedup *= c.speedup;
+        dynamic *= c.dynamic_reduction;
+        leakage *= c.leakage_reduction;
+        area *= c.area_reduction;
+        divisor += c.divisor;
+    }
+    nemfpga::TradeoffPoint {
+        divisor: divisor / n,
+        speedup: speedup.powf(1.0 / n),
+        dynamic_reduction: dynamic.powf(1.0 / n),
+        leakage_reduction: leakage.powf(1.0 / n),
+        area_reduction: area.powf(1.0 / n),
+    }
+}
+
+/// The [Chen 10b] comparison: CMOS-NEM without the buffer technique
+/// (paper: only 1.8× area, 1.3× dynamic, 2× leakage).
+pub struct NoTechnique {
+    /// Speed-up over the baseline.
+    pub speedup: f64,
+    /// Dynamic power reduction.
+    pub dynamic_reduction: f64,
+    /// Leakage reduction.
+    pub leakage_reduction: f64,
+    /// Area reduction.
+    pub area_reduction: f64,
+}
+
+/// Evaluates the no-technique CMOS-NEM design on one benchmark.
+pub fn run_no_technique(benchmark: &SynthConfig, seed: u64) -> NoTechnique {
+    let cfg = EvaluationConfig::paper_defaults(seed);
+    let netlist = benchmark.generate().expect("preset generates");
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem_without_technique(),
+    ];
+    let eval = evaluate(netlist, &cfg, &variants).expect("evaluation runs");
+    let base = &eval.variants[0];
+    let nem = &eval.variants[1];
+    NoTechnique {
+        speedup: base.critical_path / nem.critical_path,
+        dynamic_reduction: base.power.dynamic.total() / nem.power.dynamic.total(),
+        leakage_reduction: base.power.leakage.total() / nem.power.leakage.total(),
+        area_reduction: base.total_area / nem.total_area,
+    }
+}
+
+// --------------------------------------------------------------------
+// W_min (Sec. 3.3)
+// --------------------------------------------------------------------
+
+/// One benchmark's channel-width result.
+pub struct WminEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// LUTs in the (scaled) netlist.
+    pub luts: usize,
+    /// Minimum routable channel width.
+    pub w_min: usize,
+    /// Operating width actually used (≈ 1.2 × W_min).
+    pub operating: usize,
+}
+
+/// Runs the W_min search over a benchmark list.
+pub fn run_wmin(benchmarks: &[SynthConfig], seed: u64) -> Vec<WminEntry> {
+    use nemfpga_arch::ArchParams;
+    use nemfpga_pnr::flow::{implement, WidthPolicy};
+    use nemfpga_pnr::place::PlaceConfig;
+    use nemfpga_pnr::route::RouteConfig;
+    benchmarks
+        .iter()
+        .map(|b| {
+            let netlist = b.generate().expect("preset generates");
+            let luts = netlist.num_luts();
+            let imp = implement(
+                netlist,
+                &ArchParams::paper_table1(),
+                &PlaceConfig::new(seed),
+                &RouteConfig::new(),
+                WidthPolicy::LowStress { hint: 32, max: 512 },
+            )
+            .expect("benchmark routes");
+            let ws = imp.width_search.expect("low-stress policy searches");
+            WminEntry { name: b.name.clone(), luts, w_min: ws.w_min, operating: ws.operating_width }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let c = scaled(SynthConfig::tiny("t", 10_000, 1), 0.01);
+        assert!(c.luts >= 20);
+        assert!(c.inputs >= 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn suite_covers_both_sets() {
+        let suite = benchmark_suite(0.05, 24);
+        assert_eq!(suite.len(), 24);
+        assert!(suite.iter().any(|c| c.name == "clma"));
+        assert!(suite.iter().any(|c| c.name == "sudoku_check"));
+    }
+
+    #[test]
+    fn fig2b_experiment_shape() {
+        let f = run_fig2b();
+        let vpi = f.curve.observed_vpi.unwrap().value();
+        assert!((vpi - 6.2).abs() < 0.2);
+        assert!(f.curve.observed_vpo.unwrap().value() < vpi);
+    }
+
+    #[test]
+    fn fig4_and_fig5_experiments() {
+        assert!(run_fig4().satisfied);
+        let f5 = run_fig5();
+        assert_eq!(f5.verified_configurations, 16);
+        assert!(f5.wave_b.verify() && f5.wave_c.verify());
+    }
+
+    #[test]
+    fn fig6_experiment_finds_window() {
+        let f = run_fig6();
+        assert_eq!(f.stats.count, 100);
+        assert!(f.window.worst_margin.value() > 0.0);
+        let total: usize = f.vpi_hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fig11_matches_paper_within_ten_percent() {
+        let f = run_fig11();
+        assert!((f.computed.c_on.value() / f.paper.c_on.value() - 1.0).abs() < 0.1);
+        assert!((f.computed.c_off.value() / f.paper.c_off.value() - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,14 @@
+//! # nemfpga-bench
+//!
+//! Experiment harness for the `nemfpga` reproduction of the DATE 2012
+//! CMOS-NEM FPGA paper: shared experiment drivers used by both the
+//! `repro` binary (one regenerator per table/figure) and the Criterion
+//! performance benches.
+//!
+//! Every experiment is deterministic per seed. Absolute magnitudes depend
+//! on the analytical technology models; the reproduced quantities are the
+//! paper's *shapes and ratios* (see EXPERIMENTS.md at the workspace root).
+
+pub mod experiments;
+
+pub use experiments::*;

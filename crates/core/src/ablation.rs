@@ -1,0 +1,234 @@
+//! Ablation studies of the design technique (DESIGN.md §6).
+//!
+//! The paper's technique bundles three effects: replacing switches with
+//! relays (stacking + zero leak + no Vt drop), *removing* LB input/output
+//! buffers, and *downsizing* wire buffers. This module separates them:
+//!
+//! * which half of the buffer technique buys what;
+//! * how sensitive the result is to contact quality (`Ron` from the
+//!   2 kΩ [Parsa 10] devices up to the ~100 kΩ demo-crossbar contacts —
+//!   the paper's own caveat in Sec. 2.3).
+
+use crate::error::CoreError;
+use crate::flow::{evaluate, EvaluationConfig};
+use crate::variant::FpgaVariant;
+use nemfpga_netlist::netlist::Netlist;
+use nemfpga_tech::switch::RoutingSwitch;
+use nemfpga_tech::units::Ohms;
+use serde::{Deserialize, Serialize};
+
+/// One ablation row: a named variant's reductions vs. the CMOS baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Speed-up vs. baseline.
+    pub speedup: f64,
+    /// Dynamic power reduction vs. baseline.
+    pub dynamic_reduction: f64,
+    /// Leakage reduction vs. baseline.
+    pub leakage_reduction: f64,
+    /// Area reduction vs. baseline.
+    pub area_reduction: f64,
+}
+
+/// A complete ablation table for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationStudy {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Rows in the order evaluated.
+    pub rows: Vec<AblationRow>,
+}
+
+impl std::fmt::Display for AblationStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ablation on {} (vs CMOS-only baseline):", self.benchmark)?;
+        writeln!(
+            f,
+            "  {:<44} {:>8} {:>8} {:>8} {:>7}",
+            "configuration", "speedup", "dynamic", "leakage", "area"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<44} {:>7.2}x {:>7.2}x {:>7.2}x {:>6.2}x",
+                r.label, r.speedup, r.dynamic_reduction, r.leakage_reduction, r.area_reduction
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A CMOS-NEM variant with only the *removal* half of the technique.
+fn removal_only() -> FpgaVariant {
+    let mut v = FpgaVariant::cmos_nem(1.0);
+    v.name = "relays + LB buffer removal only".to_owned();
+    v
+}
+
+/// A CMOS-NEM variant with only the *downsizing* half of the technique.
+fn downsizing_only(divisor: f64) -> FpgaVariant {
+    let mut v = FpgaVariant::cmos_nem(divisor);
+    v.remove_lb_buffers = false;
+    v.name = format!("relays + wire buffers /{divisor:.0} only");
+    v
+}
+
+/// Separates the technique into its halves on one benchmark.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the evaluation flow.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nemfpga::ablation::technique_ablation;
+/// use nemfpga::flow::EvaluationConfig;
+/// use nemfpga_netlist::synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let study = technique_ablation(
+///     SynthConfig::tiny("abl", 200, 1).generate()?,
+///     &EvaluationConfig::fast(1),
+///     8.0,
+/// )?;
+/// println!("{study}");
+/// # Ok(())
+/// # }
+/// ```
+pub fn technique_ablation(
+    netlist: Netlist,
+    config: &EvaluationConfig,
+    divisor: f64,
+) -> Result<AblationStudy, CoreError> {
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&config.node),
+        FpgaVariant::cmos_nem_without_technique(),
+        removal_only(),
+        downsizing_only(divisor),
+        FpgaVariant::cmos_nem(divisor),
+    ];
+    rows_against_baseline(netlist, config, variants)
+}
+
+/// Sweeps contact resistance for the full-technique variant: the Sec. 2.3
+/// sensitivity ("more work is needed to obtain low Ron consistently").
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the evaluation flow; rejects non-positive
+/// resistances.
+pub fn ron_sensitivity(
+    netlist: Netlist,
+    config: &EvaluationConfig,
+    divisor: f64,
+    contact_resistances: &[Ohms],
+) -> Result<AblationStudy, CoreError> {
+    if contact_resistances.iter().any(|r| r.value() <= 0.0) {
+        return Err(CoreError::InvalidConfig {
+            message: "contact resistances must be positive".to_owned(),
+        });
+    }
+    let mut variants = vec![FpgaVariant::cmos_baseline(&config.node)];
+    for &r_on in contact_resistances {
+        let mut v = FpgaVariant::cmos_nem(divisor);
+        let base = RoutingSwitch::nem_relay_paper();
+        v.switch = RoutingSwitch::nem_relay(r_on, base.c_on, base.c_off, base.mems_area);
+        v.name = format!("technique, Ron = {:.0} kOhm", r_on.value() / 1e3);
+        variants.push(v);
+    }
+    rows_against_baseline(netlist, config, variants)
+}
+
+fn rows_against_baseline(
+    netlist: Netlist,
+    config: &EvaluationConfig,
+    variants: Vec<FpgaVariant>,
+) -> Result<AblationStudy, CoreError> {
+    let eval = evaluate(netlist, config, &variants)?;
+    let base = &eval.variants[0];
+    let rows = eval
+        .variants
+        .iter()
+        .skip(1)
+        .map(|v| AblationRow {
+            label: v.variant.name.clone(),
+            speedup: base.critical_path / v.critical_path,
+            dynamic_reduction: base.power.dynamic.total() / v.power.dynamic.total(),
+            leakage_reduction: base.power.leakage.total() / v.power.leakage.total(),
+            area_reduction: base.total_area / v.total_area,
+        })
+        .collect();
+    Ok(AblationStudy { benchmark: eval.benchmark, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn netlist(seed: u64) -> Netlist {
+        SynthConfig::tiny("abl", 120, seed).generate().expect("generates")
+    }
+
+    #[test]
+    fn halves_compose_into_the_full_technique() {
+        let cfg = EvaluationConfig::fast(1);
+        let study = technique_ablation(netlist(1), &cfg, 8.0).expect("runs");
+        assert_eq!(study.rows.len(), 4);
+        let no_tech = &study.rows[0];
+        let removal = &study.rows[1];
+        let downsize = &study.rows[2];
+        let full = &study.rows[3];
+
+        // Each half improves leakage over relays-only; the full technique
+        // beats both halves.
+        assert!(removal.leakage_reduction > no_tech.leakage_reduction);
+        assert!(downsize.leakage_reduction > no_tech.leakage_reduction);
+        assert!(full.leakage_reduction >= removal.leakage_reduction);
+        assert!(full.leakage_reduction >= downsize.leakage_reduction);
+        // Area: only removal shrinks LB buffers; downsizing shrinks wire
+        // buffers. Full >= each half.
+        assert!(full.area_reduction >= removal.area_reduction * 0.999);
+        assert!(full.area_reduction >= downsize.area_reduction * 0.999);
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let cfg = EvaluationConfig::fast(2);
+        let study = technique_ablation(netlist(2), &cfg, 4.0).expect("runs");
+        let s = study.to_string();
+        for r in &study.rows {
+            assert!(s.contains(&r.label), "missing {}", r.label);
+        }
+    }
+
+    #[test]
+    fn higher_ron_erodes_speed_but_not_leakage() {
+        let cfg = EvaluationConfig::fast(3);
+        let study = ron_sensitivity(
+            netlist(3),
+            &cfg,
+            2.0,
+            &[Ohms::from_kilo(2.0), Ohms::from_kilo(20.0), Ohms::from_kilo(100.0)],
+        )
+        .expect("runs");
+        assert_eq!(study.rows.len(), 3);
+        // Speed degrades monotonically with Ron...
+        assert!(study.rows[0].speedup > study.rows[1].speedup);
+        assert!(study.rows[1].speedup > study.rows[2].speedup);
+        // ...while leakage reduction stays put (relays never leak).
+        let l0 = study.rows[0].leakage_reduction;
+        let l2 = study.rows[2].leakage_reduction;
+        assert!((l0 / l2 - 1.0).abs() < 0.05, "{l0} vs {l2}");
+    }
+
+    #[test]
+    fn invalid_ron_rejected() {
+        let cfg = EvaluationConfig::fast(4);
+        let err = ron_sensitivity(netlist(4), &cfg, 2.0, &[Ohms::new(0.0)]);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Tile area model (the layout-derived areas of Sec. 3.3, reproduced
+//! analytically from transistor counts).
+//!
+//! The CMOS-NEM footprint win has two sources the model captures
+//! separately: routing switches and their SRAM vanish from the CMOS layers
+//! (relays stack between metal 3 and metal 5, Fig. 1), and the buffer
+//! technique shrinks or removes the routing buffers.
+
+use crate::context::ModelContext;
+use nemfpga_tech::buffer::BufferChain;
+use nemfpga_tech::process::ProcessNode;
+use nemfpga_tech::units::SquareMeters;
+use serde::{Deserialize, Serialize};
+
+/// Component areas of one FPGA tile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileArea {
+    /// LUTs, flip-flops, and the LB-local crossbar (variant-independent).
+    pub logic: SquareMeters,
+    /// Routing switches and their configuration SRAM in the CMOS layers.
+    pub routing_switches: SquareMeters,
+    /// Routing buffers (wire buffers + LB input/output buffers).
+    pub routing_buffers: SquareMeters,
+    /// Relay area riding in the MEMS layer above the CMOS (not footprint
+    /// unless it outgrows the CMOS beneath, which it never does here).
+    pub mems_overlay: SquareMeters,
+}
+
+impl TileArea {
+    /// Chip-footprint area of the tile: the CMOS layers only, with the
+    /// MEMS overlay as a lower bound (stacked relays must physically fit).
+    pub fn footprint(&self) -> SquareMeters {
+        let cmos = self.logic + self.routing_switches + self.routing_buffers;
+        cmos.max(self.mems_overlay)
+    }
+
+    /// Tile edge length assuming a square tile.
+    pub fn edge(&self) -> nemfpga_tech::units::Meters {
+        nemfpga_tech::units::Meters::new(self.footprint().value().sqrt())
+    }
+}
+
+/// Area of one K-input LUT: `2^K` SRAM bits plus the pass-transistor mux
+/// tree and output buffering.
+pub fn lut_area(node: &ProcessNode, k: usize) -> SquareMeters {
+    let bits = 1usize << k;
+    let mux_transistors = 2 * (bits - 1) + 10;
+    node.sram_cell_area * bits as f64 + node.min_transistor_area * mux_transistors as f64
+}
+
+/// Area of one flip-flop (a 12-transistor DFF).
+pub fn ff_area(node: &ProcessNode) -> SquareMeters {
+    node.min_transistor_area * 12.0
+}
+
+/// Area of the LB-local programmable crossbar (Fig. 7b): `(I + N)` inputs
+/// feeding `K·N` LUT-input muxes, half-populated, one pass transistor plus
+/// one SRAM bit per crosspoint.
+pub fn crossbar_area(node: &ProcessNode, params: &nemfpga_arch::params::ArchParams) -> SquareMeters {
+    let crosspoints =
+        (params.lb_inputs + params.lb_outputs()) * params.lut_inputs * params.cluster_size;
+    (node.min_transistor_area + node.sram_cell_area) * crosspoints as f64
+}
+
+/// Complete logic-block (non-routing) area of one tile.
+pub fn logic_area(node: &ProcessNode, params: &nemfpga_arch::params::ArchParams) -> SquareMeters {
+    ((lut_area(node, params.lut_inputs) + ff_area(node)) * params.cluster_size as f64
+        + crossbar_area(node, params))
+        * crate::calibration::LB_WIRING_OVERHEAD
+}
+
+/// Computes the tile area for a variant's switch and buffer choices.
+///
+/// `wire_chain`/`in_chain`/`out_chain` are the variant's buffer designs
+/// (removed chains contribute zero).
+pub fn tile_area(
+    ctx: &ModelContext,
+    switch: &nemfpga_tech::switch::RoutingSwitch,
+    wire_chain: &BufferChain,
+    in_chain: &BufferChain,
+    out_chain: &BufferChain,
+) -> TileArea {
+    let node = &ctx.node;
+    let params = &ctx.params;
+    let switches = ctx.switches_per_tile;
+    TileArea {
+        logic: logic_area(node, params),
+        routing_switches: switch.cmos_area * switches,
+        routing_buffers: (wire_chain.area(node) * ctx.wires_per_tile
+            + in_chain.area(node) * params.lb_inputs as f64
+            + out_chain.area(node) * params.lb_outputs() as f64)
+            * crate::calibration::BUFFER_AREA_FACTOR,
+        mems_overlay: switch.mems_area * switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_arch::params::ArchParams;
+    use nemfpga_tech::interconnect::InterconnectModel;
+    use nemfpga_tech::switch::RoutingSwitch;
+    use nemfpga_tech::units::Farads;
+
+    fn ctx() -> ModelContext {
+        ModelContext::approximate(
+            ProcessNode::ptm_22nm(),
+            InterconnectModel::ptm_22nm(),
+            ArchParams::paper_table1(),
+            118,
+        )
+    }
+
+    fn chains(node: &ProcessNode) -> (BufferChain, BufferChain, BufferChain) {
+        (
+            BufferChain::design(node, Farads::from_femto(13.0)),
+            BufferChain::design(node, Farads::from_femto(4.0)),
+            BufferChain::design(node, Farads::from_femto(6.0)),
+        )
+    }
+
+    #[test]
+    fn cmos_tile_is_routing_dominated() {
+        let ctx = ctx();
+        let (w, i, o) = chains(&ctx.node);
+        let sw = RoutingSwitch::nmos_pass(&ctx.node, 10.0);
+        let tile = tile_area(&ctx, &sw, &w, &i, &o);
+        // Routing switches + SRAM are a large share of the tile — the
+        // premise of the ~2x area claim (Sec. 3.4: removing them alone
+        // yields 1.8x). They rival the logic and dwarf the buffers.
+        assert!(tile.routing_switches > tile.logic * 0.6);
+        assert!(tile.routing_switches > tile.routing_buffers * 2.0);
+        // Tile edge lands at a plausible 22 nm scale: 10-40 um.
+        let edge_um = tile.edge().as_micro();
+        assert!((8.0..50.0).contains(&edge_um), "edge {edge_um} um");
+    }
+
+    #[test]
+    fn relay_stacking_halves_the_footprint_roughly() {
+        let ctx = ctx();
+        let (w, i, o) = chains(&ctx.node);
+        let cmos = tile_area(&ctx, &RoutingSwitch::nmos_pass(&ctx.node, 10.0), &w, &i, &o);
+        let nem = tile_area(
+            &ctx,
+            &RoutingSwitch::nem_relay_paper(),
+            &w,
+            &BufferChain::removed(),
+            &BufferChain::removed(),
+            // wire buffers downsized 4x in area for this check
+        );
+        let ratio = cmos.footprint() / nem.footprint();
+        assert!(ratio > 1.5 && ratio < 3.5, "area reduction {ratio}");
+        // Relays consume zero CMOS but nonzero MEMS overlay.
+        assert_eq!(nem.routing_switches, SquareMeters::zero());
+        assert!(nem.mems_overlay.value() > 0.0);
+        // The MEMS overlay fits above the remaining CMOS.
+        assert!(nem.mems_overlay < nem.logic + nem.routing_buffers);
+    }
+
+    #[test]
+    fn lut_area_grows_with_k() {
+        let node = ProcessNode::ptm_22nm();
+        assert!(lut_area(&node, 6) > lut_area(&node, 4));
+        assert!(lut_area(&node, 4).value() > 0.0);
+    }
+
+    #[test]
+    fn footprint_is_at_least_mems_overlay() {
+        let ctx = ctx();
+        let tiny_logic = TileArea {
+            logic: SquareMeters::new(1e-12),
+            routing_switches: SquareMeters::zero(),
+            routing_buffers: SquareMeters::zero(),
+            mems_overlay: SquareMeters::new(5e-12),
+        };
+        assert_eq!(tiny_logic.footprint(), SquareMeters::new(5e-12));
+        let _ = ctx;
+    }
+}

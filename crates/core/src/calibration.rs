@@ -1,0 +1,82 @@
+//! Calibration constants, fit **once** against the paper's published
+//! baseline data and then held fixed for every variant (DESIGN.md §5):
+//!
+//! * the Fig. 9 dynamic breakdown (wires 40%, routing buffers 30%, LUTs
+//!   20%, clocking 10%) and leakage breakdown (routing buffers 70%,
+//!   routing SRAM 12%, pass transistors 10%, logic 8%) of the 22 nm
+//!   CMOS-only baseline;
+//! * the area structure implied by Sec. 3.4's 1.8× (stacking only) and
+//!   2.1× (stacking + buffer technique) footprint reductions.
+//!
+//! Every CMOS-NEM number reported by the flow is a *prediction* computed
+//! with these constants unchanged; only the baseline was fit.
+
+/// Config SRAM leakage per bit relative to a nominal 6T cell. Routing
+/// SRAM is slow and can use long-channel devices, but its sheer count
+/// keeps it at 12% of baseline leakage (Fig. 9).
+pub const SRAM_LEAK_FACTOR: f64 = 0.54;
+
+/// Routing pass transistors are high-Vt (the paper's own premise: their
+/// Vt cannot be lowered because of leakage); fraction of the nominal
+/// device's subthreshold leak.
+pub const SWITCH_LEAK_FACTOR: f64 = 0.175;
+
+/// LUT leakage per instance, in minimum-inverter leakages (mux tree,
+/// internal config SRAM, output drive).
+pub const LUT_LEAK_INVERTERS: f64 = 42.0;
+
+/// Flip-flop leakage per instance, in minimum-inverter leakages.
+pub const FF_LEAK_INVERTERS: f64 = 15.0;
+
+/// LUT internal switched capacitance per evaluation, in minimum-inverter
+/// input capacitances.
+pub const LUT_DYN_CAP_INVERTERS: f64 = 700.0;
+
+/// Clock network capacitance per flip-flop, in minimum-inverter input
+/// capacitances (clock buffers + spine share).
+pub const CLOCK_CAP_INVERTERS: f64 = 390.0;
+
+/// Fraction of each wire-charging transition's energy dissipated in the
+/// driving buffer's transistors (the rest is booked to the wire bucket);
+/// fit so the baseline's wires/buffers split matches Fig. 9's 40/30.
+pub const WIRE_ENERGY_BUFFER_SHARE: f64 = 0.28;
+
+/// Fraction of a buffer chain's nominal switched capacitance that
+/// dissipates per transition (internal nodes see partial swing and the
+/// stages are skewed; fit to the Fig. 9 buffer share).
+pub const BUFFER_DYN_FACTOR: f64 = 0.31;
+
+/// Layout-density factor of buffer chains relative to the sum of
+/// min-transistor areas (inverter arrays share wells and diffusion).
+pub const BUFFER_AREA_FACTOR: f64 = 0.25;
+
+/// Intra-LB wiring/clocking overhead multiplier on raw logic transistor
+/// area (fit so logic is ~46% of the baseline tile, which reproduces the
+/// paper's 1.8×-without / 2.1×-with area reductions).
+pub const LB_WIRING_OVERHEAD: f64 = 1.5;
+
+/// LB-local crossbar load presented at each LB input, in minimum inverter
+/// input capacitances (local wire + mux taps, Fig. 7b).
+pub const CROSSBAR_LOAD_INVERTERS: f64 = 40.0;
+
+/// Local feedback / output-pin load inside the LB, in minimum inverter
+/// input capacitances.
+pub const LOCAL_LOAD_INVERTERS: f64 = 28.0;
+
+/// LUT propagation delay in FO1 units of the process.
+pub const LUT_DELAY_FO1: f64 = 14.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(SRAM_LEAK_FACTOR > 0.0 && SRAM_LEAK_FACTOR <= 1.0);
+        assert!(SWITCH_LEAK_FACTOR > 0.0 && SWITCH_LEAK_FACTOR <= 1.0);
+        assert!(BUFFER_DYN_FACTOR > 0.0 && BUFFER_DYN_FACTOR <= 1.0);
+        assert!(BUFFER_AREA_FACTOR > 0.0 && BUFFER_AREA_FACTOR <= 1.0);
+        assert!(LB_WIRING_OVERHEAD >= 1.0);
+        assert!(LUT_DELAY_FO1 > 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared modelling context: technology + architecture + per-tile
+//! structural statistics of the routing fabric.
+
+use nemfpga_arch::params::ArchParams;
+use nemfpga_arch::rrgraph::{RrGraph, SwitchClass};
+use nemfpga_tech::interconnect::InterconnectModel;
+use nemfpga_tech::process::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Everything the electrical/area models need besides the variant itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelContext {
+    /// CMOS process.
+    pub node: ProcessNode,
+    /// Wire RC model.
+    pub interconnect: InterconnectModel,
+    /// Architecture parameters.
+    pub params: ArchParams,
+    /// Channel width the fabric is built with.
+    pub channel_width: usize,
+    /// Channel wire segments per logic tile.
+    pub wires_per_tile: f64,
+    /// Programmable routing switches (SB + CB) per logic tile.
+    pub switches_per_tile: f64,
+    /// Average switch connections loading each wire segment.
+    pub taps_per_wire: f64,
+}
+
+impl ModelContext {
+    /// Analytic per-tile statistics (no RR graph needed): wires
+    /// `2·W/L`, CB switches `(I+N)·Fc` taps, SB switches from the
+    /// crossing-per-tile count of the fabric builder.
+    pub fn approximate(
+        node: ProcessNode,
+        interconnect: InterconnectModel,
+        params: ArchParams,
+        channel_width: usize,
+    ) -> Self {
+        let w = channel_width as f64;
+        let l = params.segment_length as f64;
+        let wires_per_tile = 2.0 * w / l;
+        let cb_per_tile = params.lb_inputs as f64
+            * params.fc_in_tracks(channel_width) as f64
+            + params.lb_outputs() as f64 * params.fc_out_tracks(channel_width) as f64;
+        // Each tile corner crossing connects ~2 H/V wire pairs per track.
+        let sb_per_tile = 2.0 * w;
+        let switches_per_tile = cb_per_tile + sb_per_tile;
+        let taps_per_wire = switches_per_tile * l / w;
+        Self {
+            node,
+            interconnect,
+            params,
+            channel_width,
+            wires_per_tile,
+            switches_per_tile,
+            taps_per_wire,
+        }
+    }
+
+    /// Exact statistics extracted from a built RR graph (the flow's path).
+    pub fn from_rr_graph(
+        node: ProcessNode,
+        interconnect: InterconnectModel,
+        rr: &RrGraph,
+    ) -> Self {
+        let lb_tiles = (rr.grid.width * rr.grid.height).max(1) as f64;
+        let wires = rr.num_wires() as f64;
+        let mut cb_edges = 0usize;
+        let mut sb_edge_dirs = 0usize;
+        for id in rr.node_ids() {
+            for e in rr.edges_from(id) {
+                match e.switch {
+                    SwitchClass::ConnectionBox => cb_edges += 1,
+                    SwitchClass::SwitchBox => sb_edge_dirs += 1,
+                    _ => {}
+                }
+            }
+        }
+        let switches = cb_edges as f64 + sb_edge_dirs as f64 / 2.0;
+        // Every CB or SB switch loads exactly one wire on each side it
+        // touches; count both directions of SB plus CB taps.
+        let taps = (cb_edges as f64 + sb_edge_dirs as f64) / wires.max(1.0);
+        Self {
+            node,
+            interconnect,
+            params: rr.params,
+            channel_width: rr.channel_width,
+            wires_per_tile: wires / lb_tiles,
+            switches_per_tile: switches / lb_tiles,
+            taps_per_wire: taps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_arch::{build_rr_graph, Grid};
+
+    #[test]
+    fn approximate_matches_paper_scale() {
+        let ctx = ModelContext::approximate(
+            ProcessNode::ptm_22nm(),
+            InterconnectModel::ptm_22nm(),
+            ArchParams::paper_table1(),
+            118,
+        );
+        // 2*118/4 = 59 wires per tile.
+        assert!((ctx.wires_per_tile - 59.0).abs() < 1e-9);
+        // CB: 22*24 + 10*12 = 648 switches; SB adds a couple hundred more.
+        assert!(ctx.switches_per_tile > 648.0);
+        assert!(ctx.taps_per_wire > 5.0);
+    }
+
+    #[test]
+    fn rr_extraction_is_same_order_as_analytic() {
+        let params = ArchParams::paper_table1();
+        let rr = build_rr_graph(&params, Grid::new(6, 6, 2).unwrap(), 24).unwrap();
+        let exact = ModelContext::from_rr_graph(
+            ProcessNode::ptm_22nm(),
+            InterconnectModel::ptm_22nm(),
+            &rr,
+        );
+        let approx = ModelContext::approximate(
+            ProcessNode::ptm_22nm(),
+            InterconnectModel::ptm_22nm(),
+            params,
+            24,
+        );
+        let ratio = exact.switches_per_tile / approx.switches_per_tile;
+        assert!(ratio > 0.4 && ratio < 3.0, "ratio {ratio}");
+        let ratio = exact.wires_per_tile / approx.wires_per_tile;
+        assert!(ratio > 0.5 && ratio < 2.5, "ratio {ratio}");
+    }
+}

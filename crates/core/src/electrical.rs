@@ -1,0 +1,318 @@
+//! Per-variant electrical models: timing stages, dynamic-power
+//! capacitances, and leakage costs, derived from the technology models and
+//! the variant's switch/buffer choices.
+//!
+//! Everything that differs between the CMOS-only and CMOS-NEM designs
+//! flows through physics (switch Ron/parasitics, Vt-drop penalty, buffer
+//! chain sizes, tile-edge shrink from stacking); a handful of named
+//! calibration constants anchor the *baseline's* component shares to the
+//! paper's Fig. 9 and are then held fixed for every variant (DESIGN.md §5).
+
+use crate::area::{tile_area, TileArea};
+use crate::context::ModelContext;
+use crate::variant::FpgaVariant;
+use nemfpga_power::dynamic::DynamicCosts;
+use nemfpga_power::leakage::LeakageCosts;
+use nemfpga_pnr::timing::{RoutingTiming, StageTiming};
+use nemfpga_tech::buffer::BufferChain;
+use nemfpga_tech::interconnect::MetalLayer;
+use nemfpga_tech::units::{Farads, Meters, Ohms, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::calibration;
+
+/// The complete derived model for one variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalModel {
+    /// The variant this model was built for.
+    pub variant: FpgaVariant,
+    /// Timing stages for the STA.
+    pub timing: RoutingTiming,
+    /// Dynamic-power unit capacitances.
+    pub dynamic_costs: DynamicCosts,
+    /// Leakage unit costs.
+    pub leakage_costs: LeakageCosts,
+    /// Tile area decomposition.
+    pub tile: TileArea,
+    /// The wire-buffer chain in use (possibly downsized).
+    pub wire_chain: BufferChain,
+    /// The LB input buffer (possibly removed).
+    pub in_chain: BufferChain,
+    /// The LB output buffer (possibly removed).
+    pub out_chain: BufferChain,
+    /// Nominal full-length segment wire capacitance at this variant's tile
+    /// pitch (the load wire buffers are designed against).
+    pub c_wire_nominal: Farads,
+}
+
+impl ElectricalModel {
+    /// Builds the model for `variant` under `ctx`.
+    ///
+    /// The tile edge and the wire loads are mutually dependent (smaller
+    /// tiles → shorter wires → smaller buffers → smaller tiles); a short
+    /// fixed-point iteration settles them.
+    pub fn build(ctx: &ModelContext, variant: &FpgaVariant) -> Self {
+        let node = &ctx.node;
+        let params = &ctx.params;
+        let wire_rc = ctx.interconnect.layer(MetalLayer::Intermediate);
+
+        let crossbar_load = node.c_inv_min * calibration::CROSSBAR_LOAD_INVERTERS;
+        let local_load = node.c_inv_min * calibration::LOCAL_LOAD_INVERTERS;
+
+        let mut edge = Meters::from_micro(20.0);
+        let mut wire_chain = BufferChain::default();
+        let mut in_chain = BufferChain::default();
+        let mut out_chain = BufferChain::default();
+        let mut tile = TileArea {
+            logic: crate::area::logic_area(node, params),
+            routing_switches: nemfpga_tech::units::SquareMeters::zero(),
+            routing_buffers: nemfpga_tech::units::SquareMeters::zero(),
+            mems_overlay: nemfpga_tech::units::SquareMeters::zero(),
+        };
+        let mut c_wire_nominal = Farads::zero();
+
+        for _ in 0..4 {
+            let seg_len = edge * params.segment_length as f64;
+            c_wire_nominal = wire_rc.capacitance(seg_len)
+                + variant.switch.c_off * ctx.taps_per_wire;
+
+            wire_chain = BufferChain::design_downsized(
+                node,
+                c_wire_nominal,
+                variant.wire_buffer_divisor,
+            )
+            .expect("variant divisor validated at construction");
+            if variant.level_restoring_buffers {
+                wire_chain = wire_chain.with_level_restoration();
+            }
+            (in_chain, out_chain) = if variant.remove_lb_buffers {
+                (BufferChain::removed(), BufferChain::removed())
+            } else {
+                let mut i = BufferChain::design(node, crossbar_load);
+                let mut o = BufferChain::design(node, local_load);
+                if variant.level_restoring_buffers {
+                    i = i.with_level_restoration();
+                    o = o.with_level_restoration();
+                }
+                (i, o)
+            };
+
+            tile = tile_area(ctx, &variant.switch, &wire_chain, &in_chain, &out_chain);
+            edge = tile.edge();
+        }
+
+
+        let per_tile_len = edge;
+        let fo1 = node.fo1_delay();
+        let sw = &variant.switch;
+
+        // --- Timing stages ---
+        let buf_in_cap = wire_chain.input_cap(node);
+        let switch_box = StageTiming {
+            t_fixed: Seconds::new(
+                sw.r_on.value() * buf_in_cap.value() + wire_chain.delay(node, c_wire_nominal).value(),
+            ),
+            r_series: if wire_chain.is_removed() { sw.r_on } else { Ohms::new(0.0) },
+            delay_penalty: sw.delay_penalty,
+        };
+        let output_driver = if out_chain.is_removed() {
+            // The LUT's internal driver pushes through the relay onto the
+            // wire directly.
+            StageTiming {
+                t_fixed: Seconds::zero(),
+                r_series: sw.r_on + node.r_inv(2.0),
+                delay_penalty: sw.delay_penalty,
+            }
+        } else {
+            StageTiming {
+                t_fixed: Seconds::new(
+                    out_chain.delay(node, c_wire_nominal).value()
+                        + sw.r_on.value() * node.c_inv_min.value(),
+                ),
+                r_series: Ohms::new(0.0),
+                delay_penalty: sw.delay_penalty,
+            }
+        };
+        let connection_box = if in_chain.is_removed() {
+            StageTiming {
+                t_fixed: Seconds::zero(),
+                r_series: sw.r_on,
+                delay_penalty: sw.delay_penalty,
+            }
+        } else {
+            StageTiming {
+                t_fixed: Seconds::new(
+                    sw.r_on.value() * in_chain.input_cap(node).value()
+                        + in_chain.delay(node, crossbar_load).value(),
+                ),
+                r_series: Ohms::new(0.0),
+                delay_penalty: sw.delay_penalty,
+            }
+        };
+
+        let c_wire_per_tile = Farads::new(c_wire_nominal.value() / params.segment_length as f64);
+        let timing = RoutingTiming {
+            output_driver,
+            switch_box,
+            connection_box,
+            wire_r_per_tile: wire_rc.resistance(per_tile_len),
+            wire_c_per_tile: c_wire_per_tile,
+            // When the LB input buffer is removed the switch sees the whole
+            // crossbar; otherwise just the buffer input.
+            ipin_cap: if in_chain.is_removed() {
+                crossbar_load
+            } else {
+                in_chain.input_cap(node)
+            },
+            lut_delay: fo1 * calibration::LUT_DELAY_FO1,
+            lb_input_to_lut: fo1 * 2.0,
+            lut_to_output_pin: if out_chain.is_removed() {
+                Seconds::new(node.r_inv(2.0).value() * local_load.value())
+            } else {
+                out_chain.delay(node, local_load)
+            },
+            local_feedback: fo1 * 3.0,
+            clk_to_q: fo1 * 4.0,
+            setup: fo1 * 3.0,
+        };
+
+        // --- Dynamic costs ---
+        // A fixed share of each wire-charging transition's energy
+        // dissipates in the driving buffer's transistors and is booked to
+        // the routing-buffers bucket (when a buffer exists).
+        let share = calibration::WIRE_ENERGY_BUFFER_SHARE;
+        let buffer_wire_share = Farads::new(c_wire_nominal.value() * share);
+        let dynamic_costs = DynamicCosts {
+            wire_cap_per_tile: Farads::new(c_wire_per_tile.value() * (1.0 - share)),
+            sb_buffer_cap: if wire_chain.is_removed() {
+                Farads::zero()
+            } else {
+                wire_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
+                    + buffer_wire_share
+            },
+            lb_output_buffer_cap: if out_chain.is_removed() {
+                Farads::zero()
+            } else {
+                out_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
+                    + local_load * share
+            },
+            lb_input_buffer_cap: if in_chain.is_removed() {
+                Farads::zero()
+            } else {
+                in_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
+                    + crossbar_load * share
+            },
+            switch_parasitic_cap: sw.c_on,
+            cb_load_cap: crossbar_load / 2.0,
+            lut_internal_cap: node.c_inv_min * calibration::LUT_DYN_CAP_INVERTERS,
+            clock_cap_per_ff: node.c_inv_min * calibration::CLOCK_CAP_INVERTERS,
+        };
+
+        // --- Leakage costs ---
+        let leakage_costs = LeakageCosts {
+            per_wire_buffer: wire_chain.leakage(node),
+            per_lb_input_buffer: in_chain.leakage(node),
+            per_lb_output_buffer: out_chain.leakage(node),
+            per_sram_bit: node.sram_cell_leak * calibration::SRAM_LEAK_FACTOR,
+            per_switch: sw.leakage * calibration::SWITCH_LEAK_FACTOR,
+            per_lut: node.inv_leak_min * calibration::LUT_LEAK_INVERTERS,
+            per_ff: node.inv_leak_min * calibration::FF_LEAK_INVERTERS,
+        };
+
+        Self {
+            variant: variant.clone(),
+            timing,
+            dynamic_costs,
+            leakage_costs,
+            tile,
+            wire_chain,
+            in_chain,
+            out_chain,
+            c_wire_nominal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_arch::params::ArchParams;
+    use nemfpga_tech::interconnect::InterconnectModel;
+    use nemfpga_tech::process::ProcessNode;
+    use nemfpga_tech::units::Watts;
+
+    fn ctx() -> ModelContext {
+        ModelContext::approximate(
+            ProcessNode::ptm_22nm(),
+            InterconnectModel::ptm_22nm(),
+            ArchParams::paper_table1(),
+            118,
+        )
+    }
+
+    #[test]
+    fn baseline_model_is_self_consistent() {
+        let ctx = ctx();
+        let m = ElectricalModel::build(&ctx, &FpgaVariant::cmos_baseline(&ctx.node));
+        assert!(m.timing.lut_delay.value() > 0.0);
+        assert!(m.timing.switch_box.t_fixed.value() > 0.0);
+        assert!(m.timing.switch_box.delay_penalty > 1.2, "Vt penalty missing");
+        assert!(!m.wire_chain.is_removed());
+        assert!(m.wire_chain.is_level_restoring());
+        assert!(m.leakage_costs.per_sram_bit.value() > 0.0);
+        assert!(m.c_wire_nominal.value() > 1e-15, "{}", m.c_wire_nominal);
+    }
+
+    #[test]
+    fn nem_model_removes_what_the_paper_removes() {
+        let ctx = ctx();
+        let m = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(4.0));
+        assert!(m.in_chain.is_removed());
+        assert!(m.out_chain.is_removed());
+        assert!(!m.wire_chain.is_removed()); // downsized, never removed
+        assert_eq!(m.timing.switch_box.delay_penalty, 1.0);
+        assert_eq!(m.leakage_costs.per_switch, Watts::zero());
+        assert_eq!(m.leakage_costs.per_lb_input_buffer, Watts::zero());
+        assert_eq!(m.dynamic_costs.lb_input_buffer_cap, Farads::zero());
+    }
+
+    #[test]
+    fn nem_tile_is_smaller_so_wires_are_shorter() {
+        let ctx = ctx();
+        let base = ElectricalModel::build(&ctx, &FpgaVariant::cmos_baseline(&ctx.node));
+        let nem = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(4.0));
+        assert!(nem.tile.footprint() < base.tile.footprint());
+        // Shorter wires: less capacitance per segment.
+        assert!(nem.c_wire_nominal < base.c_wire_nominal);
+    }
+
+    #[test]
+    fn downsizing_monotonically_cuts_buffer_leakage() {
+        let ctx = ctx();
+        let mut prev = f64::INFINITY;
+        for div in [1.0, 2.0, 4.0, 8.0] {
+            let m = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(div));
+            let leak = m.leakage_costs.per_wire_buffer.value();
+            assert!(leak <= prev * 1.0001, "divisor {div}");
+            prev = leak;
+        }
+    }
+
+    #[test]
+    fn downsizing_slows_the_switch_box_stage() {
+        let ctx = ctx();
+        let fast = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(1.0));
+        let slow = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(8.0));
+        assert!(slow.timing.switch_box.t_fixed > fast.timing.switch_box.t_fixed);
+    }
+
+    #[test]
+    fn demo_contacts_slow_the_connection_box() {
+        let ctx = ctx();
+        let good = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem(2.0));
+        let demo = ElectricalModel::build(&ctx, &FpgaVariant::cmos_nem_demo_contacts(2.0));
+        // With removed LB input buffers the relay drives the crossbar:
+        // 100 kOhm contacts hurt exactly there.
+        assert!(demo.timing.connection_box.r_series > good.timing.connection_box.r_series);
+    }
+}

@@ -1,0 +1,90 @@
+//! Unified error type for the core evaluation flow.
+
+use std::fmt;
+
+/// Errors surfaced by the CMOS-NEM evaluation flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Netlist-level failure.
+    Netlist(nemfpga_netlist::error::NetlistError),
+    /// Architecture-model failure.
+    Arch(nemfpga_arch::error::ArchError),
+    /// Pack/place/route/timing failure.
+    Pnr(nemfpga_pnr::error::PnrError),
+    /// Device-model failure.
+    Device(nemfpga_device::error::DeviceError),
+    /// Invalid evaluation configuration.
+    InvalidConfig {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::Arch(e) => write!(f, "architecture error: {e}"),
+            Self::Pnr(e) => write!(f, "place-and-route error: {e}"),
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::Arch(e) => Some(e),
+            Self::Pnr(e) => Some(e),
+            Self::Device(e) => Some(e),
+            Self::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<nemfpga_netlist::error::NetlistError> for CoreError {
+    fn from(e: nemfpga_netlist::error::NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+impl From<nemfpga_arch::error::ArchError> for CoreError {
+    fn from(e: nemfpga_arch::error::ArchError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+impl From<nemfpga_pnr::error::PnrError> for CoreError {
+    fn from(e: nemfpga_pnr::error::PnrError) -> Self {
+        Self::Pnr(e)
+    }
+}
+
+impl From<nemfpga_device::error::DeviceError> for CoreError {
+    fn from(e: nemfpga_device::error::DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        use std::error::Error;
+        let e: CoreError = nemfpga_pnr::error::PnrError::NoFeasibleWidth { max_tried: 64 }.into();
+        assert!(e.to_string().contains("64"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig { message: "bad divisor".into() };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Architecture exploration with relay-aware parameters — the paper's
+//! stated future work ("exploration of new FPGA architectures that utilize
+//! unique properties of NEM relays", Sec. 5).
+//!
+//! The classic island-style parameters were tuned for CMOS switch costs.
+//! Relays change the trade-offs: switches are nearly free in area (stacked)
+//! and leakage (zero), so richer connectivity (longer/shorter segments,
+//! different Fc) costs less. This module sweeps segment length for both
+//! technologies and reports where each one's optimum lands.
+
+use crate::error::CoreError;
+use crate::flow::{evaluate, EvaluationConfig};
+use crate::variant::FpgaVariant;
+use nemfpga_netlist::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// One architecture point of the exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchPoint {
+    /// Segment wire length `L` at this point.
+    pub segment_length: usize,
+    /// Channel width used (low-stress).
+    pub channel_width: usize,
+    /// Critical path in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Total power in milliwatts (at this point's own fmax).
+    pub total_power_mw: f64,
+    /// Tile footprint in µm².
+    pub tile_um2: f64,
+    /// Area–delay–power figure of merit (lower is better):
+    /// `cp · power · tile`.
+    pub figure_of_merit: f64,
+}
+
+/// The exploration result for one technology variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchExploration {
+    /// Variant name.
+    pub variant: String,
+    /// Points in sweep order.
+    pub points: Vec<ArchPoint>,
+}
+
+impl ArchExploration {
+    /// The point minimizing the figure of merit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exploration has no points.
+    pub fn best(&self) -> &ArchPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.figure_of_merit
+                    .partial_cmp(&b.figure_of_merit)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("exploration has points")
+    }
+}
+
+/// Sweeps segment length for one variant on one netlist.
+///
+/// Each point re-runs the full flow (new fabric, new W_min), so this is
+/// one of the heavier experiments; keep benchmarks modest.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`]; rejects an empty sweep.
+pub fn segment_length_sweep(
+    netlist: &Netlist,
+    config: &EvaluationConfig,
+    variant: &FpgaVariant,
+    lengths: &[usize],
+) -> Result<ArchExploration, CoreError> {
+    if lengths.is_empty() {
+        return Err(CoreError::InvalidConfig { message: "empty segment sweep".to_owned() });
+    }
+    let mut points = Vec::with_capacity(lengths.len());
+    for &l in lengths {
+        if l == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "segment length must be positive".to_owned(),
+            });
+        }
+        let mut cfg = config.clone();
+        cfg.params.segment_length = l;
+        // Each architecture runs at its own fmax: clock = this variant's.
+        cfg.clock = None;
+        let eval = evaluate(netlist.clone(), &cfg, std::slice::from_ref(variant))?;
+        let v = &eval.variants[0];
+        let cp = v.critical_path.as_nano();
+        let power = v.power.total().as_milli();
+        let tile = v.tile.footprint().value() * 1e12;
+        points.push(ArchPoint {
+            segment_length: l,
+            channel_width: eval.channel_width,
+            critical_path_ns: cp,
+            total_power_mw: power,
+            tile_um2: tile,
+            figure_of_merit: cp * power * tile,
+        });
+    }
+    Ok(ArchExploration { variant: variant.name.clone(), points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn netlist() -> Netlist {
+        SynthConfig::tiny("explore", 80, 17).generate().expect("generates")
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_length() {
+        let cfg = EvaluationConfig::fast(17);
+        let variant = FpgaVariant::cmos_nem(4.0);
+        let exp = segment_length_sweep(&netlist(), &cfg, &variant, &[2, 4]).expect("runs");
+        assert_eq!(exp.points.len(), 2);
+        assert_eq!(exp.points[0].segment_length, 2);
+        for p in &exp.points {
+            assert!(p.critical_path_ns > 0.0);
+            assert!(p.figure_of_merit > 0.0);
+        }
+        let best = exp.best();
+        assert!(exp.points.iter().all(|p| p.figure_of_merit >= best.figure_of_merit));
+    }
+
+    #[test]
+    fn empty_or_zero_sweeps_rejected() {
+        let cfg = EvaluationConfig::fast(18);
+        let variant = FpgaVariant::cmos_nem(4.0);
+        assert!(segment_length_sweep(&netlist(), &cfg, &variant, &[]).is_err());
+        assert!(segment_length_sweep(&netlist(), &cfg, &variant, &[0]).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! The Fig. 10 evaluation flow.
+//!
+//! One netlist is packed, placed, and routed once (the physical
+//! implementation is shared — the paper maps each circuit onto both FPGA
+//! models with the same VPR flow); every variant is then evaluated on that
+//! implementation with its own electrical model: STA for the application
+//! critical path, activity-weighted dynamic power, whole-fabric leakage,
+//! and the tile-area decomposition.
+
+use crate::context::ModelContext;
+use crate::electrical::ElectricalModel;
+use crate::error::CoreError;
+use crate::variant::FpgaVariant;
+use nemfpga_netlist::netlist::Netlist;
+use nemfpga_pnr::flow::{implement, Implementation, WidthPolicy};
+use nemfpga_pnr::place::PlaceConfig;
+use nemfpga_pnr::route::RouteConfig;
+use nemfpga_pnr::timing::analyze_timing;
+use nemfpga_power::activity::compute_activities;
+use nemfpga_power::breakdown::PowerReport;
+use nemfpga_power::dynamic::dynamic_power;
+use nemfpga_power::leakage::leakage_power;
+use nemfpga_power::usage::{FabricInventory, FabricUsage};
+use nemfpga_tech::interconnect::InterconnectModel;
+use nemfpga_tech::process::ProcessNode;
+use nemfpga_tech::units::{Hertz, Seconds, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// CMOS process node.
+    pub node: ProcessNode,
+    /// Interconnect RC model.
+    pub interconnect: InterconnectModel,
+    /// Architecture parameters.
+    pub params: nemfpga_arch::params::ArchParams,
+    /// Placement schedule.
+    pub place: PlaceConfig,
+    /// Router settings.
+    pub route: RouteConfig,
+    /// Channel-width policy (the paper: W_min search → 1.2×).
+    pub width: WidthPolicy,
+    /// Static 1-probability of primary inputs for activity estimation.
+    pub input_activity: f64,
+    /// Clock frequency for dynamic power. `None` = run every variant at
+    /// the *baseline's* maximum frequency, the paper's iso-throughput
+    /// comparison ("for application critical path delays").
+    pub clock: Option<Hertz>,
+    /// Two-pass timing-driven placement: place wirelength-driven, route,
+    /// extract connection criticalities, then re-place with the blended
+    /// cost and re-route. Slower; usually shaves the critical path.
+    pub timing_driven: bool,
+}
+
+impl EvaluationConfig {
+    /// The paper's setup with a sensible default CAD effort.
+    pub fn paper_defaults(seed: u64) -> Self {
+        Self {
+            node: ProcessNode::ptm_22nm(),
+            interconnect: InterconnectModel::ptm_22nm(),
+            params: nemfpga_arch::params::ArchParams::paper_table1(),
+            place: PlaceConfig::new(seed),
+            route: RouteConfig::new(),
+            width: WidthPolicy::LowStress { hint: 32, max: 512 },
+            input_activity: 0.5,
+            clock: None,
+            timing_driven: false,
+        }
+    }
+
+    /// A fast profile for tests and smoke runs.
+    pub fn fast(seed: u64) -> Self {
+        Self { place: PlaceConfig::fast(seed), ..Self::paper_defaults(seed) }
+    }
+}
+
+/// Evaluation of a single variant on the shared implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantEvaluation {
+    /// The variant.
+    pub variant: FpgaVariant,
+    /// Application critical-path delay.
+    pub critical_path: Seconds,
+    /// Power at the evaluation clock.
+    pub power: PowerReport,
+    /// Tile area decomposition.
+    pub tile: crate::area::TileArea,
+    /// Whole-array footprint (tiles × tile footprint).
+    pub total_area: SquareMeters,
+}
+
+/// Full evaluation of one benchmark across variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Benchmark (netlist) name.
+    pub benchmark: String,
+    /// Minimum routable channel width, when searched.
+    pub w_min: Option<usize>,
+    /// Channel width the fabric was built with.
+    pub channel_width: usize,
+    /// Logic-block grid dimensions.
+    pub grid: (usize, usize),
+    /// Total routed wirelength in tiles.
+    pub wirelength_tiles: usize,
+    /// Clock used for dynamic power.
+    pub clock: Hertz,
+    /// Per-variant results, in the order requested.
+    pub variants: Vec<VariantEvaluation>,
+}
+
+impl Evaluation {
+    /// The evaluation of the variant at `index`.
+    pub fn variant(&self, index: usize) -> &VariantEvaluation {
+        &self.variants[index]
+    }
+}
+
+/// Implements `netlist` once and evaluates every `variant` on it.
+///
+/// The first variant is treated as the reference for the iso-throughput
+/// clock when `config.clock` is `None`.
+///
+/// # Errors
+///
+/// Propagates CAD and model errors as [`CoreError`].
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga::flow::{evaluate, EvaluationConfig};
+/// use nemfpga::variant::FpgaVariant;
+/// use nemfpga_netlist::synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = EvaluationConfig::fast(1);
+/// let variants = vec![
+///     FpgaVariant::cmos_baseline(&cfg.node),
+///     FpgaVariant::cmos_nem(4.0),
+/// ];
+/// let eval = evaluate(SynthConfig::tiny("t", 30, 1).generate()?, &cfg, &variants)?;
+/// assert_eq!(eval.variants.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    netlist: Netlist,
+    config: &EvaluationConfig,
+    variants: &[FpgaVariant],
+) -> Result<Evaluation, CoreError> {
+    if variants.is_empty() {
+        return Err(CoreError::InvalidConfig { message: "no variants to evaluate".to_owned() });
+    }
+    let benchmark = netlist.name().to_owned();
+    let activities = compute_activities(&netlist, config.input_activity)?;
+    let mut imp: Implementation =
+        implement(netlist, &config.params, &config.place, &config.route, config.width)?;
+
+    let ctx = ModelContext::from_rr_graph(
+        config.node.clone(),
+        config.interconnect.clone(),
+        &imp.rr,
+    );
+
+    if config.timing_driven {
+        // Second pass: re-place against the criticalities measured on the
+        // seed implementation (under the reference variant's timing) and
+        // re-route at the same width.
+        let seed_model = ElectricalModel::build(&ctx, &variants[0]);
+        let seed_report = analyze_timing(
+            &imp.rr,
+            &imp.design,
+            &imp.placement,
+            &imp.routing,
+            &seed_model.timing,
+        )?;
+        let weights = nemfpga_pnr::timing::connection_criticalities(
+            &imp.design,
+            &seed_report,
+            2.0,
+            0.5,
+        );
+        let td_placement = nemfpga_pnr::place::place_timing_driven(
+            &imp.design,
+            imp.placement.grid,
+            &config.place,
+            &weights,
+        )?;
+        if let Ok(td_routing) =
+            nemfpga_pnr::route::route(&imp.rr, &imp.design, &td_placement, &config.route)
+        {
+            let td_report = analyze_timing(
+                &imp.rr,
+                &imp.design,
+                &td_placement,
+                &td_routing,
+                &seed_model.timing,
+            )?;
+            // Keep the better of the two implementations.
+            if td_report.critical_path < seed_report.critical_path {
+                imp.placement = td_placement;
+                imp.routing = td_routing;
+            }
+        }
+    }
+    let usage = FabricUsage::from_routing(&imp.rr, &imp.design, &imp.routing);
+
+    // First pass: critical paths (needed for the iso-throughput clock).
+    let models: Vec<ElectricalModel> =
+        variants.iter().map(|v| ElectricalModel::build(&ctx, v)).collect();
+    let mut critical_paths = Vec::with_capacity(models.len());
+    for model in &models {
+        let report =
+            analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)?;
+        critical_paths.push(report.critical_path);
+    }
+    let clock = config
+        .clock
+        .unwrap_or_else(|| Hertz::new(1.0 / critical_paths[0].value()));
+
+    let lb_tiles = (imp.placement.grid.width * imp.placement.grid.height) as f64;
+    let mut evaluations = Vec::with_capacity(models.len());
+    for (model, cp) in models.iter().zip(&critical_paths) {
+        let inventory =
+            FabricInventory::from_rr_graph(&imp.rr, model.variant.sram_per_switch());
+        let power = PowerReport {
+            dynamic: dynamic_power(
+                &usage,
+                &activities,
+                &model.dynamic_costs,
+                ctx.node.vdd,
+                clock,
+            ),
+            leakage: leakage_power(&inventory, &model.leakage_costs),
+        };
+        evaluations.push(VariantEvaluation {
+            variant: model.variant.clone(),
+            critical_path: *cp,
+            power,
+            tile: model.tile,
+            total_area: model.tile.footprint() * lb_tiles,
+        });
+    }
+
+    Ok(Evaluation {
+        benchmark,
+        w_min: imp.width_search.as_ref().map(|w| w.w_min),
+        channel_width: imp.rr.channel_width,
+        grid: (imp.placement.grid.width, imp.placement.grid.height),
+        wirelength_tiles: imp.routing.wirelength_tiles,
+        clock,
+        variants: evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn run(luts: usize, seed: u64) -> Evaluation {
+        let cfg = EvaluationConfig::fast(seed);
+        let variants = vec![
+            FpgaVariant::cmos_baseline(&cfg.node),
+            FpgaVariant::cmos_nem_without_technique(),
+            FpgaVariant::cmos_nem(4.0),
+        ];
+        evaluate(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &cfg, &variants)
+            .unwrap()
+    }
+
+    #[test]
+    fn three_variant_evaluation_runs() {
+        let eval = run(60, 1);
+        assert_eq!(eval.variants.len(), 3);
+        assert!(eval.w_min.unwrap() >= 2);
+        assert!(eval.channel_width > eval.w_min.unwrap());
+        for v in &eval.variants {
+            assert!(v.critical_path.value() > 0.0);
+            assert!(v.power.total().value() > 0.0);
+            assert!(v.total_area.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nem_beats_baseline_on_leakage_and_area() {
+        let eval = run(60, 2);
+        let base = &eval.variants[0];
+        let nem = &eval.variants[2];
+        let leak_red = base.power.leakage.total() / nem.power.leakage.total();
+        assert!(leak_red > 2.0, "leakage reduction only {leak_red}");
+        let area_red = base.total_area / nem.total_area;
+        assert!(area_red > 1.3, "area reduction only {area_red}");
+    }
+
+    #[test]
+    fn technique_beats_no_technique_on_power() {
+        let eval = run(60, 3);
+        let plain = &eval.variants[1];
+        let technique = &eval.variants[2];
+        assert!(technique.power.leakage.total() < plain.power.leakage.total());
+        assert!(technique.power.dynamic.total() < plain.power.dynamic.total());
+        assert!(technique.total_area < plain.total_area);
+    }
+
+    #[test]
+    fn timing_driven_flow_never_regresses_the_critical_path() {
+        let netlist = SynthConfig::tiny("td_flow", 80, 12).generate().unwrap();
+        let mut cfg = EvaluationConfig::fast(12);
+        let variants = vec![FpgaVariant::cmos_baseline(&cfg.node)];
+        let base = evaluate(netlist.clone(), &cfg, &variants).unwrap();
+        cfg.timing_driven = true;
+        let td = evaluate(netlist, &cfg, &variants).unwrap();
+        // The flow keeps the better implementation, so timing-driven can
+        // only match or improve the seed.
+        assert!(
+            td.variants[0].critical_path <= base.variants[0].critical_path,
+            "td {:?} vs base {:?}",
+            td.variants[0].critical_path,
+            base.variants[0].critical_path
+        );
+    }
+
+    #[test]
+    fn iso_throughput_clock_follows_baseline() {
+        let eval = run(40, 4);
+        let expected = 1.0 / eval.variants[0].critical_path.value();
+        assert!((eval.clock.value() - expected).abs() < 1e-3 * expected);
+    }
+}

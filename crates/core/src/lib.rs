@@ -1,0 +1,73 @@
+//! # nemfpga
+//!
+//! A library reproduction of *"Nano-Electro-Mechanical Relays for FPGA
+//! Routing: Experimental Demonstration and a Design Technique"*
+//! (DATE 2012): CMOS-NEM FPGAs whose programmable routing is built from
+//! hysteretic NEM relays instead of NMOS pass transistors + SRAM, plus the
+//! paper's **selective buffer removal / downsizing** technique and the
+//! full evaluation flow that produces its headline results (at
+//! iso-delay: ~10× leakage, ~2× dynamic power, ~2× footprint reduction at
+//! the 22 nm node).
+//!
+//! The device physics, crossbar programming, CAD substrate, and power
+//! models live in the sibling crates (`nemfpga-device`,
+//! `nemfpga-crossbar`, `nemfpga-tech`, `nemfpga-netlist`, `nemfpga-arch`,
+//! `nemfpga-pnr`, `nemfpga-power`); this crate ties them into the paper's
+//! Fig. 10 flow:
+//!
+//! * [`variant`] — the three designs compared: CMOS-only baseline,
+//!   CMOS-NEM without the technique, CMOS-NEM with it.
+//! * [`context`] / [`electrical`] / [`area`] — derived per-variant timing,
+//!   power, and tile-area models.
+//! * [`flow`] — pack → place → route once, evaluate every variant
+//!   ([`flow::evaluate`]).
+//! * [`report`] — reductions vs. the baseline and geometric means.
+//! * [`sweep`] — the Fig. 12 power-vs-speed trade-off sweep
+//!   ([`sweep::tradeoff_sweep`]).
+//!
+//! # Examples
+//!
+//! Compare a CMOS-NEM FPGA against the CMOS-only baseline on a synthetic
+//! benchmark:
+//!
+//! ```
+//! use nemfpga::flow::{evaluate, EvaluationConfig};
+//! use nemfpga::report::Comparison;
+//! use nemfpga::variant::FpgaVariant;
+//! use nemfpga_netlist::synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = EvaluationConfig::fast(42);
+//! let variants = vec![
+//!     FpgaVariant::cmos_baseline(&cfg.node),
+//!     FpgaVariant::cmos_nem(4.0),
+//! ];
+//! let eval = evaluate(SynthConfig::tiny("demo", 40, 42).generate()?, &cfg, &variants)?;
+//! let cmp = Comparison::against_baseline(&eval);
+//! // Relays eliminate routing SRAM and switch leakage outright.
+//! assert!(cmp.rows[0].leakage_reduction > 1.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ablation;
+pub mod area;
+pub mod calibration;
+pub mod context;
+pub mod electrical;
+pub mod error;
+pub mod explore;
+pub mod flow;
+pub mod report;
+pub mod sweep;
+pub mod variant;
+
+pub use ablation::{ron_sensitivity, technique_ablation, AblationStudy};
+pub use context::ModelContext;
+pub use electrical::ElectricalModel;
+pub use error::CoreError;
+pub use explore::{segment_length_sweep, ArchExploration};
+pub use flow::{evaluate, Evaluation, EvaluationConfig, VariantEvaluation};
+pub use report::{geometric_mean_row, Comparison, ComparisonRow};
+pub use sweep::{tradeoff_sweep, TradeoffCurve, TradeoffPoint, PAPER_DIVISORS};
+pub use variant::FpgaVariant;

@@ -1,0 +1,149 @@
+//! Variant-vs-baseline comparison reports (the paper's headline numbers).
+
+use crate::flow::Evaluation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reductions of one variant relative to the baseline (variant 0).
+/// Values above 1 mean the variant is better (uses less).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Variant name.
+    pub name: String,
+    /// `cp_baseline / cp_variant` — above 1 means the variant is faster.
+    pub speedup: f64,
+    /// `dyn_baseline / dyn_variant`.
+    pub dynamic_reduction: f64,
+    /// `leak_baseline / leak_variant`.
+    pub leakage_reduction: f64,
+    /// `area_baseline / area_variant` (chip footprint).
+    pub area_reduction: f64,
+}
+
+/// A per-benchmark comparison of every variant against the first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One row per non-baseline variant, in evaluation order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// Builds the comparison from an [`Evaluation`] whose first variant is
+    /// the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluation has no variants.
+    pub fn against_baseline(eval: &Evaluation) -> Self {
+        let base = eval.variants.first().expect("evaluation has a baseline variant");
+        let rows = eval
+            .variants
+            .iter()
+            .skip(1)
+            .map(|v| ComparisonRow {
+                name: v.variant.name.clone(),
+                speedup: base.critical_path / v.critical_path,
+                dynamic_reduction: base.power.dynamic.total() / v.power.dynamic.total(),
+                leakage_reduction: base.power.leakage.total() / v.power.leakage.total(),
+                area_reduction: base.total_area / v.total_area,
+            })
+            .collect();
+        Self { benchmark: eval.benchmark.clone(), rows }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "benchmark {}: reductions vs CMOS-only baseline", self.benchmark)?;
+        writeln!(
+            f,
+            "  {:<48} {:>8} {:>9} {:>9} {:>7}",
+            "variant", "speedup", "dynamic", "leakage", "area"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<48} {:>7.2}x {:>8.2}x {:>8.2}x {:>6.2}x",
+                r.name, r.speedup, r.dynamic_reduction, r.leakage_reduction, r.area_reduction
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometric mean of per-benchmark rows for the same variant index (the
+/// paper reports geometric means over the 20 largest MCNC circuits).
+///
+/// # Panics
+///
+/// Panics if `comparisons` is empty or the variant index is out of range.
+pub fn geometric_mean_row(comparisons: &[Comparison], variant_index: usize) -> ComparisonRow {
+    assert!(!comparisons.is_empty(), "need at least one comparison");
+    let n = comparisons.len() as f64;
+    let mut speedup = 1.0f64;
+    let mut dynamic = 1.0f64;
+    let mut leakage = 1.0f64;
+    let mut area = 1.0f64;
+    for c in comparisons {
+        let r = &c.rows[variant_index];
+        speedup *= r.speedup;
+        dynamic *= r.dynamic_reduction;
+        leakage *= r.leakage_reduction;
+        area *= r.area_reduction;
+    }
+    ComparisonRow {
+        name: comparisons[0].rows[variant_index].name.clone(),
+        speedup: speedup.powf(1.0 / n),
+        dynamic_reduction: dynamic.powf(1.0 / n),
+        leakage_reduction: leakage.powf(1.0 / n),
+        area_reduction: area.powf(1.0 / n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{evaluate, EvaluationConfig};
+    use crate::variant::FpgaVariant;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn comparison(seed: u64) -> Comparison {
+        let cfg = EvaluationConfig::fast(seed);
+        let variants = vec![
+            FpgaVariant::cmos_baseline(&cfg.node),
+            FpgaVariant::cmos_nem(4.0),
+        ];
+        let eval =
+            evaluate(SynthConfig::tiny("t", 50, seed).generate().unwrap(), &cfg, &variants)
+                .unwrap();
+        Comparison::against_baseline(&eval)
+    }
+
+    #[test]
+    fn nem_row_improves_everything_that_matters() {
+        let c = comparison(1);
+        assert_eq!(c.rows.len(), 1);
+        let r = &c.rows[0];
+        assert!(r.leakage_reduction > 2.0, "leakage {:.2}", r.leakage_reduction);
+        assert!(r.dynamic_reduction > 1.0, "dynamic {:.2}", r.dynamic_reduction);
+        assert!(r.area_reduction > 1.2, "area {:.2}", r.area_reduction);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let c = comparison(2);
+        let s = c.to_string();
+        assert!(s.contains("speedup"));
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn geometric_mean_of_identical_rows_is_the_row() {
+        let c = comparison(3);
+        let g = geometric_mean_row(&[c.clone(), c.clone()], 0);
+        assert!((g.speedup - c.rows[0].speedup).abs() < 1e-9);
+        assert!((g.leakage_reduction - c.rows[0].leakage_reduction).abs() < 1e-9);
+    }
+}

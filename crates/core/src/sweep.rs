@@ -1,0 +1,188 @@
+//! The Fig. 12 design-space sweep: power reduction vs. speed-up as wire
+//! buffers shrink.
+//!
+//! The paper sweeps the wire-buffer pretend-load divisor from 1× to 8×;
+//! each point trades application speed (smaller buffers are slower) for
+//! dynamic and leakage power. The "preferred corner" is the most
+//! power-efficient point that still matches the CMOS-only baseline's
+//! critical-path delay — the basis of the "without application speed
+//! penalty" headline.
+
+use crate::error::CoreError;
+use crate::flow::{evaluate, Evaluation, EvaluationConfig};
+use crate::variant::FpgaVariant;
+use nemfpga_netlist::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// The divisors the paper explores ("up to 8-times smaller").
+pub const PAPER_DIVISORS: [f64; 7] = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+
+/// One point of the trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Wire-buffer pretend-load divisor of this design point.
+    pub divisor: f64,
+    /// Speed-up over the CMOS-only baseline (>1 = faster).
+    pub speedup: f64,
+    /// Dynamic power reduction over the baseline.
+    pub dynamic_reduction: f64,
+    /// Leakage power reduction over the baseline.
+    pub leakage_reduction: f64,
+    /// Footprint area reduction over the baseline.
+    pub area_reduction: f64,
+}
+
+/// The Fig. 12 curve of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffCurve {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Points in divisor order.
+    pub points: Vec<TradeoffPoint>,
+}
+
+impl TradeoffCurve {
+    /// The preferred corner: the largest-divisor (most power-efficient)
+    /// point whose speed-up is still at least `min_speedup` (the paper uses
+    /// 1.0 — no application speed penalty). Falls back to the fastest point
+    /// if none qualifies.
+    pub fn preferred_corner(&self, min_speedup: f64) -> &TradeoffPoint {
+        self.points
+            .iter()
+            .filter(|p| p.speedup >= min_speedup)
+            .last()
+            .unwrap_or_else(|| {
+                self.points
+                    .iter()
+                    .max_by(|a, b| {
+                        a.speedup.partial_cmp(&b.speedup).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("curve has at least one point")
+            })
+    }
+}
+
+/// Runs the Fig. 12 sweep on one netlist: implements it once, evaluates
+/// the baseline plus one CMOS-NEM variant per divisor, and returns the
+/// trade-off curve (plus the underlying evaluation for inspection).
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the evaluation flow.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nemfpga::flow::EvaluationConfig;
+/// use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+/// use nemfpga_netlist::synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (curve, _eval) = tradeoff_sweep(
+///     SynthConfig::tiny("t", 60, 1).generate()?,
+///     &EvaluationConfig::fast(1),
+///     &PAPER_DIVISORS,
+/// )?;
+/// let corner = curve.preferred_corner(1.0);
+/// println!("iso-delay corner: {:.1}x leakage reduction", corner.leakage_reduction);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tradeoff_sweep(
+    netlist: Netlist,
+    config: &EvaluationConfig,
+    divisors: &[f64],
+) -> Result<(TradeoffCurve, Evaluation), CoreError> {
+    if divisors.is_empty() {
+        return Err(CoreError::InvalidConfig { message: "no divisors to sweep".to_owned() });
+    }
+    let mut variants = Vec::with_capacity(divisors.len() + 1);
+    variants.push(FpgaVariant::cmos_baseline(&config.node));
+    for &d in divisors {
+        if !(d.is_finite() && d >= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("divisor {d} must be >= 1"),
+            });
+        }
+        variants.push(FpgaVariant::cmos_nem(d));
+    }
+    let eval = evaluate(netlist, config, &variants)?;
+    let base = &eval.variants[0];
+    let points = eval
+        .variants
+        .iter()
+        .skip(1)
+        .zip(divisors)
+        .map(|(v, &divisor)| TradeoffPoint {
+            divisor,
+            speedup: base.critical_path / v.critical_path,
+            dynamic_reduction: base.power.dynamic.total() / v.power.dynamic.total(),
+            leakage_reduction: base.power.leakage.total() / v.power.leakage.total(),
+            area_reduction: base.total_area / v.total_area,
+        })
+        .collect();
+    Ok((TradeoffCurve { benchmark: eval.benchmark.clone(), points }, eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn curve(seed: u64) -> TradeoffCurve {
+        tradeoff_sweep(
+            SynthConfig::tiny("t", 60, seed).generate().unwrap(),
+            &EvaluationConfig::fast(seed),
+            &PAPER_DIVISORS,
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn curve_trades_speed_for_power() {
+        let c = curve(1);
+        assert_eq!(c.points.len(), PAPER_DIVISORS.len());
+        // Along the divisor axis: speed falls (or holds), power reductions
+        // grow (or hold).
+        for w in c.points.windows(2) {
+            assert!(w[1].speedup <= w[0].speedup * 1.02, "{w:?}");
+            assert!(w[1].leakage_reduction >= w[0].leakage_reduction * 0.98, "{w:?}");
+            assert!(w[1].dynamic_reduction >= w[0].dynamic_reduction * 0.98, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn full_size_point_is_faster_than_baseline() {
+        // With divisor 1 the relays' lower Ron and no Vt drop make the
+        // CMOS-NEM FPGA strictly faster — the headroom the technique spends.
+        let c = curve(2);
+        assert!(c.points[0].speedup > 1.0, "speedup {}", c.points[0].speedup);
+    }
+
+    #[test]
+    fn preferred_corner_has_no_speed_penalty() {
+        let c = curve(3);
+        let corner = c.preferred_corner(1.0);
+        assert!(corner.speedup >= 1.0);
+        // And it is not the trivial divisor-1 point unless forced.
+        let first = &c.points[0];
+        assert!(corner.leakage_reduction >= first.leakage_reduction);
+    }
+
+    #[test]
+    fn empty_divisors_rejected() {
+        let r = tradeoff_sweep(
+            SynthConfig::tiny("t", 20, 4).generate().unwrap(),
+            &EvaluationConfig::fast(4),
+            &[],
+        );
+        assert!(r.is_err());
+        let r = tradeoff_sweep(
+            SynthConfig::tiny("t", 20, 4).generate().unwrap(),
+            &EvaluationConfig::fast(4),
+            &[0.5],
+        );
+        assert!(r.is_err());
+    }
+}

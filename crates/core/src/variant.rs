@@ -1,0 +1,164 @@
+//! FPGA implementation variants: the designs the paper compares.
+//!
+//! Three variants carry the whole evaluation (Sec. 3.4):
+//!
+//! 1. **CMOS-only baseline** — NMOS pass transistors + SRAM routing, half-
+//!    latch level-restoring buffers, delay-optimal wire buffers.
+//! 2. **CMOS-NEM without the technique** — routing switches and their SRAM
+//!    replaced by stacked NEM relays, every buffer kept at full size
+//!    (the [Chen 10b] design point: 1.8× area, 1.3× dynamic, 2× leakage).
+//! 3. **CMOS-NEM with selective buffer removal/downsizing** — LB input and
+//!    output buffers removed, wire buffers redesigned for a pretend load
+//!    up to 8× smaller (this paper's technique: 2×/10×/2× headline).
+
+use nemfpga_tech::process::ProcessNode;
+use nemfpga_tech::switch::{RoutingSwitch, SwitchTechnology};
+use serde::{Deserialize, Serialize};
+
+/// One FPGA implementation style to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaVariant {
+    /// Display name.
+    pub name: String,
+    /// Electrical model of every programmable routing switch.
+    pub switch: RoutingSwitch,
+    /// Whether LB input and output buffers are removed entirely
+    /// (sound only with full-swing, low-Ron switches — Sec. 3.2).
+    pub remove_lb_buffers: bool,
+    /// Pretend-load divisor for wire-buffer downsizing (1 = full size).
+    pub wire_buffer_divisor: f64,
+    /// Whether buffers must be half-latch level restorers (required after
+    /// Vt-dropping NMOS pass transistors, Fig. 8a).
+    pub level_restoring_buffers: bool,
+}
+
+impl FpgaVariant {
+    /// The 22 nm CMOS-only baseline (Sec. 3.3).
+    pub fn cmos_baseline(node: &ProcessNode) -> Self {
+        Self {
+            name: "cmos-only".to_owned(),
+            switch: RoutingSwitch::nmos_pass(node, 10.0),
+            remove_lb_buffers: false,
+            wire_buffer_divisor: 1.0,
+            level_restoring_buffers: true,
+        }
+    }
+
+    /// A CMOS-only alternative the paper's introduction mentions: full
+    /// transmission-gate routing. No Vt drop, but twice the devices and
+    /// still an SRAM cell per switch — "their own set of challenges".
+    pub fn cmos_transmission_gate(node: &ProcessNode) -> Self {
+        Self {
+            name: "cmos-only (transmission gates)".to_owned(),
+            switch: RoutingSwitch::transmission_gate(node, 10.0),
+            remove_lb_buffers: false,
+            wire_buffer_divisor: 1.0,
+            level_restoring_buffers: false,
+        }
+    }
+
+    /// CMOS-NEM with relays but no buffer technique ([Chen 10b]).
+    pub fn cmos_nem_without_technique() -> Self {
+        Self {
+            name: "cmos-nem (no buffer technique)".to_owned(),
+            switch: RoutingSwitch::nem_relay_paper(),
+            remove_lb_buffers: false,
+            wire_buffer_divisor: 1.0,
+            level_restoring_buffers: false,
+        }
+    }
+
+    /// CMOS-NEM with the paper's selective buffer removal / downsizing,
+    /// at a given wire-buffer pretend-load divisor (the Fig. 12 sweep runs
+    /// 1–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire_buffer_divisor < 1` or is not finite.
+    pub fn cmos_nem(wire_buffer_divisor: f64) -> Self {
+        assert!(
+            wire_buffer_divisor.is_finite() && wire_buffer_divisor >= 1.0,
+            "wire buffer divisor must be >= 1, got {wire_buffer_divisor}"
+        );
+        Self {
+            name: format!("cmos-nem (buffers removed, wire buffers /{wire_buffer_divisor:.1})"),
+            switch: RoutingSwitch::nem_relay_paper(),
+            remove_lb_buffers: true,
+            wire_buffer_divisor,
+            level_restoring_buffers: false,
+        }
+    }
+
+    /// The CMOS-NEM technique variant built on the *demo-quality* ~100 kΩ
+    /// contacts measured on the 2×2 crossbar (Sec. 2.3) — the ablation that
+    /// shows why consistently low Ron matters.
+    pub fn cmos_nem_demo_contacts(wire_buffer_divisor: f64) -> Self {
+        let mut v = Self::cmos_nem(wire_buffer_divisor);
+        v.switch = RoutingSwitch::nem_relay_demo_contact();
+        v.name = format!(
+            "cmos-nem (demo 100kΩ contacts, wire buffers /{wire_buffer_divisor:.1})"
+        );
+        v
+    }
+
+    /// `true` when the routing switches are NEM relays.
+    pub fn uses_relays(&self) -> bool {
+        self.switch.technology == SwitchTechnology::NemRelay
+    }
+
+    /// Configuration SRAM bits needed per routing switch.
+    pub fn sram_per_switch(&self) -> usize {
+        self.switch.sram_bits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_three_paper_variants() {
+        let node = ProcessNode::ptm_22nm();
+        let base = FpgaVariant::cmos_baseline(&node);
+        let nem0 = FpgaVariant::cmos_nem_without_technique();
+        let nem = FpgaVariant::cmos_nem(4.0);
+
+        assert!(!base.uses_relays() && base.level_restoring_buffers);
+        assert_eq!(base.sram_per_switch(), 1);
+
+        assert!(nem0.uses_relays() && !nem0.remove_lb_buffers);
+        assert_eq!(nem0.sram_per_switch(), 0);
+        assert_eq!(nem0.wire_buffer_divisor, 1.0);
+
+        assert!(nem.uses_relays() && nem.remove_lb_buffers);
+        assert_eq!(nem.wire_buffer_divisor, 4.0);
+        assert!(!nem.level_restoring_buffers);
+    }
+
+    #[test]
+    fn transmission_gate_variant_is_full_swing_but_sram_bound() {
+        let node = ProcessNode::ptm_22nm();
+        let tg = FpgaVariant::cmos_transmission_gate(&node);
+        assert!(!tg.level_restoring_buffers);
+        assert!(!tg.uses_relays());
+        assert_eq!(tg.sram_per_switch(), 1);
+        assert_eq!(tg.switch.delay_penalty, 1.0);
+        // Twice the devices of the NMOS-pass baseline.
+        let base = FpgaVariant::cmos_baseline(&node);
+        assert!(tg.switch.cmos_area > base.switch.cmos_area);
+    }
+
+    #[test]
+    fn demo_contact_ablation_differs_only_in_ron() {
+        let good = FpgaVariant::cmos_nem(2.0);
+        let demo = FpgaVariant::cmos_nem_demo_contacts(2.0);
+        assert!(demo.switch.r_on > good.switch.r_on);
+        assert_eq!(demo.remove_lb_buffers, good.remove_lb_buffers);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be >= 1")]
+    fn sub_unity_divisor_panics() {
+        let _ = FpgaVariant::cmos_nem(0.5);
+    }
+}

@@ -1,0 +1,338 @@
+//! Relay crossbar arrays and target configurations.
+//!
+//! A crossbar of `rows × cols` relays connects `rows` source (beam) lines
+//! to `cols` drain lines; the relay at `(r, c)` has its source on row line
+//! `r`, its gate on gate line `c`, and its drain on drain line `c`
+//! (the Fig. 5 arrangement). Gate lines select during programming; after
+//! configuration the on-relays define which beams reach which drains.
+
+use crate::error::CrossbarError;
+use nemfpga_device::hysteresis::{Relay, RelayState};
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_tech::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// A boolean target configuration for a crossbar: `true` = relay on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+}
+
+impl Configuration {
+    /// An all-off configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn all_off(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "configuration must be non-empty");
+        Self { rows, cols, bits: vec![false; rows * cols] }
+    }
+
+    /// Builds a configuration from a row-major bit slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ShapeMismatch`] when `bits.len() != rows*cols`.
+    pub fn from_bits(rows: usize, cols: usize, bits: &[bool]) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::EmptyArray);
+        }
+        if bits.len() != rows * cols {
+            return Err(CrossbarError::ShapeMismatch {
+                config: (bits.len() / cols.max(1), cols),
+                array: (rows, cols),
+            });
+        }
+        Ok(Self { rows, cols, bits: bits.to_vec() })
+    }
+
+    /// Decodes configuration index `code` of an exhaustive enumeration
+    /// (bit `r*cols + c` of `code` sets relay `(r, c)`). The paper verified
+    /// "all configurations exhaustively" on the 2×2 crossbar — 16 of these.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols > 63` or `code >= 2^(rows*cols)`.
+    pub fn from_code(rows: usize, cols: usize, code: u64) -> Self {
+        let n = rows * cols;
+        assert!(n > 0 && n <= 63, "exhaustive enumeration limited to 63 relays");
+        assert!(code < (1u64 << n), "code {code} out of range for {n} relays");
+        let bits = (0..n).map(|i| code & (1 << i) != 0).collect();
+        Self { rows, cols, bits }
+    }
+
+    /// Number of source-line rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of gate/drain-line columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Target state of relay `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds");
+        self.bits[row * self.cols + col]
+    }
+
+    /// Sets the target state of relay `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, on: bool) {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds");
+        self.bits[row * self.cols + col] = on;
+    }
+
+    /// Number of relays meant to be on.
+    pub fn on_count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Iterates `(row, col, on)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .map(move |(i, &b)| (i / self.cols, i % self.cols, b))
+    }
+}
+
+/// An array of stateful relays with shared programming lines.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::array::CrossbarArray;
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())?;
+/// assert_eq!(xbar.rows(), 2);
+/// assert!(xbar.all_pulled_out());
+/// # Ok::<(), nemfpga_crossbar::error::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    relays: Vec<Relay>,
+}
+
+impl CrossbarArray {
+    /// Builds an array of `rows × cols` identical relays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyArray`] for a degenerate shape.
+    pub fn uniform(rows: usize, cols: usize, device: NemRelayDevice) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::EmptyArray);
+        }
+        let relays = (0..rows * cols).map(|_| Relay::new(device.clone())).collect();
+        Ok(Self { rows, cols, relays })
+    }
+
+    /// Builds an array from a varied device population (row-major order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyArray`] for a degenerate shape and
+    /// [`CrossbarError::PopulationTooSmall`] when `devices` has fewer than
+    /// `rows * cols` entries.
+    pub fn from_population(
+        rows: usize,
+        cols: usize,
+        devices: &[NemRelayDevice],
+    ) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::EmptyArray);
+        }
+        let required = rows * cols;
+        if devices.len() < required {
+            return Err(CrossbarError::PopulationTooSmall {
+                required,
+                supplied: devices.len(),
+            });
+        }
+        let relays = devices[..required].iter().cloned().map(Relay::new).collect();
+        Ok(Self { rows, cols, relays })
+    }
+
+    /// Number of source-line rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of gate/drain-line columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The relay at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] outside the array.
+    pub fn relay(&self, row: usize, col: usize) -> Result<&Relay, CrossbarError> {
+        self.index(row, col).map(|i| &self.relays[i])
+    }
+
+    fn index(&self, row: usize, col: usize) -> Result<usize, CrossbarError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    /// Applies per-line voltages: every relay `(r, c)` sees
+    /// `V_GS = gate[c] - source[r]`. Line slices must match the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_lines.len() != rows` or `gate_lines.len() != cols`.
+    pub fn apply_line_voltages(&mut self, source_lines: &[Volts], gate_lines: &[Volts]) {
+        assert_eq!(source_lines.len(), self.rows, "one voltage per source line");
+        assert_eq!(gate_lines.len(), self.cols, "one voltage per gate line");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let vgs = gate_lines[c] - source_lines[r];
+                self.relays[r * self.cols + c].apply_vgs(vgs);
+            }
+        }
+    }
+
+    /// Snapshot of the current on/off states as a [`Configuration`].
+    pub fn state_configuration(&self) -> Configuration {
+        let bits: Vec<bool> = self.relays.iter().map(Relay::is_on).collect();
+        Configuration { rows: self.rows, cols: self.cols, bits }
+    }
+
+    /// `true` when every relay is pulled out.
+    pub fn all_pulled_out(&self) -> bool {
+        self.relays.iter().all(|r| r.state() == RelayState::PulledOut)
+    }
+
+    /// Source rows currently connected to drain column `col`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for an invalid column.
+    pub fn connected_rows(&self, col: usize) -> Result<Vec<usize>, CrossbarError> {
+        if col >= self.cols {
+            return Err(CrossbarError::OutOfBounds { row: 0, col, rows: self.rows, cols: self.cols });
+        }
+        Ok((0..self.rows)
+            .filter(|&r| self.relays[r * self.cols + col].is_on())
+            .collect())
+    }
+
+    /// Total switching cycles accumulated across the array (reliability
+    /// accounting).
+    pub fn total_switching_cycles(&self) -> u64 {
+        self.relays.iter().map(Relay::switching_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_array() -> CrossbarArray {
+        CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated()).unwrap()
+    }
+
+    #[test]
+    fn configuration_round_trip() {
+        let mut c = Configuration::all_off(2, 3);
+        assert_eq!(c.on_count(), 0);
+        c.set(1, 2, true);
+        assert!(c.get(1, 2));
+        assert_eq!(c.on_count(), 1);
+        let collected: Vec<_> = c.iter().filter(|(_, _, on)| *on).collect();
+        assert_eq!(collected, vec![(1, 2, true)]);
+    }
+
+    #[test]
+    fn exhaustive_codes_cover_all_2x2_configs() {
+        let all: Vec<Configuration> =
+            (0..16).map(|code| Configuration::from_code(2, 2, code)).collect();
+        // All distinct, covering on-counts 0..=4.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert_eq!(all.iter().map(Configuration::on_count).max(), Some(4));
+        assert_eq!(all[0].on_count(), 0);
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        assert!(matches!(
+            CrossbarArray::uniform(0, 2, NemRelayDevice::fabricated()),
+            Err(CrossbarError::EmptyArray)
+        ));
+        assert!(matches!(
+            Configuration::from_bits(2, 2, &[true; 3]),
+            Err(CrossbarError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            CrossbarArray::from_population(2, 2, &[NemRelayDevice::fabricated()]),
+            Err(CrossbarError::PopulationTooSmall { required: 4, supplied: 1 })
+        ));
+    }
+
+    #[test]
+    fn line_voltages_reach_the_right_relays() {
+        let mut xbar = demo_array();
+        let vpi = xbar.relay(0, 0).unwrap().device().pull_in_voltage();
+        // Pull in only relay (1, 0): gate col 0 high, source row 1 negative.
+        let boost = vpi * 0.6;
+        xbar.apply_line_voltages(
+            &[Volts::zero(), -boost],
+            &[boost, Volts::zero()],
+        );
+        assert!(xbar.relay(1, 0).unwrap().is_on());
+        assert!(!xbar.relay(0, 0).unwrap().is_on());
+        assert!(!xbar.relay(1, 1).unwrap().is_on());
+        assert_eq!(xbar.connected_rows(0).unwrap(), vec![1]);
+        assert_eq!(xbar.connected_rows(1).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn out_of_bounds_queries_error() {
+        let xbar = demo_array();
+        assert!(xbar.relay(2, 0).is_err());
+        assert!(xbar.connected_rows(5).is_err());
+    }
+
+    #[test]
+    fn state_snapshot_matches_relays() {
+        let mut xbar = demo_array();
+        let vpi = xbar.relay(0, 0).unwrap().device().pull_in_voltage();
+        xbar.apply_line_voltages(&[-(vpi * 0.6), Volts::zero()], &[vpi * 0.6, Volts::zero()]);
+        let snap = xbar.state_configuration();
+        assert!(snap.get(0, 0));
+        assert_eq!(snap.on_count(), 1);
+    }
+}

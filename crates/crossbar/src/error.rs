@@ -1,0 +1,104 @@
+//! Error types for crossbar construction and programming.
+
+use std::fmt;
+
+/// Errors produced while building or programming a relay crossbar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossbarError {
+    /// The requested array shape was degenerate.
+    EmptyArray,
+    /// A relay population did not contain enough devices for the shape.
+    PopulationTooSmall {
+        /// Devices required (`rows * cols`).
+        required: usize,
+        /// Devices supplied.
+        supplied: usize,
+    },
+    /// A coordinate was outside the array.
+    OutOfBounds {
+        /// Requested source-line (row) index.
+        row: usize,
+        /// Requested gate-line (column) index.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// A configuration's shape did not match the array's.
+    ShapeMismatch {
+        /// Configuration rows × cols.
+        config: (usize, usize),
+        /// Array rows × cols.
+        array: (usize, usize),
+    },
+    /// The programming levels violate the half-select constraints for at
+    /// least one relay in the array.
+    LevelsViolateWindow {
+        /// Human-readable description of the first violated constraint.
+        constraint: String,
+    },
+    /// No feasible (Vhold, Vselect) pair exists for the given population.
+    InfeasibleWindow {
+        /// `Vpi,min - Vpo,max` of the population in volts.
+        usable_span: f64,
+        /// `Vpi,max - Vpi,min` of the population in volts.
+        vpi_spread: f64,
+    },
+    /// Programming completed but the array state does not match the target.
+    ProgrammingMismatch {
+        /// Coordinates of relays whose final state is wrong.
+        mismatches: Vec<(usize, usize)>,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyArray => write!(f, "crossbar must have at least one row and one column"),
+            Self::PopulationTooSmall { required, supplied } => write!(
+                f,
+                "population of {supplied} devices cannot fill a crossbar needing {required}"
+            ),
+            Self::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "relay ({row}, {col}) outside {rows}x{cols} crossbar")
+            }
+            Self::ShapeMismatch { config, array } => write!(
+                f,
+                "configuration is {}x{} but crossbar is {}x{}",
+                config.0, config.1, array.0, array.1
+            ),
+            Self::LevelsViolateWindow { constraint } => {
+                write!(f, "programming levels violate half-select constraint: {constraint}")
+            }
+            Self::InfeasibleWindow { usable_span, vpi_spread } => write!(
+                f,
+                "no feasible programming window: Vpi spread {vpi_spread} V exceeds usable span {usable_span} V"
+            ),
+            Self::ProgrammingMismatch { mismatches } => {
+                write!(f, "{} relay(s) ended in the wrong state after programming", mismatches.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CrossbarError::OutOfBounds { row: 5, col: 1, rows: 2, cols: 2 };
+        assert!(e.to_string().contains("(5, 1)"));
+        let e = CrossbarError::InfeasibleWindow { usable_span: 0.2, vpi_spread: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CrossbarError>();
+    }
+}

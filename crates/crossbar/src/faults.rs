@@ -1,0 +1,297 @@
+//! Fault injection for relay crossbars.
+//!
+//! The paper's reliability discussion (Sec. 2.3) worries about two failure
+//! classes at the contact: **stiction** (a relay that cannot release —
+//! stuck closed) and **contact degradation** up to an open circuit (stuck
+//! open). This module injects both into arrays and quantifies whether the
+//! paper's own program/test/reset sequence detects them — it does, which
+//! is exactly why the paper runs a test phase after programming.
+
+use crate::array::{Configuration, CrossbarArray};
+use crate::error::CrossbarError;
+use crate::levels::ProgrammingLevels;
+use crate::program::program_unchecked;
+use nemfpga_device::relay::NemRelayDevice;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fault class injected into one relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Adhesion overwhelms the spring: the relay latches closed forever
+    /// once actuated (and is modelled as already latched).
+    StuckClosed,
+    /// Contact degradation to an open: the relay never conducts. Modelled
+    /// as a pull-in voltage far above any programming level.
+    StuckOpen,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Source-line (row) coordinate.
+    pub row: usize,
+    /// Gate-line (column) coordinate.
+    pub col: usize,
+    /// Fault class.
+    pub kind: FaultKind,
+}
+
+/// Builds a faulty device for injection.
+fn faulty_device(base: &NemRelayDevice, kind: FaultKind) -> NemRelayDevice {
+    let mut d = base.clone();
+    match kind {
+        FaultKind::StuckClosed => {
+            // Stiction: adhesion far beyond the elastic restoring force.
+            d.adhesion_per_width = 1e3;
+        }
+        FaultKind::StuckOpen => {
+            // A stiffened beam whose Vpi no programming level reaches.
+            d.material.stiffness_calibration *= 1e4;
+        }
+    }
+    d
+}
+
+/// Builds an array of `rows × cols` relays from `base` with `faults`
+/// injected at the given coordinates.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::OutOfBounds`] for a fault outside the array,
+/// and shape errors from array construction.
+pub fn build_faulty_array(
+    rows: usize,
+    cols: usize,
+    base: &NemRelayDevice,
+    faults: &[Fault],
+) -> Result<CrossbarArray, CrossbarError> {
+    for f in faults {
+        if f.row >= rows || f.col >= cols {
+            return Err(CrossbarError::OutOfBounds { row: f.row, col: f.col, rows, cols });
+        }
+    }
+    let mut devices = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let fault = faults.iter().find(|f| f.row == r && f.col == c);
+            devices.push(match fault {
+                Some(f) => faulty_device(base, f.kind),
+                None => base.clone(),
+            });
+        }
+    }
+    let mut array = CrossbarArray::from_population(rows, cols, &devices)?;
+    // Stuck-closed relays sit latched from the start: actuate them once.
+    for f in faults.iter().filter(|f| f.kind == FaultKind::StuckClosed) {
+        let vpi = array
+            .relay(f.row, f.col)
+            .expect("in bounds")
+            .device()
+            .pull_in_voltage();
+        let mut sources = vec![nemfpga_tech::units::Volts::zero(); rows];
+        let mut gates = vec![nemfpga_tech::units::Volts::zero(); cols];
+        sources[f.row] = -(vpi * 0.6);
+        gates[f.col] = vpi * 0.6;
+        array.apply_line_voltages(&sources, &gates);
+    }
+    Ok(array)
+}
+
+/// Result of one fault-detection experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Faults injected.
+    pub injected: Vec<Fault>,
+    /// Whether the programming+verification sequence flagged an error.
+    pub detected: bool,
+    /// Relays whose final state mismatched the target (empty when the
+    /// fault is silent for this particular target pattern).
+    pub mismatches: Vec<(usize, usize)>,
+}
+
+/// Programs a faulty array toward `target` and reports whether the paper's
+/// verify-after-program discipline catches the faults.
+///
+/// A fault is only *observable* if the target exercises it (a stuck-open
+/// relay that should stay off is silent), so detection is target-dependent
+/// — exactly why the paper verifies every configuration exhaustively.
+///
+/// # Errors
+///
+/// Propagates construction errors; programming mismatches are converted
+/// into the report rather than an error.
+pub fn detect_faults(
+    rows: usize,
+    cols: usize,
+    base: &NemRelayDevice,
+    faults: &[Fault],
+    target: &Configuration,
+    levels: &ProgrammingLevels,
+) -> Result<DetectionReport, CrossbarError> {
+    let mut array = build_faulty_array(rows, cols, base, faults)?;
+    match program_unchecked(&mut array, target, levels) {
+        Ok(_) => Ok(DetectionReport {
+            injected: faults.to_vec(),
+            detected: false,
+            mismatches: Vec::new(),
+        }),
+        Err(CrossbarError::ProgrammingMismatch { mismatches }) => Ok(DetectionReport {
+            injected: faults.to_vec(),
+            detected: true,
+            mismatches,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// Monte Carlo fault-coverage estimate: injects one random fault at a time
+/// and measures how often random target patterns expose it.
+///
+/// Returns `(stuck_closed_coverage, stuck_open_coverage)` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or the array is degenerate.
+pub fn coverage_estimate(
+    rows: usize,
+    cols: usize,
+    base: &NemRelayDevice,
+    levels: &ProgrammingLevels,
+    trials: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(rows > 0 && cols > 0, "array must be non-degenerate");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let coords: Vec<(usize, usize)> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+    let mut detected = [0usize; 2];
+    for t in 0..trials {
+        let &(row, col) = coords.choose(&mut rng).expect("non-empty");
+        let target = Configuration::from_code(
+            rows,
+            cols,
+            (t as u64).wrapping_mul(0x9E37_79B9) & ((1u64 << (rows * cols).min(63)) - 1),
+        );
+        for (i, kind) in [FaultKind::StuckClosed, FaultKind::StuckOpen].into_iter().enumerate()
+        {
+            let report = detect_faults(
+                rows,
+                cols,
+                base,
+                &[Fault { row, col, kind }],
+                &target,
+                levels,
+            )
+            .expect("experiment runs");
+            if report.detected {
+                detected[i] += 1;
+            }
+        }
+    }
+    (detected[0] as f64 / trials as f64, detected[1] as f64 / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> NemRelayDevice {
+        NemRelayDevice::fabricated()
+    }
+
+    #[test]
+    fn stuck_open_detected_when_target_needs_it_on() {
+        let mut target = Configuration::all_off(2, 2);
+        target.set(0, 1, true);
+        let report = detect_faults(
+            2,
+            2,
+            &base(),
+            &[Fault { row: 0, col: 1, kind: FaultKind::StuckOpen }],
+            &target,
+            &ProgrammingLevels::paper_demo(),
+        )
+        .expect("runs");
+        assert!(report.detected);
+        assert!(report.mismatches.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn stuck_open_is_silent_when_target_leaves_it_off() {
+        // The fault exists but this configuration never exercises it.
+        let mut target = Configuration::all_off(2, 2);
+        target.set(1, 0, true);
+        let report = detect_faults(
+            2,
+            2,
+            &base(),
+            &[Fault { row: 0, col: 1, kind: FaultKind::StuckOpen }],
+            &target,
+            &ProgrammingLevels::paper_demo(),
+        )
+        .expect("runs");
+        assert!(!report.detected);
+    }
+
+    #[test]
+    fn stuck_closed_detected_when_target_wants_it_off() {
+        let target = Configuration::all_off(2, 2);
+        let report = detect_faults(
+            2,
+            2,
+            &base(),
+            &[Fault { row: 1, col: 1, kind: FaultKind::StuckClosed }],
+            &target,
+            &ProgrammingLevels::paper_demo(),
+        )
+        .expect("runs");
+        assert!(report.detected);
+        assert!(report.mismatches.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn fault_free_array_never_reports() {
+        let target = Configuration::from_code(3, 3, 0b101_010_101);
+        let report = detect_faults(
+            3,
+            3,
+            &base(),
+            &[],
+            &target,
+            &ProgrammingLevels::paper_demo(),
+        )
+        .expect("runs");
+        assert!(!report.detected);
+    }
+
+    #[test]
+    fn coverage_is_substantial_for_random_patterns() {
+        let (closed, open) = coverage_estimate(
+            3,
+            3,
+            &base(),
+            &ProgrammingLevels::paper_demo(),
+            40,
+            11,
+        );
+        // A random pattern exercises any given relay about half the time.
+        assert!(closed > 0.3, "stuck-closed coverage {closed}");
+        assert!(open > 0.3, "stuck-open coverage {open}");
+        assert!(closed <= 1.0 && open <= 1.0);
+    }
+
+    #[test]
+    fn out_of_bounds_fault_rejected() {
+        let err = build_faulty_array(
+            2,
+            2,
+            &base(),
+            &[Fault { row: 5, col: 0, kind: FaultKind::StuckOpen }],
+        );
+        assert!(matches!(err, Err(CrossbarError::OutOfBounds { .. })));
+    }
+}

@@ -1,0 +1,217 @@
+//! Half-select programming voltage levels and their constraints (Fig. 4).
+//!
+//! Three levels program an array without per-relay configuration memory:
+//! hold (`Vhold`), select (`-Vselect` on source lines, `Vhold + Vselect` on
+//! gate lines). They must satisfy, for **every** relay in the array:
+//!
+//! ```text
+//! Vpo < Vhold            < Vpi      (hold disturbs nothing)
+//! Vpo < Vhold + Vselect  < Vpi      (half-selected relays retain state)
+//!       Vhold + 2Vselect > Vpi      (fully selected relays always pull in)
+//! ```
+
+use crate::error::CrossbarError;
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_device::variation::PopulationStats;
+use nemfpga_tech::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// A `(Vhold, Vselect)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::levels::ProgrammingLevels;
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let levels = ProgrammingLevels::paper_demo();
+/// levels.validate_for(&NemRelayDevice::fabricated())?;
+/// # Ok::<(), nemfpga_crossbar::error::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgrammingLevels {
+    /// The hold level applied to unselected gate lines (and to all gate
+    /// lines after programming, to retain state).
+    pub vhold: Volts,
+    /// The select step; selected gate lines sit at `Vhold + Vselect`,
+    /// selected source lines at `-Vselect`.
+    pub vselect: Volts,
+}
+
+impl ProgrammingLevels {
+    /// The levels used for the experimental 2×2 crossbar demonstration
+    /// (Sec. 2.3): `Vhold = 5.2 V`, `Vselect = 0.8 V`.
+    pub fn paper_demo() -> Self {
+        Self { vhold: Volts::new(5.2), vselect: Volts::new(0.8) }
+    }
+
+    /// Gate-line voltage of a selected row of relays.
+    #[inline]
+    pub fn gate_selected(&self) -> Volts {
+        self.vhold + self.vselect
+    }
+
+    /// |V_GS| seen by the one fully selected relay.
+    #[inline]
+    pub fn full_select_vgs(&self) -> Volts {
+        self.vhold + self.vselect * 2.0
+    }
+
+    /// |V_GS| seen by half-selected relays.
+    #[inline]
+    pub fn half_select_vgs(&self) -> Volts {
+        self.vhold + self.vselect
+    }
+
+    /// Checks the five half-select inequalities against a single device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::LevelsViolateWindow`] naming the first
+    /// violated constraint.
+    pub fn validate_for(&self, device: &NemRelayDevice) -> Result<(), CrossbarError> {
+        let vpi = device.pull_in_voltage();
+        let vpo = device.pull_out_voltage();
+        self.validate_against(vpi, vpo)
+    }
+
+    /// Checks the constraints against explicit `(Vpi, Vpo)` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::LevelsViolateWindow`] naming the first
+    /// violated constraint.
+    pub fn validate_against(&self, vpi: Volts, vpo: Volts) -> Result<(), CrossbarError> {
+        let fail = |constraint: String| Err(CrossbarError::LevelsViolateWindow { constraint });
+        if self.vselect.value() <= 0.0 {
+            return fail(format!("Vselect must be positive, got {}", self.vselect));
+        }
+        if self.vhold <= vpo {
+            return fail(format!("Vhold {} <= Vpo {} (hold would release)", self.vhold, vpo));
+        }
+        if self.vhold >= vpi {
+            return fail(format!("Vhold {} >= Vpi {} (hold would pull in)", self.vhold, vpi));
+        }
+        if self.half_select_vgs() >= vpi {
+            return fail(format!(
+                "Vhold+Vselect {} >= Vpi {} (half-select would pull in)",
+                self.half_select_vgs(),
+                vpi
+            ));
+        }
+        if self.half_select_vgs() <= vpo {
+            return fail(format!(
+                "Vhold+Vselect {} <= Vpo {} (half-select would release)",
+                self.half_select_vgs(),
+                vpo
+            ));
+        }
+        if self.full_select_vgs() <= vpi {
+            return fail(format!(
+                "Vhold+2Vselect {} <= Vpi {} (full select would not pull in)",
+                self.full_select_vgs(),
+                vpi
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the constraints against the extremes of a whole population
+    /// (every relay of the array must satisfy them simultaneously).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::LevelsViolateWindow`] naming the first
+    /// violated constraint at the worst-case corner.
+    pub fn validate_for_population(&self, stats: &PopulationStats) -> Result<(), CrossbarError> {
+        // Worst cases: release risk at Vpo,max; accidental pull-in risk at
+        // Vpi,min; guaranteed pull-in must clear Vpi,max.
+        self.validate_against(stats.vpi_min, stats.vpo_max)?;
+        if self.full_select_vgs() <= stats.vpi_max {
+            return Err(CrossbarError::LevelsViolateWindow {
+                constraint: format!(
+                    "Vhold+2Vselect {} <= Vpi,max {} (weakest full select fails)",
+                    self.full_select_vgs(),
+                    stats.vpi_max
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The three noise margins annotated in Fig. 6, in order:
+    /// `Vhold - Vpo,max`, `Vpi,min - (Vhold+Vselect)`,
+    /// `(Vhold+2Vselect) - Vpi,max`. Negative margins mean violation.
+    pub fn noise_margins(&self, stats: &PopulationStats) -> [Volts; 3] {
+        [
+            self.vhold - stats.vpo_max,
+            stats.vpi_min - self.half_select_vgs(),
+            self.full_select_vgs() - stats.vpi_max,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_device::variation::VariationModel;
+
+    #[test]
+    fn paper_demo_levels_program_the_fabricated_device() {
+        let levels = ProgrammingLevels::paper_demo();
+        levels.validate_for(&NemRelayDevice::fabricated()).unwrap();
+        // 5.2 + 2*0.8 = 6.8 > 6.2 = Vpi.
+        assert!((levels.full_select_vgs().value() - 6.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_arithmetic() {
+        let levels = ProgrammingLevels::paper_demo();
+        assert!((levels.gate_selected().value() - 6.0).abs() < 1e-9);
+        assert!((levels.half_select_vgs().value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_constraint_violation_is_reported() {
+        let vpi = Volts::new(6.2);
+        let vpo = Volts::new(3.0);
+        let cases = [
+            // Vhold below Vpo: hold releases.
+            (ProgrammingLevels { vhold: Volts::new(2.0), vselect: Volts::new(1.0) }, "release"),
+            // Vhold above Vpi: hold pulls in.
+            (ProgrammingLevels { vhold: Volts::new(6.5), vselect: Volts::new(1.0) }, "pull in"),
+            // Half-select crosses Vpi.
+            (ProgrammingLevels { vhold: Volts::new(5.5), vselect: Volts::new(1.0) }, "half-select"),
+            // Full select too weak.
+            (ProgrammingLevels { vhold: Volts::new(5.0), vselect: Volts::new(0.5) }, "full select"),
+            // Non-positive select.
+            (ProgrammingLevels { vhold: Volts::new(5.0), vselect: Volts::zero() }, "positive"),
+        ];
+        for (levels, needle) in cases {
+            let err = levels.validate_against(vpi, vpo).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "expected '{needle}' in '{msg}'");
+        }
+    }
+
+    #[test]
+    fn population_validation_uses_worst_corners() {
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            100,
+            11,
+        );
+        let stats = PopulationStats::of(&pop);
+        // A window tuned to the nominal device alone may fail the spread;
+        // the solver-produced one (tested in window.rs) must pass. Here we
+        // check margins are consistent with validation.
+        let levels = ProgrammingLevels {
+            vhold: (stats.vpo_max + stats.vpi_min) / 2.0,
+            vselect: (stats.vpi_max - stats.vpi_min) * 1.2
+                + (stats.vpi_min - (stats.vpo_max + stats.vpi_min) / 2.0) / 2.0,
+        };
+        let margins = levels.noise_margins(&stats);
+        let ok = levels.validate_for_population(&stats).is_ok();
+        assert_eq!(ok, margins.iter().all(|m| m.value() > 0.0));
+    }
+}

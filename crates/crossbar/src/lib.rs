@@ -1,0 +1,58 @@
+//! # nemfpga-crossbar
+//!
+//! NEM relay programmable routing crossbars and the half-select
+//! programming scheme, reproducing Sec. 2.2–2.3 of *"Nano-Electro-
+//! Mechanical Relays for FPGA Routing"* (DATE 2012):
+//!
+//! * [`levels`] — the three programming voltage levels and the half-select
+//!   inequalities of Fig. 4.
+//! * [`array`] — relay arrays with shared source/gate lines and target
+//!   [`array::Configuration`]s.
+//! * [`program`] — the column-by-column half-select programmer with
+//!   verification.
+//! * [`waveform`] — the Fig. 5 program/test/reset trace simulator.
+//! * [`window`] — solving `(Vhold, Vselect)` from a measured population
+//!   (the Fig. 6 exercise) with max-min noise margins.
+//! * [`yield_analysis`] — array-scale programmability yield under device
+//!   variation ("millions of switches" feasibility).
+//!
+//! # Examples
+//!
+//! Program a 2×2 crossbar exactly as the paper's hardware demo does:
+//!
+//! ```
+//! use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+//! use nemfpga_crossbar::levels::ProgrammingLevels;
+//! use nemfpga_crossbar::waveform::{run_demo, WaveformConfig};
+//! use nemfpga_device::relay::NemRelayDevice;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())?;
+//! let target = Configuration::from_code(2, 2, 0b0110);
+//! let wave = run_demo(
+//!     &mut xbar,
+//!     &target,
+//!     &ProgrammingLevels::paper_demo(),
+//!     &WaveformConfig::paper_fig5(),
+//! )?;
+//! assert!(wave.verify());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod array;
+pub mod error;
+pub mod faults;
+pub mod levels;
+pub mod program;
+pub mod waveform;
+pub mod window;
+pub mod yield_analysis;
+
+pub use array::{Configuration, CrossbarArray};
+pub use error::CrossbarError;
+pub use levels::ProgrammingLevels;
+pub use faults::{coverage_estimate, detect_faults, Fault, FaultKind};
+pub use program::{program, program_unchecked, reprogram_column, reset, ProgramLog};
+pub use waveform::{run_demo, Waveform, WaveformConfig};
+pub use window::{solve_window, SolvedWindow};

@@ -1,0 +1,445 @@
+//! The half-select programming controller (Sec. 2.2).
+//!
+//! Programming proceeds column-by-column: the selected gate line is raised
+//! to `Vhold + Vselect`, source lines of relays that must pull in drop to
+//! `-Vselect` (their relays see `Vhold + 2Vselect > Vpi`), every other
+//! relay sees `Vhold` or `Vhold + Vselect` — both inside the hysteresis
+//! window — and therefore retains its state. Afterwards all gate lines sit
+//! at `Vhold` to hold the programmed pattern indefinitely.
+
+use crate::array::{Configuration, CrossbarArray};
+use crate::error::CrossbarError;
+use crate::levels::ProgrammingLevels;
+use nemfpga_tech::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// One applied step of line voltages, for waveform reconstruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramStep {
+    /// Human-readable label (`"reset"`, `"select column 1"`, `"hold"`).
+    pub label: String,
+    /// Voltage per source (beam) line.
+    pub source_lines: Vec<Volts>,
+    /// Voltage per gate line.
+    pub gate_lines: Vec<Volts>,
+}
+
+/// Record of a full programming sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramLog {
+    /// Steps in application order.
+    pub steps: Vec<ProgramStep>,
+    /// Total relay switching events caused by this sequence.
+    pub switching_events: u64,
+}
+
+/// Programs `array` to `target` using `levels`, verifying the result.
+///
+/// The sequence is: global reset (all lines grounded, releasing every
+/// relay), one select step per gate column, then the hold step. The
+/// array's final state is compared against `target` relay by relay.
+///
+/// # Errors
+///
+/// * [`CrossbarError::ShapeMismatch`] if `target` has the wrong shape.
+/// * [`CrossbarError::LevelsViolateWindow`] if `levels` fail the
+///   half-select constraints for any relay in the array (checked before
+///   any voltage is applied).
+/// * [`CrossbarError::ProgrammingMismatch`] listing relays whose final
+///   state differs from `target` (possible with out-of-window device
+///   variation or stuck relays).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+/// use nemfpga_crossbar::levels::ProgrammingLevels;
+/// use nemfpga_crossbar::program::program;
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())?;
+/// let mut target = Configuration::all_off(2, 2);
+/// target.set(0, 1, true);
+/// program(&mut xbar, &target, &ProgrammingLevels::paper_demo())?;
+/// assert_eq!(xbar.state_configuration(), target);
+/// # Ok::<(), nemfpga_crossbar::error::CrossbarError>(())
+/// ```
+pub fn program(
+    array: &mut CrossbarArray,
+    target: &Configuration,
+    levels: &ProgrammingLevels,
+) -> Result<ProgramLog, CrossbarError> {
+    // Pre-flight: the levels must respect every relay's *modelled* window.
+    for r in 0..array.rows() {
+        for c in 0..array.cols() {
+            let relay = array.relay(r, c).expect("in-bounds by construction");
+            levels.validate_for(relay.device())?;
+        }
+    }
+    program_unchecked(array, target, levels)
+}
+
+/// Programs `array` like [`program`] but without the model-level window
+/// pre-flight: voltages are simply applied and the final state verified.
+///
+/// This is the *physical* semantics — real programming hardware cannot
+/// interrogate each relay's true window first — and is what fault-injection
+/// experiments use: an out-of-window (faulty) relay shows up as a
+/// [`CrossbarError::ProgrammingMismatch`], exactly as it would on the
+/// bench during the paper's test phase.
+///
+/// # Errors
+///
+/// * [`CrossbarError::ShapeMismatch`] if `target` has the wrong shape.
+/// * [`CrossbarError::ProgrammingMismatch`] listing wrong-state relays.
+pub fn program_unchecked(
+    array: &mut CrossbarArray,
+    target: &Configuration,
+    levels: &ProgrammingLevels,
+) -> Result<ProgramLog, CrossbarError> {
+    if target.rows() != array.rows() || target.cols() != array.cols() {
+        return Err(CrossbarError::ShapeMismatch {
+            config: (target.rows(), target.cols()),
+            array: (array.rows(), array.cols()),
+        });
+    }
+
+    let cycles_before = array.total_switching_cycles();
+    let mut steps = Vec::with_capacity(array.cols() + 2);
+    let zeros_src = vec![Volts::zero(); array.rows()];
+    let zeros_gate = vec![Volts::zero(); array.cols()];
+
+    // Phase 0: reset — all V_GS = 0 releases every relay.
+    array.apply_line_voltages(&zeros_src, &zeros_gate);
+    steps.push(ProgramStep {
+        label: "reset".to_owned(),
+        source_lines: zeros_src.clone(),
+        gate_lines: zeros_gate.clone(),
+    });
+
+    // Phase 1: select one gate column at a time.
+    for c in 0..array.cols() {
+        let gate_lines: Vec<Volts> = (0..array.cols())
+            .map(|j| if j == c { levels.gate_selected() } else { levels.vhold })
+            .collect();
+        let source_lines: Vec<Volts> = (0..array.rows())
+            .map(|r| if target.get(r, c) { -levels.vselect } else { Volts::zero() })
+            .collect();
+        array.apply_line_voltages(&source_lines, &gate_lines);
+        steps.push(ProgramStep {
+            label: format!("select column {c}"),
+            source_lines,
+            gate_lines,
+        });
+    }
+
+    // Phase 2: hold — all gate lines at Vhold retain the pattern.
+    let hold_gates = vec![levels.vhold; array.cols()];
+    array.apply_line_voltages(&zeros_src, &hold_gates);
+    steps.push(ProgramStep {
+        label: "hold".to_owned(),
+        source_lines: zeros_src,
+        gate_lines: hold_gates,
+    });
+
+    // Verification, as in the paper's test phase.
+    let achieved = array.state_configuration();
+    if &achieved != target {
+        let mismatches: Vec<(usize, usize)> = target
+            .iter()
+            .filter(|&(r, c, want)| achieved.get(r, c) != want)
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        return Err(CrossbarError::ProgrammingMismatch { mismatches });
+    }
+
+    Ok(ProgramLog {
+        steps,
+        switching_events: array.total_switching_cycles() - cycles_before,
+    })
+}
+
+/// Partially reconfigures a single gate column without disturbing the rest
+/// of the array.
+///
+/// The half-select scheme can *set* relays incrementally but cannot clear
+/// one relay selectively; what it can do is release a whole gate line
+/// (drop that gate to 0 V while the others hold) and then re-run the
+/// select step for just that column — one-column-granularity partial
+/// reconfiguration. All other columns stay at `Vhold` throughout and are
+/// untouched.
+///
+/// # Errors
+///
+/// * [`CrossbarError::OutOfBounds`] for an invalid column.
+/// * [`CrossbarError::ShapeMismatch`] if `new_column.len() != rows`.
+/// * [`CrossbarError::LevelsViolateWindow`] if `levels` fail any relay.
+/// * [`CrossbarError::ProgrammingMismatch`] if the column's final state is
+///   wrong (stuck relays).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+/// use nemfpga_crossbar::levels::ProgrammingLevels;
+/// use nemfpga_crossbar::program::{program, reprogram_column};
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())?;
+/// let levels = ProgrammingLevels::paper_demo();
+/// program(&mut xbar, &Configuration::from_code(2, 2, 0b1001), &levels)?;
+/// // Flip column 1 from {row 1} to {row 0} without touching column 0.
+/// reprogram_column(&mut xbar, 1, &[true, false], &levels)?;
+/// assert!(xbar.relay(0, 0)?.is_on());  // column 0 undisturbed
+/// assert!(xbar.relay(0, 1)?.is_on());
+/// assert!(!xbar.relay(1, 1)?.is_on());
+/// # Ok::<(), nemfpga_crossbar::error::CrossbarError>(())
+/// ```
+pub fn reprogram_column(
+    array: &mut CrossbarArray,
+    col: usize,
+    new_column: &[bool],
+    levels: &ProgrammingLevels,
+) -> Result<(), CrossbarError> {
+    if col >= array.cols() {
+        return Err(CrossbarError::OutOfBounds {
+            row: 0,
+            col,
+            rows: array.rows(),
+            cols: array.cols(),
+        });
+    }
+    if new_column.len() != array.rows() {
+        return Err(CrossbarError::ShapeMismatch {
+            config: (new_column.len(), 1),
+            array: (array.rows(), array.cols()),
+        });
+    }
+    for r in 0..array.rows() {
+        for c in 0..array.cols() {
+            let relay = array.relay(r, c).expect("in-bounds by construction");
+            levels.validate_for(relay.device())?;
+        }
+    }
+    // Remember what the rest of the array must still look like afterwards.
+    let mut expected = array.state_configuration();
+    for (r, &on) in new_column.iter().enumerate() {
+        expected.set(r, col, on);
+    }
+
+    // Phase 1: release the whole target column (gate to 0, others hold).
+    let zeros_src = vec![Volts::zero(); array.rows()];
+    let gates: Vec<Volts> = (0..array.cols())
+        .map(|c| if c == col { Volts::zero() } else { levels.vhold })
+        .collect();
+    array.apply_line_voltages(&zeros_src, &gates);
+
+    // Phase 2: select step for just this column.
+    let gates: Vec<Volts> = (0..array.cols())
+        .map(|c| if c == col { levels.gate_selected() } else { levels.vhold })
+        .collect();
+    let sources: Vec<Volts> = new_column
+        .iter()
+        .map(|&on| if on { -levels.vselect } else { Volts::zero() })
+        .collect();
+    array.apply_line_voltages(&sources, &gates);
+
+    // Phase 3: back to hold.
+    let hold = vec![levels.vhold; array.cols()];
+    array.apply_line_voltages(&zeros_src, &hold);
+
+    let achieved = array.state_configuration();
+    if achieved != expected {
+        let mismatches = expected
+            .iter()
+            .filter(|&(r, c, want)| achieved.get(r, c) != want)
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        return Err(CrossbarError::ProgrammingMismatch { mismatches });
+    }
+    Ok(())
+}
+
+/// Resets every relay by grounding all lines (the paper's reset phase) and
+/// verifies the array released.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::ProgrammingMismatch`] listing relays that did
+/// not release (stuck contacts).
+pub fn reset(array: &mut CrossbarArray) -> Result<(), CrossbarError> {
+    let zeros_src = vec![Volts::zero(); array.rows()];
+    let zeros_gate = vec![Volts::zero(); array.cols()];
+    array.apply_line_voltages(&zeros_src, &zeros_gate);
+    if array.all_pulled_out() {
+        return Ok(());
+    }
+    let snapshot = array.state_configuration();
+    let stuck = snapshot
+        .iter()
+        .filter(|(_, _, on)| *on)
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    Err(CrossbarError::ProgrammingMismatch { mismatches: stuck })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_device::relay::NemRelayDevice;
+
+    fn demo() -> CrossbarArray {
+        CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated()).unwrap()
+    }
+
+    #[test]
+    fn all_sixteen_2x2_configurations_program_correctly() {
+        // The paper: "all configurations exhaustively verified" (Fig. 5).
+        let levels = ProgrammingLevels::paper_demo();
+        for code in 0..16u64 {
+            let mut xbar = demo();
+            let target = Configuration::from_code(2, 2, code);
+            program(&mut xbar, &target, &levels)
+                .unwrap_or_else(|e| panic!("config {code} failed: {e}"));
+            assert_eq!(xbar.state_configuration(), target, "config {code}");
+        }
+    }
+
+    #[test]
+    fn reprogramming_overwrites_previous_configuration() {
+        // Fig. 5b then 5c: program, reset, re-program differently.
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = demo();
+        let first = Configuration::from_code(2, 2, 0b1001);
+        program(&mut xbar, &first, &levels).unwrap();
+        assert_eq!(xbar.state_configuration(), first);
+        let second = Configuration::from_code(2, 2, 0b0110);
+        program(&mut xbar, &second, &levels).unwrap();
+        assert_eq!(xbar.state_configuration(), second);
+    }
+
+    #[test]
+    fn half_selected_relays_retain_state_across_columns() {
+        // Program column 0 then column 1; relays in column 0 see
+        // half-select voltages during column 1's step and must hold.
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = demo();
+        let mut target = Configuration::all_off(2, 2);
+        target.set(0, 0, true);
+        target.set(1, 1, true);
+        let log = program(&mut xbar, &target, &levels).unwrap();
+        assert_eq!(xbar.state_configuration(), target);
+        // Exactly two pull-ins should have happened (plus nothing spurious).
+        assert_eq!(log.switching_events, 2);
+    }
+
+    #[test]
+    fn program_log_has_reset_selects_hold() {
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = demo();
+        let target = Configuration::from_code(2, 2, 0b0001);
+        let log = program(&mut xbar, &target, &levels).unwrap();
+        assert_eq!(log.steps.len(), 4); // reset + 2 columns + hold
+        assert_eq!(log.steps[0].label, "reset");
+        assert_eq!(log.steps.last().unwrap().label, "hold");
+    }
+
+    #[test]
+    fn bad_levels_rejected_before_touching_the_array() {
+        let mut xbar = demo();
+        let levels = ProgrammingLevels { vhold: Volts::new(1.0), vselect: Volts::new(0.1) };
+        let target = Configuration::from_code(2, 2, 0b0001);
+        let err = program(&mut xbar, &target, &levels).unwrap_err();
+        assert!(matches!(err, CrossbarError::LevelsViolateWindow { .. }));
+        assert!(xbar.all_pulled_out());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut xbar = demo();
+        let target = Configuration::all_off(3, 2);
+        assert!(matches!(
+            program(&mut xbar, &target, &ProgrammingLevels::paper_demo()),
+            Err(CrossbarError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stuck_relay_detected_at_reset() {
+        let mut device = NemRelayDevice::fabricated();
+        let mut xbar = CrossbarArray::uniform(2, 2, device.clone()).unwrap();
+        // Pull everything in with a clean device first.
+        let levels = ProgrammingLevels::paper_demo();
+        let all_on = Configuration::from_code(2, 2, 0b1111);
+        program(&mut xbar, &all_on, &levels).unwrap();
+        // Now the same array with a stiction-prone device cannot reset.
+        device.adhesion_per_width = 10.0;
+        let mut sticky = CrossbarArray::uniform(2, 2, device).unwrap();
+        // Force pull-in directly (programming would fail validation since
+        // a stuck device has Vpo = 0 < any Vhold... which is the point).
+        let vpi = sticky.relay(0, 0).unwrap().device().pull_in_voltage();
+        sticky.apply_line_voltages(
+            &vec![-(vpi); 2],
+            &vec![vpi; 2],
+        );
+        let err = reset(&mut sticky).unwrap_err();
+        assert!(matches!(err, CrossbarError::ProgrammingMismatch { .. }));
+    }
+
+    #[test]
+    fn column_reprogramming_leaves_other_columns_alone() {
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = CrossbarArray::uniform(4, 4, NemRelayDevice::fabricated()).unwrap();
+        let initial = Configuration::from_code(4, 4, 0b1010_0101_1100_0011);
+        program(&mut xbar, &initial, &levels).unwrap();
+
+        // Rewrite column 2 to an arbitrary new pattern.
+        let new_col = [true, true, false, true];
+        reprogram_column(&mut xbar, 2, &new_col, &levels).unwrap();
+
+        let after = xbar.state_configuration();
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = if c == 2 { new_col[r] } else { initial.get(r, c) };
+                assert_eq!(after.get(r, c), want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn column_reprogramming_is_idempotent_and_repeatable() {
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = CrossbarArray::uniform(3, 3, NemRelayDevice::fabricated()).unwrap();
+        program(&mut xbar, &Configuration::all_off(3, 3), &levels).unwrap();
+        for round in 0..4 {
+            let pattern = [round % 2 == 0, round % 3 == 0, true];
+            reprogram_column(&mut xbar, 1, &pattern, &levels).unwrap();
+            for (r, &want) in pattern.iter().enumerate() {
+                assert_eq!(xbar.relay(r, 1).unwrap().is_on(), want, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_reprogramming_rejects_bad_arguments() {
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated()).unwrap();
+        assert!(matches!(
+            reprogram_column(&mut xbar, 5, &[true, false], &levels),
+            Err(CrossbarError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            reprogram_column(&mut xbar, 0, &[true], &levels),
+            Err(CrossbarError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_after_program_releases_everything() {
+        let levels = ProgrammingLevels::paper_demo();
+        let mut xbar = demo();
+        program(&mut xbar, &Configuration::from_code(2, 2, 0b1111), &levels).unwrap();
+        reset(&mut xbar).unwrap();
+        assert!(xbar.all_pulled_out());
+    }
+}

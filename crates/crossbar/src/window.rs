@@ -1,0 +1,175 @@
+//! Programming-window solver: find `(Vhold, Vselect)` for a measured relay
+//! population (the Fig. 6 exercise).
+//!
+//! The paper measured `Vpi`/`Vpo` for 100 relays and showed that "the
+//! required half-select programming voltage levels ... could still be
+//! identified". Given population extremes, the feasible region is
+//!
+//! ```text
+//! Vselect ∈ ( Vpi,max - Vpi,min ,  Vpi,min - Vpo,max )
+//! Vhold   ∈ ( max(Vpo,max, Vpi,max - 2·Vselect) ,  Vpi,min - Vselect )
+//! ```
+//!
+//! and the solver returns the levels that maximize the smallest of the
+//! three noise margins annotated in Fig. 6.
+
+use crate::error::CrossbarError;
+use crate::levels::ProgrammingLevels;
+use nemfpga_device::variation::PopulationStats;
+use nemfpga_tech::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// A solved programming window with its margins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolvedWindow {
+    /// The chosen levels.
+    pub levels: ProgrammingLevels,
+    /// The three Fig. 6 noise margins at these levels
+    /// (`Vhold - Vpo,max`, `Vpi,min - (Vhold+Vselect)`,
+    /// `(Vhold+2Vselect) - Vpi,max`).
+    pub margins: [Volts; 3],
+    /// The smallest of the three margins (the solver's objective).
+    pub worst_margin: Volts,
+}
+
+/// Solves for the max-min-margin programming levels of a population.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::InfeasibleWindow`] when no levels can satisfy
+/// every relay — i.e. when the pull-in spread `Vpi,max - Vpi,min` is not
+/// smaller than the usable span `Vpi,min - Vpo,max` (the quantitative form
+/// of the paper's "large variations can make it impossible to correctly
+/// configure all NEM relays").
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::window::solve_window;
+/// use nemfpga_device::relay::NemRelayDevice;
+/// use nemfpga_device::variation::{PopulationStats, VariationModel};
+///
+/// let pop = VariationModel::fabrication_default()
+///     .sample_population(&NemRelayDevice::fabricated(), 100, 42);
+/// let solved = solve_window(&PopulationStats::of(&pop))?;
+/// assert!(solved.worst_margin.value() > 0.0);
+/// # Ok::<(), nemfpga_crossbar::error::CrossbarError>(())
+/// ```
+pub fn solve_window(stats: &PopulationStats) -> Result<SolvedWindow, CrossbarError> {
+    let usable_span = stats.vpi_min - stats.vpo_max;
+    let vpi_spread = stats.vpi_max - stats.vpi_min;
+    // Equal-margin optimum: all three margins equal m*.
+    let m = (stats.vpi_min * 2.0 - stats.vpo_max - stats.vpi_max) / 4.0;
+    if m.value() <= 0.0 {
+        return Err(CrossbarError::InfeasibleWindow {
+            usable_span: usable_span.value(),
+            vpi_spread: vpi_spread.value(),
+        });
+    }
+    let vhold = stats.vpo_max + m;
+    let vselect = stats.vpi_min - stats.vpo_max - m * 2.0;
+    let levels = ProgrammingLevels { vhold, vselect };
+    levels.validate_for_population(stats)?;
+    let margins = levels.noise_margins(stats);
+    let worst_margin = margins.iter().copied().fold(Volts::new(f64::INFINITY), Volts::min);
+    Ok(SolvedWindow { levels, margins, worst_margin })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_device::relay::NemRelayDevice;
+    use nemfpga_device::variation::VariationModel;
+
+    fn stats(seed: u64) -> PopulationStats {
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            100,
+            seed,
+        );
+        PopulationStats::of(&pop)
+    }
+
+    #[test]
+    fn solver_finds_levels_for_fig6_population() {
+        let s = stats(42);
+        let solved = solve_window(&s).unwrap();
+        // The solution is valid and its margins are all positive.
+        solved.levels.validate_for_population(&s).unwrap();
+        assert!(solved.margins.iter().all(|m| m.value() > 0.0));
+        // Levels land in the paper's neighbourhood (volts, not millivolts).
+        assert!(solved.levels.vhold.value() > 3.0 && solved.levels.vhold.value() < 6.2);
+        assert!(solved.levels.vselect.value() > 0.1 && solved.levels.vselect.value() < 2.0);
+    }
+
+    #[test]
+    fn optimum_equalizes_the_three_margins() {
+        let s = stats(7);
+        let solved = solve_window(&s).unwrap();
+        let [a, b, c] = solved.margins;
+        assert!((a.value() - b.value()).abs() < 1e-9);
+        assert!((b.value() - c.value()).abs() < 1e-9);
+        assert_eq!(solved.worst_margin, a.min(b).min(c));
+    }
+
+    #[test]
+    fn no_perturbation_beats_the_optimum() {
+        let s = stats(13);
+        let solved = solve_window(&s).unwrap();
+        let worst = |levels: ProgrammingLevels| {
+            levels
+                .noise_margins(&s)
+                .iter()
+                .copied()
+                .fold(Volts::new(f64::INFINITY), Volts::min)
+        };
+        for (dh, ds) in [(0.05, 0.0), (-0.05, 0.0), (0.0, 0.05), (0.0, -0.05)] {
+            let perturbed = ProgrammingLevels {
+                vhold: solved.levels.vhold + Volts::new(dh),
+                vselect: solved.levels.vselect + Volts::new(ds),
+            };
+            assert!(worst(perturbed) <= solved.worst_margin + Volts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn wide_vpi_spread_is_infeasible() {
+        // Construct a pathological population: Vpi spread exceeding the
+        // usable span makes programming impossible.
+        let s = PopulationStats {
+            count: 2,
+            vpi_min: Volts::new(5.0),
+            vpi_max: Volts::new(7.5),
+            vpi_mean: Volts::new(6.2),
+            vpo_min: Volts::new(2.0),
+            vpo_max: Volts::new(3.4),
+            vpo_mean: Volts::new(2.7),
+            min_window: Volts::new(1.0),
+        };
+        assert!(matches!(
+            solve_window(&s),
+            Err(CrossbarError::InfeasibleWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn solved_levels_program_a_population_array() {
+        use crate::array::{Configuration, CrossbarArray};
+        use crate::program::program;
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            100,
+            42,
+        );
+        let solved = solve_window(&PopulationStats::of(&pop)).unwrap();
+        // Organize the 100 measured relays as a 10x10 array, as the paper
+        // hypothesizes ("if they were organized in an array").
+        let mut xbar = CrossbarArray::from_population(10, 10, &pop).unwrap();
+        let mut target = Configuration::all_off(10, 10);
+        for i in 0..10 {
+            target.set(i, (i * 3) % 10, true);
+        }
+        program(&mut xbar, &target, &solved.levels).unwrap();
+        assert_eq!(xbar.state_configuration(), target);
+    }
+}

@@ -1,0 +1,157 @@
+//! Array-scale programmability yield.
+//!
+//! "Today's FPGAs typically contain millions of configurable routing
+//! switches. As a result, large variations can make it impossible to
+//! correctly configure all NEM relays" (Sec. 2.3). This module quantifies
+//! that: the probability that one relay drawn from the variation model
+//! complies with a fixed set of programming levels, and the yield of an
+//! `n`-relay array that needs *all* of them to comply.
+
+use crate::levels::ProgrammingLevels;
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_device::variation::VariationModel;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Monte Carlo compliance estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplianceEstimate {
+    /// Fraction of sampled relays satisfying every half-select constraint.
+    pub compliance: f64,
+    /// Number of Monte Carlo samples used.
+    pub samples: usize,
+}
+
+impl ComplianceEstimate {
+    /// Yield of an array of `relays` relays: `compliance^relays`.
+    ///
+    /// Computed in log space so million-relay arrays do not underflow.
+    pub fn array_yield(&self, relays: u64) -> f64 {
+        if self.compliance <= 0.0 {
+            return if relays == 0 { 1.0 } else { 0.0 };
+        }
+        (relays as f64 * self.compliance.ln()).exp()
+    }
+}
+
+/// Estimates per-relay compliance with `levels` by sampling `samples`
+/// devices around `nominal` from `variation`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_crossbar::levels::ProgrammingLevels;
+/// use nemfpga_crossbar::yield_analysis::estimate_compliance;
+/// use nemfpga_device::relay::NemRelayDevice;
+/// use nemfpga_device::variation::VariationModel;
+///
+/// let est = estimate_compliance(
+///     &NemRelayDevice::fabricated(),
+///     &VariationModel::fabrication_default(),
+///     &ProgrammingLevels::paper_demo(),
+///     2000,
+///     42,
+/// );
+/// assert!(est.compliance > 0.5); // demo levels work for most relays
+/// ```
+pub fn estimate_compliance(
+    nominal: &NemRelayDevice,
+    variation: &VariationModel,
+    levels: &ProgrammingLevels,
+    samples: usize,
+    seed: u64,
+) -> ComplianceEstimate {
+    assert!(samples > 0, "compliance estimate needs at least one sample");
+    let population = variation.sample_population(nominal, samples, seed);
+    let ok = population
+        .iter()
+        .filter(|d| levels.validate_for(d).is_ok())
+        .count();
+    ComplianceEstimate { compliance: ok as f64 / samples as f64, samples }
+}
+
+/// One row of a yield-vs-array-size curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldPoint {
+    /// Relays in the array.
+    pub relays: u64,
+    /// Probability every relay complies.
+    pub array_yield: f64,
+}
+
+/// Sweeps array sizes for a fixed compliance estimate.
+pub fn yield_curve(estimate: &ComplianceEstimate, sizes: &[u64]) -> Vec<YieldPoint> {
+    sizes
+        .iter()
+        .map(|&relays| YieldPoint { relays, array_yield: estimate.array_yield(relays) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::solve_window;
+    use nemfpga_device::variation::PopulationStats;
+
+    #[test]
+    fn yield_decays_with_array_size() {
+        let est = ComplianceEstimate { compliance: 0.999, samples: 1000 };
+        let curve = yield_curve(&est, &[4, 1_000, 1_000_000]);
+        assert!(curve[0].array_yield > curve[1].array_yield);
+        assert!(curve[1].array_yield > curve[2].array_yield);
+        // A million relays at 3-nines compliance is essentially dead --
+        // the paper's point about needing tight Vpi control at scale.
+        assert!(curve[2].array_yield < 1e-100);
+    }
+
+    #[test]
+    fn perfect_compliance_yields_one() {
+        let est = ComplianceEstimate { compliance: 1.0, samples: 10 };
+        assert_eq!(est.array_yield(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn zero_compliance_yields_zero_except_empty_array() {
+        let est = ComplianceEstimate { compliance: 0.0, samples: 10 };
+        assert_eq!(est.array_yield(1), 0.0);
+        assert_eq!(est.array_yield(0), 1.0);
+    }
+
+    #[test]
+    fn tightened_process_improves_compliance() {
+        let nominal = NemRelayDevice::fabricated();
+        // Solve levels on a representative population, then compare
+        // compliance under the as-is vs tightened process.
+        let pop = VariationModel::fabrication_default().sample_population(&nominal, 400, 3);
+        let solved = solve_window(&PopulationStats::of(&pop)).unwrap();
+        let loose = estimate_compliance(
+            &nominal,
+            &VariationModel::fabrication_default(),
+            &solved.levels,
+            2000,
+            4,
+        );
+        let tight = estimate_compliance(
+            &nominal,
+            &VariationModel::tightened(0.25),
+            &solved.levels,
+            2000,
+            4,
+        );
+        assert!(tight.compliance >= loose.compliance);
+        assert!(tight.compliance > 0.99, "tight compliance {}", tight.compliance);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let nominal = NemRelayDevice::fabricated();
+        let v = VariationModel::fabrication_default();
+        let l = ProgrammingLevels::paper_demo();
+        let a = estimate_compliance(&nominal, &v, &l, 500, 9);
+        let b = estimate_compliance(&nominal, &v, &l, 500, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of half-select programming: arbitrary target
+//! configurations on arbitrary array shapes always program correctly with
+//! valid levels, and the window solver's output is always valid.
+
+use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::program::{program, reset};
+use nemfpga_crossbar::window::solve_window;
+use nemfpga_device::variation::{PopulationStats, VariationModel};
+use nemfpga_device::NemRelayDevice;
+use proptest::prelude::*;
+
+fn arb_config(rows: usize, cols: usize) -> impl Strategy<Value = Configuration> {
+    prop::collection::vec(any::<bool>(), rows * cols).prop_map(move |bits| {
+        Configuration::from_bits(rows, cols, &bits).expect("shape matches")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any target on any array up to 8x8 programs exactly, and a reset
+    /// releases everything, for the paper's demo levels on the nominal
+    /// fabricated device.
+    #[test]
+    fn arbitrary_configurations_program_exactly(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed_bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let bits = &seed_bits[..rows * cols];
+        let target = Configuration::from_bits(rows, cols, bits).expect("shape");
+        let mut xbar =
+            CrossbarArray::uniform(rows, cols, NemRelayDevice::fabricated()).expect("builds");
+        program(&mut xbar, &target, &ProgrammingLevels::paper_demo()).expect("programs");
+        prop_assert_eq!(xbar.state_configuration(), target);
+        reset(&mut xbar).expect("resets");
+        prop_assert!(xbar.all_pulled_out());
+    }
+
+    /// Sequential reprogramming: the second pattern fully overwrites the
+    /// first, regardless of overlap.
+    #[test]
+    fn reprogramming_overwrites(
+        first in arb_config(4, 4),
+        second in arb_config(4, 4),
+    ) {
+        let mut xbar =
+            CrossbarArray::uniform(4, 4, NemRelayDevice::fabricated()).expect("builds");
+        let levels = ProgrammingLevels::paper_demo();
+        program(&mut xbar, &first, &levels).expect("first programs");
+        program(&mut xbar, &second, &levels).expect("second programs");
+        prop_assert_eq!(xbar.state_configuration(), second);
+    }
+
+    /// The window solver's output always validates against the population
+    /// it was solved from, with strictly positive margins.
+    #[test]
+    fn solved_windows_are_always_valid(seed in 0u64..500, n in 20usize..150) {
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            n,
+            seed,
+        );
+        let stats = PopulationStats::of(&pop);
+        prop_assume!(stats.exact_feasibility_condition());
+        let solved = solve_window(&stats).expect("feasible population solves");
+        solved.levels.validate_for_population(&stats).expect("levels valid");
+        prop_assert!(solved.worst_margin.value() > 0.0);
+        // Margins reported are exactly the validation margins.
+        for m in solved.margins {
+            prop_assert!(m >= solved.worst_margin);
+        }
+    }
+
+    /// Programming a population array with its solved window succeeds for
+    /// any target pattern.
+    #[test]
+    fn population_arrays_program_with_solved_window(
+        seed in 0u64..200,
+        target in arb_config(5, 5),
+    ) {
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            25,
+            seed,
+        );
+        let stats = PopulationStats::of(&pop);
+        prop_assume!(stats.exact_feasibility_condition());
+        let solved = solve_window(&stats).expect("solves");
+        let mut xbar = CrossbarArray::from_population(5, 5, &pop).expect("builds");
+        program(&mut xbar, &target, &solved.levels).expect("programs");
+        prop_assert_eq!(xbar.state_configuration(), target);
+    }
+
+    /// Relay actuation count equals the number of on-bits per fresh
+    /// programming run (nothing spurious toggles).
+    #[test]
+    fn actuation_count_matches_on_bits(target in arb_config(6, 6)) {
+        let mut xbar =
+            CrossbarArray::uniform(6, 6, NemRelayDevice::fabricated()).expect("builds");
+        let log =
+            program(&mut xbar, &target, &ProgrammingLevels::paper_demo()).expect("programs");
+        prop_assert_eq!(log.switching_events as usize, target.on_count());
+    }
+}

@@ -1,0 +1,103 @@
+//! Mechanical switching dynamics.
+//!
+//! Relays are slow: the beam must physically travel the gap. The standard
+//! small-damping estimate for the pull-in (switch-on) time of an
+//! electrostatic relay actuated at `V > Vpi` is
+//!
+//! ```text
+//! t_pi ≈ 3.67 · Vpi / (V · ω0)
+//! ```
+//!
+//! ([Kaajakari 09]); `ω0 = sqrt(k/m_eff)` is the fundamental resonance.
+//! This is what makes NEM relays unusable as logic but fine as FPGA
+//! configuration switches: the >1 ns mechanical delay ([Chen 08, 10a]) is
+//! paid only at programming time, never during operation.
+
+use crate::error::DeviceError;
+use crate::relay::NemRelayDevice;
+use nemfpga_tech::units::{Seconds, Volts};
+
+/// Pull-in (switch-on) time of `device` when actuated at `v_applied`.
+///
+/// # Errors
+///
+/// Returns [`DeviceError::InvalidParameter`] if `v_applied` does not exceed
+/// the device's pull-in voltage (the beam would never snap in).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::dynamics::pull_in_time;
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let d = NemRelayDevice::scaled_22nm();
+/// let v = d.pull_in_voltage() * 1.2;
+/// let t = pull_in_time(&d, v)?;
+/// // Scaled relays still switch in nanoseconds, not picoseconds.
+/// assert!(t.as_nano() > 1.0);
+/// # Ok::<(), nemfpga_device::error::DeviceError>(())
+/// ```
+pub fn pull_in_time(device: &NemRelayDevice, v_applied: Volts) -> Result<Seconds, DeviceError> {
+    let vpi = device.pull_in_voltage();
+    if !(v_applied.value().is_finite()) || v_applied <= vpi {
+        return Err(DeviceError::InvalidParameter {
+            name: "actuation voltage (must exceed Vpi)",
+            value: v_applied.value(),
+        });
+    }
+    let omega0 = 2.0 * std::f64::consts::PI * device.resonant_frequency().value();
+    Ok(Seconds::new(3.67 * vpi.value() / (v_applied.value() * omega0)))
+}
+
+/// Release (switch-off) time estimate: roughly a quarter mechanical period,
+/// the beam springing back through the gap.
+pub fn pull_out_time(device: &NemRelayDevice) -> Seconds {
+    device.resonant_frequency().period() / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_relay_switches_in_nanoseconds() {
+        // [Chen 08, 10a]: mechanical switching delays > 1 ns.
+        let d = NemRelayDevice::scaled_22nm();
+        let t = pull_in_time(&d, d.pull_in_voltage() * 1.2).unwrap();
+        assert!(t.as_nano() > 1.0 && t.as_nano() < 100.0, "t = {t}");
+    }
+
+    #[test]
+    fn fabricated_relay_switches_in_microseconds() {
+        // The large laboratory device is far slower (µs scale), consistent
+        // with the seconds-scale programming waveforms of Fig. 5 being
+        // quasi-static for the mechanics.
+        let d = NemRelayDevice::fabricated();
+        let t = pull_in_time(&d, d.pull_in_voltage() * 1.2).unwrap();
+        assert!(t.value() > 1e-7 && t.value() < 1e-4, "t = {t}");
+    }
+
+    #[test]
+    fn more_overdrive_switches_faster() {
+        let d = NemRelayDevice::scaled_22nm();
+        let slow = pull_in_time(&d, d.pull_in_voltage() * 1.05).unwrap();
+        let fast = pull_in_time(&d, d.pull_in_voltage() * 2.0).unwrap();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn subthreshold_actuation_rejected() {
+        let d = NemRelayDevice::scaled_22nm();
+        assert!(pull_in_time(&d, d.pull_in_voltage() * 0.9).is_err());
+        assert!(pull_in_time(&d, d.pull_in_voltage()).is_err());
+    }
+
+    #[test]
+    fn release_is_same_order_as_pull_in() {
+        let d = NemRelayDevice::scaled_22nm();
+        let t_in = pull_in_time(&d, d.pull_in_voltage() * 1.2).unwrap();
+        let t_out = pull_out_time(&d);
+        let ratio = t_in / t_out;
+        assert!(ratio > 0.2 && ratio < 20.0, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,133 @@
+//! On/off equivalent circuits of a relay for circuit simulation (Fig. 11).
+//!
+//! After FPGA configuration a relay never moves again, so the timing and
+//! power models only need its static equivalents:
+//!
+//! * **on**: `Ron` in series between source and drain, with `Con` loading
+//!   the terminals (beam-to-gate capacitance in the pulled-in position);
+//! * **off**: `Coff` coupling source to drain across the open gap.
+//!
+//! Capacitances come from parallel-plate estimates over the electrode
+//! overlap; the ~1/3 overlap fractions are fit once to the paper's
+//! simulated values (`Con = 20 aF`, `Coff = 6.7 aF` for the 22 nm device)
+//! and reused for every geometry.
+
+use crate::relay::NemRelayDevice;
+use nemfpga_tech::switch::RoutingSwitch;
+use nemfpga_tech::units::{Farads, Ohms};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the gate area that overlaps the beam electrode (fit to the
+/// paper's `Con = 20 aF`).
+pub const GATE_OVERLAP_FRACTION: f64 = 0.33;
+
+/// Fraction of the beam area that overlaps the drain electrode (fit to the
+/// paper's `Coff = 6.7 aF`).
+pub const DRAIN_OVERLAP_FRACTION: f64 = 0.336;
+
+/// Static electrical equivalents of a configured relay.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::equivalent::EquivalentCircuit;
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let eq = EquivalentCircuit::of(&NemRelayDevice::scaled_22nm());
+/// // Fig. 11 values: Ron = 2 kΩ, Con ≈ 20 aF, Coff ≈ 6.7 aF.
+/// assert!((eq.r_on.value() - 2000.0).abs() < 1.0);
+/// assert!((eq.c_on.value() * 1e18 - 20.0).abs() < 2.0);
+/// assert!((eq.c_off.value() * 1e18 - 6.7).abs() < 0.7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EquivalentCircuit {
+    /// On-state contact resistance.
+    pub r_on: Ohms,
+    /// On-state terminal capacitance (beam at `g_min` from the gate).
+    pub c_on: Farads,
+    /// Off-state source-to-drain coupling capacitance.
+    pub c_off: Farads,
+}
+
+impl EquivalentCircuit {
+    /// Computes the equivalents of `device` from its geometry and ambient.
+    pub fn of(device: &NemRelayDevice) -> Self {
+        let g = &device.geometry;
+        let eps = device.ambient.permittivity();
+        let gate_area = g.gate_area().value();
+        let c_on = eps * gate_area * GATE_OVERLAP_FRACTION / g.gap_min.value();
+        let c_off = eps * gate_area * DRAIN_OVERLAP_FRACTION / g.gap.value();
+        Self {
+            r_on: device.contact_resistance,
+            c_on: Farads::new(c_on),
+            c_off: Farads::new(c_off),
+        }
+    }
+
+    /// The exact values printed in Fig. 11 (`Ron` experimental from
+    /// [Parsa 10]; `Con`, `Coff` from the authors' simulations).
+    pub fn paper_22nm() -> Self {
+        Self {
+            r_on: Ohms::from_kilo(2.0),
+            c_on: Farads::from_atto(20.0),
+            c_off: Farads::from_atto(6.7),
+        }
+    }
+
+    /// Converts into a routing-switch electrical model for the CAD flow,
+    /// using `device` for the MEMS-layer footprint.
+    pub fn to_routing_switch(self, device: &NemRelayDevice) -> RoutingSwitch {
+        RoutingSwitch::nem_relay(self.r_on, self.c_on, self.c_off, device.geometry.footprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_matches_paper_fig11_within_ten_percent() {
+        let eq = EquivalentCircuit::of(&NemRelayDevice::scaled_22nm());
+        let paper = EquivalentCircuit::paper_22nm();
+        assert!((eq.c_on.value() / paper.c_on.value() - 1.0).abs() < 0.10);
+        assert!((eq.c_off.value() / paper.c_off.value() - 1.0).abs() < 0.10);
+        assert_eq!(eq.r_on, paper.r_on);
+    }
+
+    #[test]
+    fn on_cap_exceeds_off_cap() {
+        // The pulled-in gap is much smaller than the open gap.
+        let eq = EquivalentCircuit::of(&NemRelayDevice::scaled_22nm());
+        assert!(eq.c_on > eq.c_off);
+    }
+
+    #[test]
+    fn relay_caps_are_far_below_cmos_switch_caps() {
+        // This asymmetry (aF vs fF-scale) is why relay routing loads wires
+        // so lightly and lets buffers shrink.
+        let node = nemfpga_tech::process::ProcessNode::ptm_22nm();
+        let nmos = nemfpga_tech::switch::RoutingSwitch::nmos_pass(&node, 10.0);
+        let eq = EquivalentCircuit::of(&NemRelayDevice::scaled_22nm());
+        assert!(eq.c_on.value() * 10.0 < nmos.c_on.value());
+    }
+
+    #[test]
+    fn conversion_carries_footprint_to_mems_layer() {
+        let device = NemRelayDevice::scaled_22nm();
+        let sw = EquivalentCircuit::of(&device).to_routing_switch(&device);
+        assert_eq!(sw.technology, nemfpga_tech::switch::SwitchTechnology::NemRelay);
+        assert!(sw.mems_area.value() > 0.0);
+        assert_eq!(sw.cmos_area.value(), 0.0);
+        assert_eq!(sw.sram_bits, 0);
+    }
+
+    #[test]
+    fn bigger_device_has_bigger_caps() {
+        let small = NemRelayDevice::scaled_22nm();
+        let big = NemRelayDevice::fabricated();
+        let eq_small = EquivalentCircuit::of(&small);
+        let eq_big = EquivalentCircuit::of(&big);
+        assert!(eq_big.c_on > eq_small.c_on);
+        assert!(eq_big.c_off > eq_small.c_off);
+    }
+}

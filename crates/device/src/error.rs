@@ -1,0 +1,80 @@
+//! Error types for the device crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or operating NEM relay device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A geometric dimension was zero, negative, or non-finite.
+    InvalidDimension {
+        /// Name of the offending dimension (e.g. `"beam length"`).
+        name: &'static str,
+        /// The rejected value in metres.
+        value: f64,
+    },
+    /// The pulled-in gap `g_min` was not smaller than the open gap `g0`.
+    GapOrdering {
+        /// Open (as-fabricated) gate-to-beam gap in metres.
+        g0: f64,
+        /// Pulled-in residual gap in metres.
+        g_min: f64,
+    },
+    /// A material or ambient parameter was out of physical range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The device has no hysteresis window (`Vpo >= Vpi`), so it cannot hold
+    /// state and cannot be half-select programmed.
+    NoHysteresis {
+        /// Computed pull-in voltage in volts.
+        vpi: f64,
+        /// Computed pull-out voltage in volts.
+        vpo: f64,
+    },
+    /// A voltage sweep was requested with a non-positive step count.
+    EmptySweep,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDimension { name, value } => {
+                write!(f, "invalid {name}: {value} m (must be finite and positive)")
+            }
+            Self::GapOrdering { g0, g_min } => {
+                write!(f, "pulled-in gap g_min = {g_min} m must be smaller than open gap g0 = {g0} m")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid {name}: {value}")
+            }
+            Self::NoHysteresis { vpi, vpo } => {
+                write!(f, "device has no hysteresis window: Vpo = {vpo} V >= Vpi = {vpi} V")
+            }
+            Self::EmptySweep => write!(f, "voltage sweep needs at least one step"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = DeviceError::InvalidDimension { name: "beam length", value: -1.0 };
+        let s = e.to_string();
+        assert!(s.contains("beam length"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DeviceError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Beam geometry of a 3-terminal NEM relay (paper Fig. 2a).
+//!
+//! The movable beam of length `L`, thickness `h`, and width `w` is anchored
+//! at the source; the gate sits across the as-fabricated gap `g0`, and the
+//! pulled-in beam stops at the residual gap `g_min` when it contacts the
+//! drain.
+
+use crate::error::DeviceError;
+use nemfpga_tech::units::{Meters, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of one relay beam.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::geometry::BeamGeometry;
+///
+/// let fab = BeamGeometry::fabricated();
+/// let scaled = BeamGeometry::scaled_22nm();
+/// assert!(scaled.length < fab.length);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeamGeometry {
+    /// Beam length `L`.
+    pub length: Meters,
+    /// Beam thickness `h` (in the actuation direction).
+    pub thickness: Meters,
+    /// Beam width `w` (out-of-plane; cancels in the voltage formulas but
+    /// sets absolute forces, masses, and capacitances).
+    pub width: Meters,
+    /// As-fabricated gate-to-beam gap `g0`.
+    pub gap: Meters,
+    /// Residual gate-to-beam gap `g_min` when pulled in.
+    pub gap_min: Meters,
+}
+
+impl BeamGeometry {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidDimension`] if any dimension is
+    /// non-positive or non-finite, and [`DeviceError::GapOrdering`] if
+    /// `gap_min >= gap`.
+    pub fn new(
+        length: Meters,
+        thickness: Meters,
+        width: Meters,
+        gap: Meters,
+        gap_min: Meters,
+    ) -> Result<Self, DeviceError> {
+        for (name, v) in [
+            ("beam length", length),
+            ("beam thickness", thickness),
+            ("beam width", width),
+            ("gate-to-beam gap", gap),
+            ("pulled-in gap", gap_min),
+        ] {
+            if !v.value().is_finite() || v.value() <= 0.0 {
+                return Err(DeviceError::InvalidDimension { name, value: v.value() });
+            }
+        }
+        if gap_min.value() >= gap.value() {
+            return Err(DeviceError::GapOrdering { g0: gap.value(), g_min: gap_min.value() });
+        }
+        Ok(Self { length, thickness, width, gap, gap_min })
+    }
+
+    /// The device fabricated in the paper's laboratory (Fig. 2b):
+    /// `L ≈ 23 µm`, `h ≈ 500 nm`, `g0 ≈ 600 nm`; `g_min` is not stated and
+    /// is set to 145 nm, which reproduces the upper end of the measured
+    /// pull-out range (`Vpo ≈ 3.4 V`) with the calibrated composite beam.
+    pub fn fabricated() -> Self {
+        Self {
+            length: Meters::from_micro(23.0),
+            thickness: Meters::from_nano(500.0),
+            width: Meters::from_micro(3.0),
+            gap: Meters::from_nano(600.0),
+            gap_min: Meters::from_nano(145.0),
+        }
+    }
+
+    /// The paper's 22 nm-node scaled relay (Fig. 11):
+    /// `L = 275 nm`, `h = 11 nm`, `g0 = 11 nm`, `g_min = 3.6 nm`.
+    pub fn scaled_22nm() -> Self {
+        Self {
+            length: Meters::from_nano(275.0),
+            thickness: Meters::from_nano(11.0),
+            width: Meters::from_nano(90.0),
+            gap: Meters::from_nano(11.0),
+            gap_min: Meters::from_nano(3.6),
+        }
+    }
+
+    /// Gate actuation area `w · L`.
+    #[inline]
+    pub fn gate_area(&self) -> SquareMeters {
+        self.width * self.length
+    }
+
+    /// Beam travel when pulling in, `g0 - g_min`.
+    #[inline]
+    pub fn travel(&self) -> Meters {
+        self.gap - self.gap_min
+    }
+
+    /// Chip-footprint area of the relay (beam plus anchor/contact margin,
+    /// approximated as `1.5·L × 2·w`).
+    #[inline]
+    pub fn footprint(&self) -> SquareMeters {
+        (self.length * 1.5) * (self.width * 2.0)
+    }
+
+    /// Uniformly scales every dimension by `factor` (used by the scaling
+    /// study from the fabricated device toward the 22 nm node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `factor` is not finite
+    /// and positive.
+    pub fn scaled(&self, factor: f64) -> Result<Self, DeviceError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(DeviceError::InvalidParameter { name: "scale factor", value: factor });
+        }
+        Ok(Self {
+            length: self.length * factor,
+            thickness: self.thickness * factor,
+            width: self.width * factor,
+            gap: self.gap * factor,
+            gap_min: self.gap_min * factor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for g in [BeamGeometry::fabricated(), BeamGeometry::scaled_22nm()] {
+            let rebuilt =
+                BeamGeometry::new(g.length, g.thickness, g.width, g.gap, g.gap_min);
+            assert!(rebuilt.is_ok());
+        }
+    }
+
+    #[test]
+    fn fabricated_dimensions_match_fig2b() {
+        let g = BeamGeometry::fabricated();
+        assert!((g.length.as_micro() - 23.0).abs() < 1e-9);
+        assert!((g.thickness.as_nano() - 500.0).abs() < 1e-6);
+        assert!((g.gap.as_nano() - 600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_22nm_dimensions_match_fig11() {
+        let g = BeamGeometry::scaled_22nm();
+        assert!((g.length.as_nano() - 275.0).abs() < 1e-6);
+        assert!((g.thickness.as_nano() - 11.0).abs() < 1e-6);
+        assert!((g.gap.as_nano() - 11.0).abs() < 1e-6);
+        assert!((g.gap_min.as_nano() - 3.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gap_ordering_enforced() {
+        let g = BeamGeometry::fabricated();
+        let err = BeamGeometry::new(g.length, g.thickness, g.width, g.gap_min, g.gap);
+        assert!(matches!(err, Err(DeviceError::GapOrdering { .. })));
+    }
+
+    #[test]
+    fn negative_dimension_rejected() {
+        let g = BeamGeometry::fabricated();
+        let err =
+            BeamGeometry::new(Meters::new(-1.0), g.thickness, g.width, g.gap, g.gap_min);
+        assert!(matches!(err, Err(DeviceError::InvalidDimension { name: "beam length", .. })));
+    }
+
+    #[test]
+    fn scaling_preserves_aspect_ratios() {
+        let g = BeamGeometry::fabricated();
+        let s = g.scaled(0.01).unwrap();
+        let ratio_before = g.gap / g.length;
+        let ratio_after = s.gap / s.length;
+        assert!((ratio_before - ratio_after).abs() < 1e-12);
+        assert!(s.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let g = BeamGeometry::scaled_22nm();
+        assert!((g.travel().as_nano() - 7.4).abs() < 1e-6);
+        assert!(g.gate_area().value() > 0.0);
+        assert!(g.footprint().value() > g.gate_area().value());
+    }
+}

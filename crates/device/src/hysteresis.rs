@@ -1,0 +1,207 @@
+//! Quasi-static hysteresis state machine of a NEM relay.
+//!
+//! The electrostatic force depends on `V_GS²`, so actuation is polarity
+//! independent: a relay pulls in when `|V_GS| >= Vpi`, releases when
+//! `|V_GS| <= Vpo`, and *retains its state* anywhere inside the hysteresis
+//! window — the property the half-select programming scheme (Sec. 2.2) and
+//! SRAM-less configuration storage are built on.
+
+use crate::relay::NemRelayDevice;
+use nemfpga_tech::units::Volts;
+use serde::{Deserialize, Serialize};
+
+/// Mechanical state of the beam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RelayState {
+    /// Beam released; source and drain disconnected (off).
+    #[default]
+    PulledOut,
+    /// Beam in contact with the drain; source and drain connected (on).
+    PulledIn,
+}
+
+impl RelayState {
+    /// `true` if source and drain are connected.
+    #[inline]
+    pub fn is_on(self) -> bool {
+        matches!(self, Self::PulledIn)
+    }
+}
+
+impl std::fmt::Display for RelayState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::PulledOut => "pulled-out",
+            Self::PulledIn => "pulled-in",
+        })
+    }
+}
+
+/// A stateful relay: a device model plus its current mechanical state and a
+/// lifetime switching-cycle counter (for the reliability budget).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::hysteresis::{Relay, RelayState};
+/// use nemfpga_device::relay::NemRelayDevice;
+/// use nemfpga_tech::units::Volts;
+///
+/// let mut relay = Relay::new(NemRelayDevice::fabricated());
+/// let vpi = relay.device().pull_in_voltage();
+///
+/// relay.apply_vgs(vpi * 1.05);          // beyond Vpi: pulls in
+/// assert_eq!(relay.state(), RelayState::PulledIn);
+/// relay.apply_vgs(vpi * 0.84);          // inside window: holds
+/// assert_eq!(relay.state(), RelayState::PulledIn);
+/// relay.apply_vgs(Volts::zero());       // below Vpo: releases
+/// assert_eq!(relay.state(), RelayState::PulledOut);
+/// assert_eq!(relay.switching_cycles(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relay {
+    device: NemRelayDevice,
+    state: RelayState,
+    switching_cycles: u64,
+}
+
+impl Relay {
+    /// A relay in the pulled-out (reset) state.
+    pub fn new(device: NemRelayDevice) -> Self {
+        Self { device, state: RelayState::PulledOut, switching_cycles: 0 }
+    }
+
+    /// The underlying device model.
+    #[inline]
+    pub fn device(&self) -> &NemRelayDevice {
+        &self.device
+    }
+
+    /// Current mechanical state.
+    #[inline]
+    pub fn state(&self) -> RelayState {
+        self.state
+    }
+
+    /// Total pull-in plus pull-out events so far.
+    #[inline]
+    pub fn switching_cycles(&self) -> u64 {
+        self.switching_cycles
+    }
+
+    /// `true` if source and drain are currently connected.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.state.is_on()
+    }
+
+    /// Applies a gate-to-source voltage quasi-statically and updates the
+    /// state. Returns the state after the voltage settles.
+    ///
+    /// A stuck relay (adhesion ≥ restoring force) never releases.
+    pub fn apply_vgs(&mut self, vgs: Volts) -> RelayState {
+        let magnitude = Volts::new(vgs.value().abs());
+        let vpi = self.device.pull_in_voltage();
+        let vpo = self.device.pull_out_voltage();
+        let next = match self.state {
+            RelayState::PulledOut if magnitude >= vpi => RelayState::PulledIn,
+            RelayState::PulledIn if magnitude <= vpo && !self.device.is_stuck() => {
+                RelayState::PulledOut
+            }
+            current => current,
+        };
+        if next != self.state {
+            self.switching_cycles += 1;
+            self.state = next;
+        }
+        self.state
+    }
+
+    /// Forces the relay to the pulled-out state without counting a cycle
+    /// (used to model power-on initialization where all `V_GS = 0`).
+    pub fn reset(&mut self) {
+        self.state = RelayState::PulledOut;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relay() -> Relay {
+        Relay::new(NemRelayDevice::fabricated())
+    }
+
+    #[test]
+    fn starts_pulled_out() {
+        assert_eq!(relay().state(), RelayState::PulledOut);
+        assert!(!relay().is_on());
+    }
+
+    #[test]
+    fn window_voltage_retains_both_states() {
+        let mut r = relay();
+        let vpi = r.device().pull_in_voltage();
+        let vpo = r.device().pull_out_voltage();
+        let hold = (vpi + vpo) / 2.0;
+
+        // Pulled-out relay stays out at the hold level.
+        r.apply_vgs(hold);
+        assert_eq!(r.state(), RelayState::PulledOut);
+
+        // Pulled-in relay stays in at the same hold level.
+        r.apply_vgs(vpi * 1.1);
+        r.apply_vgs(hold);
+        assert_eq!(r.state(), RelayState::PulledIn);
+    }
+
+    #[test]
+    fn negative_vgs_actuates_too() {
+        // Electrostatic force ∝ V²; the half-select scheme relies on this
+        // when the column line is driven to -Vselect.
+        let mut r = relay();
+        let vpi = r.device().pull_in_voltage();
+        r.apply_vgs(-(vpi * 1.05));
+        assert_eq!(r.state(), RelayState::PulledIn);
+    }
+
+    #[test]
+    fn cycle_counter_counts_transitions_only() {
+        let mut r = relay();
+        let vpi = r.device().pull_in_voltage();
+        for _ in 0..3 {
+            r.apply_vgs(vpi * 1.2); // in (first iteration only transitions)
+            r.apply_vgs(vpi * 1.2); // no-op
+            r.apply_vgs(Volts::zero()); // out
+        }
+        assert_eq!(r.switching_cycles(), 6);
+    }
+
+    #[test]
+    fn stuck_relay_never_releases() {
+        let mut device = NemRelayDevice::fabricated();
+        device.adhesion_per_width = 10.0; // stiction
+        let mut r = Relay::new(device);
+        let vpi = r.device().pull_in_voltage();
+        r.apply_vgs(vpi * 1.2);
+        r.apply_vgs(Volts::zero());
+        assert_eq!(r.state(), RelayState::PulledIn);
+    }
+
+    #[test]
+    fn reset_does_not_count_a_cycle() {
+        let mut r = relay();
+        let vpi = r.device().pull_in_voltage();
+        r.apply_vgs(vpi * 1.2);
+        let cycles = r.switching_cycles();
+        r.reset();
+        assert_eq!(r.state(), RelayState::PulledOut);
+        assert_eq!(r.switching_cycles(), cycles);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(RelayState::PulledIn.to_string(), "pulled-in");
+        assert_eq!(RelayState::PulledOut.to_string(), "pulled-out");
+    }
+}

@@ -1,0 +1,213 @@
+//! Quasi-static I-V measurement of a relay (reproduces Fig. 2b).
+//!
+//! Sweeps `V_GS` up and back down while a small drain bias and a current
+//! compliance emulate the paper's parameter-analyzer setup (100 nA
+//! compliance, 10 pA noise floor). The resulting curve shows the abrupt
+//! pull-in, the hysteretic pull-out at a lower voltage, and off-state
+//! current pinned at the noise floor ("zero leakage").
+
+use crate::error::DeviceError;
+use crate::hysteresis::Relay;
+use nemfpga_tech::units::{Amps, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Instrument configuration for an I-V sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Drain-to-source bias during the measurement.
+    pub v_ds: Volts,
+    /// Current compliance limit of the source-measure unit.
+    pub compliance: Amps,
+    /// Noise floor of the current measurement; off-state readings sit here.
+    pub noise_floor: Amps,
+    /// Number of voltage points in *each* direction of the sweep.
+    pub points_per_direction: usize,
+}
+
+impl SweepConfig {
+    /// The paper's measurement setup: 100 nA compliance, 10 pA noise floor.
+    pub fn paper_fig2b() -> Self {
+        Self {
+            v_ds: Volts::new(0.5),
+            compliance: Amps::from_nano(100.0),
+            noise_floor: Amps::from_pico(10.0),
+            points_per_direction: 200,
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::paper_fig2b()
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvPoint {
+    /// Applied gate-to-source voltage.
+    pub v_gs: Volts,
+    /// Measured drain-to-source current.
+    pub i_ds: Amps,
+    /// `true` during the rising half of the sweep.
+    pub sweep_up: bool,
+}
+
+/// A complete up/down I-V sweep with extracted transition voltages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvCurve {
+    /// Measured points in sweep order (up then down).
+    pub points: Vec<IvPoint>,
+    /// Pull-in voltage observed on the upward sweep, if the relay switched.
+    pub observed_vpi: Option<Volts>,
+    /// Pull-out voltage observed on the downward sweep, if it released.
+    pub observed_vpo: Option<Volts>,
+}
+
+impl IvCurve {
+    /// Largest current recorded anywhere on the curve.
+    pub fn max_current(&self) -> Amps {
+        self.points
+            .iter()
+            .map(|p| p.i_ds)
+            .fold(Amps::zero(), Amps::max)
+    }
+
+    /// Largest current recorded while the relay was off (should sit at the
+    /// noise floor: the "zero leakage" observation).
+    pub fn max_off_current(&self, config: &SweepConfig) -> Amps {
+        let on_threshold = config.noise_floor * 10.0;
+        self.points
+            .iter()
+            .map(|p| p.i_ds)
+            .filter(|i| *i < on_threshold)
+            .fold(Amps::zero(), Amps::max)
+    }
+}
+
+/// Runs a quasi-static up/down `V_GS` sweep on `relay` from 0 to `v_max`
+/// and back, mutating the relay state as the instrument would.
+///
+/// # Errors
+///
+/// Returns [`DeviceError::EmptySweep`] when `points_per_direction == 0`,
+/// and [`DeviceError::InvalidParameter`] for a non-positive `v_max`.
+pub fn sweep(relay: &mut Relay, v_max: Volts, config: &SweepConfig) -> Result<IvCurve, DeviceError> {
+    if config.points_per_direction == 0 {
+        return Err(DeviceError::EmptySweep);
+    }
+    if !v_max.value().is_finite() || v_max.value() <= 0.0 {
+        return Err(DeviceError::InvalidParameter { name: "sweep maximum", value: v_max.value() });
+    }
+    let n = config.points_per_direction;
+    let mut points = Vec::with_capacity(2 * n);
+    let mut observed_vpi = None;
+    let mut observed_vpo = None;
+
+    let mut was_on = relay.is_on();
+    let mut measure = |relay: &mut Relay, v: Volts, up: bool| {
+        relay.apply_vgs(v);
+        let on = relay.is_on();
+        if on && !was_on && up && observed_vpi.is_none() {
+            observed_vpi = Some(v);
+        }
+        if !on && was_on && !up && observed_vpo.is_none() {
+            observed_vpo = Some(v);
+        }
+        was_on = on;
+        let i_ds = if on {
+            let ohmic = config.v_ds / relay.device().contact_resistance;
+            ohmic.min(config.compliance)
+        } else {
+            config.noise_floor
+        };
+        points.push(IvPoint { v_gs: v, i_ds, sweep_up: up });
+    };
+
+    for i in 0..=n {
+        let v = v_max * (i as f64 / n as f64);
+        measure(relay, v, true);
+    }
+    for i in (0..n).rev() {
+        let v = v_max * (i as f64 / n as f64);
+        measure(relay, v, false);
+    }
+
+    Ok(IvCurve { points, observed_vpi, observed_vpo })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relay::NemRelayDevice;
+
+    #[test]
+    fn sweep_reproduces_fig2b_transitions() {
+        let mut relay = Relay::new(NemRelayDevice::fabricated());
+        let cfg = SweepConfig::paper_fig2b();
+        let curve = sweep(&mut relay, Volts::new(8.0), &cfg).unwrap();
+
+        let vpi = curve.observed_vpi.expect("relay pulled in").value();
+        let vpo = curve.observed_vpo.expect("relay pulled out").value();
+        // Observed Vpi near 6.2 V (quantized by the sweep step).
+        assert!((vpi - 6.2).abs() < 0.15, "observed Vpi {vpi}");
+        // Observed Vpo in the 2 - 3.4 V band, and hysteresis is real.
+        assert!((1.9..3.5).contains(&vpo), "observed Vpo {vpo}");
+        assert!(vpi > vpo + 1.0);
+    }
+
+    #[test]
+    fn off_state_current_is_noise_floor() {
+        let mut relay = Relay::new(NemRelayDevice::fabricated());
+        let cfg = SweepConfig::paper_fig2b();
+        let curve = sweep(&mut relay, Volts::new(8.0), &cfg).unwrap();
+        let max_off = curve.max_off_current(&cfg);
+        assert!((max_off.value() - cfg.noise_floor.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn on_current_hits_compliance_with_low_ron() {
+        // 0.5 V across 2 kΩ would be 250 µA; compliance clamps at 100 nA.
+        let mut device = NemRelayDevice::fabricated();
+        device.contact_resistance = nemfpga_tech::units::Ohms::from_kilo(2.0);
+        let mut relay = Relay::new(device);
+        let cfg = SweepConfig::paper_fig2b();
+        let curve = sweep(&mut relay, Volts::new(8.0), &cfg).unwrap();
+        assert!((curve.max_current().value() - cfg.compliance.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sweep_below_vpi_never_switches() {
+        let mut relay = Relay::new(NemRelayDevice::fabricated());
+        let cfg = SweepConfig::paper_fig2b();
+        let curve = sweep(&mut relay, Volts::new(4.0), &cfg).unwrap();
+        assert!(curve.observed_vpi.is_none());
+        assert!(curve.observed_vpo.is_none());
+        assert!(!relay.is_on());
+    }
+
+    #[test]
+    fn repeated_sweeps_are_consistent() {
+        // Fig. 2b overlays multiple pull-in/pull-out cycles.
+        let mut relay = Relay::new(NemRelayDevice::fabricated());
+        let cfg = SweepConfig::paper_fig2b();
+        let first = sweep(&mut relay, Volts::new(8.0), &cfg).unwrap();
+        let second = sweep(&mut relay, Volts::new(8.0), &cfg).unwrap();
+        assert_eq!(first.observed_vpi, second.observed_vpi);
+        assert_eq!(first.observed_vpo, second.observed_vpo);
+        assert_eq!(relay.switching_cycles(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut relay = Relay::new(NemRelayDevice::fabricated());
+        let mut cfg = SweepConfig::paper_fig2b();
+        cfg.points_per_direction = 0;
+        assert!(matches!(
+            sweep(&mut relay, Volts::new(8.0), &cfg),
+            Err(DeviceError::EmptySweep)
+        ));
+        let cfg = SweepConfig::paper_fig2b();
+        assert!(sweep(&mut relay, Volts::new(-1.0), &cfg).is_err());
+    }
+}

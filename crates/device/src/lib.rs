@@ -1,0 +1,60 @@
+//! # nemfpga-device
+//!
+//! Electromechanical models of the 3-terminal Nano-Electro-Mechanical (NEM)
+//! relays that the `nemfpga` workspace uses as FPGA routing switches,
+//! reproducing Sec. 2 of *"Nano-Electro-Mechanical Relays for FPGA Routing"*
+//! (DATE 2012).
+//!
+//! * [`geometry`] — beam dimensions; fabricated (Fig. 2b) and 22 nm-scaled
+//!   (Fig. 11) presets.
+//! * [`material`] — beam materials (calibrated composite poly-Si/Pt) and
+//!   test ambients (oil/vacuum).
+//! * [`relay`] — the paper's pull-in/pull-out closed forms with a surface-
+//!   force (adhesion) term, on the combined [`relay::NemRelayDevice`].
+//! * [`hysteresis`] — the quasi-static state machine that makes a relay its
+//!   own configuration memory.
+//! * [`iv`] — instrument-style I-V sweeps (reproduces the Fig. 2b curve).
+//! * [`equivalent`] — on/off equivalent circuits (Fig. 11: Ron/Con/Coff).
+//! * [`dynamics`] — mechanical switching time (the >1 ns penalty that rules
+//!   relays out for logic but not for routing configuration).
+//! * [`variation`] — dimension-variation Monte Carlo (Fig. 6 populations).
+//! * [`scaling`] — uniform-scaling study from the lab device to 22 nm.
+//! * [`reliability`] — endurance vs. reconfiguration-count budget.
+//!
+//! # Examples
+//!
+//! Reproduce the fabricated device's headline numbers:
+//!
+//! ```
+//! use nemfpga_device::{NemRelayDevice, Relay};
+//! use nemfpga_device::iv::{sweep, SweepConfig};
+//! use nemfpga_tech::units::Volts;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut relay = Relay::new(NemRelayDevice::fabricated());
+//! let curve = sweep(&mut relay, Volts::new(8.0), &SweepConfig::paper_fig2b())?;
+//! let vpi = curve.observed_vpi.expect("pulled in").value();
+//! assert!((vpi - 6.2).abs() < 0.2); // Fig. 2b: Vpi = 6.2 V
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dynamics;
+pub mod equivalent;
+pub mod error;
+pub mod geometry;
+pub mod hysteresis;
+pub mod iv;
+pub mod material;
+pub mod relay;
+pub mod reliability;
+pub mod scaling;
+pub mod variation;
+
+pub use equivalent::EquivalentCircuit;
+pub use error::DeviceError;
+pub use geometry::BeamGeometry;
+pub use hysteresis::{Relay, RelayState};
+pub use material::{Ambient, Material};
+pub use relay::NemRelayDevice;
+pub use variation::{PopulationStats, VariationModel};

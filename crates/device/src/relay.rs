@@ -1,0 +1,335 @@
+//! The complete NEM relay device model and its pull-in/pull-out physics.
+//!
+//! Implements the closed forms of paper Sec. 2.1 ([Kaajakari 09]):
+//!
+//! ```text
+//! Vpi = sqrt( 8 k g0³ / (27 ε A) )          — electromechanical instability
+//! Vpo = sqrt( 2 g_min² (k·(g0-g_min) - F_adh) / (ε A) )
+//! k   = cal · 2 E w h³ / (3 L³)             — uniformly loaded cantilever
+//! ```
+//!
+//! which reduce exactly to the paper's width-free expressions
+//! `Vpi = sqrt(16 E h³ g0³ / (81 ε L⁴))` and
+//! `Vpo = sqrt(4 E h³ g_min² (g0-g_min) / (3 ε L⁴))` when `cal = 1` and
+//! `F_adh = 0`. The adhesion term models the paper's remark that "actual
+//! Vpo will be less than the estimated value because additional elastic
+//! force is required to overcome the surface forces (such as van der Waals
+//! force) present at the beam–drain contact".
+
+use crate::error::DeviceError;
+use crate::geometry::BeamGeometry;
+use crate::material::{Ambient, Material};
+use nemfpga_tech::units::{Hertz, Kilograms, NewtonsPerMeter, Ohms, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Rayleigh effective-mass fraction of a cantilever's fundamental mode.
+const EFFECTIVE_MASS_FRACTION: f64 = 0.23;
+
+/// A 3-terminal NEM relay: geometry + material + ambient + contact.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::relay::NemRelayDevice;
+///
+/// let fab = NemRelayDevice::fabricated();
+/// // The laboratory device of Fig. 2b: Vpi ≈ 6.2 V with hysteresis.
+/// let vpi = fab.pull_in_voltage();
+/// let vpo = fab.pull_out_voltage();
+/// assert!((vpi.value() - 6.2).abs() < 0.1);
+/// assert!(vpo < vpi);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NemRelayDevice {
+    /// Beam dimensions.
+    pub geometry: BeamGeometry,
+    /// Beam structural material.
+    pub material: Material,
+    /// Dielectric medium in the actuation gap.
+    pub ambient: Ambient,
+    /// Surface (adhesion) force at the beam–drain contact, per metre of
+    /// beam width (N/m). Zero = ideal contact.
+    pub adhesion_per_width: f64,
+    /// On-state contact resistance `Ron`.
+    pub contact_resistance: Ohms,
+}
+
+impl NemRelayDevice {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/material/ambient validation errors; returns
+    /// [`DeviceError::InvalidParameter`] for a negative adhesion or
+    /// non-positive contact resistance, and [`DeviceError::NoHysteresis`]
+    /// if the resulting device has `Vpo >= Vpi` (it could then never hold
+    /// state as a routing switch).
+    pub fn new(
+        geometry: BeamGeometry,
+        material: Material,
+        ambient: Ambient,
+        adhesion_per_width: f64,
+        contact_resistance: Ohms,
+    ) -> Result<Self, DeviceError> {
+        material.validate()?;
+        ambient.validate()?;
+        // Re-validate geometry invariants (it may have been mutated since
+        // construction, e.g. by the variation sampler).
+        BeamGeometry::new(
+            geometry.length,
+            geometry.thickness,
+            geometry.width,
+            geometry.gap,
+            geometry.gap_min,
+        )?;
+        if !adhesion_per_width.is_finite() || adhesion_per_width < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "adhesion per width",
+                value: adhesion_per_width,
+            });
+        }
+        if !contact_resistance.value().is_finite() || contact_resistance.value() <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "contact resistance",
+                value: contact_resistance.value(),
+            });
+        }
+        let device =
+            Self { geometry, material, ambient, adhesion_per_width, contact_resistance };
+        let vpi = device.pull_in_voltage();
+        let vpo = device.pull_out_voltage();
+        // Pull-in instability happens at one third of the gap; a contact
+        // that stops the beam short of that (g_min >= 2/3 g0) cannot latch,
+        // and the hysteresis window Vpi - Vpo collapses to zero there.
+        if vpo >= vpi || geometry.gap_min.value() >= geometry.gap.value() * (2.0 / 3.0) {
+            return Err(DeviceError::NoHysteresis { vpi: vpi.value(), vpo: vpo.value() });
+        }
+        Ok(device)
+    }
+
+    /// The laboratory device of Fig. 2b: fabricated geometry, composite
+    /// poly-Si/Pt beam, tested in oil, with the high (~100 kΩ) contact
+    /// resistance measured in the demo crossbar (Sec. 2.3).
+    pub fn fabricated() -> Self {
+        Self {
+            geometry: BeamGeometry::fabricated(),
+            material: Material::composite_poly_pt(),
+            ambient: Ambient::oil(),
+            adhesion_per_width: 0.04,
+            contact_resistance: Ohms::from_kilo(100.0),
+        }
+    }
+
+    /// The paper's 22 nm-scaled relay (Fig. 11): ideal poly-Si in vacuum,
+    /// `Ron = 2 kΩ` ([Parsa 10]).
+    pub fn scaled_22nm() -> Self {
+        Self {
+            geometry: BeamGeometry::scaled_22nm(),
+            material: Material::poly_si(),
+            ambient: Ambient::vacuum(),
+            adhesion_per_width: 0.004,
+            contact_resistance: Ohms::from_kilo(2.0),
+        }
+    }
+
+    /// Cantilever spring constant `k = cal · 2 E w h³ / (3 L³)`.
+    pub fn spring_constant(&self) -> NewtonsPerMeter {
+        let g = &self.geometry;
+        let e = self.material.effective_modulus().value();
+        let h = g.thickness.value();
+        let l = g.length.value();
+        let w = g.width.value();
+        NewtonsPerMeter::new(2.0 * e * w * h.powi(3) / (3.0 * l.powi(3)))
+    }
+
+    /// Pull-in voltage `Vpi = sqrt(8 k g0³ / (27 ε A))`.
+    pub fn pull_in_voltage(&self) -> Volts {
+        let g = &self.geometry;
+        let k = self.spring_constant().value();
+        let eps = self.ambient.permittivity();
+        let area = g.gate_area().value();
+        Volts::new((8.0 * k * g.gap.value().powi(3) / (27.0 * eps * area)).sqrt())
+    }
+
+    /// Ideal (surface-force-free) pull-out voltage
+    /// `sqrt(2 g_min² k (g0-g_min) / (ε A))` — the paper's closed form.
+    pub fn pull_out_voltage_ideal(&self) -> Volts {
+        let g = &self.geometry;
+        let k = self.spring_constant().value();
+        let eps = self.ambient.permittivity();
+        let area = g.gate_area().value();
+        let restoring = k * g.travel().value();
+        Volts::new((2.0 * g.gap_min.value().powi(2) * restoring / (eps * area)).sqrt())
+    }
+
+    /// Actual pull-out voltage including the adhesion force at the contact.
+    /// Returns zero volts when the beam is stuck (adhesion exceeds the
+    /// elastic restoring force — stiction failure).
+    pub fn pull_out_voltage(&self) -> Volts {
+        let g = &self.geometry;
+        let k = self.spring_constant().value();
+        let eps = self.ambient.permittivity();
+        let area = g.gate_area().value();
+        let restoring = k * g.travel().value() - self.adhesion_per_width * g.width.value();
+        if restoring <= 0.0 {
+            return Volts::zero();
+        }
+        Volts::new((2.0 * g.gap_min.value().powi(2) * restoring / (eps * area)).sqrt())
+    }
+
+    /// `true` if adhesion has overwhelmed the spring and the relay can no
+    /// longer release.
+    pub fn is_stuck(&self) -> bool {
+        self.pull_out_voltage() == Volts::zero()
+    }
+
+    /// Width of the hysteresis window, `Vpi - Vpo`.
+    pub fn hysteresis_window(&self) -> Volts {
+        self.pull_in_voltage() - self.pull_out_voltage()
+    }
+
+    /// Effective modal mass of the beam.
+    pub fn effective_mass(&self) -> Kilograms {
+        let g = &self.geometry;
+        let volume = g.length.value() * g.width.value() * g.thickness.value();
+        Kilograms::new(EFFECTIVE_MASS_FRACTION * self.material.density * volume)
+    }
+
+    /// Fundamental mechanical resonance `f0 = (1/2π)·sqrt(k/m_eff)`.
+    pub fn resonant_frequency(&self) -> Hertz {
+        let k = self.spring_constant().value();
+        let m = self.effective_mass().value();
+        Hertz::new((k / m).sqrt() / (2.0 * std::f64::consts::PI))
+    }
+}
+
+impl Default for NemRelayDevice {
+    /// Defaults to the 22 nm scaled device used by the architecture study.
+    fn default() -> Self {
+        Self::scaled_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabricated_matches_measured_vpi() {
+        // Fig. 2b: Vpi = 6.2 V.
+        let d = NemRelayDevice::fabricated();
+        assert!((d.pull_in_voltage().value() - 6.2).abs() < 0.1, "{}", d.pull_in_voltage());
+    }
+
+    #[test]
+    fn fabricated_vpo_in_measured_range() {
+        // Fig. 2b: Vpo = 2 .. 3.4 V depending on contact condition.
+        let d = NemRelayDevice::fabricated();
+        let vpo = d.pull_out_voltage().value();
+        assert!((2.0..=3.4).contains(&vpo), "Vpo = {vpo}");
+        // The ideal (no-adhesion) value bounds the range from above.
+        let ideal = d.pull_out_voltage_ideal().value();
+        assert!((ideal - 3.4).abs() < 0.15, "ideal Vpo = {ideal}");
+    }
+
+    #[test]
+    fn scaled_device_reaches_cmos_voltages() {
+        // Sec. 2.1: "CMOS-compatible operation voltages (~1V) can be
+        // achieved through scaling".
+        let d = NemRelayDevice::scaled_22nm();
+        let vpi = d.pull_in_voltage().value();
+        assert!((0.9..=1.2).contains(&vpi), "scaled Vpi = {vpi}");
+        let vpo = d.pull_out_voltage().value();
+        assert!(vpo > 0.5 && vpo < vpi, "scaled Vpo = {vpo}");
+    }
+
+    #[test]
+    fn paper_width_free_form_agrees_with_k_form() {
+        // With cal = 1 and zero adhesion, Vpi must equal
+        // sqrt(16 E h³ g0³ / (81 ε L⁴)) exactly.
+        let mut d = NemRelayDevice::scaled_22nm();
+        d.adhesion_per_width = 0.0;
+        let g = &d.geometry;
+        let e = d.material.youngs_modulus.value();
+        let eps = d.ambient.permittivity();
+        let vpi_paper = (16.0 * e * g.thickness.value().powi(3) * g.gap.value().powi(3)
+            / (81.0 * eps * g.length.value().powi(4)))
+        .sqrt();
+        assert!((d.pull_in_voltage().value() - vpi_paper).abs() < 1e-9);
+        let vpo_paper = (4.0
+            * e
+            * g.thickness.value().powi(3)
+            * g.gap_min.value().powi(2)
+            * g.travel().value()
+            / (3.0 * eps * g.length.value().powi(4)))
+        .sqrt();
+        assert!((d.pull_out_voltage().value() - vpo_paper).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adhesion_shrinks_vpo_only() {
+        let mut d = NemRelayDevice::fabricated();
+        let vpi0 = d.pull_in_voltage();
+        let vpo0 = d.pull_out_voltage();
+        d.adhesion_per_width *= 1.5;
+        assert_eq!(d.pull_in_voltage(), vpi0);
+        assert!(d.pull_out_voltage() < vpo0);
+        assert!(d.hysteresis_window() > vpi0 - vpo0);
+    }
+
+    #[test]
+    fn extreme_adhesion_means_stiction() {
+        let mut d = NemRelayDevice::fabricated();
+        d.adhesion_per_width = 10.0;
+        assert!(d.is_stuck());
+        assert_eq!(d.pull_out_voltage(), Volts::zero());
+    }
+
+    #[test]
+    fn constructor_rejects_no_hysteresis() {
+        // A pathological geometry where the pulled-in gap nearly equals the
+        // open gap makes Vpo approach/exceed Vpi.
+        let mut g = BeamGeometry::scaled_22nm();
+        g.gap_min = g.gap * 0.95;
+        let r = NemRelayDevice::new(
+            g,
+            Material::poly_si(),
+            Ambient::vacuum(),
+            0.0,
+            Ohms::from_kilo(2.0),
+        );
+        assert!(matches!(r, Err(DeviceError::NoHysteresis { .. })));
+    }
+
+    #[test]
+    fn constructor_rejects_bad_contact() {
+        let d = NemRelayDevice::scaled_22nm();
+        let r = NemRelayDevice::new(
+            d.geometry,
+            d.material.clone(),
+            d.ambient.clone(),
+            d.adhesion_per_width,
+            Ohms::new(0.0),
+        );
+        assert!(matches!(r, Err(DeviceError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn mechanics_are_slow_at_22nm_scale() {
+        // The paper's premise: mechanical delay > 1 ns even when scaled,
+        // so relays must not switch during normal FPGA operation.
+        let d = NemRelayDevice::scaled_22nm();
+        let f0 = d.resonant_frequency().value();
+        assert!(f0 < 1e9, "f0 = {f0} Hz implies sub-ns switching");
+        assert!(f0 > 1e7);
+    }
+
+    #[test]
+    fn oil_lowers_pull_in_vs_vacuum() {
+        let mut d = NemRelayDevice::fabricated();
+        let vpi_oil = d.pull_in_voltage();
+        d.ambient = Ambient::vacuum();
+        let vpi_vac = d.pull_in_voltage();
+        assert!(vpi_oil < vpi_vac);
+    }
+}

@@ -1,0 +1,111 @@
+//! Switching-endurance budget.
+//!
+//! Relays survive on the order of a billion reliable switching cycles
+//! ([Kam 09], [Parsa 10]) — hopeless for logic toggling every cycle, but
+//! FPGA routing switches see only ~500 reconfigurations over a product
+//! lifetime ([Kuon 07]). This module quantifies that argument.
+
+use serde::{Deserialize, Serialize};
+
+/// Endurance accounting for a relay used as a configuration switch.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::reliability::ReliabilityBudget;
+///
+/// let budget = ReliabilityBudget::paper_default();
+/// // The paper's argument: endurance exceeds lifetime demand by ~10^6.
+/// assert!(budget.lifetime_margin() > 1.0e5);
+/// assert!(budget.is_sufficient());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliabilityBudget {
+    /// Demonstrated reliable switching cycles of the device.
+    pub endurance_cycles: u64,
+    /// Expected FPGA reconfigurations over the product lifetime.
+    pub reconfigurations: u64,
+    /// Relay switching events per reconfiguration (reset + program).
+    pub cycles_per_reconfiguration: u64,
+}
+
+impl ReliabilityBudget {
+    /// The paper's numbers: ~10⁹ reliable cycles, ~500 reconfigurations,
+    /// two mechanical events (reset, program) per reconfiguration.
+    pub fn paper_default() -> Self {
+        Self {
+            endurance_cycles: 1_000_000_000,
+            reconfigurations: 500,
+            cycles_per_reconfiguration: 2,
+        }
+    }
+
+    /// Total switching events demanded over the lifetime.
+    pub fn lifetime_demand(&self) -> u64 {
+        self.reconfigurations.saturating_mul(self.cycles_per_reconfiguration)
+    }
+
+    /// Endurance divided by demand (∞-safe: zero demand reports the full
+    /// endurance as margin).
+    pub fn lifetime_margin(&self) -> f64 {
+        let demand = self.lifetime_demand();
+        if demand == 0 {
+            return self.endurance_cycles as f64;
+        }
+        self.endurance_cycles as f64 / demand as f64
+    }
+
+    /// `true` when endurance covers the lifetime demand.
+    pub fn is_sufficient(&self) -> bool {
+        self.lifetime_margin() >= 1.0
+    }
+}
+
+impl Default for ReliabilityBudget {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_has_million_fold_margin() {
+        let m = ReliabilityBudget::paper_default().lifetime_margin();
+        assert!(m >= 1e6, "margin {m}");
+    }
+
+    #[test]
+    fn logic_style_usage_would_fail() {
+        // A relay toggling at 100 MHz for one day demands ~10^13 cycles.
+        let budget = ReliabilityBudget {
+            endurance_cycles: 1_000_000_000,
+            reconfigurations: 8_640_000_000_000 / 2,
+            cycles_per_reconfiguration: 2,
+        };
+        assert!(!budget.is_sufficient());
+    }
+
+    #[test]
+    fn zero_demand_is_always_sufficient() {
+        let budget = ReliabilityBudget {
+            endurance_cycles: 1,
+            reconfigurations: 0,
+            cycles_per_reconfiguration: 2,
+        };
+        assert!(budget.is_sufficient());
+    }
+
+    #[test]
+    fn demand_saturates_instead_of_overflowing() {
+        let budget = ReliabilityBudget {
+            endurance_cycles: 1,
+            reconfigurations: u64::MAX,
+            cycles_per_reconfiguration: 2,
+        };
+        assert_eq!(budget.lifetime_demand(), u64::MAX);
+        assert!(!budget.is_sufficient());
+    }
+}

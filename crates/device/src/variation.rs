@@ -1,0 +1,312 @@
+//! Process-variation Monte Carlo over relay populations (Fig. 6).
+//!
+//! The paper measures `Vpi`/`Vpo` for 100 identical relays and observes
+//! that variations "are mostly due to variations in the dimensions of
+//! fabricated relays (such as L, h, and g0)". We model exactly that:
+//! Gaussian fractional variation on each dimension (clamped at ±3.5σ so a
+//! sample can never go unphysical) plus a uniform contact-adhesion spread
+//! that widens the pull-out distribution, as the paper notes surface forces
+//! do.
+
+use crate::relay::NemRelayDevice;
+use nemfpga_tech::units::Volts;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fractional (relative) variation model for relay fabrication.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_device::relay::NemRelayDevice;
+/// use nemfpga_device::variation::VariationModel;
+///
+/// let pop = VariationModel::fabrication_default()
+///     .sample_population(&NemRelayDevice::fabricated(), 100, 42);
+/// assert_eq!(pop.len(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Relative 1σ of beam length.
+    pub sigma_length: f64,
+    /// Relative 1σ of beam thickness.
+    pub sigma_thickness: f64,
+    /// Relative 1σ of the open gap `g0`.
+    pub sigma_gap: f64,
+    /// Relative 1σ of the pulled-in gap `g_min`.
+    pub sigma_gap_min: f64,
+    /// Uniform range of adhesion per width (N/m), modelling contact-to-
+    /// contact surface-force variation.
+    pub adhesion_range: (f64, f64),
+}
+
+impl VariationModel {
+    /// The spread fitted to the paper's Fig. 6 histograms: `Vpi` clustered
+    /// around 6.2 V with a ≲1 V range, `Vpo` spread across 2–3.4 V.
+    pub fn fabrication_default() -> Self {
+        Self {
+            sigma_length: 0.0045,
+            sigma_thickness: 0.0045,
+            sigma_gap: 0.0045,
+            sigma_gap_min: 0.03,
+            adhesion_range: (0.0, 0.08),
+        }
+    }
+
+    /// A tighter process corner (used by yield studies to show what it
+    /// takes to scale arrays to millions of switches).
+    pub fn tightened(factor: f64) -> Self {
+        let base = Self::fabrication_default();
+        Self {
+            sigma_length: base.sigma_length * factor,
+            sigma_thickness: base.sigma_thickness * factor,
+            sigma_gap: base.sigma_gap * factor,
+            sigma_gap_min: base.sigma_gap_min * factor,
+            adhesion_range: (base.adhesion_range.0, base.adhesion_range.1 * factor),
+        }
+    }
+
+    /// Draws one varied device around `nominal`.
+    pub fn sample<R: Rng + ?Sized>(&self, nominal: &NemRelayDevice, rng: &mut R) -> NemRelayDevice {
+        let mut device = nominal.clone();
+        let g = &mut device.geometry;
+        g.length = g.length * gaussian_factor(rng, self.sigma_length);
+        g.thickness = g.thickness * gaussian_factor(rng, self.sigma_thickness);
+        g.gap = g.gap * gaussian_factor(rng, self.sigma_gap);
+        g.gap_min = g.gap_min * gaussian_factor(rng, self.sigma_gap_min);
+        // Keep the gap ordering physical even at extreme draws.
+        if g.gap_min.value() >= g.gap.value() {
+            g.gap_min = g.gap * 0.5;
+        }
+        let (lo, hi) = self.adhesion_range;
+        device.adhesion_per_width = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        device
+    }
+
+    /// Draws a reproducible population of `n` devices.
+    pub fn sample_population(
+        &self,
+        nominal: &NemRelayDevice,
+        n: usize,
+        seed: u64,
+    ) -> Vec<NemRelayDevice> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample(nominal, &mut rng)).collect()
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::fabrication_default()
+    }
+}
+
+/// A `1 + N(0, σ)` multiplier clamped to ±3.5σ, from two uniform draws
+/// (Box–Muller).
+fn gaussian_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    1.0 + sigma * z.clamp(-3.5, 3.5)
+}
+
+/// Summary statistics of `Vpi`/`Vpo` over a relay population (the numbers
+/// Fig. 6 plots as histograms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationStats {
+    /// Number of devices summarized.
+    pub count: usize,
+    /// Minimum pull-in voltage.
+    pub vpi_min: Volts,
+    /// Maximum pull-in voltage.
+    pub vpi_max: Volts,
+    /// Mean pull-in voltage.
+    pub vpi_mean: Volts,
+    /// Minimum pull-out voltage.
+    pub vpo_min: Volts,
+    /// Maximum pull-out voltage.
+    pub vpo_max: Volts,
+    /// Mean pull-out voltage.
+    pub vpo_mean: Volts,
+    /// Smallest hysteresis window in the population, `min(Vpi - Vpo)`.
+    pub min_window: Volts,
+}
+
+impl PopulationStats {
+    /// Computes stats over `devices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn of(devices: &[NemRelayDevice]) -> Self {
+        assert!(!devices.is_empty(), "population must not be empty");
+        let mut s = Self {
+            count: devices.len(),
+            vpi_min: Volts::new(f64::INFINITY),
+            vpi_max: Volts::new(f64::NEG_INFINITY),
+            vpi_mean: Volts::zero(),
+            vpo_min: Volts::new(f64::INFINITY),
+            vpo_max: Volts::new(f64::NEG_INFINITY),
+            vpo_mean: Volts::zero(),
+            min_window: Volts::new(f64::INFINITY),
+        };
+        for d in devices {
+            let vpi = d.pull_in_voltage();
+            let vpo = d.pull_out_voltage();
+            s.vpi_min = s.vpi_min.min(vpi);
+            s.vpi_max = s.vpi_max.max(vpi);
+            s.vpi_mean += vpi;
+            s.vpo_min = s.vpo_min.min(vpo);
+            s.vpo_max = s.vpo_max.max(vpo);
+            s.vpo_mean += vpo;
+            s.min_window = s.min_window.min(vpi - vpo);
+        }
+        let n = devices.len() as f64;
+        s.vpi_mean = s.vpi_mean / n;
+        s.vpo_mean = s.vpo_mean / n;
+        s
+    }
+
+    /// The paper's feasibility rule of thumb for half-select programming:
+    /// `Minimum{Vpi - Vpo} > Vpi,max - Vpi,min`.
+    pub fn paper_feasibility_condition(&self) -> bool {
+        self.min_window > self.vpi_max - self.vpi_min
+    }
+
+    /// The exact feasibility condition a programming window needs:
+    /// `Vpi,min - Vpo,max > Vpi,max - Vpi,min` (there must be room below
+    /// every pull-in for a hold level that releases nothing and still
+    /// leaves a select step that clears the worst pull-in).
+    pub fn exact_feasibility_condition(&self) -> bool {
+        self.vpi_min - self.vpo_max > self.vpi_max - self.vpi_min
+    }
+}
+
+/// Histogram of a voltage population: `(bin_center, count)` pairs over
+/// uniform bins of `bin_width` volts (the Fig. 6 presentation).
+///
+/// # Panics
+///
+/// Panics if `bin_width` is not positive or `values` is empty.
+pub fn histogram(values: &[Volts], bin_width: Volts) -> Vec<(Volts, usize)> {
+    assert!(bin_width.value() > 0.0, "bin width must be positive");
+    assert!(!values.is_empty(), "histogram needs at least one value");
+    let min = values.iter().copied().fold(Volts::new(f64::INFINITY), Volts::min);
+    let max = values.iter().copied().fold(Volts::new(f64::NEG_INFINITY), Volts::max);
+    let w = bin_width.value();
+    let first_bin = (min.value() / w).floor() as i64;
+    let last_bin = (max.value() / w).floor() as i64;
+    let nbins = (last_bin - first_bin + 1) as usize;
+    let mut counts = vec![0usize; nbins];
+    for v in values {
+        let b = ((v.value() / w).floor() as i64 - first_bin) as usize;
+        counts[b] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (Volts::new((first_bin + i as i64) as f64 * w + w / 2.0), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Vec<NemRelayDevice> {
+        VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            100,
+            0xF16_6,
+        )
+    }
+
+    #[test]
+    fn fig6_population_shape() {
+        let stats = PopulationStats::of(&population());
+        // Vpi clustered around 6.2 V within about a volt.
+        assert!((stats.vpi_mean.value() - 6.2).abs() < 0.15, "{:?}", stats.vpi_mean);
+        assert!(stats.vpi_max.value() - stats.vpi_min.value() < 1.2);
+        // Vpo spread across roughly 2 - 3.4 V.
+        assert!(stats.vpo_min.value() > 1.5, "{:?}", stats.vpo_min);
+        assert!(stats.vpo_max.value() < 3.6, "{:?}", stats.vpo_max);
+        assert!(stats.vpo_max.value() - stats.vpo_min.value() > 0.5);
+    }
+
+    #[test]
+    fn fig6_population_is_programmable() {
+        // The paper: "the required half-select programming voltage levels
+        // ... could still be identified".
+        let stats = PopulationStats::of(&population());
+        assert!(stats.paper_feasibility_condition(), "{stats:?}");
+        assert!(stats.exact_feasibility_condition(), "{stats:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = VariationModel::fabrication_default();
+        let nominal = NemRelayDevice::fabricated();
+        let a = m.sample_population(&nominal, 10, 7);
+        let b = m.sample_population(&nominal, 10, 7);
+        assert_eq!(a, b);
+        let c = m.sample_population(&nominal, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_variation_reproduces_nominal() {
+        let m = VariationModel {
+            sigma_length: 0.0,
+            sigma_thickness: 0.0,
+            sigma_gap: 0.0,
+            sigma_gap_min: 0.0,
+            adhesion_range: (0.04, 0.04),
+        };
+        let nominal = NemRelayDevice::fabricated();
+        let sampled = m.sample_population(&nominal, 3, 1);
+        for d in sampled {
+            assert_eq!(d.geometry, nominal.geometry);
+            assert!((d.adhesion_per_width - 0.04).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tightening_shrinks_the_spread() {
+        let nominal = NemRelayDevice::fabricated();
+        let loose = PopulationStats::of(
+            &VariationModel::fabrication_default().sample_population(&nominal, 200, 5),
+        );
+        let tight = PopulationStats::of(
+            &VariationModel::tightened(0.25).sample_population(&nominal, 200, 5),
+        );
+        assert!(
+            tight.vpi_max - tight.vpi_min < loose.vpi_max - loose.vpi_min,
+            "tight {tight:?} vs loose {loose:?}"
+        );
+    }
+
+    #[test]
+    fn samples_remain_physical() {
+        for d in population() {
+            assert!(d.geometry.gap_min.value() < d.geometry.gap.value());
+            assert!(d.pull_in_voltage().value() > 0.0);
+            assert!(d.pull_out_voltage().value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let pop = population();
+        let vpis: Vec<Volts> = pop.iter().map(|d| d.pull_in_voltage()).collect();
+        let bins = histogram(&vpis, Volts::new(0.1));
+        let total: usize = bins.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, pop.len());
+        // Bin centers are ordered.
+        assert!(bins.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

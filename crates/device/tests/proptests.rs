@@ -1,0 +1,142 @@
+//! Property-based tests of the relay electromechanics: ordering and
+//! monotonicity invariants of the pull-in/pull-out closed forms, and the
+//! hysteresis state machine.
+
+use nemfpga_device::geometry::BeamGeometry;
+use nemfpga_device::hysteresis::{Relay, RelayState};
+use nemfpga_device::material::{Ambient, Material};
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_tech::units::{Meters, Ohms, Volts};
+use proptest::prelude::*;
+
+/// A physically plausible random relay: dimensions in broad but sane
+/// ranges, pulled-in gap below the instability point.
+fn arb_device() -> impl Strategy<Value = NemRelayDevice> {
+    (
+        100.0f64..50_000.0, // length nm
+        5.0f64..1_000.0,    // thickness nm
+        20.0f64..5_000.0,   // width nm
+        5.0f64..1_000.0,    // gap nm
+        0.05f64..0.6,       // gap_min as fraction of gap (below 2/3)
+        0.0f64..0.02,       // adhesion per width
+    )
+        .prop_filter_map("valid geometry", |(l, h, w, g0, gm_frac, adh)| {
+            let geometry = BeamGeometry::new(
+                Meters::from_nano(l),
+                Meters::from_nano(h),
+                Meters::from_nano(w),
+                Meters::from_nano(g0),
+                Meters::from_nano(g0 * gm_frac),
+            )
+            .ok()?;
+            NemRelayDevice::new(
+                geometry,
+                Material::poly_si(),
+                Ambient::vacuum(),
+                adh,
+                Ohms::from_kilo(2.0),
+            )
+            .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hysteresis always exists: Vpo < Vpi for every constructible device.
+    #[test]
+    fn pull_out_below_pull_in(device in arb_device()) {
+        let vpi = device.pull_in_voltage();
+        let vpo = device.pull_out_voltage();
+        prop_assert!(vpi.value() > 0.0);
+        prop_assert!(vpo < vpi, "Vpo {vpo} !< Vpi {vpi}");
+    }
+
+    /// Adhesion only ever lowers the pull-out voltage, never pull-in.
+    #[test]
+    fn adhesion_monotone(device in arb_device(), extra in 0.0f64..0.05) {
+        let mut more = device.clone();
+        more.adhesion_per_width += extra;
+        prop_assert_eq!(more.pull_in_voltage(), device.pull_in_voltage());
+        prop_assert!(more.pull_out_voltage() <= device.pull_out_voltage());
+    }
+
+    /// Vpi is monotone in the closed-form sensitivities: thicker beams and
+    /// wider gaps raise it; longer beams lower it.
+    #[test]
+    fn vpi_monotonicity(device in arb_device(), factor in 1.05f64..1.5) {
+        let vpi0 = device.pull_in_voltage();
+
+        let mut thicker = device.clone();
+        thicker.geometry.thickness = thicker.geometry.thickness * factor;
+        prop_assert!(thicker.pull_in_voltage() > vpi0);
+
+        let mut wider_gap = device.clone();
+        wider_gap.geometry.gap = wider_gap.geometry.gap * factor;
+        prop_assert!(wider_gap.pull_in_voltage() > vpi0);
+
+        let mut longer = device.clone();
+        longer.geometry.length = longer.geometry.length * factor;
+        prop_assert!(longer.pull_in_voltage() < vpi0);
+    }
+
+    /// Beam width cancels out of both switching voltages (the paper's
+    /// width-free closed forms).
+    #[test]
+    fn width_cancels(device in arb_device(), factor in 0.5f64..3.0) {
+        let mut wide = device.clone();
+        wide.geometry.width = wide.geometry.width * factor;
+        // Relative error with an absolute floor so a stuck device
+        // (Vpo = 0 on both sides) compares as equal instead of NaN.
+        let rel = |a: Volts, b: Volts| {
+            (a.value() - b.value()).abs() / b.value().max(1e-12)
+        };
+        prop_assert!(rel(wide.pull_in_voltage(), device.pull_in_voltage()) < 1e-9);
+        // Adhesion is per-width, so Vpo is width-free too.
+        prop_assert!(rel(wide.pull_out_voltage(), device.pull_out_voltage()) < 1e-9);
+    }
+
+    /// The state machine honours the window for arbitrary voltage
+    /// sequences: state only changes when a threshold is actually crossed.
+    #[test]
+    fn hysteresis_state_machine_sound(
+        device in arb_device(),
+        voltages in prop::collection::vec(-2.0f64..2.0, 1..50),
+    ) {
+        let vpi = device.pull_in_voltage();
+        let vpo = device.pull_out_voltage();
+        let stuck = device.is_stuck();
+        let mut relay = Relay::new(device);
+        let mut expected = RelayState::PulledOut;
+        for frac in voltages {
+            // Scale the random fraction around the window.
+            let v = Volts::new(frac * 1.2 * vpi.value());
+            let mag = Volts::new(v.value().abs());
+            expected = match expected {
+                RelayState::PulledOut if mag >= vpi => RelayState::PulledIn,
+                RelayState::PulledIn if mag <= vpo && !stuck => RelayState::PulledOut,
+                s => s,
+            };
+            prop_assert_eq!(relay.apply_vgs(v), expected);
+        }
+    }
+
+    /// Equivalent-circuit capacitances: on-state cap always exceeds the
+    /// off-state cap (gap_min < gap), both positive.
+    #[test]
+    fn equivalent_circuit_ordering(device in arb_device()) {
+        let eq = nemfpga_device::EquivalentCircuit::of(&device);
+        prop_assert!(eq.c_on.value() > 0.0);
+        prop_assert!(eq.c_off.value() > 0.0);
+        prop_assert!(eq.c_on > eq.c_off);
+    }
+
+    /// Uniform scaling scales Vpi linearly (the scaling study's law).
+    #[test]
+    fn uniform_scaling_is_linear_in_vpi(device in arb_device(), s in 0.2f64..0.9) {
+        let mut scaled = device.clone();
+        scaled.geometry = device.geometry.scaled(s).expect("positive factor");
+        let ratio = scaled.pull_in_voltage() / device.pull_in_voltage();
+        prop_assert!((ratio - s).abs() < 1e-9, "ratio {ratio} vs factor {s}");
+    }
+}

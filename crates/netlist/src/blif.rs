@@ -1,0 +1,609 @@
+//! BLIF (Berkeley Logic Interchange Format) subset reader/writer.
+//!
+//! Supports the constructs technology-mapped FPGA benchmarks use — the
+//! same subset VPR consumes: `.model`, `.inputs`, `.outputs`, `.names`
+//! (single-output cover, `1`/`0`/`-` cubes), `.latch` (ignoring clock and
+//! init fields beyond parsing), `.end`, comments (`#`), and line
+//! continuation (`\`).
+//!
+//! `.names` covers are converted to packed [`TruthTable`]s (≤ 6 inputs),
+//! so round-tripping preserves logic function rather than cover text.
+
+use crate::cell::{CellKind, TruthTable, MAX_LUT_INPUTS};
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// Nets may be referenced before they are driven (forward references are
+/// resolved in a second pass, as BLIF requires).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BlifParse`] with a line number for malformed
+/// text, plus any structural error from netlist construction (duplicate
+/// names, undriven nets, cycles).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_netlist::blif::parse_blif;
+///
+/// let text = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ";
+/// let n = parse_blif(text)?;
+/// assert_eq!(n.name(), "tiny");
+/// assert_eq!(n.num_luts(), 1);
+/// # Ok::<(), nemfpga_netlist::error::NetlistError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<Netlist, NetlistError> {
+    // First pass: collect logical lines (handling continuations/comments).
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        if pending.is_empty() {
+            pending_line = idx + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        let line = std::mem::take(&mut pending);
+        if !line.trim().is_empty() {
+            lines.push((pending_line, line));
+        }
+    }
+
+    #[derive(Debug)]
+    enum RawCell {
+        Names { line: usize, signals: Vec<String>, cubes: Vec<(String, char)> },
+        Latch { line: usize, input: String, output: String },
+    }
+
+    let mut model_name: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut raw_cells: Vec<RawCell> = Vec::new();
+    let mut saw_end = false;
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (lineno, line) = &lines[i];
+        let lineno = *lineno;
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty by construction");
+        match head {
+            ".model" => {
+                if model_name.is_some() {
+                    return Err(NetlistError::BlifParse {
+                        line: lineno,
+                        message: "multiple .model declarations (flat netlists only)".to_owned(),
+                    });
+                }
+                model_name = Some(tokens.next().unwrap_or("unnamed").to_owned());
+                i += 1;
+            }
+            ".inputs" => {
+                inputs.extend(tokens.map(str::to_owned));
+                i += 1;
+            }
+            ".outputs" => {
+                outputs.extend(tokens.map(str::to_owned));
+                i += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                if signals.is_empty() {
+                    return Err(NetlistError::BlifParse {
+                        line: lineno,
+                        message: ".names needs at least an output signal".to_owned(),
+                    });
+                }
+                let mut cubes = Vec::new();
+                i += 1;
+                while i < lines.len() {
+                    let (cl, cover) = &lines[i];
+                    if cover.trim_start().starts_with('.') {
+                        break;
+                    }
+                    let mut parts = cover.split_whitespace();
+                    let (mask, value) = if signals.len() == 1 {
+                        // Constant: single column is the output value.
+                        let v = parts.next().ok_or_else(|| NetlistError::BlifParse {
+                            line: *cl,
+                            message: "empty cover row".to_owned(),
+                        })?;
+                        (String::new(), v)
+                    } else {
+                        let mask = parts.next().ok_or_else(|| NetlistError::BlifParse {
+                            line: *cl,
+                            message: "empty cover row".to_owned(),
+                        })?;
+                        let v = parts.next().ok_or_else(|| NetlistError::BlifParse {
+                            line: *cl,
+                            message: "cover row missing output value".to_owned(),
+                        })?;
+                        (mask.to_owned(), v)
+                    };
+                    let value_char = value.chars().next().unwrap_or('0');
+                    if value_char != '0' && value_char != '1' {
+                        return Err(NetlistError::BlifParse {
+                            line: *cl,
+                            message: format!("cover output must be 0 or 1, got '{value}'"),
+                        });
+                    }
+                    if mask.len() + 1 != signals.len() && !(signals.len() == 1 && mask.is_empty()) {
+                        return Err(NetlistError::BlifParse {
+                            line: *cl,
+                            message: format!(
+                                "cover width {} does not match {} inputs",
+                                mask.len(),
+                                signals.len() - 1
+                            ),
+                        });
+                    }
+                    cubes.push((mask, value_char));
+                    i += 1;
+                }
+                raw_cells.push(RawCell::Names { line: lineno, signals, cubes });
+            }
+            ".latch" => {
+                let input = tokens.next();
+                let output = tokens.next();
+                match (input, output) {
+                    (Some(input), Some(output)) => {
+                        raw_cells.push(RawCell::Latch {
+                            line: lineno,
+                            input: input.to_owned(),
+                            output: output.to_owned(),
+                        });
+                    }
+                    _ => {
+                        return Err(NetlistError::BlifParse {
+                            line: lineno,
+                            message: ".latch needs input and output signals".to_owned(),
+                        })
+                    }
+                }
+                i += 1;
+            }
+            ".end" => {
+                saw_end = true;
+                i += 1;
+            }
+            ".clock" | ".wire_load_slope" | ".default_input_arrival" => {
+                // Accept-and-ignore common benign directives.
+                i += 1;
+            }
+            other => {
+                return Err(NetlistError::BlifParse {
+                    line: lineno,
+                    message: format!("unsupported directive '{other}'"),
+                });
+            }
+        }
+    }
+    if !saw_end {
+        return Err(NetlistError::BlifParse {
+            line: text.lines().count(),
+            message: "missing .end".to_owned(),
+        });
+    }
+
+    // Second pass: build the netlist with forward references resolved.
+    // Map from signal name to the name of the driving *net* we create.
+    let mut netlist = Netlist::new(model_name.unwrap_or_else(|| "unnamed".to_owned()));
+    let mut signal_net: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        let id = netlist.add_input(name)?;
+        signal_net.insert(name.clone(), id);
+    }
+    // Pre-create driven nets for every .names/.latch output so inputs can
+    // reference them regardless of declaration order. We do this by
+    // creating the cells in an order where that is unnecessary: instead,
+    // create placeholder resolution — collect outputs first.
+    // (Netlist::add_lut creates the output net itself, so we order cells by
+    // dependency using a worklist.)
+    // Latch outputs are timing sources: declare their nets up front so
+    // logic may read them regardless of declaration order (including
+    // feedback loops through latches).
+    for raw in &raw_cells {
+        if let RawCell::Latch { output, .. } = raw {
+            let id = netlist.declare_net(output)?;
+            signal_net.insert(output.clone(), id);
+        }
+    }
+    let mut remaining: Vec<&RawCell> = raw_cells.iter().collect();
+    loop {
+        let before = remaining.len();
+        let mut deferred = Vec::with_capacity(before);
+        for raw in remaining {
+            let ready = match raw {
+                RawCell::Names { signals, .. } => {
+                    signals[..signals.len() - 1].iter().all(|s| signal_net.contains_key(s))
+                }
+                RawCell::Latch { input, .. } => signal_net.contains_key(input),
+            };
+            if !ready {
+                deferred.push(raw);
+                continue;
+            }
+            match raw {
+                RawCell::Names { line, signals, cubes } => {
+                    build_names(&mut netlist, &mut signal_net, *line, signals, cubes)?;
+                }
+                RawCell::Latch { input, output, .. } => {
+                    let in_net = signal_net[input];
+                    let out_net = signal_net[output];
+                    netlist.add_latch_into(output, in_net, out_net)?;
+                }
+            }
+        }
+        remaining = deferred;
+        if remaining.is_empty() || remaining.len() == before {
+            break;
+        }
+    }
+    if !remaining.is_empty() {
+        // Unresolvable references: either an undriven net or a
+        // combinational cycle without a latch.
+        let (line, name) = match remaining[0] {
+            RawCell::Names { line, signals, .. } => (
+                *line,
+                signals[..signals.len() - 1]
+                    .iter()
+                    .find(|s| !signal_net.contains_key(*s))
+                    .cloned()
+                    .unwrap_or_default(),
+            ),
+            RawCell::Latch { line, input, .. } => (*line, input.clone()),
+        };
+        return Err(NetlistError::BlifParse {
+            line,
+            message: format!("signal '{name}' is never driven (or lies on an all-LUT cycle)"),
+        });
+    }
+
+    // Tolerate a signal listed twice in .outputs (it is one pad either way).
+    let mut seen_outputs = std::collections::HashSet::new();
+    for name in &outputs {
+        if !seen_outputs.insert(name.as_str()) {
+            continue;
+        }
+        let net = *signal_net.get(name).ok_or_else(|| NetlistError::UnknownNet {
+            name: name.clone(),
+        })?;
+        netlist.add_output(&format!("out:{name}"), net)?;
+    }
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+fn build_names(
+    netlist: &mut Netlist,
+    signal_net: &mut HashMap<String, NetId>,
+    line: usize,
+    signals: &[String],
+    cubes: &[(String, char)],
+) -> Result<(), NetlistError> {
+    let n_in = signals.len() - 1;
+    if n_in > MAX_LUT_INPUTS {
+        return Err(NetlistError::TooManyLutInputs {
+            cell: signals[n_in].clone(),
+            inputs: n_in,
+            max: MAX_LUT_INPUTS,
+        });
+    }
+    // Expand cubes into a packed truth table. BLIF single-output covers are
+    // either all-1 rows (ON-set) or all-0 rows (OFF-set).
+    let rows = 1u64 << n_in;
+    let on_set = cubes.iter().any(|(_, v)| *v == '1');
+    let off_set = cubes.iter().any(|(_, v)| *v == '0');
+    if on_set && off_set {
+        return Err(NetlistError::BlifParse {
+            line,
+            message: "cover mixes ON-set and OFF-set rows".to_owned(),
+        });
+    }
+    let mut bits: u64 = 0;
+    for row in 0..rows {
+        let mut covered = false;
+        for (mask, _) in cubes {
+            let hit = mask.chars().enumerate().all(|(i, c)| match c {
+                '-' => true,
+                '1' => (row >> i) & 1 == 1,
+                '0' => (row >> i) & 1 == 0,
+                _ => false,
+            });
+            if hit {
+                covered = true;
+                break;
+            }
+        }
+        // Constant cells (no inputs): covered means the single cube's value.
+        let value = if n_in == 0 {
+            !cubes.is_empty() && on_set
+        } else if off_set {
+            !covered
+        } else {
+            covered
+        };
+        if value {
+            bits |= 1 << row;
+        }
+    }
+    let tt = TruthTable::new(n_in, bits)?;
+    let input_nets: Vec<NetId> = signals[..n_in].iter().map(|s| signal_net[s]).collect();
+    let out_name = &signals[n_in];
+    let net = netlist.add_lut(out_name, &input_nets, tt)?;
+    signal_net.insert(out_name.clone(), net);
+    Ok(())
+}
+
+/// Serializes a netlist back to BLIF.
+///
+/// LUT functions are written as their full ON-set (one cube per minterm),
+/// which is valid BLIF and round-trips exactly through [`parse_blif`].
+pub fn write_blif(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", netlist.name());
+    let inputs: Vec<&str> = netlist
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.kind, CellKind::Input))
+        .map(|c| c.name.as_str())
+        .collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = netlist
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.kind, CellKind::Output))
+        .map(|c| netlist.net(c.inputs[0]).name.clone())
+        .collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for cell in netlist.cells() {
+        match &cell.kind {
+            CellKind::Lut(tt) => {
+                let in_names: Vec<&str> =
+                    cell.inputs.iter().map(|n| netlist.net(*n).name.as_str()).collect();
+                let out_name = cell
+                    .output
+                    .map(|n| netlist.net(n).name.as_str())
+                    .unwrap_or(cell.name.as_str());
+                let _ = writeln!(out, ".names {} {}", in_names.join(" "), out_name);
+                let rows = 1u64 << tt.inputs();
+                if tt.inputs() == 0 {
+                    if tt.bits() & 1 == 1 {
+                        let _ = writeln!(out, "1");
+                    }
+                } else {
+                    for row in 0..rows {
+                        if (tt.bits() >> row) & 1 == 1 {
+                            let mask: String = (0..tt.inputs())
+                                .map(|i| if (row >> i) & 1 == 1 { '1' } else { '0' })
+                                .collect();
+                            let _ = writeln!(out, "{mask} 1");
+                        }
+                    }
+                }
+            }
+            CellKind::Latch => {
+                let in_name = netlist.net(cell.inputs[0]).name.as_str();
+                let out_name = cell
+                    .output
+                    .map(|n| netlist.net(n).name.as_str())
+                    .unwrap_or(cell.name.as_str());
+                let _ = writeln!(out, ".latch {in_name} {out_name} re clk 2");
+            }
+            CellKind::Input | CellKind::Output => {}
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny sequential circuit
+.model sample
+.inputs a b
+.outputs y q
+.names a b t
+11 1
+.names t q2 y
+1- 1
+-1 1
+.latch y q2 re clk 2
+.names q2 q
+1 1
+.end
+";
+
+    #[test]
+    fn parses_sample_with_forward_reference() {
+        // 'q2' (a latch output) is used by '.names t q2 y' before the
+        // .latch line -- the classic BLIF forward reference.
+        let n = parse_blif(SAMPLE).unwrap();
+        assert_eq!(n.name(), "sample");
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_luts(), 3);
+        assert_eq!(n.num_latches(), 1);
+    }
+
+    #[test]
+    fn cover_semantics_and_gate() {
+        let n = parse_blif(SAMPLE).unwrap();
+        let t = n.cell_by_name("t").unwrap();
+        if let CellKind::Lut(tt) = &n.cell(t).kind {
+            assert!(tt.eval(&[true, true]));
+            assert!(!tt.eval(&[true, false]));
+            assert!(!tt.eval(&[false, false]));
+        } else {
+            panic!("t is not a LUT");
+        }
+    }
+
+    #[test]
+    fn off_set_cover_is_complemented() {
+        let text = "\
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let n = parse_blif(text).unwrap();
+        let y = n.cell_by_name("y").unwrap();
+        if let CellKind::Lut(tt) = &n.cell(y).kind {
+            assert!(!tt.eval(&[true, true])); // NAND
+            assert!(tt.eval(&[false, true]));
+        } else {
+            panic!("y is not a LUT");
+        }
+    }
+
+    #[test]
+    fn constant_cells_parse() {
+        let text = "\
+.model consts
+.inputs
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let n = parse_blif(text).unwrap();
+        for (name, want) in [("one", true), ("zero", false)] {
+            let id = n.cell_by_name(name).unwrap();
+            if let CellKind::Lut(tt) = &n.cell(id).kind {
+                assert_eq!(tt.eval(&[]), want, "{name}");
+            } else {
+                panic!("{name} is not a LUT");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let n1 = parse_blif(SAMPLE).unwrap();
+        let text = write_blif(&n1);
+        let n2 = parse_blif(&text).unwrap();
+        assert_eq!(n1.num_luts(), n2.num_luts());
+        assert_eq!(n1.num_latches(), n2.num_latches());
+        assert_eq!(n1.num_inputs(), n2.num_inputs());
+        assert_eq!(n1.num_outputs(), n2.num_outputs());
+        // Truth tables survive (compare by matching output-net names).
+        for cell in n1.cells() {
+            if let CellKind::Lut(tt1) = &cell.kind {
+                let id2 = n2.cell_by_name(&cell.name).unwrap();
+                if let CellKind::Lut(tt2) = &n2.cell(id2).kind {
+                    assert_eq!(tt1, tt2, "cell {}", cell.name);
+                } else {
+                    panic!("kind changed for {}", cell.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_continuations_and_comments() {
+        let text = "\
+.model cont
+.inputs a \\
+  b
+.outputs y # trailing comment
+.names a b y
+11 1
+.end
+";
+        let n = parse_blif(text).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = ".model bad\n.inputs a\n.frobnicate x\n.end\n";
+        match parse_blif(text) {
+            Err(NetlistError::BlifParse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        assert!(matches!(
+            parse_blif(".model x\n.inputs a\n.outputs a\n"),
+            Err(NetlistError::BlifParse { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_signal_reported() {
+        let text = "\
+.model undriven
+.inputs a
+.outputs y
+.names a ghost y
+11 1
+.end
+";
+        let err = parse_blif(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn latch_feedback_loop_parses() {
+        // q feeds the very LUT that computes the latch's next state.
+        let text = "\
+.model toggler
+.inputs en
+.outputs q
+.names en q d
+10 1
+01 1
+.latch d q re clk 2
+.end
+";
+        let n = parse_blif(text).unwrap();
+        assert_eq!(n.num_latches(), 1);
+        assert_eq!(n.num_luts(), 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let text = "\
+.model mixed
+.inputs a b
+.outputs y
+.names a b y
+11 1
+00 0
+.end
+";
+        assert!(parse_blif(text).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Netlist cell types: primary I/O, K-input LUTs, and latches.
+
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum LUT fan-in representable by the packed truth table.
+pub const MAX_LUT_INPUTS: usize = 6;
+
+/// A packed truth table for up to [`MAX_LUT_INPUTS`] inputs.
+///
+/// Bit `i` of `bits` holds the output for the input combination whose
+/// binary encoding is `i` (input 0 = least-significant bit).
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_netlist::cell::TruthTable;
+///
+/// let and2 = TruthTable::new(2, 0b1000)?;
+/// assert!(and2.eval(&[true, true]));
+/// assert!(!and2.eval(&[true, false]));
+/// # Ok::<(), nemfpga_netlist::error::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    inputs: u8,
+    bits: u64,
+}
+
+impl TruthTable {
+    /// Creates a truth table over `inputs` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TooManyLutInputs`] when `inputs` exceeds
+    /// [`MAX_LUT_INPUTS`], or [`NetlistError::InvalidSynthConfig`] if `bits`
+    /// sets rows beyond `2^inputs`.
+    pub fn new(inputs: usize, bits: u64) -> Result<Self, NetlistError> {
+        if inputs > MAX_LUT_INPUTS {
+            return Err(NetlistError::TooManyLutInputs {
+                cell: "<truth table>".to_owned(),
+                inputs,
+                max: MAX_LUT_INPUTS,
+            });
+        }
+        let rows = 1u64.checked_shl(inputs as u32).unwrap_or(0);
+        if inputs < MAX_LUT_INPUTS && rows != 0 && bits >= (1u64 << rows) {
+            return Err(NetlistError::InvalidSynthConfig {
+                message: format!("truth table bits 0x{bits:x} exceed 2^{rows} rows"),
+            });
+        }
+        Ok(Self { inputs: inputs as u8, bits })
+    }
+
+    /// The constant-0 function of `inputs` variables.
+    pub fn constant_false(inputs: usize) -> Self {
+        Self { inputs: inputs.min(MAX_LUT_INPUTS) as u8, bits: 0 }
+    }
+
+    /// Number of input variables.
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Raw packed bits.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs()`.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert_eq!(values.len(), self.inputs(), "truth table arity mismatch");
+        let row: u64 = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v as u64) << i)
+            .sum();
+        (self.bits >> row) & 1 == 1
+    }
+}
+
+/// What a cell is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Primary input pad; drives one net, has no inputs.
+    Input,
+    /// Primary output pad; sinks one net, drives nothing.
+    Output,
+    /// K-input lookup table.
+    Lut(TruthTable),
+    /// D flip-flop (BLIF `.latch`): one data input, one output, implicit
+    /// global clock.
+    Latch,
+}
+
+impl CellKind {
+    /// `true` for LUTs and latches (the things that occupy logic blocks).
+    pub fn is_logic(&self) -> bool {
+        matches!(self, Self::Lut(_) | Self::Latch)
+    }
+
+    /// `true` if the cell's output starts a timing path (PIs and latches).
+    pub fn is_timing_source(&self) -> bool {
+        matches!(self, Self::Input | Self::Latch)
+    }
+
+    /// `true` if the cell's inputs end a timing path (POs and latches).
+    pub fn is_timing_sink(&self) -> bool {
+        matches!(self, Self::Output | Self::Latch)
+    }
+}
+
+/// One netlist cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Unique cell name.
+    pub name: String,
+    /// Cell kind.
+    pub kind: CellKind,
+    /// Input nets (fan-in order matters for LUT truth tables).
+    pub inputs: Vec<NetId>,
+    /// Driven net, if the cell drives one (everything except outputs).
+    pub output: Option<NetId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table_evaluates_all_two_input_functions() {
+        for bits in 0..16u64 {
+            let tt = TruthTable::new(2, bits).unwrap();
+            for row in 0..4u64 {
+                let values = [row & 1 == 1, row & 2 == 2];
+                assert_eq!(tt.eval(&values), (bits >> row) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_truth_tables_rejected() {
+        assert!(TruthTable::new(7, 0).is_err());
+        assert!(TruthTable::new(1, 0b100).is_err()); // 1-input has 2 rows
+        assert!(TruthTable::new(6, u64::MAX).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_checks_arity() {
+        let tt = TruthTable::new(2, 0b1000).unwrap();
+        tt.eval(&[true]);
+    }
+
+    #[test]
+    fn kind_classifications() {
+        let lut = CellKind::Lut(TruthTable::constant_false(4));
+        assert!(lut.is_logic() && !lut.is_timing_source() && !lut.is_timing_sink());
+        assert!(CellKind::Latch.is_logic());
+        assert!(CellKind::Latch.is_timing_source() && CellKind::Latch.is_timing_sink());
+        assert!(CellKind::Input.is_timing_source() && !CellKind::Input.is_logic());
+        assert!(CellKind::Output.is_timing_sink());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for netlist construction, validation, and BLIF I/O.
+
+use std::fmt;
+
+/// Errors produced by the netlist crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell or net name was declared twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// Referenced a net name that was never declared/driven.
+    UnknownNet {
+        /// The offending name.
+        name: String,
+    },
+    /// A net ended up with zero or multiple drivers.
+    BadDriverCount {
+        /// Net name.
+        name: String,
+        /// Number of drivers found.
+        drivers: usize,
+    },
+    /// A LUT was given more inputs than the architecture's `K`.
+    TooManyLutInputs {
+        /// Cell name.
+        cell: String,
+        /// Inputs supplied.
+        inputs: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// Name of one cell on the cycle.
+        cell: String,
+    },
+    /// BLIF text could not be parsed.
+    BlifParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A generator configuration was invalid.
+    InvalidSynthConfig {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName { name } => write!(f, "duplicate name '{name}'"),
+            Self::UnknownNet { name } => write!(f, "unknown net '{name}'"),
+            Self::BadDriverCount { name, drivers } => {
+                write!(f, "net '{name}' has {drivers} drivers (expected exactly 1)")
+            }
+            Self::TooManyLutInputs { cell, inputs, max } => {
+                write!(f, "lut '{cell}' has {inputs} inputs, max is {max}")
+            }
+            Self::CombinationalCycle { cell } => {
+                write!(f, "combinational cycle through cell '{cell}'")
+            }
+            Self::BlifParse { line, message } => write!(f, "blif parse error at line {line}: {message}"),
+            Self::InvalidSynthConfig { message } => write!(f, "invalid synthesis config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        let e = NetlistError::UnknownNet { name: "n42".to_owned() };
+        assert!(e.to_string().contains("n42"));
+        let e = NetlistError::BlifParse { line: 7, message: "bad token".to_owned() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

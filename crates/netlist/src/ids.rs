@@ -1,0 +1,57 @@
+//! Index newtypes for netlist entities.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The raw index, for slice addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cell (primary input/output, LUT, or latch).
+    CellId
+);
+id_type!(
+    /// Identifier of a net (one driver, any number of sinks).
+    NetId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_display() {
+        let a = CellId::new(1);
+        let b = CellId::new(2);
+        assert!(a < b);
+        assert_eq!(a.index(), 1);
+        assert!(a.to_string().contains('1'));
+        assert_ne!(NetId::new(1).to_string(), a.to_string());
+    }
+}

@@ -1,0 +1,46 @@
+//! # nemfpga-netlist
+//!
+//! Technology-mapped LUT/FF netlists for the `nemfpga` FPGA CAD substrate:
+//!
+//! * [`netlist`] — the cell/net graph with validation, topological order,
+//!   and logic depth ([`netlist::Netlist`]).
+//! * [`cell`] — primary I/O, K-input LUTs with packed truth tables, and
+//!   latches.
+//! * [`blif`] — BLIF-subset parser and writer (the interchange format VPR
+//!   and the MCNC suite use).
+//! * [`stats`] — benchmark characterization ([`stats::NetlistStats`]).
+//! * [`synth`] — deterministic Rent's-rule-flavoured synthetic benchmark
+//!   generation with presets sized like the paper's suites (MCNC-20 and
+//!   the four >10K-LUT designs).
+//!
+//! # Examples
+//!
+//! ```
+//! use nemfpga_netlist::blif::{parse_blif, write_blif};
+//! use nemfpga_netlist::synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SynthConfig::tiny("demo", 50, 42).generate()?;
+//! let text = write_blif(&netlist);
+//! let reparsed = parse_blif(&text)?;
+//! assert_eq!(reparsed.num_luts(), netlist.num_luts());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod blif;
+pub mod cell;
+pub mod error;
+pub mod ids;
+pub mod netlist;
+pub mod sim;
+pub mod stats;
+pub mod synth;
+
+pub use cell::{Cell, CellKind, TruthTable};
+pub use error::NetlistError;
+pub use ids::{CellId, NetId};
+pub use netlist::{Net, Netlist};
+pub use sim::{check_equivalence, Simulator};
+pub use stats::NetlistStats;
+pub use synth::SynthConfig;

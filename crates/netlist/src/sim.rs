@@ -1,0 +1,317 @@
+//! Cycle-accurate functional simulation of LUT/FF netlists.
+//!
+//! Used to prove that transformations preserve *function*, not just
+//! structure: BLIF round-trips, generator determinism, and (via the
+//! integration tests) the identity between a netlist and what a programmed
+//! FPGA computes. Latches behave as positive-edge DFFs clocked once per
+//! [`Simulator::step`].
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::ids::{CellId, NetId};
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// A functional simulator over a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_netlist::netlist::Netlist;
+/// use nemfpga_netlist::cell::TruthTable;
+/// use nemfpga_netlist::sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut n = Netlist::new("xor");
+/// let a = n.add_input("a")?;
+/// let b = n.add_input("b")?;
+/// let y = n.add_lut("y", &[a, b], TruthTable::new(2, 0b0110)?)?;
+/// n.add_output("o", y)?;
+///
+/// let mut sim = Simulator::new(&n)?;
+/// let out = sim.step(&[("a", true), ("b", false)].into_iter().collect())?;
+/// assert_eq!(out["o"], true);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<CellId>,
+    /// Current value of every net.
+    values: Vec<bool>,
+    /// Latch state (Q), by cell index.
+    latch_state: HashMap<CellId, bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator; all nets start at 0, all latches reset to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.topological_order()?;
+        Ok(Self {
+            netlist,
+            order,
+            values: vec![false; netlist.nets().len()],
+            latch_state: HashMap::new(),
+        })
+    }
+
+    /// Current value of a net.
+    pub fn net_value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Advances one clock cycle: applies `inputs` (by PI name), settles the
+    /// combinational logic, returns primary-output values (by PO cell
+    /// name), then clocks every latch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] if `inputs` names a PI that
+    /// does not exist. Unlisted PIs hold their previous value.
+    pub fn step(
+        &mut self,
+        inputs: &HashMap<&str, bool>,
+    ) -> Result<HashMap<String, bool>, NetlistError> {
+        // Drive primary inputs.
+        for (&name, &value) in inputs {
+            let net = self
+                .netlist
+                .net_by_name(name)
+                .ok_or_else(|| NetlistError::UnknownNet { name: name.to_owned() })?;
+            if !matches!(
+                self.netlist.net(net).driver.map(|d| &self.netlist.cell(d).kind),
+                Some(CellKind::Input)
+            ) {
+                return Err(NetlistError::UnknownNet { name: format!("{name} (not a PI)") });
+            }
+            self.values[net.index()] = value;
+        }
+        // Present latch state on Q nets.
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if matches!(cell.kind, CellKind::Latch) {
+                let id = CellId::new(i as u32);
+                if let Some(q) = cell.output {
+                    self.values[q.index()] =
+                        self.latch_state.get(&id).copied().unwrap_or(false);
+                }
+            }
+        }
+        // Settle combinational logic in topological order.
+        for id in &self.order {
+            let cell = self.netlist.cell(*id);
+            if let CellKind::Lut(tt) = &cell.kind {
+                let ins: Vec<bool> =
+                    cell.inputs.iter().map(|n| self.values[n.index()]).collect();
+                let out = cell.output.expect("luts drive a net");
+                self.values[out.index()] = tt.eval(&ins);
+            }
+        }
+        // Sample outputs.
+        let mut outputs = HashMap::new();
+        for cell in self.netlist.cells() {
+            if matches!(cell.kind, CellKind::Output) {
+                outputs.insert(cell.name.clone(), self.values[cell.inputs[0].index()]);
+            }
+        }
+        // Clock edge: latches capture D.
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if matches!(cell.kind, CellKind::Latch) {
+                let id = CellId::new(i as u32);
+                let d = self.values[cell.inputs[0].index()];
+                self.latch_state.insert(id, d);
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Resets all latches and nets to 0.
+    pub fn reset(&mut self) {
+        self.values.fill(false);
+        self.latch_state.clear();
+    }
+}
+
+/// Checks functional equivalence of two netlists with identical PI names
+/// by co-simulating `cycles` random input vectors (deterministic per
+/// `seed`). Outputs are matched by the *net name* each PO samples, so pad
+/// renames (e.g. a BLIF round-trip's `out:` prefixes) don't break the
+/// comparison.
+///
+/// # Errors
+///
+/// Propagates simulation errors; reports a mismatch as
+/// [`NetlistError::InvalidSynthConfig`] with a descriptive message.
+pub fn check_equivalence(
+    a: &Netlist,
+    b: &Netlist,
+    cycles: usize,
+    seed: u64,
+) -> Result<(), NetlistError> {
+    let pi_names: Vec<String> = a
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.kind, CellKind::Input))
+        .map(|c| c.name.clone())
+        .collect();
+    let mut sim_a = Simulator::new(a)?;
+    let mut sim_b = Simulator::new(b)?;
+
+    // Map PO cell name -> sampled net name, per netlist.
+    let po_net = |n: &Netlist, outs: &HashMap<String, bool>| -> HashMap<String, bool> {
+        outs.iter()
+            .map(|(cell_name, v)| {
+                let cell = n.cell(n.cell_by_name(cell_name).expect("po exists"));
+                (n.net(cell.inputs[0]).name.clone(), *v)
+            })
+            .collect()
+    };
+
+    // A tiny deterministic LCG; no external RNG needed here.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next_bit = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state & 1 == 1
+    };
+
+    for cycle in 0..cycles {
+        let vector: HashMap<&str, bool> =
+            pi_names.iter().map(|n| (n.as_str(), next_bit())).collect();
+        let out_a = po_net(a, &sim_a.step(&vector)?);
+        let out_b = po_net(b, &sim_b.step(&vector)?);
+        if out_a != out_b {
+            let diff: Vec<&String> = out_a
+                .keys()
+                .filter(|k| out_a.get(*k) != out_b.get(*k))
+                .collect();
+            return Err(NetlistError::InvalidSynthConfig {
+                message: format!("functional mismatch at cycle {cycle} on nets {diff:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blif::{parse_blif, write_blif};
+    use crate::cell::TruthTable;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn combinational_logic_evaluates() {
+        let mut n = Netlist::new("maj");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let c = n.add_input("c").unwrap();
+        // Majority-of-3: rows 3,5,6,7 -> 0b1110_1000.
+        let y = n.add_lut("y", &[a, b, c], TruthTable::new(3, 0b1110_1000).unwrap()).unwrap();
+        n.add_output("o", y).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        for (va, vb, vc, want) in [
+            (false, false, false, false),
+            (true, false, true, true),
+            (true, true, false, true),
+            (false, false, true, false),
+        ] {
+            let out = sim
+                .step(&[("a", va), ("b", vb), ("c", vc)].into_iter().collect())
+                .unwrap();
+            assert_eq!(out["o"], want, "{va} {vb} {vc}");
+        }
+    }
+
+    #[test]
+    fn latch_delays_by_one_cycle() {
+        let mut n = Netlist::new("dff");
+        let a = n.add_input("a").unwrap();
+        let q = n.add_latch("q", a).unwrap();
+        n.add_output("o", q).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let o1 = sim.step(&[("a", true)].into_iter().collect()).unwrap();
+        assert_eq!(o1["o"], false, "latch starts at 0");
+        let o2 = sim.step(&[("a", false)].into_iter().collect()).unwrap();
+        assert_eq!(o2["o"], true, "captured last cycle's 1");
+        let o3 = sim.step(&[("a", false)].into_iter().collect()).unwrap();
+        assert_eq!(o3["o"], false);
+    }
+
+    #[test]
+    fn toggle_counter_through_feedback() {
+        // q toggles every cycle: d = NOT q.
+        let text = "\
+.model toggle
+.inputs en
+.outputs q
+.names en q d
+10 1
+.latch d q re clk 2
+.end
+";
+        let n = parse_blif(text).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let out = sim.step(&[("en", true)].into_iter().collect()).unwrap();
+            seen.push(out["out:q"]);
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn blif_round_trip_preserves_function() {
+        let n = SynthConfig::tiny("sim", 60, 3).generate().unwrap();
+        let reparsed = parse_blif(&write_blif(&n)).unwrap();
+        check_equivalence(&n, &reparsed, 64, 7).unwrap();
+    }
+
+    #[test]
+    fn equivalence_detects_a_real_difference() {
+        let mut a = Netlist::new("m");
+        let x = a.add_input("x").unwrap();
+        let y = a.add_lut("y", &[x], TruthTable::new(1, 0b10).unwrap()).unwrap();
+        a.add_output("o", y).unwrap();
+        let mut b = Netlist::new("m");
+        let x2 = b.add_input("x").unwrap();
+        let y2 = b.add_lut("y", &[x2], TruthTable::new(1, 0b01).unwrap()).unwrap();
+        b.add_output("o", y2).unwrap();
+        assert!(check_equivalence(&a, &b, 16, 1).is_err());
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut n = Netlist::new("u");
+        let a = n.add_input("a").unwrap();
+        n.add_output("o", a).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(sim.step(&[("ghost", true)].into_iter().collect()).is_err());
+        // Driving a non-PI net is also rejected.
+        let mut n2 = Netlist::new("u2");
+        let a2 = n2.add_input("a").unwrap();
+        let y = n2.add_lut("y", &[a2], TruthTable::new(1, 0b01).unwrap()).unwrap();
+        n2.add_output("o", y).unwrap();
+        let mut sim2 = Simulator::new(&n2).unwrap();
+        assert!(sim2.step(&[("y", true)].into_iter().collect()).is_err());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut n = Netlist::new("r");
+        let a = n.add_input("a").unwrap();
+        let q = n.add_latch("q", a).unwrap();
+        n.add_output("o", q).unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[("a", true)].into_iter().collect()).unwrap();
+        sim.reset();
+        let out = sim.step(&[("a", false)].into_iter().collect()).unwrap();
+        assert_eq!(out["o"], false);
+    }
+}

@@ -1,0 +1,83 @@
+//! Netlist statistics used for benchmark characterization.
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// LUT count (the paper sizes benchmarks by "equivalent 4-input LUTs").
+    pub luts: usize,
+    /// Latch (FF) count.
+    pub latches: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Largest net fanout.
+    pub max_fanout: usize,
+    /// Mean LUT fan-in.
+    pub avg_lut_fanin: f64,
+    /// Longest register/PI-to-register/PO path in LUT levels.
+    pub logic_depth: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists
+    /// (depth is undefined there).
+    pub fn of(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let mut lut_fanin_total = 0usize;
+        let mut luts = 0usize;
+        for cell in netlist.cells() {
+            if let CellKind::Lut(_) = cell.kind {
+                luts += 1;
+                lut_fanin_total += cell.inputs.len();
+            }
+        }
+        Ok(Self {
+            luts,
+            latches: netlist.num_latches(),
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            nets: netlist.nets().len(),
+            max_fanout: netlist.nets().iter().map(|n| n.sinks.len()).max().unwrap_or(0),
+            avg_lut_fanin: if luts == 0 { 0.0 } else { lut_fanin_total as f64 / luts as f64 },
+            logic_depth: netlist.logic_depth()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::TruthTable;
+
+    #[test]
+    fn stats_of_small_netlist() {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let tt = TruthTable::new(2, 0b0110).unwrap();
+        let x = n.add_lut("x", &[a, b], tt).unwrap();
+        let y = n.add_lut("y", &[x, a], tt).unwrap();
+        let q = n.add_latch("q", y).unwrap();
+        n.add_output("o", q).unwrap();
+        let s = NetlistStats::of(&n).unwrap();
+        assert_eq!(s.luts, 2);
+        assert_eq!(s.latches, 1);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.logic_depth, 2);
+        assert!((s.avg_lut_fanin - 2.0).abs() < 1e-12);
+        // Net 'a' feeds both LUTs: fanout 2.
+        assert_eq!(s.max_fanout, 2);
+    }
+}

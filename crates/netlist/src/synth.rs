@@ -1,0 +1,422 @@
+//! Deterministic synthetic benchmark generator.
+//!
+//! Stands in for the benchmark suites the paper maps onto its FPGAs: the
+//! 20 largest MCNC circuits [Yang 91] and four large designs with more
+//! than 10K equivalent 4-input LUTs [Pistorius 07]. Real BLIF for those
+//! suites is not redistributable here, so [`SynthConfig::generate`] builds
+//! levelized random 4-LUT netlists with matched LUT/latch/IO counts and
+//! realistic depth and fanout structure; the presets in
+//! [`mcnc20`]/[`large4`] carry the published sizes.
+//!
+//! Generation is fully deterministic per seed.
+
+use crate::cell::TruthTable;
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Benchmark name (becomes the BLIF model name).
+    pub name: String,
+    /// Number of K-input LUTs.
+    pub luts: usize,
+    /// LUT fan-in `K` (the paper uses K = 4).
+    pub lut_inputs: usize,
+    /// Fraction of LUT outputs that are registered.
+    pub latch_fraction: f64,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Minimum primary outputs (undriven-sink nets are also promoted to
+    /// outputs so the netlist has no dead logic).
+    pub outputs: usize,
+    /// Target combinational depth in LUT levels.
+    pub target_depth: usize,
+    /// Source-locality knob in (0, 1]: the probability mass of drawing an
+    /// input from `d` levels back decays as `locality^d`. Lower values
+    /// mean longer-range connections (higher Rent exponent, wider channel
+    /// demand).
+    pub locality: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A small smoke-test circuit, handy for unit tests and examples.
+    pub fn tiny(name: &str, luts: usize, seed: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            luts,
+            lut_inputs: 4,
+            latch_fraction: 0.2,
+            inputs: (luts / 4).clamp(3, 32),
+            outputs: (luts / 8).clamp(2, 32),
+            target_depth: ((luts as f64).ln().round() as usize).clamp(2, 8),
+            locality: 0.7,
+            seed,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidSynthConfig`] describing the problem.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let fail = |message: String| Err(NetlistError::InvalidSynthConfig { message });
+        if self.luts == 0 {
+            return fail("need at least one LUT".to_owned());
+        }
+        if self.lut_inputs == 0 || self.lut_inputs > crate::cell::MAX_LUT_INPUTS {
+            return fail(format!("lut_inputs {} out of range", self.lut_inputs));
+        }
+        if !(0.0..=1.0).contains(&self.latch_fraction) {
+            return fail(format!("latch_fraction {} outside [0,1]", self.latch_fraction));
+        }
+        if self.inputs == 0 {
+            return fail("need at least one primary input".to_owned());
+        }
+        if self.target_depth == 0 {
+            return fail("target_depth must be at least 1".to_owned());
+        }
+        if !(self.locality > 0.0 && self.locality <= 1.0) {
+            return fail(format!("locality {} outside (0,1]", self.locality));
+        }
+        Ok(())
+    }
+
+    /// Generates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidSynthConfig`] for a bad configuration;
+    /// construction errors are internal bugs and propagate as-is.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nemfpga_netlist::synth::SynthConfig;
+    /// use nemfpga_netlist::stats::NetlistStats;
+    ///
+    /// let n = SynthConfig::tiny("smoke", 40, 1).generate()?;
+    /// let stats = NetlistStats::of(&n)?;
+    /// assert_eq!(stats.luts, 40);
+    /// # Ok::<(), nemfpga_netlist::error::NetlistError>(())
+    /// ```
+    pub fn generate(&self) -> Result<Netlist, NetlistError> {
+        self.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut netlist = Netlist::new(self.name.clone());
+
+        // Level 0: primary inputs (plus, later, latch outputs).
+        let mut levels: Vec<Vec<NetId>> = vec![Vec::new()];
+        for i in 0..self.inputs {
+            levels[0].push(netlist.add_input(&format!("pi{i}"))?);
+        }
+        // Registered nets behave as level-0 sources for depth purposes.
+        let mut registered: Vec<NetId> = Vec::new();
+
+        let depth = self.target_depth;
+        let per_level = self.luts.div_ceil(depth);
+        let mut lut_index = 0usize;
+        let mut latch_index = 0usize;
+
+        for level in 1..=depth {
+            if lut_index >= self.luts {
+                break;
+            }
+            let count = per_level.min(self.luts - lut_index);
+            let mut this_level: Vec<NetId> = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = self.lut_inputs;
+                let mut chosen: Vec<NetId> = Vec::with_capacity(k);
+                // First input: from the immediately preceding level when it
+                // has unregistered nets, to realize the target depth.
+                let prev = level - 1;
+                if let Some(&net) = pick_from(&levels[prev], &mut rng) {
+                    chosen.push(net);
+                }
+                while chosen.len() < k {
+                    let candidate = self.pick_source(&levels, &registered, level, &mut rng);
+                    if !chosen.contains(&candidate) {
+                        chosen.push(candidate);
+                    } else if total_sources(&levels, &registered) <= chosen.len() {
+                        break; // tiny netlists may not have k distinct nets
+                    }
+                }
+                let arity = chosen.len();
+                let rows = 1u64 << arity;
+                let mask = if rows >= 64 { u64::MAX } else { (1u64 << rows) - 1 };
+                let tt = TruthTable::new(arity, rng.gen::<u64>() & mask)?;
+                let lut_net = netlist.add_lut(&format!("lut{lut_index}"), &chosen, tt)?;
+                lut_index += 1;
+                if rng.gen_bool(self.latch_fraction) {
+                    let q = netlist.add_latch(&format!("ff{latch_index}"), lut_net)?;
+                    latch_index += 1;
+                    registered.push(q);
+                    // The combinational net still exists (the latch reads
+                    // it); downstream logic uses the registered copy.
+                } else {
+                    this_level.push(lut_net);
+                }
+            }
+            levels.push(this_level);
+        }
+
+        // Promote every sink-less driven net to a primary output, then top
+        // up to the configured output count from the deepest nets.
+        let mut po_index = 0usize;
+        let dangling: Vec<NetId> = (0..netlist.nets().len() as u32)
+            .map(NetId::new)
+            .filter(|id| netlist.net(*id).sinks.is_empty() && netlist.net(*id).driver.is_some())
+            .collect();
+        let mut promoted: std::collections::HashSet<NetId> = std::collections::HashSet::new();
+        for net in &dangling {
+            netlist.add_output(&format!("po{po_index}"), *net)?;
+            promoted.insert(*net);
+            po_index += 1;
+        }
+        if po_index < self.outputs {
+            let extra: Vec<NetId> = levels
+                .iter()
+                .rev()
+                .flatten()
+                .chain(registered.iter())
+                .filter(|n| !promoted.contains(n))
+                .copied()
+                .take(self.outputs - po_index)
+                .collect();
+            for net in extra {
+                netlist.add_output(&format!("po{po_index}"), net)?;
+                po_index += 1;
+            }
+        }
+
+        netlist.validate()?;
+        Ok(netlist)
+    }
+
+    /// Picks a source net for a LUT at `level`: a geometric level-distance
+    /// draw over previous levels, with registered nets and PIs folded into
+    /// level 0.
+    fn pick_source(
+        &self,
+        levels: &[Vec<NetId>],
+        registered: &[NetId],
+        level: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> NetId {
+        debug_assert!(level >= 1);
+        for _ in 0..64 {
+            // Geometric distance: P(d) ∝ locality^(d-1).
+            let mut d = 1usize;
+            while d < level && rng.gen_bool(1.0 - self.locality) {
+                d += 1;
+            }
+            let src_level = level - d;
+            let pool: &[NetId] = if src_level == 0 {
+                // Level 0 = PIs and registered nets, merged by coin flip.
+                if !registered.is_empty() && rng.gen_bool(0.5) {
+                    registered
+                } else {
+                    &levels[0]
+                }
+            } else {
+                &levels[src_level]
+            };
+            if let Some(&net) = pick_from(pool, rng) {
+                return net;
+            }
+        }
+        // Fallback: a primary input always exists.
+        levels[0][rng.gen_range(0..levels[0].len())]
+    }
+}
+
+fn pick_from<'a>(pool: &'a [NetId], rng: &mut ChaCha8Rng) -> Option<&'a NetId> {
+    if pool.is_empty() {
+        None
+    } else {
+        pool.get(rng.gen_range(0..pool.len()))
+    }
+}
+
+fn total_sources(levels: &[Vec<NetId>], registered: &[NetId]) -> usize {
+    levels.iter().map(Vec::len).sum::<usize>() + registered.len()
+}
+
+/// Depth heuristic used by the presets: large technology-mapped circuits
+/// land around 8–13 4-LUT levels.
+fn preset_depth(luts: usize) -> usize {
+    (((luts as f64).ln()) * 1.2).round() as usize
+}
+
+fn preset(
+    name: &str,
+    luts: usize,
+    inputs: usize,
+    outputs: usize,
+    latches: usize,
+    seed: u64,
+) -> SynthConfig {
+    SynthConfig {
+        name: name.to_owned(),
+        luts,
+        lut_inputs: 4,
+        latch_fraction: (latches as f64 / luts as f64).min(0.9),
+        inputs,
+        outputs,
+        target_depth: preset_depth(luts),
+        locality: 0.68,
+        seed,
+    }
+}
+
+/// The 20 largest MCNC benchmarks [Yang 91] with their published 4-LUT,
+/// I/O, and flip-flop counts (as used by the VPR literature). The paper
+/// reports geometric means over this set.
+pub fn mcnc20() -> Vec<SynthConfig> {
+    vec![
+        preset("alu4", 1522, 14, 8, 0, 101),
+        preset("apex2", 1878, 38, 3, 0, 102),
+        preset("apex4", 1262, 9, 19, 0, 103),
+        preset("bigkey", 1707, 229, 197, 224, 104),
+        preset("clma", 8383, 62, 82, 33, 105),
+        preset("des", 1591, 256, 245, 0, 106),
+        preset("diffeq", 1497, 64, 39, 377, 107),
+        preset("dsip", 1370, 229, 197, 224, 108),
+        preset("elliptic", 3604, 131, 114, 1122, 109),
+        preset("ex1010", 4598, 10, 10, 0, 110),
+        preset("ex5p", 1064, 8, 63, 0, 111),
+        preset("frisc", 3556, 20, 116, 886, 112),
+        preset("misex3", 1397, 14, 14, 0, 113),
+        preset("pdc", 4575, 16, 40, 0, 114),
+        preset("s298", 1931, 4, 6, 8, 115),
+        preset("s38417", 6406, 29, 106, 1636, 116),
+        preset("s38584.1", 6447, 38, 304, 1452, 117),
+        preset("seq", 1750, 41, 35, 0, 118),
+        preset("spla", 3690, 16, 46, 0, 119),
+        preset("tseng", 1047, 52, 122, 385, 120),
+    ]
+}
+
+/// The four large (> 10K 4-LUT) benchmarks of Fig. 12 [Pistorius 07], at
+/// the LUT counts the paper quotes.
+pub fn large4() -> Vec<SynthConfig> {
+    vec![
+        preset("ava", 12_254, 200, 150, 3600, 201),
+        preset("oc_des_des3perf", 11_742, 234, 196, 5800, 202),
+        preset("sudoku_check", 17_188, 40, 20, 1700, 203),
+        preset("ucsb_152_tap_fir", 10_199, 20, 38, 6100, 204),
+    ]
+}
+
+/// Looks a preset up by name across both suites.
+pub fn preset_by_name(name: &str) -> Option<SynthConfig> {
+    mcnc20().into_iter().chain(large4()).find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn generated_netlist_matches_requested_sizes() {
+        let cfg = SynthConfig::tiny("t", 120, 3);
+        let n = cfg.generate().unwrap();
+        let s = NetlistStats::of(&n).unwrap();
+        assert_eq!(s.luts, 120);
+        assert_eq!(s.inputs, cfg.inputs);
+        assert!(s.outputs >= cfg.outputs);
+        // Depth close to the target (within a couple of levels).
+        assert!(s.logic_depth <= cfg.target_depth);
+        assert!(s.logic_depth + 2 >= cfg.target_depth, "depth {}", s.logic_depth);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthConfig::tiny("t", 60, 7).generate().unwrap();
+        let b = SynthConfig::tiny("t", 60, 7).generate().unwrap();
+        assert_eq!(a, b);
+        let c = SynthConfig::tiny("t", 60, 8).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn latch_fraction_respected_roughly() {
+        let mut cfg = SynthConfig::tiny("seq", 400, 5);
+        cfg.latch_fraction = 0.5;
+        let n = cfg.generate().unwrap();
+        let ratio = n.num_latches() as f64 / n.num_luts() as f64;
+        assert!((ratio - 0.5).abs() < 0.12, "latch ratio {ratio}");
+    }
+
+    #[test]
+    fn netlists_validate_and_have_no_dead_logic() {
+        let n = SynthConfig::tiny("t", 200, 9).generate().unwrap();
+        n.validate().unwrap();
+        for net in n.nets() {
+            assert!(
+                !net.sinks.is_empty() || net.driver.is_none(),
+                "net {} is dead",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn presets_have_paper_sizes() {
+        let suite = mcnc20();
+        assert_eq!(suite.len(), 20);
+        let clma = preset_by_name("clma").unwrap();
+        assert_eq!(clma.luts, 8383);
+        let big = large4();
+        assert_eq!(big.len(), 4);
+        for cfg in &big {
+            assert!(cfg.luts > 10_000, "{} too small", cfg.name);
+            cfg.validate().unwrap();
+        }
+        assert_eq!(preset_by_name("sudoku_check").unwrap().luts, 17_188);
+        assert!(preset_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn medium_preset_generates_quickly_and_validates() {
+        // A scaled-down clma-like circuit exercises the full code path.
+        let mut cfg = preset_by_name("tseng").unwrap();
+        cfg.luts = 300;
+        cfg.inputs = 20;
+        cfg.outputs = 30;
+        let n = cfg.generate().unwrap();
+        assert_eq!(n.num_luts(), 300);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = SynthConfig::tiny("bad", 10, 1);
+        cfg.lut_inputs = 9;
+        assert!(cfg.generate().is_err());
+        let mut cfg = SynthConfig::tiny("bad", 10, 1);
+        cfg.latch_fraction = 1.5;
+        assert!(cfg.generate().is_err());
+        let mut cfg = SynthConfig::tiny("bad", 10, 1);
+        cfg.locality = 0.0;
+        assert!(cfg.generate().is_err());
+    }
+
+    #[test]
+    fn one_lut_degenerate_case() {
+        let mut cfg = SynthConfig::tiny("one", 1, 1);
+        cfg.inputs = 2;
+        let n = cfg.generate().unwrap();
+        assert_eq!(n.num_luts(), 1);
+        n.validate().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the place-and-route substrate.
+
+use std::fmt;
+
+/// Errors produced by packing, placement, routing, or timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PnrError {
+    /// The netlist failed a structural precondition.
+    BadNetlist {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The grid cannot host the packed design.
+    DoesNotFit {
+        /// What did not fit.
+        what: &'static str,
+        /// Capacity available.
+        capacity: usize,
+        /// Amount required.
+        required: usize,
+    },
+    /// The router exhausted its iteration budget with overused resources.
+    Unroutable {
+        /// Overused routing-resource nodes at the final iteration.
+        overused_nodes: usize,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// No channel width in the searched range could route the design.
+    NoFeasibleWidth {
+        /// Largest width attempted.
+        max_tried: usize,
+    },
+    /// A net references a block with no placement or routing.
+    Inconsistent {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for PnrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadNetlist { message } => write!(f, "bad netlist: {message}"),
+            Self::DoesNotFit { what, capacity, required } => {
+                write!(f, "design needs {required} {what}, grid offers {capacity}")
+            }
+            Self::Unroutable { overused_nodes, iterations } => write!(
+                f,
+                "unroutable: {overused_nodes} overused nodes after {iterations} iterations"
+            ),
+            Self::NoFeasibleWidth { max_tried } => {
+                write!(f, "no feasible channel width up to {max_tried}")
+            }
+            Self::Inconsistent { message } => write!(f, "inconsistent state: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PnrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = PnrError::Unroutable { overused_nodes: 17, iterations: 30 };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PnrError>();
+    }
+}

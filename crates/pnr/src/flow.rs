@@ -1,0 +1,178 @@
+//! Convenience pipeline: netlist → pack → grid → place → (W_min) → route.
+
+use crate::channel::{find_min_channel_width, WidthSearch};
+use crate::error::PnrError;
+use crate::pack::{pack, PackedDesign};
+use crate::place::{place, PlaceConfig, Placement};
+use crate::route::{route, RouteConfig, Routing};
+use nemfpga_arch::builder::build_rr_graph;
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_arch::rrgraph::RrGraph;
+use nemfpga_netlist::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// How to choose the channel width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WidthPolicy {
+    /// Use a fixed width (e.g. the paper's 118).
+    Fixed(usize),
+    /// Search `W_min` and operate at `1.2 × W_min` (the paper's method).
+    LowStress {
+        /// Initial width guess for the search.
+        hint: usize,
+        /// Give up beyond this width.
+        max: usize,
+    },
+}
+
+/// A fully implemented design.
+#[derive(Debug, Clone)]
+pub struct Implementation {
+    /// The packed design (owns the netlist).
+    pub design: PackedDesign,
+    /// Block placement.
+    pub placement: Placement,
+    /// The routing-resource graph at the operating width.
+    pub rr: RrGraph,
+    /// The routing at the operating width.
+    pub routing: Routing,
+    /// Result of the width search, when one ran.
+    pub width_search: Option<WidthSearchSummary>,
+}
+
+/// Serializable summary of a width search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidthSearchSummary {
+    /// Minimum routable width found.
+    pub w_min: usize,
+    /// Operating width used.
+    pub operating_width: usize,
+}
+
+impl From<&WidthSearch> for WidthSearchSummary {
+    fn from(s: &WidthSearch) -> Self {
+        Self { w_min: s.w_min, operating_width: s.low_stress_width() }
+    }
+}
+
+/// Runs pack → place → route for `netlist`.
+///
+/// # Errors
+///
+/// Propagates any [`PnrError`] from the stages.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::ArchParams;
+/// use nemfpga_netlist::synth::SynthConfig;
+/// use nemfpga_pnr::flow::{implement, WidthPolicy};
+/// use nemfpga_pnr::place::PlaceConfig;
+/// use nemfpga_pnr::route::RouteConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let netlist = SynthConfig::tiny("t", 30, 1).generate()?;
+/// let imp = implement(
+///     netlist,
+///     &ArchParams::paper_table1(),
+///     &PlaceConfig::fast(1),
+///     &RouteConfig::new(),
+///     WidthPolicy::LowStress { hint: 8, max: 128 },
+/// )?;
+/// assert!(imp.rr.channel_width >= imp.width_search.unwrap().w_min);
+/// # Ok(())
+/// # }
+/// ```
+pub fn implement(
+    netlist: Netlist,
+    params: &ArchParams,
+    place_cfg: &PlaceConfig,
+    route_cfg: &RouteConfig,
+    width: WidthPolicy,
+) -> Result<Implementation, PnrError> {
+    let design = pack(netlist, params)?;
+    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+        .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+    let placement = place(&design, grid, place_cfg)?;
+
+    match width {
+        WidthPolicy::Fixed(w) => {
+            let rr = build_rr_graph(params, grid, w)
+                .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+            let routing = route(&rr, &design, &placement, route_cfg)?;
+            Ok(Implementation { design, placement, rr, routing, width_search: None })
+        }
+        WidthPolicy::LowStress { hint, max } => {
+            let search =
+                find_min_channel_width(params, &design, &placement, route_cfg, hint, max)?;
+            let mut summary = WidthSearchSummary::from(&search);
+            // Routability is not strictly monotone in W (per-width pin/track
+            // mappings differ), so walk upward a little before falling back
+            // to the known-good minimum-width routing.
+            for w in [0usize, 2, 4, 8].map(|d| summary.operating_width + d) {
+                if let Ok(rr) = build_rr_graph(params, grid, w) {
+                    if let Ok(routing) = route(&rr, &design, &placement, route_cfg) {
+                        summary.operating_width = w;
+                        return Ok(Implementation {
+                            design,
+                            placement,
+                            rr,
+                            routing,
+                            width_search: Some(summary),
+                        });
+                    }
+                }
+            }
+            summary.operating_width = search.w_min;
+            let rr = build_rr_graph(params, grid, search.w_min)
+                .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+            Ok(Implementation {
+                design,
+                placement,
+                rr,
+                routing: search.routing,
+                width_search: Some(summary),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::check_routing;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    #[test]
+    fn end_to_end_low_stress_flow() {
+        let netlist = SynthConfig::tiny("t", 80, 5).generate().unwrap();
+        let imp = implement(
+            netlist,
+            &ArchParams::paper_table1(),
+            &PlaceConfig::fast(5),
+            &RouteConfig::new(),
+            WidthPolicy::LowStress { hint: 8, max: 256 },
+        )
+        .unwrap();
+        check_routing(&imp.rr, &imp.design, &imp.placement, &imp.routing).unwrap();
+        let ws = imp.width_search.unwrap();
+        assert_eq!(imp.rr.channel_width, ws.operating_width);
+        assert!(ws.operating_width >= ws.w_min);
+    }
+
+    #[test]
+    fn fixed_width_flow() {
+        let netlist = SynthConfig::tiny("t", 30, 6).generate().unwrap();
+        let imp = implement(
+            netlist,
+            &ArchParams::paper_table1(),
+            &PlaceConfig::fast(6),
+            &RouteConfig::new(),
+            WidthPolicy::Fixed(20),
+        )
+        .unwrap();
+        assert_eq!(imp.rr.channel_width, 20);
+        assert!(imp.width_search.is_none());
+    }
+}

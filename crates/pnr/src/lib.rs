@@ -1,0 +1,57 @@
+//! # nemfpga-pnr
+//!
+//! A from-scratch VPR-class FPGA CAD substrate, standing in for the
+//! VPR 5.0 flow of the paper's Fig. 10:
+//!
+//! * [`pack`] — VPack-style BLE formation and cluster packing.
+//! * [`place`] — simulated-annealing placement with the adaptive VPR
+//!   schedule.
+//! * [`route`] — PathFinder negotiated-congestion routing with A*.
+//! * [`timing`] — static timing analysis over routed RC stages, fed by a
+//!   per-FPGA-variant electrical model ([`timing::RoutingTiming`]).
+//! * [`channel`] — minimum-channel-width binary search and the 1.2×
+//!   low-stress rule that produces the paper's `W = 118`.
+//! * [`flow`] — the pack→place→route pipeline in one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemfpga_arch::ArchParams;
+//! use nemfpga_netlist::synth::SynthConfig;
+//! use nemfpga_pnr::flow::{implement, WidthPolicy};
+//! use nemfpga_pnr::place::PlaceConfig;
+//! use nemfpga_pnr::route::RouteConfig;
+//! use nemfpga_pnr::timing::{analyze_timing, test_timing_model};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SynthConfig::tiny("t", 40, 7).generate()?;
+//! let imp = implement(
+//!     netlist,
+//!     &ArchParams::paper_table1(),
+//!     &PlaceConfig::fast(7),
+//!     &RouteConfig::new(),
+//!     WidthPolicy::LowStress { hint: 8, max: 128 },
+//! )?;
+//! let report = analyze_timing(
+//!     &imp.rr, &imp.design, &imp.placement, &imp.routing, &test_timing_model(),
+//! )?;
+//! assert!(report.critical_path.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod channel;
+pub mod error;
+pub mod flow;
+pub mod pack;
+pub mod place;
+pub mod route;
+pub mod timing;
+
+pub use channel::{find_min_channel_width, WidthSearch};
+pub use error::PnrError;
+pub use flow::{implement, Implementation, WidthPolicy};
+pub use pack::{pack, Block, BlockId, BlockKind, PackedDesign, PackedNet};
+pub use place::{check_legal, place, place_timing_driven, PlaceConfig, Placement, TimingWeights};
+pub use route::{check_routing, route, utilization, RouteConfig, RoutedNet, Routing, RoutingUtilization};
+pub use timing::{analyze_timing, connection_criticalities, RoutingTiming, StageTiming, TimingReport};

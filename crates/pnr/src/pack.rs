@@ -1,0 +1,429 @@
+//! Packing: clustering LUTs and latches into logic blocks.
+//!
+//! A VPack-style greedy clusterer: LUT+latch pairs fuse into basic logic
+//! elements (BLEs) when the latch is the LUT's only fanout; clusters grow
+//! around a seed by attraction (shared nets), subject to the cluster-size
+//! (`N`) and distinct-external-input (`I`) limits of the architecture
+//! (paper Fig. 7b).
+
+use crate::error::PnrError;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_netlist::cell::CellKind;
+use nemfpga_netlist::ids::{CellId, NetId};
+use nemfpga_netlist::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Index of a packed block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a packed block is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// A logic block (cluster of BLEs).
+    Logic,
+    /// An input pad (one primary input).
+    InputPad,
+    /// An output pad (one primary output).
+    OutputPad,
+}
+
+/// One packed block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Display name (derived from the seed cell).
+    pub name: String,
+    /// Block kind.
+    pub kind: BlockKind,
+    /// Netlist cells inside this block.
+    pub cells: Vec<CellId>,
+}
+
+/// An inter-block net: connections that must use the programmable routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedNet {
+    /// Underlying netlist net.
+    pub net: NetId,
+    /// Driving block.
+    pub driver: BlockId,
+    /// Distinct sink blocks (driver excluded).
+    pub sinks: Vec<BlockId>,
+}
+
+/// The packed design: blocks, the cell→block map, and inter-block nets.
+#[derive(Debug, Clone)]
+pub struct PackedDesign {
+    netlist: Netlist,
+    blocks: Vec<Block>,
+    cell_block: Vec<BlockId>,
+    nets: Vec<PackedNet>,
+}
+
+impl PackedDesign {
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// All blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Block lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The block containing `cell`.
+    pub fn block_of(&self, cell: CellId) -> BlockId {
+        self.cell_block[cell.index()]
+    }
+
+    /// Inter-block nets (what the router must realize).
+    pub fn nets(&self) -> &[PackedNet] {
+        &self.nets
+    }
+
+    /// Number of logic blocks.
+    pub fn num_logic_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.kind == BlockKind::Logic).count()
+    }
+
+    /// Number of I/O pad blocks.
+    pub fn num_pads(&self) -> usize {
+        self.blocks.len() - self.num_logic_blocks()
+    }
+}
+
+/// A basic logic element: a LUT, a latch, or a fused LUT→latch pair.
+#[derive(Debug, Clone)]
+struct Ble {
+    cells: Vec<CellId>,
+    /// Nets this BLE reads from outside itself.
+    input_nets: Vec<NetId>,
+    /// The net this BLE produces.
+    output_net: NetId,
+}
+
+/// Packs `netlist` into logic blocks under `params`.
+///
+/// # Errors
+///
+/// Returns [`PnrError::BadNetlist`] if the netlist fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::params::ArchParams;
+/// use nemfpga_netlist::synth::SynthConfig;
+/// use nemfpga_pnr::pack::pack;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let netlist = SynthConfig::tiny("t", 40, 1).generate()?;
+/// let design = pack(netlist, &ArchParams::paper_table1())?;
+/// // 40 LUTs at N = 10 pack into at least 4 logic blocks.
+/// assert!(design.num_logic_blocks() >= 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrError> {
+    netlist
+        .validate()
+        .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+
+    // --- BLE formation ---
+    let mut absorbed_latch: HashMap<CellId, CellId> = HashMap::new(); // lut -> latch
+    let mut latch_absorbed: HashSet<CellId> = HashSet::new();
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if let CellKind::Latch = cell.kind {
+            let latch_id = CellId::new(i as u32);
+            let input_net = cell.inputs[0];
+            let net = netlist.net(input_net);
+            if net.sinks.len() == 1 {
+                if let Some(driver) = net.driver {
+                    if matches!(netlist.cell(driver).kind, CellKind::Lut(_)) {
+                        absorbed_latch.insert(driver, latch_id);
+                        latch_absorbed.insert(latch_id);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut bles: Vec<Ble> = Vec::new();
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let id = CellId::new(i as u32);
+        match cell.kind {
+            CellKind::Lut(_) => {
+                let mut cells = vec![id];
+                let output_net = match absorbed_latch.get(&id) {
+                    Some(latch) => {
+                        cells.push(*latch);
+                        netlist.cell(*latch).output.expect("latch drives a net")
+                    }
+                    None => cell.output.expect("lut drives a net"),
+                };
+                bles.push(Ble { cells, input_nets: cell.inputs.clone(), output_net });
+            }
+            CellKind::Latch if !latch_absorbed.contains(&id) => {
+                bles.push(Ble {
+                    cells: vec![id],
+                    input_nets: cell.inputs.clone(),
+                    output_net: cell.output.expect("latch drives a net"),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // --- Greedy clustering ---
+    let n_max = params.cluster_size;
+    let i_max = params.lb_inputs;
+    let num_bles = bles.len();
+    // net -> BLEs touching it (as input or output), for attraction.
+    let mut net_bles: HashMap<NetId, Vec<usize>> = HashMap::new();
+    for (i, ble) in bles.iter().enumerate() {
+        for &net in ble.input_nets.iter().chain(std::iter::once(&ble.output_net)) {
+            net_bles.entry(net).or_default().push(i);
+        }
+    }
+
+    let mut clustered = vec![false; num_bles];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    // Seed order: most inputs first (hard-to-place BLEs seed clusters).
+    let mut seed_order: Vec<usize> = (0..num_bles).collect();
+    seed_order.sort_by_key(|&i| std::cmp::Reverse(bles[i].input_nets.len()));
+
+    for &seed in &seed_order {
+        if clustered[seed] {
+            continue;
+        }
+        let mut members = vec![seed];
+        clustered[seed] = true;
+        let mut produced: HashSet<NetId> = HashSet::from([bles[seed].output_net]);
+        let mut external: HashSet<NetId> =
+            bles[seed].input_nets.iter().copied().collect();
+
+        while members.len() < n_max {
+            // Gather candidates connected to the cluster.
+            let mut attraction: HashMap<usize, usize> = HashMap::new();
+            for &m in &members {
+                for &net in bles[m]
+                    .input_nets
+                    .iter()
+                    .chain(std::iter::once(&bles[m].output_net))
+                {
+                    for &cand in net_bles.get(&net).into_iter().flatten() {
+                        if !clustered[cand] {
+                            *attraction.entry(cand).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            let mut candidates: Vec<(usize, usize)> =
+                attraction.into_iter().map(|(c, a)| (a, c)).collect();
+            candidates.sort_by(|x, y| y.cmp(x));
+
+            let mut chosen = None;
+            for &(_, cand) in &candidates {
+                if fits(&bles[cand], &produced, &external, i_max) {
+                    chosen = Some(cand);
+                    break;
+                }
+            }
+            // Fill with any unclustered feasible BLE if nothing attracted.
+            if chosen.is_none() {
+                chosen = (0..num_bles).find(|&c| {
+                    !clustered[c] && fits(&bles[c], &produced, &external, i_max)
+                });
+            }
+            let Some(cand) = chosen else { break };
+            clustered[cand] = true;
+            produced.insert(bles[cand].output_net);
+            for &net in &bles[cand].input_nets {
+                if !produced.contains(&net) {
+                    external.insert(net);
+                }
+            }
+            // Nets now produced internally stop counting as external.
+            external.retain(|n| !produced.contains(n));
+            members.push(cand);
+        }
+        clusters.push(members);
+    }
+
+    // --- Emit blocks ---
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut cell_block = vec![BlockId(0); netlist.cells().len()];
+    for members in &clusters {
+        let id = BlockId(blocks.len() as u32);
+        let mut cells = Vec::new();
+        for &m in members {
+            cells.extend(bles[m].cells.iter().copied());
+        }
+        let name = format!("lb_{}", netlist.cell(cells[0]).name);
+        for &c in &cells {
+            cell_block[c.index()] = id;
+        }
+        blocks.push(Block { name, kind: BlockKind::Logic, cells });
+    }
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let id = CellId::new(i as u32);
+        let kind = match cell.kind {
+            CellKind::Input => BlockKind::InputPad,
+            CellKind::Output => BlockKind::OutputPad,
+            _ => continue,
+        };
+        let bid = BlockId(blocks.len() as u32);
+        cell_block[id.index()] = bid;
+        blocks.push(Block { name: cell.name.clone(), kind, cells: vec![id] });
+    }
+
+    // --- Inter-block nets ---
+    let mut nets = Vec::new();
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let net_id = NetId::new(ni as u32);
+        let driver_cell = net.driver.ok_or_else(|| PnrError::BadNetlist {
+            message: format!("net '{}' undriven", net.name),
+        })?;
+        let driver = cell_block[driver_cell.index()];
+        let mut sinks: Vec<BlockId> = net
+            .sinks
+            .iter()
+            .map(|c| cell_block[c.index()])
+            .filter(|b| *b != driver)
+            .collect();
+        sinks.sort();
+        sinks.dedup();
+        if !sinks.is_empty() {
+            nets.push(PackedNet { net: net_id, driver, sinks });
+        }
+    }
+
+    Ok(PackedDesign { netlist, blocks, cell_block, nets })
+}
+
+fn fits(
+    ble: &Ble,
+    produced: &HashSet<NetId>,
+    external: &HashSet<NetId>,
+    i_max: usize,
+) -> bool {
+    let mut new_external = 0usize;
+    for net in &ble.input_nets {
+        if !produced.contains(net) && !external.contains(net) {
+            new_external += 1;
+        }
+    }
+    external.len() + new_external <= i_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_netlist::cell::TruthTable;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn params() -> ArchParams {
+        ArchParams::paper_table1()
+    }
+
+    #[test]
+    fn cluster_limits_respected() {
+        let netlist = SynthConfig::tiny("t", 123, 5).generate().unwrap();
+        let design = pack(netlist, &params()).unwrap();
+        for block in design.blocks() {
+            if block.kind != BlockKind::Logic {
+                assert_eq!(block.cells.len(), 1);
+                continue;
+            }
+            // Count BLEs (LUT+fused-latch counts once).
+            let luts = block
+                .cells
+                .iter()
+                .filter(|c| {
+                    matches!(design.netlist().cell(**c).kind, CellKind::Lut(_))
+                })
+                .count();
+            let latches = block.cells.len() - luts;
+            assert!(luts + latches <= 2 * params().cluster_size);
+            assert!(luts <= params().cluster_size, "{} luts", luts);
+            // External inputs within I.
+            let inside: HashSet<CellId> = block.cells.iter().copied().collect();
+            let mut ext: HashSet<NetId> = HashSet::new();
+            for &c in &block.cells {
+                for &input in &design.netlist().cell(c).inputs {
+                    let drv = design.netlist().net(input).driver.unwrap();
+                    if !inside.contains(&drv) {
+                        ext.insert(input);
+                    }
+                }
+            }
+            assert!(ext.len() <= params().lb_inputs, "{} external inputs", ext.len());
+        }
+    }
+
+    #[test]
+    fn packing_is_reasonably_dense() {
+        let netlist = SynthConfig::tiny("t", 200, 9).generate().unwrap();
+        let design = pack(netlist, &params()).unwrap();
+        let lbs = design.num_logic_blocks();
+        // 200 LUTs / N=10 -> ideal 20 clusters; allow some slack.
+        assert!(lbs >= 20, "{lbs}");
+        assert!(lbs <= 40, "packing too sparse: {lbs} clusters");
+    }
+
+    #[test]
+    fn lut_latch_pairs_fuse() {
+        let mut n = Netlist::new("fuse");
+        let a = n.add_input("a").unwrap();
+        let x = n.add_lut("x", &[a], TruthTable::new(1, 0b01).unwrap()).unwrap();
+        let q = n.add_latch("q", x).unwrap();
+        n.add_output("o", q).unwrap();
+        let design = pack(n, &params()).unwrap();
+        // LUT and its single-fanout latch share a block.
+        let lut = design.netlist().cell_by_name("x").unwrap();
+        let latch = design.netlist().cell_by_name("q").unwrap();
+        assert_eq!(design.block_of(lut), design.block_of(latch));
+        // The net between them never reaches the routing.
+        let internal = design.netlist().net_by_name("x").unwrap();
+        assert!(design.nets().iter().all(|pn| pn.net != internal));
+    }
+
+    #[test]
+    fn io_blocks_are_single_cell() {
+        let netlist = SynthConfig::tiny("t", 30, 2).generate().unwrap();
+        let (ins, outs) = (netlist.num_inputs(), netlist.num_outputs());
+        let design = pack(netlist, &params()).unwrap();
+        let pads = design.num_pads();
+        assert_eq!(pads, ins + outs);
+    }
+
+    #[test]
+    fn packed_nets_have_no_self_sinks() {
+        let netlist = SynthConfig::tiny("t", 80, 3).generate().unwrap();
+        let design = pack(netlist, &params()).unwrap();
+        for pn in design.nets() {
+            assert!(!pn.sinks.contains(&pn.driver));
+            assert!(!pn.sinks.is_empty());
+            // No duplicate sinks.
+            let mut s = pn.sinks.clone();
+            s.dedup();
+            assert_eq!(s.len(), pn.sinks.len());
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! Simulated-annealing placement (the VPR placer's adaptive schedule).
+//!
+//! Cost is the classic bounding-box wirelength: for each inter-block net,
+//! `q(t)·(bb_x + bb_y)` where `q(t)` compensates for the bounding box
+//! underestimating wiring of high-fanout nets. The annealing schedule
+//! adapts `α` and the move range limit to the acceptance rate, following
+//! Betz & Rose.
+
+use crate::error::PnrError;
+use crate::pack::{BlockId, BlockKind, PackedDesign};
+use nemfpga_arch::grid::{Grid, TileKind};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaceConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Moves per temperature = `inner_num · blocks^(4/3)`.
+    pub inner_num: f64,
+    /// Stop when `T < exit_factor · cost / nets`.
+    pub exit_factor: f64,
+}
+
+impl PlaceConfig {
+    /// The default VPR-like schedule.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, inner_num: 10.0, exit_factor: 0.005 }
+    }
+
+    /// A faster, lower-quality schedule for tests and quick sweeps.
+    pub fn fast(seed: u64) -> Self {
+        Self { seed, inner_num: 1.0, exit_factor: 0.01 }
+    }
+}
+
+/// A legal placement: one grid location per block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The grid placed onto.
+    pub grid: Grid,
+    /// Location of each block, indexed by [`BlockId`].
+    pub locs: Vec<(usize, usize)>,
+    /// Final bounding-box cost.
+    pub cost: f64,
+}
+
+impl Placement {
+    /// Location of `block`.
+    #[inline]
+    pub fn loc(&self, block: BlockId) -> (usize, usize) {
+        self.locs[block.index()]
+    }
+
+    /// Total bounding-box wirelength of the placement under `design`.
+    pub fn wirelength(&self, design: &PackedDesign) -> f64 {
+        design.nets().iter().map(|n| net_cost(self, n)).sum()
+    }
+}
+
+/// Per-connection timing weights for timing-driven placement.
+///
+/// `weight[net][k]` multiplies the estimated delay (Manhattan distance) of
+/// the `k`-th sink of packed net `net`; VPR uses `criticality^e` here.
+/// Build from a timing report with
+/// [`crate::timing::connection_criticalities`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingWeights {
+    /// Per-net, per-sink weights aligned with `PackedDesign::nets`.
+    pub weight: Vec<Vec<f64>>,
+    /// Trade-off in `[0, 1]`: 0 = pure wirelength, 1 = pure timing.
+    pub lambda: f64,
+}
+
+impl TimingWeights {
+    /// Validates shape against a design and clamps lambda.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnrError::Inconsistent`] when the weight table's shape
+    /// does not match the design's nets.
+    pub fn validate(&self, design: &PackedDesign) -> Result<(), PnrError> {
+        if self.weight.len() != design.nets().len() {
+            return Err(PnrError::Inconsistent {
+                message: format!(
+                    "timing weights cover {} nets, design has {}",
+                    self.weight.len(),
+                    design.nets().len()
+                ),
+            });
+        }
+        for (w, pn) in self.weight.iter().zip(design.nets()) {
+            if w.len() != pn.sinks.len() {
+                return Err(PnrError::Inconsistent {
+                    message: "timing weight arity mismatch".to_owned(),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err(PnrError::Inconsistent {
+                message: format!("lambda {} outside [0,1]", self.lambda),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fanout compensation `q(t)` (Cheng's crossing-count correction, as used
+/// by VPR; linearized beyond the tabulated range).
+fn q_factor(terminals: usize) -> f64 {
+    const TABLE: [f64; 10] =
+        [1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991];
+    if terminals == 0 {
+        return 0.0;
+    }
+    if terminals <= TABLE.len() {
+        TABLE[terminals - 1]
+    } else {
+        1.3991 + (terminals - TABLE.len()) as f64 * 0.02616
+    }
+}
+
+fn net_cost(placement: &Placement, net: &crate::pack::PackedNet) -> f64 {
+    let (mut min_x, mut max_x) = (usize::MAX, 0usize);
+    let (mut min_y, mut max_y) = (usize::MAX, 0usize);
+    let mut terminals = 1;
+    let (dx, dy) = placement.loc(net.driver);
+    min_x = min_x.min(dx);
+    max_x = max_x.max(dx);
+    min_y = min_y.min(dy);
+    max_y = max_y.max(dy);
+    for &s in &net.sinks {
+        let (x, y) = placement.loc(s);
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+        terminals += 1;
+    }
+    q_factor(terminals) * ((max_x - min_x) as f64 + (max_y - min_y) as f64)
+}
+
+/// Distance-weighted timing cost of one net under `weights_for_net`.
+fn net_timing_cost(
+    placement: &Placement,
+    net: &crate::pack::PackedNet,
+    weights_for_net: &[f64],
+) -> f64 {
+    let d = placement.loc(net.driver);
+    net.sinks
+        .iter()
+        .zip(weights_for_net)
+        .map(|(s, w)| w * Grid::manhattan(d, placement.loc(*s)) as f64)
+        .sum()
+}
+
+/// The annealing cost model: bounding-box wirelength, optionally blended
+/// with criticality-weighted distance (timing-driven placement).
+struct CostModel<'a> {
+    weights: Option<&'a TimingWeights>,
+    /// Scale factor bringing the timing term to the wirelength term's
+    /// magnitude (computed once on the initial placement).
+    timing_norm: f64,
+}
+
+impl CostModel<'_> {
+    fn net(&self, placement: &Placement, ni: usize, net: &crate::pack::PackedNet) -> f64 {
+        match self.weights {
+            None => net_cost(placement, net),
+            Some(w) => {
+                (1.0 - w.lambda) * net_cost(placement, net)
+                    + w.lambda
+                        * self.timing_norm
+                        * net_timing_cost(placement, net, &w.weight[ni])
+            }
+        }
+    }
+
+    fn total(&self, placement: &Placement, design: &PackedDesign) -> f64 {
+        design
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(ni, n)| self.net(placement, ni, n))
+            .sum()
+    }
+}
+
+/// Places `design` on `grid` with simulated annealing.
+///
+/// # Errors
+///
+/// Returns [`PnrError::DoesNotFit`] when the grid lacks LB tiles or pad
+/// slots.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_arch::grid::Grid;
+/// use nemfpga_arch::params::ArchParams;
+/// use nemfpga_netlist::synth::SynthConfig;
+/// use nemfpga_pnr::pack::pack;
+/// use nemfpga_pnr::place::{place, PlaceConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = ArchParams::paper_table1();
+/// let design = pack(SynthConfig::tiny("t", 40, 1).generate()?, &params)?;
+/// let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)?;
+/// let placement = place(&design, grid, &PlaceConfig::fast(1))?;
+/// assert_eq!(placement.locs.len(), design.blocks().len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn place(
+    design: &PackedDesign,
+    grid: Grid,
+    config: &PlaceConfig,
+) -> Result<Placement, PnrError> {
+    place_impl(design, grid, config, None)
+}
+
+/// Timing-driven placement: blends bounding-box wirelength with
+/// criticality-weighted source-sink distance (the VPR timing-driven
+/// placer's cost shape). Build `weights` from a routed-and-analyzed
+/// seed implementation via [`crate::timing::connection_criticalities`].
+///
+/// # Errors
+///
+/// Returns [`PnrError::Inconsistent`] for malformed weights, plus any
+/// placement error.
+pub fn place_timing_driven(
+    design: &PackedDesign,
+    grid: Grid,
+    config: &PlaceConfig,
+    weights: &TimingWeights,
+) -> Result<Placement, PnrError> {
+    weights.validate(design)?;
+    place_impl(design, grid, config, Some(weights))
+}
+
+fn place_impl(
+    design: &PackedDesign,
+    grid: Grid,
+    config: &PlaceConfig,
+    weights: Option<&TimingWeights>,
+) -> Result<Placement, PnrError> {
+    let lb_tiles = grid.lb_tiles();
+    let io_tiles = grid.io_tiles();
+    let num_lbs = design.num_logic_blocks();
+    let num_pads = design.num_pads();
+    if lb_tiles.len() < num_lbs {
+        return Err(PnrError::DoesNotFit {
+            what: "logic blocks",
+            capacity: lb_tiles.len(),
+            required: num_lbs,
+        });
+    }
+    if grid.io_capacity() < num_pads {
+        return Err(PnrError::DoesNotFit {
+            what: "io pads",
+            capacity: grid.io_capacity(),
+            required: num_pads,
+        });
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // --- Initial placement: LBs one per tile, pads round-robin on slots ---
+    let mut locs = vec![(0usize, 0usize); design.blocks().len()];
+    let mut lb_of_tile: std::collections::HashMap<(usize, usize), Option<BlockId>> =
+        lb_tiles.iter().map(|t| (*t, None)).collect();
+    let mut pads_of_tile: std::collections::HashMap<(usize, usize), Vec<BlockId>> =
+        io_tiles.iter().map(|t| (*t, Vec::new())).collect();
+
+    let mut lb_cursor = 0usize;
+    let mut io_cursor = 0usize;
+    for (i, block) in design.blocks().iter().enumerate() {
+        let id = BlockId(i as u32);
+        match block.kind {
+            BlockKind::Logic => {
+                let t = lb_tiles[lb_cursor];
+                lb_cursor += 1;
+                locs[i] = t;
+                lb_of_tile.insert(t, Some(id));
+            }
+            BlockKind::InputPad | BlockKind::OutputPad => {
+                // Spread pads across tiles, io_rate per tile.
+                let t = io_tiles[io_cursor / grid.io_rate % io_tiles.len()];
+                io_cursor += 1;
+                locs[i] = t;
+                pads_of_tile.get_mut(&t).expect("io tile").push(id);
+            }
+        }
+    }
+
+    let mut placement = Placement { grid, locs, cost: 0.0 };
+    // Normalize the timing term to the wirelength term's magnitude on the
+    // initial placement, so lambda blends comparable quantities.
+    let mut model = CostModel { weights, timing_norm: 1.0 };
+    if let Some(w) = weights {
+        let bb = placement.wirelength(design);
+        let t: f64 = design
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(ni, n)| net_timing_cost(&placement, n, &w.weight[ni]))
+            .sum();
+        if t > 0.0 && bb > 0.0 {
+            model.timing_norm = bb / t;
+        }
+    }
+    placement.cost = model.total(&placement, design);
+
+    // Per-block net membership for incremental cost updates.
+    let mut nets_of_block: Vec<Vec<usize>> = vec![Vec::new(); design.blocks().len()];
+    for (ni, net) in design.nets().iter().enumerate() {
+        nets_of_block[net.driver.index()].push(ni);
+        for s in &net.sinks {
+            nets_of_block[s.index()].push(ni);
+        }
+    }
+    for v in &mut nets_of_block {
+        v.sort();
+        v.dedup();
+    }
+
+    let movable: Vec<BlockId> =
+        (0..design.blocks().len() as u32).map(BlockId).collect();
+    if movable.is_empty() || design.nets().is_empty() {
+        return Ok(placement);
+    }
+
+    // --- Initial temperature: 20 × std-dev of random move deltas ---
+    let mut deltas = Vec::new();
+    for _ in 0..(50.min(10 * movable.len())) {
+        let b = movable[rng.gen_range(0..movable.len())];
+        if let Some(delta) = try_move(
+            design,
+            &mut placement,
+            &model,
+            &lb_tiles,
+            &io_tiles,
+            &mut lb_of_tile,
+            &mut pads_of_tile,
+            &nets_of_block,
+            b,
+            &mut rng,
+            f64::INFINITY, // always accept while measuring
+            1.0,
+        ) {
+            deltas.push(delta);
+        }
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+    let var = deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
+        / deltas.len().max(1) as f64;
+    let mut temperature = 20.0 * var.sqrt().max(1.0);
+
+    let moves_per_temp =
+        (config.inner_num * (movable.len() as f64).powf(4.0 / 3.0)).ceil() as usize;
+    let mut rlim = grid.total_width().max(grid.total_height()) as f64;
+
+    loop {
+        let mut accepted = 0usize;
+        for _ in 0..moves_per_temp {
+            let b = movable[rng.gen_range(0..movable.len())];
+            if try_move(
+                design,
+                &mut placement,
+                &model,
+                &lb_tiles,
+                &io_tiles,
+                &mut lb_of_tile,
+                &mut pads_of_tile,
+                &nets_of_block,
+                b,
+                &mut rng,
+                temperature,
+                rlim,
+            )
+            .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        let rate = accepted as f64 / moves_per_temp as f64;
+        // VPR's adaptive alpha.
+        let alpha = if rate > 0.96 {
+            0.5
+        } else if rate > 0.8 {
+            0.9
+        } else if rate > 0.15 {
+            0.95
+        } else {
+            0.8
+        };
+        temperature *= alpha;
+        rlim = (rlim * (1.0 - 0.44 + rate)).clamp(1.0, grid.total_width() as f64);
+        if temperature < config.exit_factor * placement.cost / design.nets().len() as f64 {
+            break;
+        }
+    }
+
+    placement.cost = model.total(&placement, design);
+    Ok(placement)
+}
+
+/// Attempts one annealing move; returns `Some(delta)` if accepted.
+#[allow(clippy::too_many_arguments)]
+fn try_move(
+    design: &PackedDesign,
+    placement: &mut Placement,
+    model: &CostModel<'_>,
+    lb_tiles: &[(usize, usize)],
+    io_tiles: &[(usize, usize)],
+    lb_of_tile: &mut std::collections::HashMap<(usize, usize), Option<BlockId>>,
+    pads_of_tile: &mut std::collections::HashMap<(usize, usize), Vec<BlockId>>,
+    nets_of_block: &[Vec<usize>],
+    block: BlockId,
+    rng: &mut ChaCha8Rng,
+    temperature: f64,
+    rlim: f64,
+) -> Option<f64> {
+    let kind = design.block(block).kind;
+    let from = placement.loc(block);
+    // Pick a target tile of the right class within the range limit.
+    let tiles = if kind == BlockKind::Logic { lb_tiles } else { io_tiles };
+    let mut to = tiles[rng.gen_range(0..tiles.len())];
+    if rlim < placement.grid.total_width() as f64 {
+        // Bias toward nearby tiles: retry a few times for range.
+        for _ in 0..4 {
+            let d = Grid::manhattan(from, to) as f64;
+            if d <= rlim {
+                break;
+            }
+            to = tiles[rng.gen_range(0..tiles.len())];
+        }
+    }
+    if to == from {
+        return None;
+    }
+
+    // Identify the swap partner (if the target is full).
+    let partner: Option<BlockId> = if kind == BlockKind::Logic {
+        *lb_of_tile.get(&to).expect("lb tile")
+    } else {
+        let occupants = pads_of_tile.get(&to).expect("io tile");
+        if occupants.len() >= placement.grid.io_rate {
+            Some(occupants[rng.gen_range(0..occupants.len())])
+        } else {
+            None
+        }
+    };
+
+    // Affected nets.
+    let mut nets: Vec<usize> = nets_of_block[block.index()].clone();
+    if let Some(p) = partner {
+        nets.extend(nets_of_block[p.index()].iter().copied());
+        nets.sort();
+        nets.dedup();
+    }
+    let before: f64 =
+        nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
+
+    // Apply tentatively.
+    placement.locs[block.index()] = to;
+    if let Some(p) = partner {
+        placement.locs[p.index()] = from;
+    }
+    let after: f64 =
+        nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
+    let delta = after - before;
+
+    let accept = delta <= 0.0
+        || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+    if !accept {
+        // Revert.
+        placement.locs[block.index()] = from;
+        if let Some(p) = partner {
+            placement.locs[p.index()] = to;
+        }
+        return None;
+    }
+
+    // Commit occupancy maps.
+    if kind == BlockKind::Logic {
+        lb_of_tile.insert(from, partner);
+        lb_of_tile.insert(to, Some(block));
+    } else {
+        let from_list = pads_of_tile.get_mut(&from).expect("io tile");
+        from_list.retain(|b| *b != block);
+        if let Some(p) = partner {
+            from_list.push(p);
+            let to_list = pads_of_tile.get_mut(&to).expect("io tile");
+            to_list.retain(|b| *b != p);
+            to_list.push(block);
+        } else {
+            pads_of_tile.get_mut(&to).expect("io tile").push(block);
+        }
+    }
+    placement.cost += delta;
+    Some(delta)
+}
+
+/// Checks placement legality: every block on a tile of its class, one LB
+/// per tile, at most `io_rate` pads per I/O tile.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Inconsistent`] describing the first violation.
+pub fn check_legal(design: &PackedDesign, placement: &Placement) -> Result<(), PnrError> {
+    use std::collections::HashMap;
+    let mut lb_seen: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut pad_seen: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, block) in design.blocks().iter().enumerate() {
+        let loc = placement.locs[i];
+        let tile = placement.grid.tile(loc.0, loc.1);
+        match block.kind {
+            BlockKind::Logic => {
+                if tile != TileKind::Lb {
+                    return Err(PnrError::Inconsistent {
+                        message: format!("logic block {i} on non-LB tile {loc:?}"),
+                    });
+                }
+                *lb_seen.entry(loc).or_insert(0) += 1;
+            }
+            BlockKind::InputPad | BlockKind::OutputPad => {
+                if tile != TileKind::Io {
+                    return Err(PnrError::Inconsistent {
+                        message: format!("pad {i} on non-IO tile {loc:?}"),
+                    });
+                }
+                *pad_seen.entry(loc).or_insert(0) += 1;
+            }
+        }
+    }
+    if let Some((loc, n)) = lb_seen.iter().find(|(_, n)| **n > 1) {
+        return Err(PnrError::Inconsistent {
+            message: format!("{n} logic blocks stacked at {loc:?}"),
+        });
+    }
+    if let Some((loc, n)) = pad_seen.iter().find(|(_, n)| **n > placement.grid.io_rate) {
+        return Err(PnrError::Inconsistent {
+            message: format!("{n} pads at {loc:?} exceed io_rate"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga_arch::params::ArchParams;
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn setup(luts: usize, seed: u64) -> (PackedDesign, Grid) {
+        let params = ArchParams::paper_table1();
+        let design =
+            crate::pack::pack(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &params)
+                .unwrap();
+        let grid =
+            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+                .unwrap();
+        (design, grid)
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let (design, grid) = setup(60, 2);
+        let p = place(&design, grid, &PlaceConfig::fast(1)).unwrap();
+        check_legal(&design, &p).unwrap();
+    }
+
+    #[test]
+    fn annealing_improves_over_initial() {
+        let (design, grid) = setup(120, 3);
+        // Initial cost: measure by constructing with a schedule of zero
+        // moves -- approximate by comparing fast vs thorough runs both
+        // beating a random baseline. Here: the returned cost must beat a
+        // freshly shuffled placement's cost on average.
+        let p = place(&design, grid, &PlaceConfig::new(7)).unwrap();
+        // Build a "random" placement via the fast config with zero
+        // temperature moves: use a different seed fast run as proxy.
+        let random_proxy = place(
+            &design,
+            grid,
+            &PlaceConfig { seed: 99, inner_num: 0.0001, exit_factor: 1e9 },
+        )
+        .unwrap();
+        assert!(
+            p.cost <= random_proxy.cost,
+            "annealed {} vs initial {}",
+            p.cost,
+            random_proxy.cost
+        );
+    }
+
+    #[test]
+    fn cost_matches_recomputation() {
+        let (design, grid) = setup(60, 4);
+        let p = place(&design, grid, &PlaceConfig::fast(5)).unwrap();
+        let recomputed = p.wirelength(&design);
+        assert!((p.cost - recomputed).abs() < 1e-6 * recomputed.max(1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (design, grid) = setup(50, 6);
+        let a = place(&design, grid, &PlaceConfig::fast(11)).unwrap();
+        let b = place(&design, grid, &PlaceConfig::fast(11)).unwrap();
+        assert_eq!(a.locs, b.locs);
+    }
+
+    #[test]
+    fn grid_too_small_rejected() {
+        let (design, _) = setup(100, 7);
+        let tiny = Grid::new(1, 1, 1).unwrap();
+        assert!(matches!(
+            place(&design, tiny, &PlaceConfig::fast(1)),
+            Err(PnrError::DoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn q_factor_monotone() {
+        let mut prev = 0.0;
+        for t in 1..60 {
+            let q = q_factor(t);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Static timing analysis over a packed, placed, and routed design.
+//!
+//! Plays the role of the paper's "VPR timing analysis" fed by HSPICE-
+//! extracted delays (Fig. 10): per-connection delays come from a
+//! [`RoutingTiming`] electrical model (supplied by the FPGA-variant layer,
+//! e.g. CMOS-only vs CMOS-NEM), and arrival times propagate through the
+//! cell graph to find the application critical path.
+
+use crate::error::PnrError;
+use crate::pack::{BlockId, PackedDesign};
+use crate::route::{RoutedNet, Routing};
+use nemfpga_arch::rrgraph::{RrGraph, RrKind, SwitchClass};
+use nemfpga_netlist::cell::CellKind;
+use nemfpga_netlist::ids::CellId;
+use nemfpga_tech::units::{Farads, Ohms, Seconds};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Electrical timing of one routing stage (the switch plus any buffer that
+/// drives the next resource).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Fixed delay of the stage's buffer chain (zero if removed).
+    pub t_fixed: Seconds,
+    /// Series resistance driving the next resource (switch + driver).
+    pub r_series: Ohms,
+    /// Multiplier modelling the degraded rising edge after a Vt-dropping
+    /// switch (1.0 for full-swing switches such as NEM relays).
+    pub delay_penalty: f64,
+}
+
+/// The complete per-variant routing/logic timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTiming {
+    /// Block output pin driving onto a wire.
+    pub output_driver: StageTiming,
+    /// Wire-to-wire switch-box hop (includes the wire buffer, if any).
+    pub switch_box: StageTiming,
+    /// Wire-to-input-pin connection-box hop (includes the LB input buffer,
+    /// if any).
+    pub connection_box: StageTiming,
+    /// Wire resistance per tile span.
+    pub wire_r_per_tile: Ohms,
+    /// Wire capacitance per tile span (including switch-tap loading).
+    pub wire_c_per_tile: Farads,
+    /// Input-pin capacitance.
+    pub ipin_cap: Farads,
+    /// LUT input-to-output delay.
+    pub lut_delay: Seconds,
+    /// LB input pin through the local crossbar to a LUT input.
+    pub lb_input_to_lut: Seconds,
+    /// LUT output to the LB output pin (includes the LB output buffer, if
+    /// any).
+    pub lut_to_output_pin: Seconds,
+    /// LUT-to-LUT feedback inside one LB.
+    pub local_feedback: Seconds,
+    /// Flip-flop clock-to-Q.
+    pub clk_to_q: Seconds,
+    /// Flip-flop setup time.
+    pub setup: Seconds,
+}
+
+/// Timing analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Application critical path delay.
+    pub critical_path: Seconds,
+    /// Cells on the critical path, source to endpoint.
+    pub critical_cells: Vec<CellId>,
+    /// Mean point-to-point routed connection delay (for reporting).
+    pub mean_connection_delay: Seconds,
+    /// Timing slack at each cell's output, indexed by `CellId`
+    /// (required time minus arrival; ~0 on the critical path).
+    pub cell_slacks: Vec<Seconds>,
+}
+
+impl TimingReport {
+    /// Maximum operating frequency implied by the critical path.
+    pub fn fmax_hz(&self) -> f64 {
+        1.0 / self.critical_path.value()
+    }
+
+    /// Slack at `cell`'s output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn slack(&self, cell: CellId) -> Seconds {
+        self.cell_slacks[cell.index()]
+    }
+
+    /// Timing criticality of `cell` in `[0, 1]`: 1 on the critical path,
+    /// 0 for paths with a full cycle of slack. The standard VPR-style
+    /// weight for timing-driven optimization.
+    pub fn criticality(&self, cell: CellId) -> f64 {
+        let cp = self.critical_path.value().max(f64::MIN_POSITIVE);
+        (1.0 - self.cell_slacks[cell.index()].value() / cp).clamp(0.0, 1.0)
+    }
+}
+
+/// Per-sink routed delays of one net, keyed by sink tile.
+fn net_sink_delays(
+    rr: &RrGraph,
+    routed: &RoutedNet,
+    timing: &RoutingTiming,
+) -> HashMap<(usize, usize), Seconds> {
+    // Accumulate Elmore-style stage delays down the tree. delay[i] = delay
+    // at tree node i; children add their entering stage.
+    let mut delay = vec![Seconds::zero(); routed.tree.len()];
+    let mut result = HashMap::new();
+    for (i, node) in routed.tree.iter().enumerate() {
+        let base = node.parent.map_or(Seconds::zero(), |p| delay[p as usize]);
+        let kind = rr.node(node.rr).kind;
+        let stage_delay = match node.entered_via {
+            SwitchClass::Internal => Seconds::zero(),
+            class => {
+                let stage = match class {
+                    SwitchClass::OutputDriver => timing.output_driver,
+                    SwitchClass::SwitchBox => timing.switch_box,
+                    SwitchClass::ConnectionBox => timing.connection_box,
+                    SwitchClass::Internal => unreachable!(),
+                };
+                let (c_load, wire_elmore) = match kind {
+                    RrKind::ChanX { .. } | RrKind::ChanY { .. } => {
+                        let span = kind.span_tiles() as f64;
+                        let c_wire = timing.wire_c_per_tile * span;
+                        let r_wire = timing.wire_r_per_tile * span;
+                        (c_wire, r_wire * c_wire / 2.0)
+                    }
+                    RrKind::Ipin { .. } => (timing.ipin_cap, Seconds::zero()),
+                    _ => (Farads::zero(), Seconds::zero()),
+                };
+                (stage.t_fixed + stage.r_series * c_load) * stage.delay_penalty + wire_elmore
+            }
+        };
+        delay[i] = base + stage_delay;
+        if let RrKind::Sink { x, y } = kind {
+            result.insert((x as usize, y as usize), delay[i]);
+        }
+    }
+    result
+}
+
+/// Runs STA and extracts the critical path.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Inconsistent`] if the routing does not cover the
+/// design's nets or a sink's delay is missing, and [`PnrError::BadNetlist`]
+/// for cyclic netlists.
+///
+/// # Examples
+///
+/// See `nemfpga::flow` for an end-to-end example; this function needs a
+/// packed + placed + routed design plus an electrical model.
+pub fn analyze_timing(
+    rr: &RrGraph,
+    design: &PackedDesign,
+    placement: &crate::place::Placement,
+    routing: &Routing,
+    timing: &RoutingTiming,
+) -> Result<TimingReport, PnrError> {
+    if routing.nets.len() != design.nets().len() {
+        return Err(PnrError::Inconsistent {
+            message: "routing/net count mismatch".to_owned(),
+        });
+    }
+    let netlist = design.netlist();
+
+    // Routed delay of each (net -> sink block) connection.
+    let mut conn_delay: HashMap<(usize, BlockId), Seconds> = HashMap::new();
+    let mut total = Seconds::zero();
+    let mut count = 0usize;
+    for (ni, (pn, rn)) in design.nets().iter().zip(&routing.nets).enumerate() {
+        let sink_delays = net_sink_delays(rr, rn, timing);
+        for &b in &pn.sinks {
+            let loc = placement.loc(b);
+            let d = *sink_delays.get(&loc).ok_or_else(|| PnrError::Inconsistent {
+                message: format!("net {ni} missing routed delay at {loc:?}"),
+            })?;
+            conn_delay.insert((ni, b), d);
+            total += d;
+            count += 1;
+        }
+    }
+    let mean_connection_delay = if count == 0 { Seconds::zero() } else { total / count as f64 };
+
+    // Map each netlist net to its packed-net index (if inter-block).
+    let mut packed_index: HashMap<u32, usize> = HashMap::new();
+    for (ni, pn) in design.nets().iter().enumerate() {
+        packed_index.insert(pn.net.index() as u32, ni);
+    }
+
+    // Build the explicit timing-connection list: one entry per (driver
+    // output -> sink input) pair, with the full inter-cell wire delay
+    // (exit buffer + routed RC + entry path).
+    let order = netlist
+        .topological_order()
+        .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+    let n_cells = netlist.cells().len();
+
+    struct Conn {
+        driver: CellId,
+        sink: CellId,
+        wire: Seconds,
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    for id in &order {
+        let cell = netlist.cell(*id);
+        if matches!(cell.kind, CellKind::Input) {
+            continue;
+        }
+        let my_block = design.block_of(*id);
+        for &input in &cell.inputs {
+            let Some(driver) = netlist.net(input).driver else { continue };
+            let drv_block = design.block_of(driver);
+            let is_pad_sink = matches!(cell.kind, CellKind::Output);
+            let wire = if drv_block == my_block {
+                // Intra-block: free into a pad, fused/local otherwise. A
+                // latch fused with its LUT sees zero; approximate all
+                // intra-block sequential hops with local feedback.
+                if is_pad_sink || matches!(cell.kind, CellKind::Latch) {
+                    Seconds::zero()
+                } else {
+                    timing.local_feedback
+                }
+            } else {
+                let ni = packed_index
+                    .get(&(input.index() as u32))
+                    .copied()
+                    .ok_or_else(|| PnrError::Inconsistent {
+                        message: format!(
+                            "inter-block net '{}' not packed",
+                            netlist.net(input).name
+                        ),
+                    })?;
+                let routed = *conn_delay.get(&(ni, my_block)).ok_or_else(|| {
+                    PnrError::Inconsistent { message: format!("no routed delay for net {ni}") }
+                })?;
+                let entry =
+                    if is_pad_sink { Seconds::zero() } else { timing.lb_input_to_lut };
+                timing.lut_to_output_pin + routed + entry
+            };
+            conns.push(Conn { driver, sink: *id, wire });
+        }
+    }
+    let mut conns_by_sink: Vec<Vec<usize>> = vec![Vec::new(); n_cells];
+    let mut conns_by_driver: Vec<Vec<usize>> = vec![Vec::new(); n_cells];
+    for (i, c) in conns.iter().enumerate() {
+        conns_by_sink[c.sink.index()].push(i);
+        conns_by_driver[c.driver.index()].push(i);
+    }
+    // A cell's own propagation delay from its inputs to its output.
+    let own_delay = |cell: CellId| match netlist.cell(cell).kind {
+        CellKind::Lut(_) => timing.lut_delay,
+        _ => Seconds::zero(),
+    };
+    // Setup requirement when `cell` terminates a path at its inputs.
+    let endpoint_setup = |cell: CellId| match netlist.cell(cell).kind {
+        CellKind::Latch => timing.setup,
+        _ => Seconds::zero(),
+    };
+
+    // --- Forward pass: arrival times at cell outputs -------------------
+    // Timing sources (PIs, latch Q outputs) are constants and may appear
+    // anywhere in the topological order: set them before the sweep.
+    let mut arrival = vec![Seconds::zero(); n_cells];
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if matches!(cell.kind, CellKind::Latch) {
+            arrival[i] = timing.clk_to_q;
+        }
+    }
+    let mut pred: Vec<Option<CellId>> = vec![None; n_cells];
+    let mut critical = (Seconds::zero(), None::<CellId>);
+    for id in &order {
+        let cell = netlist.cell(*id);
+        match cell.kind {
+            CellKind::Input | CellKind::Latch => {}
+            CellKind::Lut(_) | CellKind::Output => {
+                let mut worst = Seconds::zero();
+                let mut best = None;
+                for &ci in &conns_by_sink[id.index()] {
+                    let c = &conns[ci];
+                    let t = arrival[c.driver.index()] + c.wire;
+                    if t >= worst {
+                        worst = t;
+                        best = Some(c.driver);
+                    }
+                }
+                arrival[id.index()] = worst + own_delay(*id);
+                pred[id.index()] = best;
+            }
+        }
+        // Endpoints: primary outputs and latch data inputs.
+        let endpoint_time = match cell.kind {
+            CellKind::Output => Some(arrival[id.index()]),
+            CellKind::Latch => {
+                let mut worst = None;
+                for &ci in &conns_by_sink[id.index()] {
+                    let c = &conns[ci];
+                    let t = arrival[c.driver.index()] + c.wire + timing.setup;
+                    if worst.is_none_or(|w| t > w) {
+                        worst = Some(t);
+                        pred[id.index()] = Some(c.driver);
+                    }
+                }
+                worst
+            }
+            _ => None,
+        };
+        if let Some(t) = endpoint_time {
+            if t > critical.0 {
+                critical = (t, Some(*id));
+            }
+        }
+    }
+    let cp = critical.0;
+
+    // --- Backward pass: required times and slacks ----------------------
+    // required[i] = latest time cell i's *output* may settle without
+    // stretching the critical path.
+    let mut required = vec![Seconds::new(f64::INFINITY); n_cells];
+    for id in order.iter().rev() {
+        let cell = netlist.cell(*id);
+        // Timing sinks constrain their drivers through their inputs.
+        let own_req = match cell.kind {
+            CellKind::Output => Some(cp),
+            CellKind::Latch => Some(cp), // constraint applied via setup below
+            _ => None,
+        };
+        for &ci in &conns_by_sink[id.index()] {
+            let c = &conns[ci];
+            // Required at the driver via this connection: the sink's input
+            // must settle early enough for the sink's own propagation (or
+            // setup, for latch endpoints).
+            let at_sink_input = match cell.kind {
+                CellKind::Latch => cp - endpoint_setup(*id),
+                CellKind::Output => own_req.expect("outputs are endpoints"),
+                _ => required[id.index()] - own_delay(*id),
+            };
+            let via = at_sink_input - c.wire;
+            if via < required[c.driver.index()] {
+                required[c.driver.index()] = via;
+            }
+        }
+        // Endpoints with no fanout keep their own requirement.
+        if conns_by_driver[id.index()].is_empty() {
+            let r = own_req.unwrap_or(cp);
+            if r < required[id.index()] {
+                required[id.index()] = r;
+            }
+        }
+    }
+    let cell_slacks: Vec<Seconds> = (0..n_cells)
+        .map(|i| {
+            let r = required[i];
+            if r.value().is_finite() {
+                r - arrival[i]
+            } else {
+                // Unconstrained (e.g. a PI feeding nothing): full slack.
+                cp
+            }
+        })
+        .collect();
+
+    // Walk the critical path backwards, stopping at the segment's timing
+    // source (a latch Q or a PI): `pred` of a latch points at its *D*
+    // driver, which belongs to the previous register-to-register segment.
+    let mut critical_cells = Vec::new();
+    let mut cursor = critical.1;
+    let mut at_endpoint = true;
+    while let Some(c) = cursor {
+        critical_cells.push(c);
+        if !at_endpoint && netlist.cell(c).kind.is_timing_source() {
+            break;
+        }
+        at_endpoint = false;
+        cursor = pred[c.index()];
+    }
+    critical_cells.reverse();
+
+    Ok(TimingReport {
+        critical_path: cp,
+        critical_cells,
+        mean_connection_delay,
+        cell_slacks,
+    })
+}
+
+/// Builds per-connection timing weights for timing-driven placement from
+/// a completed analysis: `weight[net][k] = criticality^exponent` of the
+/// most critical sink cell inside the `k`-th sink block of packed net
+/// `net` (VPR uses an exponent around 1–8; 2 is a good default).
+///
+/// The usual flow: place wirelength-driven, route, [`analyze_timing`],
+/// then re-place with
+/// [`crate::place::place_timing_driven`] using these weights.
+pub fn connection_criticalities(
+    design: &PackedDesign,
+    report: &TimingReport,
+    exponent: f64,
+    lambda: f64,
+) -> crate::place::TimingWeights {
+    let netlist = design.netlist();
+    let weight = design
+        .nets()
+        .iter()
+        .map(|pn| {
+            let net = netlist.net(pn.net);
+            pn.sinks
+                .iter()
+                .map(|&sink_block| {
+                    net.sinks
+                        .iter()
+                        .filter(|cell| design.block_of(**cell) == sink_block)
+                        .map(|cell| report.criticality(*cell))
+                        .fold(0.0f64, f64::max)
+                        .powf(exponent)
+                })
+                .collect()
+        })
+        .collect();
+    crate::place::TimingWeights { weight, lambda }
+}
+
+/// A representative electrical model for tests: every stage 100 ps-ish,
+/// no Vt penalty. Real models come from the `nemfpga` core crate.
+pub fn test_timing_model() -> RoutingTiming {
+    let stage = StageTiming {
+        t_fixed: Seconds::from_pico(50.0),
+        r_series: Ohms::from_kilo(2.0),
+        delay_penalty: 1.0,
+    };
+    RoutingTiming {
+        output_driver: stage,
+        switch_box: stage,
+        connection_box: stage,
+        wire_r_per_tile: Ohms::new(150.0),
+        wire_c_per_tile: Farads::from_femto(3.0),
+        ipin_cap: Farads::from_femto(1.0),
+        lut_delay: Seconds::from_pico(150.0),
+        lb_input_to_lut: Seconds::from_pico(60.0),
+        lut_to_output_pin: Seconds::from_pico(60.0),
+        local_feedback: Seconds::from_pico(80.0),
+        clk_to_q: Seconds::from_pico(80.0),
+        setup: Seconds::from_pico(60.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use crate::place::{place, PlaceConfig};
+    use crate::route::{route, RouteConfig};
+    use nemfpga_arch::{build_rr_graph, ArchParams, Grid};
+    use nemfpga_netlist::synth::SynthConfig;
+
+    fn implemented(
+        luts: usize,
+        seed: u64,
+    ) -> (nemfpga_arch::RrGraph, crate::pack::PackedDesign, crate::place::Placement, crate::route::Routing)
+    {
+        let params = ArchParams::paper_table1();
+        let imp = crate::flow::implement(
+            SynthConfig::tiny("t", luts, seed).generate().unwrap(),
+            &params,
+            &PlaceConfig::fast(seed),
+            &RouteConfig::new(),
+            crate::flow::WidthPolicy::LowStress { hint: 16, max: 512 },
+        )
+        .unwrap();
+        (imp.rr, imp.design, imp.placement, imp.routing)
+    }
+
+    fn analyzed(luts: usize, seed: u64) -> TimingReport {
+        let (rr, design, placement, routing) = implemented(luts, seed);
+        analyze_timing(&rr, &design, &placement, &routing, &test_timing_model()).unwrap()
+    }
+
+    #[test]
+    fn critical_path_is_positive_and_plausible() {
+        let report = analyzed(60, 1);
+        let ns = report.critical_path.as_nano();
+        assert!(ns > 0.1, "critical path {ns} ns too small");
+        assert!(ns < 100.0, "critical path {ns} ns too large");
+        assert!(report.fmax_hz() > 1e6);
+        assert!(!report.critical_cells.is_empty());
+    }
+
+    #[test]
+    fn slower_switches_slow_the_application() {
+        let (rr, design, placement, routing) = implemented(60, 2);
+
+        let fast = test_timing_model();
+        let mut slow = fast;
+        slow.switch_box.r_series = fast.switch_box.r_series * 10.0;
+        slow.switch_box.delay_penalty = 1.8;
+
+        let fast_cp =
+            analyze_timing(&rr, &design, &placement, &routing, &fast).unwrap().critical_path;
+        let slow_cp =
+            analyze_timing(&rr, &design, &placement, &routing, &slow).unwrap().critical_path;
+        assert!(slow_cp > fast_cp, "{slow_cp:?} !> {fast_cp:?}");
+    }
+
+    #[test]
+    fn critical_path_cells_are_connected_chain() {
+        let report = analyzed(80, 3);
+        assert!(report.critical_cells.len() >= 2);
+    }
+
+    #[test]
+    fn mean_connection_delay_reported() {
+        let report = analyzed(40, 4);
+        assert!(report.mean_connection_delay.value() > 0.0);
+        assert!(report.mean_connection_delay < report.critical_path);
+    }
+
+    #[test]
+    fn slacks_are_nonnegative_and_zero_on_critical_path() {
+        let report = analyzed(80, 5);
+        let cp = report.critical_path.value();
+        for (i, s) in report.cell_slacks.iter().enumerate() {
+            assert!(
+                s.value() >= -1e-15,
+                "cell {i} has negative slack {s:?} (cp {cp})"
+            );
+            assert!(s.value() <= cp * (1.0 + 1e-9), "cell {i} slack exceeds cp");
+        }
+        // Every cell on the reported critical path has (near-)zero slack
+        // and criticality 1 — except a latch *endpoint*, whose slack is
+        // measured at its Q output (a fresh timing source), not at the D
+        // input that terminated the path.
+        let endpoint = *report.critical_cells.last().expect("path nonempty");
+        for c in &report.critical_cells {
+            if *c == endpoint {
+                continue;
+            }
+            let s = report.slack(*c).value();
+            assert!(s.abs() < 1e-9 * cp + 1e-15, "critical cell slack {s}");
+            assert!((report.criticality(*c) - 1.0).abs() < 1e-6);
+        }
+        // And some cell is genuinely non-critical.
+        let max_slack = report
+            .cell_slacks
+            .iter()
+            .map(|s| s.value())
+            .fold(0.0f64, f64::max);
+        assert!(max_slack > 0.05 * cp, "no slack diversity: max {max_slack}");
+    }
+
+    #[test]
+    fn timing_driven_placement_does_not_hurt_and_usually_helps() {
+        use crate::place::{place_timing_driven, PlaceConfig};
+        use crate::route::route;
+
+        let params = ArchParams::paper_table1();
+        let netlist = SynthConfig::tiny("td", 100, 21).generate().unwrap();
+        let design = pack(netlist, &params).unwrap();
+        let grid = nemfpga_arch::Grid::for_design(
+            design.num_logic_blocks(),
+            design.num_pads(),
+            params.io_rate,
+        )
+        .unwrap();
+        let model = test_timing_model();
+
+        // Seed pass: wirelength placement + routing + analysis.
+        let seed_placement = place(&design, grid, &PlaceConfig::fast(21)).unwrap();
+        let rr = build_rr_graph(&params, grid, 48).unwrap();
+        let seed_routing = route(&rr, &design, &seed_placement, &RouteConfig::new()).unwrap();
+        let seed_report =
+            analyze_timing(&rr, &design, &seed_placement, &seed_routing, &model).unwrap();
+
+        // Timing-driven pass with the measured criticalities.
+        let weights = connection_criticalities(&design, &seed_report, 2.0, 0.5);
+        let td_placement =
+            place_timing_driven(&design, grid, &PlaceConfig::fast(21), &weights).unwrap();
+        crate::place::check_legal(&design, &td_placement).unwrap();
+        let td_routing = route(&rr, &design, &td_placement, &RouteConfig::new()).unwrap();
+        let td_report =
+            analyze_timing(&rr, &design, &td_placement, &td_routing, &model).unwrap();
+
+        let ratio = td_report.critical_path / seed_report.critical_path;
+        assert!(ratio < 1.10, "timing-driven placement regressed: {ratio:.3}x");
+    }
+
+    #[test]
+    fn timing_weights_shape_is_validated() {
+        use crate::place::TimingWeights;
+        let params = ArchParams::paper_table1();
+        let design =
+            pack(SynthConfig::tiny("tw", 30, 9).generate().unwrap(), &params).unwrap();
+        let bad = TimingWeights { weight: vec![vec![1.0]; 3], lambda: 0.5 };
+        assert!(bad.validate(&design).is_err());
+        let report = analyzed(30, 9);
+        let good = connection_criticalities(&design, &report, 2.0, 0.5);
+        good.validate(&design).unwrap();
+        // All weights in [0, 1].
+        assert!(good
+            .weight
+            .iter()
+            .flatten()
+            .all(|w| (0.0..=1.0).contains(w)));
+    }
+
+    #[test]
+    fn criticality_is_bounded_and_ordered_by_slack() {
+        let report = analyzed(60, 6);
+        for i in 0..report.cell_slacks.len() {
+            let c = report.criticality(nemfpga_netlist::ids::CellId::new(i as u32));
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the CAD substrate: packing limits, placement
+//! legality, and routing validity hold for arbitrary small designs.
+
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_netlist::cell::CellKind;
+use nemfpga_netlist::ids::NetId;
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_pnr::pack::{pack, BlockKind};
+use nemfpga_pnr::place::{check_legal, place, PlaceConfig};
+use nemfpga_pnr::route::{check_routing, route, RouteConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packing never violates the cluster-size or input-pin limits and
+    /// never loses a cell.
+    #[test]
+    fn packing_respects_architecture_limits(
+        luts in 5usize..120,
+        seed in 0u64..500,
+        latch_pct in 0u32..50,
+    ) {
+        let params = ArchParams::paper_table1();
+        let mut cfg = SynthConfig::tiny("prop", luts, seed);
+        cfg.latch_fraction = latch_pct as f64 / 100.0;
+        let netlist = cfg.generate().expect("generates");
+        let total_cells = netlist.cells().len();
+        let design = pack(netlist, &params).expect("packs");
+
+        let mut seen = HashSet::new();
+        for block in design.blocks() {
+            for c in &block.cells {
+                prop_assert!(seen.insert(*c), "cell in two blocks");
+            }
+            if block.kind != BlockKind::Logic {
+                prop_assert_eq!(block.cells.len(), 1);
+                continue;
+            }
+            let luts_in = block
+                .cells
+                .iter()
+                .filter(|c| matches!(design.netlist().cell(**c).kind, CellKind::Lut(_)))
+                .count();
+            prop_assert!(luts_in <= params.cluster_size);
+            // Distinct external input nets within I.
+            let inside: HashSet<_> = block.cells.iter().copied().collect();
+            let mut ext: HashSet<NetId> = HashSet::new();
+            for &c in &block.cells {
+                for &input in &design.netlist().cell(c).inputs {
+                    let driver = design.netlist().net(input).driver.expect("driven");
+                    if !inside.contains(&driver) {
+                        ext.insert(input);
+                    }
+                }
+            }
+            prop_assert!(ext.len() <= params.lb_inputs, "{} external inputs", ext.len());
+        }
+        prop_assert_eq!(seen.len(), total_cells);
+    }
+
+    /// Inter-block nets never list the driver as a sink and never repeat a
+    /// sink.
+    #[test]
+    fn packed_nets_are_clean(luts in 5usize..100, seed in 0u64..500) {
+        let params = ArchParams::paper_table1();
+        let netlist = SynthConfig::tiny("prop", luts, seed).generate().expect("generates");
+        let design = pack(netlist, &params).expect("packs");
+        for pn in design.nets() {
+            prop_assert!(!pn.sinks.is_empty());
+            prop_assert!(!pn.sinks.contains(&pn.driver));
+            let distinct: HashSet<_> = pn.sinks.iter().collect();
+            prop_assert_eq!(distinct.len(), pn.sinks.len());
+        }
+    }
+
+    /// Placement is always legal for any seed, and deterministic per seed.
+    #[test]
+    fn placement_always_legal(luts in 10usize..80, seed in 0u64..300) {
+        let params = ArchParams::paper_table1();
+        let netlist = SynthConfig::tiny("prop", luts, seed).generate().expect("generates");
+        let design = pack(netlist, &params).expect("packs");
+        let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+            .expect("sizes");
+        let a = place(&design, grid, &PlaceConfig::fast(seed)).expect("places");
+        check_legal(&design, &a).expect("legal");
+        let b = place(&design, grid, &PlaceConfig::fast(seed)).expect("places");
+        prop_assert_eq!(a.locs, b.locs);
+    }
+
+    /// Whenever the router reports success, the routing withstands full
+    /// verification (connectivity, tree shape, capacity).
+    #[test]
+    fn successful_routings_verify(luts in 10usize..60, seed in 0u64..200) {
+        let params = ArchParams::paper_table1();
+        let netlist = SynthConfig::tiny("prop", luts, seed).generate().expect("generates");
+        let design = pack(netlist, &params).expect("packs");
+        let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+            .expect("sizes");
+        let placement = place(&design, grid, &PlaceConfig::fast(seed)).expect("places");
+        // A generous width so most cases route; failures are skipped (the
+        // property is about soundness of success, not completeness).
+        let rr = nemfpga_arch::build_rr_graph(&params, grid, 40).expect("builds");
+        if let Ok(routing) = route(&rr, &design, &placement, &RouteConfig::new()) {
+            check_routing(&rr, &design, &placement, &routing).expect("verifies");
+            prop_assert!(routing.wirelength_tiles > 0 || design.nets().is_empty());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Combined power report with Fig. 9-style textual rendering.
+
+use crate::dynamic::DynamicBreakdown;
+use crate::leakage::LeakageBreakdown;
+use nemfpga_tech::units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The full power picture of one implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Dynamic (switching) power by component.
+    pub dynamic: DynamicBreakdown,
+    /// Static (leakage) power by component.
+    pub leakage: LeakageBreakdown,
+}
+
+impl PowerReport {
+    /// Total chip power.
+    pub fn total(&self) -> Watts {
+        self.dynamic.total() + self.leakage.total()
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.dynamic.fractions();
+        let l = self.leakage.fractions();
+        writeln!(
+            f,
+            "dynamic power: {:.3} mW (wires {:.0}%, routing buffers {:.0}%, LUTs {:.0}%, clocking {:.0}%)",
+            self.dynamic.total().as_milli(),
+            d[0] * 100.0,
+            d[1] * 100.0,
+            d[2] * 100.0,
+            d[3] * 100.0,
+        )?;
+        write!(
+            f,
+            "leakage power: {:.3} mW (routing buffers {:.0}%, routing SRAM {:.0}%, pass switches {:.0}%, logic {:.0}%)",
+            self.leakage.total().as_milli(),
+            l[0] * 100.0,
+            l[1] * 100.0,
+            l[2] * 100.0,
+            l[3] * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_component() {
+        let report = PowerReport {
+            dynamic: DynamicBreakdown {
+                wires: Watts::from_micro(40.0),
+                routing_buffers: Watts::from_micro(30.0),
+                luts: Watts::from_micro(20.0),
+                clocking: Watts::from_micro(10.0),
+            },
+            leakage: LeakageBreakdown {
+                routing_buffers: Watts::from_micro(70.0),
+                routing_sram: Watts::from_micro(12.0),
+                routing_switches: Watts::from_micro(10.0),
+                logic: Watts::from_micro(8.0),
+            },
+        };
+        let s = report.to_string();
+        assert!(s.contains("wires 40%"), "{s}");
+        assert!(s.contains("routing buffers 70%"), "{s}");
+        assert!((report.total().as_micro() - 200.0).abs() < 1e-9);
+    }
+}

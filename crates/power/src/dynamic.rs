@@ -1,0 +1,199 @@
+//! Dynamic (switching) power.
+//!
+//! `P = ½ · α · C · Vdd² · f_clk` summed per component group, with the
+//! grouping of the paper's Fig. 9: wire interconnect, routing buffers,
+//! LUTs, and clocking.
+
+use crate::activity::NetActivity;
+use crate::usage::FabricUsage;
+use nemfpga_tech::units::{Farads, Hertz, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Capacitance unit costs of the dynamic components, per use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicCosts {
+    /// Channel wire capacitance per tile span (metal + switch taps).
+    pub wire_cap_per_tile: Farads,
+    /// Capacitance switched inside the buffer chain at each driven wire
+    /// (output driver or switch-box buffer). Zero when buffers are removed.
+    pub sb_buffer_cap: Farads,
+    /// Capacitance switched by an LB output buffer per crossing net.
+    pub lb_output_buffer_cap: Farads,
+    /// Capacitance switched by an LB input buffer per connection-box entry.
+    pub lb_input_buffer_cap: Farads,
+    /// Routing-switch parasitic charged per hop (pass transistor
+    /// diffusion or relay contact).
+    pub switch_parasitic_cap: Farads,
+    /// Receiver-side load charged per connection-box entry (the LB-local
+    /// crossbar the signal ultimately drives). Counted in the wire bucket.
+    pub cb_load_cap: Farads,
+    /// Internal capacitance switched per LUT evaluation.
+    pub lut_internal_cap: Farads,
+    /// Clock-network capacitance per flip-flop.
+    pub clock_cap_per_ff: Farads,
+}
+
+/// Dynamic power broken down as in Fig. 9 (left).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicBreakdown {
+    /// Wire interconnect charging.
+    pub wires: Watts,
+    /// Routing buffers (LB input/output buffers + wire buffers).
+    pub routing_buffers: Watts,
+    /// LUT-internal switching.
+    pub luts: Watts,
+    /// Clock distribution (toggles every cycle: activity 1).
+    pub clocking: Watts,
+}
+
+impl DynamicBreakdown {
+    /// Total dynamic power.
+    pub fn total(&self) -> Watts {
+        self.wires + self.routing_buffers + self.luts + self.clocking
+    }
+
+    /// Component fractions `(wires, buffers, luts, clock)` of the total.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().value().max(f64::MIN_POSITIVE);
+        [
+            self.wires.value() / t,
+            self.routing_buffers.value() / t,
+            self.luts.value() / t,
+            self.clocking.value() / t,
+        ]
+    }
+}
+
+/// Computes the dynamic power of an implementation.
+///
+/// # Examples
+///
+/// See `nemfpga::power` for an end-to-end example; this function combines
+/// activity-weighted usage with per-component capacitances.
+pub fn dynamic_power(
+    usage: &FabricUsage,
+    activities: &[NetActivity],
+    costs: &DynamicCosts,
+    vdd: Volts,
+    f_clk: Hertz,
+) -> DynamicBreakdown {
+    // ½·V²·f, applied to every activity-weighted capacitance sum.
+    let scale = 0.5 * vdd.value() * vdd.value() * f_clk.value();
+    let watts = |alpha_cap: f64| Watts::new(alpha_cap * scale);
+
+    let wire_cap = usage.weighted_sum(activities, |u| {
+        u.wire_tiles as f64 * costs.wire_cap_per_tile.value()
+            + (u.sb_hops + u.cb_entries + u.driver_hops) as f64
+                * costs.switch_parasitic_cap.value()
+            + u.cb_entries as f64 * costs.cb_load_cap.value()
+    });
+    let buffer_cap = usage.weighted_sum(activities, |u| {
+        (u.sb_hops + u.driver_hops) as f64 * costs.sb_buffer_cap.value()
+            + u.driver_hops as f64 * costs.lb_output_buffer_cap.value()
+            + u.cb_entries as f64 * costs.lb_input_buffer_cap.value()
+    });
+    // Each used LUT switches its internal cap at its output net's density;
+    // approximate with the mean net density (cheap and adequate since LUT
+    // power is a fixed share).
+    let mean_density = if activities.is_empty() {
+        0.0
+    } else {
+        activities.iter().map(|a| a.density).sum::<f64>() / activities.len() as f64
+    };
+    let lut_cap = usage.used_luts as f64 * costs.lut_internal_cap.value() * mean_density;
+    // The clock toggles twice per cycle regardless of data: α = 2.
+    let clock_cap = usage.used_ffs as f64 * costs.clock_cap_per_ff.value() * 2.0;
+
+    DynamicBreakdown {
+        wires: watts(wire_cap),
+        routing_buffers: watts(buffer_cap),
+        luts: watts(lut_cap),
+        clocking: watts(clock_cap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usage::NetUsage;
+    use nemfpga_netlist::ids::NetId;
+
+    fn costs() -> DynamicCosts {
+        DynamicCosts {
+            wire_cap_per_tile: Farads::from_femto(3.0),
+            sb_buffer_cap: Farads::from_femto(1.0),
+            lb_output_buffer_cap: Farads::from_femto(0.8),
+            lb_input_buffer_cap: Farads::from_femto(0.6),
+            switch_parasitic_cap: Farads::from_femto(0.3),
+            cb_load_cap: Farads::zero(),
+            lut_internal_cap: Farads::from_femto(5.0),
+            clock_cap_per_ff: Farads::from_femto(2.0),
+        }
+    }
+
+    fn usage() -> FabricUsage {
+        FabricUsage {
+            nets: vec![
+                NetUsage { net: NetId::new(0), wire_tiles: 8, sb_hops: 2, driver_hops: 1, cb_entries: 1 },
+                NetUsage { net: NetId::new(1), wire_tiles: 4, sb_hops: 1, driver_hops: 1, cb_entries: 2 },
+            ],
+            used_luts: 10,
+            used_ffs: 4,
+        }
+    }
+
+    fn acts() -> Vec<NetActivity> {
+        vec![NetActivity::from_prob(0.5), NetActivity::from_prob(0.5)]
+    }
+
+    #[test]
+    fn hand_computed_wire_power() {
+        let b = dynamic_power(
+            &usage(),
+            &acts(),
+            &costs(),
+            Volts::new(0.8),
+            Hertz::from_mega(100.0),
+        );
+        // wire caps: net0: 8*3fF + 4*0.3fF = 25.2fF; net1: 4*3fF + 4*0.3fF
+        // = 13.2fF; both at alpha 0.5 -> 19.2fF effective.
+        // P = 0.5 * 0.64 * 1e8 * 19.2e-15 = 6.144e-7 W.
+        assert!((b.wires.value() - 6.144e-7).abs() < 1e-12, "{}", b.wires);
+        assert!(b.total() > b.wires);
+    }
+
+    #[test]
+    fn removed_buffers_zero_the_buffer_component() {
+        let mut c = costs();
+        c.sb_buffer_cap = Farads::zero();
+        c.lb_output_buffer_cap = Farads::zero();
+        c.lb_input_buffer_cap = Farads::zero();
+        let b = dynamic_power(&usage(), &acts(), &c, Volts::new(0.8), Hertz::from_mega(100.0));
+        assert_eq!(b.routing_buffers, Watts::zero());
+        assert!(b.wires.value() > 0.0);
+    }
+
+    #[test]
+    fn clock_power_is_activity_independent() {
+        let dead: Vec<NetActivity> = vec![NetActivity::from_prob(1.0); 2];
+        let b = dynamic_power(&usage(), &dead, &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
+        assert_eq!(b.wires, Watts::zero());
+        assert!(b.clocking.value() > 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
+        let sum: f64 = b.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_with_frequency_and_vdd_squared() {
+        let b1 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
+        let b2 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(200.0));
+        assert!((b2.total().value() / b1.total().value() - 2.0).abs() < 1e-9);
+        let b3 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(1.6), Hertz::from_mega(100.0));
+        assert!((b3.total().value() / b1.total().value() - 4.0).abs() < 1e-9);
+    }
+}

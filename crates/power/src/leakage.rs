@@ -1,0 +1,163 @@
+//! Static (leakage) power.
+//!
+//! Leakage is paid by every fabricated device, used or not, which is why
+//! the CMOS-only baseline's leakage is dominated by routing buffers
+//! (Fig. 9 right: buffers 70%, SRAM 12%, pass transistors 10%, LUTs 8%)
+//! and why NEM relays — zero off-state leakage, no SRAM — buy the 10×
+//! headline reduction.
+
+use crate::usage::FabricInventory;
+use nemfpga_tech::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Per-instance leakage costs of the fabric's component classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageCosts {
+    /// One wire buffer (driver chain of a channel segment).
+    pub per_wire_buffer: Watts,
+    /// One LB input buffer.
+    pub per_lb_input_buffer: Watts,
+    /// One LB output buffer.
+    pub per_lb_output_buffer: Watts,
+    /// One routing configuration SRAM bit.
+    pub per_sram_bit: Watts,
+    /// One routing switch device (pass transistor: subthreshold leak;
+    /// NEM relay: zero).
+    pub per_switch: Watts,
+    /// One LUT (including its internal config SRAM).
+    pub per_lut: Watts,
+    /// One flip-flop.
+    pub per_ff: Watts,
+}
+
+/// Leakage broken down as in Fig. 9 (right).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageBreakdown {
+    /// Routing buffers (wire + LB input/output buffers).
+    pub routing_buffers: Watts,
+    /// Routing configuration SRAM.
+    pub routing_sram: Watts,
+    /// Routing switch devices.
+    pub routing_switches: Watts,
+    /// LUTs and flip-flops.
+    pub logic: Watts,
+}
+
+impl LeakageBreakdown {
+    /// Total leakage power.
+    pub fn total(&self) -> Watts {
+        self.routing_buffers + self.routing_sram + self.routing_switches + self.logic
+    }
+
+    /// Component fractions `(buffers, sram, switches, logic)`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().value().max(f64::MIN_POSITIVE);
+        [
+            self.routing_buffers.value() / t,
+            self.routing_sram.value() / t,
+            self.routing_switches.value() / t,
+            self.logic.value() / t,
+        ]
+    }
+}
+
+/// Computes whole-fabric leakage from the inventory and unit costs.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_power::leakage::{leakage_power, LeakageCosts};
+/// use nemfpga_power::usage::FabricInventory;
+/// use nemfpga_tech::units::Watts;
+///
+/// let inv = FabricInventory {
+///     wire_segments: 100, routing_switches: 1000, routing_sram_bits: 1000,
+///     lb_input_buffers: 220, lb_output_buffers: 100, luts: 100, ffs: 100,
+/// };
+/// let costs = LeakageCosts {
+///     per_wire_buffer: Watts::new(50e-9),
+///     per_lb_input_buffer: Watts::new(3e-9),
+///     per_lb_output_buffer: Watts::new(5e-9),
+///     per_sram_bit: Watts::new(4e-9),
+///     per_switch: Watts::new(1e-9),
+///     per_lut: Watts::new(20e-9),
+///     per_ff: Watts::new(5e-9),
+/// };
+/// let b = leakage_power(&inv, &costs);
+/// assert!(b.routing_buffers > b.routing_sram);
+/// ```
+pub fn leakage_power(inventory: &FabricInventory, costs: &LeakageCosts) -> LeakageBreakdown {
+    let buffers = costs.per_wire_buffer * inventory.wire_segments as f64
+        + costs.per_lb_input_buffer * inventory.lb_input_buffers as f64
+        + costs.per_lb_output_buffer * inventory.lb_output_buffers as f64;
+    LeakageBreakdown {
+        routing_buffers: buffers,
+        routing_sram: costs.per_sram_bit * inventory.routing_sram_bits as f64,
+        routing_switches: costs.per_switch * inventory.routing_switches as f64,
+        logic: costs.per_lut * inventory.luts as f64 + costs.per_ff * inventory.ffs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> FabricInventory {
+        FabricInventory {
+            wire_segments: 200,
+            routing_switches: 5000,
+            routing_sram_bits: 5000,
+            lb_input_buffers: 220,
+            lb_output_buffers: 100,
+            luts: 100,
+            ffs: 100,
+        }
+    }
+
+    fn costs() -> LeakageCosts {
+        LeakageCosts {
+            per_wire_buffer: Watts::new(50e-9),
+            per_lb_input_buffer: Watts::new(8e-9),
+            per_lb_output_buffer: Watts::new(12e-9),
+            per_sram_bit: Watts::new(4.5e-9),
+            per_switch: Watts::new(1.3e-9),
+            per_lut: Watts::new(20e-9),
+            per_ff: Watts::new(6e-9),
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = leakage_power(&inv(), &costs());
+        let sum = b.routing_buffers + b.routing_sram + b.routing_switches + b.logic;
+        assert!((b.total().value() - sum.value()).abs() < 1e-18);
+        assert!((b.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_leak_switches_eliminate_switch_and_sram_terms() {
+        let mut c = costs();
+        c.per_switch = Watts::zero();
+        let mut i = inv();
+        i.routing_sram_bits = 0; // NEM relays need no config SRAM
+        let b = leakage_power(&i, &c);
+        assert_eq!(b.routing_switches, Watts::zero());
+        assert_eq!(b.routing_sram, Watts::zero());
+        assert!(b.logic.value() > 0.0);
+    }
+
+    #[test]
+    fn leakage_scales_linearly_with_inventory() {
+        let b1 = leakage_power(&inv(), &costs());
+        let mut big = inv();
+        big.wire_segments *= 2;
+        big.routing_switches *= 2;
+        big.routing_sram_bits *= 2;
+        big.lb_input_buffers *= 2;
+        big.lb_output_buffers *= 2;
+        big.luts *= 2;
+        big.ffs *= 2;
+        let b2 = leakage_power(&big, &costs());
+        assert!((b2.total().value() / b1.total().value() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # nemfpga-power
+//!
+//! FPGA power models implementing the paper's Fig. 9 methodology
+//! ([Jamieson 09]): probabilistic switching activities weight per-node
+//! dynamic energy; whole-fabric inventory drives leakage.
+//!
+//! * [`activity`] — static-probability propagation and transition
+//!   densities.
+//! * [`usage`] — routed-resource usage (dynamic drivers) and fabric
+//!   inventory (leakage drivers).
+//! * [`dynamic`] — `½·α·C·V²·f` accumulation grouped as wires / routing
+//!   buffers / LUTs / clocking.
+//! * [`leakage`] — per-instance leakage grouped as buffers / SRAM /
+//!   switches / logic.
+//! * [`breakdown`] — the combined [`breakdown::PowerReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use nemfpga_netlist::synth::SynthConfig;
+//! use nemfpga_power::activity::compute_activities;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = SynthConfig::tiny("t", 20, 1).generate()?;
+//! let activities = compute_activities(&netlist, 0.5)?;
+//! assert_eq!(activities.len(), netlist.nets().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activity;
+pub mod breakdown;
+pub mod dynamic;
+pub mod leakage;
+pub mod usage;
+
+pub use activity::{compute_activities, NetActivity};
+pub use breakdown::PowerReport;
+pub use dynamic::{dynamic_power, DynamicBreakdown, DynamicCosts};
+pub use leakage::{leakage_power, LeakageBreakdown, LeakageCosts};
+pub use usage::{FabricInventory, FabricUsage, NetUsage};

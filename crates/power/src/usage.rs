@@ -1,0 +1,235 @@
+//! Fabric usage (dynamic power drivers) and fabric inventory (leakage
+//! drivers).
+//!
+//! Dynamic power follows *used* resources weighted by activity; leakage
+//! follows *fabricated* resources — the whole chip leaks whether or not a
+//! net runs through it, which is why routing buffers dominate the paper's
+//! Fig. 9 leakage breakdown.
+
+use crate::activity::NetActivity;
+use nemfpga_arch::rrgraph::{RrGraph, RrKind, SwitchClass};
+use nemfpga_netlist::ids::NetId;
+use nemfpga_pnr::pack::PackedDesign;
+use nemfpga_pnr::route::Routing;
+use serde::{Deserialize, Serialize};
+
+/// Per-net routed resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetUsage {
+    /// The net.
+    pub net: NetId,
+    /// Tiles of channel wire the routed tree spans.
+    pub wire_tiles: usize,
+    /// Switch-box hops (wire-to-wire switches) used.
+    pub sb_hops: usize,
+    /// Output-driver hops (block pin onto wire).
+    pub driver_hops: usize,
+    /// Connection-box entries (wire to input pin).
+    pub cb_entries: usize,
+}
+
+/// Usage of the whole implementation, for dynamic power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricUsage {
+    /// Per-net usage, aligned with the design's packed nets.
+    pub nets: Vec<NetUsage>,
+    /// LUTs actually used.
+    pub used_luts: usize,
+    /// Flip-flops actually used.
+    pub used_ffs: usize,
+}
+
+impl FabricUsage {
+    /// Extracts usage from a routed implementation.
+    pub fn from_routing(rr: &RrGraph, design: &PackedDesign, routing: &Routing) -> Self {
+        let mut nets = Vec::with_capacity(routing.nets.len());
+        for rn in &routing.nets {
+            let mut u = NetUsage {
+                net: rn.net,
+                wire_tiles: 0,
+                sb_hops: 0,
+                driver_hops: 0,
+                cb_entries: 0,
+            };
+            for t in &rn.tree {
+                if rr.node(t.rr).kind.is_wire() {
+                    u.wire_tiles += rr.node(t.rr).kind.span_tiles();
+                }
+                match t.entered_via {
+                    SwitchClass::SwitchBox => u.sb_hops += 1,
+                    SwitchClass::OutputDriver => u.driver_hops += 1,
+                    SwitchClass::ConnectionBox => u.cb_entries += 1,
+                    SwitchClass::Internal => {}
+                }
+            }
+            nets.push(u);
+        }
+        let netlist = design.netlist();
+        Self {
+            nets,
+            used_luts: netlist.num_luts(),
+            used_ffs: netlist.num_latches(),
+        }
+    }
+
+    /// Sum of `weight(net_activity) × value(usage)` over nets — the core
+    /// activity-weighted accumulation for dynamic power.
+    pub fn weighted_sum(
+        &self,
+        activities: &[NetActivity],
+        value: impl Fn(&NetUsage) -> f64,
+    ) -> f64 {
+        self.nets
+            .iter()
+            .map(|u| activities[u.net.index()].density * value(u))
+            .sum()
+    }
+}
+
+/// Whole-fabric resource inventory, for leakage and area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricInventory {
+    /// Channel wire segments (each carries one wire buffer when buffered).
+    pub wire_segments: usize,
+    /// Programmable switch instances (switch-box + connection-box).
+    pub routing_switches: usize,
+    /// Configuration SRAM bits for the routing (one per CMOS switch).
+    pub routing_sram_bits: usize,
+    /// LB input buffers across all logic tiles.
+    pub lb_input_buffers: usize,
+    /// LB output buffers across all logic tiles.
+    pub lb_output_buffers: usize,
+    /// LUTs fabricated across all logic tiles.
+    pub luts: usize,
+    /// Flip-flops fabricated across all logic tiles.
+    pub ffs: usize,
+}
+
+impl FabricInventory {
+    /// Counts the fabric behind `rr` (`sram_per_switch` = 1 for CMOS
+    /// routing switches, 0 for NEM relays, which store their own state).
+    pub fn from_rr_graph(rr: &RrGraph, sram_per_switch: usize) -> Self {
+        let mut wire_segments = 0usize;
+        let mut routing_switches = 0usize;
+        let mut lb_tiles = 0usize;
+        for id in rr.node_ids() {
+            match rr.node(id).kind {
+                RrKind::ChanX { .. } | RrKind::ChanY { .. } => wire_segments += 1,
+                RrKind::Source { x, y } => {
+                    if rr.grid.tile(x as usize, y as usize)
+                        == nemfpga_arch::grid::TileKind::Lb
+                    {
+                        lb_tiles += 1;
+                    }
+                }
+                _ => {}
+            }
+            for e in rr.edges_from(id) {
+                match e.switch {
+                    SwitchClass::SwitchBox => routing_switches += 1,
+                    SwitchClass::ConnectionBox => routing_switches += 1,
+                    _ => {}
+                }
+            }
+        }
+        // Switch-box edges are stored in both directions but are one
+        // physical switch.
+        let sb_dirs: usize = rr
+            .node_ids()
+            .map(|id| {
+                rr.edges_from(id)
+                    .iter()
+                    .filter(|e| e.switch == SwitchClass::SwitchBox)
+                    .count()
+            })
+            .sum();
+        routing_switches -= sb_dirs / 2;
+
+        let params = &rr.params;
+        Self {
+            wire_segments,
+            routing_switches,
+            routing_sram_bits: routing_switches * sram_per_switch,
+            lb_input_buffers: lb_tiles * params.lb_inputs,
+            lb_output_buffers: lb_tiles * params.lb_outputs(),
+            luts: lb_tiles * params.cluster_size,
+            ffs: lb_tiles * params.cluster_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::compute_activities;
+    use nemfpga_arch::{build_rr_graph, ArchParams, Grid};
+    use nemfpga_netlist::synth::SynthConfig;
+    use nemfpga_pnr::flow::{implement, WidthPolicy};
+    use nemfpga_pnr::place::PlaceConfig;
+    use nemfpga_pnr::route::RouteConfig;
+
+    fn implementation() -> (nemfpga_pnr::flow::Implementation, Vec<NetActivity>) {
+        let netlist = SynthConfig::tiny("t", 40, 1).generate().unwrap();
+        let acts = compute_activities(&netlist, 0.5).unwrap();
+        let imp = implement(
+            netlist,
+            &ArchParams::paper_table1(),
+            &PlaceConfig::fast(1),
+            &RouteConfig::new(),
+            WidthPolicy::LowStress { hint: 12, max: 256 },
+        )
+        .unwrap();
+        (imp, acts)
+    }
+
+    #[test]
+    fn usage_matches_routing_wirelength() {
+        let (imp, _) = implementation();
+        let usage = FabricUsage::from_routing(&imp.rr, &imp.design, &imp.routing);
+        let total: usize = usage.nets.iter().map(|u| u.wire_tiles).sum();
+        assert_eq!(total, imp.routing.wirelength_tiles);
+        // Every routed net drove at least one wire and one CB entry.
+        for u in &usage.nets {
+            assert!(u.driver_hops >= 1, "{u:?}");
+            assert!(u.cb_entries >= 1, "{u:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_scales_with_activity() {
+        let (imp, acts) = implementation();
+        let usage = FabricUsage::from_routing(&imp.rr, &imp.design, &imp.routing);
+        let base = usage.weighted_sum(&acts, |u| u.wire_tiles as f64);
+        assert!(base > 0.0);
+        let doubled: Vec<NetActivity> = acts
+            .iter()
+            .map(|a| NetActivity { prob: a.prob, density: a.density * 2.0 })
+            .collect();
+        let twice = usage.weighted_sum(&doubled, |u| u.wire_tiles as f64);
+        assert!((twice / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inventory_counts_scale_with_fabric() {
+        let params = ArchParams::paper_table1();
+        let small =
+            build_rr_graph(&params, Grid::new(3, 3, 2).unwrap(), 10).unwrap();
+        let big = build_rr_graph(&params, Grid::new(6, 6, 2).unwrap(), 20).unwrap();
+        let inv_s = FabricInventory::from_rr_graph(&small, 1);
+        let inv_b = FabricInventory::from_rr_graph(&big, 1);
+        assert!(inv_b.wire_segments > inv_s.wire_segments);
+        assert!(inv_b.routing_switches > inv_s.routing_switches);
+        assert_eq!(inv_s.luts, 9 * params.cluster_size);
+        assert_eq!(inv_b.lb_input_buffers, 36 * params.lb_inputs);
+        assert_eq!(inv_s.routing_sram_bits, inv_s.routing_switches);
+    }
+
+    #[test]
+    fn nem_fabric_has_no_routing_sram() {
+        let params = ArchParams::paper_table1();
+        let rr = build_rr_graph(&params, Grid::new(3, 3, 2).unwrap(), 10).unwrap();
+        let inv = FabricInventory::from_rr_graph(&rr, 0);
+        assert_eq!(inv.routing_sram_bits, 0);
+        assert!(inv.routing_switches > 0);
+    }
+}

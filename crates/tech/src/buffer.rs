@@ -1,0 +1,374 @@
+//! Delay-optimal inverter-chain (routing buffer) design and downsizing.
+//!
+//! Implements the paper's buffer methodology (Sec. 3.4):
+//!
+//! > "For each segmented wire, we designed an inverter chain (with
+//! > minimum-sized inverter as its first stage) to drive the capacitive load
+//! > of the wire. We swept the fanout of each stage (and, hence, size) of
+//! > the chain to obtain the delay-optimal implementation [Weste 10]. Next,
+//! > we 'reduced' the size of each chain by redesigning it ... while
+//! > pretending that it drives a smaller capacitive load (up to 8-times
+//! > smaller than the segmented wire load)."
+//!
+//! [`BufferChain::design`] produces the delay-optimal chain;
+//! [`BufferChain::design_downsized`] produces the pretend-smaller-load
+//! variants that trade delay for power; [`BufferChain::removed`] models a
+//! deleted buffer (the selective-removal half of the technique).
+
+use crate::gates::{Inverter, HALF_LATCH_LEAK_FACTOR};
+use crate::process::ProcessNode;
+use crate::units::{Farads, Seconds, SquareMeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Maximum chain length explored by the fanout sweep. Loads in this study
+/// never justify more stages at 22 nm.
+const MAX_STAGES: usize = 10;
+
+/// An inverter chain driving a capacitive load, or the absence of one.
+///
+/// A removed buffer ([`BufferChain::removed`]) is a first-class value: the
+/// CMOS-NEM technique deletes LB input/output buffers outright, and every
+/// consumer (delay, power, area) must handle that case uniformly.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::buffer::BufferChain;
+/// use nemfpga_tech::process::ProcessNode;
+/// use nemfpga_tech::units::Farads;
+///
+/// let node = ProcessNode::ptm_22nm();
+/// let load = Farads::from_femto(12.0);
+/// let full = BufferChain::design(&node, load);
+/// let small = BufferChain::design_downsized(&node, load, 4.0)?;
+/// // The downsized chain is slower into the real load but leaks less.
+/// assert!(small.delay(&node, load) >= full.delay(&node, load));
+/// assert!(small.leakage(&node) <= full.leakage(&node));
+/// # Ok::<(), nemfpga_tech::buffer::DesignBufferError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferChain {
+    /// Stage sizes front (input) to back (driver). Empty = removed buffer.
+    stages: Vec<Inverter>,
+    /// Whether the first stage is a half-latch level restorer (needed after
+    /// NMOS pass transistors in CMOS-only routing, Fig. 8a).
+    level_restoring: bool,
+}
+
+/// Error returned when a buffer-chain design request is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignBufferError {
+    /// The pretend-load divisor must be >= 1 (1 = no downsizing).
+    InvalidDivisor {
+        /// The rejected divisor.
+        divisor: f64,
+    },
+    /// The load must be finite and non-negative.
+    InvalidLoad {
+        /// The rejected load in farads.
+        load: f64,
+    },
+}
+
+impl std::fmt::Display for DesignBufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidDivisor { divisor } => {
+                write!(f, "pretend-load divisor must be >= 1, got {divisor}")
+            }
+            Self::InvalidLoad { load } => {
+                write!(f, "buffer load must be finite and non-negative, got {load} F")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignBufferError {}
+
+impl BufferChain {
+    /// Designs the delay-optimal chain for `c_load`, first stage minimum
+    /// sized, sweeping the number of stages / per-stage fanout as in the
+    /// paper.
+    ///
+    /// Loads at or below one minimum input capacitance get a single minimum
+    /// inverter.
+    pub fn design(node: &ProcessNode, c_load: Farads) -> Self {
+        Self::design_inner(node, c_load, false)
+    }
+
+    /// Designs a chain as [`BufferChain::design`] but for a *pretend* load
+    /// `c_load / divisor` (the paper sweeps divisors 1..8). The chain is
+    /// then evaluated against the true load by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignBufferError::InvalidDivisor`] if `divisor < 1` or is
+    /// not finite, and [`DesignBufferError::InvalidLoad`] for a negative or
+    /// non-finite load.
+    pub fn design_downsized(
+        node: &ProcessNode,
+        c_load: Farads,
+        divisor: f64,
+    ) -> Result<Self, DesignBufferError> {
+        if !divisor.is_finite() || divisor < 1.0 {
+            return Err(DesignBufferError::InvalidDivisor { divisor });
+        }
+        if !c_load.value().is_finite() || c_load.value() < 0.0 {
+            return Err(DesignBufferError::InvalidLoad { load: c_load.value() });
+        }
+        Ok(Self::design_inner(node, c_load / divisor, false))
+    }
+
+    /// A removed buffer: zero delay, zero cost, passes the node through.
+    /// Only electrically sound when the upstream switch has low on-resistance
+    /// and no Vt drop — i.e. a NEM relay (paper Sec. 3.2).
+    pub fn removed() -> Self {
+        Self { stages: Vec::new(), level_restoring: false }
+    }
+
+    /// Builds a chain from explicit stage sizes (front to back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is non-positive or non-finite.
+    pub fn from_stage_sizes(sizes: &[f64]) -> Self {
+        Self {
+            stages: sizes.iter().map(|&s| Inverter::new(s)).collect(),
+            level_restoring: false,
+        }
+    }
+
+    /// Marks this chain as a half-latch level-restoring buffer (used after
+    /// NMOS pass transistors in the CMOS-only baseline, Fig. 8a). Restoring
+    /// buffers leak [`HALF_LATCH_LEAK_FACTOR`]× more in their first stage.
+    pub fn with_level_restoration(mut self) -> Self {
+        self.level_restoring = !self.stages.is_empty();
+        self
+    }
+
+    fn design_inner(node: &ProcessNode, c_load: Farads, level_restoring: bool) -> Self {
+        let c_min = node.c_inv_min;
+        if c_load.value() <= c_min.value() {
+            return Self { stages: vec![Inverter::minimum()], level_restoring };
+        }
+        let electrical_effort = c_load / c_min;
+        let mut best: Option<(Seconds, Vec<Inverter>)> = None;
+        for n in 1..=MAX_STAGES {
+            let fanout = electrical_effort.powf(1.0 / n as f64);
+            let stages: Vec<Inverter> =
+                (0..n).map(|i| Inverter::new(fanout.powi(i as i32))).collect();
+            let candidate = Self { stages, level_restoring };
+            let delay = candidate.delay(node, c_load);
+            if best.as_ref().is_none_or(|(d, _)| delay < *d) {
+                best = Some((delay, candidate.stages));
+            }
+        }
+        let (_, stages) = best.expect("sweep explored at least one chain");
+        Self { stages, level_restoring }
+    }
+
+    /// `true` if the buffer has been removed entirely.
+    #[inline]
+    pub fn is_removed(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// `true` if this is a half-latch level-restoring buffer.
+    #[inline]
+    pub fn is_level_restoring(&self) -> bool {
+        self.level_restoring
+    }
+
+    /// Number of inverter stages (0 for a removed buffer).
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage sizes front to back.
+    pub fn stage_sizes(&self) -> Vec<f64> {
+        self.stages.iter().map(|s| s.size()).collect()
+    }
+
+    /// Input capacitance presented to whatever drives the chain
+    /// (zero if removed).
+    pub fn input_cap(&self, node: &ProcessNode) -> Farads {
+        self.stages.first().map_or(Farads::zero(), |s| s.input_cap(node))
+    }
+
+    /// Propagation delay through the chain into `c_load`. A removed buffer
+    /// contributes no delay (the load is then driven through the routing
+    /// switch directly and accounted for by the RC tree).
+    pub fn delay(&self, node: &ProcessNode, c_load: Farads) -> Seconds {
+        let mut total = Seconds::zero();
+        for (i, stage) in self.stages.iter().enumerate() {
+            let next_cap = match self.stages.get(i + 1) {
+                Some(next) => next.input_cap(node),
+                None => c_load,
+            };
+            total += stage.delay(node, next_cap);
+        }
+        total
+    }
+
+    /// Total capacitance switched internally per output transition
+    /// (gate + parasitic of every stage, excluding the external load).
+    pub fn switched_cap(&self, node: &ProcessNode) -> Farads {
+        self.stages
+            .iter()
+            .map(|s| s.input_cap(node) + s.output_cap(node))
+            .sum()
+    }
+
+    /// Static leakage of the whole chain, including the half-latch penalty
+    /// on the first stage when level-restoring.
+    pub fn leakage(&self, node: &ProcessNode) -> Watts {
+        let mut leak: Watts = self.stages.iter().map(|s| s.leakage(node)).sum();
+        if self.level_restoring {
+            if let Some(first) = self.stages.first() {
+                leak += first.leakage(node) * (HALF_LATCH_LEAK_FACTOR - 1.0);
+            }
+        }
+        leak
+    }
+
+    /// Layout area of the chain (half-latch keeper adds one min transistor).
+    pub fn area(&self, node: &ProcessNode) -> SquareMeters {
+        let mut area: SquareMeters = self.stages.iter().map(|s| s.area(node)).sum();
+        if self.level_restoring {
+            area += node.min_transistor_area;
+        }
+        area
+    }
+}
+
+impl Default for BufferChain {
+    /// Defaults to a single minimum inverter.
+    fn default() -> Self {
+        Self { stages: vec![Inverter::minimum()], level_restoring: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ProcessNode {
+        ProcessNode::ptm_22nm()
+    }
+
+    #[test]
+    fn design_is_delay_optimal_among_neighbours() {
+        let node = node();
+        let load = Farads::from_femto(13.0);
+        let best = BufferChain::design(&node, load);
+        let d_best = best.delay(&node, load);
+        // Any fixed-stage-count geometric chain must be no faster.
+        for n in 1..=6usize {
+            let f = (load / node.c_inv_min).powf(1.0 / n as f64);
+            let sizes: Vec<f64> = (0..n).map(|i| f.powi(i as i32)).collect();
+            let cand = BufferChain::from_stage_sizes(&sizes);
+            assert!(cand.delay(&node, load) >= d_best * 0.999_999);
+        }
+    }
+
+    #[test]
+    fn big_load_wants_multiple_stages() {
+        let node = node();
+        let chain = BufferChain::design(&node, Farads::from_femto(13.0));
+        assert!(chain.num_stages() >= 2, "stages = {}", chain.num_stages());
+        // First stage is minimum sized, per the paper.
+        assert!((chain.stage_sizes()[0] - 1.0).abs() < 1e-9);
+        // Sizes increase monotonically.
+        let sizes = chain.stage_sizes();
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn tiny_load_gets_single_min_inverter() {
+        let node = node();
+        let chain = BufferChain::design(&node, Farads::from_atto(10.0));
+        assert_eq!(chain.num_stages(), 1);
+        assert_eq!(chain.stage_sizes(), vec![1.0]);
+    }
+
+    #[test]
+    fn downsizing_trades_delay_for_power() {
+        let node = node();
+        let load = Farads::from_femto(13.0);
+        let full = BufferChain::design(&node, load);
+        let mut prev_delay = full.delay(&node, load);
+        let mut prev_leak = full.leakage(&node);
+        for k in [2.0, 4.0, 8.0] {
+            let small = BufferChain::design_downsized(&node, load, k).unwrap();
+            let d = small.delay(&node, load);
+            let l = small.leakage(&node);
+            assert!(d >= prev_delay * 0.999, "divisor {k} not slower");
+            assert!(l <= prev_leak * 1.001, "divisor {k} not leaner");
+            prev_delay = d;
+            prev_leak = l;
+        }
+    }
+
+    #[test]
+    fn divisor_one_matches_full_design() {
+        let node = node();
+        let load = Farads::from_femto(9.0);
+        let a = BufferChain::design(&node, load);
+        let b = BufferChain::design_downsized(&node, load, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_divisor_rejected() {
+        let node = node();
+        let load = Farads::from_femto(9.0);
+        assert!(matches!(
+            BufferChain::design_downsized(&node, load, 0.5),
+            Err(DesignBufferError::InvalidDivisor { .. })
+        ));
+        assert!(matches!(
+            BufferChain::design_downsized(&node, load, f64::NAN),
+            Err(DesignBufferError::InvalidDivisor { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_load_rejected() {
+        let node = node();
+        assert!(matches!(
+            BufferChain::design_downsized(&node, Farads::new(-1e-15), 2.0),
+            Err(DesignBufferError::InvalidLoad { .. })
+        ));
+    }
+
+    #[test]
+    fn removed_buffer_is_free() {
+        let node = node();
+        let gone = BufferChain::removed();
+        assert!(gone.is_removed());
+        assert_eq!(gone.num_stages(), 0);
+        assert_eq!(gone.delay(&node, Farads::from_femto(5.0)), Seconds::zero());
+        assert_eq!(gone.leakage(&node), Watts::zero());
+        assert_eq!(gone.input_cap(&node), Farads::zero());
+    }
+
+    #[test]
+    fn level_restoration_costs_leakage_and_area() {
+        let node = node();
+        let load = Farads::from_femto(5.0);
+        let plain = BufferChain::design(&node, load);
+        let restoring = plain.clone().with_level_restoration();
+        assert!(restoring.is_level_restoring());
+        assert!(restoring.leakage(&node) > plain.leakage(&node));
+        assert!(restoring.area(&node) > plain.area(&node));
+        // Same delay model (penalty applied at the switch stage, not here).
+        assert_eq!(restoring.delay(&node, load), plain.delay(&node, load));
+    }
+
+    #[test]
+    fn restoration_on_removed_buffer_is_noop() {
+        let gone = BufferChain::removed().with_level_restoration();
+        assert!(!gone.is_level_restoring());
+    }
+}

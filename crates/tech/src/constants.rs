@@ -1,0 +1,38 @@
+//! Universal physical constants used by the electromechanical and
+//! electrical models.
+
+/// Vacuum permittivity `ε₀` in farads per metre.
+pub const EPSILON_0: f64 = 8.854_187_8128e-12;
+
+/// Relative permittivity of vacuum (identity, for self-documenting call sites).
+pub const EPS_R_VACUUM: f64 = 1.0;
+
+/// Relative permittivity of air at standard conditions.
+pub const EPS_R_AIR: f64 = 1.000_59;
+
+/// Relative permittivity of the insulating test oil used by the paper
+/// ([Lee 09]: testing in oil limits contact corrosion and lowers switching
+/// voltages because of the larger permittivity).
+pub const EPS_R_OIL: f64 = 2.2;
+
+/// Boltzmann constant in joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Room temperature in kelvin, used for thermal-noise and leakage scaling.
+pub const ROOM_TEMPERATURE_K: f64 = 300.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oil_is_denser_dielectric_than_air() {
+        assert!(EPS_R_OIL > EPS_R_AIR);
+        assert!(EPS_R_AIR > EPS_R_VACUUM * 0.999);
+    }
+
+    #[test]
+    fn epsilon0_magnitude() {
+        assert!(EPSILON_0 > 8.8e-12 && EPSILON_0 < 8.9e-12);
+    }
+}

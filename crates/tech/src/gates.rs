@@ -1,0 +1,186 @@
+//! Logic-gate electrical models and logical-effort delay.
+//!
+//! The timing engine treats every driver as an inverter of some size
+//! (multiple of minimum); stage delay follows the classic
+//! `d = R_drv·C_load + parasitic` RC form, which for equal-size chains
+//! reduces to the logical-effort expression used in [Weste 10] — the
+//! reference the paper cites for its delay-optimal inverter-chain design.
+
+use crate::process::ProcessNode;
+use crate::units::{Farads, Ohms, Seconds, SquareMeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// An inverter sized `size`× the minimum inverter of a process node.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::gates::Inverter;
+/// use nemfpga_tech::process::ProcessNode;
+///
+/// let node = ProcessNode::ptm_22nm();
+/// let inv = Inverter::new(4.0);
+/// // 4x inverter drives 4x the current: quarter the resistance.
+/// assert!(inv.drive_resistance(&node) < Inverter::minimum().drive_resistance(&node));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inverter {
+    size: f64,
+}
+
+impl Inverter {
+    /// Creates an inverter `size`× the minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not finite and strictly positive.
+    pub fn new(size: f64) -> Self {
+        assert!(
+            size.is_finite() && size > 0.0,
+            "inverter size must be finite and positive, got {size}"
+        );
+        Self { size }
+    }
+
+    /// The minimum-sized inverter (size 1).
+    pub fn minimum() -> Self {
+        Self { size: 1.0 }
+    }
+
+    /// Size as a multiple of the minimum inverter.
+    #[inline]
+    pub fn size(self) -> f64 {
+        self.size
+    }
+
+    /// Effective switching resistance in `node`.
+    #[inline]
+    pub fn drive_resistance(self, node: &ProcessNode) -> Ohms {
+        node.r_inv(self.size)
+    }
+
+    /// Input (gate) capacitance in `node`.
+    #[inline]
+    pub fn input_cap(self, node: &ProcessNode) -> Farads {
+        node.c_inv_in(self.size)
+    }
+
+    /// Parasitic output (drain) capacitance in `node`.
+    #[inline]
+    pub fn output_cap(self, node: &ProcessNode) -> Farads {
+        node.c_inv_out(self.size)
+    }
+
+    /// Static leakage power in `node`.
+    #[inline]
+    pub fn leakage(self, node: &ProcessNode) -> Watts {
+        node.inv_leak(self.size)
+    }
+
+    /// Layout area in `node` (two transistors, P sized 2× N, so 3 min-width
+    /// equivalents per unit of inverter size).
+    #[inline]
+    pub fn area(self, node: &ProcessNode) -> SquareMeters {
+        node.min_transistor_area * (3.0 * self.size)
+    }
+
+    /// Propagation delay driving `c_load`:
+    /// `R_drv · (C_par + C_load)`.
+    #[inline]
+    pub fn delay(self, node: &ProcessNode, c_load: Farads) -> Seconds {
+        self.drive_resistance(node) * (self.output_cap(node) + c_load)
+    }
+
+    /// Returns this inverter scaled by an additional factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting size would be non-positive.
+    #[inline]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self::new(self.size * factor)
+    }
+}
+
+impl Default for Inverter {
+    fn default() -> Self {
+        Self::minimum()
+    }
+}
+
+/// Delay of a level-restoring ("half-latch") buffer stage fed by an NMOS
+/// pass transistor, relative to a clean full-swing input.
+///
+/// The degraded high level (`Vdd - Vt`) slows the rising transition: the
+/// PMOS keeper fights the input and the first stage switches from a weaker
+/// overdrive. We model this as a multiplicative penalty derived from the
+/// lost overdrive fraction — a first-order stand-in for the paper's HSPICE
+/// netlist simulation of the same effect.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::gates::vt_drop_delay_penalty;
+/// use nemfpga_tech::process::ProcessNode;
+///
+/// let p = vt_drop_delay_penalty(&ProcessNode::ptm_22nm());
+/// assert!(p > 1.0 && p < 3.0);
+/// ```
+pub fn vt_drop_delay_penalty(node: &ProcessNode) -> f64 {
+    // Overdrive of the receiving NMOS falls from (Vdd - Vt) to (Vdd - 2Vt)
+    // when the input high is degraded by one Vt; first-order saturation
+    // current scales ~ (Vgs - Vt), so the rising edge slows by this ratio.
+    // Average with the unaffected falling edge.
+    let full = node.vdd.value() - node.vt_n.value();
+    let degraded = (node.vdd.value() - 2.0 * node.vt_n.value()).max(0.05 * node.vdd.value());
+    0.5 * (1.0 + full / degraded)
+}
+
+/// Extra leakage factor of a half-latch level-restoring buffer relative to a
+/// plain inverter of the same size: the keeper PMOS plus the degraded input
+/// level leave the first stage partially conducting.
+pub const HALF_LATCH_LEAK_FACTOR: f64 = 2.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_inverter_is_faster_into_fixed_load() {
+        let node = ProcessNode::ptm_22nm();
+        let load = Farads::from_femto(10.0);
+        let d1 = Inverter::new(1.0).delay(&node, load);
+        let d8 = Inverter::new(8.0).delay(&node, load);
+        assert!(d8 < d1);
+    }
+
+    #[test]
+    fn bigger_inverter_costs_more_cap_leak_area() {
+        let node = ProcessNode::ptm_22nm();
+        let small = Inverter::new(1.0);
+        let big = Inverter::new(8.0);
+        assert!(big.input_cap(&node) > small.input_cap(&node));
+        assert!(big.leakage(&node) > small.leakage(&node));
+        assert!(big.area(&node) > small.area(&node));
+    }
+
+    #[test]
+    fn scaled_composes() {
+        let inv = Inverter::new(2.0).scaled(3.0);
+        assert_eq!(inv.size(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nan_size_panics() {
+        let _ = Inverter::new(f64::NAN);
+    }
+
+    #[test]
+    fn vt_penalty_is_meaningful() {
+        // At Vdd=0.8, Vt=0.3 the degraded overdrive is 0.2 vs 0.5 full:
+        // rising edge ~2.5x slower, averaged with falling ~1.75x.
+        let p = vt_drop_delay_penalty(&ProcessNode::ptm_22nm());
+        assert!(p > 1.5 && p < 2.0, "penalty {p}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Predictive interconnect (wire) RC model.
+//!
+//! Plays the role of the 22 nm PTM interconnect model the paper extracts
+//! wire capacitance and resistance from ([Zhao 06]): per-length resistance
+//! and capacitance for the metal layers FPGA routing uses, with lumped and
+//! distributed (π-model) views.
+
+use crate::units::{Farads, Meters, Ohms};
+use serde::{Deserialize, Serialize};
+
+/// Metal layer classes relevant to FPGA routing.
+///
+/// The paper stacks NEM relays between metal 3 and metal 5; local routing
+/// runs on lower metals, segment wires on intermediate metal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetalLayer {
+    /// Thin lower-level metal for intra-tile (local) wiring.
+    Local,
+    /// Intermediate metal for inter-tile segment wires.
+    Intermediate,
+    /// Thick upper metal (clock spines, long-haul), lowest resistance.
+    Global,
+}
+
+/// Per-unit-length RC constants of one metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireRc {
+    /// Resistance per metre of wire.
+    pub r_per_m: f64,
+    /// Capacitance per metre of wire (includes coupling at nominal density).
+    pub c_per_m: f64,
+}
+
+impl WireRc {
+    /// Total series resistance of a wire of the given length.
+    #[inline]
+    pub fn resistance(&self, length: Meters) -> Ohms {
+        Ohms::new(self.r_per_m * length.value())
+    }
+
+    /// Total capacitance of a wire of the given length.
+    #[inline]
+    pub fn capacitance(&self, length: Meters) -> Farads {
+        Farads::new(self.c_per_m * length.value())
+    }
+}
+
+/// Interconnect model for a process node: RC constants per layer.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::interconnect::{InterconnectModel, MetalLayer};
+/// use nemfpga_tech::units::Meters;
+///
+/// let m = InterconnectModel::ptm_22nm();
+/// let seg = m.wire(MetalLayer::Intermediate, Meters::from_micro(64.0));
+/// assert!(seg.c_total.value() > 0.0 && seg.r_total.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectModel {
+    /// Name of the source model.
+    pub name: String,
+    local: WireRc,
+    intermediate: WireRc,
+    global: WireRc,
+}
+
+/// Lumped RC view of a concrete wire: total R, total C, and the π-model
+/// halves used when inserting it into an RC tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wire {
+    /// Physical length.
+    pub length: Meters,
+    /// Total series resistance.
+    pub r_total: Ohms,
+    /// Total capacitance to ground/neighbours.
+    pub c_total: Farads,
+}
+
+impl Wire {
+    /// Near-end capacitance of the π model (half the total).
+    #[inline]
+    pub fn c_near(&self) -> Farads {
+        self.c_total / 2.0
+    }
+
+    /// Far-end capacitance of the π model (half the total).
+    #[inline]
+    pub fn c_far(&self) -> Farads {
+        self.c_total / 2.0
+    }
+
+    /// Distributed-wire Elmore delay of the bare wire, `R·C/2`.
+    #[inline]
+    pub fn intrinsic_delay(&self) -> crate::units::Seconds {
+        self.r_total * self.c_total / 2.0
+    }
+}
+
+impl InterconnectModel {
+    /// The 22 nm predictive interconnect constants used by the headline
+    /// experiments. Intermediate-layer values are in the PTM ballpark for
+    /// ~44 nm-pitch copper with an effective resistivity that includes
+    /// surface/grain scattering.
+    pub fn ptm_22nm() -> Self {
+        Self {
+            name: "ptm-22nm-interconnect".to_owned(),
+            local: WireRc {
+                r_per_m: 25.0e6, // 25 Ω/µm
+                c_per_m: 1.6e-10, // 0.16 fF/µm
+            },
+            intermediate: WireRc {
+                r_per_m: 9.0e6, // 9 Ω/µm
+                c_per_m: 2.0e-10, // 0.20 fF/µm
+            },
+            global: WireRc {
+                r_per_m: 1.2e6, // 1.2 Ω/µm
+                c_per_m: 2.4e-10, // 0.24 fF/µm
+            },
+        }
+    }
+
+    /// RC constants of one layer.
+    #[inline]
+    pub fn layer(&self, layer: MetalLayer) -> WireRc {
+        match layer {
+            MetalLayer::Local => self.local,
+            MetalLayer::Intermediate => self.intermediate,
+            MetalLayer::Global => self.global,
+        }
+    }
+
+    /// Lumped view of a wire of `length` on `layer`.
+    #[inline]
+    pub fn wire(&self, layer: MetalLayer, length: Meters) -> Wire {
+        let rc = self.layer(layer);
+        Wire {
+            length,
+            r_total: rc.resistance(length),
+            c_total: rc.capacitance(length),
+        }
+    }
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        Self::ptm_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Meters;
+
+    #[test]
+    fn layers_order_by_resistance() {
+        let m = InterconnectModel::ptm_22nm();
+        assert!(m.layer(MetalLayer::Local).r_per_m > m.layer(MetalLayer::Intermediate).r_per_m);
+        assert!(m.layer(MetalLayer::Intermediate).r_per_m > m.layer(MetalLayer::Global).r_per_m);
+    }
+
+    #[test]
+    fn segment_wire_magnitude() {
+        // A 64 µm L=4 segment wire should be ~10 fF / ~600 Ω on intermediate
+        // metal -- the load the paper's wire buffers are sized for.
+        let m = InterconnectModel::ptm_22nm();
+        let w = m.wire(MetalLayer::Intermediate, Meters::from_micro(64.0));
+        let c_ff = w.c_total.value() * 1e15;
+        assert!(c_ff > 5.0 && c_ff < 30.0, "c = {c_ff} fF");
+        assert!(w.r_total.value() > 200.0 && w.r_total.value() < 2000.0);
+    }
+
+    #[test]
+    fn pi_model_halves_sum_to_total() {
+        let m = InterconnectModel::ptm_22nm();
+        let w = m.wire(MetalLayer::Local, Meters::from_micro(10.0));
+        let sum = w.c_near() + w.c_far();
+        assert!((sum.value() - w.c_total.value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn wire_scales_linearly_with_length() {
+        let m = InterconnectModel::ptm_22nm();
+        let w1 = m.wire(MetalLayer::Intermediate, Meters::from_micro(16.0));
+        let w4 = m.wire(MetalLayer::Intermediate, Meters::from_micro(64.0));
+        assert!((w4.r_total.value() / w1.r_total.value() - 4.0).abs() < 1e-9);
+        assert!((w4.c_total.value() / w1.c_total.value() - 4.0).abs() < 1e-9);
+    }
+}

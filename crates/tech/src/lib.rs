@@ -1,0 +1,60 @@
+//! # nemfpga-tech
+//!
+//! Technology substrate for the `nemfpga` reproduction of *"Nano-Electro-
+//! Mechanical Relays for FPGA Routing: Experimental Demonstration and a
+//! Design Technique"* (DATE 2012).
+//!
+//! This crate stands in for the circuit-level tooling the paper relied on —
+//! PTM 22 nm transistor and interconnect models, HSPICE timing extraction,
+//! and the [Weste 10] inverter-chain design recipe — with analytical
+//! models:
+//!
+//! * [`units`] — newtype physical quantities (volts, farads, ...).
+//! * [`constants`] — `ε₀` and friends.
+//! * [`process`] — CMOS node constants ([`process::ProcessNode::ptm_22nm`]).
+//! * [`interconnect`] — per-layer wire RC ([`interconnect::InterconnectModel`]).
+//! * [`gates`] — inverter electrical model and the Vt-drop delay penalty.
+//! * [`buffer`] — delay-optimal buffer-chain design and the paper's
+//!   pretend-smaller-load downsizing sweep ([`buffer::BufferChain`]).
+//! * [`rctree`] — Elmore delay over routed-net RC trees ([`rctree::RcTree`]).
+//! * [`switch`] — routing-switch electrical models: NMOS pass transistor,
+//!   transmission gate, NEM relay ([`switch::RoutingSwitch`]).
+//!
+//! # Examples
+//!
+//! Size a routing wire buffer for a 64 µm L=4 segment wire and compare the
+//! full design with a 4× downsized one:
+//!
+//! ```
+//! use nemfpga_tech::buffer::BufferChain;
+//! use nemfpga_tech::interconnect::{InterconnectModel, MetalLayer};
+//! use nemfpga_tech::process::ProcessNode;
+//! use nemfpga_tech::units::Meters;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let node = ProcessNode::ptm_22nm();
+//! let wires = InterconnectModel::ptm_22nm();
+//! let seg = wires.wire(MetalLayer::Intermediate, Meters::from_micro(64.0));
+//!
+//! let full = BufferChain::design(&node, seg.c_total);
+//! let lean = BufferChain::design_downsized(&node, seg.c_total, 4.0)?;
+//! assert!(lean.leakage(&node) < full.leakage(&node));
+//! assert!(lean.delay(&node, seg.c_total) >= full.delay(&node, seg.c_total));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod buffer;
+pub mod constants;
+pub mod gates;
+pub mod interconnect;
+pub mod process;
+pub mod rctree;
+pub mod switch;
+pub mod units;
+
+pub use buffer::BufferChain;
+pub use interconnect::InterconnectModel;
+pub use process::ProcessNode;
+pub use rctree::RcTree;
+pub use switch::{RoutingSwitch, SwitchTechnology};

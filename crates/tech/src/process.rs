@@ -1,0 +1,194 @@
+//! CMOS process-node model.
+//!
+//! A [`ProcessNode`] carries the handful of electrical constants the study
+//! needs from a technology: supply and threshold voltages, the drive
+//! resistance and input capacitance of a minimum-sized inverter, per-device
+//! leakage, and area figures for transistors and SRAM cells.
+//!
+//! The [`ProcessNode::ptm_22nm`] preset plays the role of the 22 nm PTM
+//! transistor model the paper uses ([Zhao 06]); the constants are in the
+//! published ballpark for a 22 nm HP device and are *calibrated once* against
+//! the paper's Fig. 9 baseline power breakdown (see `nemfpga-power`), then
+//! held fixed for every experiment.
+
+use crate::units::{Farads, Ohms, SquareMeters, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Electrical and geometric constants of a CMOS technology node.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::process::ProcessNode;
+///
+/// let node = ProcessNode::ptm_22nm();
+/// assert!(node.vdd.value() > node.vt_n.value());
+/// // A pass transistor passes at most Vdd - Vt of a high level.
+/// assert!(node.pass_high_level() < node.vdd);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessNode {
+    /// Human-readable name, e.g. `"ptm-22nm"`.
+    pub name: String,
+    /// Drawn gate length in nanometres.
+    pub gate_length_nm: f64,
+    /// Nominal supply voltage.
+    pub vdd: Volts,
+    /// NMOS threshold voltage. Routing pass transistors lose this much when
+    /// passing a high level (Sec. 3.2 of the paper: the Vt-drop problem).
+    pub vt_n: Volts,
+    /// Drive (effective switching) resistance of a minimum-sized inverter.
+    pub r_inv_min: Ohms,
+    /// Input capacitance of a minimum-sized inverter.
+    pub c_inv_min: Farads,
+    /// Self-loading (parasitic output) capacitance of a minimum inverter.
+    pub c_inv_par: Farads,
+    /// Subthreshold + gate leakage power of a minimum inverter at `vdd`.
+    pub inv_leak_min: Watts,
+    /// Layout area of one minimum-width transistor.
+    pub min_transistor_area: SquareMeters,
+    /// Layout area of one 6T SRAM configuration cell.
+    pub sram_cell_area: SquareMeters,
+    /// Leakage power of one 6T SRAM configuration cell.
+    pub sram_cell_leak: Watts,
+}
+
+impl ProcessNode {
+    /// The 22 nm predictive-technology-model-like node used for the headline
+    /// study (paper Sec. 3.3: "scaled to the 22nm technology node").
+    pub fn ptm_22nm() -> Self {
+        Self {
+            name: "ptm-22nm".to_owned(),
+            gate_length_nm: 22.0,
+            vdd: Volts::new(0.8),
+            vt_n: Volts::new(0.3),
+            r_inv_min: Ohms::from_kilo(24.0),
+            c_inv_min: Farads::from_atto(95.0),
+            c_inv_par: Farads::from_atto(50.0),
+            inv_leak_min: Watts::new(3.2e-9),
+            min_transistor_area: SquareMeters::new(0.010e-12),
+            sram_cell_area: SquareMeters::new(0.092e-12),
+            sram_cell_leak: Watts::new(4.5e-9),
+        }
+    }
+
+    /// The 90 nm node in which the paper drew its reference layouts
+    /// ([Chen 10b] used a commercial 90 nm library before scaling to 22 nm).
+    pub fn generic_90nm() -> Self {
+        Self {
+            name: "generic-90nm".to_owned(),
+            gate_length_nm: 90.0,
+            vdd: Volts::new(1.2),
+            vt_n: Volts::new(0.35),
+            r_inv_min: Ohms::from_kilo(13.0),
+            c_inv_min: Farads::from_atto(700.0),
+            c_inv_par: Farads::from_atto(400.0),
+            inv_leak_min: Watts::new(8.0e-9),
+            min_transistor_area: SquareMeters::new(0.18e-12),
+            sram_cell_area: SquareMeters::new(1.0e-12),
+            sram_cell_leak: Watts::new(12.0e-9),
+        }
+    }
+
+    /// The highest voltage an NMOS pass transistor in this node can pass,
+    /// `Vdd - Vt` (the degraded high level that forces level-restoring
+    /// buffers in CMOS-only FPGA routing).
+    #[inline]
+    pub fn pass_high_level(&self) -> Volts {
+        self.vdd - self.vt_n
+    }
+
+    /// Fraction of the full swing an NMOS pass transistor delivers on a
+    /// rising edge, `(Vdd - Vt) / Vdd`.
+    #[inline]
+    pub fn pass_high_fraction(&self) -> f64 {
+        self.pass_high_level() / self.vdd
+    }
+
+    /// Intrinsic FO1 delay of a minimum inverter (R·(Cin + Cpar)), a sanity
+    /// scale for the timing engine.
+    #[inline]
+    pub fn fo1_delay(&self) -> crate::units::Seconds {
+        self.r_inv_min * (self.c_inv_min + self.c_inv_par)
+    }
+
+    /// Drive resistance of an inverter scaled `size`× the minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not strictly positive.
+    #[inline]
+    pub fn r_inv(&self, size: f64) -> Ohms {
+        assert!(size > 0.0, "inverter size must be positive, got {size}");
+        self.r_inv_min / size
+    }
+
+    /// Input capacitance of an inverter scaled `size`× the minimum.
+    #[inline]
+    pub fn c_inv_in(&self, size: f64) -> Farads {
+        self.c_inv_min * size
+    }
+
+    /// Parasitic output capacitance of an inverter scaled `size`×.
+    #[inline]
+    pub fn c_inv_out(&self, size: f64) -> Farads {
+        self.c_inv_par * size
+    }
+
+    /// Leakage of an inverter scaled `size`×.
+    #[inline]
+    pub fn inv_leak(&self, size: f64) -> Watts {
+        self.inv_leak_min * size
+    }
+}
+
+impl Default for ProcessNode {
+    /// Defaults to [`ProcessNode::ptm_22nm`], the node every headline
+    /// experiment uses.
+    fn default() -> Self {
+        Self::ptm_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_drop_is_substantial_at_22nm() {
+        let node = ProcessNode::ptm_22nm();
+        // The motivation for NEM routing: well over a quarter of the swing
+        // is lost through an NMOS pass transistor.
+        assert!(node.pass_high_fraction() < 0.75);
+        assert!(node.pass_high_fraction() > 0.4);
+    }
+
+    #[test]
+    fn fo1_delay_is_picoseconds() {
+        let d = ProcessNode::ptm_22nm().fo1_delay();
+        assert!(d.as_pico() > 1.0 && d.as_pico() < 20.0, "{d}");
+    }
+
+    #[test]
+    fn scaled_inverter_relations() {
+        let node = ProcessNode::ptm_22nm();
+        assert!((node.r_inv(4.0).value() - node.r_inv_min.value() / 4.0).abs() < 1e-9);
+        assert!((node.c_inv_in(4.0).value() - node.c_inv_min.value() * 4.0).abs() < 1e-30);
+        assert!((node.inv_leak(2.0).value() - node.inv_leak_min.value() * 2.0).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_size_inverter_panics() {
+        let _ = ProcessNode::ptm_22nm().r_inv(0.0);
+    }
+
+    #[test]
+    fn node_90nm_is_bigger_and_slower() {
+        let n22 = ProcessNode::ptm_22nm();
+        let n90 = ProcessNode::generic_90nm();
+        assert!(n90.min_transistor_area > n22.min_transistor_area);
+        assert!(n90.c_inv_min > n22.c_inv_min);
+        assert!(n90.vdd > n22.vdd);
+    }
+}

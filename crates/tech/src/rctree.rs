@@ -1,0 +1,261 @@
+//! RC trees and Elmore delay.
+//!
+//! Routed FPGA nets are trees of wire segments joined by routing switches;
+//! the paper extracts their delays with HSPICE. Our stand-in is the Elmore
+//! (first-moment) delay over the same RC topology — the standard FPGA CAD
+//! timing model (it is also what VPR itself uses).
+
+use crate::units::{Farads, Ohms, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within an [`RcTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RcNodeId(usize);
+
+impl RcNodeId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RcNode {
+    parent: Option<RcNodeId>,
+    r_from_parent: Ohms,
+    cap: Farads,
+}
+
+/// Error type for invalid RC-tree construction or queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcTreeError {
+    /// Referenced a node id that does not belong to this tree.
+    UnknownNode {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RcTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownNode { index } => write!(f, "unknown rc-tree node index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for RcTreeError {}
+
+/// A grounded-capacitor RC tree rooted at a driver.
+///
+/// Nodes are appended parent-first, so the tree is acyclic by construction
+/// and Elmore delays are computed in a single upstream walk per sink plus
+/// one reverse pass for downstream capacitance.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::rctree::RcTree;
+/// use nemfpga_tech::units::{Farads, Ohms};
+///
+/// // driver --1kΩ-- a(2fF) --1kΩ-- b(3fF)
+/// let mut tree = RcTree::with_root(Ohms::from_kilo(1.0), Farads::from_femto(2.0));
+/// let a = tree.root();
+/// let b = tree.add_child(a, Ohms::from_kilo(1.0), Farads::from_femto(3.0))?;
+/// // Elmore to b: 1k*(2f+3f) + 1k*3f = 8 ps
+/// assert!((tree.elmore_to(b)?.as_pico() - 8.0).abs() < 1e-9);
+/// # Ok::<(), nemfpga_tech::rctree::RcTreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcTree {
+    nodes: Vec<RcNode>,
+}
+
+impl RcTree {
+    /// Creates a tree whose root hangs off the driver through
+    /// `r_from_driver`, with `cap` at the root node.
+    pub fn with_root(r_from_driver: Ohms, cap: Farads) -> Self {
+        Self {
+            nodes: vec![RcNode { parent: None, r_from_parent: r_from_driver, cap }],
+        }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> RcNodeId {
+        RcNodeId(0)
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree holds only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Appends a node under `parent`, connected through `r` with grounded
+    /// capacitance `cap`, and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcTreeError::UnknownNode`] if `parent` is not in the tree.
+    pub fn add_child(
+        &mut self,
+        parent: RcNodeId,
+        r: Ohms,
+        cap: Farads,
+    ) -> Result<RcNodeId, RcTreeError> {
+        if parent.0 >= self.nodes.len() {
+            return Err(RcTreeError::UnknownNode { index: parent.0 });
+        }
+        let id = RcNodeId(self.nodes.len());
+        self.nodes.push(RcNode { parent: Some(parent), r_from_parent: r, cap });
+        Ok(id)
+    }
+
+    /// Adds extra grounded capacitance at an existing node (e.g. a sink's
+    /// input capacitance or a switch parasitic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcTreeError::UnknownNode`] if `node` is not in the tree.
+    pub fn add_cap(&mut self, node: RcNodeId, cap: Farads) -> Result<(), RcTreeError> {
+        let n = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(RcTreeError::UnknownNode { index: node.0 })?;
+        n.cap += cap;
+        Ok(())
+    }
+
+    /// Total capacitance hanging on the tree (what the driver ultimately
+    /// charges — the dynamic-power load of the net).
+    pub fn total_cap(&self) -> Farads {
+        self.nodes.iter().map(|n| n.cap).sum()
+    }
+
+    /// Capacitance at or below each node (indexed by node id).
+    fn downstream_caps(&self) -> Vec<Farads> {
+        let mut down: Vec<Farads> = self.nodes.iter().map(|n| n.cap).collect();
+        // Children always have larger indices than parents.
+        for i in (1..self.nodes.len()).rev() {
+            if let Some(p) = self.nodes[i].parent {
+                let c = down[i];
+                down[p.0] += c;
+            }
+        }
+        down
+    }
+
+    /// Elmore delay from the driver terminal to `sink`:
+    /// `Σ_over path R_edge · C_downstream(edge)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcTreeError::UnknownNode`] if `sink` is not in the tree.
+    pub fn elmore_to(&self, sink: RcNodeId) -> Result<Seconds, RcTreeError> {
+        if sink.0 >= self.nodes.len() {
+            return Err(RcTreeError::UnknownNode { index: sink.0 });
+        }
+        let down = self.downstream_caps();
+        let mut delay = Seconds::zero();
+        let mut cursor = Some(sink);
+        while let Some(id) = cursor {
+            let node = &self.nodes[id.0];
+            delay += node.r_from_parent * down[id.0];
+            cursor = node.parent;
+        }
+        Ok(delay)
+    }
+
+    /// Elmore delay to the slowest node in the tree, with that node's id.
+    pub fn worst_elmore(&self) -> (RcNodeId, Seconds) {
+        let down = self.downstream_caps();
+        // Compute delay for each node incrementally: delay(child) =
+        // delay(parent) + r_child * down(child).
+        let mut delays = vec![Seconds::zero(); self.nodes.len()];
+        let mut worst = (RcNodeId(0), Seconds::zero());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let base = node.parent.map_or(Seconds::zero(), |p| delays[p.0]);
+            let d = base + node.r_from_parent * down[i];
+            delays[i] = d;
+            if d > worst.1 {
+                worst = (RcNodeId(i), d);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kohm(x: f64) -> Ohms {
+        Ohms::from_kilo(x)
+    }
+    fn ff(x: f64) -> Farads {
+        Farads::from_femto(x)
+    }
+
+    #[test]
+    fn single_node_elmore_is_rc() {
+        let tree = RcTree::with_root(kohm(2.0), ff(5.0));
+        let d = tree.elmore_to(tree.root()).unwrap();
+        assert!((d.as_pico() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_elmore_matches_hand_computation() {
+        // drv -1k- a(1f) -2k- b(2f) -3k- c(3f)
+        let mut t = RcTree::with_root(kohm(1.0), ff(1.0));
+        let a = t.root();
+        let b = t.add_child(a, kohm(2.0), ff(2.0)).unwrap();
+        let c = t.add_child(b, kohm(3.0), ff(3.0)).unwrap();
+        // to c: 1k*6f + 2k*5f + 3k*3f = 6+10+9 = 25 ps
+        assert!((t.elmore_to(c).unwrap().as_pico() - 25.0).abs() < 1e-9);
+        // to b: 1k*6f + 2k*5f = 16 ps
+        assert!((t.elmore_to(b).unwrap().as_pico() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_downstream_caps_shared_on_common_path() {
+        // drv -1k- a(0f) -+-1k- b(10f)
+        //                 +-1k- c(1f)
+        let mut t = RcTree::with_root(kohm(1.0), ff(0.0));
+        let a = t.root();
+        let b = t.add_child(a, kohm(1.0), ff(10.0)).unwrap();
+        let c = t.add_child(a, kohm(1.0), ff(1.0)).unwrap();
+        // to c: 1k*11f (common) + 1k*1f = 12 ps, heavy sibling slows c.
+        assert!((t.elmore_to(c).unwrap().as_pico() - 12.0).abs() < 1e-9);
+        // worst sink is b: 1k*11f + 1k*10f = 21 ps.
+        let (worst, d) = t.worst_elmore();
+        assert_eq!(worst, b);
+        assert!((d.as_pico() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_cap_increases_delay() {
+        let mut t = RcTree::with_root(kohm(1.0), ff(1.0));
+        let before = t.elmore_to(t.root()).unwrap();
+        t.add_cap(t.root(), ff(1.0)).unwrap();
+        let after = t.elmore_to(t.root()).unwrap();
+        assert!(after > before);
+        assert!((t.total_cap().value() - 2e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut t = RcTree::with_root(kohm(1.0), ff(1.0));
+        let bogus = RcNodeId(42);
+        assert!(t.elmore_to(bogus).is_err());
+        assert!(t.add_cap(bogus, ff(1.0)).is_err());
+        assert!(t.add_child(bogus, kohm(1.0), ff(1.0)).is_err());
+    }
+}

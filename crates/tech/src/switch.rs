@@ -1,0 +1,250 @@
+//! Electrical models of programmable routing switches.
+//!
+//! Three implementations compete in the study (paper Figs. 3 and 8):
+//!
+//! * **NMOS pass transistor + SRAM cell** — the CMOS-only baseline. Suffers
+//!   the Vt drop when passing a high level, needs level-restoring buffers,
+//!   and pays an SRAM cell per switch.
+//! * **CMOS transmission gate + SRAM cell** — full swing but twice the
+//!   device cap/area and still an SRAM cell (mentioned in the introduction
+//!   as an alternative with "its own set of challenges").
+//! * **NEM relay** — replaces *both* the pass transistor and the SRAM cell
+//!   (Fig. 3b); zero off-leakage, low on-resistance, no Vt drop, and its
+//!   footprint is stacked above the CMOS (Fig. 1).
+
+use crate::process::ProcessNode;
+use crate::units::{Farads, Ohms, SquareMeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Which device implements a programmable routing switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchTechnology {
+    /// NMOS pass transistor configured by an SRAM cell (Fig. 3a).
+    NmosPassTransistor,
+    /// Full CMOS transmission gate configured by an SRAM cell.
+    TransmissionGate,
+    /// Three-terminal NEM relay; hysteresis is its own config memory (Fig. 3b).
+    NemRelay,
+}
+
+impl std::fmt::Display for SwitchTechnology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::NmosPassTransistor => "nmos-pass-transistor",
+            Self::TransmissionGate => "transmission-gate",
+            Self::NemRelay => "nem-relay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Electrical/footprint model of one routing switch instance.
+///
+/// # Examples
+///
+/// ```
+/// use nemfpga_tech::process::ProcessNode;
+/// use nemfpga_tech::switch::RoutingSwitch;
+///
+/// let node = ProcessNode::ptm_22nm();
+/// let nmos = RoutingSwitch::nmos_pass(&node, 10.0);
+/// let relay = RoutingSwitch::nem_relay_paper();
+/// assert!(relay.leakage < nmos.leakage);
+/// assert!(!relay.needs_level_restoration && nmos.needs_level_restoration);
+/// assert_eq!(relay.sram_bits, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingSwitch {
+    /// Implementing device.
+    pub technology: SwitchTechnology,
+    /// On-state series resistance.
+    pub r_on: Ohms,
+    /// Parasitic capacitance added at each terminal when the switch is on.
+    pub c_on: Farads,
+    /// Capacitive load an *off* switch still presents to the wire.
+    pub c_off: Farads,
+    /// Off-state leakage power of the switching device itself (excluding
+    /// any SRAM cell, which is accounted via [`RoutingSwitch::sram_bits`]).
+    pub leakage: Watts,
+    /// Configuration SRAM bits this switch requires (0 for NEM relays).
+    pub sram_bits: u32,
+    /// Whether a downstream half-latch level restorer is required
+    /// (the Vt-drop problem, Fig. 8a).
+    pub needs_level_restoration: bool,
+    /// Multiplier on the delay of the stage containing this switch, modelling
+    /// the slow Vt-degraded rising edge (1.0 when full swing).
+    pub delay_penalty: f64,
+    /// CMOS footprint area consumed (zero for relays stacked above CMOS).
+    pub cmos_area: SquareMeters,
+    /// Area consumed in the relay (MEMS) layer above the CMOS, if any.
+    pub mems_area: SquareMeters,
+}
+
+impl RoutingSwitch {
+    /// An NMOS pass-transistor switch sized `size`× the minimum width, plus
+    /// its SRAM configuration cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not strictly positive.
+    pub fn nmos_pass(node: &ProcessNode, size: f64) -> Self {
+        assert!(size > 0.0, "pass transistor size must be positive, got {size}");
+        // An NMOS passing a high level conducts with reduced overdrive; its
+        // effective resistance is worse than the same device in an inverter.
+        let overdrive_derating = 1.4;
+        Self {
+            technology: SwitchTechnology::NmosPassTransistor,
+            r_on: node.r_inv_min * (overdrive_derating / size),
+            // Source/drain diffusion, about a third of gate cap per width.
+            c_on: node.c_inv_min * (size * 0.35),
+            c_off: node.c_inv_min * (size * 0.35),
+            // Off-state subthreshold leakage of one NMOS of this width.
+            leakage: node.inv_leak_min * (size * 0.4),
+            sram_bits: 1,
+            needs_level_restoration: true,
+            delay_penalty: crate::gates::vt_drop_delay_penalty(node),
+            cmos_area: node.min_transistor_area * size + node.sram_cell_area,
+            mems_area: SquareMeters::zero(),
+        }
+    }
+
+    /// A CMOS transmission-gate switch sized `size`× minimum (N and P in
+    /// parallel): full swing but twice the devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not strictly positive.
+    pub fn transmission_gate(node: &ProcessNode, size: f64) -> Self {
+        assert!(size > 0.0, "transmission gate size must be positive, got {size}");
+        Self {
+            technology: SwitchTechnology::TransmissionGate,
+            r_on: node.r_inv_min * (0.9 / size),
+            c_on: node.c_inv_min * (size * 0.7),
+            c_off: node.c_inv_min * (size * 0.7),
+            leakage: node.inv_leak_min * (size * 0.8),
+            sram_bits: 1,
+            needs_level_restoration: false,
+            delay_penalty: 1.0,
+            cmos_area: node.min_transistor_area * (3.0 * size) + node.sram_cell_area,
+            mems_area: SquareMeters::zero(),
+        }
+    }
+
+    /// A NEM-relay switch from explicit electrical parameters (typically
+    /// produced by the `nemfpga-device` crate's equivalent-circuit model).
+    ///
+    /// `mems_area` is the beam footprint in the relay layer; it consumes no
+    /// CMOS area because relays are stacked between metal 3 and metal 5
+    /// (paper Sec. 3.3).
+    pub fn nem_relay(r_on: Ohms, c_on: Farads, c_off: Farads, mems_area: SquareMeters) -> Self {
+        Self {
+            technology: SwitchTechnology::NemRelay,
+            r_on,
+            c_on,
+            c_off,
+            // Zero off-state leakage: below the paper's 10 pA noise floor.
+            leakage: Watts::zero(),
+            sram_bits: 0,
+            needs_level_restoration: false,
+            delay_penalty: 1.0,
+            cmos_area: SquareMeters::zero(),
+            mems_area,
+        }
+    }
+
+    /// The paper's scaled 22 nm relay equivalent circuit (Fig. 11):
+    /// `Ron = 2 kΩ` (experimental, [Parsa 10]), `Con = 20 aF`,
+    /// `Coff = 6.7 aF` (simulation), beam 275 nm × ~90 nm footprint.
+    pub fn nem_relay_paper() -> Self {
+        let footprint = SquareMeters::new(275e-9 * 90e-9);
+        Self::nem_relay(
+            Ohms::from_kilo(2.0),
+            Farads::from_atto(20.0),
+            Farads::from_atto(6.7),
+            footprint,
+        )
+    }
+
+    /// The high-contact-resistance relays actually measured in the 2×2
+    /// demo crossbar (~100 kΩ, Sec. 2.3) — used by the ablation study to
+    /// show why consistent low `Ron` matters.
+    pub fn nem_relay_demo_contact() -> Self {
+        let mut s = Self::nem_relay_paper();
+        s.r_on = Ohms::from_kilo(100.0);
+        s
+    }
+
+    /// Total silicon-footprint area: CMOS area only, since MEMS area rides
+    /// above the CMOS and does not add footprint unless it exceeds the CMOS
+    /// under it (handled at the tile level).
+    #[inline]
+    pub fn footprint_area(&self) -> SquareMeters {
+        self.cmos_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ProcessNode {
+        ProcessNode::ptm_22nm()
+    }
+
+    #[test]
+    fn relay_beats_pass_transistor_on_every_static_metric() {
+        let node = node();
+        let nmos = RoutingSwitch::nmos_pass(&node, 10.0);
+        let relay = RoutingSwitch::nem_relay_paper();
+        assert!(relay.leakage < nmos.leakage);
+        assert!(relay.c_on < nmos.c_on);
+        assert!(relay.cmos_area < nmos.cmos_area);
+        assert_eq!(relay.sram_bits, 0);
+        assert_eq!(nmos.sram_bits, 1);
+        assert!(relay.delay_penalty < nmos.delay_penalty);
+    }
+
+    #[test]
+    fn relay_ron_is_competitive_with_big_pass_transistor() {
+        let node = node();
+        let nmos = RoutingSwitch::nmos_pass(&node, 10.0);
+        let relay = RoutingSwitch::nem_relay_paper();
+        // 2 kΩ relay vs a 10x pass transistor: same order of magnitude,
+        // slightly better (the paper's premise for speed parity).
+        assert!(relay.r_on < nmos.r_on);
+        assert!(relay.r_on.value() > nmos.r_on.value() / 5.0);
+    }
+
+    #[test]
+    fn transmission_gate_is_full_swing_but_expensive() {
+        let node = node();
+        let tg = RoutingSwitch::transmission_gate(&node, 10.0);
+        let nmos = RoutingSwitch::nmos_pass(&node, 10.0);
+        assert!(!tg.needs_level_restoration);
+        assert!(tg.cmos_area > nmos.cmos_area);
+        assert!(tg.c_on > nmos.c_on);
+        assert_eq!(tg.delay_penalty, 1.0);
+    }
+
+    #[test]
+    fn demo_contact_preset_only_differs_in_ron() {
+        let good = RoutingSwitch::nem_relay_paper();
+        let demo = RoutingSwitch::nem_relay_demo_contact();
+        assert_eq!(demo.r_on, Ohms::from_kilo(100.0));
+        assert_eq!(demo.c_on, good.c_on);
+        assert_eq!(demo.leakage, good.leakage);
+    }
+
+    #[test]
+    fn relay_has_zero_cmos_footprint() {
+        let relay = RoutingSwitch::nem_relay_paper();
+        assert_eq!(relay.footprint_area(), SquareMeters::zero());
+        assert!(relay.mems_area.value() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_size_pass_transistor_panics() {
+        let _ = RoutingSwitch::nmos_pass(&node(), 0.0);
+    }
+}

@@ -1,0 +1,550 @@
+//! Physical-quantity newtypes used throughout the workspace.
+//!
+//! Every quantity is a thin wrapper around an `f64` in SI base units
+//! (volts, ohms, farads, seconds, metres, watts, amperes, joules, pascals,
+//! kilograms). The newtypes exist so that, for example, a pull-in voltage
+//! can never be passed where a capacitance is expected ([C-NEWTYPE]).
+//!
+//! Only the physically meaningful operator combinations are implemented:
+//! same-unit addition/subtraction, scaling by `f64`, and the handful of
+//! cross-unit products the models actually need (`Ohms * Farads = Seconds`,
+//! `Volts * Amps = Watts`, `Volts / Ohms = Amps`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use nemfpga_tech::units::{Farads, Ohms, Seconds};
+//!
+//! let tau: Seconds = Ohms::from_kilo(2.0) * Farads::from_atto(20.0);
+//! assert!((tau.value() - 40e-15).abs() < 1e-20);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $sym:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw SI value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the raw SI value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// `true` if the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Dimensionless ratio of two like quantities.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// use nemfpga_tech::units::Volts;
+            /// assert_eq!(Volts::new(6.2).ratio(Volts::new(3.1)), 2.0);
+            /// ```
+            #[inline]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*e} {}", prec, self.0, $sym)
+                } else {
+                    write!(f, "{:e} {}", self.0, $sym)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Length in metres.
+    Meters,
+    "m"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Pressure / elastic modulus in pascals.
+    Pascals,
+    "Pa"
+);
+unit!(
+    /// Mass in kilograms.
+    Kilograms,
+    "kg"
+);
+unit!(
+    /// Area in square metres.
+    SquareMeters,
+    "m²"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Force in newtons.
+    Newtons,
+    "N"
+);
+unit!(
+    /// Spring stiffness in newtons per metre.
+    NewtonsPerMeter,
+    "N/m"
+);
+
+impl Volts {
+    /// Constructs a voltage from millivolts.
+    #[inline]
+    pub fn from_milli(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+}
+
+impl Ohms {
+    /// Constructs a resistance from kilo-ohms.
+    #[inline]
+    pub fn from_kilo(kohm: f64) -> Self {
+        Self::new(kohm * 1e3)
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femto(ff: f64) -> Self {
+        Self::new(ff * 1e-15)
+    }
+
+    /// Constructs a capacitance from attofarads.
+    #[inline]
+    pub fn from_atto(af: f64) -> Self {
+        Self::new(af * 1e-18)
+    }
+}
+
+impl Seconds {
+    /// Constructs a time from picoseconds.
+    #[inline]
+    pub fn from_pico(ps: f64) -> Self {
+        Self::new(ps * 1e-12)
+    }
+
+    /// Constructs a time from nanoseconds.
+    #[inline]
+    pub fn from_nano(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// This time expressed in picoseconds.
+    #[inline]
+    pub fn as_pico(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// This time expressed in nanoseconds.
+    #[inline]
+    pub fn as_nano(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+impl Meters {
+    /// Constructs a length from micrometres.
+    #[inline]
+    pub fn from_micro(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Constructs a length from nanometres.
+    #[inline]
+    pub fn from_nano(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// This length expressed in micrometres.
+    #[inline]
+    pub fn as_micro(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// This length expressed in nanometres.
+    #[inline]
+    pub fn as_nano(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+impl Watts {
+    /// Constructs a power from milliwatts.
+    #[inline]
+    pub fn from_milli(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Constructs a power from microwatts.
+    #[inline]
+    pub fn from_micro(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// This power expressed in milliwatts.
+    #[inline]
+    pub fn as_milli(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// This power expressed in microwatts.
+    #[inline]
+    pub fn as_micro(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+impl Amps {
+    /// Constructs a current from picoamps.
+    #[inline]
+    pub fn from_pico(pa: f64) -> Self {
+        Self::new(pa * 1e-12)
+    }
+
+    /// Constructs a current from nanoamps.
+    #[inline]
+    pub fn from_nano(na: f64) -> Self {
+        Self::new(na * 1e-9)
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from megahertz.
+    #[inline]
+    pub fn from_mega(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// The period of one cycle at this frequency.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Pascals {
+    /// Constructs a modulus from gigapascals.
+    #[inline]
+    pub fn from_giga(gpa: f64) -> Self {
+        Self::new(gpa * 1e9)
+    }
+}
+
+// --- physically meaningful cross-unit products ---
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// RC time constant.
+    #[inline]
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Seconds {
+        rhs * self
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// Electrical power.
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// Ohm's law.
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Volts> for Volts {
+    type Output = SquareVolts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> SquareVolts {
+        SquareVolts::new(self.value() * rhs.value())
+    }
+}
+
+unit!(
+    /// Squared potential in volts², an intermediate in `C·V²·f` energy terms.
+    SquareVolts,
+    "V²"
+);
+
+impl Mul<SquareVolts> for Farads {
+    type Output = Joules;
+    /// Switching energy `C·V²`.
+    #[inline]
+    fn mul(self, rhs: SquareVolts) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Hertz> for Joules {
+    type Output = Watts;
+    /// Energy per cycle times cycle rate.
+    #[inline]
+    fn mul(self, rhs: Hertz) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Meters> for Meters {
+    type Output = SquareMeters;
+    #[inline]
+    fn mul(self, rhs: Meters) -> SquareMeters {
+        SquareMeters::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms::from_kilo(2.0) * Farads::from_femto(1.0);
+        assert!((tau.as_pico() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law_and_power() {
+        let i = Volts::new(1.0) / Ohms::from_kilo(1.0);
+        assert!((i.value() - 1e-3).abs() < 1e-15);
+        let p = Volts::new(1.0) * i;
+        assert!((p.as_milli() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_energy() {
+        let e = Farads::from_femto(10.0) * (Volts::new(0.8) * Volts::new(0.8));
+        assert!((e.value() - 6.4e-15).abs() < 1e-25);
+        let p = e * Hertz::from_mega(1000.0);
+        assert!((p.as_micro() - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_and_arith() {
+        let a = Volts::new(1.0);
+        let b = Volts::new(2.0);
+        assert!(a < b);
+        assert_eq!((a + b).value(), 3.0);
+        assert_eq!((b - a).value(), 1.0);
+        assert_eq!((-a).value(), -1.0);
+        assert_eq!((a * 4.0).value(), 4.0);
+        assert_eq!((b / 2.0).value(), 1.0);
+        assert_eq!(b / a, 2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_capacitances() {
+        let caps = [Farads::from_femto(1.0), Farads::from_femto(2.5)];
+        let total: Farads = caps.iter().copied().sum();
+        assert!((total.value() - 3.5e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        let s = format!("{:.2}", Volts::new(6.2));
+        assert!(s.contains('V'), "display was {s}");
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        assert!((Meters::from_nano(275.0).as_nano() - 275.0).abs() < 1e-9);
+        assert!((Meters::from_micro(23.0).as_micro() - 23.0).abs() < 1e-9);
+        assert!((Seconds::from_nano(1.0).as_nano() - 1.0).abs() < 1e-12);
+        assert!((Hertz::from_mega(100.0).period().as_nano() - 10.0).abs() < 1e-9);
+    }
+}

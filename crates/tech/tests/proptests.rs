@@ -1,0 +1,116 @@
+//! Property-based tests for the technology models: buffer-chain design
+//! optimality/monotonicity and Elmore-delay invariants.
+
+use nemfpga_tech::buffer::BufferChain;
+use nemfpga_tech::process::ProcessNode;
+use nemfpga_tech::rctree::RcTree;
+use nemfpga_tech::units::{Farads, Ohms};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The designed chain is never slower than any geometric chain with
+    /// 1..=6 stages for the same load.
+    #[test]
+    fn designed_chain_is_delay_optimal(load_ff in 0.2f64..200.0) {
+        let node = ProcessNode::ptm_22nm();
+        let load = Farads::from_femto(load_ff);
+        let best = BufferChain::design(&node, load);
+        let d_best = best.delay(&node, load);
+        let effort = (load / node.c_inv_min).max(1.0);
+        for n in 1..=6usize {
+            let f = effort.powf(1.0 / n as f64);
+            let sizes: Vec<f64> = (0..n).map(|i| f.powi(i as i32)).collect();
+            let cand = BufferChain::from_stage_sizes(&sizes);
+            prop_assert!(cand.delay(&node, load) >= d_best * 0.999_999);
+        }
+    }
+
+    /// Downsizing monotonically trades delay for leakage and area.
+    #[test]
+    fn downsizing_is_monotone(load_ff in 1.0f64..100.0, k1 in 1.0f64..4.0, dk in 0.1f64..4.0) {
+        let node = ProcessNode::ptm_22nm();
+        let load = Farads::from_femto(load_ff);
+        let k2 = k1 + dk;
+        let a = BufferChain::design_downsized(&node, load, k1).expect("valid divisor");
+        let b = BufferChain::design_downsized(&node, load, k2).expect("valid divisor");
+        prop_assert!(b.delay(&node, load) >= a.delay(&node, load) * 0.999_999);
+        prop_assert!(b.leakage(&node).value() <= a.leakage(&node).value() * 1.000_001);
+        prop_assert!(b.area(&node).value() <= a.area(&node).value() * 1.000_001);
+        prop_assert!(b.switched_cap(&node).value() <= a.switched_cap(&node).value() * 1.000_001);
+    }
+
+    /// Stage sizes of a designed chain are monotone non-decreasing and the
+    /// first stage is minimum sized.
+    #[test]
+    fn chain_shape_invariants(load_ff in 0.01f64..500.0) {
+        let node = ProcessNode::ptm_22nm();
+        let chain = BufferChain::design(&node, Farads::from_femto(load_ff));
+        let sizes = chain.stage_sizes();
+        prop_assert!(!sizes.is_empty());
+        prop_assert!((sizes[0] - 1.0).abs() < 1e-9, "first stage {}", sizes[0]);
+        prop_assert!(sizes.windows(2).all(|w| w[1] >= w[0] * 0.999_999));
+    }
+
+    /// Elmore delay grows monotonically when capacitance is added anywhere.
+    #[test]
+    fn elmore_monotone_in_cap(
+        r in 0.1f64..50.0,
+        caps in prop::collection::vec(0.1f64..20.0, 1..12),
+        extra_ff in 0.1f64..10.0,
+        which in 0usize..12,
+    ) {
+        let mut tree = RcTree::with_root(Ohms::from_kilo(r), Farads::from_femto(caps[0]));
+        let mut ids = vec![tree.root()];
+        for (i, c) in caps.iter().enumerate().skip(1) {
+            let parent = ids[i / 2];
+            let id = tree
+                .add_child(parent, Ohms::from_kilo(r), Farads::from_femto(*c))
+                .expect("parent exists");
+            ids.push(id);
+        }
+        let target = ids[which % ids.len()];
+        let before = tree.worst_elmore().1;
+        tree.add_cap(target, Farads::from_femto(extra_ff)).expect("node exists");
+        let after = tree.worst_elmore().1;
+        prop_assert!(after >= before);
+    }
+
+    /// `worst_elmore` really is the maximum of per-sink Elmore delays.
+    #[test]
+    fn worst_elmore_is_max(
+        caps in prop::collection::vec(0.1f64..20.0, 1..12),
+    ) {
+        let mut tree = RcTree::with_root(Ohms::from_kilo(1.0), Farads::from_femto(caps[0]));
+        let mut ids = vec![tree.root()];
+        for (i, c) in caps.iter().enumerate().skip(1) {
+            let parent = ids[(i - 1) / 2];
+            let id = tree
+                .add_child(parent, Ohms::from_kilo(1.0), Farads::from_femto(*c))
+                .expect("parent exists");
+            ids.push(id);
+        }
+        let (worst_id, worst) = tree.worst_elmore();
+        let mut max_seen = 0.0f64;
+        for id in &ids {
+            let d = tree.elmore_to(*id).expect("in tree").value();
+            prop_assert!(d <= worst.value() * 1.000_001);
+            max_seen = max_seen.max(d);
+        }
+        prop_assert!((max_seen - worst.value()).abs() <= 1e-18 + 1e-9 * worst.value());
+        prop_assert!(ids.contains(&worst_id));
+    }
+
+    /// Pass-high level is always a strict fraction of Vdd and the penalty
+    /// exceeds 1 whenever Vt > 0.
+    #[test]
+    fn vt_drop_penalty_bounds(vdd in 0.5f64..1.5, vt_frac in 0.1f64..0.45) {
+        let mut node = ProcessNode::ptm_22nm();
+        node.vdd = nemfpga_tech::units::Volts::new(vdd);
+        node.vt_n = nemfpga_tech::units::Volts::new(vdd * vt_frac);
+        prop_assert!(node.pass_high_level() < node.vdd);
+        let p = nemfpga_tech::gates::vt_drop_delay_penalty(&node);
+        prop_assert!(p > 1.0 && p < 20.0, "penalty {p}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The selective buffer removal / downsizing technique in isolation
+//! (Sec. 3.2 and 3.4).
+//!
+//! Designs a delay-optimal inverter chain for a segment wire, then
+//! "redesigns it while pretending that it drives a smaller capacitive
+//! load" (up to 8× smaller, as the paper sweeps) and prints the resulting
+//! delay / leakage / switched-capacitance / area trade-off — the raw
+//! material of Fig. 12 before the CAD flow ever runs.
+//!
+//! Run with: `cargo run --release --example buffer_downsizing`
+
+use nemfpga_tech::buffer::BufferChain;
+use nemfpga_tech::gates::vt_drop_delay_penalty;
+use nemfpga_tech::interconnect::{InterconnectModel, MetalLayer};
+use nemfpga_tech::process::ProcessNode;
+use nemfpga_tech::switch::RoutingSwitch;
+use nemfpga_tech::units::Meters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let node = ProcessNode::ptm_22nm();
+    let wires = InterconnectModel::ptm_22nm();
+
+    // An L=4 segment wire at a ~20 um tile pitch.
+    let seg = wires.wire(MetalLayer::Intermediate, Meters::from_micro(80.0));
+    println!(
+        "segment wire: {:.0} um, {:.1} fF, {:.0} Ohm",
+        seg.length.as_micro(),
+        seg.c_total.value() * 1e15,
+        seg.r_total.value(),
+    );
+
+    let full = BufferChain::design(&node, seg.c_total);
+    println!(
+        "delay-optimal chain: {} stages, sizes {:?}",
+        full.num_stages(),
+        full.stage_sizes().iter().map(|s| (s * 10.0).round() / 10.0).collect::<Vec<_>>(),
+    );
+
+    println!("\npretend-load divisor sweep (the paper's 1x..8x):");
+    println!("  div   stages   delay(ps)  leak(nW)  sw-cap(fF)  area(um^2)");
+    for div in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let chain = BufferChain::design_downsized(&node, seg.c_total, div)?;
+        println!(
+            "  {:>3.1}  {:>6}   {:>8.1}  {:>8.1}  {:>9.2}  {:>9.4}",
+            div,
+            chain.num_stages(),
+            chain.delay(&node, seg.c_total).as_pico(),
+            chain.leakage(&node).value() * 1e9,
+            chain.switched_cap(&node).value() * 1e15,
+            chain.area(&node).value() * 1e12,
+        );
+    }
+
+    // Why only NEM relays allow this: the switch that feeds the buffer.
+    println!("\nthe switch feeding each buffer:");
+    for (label, sw) in [
+        ("NMOS pass transistor (10x min)", RoutingSwitch::nmos_pass(&node, 10.0)),
+        ("NEM relay (paper Fig. 11)", RoutingSwitch::nem_relay_paper()),
+        ("NEM relay (demo 100k contacts)", RoutingSwitch::nem_relay_demo_contact()),
+    ] {
+        println!(
+            "  {label}: Ron = {:>6.1} kOhm, leak = {:>5.1} nW, delay penalty {:.2}x, needs restorer: {}",
+            sw.r_on.value() / 1e3,
+            sw.leakage.value() * 1e9,
+            sw.delay_penalty,
+            sw.needs_level_restoration,
+        );
+    }
+    println!(
+        "\n(the Vt-drop penalty of {:.2}x on every CMOS routing hop is what NEM relays buy back,",
+        vt_drop_delay_penalty(&node),
+    );
+    println!(" and that speed headroom is what the technique spends on smaller buffers)");
+
+    // Level-restoring buffers: the CMOS-only tax.
+    let restoring = BufferChain::design(&node, seg.c_total).with_level_restoration();
+    println!(
+        "\nhalf-latch restorer tax: leakage {:.1} nW vs plain {:.1} nW for the same chain",
+        restoring.leakage(&node).value() * 1e9,
+        full.leakage(&node).value() * 1e9,
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! The complete Fig. 10 evaluation flow on an MCNC-style benchmark:
+//! pack → place → minimum-channel-width search → route → per-variant
+//! timing, power, and area — producing one benchmark's slice of Fig. 12.
+//!
+//! Run with: `cargo run --release --example full_flow [-- <scale>]`
+//! (`scale` in (0,1] shrinks the benchmark; default 0.1)
+
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_netlist::stats::NetlistStats;
+use nemfpga_netlist::synth::preset_by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.1);
+
+    // The tseng MCNC benchmark, scaled for a quick run.
+    let mut cfg_synth = preset_by_name("tseng").expect("tseng is a preset");
+    cfg_synth.luts = ((cfg_synth.luts as f64 * scale) as usize).max(50);
+    cfg_synth.inputs = (cfg_synth.inputs as f64 * scale.sqrt()).max(6.0) as usize;
+    cfg_synth.outputs = (cfg_synth.outputs as f64 * scale.sqrt()).max(6.0) as usize;
+    let netlist = cfg_synth.generate()?;
+    let stats = NetlistStats::of(&netlist)?;
+    println!(
+        "benchmark tseng (scaled {scale}): {} LUTs, {} FFs, {} PIs, {} POs, depth {}",
+        stats.luts, stats.latches, stats.inputs, stats.outputs, stats.logic_depth,
+    );
+
+    let cfg = EvaluationConfig::paper_defaults(7);
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem_without_technique(),
+        FpgaVariant::cmos_nem(4.0),
+    ];
+    let eval = evaluate(netlist.clone(), &cfg, &variants)?;
+    println!(
+        "\nimplementation: grid {}x{}, Wmin = {:?}, W = {}, routed wirelength {} tiles",
+        eval.grid.0, eval.grid.1, eval.w_min, eval.channel_width, eval.wirelength_tiles,
+    );
+    {
+        // Congestion picture at the low-stress width.
+        use nemfpga_pnr::flow::{implement, WidthPolicy};
+        let imp = implement(
+            netlist.clone(),
+            &cfg.params,
+            &cfg.place,
+            &cfg.route,
+            WidthPolicy::Fixed(eval.channel_width),
+        )?;
+        let u = nemfpga_pnr::route::utilization(&imp.rr, &imp.routing);
+        println!(
+            "utilization: {:.0}% of wires, peak channel occupancy {:.0}%, {} switches on",
+            u.wire_utilization * 100.0,
+            u.peak_channel_occupancy * 100.0,
+            u.switches_used,
+        );
+    }
+    println!("evaluation clock: {:.0} MHz (baseline fmax)\n", eval.clock.value() / 1e6);
+
+    println!(
+        "{:<46} {:>9} {:>10} {:>10} {:>10}",
+        "variant", "cp (ns)", "dyn (mW)", "leak (mW)", "tile (um2)"
+    );
+    for v in &eval.variants {
+        println!(
+            "{:<46} {:>9.2} {:>10.3} {:>10.3} {:>10.0}",
+            v.variant.name,
+            v.critical_path.as_nano(),
+            v.power.dynamic.total().as_milli(),
+            v.power.leakage.total().as_milli(),
+            v.tile.footprint().value() * 1e12,
+        );
+    }
+    let base = &eval.variants[0];
+    println!("\nbaseline power detail:\n{}", base.power);
+
+    // The Fig. 12 sweep for this benchmark.
+    let (curve, _) = tradeoff_sweep(netlist, &cfg, &PAPER_DIVISORS)?;
+    println!("\nFig. 12 trade-off (vs CMOS-only baseline):");
+    println!("  div   speedup  dyn-red  leak-red  area-red");
+    for p in &curve.points {
+        println!(
+            "  {:>3.1}  {:>7.2}  {:>7.2}  {:>8.2}  {:>8.2}",
+            p.divisor, p.speedup, p.dynamic_reduction, p.leakage_reduction, p.area_reduction,
+        );
+    }
+    let corner = curve.preferred_corner(1.0);
+    println!(
+        "\npreferred corner (no speed penalty): divisor {:.0} -> {:.2}x dynamic, {:.2}x leakage, {:.2}x area",
+        corner.divisor, corner.dynamic_reduction, corner.leakage_reduction, corner.area_reduction,
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the paper in five minutes.
+//!
+//! 1. Build the fabricated NEM relay and watch its hysteresis (Fig. 2b).
+//! 2. Program a 2×2 relay crossbar with half-select voltages (Fig. 5).
+//! 3. Evaluate a small design on a CMOS-only vs a CMOS-NEM FPGA.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::report::Comparison;
+use nemfpga::variant::FpgaVariant;
+use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::program::program;
+use nemfpga_device::iv::{sweep, SweepConfig};
+use nemfpga_device::{NemRelayDevice, Relay};
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_tech::units::Volts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The device ---------------------------------------------------
+    let device = NemRelayDevice::fabricated();
+    println!(
+        "fabricated relay: Vpi = {:.2} V, Vpo = {:.2} V, hysteresis window {:.2} V",
+        device.pull_in_voltage().value(),
+        device.pull_out_voltage().value(),
+        device.hysteresis_window().value(),
+    );
+    let mut relay = Relay::new(device.clone());
+    let curve = sweep(&mut relay, Volts::new(8.0), &SweepConfig::paper_fig2b())?;
+    println!(
+        "I-V sweep observes pull-in at {:.2} V and pull-out at {:.2} V",
+        curve.observed_vpi.expect("relay pulled in").value(),
+        curve.observed_vpo.expect("relay released").value(),
+    );
+
+    // --- 2. The crossbar --------------------------------------------------
+    let mut xbar = CrossbarArray::uniform(2, 2, device)?;
+    let mut target = Configuration::all_off(2, 2);
+    target.set(0, 0, true);
+    target.set(1, 1, true);
+    let log = program(&mut xbar, &target, &ProgrammingLevels::paper_demo())?;
+    println!(
+        "programmed 2x2 crossbar to the diagonal pattern in {} steps ({} relay actuations)",
+        log.steps.len(),
+        log.switching_events,
+    );
+    assert_eq!(xbar.state_configuration(), target);
+
+    // --- 3. The FPGA ------------------------------------------------------
+    let cfg = EvaluationConfig::fast(42);
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem(4.0),
+    ];
+    let netlist = SynthConfig::tiny("quickstart", 60, 42).generate()?;
+    let eval = evaluate(netlist, &cfg, &variants)?;
+    println!(
+        "implemented 'quickstart' (60 LUTs): Wmin = {:?}, operating W = {}",
+        eval.w_min, eval.channel_width,
+    );
+    print!("{}", Comparison::against_baseline(&eval));
+    Ok(())
+}

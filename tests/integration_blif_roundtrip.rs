@@ -1,0 +1,89 @@
+//! Integration: BLIF round-trips for generated benchmarks of many shapes,
+//! including property-style randomized checks.
+
+use nemfpga_netlist::blif::{parse_blif, write_blif};
+use nemfpga_netlist::cell::CellKind;
+use nemfpga_netlist::stats::NetlistStats;
+use nemfpga_netlist::synth::{mcnc20, SynthConfig};
+use proptest::prelude::*;
+
+fn assert_equivalent(a: &nemfpga_netlist::Netlist, b: &nemfpga_netlist::Netlist) {
+    assert_eq!(a.num_luts(), b.num_luts());
+    assert_eq!(a.num_latches(), b.num_latches());
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    for cell in a.cells() {
+        if let CellKind::Lut(tt_a) = &cell.kind {
+            let id_b = b
+                .cell_by_name(&cell.name)
+                .unwrap_or_else(|| panic!("cell {} lost in round-trip", cell.name));
+            match &b.cell(id_b).kind {
+                CellKind::Lut(tt_b) => assert_eq!(tt_a, tt_b, "function of {}", cell.name),
+                other => panic!("cell {} changed kind to {other:?}", cell.name),
+            }
+            // Fan-in order (and hence semantics) preserved.
+            let names_a: Vec<&str> =
+                cell.inputs.iter().map(|n| a.net(*n).name.as_str()).collect();
+            let names_b: Vec<&str> =
+                b.cell(id_b).inputs.iter().map(|n| b.net(*n).name.as_str()).collect();
+            assert_eq!(names_a, names_b, "fan-in of {}", cell.name);
+        }
+    }
+}
+
+#[test]
+fn scaled_mcnc_presets_round_trip() {
+    for mut cfg in mcnc20().into_iter().take(6) {
+        cfg.luts = (cfg.luts / 20).max(30);
+        cfg.inputs = (cfg.inputs / 4).max(4);
+        cfg.outputs = (cfg.outputs / 4).max(4);
+        let original = cfg.generate().expect("generates");
+        let reparsed = parse_blif(&write_blif(&original)).expect("parses");
+        assert_equivalent(&original, &reparsed);
+        // Stats agree (depth is structural, so it must survive).
+        let sa = NetlistStats::of(&original).expect("stats");
+        let sb = NetlistStats::of(&reparsed).expect("stats");
+        assert_eq!(sa.logic_depth, sb.logic_depth, "{}", cfg.name);
+        assert_eq!(sa.max_fanout, sb.max_fanout, "{}", cfg.name);
+    }
+}
+
+#[test]
+fn double_round_trip_is_fixed_point() {
+    let original = SynthConfig::tiny("fp", 80, 21).generate().expect("generates");
+    let once = write_blif(&parse_blif(&write_blif(&original)).expect("parse 1"));
+    let twice = write_blif(&parse_blif(&once).expect("parse 2"));
+    assert_eq!(once, twice, "BLIF text must stabilize after one round-trip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_synthetic_netlists_round_trip(
+        luts in 5usize..120,
+        seed in 0u64..1_000,
+        latch_pct in 0u32..60,
+    ) {
+        let mut cfg = SynthConfig::tiny("prop", luts, seed);
+        cfg.latch_fraction = latch_pct as f64 / 100.0;
+        let original = cfg.generate().expect("generates");
+        let reparsed = parse_blif(&write_blif(&original)).expect("parses");
+        assert_equivalent(&original, &reparsed);
+    }
+
+    #[test]
+    fn generated_netlists_always_validate(
+        luts in 1usize..150,
+        seed in 0u64..1_000,
+        depth in 1usize..12,
+    ) {
+        let mut cfg = SynthConfig::tiny("val", luts, seed);
+        cfg.target_depth = depth;
+        let netlist = cfg.generate().expect("generates");
+        netlist.validate().expect("validates");
+        prop_assert_eq!(netlist.num_luts(), luts);
+        // Depth never exceeds the target.
+        prop_assert!(netlist.logic_depth().expect("acyclic") <= depth);
+    }
+}

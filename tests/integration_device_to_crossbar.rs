@@ -1,0 +1,119 @@
+//! Integration: device physics → hysteresis → crossbar programming →
+//! waveform verification, across `nemfpga-device` and `nemfpga-crossbar`.
+
+use nemfpga_crossbar::array::{Configuration, CrossbarArray};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::program::{program, reset};
+use nemfpga_crossbar::waveform::{run_demo, WaveformConfig};
+use nemfpga_crossbar::window::solve_window;
+use nemfpga_device::variation::{PopulationStats, VariationModel};
+use nemfpga_device::{NemRelayDevice, Relay};
+use nemfpga_tech::units::Volts;
+
+#[test]
+fn measured_iv_voltages_drive_correct_crossbar_programming() {
+    // Extract Vpi/Vpo by "measurement" (I-V sweep), derive a window from
+    // them, and program a crossbar with it — the full Sec. 2 story.
+    let device = NemRelayDevice::fabricated();
+    let mut relay = Relay::new(device.clone());
+    let curve = nemfpga_device::iv::sweep(
+        &mut relay,
+        Volts::new(8.0),
+        &nemfpga_device::iv::SweepConfig::paper_fig2b(),
+    )
+    .expect("sweep runs");
+    let vpi = curve.observed_vpi.expect("pull-in observed");
+    let vpo = curve.observed_vpo.expect("pull-out observed");
+
+    // Build levels straddling the measured window.
+    let levels = ProgrammingLevels {
+        vhold: (vpi + vpo) / 2.0,
+        vselect: (vpi - vpo) / 3.0,
+    };
+    levels.validate_for(&device).expect("window derived from measurement is valid");
+
+    let mut xbar = CrossbarArray::uniform(3, 3, device).expect("3x3 builds");
+    let mut target = Configuration::all_off(3, 3);
+    target.set(0, 2, true);
+    target.set(1, 0, true);
+    target.set(2, 1, true);
+    program(&mut xbar, &target, &levels).expect("programs");
+    assert_eq!(xbar.state_configuration(), target);
+    reset(&mut xbar).expect("resets");
+    assert!(xbar.all_pulled_out());
+}
+
+#[test]
+fn varied_population_programs_through_solved_window_end_to_end() {
+    let population = VariationModel::fabrication_default().sample_population(
+        &NemRelayDevice::fabricated(),
+        64,
+        2026,
+    );
+    let stats = PopulationStats::of(&population);
+    assert!(stats.exact_feasibility_condition(), "population must be programmable");
+    let window = solve_window(&stats).expect("window exists");
+
+    let mut xbar = CrossbarArray::from_population(8, 8, &population).expect("8x8 builds");
+    // A checkerboard pattern: worst case for half-select disturbance.
+    let mut target = Configuration::all_off(8, 8);
+    for r in 0..8 {
+        for c in 0..8 {
+            if (r + c) % 2 == 0 {
+                target.set(r, c, true);
+            }
+        }
+    }
+    program(&mut xbar, &target, &window.levels).expect("whole population programs");
+    assert_eq!(xbar.state_configuration(), target);
+    // Reconfiguration: invert the checkerboard.
+    let mut inverted = Configuration::all_off(8, 8);
+    for r in 0..8 {
+        for c in 0..8 {
+            if (r + c) % 2 == 1 {
+                inverted.set(r, c, true);
+            }
+        }
+    }
+    program(&mut xbar, &inverted, &window.levels).expect("reprograms");
+    assert_eq!(xbar.state_configuration(), inverted);
+}
+
+#[test]
+fn reliability_budget_covers_the_demo_sequence() {
+    // Run the full three-phase demo on every configuration and verify the
+    // accumulated actuations are negligible against the endurance budget.
+    let mut total_cycles = 0u64;
+    for code in 0..16u64 {
+        let mut xbar =
+            CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated()).expect("2x2 builds");
+        let wave = run_demo(
+            &mut xbar,
+            &Configuration::from_code(2, 2, code),
+            &ProgrammingLevels::paper_demo(),
+            &WaveformConfig::paper_fig5(),
+        )
+        .expect("demo runs");
+        assert!(wave.verify(), "config {code}");
+        total_cycles += xbar.total_switching_cycles();
+    }
+    let budget = nemfpga_device::reliability::ReliabilityBudget::paper_default();
+    assert!(total_cycles < 200, "demo used {total_cycles} actuations");
+    assert!((budget.endurance_cycles as f64 / total_cycles as f64) > 1e6);
+}
+
+#[test]
+fn scaled_22nm_device_supports_cmos_level_programming() {
+    // The architecture study's device must be programmable with ~1 V rails.
+    let device = NemRelayDevice::scaled_22nm();
+    let vpi = device.pull_in_voltage();
+    assert!(vpi.value() < 1.2, "Vpi {} not CMOS-compatible", vpi);
+    let levels = ProgrammingLevels {
+        vhold: (vpi + device.pull_out_voltage()) / 2.0,
+        vselect: (vpi - device.pull_out_voltage()) / 3.0,
+    };
+    let mut xbar = CrossbarArray::uniform(4, 4, device).expect("4x4 builds");
+    let target = Configuration::from_code(4, 4, 0b1010_0101_1100_0011);
+    program(&mut xbar, &target, &levels).expect("programs at ~1 V");
+    assert_eq!(xbar.state_configuration(), target);
+}

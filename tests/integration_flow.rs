@@ -1,0 +1,138 @@
+//! Integration: the full CAD + evaluation pipeline across netlist, arch,
+//! pnr, power, and core crates.
+
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_arch::validate_rr_graph;
+use nemfpga_netlist::blif::{parse_blif, write_blif};
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_pnr::flow::{implement, WidthPolicy};
+use nemfpga_pnr::place::{check_legal, PlaceConfig};
+use nemfpga_pnr::route::{check_routing, RouteConfig};
+use nemfpga_pnr::timing::{analyze_timing, test_timing_model};
+
+#[test]
+fn implement_produces_verifiable_artifacts() {
+    let netlist = SynthConfig::tiny("veri", 90, 11).generate().expect("generates");
+    let imp = implement(
+        netlist,
+        &nemfpga_arch::ArchParams::paper_table1(),
+        &PlaceConfig::fast(11),
+        &RouteConfig::new(),
+        WidthPolicy::LowStress { hint: 12, max: 256 },
+    )
+    .expect("implements");
+
+    validate_rr_graph(&imp.rr).expect("rr graph is structurally sound");
+    check_legal(&imp.design, &imp.placement).expect("placement is legal");
+    check_routing(&imp.rr, &imp.design, &imp.placement, &imp.routing)
+        .expect("routing is connected and uncongested");
+
+    let report =
+        analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &test_timing_model())
+            .expect("timing analyzes");
+    assert!(report.critical_path.as_nano() > 0.1);
+}
+
+#[test]
+fn blif_netlist_flows_through_the_full_pipeline() {
+    // Round-trip a generated netlist through BLIF, then implement the
+    // parsed copy: the interchange format feeds the CAD flow.
+    let original = SynthConfig::tiny("io_test", 50, 5).generate().expect("generates");
+    let text = write_blif(&original);
+    let parsed = parse_blif(&text).expect("round-trips");
+    assert_eq!(parsed.num_luts(), original.num_luts());
+
+    let cfg = EvaluationConfig::fast(5);
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node)];
+    let eval = evaluate(parsed, &cfg, &variants).expect("evaluates");
+    assert!(eval.variants[0].power.total().value() > 0.0);
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let run = || {
+        let cfg = EvaluationConfig::fast(99);
+        let variants = vec![
+            FpgaVariant::cmos_baseline(&cfg.node),
+            FpgaVariant::cmos_nem(4.0),
+        ];
+        evaluate(
+            SynthConfig::tiny("det", 70, 99).generate().expect("generates"),
+            &cfg,
+            &variants,
+        )
+        .expect("evaluates")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.channel_width, b.channel_width);
+    assert_eq!(a.wirelength_tiles, b.wirelength_tiles);
+    assert_eq!(a.variants[0].critical_path, b.variants[0].critical_path);
+    assert_eq!(
+        a.variants[1].power.leakage.total(),
+        b.variants[1].power.leakage.total()
+    );
+}
+
+#[test]
+fn seeds_change_implementation_but_not_conclusions() {
+    // Different CAD seeds give different placements/routings, but the
+    // NEM-vs-CMOS leakage conclusion must be robust to them.
+    let mut reductions = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let cfg = EvaluationConfig::fast(seed);
+        let variants = vec![
+            FpgaVariant::cmos_baseline(&cfg.node),
+            FpgaVariant::cmos_nem(4.0),
+        ];
+        let eval = evaluate(
+            SynthConfig::tiny("seeded", 80, 7).generate().expect("generates"),
+            &cfg,
+            &variants,
+        )
+        .expect("evaluates");
+        let r = eval.variants[0].power.leakage.total()
+            / eval.variants[1].power.leakage.total();
+        reductions.push(r);
+    }
+    for r in &reductions {
+        assert!(*r > 2.0, "leakage reduction {r} collapsed under a seed change");
+    }
+    let spread = reductions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / reductions.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 1.5, "seed spread {spread} too wide");
+}
+
+#[test]
+fn wider_channels_reduce_congestion_pressure() {
+    // Same design at fixed widths: a comfortably wide channel must route
+    // in fewer PathFinder iterations than a tight one.
+    let netlist = SynthConfig::tiny("width", 80, 13).generate().expect("generates");
+    let params = nemfpga_arch::ArchParams::paper_table1();
+    let design = nemfpga_pnr::pack::pack(netlist, &params).expect("packs");
+    let grid = nemfpga_arch::Grid::for_design(
+        design.num_logic_blocks(),
+        design.num_pads(),
+        params.io_rate,
+    )
+    .expect("grid sizes");
+    let placement =
+        nemfpga_pnr::place::place(&design, grid, &PlaceConfig::fast(13)).expect("places");
+
+    let mut iters = Vec::new();
+    for w in [30usize, 60] {
+        let rr = nemfpga_arch::build_rr_graph(&params, grid, w).expect("builds");
+        if let Ok(routing) =
+            nemfpga_pnr::route::route(&rr, &design, &placement, &RouteConfig::new())
+        {
+            iters.push((w, routing.iterations));
+        }
+    }
+    // Both comfortable widths route, and neither grinds against the
+    // iteration ceiling (exact counts vary with the per-width pin maps).
+    assert_eq!(iters.len(), 2, "{iters:?}");
+    for (w, it) in iters {
+        assert!(it < 60, "W={w} needed {it} iterations");
+    }
+}

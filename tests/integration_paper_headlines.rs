@@ -1,0 +1,112 @@
+//! Integration: the paper's quantitative claims, checked end to end on a
+//! mid-size benchmark. Shapes and ratios, not absolute numbers — see
+//! EXPERIMENTS.md.
+
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_netlist::synth::SynthConfig;
+
+fn midsize_netlist(seed: u64) -> nemfpga_netlist::Netlist {
+    let mut cfg = SynthConfig::tiny("headline", 260, seed);
+    cfg.inputs = 30;
+    cfg.outputs = 24;
+    cfg.latch_fraction = 0.25;
+    cfg.generate().expect("generates")
+}
+
+#[test]
+fn headline_ratios_hold_at_the_iso_delay_corner() {
+    let cfg = EvaluationConfig::fast(3);
+    let (curve, _) =
+        tradeoff_sweep(midsize_netlist(3), &cfg, &PAPER_DIVISORS).expect("sweep runs");
+    let corner = curve.preferred_corner(1.0);
+
+    // Paper: no speed penalty, ~2x dynamic, ~10x leakage, ~2x area.
+    assert!(corner.speedup >= 1.0, "speed penalty at the corner: {}", corner.speedup);
+    assert!(
+        corner.dynamic_reduction > 1.4,
+        "dynamic reduction {} too weak",
+        corner.dynamic_reduction
+    );
+    assert!(
+        corner.leakage_reduction > 5.0,
+        "leakage reduction {} too weak",
+        corner.leakage_reduction
+    );
+    assert!(corner.area_reduction > 1.45, "area reduction {} too weak", corner.area_reduction);
+}
+
+#[test]
+fn technique_strictly_dominates_no_technique() {
+    // Paper Sec. 3.4: without selective removal/downsizing, a CMOS-NEM
+    // FPGA reaches only 1.8x area / 1.3x dynamic / 2x leakage.
+    let cfg = EvaluationConfig::fast(5);
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem_without_technique(),
+        FpgaVariant::cmos_nem(8.0),
+    ];
+    let eval = evaluate(midsize_netlist(5), &cfg, &variants).expect("evaluates");
+    let base = &eval.variants[0];
+    let plain = &eval.variants[1];
+    let technique = &eval.variants[2];
+
+    let leak_plain = base.power.leakage.total() / plain.power.leakage.total();
+    let leak_tech = base.power.leakage.total() / technique.power.leakage.total();
+    assert!(leak_tech > leak_plain * 1.8, "technique leakage {leak_tech} vs plain {leak_plain}");
+
+    let dyn_plain = base.power.dynamic.total() / plain.power.dynamic.total();
+    let dyn_tech = base.power.dynamic.total() / technique.power.dynamic.total();
+    assert!(dyn_tech > dyn_plain, "technique dynamic {dyn_tech} vs plain {dyn_plain}");
+
+    let area_plain = base.total_area / plain.total_area;
+    let area_tech = base.total_area / technique.total_area;
+    assert!(area_tech > area_plain, "technique area {area_tech} vs plain {area_plain}");
+    // The no-technique design already gets ~2x from stacking + SRAM
+    // removal alone.
+    assert!(area_plain > 1.5, "stacking-only area reduction {area_plain}");
+}
+
+#[test]
+fn baseline_power_breakdown_has_fig9_shape() {
+    let cfg = EvaluationConfig::fast(7);
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node)];
+    let eval = evaluate(midsize_netlist(7), &cfg, &variants).expect("evaluates");
+    let v = &eval.variants[0];
+
+    let [wires, buffers, luts, clock] = v.power.dynamic.fractions();
+    // Wires + buffers dominate dynamic power (paper: 70% combined).
+    assert!(wires + buffers > 0.5, "wires {wires} + buffers {buffers}");
+    assert!(luts > 0.05 && luts < 0.45, "luts {luts}");
+    assert!(clock > 0.02 && clock < 0.3, "clock {clock}");
+
+    let [lbuf, sram, switches, logic] = v.power.leakage.fractions();
+    // Routing buffers dominate leakage (paper: 70%).
+    assert!(lbuf > 0.55, "buffer leakage share {lbuf}");
+    assert!(sram > 0.03 && sram < 0.25, "sram share {sram}");
+    assert!(switches > 0.03 && switches < 0.25, "switch share {switches}");
+    assert!(logic > 0.03 && logic < 0.25, "logic share {logic}");
+}
+
+#[test]
+fn demo_quality_contacts_erase_the_speed_headroom() {
+    // Sec. 2.3: the 2x2 demo measured ~100 kOhm contacts; "high Ron values
+    // are not desirable for FPGA programmable routing". With them, the
+    // technique variant must be slower than with 2 kOhm contacts.
+    let cfg = EvaluationConfig::fast(9);
+    let variants = vec![
+        FpgaVariant::cmos_baseline(&cfg.node),
+        FpgaVariant::cmos_nem(2.0),
+        FpgaVariant::cmos_nem_demo_contacts(2.0),
+    ];
+    let eval = evaluate(midsize_netlist(9), &cfg, &variants).expect("evaluates");
+    let good = &eval.variants[1];
+    let demo = &eval.variants[2];
+    assert!(
+        demo.critical_path > good.critical_path * 1.2,
+        "100k contacts: {} vs {} ns",
+        demo.critical_path.as_nano(),
+        good.critical_path.as_nano()
+    );
+}
