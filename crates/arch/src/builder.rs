@@ -10,7 +10,7 @@ use crate::error::ArchError;
 use crate::grid::{Grid, TileKind};
 use crate::params::ArchParams;
 use crate::rrgraph::{RrEdge, RrGraph, RrKind, RrNode, RrNodeId, SwitchClass};
-use std::collections::{HashMap, HashSet};
+use nemfpga_runtime::{FxHashMap, FxHashSet};
 
 /// Builds the routing-resource graph for `params` on `grid` with channel
 /// width `channel_width`.
@@ -39,10 +39,7 @@ pub fn build_rr_graph(
 ) -> Result<RrGraph, ArchError> {
     params.validate()?;
     if channel_width == 0 {
-        return Err(ArchError::InvalidParameter {
-            name: "channel_width",
-            value: "0".to_owned(),
-        });
+        return Err(ArchError::InvalidParameter { name: "channel_width", value: "0".to_owned() });
     }
     let mut b = Builder::new(*params, grid, channel_width);
     b.build_tiles();
@@ -58,10 +55,10 @@ struct Builder {
     w: usize,
     nodes: Vec<RrNode>,
     edges: Vec<Vec<RrEdge>>,
-    tile_source: HashMap<(usize, usize), RrNodeId>,
-    tile_sink: HashMap<(usize, usize), RrNodeId>,
-    tile_opins: HashMap<(usize, usize), Vec<RrNodeId>>,
-    tile_ipins: HashMap<(usize, usize), Vec<RrNodeId>>,
+    tile_source: FxHashMap<(usize, usize), RrNodeId>,
+    tile_sink: FxHashMap<(usize, usize), RrNodeId>,
+    tile_opins: FxHashMap<(usize, usize), Vec<RrNodeId>>,
+    tile_ipins: FxHashMap<(usize, usize), Vec<RrNodeId>>,
     /// `chanx_at[chan_y][x][track]` — wire covering column `x` (1-based).
     chanx_at: Vec<Vec<Vec<RrNodeId>>>,
     /// `chany_at[chan_x][y][track]` — wire covering row `y` (1-based).
@@ -76,10 +73,10 @@ impl Builder {
             w,
             nodes: Vec::new(),
             edges: Vec::new(),
-            tile_source: HashMap::new(),
-            tile_sink: HashMap::new(),
-            tile_opins: HashMap::new(),
-            tile_ipins: HashMap::new(),
+            tile_source: FxHashMap::default(),
+            tile_sink: FxHashMap::default(),
+            tile_opins: FxHashMap::default(),
+            tile_ipins: FxHashMap::default(),
             chanx_at: Vec::new(),
             chany_at: Vec::new(),
         }
@@ -102,9 +99,7 @@ impl Builder {
         let lb_ipins = self.params.lb_inputs;
         let io_pins = self.params.io_rate;
         let tiles: Vec<(usize, usize, TileKind)> = (0..self.grid.total_width())
-            .flat_map(|x| {
-                (0..self.grid.total_height()).map(move |y| (x, y, TileKind::Lb))
-            })
+            .flat_map(|x| (0..self.grid.total_height()).map(move |y| (x, y, TileKind::Lb)))
             .map(|(x, y, _)| (x, y, self.grid.tile(x, y)))
             .collect();
         for (x, y, kind) in tiles {
@@ -113,28 +108,21 @@ impl Builder {
                 TileKind::Io => (io_pins, io_pins),
                 TileKind::Empty => continue,
             };
-            let src = self.add_node(
-                RrKind::Source { x: x as u16, y: y as u16 },
-                n_opins as u16,
-            );
+            let src = self.add_node(RrKind::Source { x: x as u16, y: y as u16 }, n_opins as u16);
             let snk = self.add_node(RrKind::Sink { x: x as u16, y: y as u16 }, n_ipins as u16);
             self.tile_source.insert((x, y), src);
             self.tile_sink.insert((x, y), snk);
             let mut opins = Vec::with_capacity(n_opins);
             for pin in 0..n_opins {
-                let p = self.add_node(
-                    RrKind::Opin { x: x as u16, y: y as u16, pin: pin as u16 },
-                    1,
-                );
+                let p =
+                    self.add_node(RrKind::Opin { x: x as u16, y: y as u16, pin: pin as u16 }, 1);
                 self.add_edge(src, p, SwitchClass::Internal);
                 opins.push(p);
             }
             let mut ipins = Vec::with_capacity(n_ipins);
             for pin in 0..n_ipins {
-                let p = self.add_node(
-                    RrKind::Ipin { x: x as u16, y: y as u16, pin: pin as u16 },
-                    1,
-                );
+                let p =
+                    self.add_node(RrKind::Ipin { x: x as u16, y: y as u16, pin: pin as u16 }, 1);
                 self.add_edge(p, snk, SwitchClass::Internal);
                 ipins.push(p);
             }
@@ -285,8 +273,8 @@ impl Builder {
     /// where collinear segments abut (disjoint pattern).
     fn build_switch_boxes(&mut self) {
         let (gw, gh) = (self.grid.width, self.grid.height);
-        let mut seen: HashSet<(u32, u32)> = HashSet::new();
-        let connect = |b: &mut Self, seen: &mut HashSet<(u32, u32)>, a: RrNodeId, c: RrNodeId| {
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let connect = |b: &mut Self, seen: &mut FxHashSet<(u32, u32)>, a: RrNodeId, c: RrNodeId| {
             if a == c {
                 return;
             }
@@ -335,14 +323,14 @@ impl Builder {
                     if cx >= 1 {
                         horizontals.push(self.chanx_at[cy][cx][track]);
                     }
-                    if cx + 1 <= gw {
+                    if cx < gw {
                         horizontals.push(self.chanx_at[cy][cx + 1][track]);
                     }
                     let mut verticals = Vec::with_capacity(2);
                     if cy >= 1 {
                         verticals.push(self.chany_at[cx][cy][v_track]);
                     }
-                    if cy + 1 <= gh {
+                    if cy < gh {
                         verticals.push(self.chany_at[cx][cy + 1][v_track]);
                     }
                     for &h in &horizontals {
@@ -380,7 +368,7 @@ mod tests {
     fn node_counts_are_consistent() {
         let rr = small();
         // 16 LB tiles + 16 IO tiles, each with source+sink.
-        assert_eq!(rr.source_at(1, 1).is_some(), true);
+        assert!(rr.source_at(1, 1).is_some());
         assert_eq!(rr.source_at(0, 0), None); // corner is empty
         assert!(rr.num_wires() > 0);
         // Wires per horizontal channel with W=12 over 4 columns, L=4:
@@ -406,7 +394,7 @@ mod tests {
         // With L=4 on a 4-wide grid, different tracks break at different
         // columns, so spans 1..4 should all appear.
         let rr = small();
-        let spans: HashSet<usize> = rr
+        let spans: std::collections::HashSet<usize> = rr
             .node_ids()
             .filter(|id| rr.node(*id).kind.is_wire())
             .map(|id| rr.node(id).kind.span_tiles())
@@ -486,7 +474,7 @@ mod tests {
     #[test]
     fn switch_box_edges_are_bidirectional() {
         let rr = small();
-        let mut sb_pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut sb_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
         for id in rr.node_ids() {
             for e in rr.edges_from(id) {
                 if e.switch == SwitchClass::SwitchBox {
@@ -501,12 +489,9 @@ mod tests {
 
     #[test]
     fn zero_width_rejected() {
-        assert!(build_rr_graph(
-            &ArchParams::paper_table1(),
-            Grid::new(2, 2, 2).unwrap(),
-            0
-        )
-        .is_err());
+        assert!(
+            build_rr_graph(&ArchParams::paper_table1(), Grid::new(2, 2, 2).unwrap(), 0).is_err()
+        );
     }
 
     #[test]

@@ -85,9 +85,8 @@ impl ArchParams {
     ///
     /// Returns [`ArchError::InvalidParameter`] naming the first bad field.
     pub fn validate(&self) -> Result<(), ArchError> {
-        let bad = |name: &'static str, value: String| {
-            Err(ArchError::InvalidParameter { name, value })
-        };
+        let bad =
+            |name: &'static str, value: String| Err(ArchError::InvalidParameter { name, value });
         if self.cluster_size == 0 {
             return bad("cluster_size", self.cluster_size.to_string());
         }

@@ -8,8 +8,8 @@
 
 use crate::grid::Grid;
 use crate::params::ArchParams;
+use nemfpga_runtime::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Index of a node within an [`RrGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -158,8 +158,8 @@ pub struct RrGraph {
     pub channel_width: usize,
     pub(crate) nodes: Vec<RrNode>,
     pub(crate) edges: Vec<Vec<RrEdge>>,
-    pub(crate) tile_source: HashMap<(usize, usize), RrNodeId>,
-    pub(crate) tile_sink: HashMap<(usize, usize), RrNodeId>,
+    pub(crate) tile_source: FxHashMap<(usize, usize), RrNodeId>,
+    pub(crate) tile_sink: FxHashMap<(usize, usize), RrNodeId>,
 }
 
 impl RrGraph {

@@ -76,9 +76,9 @@ pub fn validate_rr_graph(rr: &RrGraph) -> Result<(), ArchError> {
     let start = rr
         .source_at(1, 1)
         .ok_or_else(|| ArchError::InvalidRrGraph { message: "no source at (1,1)".to_owned() })?;
-    let goal = rr.sink_at(gw, gh).ok_or_else(|| ArchError::InvalidRrGraph {
-        message: format!("no sink at ({gw},{gh})"),
-    })?;
+    let goal = rr
+        .sink_at(gw, gh)
+        .ok_or_else(|| ArchError::InvalidRrGraph { message: format!("no sink at ({gw},{gh})") })?;
     let mut visited = vec![false; rr.num_nodes()];
     let mut queue = std::collections::VecDeque::from([start]);
     visited[start.index()] = true;

@@ -1,12 +1,24 @@
 //! Criterion benches for the VPR-class CAD substrate: RR-graph
-//! construction, packing, placement, and PathFinder routing.
+//! construction, packing, placement, and PathFinder routing — plus the
+//! speedup comparisons this workspace's parallel engine is built around
+//! (full vs. incremental rerouting, serial vs. fanned-out sweeps and
+//! Monte Carlo). Results are dumped to `BENCH_pnr.json` at the workspace
+//! root for downstream tooling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use nemfpga::flow::EvaluationConfig;
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
 use nemfpga_arch::{build_rr_graph, ArchParams, Grid};
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::yield_analysis::estimate_compliance_with;
+use nemfpga_device::variation::VariationModel;
+use nemfpga_device::NemRelayDevice;
 use nemfpga_netlist::synth::SynthConfig;
-use nemfpga_pnr::pack::pack;
-use nemfpga_pnr::place::{place, PlaceConfig};
-use nemfpga_pnr::route::{route, RouteConfig};
+use nemfpga_pnr::channel::find_min_channel_width;
+use nemfpga_pnr::pack::{pack, PackedDesign};
+use nemfpga_pnr::place::{place, PlaceConfig, Placement};
+use nemfpga_pnr::route::{route, route_with_scratch, RouteConfig, RouterScratch};
+use nemfpga_runtime::ParallelConfig;
 
 fn bench_rr_graph(c: &mut Criterion) {
     let params = ArchParams::paper_table1();
@@ -23,13 +35,21 @@ fn bench_pack(c: &mut Criterion) {
     });
 }
 
+fn placed(luts: usize, seed: u64) -> (ArchParams, PackedDesign, Placement) {
+    let params = ArchParams::paper_table1();
+    let design =
+        pack(SynthConfig::tiny("bench", luts, seed).generate().expect("generates"), &params)
+            .expect("packs");
+    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+        .expect("grid");
+    let placement = place(&design, grid, &PlaceConfig::fast(seed)).expect("places");
+    (params, design, placement)
+}
+
 fn bench_place(c: &mut Criterion) {
     let params = ArchParams::paper_table1();
-    let design = pack(
-        SynthConfig::tiny("bench", 300, 42).generate().expect("generates"),
-        &params,
-    )
-    .expect("packs");
+    let design = pack(SynthConfig::tiny("bench", 300, 42).generate().expect("generates"), &params)
+        .expect("packs");
     let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
         .expect("grid");
     let mut group = c.benchmark_group("cad");
@@ -41,25 +61,105 @@ fn bench_place(c: &mut Criterion) {
 }
 
 fn bench_route(c: &mut Criterion) {
-    let params = ArchParams::paper_table1();
-    let design = pack(
-        SynthConfig::tiny("bench", 300, 42).generate().expect("generates"),
-        &params,
-    )
-    .expect("packs");
-    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
-        .expect("grid");
-    let placement = place(&design, grid, &PlaceConfig::fast(42)).expect("places");
+    let (params, design, placement) = placed(300, 42);
     // A comfortable width: measures steady-state router speed, not
     // congestion pathology.
-    let rr = build_rr_graph(&params, grid, 64).expect("builds");
+    let rr = build_rr_graph(&params, placement.grid, 64).expect("builds");
     let mut group = c.benchmark_group("cad");
     group.sample_size(10);
     group.bench_function("route_300_luts_w64", |b| {
         b.iter(|| route(&rr, &design, &placement, &RouteConfig::new()).expect("routes"))
     });
+    group.bench_function("route_300_luts_w64_reused_scratch", |b| {
+        let mut scratch = RouterScratch::new();
+        b.iter(|| {
+            route_with_scratch(&rr, &design, &placement, &RouteConfig::new(), &mut scratch)
+                .expect("routes")
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_rr_graph, bench_pack, bench_place, bench_route);
-criterion_main!(benches);
+/// The headline router comparison: classic rip-up-everything PathFinder
+/// vs. incremental rerouting, at W_min where negotiation actually has
+/// to work over several iterations.
+fn bench_route_full_vs_incremental(c: &mut Criterion) {
+    let (params, design, placement) = placed(120, 7);
+    let incr_cfg = RouteConfig::new();
+    let mut full_cfg = RouteConfig::new();
+    full_cfg.incremental = false;
+    let search = find_min_channel_width(&params, &design, &placement, &incr_cfg, 8, 256)
+        .expect("finds W_min");
+    let rr = build_rr_graph(&params, placement.grid, search.w_min).expect("builds");
+
+    let mut group = c.benchmark_group("route");
+    group.sample_size(10);
+    group.bench_function("full_120_luts_wmin", |b| {
+        let mut scratch = RouterScratch::new();
+        b.iter(|| {
+            route_with_scratch(&rr, &design, &placement, &full_cfg, &mut scratch).expect("routes")
+        })
+    });
+    group.bench_function("incremental_120_luts_wmin", |b| {
+        let mut scratch = RouterScratch::new();
+        b.iter(|| {
+            route_with_scratch(&rr, &design, &placement, &incr_cfg, &mut scratch).expect("routes")
+        })
+    });
+    group.finish();
+}
+
+/// The Fig. 12 sweep (8 variants through model build + timing + power)
+/// serial vs. fanned out — the speedup `--threads` buys in `repro`.
+fn bench_sweep_serial_vs_parallel(c: &mut Criterion) {
+    let netlist = |seed| SynthConfig::tiny("bench", 50, seed).generate().expect("generates");
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for (name, parallel) in
+        [("serial", ParallelConfig::serial()), ("threads4", ParallelConfig::with_threads(4))]
+    {
+        let mut cfg = EvaluationConfig::fast(11);
+        cfg.parallel = parallel;
+        group.bench_function(name, |b| {
+            b.iter(|| tradeoff_sweep(netlist(11), &cfg, &PAPER_DIVISORS).expect("sweeps"))
+        });
+    }
+    group.finish();
+}
+
+/// Monte Carlo compliance, serial vs. fanned out (per-sample ChaCha
+/// streams make both orderings bit-identical).
+fn bench_monte_carlo_serial_vs_parallel(c: &mut Criterion) {
+    let nominal = NemRelayDevice::scaled_22nm();
+    let variation = VariationModel::fabrication_default();
+    let levels = ProgrammingLevels::paper_demo();
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    for (name, parallel) in [
+        ("compliance_20k_serial", ParallelConfig::serial()),
+        ("compliance_20k_threads4", ParallelConfig::with_threads(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                estimate_compliance_with(&nominal, &variation, &levels, 20_000, 42, &parallel)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rr_graph,
+    bench_pack,
+    bench_place,
+    bench_route,
+    bench_route_full_vs_incremental,
+    bench_sweep_serial_vs_parallel,
+    bench_monte_carlo_serial_vs_parallel,
+);
+
+fn main() {
+    benches();
+    criterion::write_summary_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json"));
+}

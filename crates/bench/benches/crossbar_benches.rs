@@ -7,8 +7,10 @@ use nemfpga_crossbar::levels::ProgrammingLevels;
 use nemfpga_crossbar::program::program;
 use nemfpga_crossbar::waveform::{run_demo, WaveformConfig};
 use nemfpga_crossbar::window::solve_window;
+use nemfpga_crossbar::yield_analysis::estimate_compliance_with;
 use nemfpga_device::variation::{PopulationStats, VariationModel};
 use nemfpga_device::NemRelayDevice;
+use nemfpga_runtime::ParallelConfig;
 
 fn bench_demo_2x2_exhaustive(c: &mut Criterion) {
     // The paper's hardware demo in software: all 16 configurations with
@@ -18,8 +20,8 @@ fn bench_demo_2x2_exhaustive(c: &mut Criterion) {
     c.bench_function("crossbar/fig5_exhaustive_16_configs", |b| {
         b.iter(|| {
             for code in 0..16u64 {
-                let mut xbar = CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated())
-                    .expect("builds");
+                let mut xbar =
+                    CrossbarArray::uniform(2, 2, NemRelayDevice::fabricated()).expect("builds");
                 let wave =
                     run_demo(&mut xbar, &Configuration::from_code(2, 2, code), &levels, &cfg)
                         .expect("runs");
@@ -45,6 +47,25 @@ fn bench_program_32x32(c: &mut Criterion) {
     });
 }
 
+fn bench_compliance_serial_vs_parallel(c: &mut Criterion) {
+    let nominal = NemRelayDevice::scaled_22nm();
+    let variation = VariationModel::fabrication_default();
+    let levels = ProgrammingLevels::paper_demo();
+    let mut group = c.benchmark_group("crossbar");
+    group.sample_size(10);
+    for (name, parallel) in [
+        ("compliance_10k_serial", ParallelConfig::serial()),
+        ("compliance_10k_threads4", ParallelConfig::with_threads(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                estimate_compliance_with(&nominal, &variation, &levels, 10_000, 42, &parallel)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_window_solver(c: &mut Criterion) {
     let pop = VariationModel::fabrication_default().sample_population(
         &NemRelayDevice::fabricated(),
@@ -57,5 +78,11 @@ fn bench_window_solver(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_demo_2x2_exhaustive, bench_program_32x32, bench_window_solver);
+criterion_group!(
+    benches,
+    bench_demo_2x2_exhaustive,
+    bench_program_32x32,
+    bench_compliance_serial_vs_parallel,
+    bench_window_solver,
+);
 criterion_main!(benches);

@@ -11,9 +11,7 @@ use std::hint::black_box;
 
 fn bench_pull_in_voltage(c: &mut Criterion) {
     let device = NemRelayDevice::fabricated();
-    c.bench_function("device/pull_in_voltage", |b| {
-        b.iter(|| black_box(&device).pull_in_voltage())
-    });
+    c.bench_function("device/pull_in_voltage", |b| b.iter(|| black_box(&device).pull_in_voltage()));
 }
 
 fn bench_iv_sweep(c: &mut Criterion) {

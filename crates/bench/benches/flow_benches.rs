@@ -10,10 +10,7 @@ use nemfpga_netlist::synth::SynthConfig;
 fn bench_evaluate(c: &mut Criterion) {
     let netlist = SynthConfig::tiny("flow", 120, 42).generate().expect("generates");
     let cfg = EvaluationConfig::fast(42);
-    let variants = vec![
-        FpgaVariant::cmos_baseline(&cfg.node),
-        FpgaVariant::cmos_nem(4.0),
-    ];
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
     let mut group = c.benchmark_group("flow");
     group.sample_size(10);
     group.bench_function("evaluate_120_luts_two_variants", |b| {

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the DATE 2012 paper.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--benchmarks N] [--seed S]
+//! repro <experiment> [--scale F] [--benchmarks N] [--seed S] [--threads T]
 //!
 //! experiments:
 //!   table1    architecture parameters (Table 1)
@@ -24,20 +24,27 @@
 //!
 //! `--scale` shrinks benchmark LUT counts (default 0.05 so the full run
 //! finishes in minutes; use `--scale 1.0` for paper-size circuits).
+//!
+//! `--threads` fans the CAD engine out across worker threads (0 = one per
+//! core, default 1). Every experiment produces byte-identical output for
+//! any thread count — parallelism only changes wall-clock time.
 
 use nemfpga_bench::experiments as exp;
+use nemfpga_runtime::ParallelConfig;
 use nemfpga_tech::units::Volts;
 
 struct Options {
     scale: f64,
     benchmarks: usize,
     seed: u64,
+    parallel: ParallelConfig,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
-    let mut opts = Options { scale: 0.05, benchmarks: 24, seed: 42 };
+    let mut opts =
+        Options { scale: 0.05, benchmarks: 24, seed: 42, parallel: ParallelConfig::serial() };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,9 +66,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--threads" => {
+                let t: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a count (0 = one per core)");
+                    std::process::exit(2);
+                });
+                opts.parallel = ParallelConfig::with_threads(t);
+            }
             "--help" | "-h" => {
                 println!("repro <table1|fig2b|fig4|fig5|fig6|fig9|fig11|fig12|wmin|scaling|yield|ablation|explore|faults|alternatives|all>");
-                println!("      [--scale F] [--benchmarks N] [--seed S]");
+                println!("      [--scale F] [--benchmarks N] [--seed S] [--threads T]");
                 return;
             }
             name if !name.starts_with('-') => experiment = name.to_owned(),
@@ -83,7 +97,7 @@ fn main() {
         "fig12" => fig12(&opts),
         "wmin" => wmin(&opts),
         "scaling" => scaling(),
-        "yield" => yield_study(),
+        "yield" => yield_study(&opts),
         "ablation" => ablation(&opts),
         "explore" => explore(&opts),
         "faults" => faults(),
@@ -99,7 +113,7 @@ fn main() {
             fig12(&opts);
             wmin(&opts);
             scaling();
-            yield_study();
+            yield_study(&opts);
             ablation(&opts);
             explore(&opts);
             faults();
@@ -167,11 +181,7 @@ fn fig2b() {
 fn fig4() {
     banner("Fig. 4: half-select programming constraints");
     let f = exp::run_fig4();
-    println!(
-        "  nominal device: Vpi = {:.2} V, Vpo = {:.2} V",
-        f.vpi.value(),
-        f.vpo.value()
-    );
+    println!("  nominal device: Vpi = {:.2} V, Vpo = {:.2} V", f.vpi.value(), f.vpo.value());
     println!(
         "  levels: Vhold = {:.2} V, Vselect = {:.2} V",
         f.levels.vhold.value(),
@@ -200,10 +210,7 @@ fn fig4() {
 fn fig5() {
     banner("Fig. 5: 2x2 crossbar program/test/reset (paper: all configurations verified)");
     let f = exp::run_fig5();
-    println!(
-        "  exhaustive verification: {}/16 configurations correct",
-        f.verified_configurations
-    );
+    println!("  exhaustive verification: {}/16 configurations correct", f.verified_configurations);
     for (label, wave) in [("5b (diagonal)", &f.wave_b), ("5c (crossed)", &f.wave_c)] {
         println!("  configuration {label}: verified = {}", wave.verify());
         println!("    t(s)   phase    beam1  beam2  gate1  gate2  drain1 drain2");
@@ -262,13 +269,19 @@ fn fig6() {
 
 fn fig9(opts: &Options) {
     banner("Fig. 9: baseline CMOS-only power breakdown");
-    let f = exp::run_fig9(opts.scale.max(0.02), opts.seed);
+    let f = exp::run_fig9(opts.scale.max(0.02), opts.seed, &opts.parallel);
     let d = f.dynamic_fractions.map(|x| (x * 100.0).round());
     let l = f.leakage_fractions.map(|x| (x * 100.0).round());
     println!("  benchmark: {} (scaled)", f.benchmark);
-    println!("  dynamic:  wires {}%, routing buffers {}%, LUTs {}%, clocking {}%", d[0], d[1], d[2], d[3]);
+    println!(
+        "  dynamic:  wires {}%, routing buffers {}%, LUTs {}%, clocking {}%",
+        d[0], d[1], d[2], d[3]
+    );
     println!("            (paper: 40 / 30 / 20 / 10)");
-    println!("  leakage:  routing buffers {}%, routing SRAM {}%, pass transistors {}%, logic {}%", l[0], l[1], l[2], l[3]);
+    println!(
+        "  leakage:  routing buffers {}%, routing SRAM {}%, pass transistors {}%, logic {}%",
+        l[0], l[1], l[2], l[3]
+    );
     println!("            (paper: 70 / 12 / 10 / 8)");
 }
 
@@ -288,10 +301,7 @@ fn fig11() {
         f.device.pull_in_voltage().value(),
         f.device.pull_out_voltage().value()
     );
-    println!(
-        "  Ron  = {:.1} kOhm (paper: 2 kOhm, experimental)",
-        f.computed.r_on.value() / 1e3
-    );
+    println!("  Ron  = {:.1} kOhm (paper: 2 kOhm, experimental)", f.computed.r_on.value() / 1e3);
     println!(
         "  Con  = {:.1} aF computed vs {:.1} aF paper",
         f.computed.c_on.value() * 1e18,
@@ -312,7 +322,7 @@ fn fig12(opts: &Options) {
         suite.len(),
         opts.scale
     );
-    let entries = exp::run_fig12(&suite, opts.seed);
+    let entries = exp::run_fig12(&suite, opts.seed, &opts.parallel);
     for (cfg, e) in suite.iter().zip(&entries) {
         println!("  {} ({} LUTs, Wmin {:?}):", cfg.name, e.luts, e.w_min);
         println!("    div   speedup  dyn-red  leak-red  area-red");
@@ -332,7 +342,7 @@ fn fig12(opts: &Options) {
     println!("  (paper: 1.0x speed, 2x dynamic, 10x leakage, 2x area)");
 
     banner("CMOS-NEM without the buffer technique ([Chen 10b] comparison)");
-    let nt = exp::run_no_technique(&suite[0], opts.seed);
+    let nt = exp::run_no_technique(&suite[0], opts.seed, &opts.parallel);
     println!(
         "  speedup {:.2}x | dynamic {:.2}x | leakage {:.2}x | area {:.2}x",
         nt.speedup, nt.dynamic_reduction, nt.leakage_reduction, nt.area_reduction
@@ -343,17 +353,14 @@ fn fig12(opts: &Options) {
 fn wmin(opts: &Options) {
     banner("Sec. 3.3: minimum channel width (paper: Wmin +20% -> W = 118)");
     let suite = exp::benchmark_suite(opts.scale, opts.benchmarks.min(8));
-    let rows = exp::run_wmin(&suite, opts.seed);
+    let rows = exp::run_wmin(&suite, opts.seed, &opts.parallel);
     println!("  {:<18} {:>7} {:>6} {:>10}", "benchmark", "LUTs", "Wmin", "operating");
     let mut worst = 0;
     for r in &rows {
         println!("  {:<18} {:>7} {:>6} {:>10}", r.name, r.luts, r.w_min, r.operating);
         worst = worst.max(r.w_min);
     }
-    println!(
-        "  suite-wide W = 1.2 x max(Wmin) = {}",
-        (worst as f64 * 1.2).ceil() as usize
-    );
+    println!("  suite-wide W = 1.2 x max(Wmin) = {}", (worst as f64 * 1.2).ceil() as usize);
 }
 
 fn scaling() {
@@ -364,21 +371,23 @@ fn scaling() {
     // laboratory artifact).
     base.material = nemfpga_device::Material::poly_si();
     base.ambient = nemfpga_device::Ambient::vacuum();
-    let rows = nemfpga_device::scaling::scaling_sweep(
-        &base,
-        &[1.0, 0.3, 0.1, 0.03, 275.0 / 23_000.0],
-    )
-    .expect("factors are valid");
-    println!("  {:>8} {:>10} {:>8} {:>10} {:>12}", "factor", "L (nm)", "Vpi (V)", "Vpo (V)", "t_pull-in");
+    let rows =
+        nemfpga_device::scaling::scaling_sweep(&base, &[1.0, 0.3, 0.1, 0.03, 275.0 / 23_000.0])
+            .expect("factors are valid");
+    println!(
+        "  {:>8} {:>10} {:>8} {:>10} {:>12}",
+        "factor", "L (nm)", "Vpi (V)", "Vpo (V)", "t_pull-in"
+    );
     for r in rows {
-        let vpo = if r.vpo.value() == 0.0 {
-            "stuck".to_owned()
-        } else {
-            format!("{:.2}", r.vpo.value())
-        };
+        let vpo =
+            if r.vpo.value() == 0.0 { "stuck".to_owned() } else { format!("{:.2}", r.vpo.value()) };
         println!(
             "  {:>8.4} {:>10.0} {:>8.2} {:>10} {:>9.1} ns",
-            r.factor, r.length_nm, r.vpi.value(), vpo, r.pull_in_ns
+            r.factor,
+            r.length_nm,
+            r.vpi.value(),
+            vpo,
+            r.pull_in_ns
         );
     }
     println!("  (naive uniform scaling eventually sticks: adhesion shrinks slower than the");
@@ -399,14 +408,14 @@ fn ablation(opts: &Options) {
     use nemfpga::ablation::{ron_sensitivity, technique_ablation};
     use nemfpga::flow::EvaluationConfig;
     use nemfpga_tech::units::Ohms;
-    let cfg = EvaluationConfig::paper_defaults(opts.seed);
+    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
+    cfg.parallel = opts.parallel;
     let bench = exp::scaled(
         nemfpga_netlist::synth::preset_by_name("tseng").expect("preset"),
         opts.scale.max(0.1),
     );
     let netlist = bench.generate().expect("generates");
-    let study =
-        technique_ablation(netlist.clone(), &cfg, 8.0).expect("ablation runs");
+    let study = technique_ablation(netlist.clone(), &cfg, 8.0).expect("ablation runs");
     print!("{study}");
 
     banner("Supplementary: contact-resistance sensitivity (Sec. 2.3 caveat)");
@@ -431,18 +440,16 @@ fn explore(opts: &Options) {
     use nemfpga::explore::segment_length_sweep;
     use nemfpga::flow::EvaluationConfig;
     use nemfpga::variant::FpgaVariant;
-    let cfg = EvaluationConfig::paper_defaults(opts.seed);
+    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
+    cfg.parallel = opts.parallel;
     let bench = exp::scaled(
         nemfpga_netlist::synth::preset_by_name("alu4").expect("preset"),
         opts.scale.max(0.1),
     );
     let netlist = bench.generate().expect("generates");
-    for variant in [
-        FpgaVariant::cmos_baseline(&cfg.node),
-        FpgaVariant::cmos_nem(4.0),
-    ] {
-        let exp_result = segment_length_sweep(&netlist, &cfg, &variant, &[1, 2, 4, 8])
-            .expect("sweep runs");
+    for variant in [FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)] {
+        let exp_result =
+            segment_length_sweep(&netlist, &cfg, &variant, &[1, 2, 4, 8]).expect("sweep runs");
         println!("  {}:", exp_result.variant);
         println!("    L   W    cp(ns)  power(mW)  tile(um2)  merit");
         for p in &exp_result.points {
@@ -462,8 +469,8 @@ fn explore(opts: &Options) {
 
 fn faults() {
     banner("Supplementary: fault injection (stiction / contact-open detectability)");
-    use nemfpga_crossbar::faults::{coverage_estimate, detect_faults, Fault, FaultKind};
     use nemfpga_crossbar::array::Configuration;
+    use nemfpga_crossbar::faults::{coverage_estimate, detect_faults, Fault, FaultKind};
     use nemfpga_crossbar::levels::ProgrammingLevels;
     let base = nemfpga_device::NemRelayDevice::fabricated();
     let levels = ProgrammingLevels::paper_demo();
@@ -514,7 +521,8 @@ fn alternatives(opts: &Options) {
     use nemfpga::flow::{evaluate, EvaluationConfig};
     use nemfpga::report::Comparison;
     use nemfpga::variant::FpgaVariant;
-    let cfg = EvaluationConfig::paper_defaults(opts.seed);
+    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
+    cfg.parallel = opts.parallel;
     let bench = exp::scaled(
         nemfpga_netlist::synth::preset_by_name("alu4").expect("preset"),
         opts.scale.max(0.1),
@@ -531,25 +539,34 @@ fn alternatives(opts: &Options) {
     println!("  (TGs fix the Vt drop but pay area and keep SRAM; relays fix all three)");
 }
 
-fn yield_study() {
+fn yield_study(opts: &Options) {
     banner("Supplementary: array programmability yield vs size (Sec. 2.3 discussion)");
     use nemfpga_crossbar::levels::ProgrammingLevels;
-    use nemfpga_crossbar::yield_analysis::{estimate_compliance, yield_curve};
+    use nemfpga_crossbar::yield_analysis::{estimate_compliance_with, yield_curve};
     use nemfpga_device::variation::{PopulationStats, VariationModel};
     let nominal = nemfpga_device::NemRelayDevice::fabricated();
     let pop = VariationModel::fabrication_default().sample_population(&nominal, 400, 3);
     let window = nemfpga_crossbar::window::solve_window(&PopulationStats::of(&pop))
         .expect("population is programmable");
     let cases = [
-        ("paper demo levels (tight margins), as-fabricated",
-            ProgrammingLevels::paper_demo(), VariationModel::fabrication_default()),
-        ("paper demo levels, process tightened 4x",
-            ProgrammingLevels::paper_demo(), VariationModel::tightened(0.25)),
-        ("solved max-margin window, as-fabricated",
-            window.levels, VariationModel::fabrication_default()),
+        (
+            "paper demo levels (tight margins), as-fabricated",
+            ProgrammingLevels::paper_demo(),
+            VariationModel::fabrication_default(),
+        ),
+        (
+            "paper demo levels, process tightened 4x",
+            ProgrammingLevels::paper_demo(),
+            VariationModel::tightened(0.25),
+        ),
+        (
+            "solved max-margin window, as-fabricated",
+            window.levels,
+            VariationModel::fabrication_default(),
+        ),
     ];
     for (label, lvls, variation) in cases {
-        let est = estimate_compliance(&nominal, &variation, &lvls, 20_000, 7);
+        let est = estimate_compliance_with(&nominal, &variation, &lvls, 20_000, 7, &opts.parallel);
         println!("  {label}: per-relay compliance {:.5}", est.compliance);
         for p in yield_curve(&est, &[4, 1_000, 100_000, 1_000_000]) {
             println!("    {:>9} relays -> array yield {:.3e}", p.relays, p.array_yield);

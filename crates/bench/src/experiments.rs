@@ -16,6 +16,7 @@ use nemfpga_device::relay::NemRelayDevice;
 use nemfpga_device::variation::{histogram, PopulationStats, VariationModel};
 use nemfpga_device::{EquivalentCircuit, Relay};
 use nemfpga_netlist::synth::{large4, mcnc20, SynthConfig};
+use nemfpga_runtime::{parallel_map, ParallelConfig};
 use nemfpga_tech::units::Volts;
 
 /// Scales a preset benchmark down by `scale` (LUT count multiplied, IO
@@ -37,12 +38,7 @@ pub fn scaled(mut cfg: SynthConfig, scale: f64) -> SynthConfig {
 /// The benchmark suite of the paper (MCNC-20 + the four large designs),
 /// scaled by `scale` and truncated to `limit` circuits.
 pub fn benchmark_suite(scale: f64, limit: usize) -> Vec<SynthConfig> {
-    mcnc20()
-        .into_iter()
-        .chain(large4())
-        .map(|c| scaled(c, scale))
-        .take(limit)
-        .collect()
+    mcnc20().into_iter().chain(large4()).map(|c| scaled(c, scale)).take(limit).collect()
 }
 
 // --------------------------------------------------------------------
@@ -147,7 +143,7 @@ pub fn run_fig6() -> Fig6 {
     let population = VariationModel::fabrication_default().sample_population(
         &NemRelayDevice::fabricated(),
         100,
-        0xF16_6,
+        0xF166,
     );
     let stats = PopulationStats::of(&population);
     let vpis: Vec<Volts> = population.iter().map(|d| d.pull_in_voltage()).collect();
@@ -184,8 +180,9 @@ pub struct Fig9 {
 /// clock-network component; pure-combinational circuits would report 0%
 /// clocking. Component shares drift a few points with circuit size and
 /// structure, as they would in the paper's own per-circuit data.
-pub fn run_fig9(scale: f64, seed: u64) -> Fig9 {
-    let cfg = EvaluationConfig::paper_defaults(seed);
+pub fn run_fig9(scale: f64, seed: u64, parallel: &ParallelConfig) -> Fig9 {
+    let mut cfg = EvaluationConfig::paper_defaults(seed);
+    cfg.parallel = *parallel;
     let netlist = scaled(nemfpga_netlist::synth::preset_by_name("frisc").expect("preset"), scale)
         .generate()
         .expect("preset generates");
@@ -237,37 +234,34 @@ pub struct Fig12Entry {
     pub luts: usize,
 }
 
-/// Runs the Fig. 12 sweep over a benchmark list. Progress goes to stderr
-/// (runs on paper-size circuits take a while).
-pub fn run_fig12(benchmarks: &[SynthConfig], seed: u64) -> Vec<Fig12Entry> {
-    benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| {
-            let t0 = std::time::Instant::now();
-            let netlist = b.generate().expect("preset generates");
-            let luts = netlist.num_luts();
-            eprintln!(
-                "[fig12 {}/{}] {} ({} LUTs)...",
-                i + 1,
-                benchmarks.len(),
-                b.name,
-                luts
-            );
-            let cfg = EvaluationConfig::paper_defaults(seed);
-            let (curve, eval) =
-                tradeoff_sweep(netlist, &cfg, &PAPER_DIVISORS).expect("sweep runs");
-            eprintln!(
-                "[fig12 {}/{}] {} done in {:.0}s (Wmin {:?})",
-                i + 1,
-                benchmarks.len(),
-                b.name,
-                t0.elapsed().as_secs_f64(),
-                eval.w_min
-            );
-            Fig12Entry { curve, w_min: eval.w_min, luts }
-        })
-        .collect()
+/// Runs the Fig. 12 sweep over a benchmark list, one benchmark per worker
+/// when `parallel` allows. Progress goes to stderr (runs on paper-size
+/// circuits take a while); entries come back in benchmark order for any
+/// thread count.
+pub fn run_fig12(
+    benchmarks: &[SynthConfig],
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> Vec<Fig12Entry> {
+    parallel_map(parallel, benchmarks, |i, b| {
+        let t0 = std::time::Instant::now();
+        let netlist = b.generate().expect("preset generates");
+        let luts = netlist.num_luts();
+        eprintln!("[fig12 {}/{}] {} ({} LUTs)...", i + 1, benchmarks.len(), b.name, luts);
+        // Each benchmark is already on its own worker; the divisor sweep
+        // inside stays serial to avoid nested fan-out.
+        let cfg = EvaluationConfig::paper_defaults(seed);
+        let (curve, eval) = tradeoff_sweep(netlist, &cfg, &PAPER_DIVISORS).expect("sweep runs");
+        eprintln!(
+            "[fig12 {}/{}] {} done in {:.0}s (Wmin {:?})",
+            i + 1,
+            benchmarks.len(),
+            b.name,
+            t0.elapsed().as_secs_f64(),
+            eval.w_min
+        );
+        Fig12Entry { curve, w_min: eval.w_min, luts }
+    })
 }
 
 /// Geometric mean of the preferred corners over a set of Fig. 12 entries:
@@ -312,13 +306,16 @@ pub struct NoTechnique {
 }
 
 /// Evaluates the no-technique CMOS-NEM design on one benchmark.
-pub fn run_no_technique(benchmark: &SynthConfig, seed: u64) -> NoTechnique {
-    let cfg = EvaluationConfig::paper_defaults(seed);
+pub fn run_no_technique(
+    benchmark: &SynthConfig,
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> NoTechnique {
+    let mut cfg = EvaluationConfig::paper_defaults(seed);
+    cfg.parallel = *parallel;
     let netlist = benchmark.generate().expect("preset generates");
-    let variants = vec![
-        FpgaVariant::cmos_baseline(&cfg.node),
-        FpgaVariant::cmos_nem_without_technique(),
-    ];
+    let variants =
+        vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem_without_technique()];
     let eval = evaluate(netlist, &cfg, &variants).expect("evaluation runs");
     let base = &eval.variants[0];
     let nem = &eval.variants[1];
@@ -346,29 +343,31 @@ pub struct WminEntry {
     pub operating: usize,
 }
 
-/// Runs the W_min search over a benchmark list.
-pub fn run_wmin(benchmarks: &[SynthConfig], seed: u64) -> Vec<WminEntry> {
+/// Runs the W_min search over a benchmark list, one benchmark per worker
+/// when `parallel` allows.
+pub fn run_wmin(
+    benchmarks: &[SynthConfig],
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> Vec<WminEntry> {
     use nemfpga_arch::ArchParams;
     use nemfpga_pnr::flow::{implement, WidthPolicy};
     use nemfpga_pnr::place::PlaceConfig;
     use nemfpga_pnr::route::RouteConfig;
-    benchmarks
-        .iter()
-        .map(|b| {
-            let netlist = b.generate().expect("preset generates");
-            let luts = netlist.num_luts();
-            let imp = implement(
-                netlist,
-                &ArchParams::paper_table1(),
-                &PlaceConfig::new(seed),
-                &RouteConfig::new(),
-                WidthPolicy::LowStress { hint: 32, max: 512 },
-            )
-            .expect("benchmark routes");
-            let ws = imp.width_search.expect("low-stress policy searches");
-            WminEntry { name: b.name.clone(), luts, w_min: ws.w_min, operating: ws.operating_width }
-        })
-        .collect()
+    parallel_map(parallel, benchmarks, |_, b| {
+        let netlist = b.generate().expect("preset generates");
+        let luts = netlist.num_luts();
+        let imp = implement(
+            netlist,
+            &ArchParams::paper_table1(),
+            &PlaceConfig::new(seed),
+            &RouteConfig::new(),
+            WidthPolicy::LowStress { hint: 32, max: 512 },
+        )
+        .expect("benchmark routes");
+        let ws = imp.width_search.expect("low-stress policy searches");
+        WminEntry { name: b.name.clone(), luts, w_min: ws.w_min, operating: ws.operating_width }
+    })
 }
 
 #[cfg(test)]

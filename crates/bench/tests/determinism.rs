@@ -1,0 +1,146 @@
+//! Determinism regression tests for the parallel CAD engine.
+//!
+//! The parallel layer promises bit-identical results regardless of
+//! thread count: every Monte Carlo sample draws from its own
+//! `(seed, index)` ChaCha stream and fan-outs preserve input order.
+//! These tests pin that contract for the three parallel surfaces
+//! (Monte Carlo compliance, population sampling, design-point sweeps)
+//! and for the incremental router's equivalence with the classic
+//! full-reroute PathFinder schedule.
+
+use nemfpga::flow::EvaluationConfig;
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+use nemfpga_arch::build_rr_graph;
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::yield_analysis::estimate_compliance_with;
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_device::variation::VariationModel;
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_pnr::channel::find_min_channel_width;
+use nemfpga_pnr::pack::pack;
+use nemfpga_pnr::pack::PackedDesign;
+use nemfpga_pnr::place::{place, PlaceConfig, Placement};
+use nemfpga_pnr::route::{check_routing, route, route_with_scratch, RouteConfig, RouterScratch};
+use nemfpga_runtime::ParallelConfig;
+
+/// Monte Carlo compliance is byte-identical for any thread count.
+#[test]
+fn compliance_identical_across_threads() {
+    let nominal = NemRelayDevice::scaled_22nm();
+    let variation = VariationModel::fabrication_default();
+    let levels = ProgrammingLevels::paper_demo();
+    let serial = estimate_compliance_with(
+        &nominal,
+        &variation,
+        &levels,
+        4_000,
+        42,
+        &ParallelConfig::serial(),
+    );
+    for threads in [2, 4, 7] {
+        let par = estimate_compliance_with(
+            &nominal,
+            &variation,
+            &levels,
+            4_000,
+            42,
+            &ParallelConfig::with_threads(threads),
+        );
+        assert_eq!(serial, par, "compliance diverged at {threads} threads");
+    }
+}
+
+/// Population sampling: the serial iterator and the parallel fan-out
+/// produce the same devices in the same order.
+#[test]
+fn population_identical_across_threads() {
+    let nominal = NemRelayDevice::scaled_22nm();
+    let variation = VariationModel::fabrication_default();
+    let serial = variation.sample_population(&nominal, 500, 9);
+    for threads in [2, 4] {
+        let par = variation.sample_population_par(
+            &nominal,
+            500,
+            9,
+            &ParallelConfig::with_threads(threads),
+        );
+        assert_eq!(serial, par, "population diverged at {threads} threads");
+    }
+}
+
+/// The Fig. 12 sweep — the heaviest parallel surface (per-variant model
+/// build + timing) — is identical at 1 and N threads.
+#[test]
+fn sweep_identical_across_threads() {
+    let netlist = |seed| SynthConfig::tiny("det", 50, seed).generate().unwrap();
+    let mut serial_cfg = EvaluationConfig::fast(11);
+    serial_cfg.parallel = ParallelConfig::serial();
+    let (curve_s, eval_s) = tradeoff_sweep(netlist(11), &serial_cfg, &PAPER_DIVISORS).unwrap();
+
+    let mut par_cfg = EvaluationConfig::fast(11);
+    par_cfg.parallel = ParallelConfig::with_threads(4);
+    let (curve_p, eval_p) = tradeoff_sweep(netlist(11), &par_cfg, &PAPER_DIVISORS).unwrap();
+
+    assert_eq!(curve_s, curve_p);
+    assert_eq!(eval_s.variants, eval_p.variants);
+}
+
+fn placed(luts: usize, seed: u64) -> (ArchParams, PackedDesign, Placement) {
+    let params = ArchParams::paper_table1();
+    let design = pack(SynthConfig::tiny("det", luts, seed).generate().unwrap(), &params).unwrap();
+    let grid =
+        Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate).unwrap();
+    let placement = place(&design, grid, &PlaceConfig::fast(seed)).unwrap();
+    (params, design, placement)
+}
+
+/// Routing with a fresh scratch arena and with a reused one (carrying
+/// stale epochs from a previous run) is bit-identical.
+#[test]
+fn routing_identical_with_reused_scratch() {
+    let (params, design, placement) = placed(60, 3);
+    let rr = build_rr_graph(&params, placement.grid, 30).unwrap();
+    let cfg = RouteConfig::new();
+    let fresh = route(&rr, &design, &placement, &cfg).unwrap();
+
+    let mut scratch = RouterScratch::new();
+    // Warm the arena on a different width so every epoch/slot is stale.
+    let rr_warm = build_rr_graph(&params, placement.grid, 34).unwrap();
+    route_with_scratch(&rr_warm, &design, &placement, &cfg, &mut scratch).unwrap();
+    let reused = route_with_scratch(&rr, &design, &placement, &cfg, &mut scratch).unwrap();
+
+    assert_eq!(fresh, reused);
+}
+
+/// The incremental schedule produces a legal routing wherever the
+/// classic full-reroute schedule does, and does strictly less rerouting
+/// work on a congested (multi-iteration) case.
+#[test]
+fn incremental_routes_less_work_when_congested() {
+    let (params, design, placement) = placed(120, 7);
+    let incr_cfg = RouteConfig::new();
+    let mut full_cfg = RouteConfig::new();
+    full_cfg.incremental = false;
+
+    // Route at W_min: tight enough that PathFinder needs several
+    // negotiation iterations.
+    let search = find_min_channel_width(&params, &design, &placement, &incr_cfg, 8, 256).unwrap();
+    let rr = build_rr_graph(&params, placement.grid, search.w_min).unwrap();
+
+    let incr = route(&rr, &design, &placement, &incr_cfg).unwrap();
+    let full = route(&rr, &design, &placement, &full_cfg).unwrap();
+    check_routing(&rr, &design, &placement, &incr).unwrap();
+    check_routing(&rr, &design, &placement, &full).unwrap();
+
+    assert!(incr.iterations > 1, "case not congested (1 iteration)");
+    // Full reroute re-routes every net every iteration.
+    assert_eq!(full.total_reroutes(), full.iterations * design.nets().len());
+    assert!(
+        incr.total_reroutes() < full.total_reroutes(),
+        "incremental {} >= full {}",
+        incr.total_reroutes(),
+        full.total_reroutes()
+    );
+}

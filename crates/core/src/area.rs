@@ -56,7 +56,10 @@ pub fn ff_area(node: &ProcessNode) -> SquareMeters {
 /// Area of the LB-local programmable crossbar (Fig. 7b): `(I + N)` inputs
 /// feeding `K·N` LUT-input muxes, half-populated, one pass transistor plus
 /// one SRAM bit per crosspoint.
-pub fn crossbar_area(node: &ProcessNode, params: &nemfpga_arch::params::ArchParams) -> SquareMeters {
+pub fn crossbar_area(
+    node: &ProcessNode,
+    params: &nemfpga_arch::params::ArchParams,
+) -> SquareMeters {
     let crosspoints =
         (params.lb_inputs + params.lb_outputs()) * params.lut_inputs * params.cluster_size;
     (node.min_transistor_area + node.sram_cell_area) * crosspoints as f64

@@ -71,6 +71,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate sanity pins
     fn constants_are_sane() {
         assert!(SRAM_LEAK_FACTOR > 0.0 && SRAM_LEAK_FACTOR <= 1.0);
         assert!(SWITCH_LEAK_FACTOR > 0.0 && SWITCH_LEAK_FACTOR <= 1.0);

@@ -1,6 +1,8 @@
 //! Shared modelling context: technology + architecture + per-tile
 //! structural statistics of the routing fabric.
 
+pub use nemfpga_runtime::ParallelConfig;
+
 use nemfpga_arch::params::ArchParams;
 use nemfpga_arch::rrgraph::{RrGraph, SwitchClass};
 use nemfpga_tech::interconnect::InterconnectModel;
@@ -39,8 +41,7 @@ impl ModelContext {
         let w = channel_width as f64;
         let l = params.segment_length as f64;
         let wires_per_tile = 2.0 * w / l;
-        let cb_per_tile = params.lb_inputs as f64
-            * params.fc_in_tracks(channel_width) as f64
+        let cb_per_tile = params.lb_inputs as f64 * params.fc_in_tracks(channel_width) as f64
             + params.lb_outputs() as f64 * params.fc_out_tracks(channel_width) as f64;
         // Each tile corner crossing connects ~2 H/V wire pairs per track.
         let sb_per_tile = 2.0 * w;
@@ -58,11 +59,7 @@ impl ModelContext {
     }
 
     /// Exact statistics extracted from a built RR graph (the flow's path).
-    pub fn from_rr_graph(
-        node: ProcessNode,
-        interconnect: InterconnectModel,
-        rr: &RrGraph,
-    ) -> Self {
+    pub fn from_rr_graph(node: ProcessNode, interconnect: InterconnectModel, rr: &RrGraph) -> Self {
         let lb_tiles = (rr.grid.width * rr.grid.height).max(1) as f64;
         let wires = rr.num_wires() as f64;
         let mut cb_edges = 0usize;

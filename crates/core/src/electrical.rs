@@ -11,9 +11,9 @@
 use crate::area::{tile_area, TileArea};
 use crate::context::ModelContext;
 use crate::variant::FpgaVariant;
+use nemfpga_pnr::timing::{RoutingTiming, StageTiming};
 use nemfpga_power::dynamic::DynamicCosts;
 use nemfpga_power::leakage::LeakageCosts;
-use nemfpga_pnr::timing::{RoutingTiming, StageTiming};
 use nemfpga_tech::buffer::BufferChain;
 use nemfpga_tech::interconnect::MetalLayer;
 use nemfpga_tech::units::{Farads, Meters, Ohms, Seconds};
@@ -73,15 +73,12 @@ impl ElectricalModel {
 
         for _ in 0..4 {
             let seg_len = edge * params.segment_length as f64;
-            c_wire_nominal = wire_rc.capacitance(seg_len)
-                + variant.switch.c_off * ctx.taps_per_wire;
+            c_wire_nominal =
+                wire_rc.capacitance(seg_len) + variant.switch.c_off * ctx.taps_per_wire;
 
-            wire_chain = BufferChain::design_downsized(
-                node,
-                c_wire_nominal,
-                variant.wire_buffer_divisor,
-            )
-            .expect("variant divisor validated at construction");
+            wire_chain =
+                BufferChain::design_downsized(node, c_wire_nominal, variant.wire_buffer_divisor)
+                    .expect("variant divisor validated at construction");
             if variant.level_restoring_buffers {
                 wire_chain = wire_chain.with_level_restoration();
             }
@@ -101,7 +98,6 @@ impl ElectricalModel {
             edge = tile.edge();
         }
 
-
         let per_tile_len = edge;
         let fo1 = node.fo1_delay();
         let sw = &variant.switch;
@@ -110,7 +106,8 @@ impl ElectricalModel {
         let buf_in_cap = wire_chain.input_cap(node);
         let switch_box = StageTiming {
             t_fixed: Seconds::new(
-                sw.r_on.value() * buf_in_cap.value() + wire_chain.delay(node, c_wire_nominal).value(),
+                sw.r_on.value() * buf_in_cap.value()
+                    + wire_chain.delay(node, c_wire_nominal).value(),
             ),
             r_series: if wire_chain.is_removed() { sw.r_on } else { Ohms::new(0.0) },
             delay_penalty: sw.delay_penalty,
@@ -159,11 +156,7 @@ impl ElectricalModel {
             wire_c_per_tile: c_wire_per_tile,
             // When the LB input buffer is removed the switch sees the whole
             // crossbar; otherwise just the buffer input.
-            ipin_cap: if in_chain.is_removed() {
-                crossbar_load
-            } else {
-                in_chain.input_cap(node)
-            },
+            ipin_cap: if in_chain.is_removed() { crossbar_load } else { in_chain.input_cap(node) },
             lut_delay: fo1 * calibration::LUT_DELAY_FO1,
             lb_input_to_lut: fo1 * 2.0,
             lut_to_output_pin: if out_chain.is_removed() {
@@ -187,20 +180,17 @@ impl ElectricalModel {
             sb_buffer_cap: if wire_chain.is_removed() {
                 Farads::zero()
             } else {
-                wire_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
-                    + buffer_wire_share
+                wire_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR + buffer_wire_share
             },
             lb_output_buffer_cap: if out_chain.is_removed() {
                 Farads::zero()
             } else {
-                out_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
-                    + local_load * share
+                out_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR + local_load * share
             },
             lb_input_buffer_cap: if in_chain.is_removed() {
                 Farads::zero()
             } else {
-                in_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR
-                    + crossbar_load * share
+                in_chain.switched_cap(node) * calibration::BUFFER_DYN_FACTOR + crossbar_load * share
             },
             switch_parasitic_cap: sw.c_on,
             cb_load_cap: crossbar_load / 2.0,

@@ -12,6 +12,7 @@ use crate::error::CoreError;
 use crate::flow::{evaluate, EvaluationConfig};
 use crate::variant::FpgaVariant;
 use nemfpga_netlist::netlist::Netlist;
+use nemfpga_runtime::parallel_map;
 use serde::{Deserialize, Serialize};
 
 /// One architecture point of the exploration.
@@ -76,13 +77,15 @@ pub fn segment_length_sweep(
     if lengths.is_empty() {
         return Err(CoreError::InvalidConfig { message: "empty segment sweep".to_owned() });
     }
-    let mut points = Vec::with_capacity(lengths.len());
-    for &l in lengths {
-        if l == 0 {
-            return Err(CoreError::InvalidConfig {
-                message: "segment length must be positive".to_owned(),
-            });
-        }
+    if lengths.contains(&0) {
+        return Err(CoreError::InvalidConfig {
+            message: "segment length must be positive".to_owned(),
+        });
+    }
+    // Every point is a full independent flow run (new fabric, new W_min),
+    // so the sweep fans out across `config.parallel` threads; the ordered
+    // merge keeps points in sweep order for any thread count.
+    let points: Vec<ArchPoint> = parallel_map(&config.parallel, lengths, |_, &l| {
         let mut cfg = config.clone();
         cfg.params.segment_length = l;
         // Each architecture runs at its own fmax: clock = this variant's.
@@ -92,15 +95,17 @@ pub fn segment_length_sweep(
         let cp = v.critical_path.as_nano();
         let power = v.power.total().as_milli();
         let tile = v.tile.footprint().value() * 1e12;
-        points.push(ArchPoint {
+        Ok(ArchPoint {
             segment_length: l,
             channel_width: eval.channel_width,
             critical_path_ns: cp,
             total_power_mw: power,
             tile_um2: tile,
             figure_of_merit: cp * power * tile,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<_, CoreError>>()?;
     Ok(ArchExploration { variant: variant.name.clone(), points })
 }
 

@@ -21,6 +21,7 @@ use nemfpga_power::breakdown::PowerReport;
 use nemfpga_power::dynamic::dynamic_power;
 use nemfpga_power::leakage::leakage_power;
 use nemfpga_power::usage::{FabricInventory, FabricUsage};
+use nemfpga_runtime::{parallel_map, ParallelConfig};
 use nemfpga_tech::interconnect::InterconnectModel;
 use nemfpga_tech::process::ProcessNode;
 use nemfpga_tech::units::{Hertz, Seconds, SquareMeters};
@@ -51,6 +52,9 @@ pub struct EvaluationConfig {
     /// extract connection criticalities, then re-place with the blended
     /// cost and re-route. Slower; usually shaves the critical path.
     pub timing_driven: bool,
+    /// Thread fan-out for per-variant model building and timing analysis.
+    /// Results are identical for any thread count.
+    pub parallel: ParallelConfig,
 }
 
 impl EvaluationConfig {
@@ -66,6 +70,7 @@ impl EvaluationConfig {
             input_activity: 0.5,
             clock: None,
             timing_driven: false,
+            parallel: ParallelConfig::serial(),
         }
     }
 
@@ -156,30 +161,18 @@ pub fn evaluate(
     let mut imp: Implementation =
         implement(netlist, &config.params, &config.place, &config.route, config.width)?;
 
-    let ctx = ModelContext::from_rr_graph(
-        config.node.clone(),
-        config.interconnect.clone(),
-        &imp.rr,
-    );
+    let ctx =
+        ModelContext::from_rr_graph(config.node.clone(), config.interconnect.clone(), &imp.rr);
 
     if config.timing_driven {
         // Second pass: re-place against the criticalities measured on the
         // seed implementation (under the reference variant's timing) and
         // re-route at the same width.
         let seed_model = ElectricalModel::build(&ctx, &variants[0]);
-        let seed_report = analyze_timing(
-            &imp.rr,
-            &imp.design,
-            &imp.placement,
-            &imp.routing,
-            &seed_model.timing,
-        )?;
-        let weights = nemfpga_pnr::timing::connection_criticalities(
-            &imp.design,
-            &seed_report,
-            2.0,
-            0.5,
-        );
+        let seed_report =
+            analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &seed_model.timing)?;
+        let weights =
+            nemfpga_pnr::timing::connection_criticalities(&imp.design, &seed_report, 2.0, 0.5);
         let td_placement = nemfpga_pnr::place::place_timing_driven(
             &imp.design,
             imp.placement.grid,
@@ -206,31 +199,25 @@ pub fn evaluate(
     let usage = FabricUsage::from_routing(&imp.rr, &imp.design, &imp.routing);
 
     // First pass: critical paths (needed for the iso-throughput clock).
+    // Building the electrical model and running STA are independent per
+    // variant, so both fan out across `config.parallel` threads; the
+    // ordered merge keeps `models[i]` ↔ `variants[i]` for any count.
     let models: Vec<ElectricalModel> =
-        variants.iter().map(|v| ElectricalModel::build(&ctx, v)).collect();
-    let mut critical_paths = Vec::with_capacity(models.len());
-    for model in &models {
-        let report =
-            analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)?;
-        critical_paths.push(report.critical_path);
-    }
-    let clock = config
-        .clock
-        .unwrap_or_else(|| Hertz::new(1.0 / critical_paths[0].value()));
+        parallel_map(&config.parallel, variants, |_, v| ElectricalModel::build(&ctx, v));
+    let critical_paths: Vec<Seconds> = parallel_map(&config.parallel, &models, |_, model| {
+        analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)
+            .map(|report| report.critical_path)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let clock = config.clock.unwrap_or_else(|| Hertz::new(1.0 / critical_paths[0].value()));
 
     let lb_tiles = (imp.placement.grid.width * imp.placement.grid.height) as f64;
     let mut evaluations = Vec::with_capacity(models.len());
     for (model, cp) in models.iter().zip(&critical_paths) {
-        let inventory =
-            FabricInventory::from_rr_graph(&imp.rr, model.variant.sram_per_switch());
+        let inventory = FabricInventory::from_rr_graph(&imp.rr, model.variant.sram_per_switch());
         let power = PowerReport {
-            dynamic: dynamic_power(
-                &usage,
-                &activities,
-                &model.dynamic_costs,
-                ctx.node.vdd,
-                clock,
-            ),
+            dynamic: dynamic_power(&usage, &activities, &model.dynamic_costs, ctx.node.vdd, clock),
             leakage: leakage_power(&inventory, &model.leakage_costs),
         };
         evaluations.push(VariantEvaluation {
@@ -265,8 +252,7 @@ mod tests {
             FpgaVariant::cmos_nem_without_technique(),
             FpgaVariant::cmos_nem(4.0),
         ];
-        evaluate(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &cfg, &variants)
-            .unwrap()
+        evaluate(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &cfg, &variants).unwrap()
     }
 
     #[test]

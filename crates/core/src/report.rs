@@ -111,13 +111,9 @@ mod tests {
 
     fn comparison(seed: u64) -> Comparison {
         let cfg = EvaluationConfig::fast(seed);
-        let variants = vec![
-            FpgaVariant::cmos_baseline(&cfg.node),
-            FpgaVariant::cmos_nem(4.0),
-        ];
-        let eval =
-            evaluate(SynthConfig::tiny("t", 50, seed).generate().unwrap(), &cfg, &variants)
-                .unwrap();
+        let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
+        let eval = evaluate(SynthConfig::tiny("t", 50, seed).generate().unwrap(), &cfg, &variants)
+            .unwrap();
         Comparison::against_baseline(&eval)
     }
 

@@ -47,18 +47,14 @@ impl TradeoffCurve {
     /// 1.0 — no application speed penalty). Falls back to the fastest point
     /// if none qualifies.
     pub fn preferred_corner(&self, min_speedup: f64) -> &TradeoffPoint {
-        self.points
-            .iter()
-            .filter(|p| p.speedup >= min_speedup)
-            .last()
-            .unwrap_or_else(|| {
-                self.points
-                    .iter()
-                    .max_by(|a, b| {
-                        a.speedup.partial_cmp(&b.speedup).unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("curve has at least one point")
-            })
+        self.points.iter().rfind(|p| p.speedup >= min_speedup).unwrap_or_else(|| {
+            self.points
+                .iter()
+                .max_by(|a, b| {
+                    a.speedup.partial_cmp(&b.speedup).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("curve has at least one point")
+        })
     }
 }
 
@@ -100,9 +96,7 @@ pub fn tradeoff_sweep(
     variants.push(FpgaVariant::cmos_baseline(&config.node));
     for &d in divisors {
         if !(d.is_finite() && d >= 1.0) {
-            return Err(CoreError::InvalidConfig {
-                message: format!("divisor {d} must be >= 1"),
-            });
+            return Err(CoreError::InvalidConfig { message: format!("divisor {d} must be >= 1") });
         }
         variants.push(FpgaVariant::cmos_nem(d));
     }

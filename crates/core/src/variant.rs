@@ -95,9 +95,7 @@ impl FpgaVariant {
     pub fn cmos_nem_demo_contacts(wire_buffer_divisor: f64) -> Self {
         let mut v = Self::cmos_nem(wire_buffer_divisor);
         v.switch = RoutingSwitch::nem_relay_demo_contact();
-        v.name = format!(
-            "cmos-nem (demo 100kΩ contacts, wire buffers /{wire_buffer_divisor:.1})"
-        );
+        v.name = format!("cmos-nem (demo 100kΩ contacts, wire buffers /{wire_buffer_divisor:.1})");
         v
     }
 

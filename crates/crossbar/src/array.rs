@@ -104,10 +104,7 @@ impl Configuration {
 
     /// Iterates `(row, col, on)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .map(move |(i, &b)| (i / self.cols, i % self.cols, b))
+        self.bits.iter().enumerate().map(move |(i, &b)| (i / self.cols, i % self.cols, b))
     }
 }
 
@@ -137,7 +134,11 @@ impl CrossbarArray {
     /// # Errors
     ///
     /// Returns [`CrossbarError::EmptyArray`] for a degenerate shape.
-    pub fn uniform(rows: usize, cols: usize, device: NemRelayDevice) -> Result<Self, CrossbarError> {
+    pub fn uniform(
+        rows: usize,
+        cols: usize,
+        device: NemRelayDevice,
+    ) -> Result<Self, CrossbarError> {
         if rows == 0 || cols == 0 {
             return Err(CrossbarError::EmptyArray);
         }
@@ -162,10 +163,7 @@ impl CrossbarArray {
         }
         let required = rows * cols;
         if devices.len() < required {
-            return Err(CrossbarError::PopulationTooSmall {
-                required,
-                supplied: devices.len(),
-            });
+            return Err(CrossbarError::PopulationTooSmall { required, supplied: devices.len() });
         }
         let relays = devices[..required].iter().cloned().map(Relay::new).collect();
         Ok(Self { rows, cols, relays })
@@ -194,12 +192,7 @@ impl CrossbarArray {
 
     fn index(&self, row: usize, col: usize) -> Result<usize, CrossbarError> {
         if row >= self.rows || col >= self.cols {
-            return Err(CrossbarError::OutOfBounds {
-                row,
-                col,
-                rows: self.rows,
-                cols: self.cols,
-            });
+            return Err(CrossbarError::OutOfBounds { row, col, rows: self.rows, cols: self.cols });
         }
         Ok(row * self.cols + col)
     }
@@ -213,10 +206,9 @@ impl CrossbarArray {
     pub fn apply_line_voltages(&mut self, source_lines: &[Volts], gate_lines: &[Volts]) {
         assert_eq!(source_lines.len(), self.rows, "one voltage per source line");
         assert_eq!(gate_lines.len(), self.cols, "one voltage per gate line");
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                let vgs = gate_lines[c] - source_lines[r];
-                self.relays[r * self.cols + c].apply_vgs(vgs);
+        for (r, &vs) in source_lines.iter().enumerate() {
+            for (c, &vg) in gate_lines.iter().enumerate() {
+                self.relays[r * self.cols + c].apply_vgs(vg - vs);
             }
         }
     }
@@ -239,11 +231,14 @@ impl CrossbarArray {
     /// Returns [`CrossbarError::OutOfBounds`] for an invalid column.
     pub fn connected_rows(&self, col: usize) -> Result<Vec<usize>, CrossbarError> {
         if col >= self.cols {
-            return Err(CrossbarError::OutOfBounds { row: 0, col, rows: self.rows, cols: self.cols });
+            return Err(CrossbarError::OutOfBounds {
+                row: 0,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
-        Ok((0..self.rows)
-            .filter(|&r| self.relays[r * self.cols + col].is_on())
-            .collect())
+        Ok((0..self.rows).filter(|&r| self.relays[r * self.cols + col].is_on()).collect())
     }
 
     /// Total switching cycles accumulated across the array (reliability
@@ -308,10 +303,7 @@ mod tests {
         let vpi = xbar.relay(0, 0).unwrap().device().pull_in_voltage();
         // Pull in only relay (1, 0): gate col 0 high, source row 1 negative.
         let boost = vpi * 0.6;
-        xbar.apply_line_voltages(
-            &[Volts::zero(), -boost],
-            &[boost, Volts::zero()],
-        );
+        xbar.apply_line_voltages(&[Volts::zero(), -boost], &[boost, Volts::zero()]);
         assert!(xbar.relay(1, 0).unwrap().is_on());
         assert!(!xbar.relay(0, 0).unwrap().is_on());
         assert!(!xbar.relay(1, 1).unwrap().is_on());

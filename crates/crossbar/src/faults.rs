@@ -86,11 +86,7 @@ pub fn build_faulty_array(
     let mut array = CrossbarArray::from_population(rows, cols, &devices)?;
     // Stuck-closed relays sit latched from the start: actuate them once.
     for f in faults.iter().filter(|f| f.kind == FaultKind::StuckClosed) {
-        let vpi = array
-            .relay(f.row, f.col)
-            .expect("in bounds")
-            .device()
-            .pull_in_voltage();
+        let vpi = array.relay(f.row, f.col).expect("in bounds").device().pull_in_voltage();
         let mut sources = vec![nemfpga_tech::units::Volts::zero(); rows];
         let mut gates = vec![nemfpga_tech::units::Volts::zero(); cols];
         sources[f.row] = -(vpi * 0.6);
@@ -138,11 +134,9 @@ pub fn detect_faults(
             detected: false,
             mismatches: Vec::new(),
         }),
-        Err(CrossbarError::ProgrammingMismatch { mismatches }) => Ok(DetectionReport {
-            injected: faults.to_vec(),
-            detected: true,
-            mismatches,
-        }),
+        Err(CrossbarError::ProgrammingMismatch { mismatches }) => {
+            Ok(DetectionReport { injected: faults.to_vec(), detected: true, mismatches })
+        }
         Err(e) => Err(e),
     }
 }
@@ -176,17 +170,10 @@ pub fn coverage_estimate(
             cols,
             (t as u64).wrapping_mul(0x9E37_79B9) & ((1u64 << (rows * cols).min(63)) - 1),
         );
-        for (i, kind) in [FaultKind::StuckClosed, FaultKind::StuckOpen].into_iter().enumerate()
-        {
-            let report = detect_faults(
-                rows,
-                cols,
-                base,
-                &[Fault { row, col, kind }],
-                &target,
-                levels,
-            )
-            .expect("experiment runs");
+        for (i, kind) in [FaultKind::StuckClosed, FaultKind::StuckOpen].into_iter().enumerate() {
+            let report =
+                detect_faults(rows, cols, base, &[Fault { row, col, kind }], &target, levels)
+                    .expect("experiment runs");
             if report.detected {
                 detected[i] += 1;
             }
@@ -256,28 +243,15 @@ mod tests {
     #[test]
     fn fault_free_array_never_reports() {
         let target = Configuration::from_code(3, 3, 0b101_010_101);
-        let report = detect_faults(
-            3,
-            3,
-            &base(),
-            &[],
-            &target,
-            &ProgrammingLevels::paper_demo(),
-        )
-        .expect("runs");
+        let report = detect_faults(3, 3, &base(), &[], &target, &ProgrammingLevels::paper_demo())
+            .expect("runs");
         assert!(!report.detected);
     }
 
     #[test]
     fn coverage_is_substantial_for_random_patterns() {
-        let (closed, open) = coverage_estimate(
-            3,
-            3,
-            &base(),
-            &ProgrammingLevels::paper_demo(),
-            40,
-            11,
-        );
+        let (closed, open) =
+            coverage_estimate(3, 3, &base(), &ProgrammingLevels::paper_demo(), 40, 11);
         // A random pattern exercises any given relay about half the time.
         assert!(closed > 0.3, "stuck-closed coverage {closed}");
         assert!(open > 0.3, "stuck-open coverage {open}");

@@ -51,8 +51,8 @@ pub mod yield_analysis;
 
 pub use array::{Configuration, CrossbarArray};
 pub use error::CrossbarError;
-pub use levels::ProgrammingLevels;
 pub use faults::{coverage_estimate, detect_faults, Fault, FaultKind};
+pub use levels::ProgrammingLevels;
 pub use program::{program, program_unchecked, reprogram_column, reset, ProgramLog};
 pub use waveform::{run_demo, Waveform, WaveformConfig};
 pub use window::{solve_window, SolvedWindow};

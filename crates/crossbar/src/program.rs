@@ -126,11 +126,7 @@ pub fn program_unchecked(
             .map(|r| if target.get(r, c) { -levels.vselect } else { Volts::zero() })
             .collect();
         array.apply_line_voltages(&source_lines, &gate_lines);
-        steps.push(ProgramStep {
-            label: format!("select column {c}"),
-            source_lines,
-            gate_lines,
-        });
+        steps.push(ProgramStep { label: format!("select column {c}"), source_lines, gate_lines });
     }
 
     // Phase 2: hold — all gate lines at Vhold retain the pattern.
@@ -153,10 +149,7 @@ pub fn program_unchecked(
         return Err(CrossbarError::ProgrammingMismatch { mismatches });
     }
 
-    Ok(ProgramLog {
-        steps,
-        switching_events: array.total_switching_cycles() - cycles_before,
-    })
+    Ok(ProgramLog { steps, switching_events: array.total_switching_cycles() - cycles_before })
 }
 
 /// Partially reconfigures a single gate column without disturbing the rest
@@ -229,19 +222,16 @@ pub fn reprogram_column(
 
     // Phase 1: release the whole target column (gate to 0, others hold).
     let zeros_src = vec![Volts::zero(); array.rows()];
-    let gates: Vec<Volts> = (0..array.cols())
-        .map(|c| if c == col { Volts::zero() } else { levels.vhold })
-        .collect();
+    let gates: Vec<Volts> =
+        (0..array.cols()).map(|c| if c == col { Volts::zero() } else { levels.vhold }).collect();
     array.apply_line_voltages(&zeros_src, &gates);
 
     // Phase 2: select step for just this column.
     let gates: Vec<Volts> = (0..array.cols())
         .map(|c| if c == col { levels.gate_selected() } else { levels.vhold })
         .collect();
-    let sources: Vec<Volts> = new_column
-        .iter()
-        .map(|&on| if on { -levels.vselect } else { Volts::zero() })
-        .collect();
+    let sources: Vec<Volts> =
+        new_column.iter().map(|&on| if on { -levels.vselect } else { Volts::zero() }).collect();
     array.apply_line_voltages(&sources, &gates);
 
     // Phase 3: back to hold.
@@ -275,11 +265,7 @@ pub fn reset(array: &mut CrossbarArray) -> Result<(), CrossbarError> {
         return Ok(());
     }
     let snapshot = array.state_configuration();
-    let stuck = snapshot
-        .iter()
-        .filter(|(_, _, on)| *on)
-        .map(|(r, c, _)| (r, c))
-        .collect();
+    let stuck = snapshot.iter().filter(|(_, _, on)| *on).map(|(r, c, _)| (r, c)).collect();
     Err(CrossbarError::ProgrammingMismatch { mismatches: stuck })
 }
 
@@ -378,10 +364,7 @@ mod tests {
         // Force pull-in directly (programming would fail validation since
         // a stuck device has Vpo = 0 < any Vhold... which is the point).
         let vpi = sticky.relay(0, 0).unwrap().device().pull_in_voltage();
-        sticky.apply_line_voltages(
-            &vec![-(vpi); 2],
-            &vec![vpi; 2],
-        );
+        sticky.apply_line_voltages(&[-(vpi); 2], &[vpi; 2]);
         let err = reset(&mut sticky).unwrap_err();
         assert!(matches!(err, CrossbarError::ProgrammingMismatch { .. }));
     }
@@ -398,9 +381,9 @@ mod tests {
         reprogram_column(&mut xbar, 2, &new_col, &levels).unwrap();
 
         let after = xbar.state_configuration();
-        for r in 0..4 {
+        for (r, &rewritten) in new_col.iter().enumerate() {
             for c in 0..4 {
-                let want = if c == 2 { new_col[r] } else { initial.get(r, c) };
+                let want = if c == 2 { rewritten } else { initial.get(r, c) };
                 assert_eq!(after.get(r, c), want, "({r},{c})");
             }
         }

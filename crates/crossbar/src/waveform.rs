@@ -106,9 +106,8 @@ impl Waveform {
         let tol = 1e-9;
         for p in self.phase_points(Phase::Test) {
             for c in 0..self.target.cols() {
-                let connected: Vec<usize> = (0..self.target.rows())
-                    .filter(|&r| self.target.get(r, c))
-                    .collect();
+                let connected: Vec<usize> =
+                    (0..self.target.rows()).filter(|&r| self.target.get(r, c)).collect();
                 let expected = if connected.is_empty() {
                     Volts::zero()
                 } else {
@@ -120,8 +119,7 @@ impl Waveform {
                 }
             }
         }
-        self.phase_points(Phase::Reset)
-            .all(|p| p.drains.iter().all(|d| d.abs().value() < tol))
+        self.phase_points(Phase::Reset).all(|p| p.drains.iter().all(|d| d.abs().value() < tol))
     }
 }
 
@@ -197,9 +195,8 @@ pub fn run_demo(
     for period in 0..config.test_periods {
         for half in 0..2 {
             let phase0 = if half == 0 { amp } else { -amp };
-            let beams: Vec<Volts> = (0..array.rows())
-                .map(|r| if r % 2 == 0 { phase0 } else { -phase0 })
-                .collect();
+            let beams: Vec<Volts> =
+                (0..array.rows()).map(|r| if r % 2 == 0 { phase0 } else { -phase0 }).collect();
             array.apply_line_voltages(&beams, &hold_gates);
             points.push(TracePoint {
                 time: t,
@@ -217,9 +214,8 @@ pub fn run_demo(
     let ground_gates = vec![Volts::zero(); array.cols()];
     for sample in 0..config.reset_samples {
         let phase0 = if sample % 2 == 0 { amp } else { -amp };
-        let beams: Vec<Volts> = (0..array.rows())
-            .map(|r| if r % 2 == 0 { phase0 } else { -phase0 })
-            .collect();
+        let beams: Vec<Volts> =
+            (0..array.rows()).map(|r| if r % 2 == 0 { phase0 } else { -phase0 }).collect();
         array.apply_line_voltages(&beams, &ground_gates);
         points.push(TracePoint {
             time: t,

@@ -117,11 +117,7 @@ mod tests {
         let s = stats(13);
         let solved = solve_window(&s).unwrap();
         let worst = |levels: ProgrammingLevels| {
-            levels
-                .noise_margins(&s)
-                .iter()
-                .copied()
-                .fold(Volts::new(f64::INFINITY), Volts::min)
+            levels.noise_margins(&s).iter().copied().fold(Volts::new(f64::INFINITY), Volts::min)
         };
         for (dh, ds) in [(0.05, 0.0), (-0.05, 0.0), (0.0, 0.05), (0.0, -0.05)] {
             let perturbed = ProgrammingLevels {
@@ -146,10 +142,7 @@ mod tests {
             vpo_mean: Volts::new(2.7),
             min_window: Volts::new(1.0),
         };
-        assert!(matches!(
-            solve_window(&s),
-            Err(CrossbarError::InfeasibleWindow { .. })
-        ));
+        assert!(matches!(solve_window(&s), Err(CrossbarError::InfeasibleWindow { .. })));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::levels::ProgrammingLevels;
 use nemfpga_device::relay::NemRelayDevice;
 use nemfpga_device::variation::VariationModel;
+use nemfpga_runtime::{parallel_map_cfg, ParallelConfig};
 use serde::{Deserialize, Serialize};
 
 /// Result of a Monte Carlo compliance estimate.
@@ -64,12 +65,30 @@ pub fn estimate_compliance(
     samples: usize,
     seed: u64,
 ) -> ComplianceEstimate {
+    estimate_compliance_with(nominal, variation, levels, samples, seed, &ParallelConfig::serial())
+}
+
+/// [`estimate_compliance`] fanned out across threads.
+///
+/// Each sample is drawn from its own `(seed, index)` ChaCha stream and
+/// validated independently, so the estimate is byte-identical for any
+/// `parallel.threads` (including the serial entry point above).
+pub fn estimate_compliance_with(
+    nominal: &NemRelayDevice,
+    variation: &VariationModel,
+    levels: &ProgrammingLevels,
+    samples: usize,
+    seed: u64,
+    parallel: &ParallelConfig,
+) -> ComplianceEstimate {
     assert!(samples > 0, "compliance estimate needs at least one sample");
-    let population = variation.sample_population(nominal, samples, seed);
-    let ok = population
-        .iter()
-        .filter(|d| levels.validate_for(d).is_ok())
-        .count();
+    let ok = parallel_map_cfg(parallel, samples, |i| {
+        let device = variation.sample_indexed(nominal, seed, i as u64);
+        levels.validate_for(&device).is_ok()
+    })
+    .into_iter()
+    .filter(|&pass| pass)
+    .count();
     ComplianceEstimate { compliance: ok as f64 / samples as f64, samples }
 }
 

@@ -11,9 +11,8 @@ use nemfpga_device::NemRelayDevice;
 use proptest::prelude::*;
 
 fn arb_config(rows: usize, cols: usize) -> impl Strategy<Value = Configuration> {
-    prop::collection::vec(any::<bool>(), rows * cols).prop_map(move |bits| {
-        Configuration::from_bits(rows, cols, &bits).expect("shape matches")
-    })
+    prop::collection::vec(any::<bool>(), rows * cols)
+        .prop_map(move |bits| Configuration::from_bits(rows, cols, &bits).expect("shape matches"))
 }
 
 proptest! {

@@ -57,11 +57,7 @@ impl EquivalentCircuit {
         let gate_area = g.gate_area().value();
         let c_on = eps * gate_area * GATE_OVERLAP_FRACTION / g.gap_min.value();
         let c_off = eps * gate_area * DRAIN_OVERLAP_FRACTION / g.gap.value();
-        Self {
-            r_on: device.contact_resistance,
-            c_on: Farads::new(c_on),
-            c_off: Farads::new(c_off),
-        }
+        Self { r_on: device.contact_resistance, c_on: Farads::new(c_on), c_off: Farads::new(c_off) }
     }
 
     /// The exact values printed in Fig. 11 (`Ron` experimental from

@@ -45,7 +45,10 @@ impl fmt::Display for DeviceError {
                 write!(f, "invalid {name}: {value} m (must be finite and positive)")
             }
             Self::GapOrdering { g0, g_min } => {
-                write!(f, "pulled-in gap g_min = {g_min} m must be smaller than open gap g0 = {g0} m")
+                write!(
+                    f,
+                    "pulled-in gap g_min = {g_min} m must be smaller than open gap g0 = {g0} m"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid {name}: {value}")

@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn presets_are_valid() {
         for g in [BeamGeometry::fabricated(), BeamGeometry::scaled_22nm()] {
-            let rebuilt =
-                BeamGeometry::new(g.length, g.thickness, g.width, g.gap, g.gap_min);
+            let rebuilt = BeamGeometry::new(g.length, g.thickness, g.width, g.gap, g.gap_min);
             assert!(rebuilt.is_ok());
         }
     }
@@ -173,8 +172,7 @@ mod tests {
     #[test]
     fn negative_dimension_rejected() {
         let g = BeamGeometry::fabricated();
-        let err =
-            BeamGeometry::new(Meters::new(-1.0), g.thickness, g.width, g.gap, g.gap_min);
+        let err = BeamGeometry::new(Meters::new(-1.0), g.thickness, g.width, g.gap, g.gap_min);
         assert!(matches!(err, Err(DeviceError::InvalidDimension { name: "beam length", .. })));
     }
 

@@ -67,10 +67,7 @@ pub struct IvCurve {
 impl IvCurve {
     /// Largest current recorded anywhere on the curve.
     pub fn max_current(&self) -> Amps {
-        self.points
-            .iter()
-            .map(|p| p.i_ds)
-            .fold(Amps::zero(), Amps::max)
+        self.points.iter().map(|p| p.i_ds).fold(Amps::zero(), Amps::max)
     }
 
     /// Largest current recorded while the relay was off (should sit at the
@@ -92,7 +89,11 @@ impl IvCurve {
 ///
 /// Returns [`DeviceError::EmptySweep`] when `points_per_direction == 0`,
 /// and [`DeviceError::InvalidParameter`] for a non-positive `v_max`.
-pub fn sweep(relay: &mut Relay, v_max: Volts, config: &SweepConfig) -> Result<IvCurve, DeviceError> {
+pub fn sweep(
+    relay: &mut Relay,
+    v_max: Volts,
+    config: &SweepConfig,
+) -> Result<IvCurve, DeviceError> {
     if config.points_per_direction == 0 {
         return Err(DeviceError::EmptySweep);
     }
@@ -203,10 +204,7 @@ mod tests {
         let mut relay = Relay::new(NemRelayDevice::fabricated());
         let mut cfg = SweepConfig::paper_fig2b();
         cfg.points_per_direction = 0;
-        assert!(matches!(
-            sweep(&mut relay, Volts::new(8.0), &cfg),
-            Err(DeviceError::EmptySweep)
-        ));
+        assert!(matches!(sweep(&mut relay, Volts::new(8.0), &cfg), Err(DeviceError::EmptySweep)));
         let cfg = SweepConfig::paper_fig2b();
         assert!(sweep(&mut relay, Volts::new(-1.0), &cfg).is_err());
     }

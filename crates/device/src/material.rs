@@ -1,7 +1,7 @@
 //! Beam materials and test ambients.
 
 use crate::error::DeviceError;
-use nemfpga_tech::constants::{EPS_R_AIR, EPS_R_OIL, EPS_R_VACUUM, EPSILON_0};
+use nemfpga_tech::constants::{EPSILON_0, EPS_R_AIR, EPS_R_OIL, EPS_R_VACUUM};
 use nemfpga_tech::units::Pascals;
 use serde::{Deserialize, Serialize};
 

@@ -94,8 +94,7 @@ impl NemRelayDevice {
                 value: contact_resistance.value(),
             });
         }
-        let device =
-            Self { geometry, material, ambient, adhesion_per_width, contact_resistance };
+        let device = Self { geometry, material, ambient, adhesion_per_width, contact_resistance };
         let vpi = device.pull_in_voltage();
         let vpo = device.pull_out_voltage();
         // Pull-in instability happens at one third of the gap; a contact

@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn shrinking_speeds_up_mechanics() {
-        let rows =
-            scaling_sweep(&NemRelayDevice::fabricated(), &[1.0, 0.1, 0.0125]).unwrap();
+        let rows = scaling_sweep(&NemRelayDevice::fabricated(), &[1.0, 0.1, 0.0125]).unwrap();
         assert!(rows[2].pull_in_ns < rows[1].pull_in_ns);
         assert!(rows[1].pull_in_ns < rows[0].pull_in_ns);
     }

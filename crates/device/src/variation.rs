@@ -9,6 +9,7 @@
 //! do.
 
 use crate::relay::NemRelayDevice;
+use nemfpga_runtime::{mix_seed, parallel_map_cfg, ParallelConfig};
 use nemfpga_tech::units::Volts;
 use rand::Rng;
 use rand::SeedableRng;
@@ -86,14 +87,42 @@ impl VariationModel {
     }
 
     /// Draws a reproducible population of `n` devices.
+    ///
+    /// Sample `i` is drawn from its own ChaCha stream keyed by
+    /// `(seed, i)`, so the population is a pure function of `(n, seed)`:
+    /// prefixes agree across different `n`, and
+    /// [`Self::sample_population_par`] produces byte-identical devices at
+    /// any thread count.
     pub fn sample_population(
         &self,
         nominal: &NemRelayDevice,
         n: usize,
         seed: u64,
     ) -> Vec<NemRelayDevice> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| self.sample(nominal, &mut rng)).collect()
+        (0..n).map(|i| self.sample_indexed(nominal, seed, i as u64)).collect()
+    }
+
+    /// [`Self::sample_population`] fanned out across threads. Identical
+    /// output for any `parallel.threads` (including 1).
+    pub fn sample_population_par(
+        &self,
+        nominal: &NemRelayDevice,
+        n: usize,
+        seed: u64,
+        parallel: &ParallelConfig,
+    ) -> Vec<NemRelayDevice> {
+        parallel_map_cfg(parallel, n, |i| self.sample_indexed(nominal, seed, i as u64))
+    }
+
+    /// Draws the `index`-th device of the `seed` population.
+    pub fn sample_indexed(
+        &self,
+        nominal: &NemRelayDevice,
+        seed: u64,
+        index: u64,
+    ) -> NemRelayDevice {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(seed, index));
+        self.sample(nominal, &mut rng)
     }
 }
 
@@ -222,7 +251,7 @@ mod tests {
         VariationModel::fabrication_default().sample_population(
             &NemRelayDevice::fabricated(),
             100,
-            0xF16_6,
+            0xF166,
         )
     }
 

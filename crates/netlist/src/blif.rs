@@ -287,9 +287,8 @@ pub fn parse_blif(text: &str) -> Result<Netlist, NetlistError> {
         if !seen_outputs.insert(name.as_str()) {
             continue;
         }
-        let net = *signal_net.get(name).ok_or_else(|| NetlistError::UnknownNet {
-            name: name.clone(),
-        })?;
+        let net =
+            *signal_net.get(name).ok_or_else(|| NetlistError::UnknownNet { name: name.clone() })?;
         netlist.add_output(&format!("out:{name}"), net)?;
     }
     netlist.validate()?;
@@ -383,10 +382,8 @@ pub fn write_blif(netlist: &Netlist) -> String {
             CellKind::Lut(tt) => {
                 let in_names: Vec<&str> =
                     cell.inputs.iter().map(|n| netlist.net(*n).name.as_str()).collect();
-                let out_name = cell
-                    .output
-                    .map(|n| netlist.net(n).name.as_str())
-                    .unwrap_or(cell.name.as_str());
+                let out_name =
+                    cell.output.map(|n| netlist.net(n).name.as_str()).unwrap_or(cell.name.as_str());
                 let _ = writeln!(out, ".names {} {}", in_names.join(" "), out_name);
                 let rows = 1u64 << tt.inputs();
                 if tt.inputs() == 0 {
@@ -406,10 +403,8 @@ pub fn write_blif(netlist: &Netlist) -> String {
             }
             CellKind::Latch => {
                 let in_name = netlist.net(cell.inputs[0]).name.as_str();
-                let out_name = cell
-                    .output
-                    .map(|n| netlist.net(n).name.as_str())
-                    .unwrap_or(cell.name.as_str());
+                let out_name =
+                    cell.output.map(|n| netlist.net(n).name.as_str()).unwrap_or(cell.name.as_str());
                 let _ = writeln!(out, ".latch {in_name} {out_name} re clk 2");
             }
             CellKind::Input | CellKind::Output => {}

@@ -77,11 +77,7 @@ impl TruthTable {
     /// Panics if `values.len() != self.inputs()`.
     pub fn eval(&self, values: &[bool]) -> bool {
         assert_eq!(values.len(), self.inputs(), "truth table arity mismatch");
-        let row: u64 = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v as u64) << i)
-            .sum();
+        let row: u64 = values.iter().enumerate().map(|(i, &v)| (v as u64) << i).sum();
         (self.bits >> row) & 1 == 1
     }
 }

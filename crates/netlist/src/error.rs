@@ -64,8 +64,12 @@ impl fmt::Display for NetlistError {
             Self::CombinationalCycle { cell } => {
                 write!(f, "combinational cycle through cell '{cell}'")
             }
-            Self::BlifParse { line, message } => write!(f, "blif parse error at line {line}: {message}"),
-            Self::InvalidSynthConfig { message } => write!(f, "invalid synthesis config: {message}"),
+            Self::BlifParse { line, message } => {
+                write!(f, "blif parse error at line {line}: {message}")
+            }
+            Self::InvalidSynthConfig { message } => {
+                write!(f, "invalid synthesis config: {message}")
+            }
         }
     }
 }

@@ -442,10 +442,7 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut n = Netlist::new("bad");
         let a = n.add_input("a").unwrap();
-        assert!(matches!(
-            n.add_lut("x", &[a], xor2()),
-            Err(NetlistError::TooManyLutInputs { .. })
-        ));
+        assert!(matches!(n.add_lut("x", &[a], xor2()), Err(NetlistError::TooManyLutInputs { .. })));
     }
 
     #[test]

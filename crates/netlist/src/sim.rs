@@ -97,8 +97,7 @@ impl<'a> Simulator<'a> {
             if matches!(cell.kind, CellKind::Latch) {
                 let id = CellId::new(i as u32);
                 if let Some(q) = cell.output {
-                    self.values[q.index()] =
-                        self.latch_state.get(&id).copied().unwrap_or(false);
+                    self.values[q.index()] = self.latch_state.get(&id).copied().unwrap_or(false);
                 }
             }
         }
@@ -106,8 +105,7 @@ impl<'a> Simulator<'a> {
         for id in &self.order {
             let cell = self.netlist.cell(*id);
             if let CellKind::Lut(tt) = &cell.kind {
-                let ins: Vec<bool> =
-                    cell.inputs.iter().map(|n| self.values[n.index()]).collect();
+                let ins: Vec<bool> = cell.inputs.iter().map(|n| self.values[n.index()]).collect();
                 let out = cell.output.expect("luts drive a net");
                 self.values[out.index()] = tt.eval(&ins);
             }
@@ -187,10 +185,8 @@ pub fn check_equivalence(
         let out_a = po_net(a, &sim_a.step(&vector)?);
         let out_b = po_net(b, &sim_b.step(&vector)?);
         if out_a != out_b {
-            let diff: Vec<&String> = out_a
-                .keys()
-                .filter(|k| out_a.get(*k) != out_b.get(*k))
-                .collect();
+            let diff: Vec<&String> =
+                out_a.keys().filter(|k| out_a.get(*k) != out_b.get(*k)).collect();
             return Err(NetlistError::InvalidSynthConfig {
                 message: format!("functional mismatch at cycle {cycle} on nets {diff:?}"),
             });
@@ -222,9 +218,7 @@ mod tests {
             (true, true, false, true),
             (false, false, true, false),
         ] {
-            let out = sim
-                .step(&[("a", va), ("b", vb), ("c", vc)].into_iter().collect())
-                .unwrap();
+            let out = sim.step(&[("a", va), ("b", vb), ("c", vc)].into_iter().collect()).unwrap();
             assert_eq!(out["o"], want, "{va} {vb} {vc}");
         }
     }
@@ -237,11 +231,11 @@ mod tests {
         n.add_output("o", q).unwrap();
         let mut sim = Simulator::new(&n).unwrap();
         let o1 = sim.step(&[("a", true)].into_iter().collect()).unwrap();
-        assert_eq!(o1["o"], false, "latch starts at 0");
+        assert!(!o1["o"], "latch starts at 0");
         let o2 = sim.step(&[("a", false)].into_iter().collect()).unwrap();
-        assert_eq!(o2["o"], true, "captured last cycle's 1");
+        assert!(o2["o"], "captured last cycle's 1");
         let o3 = sim.step(&[("a", false)].into_iter().collect()).unwrap();
-        assert_eq!(o3["o"], false);
+        assert!(!o3["o"]);
     }
 
     #[test]
@@ -312,6 +306,6 @@ mod tests {
         sim.step(&[("a", true)].into_iter().collect()).unwrap();
         sim.reset();
         let out = sim.step(&[("a", false)].into_iter().collect()).unwrap();
-        assert_eq!(out["o"], false);
+        assert!(!out["o"]);
     }
 }

@@ -362,11 +362,7 @@ mod tests {
         let n = SynthConfig::tiny("t", 200, 9).generate().unwrap();
         n.validate().unwrap();
         for net in n.nets() {
-            assert!(
-                !net.sinks.is_empty() || net.driver.is_none(),
-                "net {} is dead",
-                net.name
-            );
+            assert!(!net.sinks.is_empty() || net.driver.is_none(), "net {} is dead", net.name);
         }
     }
 

@@ -4,7 +4,7 @@ use crate::channel::{find_min_channel_width, WidthSearch};
 use crate::error::PnrError;
 use crate::pack::{pack, PackedDesign};
 use crate::place::{place, PlaceConfig, Placement};
-use crate::route::{route, RouteConfig, Routing};
+use crate::route::{route, route_with_scratch, RouteConfig, RouterScratch, Routing};
 use nemfpga_arch::builder::build_rr_graph;
 use nemfpga_arch::grid::Grid;
 use nemfpga_arch::params::ArchParams;
@@ -104,15 +104,17 @@ pub fn implement(
             Ok(Implementation { design, placement, rr, routing, width_search: None })
         }
         WidthPolicy::LowStress { hint, max } => {
-            let search =
-                find_min_channel_width(params, &design, &placement, route_cfg, hint, max)?;
+            let search = find_min_channel_width(params, &design, &placement, route_cfg, hint, max)?;
             let mut summary = WidthSearchSummary::from(&search);
             // Routability is not strictly monotone in W (per-width pin/track
             // mappings differ), so walk upward a little before falling back
             // to the known-good minimum-width routing.
+            let mut scratch = RouterScratch::new();
             for w in [0usize, 2, 4, 8].map(|d| summary.operating_width + d) {
                 if let Ok(rr) = build_rr_graph(params, grid, w) {
-                    if let Ok(routing) = route(&rr, &design, &placement, route_cfg) {
+                    if let Ok(routing) =
+                        route_with_scratch(&rr, &design, &placement, route_cfg, &mut scratch)
+                    {
                         summary.operating_width = w;
                         return Ok(Implementation {
                             design,

@@ -53,5 +53,9 @@ pub use error::PnrError;
 pub use flow::{implement, Implementation, WidthPolicy};
 pub use pack::{pack, Block, BlockId, BlockKind, PackedDesign, PackedNet};
 pub use place::{check_legal, place, place_timing_driven, PlaceConfig, Placement, TimingWeights};
-pub use route::{check_routing, route, utilization, RouteConfig, RoutedNet, Routing, RoutingUtilization};
-pub use timing::{analyze_timing, connection_criticalities, RoutingTiming, StageTiming, TimingReport};
+pub use route::{
+    check_routing, route, utilization, RouteConfig, RoutedNet, Routing, RoutingUtilization,
+};
+pub use timing::{
+    analyze_timing, connection_criticalities, RoutingTiming, StageTiming, TimingReport,
+};

@@ -141,9 +141,7 @@ struct Ble {
 /// # }
 /// ```
 pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrError> {
-    netlist
-        .validate()
-        .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+    netlist.validate().map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
 
     // --- BLE formation ---
     let mut absorbed_latch: HashMap<CellId, CellId> = HashMap::new(); // lut -> latch
@@ -215,18 +213,13 @@ pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrEr
         let mut members = vec![seed];
         clustered[seed] = true;
         let mut produced: HashSet<NetId> = HashSet::from([bles[seed].output_net]);
-        let mut external: HashSet<NetId> =
-            bles[seed].input_nets.iter().copied().collect();
+        let mut external: HashSet<NetId> = bles[seed].input_nets.iter().copied().collect();
 
         while members.len() < n_max {
             // Gather candidates connected to the cluster.
             let mut attraction: HashMap<usize, usize> = HashMap::new();
             for &m in &members {
-                for &net in bles[m]
-                    .input_nets
-                    .iter()
-                    .chain(std::iter::once(&bles[m].output_net))
-                {
+                for &net in bles[m].input_nets.iter().chain(std::iter::once(&bles[m].output_net)) {
                     for &cand in net_bles.get(&net).into_iter().flatten() {
                         if !clustered[cand] {
                             *attraction.entry(cand).or_insert(0) += 1;
@@ -247,9 +240,8 @@ pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrEr
             }
             // Fill with any unclustered feasible BLE if nothing attracted.
             if chosen.is_none() {
-                chosen = (0..num_bles).find(|&c| {
-                    !clustered[c] && fits(&bles[c], &produced, &external, i_max)
-                });
+                chosen = (0..num_bles)
+                    .find(|&c| !clustered[c] && fits(&bles[c], &produced, &external, i_max));
             }
             let Some(cand) = chosen else { break };
             clustered[cand] = true;
@@ -301,12 +293,8 @@ pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrEr
             message: format!("net '{}' undriven", net.name),
         })?;
         let driver = cell_block[driver_cell.index()];
-        let mut sinks: Vec<BlockId> = net
-            .sinks
-            .iter()
-            .map(|c| cell_block[c.index()])
-            .filter(|b| *b != driver)
-            .collect();
+        let mut sinks: Vec<BlockId> =
+            net.sinks.iter().map(|c| cell_block[c.index()]).filter(|b| *b != driver).collect();
         sinks.sort();
         sinks.dedup();
         if !sinks.is_empty() {
@@ -317,12 +305,7 @@ pub fn pack(netlist: Netlist, params: &ArchParams) -> Result<PackedDesign, PnrEr
     Ok(PackedDesign { netlist, blocks, cell_block, nets })
 }
 
-fn fits(
-    ble: &Ble,
-    produced: &HashSet<NetId>,
-    external: &HashSet<NetId>,
-    i_max: usize,
-) -> bool {
+fn fits(ble: &Ble, produced: &HashSet<NetId>, external: &HashSet<NetId>, i_max: usize) -> bool {
     let mut new_external = 0usize;
     for net in &ble.input_nets {
         if !produced.contains(net) && !external.contains(net) {
@@ -355,9 +338,7 @@ mod tests {
             let luts = block
                 .cells
                 .iter()
-                .filter(|c| {
-                    matches!(design.netlist().cell(**c).kind, CellKind::Lut(_))
-                })
+                .filter(|c| matches!(design.netlist().cell(**c).kind, CellKind::Lut(_)))
                 .count();
             let latches = block.cells.len() - luts;
             assert!(luts + latches <= 2 * params().cluster_size);

@@ -111,8 +111,7 @@ impl TimingWeights {
 /// Fanout compensation `q(t)` (Cheng's crossing-count correction, as used
 /// by VPR; linearized beyond the tabulated range).
 fn q_factor(terminals: usize) -> f64 {
-    const TABLE: [f64; 10] =
-        [1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991];
+    const TABLE: [f64; 10] = [1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991];
     if terminals == 0 {
         return 0.0;
     }
@@ -172,20 +171,13 @@ impl CostModel<'_> {
             None => net_cost(placement, net),
             Some(w) => {
                 (1.0 - w.lambda) * net_cost(placement, net)
-                    + w.lambda
-                        * self.timing_norm
-                        * net_timing_cost(placement, net, &w.weight[ni])
+                    + w.lambda * self.timing_norm * net_timing_cost(placement, net, &w.weight[ni])
             }
         }
     }
 
     fn total(&self, placement: &Placement, design: &PackedDesign) -> f64 {
-        design
-            .nets()
-            .iter()
-            .enumerate()
-            .map(|(ni, n)| self.net(placement, ni, n))
-            .sum()
+        design.nets().iter().enumerate().map(|(ni, n)| self.net(placement, ni, n)).sum()
     }
 }
 
@@ -327,8 +319,7 @@ fn place_impl(
         v.dedup();
     }
 
-    let movable: Vec<BlockId> =
-        (0..design.blocks().len() as u32).map(BlockId).collect();
+    let movable: Vec<BlockId> = (0..design.blocks().len() as u32).map(BlockId).collect();
     if movable.is_empty() || design.nets().is_empty() {
         return Ok(placement);
     }
@@ -355,8 +346,7 @@ fn place_impl(
         }
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
-    let var = deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-        / deltas.len().max(1) as f64;
+    let var = deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / deltas.len().max(1) as f64;
     let mut temperature = 20.0 * var.sqrt().max(1.0);
 
     let moves_per_temp =
@@ -462,20 +452,18 @@ fn try_move(
         nets.sort();
         nets.dedup();
     }
-    let before: f64 =
-        nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
+    let before: f64 = nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
 
     // Apply tentatively.
     placement.locs[block.index()] = to;
     if let Some(p) = partner {
         placement.locs[p.index()] = from;
     }
-    let after: f64 =
-        nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
+    let after: f64 = nets.iter().map(|&ni| model.net(placement, ni, &design.nets()[ni])).sum();
     let delta = after - before;
 
-    let accept = delta <= 0.0
-        || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+    let accept =
+        delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
     if !accept {
         // Revert.
         placement.locs[block.index()] = from;
@@ -562,8 +550,7 @@ mod tests {
             crate::pack::pack(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &params)
                 .unwrap();
         let grid =
-            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
-                .unwrap();
+            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate).unwrap();
         (design, grid)
     }
 
@@ -584,12 +571,9 @@ mod tests {
         let p = place(&design, grid, &PlaceConfig::new(7)).unwrap();
         // Build a "random" placement via the fast config with zero
         // temperature moves: use a different seed fast run as proxy.
-        let random_proxy = place(
-            &design,
-            grid,
-            &PlaceConfig { seed: 99, inner_num: 0.0001, exit_factor: 1e9 },
-        )
-        .unwrap();
+        let random_proxy =
+            place(&design, grid, &PlaceConfig { seed: 99, inner_num: 0.0001, exit_factor: 1e9 })
+                .unwrap();
         assert!(
             p.cost <= random_proxy.cost,
             "annealed {} vs initial {}",

@@ -10,6 +10,7 @@ use crate::pack::PackedDesign;
 use crate::place::Placement;
 use nemfpga_arch::rrgraph::{RrGraph, RrKind, RrNodeId, SwitchClass};
 use nemfpga_netlist::ids::NetId;
+use nemfpga_runtime::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -28,6 +29,11 @@ pub struct RouteConfig {
     pub astar_fac: f64,
     /// Search-window margin (tiles) around each net's bounding box.
     pub bbox_margin: usize,
+    /// Between iterations, rip up only nets whose trees overlap overused
+    /// nodes (with periodic full-rip-up fallbacks when negotiation
+    /// stalls). `false` restores the classic rip-up-everything PathFinder
+    /// schedule; the final routing legality is identical either way.
+    pub incremental: bool,
 }
 
 impl RouteConfig {
@@ -42,6 +48,7 @@ impl RouteConfig {
             hist_fac: 0.5,
             astar_fac: 1.15,
             bbox_margin: 3,
+            incremental: true,
         }
     }
 }
@@ -75,10 +82,7 @@ pub struct RoutedNet {
 impl RoutedNet {
     /// Wire nodes used by the net.
     pub fn wire_nodes<'a>(&'a self, rr: &'a RrGraph) -> impl Iterator<Item = RrNodeId> + 'a {
-        self.tree
-            .iter()
-            .map(|t| t.rr)
-            .filter(move |id| rr.node(*id).kind.is_wire())
+        self.tree.iter().map(|t| t.rr).filter(move |id| rr.node(*id).kind.is_wire())
     }
 
     /// Total tiles of wire the net uses.
@@ -97,9 +101,21 @@ pub struct Routing {
     pub iterations: usize,
     /// Total routed wirelength in tiles.
     pub wirelength_tiles: usize,
+    /// Nets actually ripped up and rerouted in each iteration. Entry 0 is
+    /// always the full net count; later entries measure how much work
+    /// incremental rerouting avoided (`sum()` = total maze expansions).
+    pub rerouted_per_iteration: Vec<usize>,
 }
 
-#[derive(Copy, Clone, PartialEq)]
+impl Routing {
+    /// Total net-routing passes performed across all iterations — the
+    /// router's work metric (full PathFinder does `nets × iterations`).
+    pub fn total_reroutes(&self) -> usize {
+        self.rerouted_per_iteration.iter().sum()
+    }
+}
+
+#[derive(Debug, Copy, Clone, PartialEq)]
 struct HeapEntry {
     priority: f64,
     cost: f64,
@@ -111,10 +127,7 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on priority.
-        other
-            .priority
-            .partial_cmp(&self.priority)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        other.priority.partial_cmp(&self.priority).unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -159,22 +172,140 @@ pub fn route(
     placement: &Placement,
     config: &RouteConfig,
 ) -> Result<Routing, PnrError> {
-    let n_nodes = rr.num_nodes();
-    let mut occupancy = vec![0u16; n_nodes];
-    let mut history = vec![0.0f64; n_nodes];
-    let mut pres_fac = config.pres_fac_init;
+    route_with_scratch(rr, design, placement, config, &mut RouterScratch::new())
+}
 
-    // Net routing order: largest fanout first (hardest nets claim paths
-    // early), stable across iterations.
-    let mut order: Vec<usize> = (0..design.nets().len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(design.nets()[i].sinks.len()));
+/// [`route`] with caller-owned scratch state.
+///
+/// Repeated routing runs — the channel-width search, sweeps — pay the
+/// router's arena allocations once and reuse them: the scratch resizes
+/// itself to each RR graph and never shrinks.
+///
+/// # Errors
+///
+/// Same contract as [`route`].
+pub fn route_with_scratch(
+    rr: &RrGraph,
+    design: &PackedDesign,
+    placement: &Placement,
+    config: &RouteConfig,
+    scratch: &mut RouterScratch,
+) -> Result<Routing, PnrError> {
+    route_core(rr, design, placement, config, scratch, false).map(|(routing, _)| routing)
+}
 
-    // Resolve terminals once.
-    struct Terminals {
-        source: RrNodeId,
-        sinks: Vec<RrNodeId>,
-        bbox: (usize, usize, usize, usize),
+/// Diagnostic routing: like [`route`] but, on congestion failure, returns
+/// the final (illegal) routing together with the overused nodes instead of
+/// an error. Useful for congestion analysis and debugging.
+///
+/// # Errors
+///
+/// Returns only structural errors ([`PnrError::Inconsistent`]); congestion
+/// is reported through the overused-node list.
+pub fn route_allow_overuse(
+    rr: &RrGraph,
+    design: &PackedDesign,
+    placement: &Placement,
+    config: &RouteConfig,
+) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
+    route_core(rr, design, placement, config, &mut RouterScratch::new(), true)
+}
+
+/// Reusable router working state, sized to one RR graph.
+///
+/// `route_net` needs per-search shortest-path state (`cost_to`, `prev`),
+/// per-net tree membership, a priority queue, and assorted small buffers.
+/// Allocating these per net dominated router time on small fabrics;
+/// instead they live here and are *invalidated by epoch stamping*: each
+/// maze search bumps `epoch`, each net bumps `net_epoch`, and a slot is
+/// only meaningful when its stamp matches — no clearing loops, no hashing.
+#[derive(Debug, Clone)]
+pub struct RouterScratch {
+    // Per-search A* state, valid where `visit_epoch` matches `epoch`.
+    cost_to: Vec<f64>,
+    prev: Vec<(RrNodeId, SwitchClass)>,
+    visit_epoch: Vec<u32>,
+    epoch: u32,
+    // Per-net tree membership, valid where `tree_epoch` matches `net_epoch`.
+    tree_slot: Vec<u32>,
+    tree_epoch: Vec<u32>,
+    net_epoch: u32,
+    // The A* frontier; retains capacity across nets and runs.
+    heap: BinaryHeap<HeapEntry>,
+    // Sink ordering and backtrack buffers.
+    ordered_sinks: Vec<RrNodeId>,
+    path: Vec<(RrNodeId, SwitchClass)>,
+}
+
+impl RouterScratch {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self {
+            cost_to: Vec::new(),
+            prev: Vec::new(),
+            visit_epoch: Vec::new(),
+            epoch: 0,
+            tree_slot: Vec::new(),
+            tree_epoch: Vec::new(),
+            net_epoch: 0,
+            heap: BinaryHeap::new(),
+            ordered_sinks: Vec::new(),
+            path: Vec::new(),
+        }
     }
+
+    /// Resizes for an RR graph of `n_nodes`, keeping allocations when the
+    /// graph already fits.
+    fn prepare(&mut self, n_nodes: usize) {
+        if self.cost_to.len() < n_nodes {
+            self.cost_to.resize(n_nodes, f64::INFINITY);
+            self.prev.resize(n_nodes, (RrNodeId(0), SwitchClass::Internal));
+            self.visit_epoch.resize(n_nodes, 0);
+            self.tree_slot.resize(n_nodes, 0);
+            self.tree_epoch.resize(n_nodes, 0);
+        }
+    }
+
+    /// Starts a new per-net tree scope (stamp 0 = never used).
+    fn begin_net(&mut self) {
+        self.net_epoch = self.net_epoch.wrapping_add(1);
+        if self.net_epoch == 0 {
+            self.tree_epoch.fill(0);
+            self.net_epoch = 1;
+        }
+    }
+
+    /// Starts a new maze search scope.
+    fn begin_search(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visit_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+}
+
+impl Default for RouterScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A net's resolved endpoints in the RR graph.
+struct Terminals {
+    source: RrNodeId,
+    sinks: Vec<RrNodeId>,
+    bbox: (usize, usize, usize, usize),
+}
+
+/// Resolves every net's source/sink RR nodes and search window once.
+fn resolve_terminals(
+    rr: &RrGraph,
+    design: &PackedDesign,
+    placement: &Placement,
+    config: &RouteConfig,
+) -> Result<Vec<Terminals>, PnrError> {
     let mut terminals = Vec::with_capacity(design.nets().len());
     for pn in design.nets() {
         let (sx, sy) = placement.loc(pn.driver);
@@ -203,14 +334,39 @@ pub fn route(
             bbox: (min_x.saturating_sub(m), max_x + m, min_y.saturating_sub(m), max_y + m),
         });
     }
+    Ok(terminals)
+}
+
+/// The PathFinder loop shared by all entry points.
+///
+/// With `keep_final_state` the last (possibly congested) routing is
+/// returned together with the overused-node list instead of
+/// [`PnrError::Unroutable`].
+fn route_core(
+    rr: &RrGraph,
+    design: &PackedDesign,
+    placement: &Placement,
+    config: &RouteConfig,
+    scratch: &mut RouterScratch,
+    keep_final_state: bool,
+) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
+    let n_nodes = rr.num_nodes();
+    let mut occupancy = vec![0u16; n_nodes];
+    let mut history = vec![0.0f64; n_nodes];
+    let mut pres_fac = config.pres_fac_init;
+    scratch.prepare(n_nodes);
+
+    // Net routing order: largest fanout first (hardest nets claim paths
+    // early), stable across iterations.
+    let mut order: Vec<usize> = (0..design.nets().len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(design.nets()[i].sinks.len()));
+
+    let terminals = resolve_terminals(rr, design, placement, config)?;
 
     let mut routed: Vec<Option<RoutedNet>> = vec![None; design.nets().len()];
     let mut iterations = 0usize;
+    let mut rerouted_per_iteration = Vec::new();
 
-    // Scratch buffers reused across nets.
-    let mut cost_to = vec![f64::INFINITY; n_nodes];
-    let mut prev: Vec<Option<(RrNodeId, SwitchClass)>> = vec![None; n_nodes];
-    let mut touched: Vec<usize> = Vec::new();
     // Only nets whose trees touch overused resources are rerouted after the
     // first iteration: faster, and it breaks the lockstep oscillation two
     // symmetric nets can otherwise fall into.
@@ -226,10 +382,12 @@ pub fn route(
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
 
+        let mut rerouted = 0usize;
         for &ni in &order {
             if !dirty[ni] {
                 continue;
             }
+            rerouted += 1;
             // Rip up the previous tree.
             if let Some(old) = routed[ni].take() {
                 for t in &old.tree {
@@ -253,15 +411,14 @@ pub fn route(
                 pres_fac,
                 config,
                 ni as u64,
-                &mut cost_to,
-                &mut prev,
-                &mut touched,
+                scratch,
             )?;
             for t in &tree {
                 occupancy[t.rr.index()] += 1;
             }
             routed[ni] = Some(RoutedNet { net: design.nets()[ni].net, tree });
         }
+        rerouted_per_iteration.push(rerouted);
 
         // Congestion check.
         let mut overused = 0usize;
@@ -275,7 +432,10 @@ pub fn route(
         if overused == 0 {
             let nets: Vec<RoutedNet> = routed.into_iter().map(|r| r.expect("routed")).collect();
             let wirelength_tiles = nets.iter().map(|n| n.wirelength_tiles(rr)).sum();
-            return Ok(Routing { nets, iterations, wirelength_tiles });
+            return Ok((
+                Routing { nets, iterations, wirelength_tiles, rerouted_per_iteration },
+                Vec::new(),
+            ));
         }
         if overused < best_overused {
             best_overused = overused;
@@ -286,21 +446,19 @@ pub fn route(
         if stalled >= 12 && overused > hopeless_threshold {
             break;
         }
-        if stalled > 0 && stalled % 5 == 0 {
+        if stalled > 0 && stalled.is_multiple_of(5) {
             extra_margin += 2;
         }
         // Incremental rerouting (only congested nets) is fast but can
         // freeze third-party nets whose resources the contested nets need;
         // when negotiation stalls, fall back to a full rip-up round so
         // everyone renegotiates.
-        if stalled > 0 && stalled % 3 == 0 {
+        if !config.incremental || (stalled > 0 && stalled.is_multiple_of(3)) {
             dirty.fill(true);
         } else {
             for (ni, r) in routed.iter().enumerate() {
                 dirty[ni] = r.as_ref().is_none_or(|rn| {
-                    rn.tree
-                        .iter()
-                        .any(|t| occupancy[t.rr.index()] > rr.node(t.rr).capacity)
+                    rn.tree.iter().any(|t| occupancy[t.rr.index()] > rr.node(t.rr).capacity)
                 });
             }
         }
@@ -309,135 +467,22 @@ pub fn route(
         pres_fac = (pres_fac * config.pres_fac_mult).min(1000.0);
     }
 
-    let overused_nodes = rr
-        .node_ids()
-        .filter(|id| occupancy[id.index()] > rr.node(*id).capacity)
-        .count();
-    Err(PnrError::Unroutable { overused_nodes, iterations })
-}
-
-/// Diagnostic routing: like [`route`] but, on congestion failure, returns
-/// the final (illegal) routing together with the overused nodes instead of
-/// an error. Useful for congestion analysis and debugging.
-///
-/// # Errors
-///
-/// Returns only structural errors ([`PnrError::Inconsistent`]); congestion
-/// is reported through the overused-node list.
-pub fn route_allow_overuse(
-    rr: &RrGraph,
-    design: &PackedDesign,
-    placement: &Placement,
-    config: &RouteConfig,
-) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
-    match route(rr, design, placement, config) {
-        Ok(r) => Ok((r, Vec::new())),
-        Err(PnrError::Unroutable { .. }) => {
-            // Re-run with one extra "observation" pass: redo the algorithm
-            // but capture state. To avoid duplicating the router, run with
-            // a single iteration budget increase and collect occupancy by
-            // replaying the returned trees is impossible on Err; so rerun
-            // the loop manually here with max_iterations and keep state.
-            let mut cfg = *config;
-            cfg.max_iterations = config.max_iterations;
-            route_capture(rr, design, placement, &cfg)
-        }
-        Err(e) => Err(e),
+    let overused_nodes: Vec<RrNodeId> =
+        rr.node_ids().filter(|id| occupancy[id.index()] > rr.node(*id).capacity).collect();
+    if keep_final_state && iterations > 0 {
+        let nets: Vec<RoutedNet> = routed.into_iter().map(|r| r.expect("routed")).collect();
+        let wirelength_tiles = nets.iter().map(|n| n.wirelength_tiles(rr)).sum();
+        return Ok((
+            Routing { nets, iterations, wirelength_tiles, rerouted_per_iteration },
+            overused_nodes,
+        ));
     }
-}
-
-/// Runs the PathFinder loop and always returns the final state.
-fn route_capture(
-    rr: &RrGraph,
-    design: &PackedDesign,
-    placement: &Placement,
-    config: &RouteConfig,
-) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
-    // A compact re-implementation sharing route_net; final state returned
-    // regardless of congestion.
-    let n_nodes = rr.num_nodes();
-    let mut occupancy = vec![0u16; n_nodes];
-    let mut history = vec![0.0f64; n_nodes];
-    let mut pres_fac = config.pres_fac_init;
-    let mut order: Vec<usize> = (0..design.nets().len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(design.nets()[i].sinks.len()));
-
-    let mut cost_to = vec![f64::INFINITY; n_nodes];
-    let mut prev: Vec<Option<(RrNodeId, SwitchClass)>> = vec![None; n_nodes];
-    let mut touched: Vec<usize> = Vec::new();
-    let mut routed: Vec<Option<RoutedNet>> = vec![None; design.nets().len()];
-    let mut iterations = 0;
-
-    for iter in 0..config.max_iterations {
-        iterations = iter + 1;
-        for &ni in &order {
-            if let Some(old) = routed[ni].take() {
-                for t in &old.tree {
-                    occupancy[t.rr.index()] = occupancy[t.rr.index()].saturating_sub(1);
-                }
-            }
-            let pn = &design.nets()[ni];
-            let (sx, sy) = placement.loc(pn.driver);
-            let source = rr.source_at(sx, sy).ok_or_else(|| PnrError::Inconsistent {
-                message: format!("no source at ({sx},{sy})"),
-            })?;
-            let mut sinks = Vec::new();
-            let (mut min_x, mut max_x, mut min_y, mut max_y) = (sx, sx, sy, sy);
-            for &b in &pn.sinks {
-                let (x, y) = placement.loc(b);
-                let sink = rr.sink_at(x, y).ok_or_else(|| PnrError::Inconsistent {
-                    message: format!("no sink at ({x},{y})"),
-                })?;
-                if !sinks.contains(&sink) {
-                    sinks.push(sink);
-                }
-                min_x = min_x.min(x);
-                max_x = max_x.max(x);
-                min_y = min_y.min(y);
-                max_y = max_y.max(y);
-            }
-            let m = config.bbox_margin;
-            let bbox = (min_x.saturating_sub(m), max_x + m, min_y.saturating_sub(m), max_y + m);
-            let tree = route_net(
-                rr, source, &sinks, bbox, &occupancy, &history, pres_fac, config,
-                ni as u64, &mut cost_to, &mut prev, &mut touched,
-            )?;
-            for t in &tree {
-                occupancy[t.rr.index()] += 1;
-            }
-            routed[ni] = Some(RoutedNet { net: pn.net, tree });
-        }
-        let mut overused = 0usize;
-        for id in rr.node_ids() {
-            let over = occupancy[id.index()].saturating_sub(rr.node(id).capacity);
-            if over > 0 {
-                overused += 1;
-                history[id.index()] += config.hist_fac * over as f64;
-            }
-        }
-        if overused == 0 {
-            break;
-        }
-        pres_fac *= config.pres_fac_mult;
-    }
-    let overused: Vec<RrNodeId> = rr
-        .node_ids()
-        .filter(|id| occupancy[id.index()] > rr.node(*id).capacity)
-        .collect();
-    let nets: Vec<RoutedNet> = routed.into_iter().map(|r| r.expect("routed")).collect();
-    let wirelength_tiles = nets.iter().map(|n| n.wirelength_tiles(rr)).sum();
-    Ok((Routing { nets, iterations, wirelength_tiles }, overused))
+    Err(PnrError::Unroutable { overused_nodes: overused_nodes.len(), iterations })
 }
 
 /// Node congestion cost under the current state.
 #[inline]
-fn node_cost(
-    rr: &RrGraph,
-    id: RrNodeId,
-    occupancy: &[u16],
-    history: &[f64],
-    pres_fac: f64,
-) -> f64 {
+fn node_cost(rr: &RrGraph, id: RrNodeId, occupancy: &[u16], history: &[f64], pres_fac: f64) -> f64 {
     let node = rr.node(id);
     let base = match node.kind {
         RrKind::ChanX { .. } | RrKind::ChanY { .. } => node.kind.span_tiles() as f64,
@@ -460,6 +505,9 @@ fn jitter(salt: u64, node: RrNodeId) -> f64 {
 }
 
 /// Routes one net: grows a tree from the source, A*-expanding to each sink.
+///
+/// All transient state lives in `scratch`; nothing is allocated here on
+/// the hot path (the returned tree itself aside).
 #[allow(clippy::too_many_arguments)]
 fn route_net(
     rr: &RrGraph,
@@ -471,40 +519,34 @@ fn route_net(
     pres_fac: f64,
     config: &RouteConfig,
     net_salt: u64,
-    cost_to: &mut [f64],
-    prev: &mut [Option<(RrNodeId, SwitchClass)>],
-    touched: &mut Vec<usize>,
+    scratch: &mut RouterScratch,
 ) -> Result<Vec<RouteTreeNode>, PnrError> {
-    let mut tree: Vec<RouteTreeNode> = vec![RouteTreeNode {
-        rr: source,
-        parent: None,
-        entered_via: SwitchClass::Internal,
-    }];
-    let mut tree_index_of: std::collections::HashMap<RrNodeId, u32> =
-        std::collections::HashMap::from([(source, 0u32)]);
+    let mut tree: Vec<RouteTreeNode> =
+        vec![RouteTreeNode { rr: source, parent: None, entered_via: SwitchClass::Internal }];
+    scratch.begin_net();
+    scratch.tree_slot[source.index()] = 0;
+    scratch.tree_epoch[source.index()] = scratch.net_epoch;
 
     // Sinks ordered near-to-far from the source (cheap heuristic).
     let src_c = rr.node(source).kind.center();
-    let mut ordered: Vec<RrNodeId> = sinks.to_vec();
-    ordered.sort_by(|a, b| {
+    scratch.ordered_sinks.clear();
+    scratch.ordered_sinks.extend_from_slice(sinks);
+    scratch.ordered_sinks.sort_by(|a, b| {
         let da = dist(src_c, rr.node(*a).kind.center());
         let db = dist(src_c, rr.node(*b).kind.center());
         da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
     });
 
-    for target in ordered {
+    for si in 0..scratch.ordered_sinks.len() {
+        let target = scratch.ordered_sinks[si];
         let tgt_c = rr.node(target).kind.center();
-        // Reset scratch state.
-        for &i in touched.iter() {
-            cost_to[i] = f64::INFINITY;
-            prev[i] = None;
-        }
-        touched.clear();
+        scratch.begin_search();
+        let RouterScratch { cost_to, prev, visit_epoch, epoch, heap, .. } = &mut *scratch;
+        let epoch = *epoch;
 
-        let mut heap = BinaryHeap::new();
         for t in &tree {
             cost_to[t.rr.index()] = 0.0;
-            touched.push(t.rr.index());
+            visit_epoch[t.rr.index()] = epoch;
             let h = config.astar_fac * dist(rr.node(t.rr).kind.center(), tgt_c);
             heap.push(HeapEntry { priority: h, cost: 0.0, node: t.rr });
         }
@@ -555,12 +597,11 @@ fn route_net(
                 let step = node_cost(rr, next, occupancy, history, pres_fac)
                     * (1.0 + 0.002 * jitter(net_salt, next));
                 let g = entry.cost + step;
-                if g < cost_to[next.index()] {
-                    if cost_to[next.index()].is_infinite() {
-                        touched.push(next.index());
-                    }
+                let seen = visit_epoch[next.index()] == epoch;
+                if !seen || g < cost_to[next.index()] {
+                    visit_epoch[next.index()] = epoch;
                     cost_to[next.index()] = g;
-                    prev[next.index()] = Some((entry.node, edge.switch));
+                    prev[next.index()] = (entry.node, edge.switch);
                     let h = config.astar_fac * dist(kind.center(), tgt_c);
                     heap.push(HeapEntry { priority: g + h, cost: g, node: next });
                 }
@@ -577,19 +618,20 @@ fn route_net(
         }
 
         // Backtrack from the target to the existing tree.
-        let mut path: Vec<(RrNodeId, SwitchClass)> = Vec::new();
+        scratch.path.clear();
         let mut cursor = target;
-        while !tree_index_of.contains_key(&cursor) {
-            let (parent, switch) =
-                prev[cursor.index()].expect("path nodes have predecessors");
-            path.push((cursor, switch));
+        while scratch.tree_epoch[cursor.index()] != scratch.net_epoch {
+            let (parent, switch) = scratch.prev[cursor.index()];
+            scratch.path.push((cursor, switch));
             cursor = parent;
         }
-        let mut parent_idx = tree_index_of[&cursor];
-        for (node, switch) in path.into_iter().rev() {
+        let mut parent_idx = scratch.tree_slot[cursor.index()];
+        for pi in (0..scratch.path.len()).rev() {
+            let (node, switch) = scratch.path[pi];
             let idx = tree.len() as u32;
             tree.push(RouteTreeNode { rr: node, parent: Some(parent_idx), entered_via: switch });
-            tree_index_of.insert(node, idx);
+            scratch.tree_slot[node.index()] = idx;
+            scratch.tree_epoch[node.index()] = scratch.net_epoch;
             parent_idx = idx;
         }
     }
@@ -634,8 +676,7 @@ pub fn utilization(rr: &RrGraph, routing: &Routing) -> RoutingUtilization {
     let mut tiles = 0usize;
     let mut tiles_used = 0usize;
     // Per channel lane (channel index, per-tile position): occupancy.
-    let mut lane_cap: std::collections::HashMap<(bool, u16, u16), (usize, usize)> =
-        std::collections::HashMap::new();
+    let mut lane_cap: FxHashMap<(bool, u16, u16), (usize, usize)> = FxHashMap::default();
     for id in rr.node_ids() {
         let kind = rr.node(id).kind;
         if !kind.is_wire() {
@@ -708,7 +749,7 @@ pub fn check_routing(
                 message: format!("net {:?} does not start at its source", pn.net),
             });
         }
-        let used: std::collections::HashSet<RrNodeId> = rn.tree.iter().map(|t| t.rr).collect();
+        let used: FxHashSet<RrNodeId> = rn.tree.iter().map(|t| t.rr).collect();
         for &b in &pn.sinks {
             let (x, y) = placement.loc(b);
             let sink = rr.sink_at(x, y).expect("placed block has a tile");
@@ -757,11 +798,9 @@ mod tests {
         seed: u64,
     ) -> (RrGraph, PackedDesign, Placement, Result<Routing, PnrError>) {
         let params = ArchParams::paper_table1();
-        let design =
-            pack(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &params).unwrap();
+        let design = pack(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &params).unwrap();
         let grid =
-            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
-                .unwrap();
+            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate).unwrap();
         let placement = place(&design, grid, &PlaceConfig::fast(seed)).unwrap();
         let rr = build_rr_graph(&params, grid, w).unwrap();
         let routing = route(&rr, &design, &placement, &RouteConfig::new());
@@ -791,11 +830,9 @@ mod tests {
     #[test]
     fn absurdly_narrow_channel_fails_cleanly() {
         let params = ArchParams::paper_table1();
-        let design =
-            pack(SynthConfig::tiny("t", 80, 3).generate().unwrap(), &params).unwrap();
+        let design = pack(SynthConfig::tiny("t", 80, 3).generate().unwrap(), &params).unwrap();
         let grid =
-            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
-                .unwrap();
+            Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate).unwrap();
         let placement = place(&design, grid, &PlaceConfig::fast(3)).unwrap();
         let rr = build_rr_graph(&params, grid, 2).unwrap();
         let cfg = RouteConfig { max_iterations: 6, ..RouteConfig::new() };

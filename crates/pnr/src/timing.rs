@@ -161,9 +161,7 @@ pub fn analyze_timing(
     timing: &RoutingTiming,
 ) -> Result<TimingReport, PnrError> {
     if routing.nets.len() != design.nets().len() {
-        return Err(PnrError::Inconsistent {
-            message: "routing/net count mismatch".to_owned(),
-        });
+        return Err(PnrError::Inconsistent { message: "routing/net count mismatch".to_owned() });
     }
     let netlist = design.netlist();
 
@@ -194,9 +192,8 @@ pub fn analyze_timing(
     // Build the explicit timing-connection list: one entry per (driver
     // output -> sink input) pair, with the full inter-cell wire delay
     // (exit buffer + routed RC + entry path).
-    let order = netlist
-        .topological_order()
-        .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
+    let order =
+        netlist.topological_order().map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
     let n_cells = netlist.cells().len();
 
     struct Conn {
@@ -225,20 +222,18 @@ pub fn analyze_timing(
                     timing.local_feedback
                 }
             } else {
-                let ni = packed_index
-                    .get(&(input.index() as u32))
-                    .copied()
-                    .ok_or_else(|| PnrError::Inconsistent {
+                let ni = packed_index.get(&(input.index() as u32)).copied().ok_or_else(|| {
+                    PnrError::Inconsistent {
                         message: format!(
                             "inter-block net '{}' not packed",
                             netlist.net(input).name
                         ),
-                    })?;
+                    }
+                })?;
                 let routed = *conn_delay.get(&(ni, my_block)).ok_or_else(|| {
                     PnrError::Inconsistent { message: format!("no routed delay for net {ni}") }
                 })?;
-                let entry =
-                    if is_pad_sink { Seconds::zero() } else { timing.lb_input_to_lut };
+                let entry = if is_pad_sink { Seconds::zero() } else { timing.lb_input_to_lut };
                 timing.lut_to_output_pin + routed + entry
             };
             conns.push(Conn { driver, sink: *id, wire });
@@ -379,12 +374,7 @@ pub fn analyze_timing(
     }
     critical_cells.reverse();
 
-    Ok(TimingReport {
-        critical_path: cp,
-        critical_cells,
-        mean_connection_delay,
-        cell_slacks,
-    })
+    Ok(TimingReport { critical_path: cp, critical_cells, mean_connection_delay, cell_slacks })
 }
 
 /// Builds per-connection timing weights for timing-driven placement from
@@ -452,15 +442,19 @@ mod tests {
     use super::*;
     use crate::pack::pack;
     use crate::place::{place, PlaceConfig};
-    use crate::route::{route, RouteConfig};
-    use nemfpga_arch::{build_rr_graph, ArchParams, Grid};
+    use crate::route::RouteConfig;
+    use nemfpga_arch::{build_rr_graph, ArchParams};
     use nemfpga_netlist::synth::SynthConfig;
 
     fn implemented(
         luts: usize,
         seed: u64,
-    ) -> (nemfpga_arch::RrGraph, crate::pack::PackedDesign, crate::place::Placement, crate::route::Routing)
-    {
+    ) -> (
+        nemfpga_arch::RrGraph,
+        crate::pack::PackedDesign,
+        crate::place::Placement,
+        crate::route::Routing,
+    ) {
         let params = ArchParams::paper_table1();
         let imp = crate::flow::implement(
             SynthConfig::tiny("t", luts, seed).generate().unwrap(),
@@ -522,10 +516,7 @@ mod tests {
         let report = analyzed(80, 5);
         let cp = report.critical_path.value();
         for (i, s) in report.cell_slacks.iter().enumerate() {
-            assert!(
-                s.value() >= -1e-15,
-                "cell {i} has negative slack {s:?} (cp {cp})"
-            );
+            assert!(s.value() >= -1e-15, "cell {i} has negative slack {s:?} (cp {cp})");
             assert!(s.value() <= cp * (1.0 + 1e-9), "cell {i} slack exceeds cp");
         }
         // Every cell on the reported critical path has (near-)zero slack
@@ -542,11 +533,7 @@ mod tests {
             assert!((report.criticality(*c) - 1.0).abs() < 1e-6);
         }
         // And some cell is genuinely non-critical.
-        let max_slack = report
-            .cell_slacks
-            .iter()
-            .map(|s| s.value())
-            .fold(0.0f64, f64::max);
+        let max_slack = report.cell_slacks.iter().map(|s| s.value()).fold(0.0f64, f64::max);
         assert!(max_slack > 0.05 * cp, "no slack diversity: max {max_slack}");
     }
 
@@ -579,8 +566,7 @@ mod tests {
             place_timing_driven(&design, grid, &PlaceConfig::fast(21), &weights).unwrap();
         crate::place::check_legal(&design, &td_placement).unwrap();
         let td_routing = route(&rr, &design, &td_placement, &RouteConfig::new()).unwrap();
-        let td_report =
-            analyze_timing(&rr, &design, &td_placement, &td_routing, &model).unwrap();
+        let td_report = analyze_timing(&rr, &design, &td_placement, &td_routing, &model).unwrap();
 
         let ratio = td_report.critical_path / seed_report.critical_path;
         assert!(ratio < 1.10, "timing-driven placement regressed: {ratio:.3}x");
@@ -590,19 +576,14 @@ mod tests {
     fn timing_weights_shape_is_validated() {
         use crate::place::TimingWeights;
         let params = ArchParams::paper_table1();
-        let design =
-            pack(SynthConfig::tiny("tw", 30, 9).generate().unwrap(), &params).unwrap();
+        let design = pack(SynthConfig::tiny("tw", 30, 9).generate().unwrap(), &params).unwrap();
         let bad = TimingWeights { weight: vec![vec![1.0]; 3], lambda: 0.5 };
         assert!(bad.validate(&design).is_err());
         let report = analyzed(30, 9);
         let good = connection_criticalities(&design, &report, 2.0, 0.5);
         good.validate(&design).unwrap();
         // All weights in [0, 1].
-        assert!(good
-            .weight
-            .iter()
-            .flatten()
-            .all(|w| (0.0..=1.0).contains(w)));
+        assert!(good.weight.iter().flatten().all(|w| (0.0..=1.0).contains(w)));
     }
 
     #[test]

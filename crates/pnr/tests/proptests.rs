@@ -90,6 +90,42 @@ proptest! {
         prop_assert_eq!(a.locs, b.locs);
     }
 
+    /// Incremental rerouting never leaves an overused node that the
+    /// classic full-reroute schedule would resolve within the same
+    /// iteration budget: wherever full rip-up succeeds, incremental
+    /// succeeds too, with a legal routing and no more maze expansions.
+    #[test]
+    fn incremental_resolves_whatever_full_resolves(
+        luts in 10usize..60,
+        seed in 0u64..200,
+        width in 10usize..28,
+    ) {
+        let params = ArchParams::paper_table1();
+        let netlist = SynthConfig::tiny("prop", luts, seed).generate().expect("generates");
+        let design = pack(netlist, &params).expect("packs");
+        let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+            .expect("sizes");
+        let placement = place(&design, grid, &PlaceConfig::fast(seed)).expect("places");
+        let rr = nemfpga_arch::build_rr_graph(&params, grid, width).expect("builds");
+
+        let incr_cfg = RouteConfig::new();
+        let mut full_cfg = RouteConfig::new();
+        full_cfg.incremental = false;
+
+        if let Ok(full) = route(&rr, &design, &placement, &full_cfg) {
+            let incr = route(&rr, &design, &placement, &incr_cfg);
+            prop_assert!(incr.is_ok(), "incremental failed where full succeeded");
+            let incr = incr.expect("checked");
+            check_routing(&rr, &design, &placement, &incr).expect("verifies");
+            prop_assert!(
+                incr.total_reroutes() <= full.total_reroutes(),
+                "incremental did more work ({} > {})",
+                incr.total_reroutes(),
+                full.total_reroutes()
+            );
+        }
+    }
+
     /// Whenever the router reports success, the routing withstands full
     /// verification (connectivity, tree shape, capacity).
     #[test]

@@ -83,8 +83,7 @@ pub fn dynamic_power(
 
     let wire_cap = usage.weighted_sum(activities, |u| {
         u.wire_tiles as f64 * costs.wire_cap_per_tile.value()
-            + (u.sb_hops + u.cb_entries + u.driver_hops) as f64
-                * costs.switch_parasitic_cap.value()
+            + (u.sb_hops + u.cb_entries + u.driver_hops) as f64 * costs.switch_parasitic_cap.value()
             + u.cb_entries as f64 * costs.cb_load_cap.value()
     });
     let buffer_cap = usage.weighted_sum(activities, |u| {
@@ -134,8 +133,20 @@ mod tests {
     fn usage() -> FabricUsage {
         FabricUsage {
             nets: vec![
-                NetUsage { net: NetId::new(0), wire_tiles: 8, sb_hops: 2, driver_hops: 1, cb_entries: 1 },
-                NetUsage { net: NetId::new(1), wire_tiles: 4, sb_hops: 1, driver_hops: 1, cb_entries: 2 },
+                NetUsage {
+                    net: NetId::new(0),
+                    wire_tiles: 8,
+                    sb_hops: 2,
+                    driver_hops: 1,
+                    cb_entries: 1,
+                },
+                NetUsage {
+                    net: NetId::new(1),
+                    wire_tiles: 4,
+                    sb_hops: 1,
+                    driver_hops: 1,
+                    cb_entries: 2,
+                },
             ],
             used_luts: 10,
             used_ffs: 4,
@@ -148,13 +159,8 @@ mod tests {
 
     #[test]
     fn hand_computed_wire_power() {
-        let b = dynamic_power(
-            &usage(),
-            &acts(),
-            &costs(),
-            Volts::new(0.8),
-            Hertz::from_mega(100.0),
-        );
+        let b =
+            dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
         // wire caps: net0: 8*3fF + 4*0.3fF = 25.2fF; net1: 4*3fF + 4*0.3fF
         // = 13.2fF; both at alpha 0.5 -> 19.2fF effective.
         // P = 0.5 * 0.64 * 1e8 * 19.2e-15 = 6.144e-7 W.
@@ -183,17 +189,21 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let b = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
+        let b =
+            dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
         let sum: f64 = b.fractions().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn power_scales_with_frequency_and_vdd_squared() {
-        let b1 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
-        let b2 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(200.0));
+        let b1 =
+            dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(100.0));
+        let b2 =
+            dynamic_power(&usage(), &acts(), &costs(), Volts::new(0.8), Hertz::from_mega(200.0));
         assert!((b2.total().value() / b1.total().value() - 2.0).abs() < 1e-9);
-        let b3 = dynamic_power(&usage(), &acts(), &costs(), Volts::new(1.6), Hertz::from_mega(100.0));
+        let b3 =
+            dynamic_power(&usage(), &acts(), &costs(), Volts::new(1.6), Hertz::from_mega(100.0));
         assert!((b3.total().value() / b1.total().value() - 4.0).abs() < 1e-9);
     }
 }

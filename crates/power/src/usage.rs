@@ -44,13 +44,8 @@ impl FabricUsage {
     pub fn from_routing(rr: &RrGraph, design: &PackedDesign, routing: &Routing) -> Self {
         let mut nets = Vec::with_capacity(routing.nets.len());
         for rn in &routing.nets {
-            let mut u = NetUsage {
-                net: rn.net,
-                wire_tiles: 0,
-                sb_hops: 0,
-                driver_hops: 0,
-                cb_entries: 0,
-            };
+            let mut u =
+                NetUsage { net: rn.net, wire_tiles: 0, sb_hops: 0, driver_hops: 0, cb_entries: 0 };
             for t in &rn.tree {
                 if rr.node(t.rr).kind.is_wire() {
                     u.wire_tiles += rr.node(t.rr).kind.span_tiles();
@@ -65,11 +60,7 @@ impl FabricUsage {
             nets.push(u);
         }
         let netlist = design.netlist();
-        Self {
-            nets,
-            used_luts: netlist.num_luts(),
-            used_ffs: netlist.num_latches(),
-        }
+        Self { nets, used_luts: netlist.num_luts(), used_ffs: netlist.num_latches() }
     }
 
     /// Sum of `weight(net_activity) × value(usage)` over nets — the core
@@ -79,10 +70,7 @@ impl FabricUsage {
         activities: &[NetActivity],
         value: impl Fn(&NetUsage) -> f64,
     ) -> f64 {
-        self.nets
-            .iter()
-            .map(|u| activities[u.net.index()].density * value(u))
-            .sum()
+        self.nets.iter().map(|u| activities[u.net.index()].density * value(u)).sum()
     }
 }
 
@@ -115,12 +103,10 @@ impl FabricInventory {
         for id in rr.node_ids() {
             match rr.node(id).kind {
                 RrKind::ChanX { .. } | RrKind::ChanY { .. } => wire_segments += 1,
-                RrKind::Source { x, y } => {
-                    if rr.grid.tile(x as usize, y as usize)
-                        == nemfpga_arch::grid::TileKind::Lb
-                    {
-                        lb_tiles += 1;
-                    }
+                RrKind::Source { x, y }
+                    if rr.grid.tile(x as usize, y as usize) == nemfpga_arch::grid::TileKind::Lb =>
+                {
+                    lb_tiles += 1;
                 }
                 _ => {}
             }
@@ -137,10 +123,7 @@ impl FabricInventory {
         let sb_dirs: usize = rr
             .node_ids()
             .map(|id| {
-                rr.edges_from(id)
-                    .iter()
-                    .filter(|e| e.switch == SwitchClass::SwitchBox)
-                    .count()
+                rr.edges_from(id).iter().filter(|e| e.switch == SwitchClass::SwitchBox).count()
             })
             .sum();
         routing_switches -= sb_dirs / 2;
@@ -201,10 +184,8 @@ mod tests {
         let usage = FabricUsage::from_routing(&imp.rr, &imp.design, &imp.routing);
         let base = usage.weighted_sum(&acts, |u| u.wire_tiles as f64);
         assert!(base > 0.0);
-        let doubled: Vec<NetActivity> = acts
-            .iter()
-            .map(|a| NetActivity { prob: a.prob, density: a.density * 2.0 })
-            .collect();
+        let doubled: Vec<NetActivity> =
+            acts.iter().map(|a| NetActivity { prob: a.prob, density: a.density * 2.0 }).collect();
         let twice = usage.weighted_sum(&doubled, |u| u.wire_tiles as f64);
         assert!((twice / base - 2.0).abs() < 1e-9);
     }
@@ -212,8 +193,7 @@ mod tests {
     #[test]
     fn inventory_counts_scale_with_fabric() {
         let params = ArchParams::paper_table1();
-        let small =
-            build_rr_graph(&params, Grid::new(3, 3, 2).unwrap(), 10).unwrap();
+        let small = build_rr_graph(&params, Grid::new(3, 3, 2).unwrap(), 10).unwrap();
         let big = build_rr_graph(&params, Grid::new(6, 6, 2).unwrap(), 20).unwrap();
         let inv_s = FabricInventory::from_rr_graph(&small, 1);
         let inv_b = FabricInventory::from_rr_graph(&big, 1);

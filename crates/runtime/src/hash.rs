@@ -1,0 +1,115 @@
+//! The rustc-hash "Fx" polynomial hasher, reimplemented locally.
+//!
+//! The CAD hot loops (router tree indices, RR-graph tile lookups, lane
+//! occupancy maps) hash small integer keys millions of times; SipHash's
+//! DoS resistance buys nothing there and costs ~3× per lookup. `rustc_hash`
+//! itself cannot be fetched offline, so this module carries the same
+//! multiply-xor construction (one 64-bit multiply + rotate per word).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`] — drop-in for `rustc_hash::FxHashMap`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by [`FxHasher`] — drop-in for `rustc_hash::FxHashSet`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Deterministic (un-keyed) builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Fast non-cryptographic hasher (the rustc/Firefox "Fx" hash).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+        assert_eq!(hash_of(&(3u32, 4u16)), hash_of(&(3u32, 4u16)));
+    }
+
+    #[test]
+    fn distinguishes_small_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            assert!(seen.insert(hash_of(&k)), "collision at {k}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<(u16, u16), usize> = FxHashMap::default();
+        map.insert((3, 4), 7);
+        assert_eq!(map.get(&(3, 4)), Some(&7));
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        assert!(set.insert(9));
+        assert!(!set.insert(9));
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic ordered fan-out over scoped threads.
+//!
+//! [`parallel_map`] is the workhorse: it splits the index space across
+//! workers with an atomic cursor (dynamic load balancing — sweep points
+//! and Monte Carlo batches have very uneven costs), and every worker tags
+//! its outputs with the item indices it claimed so the merged result is
+//! in input order — identical for any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::ParallelConfig;
+
+/// Work items claimed per cursor fetch. Small enough to balance uneven
+/// per-item costs, large enough to keep cursor contention negligible.
+const CHUNK: usize = 8;
+
+/// Maps `f` over `items`, in parallel, preserving order.
+///
+/// Equivalent to `items.iter().enumerate().map(..).collect()` for any
+/// `threads` setting as long as `f` is deterministic. `f` must be `Sync`
+/// because multiple workers call it concurrently on distinct items.
+pub fn parallel_map<T, U, F>(cfg: &ParallelConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = cfg.effective_threads(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            let done = &done;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + CHUNK).min(items.len());
+                let chunk: Vec<U> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, item)| f(start + offset, item))
+                    .collect();
+                done.lock().expect("worker panicked holding results lock").push((start, chunk));
+            });
+        }
+    });
+
+    let mut chunks = done.into_inner().expect("all workers joined");
+    chunks.sort_unstable_by_key(|(start, _)| *start);
+    let mut results = Vec::with_capacity(items.len());
+    for (_, chunk) in chunks {
+        results.extend(chunk);
+    }
+    debug_assert_eq!(results.len(), items.len());
+    results
+}
+
+/// [`parallel_map`] over an index range instead of a slice — for Monte
+/// Carlo loops that generate work from `(seed, index)` rather than from
+/// stored items.
+pub fn parallel_map_cfg<U, F>(cfg: &ParallelConfig, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map(cfg, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = parallel_map(&ParallelConfig::serial(), &items, |i, x| x * 3 + i as u64);
+        for threads in [2, 3, 8] {
+            let parallel = parallel_map(&ParallelConfig::with_threads(threads), &items, |i, x| {
+                x * 3 + i as u64
+            });
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&ParallelConfig::auto(), &empty, |_, x| *x).is_empty());
+        let one = parallel_map(&ParallelConfig::auto(), &[41u32], |_, x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn index_variant_matches_slice_variant() {
+        let by_index = parallel_map_cfg(&ParallelConfig::with_threads(4), 100, |i| i * i);
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(by_index, expected);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Items with wildly different costs still land in their slots.
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&ParallelConfig::with_threads(8), &items, |_, &x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x as u64;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(i, *x);
+        }
+    }
+}

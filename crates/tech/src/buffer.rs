@@ -132,10 +132,7 @@ impl BufferChain {
     ///
     /// Panics if any size is non-positive or non-finite.
     pub fn from_stage_sizes(sizes: &[f64]) -> Self {
-        Self {
-            stages: sizes.iter().map(|&s| Inverter::new(s)).collect(),
-            level_restoring: false,
-        }
+        Self { stages: sizes.iter().map(|&s| Inverter::new(s)).collect(), level_restoring: false }
     }
 
     /// Marks this chain as a half-latch level-restoring buffer (used after
@@ -214,10 +211,7 @@ impl BufferChain {
     /// Total capacitance switched internally per output transition
     /// (gate + parasitic of every stage, excluding the external load).
     pub fn switched_cap(&self, node: &ProcessNode) -> Farads {
-        self.stages
-            .iter()
-            .map(|s| s.input_cap(node) + s.output_cap(node))
-            .sum()
+        self.stages.iter().map(|s| s.input_cap(node) + s.output_cap(node)).sum()
     }
 
     /// Static leakage of the whole chain, including the half-latch penalty

@@ -107,15 +107,15 @@ impl InterconnectModel {
         Self {
             name: "ptm-22nm-interconnect".to_owned(),
             local: WireRc {
-                r_per_m: 25.0e6, // 25 Ω/µm
+                r_per_m: 25.0e6,  // 25 Ω/µm
                 c_per_m: 1.6e-10, // 0.16 fF/µm
             },
             intermediate: WireRc {
-                r_per_m: 9.0e6, // 9 Ω/µm
+                r_per_m: 9.0e6,   // 9 Ω/µm
                 c_per_m: 2.0e-10, // 0.20 fF/µm
             },
             global: WireRc {
-                r_per_m: 1.2e6, // 1.2 Ω/µm
+                r_per_m: 1.2e6,   // 1.2 Ω/µm
                 c_per_m: 2.4e-10, // 0.24 fF/µm
             },
         }
@@ -135,11 +135,7 @@ impl InterconnectModel {
     #[inline]
     pub fn wire(&self, layer: MetalLayer, length: Meters) -> Wire {
         let rc = self.layer(layer);
-        Wire {
-            length,
-            r_total: rc.resistance(length),
-            c_total: rc.capacitance(length),
-        }
+        Wire { length, r_total: rc.resistance(length), c_total: rc.capacitance(length) }
     }
 }
 

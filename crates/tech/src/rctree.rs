@@ -76,9 +76,7 @@ impl RcTree {
     /// Creates a tree whose root hangs off the driver through
     /// `r_from_driver`, with `cap` at the root node.
     pub fn with_root(r_from_driver: Ohms, cap: Farads) -> Self {
-        Self {
-            nodes: vec![RcNode { parent: None, r_from_parent: r_from_driver, cap }],
-        }
+        Self { nodes: vec![RcNode { parent: None, r_from_parent: r_from_driver, cap }] }
     }
 
     /// The root node id.
@@ -126,10 +124,7 @@ impl RcTree {
     ///
     /// Returns [`RcTreeError::UnknownNode`] if `node` is not in the tree.
     pub fn add_cap(&mut self, node: RcNodeId, cap: Farads) -> Result<(), RcTreeError> {
-        let n = self
-            .nodes
-            .get_mut(node.0)
-            .ok_or(RcTreeError::UnknownNode { index: node.0 })?;
+        let n = self.nodes.get_mut(node.0).ok_or(RcTreeError::UnknownNode { index: node.0 })?;
         n.cap += cap;
         Ok(())
     }

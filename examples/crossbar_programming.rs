@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let population = VariationModel::fabrication_default().sample_population(
         &NemRelayDevice::fabricated(),
         100,
-        0xF16_6,
+        0xF166,
     );
     let stats = PopulationStats::of(&population);
     let window = solve_window(&stats)?;

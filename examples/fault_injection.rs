@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example fault_injection`
 
 use nemfpga_crossbar::array::Configuration;
-use nemfpga_crossbar::faults::{
-    coverage_estimate, detect_faults, Fault, FaultKind,
-};
+use nemfpga_crossbar::faults::{coverage_estimate, detect_faults, Fault, FaultKind};
 use nemfpga_crossbar::levels::ProgrammingLevels;
 use nemfpga_device::reliability::ReliabilityBudget;
 use nemfpga_device::NemRelayDevice;
@@ -48,28 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fault = Fault { row: 1, col: 0, kind: FaultKind::StuckOpen };
     let caught = (0..16u64)
         .filter(|&code| {
-            detect_faults(
-                2,
-                2,
-                &base,
-                &[fault],
-                &Configuration::from_code(2, 2, code),
-                &levels,
-            )
-            .expect("runs")
-            .detected
+            detect_faults(2, 2, &base, &[fault], &Configuration::from_code(2, 2, code), &levels)
+                .expect("runs")
+                .detected
         })
         .count();
-    println!(
-        "\nexhaustive sweep: a stuck-open relay is exposed by {caught}/16 configurations"
-    );
+    println!("\nexhaustive sweep: a stuck-open relay is exposed by {caught}/16 configurations");
     println!("(any full sweep catches every fault -- the paper's verification strategy)");
 
     // --- Coverage statistics at larger sizes ------------------------------
     println!("\nrandom-single-pattern coverage (one programming pass):");
     for side in [2usize, 3, 4, 6] {
-        let (stuck_closed, stuck_open) =
-            coverage_estimate(side, side, &base, &levels, 80, 7);
+        let (stuck_closed, stuck_open) = coverage_estimate(side, side, &base, &levels, 80, 7);
         println!(
             "  {side}x{side}: stuck-closed {:>4.0}%, stuck-open {:>4.0}%",
             stuck_closed * 100.0,

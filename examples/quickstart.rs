@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. The FPGA ------------------------------------------------------
     let cfg = EvaluationConfig::fast(42);
-    let variants = vec![
-        FpgaVariant::cmos_baseline(&cfg.node),
-        FpgaVariant::cmos_nem(4.0),
-    ];
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
     let netlist = SynthConfig::tiny("quickstart", 60, 42).generate()?;
     let eval = evaluate(netlist, &cfg, &variants)?;
     println!(

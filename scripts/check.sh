@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, tests, and a smoke pass over every
+# Criterion bench. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo bench -- --test (smoke)"
+cargo bench --workspace -- --test
+
+echo "All checks passed."

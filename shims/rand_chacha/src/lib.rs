@@ -1,0 +1,165 @@
+//! ChaCha-based RNGs for the offline `rand` shim.
+//!
+//! Implements the RFC 7539 ChaCha block function (8- and 20-round
+//! variants) keyed from a 32-byte seed. Output streams are deterministic
+//! per seed but intentionally not bit-compatible with upstream
+//! `rand_chacha` (nothing in the workspace depends on upstream streams).
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 input words -> 16 output words after `rounds`.
+fn chacha_block(input: &[u32; 16], rounds: usize) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column rounds.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (out, inp) in x.iter_mut().zip(input.iter()) {
+        *out = out.wrapping_add(*inp);
+    }
+    x
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// Key (words 4..12) + nonce/stream (words 14..16); word 12/13
+            /// is the 64-bit block counter.
+            state: [u32; 16],
+            buffer: [u32; 16],
+            /// Next unread word in `buffer`; 16 = exhausted.
+            cursor: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.state, $rounds);
+                let counter =
+                    (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+                self.state[12] = counter as u32;
+                self.state[13] = (counter >> 32) as u32;
+                self.cursor = 0;
+            }
+
+            /// Selects an independent output stream (maps to the nonce
+            /// words), mirroring `rand_chacha`'s `set_stream`.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.state[14] = stream as u32;
+                self.state[15] = (stream >> 32) as u32;
+                self.state[12] = 0;
+                self.state[13] = 0;
+                self.cursor = 16;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.cursor >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.cursor];
+                self.cursor += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                }
+                // Counter and nonce start at zero.
+                Self { state, buffer: [0; 16], cursor: 16 }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds (fast, statistically strong).");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (reference strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_output_looks_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn rfc7539_chacha20_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&super::CHACHA_CONSTANTS);
+        for i in 0..8 {
+            let b = [(4 * i) as u8, (4 * i + 1) as u8, (4 * i + 2) as u8, (4 * i + 3) as u8];
+            input[4 + i] = u32::from_le_bytes(b);
+        }
+        input[12] = 1;
+        input[13] = u32::from_le_bytes([0x00, 0x00, 0x00, 0x09]);
+        input[14] = u32::from_le_bytes([0x00, 0x00, 0x00, 0x4a]);
+        input[15] = 0;
+        let out = chacha_block(&input, 20);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of `serde` this workspace touches.
+//!
+//! The container has no crates.io access, so the real serde cannot be
+//! fetched. The workspace only *annotates* types with the derives — no
+//! serializer crate is linked — so marker traits plus no-op derive macros
+//! reproduce the whole API surface in use. If a future change needs real
+//! serialization, replace this shim with a vendored serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

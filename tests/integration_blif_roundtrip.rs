@@ -22,8 +22,7 @@ fn assert_equivalent(a: &nemfpga_netlist::Netlist, b: &nemfpga_netlist::Netlist)
                 other => panic!("cell {} changed kind to {other:?}", cell.name),
             }
             // Fan-in order (and hence semantics) preserved.
-            let names_a: Vec<&str> =
-                cell.inputs.iter().map(|n| a.net(*n).name.as_str()).collect();
+            let names_a: Vec<&str> = cell.inputs.iter().map(|n| a.net(*n).name.as_str()).collect();
             let names_b: Vec<&str> =
                 b.cell(id_b).inputs.iter().map(|n| b.net(*n).name.as_str()).collect();
             assert_eq!(names_a, names_b, "fan-in of {}", cell.name);

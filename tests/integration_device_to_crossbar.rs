@@ -26,10 +26,7 @@ fn measured_iv_voltages_drive_correct_crossbar_programming() {
     let vpo = curve.observed_vpo.expect("pull-out observed");
 
     // Build levels straddling the measured window.
-    let levels = ProgrammingLevels {
-        vhold: (vpi + vpo) / 2.0,
-        vselect: (vpi - vpo) / 3.0,
-    };
+    let levels = ProgrammingLevels { vhold: (vpi + vpo) / 2.0, vselect: (vpi - vpo) / 3.0 };
     levels.validate_for(&device).expect("window derived from measurement is valid");
 
     let mut xbar = CrossbarArray::uniform(3, 3, device).expect("3x3 builds");

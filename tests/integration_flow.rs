@@ -53,26 +53,16 @@ fn blif_netlist_flows_through_the_full_pipeline() {
 fn evaluation_is_deterministic() {
     let run = || {
         let cfg = EvaluationConfig::fast(99);
-        let variants = vec![
-            FpgaVariant::cmos_baseline(&cfg.node),
-            FpgaVariant::cmos_nem(4.0),
-        ];
-        evaluate(
-            SynthConfig::tiny("det", 70, 99).generate().expect("generates"),
-            &cfg,
-            &variants,
-        )
-        .expect("evaluates")
+        let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
+        evaluate(SynthConfig::tiny("det", 70, 99).generate().expect("generates"), &cfg, &variants)
+            .expect("evaluates")
     };
     let a = run();
     let b = run();
     assert_eq!(a.channel_width, b.channel_width);
     assert_eq!(a.wirelength_tiles, b.wirelength_tiles);
     assert_eq!(a.variants[0].critical_path, b.variants[0].critical_path);
-    assert_eq!(
-        a.variants[1].power.leakage.total(),
-        b.variants[1].power.leakage.total()
-    );
+    assert_eq!(a.variants[1].power.leakage.total(), b.variants[1].power.leakage.total());
 }
 
 #[test]
@@ -82,18 +72,14 @@ fn seeds_change_implementation_but_not_conclusions() {
     let mut reductions = Vec::new();
     for seed in [1u64, 2, 3] {
         let cfg = EvaluationConfig::fast(seed);
-        let variants = vec![
-            FpgaVariant::cmos_baseline(&cfg.node),
-            FpgaVariant::cmos_nem(4.0),
-        ];
+        let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
         let eval = evaluate(
             SynthConfig::tiny("seeded", 80, 7).generate().expect("generates"),
             &cfg,
             &variants,
         )
         .expect("evaluates");
-        let r = eval.variants[0].power.leakage.total()
-            / eval.variants[1].power.leakage.total();
+        let r = eval.variants[0].power.leakage.total() / eval.variants[1].power.leakage.total();
         reductions.push(r);
     }
     for r in &reductions {

@@ -18,8 +18,7 @@ fn midsize_netlist(seed: u64) -> nemfpga_netlist::Netlist {
 #[test]
 fn headline_ratios_hold_at_the_iso_delay_corner() {
     let cfg = EvaluationConfig::fast(3);
-    let (curve, _) =
-        tradeoff_sweep(midsize_netlist(3), &cfg, &PAPER_DIVISORS).expect("sweep runs");
+    let (curve, _) = tradeoff_sweep(midsize_netlist(3), &cfg, &PAPER_DIVISORS).expect("sweep runs");
     let corner = curve.preferred_corner(1.0);
 
     // Paper: no speed penalty, ~2x dynamic, ~10x leakage, ~2x area.
