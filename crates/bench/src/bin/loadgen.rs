@@ -1,0 +1,409 @@
+//! `loadgen` — synthetic concurrent client for the nemfpga service.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]
+//!         [--passes P] [--threads T] [--seed S]
+//! ```
+//!
+//! Drives `N` requests per pass (default 128) drawn from a pool of `K`
+//! unique experiment requests (default 16) through `C` concurrent TCP
+//! clients (default 64, all released by a barrier), for `P` passes
+//! (default 2) — so the first pass exercises cold computes plus in-flight
+//! coalescing and the second pass exercises the result cache.
+//!
+//! Without `--addr` it stands up an in-process service (ephemeral port,
+//! throwaway cache directory) wired to the real experiment executor; with
+//! `--addr` it targets an already-running `serve`.
+//!
+//! After each pass it reports client-side p50/p95 latency plus the
+//! server's `/metrics` deltas (cache hit ratio, coalesced submissions),
+//! and at the end it verifies every served output byte-for-byte against a
+//! direct in-process `render_experiment` call. Exits nonzero if any
+//! response mismatches, if no submissions coalesced, or if the final
+//! pass's cache hit ratio is not above 50%.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_bench::render::render_experiment;
+use nemfpga_runtime::ParallelConfig;
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S]";
+
+/// Experiments cheap enough to fan out by the dozen. The point of the
+/// load test is queue/cache/dedup behavior, not experiment runtime.
+const POOL_KINDS: [ExperimentKind; 4] =
+    [ExperimentKind::Table1, ExperimentKind::Fig2b, ExperimentKind::Fig4, ExperimentKind::Fig11];
+
+struct Options {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    unique: usize,
+    passes: usize,
+    threads: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            requests: 128,
+            concurrency: 64,
+            unique: 16,
+            passes: 2,
+            threads: 2,
+            seed: 42,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(run(&options));
+}
+
+fn run(options: &Options) -> i32 {
+    // Stand up an in-process service unless one was pointed at.
+    let service = if options.addr.is_none() {
+        let parallel = ParallelConfig::with_threads(options.threads);
+        let executor: Executor =
+            Arc::new(move |request: &ExperimentRequest| Ok(render_experiment(request, &parallel)));
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            parallel,
+            cache_dir: Some(
+                std::env::temp_dir().join(format!("nemfpga-loadgen-{}", std::process::id())),
+            ),
+            ..ServiceConfig::default()
+        };
+        match Service::start(&config, executor) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("loadgen: cannot start in-process service: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match &service {
+        Some(s) => s.addr().to_string(),
+        None => options.addr.clone().expect("external addr"),
+    };
+    println!(
+        "loadgen: {} requests/pass x {} passes, {} concurrent clients, {} unique requests -> http://{addr}",
+        options.requests, options.passes, options.concurrency, options.unique
+    );
+
+    let pool = Arc::new(request_pool(options.unique));
+    let workload = workload(&pool, options.requests, options.seed);
+    let timeout = Duration::from_secs(300);
+
+    // Expected outputs, computed the way `repro` would print them.
+    let expected: Vec<String> =
+        pool.iter().map(|request| render_experiment(request, &ParallelConfig::serial())).collect();
+
+    let mut mismatches = 0usize;
+    let mut failures = 0usize;
+    let mut total_coalesced = 0u64;
+    let mut last_pass_hit_ratio = 0.0f64;
+
+    for pass in 1..=options.passes {
+        let before = match fetch_metrics(&addr, timeout) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("loadgen: GET /metrics failed: {e}");
+                return 1;
+            }
+        };
+
+        let next = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(options.concurrency));
+        let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
+        let pass_start = Instant::now();
+        let mut clients = Vec::new();
+        for _ in 0..options.concurrency {
+            let next = Arc::clone(&next);
+            let gate = Arc::clone(&gate);
+            let outcomes = Arc::clone(&outcomes);
+            let workload = workload.clone();
+            let pool = Arc::clone(&pool);
+            let addr = addr.clone();
+            clients.push(std::thread::spawn(move || {
+                gate.wait();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&pool_index) = workload.get(i) else { break };
+                    let outcome = submit(&addr, pool_index, &pool[pool_index], timeout);
+                    outcomes.lock().expect("outcome lock").push(outcome);
+                }
+            }));
+        }
+        for client in clients {
+            let _ = client.join();
+        }
+        let wall = pass_start.elapsed();
+
+        let after = match fetch_metrics(&addr, timeout) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("loadgen: GET /metrics failed: {e}");
+                return 1;
+            }
+        };
+
+        let outcomes = outcomes.lock().expect("outcome lock");
+        let mut latencies: Vec<f64> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes.iter() {
+            latencies.push(outcome.latency.as_secs_f64() * 1e3);
+            match &outcome.output {
+                Ok(output) if *output == expected[outcome.pool_index] => {}
+                Ok(_) => {
+                    mismatches += 1;
+                    eprintln!("loadgen: BYTE MISMATCH for {}", pool[outcome.pool_index].experiment);
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("loadgen: request failed: {e}");
+                }
+            }
+        }
+        let (p50, p95) = percentiles(&latencies);
+
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        let coalesced = after.coalesced - before.coalesced;
+        let lookups = hits + misses;
+        let hit_ratio = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        total_coalesced += coalesced;
+        last_pass_hit_ratio = hit_ratio;
+
+        println!(
+            "pass {pass}: {} responses in {:.1}ms  p50={p50:.1}ms p95={p95:.1}ms",
+            outcomes.len(),
+            wall.as_secs_f64() * 1e3,
+        );
+        println!(
+            "         cache: {hits} hits / {misses} misses (hit ratio {:.0}%), {coalesced} coalesced",
+            hit_ratio * 100.0,
+        );
+    }
+
+    if let Some(s) = service {
+        s.shutdown();
+    }
+
+    let mut failed = false;
+    if mismatches > 0 || failures > 0 {
+        eprintln!("loadgen: FAIL: {mismatches} byte mismatches, {failures} request failures");
+        failed = true;
+    }
+    if total_coalesced == 0 {
+        eprintln!(
+            "loadgen: FAIL: no submissions coalesced (expected concurrent duplicates to dedup)"
+        );
+        failed = true;
+    }
+    if options.passes >= 2 && last_pass_hit_ratio <= 0.5 {
+        eprintln!(
+            "loadgen: FAIL: final pass hit ratio {:.0}% (expected > 50%)",
+            last_pass_hit_ratio * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        return 1;
+    }
+    println!(
+        "loadgen: OK — every response byte-identical to direct repro, {total_coalesced} coalesced, final hit ratio {:.0}%",
+        last_pass_hit_ratio * 100.0
+    );
+    0
+}
+
+struct Outcome {
+    pool_index: usize,
+    latency: Duration,
+    /// Served output, or a request-level error.
+    output: Result<String, String>,
+}
+
+fn submit(
+    addr: &str,
+    pool_index: usize,
+    request: &ExperimentRequest,
+    timeout: Duration,
+) -> Outcome {
+    let body = Value::obj(vec![
+        ("experiment", Value::Str(request.experiment.name().to_owned())),
+        ("scale", Value::F64(request.scale)),
+        ("benchmarks", Value::U64(request.benchmarks as u64)),
+        ("seed", Value::U64(request.seed)),
+    ]);
+    let start = Instant::now();
+    let output = http_request(addr, "POST", "/jobs", Some(&body), timeout).and_then(|response| {
+        if response.status != 200 {
+            return Err(format!("status {}: {}", response.status, response.body.to_json()));
+        }
+        response
+            .body
+            .get("output")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| "response has no output".to_owned())
+    });
+    Outcome { pool_index, latency: start.elapsed(), output }
+}
+
+/// The first `unique` requests of the deterministic pool: cheap
+/// experiment kinds cycled against distinct seeds.
+fn request_pool(unique: usize) -> Vec<ExperimentRequest> {
+    (0..unique)
+        .map(|i| {
+            let mut request = ExperimentRequest::new(POOL_KINDS[i % POOL_KINDS.len()]);
+            request.seed = 42 + (i / POOL_KINDS.len()) as u64;
+            request
+        })
+        .collect()
+}
+
+/// `requests` pool indices, each unique request repeated ~evenly, then
+/// deterministically shuffled so duplicates land close together in time
+/// across concurrent clients (that is what exercises coalescing).
+fn workload(pool: &[ExperimentRequest], requests: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..requests).map(|i| i % pool.len()).collect();
+    // Fisher-Yates with a SplitMix64 stream (no external RNG dep).
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..indices.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        indices.swap(i, j);
+    }
+    indices
+}
+
+struct MetricsSnapshot {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+fn fetch_metrics(addr: &str, timeout: Duration) -> Result<MetricsSnapshot, String> {
+    let response = http_request(addr, "GET", "/metrics", None, timeout)?;
+    if response.status != 200 {
+        return Err(format!("/metrics returned {}", response.status));
+    }
+    let counter = |name: &str| {
+        response
+            .body
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("/metrics has no `{name}` counter"))
+    };
+    Ok(MetricsSnapshot {
+        hits: counter("cache_hits_memory")? + counter("cache_hits_disk")?,
+        misses: counter("cache_misses")?,
+        coalesced: counter("coalesced")?,
+    })
+}
+
+fn percentiles(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pick = |q: f64| {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    (pick(0.50), pick(0.95))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone()),
+            "--requests" => {
+                options.requests = parse_value(it.next(), "--requests", "a count")?;
+            }
+            "--concurrency" => {
+                options.concurrency = parse_value(it.next(), "--concurrency", "a count")?;
+            }
+            "--unique" => options.unique = parse_value(it.next(), "--unique", "a count")?,
+            "--passes" => options.passes = parse_value(it.next(), "--passes", "a count")?,
+            "--threads" => options.threads = parse_value(it.next(), "--threads", "a count")?,
+            "--seed" => options.seed = parse_value(it.next(), "--seed", "an integer")?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if options.requests == 0
+        || options.concurrency == 0
+        || options.unique == 0
+        || options.passes == 0
+    {
+        return Err("--requests, --concurrency, --unique, and --passes must be positive".to_owned());
+    }
+    Ok(options)
+}
+
+fn parse_value<T: std::str::FromStr>(
+    value: Option<&String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let text = value.ok_or_else(|| format!("{flag} needs {expected}"))?;
+    text.parse().map_err(|_| format!("{flag} needs {expected}, got '{text}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_covers_the_pool() {
+        let pool = request_pool(8);
+        let a = workload(&pool, 64, 7);
+        let b = workload(&pool, 64, 7);
+        assert_eq!(a, b);
+        for index in 0..pool.len() {
+            assert!(a.contains(&index), "pool entry {index} never scheduled");
+        }
+    }
+
+    #[test]
+    fn pool_entries_are_unique_requests() {
+        let pool = request_pool(16);
+        for (i, a) in pool.iter().enumerate() {
+            for b in &pool[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -28,549 +28,154 @@
 //! `--threads` fans the CAD engine out across worker threads (0 = one per
 //! core, default 1). Every experiment produces byte-identical output for
 //! any thread count — parallelism only changes wall-clock time.
+//!
+//! The rendering itself lives in `nemfpga_bench::render`, shared with the
+//! serving layer (`serve`/`loadgen` binaries) so served results are
+//! byte-identical to this CLI.
 
-use nemfpga_bench::experiments as exp;
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_tech::units::Volts;
 
-struct Options {
-    scale: f64,
-    benchmarks: usize,
-    seed: u64,
+const USAGE: &str = "usage: repro <table1|fig2b|fig4|fig5|fig6|fig9|fig11|fig12|wmin|scaling|yield|ablation|explore|faults|alternatives|all>\n       [--scale F] [--benchmarks N] [--seed S] [--threads T]";
+
+/// Parsed CLI invocation: what to render and how wide to fan out.
+struct Invocation {
+    request: ExperimentRequest,
     parallel: ParallelConfig,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment = String::from("all");
-    let mut opts =
-        Options { scale: 0.05, benchmarks: 24, seed: 42, parallel: ParallelConfig::serial() };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                opts.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--scale needs a number in (0,1]");
-                    std::process::exit(2);
-                })
-            }
-            "--benchmarks" => {
-                opts.benchmarks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--benchmarks needs a count");
-                    std::process::exit(2);
-                })
-            }
-            "--seed" => {
-                opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                })
-            }
-            "--threads" => {
-                let t: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--threads needs a count (0 = one per core)");
-                    std::process::exit(2);
-                });
-                opts.parallel = ParallelConfig::with_threads(t);
-            }
-            "--help" | "-h" => {
-                println!("repro <table1|fig2b|fig4|fig5|fig6|fig9|fig11|fig12|wmin|scaling|yield|ablation|explore|faults|alternatives|all>");
-                println!("      [--scale F] [--benchmarks N] [--seed S] [--threads T]");
-                return;
-            }
-            name if !name.starts_with('-') => experiment = name.to_owned(),
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
-        }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
     }
-
-    match experiment.as_str() {
-        "table1" => table1(),
-        "fig2b" => fig2b(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "fig6" => fig6(),
-        "fig9" => fig9(&opts),
-        "fig11" => fig11(),
-        "fig12" => fig12(&opts),
-        "wmin" => wmin(&opts),
-        "scaling" => scaling(),
-        "yield" => yield_study(&opts),
-        "ablation" => ablation(&opts),
-        "explore" => explore(&opts),
-        "faults" => faults(),
-        "alternatives" => alternatives(&opts),
-        "all" => {
-            table1();
-            fig2b();
-            fig4();
-            fig5();
-            fig6();
-            fig9(&opts);
-            fig11();
-            fig12(&opts);
-            wmin(&opts);
-            scaling();
-            yield_study(&opts);
-            ablation(&opts);
-            explore(&opts);
-            faults();
-            alternatives(&opts);
-        }
-        other => {
-            eprintln!("unknown experiment '{other}' (try --help)");
+    let invocation = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(message) => {
+            eprintln!("repro: {message}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
-    }
+    };
+    print!("{}", render_experiment(&invocation.request, &invocation.parallel));
 }
 
-fn banner(title: &str) {
-    println!("\n==== {title} ====");
-}
+/// Parses CLI arguments without panicking: every malformed flag value,
+/// unknown option, or out-of-range knob comes back as an error message.
+fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut request = ExperimentRequest::default();
+    let mut parallel = ParallelConfig::serial();
+    let mut experiment_named = false;
 
-fn table1() {
-    use nemfpga_arch::ArchParams;
-    banner("Table 1: FPGA architecture parameters");
-    let p = ArchParams::paper_table1();
-    println!("  N     LUTs per LB              {}", p.cluster_size);
-    println!("  K     inputs per LUT           {}", p.lut_inputs);
-    println!("  I     LB input pins            {}", p.lb_inputs);
-    println!("  L     segment wire length      {}", p.segment_length);
-    println!("  Fc,in  input pin flexibility   {}", p.fc_in);
-    println!("  Fc,out output pin flexibility  {}", p.fc_out);
-    println!("  Fs    switch box flexibility   {}", p.fs);
-}
-
-fn fig2b() {
-    banner("Fig. 2b: fabricated NEM relay hysteretic I-V (paper: Vpi=6.2 V, Vpo=2-3.4 V)");
-    let f = exp::run_fig2b();
-    let g = &f.device.geometry;
-    println!(
-        "  device: L={:.0} um, h={:.0} nm, g0={:.0} nm (oil ambient)",
-        g.length.as_micro(),
-        g.thickness.as_nano(),
-        g.gap.as_nano()
-    );
-    println!(
-        "  observed Vpi = {:.2} V, Vpo = {:.2} V",
-        f.curve.observed_vpi.map(Volts::value).unwrap_or(f64::NAN),
-        f.curve.observed_vpo.map(Volts::value).unwrap_or(f64::NAN),
-    );
-    println!(
-        "  on-current at compliance: {:.1} nA; off-current at noise floor: {:.1} pA",
-        f.curve.max_current().value() * 1e9,
-        f.curve.max_off_current(&nemfpga_device::iv::SweepConfig::paper_fig2b()).value() * 1e12,
-    );
-    // Compact ASCII rendering of the hysteresis loop.
-    println!("  sweep (V_GS -> I_DS): up then down");
-    let pts = &f.curve.points;
-    for p in pts.iter().step_by(pts.len() / 16) {
-        let bar = if p.i_ds.value() > 1e-9 { "#######" } else { "." };
-        println!(
-            "    {:>5.2} V  {:>9.2e} A {} {}",
-            p.v_gs.value(),
-            p.i_ds.value(),
-            if p.sweep_up { "up  " } else { "down" },
-            bar
-        );
-    }
-}
-
-fn fig4() {
-    banner("Fig. 4: half-select programming constraints");
-    let f = exp::run_fig4();
-    println!("  nominal device: Vpi = {:.2} V, Vpo = {:.2} V", f.vpi.value(), f.vpo.value());
-    println!(
-        "  levels: Vhold = {:.2} V, Vselect = {:.2} V",
-        f.levels.vhold.value(),
-        f.levels.vselect.value()
-    );
-    println!(
-        "  Vpo < Vhold < Vpi:                 {:.2} < {:.2} < {:.2}",
-        f.vpo.value(),
-        f.levels.vhold.value(),
-        f.vpi.value()
-    );
-    println!(
-        "  Vpo < Vhold+Vselect < Vpi:         {:.2} < {:.2} < {:.2}",
-        f.vpo.value(),
-        f.levels.half_select_vgs().value(),
-        f.vpi.value()
-    );
-    println!(
-        "  Vhold+2Vselect > Vpi:              {:.2} > {:.2}",
-        f.levels.full_select_vgs().value(),
-        f.vpi.value()
-    );
-    println!("  all constraints satisfied: {}", f.satisfied);
-}
-
-fn fig5() {
-    banner("Fig. 5: 2x2 crossbar program/test/reset (paper: all configurations verified)");
-    let f = exp::run_fig5();
-    println!("  exhaustive verification: {}/16 configurations correct", f.verified_configurations);
-    for (label, wave) in [("5b (diagonal)", &f.wave_b), ("5c (crossed)", &f.wave_c)] {
-        println!("  configuration {label}: verified = {}", wave.verify());
-        println!("    t(s)   phase    beam1  beam2  gate1  gate2  drain1 drain2");
-        for p in &wave.points {
-            println!(
-                "    {:>5.1}  {:<8} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
-                p.time.value(),
-                p.phase.to_string(),
-                p.beams[0].value(),
-                p.beams[1].value(),
-                p.gates[0].value(),
-                p.gates[1].value(),
-                p.drains[0].value(),
-                p.drains[1].value(),
-            );
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                request.scale = parse_value(it.next(), "--scale", "a number in (0,1]")?;
+            }
+            "--benchmarks" => {
+                request.benchmarks = parse_value(it.next(), "--benchmarks", "a count")?;
+            }
+            "--seed" => {
+                request.seed = parse_value(it.next(), "--seed", "an integer")?;
+            }
+            "--threads" => {
+                let threads: usize =
+                    parse_value(it.next(), "--threads", "a count (0 = one per core)")?;
+                parallel = ParallelConfig::with_threads(threads);
+            }
+            name if !name.starts_with('-') => {
+                if experiment_named {
+                    return Err(format!(
+                        "more than one experiment named ({} and {name})",
+                        request.experiment
+                    ));
+                }
+                request.experiment = ExperimentKind::from_name(name)
+                    .ok_or_else(|| format!("unknown experiment '{name}'"))?;
+                experiment_named = true;
+            }
+            other => return Err(format!("unknown option {other}")),
         }
     }
+
+    request.validate().map_err(|e| e.to_string())?;
+    Ok(Invocation { request, parallel })
 }
 
-fn fig6() {
-    banner("Fig. 6: Vpi/Vpo distributions over 100 relays + programming window");
-    let f = exp::run_fig6();
-    let s = &f.stats;
-    println!(
-        "  Vpi: min {:.2} V, mean {:.2} V, max {:.2} V  (paper: clustered near 6.2 V)",
-        s.vpi_min.value(),
-        s.vpi_mean.value(),
-        s.vpi_max.value()
-    );
-    println!(
-        "  Vpo: min {:.2} V, mean {:.2} V, max {:.2} V  (paper: spread over ~2-3.4 V)",
-        s.vpo_min.value(),
-        s.vpo_mean.value(),
-        s.vpo_max.value()
-    );
-    println!("  histogram (0.1 V bins):");
-    for (center, count) in f.vpo_hist.iter().chain(f.vpi_hist.iter()) {
-        if *count > 0 {
-            println!("    {:>5.2} V  {}", center.value(), "*".repeat(*count));
+/// Parses one flag value, naming the flag in every failure mode.
+fn parse_value<T: std::str::FromStr>(
+    value: Option<&String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let text = value.ok_or_else(|| format!("{flag} needs {expected}"))?;
+    text.parse().map_err(|_| format!("{flag} needs {expected}, got '{text}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_documented_cli() {
+        let inv = parse_args(&[]).unwrap();
+        assert_eq!(inv.request.experiment, ExperimentKind::All);
+        assert_eq!(inv.request.scale, 0.05);
+        assert_eq!(inv.request.benchmarks, 24);
+        assert_eq!(inv.request.seed, 42);
+        assert_eq!(inv.parallel, ParallelConfig::serial());
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let inv = parse_args(&argv(&[
+            "fig12",
+            "--scale",
+            "0.1",
+            "--benchmarks",
+            "4",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(inv.request.experiment, ExperimentKind::Fig12);
+        assert_eq!(inv.request.scale, 0.1);
+        assert_eq!(inv.request.benchmarks, 4);
+        assert_eq!(inv.request.seed, 7);
+        assert_eq!(inv.parallel.threads, 3);
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_panicking() {
+        for args in [
+            argv(&["--scale"]),
+            argv(&["--scale", "banana"]),
+            argv(&["--seed", "-1"]),
+            argv(&["--threads", "many"]),
+            argv(&["--benchmarks", "3.5"]),
+            argv(&["fig4", "fig5"]),
+            argv(&["--frobnicate"]),
+            argv(&["fig13"]),
+        ] {
+            assert!(parse_args(&args).is_err(), "should reject {args:?}");
         }
     }
-    println!(
-        "  solved window: Vhold = {:.2} V, Vselect = {:.2} V (paper demo: 5.2 V / 0.8 V)",
-        f.window.levels.vhold.value(),
-        f.window.levels.vselect.value()
-    );
-    println!(
-        "  noise margins: {:.2} / {:.2} / {:.2} V (worst {:.2} V; paper: 'very small')",
-        f.window.margins[0].value(),
-        f.window.margins[1].value(),
-        f.window.margins[2].value(),
-        f.window.worst_margin.value()
-    );
-    println!("  paper demo levels feasible for this population: {}", f.paper_levels_feasible);
-}
 
-fn fig9(opts: &Options) {
-    banner("Fig. 9: baseline CMOS-only power breakdown");
-    let f = exp::run_fig9(opts.scale.max(0.02), opts.seed, &opts.parallel);
-    let d = f.dynamic_fractions.map(|x| (x * 100.0).round());
-    let l = f.leakage_fractions.map(|x| (x * 100.0).round());
-    println!("  benchmark: {} (scaled)", f.benchmark);
-    println!(
-        "  dynamic:  wires {}%, routing buffers {}%, LUTs {}%, clocking {}%",
-        d[0], d[1], d[2], d[3]
-    );
-    println!("            (paper: 40 / 30 / 20 / 10)");
-    println!(
-        "  leakage:  routing buffers {}%, routing SRAM {}%, pass transistors {}%, logic {}%",
-        l[0], l[1], l[2], l[3]
-    );
-    println!("            (paper: 70 / 12 / 10 / 8)");
-}
-
-fn fig11() {
-    banner("Fig. 11: scaled 22 nm relay equivalent circuit");
-    let f = exp::run_fig11();
-    let g = &f.device.geometry;
-    println!(
-        "  dimensions: L={:.0} nm, h={:.0} nm, g0={:.0} nm, gmin={:.1} nm",
-        g.length.as_nano(),
-        g.thickness.as_nano(),
-        g.gap.as_nano(),
-        g.gap_min.as_nano()
-    );
-    println!(
-        "  Vpi = {:.2} V, Vpo = {:.2} V (paper: ~1 V operation through scaling)",
-        f.device.pull_in_voltage().value(),
-        f.device.pull_out_voltage().value()
-    );
-    println!("  Ron  = {:.1} kOhm (paper: 2 kOhm, experimental)", f.computed.r_on.value() / 1e3);
-    println!(
-        "  Con  = {:.1} aF computed vs {:.1} aF paper",
-        f.computed.c_on.value() * 1e18,
-        f.paper.c_on.value() * 1e18
-    );
-    println!(
-        "  Coff = {:.1} aF computed vs {:.1} aF paper",
-        f.computed.c_off.value() * 1e18,
-        f.paper.c_off.value() * 1e18
-    );
-}
-
-fn fig12(opts: &Options) {
-    banner("Fig. 12: CMOS-NEM power/speed trade-off (per-benchmark curves)");
-    let suite = exp::benchmark_suite(opts.scale, opts.benchmarks);
-    println!(
-        "  {} benchmarks at scale {} (use --scale 1.0 --benchmarks 24 for paper size)",
-        suite.len(),
-        opts.scale
-    );
-    let entries = exp::run_fig12(&suite, opts.seed, &opts.parallel);
-    for (cfg, e) in suite.iter().zip(&entries) {
-        println!("  {} ({} LUTs, Wmin {:?}):", cfg.name, e.luts, e.w_min);
-        println!("    div   speedup  dyn-red  leak-red  area-red");
-        for p in &e.curve.points {
-            println!(
-                "    {:>4.1}  {:>7.2}  {:>7.2}  {:>8.2}  {:>8.2}",
-                p.divisor, p.speedup, p.dynamic_reduction, p.leakage_reduction, p.area_reduction
-            );
-        }
+    #[test]
+    fn out_of_range_knobs_are_rejected() {
+        assert!(parse_args(&argv(&["fig4", "--scale", "0"])).is_err());
+        assert!(parse_args(&argv(&["fig4", "--scale", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["fig4", "--scale", "NaN"])).is_err());
+        assert!(parse_args(&argv(&["fig4", "--benchmarks", "0"])).is_err());
+        assert!(parse_args(&argv(&["fig4", "--benchmarks", "25"])).is_err());
     }
-    let corner = exp::headline_corner(&entries, 1.0);
-    banner("Headline (geometric mean of iso-delay corners)");
-    println!(
-        "  speedup {:.2}x | dynamic {:.2}x | leakage {:.2}x | area {:.2}x",
-        corner.speedup, corner.dynamic_reduction, corner.leakage_reduction, corner.area_reduction
-    );
-    println!("  (paper: 1.0x speed, 2x dynamic, 10x leakage, 2x area)");
-
-    banner("CMOS-NEM without the buffer technique ([Chen 10b] comparison)");
-    let nt = exp::run_no_technique(&suite[0], opts.seed, &opts.parallel);
-    println!(
-        "  speedup {:.2}x | dynamic {:.2}x | leakage {:.2}x | area {:.2}x",
-        nt.speedup, nt.dynamic_reduction, nt.leakage_reduction, nt.area_reduction
-    );
-    println!("  (paper: similar delay, 1.3x dynamic, 2x leakage, 1.8x area)");
-}
-
-fn wmin(opts: &Options) {
-    banner("Sec. 3.3: minimum channel width (paper: Wmin +20% -> W = 118)");
-    let suite = exp::benchmark_suite(opts.scale, opts.benchmarks.min(8));
-    let rows = exp::run_wmin(&suite, opts.seed, &opts.parallel);
-    println!("  {:<18} {:>7} {:>6} {:>10}", "benchmark", "LUTs", "Wmin", "operating");
-    let mut worst = 0;
-    for r in &rows {
-        println!("  {:<18} {:>7} {:>6} {:>10}", r.name, r.luts, r.w_min, r.operating);
-        worst = worst.max(r.w_min);
-    }
-    println!("  suite-wide W = 1.2 x max(Wmin) = {}", (worst as f64 * 1.2).ceil() as usize);
-}
-
-fn scaling() {
-    banner("Supplementary: uniform device scaling (lab 23 um beam, vacuum-sealed poly-Si)");
-    let mut base = nemfpga_device::NemRelayDevice::fabricated();
-    // Production assumption of the paper's scaling study: ideal poly-Si
-    // beams in a hermetic vacuum (the oil/composite calibration is a
-    // laboratory artifact).
-    base.material = nemfpga_device::Material::poly_si();
-    base.ambient = nemfpga_device::Ambient::vacuum();
-    let rows =
-        nemfpga_device::scaling::scaling_sweep(&base, &[1.0, 0.3, 0.1, 0.03, 275.0 / 23_000.0])
-            .expect("factors are valid");
-    println!(
-        "  {:>8} {:>10} {:>8} {:>10} {:>12}",
-        "factor", "L (nm)", "Vpi (V)", "Vpo (V)", "t_pull-in"
-    );
-    for r in rows {
-        let vpo =
-            if r.vpo.value() == 0.0 { "stuck".to_owned() } else { format!("{:.2}", r.vpo.value()) };
-        println!(
-            "  {:>8.4} {:>10.0} {:>8.2} {:>10} {:>9.1} ns",
-            r.factor,
-            r.length_nm,
-            r.vpi.value(),
-            vpo,
-            r.pull_in_ns
-        );
-    }
-    println!("  (naive uniform scaling eventually sticks: adhesion shrinks slower than the");
-    println!("   spring force, which is why the paper's 22 nm design re-proportions the beam:)");
-    let scaled = nemfpga_device::NemRelayDevice::scaled_22nm();
-    println!(
-        "  22 nm design point: L=275 nm, Vpi = {:.2} V, Vpo = {:.2} V, pull-in {:.1} ns",
-        scaled.pull_in_voltage().value(),
-        scaled.pull_out_voltage().value(),
-        nemfpga_device::dynamics::pull_in_time(&scaled, scaled.pull_in_voltage() * 1.2)
-            .map(|t| t.as_nano())
-            .unwrap_or(f64::NAN),
-    );
-}
-
-fn ablation(opts: &Options) {
-    banner("Supplementary: technique ablation (removal vs downsizing vs both)");
-    use nemfpga::ablation::{ron_sensitivity, technique_ablation};
-    use nemfpga::flow::EvaluationConfig;
-    use nemfpga_tech::units::Ohms;
-    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
-    cfg.parallel = opts.parallel;
-    let bench = exp::scaled(
-        nemfpga_netlist::synth::preset_by_name("tseng").expect("preset"),
-        opts.scale.max(0.1),
-    );
-    let netlist = bench.generate().expect("generates");
-    let study = technique_ablation(netlist.clone(), &cfg, 8.0).expect("ablation runs");
-    print!("{study}");
-
-    banner("Supplementary: contact-resistance sensitivity (Sec. 2.3 caveat)");
-    let study = ron_sensitivity(
-        netlist,
-        &cfg,
-        2.0,
-        &[
-            Ohms::from_kilo(2.0),
-            Ohms::from_kilo(10.0),
-            Ohms::from_kilo(30.0),
-            Ohms::from_kilo(100.0),
-        ],
-    )
-    .expect("sensitivity runs");
-    print!("{study}");
-    println!("  (2 kOhm is [Parsa 10]; 100 kOhm is the demo crossbar's measured contacts)");
-}
-
-fn explore(opts: &Options) {
-    banner("Supplementary: relay-aware architecture exploration (paper future work)");
-    use nemfpga::explore::segment_length_sweep;
-    use nemfpga::flow::EvaluationConfig;
-    use nemfpga::variant::FpgaVariant;
-    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
-    cfg.parallel = opts.parallel;
-    let bench = exp::scaled(
-        nemfpga_netlist::synth::preset_by_name("alu4").expect("preset"),
-        opts.scale.max(0.1),
-    );
-    let netlist = bench.generate().expect("generates");
-    for variant in [FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)] {
-        let exp_result =
-            segment_length_sweep(&netlist, &cfg, &variant, &[1, 2, 4, 8]).expect("sweep runs");
-        println!("  {}:", exp_result.variant);
-        println!("    L   W    cp(ns)  power(mW)  tile(um2)  merit");
-        for p in &exp_result.points {
-            println!(
-                "    {:<3} {:<4} {:>6.2} {:>9.3} {:>10.0} {:>7.0}",
-                p.segment_length,
-                p.channel_width,
-                p.critical_path_ns,
-                p.total_power_mw,
-                p.tile_um2,
-                p.figure_of_merit,
-            );
-        }
-        println!("    best L = {}", exp_result.best().segment_length);
-    }
-}
-
-fn faults() {
-    banner("Supplementary: fault injection (stiction / contact-open detectability)");
-    use nemfpga_crossbar::array::Configuration;
-    use nemfpga_crossbar::faults::{coverage_estimate, detect_faults, Fault, FaultKind};
-    use nemfpga_crossbar::levels::ProgrammingLevels;
-    let base = nemfpga_device::NemRelayDevice::fabricated();
-    let levels = ProgrammingLevels::paper_demo();
-
-    // A single demonstrative case per class.
-    let mut target = Configuration::all_off(2, 2);
-    target.set(0, 1, true);
-    let open = detect_faults(
-        2,
-        2,
-        &base,
-        &[Fault { row: 0, col: 1, kind: FaultKind::StuckOpen }],
-        &target,
-        &levels,
-    )
-    .expect("runs");
-    println!(
-        "  stuck-open at (0,1), target wants it on: detected = {} (mismatches {:?})",
-        open.detected, open.mismatches
-    );
-    let closed = detect_faults(
-        2,
-        2,
-        &base,
-        &[Fault { row: 1, col: 0, kind: FaultKind::StuckClosed }],
-        &Configuration::all_off(2, 2),
-        &levels,
-    )
-    .expect("runs");
-    println!(
-        "  stuck-closed at (1,0), target wants it off: detected = {} (mismatches {:?})",
-        closed.detected, closed.mismatches
-    );
-
-    for side in [3usize, 4] {
-        let (sc, so) = coverage_estimate(side, side, &base, &levels, 60, 11);
-        println!(
-            "  {side}x{side} random-pattern coverage: stuck-closed {:.0}%, stuck-open {:.0}%",
-            sc * 100.0,
-            so * 100.0
-        );
-    }
-    println!("  (single-pattern coverage is partial -- hence the paper's *exhaustive* test phase)");
-}
-
-fn alternatives(opts: &Options) {
-    banner("Supplementary: CMOS alternatives (transmission gates vs NMOS pass vs relays)");
-    use nemfpga::flow::{evaluate, EvaluationConfig};
-    use nemfpga::report::Comparison;
-    use nemfpga::variant::FpgaVariant;
-    let mut cfg = EvaluationConfig::paper_defaults(opts.seed);
-    cfg.parallel = opts.parallel;
-    let bench = exp::scaled(
-        nemfpga_netlist::synth::preset_by_name("alu4").expect("preset"),
-        opts.scale.max(0.1),
-    );
-    let netlist = bench.generate().expect("generates");
-    let variants = vec![
-        FpgaVariant::cmos_baseline(&cfg.node),
-        FpgaVariant::cmos_transmission_gate(&cfg.node),
-        FpgaVariant::cmos_nem_without_technique(),
-        FpgaVariant::cmos_nem(8.0),
-    ];
-    let eval = evaluate(netlist, &cfg, &variants).expect("evaluates");
-    print!("{}", Comparison::against_baseline(&eval));
-    println!("  (TGs fix the Vt drop but pay area and keep SRAM; relays fix all three)");
-}
-
-fn yield_study(opts: &Options) {
-    banner("Supplementary: array programmability yield vs size (Sec. 2.3 discussion)");
-    use nemfpga_crossbar::levels::ProgrammingLevels;
-    use nemfpga_crossbar::yield_analysis::{estimate_compliance_with, yield_curve};
-    use nemfpga_device::variation::{PopulationStats, VariationModel};
-    let nominal = nemfpga_device::NemRelayDevice::fabricated();
-    let pop = VariationModel::fabrication_default().sample_population(&nominal, 400, 3);
-    let window = nemfpga_crossbar::window::solve_window(&PopulationStats::of(&pop))
-        .expect("population is programmable");
-    let cases = [
-        (
-            "paper demo levels (tight margins), as-fabricated",
-            ProgrammingLevels::paper_demo(),
-            VariationModel::fabrication_default(),
-        ),
-        (
-            "paper demo levels, process tightened 4x",
-            ProgrammingLevels::paper_demo(),
-            VariationModel::tightened(0.25),
-        ),
-        (
-            "solved max-margin window, as-fabricated",
-            window.levels,
-            VariationModel::fabrication_default(),
-        ),
-    ];
-    for (label, lvls, variation) in cases {
-        let est = estimate_compliance_with(&nominal, &variation, &lvls, 20_000, 7, &opts.parallel);
-        println!("  {label}: per-relay compliance {:.5}", est.compliance);
-        for p in yield_curve(&est, &[4, 1_000, 100_000, 1_000_000]) {
-            println!("    {:>9} relays -> array yield {:.3e}", p.relays, p.array_yield);
-        }
-    }
-    println!("  (the paper: 'large variations can make it impossible to configure all relays')");
 }

@@ -1,0 +1,192 @@
+//! `serve` — the nemfpga experiment server.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]
+//!       [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]
+//!       [--self-test]
+//! ```
+//!
+//! Stands the `nemfpga-service` subsystem up with the real experiment
+//! executor (`nemfpga_bench::render`), so every served result is
+//! byte-identical to the `repro` CLI. Defaults: `127.0.0.1:7878`, two
+//! workers, disk cache under `target/service-cache/`.
+//!
+//! `--self-test` binds an ephemeral port, performs one health check, one
+//! job round trip (verified against a direct render), and one cached
+//! re-submission, then shuts down cleanly — the check-script smoke test.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_bench::render::render_experiment;
+use nemfpga_runtime::ParallelConfig;
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N] [--self-test]";
+
+struct Invocation {
+    config: ServiceConfig,
+    self_test: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let invocation = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let parallel = invocation.config.parallel;
+    let executor: Executor =
+        Arc::new(move |request: &ExperimentRequest| Ok(render_experiment(request, &parallel)));
+    let service = match Service::start(&invocation.config, executor) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", invocation.config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("serving on http://{}", service.addr());
+    println!(
+        "  workers: {}, queue: {}, timeout: {}s, cache: {}",
+        service_threads(&invocation.config),
+        invocation.config.queue_capacity,
+        invocation.config.job_timeout.as_secs(),
+        invocation
+            .config
+            .cache_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "memory only".to_owned()),
+    );
+
+    if invocation.self_test {
+        let ok = self_test(&service);
+        service.shutdown();
+        if ok {
+            println!("self-test passed: serve -> request -> clean shutdown");
+        } else {
+            eprintln!("self-test FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Serve until killed; jobs and the accept loop run on their own
+    // threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn service_threads(config: &ServiceConfig) -> usize {
+    config.parallel.effective_threads(usize::MAX)
+}
+
+fn self_test(service: &Service) -> bool {
+    let addr = service.addr();
+    let timeout = Duration::from_secs(120);
+
+    let health = match http_request(addr, "GET", "/healthz", None, timeout) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("self-test: healthz failed: {e}");
+            return false;
+        }
+    };
+    if health.status != 200 {
+        eprintln!("self-test: healthz returned {}", health.status);
+        return false;
+    }
+
+    let request = ExperimentRequest::new(ExperimentKind::Fig4);
+    let body = Value::obj(vec![("experiment", Value::Str("fig4".to_owned()))]);
+    let expected = render_experiment(&request, &ParallelConfig::serial());
+    for pass in ["cold", "cached"] {
+        let response = match http_request(addr, "POST", "/jobs", Some(&body), timeout) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("self-test: {pass} POST /jobs failed: {e}");
+                return false;
+            }
+        };
+        let state = response.body.get("state").and_then(Value::as_str).unwrap_or("?");
+        let output = response.body.get("output").and_then(Value::as_str).unwrap_or("");
+        if response.status != 200 || state != "done" {
+            eprintln!("self-test: {pass} pass returned status {} state {state}", response.status);
+            return false;
+        }
+        if output != expected {
+            eprintln!("self-test: {pass} pass output differs from direct render");
+            return false;
+        }
+        if pass == "cached" && response.body.get("cached").and_then(Value::as_bool) != Some(true) {
+            eprintln!("self-test: second pass was not served from the cache");
+            return false;
+        }
+    }
+    true
+}
+
+fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut config =
+        ServiceConfig { addr: "127.0.0.1:7878".to_owned(), ..ServiceConfig::default() };
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--threads" => {
+                let t: usize = parse_value(it.next(), "--threads", "a count")?;
+                config.parallel = ParallelConfig::with_threads(t);
+            }
+            "--queue" => {
+                config.queue_capacity = parse_value(it.next(), "--queue", "a count")?;
+            }
+            "--timeout-secs" => {
+                config.job_timeout =
+                    Duration::from_secs(parse_value(it.next(), "--timeout-secs", "seconds")?);
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
+            "--no-disk-cache" => config.cache_dir = None,
+            "--cache-capacity" => {
+                config.cache_capacity = parse_value(it.next(), "--cache-capacity", "a count")?;
+            }
+            "--self-test" => {
+                self_test = true;
+                // Ephemeral port and a throwaway cache keep the smoke
+                // test independent of running servers and past runs.
+                config.addr = "127.0.0.1:0".to_owned();
+                config.cache_dir = Some(
+                    std::env::temp_dir()
+                        .join(format!("nemfpga-serve-selftest-{}", std::process::id())),
+                );
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Invocation { config, self_test })
+}
+
+fn parse_value<T: std::str::FromStr>(
+    value: Option<&String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let text = value.ok_or_else(|| format!("{flag} needs {expected}"))?;
+    text.parse().map_err(|_| format!("{flag} needs {expected}, got '{text}'"))
+}

@@ -10,5 +10,7 @@
 //! paper's *shapes and ratios* (see EXPERIMENTS.md at the workspace root).
 
 pub mod experiments;
+pub mod render;
 
 pub use experiments::*;
+pub use render::render_experiment;

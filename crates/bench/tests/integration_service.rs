@@ -1,0 +1,191 @@
+//! End-to-end tests of the serving subsystem against the real experiment
+//! executor: concurrent duplicate submissions collapse to one
+//! computation, and everything the service hands out is byte-identical
+//! to what a direct `repro` run prints.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_bench::render::render_experiment;
+use nemfpga_runtime::ParallelConfig;
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A service whose executor counts invocations (and can stall, so
+/// concurrent duplicates reliably overlap in flight).
+fn start_counting_service(compute_delay: Duration) -> (Service, Arc<AtomicUsize>) {
+    let computations = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&computations);
+    let parallel = ParallelConfig::with_threads(2);
+    let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(compute_delay);
+        Ok(render_experiment(request, &parallel))
+    });
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        parallel,
+        cache_dir: Some(
+            std::env::temp_dir()
+                .join(format!("nemfpga-itest-{}-{computations:p}", std::process::id())),
+        ),
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(&config, executor).expect("service starts");
+    (service, computations)
+}
+
+fn submit_body(kind: ExperimentKind) -> Value {
+    Value::obj(vec![("experiment", Value::Str(kind.name().to_owned()))])
+}
+
+fn field<'a>(doc: &'a Value, name: &str) -> &'a Value {
+    doc.get(name).unwrap_or_else(|| panic!("response lacks `{name}`: {}", doc.to_json()))
+}
+
+#[test]
+fn duplicate_concurrent_jobs_run_exactly_one_computation() {
+    let (service, computations) = start_counting_service(Duration::from_millis(200));
+    let addr = service.addr();
+    const CLIENTS: usize = 8;
+
+    let gate = Arc::new(Barrier::new(CLIENTS));
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    gate.wait();
+                    http_request(
+                        addr,
+                        "POST",
+                        "/jobs",
+                        Some(&submit_body(ExperimentKind::Fig4)),
+                        TIMEOUT,
+                    )
+                    .expect("request succeeds")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // Exactly one executor invocation across all eight identical
+    // submissions: the rest coalesced onto it (or hit the cache if they
+    // raced in after completion).
+    assert_eq!(computations.load(Ordering::SeqCst), 1, "duplicates must not recompute");
+
+    let expected =
+        render_experiment(&ExperimentRequest::new(ExperimentKind::Fig4), &ParallelConfig::serial());
+    let mut coalesced = 0usize;
+    let mut keys = Vec::new();
+    for response in &responses {
+        assert_eq!(response.status, 200, "body: {}", response.body.to_json());
+        assert_eq!(field(&response.body, "state").as_str(), Some("done"));
+        assert_eq!(
+            field(&response.body, "output").as_str(),
+            Some(expected.as_str()),
+            "served output must be byte-identical to a direct repro run"
+        );
+        if field(&response.body, "coalesced").as_bool() == Some(true) {
+            coalesced += 1;
+        }
+        keys.push(field(&response.body, "key").as_str().expect("key").to_owned());
+    }
+    assert!(coalesced > 0, "expected some submissions to coalesce in flight");
+    assert!(keys.windows(2).all(|w| w[0] == w[1]), "identical requests share one key");
+
+    // The scheduler-side metric agrees with the client-observed flags.
+    let metrics = http_request(addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+    assert_eq!(field(&metrics.body, "coalesced").as_u64(), Some(coalesced as u64));
+    assert_eq!(field(&metrics.body, "jobs_submitted").as_u64(), Some(CLIENTS as u64));
+
+    // The content address serves the same bytes directly.
+    let result = http_request(addr, "GET", &format!("/results/{}", keys[0]), None, TIMEOUT)
+        .expect("result fetch");
+    assert_eq!(result.status, 200);
+    assert_eq!(field(&result.body, "output").as_str(), Some(expected.as_str()));
+
+    service.shutdown();
+}
+
+#[test]
+fn resubmission_is_served_from_cache_without_recompute() {
+    let (service, computations) = start_counting_service(Duration::ZERO);
+    let addr = service.addr();
+    let body = submit_body(ExperimentKind::Table1);
+
+    let first = http_request(addr, "POST", "/jobs", Some(&body), TIMEOUT).expect("first");
+    assert_eq!(first.status, 200);
+    assert_eq!(field(&first.body, "cached").as_bool(), Some(false));
+
+    let second = http_request(addr, "POST", "/jobs", Some(&body), TIMEOUT).expect("second");
+    assert_eq!(second.status, 200);
+    assert_eq!(field(&second.body, "cached").as_bool(), Some(true));
+    assert_eq!(
+        field(&second.body, "output").as_str(),
+        field(&first.body, "output").as_str(),
+        "cache must return the exact bytes it stored"
+    );
+    assert_eq!(computations.load(Ordering::SeqCst), 1);
+
+    // And the job is pollable by id after the fact.
+    let id = field(&first.body, "job").as_u64().expect("job id");
+    let polled = http_request(addr, "GET", &format!("/jobs/{id}"), None, TIMEOUT).expect("poll");
+    assert_eq!(polled.status, 200);
+    assert_eq!(field(&polled.body, "state").as_str(), Some("done"));
+
+    service.shutdown();
+}
+
+#[test]
+fn served_results_match_direct_repro_at_any_thread_count() {
+    let (service, _) = start_counting_service(Duration::ZERO);
+    let addr = service.addr();
+    for kind in [ExperimentKind::Table1, ExperimentKind::Fig2b, ExperimentKind::Fig11] {
+        let response =
+            http_request(addr, "POST", "/jobs", Some(&submit_body(kind)), TIMEOUT).expect("job");
+        assert_eq!(response.status, 200, "{kind}: {}", response.body.to_json());
+        let served = field(&response.body, "output").as_str().expect("output");
+        let request = ExperimentRequest::new(kind);
+        // The determinism contract, observed across the whole stack:
+        // server (2 threads) == direct serial == direct 4-thread render.
+        assert_eq!(served, render_experiment(&request, &ParallelConfig::serial()), "{kind}");
+        assert_eq!(served, render_experiment(&request, &ParallelConfig::with_threads(4)), "{kind}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected_with_400() {
+    let (service, computations) = start_counting_service(Duration::ZERO);
+    let addr = service.addr();
+    let cases = [
+        Value::obj(vec![("experiment", Value::Str("fig99".to_owned()))]),
+        Value::obj(vec![("sacle", Value::F64(0.5))]),
+        Value::obj(vec![("experiment", Value::Str("fig4".to_owned())), ("scale", Value::F64(7.0))]),
+        Value::obj(vec![]),
+    ];
+    for body in &cases {
+        let response = http_request(addr, "POST", "/jobs", Some(body), TIMEOUT).expect("responds");
+        assert_eq!(response.status, 400, "for {}: {}", body.to_json(), response.body.to_json());
+        assert!(field(&response.body, "error").as_str().is_some());
+    }
+    assert_eq!(computations.load(Ordering::SeqCst), 0, "rejected jobs must never run");
+
+    let bad_key = http_request(addr, "GET", "/results/nothex", None, TIMEOUT).expect("responds");
+    assert_eq!(bad_key.status, 400);
+    let missing = http_request(addr, "GET", &format!("/results/{}", "0".repeat(64)), None, TIMEOUT)
+        .expect("responds");
+    assert_eq!(missing.status, 404);
+    let bad_id = http_request(addr, "GET", "/jobs/banana", None, TIMEOUT).expect("responds");
+    assert_eq!(bad_id.status, 400);
+
+    service.shutdown();
+}

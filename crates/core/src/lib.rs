@@ -59,6 +59,7 @@ pub mod error;
 pub mod explore;
 pub mod flow;
 pub mod report;
+pub mod request;
 pub mod sweep;
 pub mod variant;
 
@@ -69,5 +70,6 @@ pub use error::CoreError;
 pub use explore::{segment_length_sweep, ArchExploration};
 pub use flow::{evaluate, Evaluation, EvaluationConfig, VariantEvaluation};
 pub use report::{geometric_mean_row, Comparison, ComparisonRow};
+pub use request::{ExperimentKind, ExperimentRequest};
 pub use sweep::{tradeoff_sweep, TradeoffCurve, TradeoffPoint, PAPER_DIVISORS};
 pub use variant::FpgaVariant;

@@ -1,0 +1,206 @@
+//! Serializable experiment requests.
+//!
+//! A request names one paper artifact (a [`repro`](../../nemfpga_bench)
+//! experiment) plus the knobs that change its output: benchmark scale,
+//! suite size, and RNG seed. Requests are the unit of work of the serving
+//! layer (`nemfpga-service`): two requests with equal fields denote the
+//! *same computation* and must produce byte-identical output, so the
+//! service deduplicates and caches by a canonical hash of these fields.
+//!
+//! Thread count is deliberately **not** part of a request: the parallel
+//! engine guarantees results are independent of it, so it lives in the
+//! server's own configuration instead of the cache key.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// Every experiment the `repro` harness can regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// Table 1: architecture parameters.
+    Table1,
+    /// Fig. 2b: fabricated relay hysteretic I-V.
+    Fig2b,
+    /// Fig. 4: half-select programming constraints.
+    Fig4,
+    /// Fig. 5: 2×2 crossbar program/test/reset waveforms.
+    Fig5,
+    /// Fig. 6: Vpi/Vpo distributions + programming window.
+    Fig6,
+    /// Fig. 9: baseline power breakdown.
+    Fig9,
+    /// Fig. 11: scaled relay equivalent circuit.
+    Fig11,
+    /// Fig. 12: power-vs-speed trade-off sweep + headline.
+    Fig12,
+    /// Sec. 3.3: minimum channel width per benchmark.
+    Wmin,
+    /// Supplementary: device voltage/speed scaling study.
+    Scaling,
+    /// Supplementary: array programmability yield vs size.
+    Yield,
+    /// Supplementary: technique ablation + contact-resistance sweep.
+    Ablation,
+    /// Supplementary: segment-length architecture exploration.
+    Explore,
+    /// Supplementary: stuck-relay injection and detectability.
+    Faults,
+    /// Supplementary: transmission gates vs NMOS pass vs relays.
+    Alternatives,
+    /// Everything above, in `repro all` order.
+    All,
+}
+
+impl ExperimentKind {
+    /// Every kind, in `repro all` presentation order.
+    pub const ALL: [ExperimentKind; 16] = [
+        Self::Table1,
+        Self::Fig2b,
+        Self::Fig4,
+        Self::Fig5,
+        Self::Fig6,
+        Self::Fig9,
+        Self::Fig11,
+        Self::Fig12,
+        Self::Wmin,
+        Self::Scaling,
+        Self::Yield,
+        Self::Ablation,
+        Self::Explore,
+        Self::Faults,
+        Self::Alternatives,
+        Self::All,
+    ];
+
+    /// The CLI/API name (`repro <name>`, `"experiment"` field on the wire).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Table1 => "table1",
+            Self::Fig2b => "fig2b",
+            Self::Fig4 => "fig4",
+            Self::Fig5 => "fig5",
+            Self::Fig6 => "fig6",
+            Self::Fig9 => "fig9",
+            Self::Fig11 => "fig11",
+            Self::Fig12 => "fig12",
+            Self::Wmin => "wmin",
+            Self::Scaling => "scaling",
+            Self::Yield => "yield",
+            Self::Ablation => "ablation",
+            Self::Explore => "explore",
+            Self::Faults => "faults",
+            Self::Alternatives => "alternatives",
+            Self::All => "all",
+        }
+    }
+
+    /// Parses a CLI/API name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of servable work: an experiment plus the knobs that change
+/// its output bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRequest {
+    /// Which paper artifact to regenerate.
+    pub experiment: ExperimentKind,
+    /// Benchmark LUT-count scale in (0, 1].
+    pub scale: f64,
+    /// Benchmark suite truncation, 1..=24.
+    pub benchmarks: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentRequest {
+    /// A request with the `repro` defaults (`--scale 0.05 --benchmarks 24
+    /// --seed 42`).
+    pub fn new(experiment: ExperimentKind) -> Self {
+        Self { experiment, scale: 0.05, benchmarks: 24, seed: 42 }
+    }
+
+    /// Checks every field against the same bounds `repro` enforces.
+    ///
+    /// `scale` must be a finite, strictly positive number ≤ 1 and not the
+    /// IEEE negative zero — the canonical job key hashes its exact bit
+    /// pattern, so values that compare equal but differ in bits (`-0.0`
+    /// vs `0.0`) and values with many bit patterns (NaN) are rejected
+    /// outright rather than normalized behind the caller's back.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |message: String| Err(CoreError::InvalidConfig { message });
+        if self.scale.is_nan() {
+            return invalid("scale must not be NaN".to_owned());
+        }
+        if !self.scale.is_finite() {
+            return invalid(format!("scale must be finite, got {}", self.scale));
+        }
+        if self.scale == 0.0 && self.scale.is_sign_negative() {
+            return invalid("scale must not be negative zero".to_owned());
+        }
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return invalid(format!("scale must be in (0, 1], got {}", self.scale));
+        }
+        if self.benchmarks == 0 || self.benchmarks > 24 {
+            return invalid(format!("benchmarks must be in 1..=24, got {}", self.benchmarks));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExperimentRequest {
+    fn default() -> Self {
+        Self::new(ExperimentKind::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ExperimentKind::ALL {
+            assert_eq!(ExperimentKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ExperimentKind::from_name("fig13"), None);
+    }
+
+    #[test]
+    fn default_request_is_valid() {
+        ExperimentRequest::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_floats_and_ranges() {
+        let mut r = ExperimentRequest::new(ExperimentKind::Fig4);
+        r.scale = f64::NAN;
+        assert!(r.validate().is_err());
+        r.scale = f64::INFINITY;
+        assert!(r.validate().is_err());
+        r.scale = -0.0;
+        assert!(r.validate().is_err());
+        r.scale = 0.0;
+        assert!(r.validate().is_err());
+        r.scale = 1.5;
+        assert!(r.validate().is_err());
+        r.scale = 0.05;
+        r.benchmarks = 0;
+        assert!(r.validate().is_err());
+        r.benchmarks = 25;
+        assert!(r.validate().is_err());
+        r.benchmarks = 24;
+        r.validate().unwrap();
+    }
+}

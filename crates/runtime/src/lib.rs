@@ -16,9 +16,11 @@
 
 pub mod hash;
 pub mod pool;
+pub mod workers;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{parallel_map, parallel_map_cfg};
+pub use workers::{PoolFull, WorkerPool};
 
 use serde::{Deserialize, Serialize};
 

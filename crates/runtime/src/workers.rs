@@ -1,0 +1,197 @@
+//! A persistent worker pool for long-running services.
+//!
+//! [`parallel_map`](crate::parallel_map) spins threads up per call, which
+//! is right for one-shot sweeps but wrong for a server that executes jobs
+//! for its whole lifetime. [`WorkerPool`] keeps `ParallelConfig`-many
+//! threads alive behind a bounded job queue: submission is non-blocking
+//! and fails fast when the queue is full (callers translate that into
+//! back-pressure, e.g. HTTP 429), and dropping the pool drains nothing —
+//! it wakes every worker, lets in-flight jobs finish, and joins.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::ParallelConfig;
+
+/// A job is any one-shot closure; results travel out-of-band (the
+/// submitter keeps its own completion state).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_submit`] when the bounded queue is
+/// at capacity. Carries the rejected job back so the caller can retry.
+pub struct PoolFull(pub Box<dyn FnOnce() + Send + 'static>);
+
+impl std::fmt::Debug for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolFull(..)")
+    }
+}
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool queue is full")
+    }
+}
+
+struct Shared {
+    queue: Mutex<State>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Fixed-size thread pool with a bounded FIFO submission queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `cfg`-many workers (0 = one per core) behind a queue that
+    /// holds at most `queue_capacity` pending jobs.
+    pub fn new(cfg: &ParallelConfig, queue_capacity: usize) -> Self {
+        let threads = cfg.effective_threads(usize::MAX);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { jobs: VecDeque::new(), shutdown: false }),
+            wake: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nemfpga-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues a job, or returns it inside [`PoolFull`] when the queue is
+    /// at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolFull`] when `queue_capacity` jobs are already pending.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolFull> {
+        let mut state = self.shared.queue.lock().expect("pool queue poisoned");
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(PoolFull(Box::new(job)));
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue (excludes jobs already running).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").jobs.len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().expect("pool queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.wake.wait(state).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_submitted_jobs() {
+        let pool = WorkerPool::new(&ParallelConfig::with_threads(4), 256);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).expect("receiver alive");
+            })
+            .expect("queue has room");
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).expect("job ran");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        // One worker blocked on a gate; capacity 2 behind it.
+        let pool = WorkerPool::new(&ParallelConfig::with_threads(1), 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_submit(move || {
+            started_tx.send(()).expect("main alive");
+            gate_rx.recv().expect("gate opens");
+        })
+        .expect("first job queues");
+        started_rx.recv_timeout(std::time::Duration::from_secs(10)).expect("worker started");
+        pool.try_submit(|| {}).expect("slot 1");
+        pool.try_submit(|| {}).expect("slot 2");
+        assert!(pool.try_submit(|| {}).is_err(), "queue should be full");
+        assert_eq!(pool.queued(), 2);
+        gate_tx.send(()).expect("worker alive");
+    }
+
+    #[test]
+    fn drop_finishes_in_flight_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(&ParallelConfig::with_threads(2), 64);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.try_submit(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("queue has room");
+            }
+        }
+        // Drop joined the workers; every queued job ran to completion.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

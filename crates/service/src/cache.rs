@@ -1,0 +1,238 @@
+//! Two-tier, content-addressed result cache.
+//!
+//! Tier 1 is an in-memory LRU bounded by entry count; tier 2 is an
+//! on-disk JSON store (one file per key, atomically written via a
+//! tempfile + rename) that survives server restarts. A disk hit is
+//! promoted into memory. Both tiers are keyed by the canonical
+//! [`JobKey`](crate::key::JobKey), so a cached entry is valid for *any*
+//! request that hashes to it — the cache never needs invalidation, only
+//! eviction.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::json::{self, Value};
+use crate::key::JobKey;
+
+/// A cached experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// Experiment name (for humans inspecting the store).
+    pub experiment: String,
+    /// The exact bytes a direct `repro` run prints to stdout.
+    pub output: String,
+}
+
+/// Where a lookup was answered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk JSON store.
+    Disk,
+}
+
+/// The two-tier store. All methods take `&self`; an internal mutex
+/// serializes access (entries are small relative to job compute times,
+/// so a single lock is not a bottleneck).
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    disk_dir: Option<PathBuf>,
+}
+
+struct Inner {
+    entries: HashMap<String, MemEntry>,
+    capacity: usize,
+    tick: u64,
+}
+
+struct MemEntry {
+    value: CachedResult,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries in memory, with
+    /// an optional disk tier rooted at `disk_dir` (created on first
+    /// write).
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+            }),
+            disk_dir,
+        }
+    }
+
+    /// Looks `key` up in memory, then on disk (promoting a disk hit into
+    /// memory). Returns the result and the tier that answered.
+    pub fn get(&self, key: &JobKey) -> Option<(CachedResult, CacheTier)> {
+        {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(key.as_hex()) {
+                entry.last_used = tick;
+                return Some((entry.value.clone(), CacheTier::Memory));
+            }
+        }
+        let value = self.read_disk(key)?;
+        self.insert_memory(key, value.clone());
+        Some((value, CacheTier::Disk))
+    }
+
+    /// Stores a result in both tiers.
+    pub fn put(&self, key: &JobKey, value: CachedResult) {
+        self.write_disk(key, &value);
+        self.insert_memory(key, value);
+    }
+
+    /// Entries currently resident in memory.
+    pub fn memory_len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").entries.len()
+    }
+
+    fn insert_memory(&self, key: &JobKey, value: CachedResult) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(key.as_hex().to_owned(), MemEntry { value, last_used: tick });
+        while inner.entries.len() > inner.capacity {
+            // O(n) victim scan; capacities are small (hundreds).
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty above capacity");
+            inner.entries.remove(&victim);
+        }
+    }
+
+    fn entry_path(&self, key: &JobKey) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{}.json", key.as_hex())))
+    }
+
+    fn read_disk(&self, key: &JobKey) -> Option<CachedResult> {
+        let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        let doc = json::parse(&text).ok()?;
+        // A corrupt or truncated entry is treated as a miss; the job
+        // recomputes and overwrites it.
+        if doc.get("key")?.as_str()? != key.as_hex() {
+            return None;
+        }
+        Some(CachedResult {
+            experiment: doc.get("experiment")?.as_str()?.to_owned(),
+            output: doc.get("output")?.as_str()?.to_owned(),
+        })
+    }
+
+    fn write_disk(&self, key: &JobKey, value: &CachedResult) {
+        let Some(path) = self.entry_path(key) else { return };
+        let Some(dir) = path.parent() else { return };
+        // Disk-tier failures degrade the cache, never the service.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let doc = Value::obj(vec![
+            ("key", Value::Str(key.as_hex().to_owned())),
+            ("experiment", Value::Str(value.experiment.clone())),
+            ("output", Value::Str(value.output.clone())),
+        ]);
+        let tmp = dir.join(format!(".{}.tmp-{}", key.as_hex(), std::process::id()));
+        if std::fs::write(&tmp, doc.to_json()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga::request::{ExperimentKind, ExperimentRequest};
+
+    fn key(seed: u64) -> JobKey {
+        crate::key::job_key(&ExperimentRequest {
+            seed,
+            ..ExperimentRequest::new(ExperimentKind::Fig4)
+        })
+        .unwrap()
+    }
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            experiment: "fig4".to_owned(),
+            output: format!("line one {tag}\nline \"two\"\t{tag}\n"),
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nemfpga-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = ResultCache::new(2, None);
+        let (k1, k2, k3) = (key(1), key(2), key(3));
+        cache.put(&k1, result("a"));
+        cache.put(&k2, result("b"));
+        // Touch k1 so k2 is the LRU victim.
+        assert_eq!(cache.get(&k1).unwrap().1, CacheTier::Memory);
+        cache.put(&k3, result("c"));
+        assert_eq!(cache.memory_len(), 2);
+        assert!(cache.get(&k2).is_none(), "LRU entry should be gone");
+        assert_eq!(cache.get(&k1).unwrap().0, result("a"));
+        assert_eq!(cache.get(&k3).unwrap().0, result("c"));
+    }
+
+    #[test]
+    fn disk_tier_round_trips_bytes_and_survives_restart() {
+        let dir = temp_dir("roundtrip");
+        let k = key(7);
+        let value = CachedResult {
+            experiment: "fig4".to_owned(),
+            output: "==== banner ====\n  nominal: 6.20 V\n\ttabbed \"quoted\" µ\n".to_owned(),
+        };
+        {
+            let cache = ResultCache::new(4, Some(dir.clone()));
+            cache.put(&k, value.clone());
+        }
+        // A fresh cache (fresh process in real life) hits the disk tier.
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        let (got, tier) = cache.get(&k).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(got, value);
+        // The promotion makes the second read a memory hit.
+        assert_eq!(cache.get(&k).unwrap().1, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let k = key(9);
+        {
+            let cache = ResultCache::new(4, Some(dir.clone()));
+            cache.put(&k, result("x"));
+        }
+        let path = dir.join(format!("{}.json", k.as_hex()));
+        std::fs::write(&path, "{ truncated").unwrap();
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        assert!(cache.get(&k).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_disk_dir_means_memory_only() {
+        let cache = ResultCache::new(4, None);
+        let k = key(11);
+        cache.put(&k, result("m"));
+        assert_eq!(cache.get(&k).unwrap().1, CacheTier::Memory);
+    }
+}

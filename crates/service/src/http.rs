@@ -1,0 +1,400 @@
+//! Pure-`std` HTTP/1.1 JSON API.
+//!
+//! One accept-loop thread, one short-lived thread per connection, one
+//! request per connection (`Connection: close`). That is deliberately
+//! boring: the expensive part of every request is the experiment itself,
+//! and those are bounded by the scheduler's worker pool, not by the
+//! transport. The module also ships the matching minimal client
+//! ([`http_request`]) used by `loadgen`, the integration tests, and the
+//! check-script smoke test.
+//!
+//! Routes:
+//!
+//! | Method/path          | Behavior                                       |
+//! |----------------------|------------------------------------------------|
+//! | `POST /jobs`         | Submit a request; `"wait": true` (default) blocks to the job deadline |
+//! | `GET /jobs/:id`      | Poll one job                                   |
+//! | `GET /results/:key`  | Fetch a cached result by content address       |
+//! | `GET /healthz`       | Liveness                                       |
+//! | `GET /metrics`       | Counters, hit ratio, queue depth, p50/p95      |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+
+use crate::json::{self, Value};
+use crate::key::JobKey;
+use crate::metrics::Metrics;
+use crate::scheduler::{JobStatus, Scheduler, SubmitError};
+
+/// Hard ceiling on request bodies (requests are tiny JSON objects).
+const MAX_BODY: usize = 1 << 20;
+
+/// A running HTTP server. Dropping (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop; the scheduler it serves is owned by the caller.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the scheduler until shutdown.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(
+    addr: &str,
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<Metrics>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread =
+        std::thread::Builder::new().name("nemfpga-http-accept".to_owned()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let scheduler = Arc::clone(&scheduler);
+                let metrics = Arc::clone(&metrics);
+                let _ = std::thread::Builder::new()
+                    .name("nemfpga-http-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &scheduler, &metrics));
+            }
+        })?;
+    Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, metrics: &Metrics) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let peer_writable = stream.try_clone();
+    let Ok(mut out) = peer_writable else { return };
+    let response = match read_request(stream) {
+        Ok((method, path, body)) => {
+            metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            route(&method, &path, &body, scheduler, metrics)
+        }
+        Err(e) => Response::error(400, &format!("malformed request: {e}")),
+    };
+    let _ = out.write_all(response.to_bytes().as_slice());
+    let _ = out.flush();
+}
+
+/// (method, path, body).
+fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line).map_err(|e| e.to_string())?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("missing path")?.to_owned();
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "bad Content-Length".to_owned())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("body too large".to_owned());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    Ok((method, path, body))
+}
+
+struct Response {
+    status: u16,
+    body: Value,
+}
+
+impl Response {
+    fn ok(body: Value) -> Self {
+        Self { status: 200, body }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Self { status, body: Value::obj(vec![("error", Value::Str(message.to_owned()))]) }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let body = self.body.to_json();
+        let reason = match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            _ => "Internal Server Error",
+        };
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            body.len(),
+            body
+        )
+        .into_bytes()
+    }
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    scheduler: &Scheduler,
+    metrics: &Metrics,
+) -> Response {
+    match (method, path) {
+        ("GET", "/healthz") => {
+            Response::ok(Value::obj(vec![("status", Value::Str("ok".to_owned()))]))
+        }
+        ("GET", "/metrics") => Response::ok(metrics.to_json(scheduler.queue_depth())),
+        ("POST", "/jobs") => post_jobs(body, scheduler),
+        _ if method == "GET" && path.starts_with("/jobs/") => get_job(&path[6..], scheduler),
+        _ if method == "GET" && path.starts_with("/results/") => get_result(&path[9..], scheduler),
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {method} {path}")),
+        _ => Response::error(405, &format!("method {method} not supported")),
+    }
+}
+
+fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let request = match parse_request(&doc) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+    let wait = doc.get("wait").and_then(Value::as_bool).unwrap_or(true);
+
+    let submission = match scheduler.submit(request) {
+        Ok(s) => s,
+        Err(SubmitError::Invalid(m)) => return Response::error(400, &m),
+        Err(SubmitError::QueueFull) => return Response::error(429, "job queue is full"),
+    };
+
+    let status = if wait && !submission.status.state.is_terminal() {
+        scheduler
+            .wait_for(submission.status.id, scheduler.job_timeout())
+            .unwrap_or(submission.status.clone())
+    } else {
+        submission.status.clone()
+    };
+
+    let mut doc = status_json(&status);
+    if let Value::Obj(fields) = &mut doc {
+        fields.push(("coalesced".to_owned(), Value::Bool(submission.coalesced)));
+    }
+    let code = if status.state.is_terminal() { 200 } else { 202 };
+    Response { status: code, body: doc }
+}
+
+fn get_job(id_text: &str, scheduler: &Scheduler) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, "job id must be an integer");
+    };
+    match scheduler.status(id) {
+        Some(status) => Response::ok(status_json(&status)),
+        None => Response::error(404, "no such job (ids expire after eviction)"),
+    }
+}
+
+fn get_result(key_text: &str, scheduler: &Scheduler) -> Response {
+    let Some(key) = JobKey::from_hex(key_text) else {
+        return Response::error(400, "result key must be 64 lowercase hex characters");
+    };
+    match scheduler.cached_result(&key) {
+        Some(result) => Response::ok(Value::obj(vec![
+            ("key", Value::Str(key.as_hex().to_owned())),
+            ("experiment", Value::Str(result.experiment)),
+            ("output", Value::Str(result.output)),
+        ])),
+        None => Response::error(404, "no cached result for this key"),
+    }
+}
+
+/// Decodes the `POST /jobs` body into a request. Unknown fields are
+/// rejected so typos (`"sacle"`) fail loudly instead of hashing to a
+/// surprising cache key.
+fn parse_request(doc: &Value) -> Result<ExperimentRequest, String> {
+    let Value::Obj(fields) = doc else {
+        return Err("body must be a JSON object".to_owned());
+    };
+    for (name, _) in fields {
+        if !matches!(name.as_str(), "experiment" | "scale" | "benchmarks" | "seed" | "wait") {
+            return Err(format!("unknown field `{name}`"));
+        }
+    }
+    let name = doc.get("experiment").and_then(Value::as_str).ok_or("missing `experiment` field")?;
+    let experiment =
+        ExperimentKind::from_name(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
+    let mut request = ExperimentRequest::new(experiment);
+    if let Some(v) = doc.get("scale") {
+        request.scale = v.as_f64().ok_or("`scale` must be a number")?;
+    }
+    if let Some(v) = doc.get("benchmarks") {
+        request.benchmarks =
+            v.as_u64().ok_or("`benchmarks` must be a non-negative integer")? as usize;
+    }
+    if let Some(v) = doc.get("seed") {
+        request.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?;
+    }
+    Ok(request)
+}
+
+fn status_json(status: &JobStatus) -> Value {
+    let mut fields = vec![
+        ("job", Value::U64(status.id)),
+        ("key", Value::Str(status.key.as_hex().to_owned())),
+        ("experiment", Value::Str(status.request.experiment.name().to_owned())),
+        ("state", Value::Str(status.state.name().to_owned())),
+        ("cached", Value::Bool(status.cached)),
+        ("coalesced_submissions", Value::U64(status.coalesced_submissions)),
+    ];
+    if let Some(output) = &status.output {
+        fields.push(("output", Value::Str(output.clone())));
+    }
+    if let Some(error) = &status.error {
+        fields.push(("error", Value::Str(error.clone())));
+    }
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+// --------------------------------------------------------------------
+// Minimal client (loadgen, tests, smoke checks)
+// --------------------------------------------------------------------
+
+/// One client response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Value,
+}
+
+/// Issues one HTTP request (`body = None` for GET) and parses the JSON
+/// response. Opens a fresh connection per call, matching the server's
+/// one-request-per-connection policy.
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, protocol, or JSON
+/// failures.
+pub fn http_request<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+    timeout: Duration,
+) -> Result<ClientResponse, String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or("address resolves to nothing")?;
+    let stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let mut stream = stream;
+
+    let payload = body.map(Value::to_json).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: nemfpga\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| e.to_string())?;
+    stream.write_all(payload.as_bytes()).map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body_bytes = Vec::new();
+    match content_length {
+        Some(n) => {
+            body_bytes.resize(n, 0);
+            reader.read_exact(&mut body_bytes).map_err(|e| e.to_string())?;
+        }
+        None => {
+            reader.read_to_end(&mut body_bytes).map_err(|e| e.to_string())?;
+        }
+    }
+    let text = String::from_utf8(body_bytes).map_err(|_| "response is not UTF-8".to_owned())?;
+    let body = json::parse(&text).map_err(|e| format!("{e} in body {text:?}"))?;
+    Ok(ClientResponse { status, body })
+}

@@ -1,0 +1,192 @@
+//! Canonical job keys: the content address of an experiment request.
+//!
+//! Two requests that denote the same computation must map to the same
+//! key, and every request field that can change output bytes must be in
+//! the key. The encoding is a fixed-order, newline-separated field list
+//! with floats spelled as their exact IEEE-754 bit patterns — no decimal
+//! formatting, no locale, no precision loss. Thread count never enters
+//! the key: the engine's determinism contract makes results independent
+//! of it.
+//!
+//! Floats that break `x == y ⇔ bits(x) == bits(y)` are rejected up
+//! front: NaN (many bit patterns, never equal to itself) and `-0.0`
+//! (compares equal to `+0.0` with different bits). Rejection rather than
+//! silent normalization keeps the key a pure function of what the caller
+//! actually sent.
+
+use nemfpga::request::ExperimentRequest;
+
+use crate::sha::sha256_hex;
+
+/// Version prefix baked into every canonical encoding, so a future field
+/// change invalidates old cache entries instead of aliasing them.
+const KEY_VERSION: u32 = 1;
+
+/// A content address: the lowercase-hex SHA-256 of the canonical request
+/// encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(String);
+
+impl JobKey {
+    /// The 64-character hex digest.
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses a client-supplied key (e.g. a `GET /results/:key` path
+    /// segment). Accepts exactly 64 lowercase hex characters.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        (hex.len() == 64 && hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+            .then(|| Self(hex.to_owned()))
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Why a request has no canonical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// A float field was NaN.
+    NotANumber {
+        /// Field name.
+        field: &'static str,
+    },
+    /// A float field was +∞/−∞.
+    Infinite {
+        /// Field name.
+        field: &'static str,
+    },
+    /// A float field was the IEEE negative zero.
+    NegativeZero {
+        /// Field name.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotANumber { field } => write!(f, "field `{field}` is NaN"),
+            Self::Infinite { field } => write!(f, "field `{field}` is infinite"),
+            Self::NegativeZero { field } => write!(f, "field `{field}` is negative zero"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// Canonicalizes one float field: rejects NaN/±∞/−0.0, otherwise returns
+/// the exact bit pattern. Total — never panics, for any input bits.
+///
+/// # Errors
+///
+/// [`KeyError`] naming the field for every rejected class.
+pub fn canonical_f64(field: &'static str, x: f64) -> Result<u64, KeyError> {
+    if x.is_nan() {
+        return Err(KeyError::NotANumber { field });
+    }
+    if x.is_infinite() {
+        return Err(KeyError::Infinite { field });
+    }
+    if x == 0.0 && x.is_sign_negative() {
+        return Err(KeyError::NegativeZero { field });
+    }
+    Ok(x.to_bits())
+}
+
+/// The canonical byte encoding the key hashes. Exposed so tests (and
+/// humans debugging cache entries) can see exactly what is addressed.
+///
+/// # Errors
+///
+/// [`KeyError`] when a float field has no canonical form.
+pub fn canonical_encoding(request: &ExperimentRequest) -> Result<String, KeyError> {
+    let scale_bits = canonical_f64("scale", request.scale)?;
+    Ok(format!(
+        "nemfpga-job v{KEY_VERSION}\nexperiment={}\nscale_bits={scale_bits:016x}\nbenchmarks={}\nseed={}\n",
+        request.experiment.name(),
+        request.benchmarks,
+        request.seed,
+    ))
+}
+
+/// Computes the content address of `request`.
+///
+/// # Errors
+///
+/// [`KeyError`] when a float field has no canonical form.
+pub fn job_key(request: &ExperimentRequest) -> Result<JobKey, KeyError> {
+    Ok(JobKey(sha256_hex(canonical_encoding(request)?.as_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga::request::ExperimentKind;
+
+    #[test]
+    fn equal_requests_equal_keys() {
+        let a = ExperimentRequest::new(ExperimentKind::Fig12);
+        let b = ExperimentRequest::new(ExperimentKind::Fig12);
+        assert_eq!(job_key(&a).unwrap(), job_key(&b).unwrap());
+    }
+
+    #[test]
+    fn every_field_feeds_the_key() {
+        let base = ExperimentRequest::new(ExperimentKind::Fig12);
+        let k = job_key(&base).unwrap();
+        let variants = [
+            ExperimentRequest { experiment: ExperimentKind::Wmin, ..base },
+            ExperimentRequest { scale: 0.1, ..base },
+            ExperimentRequest { benchmarks: 8, ..base },
+            ExperimentRequest { seed: 43, ..base },
+        ];
+        for v in variants {
+            assert_ne!(job_key(&v).unwrap(), k, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn key_format_is_pinned() {
+        // Guards against accidental canonical-encoding drift, which would
+        // silently orphan every existing on-disk cache entry.
+        let r = ExperimentRequest::new(ExperimentKind::Fig4);
+        assert_eq!(
+            canonical_encoding(&r).unwrap(),
+            "nemfpga-job v1\nexperiment=fig4\nscale_bits=3fa999999999999a\nbenchmarks=24\nseed=42\n"
+        );
+        assert_eq!(
+            job_key(&r).unwrap().as_hex(),
+            sha256_hex(canonical_encoding(&r).unwrap().as_bytes())
+        );
+    }
+
+    #[test]
+    fn rejects_non_canonical_floats() {
+        let base = ExperimentRequest::new(ExperimentKind::Fig4);
+        for (scale, want) in [
+            (f64::NAN, KeyError::NotANumber { field: "scale" }),
+            (f64::INFINITY, KeyError::Infinite { field: "scale" }),
+            (f64::NEG_INFINITY, KeyError::Infinite { field: "scale" }),
+            (-0.0, KeyError::NegativeZero { field: "scale" }),
+        ] {
+            let r = ExperimentRequest { scale, ..base };
+            assert_eq!(job_key(&r).unwrap_err(), want);
+        }
+        // Positive zero is canonical (validation rejects it separately on
+        // range grounds; the key layer is about bit-stability only).
+        assert!(job_key(&ExperimentRequest { scale: 0.0, ..base }).is_ok());
+    }
+
+    #[test]
+    fn hex_parsing_round_trips() {
+        let k = job_key(&ExperimentRequest::new(ExperimentKind::Table1)).unwrap();
+        assert_eq!(JobKey::from_hex(k.as_hex()), Some(k.clone()));
+        assert_eq!(JobKey::from_hex("xyz"), None);
+        assert_eq!(JobKey::from_hex(&k.as_hex().to_uppercase()), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! # nemfpga-service
+//!
+//! The experiment-serving subsystem of the nemfpga workspace: a
+//! long-running server that turns the one-shot `repro` CLI experiments
+//! into cached, deduplicated, batched jobs behind an HTTP/JSON API.
+//!
+//! Layered bottom-up:
+//!
+//! * [`key`] — canonical job keys: a normalized request encoding
+//!   (exact float bit patterns; NaN/−0.0 rejected) hashed with [`sha`]
+//!   into a content address.
+//! * [`cache`] — two-tier result cache: in-memory LRU over an on-disk
+//!   JSON store, keyed by content address.
+//! * [`scheduler`] — bounded job queue with in-flight request
+//!   deduplication, per-job timeouts, and a persistent worker pool
+//!   (`nemfpga_runtime::WorkerPool`).
+//! * [`http`] — a pure-`std` HTTP/1.1 JSON API (plus the matching
+//!   client used by `loadgen` and the tests).
+//! * [`json`] — the deterministic JSON encoder/parser everything above
+//!   shares (the workspace's serde is an offline marker shim).
+//!
+//! The serving contract extends PR 1's determinism guarantee across the
+//! cache and the wire: for any thread count, a served result is
+//! **byte-identical** to what a direct `repro` run of the same
+//! experiment prints to stdout. The executor is injected (the service
+//! crate never depends on the experiment harness), so the contract is
+//! pinned where the harness lives: `nemfpga-bench` wires
+//! `render_experiment` in and its integration tests assert byte
+//! equality end to end.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use nemfpga_service::{Service, ServiceConfig};
+//!
+//! let executor = Arc::new(|req: &nemfpga::ExperimentRequest| {
+//!     Ok(format!("rendered {}\n", req.experiment))
+//! });
+//! let service = Service::start(&ServiceConfig::default(), executor).unwrap();
+//! println!("serving on http://{}", service.addr());
+//! service.shutdown();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod key;
+pub mod metrics;
+pub mod scheduler;
+pub mod sha;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga_runtime::ParallelConfig;
+
+pub use cache::{CacheTier, CachedResult, ResultCache};
+pub use http::{http_request, ClientResponse, ServerHandle};
+pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
+pub use metrics::Metrics;
+pub use scheduler::{
+    Executor, JobState, JobStatus, Scheduler, SchedulerConfig, Submission, SubmitError,
+};
+
+/// Everything needed to stand the service up.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing jobs (0 = one per core).
+    pub parallel: ParallelConfig,
+    /// Bounded submission queue length.
+    pub queue_capacity: usize,
+    /// Per-job deadline.
+    pub job_timeout: Duration,
+    /// In-memory cache capacity (entries).
+    pub cache_capacity: usize,
+    /// On-disk cache directory; `None` disables the disk tier.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            parallel: ParallelConfig::with_threads(2),
+            queue_capacity: 256,
+            job_timeout: Duration::from_secs(300),
+            cache_capacity: 256,
+            cache_dir: Some(PathBuf::from("target/service-cache")),
+        }
+    }
+}
+
+/// A running service: scheduler + cache + HTTP front end.
+pub struct Service {
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<Metrics>,
+    server: ServerHandle,
+}
+
+impl Service {
+    /// Builds the cache, scheduler, and HTTP server and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TCP bind failure.
+    pub fn start(config: &ServiceConfig, executor: Executor) -> std::io::Result<Self> {
+        let metrics = Arc::new(Metrics::default());
+        let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone());
+        let scheduler_cfg = SchedulerConfig {
+            parallel: config.parallel,
+            queue_capacity: config.queue_capacity,
+            job_timeout: config.job_timeout,
+            max_finished_jobs: 1024,
+        };
+        let scheduler =
+            Arc::new(Scheduler::new(&scheduler_cfg, cache, Arc::clone(&metrics), executor));
+        let server = http::serve(&config.addr, Arc::clone(&scheduler), Arc::clone(&metrics))?;
+        Ok(Self { scheduler, metrics, server })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// Direct (in-process) access to the scheduler, bypassing HTTP.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Stops the HTTP server, then drains the scheduler's workers.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+        // Dropping the scheduler joins the worker pool.
+    }
+}

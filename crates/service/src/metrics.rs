@@ -1,0 +1,154 @@
+//! Service counters and latency percentiles for `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// How many recent job latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Monotonic counters plus a sliding latency window. All methods are
+/// lock-free except latency recording/summarizing.
+#[derive(Default)]
+pub struct Metrics {
+    /// Jobs accepted by `POST /jobs` (including cache hits and coalesced).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that ran to successful completion.
+    pub jobs_completed: AtomicU64,
+    /// Jobs whose executor failed.
+    pub jobs_failed: AtomicU64,
+    /// Jobs that hit their deadline (before or during execution).
+    pub jobs_timed_out: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Submissions that coalesced onto an identical in-flight job.
+    pub coalesced: AtomicU64,
+    /// Submissions answered from the in-memory cache tier.
+    pub cache_hits_memory: AtomicU64,
+    /// Submissions answered from the on-disk cache tier.
+    pub cache_hits_disk: AtomicU64,
+    /// Submissions that had to compute.
+    pub cache_misses: AtomicU64,
+    /// HTTP requests served (any route, any status).
+    pub http_requests: AtomicU64,
+    latencies_ms: Mutex<LatencyWindow>,
+}
+
+#[derive(Default)]
+struct LatencyWindow {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl Metrics {
+    /// Records one completed-job execution latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let mut window = self.latencies_ms.lock().expect("metrics lock poisoned");
+        if window.samples.len() < LATENCY_WINDOW {
+            window.samples.push(ms);
+        } else {
+            let slot = window.next % LATENCY_WINDOW;
+            window.samples[slot] = ms;
+        }
+        window.next = (window.next + 1) % LATENCY_WINDOW.max(1);
+    }
+
+    /// Cache hits across both tiers.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits_memory.load(Ordering::Relaxed)
+            + self.cache_hits_disk.load(Ordering::Relaxed)
+    }
+
+    /// Hit ratio over all cache lookups so far (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.cache_hits();
+        let total = hits + self.cache_misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// (p50, p95) of the recorded execution latencies, in milliseconds.
+    pub fn latency_percentiles(&self) -> (f64, f64) {
+        let window = self.latencies_ms.lock().expect("metrics lock poisoned");
+        percentiles(&window.samples)
+    }
+
+    /// Renders every counter as the `/metrics` JSON body. `queue_depth`
+    /// is a gauge sampled by the caller (the scheduler owns the queue).
+    pub fn to_json(&self, queue_depth: usize) -> Value {
+        let (p50, p95) = self.latency_percentiles();
+        let load = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
+        Value::obj(vec![
+            ("jobs_submitted", load(&self.jobs_submitted)),
+            ("jobs_completed", load(&self.jobs_completed)),
+            ("jobs_failed", load(&self.jobs_failed)),
+            ("jobs_timed_out", load(&self.jobs_timed_out)),
+            ("jobs_rejected", load(&self.jobs_rejected)),
+            ("coalesced", load(&self.coalesced)),
+            ("cache_hits_memory", load(&self.cache_hits_memory)),
+            ("cache_hits_disk", load(&self.cache_hits_disk)),
+            ("cache_misses", load(&self.cache_misses)),
+            ("cache_hit_ratio", Value::F64(self.hit_ratio())),
+            ("http_requests", load(&self.http_requests)),
+            ("queue_depth", Value::U64(queue_depth as u64)),
+            ("job_latency_p50_ms", Value::F64(p50)),
+            ("job_latency_p95_ms", Value::F64(p95)),
+        ])
+    }
+}
+
+fn percentiles(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pick = |q: f64| {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    (pick(0.50), pick(0.95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let m = Metrics::default();
+        for i in 1..=100u64 {
+            m.record_latency(Duration::from_millis(i));
+        }
+        let (p50, p95) = m.latency_percentiles();
+        assert!((p50 - 50.0).abs() <= 1.5, "p50 = {p50}");
+        assert!((p95 - 95.0).abs() <= 1.5, "p95 = {p95}");
+    }
+
+    #[test]
+    fn window_wraps_instead_of_growing() {
+        let m = Metrics::default();
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            m.record_latency(Duration::from_millis(5));
+        }
+        assert_eq!(m.latencies_ms.lock().unwrap().samples.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn hit_ratio_counts_both_tiers() {
+        let m = Metrics::default();
+        m.cache_hits_memory.store(6, Ordering::Relaxed);
+        m.cache_hits_disk.store(2, Ordering::Relaxed);
+        m.cache_misses.store(8, Ordering::Relaxed);
+        assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
+        let doc = m.to_json(3);
+        assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("cache_hits_memory").unwrap().as_u64(), Some(6));
+    }
+}

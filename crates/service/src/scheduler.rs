@@ -1,0 +1,578 @@
+//! Job scheduler: bounded queue, in-flight dedup, timeouts, worker pool.
+//!
+//! Every submission is keyed by its canonical [`JobKey`]. The scheduler
+//! answers it from the cheapest source available, in order:
+//!
+//! 1. **Result cache** (memory, then disk) — no job runs at all.
+//! 2. **In-flight coalescing** — an identical job is already queued or
+//!    running; the submission attaches to it and no second computation
+//!    ever starts. This is what keeps a thundering herd of identical
+//!    requests at exactly one compute.
+//! 3. **Fresh execution** on the [`WorkerPool`], behind a bounded queue
+//!    (submission fails fast with [`SubmitError::QueueFull`] when the
+//!    backlog is at capacity — HTTP turns that into 429).
+//!
+//! Timeouts are cooperative: a job that waited in the queue past its
+//! deadline is dropped without running (`TimedOut`); a job already
+//! running cannot be preempted, so waiters stop blocking at the deadline
+//! while the computation finishes and lands in the cache for the next
+//! asker.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nemfpga::request::ExperimentRequest;
+use nemfpga_runtime::{ParallelConfig, WorkerPool};
+
+use crate::cache::{CacheTier, CachedResult, ResultCache};
+use crate::key::{job_key, JobKey};
+use crate::metrics::Metrics;
+
+/// The function that actually computes an experiment. Must be
+/// deterministic: equal requests must produce equal bytes (the cache and
+/// dedup layers assume it).
+pub type Executor = Arc<dyn Fn(&ExperimentRequest) -> Result<String, String> + Send + Sync>;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads executing jobs (0 = one per core).
+    pub parallel: ParallelConfig,
+    /// Maximum jobs waiting in the queue (running jobs excluded).
+    pub queue_capacity: usize,
+    /// Per-job deadline, measured from submission.
+    pub job_timeout: Duration,
+    /// Finished job records kept for `GET /jobs/:id` before eviction.
+    pub max_finished_jobs: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            parallel: ParallelConfig::with_threads(2),
+            queue_capacity: 256,
+            job_timeout: Duration::from_secs(300),
+            max_finished_jobs: 1024,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// Executing.
+    Running,
+    /// Finished; output available.
+    Done,
+    /// Executor returned an error (or panicked).
+    Failed,
+    /// Dropped after waiting in the queue past its deadline.
+    TimedOut,
+}
+
+impl JobState {
+    /// Whether the job will make no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Done | Self::Failed | Self::TimedOut)
+    }
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// A point-in-time snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Scheduler-assigned id (monotonic).
+    pub id: u64,
+    /// Content address of the request.
+    pub key: JobKey,
+    /// The request itself.
+    pub request: ExperimentRequest,
+    /// Current state.
+    pub state: JobState,
+    /// Output bytes, once `Done`.
+    pub output: Option<String>,
+    /// Error message, when `Failed` or `TimedOut`.
+    pub error: Option<String>,
+    /// Whether this job was answered from the cache without computing.
+    pub cached: bool,
+    /// How many later submissions coalesced onto this job.
+    pub coalesced_submissions: u64,
+}
+
+/// Outcome of one submission.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Snapshot of the job the submission landed on.
+    pub status: JobStatus,
+    /// True when this submission attached to an existing in-flight job.
+    pub coalesced: bool,
+    /// Which cache tier answered, if any.
+    pub cache_tier: Option<CacheTier>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request failed validation or has no canonical key.
+    Invalid(String),
+    /// The bounded queue is full; retry later.
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(m) => write!(f, "invalid request: {m}"),
+            Self::QueueFull => f.write_str("job queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Record {
+    status: JobStatus,
+    deadline: Instant,
+}
+
+struct Table {
+    next_id: u64,
+    records: HashMap<u64, Record>,
+    /// key-hex → job id, for every non-terminal job.
+    inflight: HashMap<String, u64>,
+    finished_order: VecDeque<u64>,
+}
+
+struct Shared {
+    table: Mutex<Table>,
+    job_done: Condvar,
+    cache: ResultCache,
+    metrics: Arc<Metrics>,
+    executor: Executor,
+    max_finished_jobs: usize,
+}
+
+/// The scheduler. Dropping it finishes in-flight jobs and joins workers.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    job_timeout: Duration,
+}
+
+impl Scheduler {
+    /// Builds a scheduler around `cache` and `executor`.
+    pub fn new(
+        config: &SchedulerConfig,
+        cache: ResultCache,
+        metrics: Arc<Metrics>,
+        executor: Executor,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            table: Mutex::new(Table {
+                next_id: 1,
+                records: HashMap::new(),
+                inflight: HashMap::new(),
+                finished_order: VecDeque::new(),
+            }),
+            job_done: Condvar::new(),
+            cache,
+            metrics,
+            executor,
+            max_finished_jobs: config.max_finished_jobs.max(1),
+        });
+        Self {
+            shared,
+            pool: WorkerPool::new(&config.parallel, config.queue_capacity),
+            job_timeout: config.job_timeout,
+        }
+    }
+
+    /// Submits a request: cache lookup → in-flight coalescing → fresh
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for malformed requests,
+    /// [`SubmitError::QueueFull`] when the backlog is at capacity.
+    pub fn submit(&self, request: ExperimentRequest) -> Result<Submission, SubmitError> {
+        request.validate().map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let key = job_key(&request).map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let metrics = &self.shared.metrics;
+        metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+        // Tier 1/2: the cache.
+        if let Some((hit, tier)) = self.shared.cache.get(&key) {
+            match tier {
+                CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
+                CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+            };
+            let status = self.insert_finished(key, request, hit.output);
+            return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
+        }
+
+        // In-flight coalescing, then fresh execution. Both paths hold the
+        // table lock so two identical concurrent submissions cannot both
+        // decide to compute.
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        if let Some(&id) = table.inflight.get(key.as_hex()) {
+            let record = table.records.get_mut(&id).expect("in-flight job has a record");
+            record.status.coalesced_submissions += 1;
+            metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+            let status = record.status.clone();
+            return Ok(Submission { status, coalesced: true, cache_tier: None });
+        }
+
+        // The first cache lookup can race with completion: the identical
+        // in-flight job may finish between that miss and taking the table
+        // lock, leaving the key in neither `inflight` nor (yet) this
+        // submission's view of the cache. `run_job` publishes to the cache
+        // *before* deregistering from `inflight`, so re-checking the cache
+        // under the table lock is decisive — without it the loser of the
+        // race would recompute a result it could have served.
+        if let Some((hit, tier)) = self.shared.cache.get(&key) {
+            drop(table);
+            match tier {
+                CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
+                CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+            };
+            let status = self.insert_finished(key, request, hit.output);
+            return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
+        }
+
+        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let id = table.next_id;
+        table.next_id += 1;
+        let status = JobStatus {
+            id,
+            key: key.clone(),
+            request,
+            state: JobState::Queued,
+            output: None,
+            error: None,
+            cached: false,
+            coalesced_submissions: 0,
+        };
+        table.records.insert(
+            id,
+            Record { status: status.clone(), deadline: Instant::now() + self.job_timeout },
+        );
+        table.inflight.insert(key.as_hex().to_owned(), id);
+
+        let shared = Arc::clone(&self.shared);
+        let submit_result = self.pool.try_submit(move || run_job(&shared, id));
+        if submit_result.is_err() {
+            // Roll the record back; the submission never happened.
+            table.records.remove(&id);
+            table.inflight.remove(key.as_hex());
+            metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        drop(table);
+        Ok(Submission { status, coalesced: false, cache_tier: None })
+    }
+
+    /// Snapshot of one job, if its record still exists.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let table = self.shared.table.lock().expect("job table poisoned");
+        table.records.get(&id).map(|r| r.status.clone())
+    }
+
+    /// Blocks until job `id` reaches a terminal state or `max_wait`
+    /// elapses, returning the final snapshot either way.
+    pub fn wait_for(&self, id: u64, max_wait: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + max_wait;
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        loop {
+            let status = table.records.get(&id)?.status.clone();
+            if status.state.is_terminal() {
+                return Some(status);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(status);
+            }
+            let (guard, _) = self
+                .shared
+                .job_done
+                .wait_timeout(table, deadline - now)
+                .expect("job table poisoned");
+            table = guard;
+        }
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// Direct cache access for `GET /results/:key` (does not touch the
+    /// hit/miss counters — only submissions are sampled for the ratio).
+    pub fn cached_result(&self, key: &JobKey) -> Option<CachedResult> {
+        self.shared.cache.get(key).map(|(v, _)| v)
+    }
+
+    /// The configured per-job deadline.
+    pub fn job_timeout(&self) -> Duration {
+        self.job_timeout
+    }
+
+    fn insert_finished(
+        &self,
+        key: JobKey,
+        request: ExperimentRequest,
+        output: String,
+    ) -> JobStatus {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        let id = table.next_id;
+        table.next_id += 1;
+        let status = JobStatus {
+            id,
+            key,
+            request,
+            state: JobState::Done,
+            output: Some(output),
+            error: None,
+            cached: true,
+            coalesced_submissions: 0,
+        };
+        table.records.insert(id, Record { status: status.clone(), deadline: Instant::now() });
+        finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
+        status
+    }
+}
+
+/// Moves `id` into the finished ring, evicting the oldest record beyond
+/// the cap. Caller holds the table lock.
+fn finish_bookkeeping(table: &mut Table, max_finished: usize, id: u64) {
+    table.finished_order.push_back(id);
+    while table.finished_order.len() > max_finished {
+        if let Some(old) = table.finished_order.pop_front() {
+            table.records.remove(&old);
+        }
+    }
+}
+
+/// Worker-side execution of job `id`.
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let (request, key, deadline) = {
+        let mut table = shared.table.lock().expect("job table poisoned");
+        let Some(record) = table.records.get_mut(&id) else { return };
+        if Instant::now() > record.deadline {
+            record.status.state = JobState::TimedOut;
+            record.status.error = Some("timed out waiting in queue".to_owned());
+            shared.metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            let key_hex = record.status.key.as_hex().to_owned();
+            table.inflight.remove(&key_hex);
+            finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+            drop(table);
+            shared.job_done.notify_all();
+            return;
+        }
+        record.status.state = JobState::Running;
+        (record.status.request, record.status.key.clone(), record.deadline)
+    };
+    let _ = deadline; // Running jobs are not preempted; see module docs.
+
+    let started = Instant::now();
+    let executor = Arc::clone(&shared.executor);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| executor(&request)))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            Err(format!("executor panicked: {msg}"))
+        });
+    let elapsed = started.elapsed();
+
+    if let Ok(output) = &outcome {
+        // Cache before publishing the state so a waiter that sees `Done`
+        // can always fetch `/results/:key`.
+        shared.cache.put(
+            &key,
+            CachedResult {
+                experiment: request.experiment.name().to_owned(),
+                output: output.clone(),
+            },
+        );
+    }
+
+    let mut table = shared.table.lock().expect("job table poisoned");
+    table.inflight.remove(key.as_hex());
+    if let Some(record) = table.records.get_mut(&id) {
+        match outcome {
+            Ok(output) => {
+                record.status.state = JobState::Done;
+                record.status.output = Some(output);
+                shared.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_latency(elapsed);
+            }
+            Err(error) => {
+                record.status.state = JobState::Failed;
+                record.status.error = Some(error);
+                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+    }
+    drop(table);
+    shared.job_done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga::request::ExperimentKind;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_executor(delay: Duration) -> (Executor, Arc<AtomicUsize>) {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let exec: Executor = Arc::new(move |req: &ExperimentRequest| {
+            std::thread::sleep(delay);
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("output for {} seed {}\n", req.experiment, req.seed))
+        });
+        (exec, count)
+    }
+
+    fn scheduler(executor: Executor, cfg: &SchedulerConfig) -> Scheduler {
+        Scheduler::new(cfg, ResultCache::new(64, None), Arc::new(Metrics::default()), executor)
+    }
+
+    fn request(seed: u64) -> ExperimentRequest {
+        ExperimentRequest { seed, ..ExperimentRequest::new(ExperimentKind::Fig4) }
+    }
+
+    #[test]
+    fn executes_and_caches() {
+        let (exec, count) = counting_executor(Duration::ZERO);
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let sub = s.submit(request(1)).unwrap();
+        assert!(!sub.coalesced);
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.output.as_deref(), Some("output for fig4 seed 1\n"));
+        // Second submission: cache hit, no second computation.
+        let again = s.submit(request(1)).unwrap();
+        assert_eq!(again.cache_tier, Some(CacheTier::Memory));
+        assert_eq!(again.status.output.as_deref(), Some("output for fig4 seed 1\n"));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce_to_one_compute() {
+        let (exec, count) = counting_executor(Duration::from_millis(200));
+        let s = Arc::new(scheduler(exec, &SchedulerConfig::default()));
+        let ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || s.submit(request(2)).unwrap().status.id)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All submissions landed on the same job.
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "ids: {ids:?}");
+        let done = s.wait_for(ids[0], Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.coalesced_submissions, 7);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_requests_do_not_coalesce() {
+        let (exec, count) = counting_executor(Duration::ZERO);
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let a = s.submit(request(10)).unwrap();
+        let b = s.submit(request(11)).unwrap();
+        assert_ne!(a.status.key, b.status.key);
+        for sub in [a, b] {
+            assert_eq!(
+                s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap().state,
+                JobState::Done
+            );
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_up_front() {
+        let (exec, count) = counting_executor(Duration::ZERO);
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let mut bad = request(1);
+        bad.scale = f64::NAN;
+        assert!(matches!(s.submit(bad), Err(SubmitError::Invalid(_))));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        let (exec, _) = counting_executor(Duration::from_millis(300));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 1,
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        // First fills the worker, second fills the queue; the rest of the
+        // distinct submissions must bounce.
+        let mut rejected = 0;
+        for seed in 0..8 {
+            if matches!(s.submit(request(100 + seed)), Err(SubmitError::QueueFull)) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "expected at least one QueueFull");
+    }
+
+    #[test]
+    fn queued_jobs_past_deadline_time_out_without_running() {
+        let (exec, count) = counting_executor(Duration::from_millis(250));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 4,
+            job_timeout: Duration::from_millis(100),
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let first = s.submit(request(20)).unwrap();
+        let second = s.submit(request(21)).unwrap();
+        let done = s.wait_for(second.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::TimedOut, "queued past its 100ms deadline");
+        assert_eq!(
+            s.wait_for(first.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn executor_panic_becomes_failed_job() {
+        let exec: Executor = Arc::new(|_| panic!("boom"));
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let sub = s.submit(request(30)).unwrap();
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Failed);
+        assert!(done.error.unwrap().contains("boom"));
+        // The scheduler survives: the next job still runs.
+        let sub2 = s.submit(request(31)).unwrap();
+        assert_eq!(sub2.status.state, JobState::Queued);
+    }
+}

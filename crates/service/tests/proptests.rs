@@ -1,0 +1,129 @@
+//! Property tests for job-key canonicalization: the cache's correctness
+//! rests on the key being a total, pure, thread-independent function of
+//! the request.
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_service::{canonical_encoding, canonical_f64, job_key, KeyError};
+use proptest::prelude::*;
+
+/// Samples an arbitrary valid-ish request (floats drawn from the open
+/// unit interval, so canonicalization always succeeds).
+fn request_from(kind_index: usize, scale: f64, benchmarks: usize, seed: u64) -> ExperimentRequest {
+    let kind = ExperimentKind::ALL[kind_index % ExperimentKind::ALL.len()];
+    let mut request = ExperimentRequest::new(kind);
+    request.scale = scale;
+    request.benchmarks = benchmarks;
+    request.seed = seed;
+    request
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Identical requests — however independently constructed — hash to
+    /// identical keys, and the key is well-formed hex.
+    #[test]
+    fn equal_requests_hash_equal(
+        kind_index in 0usize..32,
+        scale in 0.0001f64..1.0,
+        benchmarks in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let a = request_from(kind_index, scale, benchmarks, seed);
+        let b = request_from(kind_index, scale, benchmarks, seed);
+        let ka = job_key(&a).expect("canonical");
+        let kb = job_key(&b).expect("canonical");
+        prop_assert_eq!(&ka, &kb);
+        prop_assert_eq!(ka.as_hex().len(), 64);
+        prop_assert!(ka.as_hex().bytes().all(|c| matches!(c, b'0'..=b'9' | b'a'..=b'f')));
+        prop_assert_eq!(canonical_encoding(&a).unwrap(), canonical_encoding(&b).unwrap());
+    }
+
+    /// Requests differing in any single field get different keys.
+    #[test]
+    fn distinct_seeds_hash_distinct(
+        kind_index in 0usize..32,
+        scale in 0.0001f64..1.0,
+        benchmarks in 1usize..25,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let a = request_from(kind_index, scale, benchmarks, seed_a);
+        let b = request_from(kind_index, scale, benchmarks, seed_b);
+        prop_assert_ne!(job_key(&a).expect("canonical"), job_key(&b).expect("canonical"));
+    }
+
+    /// `canonical_f64` is total: for EVERY 64-bit pattern it either
+    /// returns the exact input bits or a classified rejection — never a
+    /// panic, never a normalized (information-losing) value.
+    #[test]
+    fn float_canonicalization_is_total(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        match canonical_f64("scale", x) {
+            Ok(canonical) => {
+                prop_assert_eq!(canonical, bits, "canonicalization must be bit-exact");
+                prop_assert!(x.is_finite());
+                prop_assert!(!(x == 0.0 && x.is_sign_negative()));
+            }
+            Err(KeyError::NotANumber { field }) => {
+                prop_assert!(x.is_nan());
+                prop_assert_eq!(field, "scale");
+            }
+            Err(KeyError::Infinite { .. }) => prop_assert!(x.is_infinite()),
+            Err(KeyError::NegativeZero { .. }) => {
+                prop_assert_eq!(bits, (-0.0f64).to_bits());
+            }
+        }
+    }
+
+    /// Every NaN payload (quiet or signaling, any sign) is rejected —
+    /// no NaN bit pattern sneaks into a content address.
+    #[test]
+    fn all_nan_payloads_are_rejected(bits in any::<u64>()) {
+        let mantissa = (bits & 0x000f_ffff_ffff_ffff) | 1; // nonzero => NaN
+        let nan = f64::from_bits((bits & (1 << 63)) | (0x7ff << 52) | mantissa);
+        prop_assert!(nan.is_nan());
+        let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+        request.scale = nan;
+        prop_assert_eq!(job_key(&request), Err(KeyError::NotANumber { field: "scale" }));
+    }
+
+    /// Infinities are rejected, both signs.
+    #[test]
+    fn infinities_are_rejected(negative in any::<bool>(), kind_index in 0usize..32) {
+        let mut request = request_from(kind_index, 0.05, 24, 42);
+        request.scale = if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+        prop_assert_eq!(job_key(&request), Err(KeyError::Infinite { field: "scale" }));
+    }
+
+    /// The key is stable across threads: computing it concurrently on
+    /// many OS threads always agrees with the serial computation, and the
+    /// canonical encoding carries no thread/parallelism field at all (the
+    /// engine's determinism contract keeps results thread-invariant, so
+    /// thread count must never split the cache).
+    #[test]
+    fn key_is_stable_across_thread_counts(
+        kind_index in 0usize..32,
+        scale in 0.0001f64..1.0,
+        seed in any::<u64>(),
+        threads in 2usize..8,
+    ) {
+        let request = request_from(kind_index, scale, 24, seed);
+        let serial_key = job_key(&request).expect("canonical");
+        let concurrent: Vec<_> = std::thread::scope(|scope| {
+            (0..threads)
+                .map(|_| scope.spawn(|| job_key(&request).expect("canonical")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("no panic"))
+                .collect()
+        });
+        for key in concurrent {
+            prop_assert_eq!(&key, &serial_key);
+        }
+        let encoding = canonical_encoding(&request).unwrap();
+        prop_assert!(!encoding.to_ascii_lowercase().contains("thread"));
+        prop_assert!(!encoding.to_ascii_lowercase().contains("parallel"));
+    }
+}

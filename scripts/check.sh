@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Full local gate: format, lints, tests, and a smoke pass over every
-# Criterion bench. Run before pushing.
+# Full local gate: format, lints, tests, a service smoke test, and a
+# smoke pass over every Criterion bench. Run before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Fail fast, with an actionable message, when a required cargo component
+# is missing — a bare `cargo fmt` failure on a fresh toolchain is cryptic.
+require_component() {
+    local subcommand="$1" component="$2"
+    if ! cargo "$subcommand" --version >/dev/null 2>&1; then
+        echo "error: \`cargo $subcommand\` is not available." >&2
+        echo "       Install it with: rustup component add $component" >&2
+        exit 1
+    fi
+}
+require_component fmt rustfmt
+require_component clippy clippy
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -12,6 +25,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> service smoke test (serve --self-test)"
+cargo run -q -p nemfpga-bench --bin serve -- --self-test
 
 echo "==> cargo bench -- --test (smoke)"
 cargo bench --workspace -- --test
