@@ -1,0 +1,71 @@
+//! Exit-code contract for the `repro` binary.
+//!
+//! Scripts (and `scripts/check.sh`) branch on these codes, so they are
+//! API: `0` success, `2` for any malformed invocation — with the usage
+//! string on stderr so the caller's log says what legal looks like.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("spawn repro")
+}
+
+fn assert_usage_exit_2(args: &[&str]) {
+    let out = repro(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "repro {args:?} should exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("usage: repro"),
+        "repro {args:?} must print usage on stderr, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("repro: "),
+        "repro {args:?} must name itself in the error line, got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_option_exits_2_with_usage() {
+    assert_usage_exit_2(&["--no-such-flag"]);
+}
+
+#[test]
+fn unknown_experiment_exits_2_with_usage() {
+    assert_usage_exit_2(&["fig99"]);
+}
+
+#[test]
+fn malformed_flag_value_exits_2_with_usage() {
+    assert_usage_exit_2(&["fig4", "--scale", "not-a-number"]);
+    assert_usage_exit_2(&["fig4", "--seed", "-3"]);
+}
+
+#[test]
+fn missing_flag_value_exits_2_with_usage() {
+    assert_usage_exit_2(&["fig4", "--scale"]);
+}
+
+#[test]
+fn out_of_range_scale_fails_validation_with_exit_2() {
+    assert_usage_exit_2(&["fig4", "--scale", "0"]);
+    assert_usage_exit_2(&["fig4", "--scale", "2.5"]);
+}
+
+#[test]
+fn naming_two_experiments_exits_2_with_usage() {
+    assert_usage_exit_2(&["fig4", "table1"]);
+}
+
+#[test]
+fn help_exits_0_with_usage_on_stdout() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: repro"), "stdout: {stdout}");
+    assert!(out.stderr.is_empty(), "--help must not write to stderr");
+}

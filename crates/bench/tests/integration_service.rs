@@ -12,18 +12,25 @@ use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::json::Value;
 use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+use nemfpga_testkit::{FaultScope, Gate};
 
 const TIMEOUT: Duration = Duration::from_secs(120);
 
-/// A service whose executor counts invocations (and can stall, so
-/// concurrent duplicates reliably overlap in flight).
-fn start_counting_service(compute_delay: Duration) -> (Service, Arc<AtomicUsize>) {
+/// A service whose executor counts invocations. With a [`Gate`], the
+/// executor blocks until the test opens it — a deterministic
+/// happens-before edge replacing the old "sleep 200 ms and hope the
+/// duplicates overlap in flight".
+fn start_counting_service(hold: Option<Gate>) -> (Service, Arc<AtomicUsize>) {
     let computations = Arc::new(AtomicUsize::new(0));
     let counter = Arc::clone(&computations);
     let parallel = ParallelConfig::with_threads(2);
     let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
         counter.fetch_add(1, Ordering::SeqCst);
-        std::thread::sleep(compute_delay);
+        if let Some(gate) = &hold {
+            if !gate.wait_open(TIMEOUT) {
+                return Err("test gate never opened".to_owned());
+            }
+        }
         Ok(render_experiment(request, &parallel))
     });
     let config = ServiceConfig {
@@ -49,17 +56,28 @@ fn field<'a>(doc: &'a Value, name: &str) -> &'a Value {
 
 #[test]
 fn duplicate_concurrent_jobs_run_exactly_one_computation() {
-    let (service, computations) = start_counting_service(Duration::from_millis(200));
+    // A probe on the scheduler's outcome sites counts settled
+    // submissions; the executor is gated until all eight have passed
+    // `submit`, so exactly one is fresh and seven coalesce onto it —
+    // deterministically, with no timing assumptions.
+    let scope_guard = FaultScope::begin();
+    let outcomes = scope_guard.probe(&[
+        "scheduler.outcome.cached",
+        "scheduler.outcome.coalesced",
+        "scheduler.outcome.fresh",
+    ]);
+    let hold = Gate::new();
+    let (service, computations) = start_counting_service(Some(hold.clone()));
     let addr = service.addr();
     const CLIENTS: usize = 8;
 
-    let gate = Arc::new(Barrier::new(CLIENTS));
+    let start_line = Arc::new(Barrier::new(CLIENTS));
     let responses: Vec<_> = std::thread::scope(|scope| {
-        (0..CLIENTS)
+        let handles: Vec<_> = (0..CLIENTS)
             .map(|_| {
-                let gate = Arc::clone(&gate);
+                let start_line = Arc::clone(&start_line);
                 scope.spawn(move || {
-                    gate.wait();
+                    start_line.wait();
                     http_request(
                         addr,
                         "POST",
@@ -70,15 +88,19 @@ fn duplicate_concurrent_jobs_run_exactly_one_computation() {
                     .expect("request succeeds")
                 })
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
+            .collect();
+        // Release the executor only once every submission has settled
+        // through the scheduler — the event itself, not elapsed time.
+        assert!(
+            outcomes.wait_until(CLIENTS as u64, TIMEOUT),
+            "not all submissions reached the scheduler"
+        );
+        hold.open();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
 
     // Exactly one executor invocation across all eight identical
-    // submissions: the rest coalesced onto it (or hit the cache if they
-    // raced in after completion).
+    // submissions: the rest coalesced onto the in-flight one.
     assert_eq!(computations.load(Ordering::SeqCst), 1, "duplicates must not recompute");
 
     let expected =
@@ -98,7 +120,9 @@ fn duplicate_concurrent_jobs_run_exactly_one_computation() {
         }
         keys.push(field(&response.body, "key").as_str().expect("key").to_owned());
     }
-    assert!(coalesced > 0, "expected some submissions to coalesce in flight");
+    // The gate guarantees all eight were in flight together, so the
+    // split is exact: one fresh submission, seven coalesced.
+    assert_eq!(coalesced, CLIENTS - 1, "all duplicates must coalesce onto the first");
     assert!(keys.windows(2).all(|w| w[0] == w[1]), "identical requests share one key");
 
     // The scheduler-side metric agrees with the client-observed flags.
@@ -113,11 +137,12 @@ fn duplicate_concurrent_jobs_run_exactly_one_computation() {
     assert_eq!(field(&result.body, "output").as_str(), Some(expected.as_str()));
 
     service.shutdown();
+    drop(scope_guard);
 }
 
 #[test]
 fn resubmission_is_served_from_cache_without_recompute() {
-    let (service, computations) = start_counting_service(Duration::ZERO);
+    let (service, computations) = start_counting_service(None);
     let addr = service.addr();
     let body = submit_body(ExperimentKind::Table1);
 
@@ -146,7 +171,7 @@ fn resubmission_is_served_from_cache_without_recompute() {
 
 #[test]
 fn served_results_match_direct_repro_at_any_thread_count() {
-    let (service, _) = start_counting_service(Duration::ZERO);
+    let (service, _) = start_counting_service(None);
     let addr = service.addr();
     for kind in [ExperimentKind::Table1, ExperimentKind::Fig2b, ExperimentKind::Fig11] {
         let response =
@@ -164,7 +189,7 @@ fn served_results_match_direct_repro_at_any_thread_count() {
 
 #[test]
 fn invalid_requests_are_rejected_with_400() {
-    let (service, computations) = start_counting_service(Duration::ZERO);
+    let (service, computations) = start_counting_service(None);
     let addr = service.addr();
     let cases = [
         Value::obj(vec![("experiment", Value::Str("fig99".to_owned()))]),

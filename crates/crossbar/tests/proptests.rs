@@ -4,7 +4,7 @@
 
 use nemfpga_crossbar::array::{Configuration, CrossbarArray};
 use nemfpga_crossbar::levels::ProgrammingLevels;
-use nemfpga_crossbar::program::{program, reset};
+use nemfpga_crossbar::program::{program, reprogram_column, reset};
 use nemfpga_crossbar::window::solve_window;
 use nemfpga_device::variation::{PopulationStats, VariationModel};
 use nemfpga_device::NemRelayDevice;
@@ -101,5 +101,109 @@ proptest! {
         let log =
             program(&mut xbar, &target, &ProgrammingLevels::paper_demo()).expect("programs");
         prop_assert_eq!(log.switching_events as usize, target.on_count());
+    }
+
+    /// The half-select guarantee, exhaustively per array: for every
+    /// array shape from 2x2 to 8x8 and EVERY target cell, programming
+    /// just that relay (a one-bit column rewrite) never disturbs any
+    /// half-selected relay — every relay whose window straddles the hold
+    /// voltage (`Vpo < Vhold < Vpi`) keeps its state.
+    #[test]
+    fn single_relay_writes_never_disturb_half_selected_relays(
+        rows in 2usize..9,
+        cols in 2usize..9,
+        seed_bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let levels = ProgrammingLevels::paper_demo();
+        let initial =
+            Configuration::from_bits(rows, cols, &seed_bits[..rows * cols]).expect("shape");
+        let mut programmed =
+            CrossbarArray::uniform(rows, cols, NemRelayDevice::fabricated()).expect("builds");
+        program(&mut programmed, &initial, &levels).expect("programs");
+
+        // The precondition the paper's scheme rests on: every relay is
+        // genuinely half-selectable at these levels.
+        for r in 0..rows {
+            for c in 0..cols {
+                let device = programmed.relay(r, c).expect("in bounds").device();
+                prop_assert!(device.pull_out_voltage().value() < levels.vhold.value());
+                prop_assert!(levels.vhold.value() < device.pull_in_voltage().value());
+            }
+        }
+
+        for target_row in 0..rows {
+            for target_col in 0..cols {
+                for new_bit in [true, false] {
+                    let mut xbar = programmed.clone();
+                    let mut column: Vec<bool> =
+                        (0..rows).map(|r| initial.get(r, target_col)).collect();
+                    column[target_row] = new_bit;
+                    reprogram_column(&mut xbar, target_col, &column, &levels)
+                        .expect("reprograms");
+
+                    let mut expected = initial.clone();
+                    expected.set(target_row, target_col, new_bit);
+                    prop_assert_eq!(
+                        xbar.state_configuration(),
+                        expected,
+                        "writing ({}, {}) <- {} disturbed a half-selected relay",
+                        target_row,
+                        target_col,
+                        new_bit
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same half-select guarantee on fabrication-varied populations
+    /// programmed at their *solved* window: variation moves every Vpi /
+    /// Vpo, yet single-relay writes still leave the rest of the array
+    /// untouched as long as each relay's window straddles the solved
+    /// Vhold.
+    #[test]
+    fn half_select_holds_on_varied_populations_with_solved_window(
+        seed in 0u64..300,
+        rows in 2usize..7,
+        cols in 2usize..7,
+        seed_bits in prop::collection::vec(any::<bool>(), 36),
+    ) {
+        let pop = VariationModel::fabrication_default().sample_population(
+            &NemRelayDevice::fabricated(),
+            rows * cols,
+            seed,
+        );
+        let stats = PopulationStats::of(&pop);
+        prop_assume!(stats.exact_feasibility_condition());
+        let solved = solve_window(&stats).expect("feasible population solves");
+        let levels = solved.levels;
+
+        let initial =
+            Configuration::from_bits(rows, cols, &seed_bits[..rows * cols]).expect("shape");
+        let mut programmed = CrossbarArray::from_population(rows, cols, &pop).expect("builds");
+        program(&mut programmed, &initial, &levels).expect("programs");
+
+        for (i, device) in pop.iter().enumerate() {
+            prop_assert!(
+                device.pull_out_voltage().value() < levels.vhold.value()
+                    && levels.vhold.value() < device.pull_in_voltage().value(),
+                "device {} is not half-selectable at the solved window",
+                i
+            );
+        }
+
+        for target_row in 0..rows {
+            for target_col in 0..cols {
+                let mut xbar = programmed.clone();
+                let mut column: Vec<bool> =
+                    (0..rows).map(|r| initial.get(r, target_col)).collect();
+                column[target_row] = !column[target_row];
+                reprogram_column(&mut xbar, target_col, &column, &levels).expect("reprograms");
+
+                let mut expected = initial.clone();
+                expected.set(target_row, target_col, !initial.get(target_row, target_col));
+                prop_assert_eq!(xbar.state_configuration(), expected);
+            }
+        }
     }
 }

@@ -1,0 +1,268 @@
+//! Deterministic fault-injection points.
+//!
+//! The serving stack's hard paths — disk corruption, worker panics,
+//! queue-timeout races — are exactly the ones nominal tests never walk.
+//! This module gives the workspace named *fault points*: places in
+//! production code that ask "should anything go wrong here?" and get a
+//! [`FaultAction`] back. In a release build (the default, without the
+//! `fault-injection` feature) the question compiles to a constant
+//! `FaultAction::None` and every site folds away to nothing; with the
+//! feature on, `nemfpga-testkit` arms a process-global registry with
+//! seeded, reproducible fault schedules and drives chaos runs through
+//! the exact binaries users run.
+//!
+//! Two layers:
+//!
+//! * [`FaultPoint`] — a `const`-constructible named site. Production
+//!   code declares `static P: FaultPoint = FaultPoint::new("cache.read_disk")`
+//!   and calls `P.fire()` where the fault would strike.
+//! * the registry ([`install`]/[`uninstall`]/[`reset`]/[`hits`], feature-gated) —
+//!   maps site names to hooks `Fn(hit_ordinal) -> FaultAction`. The fast
+//!   path is a single relaxed atomic load when nothing is armed, so the
+//!   feature can stay on for every test build without skewing timings.
+//!
+//! Hook closures run *outside* the registry lock, so a hook may inspect
+//! [`hits`] or block on a condvar (the testkit's deterministic
+//! notification probes do exactly that). A site has at most one hook;
+//! installing again replaces it.
+
+use std::time::Duration;
+
+/// What a fault point should do when production code fires it.
+///
+/// The interpretation is site-specific and documented at each site; a
+/// site that receives an action it does not understand must treat it as
+/// [`FaultAction::None`] (fault plans are allowed to arm any site with
+/// any action).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Nothing happens (the only value without the feature).
+    None,
+    /// Fail the operation with this message (I/O error, executor error).
+    Err(String),
+    /// Sleep this long before proceeding (scheduling jitter, slow disks).
+    Delay(Duration),
+    /// Panic with this message at the site.
+    Panic(String),
+    /// Corrupt the bytes the operation handles (cache disk entries).
+    Corrupt,
+    /// Truncate the bytes the operation handles (torn disk writes).
+    ShortRead,
+    /// Skew a deadline earlier by this many milliseconds (clock skew).
+    SkewMillis(u64),
+    /// Generic boolean switch: "yes, take the guarded branch". Used for
+    /// bug-reintroduction sites and observation probes.
+    Trigger,
+}
+
+impl FaultAction {
+    /// True when the action is [`FaultAction::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, Self::None)
+    }
+
+    /// Applies the two universally-interpretable actions in place:
+    /// sleeps on `Delay`, panics on `Panic`. Everything else (including
+    /// `None`) is returned for the site to interpret.
+    pub fn apply_basic(self) -> Self {
+        match self {
+            Self::Delay(d) => {
+                std::thread::sleep(d);
+                Self::None
+            }
+            Self::Panic(msg) => panic!("injected fault: {msg}"),
+            other => other,
+        }
+    }
+}
+
+/// A named fault-injection site. `const`-constructible so sites are
+/// `static` items with zero startup cost.
+pub struct FaultPoint {
+    site: &'static str,
+}
+
+impl FaultPoint {
+    /// Declares a site. Names are dotted paths, `component.operation`
+    /// (e.g. `"cache.read_disk"`); the full list lives in TESTING.md.
+    pub const fn new(site: &'static str) -> Self {
+        Self { site }
+    }
+
+    /// The site name.
+    pub fn site(&self) -> &'static str {
+        self.site
+    }
+
+    /// Asks the registry whether a fault strikes here now.
+    #[inline]
+    pub fn fire(&self) -> FaultAction {
+        hit(self.site)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::FaultAction;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    /// A hook decides the action for each hit; it receives the 1-based
+    /// ordinal of the hit on its site (counted while the hook was
+    /// installed), which is what makes "fail the 3rd read" expressible.
+    pub type Hook = Arc<dyn Fn(u64) -> FaultAction + Send + Sync>;
+
+    struct SiteState {
+        hook: Hook,
+        hits: u64,
+    }
+
+    /// Armed-site count; the only thing the unarmed fast path touches.
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+    fn map() -> MutexGuard<'static, HashMap<String, SiteState>> {
+        static MAP: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+        // A panicking hook (deliberate, for Panic actions) poisons the
+        // lock; the map itself is always left consistent, so recover.
+        match MAP.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Arms `site` with `hook`, replacing any existing hook. The hit
+    /// counter restarts at zero.
+    pub fn install(site: &str, hook: Hook) {
+        let mut m = map();
+        if m.insert(site.to_owned(), SiteState { hook, hits: 0 }).is_none() {
+            ACTIVE.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Disarms `site` (no-op when not armed).
+    pub fn uninstall(site: &str) {
+        let mut m = map();
+        if m.remove(site).is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn reset() {
+        let mut m = map();
+        let n = m.len();
+        m.clear();
+        ACTIVE.fetch_sub(n, Ordering::Release);
+    }
+
+    /// How many times `site` fired while armed.
+    pub fn hits(site: &str) -> u64 {
+        map().get(site).map_or(0, |s| s.hits)
+    }
+
+    /// Production side: called by [`super::FaultPoint::fire`].
+    pub fn hit(site: &str) -> FaultAction {
+        if ACTIVE.load(Ordering::Acquire) == 0 {
+            return FaultAction::None;
+        }
+        let armed = {
+            let mut m = map();
+            m.get_mut(site).map(|s| {
+                s.hits += 1;
+                (Arc::clone(&s.hook), s.hits)
+            })
+        };
+        // The hook runs without the registry lock so it may consult the
+        // registry itself or block on test-side synchronization.
+        match armed {
+            Some((hook, ordinal)) => hook(ordinal),
+            None => FaultAction::None,
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use registry::{hit, hits, install, reset, uninstall, Hook};
+
+/// Without the `fault-injection` feature every site is inert: this
+/// constant-folds to `FaultAction::None` and the sites vanish.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> FaultAction {
+    FaultAction::None
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// The registry is process-global; tests that arm it must not
+    /// overlap.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn unarmed_sites_fire_none() {
+        let _g = exclusive();
+        reset();
+        static P: FaultPoint = FaultPoint::new("test.unarmed");
+        assert!(P.fire().is_none());
+        assert_eq!(hits("test.unarmed"), 0);
+    }
+
+    #[test]
+    fn hooks_see_hit_ordinals_and_reset_disarms() {
+        let _g = exclusive();
+        reset();
+        install(
+            "test.nth",
+            Arc::new(|n| if n == 2 { FaultAction::Trigger } else { FaultAction::None }),
+        );
+        static P: FaultPoint = FaultPoint::new("test.nth");
+        assert!(P.fire().is_none());
+        assert_eq!(P.fire(), FaultAction::Trigger);
+        assert!(P.fire().is_none());
+        assert_eq!(hits("test.nth"), 3);
+        reset();
+        assert!(P.fire().is_none());
+        assert_eq!(hits("test.nth"), 0);
+    }
+
+    #[test]
+    fn install_replaces_and_uninstall_removes() {
+        let _g = exclusive();
+        reset();
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&seen);
+        install(
+            "test.replace",
+            Arc::new(move |_| {
+                s.fetch_add(1, Ordering::SeqCst);
+                FaultAction::Corrupt
+            }),
+        );
+        install("test.replace", Arc::new(|_| FaultAction::ShortRead));
+        assert_eq!(hit("test.replace"), FaultAction::ShortRead);
+        assert_eq!(seen.load(Ordering::SeqCst), 0, "replaced hook must not run");
+        uninstall("test.replace");
+        assert!(hit("test.replace").is_none());
+        reset();
+    }
+
+    #[test]
+    fn apply_basic_sleeps_and_passes_through() {
+        let t0 = std::time::Instant::now();
+        assert!(FaultAction::Delay(Duration::from_millis(5)).apply_basic().is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        assert_eq!(FaultAction::Corrupt.apply_basic(), FaultAction::Corrupt);
+        assert!(FaultAction::None.apply_basic().is_none());
+    }
+}

@@ -13,11 +13,18 @@
 //! fetch `rustc_hash` offline, so the (tiny, public-domain-algorithm)
 //! hasher is implemented here — and [`mix_seed`], the SplitMix64 stream
 //! splitter that keys per-sample RNG streams by `(seed, index)`.
+//!
+//! For adversarial testing, [`faults`] defines named fault-injection
+//! points that the serving stack threads through its hard paths; they
+//! are inert unless the `fault-injection` feature is on and a test has
+//! armed the registry.
 
+pub mod faults;
 pub mod hash;
 pub mod pool;
 pub mod workers;
 
+pub use faults::{FaultAction, FaultPoint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{parallel_map, parallel_map_cfg};
 pub use workers::{PoolFull, WorkerPool};

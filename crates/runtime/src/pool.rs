@@ -9,7 +9,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::faults::FaultPoint;
 use crate::ParallelConfig;
+
+/// Fires once per claimed chunk. `Delay` perturbs worker scheduling so
+/// chaos runs exercise the ordered merge under adversarial interleaving.
+static FAULT_CHUNK: FaultPoint = FaultPoint::new("pool.chunk");
 
 /// Work items claimed per cursor fetch. Small enough to balance uneven
 /// per-item costs, large enough to keep cursor contention negligible.
@@ -44,6 +49,7 @@ where
                 if start >= items.len() {
                     break;
                 }
+                let _ = FAULT_CHUNK.fire().apply_basic();
                 let end = (start + CHUNK).min(items.len());
                 let chunk: Vec<U> = items[start..end]
                     .iter()

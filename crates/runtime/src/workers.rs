@@ -12,7 +12,12 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::faults::FaultPoint;
 use crate::ParallelConfig;
+
+/// Fires once per dequeued job, before it runs. `Delay` injects
+/// scheduling jitter; `Panic` exercises the worker's panic isolation.
+static FAULT_JOB: FaultPoint = FaultPoint::new("workers.job");
 
 /// A job is any one-shot closure; results travel out-of-band (the
 /// submitter keeps its own completion state).
@@ -128,7 +133,15 @@ fn worker_loop(shared: &Shared) {
                 state = shared.wake.wait(state).expect("pool queue poisoned");
             }
         };
-        job();
+        // A panicking job must not take its worker thread down with it —
+        // the pool would silently shrink until submissions queue forever.
+        // Results travel out-of-band, so the submitter's own completion
+        // state is where the failure surfaces (the scheduler, for one,
+        // catches executor panics itself and records a Failed job).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = FAULT_JOB.fire().apply_basic();
+            job();
+        }));
     }
 }
 
@@ -175,6 +188,17 @@ mod tests {
         assert!(pool.try_submit(|| {}).is_err(), "queue should be full");
         assert_eq!(pool.queued(), 2);
         gate_tx.send(()).expect("worker alive");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(&ParallelConfig::with_threads(1), 64);
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(|| panic!("injected job panic")).expect("queue has room");
+        // The single worker must survive to run the next job.
+        pool.try_submit(move || tx.send(()).expect("main alive")).expect("queue has room");
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker survived the panic and ran the follow-up job");
     }
 
     #[test]

@@ -7,13 +7,32 @@
 //! [`JobKey`](crate::key::JobKey), so a cached entry is valid for *any*
 //! request that hashes to it — the cache never needs invalidation, only
 //! eviction.
+//!
+//! The disk tier trusts nothing it reads back: every entry carries a
+//! SHA-256 checksum of its output bytes, and an entry whose key or
+//! checksum does not verify — bit rot, torn writes, a hostile editor —
+//! is a **miss**, never a wrong answer. The chaos testkit drives this
+//! path through the `cache.read_disk` / `cache.write_disk` fault points.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+
 use crate::json::{self, Value};
 use crate::key::JobKey;
+use crate::sha::sha256_hex;
+
+/// Fires per disk read. `Err` fails the read, `Corrupt` flips a byte in
+/// the loaded entry, `ShortRead` truncates it; all must degrade to a
+/// cache miss.
+static FAULT_READ_DISK: FaultPoint = FaultPoint::new("cache.read_disk");
+
+/// Fires per disk write. `Err` drops the write (the disk tier silently
+/// degrades), `Corrupt`/`ShortRead` persist a damaged entry that later
+/// reads must reject.
+static FAULT_WRITE_DISK: FaultPoint = FaultPoint::new("cache.write_disk");
 
 /// A cached experiment result.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,17 +136,28 @@ impl ResultCache {
     }
 
     fn read_disk(&self, key: &JobKey) -> Option<CachedResult> {
-        let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        let mut text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        match FAULT_READ_DISK.fire().apply_basic() {
+            FaultAction::Err(_) => return None,
+            FaultAction::Corrupt => text = damage(text, false),
+            FaultAction::ShortRead => text = damage(text, true),
+            _ => {}
+        }
         let doc = json::parse(&text).ok()?;
         // A corrupt or truncated entry is treated as a miss; the job
-        // recomputes and overwrites it.
+        // recomputes and overwrites it. Three independent tripwires: the
+        // JSON must parse, the embedded key must match the filename's,
+        // and the output bytes must hash to the recorded checksum (this
+        // last one catches corruption that stays inside a string
+        // literal, which the first two cannot see).
         if doc.get("key")?.as_str()? != key.as_hex() {
             return None;
         }
-        Some(CachedResult {
-            experiment: doc.get("experiment")?.as_str()?.to_owned(),
-            output: doc.get("output")?.as_str()?.to_owned(),
-        })
+        let output = doc.get("output")?.as_str()?.to_owned();
+        if doc.get("checksum")?.as_str()? != sha256_hex(output.as_bytes()) {
+            return None;
+        }
+        Some(CachedResult { experiment: doc.get("experiment")?.as_str()?.to_owned(), output })
     }
 
     fn write_disk(&self, key: &JobKey, value: &CachedResult) {
@@ -141,12 +171,33 @@ impl ResultCache {
             ("key", Value::Str(key.as_hex().to_owned())),
             ("experiment", Value::Str(value.experiment.clone())),
             ("output", Value::Str(value.output.clone())),
+            ("checksum", Value::Str(sha256_hex(value.output.as_bytes()))),
         ]);
+        let mut encoded = doc.to_json();
+        match FAULT_WRITE_DISK.fire().apply_basic() {
+            FaultAction::Err(_) => return,
+            FaultAction::Corrupt => encoded = damage(encoded, false),
+            FaultAction::ShortRead => encoded = damage(encoded, true),
+            _ => {}
+        }
         let tmp = dir.join(format!(".{}.tmp-{}", key.as_hex(), std::process::id()));
-        if std::fs::write(&tmp, doc.to_json()).is_ok() {
+        if std::fs::write(&tmp, encoded).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
         }
     }
+}
+
+/// Deterministic damage for injected `Corrupt`/`ShortRead` faults:
+/// truncates at the midpoint, or perturbs the midpoint byte.
+fn damage(text: String, truncate: bool) -> String {
+    let mut bytes = text.into_bytes();
+    let mid = bytes.len() / 2;
+    if truncate {
+        bytes.truncate(mid);
+    } else if let Some(b) = bytes.get_mut(mid) {
+        *b = b.wrapping_add(1);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 #[cfg(test)]
@@ -225,6 +276,27 @@ mod tests {
         std::fs::write(&path, "{ truncated").unwrap();
         let cache = ResultCache::new(4, Some(dir.clone()));
         assert!(cache.get(&k).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_inside_the_output_string_is_a_miss() {
+        // Valid JSON, correct key, but the output bytes were tampered
+        // with after the checksum was recorded: only the checksum
+        // tripwire can catch this, and a wrong answer is never served.
+        let dir = temp_dir("tampered");
+        let k = key(10);
+        {
+            let cache = ResultCache::new(4, Some(dir.clone()));
+            cache.put(&k, result("original"));
+        }
+        let path = dir.join(format!("{}.json", k.as_hex()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("original", "tampered");
+        assert_ne!(text, tampered, "test must actually modify the entry");
+        std::fs::write(&path, tampered).unwrap();
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        assert!(cache.get(&k).is_none(), "tampered entry must read as a miss");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -352,19 +352,25 @@ impl<'a> Parser<'a> {
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
+        // Rust's f64 parser is laxer than the JSON grammar ("5.", "1e"),
+        // so digit presence is enforced here, not delegated.
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        let int_digits = self.digit_run();
+        if int_digits == 0 {
+            return Err(self.err("number needs an integer part"));
+        }
+        if int_digits > 1 && self.bytes[self.pos - int_digits] == b'0' {
+            return Err(self.err("number has a leading zero"));
         }
         let mut float = false;
         if self.peek() == Some(b'.') {
             float = true;
             self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("decimal point needs fraction digits"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -373,8 +379,8 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("exponent needs digits"));
             }
         }
         let token = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -385,6 +391,15 @@ impl<'a> Parser<'a> {
             }
         }
         token.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+    }
+
+    /// Consumes a run of ASCII digits, returning how many.
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 }
 

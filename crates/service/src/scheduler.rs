@@ -24,11 +24,49 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nemfpga::request::ExperimentRequest;
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 use nemfpga_runtime::{ParallelConfig, WorkerPool};
 
 use crate::cache::{CacheTier, CachedResult, ResultCache};
 use crate::key::{job_key, JobKey};
 use crate::metrics::Metrics;
+
+/// Fires once per valid submission, before any tier is consulted. A
+/// pure probe/jitter point (the testkit's deterministic "all N clients
+/// have entered submit" notification hangs off it).
+static FAULT_SUBMIT: FaultPoint = FaultPoint::new("scheduler.submit");
+
+/// Fires between the first (lock-free) cache miss and taking the table
+/// lock — exactly the race window the under-lock cache double-check
+/// exists for. A `Delay` here makes the race deterministic.
+static FAULT_PRE_TABLE_LOCK: FaultPoint = FaultPoint::new("scheduler.pre_table_lock");
+
+/// Fires when a fresh job's deadline is computed; `SkewMillis(n)` pulls
+/// the deadline `n` ms earlier (injected clock skew), driving the
+/// queued-past-deadline timeout path.
+static FAULT_DEADLINE: FaultPoint = FaultPoint::new("scheduler.deadline");
+
+/// Fires on the worker immediately before the executor runs, *inside*
+/// the panic guard: `Delay` slows the job, `Panic` fails it via the
+/// panic path, `Err` fails it via the error path.
+static FAULT_EXECUTE: FaultPoint = FaultPoint::new("scheduler.execute");
+
+/// One of these fires (after the table lock is released) on every
+/// submission outcome; the testkit counts them to wait for states like
+/// "all N submissions resolved" without sleeping.
+static OUTCOME_CACHED: FaultPoint = FaultPoint::new("scheduler.outcome.cached");
+static OUTCOME_COALESCED: FaultPoint = FaultPoint::new("scheduler.outcome.coalesced");
+static OUTCOME_FRESH: FaultPoint = FaultPoint::new("scheduler.outcome.fresh");
+static OUTCOME_REJECTED: FaultPoint = FaultPoint::new("scheduler.outcome.rejected");
+
+/// Bug-reintroduction switch: `Trigger` disables the under-lock cache
+/// double-check. Exists so the chaos suite can prove the guard is
+/// load-bearing (arming this must make a chaos plan fail).
+static BUG_SKIP_DOUBLE_CHECK: FaultPoint = FaultPoint::new("bug.skip_cache_double_check");
+
+/// Bug-reintroduction switch: `Trigger` leaks the in-flight entry when
+/// a job completes, the "wedged in-flight table" failure mode.
+static BUG_LEAK_INFLIGHT: FaultPoint = FaultPoint::new("bug.leak_inflight");
 
 /// The function that actually computes an experiment. Must be
 /// deterministic: equal requests must produce equal bytes (the cache and
@@ -211,6 +249,7 @@ impl Scheduler {
     pub fn submit(&self, request: ExperimentRequest) -> Result<Submission, SubmitError> {
         request.validate().map_err(|e| SubmitError::Invalid(e.to_string()))?;
         let key = job_key(&request).map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let _ = FAULT_SUBMIT.fire().apply_basic();
         let metrics = &self.shared.metrics;
         metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
 
@@ -221,8 +260,10 @@ impl Scheduler {
                 CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
             };
             let status = self.insert_finished(key, request, hit.output);
+            let _ = OUTCOME_CACHED.fire().apply_basic();
             return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
         }
+        let _ = FAULT_PRE_TABLE_LOCK.fire().apply_basic();
 
         // In-flight coalescing, then fresh execution. Both paths hold the
         // table lock so two identical concurrent submissions cannot both
@@ -233,6 +274,8 @@ impl Scheduler {
             record.status.coalesced_submissions += 1;
             metrics.coalesced.fetch_add(1, Ordering::Relaxed);
             let status = record.status.clone();
+            drop(table);
+            let _ = OUTCOME_COALESCED.fire().apply_basic();
             return Ok(Submission { status, coalesced: true, cache_tier: None });
         }
 
@@ -243,14 +286,17 @@ impl Scheduler {
         // *before* deregistering from `inflight`, so re-checking the cache
         // under the table lock is decisive — without it the loser of the
         // race would recompute a result it could have served.
-        if let Some((hit, tier)) = self.shared.cache.get(&key) {
-            drop(table);
-            match tier {
-                CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
-                CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
-            };
-            let status = self.insert_finished(key, request, hit.output);
-            return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
+        if BUG_SKIP_DOUBLE_CHECK.fire() != FaultAction::Trigger {
+            if let Some((hit, tier)) = self.shared.cache.get(&key) {
+                drop(table);
+                match tier {
+                    CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
+                    CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+                };
+                let status = self.insert_finished(key, request, hit.output);
+                let _ = OUTCOME_CACHED.fire().apply_basic();
+                return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
+            }
         }
 
         metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -266,10 +312,11 @@ impl Scheduler {
             cached: false,
             coalesced_submissions: 0,
         };
-        table.records.insert(
-            id,
-            Record { status: status.clone(), deadline: Instant::now() + self.job_timeout },
-        );
+        let mut deadline = Instant::now() + self.job_timeout;
+        if let FaultAction::SkewMillis(ms) = FAULT_DEADLINE.fire() {
+            deadline = deadline.checked_sub(Duration::from_millis(ms)).unwrap_or_else(Instant::now);
+        }
+        table.records.insert(id, Record { status: status.clone(), deadline });
         table.inflight.insert(key.as_hex().to_owned(), id);
 
         let shared = Arc::clone(&self.shared);
@@ -279,9 +326,12 @@ impl Scheduler {
             table.records.remove(&id);
             table.inflight.remove(key.as_hex());
             metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            drop(table);
+            let _ = OUTCOME_REJECTED.fire().apply_basic();
             return Err(SubmitError::QueueFull);
         }
         drop(table);
+        let _ = OUTCOME_FRESH.fire().apply_basic();
         Ok(Submission { status, coalesced: false, cache_tier: None })
     }
 
@@ -317,6 +367,16 @@ impl Scheduler {
     /// Jobs waiting in the queue right now.
     pub fn queue_depth(&self) -> usize {
         self.pool.queued()
+    }
+
+    /// Keys registered as in-flight (queued or running) right now.
+    ///
+    /// Invariant the chaos suite leans on: once every submitted job has
+    /// reached a terminal state, this must be zero — a non-empty
+    /// in-flight table at quiescence means wedged entries that would
+    /// coalesce future submissions onto a job that will never finish.
+    pub fn inflight_len(&self) -> usize {
+        self.shared.table.lock().expect("job table poisoned").inflight.len()
     }
 
     /// Direct cache access for `GET /results/:key` (does not touch the
@@ -389,15 +449,22 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
 
     let started = Instant::now();
     let executor = Arc::clone(&shared.executor);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| executor(&request)))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_owned());
-            Err(format!("executor panicked: {msg}"))
-        });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Injected executor faults land inside the panic guard, so a
+        // `Panic` action takes the same road a real executor panic would.
+        match FAULT_EXECUTE.fire().apply_basic() {
+            FaultAction::Err(msg) => Err(msg),
+            _ => executor(&request),
+        }
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_owned());
+        Err(format!("executor panicked: {msg}"))
+    });
     let elapsed = started.elapsed();
 
     if let Ok(output) = &outcome {
@@ -413,7 +480,9 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     }
 
     let mut table = shared.table.lock().expect("job table poisoned");
-    table.inflight.remove(key.as_hex());
+    if BUG_LEAK_INFLIGHT.fire() != FaultAction::Trigger {
+        table.inflight.remove(key.as_hex());
+    }
     if let Some(record) = table.records.get_mut(&id) {
         match outcome {
             Ok(output) => {

@@ -1,0 +1,170 @@
+//! Round-trip and rejection properties for the service's JSON codec.
+//!
+//! The serving layer's contract is byte-identity: whatever `repro` would
+//! print must come back unchanged through encode → HTTP → parse. These
+//! tests push the codec to the edges of that contract — subnormals, the
+//! extremes of the f64 range, absurdly long (but legal) decimal tokens —
+//! and fuzz the parser with malformed input, which must reject with a
+//! `ParseError`, never panic, never mis-parse.
+
+use nemfpga_service::json::{parse, Value};
+use proptest::prelude::*;
+
+fn roundtrip(value: &Value) -> Value {
+    let text = value.to_json();
+    parse(&text).unwrap_or_else(|e| panic!("re-parse of {text:?} failed: {e}"))
+}
+
+fn assert_f64_roundtrip(x: f64) {
+    let back = roundtrip(&Value::F64(x));
+    match back {
+        Value::F64(y) => assert_eq!(
+            y.to_bits(),
+            x.to_bits(),
+            "{x:e} came back as {y:e} (bits {:#018x} -> {:#018x})",
+            x.to_bits(),
+            y.to_bits()
+        ),
+        other => panic!("{x:e} re-parsed as {other:?}"),
+    }
+}
+
+#[test]
+fn subnormals_roundtrip_bit_exactly() {
+    assert_f64_roundtrip(f64::from_bits(1)); // 5e-324, the smallest subnormal
+    assert_f64_roundtrip(2.225_073_858_507_201e-308); // largest subnormal neighborhood
+    assert_f64_roundtrip(-f64::from_bits(1));
+    assert_f64_roundtrip(f64::MIN_POSITIVE);
+    assert_f64_roundtrip(f64::MIN_POSITIVE / 2.0);
+}
+
+#[test]
+fn range_extremes_roundtrip_bit_exactly() {
+    assert_f64_roundtrip(f64::MAX);
+    assert_f64_roundtrip(-f64::MAX);
+    assert_f64_roundtrip(f64::EPSILON);
+    assert_f64_roundtrip(-0.0);
+    assert_f64_roundtrip(1.0 + f64::EPSILON);
+}
+
+#[test]
+fn long_legal_decimal_tokens_parse_to_nearest_and_stabilize() {
+    // A token far longer than 17 significant digits is legal JSON; the
+    // parser must take it to the nearest f64, after which the shortest
+    // re-encoding is a fixed point.
+    let long = format!("0.{}1", "123456789".repeat(40));
+    let first = parse(&long).expect("long decimal parses");
+    let Value::F64(x) = first else { panic!("parsed as {first:?}") };
+    assert!((x - 0.123_456_789_123_456_78).abs() < 1e-9);
+    assert_f64_roundtrip(x);
+
+    let long_exp = format!("1.{}e-300", "9".repeat(100));
+    let Value::F64(y) = parse(&long_exp).expect("long exponent token parses") else {
+        panic!("exponent token did not parse as a float")
+    };
+    assert_f64_roundtrip(y);
+}
+
+#[test]
+fn non_finite_floats_encode_as_null() {
+    assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+    assert_eq!(Value::F64(f64::INFINITY).to_json(), "null");
+    assert_eq!(Value::F64(f64::NEG_INFINITY).to_json(), "null");
+}
+
+#[test]
+fn malformed_documents_are_rejected_not_panicked() {
+    let malformed = [
+        "",
+        "{",
+        "}",
+        "[",
+        "[1,",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\"",
+        "{\"a\":1,}",
+        "\"unterminated",
+        "\"bad\\escape\"",
+        "\"\\u12g4\"",
+        "nul",
+        "tru",
+        "falsy",
+        "--1",
+        "+1",
+        "1e",
+        "1e+",
+        "0x10",
+        ".5",
+        "5.",
+        "5.e3",
+        "01",
+        "-01",
+        "-",
+        "1.2.3",
+        "[1] [2]",
+        "{\"a\":1}extra",
+        "\u{0}",
+        "[\u{7f}]",
+    ];
+    for input in malformed {
+        assert!(parse(input).is_err(), "parser accepted malformed input {input:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every finite f64 — including subnormals reached via raw bit
+    /// patterns — survives encode → parse bit-exactly.
+    #[test]
+    fn arbitrary_finite_floats_roundtrip(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        prop_assume!(x.is_finite());
+        assert_f64_roundtrip(x);
+    }
+
+    /// Every u64 round trips through the integer token path.
+    #[test]
+    fn arbitrary_u64s_roundtrip(n in any::<u64>()) {
+        prop_assert_eq!(roundtrip(&Value::U64(n)), Value::U64(n));
+    }
+
+    /// Strings of arbitrary scalar values — controls, quotes, multibyte —
+    /// round trip exactly through escaping.
+    #[test]
+    fn arbitrary_strings_roundtrip(points in prop::collection::vec(any::<u32>(), 24)) {
+        let s: String = points
+            .into_iter()
+            .filter_map(|p| char::from_u32(p % 0x11_0000))
+            .collect();
+        prop_assert_eq!(roundtrip(&Value::Str(s.clone())), Value::Str(s));
+    }
+
+    /// Random ASCII soup never panics the parser: it returns a document
+    /// or a ParseError, nothing else.
+    #[test]
+    fn random_ascii_never_panics(bytes in prop::collection::vec(0u32..128, 48)) {
+        let input: String = bytes.into_iter().map(|b| b as u8 as char).collect();
+        let _ = parse(&input);
+    }
+
+    /// Single-byte mutations of a valid document never panic, and when
+    /// they still parse, re-encoding still round trips.
+    #[test]
+    fn mutated_valid_documents_never_panic(
+        position in any::<u32>(),
+        replacement in (0u32..128),
+    ) {
+        let valid = r#"{"experiment":"fig4","scale":0.5,"benchmarks":12,"seed":7,"wait":true}"#;
+        let mut bytes = valid.as_bytes().to_vec();
+        let index = position as usize % bytes.len();
+        bytes[index] = replacement as u8;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            if let Ok(doc) = parse(&mutated) {
+                let reencoded = doc.to_json();
+                prop_assert_eq!(parse(&reencoded).expect("re-parse"), doc);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Chaos driver: seeded fault plans against a live serve loop.
+//!
+//! Normal mode runs one randomized-but-seeded [`FaultPlan`] per seed
+//! against a fresh `Service` and exits non-zero if any invariant broke —
+//! reprint the failing seed with `--seed N` to replay it exactly.
+//!
+//! `--with-bug <name>` deliberately reintroduces a guarded bug
+//! (`skip-double-check` drops the scheduler's under-lock cache
+//! double-check; `leak-inflight` leaks the in-flight table entry on
+//! completion) and *inverts* the exit code: success means the chaos
+//! invariants caught the bug. This is the evidence that the invariants
+//! have teeth.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
+use nemfpga_testkit::{run_chaos, ChaosConfig, FaultPlan};
+
+const USAGE: &str = "usage: chaos [--seeds A..B | --seed N] [--clients N] [--requests N] \
+                     [--with-bug skip-double-check|leak-inflight]";
+
+struct Args {
+    seeds: std::ops::Range<u64>,
+    clients: usize,
+    requests: usize,
+    bug: Option<BugSwitch>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seeds: 0..20, clients: 4, requests: 12, bug: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                let spec = value("--seeds")?;
+                let (a, b) = spec.split_once("..").ok_or("--seeds wants A..B")?;
+                let a = a.parse().map_err(|_| "bad --seeds start")?;
+                let b = b.parse().map_err(|_| "bad --seeds end")?;
+                args.seeds = a..b;
+            }
+            "--seed" => {
+                let n: u64 = value("--seed")?.parse().map_err(|_| "bad --seed")?;
+                args.seeds = n..n + 1;
+            }
+            "--clients" => {
+                args.clients = value("--clients")?.parse().map_err(|_| "bad --clients")?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?.parse().map_err(|_| "bad --requests")?;
+            }
+            "--with-bug" => {
+                let name = value("--with-bug")?;
+                args.bug =
+                    Some(BugSwitch::from_name(&name).ok_or(format!("unknown bug `{name}`"))?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.seeds.is_empty() {
+        return Err("empty seed range".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total_violations = 0usize;
+    for seed in args.seeds.clone() {
+        // The crafted race plan gives the skip-double-check bug a
+        // deterministic window; every other run uses the seeded
+        // randomized plan.
+        let plan = match args.bug {
+            Some(BugSwitch::SkipCacheDoubleCheck) => double_check_race_plan(),
+            _ => FaultPlan::randomized(seed),
+        };
+        let cfg = ChaosConfig {
+            seed,
+            clients: args.clients,
+            requests_per_client: args.requests,
+            job_timeout: Duration::from_secs(5),
+            bug: args.bug,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg, &plan);
+        println!("[{}] {}", plan.describe(), report.summary());
+        for violation in &report.violations {
+            println!("    VIOLATION: {violation}");
+        }
+        total_violations += report.violations.len();
+    }
+
+    match args.bug {
+        None if total_violations == 0 => {
+            println!("all plans held every invariant");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!(
+                "{total_violations} invariant violations — replay a failing seed with \
+                 `chaos --seed N`"
+            );
+            ExitCode::FAILURE
+        }
+        Some(bug) if total_violations > 0 => {
+            println!(
+                "bug `{}` caught: {total_violations} violations (expected — the guard matters)",
+                bug.name()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(bug) => {
+            println!("bug `{}` was NOT caught by any plan — invariants are too weak", bug.name());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Differential driver: the CAD equivalence matrix, with shrinking.
+//!
+//! Runs `--cases N` seeded differential cases (round-robining the
+//! families in [`nemfpga_testkit::differential::ALL_KINDS`]) and, if any
+//! case diverges, shrinks it to a minimal reproducer before exiting
+//! non-zero.
+//!
+//! `--inject-divergence T` plants a deliberate perturbation in the
+//! `ParallelSum` family's parallel path at index threshold `T` and
+//! inverts the exit code: success means the harness found the
+//! divergence AND shrank it to the provably minimal case
+//! (`size == T + 1`, 2 threads) with a ≤ 10-line reproducer.
+
+use std::process::ExitCode;
+
+use nemfpga_testkit::differential::{
+    case_matrix, clear_divergence, inject_divergence, reproducer, run_case, shrink_case,
+};
+
+const USAGE: &str =
+    "usage: differential [--cases N] [--seed0 N] [--threads N] [--inject-divergence T]";
+
+struct Args {
+    cases: usize,
+    seed0: u64,
+    threads: usize,
+    inject: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { cases: 56, seed0: 0, threads: 4, inject: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--cases" => args.cases = value("--cases")?.parse().map_err(|_| "bad --cases")?,
+            "--seed0" => args.seed0 = value("--seed0")?.parse().map_err(|_| "bad --seed0")?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--inject-divergence" => {
+                args.inject = Some(
+                    value("--inject-divergence")?.parse().map_err(|_| "bad --inject-divergence")?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("differential: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(threshold) = args.inject {
+        return demonstrate_shrinking(threshold, args.threads);
+    }
+
+    clear_divergence();
+    let cases = case_matrix(args.cases, args.seed0, args.threads);
+    let mut divergences = 0usize;
+    for (i, case) in cases.iter().enumerate() {
+        match run_case(case) {
+            None => {
+                println!("[{:>3}/{}] {:?} seed {} OK", i + 1, cases.len(), case.kind, case.seed)
+            }
+            Some(d) => {
+                divergences += 1;
+                println!(
+                    "[{:>3}/{}] {:?} seed {} DIVERGED: {}",
+                    i + 1,
+                    cases.len(),
+                    case.kind,
+                    case.seed,
+                    d.detail
+                );
+                let (minimal, shrunk) = shrink_case(case);
+                if let Some(shrunk) = shrunk {
+                    println!("shrunk to {minimal:?}: {}", shrunk.detail);
+                    println!("--- minimal reproducer ---\n{}", reproducer(&minimal));
+                }
+            }
+        }
+    }
+    if divergences == 0 {
+        println!("{} cases, all equivalences held at {} threads", cases.len(), args.threads);
+        ExitCode::SUCCESS
+    } else {
+        println!("{divergences} divergences");
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--inject-divergence` demonstration: the shrinker must reduce a
+/// large perturbed case to exactly `size == threshold + 1` at 2 threads.
+fn demonstrate_shrinking(threshold: u64, threads: usize) -> ExitCode {
+    inject_divergence(threshold);
+    let start = nemfpga_testkit::DiffCase {
+        kind: nemfpga_testkit::differential::DiffKind::ParallelSum,
+        seed: 1,
+        size: (threshold as u32 + 1).max(8) * 8,
+        threads: threads.max(3),
+    };
+    println!("injected perturbation at index threshold {threshold}; starting from {start:?}");
+    let (minimal, divergence) = shrink_case(&start);
+    clear_divergence();
+    let Some(divergence) = divergence else {
+        println!("injected divergence was NOT detected");
+        return ExitCode::FAILURE;
+    };
+    let text = reproducer(&minimal);
+    println!("shrunk to {minimal:?}: {}", divergence.detail);
+    println!("--- minimal reproducer ({} lines) ---\n{text}", text.lines().count());
+    let expected_size = threshold as u32 + 1;
+    if minimal.size == expected_size && minimal.threads == 2 && text.lines().count() <= 10 {
+        println!("minimal case proven: size {expected_size} (= threshold + 1), 2 threads");
+        ExitCode::SUCCESS
+    } else {
+        println!("shrink did not reach the provably minimal case (expected size {expected_size})");
+        ExitCode::FAILURE
+    }
+}

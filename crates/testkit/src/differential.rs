@@ -1,0 +1,406 @@
+//! Differential testing for the CAD engine, with automatic shrinking.
+//!
+//! PR 1's determinism tests pin a handful of hand-picked cases. This
+//! harness generalizes them to *seeded families*: every [`DiffCase`]
+//! derives a random architecture/netlist from its seed and checks one
+//! equivalence the engine promises —
+//!
+//! * **Repeat** / **Scratch**: routing is a pure function of its inputs
+//!   — a second run, or a run through a warmed [`RouterScratch`] arena
+//!   carrying stale epochs, is bit-identical.
+//! * **IncrVsFull**: the incremental PathFinder schedule succeeds and
+//!   produces a *legal* routing wherever the classic full-reroute
+//!   schedule does. The two are bit-identical when both converge in one
+//!   iteration (identical first-iteration work lists); on congested
+//!   multi-iteration cases their rip-up schedules legitimately differ,
+//!   so there the contract is legality + success, not identity. See
+//!   TESTING.md.
+//! * **SweepThreads** / **ComplianceThreads** / **PopulationThreads** /
+//!   **ParallelSum**: every parallel fan-out is bit-identical to its
+//!   serial schedule at any thread count.
+//!
+//! When a case diverges, [`shrink_case`] greedily minimizes it (smaller
+//! problem, fewer threads) while the divergence persists, and
+//! [`reproducer`] prints a standalone snippet (≤ 10 lines) that replays
+//! the minimal case. [`inject_divergence`] plants a deliberate
+//! index-dependent perturbation in the `ParallelSum` family's parallel
+//! path so the shrinker itself can be tested end to end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nemfpga::flow::EvaluationConfig;
+use nemfpga::sweep::{tradeoff_sweep, PAPER_DIVISORS};
+use nemfpga_arch::build_rr_graph;
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_crossbar::levels::ProgrammingLevels;
+use nemfpga_crossbar::yield_analysis::estimate_compliance_with;
+use nemfpga_device::relay::NemRelayDevice;
+use nemfpga_device::variation::VariationModel;
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_pnr::channel::find_min_channel_width;
+use nemfpga_pnr::pack::{pack, PackedDesign};
+use nemfpga_pnr::place::{place, PlaceConfig, Placement};
+use nemfpga_pnr::route::{check_routing, route, route_with_scratch, RouteConfig, RouterScratch};
+use nemfpga_runtime::{mix_seed, parallel_map_cfg, ParallelConfig};
+
+/// One differential family (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Same inputs, two runs: bit-identical.
+    RouteRepeat,
+    /// Fresh scratch arena vs one warmed on another width: bit-identical.
+    RouteScratch,
+    /// Incremental vs full-reroute PathFinder: both succeed and are
+    /// legal; bit-identical when both converge in one iteration.
+    RouteIncrementalVsFull,
+    /// Fig. 12 sweep, serial vs N threads: bit-identical.
+    SweepThreads,
+    /// Monte Carlo compliance, serial vs N threads: bit-identical.
+    ComplianceThreads,
+    /// Population sampling, serial vs N threads: bit-identical.
+    PopulationThreads,
+    /// Synthetic indexed fan-out, serial vs N threads: bit-identical.
+    /// This is the family [`inject_divergence`] perturbs.
+    ParallelSum,
+}
+
+/// All families, in matrix round-robin order.
+pub const ALL_KINDS: [DiffKind; 7] = [
+    DiffKind::RouteRepeat,
+    DiffKind::RouteScratch,
+    DiffKind::RouteIncrementalVsFull,
+    DiffKind::SweepThreads,
+    DiffKind::ComplianceThreads,
+    DiffKind::PopulationThreads,
+    DiffKind::ParallelSum,
+];
+
+/// One seeded differential case. `size` scales the derived problem
+/// (netlist size, sample count, …) per family; `threads` is the
+/// parallel side's thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffCase {
+    /// Which equivalence to check.
+    pub kind: DiffKind,
+    /// Seed for the derived architecture/netlist/samples.
+    pub seed: u64,
+    /// Problem-size knob (meaning is per-family).
+    pub size: u32,
+    /// Thread count for the parallel side.
+    pub threads: usize,
+}
+
+/// A case whose two sides disagreed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The diverging case.
+    pub case: DiffCase,
+    /// What differed.
+    pub detail: String,
+}
+
+/// The deliberate-divergence knob for the `ParallelSum` family: indices
+/// `>= threshold` are perturbed *in the parallel path only*.
+/// `u64::MAX` (the default) disables it. Unlike a fault-point hook,
+/// this is index-deterministic under any thread schedule, so the
+/// minimal diverging case is exactly `size == threshold + 1`.
+static PERTURB_THRESHOLD: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Arms the deliberate `ParallelSum` divergence at `threshold`.
+pub fn inject_divergence(threshold: u64) {
+    PERTURB_THRESHOLD.store(threshold, Ordering::SeqCst);
+}
+
+/// Disarms [`inject_divergence`].
+pub fn clear_divergence() {
+    PERTURB_THRESHOLD.store(u64::MAX, Ordering::SeqCst);
+}
+
+fn placed(luts: usize, seed: u64) -> (ArchParams, PackedDesign, Placement) {
+    let params = ArchParams::paper_table1();
+    let design = pack(SynthConfig::tiny("diff", luts, seed).generate().unwrap(), &params).unwrap();
+    let grid =
+        Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate).unwrap();
+    let placement = place(&design, grid, &PlaceConfig::fast(seed)).unwrap();
+    (params, design, placement)
+}
+
+fn diverged(case: &DiffCase, detail: String) -> Option<Divergence> {
+    Some(Divergence { case: case.clone(), detail })
+}
+
+/// Runs one case; `None` means the two sides agreed.
+pub fn run_case(case: &DiffCase) -> Option<Divergence> {
+    let threads = case.threads.max(2);
+    match case.kind {
+        DiffKind::RouteRepeat => {
+            let luts = 24 + (case.size as usize % 12) * 2;
+            let (params, design, placement) = placed(luts, case.seed);
+            let rr = build_rr_graph(&params, placement.grid, 30).unwrap();
+            let cfg = RouteConfig::new();
+            let a = route(&rr, &design, &placement, &cfg);
+            let b = route(&rr, &design, &placement, &cfg);
+            if format!("{a:?}") != format!("{b:?}") {
+                return diverged(case, "two identical route() runs disagreed".to_owned());
+            }
+            None
+        }
+        DiffKind::RouteScratch => {
+            let luts = 24 + (case.size as usize % 12) * 2;
+            let (params, design, placement) = placed(luts, case.seed);
+            let rr = build_rr_graph(&params, placement.grid, 30).unwrap();
+            let cfg = RouteConfig::new();
+            let fresh = route(&rr, &design, &placement, &cfg);
+            let mut scratch = RouterScratch::new();
+            let rr_warm = build_rr_graph(&params, placement.grid, 34).unwrap();
+            let _ = route_with_scratch(&rr_warm, &design, &placement, &cfg, &mut scratch);
+            let reused = route_with_scratch(&rr, &design, &placement, &cfg, &mut scratch);
+            if format!("{fresh:?}") != format!("{reused:?}") {
+                return diverged(case, "warmed scratch arena changed the routing".to_owned());
+            }
+            None
+        }
+        DiffKind::RouteIncrementalVsFull => {
+            let luts = 28 + (case.size as usize % 10) * 2;
+            let (params, design, placement) = placed(luts, case.seed);
+            let incr_cfg = RouteConfig::new();
+            let mut full_cfg = RouteConfig::new();
+            full_cfg.incremental = false;
+            let search =
+                match find_min_channel_width(&params, &design, &placement, &incr_cfg, 8, 256) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return diverged(case, format!("width search failed outright: {e:?}"))
+                    }
+                };
+            // Route at the certified W_min itself. Widths are not
+            // interchangeable here — routability is non-monotonic across
+            // track-count parities (e.g. W=9 can fail where W=8 and
+            // W=10 route), so the only width the search vouches for is
+            // W_min exactly.
+            let rr = match build_rr_graph(&params, placement.grid, search.w_min) {
+                Ok(rr) => rr,
+                Err(e) => return diverged(case, format!("rr graph build failed: {e:?}")),
+            };
+            let incr = route(&rr, &design, &placement, &incr_cfg);
+            let full = route(&rr, &design, &placement, &full_cfg);
+            match (&incr, &full) {
+                (Ok(incr), Ok(full)) => {
+                    if let Err(e) = check_routing(&rr, &design, &placement, incr) {
+                        return diverged(case, format!("incremental routing illegal: {e:?}"));
+                    }
+                    if let Err(e) = check_routing(&rr, &design, &placement, full) {
+                        return diverged(case, format!("full routing illegal: {e:?}"));
+                    }
+                    if incr.iterations == 1 && full.iterations == 1 && incr != full {
+                        return diverged(
+                            case,
+                            "both schedules converged in 1 iteration yet differ".to_owned(),
+                        );
+                    }
+                    None
+                }
+                (a, b) => diverged(
+                    case,
+                    format!(
+                        "success disagreement at W_min: incremental {} / full {}",
+                        if a.is_ok() { "routed" } else { "failed" },
+                        if b.is_ok() { "routed" } else { "failed" },
+                    ),
+                ),
+            }
+        }
+        DiffKind::SweepThreads => {
+            let luts = 40 + (case.size as usize % 4) * 5;
+            let netlist = || SynthConfig::tiny("diff", luts, case.seed).generate().unwrap();
+            let mut serial_cfg = EvaluationConfig::fast(case.seed);
+            serial_cfg.parallel = ParallelConfig::serial();
+            let mut par_cfg = EvaluationConfig::fast(case.seed);
+            par_cfg.parallel = ParallelConfig::with_threads(threads);
+            let serial = tradeoff_sweep(netlist(), &serial_cfg, &PAPER_DIVISORS);
+            let par = tradeoff_sweep(netlist(), &par_cfg, &PAPER_DIVISORS);
+            match (serial, par) {
+                (Ok((curve_s, eval_s)), Ok((curve_p, eval_p))) => {
+                    if curve_s != curve_p || eval_s.variants != eval_p.variants {
+                        return diverged(
+                            case,
+                            format!("sweep diverged between 1 and {threads} threads"),
+                        );
+                    }
+                    None
+                }
+                (s, p) => {
+                    if s.is_ok() != p.is_ok() {
+                        return diverged(
+                            case,
+                            format!("sweep success disagreement between 1 and {threads} threads"),
+                        );
+                    }
+                    None
+                }
+            }
+        }
+        DiffKind::ComplianceThreads => {
+            let n = 500 + (case.size as usize % 8) * 250;
+            let nominal = NemRelayDevice::scaled_22nm();
+            let variation = VariationModel::fabrication_default();
+            let levels = ProgrammingLevels::paper_demo();
+            let serial = estimate_compliance_with(
+                &nominal,
+                &variation,
+                &levels,
+                n,
+                case.seed,
+                &ParallelConfig::serial(),
+            );
+            let par = estimate_compliance_with(
+                &nominal,
+                &variation,
+                &levels,
+                n,
+                case.seed,
+                &ParallelConfig::with_threads(threads),
+            );
+            if serial != par {
+                return diverged(
+                    case,
+                    format!("compliance over {n} samples diverged at {threads} threads"),
+                );
+            }
+            None
+        }
+        DiffKind::PopulationThreads => {
+            let n = 200 + (case.size as usize % 8) * 50;
+            let nominal = NemRelayDevice::scaled_22nm();
+            let variation = VariationModel::fabrication_default();
+            let serial = variation.sample_population(&nominal, n, case.seed);
+            let par = variation.sample_population_par(
+                &nominal,
+                n,
+                case.seed,
+                &ParallelConfig::with_threads(threads),
+            );
+            if serial != par {
+                return diverged(case, format!("population of {n} diverged at {threads} threads"));
+            }
+            None
+        }
+        DiffKind::ParallelSum => {
+            let n = case.size as usize;
+            let serial: Vec<u64> = (0..n).map(|i| sample(case.seed, i, false)).collect();
+            let par = parallel_map_cfg(&ParallelConfig::with_threads(threads), n, |i| {
+                sample(case.seed, i, true)
+            });
+            if let Some(i) = (0..n).find(|&i| serial[i] != par[i]) {
+                return diverged(
+                    case,
+                    format!("index {i} of {n}: serial {} != parallel {}", serial[i], par[i]),
+                );
+            }
+            None
+        }
+    }
+}
+
+/// One indexed draw for the `ParallelSum` family; the parallel path
+/// consults the injected threshold.
+fn sample(seed: u64, index: usize, parallel: bool) -> u64 {
+    let value = mix_seed(seed, index as u64);
+    if parallel && (index as u64) >= PERTURB_THRESHOLD.load(Ordering::SeqCst) {
+        value.wrapping_add(1)
+    } else {
+        value
+    }
+}
+
+/// Builds `n` cases round-robining the families over consecutive seeds,
+/// with seed-derived sizes.
+pub fn case_matrix(n: usize, seed0: u64, threads: usize) -> Vec<DiffCase> {
+    (0..n)
+        .map(|i| {
+            let kind = ALL_KINDS[i % ALL_KINDS.len()];
+            let seed = seed0 + i as u64;
+            let size = match kind {
+                // The synthetic family gets real indices to cover.
+                DiffKind::ParallelSum => 16 + (mix_seed(seed, 1) % 48) as u32,
+                _ => (mix_seed(seed, 1) % 16) as u32,
+            };
+            DiffCase { kind, seed, size, threads }
+        })
+        .collect()
+}
+
+/// Runs every case; returns the divergences (empty = all agreed).
+pub fn run_matrix(cases: &[DiffCase]) -> Vec<Divergence> {
+    cases.iter().filter_map(run_case).collect()
+}
+
+/// Greedily minimizes a diverging case: halve then decrement `size`,
+/// drop `threads` to 2, keeping each step only while the divergence
+/// persists. Returns the minimal case and its divergence, or `None` if
+/// `start` does not actually diverge.
+pub fn shrink_case(start: &DiffCase) -> (DiffCase, Option<Divergence>) {
+    let mut best = start.clone();
+    let Some(mut divergence) = run_case(&best) else {
+        return (best, None);
+    };
+    loop {
+        let mut candidates: Vec<DiffCase> = Vec::new();
+        if best.size > 0 {
+            candidates.push(DiffCase { size: best.size / 2, ..best.clone() });
+            candidates.push(DiffCase { size: best.size - 1, ..best.clone() });
+        }
+        if best.threads > 2 {
+            candidates.push(DiffCase { threads: 2, ..best.clone() });
+        }
+        let mut improved = false;
+        for candidate in candidates {
+            if let Some(d) = run_case(&candidate) {
+                best = candidate;
+                divergence = d;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (best, Some(divergence));
+        }
+    }
+}
+
+/// A standalone snippet (≤ 10 lines) replaying `case`.
+pub fn reproducer(case: &DiffCase) -> String {
+    format!(
+        "use nemfpga_testkit::differential::{{run_case, DiffCase, DiffKind}};\n\
+         let case = DiffCase {{\n\
+         \x20   kind: DiffKind::{:?},\n\
+         \x20   seed: {},\n\
+         \x20   size: {},\n\
+         \x20   threads: {},\n\
+         }};\n\
+         let divergence = run_case(&case).expect(\"case no longer diverges\");\n\
+         panic!(\"divergence: {{}}\", divergence.detail);\n",
+        case.kind, case.seed, case.size, case.threads
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sum_agrees_when_unperturbed() {
+        clear_divergence();
+        let case = DiffCase { kind: DiffKind::ParallelSum, seed: 3, size: 64, threads: 4 };
+        assert!(run_case(&case).is_none());
+    }
+
+    #[test]
+    fn reproducer_stays_within_ten_lines() {
+        let case = DiffCase { kind: DiffKind::RouteRepeat, seed: 1, size: 5, threads: 2 };
+        let text = reproducer(&case);
+        assert!(text.lines().count() <= 10, "reproducer too long:\n{text}");
+        assert!(text.contains("RouteRepeat"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # nemfpga-testkit
+//!
+//! Deterministic fault-injection and adversarial testing for the
+//! nemfpga workspace. Two headline subsystems came out of PRs 1 and 2 —
+//! the parallel CAD engine and the caching/coalescing serving stack —
+//! and both were tested only when sunny. This crate tests them under
+//! storm, without giving up reproducibility:
+//!
+//! * [`plan`] — the `FaultPlan` DSL: seeded, replayable schedules of
+//!   injectable faults (disk I/O errors, corrupt/short reads, delayed or
+//!   panicking jobs, clock skew) armed onto the named
+//!   [`nemfpga_runtime::faults`] points that production code threads
+//!   through its hard paths. A [`plan::FaultScope`] guard owns the
+//!   process-global registry for the duration of a test.
+//! * [`sync`] — deterministic notification primitives ([`sync::Gate`],
+//!   [`sync::Probe`]) that replace sleep-based test waits: a probe
+//!   hangs a counter off a fault point and a test blocks on "the site
+//!   fired N times", not on wall-clock guesses.
+//! * [`chaos`] — the chaos engine: runs the full HTTP serve loop
+//!   (`Service::start` + real TCP clients) under a fault plan and
+//!   checks the invariants that must survive *any* fault sequence.
+//! * [`differential`] — the CAD differential harness: incremental
+//!   PathFinder vs full rerouting, 1-vs-N-thread sweeps / Monte Carlo /
+//!   population sampling, across seeded random architectures, with an
+//!   automatic shrinker that reduces any divergence to a minimal
+//!   reproducer.
+//!
+//! Binaries: `chaos` (seeded fault plans against a live serve loop, and
+//! `--with-bug` runs that prove the guarded bugs are actually guarded)
+//! and `differential` (the bit-identity matrix plus `--inject-divergence`
+//! to demonstrate shrinking). `scripts/check.sh --chaos` drives both;
+//! TESTING.md documents replay.
+
+pub mod chaos;
+pub mod differential;
+pub mod plan;
+pub mod sync;
+
+pub use chaos::{run_chaos, BugSwitch, ChaosConfig, ChaosReport};
+pub use differential::{case_matrix, run_case, run_matrix, shrink_case, DiffCase, Divergence};
+pub use plan::{FaultPlan, FaultRule, FaultScope, FaultSpec, FireRule};
+pub use sync::{Gate, Probe};

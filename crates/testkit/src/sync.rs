@@ -1,0 +1,147 @@
+//! Deterministic test synchronization: gates and fault-point probes.
+//!
+//! Sleep-based waits ("sleep 200 ms and hope the other thread got
+//! there") are the classic source of flaky integration tests. These two
+//! primitives replace them with explicit happens-before edges:
+//!
+//! * a [`Gate`] blocks executors until the test opens it — "hold all
+//!   jobs here" without guessing how long submission takes;
+//! * a [`Probe`] counts firings of one or more fault points (installed
+//!   via [`crate::plan::FaultScope::probe`]) and lets the test block on
+//!   "site X fired N times" — the event itself, not elapsed time.
+//!
+//! Both are cheap condvar wrappers; `Clone` shares the underlying state.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A reusable open/closed barrier. Starts closed; [`Gate::open`] is
+/// sticky (everyone waiting is released and later waiters pass through).
+#[derive(Clone, Default)]
+pub struct Gate {
+    inner: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Gate {
+    /// A closed gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the gate, waking every waiter.
+    pub fn open(&self) {
+        let (lock, cv) = &*self.inner;
+        *lock.lock().expect("gate lock poisoned") = true;
+        cv.notify_all();
+    }
+
+    /// Whether the gate is open.
+    pub fn is_open(&self) -> bool {
+        *self.inner.0.lock().expect("gate lock poisoned")
+    }
+
+    /// Blocks until the gate opens or `timeout` elapses; returns whether
+    /// it opened. The timeout is a liveness backstop for broken tests,
+    /// not a synchronization mechanism — correct tests always open the
+    /// gate.
+    pub fn wait_open(&self, timeout: Duration) -> bool {
+        let (lock, cv) = &*self.inner;
+        let deadline = Instant::now() + timeout;
+        let mut open = lock.lock().expect("gate lock poisoned");
+        while !*open {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cv.wait_timeout(open, deadline - now).expect("gate lock poisoned");
+            open = guard;
+        }
+        true
+    }
+}
+
+/// A shared counter with condvar notification. Installed on fault
+/// points by [`crate::plan::FaultScope::probe`]; each firing calls
+/// [`Probe::bump`].
+#[derive(Clone, Default)]
+pub struct Probe {
+    inner: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl Probe {
+    /// A zeroed probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter and wakes waiters.
+    pub fn bump(&self) {
+        let (lock, cv) = &*self.inner;
+        *lock.lock().expect("probe lock poisoned") += 1;
+        cv.notify_all();
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        *self.inner.0.lock().expect("probe lock poisoned")
+    }
+
+    /// Blocks until the count reaches `target` or `timeout` elapses;
+    /// returns whether the target was reached.
+    pub fn wait_until(&self, target: u64, timeout: Duration) -> bool {
+        let (lock, cv) = &*self.inner;
+        let deadline = Instant::now() + timeout;
+        let mut count = lock.lock().expect("probe lock poisoned");
+        while *count < target {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cv.wait_timeout(count, deadline - now).expect("probe lock poisoned");
+            count = guard;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_releases_all_waiters_and_stays_open() {
+        let gate = Gate::new();
+        assert!(!gate.is_open());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let g = gate.clone();
+                std::thread::spawn(move || g.wait_open(Duration::from_secs(10)))
+            })
+            .collect();
+        gate.open();
+        for w in waiters {
+            assert!(w.join().unwrap());
+        }
+        // Sticky: a late waiter passes straight through.
+        assert!(gate.wait_open(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn gate_wait_times_out_when_never_opened() {
+        let gate = Gate::new();
+        assert!(!gate.wait_open(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn probe_wakes_the_waiter_at_the_target() {
+        let probe = Probe::new();
+        let p = probe.clone();
+        let waiter = std::thread::spawn(move || p.wait_until(3, Duration::from_secs(10)));
+        for _ in 0..3 {
+            probe.bump();
+        }
+        assert!(waiter.join().unwrap());
+        assert_eq!(probe.count(), 3);
+        assert!(!probe.wait_until(4, Duration::from_millis(10)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Chaos suite: fixed and randomized fault plans against the live serve
+//! loop, plus the proof that the guarded bugs are actually guarded.
+//!
+//! Every run here is seeded; a failure prints the plan description and
+//! the seed, and `cargo run -p nemfpga-testkit --bin chaos -- --seed N`
+//! replays it (see TESTING.md).
+
+use std::time::Duration;
+
+use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
+use nemfpga_testkit::{run_chaos, ChaosConfig, ChaosReport, FaultPlan, FaultSpec, FireRule};
+
+fn cfg(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        clients: 4,
+        requests_per_client: 10,
+        job_timeout: Duration::from_secs(5),
+        ..ChaosConfig::default()
+    }
+}
+
+fn assert_clean(report: &ChaosReport) {
+    assert!(
+        report.violations.is_empty(),
+        "plan `{}` seed {} broke invariants:\n  {}",
+        report.plan,
+        report.seed,
+        report.violations.join("\n  ")
+    );
+}
+
+#[test]
+fn clean_run_without_faults_holds_every_invariant() {
+    let report = run_chaos(&cfg(100), &FaultPlan::named("no-faults"));
+    assert_clean(&report);
+    assert!(report.computes() > 0, "the storm never reached the executor");
+}
+
+#[test]
+fn disk_corruption_degrades_to_recompute_not_wrong_bytes() {
+    let plan = FaultPlan::named("corrupt-disk")
+        .with_rule("cache.read_disk", FireRule::Always, FaultSpec::CorruptBytes)
+        .with_rule("cache.write_disk", FireRule::EveryNth(2), FaultSpec::ShortRead);
+    assert_clean(&run_chaos(&cfg(101), &plan));
+}
+
+#[test]
+fn disk_io_errors_are_absorbed() {
+    let plan = FaultPlan::named("disk-io-errors")
+        .with_rule("cache.read_disk", FireRule::EveryNth(2), FaultSpec::IoError)
+        .with_rule("cache.write_disk", FireRule::EveryNth(3), FaultSpec::IoError);
+    assert_clean(&run_chaos(&cfg(102), &plan));
+}
+
+#[test]
+fn panicking_and_failing_executors_settle_every_job() {
+    let plan = FaultPlan::named("executor-mayhem")
+        .with_rule("scheduler.execute", FireRule::EveryNth(3), FaultSpec::Panic)
+        .with_rule("scheduler.execute", FireRule::EveryNth(4), FaultSpec::ExecError);
+    assert_clean(&run_chaos(&cfg(103), &plan));
+}
+
+#[test]
+fn deadline_skew_cannot_wedge_the_table() {
+    let plan = FaultPlan::named("clock-skew")
+        .with_rule("scheduler.deadline", FireRule::EveryNth(2), FaultSpec::SkewMillis(10_000))
+        .with_rule("scheduler.execute", FireRule::Always, FaultSpec::DelayMillis(5));
+    assert_clean(&run_chaos(&cfg(104), &plan));
+}
+
+#[test]
+fn queue_pressure_bursts_reject_cleanly() {
+    let plan = FaultPlan::named("queue-pressure").with_rule(
+        "scheduler.execute",
+        FireRule::FirstN(6),
+        FaultSpec::DelayMillis(60),
+    );
+    let mut config = cfg(105);
+    config.queue_capacity = 2;
+    config.distinct_seeds = 12;
+    config.worker_threads = 1;
+    assert_clean(&run_chaos(&config, &plan));
+}
+
+#[test]
+fn randomized_plans_hold_the_invariants() {
+    for seed in 0..5 {
+        let plan = FaultPlan::randomized(seed);
+        assert_clean(&run_chaos(&cfg(seed), &plan));
+    }
+}
+
+#[test]
+fn skip_double_check_bug_is_caught_by_the_compute_invariant() {
+    let plan = double_check_race_plan();
+    let mut config = cfg(106);
+    config.bug = Some(BugSwitch::SkipCacheDoubleCheck);
+    config.clients = 6;
+    config.distinct_seeds = 1;
+    let report = run_chaos(&config, &plan);
+    assert!(
+        report.violations.iter().any(|v| v.contains("computed")),
+        "dropping the under-lock double-check went unnoticed; violations: {:?}",
+        report.violations
+    );
+    // And the guard, present, makes the same storm clean.
+    config.bug = None;
+    assert_clean(&run_chaos(&config, &plan));
+}
+
+#[test]
+fn leak_inflight_bug_is_caught_by_the_drain_invariant() {
+    let mut config = cfg(107);
+    config.bug = Some(BugSwitch::LeakInflight);
+    let report = run_chaos(&config, &FaultPlan::named("no-faults"));
+    assert!(
+        report.violations.iter().any(|v| v.contains("in-flight")),
+        "leaked in-flight entries went unnoticed; violations: {:?}",
+        report.violations
+    );
+}

@@ -1,0 +1,87 @@
+//! Differential suite: a small equivalence matrix must be divergence-
+//! free, and an injected divergence must be found and shrunk to the
+//! provably minimal reproducer.
+
+use nemfpga_testkit::differential::{
+    case_matrix, clear_divergence, inject_divergence, reproducer, run_matrix, shrink_case, DiffKind,
+};
+use nemfpga_testkit::DiffCase;
+
+/// The perturbation threshold is process-global; tests touching the
+/// `ParallelSum` family must not interleave with the injection test.
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn small_matrix_has_no_divergences() {
+    let _guard = exclusive();
+    clear_divergence();
+    let cases = case_matrix(14, 0, 4);
+    let divergences = run_matrix(&cases);
+    assert!(
+        divergences.is_empty(),
+        "divergences:\n{}",
+        divergences
+            .iter()
+            .map(|d| format!("  {:?}: {}", d.case, d.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn matrix_is_invariant_across_thread_counts() {
+    let _guard = exclusive();
+    clear_divergence();
+    // The thread-sensitive families only; the route families ignore
+    // `threads` and are covered above.
+    let cases: Vec<DiffCase> = case_matrix(14, 20, 7)
+        .into_iter()
+        .filter(|c| {
+            matches!(
+                c.kind,
+                DiffKind::SweepThreads
+                    | DiffKind::ComplianceThreads
+                    | DiffKind::PopulationThreads
+                    | DiffKind::ParallelSum
+            )
+        })
+        .collect();
+    assert!(!cases.is_empty());
+    assert!(run_matrix(&cases).is_empty(), "divergence at 7 threads");
+}
+
+#[test]
+fn injected_divergence_shrinks_to_the_minimal_reproducer() {
+    let _guard = exclusive();
+    let threshold = 5u64;
+    inject_divergence(threshold);
+    let start = DiffCase { kind: DiffKind::ParallelSum, seed: 1, size: 64, threads: 6 };
+    let (minimal, divergence) = shrink_case(&start);
+    clear_divergence();
+
+    let divergence = divergence.expect("injected divergence was not detected");
+    assert_eq!(
+        minimal.size,
+        threshold as u32 + 1,
+        "shrinker stopped early: {minimal:?} ({})",
+        divergence.detail
+    );
+    assert_eq!(minimal.threads, 2, "shrinker left extra threads: {minimal:?}");
+
+    let text = reproducer(&minimal);
+    assert!(text.lines().count() <= 10, "reproducer exceeds 10 lines:\n{text}");
+    assert!(text.contains("ParallelSum") && text.contains("size: 6"));
+}
+
+#[test]
+fn shrink_refuses_a_case_that_does_not_diverge() {
+    let _guard = exclusive();
+    clear_divergence();
+    let start = DiffCase { kind: DiffKind::ParallelSum, seed: 2, size: 32, threads: 4 };
+    let (back, divergence) = shrink_case(&start);
+    assert!(divergence.is_none());
+    assert_eq!(back, start);
+}

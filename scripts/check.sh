@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
 # Full local gate: format, lints, tests, a service smoke test, and a
 # smoke pass over every Criterion bench. Run before pushing.
+#
+# `--chaos` appends the adversarial stage: the chaos driver over 20
+# fixed seeds, both guarded-bug detection runs (which must FAIL loudly,
+# proving the invariants have teeth), the differential matrix at two
+# thread counts, and an audit that every `#[ignore]`d test is accounted
+# for in TESTING.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) RUN_CHAOS=1 ;;
+        *) echo "usage: scripts/check.sh [--chaos]" >&2; exit 2 ;;
+    esac
+done
 
 # Fail fast, with an actionable message, when a required cargo component
 # is missing — a bare `cargo fmt` failure on a fresh toolchain is cryptic.
@@ -31,5 +45,36 @@ cargo run -q -p nemfpga-bench --bin serve -- --self-test
 
 echo "==> cargo bench -- --test (smoke)"
 cargo bench --workspace -- --test
+
+if [[ "$RUN_CHAOS" -eq 1 ]]; then
+    echo "==> chaos: 20 seeded fault plans against the live serve loop"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- --seeds 0..20
+
+    echo "==> chaos: guarded bugs must be caught when reintroduced"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- \
+        --seeds 0..3 --with-bug skip-double-check
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- \
+        --seeds 0..3 --with-bug leak-inflight
+
+    echo "==> differential: CAD equivalence matrix at 2 thread counts"
+    cargo run -q --release -p nemfpga-testkit --bin differential -- --cases 56 --threads 4
+    cargo run -q --release -p nemfpga-testkit --bin differential -- --cases 56 --threads 7
+
+    echo "==> differential: injected divergence must shrink to the minimal case"
+    cargo run -q --release -p nemfpga-testkit --bin differential -- --inject-divergence 5
+
+    echo "==> audit: every #[ignore]d test must be documented in TESTING.md"
+    ignored=$(grep -rn '#\[ignore' --include='*.rs' crates/ shims/ | grep -v 'TESTING.md' || true)
+    if [[ -n "$ignored" ]]; then
+        while IFS= read -r line; do
+            test_name=$(sed -n "$(( $(echo "$line" | cut -d: -f2) + 1 )),+3p" \
+                "$(echo "$line" | cut -d: -f1)" | grep -o 'fn [a-z_0-9]*' | head -1 | cut -d' ' -f2)
+            if [[ -z "$test_name" ]] || ! grep -q "$test_name" TESTING.md; then
+                echo "error: ignored test not referenced in TESTING.md: $line" >&2
+                exit 1
+            fi
+        done <<< "$ignored"
+    fi
+fi
 
 echo "All checks passed."
