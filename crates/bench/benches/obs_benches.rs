@@ -1,0 +1,66 @@
+//! Criterion benches for the observability core: what tracing costs the
+//! CAD flow. `obs_overhead` runs the full Fig. 10 evaluation three ways —
+//! no session, disarmed sites, armed session — so the acceptance numbers
+//! (<2% with the feature on, zero with it off) are measured on the real
+//! workload, not a microbenchmark. Build with `--features obs` to measure
+//! the compiled-in recorder; the default build measures the no-op path.
+
+use criterion::{criterion_group, Criterion};
+use nemfpga::flow::{evaluate, EvaluationConfig};
+use nemfpga::variant::FpgaVariant;
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_obs::{Histogram, TraceSession};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let netlist = SynthConfig::tiny("obs", 120, 42).generate().expect("generates");
+    let cfg = EvaluationConfig::fast(42);
+    let variants = vec![FpgaVariant::cmos_baseline(&cfg.node), FpgaVariant::cmos_nem(4.0)];
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    // Baseline: no trace session exists. With the feature off every span
+    // site is a zero-sized no-op; with it on, each costs one atomic load.
+    group.bench_function("evaluate_no_session", |b| {
+        b.iter(|| evaluate(netlist.clone(), &cfg, &variants).expect("evaluates"))
+    });
+    // Armed: spans are actually recorded (feature builds only; without
+    // `--features obs` the session is inert and this equals the baseline).
+    group.bench_function("evaluate_traced", |b| {
+        let session = TraceSession::begin();
+        b.iter(|| evaluate(netlist.clone(), &cfg, &variants).expect("evaluates"));
+        let spans = session.finish();
+        if nemfpga_obs::span::enabled() {
+            assert!(!spans.is_empty(), "armed session must capture flow spans");
+        }
+    });
+    group.finish();
+}
+
+fn bench_metric_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    let histogram = Histogram::default();
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            for v in 0..1000u64 {
+                histogram.record(v.wrapping_mul(0x9e37_79b9));
+            }
+            histogram.snapshot().count()
+        })
+    });
+    group.bench_function("span_site_disarmed", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let mut s = nemfpga_obs::span("bench", "disarmed");
+                s.set_arg("k", 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_metric_primitives);
+
+fn main() {
+    benches();
+    criterion::write_summary_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json"));
+}

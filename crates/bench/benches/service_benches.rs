@@ -112,7 +112,7 @@ fn bench_http_cache_hit(c: &mut Criterion) {
     let body =
         Value::obj(vec![("experiment", Value::Str("table1".to_owned())), ("seed", Value::U64(1))]);
     let timeout = Duration::from_secs(30);
-    let warm = nemfpga_service::http_request(addr, "POST", "/jobs", Some(&body), timeout)
+    let warm = nemfpga_service::http_request(addr, "POST", "/v1/jobs", Some(&body), timeout)
         .expect("warms the cache");
     assert_eq!(warm.status, 200);
 
@@ -121,7 +121,7 @@ fn bench_http_cache_hit(c: &mut Criterion) {
     group.bench_function("http_cache_hit", |b| {
         b.iter(|| {
             let response =
-                nemfpga_service::http_request(addr, "POST", "/jobs", Some(&body), timeout)
+                nemfpga_service::http_request(addr, "POST", "/v1/jobs", Some(&body), timeout)
                     .expect("responds");
             assert_eq!(response.status, 200);
             response

@@ -16,11 +16,15 @@
 //! `--addr` it targets an already-running `serve`.
 //!
 //! After each pass it reports client-side p50/p95 latency plus the
-//! server's `/metrics` deltas (cache hit ratio, coalesced submissions),
-//! and at the end it verifies every served output byte-for-byte against a
-//! direct in-process `render_experiment` call. Exits nonzero if any
-//! response mismatches, if no submissions coalesced, or if the final
-//! pass's cache hit ratio is not above 50%.
+//! server's `/v1/metrics` deltas (cache hit ratio, coalesced
+//! submissions), and at the end it verifies every served output
+//! byte-for-byte against a direct in-process `render_experiment` call.
+//! Exits nonzero if any response mismatches, if no submissions
+//! coalesced, or if the final pass's cache hit ratio is not above 50%.
+//!
+//! All traffic goes through the typed
+//! [`nemfpga_service::ServiceClient`] — loadgen is also a soak test of
+//! the same client API other tooling uses.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -29,8 +33,7 @@ use std::time::{Duration, Instant};
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_service::json::Value;
-use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+use nemfpga_service::{Executor, JobState, Service, ServiceClient, ServiceConfig};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S]";
 
@@ -115,7 +118,13 @@ fn run(options: &Options) -> i32 {
 
     let pool = Arc::new(request_pool(options.unique));
     let workload = workload(&pool, options.requests, options.seed);
-    let timeout = Duration::from_secs(300);
+    let client = match ServiceClient::new(addr.as_str()) {
+        Ok(c) => c.with_timeout(Duration::from_secs(300)),
+        Err(e) => {
+            eprintln!("loadgen: bad address {addr}: {e}");
+            return 1;
+        }
+    };
 
     // Expected outputs, computed the way `repro` would print them.
     let expected: Vec<String> =
@@ -127,10 +136,10 @@ fn run(options: &Options) -> i32 {
     let mut last_pass_hit_ratio = 0.0f64;
 
     for pass in 1..=options.passes {
-        let before = match fetch_metrics(&addr, timeout) {
+        let before = match fetch_metrics(&client) {
             Ok(m) => m,
             Err(e) => {
-                eprintln!("loadgen: GET /metrics failed: {e}");
+                eprintln!("loadgen: GET /v1/metrics failed: {e}");
                 return 1;
             }
         };
@@ -146,13 +155,13 @@ fn run(options: &Options) -> i32 {
             let outcomes = Arc::clone(&outcomes);
             let workload = workload.clone();
             let pool = Arc::clone(&pool);
-            let addr = addr.clone();
+            let client = client.clone();
             clients.push(std::thread::spawn(move || {
                 gate.wait();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&pool_index) = workload.get(i) else { break };
-                    let outcome = submit(&addr, pool_index, &pool[pool_index], timeout);
+                    let outcome = submit(&client, pool_index, &pool[pool_index]);
                     outcomes.lock().expect("outcome lock").push(outcome);
                 }
             }));
@@ -162,10 +171,10 @@ fn run(options: &Options) -> i32 {
         }
         let wall = pass_start.elapsed();
 
-        let after = match fetch_metrics(&addr, timeout) {
+        let after = match fetch_metrics(&client) {
             Ok(m) => m,
             Err(e) => {
-                eprintln!("loadgen: GET /metrics failed: {e}");
+                eprintln!("loadgen: GET /v1/metrics failed: {e}");
                 return 1;
             }
         };
@@ -246,29 +255,13 @@ struct Outcome {
     output: Result<String, String>,
 }
 
-fn submit(
-    addr: &str,
-    pool_index: usize,
-    request: &ExperimentRequest,
-    timeout: Duration,
-) -> Outcome {
-    let body = Value::obj(vec![
-        ("experiment", Value::Str(request.experiment.name().to_owned())),
-        ("scale", Value::F64(request.scale)),
-        ("benchmarks", Value::U64(request.benchmarks as u64)),
-        ("seed", Value::U64(request.seed)),
-    ]);
+fn submit(client: &ServiceClient, pool_index: usize, request: &ExperimentRequest) -> Outcome {
     let start = Instant::now();
-    let output = http_request(addr, "POST", "/jobs", Some(&body), timeout).and_then(|response| {
-        if response.status != 200 {
-            return Err(format!("status {}: {}", response.status, response.body.to_json()));
+    let output = client.submit(request, true).map_err(|e| e.to_string()).and_then(|job| {
+        if job.state != JobState::Done {
+            return Err(format!("job {} ended {}", job.id, job.state.name()));
         }
-        response
-            .body
-            .get("output")
-            .and_then(Value::as_str)
-            .map(str::to_owned)
-            .ok_or_else(|| "response has no output".to_owned())
+        job.output.ok_or_else(|| "done job has no output".to_owned())
     });
     Outcome { pool_index, latency: start.elapsed(), output }
 }
@@ -312,17 +305,10 @@ struct MetricsSnapshot {
     coalesced: u64,
 }
 
-fn fetch_metrics(addr: &str, timeout: Duration) -> Result<MetricsSnapshot, String> {
-    let response = http_request(addr, "GET", "/metrics", None, timeout)?;
-    if response.status != 200 {
-        return Err(format!("/metrics returned {}", response.status));
-    }
+fn fetch_metrics(client: &ServiceClient) -> Result<MetricsSnapshot, String> {
+    let view = client.metrics().map_err(|e| e.to_string())?;
     let counter = |name: &str| {
-        response
-            .body
-            .get(name)
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("/metrics has no `{name}` counter"))
+        view.counter(name).ok_or_else(|| format!("/v1/metrics has no `{name}` counter"))
     };
     Ok(MetricsSnapshot {
         hits: counter("cache_hits_memory")? + counter("cache_hits_disk")?,

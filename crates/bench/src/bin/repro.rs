@@ -32,17 +32,24 @@
 //! The rendering itself lives in `nemfpga_bench::render`, shared with the
 //! serving layer (`serve`/`loadgen` binaries) so served results are
 //! byte-identical to this CLI.
+//!
+//! `--trace-out FILE` records a stage-timing trace of the run
+//! (chrome://tracing JSON; load it in a trace viewer). The experiment
+//! output on stdout is byte-identical with or without it. Recording
+//! needs the `obs` feature (`cargo run --features obs --bin repro`);
+//! without it the flag still writes a valid, empty trace.
 
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 
-const USAGE: &str = "usage: repro <table1|fig2b|fig4|fig5|fig6|fig9|fig11|fig12|wmin|scaling|yield|ablation|explore|faults|alternatives|all>\n       [--scale F] [--benchmarks N] [--seed S] [--threads T]";
+const USAGE: &str = "usage: repro <table1|fig2b|fig4|fig5|fig6|fig9|fig11|fig12|wmin|scaling|yield|ablation|explore|faults|alternatives|all>\n       [--scale F] [--benchmarks N] [--seed S] [--threads T] [--trace-out FILE]";
 
 /// Parsed CLI invocation: what to render and how wide to fan out.
 struct Invocation {
     request: ExperimentRequest,
     parallel: ParallelConfig,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn main() {
@@ -59,7 +66,52 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print!("{}", render_experiment(&invocation.request, &invocation.parallel));
+    let Some(trace_path) = &invocation.trace_out else {
+        print!("{}", render_experiment(&invocation.request, &invocation.parallel));
+        return;
+    };
+
+    let session = nemfpga_obs::TraceSession::begin();
+    let output = render_experiment(&invocation.request, &invocation.parallel);
+    let spans = session.finish();
+    print!("{output}");
+    if let Err(e) = write_trace(trace_path, &spans) {
+        eprintln!("repro: cannot write trace to {}: {e}", trace_path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Writes the chrome://tracing file, re-parses it, and reports the
+/// distinct span names it contains on stderr (the trace summary is
+/// diagnostics; stdout stays byte-identical to an untraced run).
+fn write_trace(path: &std::path::Path, spans: &[nemfpga_obs::SpanRecord]) -> Result<(), String> {
+    let trace = nemfpga_obs::trace::to_chrome_trace(spans);
+    std::fs::write(path, &trace).map_err(|e| e.to_string())?;
+    // Validate what actually landed on disk, not the in-memory spans.
+    let written = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = nemfpga_service::json::parse(&written)
+        .map_err(|e| format!("written trace is not valid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(nemfpga_service::json::Value::Arr(events)) => events,
+        _ => return Err("written trace has no traceEvents array".to_owned()),
+    };
+    let mut stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(nemfpga_service::json::Value::as_str))
+        .collect();
+    stages.sort_unstable();
+    stages.dedup();
+    eprintln!(
+        "repro: trace written to {} ({} events; stages: {})",
+        path.display(),
+        events.len(),
+        if stages.is_empty() {
+            "none — build with --features obs to record".to_owned()
+        } else {
+            stages.join(", ")
+        }
+    );
+    Ok(())
 }
 
 /// Parses CLI arguments without panicking: every malformed flag value,
@@ -67,11 +119,16 @@ fn main() {
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut request = ExperimentRequest::default();
     let mut parallel = ParallelConfig::serial();
+    let mut trace_out = None;
     let mut experiment_named = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-out" => {
+                trace_out =
+                    Some(std::path::PathBuf::from(it.next().ok_or("--trace-out needs FILE")?));
+            }
             "--scale" => {
                 request.scale = parse_value(it.next(), "--scale", "a number in (0,1]")?;
             }
@@ -102,7 +159,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
     }
 
     request.validate().map_err(|e| e.to_string())?;
-    Ok(Invocation { request, parallel })
+    Ok(Invocation { request, parallel, trace_out })
 }
 
 /// Parses one flag value, naming the flag in every failure mode.
@@ -168,6 +225,14 @@ mod tests {
         ] {
             assert!(parse_args(&args).is_err(), "should reject {args:?}");
         }
+    }
+
+    #[test]
+    fn trace_out_parses_and_requires_a_value() {
+        let inv = parse_args(&argv(&["fig4", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(inv.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert!(parse_args(&[]).unwrap().trace_out.is_none());
+        assert!(parse_args(&argv(&["--trace-out"])).is_err());
     }
 
     #[test]

@@ -3,17 +3,22 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]
 //!       [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]
-//!       [--self-test]
+//!       [--self-test] [--trace-out FILE]
 //! ```
 //!
 //! Stands the `nemfpga-service` subsystem up with the real experiment
 //! executor (`nemfpga_bench::render`), so every served result is
 //! byte-identical to the `repro` CLI. Defaults: `127.0.0.1:7878`, two
-//! workers, disk cache under `target/service-cache/`.
+//! workers, disk cache under `target/service-cache/`. The API is mounted
+//! under `/v1/` (see `API.md`).
 //!
-//! `--self-test` binds an ephemeral port, performs one health check, one
-//! job round trip (verified against a direct render), and one cached
-//! re-submission, then shuts down cleanly — the check-script smoke test.
+//! `--self-test` binds an ephemeral port, drives the typed
+//! [`nemfpga_service::ServiceClient`] through one health check, one job
+//! round trip (verified against a direct render), one cached
+//! re-submission, and one metrics fetch, then shuts down cleanly — the
+//! check-script smoke test. `--trace-out FILE` (with `--self-test`, and
+//! built with `--features obs`) additionally records the self-test's
+//! server-side spans as a chrome://tracing file.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,14 +26,14 @@ use std::time::Duration;
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_service::json::Value;
-use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+use nemfpga_service::{Executor, JobState, Service, ServiceClient, ServiceConfig};
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N] [--self-test]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N] [--self-test]\n             [--trace-out FILE]";
 
 struct Invocation {
     config: ServiceConfig,
     self_test: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn main() {
@@ -71,7 +76,19 @@ fn main() {
     );
 
     if invocation.self_test {
+        let session = invocation.trace_out.as_ref().map(|_| nemfpga_obs::TraceSession::begin());
         let ok = self_test(&service);
+        if let (Some(session), Some(path)) = (session, &invocation.trace_out) {
+            let trace = nemfpga_obs::trace::to_chrome_trace(&session.finish());
+            match std::fs::write(path, trace) {
+                Ok(()) => println!("trace written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("serve: cannot write trace to {}: {e}", path.display());
+                    service.shutdown();
+                    std::process::exit(1);
+                }
+            }
+        }
         service.shutdown();
         if ok {
             println!("self-test passed: serve -> request -> clean shutdown");
@@ -80,6 +97,10 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    if invocation.trace_out.is_some() {
+        eprintln!("serve: --trace-out only applies with --self-test");
+        std::process::exit(2);
     }
 
     // Serve until killed; jobs and the accept loop run on their own
@@ -94,44 +115,52 @@ fn service_threads(config: &ServiceConfig) -> usize {
 }
 
 fn self_test(service: &Service) -> bool {
-    let addr = service.addr();
-    let timeout = Duration::from_secs(120);
-
-    let health = match http_request(addr, "GET", "/healthz", None, timeout) {
-        Ok(r) => r,
+    let client = match ServiceClient::new(service.addr()) {
+        Ok(c) => c.with_timeout(Duration::from_secs(120)),
         Err(e) => {
-            eprintln!("self-test: healthz failed: {e}");
+            eprintln!("self-test: bad address: {e}");
             return false;
         }
     };
-    if health.status != 200 {
-        eprintln!("self-test: healthz returned {}", health.status);
+    if let Err(e) = client.healthz() {
+        eprintln!("self-test: healthz failed: {e}");
         return false;
     }
 
     let request = ExperimentRequest::new(ExperimentKind::Fig4);
-    let body = Value::obj(vec![("experiment", Value::Str("fig4".to_owned()))]);
     let expected = render_experiment(&request, &ParallelConfig::serial());
     for pass in ["cold", "cached"] {
-        let response = match http_request(addr, "POST", "/jobs", Some(&body), timeout) {
-            Ok(r) => r,
+        let job = match client.submit(&request, true) {
+            Ok(job) => job,
             Err(e) => {
-                eprintln!("self-test: {pass} POST /jobs failed: {e}");
+                eprintln!("self-test: {pass} POST /v1/jobs failed: {e}");
                 return false;
             }
         };
-        let state = response.body.get("state").and_then(Value::as_str).unwrap_or("?");
-        let output = response.body.get("output").and_then(Value::as_str).unwrap_or("");
-        if response.status != 200 || state != "done" {
-            eprintln!("self-test: {pass} pass returned status {} state {state}", response.status);
+        if job.state != JobState::Done {
+            eprintln!("self-test: {pass} pass ended in state {}", job.state.name());
             return false;
         }
-        if output != expected {
+        if job.output.as_deref() != Some(expected.as_str()) {
             eprintln!("self-test: {pass} pass output differs from direct render");
             return false;
         }
-        if pass == "cached" && response.body.get("cached").and_then(Value::as_bool) != Some(true) {
+        if pass == "cached" && !job.cached {
             eprintln!("self-test: second pass was not served from the cache");
+            return false;
+        }
+    }
+
+    // The metrics registry must reflect the traffic this test just sent.
+    match client.metrics() {
+        Ok(view) => {
+            if view.counter("jobs_submitted").unwrap_or(0) < 2 {
+                eprintln!("self-test: /v1/metrics does not reflect the submitted jobs");
+                return false;
+            }
+        }
+        Err(e) => {
+            eprintln!("self-test: GET /v1/metrics failed: {e}");
             return false;
         }
     }
@@ -142,9 +171,14 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut config =
         ServiceConfig { addr: "127.0.0.1:7878".to_owned(), ..ServiceConfig::default() };
     let mut self_test = false;
+    let mut trace_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-out" => {
+                trace_out =
+                    Some(std::path::PathBuf::from(it.next().ok_or("--trace-out needs FILE")?));
+            }
             "--addr" => {
                 config.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
             }
@@ -179,7 +213,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(Invocation { config, self_test })
+    Ok(Invocation { config, self_test, trace_out })
 }
 
 fn parse_value<T: std::str::FromStr>(

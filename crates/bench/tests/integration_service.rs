@@ -11,7 +11,10 @@ use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::json::Value;
-use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+use nemfpga_service::{
+    http_request, ClientError, Executor, JobState, Service, ServiceClient, ServiceConfig,
+    METRICS_SCHEMA,
+};
 use nemfpga_testkit::{FaultScope, Gate};
 
 const TIMEOUT: Duration = Duration::from_secs(120);
@@ -33,13 +36,20 @@ fn start_counting_service(hold: Option<Gate>) -> (Service, Arc<AtomicUsize>) {
         }
         Ok(render_experiment(request, &parallel))
     });
+    // A process-wide counter keys the disk-cache directory: pointer- or
+    // time-based names can collide across tests in one process (freed
+    // allocations reuse addresses), leaking one test's cache into another.
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "nemfpga-itest-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
     let config = ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),
         parallel,
-        cache_dir: Some(
-            std::env::temp_dir()
-                .join(format!("nemfpga-itest-{}-{computations:p}", std::process::id())),
-        ),
+        cache_dir: Some(dir),
         ..ServiceConfig::default()
     };
     let service = Service::start(&config, executor).expect("service starts");
@@ -81,7 +91,7 @@ fn duplicate_concurrent_jobs_run_exactly_one_computation() {
                     http_request(
                         addr,
                         "POST",
-                        "/jobs",
+                        "/v1/jobs",
                         Some(&submit_body(ExperimentKind::Fig4)),
                         TIMEOUT,
                     )
@@ -125,13 +135,14 @@ fn duplicate_concurrent_jobs_run_exactly_one_computation() {
     assert_eq!(coalesced, CLIENTS - 1, "all duplicates must coalesce onto the first");
     assert!(keys.windows(2).all(|w| w[0] == w[1]), "identical requests share one key");
 
-    // The scheduler-side metric agrees with the client-observed flags.
-    let metrics = http_request(addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
-    assert_eq!(field(&metrics.body, "coalesced").as_u64(), Some(coalesced as u64));
-    assert_eq!(field(&metrics.body, "jobs_submitted").as_u64(), Some(CLIENTS as u64));
+    // The scheduler-side metric agrees with the client-observed flags,
+    // read through the typed client view of /v1/metrics.
+    let view = ServiceClient::new(addr).expect("client").metrics().expect("metrics");
+    assert_eq!(view.counter("coalesced"), Some(coalesced as u64));
+    assert_eq!(view.counter("jobs_submitted"), Some(CLIENTS as u64));
 
     // The content address serves the same bytes directly.
-    let result = http_request(addr, "GET", &format!("/results/{}", keys[0]), None, TIMEOUT)
+    let result = http_request(addr, "GET", &format!("/v1/results/{}", keys[0]), None, TIMEOUT)
         .expect("result fetch");
     assert_eq!(result.status, 200);
     assert_eq!(field(&result.body, "output").as_str(), Some(expected.as_str()));
@@ -146,11 +157,11 @@ fn resubmission_is_served_from_cache_without_recompute() {
     let addr = service.addr();
     let body = submit_body(ExperimentKind::Table1);
 
-    let first = http_request(addr, "POST", "/jobs", Some(&body), TIMEOUT).expect("first");
+    let first = http_request(addr, "POST", "/v1/jobs", Some(&body), TIMEOUT).expect("first");
     assert_eq!(first.status, 200);
     assert_eq!(field(&first.body, "cached").as_bool(), Some(false));
 
-    let second = http_request(addr, "POST", "/jobs", Some(&body), TIMEOUT).expect("second");
+    let second = http_request(addr, "POST", "/v1/jobs", Some(&body), TIMEOUT).expect("second");
     assert_eq!(second.status, 200);
     assert_eq!(field(&second.body, "cached").as_bool(), Some(true));
     assert_eq!(
@@ -162,7 +173,7 @@ fn resubmission_is_served_from_cache_without_recompute() {
 
     // And the job is pollable by id after the fact.
     let id = field(&first.body, "job").as_u64().expect("job id");
-    let polled = http_request(addr, "GET", &format!("/jobs/{id}"), None, TIMEOUT).expect("poll");
+    let polled = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None, TIMEOUT).expect("poll");
     assert_eq!(polled.status, 200);
     assert_eq!(field(&polled.body, "state").as_str(), Some("done"));
 
@@ -175,7 +186,7 @@ fn served_results_match_direct_repro_at_any_thread_count() {
     let addr = service.addr();
     for kind in [ExperimentKind::Table1, ExperimentKind::Fig2b, ExperimentKind::Fig11] {
         let response =
-            http_request(addr, "POST", "/jobs", Some(&submit_body(kind)), TIMEOUT).expect("job");
+            http_request(addr, "POST", "/v1/jobs", Some(&submit_body(kind)), TIMEOUT).expect("job");
         assert_eq!(response.status, 200, "{kind}: {}", response.body.to_json());
         let served = field(&response.body, "output").as_str().expect("output");
         let request = ExperimentRequest::new(kind);
@@ -198,19 +209,156 @@ fn invalid_requests_are_rejected_with_400() {
         Value::obj(vec![]),
     ];
     for body in &cases {
-        let response = http_request(addr, "POST", "/jobs", Some(body), TIMEOUT).expect("responds");
+        let response =
+            http_request(addr, "POST", "/v1/jobs", Some(body), TIMEOUT).expect("responds");
         assert_eq!(response.status, 400, "for {}: {}", body.to_json(), response.body.to_json());
         assert!(field(&response.body, "error").as_str().is_some());
     }
     assert_eq!(computations.load(Ordering::SeqCst), 0, "rejected jobs must never run");
 
-    let bad_key = http_request(addr, "GET", "/results/nothex", None, TIMEOUT).expect("responds");
+    let bad_key = http_request(addr, "GET", "/v1/results/nothex", None, TIMEOUT).expect("responds");
     assert_eq!(bad_key.status, 400);
-    let missing = http_request(addr, "GET", &format!("/results/{}", "0".repeat(64)), None, TIMEOUT)
-        .expect("responds");
+    let missing =
+        http_request(addr, "GET", &format!("/v1/results/{}", "0".repeat(64)), None, TIMEOUT)
+            .expect("responds");
     assert_eq!(missing.status, 404);
-    let bad_id = http_request(addr, "GET", "/jobs/banana", None, TIMEOUT).expect("responds");
+    let bad_id = http_request(addr, "GET", "/v1/jobs/banana", None, TIMEOUT).expect("responds");
     assert_eq!(bad_id.status, 400);
 
+    service.shutdown();
+}
+
+#[test]
+fn typed_client_round_trips_against_a_live_service() {
+    let (service, computations) = start_counting_service(None);
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+    client.healthz().expect("healthz");
+
+    let request = ExperimentRequest::new(ExperimentKind::Table1);
+    let expected = render_experiment(&request, &ParallelConfig::serial());
+
+    // submit (waited) → Done with byte-identical output.
+    let job = client.submit(&request, true).expect("submit");
+    assert_eq!(job.state, JobState::Done);
+    assert_eq!(job.experiment, "table1");
+    assert!(!job.cached);
+    assert_eq!(job.output.as_deref(), Some(expected.as_str()));
+
+    // Poll and long-poll the same job by id.
+    let polled = client.job(job.id).expect("poll");
+    assert_eq!(polled.state, JobState::Done);
+    let waited = client.wait(job.id).expect("wait");
+    assert_eq!(waited.state, JobState::Done);
+
+    // Fetch the result by content address.
+    assert_eq!(client.result(&job.key).expect("result"), expected);
+
+    // Resubmission is a cache hit through the same typed surface.
+    let again = client.submit(&request, true).expect("resubmit");
+    assert!(again.cached);
+    assert_eq!(computations.load(Ordering::SeqCst), 1);
+
+    // The metrics view carries the documented schema and the histograms
+    // the scheduler recorded for the computed job.
+    let view = client.metrics().expect("metrics");
+    assert_eq!(view.schema, METRICS_SCHEMA);
+    assert_eq!(view.counter("jobs_completed"), Some(1));
+    assert!(view.cache_hit_ratio > 0.0);
+    let exec = view.histogram("job_exec_us").expect("job_exec_us histogram");
+    assert_eq!(exec.count, 1);
+    assert!(exec.p95 >= exec.p50);
+    let latency = view.histogram("job_latency_us").expect("job_latency_us histogram");
+    assert_eq!(latency.count, 1, "cache hits are counted, not timed");
+
+    // Prometheus rendering of the same registry.
+    let prom = client.metrics_prometheus().expect("prometheus");
+    assert!(prom.contains("jobs_completed 1\n"), "{prom}");
+    assert!(prom.contains("job_exec_us_count 1\n"), "{prom}");
+
+    service.shutdown();
+}
+
+#[test]
+fn client_maps_the_error_taxonomy_onto_typed_errors() {
+    let (service, _) = start_counting_service(None);
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    // Unknown job id → 404.
+    match client.job(999_999) {
+        Err(ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected Api 404, got {other:?}"),
+    }
+    // Uncached key → 404.
+    let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+    request.seed = 77;
+    let key = nemfpga_service::job_key(&request).expect("key");
+    match client.result(&key) {
+        Err(ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected Api 404, got {other:?}"),
+    }
+    // Invalid request body → 400 with the server's message preserved.
+    request.scale = 7.0;
+    match client.submit(&request, true) {
+        Err(ClientError::Api { status: 400, message }) => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected Api 400, got {other:?}"),
+    }
+    // A dead address → Transport, not a panic.
+    let dead = ServiceClient::new("127.0.0.1:1")
+        .expect("client address parses")
+        .with_timeout(Duration::from_millis(200));
+    assert!(matches!(dead.healthz(), Err(ClientError::Transport(_))));
+
+    service.shutdown();
+}
+
+#[test]
+fn legacy_unversioned_paths_redirect_to_v1() {
+    let (service, _) = start_counting_service(None);
+    let addr = service.addr();
+    for (method, path, body) in [
+        ("GET", "/healthz", None),
+        ("GET", "/metrics", None),
+        ("POST", "/jobs", Some(submit_body(ExperimentKind::Fig4))),
+        ("GET", "/jobs/1", None),
+        ("GET", "/results/abc", None),
+    ] {
+        let response = http_request(addr, method, path, body.as_ref(), TIMEOUT).expect("responds");
+        assert_eq!(response.status, 301, "{method} {path}");
+        assert_eq!(
+            response.location.as_deref(),
+            Some(format!("/v1{path}").as_str()),
+            "{method} {path} must point at its /v1 mount"
+        );
+    }
+    // Paths that never existed are 404, not redirected.
+    let gone = http_request(addr, "GET", "/nope", None, TIMEOUT).expect("responds");
+    assert_eq!(gone.status, 404);
+    service.shutdown();
+}
+
+#[test]
+fn metrics_formats_share_one_registry() {
+    let (service, _) = start_counting_service(None);
+    let addr = service.addr();
+    let client = ServiceClient::new(addr).expect("client").with_timeout(TIMEOUT);
+    client.submit(&ExperimentRequest::new(ExperimentKind::Fig11), true).expect("submit");
+
+    let json_view = client.metrics().expect("json metrics");
+    let prom = client.metrics_prometheus().expect("prometheus metrics");
+    for (name, value) in &json_view.counters {
+        // http_requests advances with every fetch, including these two.
+        if name == "http_requests" {
+            continue;
+        }
+        assert!(
+            prom.contains(&format!("{name} {value}\n")),
+            "counter {name}={value} missing from the Prometheus body:\n{prom}"
+        );
+    }
+    // An unknown format is a 400, per the taxonomy.
+    let bad = http_request(addr, "GET", "/v1/metrics?format=xml", None, TIMEOUT).expect("responds");
+    assert_eq!(bad.status, 400);
     service.shutdown();
 }

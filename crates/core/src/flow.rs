@@ -157,6 +157,7 @@ pub fn evaluate(
         return Err(CoreError::InvalidConfig { message: "no variants to evaluate".to_owned() });
     }
     let benchmark = netlist.name().to_owned();
+    let _flow_span = nemfpga_obs::span("flow", "evaluate");
     let activities = compute_activities(&netlist, config.input_activity)?;
     let mut imp: Implementation =
         implement(netlist, &config.params, &config.place, &config.route, config.width)?;
@@ -204,16 +205,21 @@ pub fn evaluate(
     // ordered merge keeps `models[i]` ↔ `variants[i]` for any count.
     let models: Vec<ElectricalModel> =
         parallel_map(&config.parallel, variants, |_, v| ElectricalModel::build(&ctx, v));
-    let critical_paths: Vec<Seconds> = parallel_map(&config.parallel, &models, |_, model| {
-        analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)
-            .map(|report| report.critical_path)
-    })
-    .into_iter()
-    .collect::<Result<_, _>>()?;
+    let critical_paths: Vec<Seconds> = {
+        let mut sta_span = nemfpga_obs::span("flow", "sta");
+        sta_span.set_arg("variants", models.len() as u64);
+        parallel_map(&config.parallel, &models, |_, model| {
+            analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)
+                .map(|report| report.critical_path)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?
+    };
     let clock = config.clock.unwrap_or_else(|| Hertz::new(1.0 / critical_paths[0].value()));
 
     let lb_tiles = (imp.placement.grid.width * imp.placement.grid.height) as f64;
     let mut evaluations = Vec::with_capacity(models.len());
+    let power_span = nemfpga_obs::span("flow", "power");
     for (model, cp) in models.iter().zip(&critical_paths) {
         let inventory = FabricInventory::from_rr_graph(&imp.rr, model.variant.sram_per_switch());
         let power = PowerReport {
@@ -228,6 +234,7 @@ pub fn evaluate(
             total_area: model.tile.footprint() * lb_tiles,
         });
     }
+    drop(power_span);
 
     Ok(Evaluation {
         benchmark,

@@ -1,0 +1,74 @@
+//! The monotonic clock behind span timestamps.
+//!
+//! Defaults to wall monotonic time (`Instant` relative to a process
+//! epoch). Deterministic test harnesses install a *manual* clock that
+//! only moves when [`advance`] is called, so span start/duration fields
+//! are bit-stable across runs regardless of scheduler jitter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// `true` → [`now_nanos`] reads the manual counter instead of `Instant`.
+static MANUAL_MODE: AtomicBool = AtomicBool::new(false);
+/// The manual clock's current reading, in nanoseconds.
+static MANUAL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since an arbitrary fixed origin (process start for the
+/// real clock, zero for a freshly-installed manual clock). Monotonic in
+/// both modes.
+pub fn now_nanos() -> u64 {
+    if MANUAL_MODE.load(Ordering::Acquire) {
+        MANUAL_NANOS.load(Ordering::Acquire)
+    } else {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+/// Switches to a manually-advanced clock starting at `start_nanos`.
+/// Process-global: affects every span site until [`use_real_clock`].
+pub fn install_manual_clock(start_nanos: u64) {
+    MANUAL_NANOS.store(start_nanos, Ordering::Release);
+    MANUAL_MODE.store(true, Ordering::Release);
+}
+
+/// Advances the manual clock; no-op on the real clock.
+pub fn advance(nanos: u64) {
+    MANUAL_NANOS.fetch_add(nanos, Ordering::AcqRel);
+}
+
+/// Restores the default `Instant`-backed clock.
+pub fn use_real_clock() {
+    MANUAL_MODE.store(false, Ordering::Release);
+}
+
+/// Serializes unit tests that mutate process-global clock/span state.
+#[cfg(test)]
+pub(crate) fn test_globals_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let _serial = test_globals_lock();
+        install_manual_clock(100);
+        assert_eq!(now_nanos(), 100);
+        assert_eq!(now_nanos(), 100);
+        advance(25);
+        assert_eq!(now_nanos(), 125);
+        use_real_clock();
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a, "real clock must be monotonic");
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability core for the nemfpga workspace.
+//!
+//! Three pieces, deliberately decoupled:
+//!
+//! * [`metrics`] — a typed metric registry ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) that is **always compiled**. Histograms are
+//!   log-bucketed with exact u64 counts and merge associatively, so
+//!   quantiles come from real distributions instead of point samples
+//!   and per-shard histograms can be combined without loss.
+//! * [`span`] — a lock-minimal span recorder behind the `trace`
+//!   feature. Spans buffer in thread-local storage and drain into a
+//!   global sink in batches; with the feature off every guard is a
+//!   zero-sized no-op, mirroring the `fault-injection` pattern in
+//!   `nemfpga-runtime`. Even with the feature *on*, a disarmed process
+//!   pays one relaxed atomic load per span site.
+//! * [`clock`] — the monotonic clock behind span timestamps. Tests and
+//!   the deterministic testkit can install a manually-advanced clock so
+//!   recorded traces are bit-stable across runs.
+//!
+//! [`trace`] renders drained spans as chrome://tracing JSON
+//! (`about:tracing` / Perfetto loadable), and
+//! [`metrics::RegistrySnapshot::to_prometheus`] renders a registry as
+//! Prometheus text exposition format. JSON rendering of metrics lives
+//! with the service's deterministic JSON codec, not here.
+
+pub mod clock;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use span::{flush_thread, span, SpanGuard, SpanRecord, TraceSession};

@@ -1,0 +1,406 @@
+//! Typed metric registry: counters, gauges, and log-bucketed histograms.
+//!
+//! Everything here is always compiled (no feature gate): the service's
+//! `/v1/metrics` surface and the chaos-suite reconciliation invariant
+//! read these counters unconditionally, so they must exist in every
+//! build. Handles are `Clone` + cheap (an `Arc` around atomics); hot
+//! paths never take a lock — the registry mutex is touched only at
+//! registration and snapshot time.
+//!
+//! Histograms are power-of-two log-bucketed: value `v` lands in bucket
+//! `0` when `v == 0`, else bucket `64 - v.leading_zeros()`, i.e. bucket
+//! `i ≥ 1` covers `[2^(i-1), 2^i - 1]`. Counts are exact u64s (no
+//! sampling, no decay) and merging two histograms is bucket-wise
+//! addition, so merge is associative and commutative and the total
+//! count is always the exact number of recorded observations.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of histogram buckets: one for zero plus one per bit of u64.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (see module docs for the layout).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically-increasing event count.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value that can move both ways.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A log-bucketed distribution with exact counts. `record` is two
+/// relaxed atomic adds; snapshots and quantiles never block recorders.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in integer microseconds (the workspace-wide
+    /// unit for latency histograms — ns overflows sums too fast, ms
+    /// quantizes sub-millisecond CAD stages to nothing).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds another histogram's counts into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            if c > 0 {
+                self.0.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.0.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (per-bucket atomic reads; counts lag the
+    /// sum by at most the handful of in-flight `record` calls).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Exact observation count per bucket (see [`bucket_upper_bound`]).
+    pub buckets: [u64; BUCKETS],
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise sum of two snapshots (`sum` wraps on overflow, like
+    /// the atomic adds backing the live histogram).
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            sum: self.sum.wrapping_add(other.sum),
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (0 ≤ q ≤ 1), or 0 when empty. Log buckets bound the
+    /// relative error at 2× — honest for latency work, unlike a
+    /// 2-sample point estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the selected observation, 1-based, clamped to range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Clone)]
+pub enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Get-or-create registration returns a
+/// shared handle: two calls with the same name see the same atomics,
+/// which is what lets `/v1/metrics` and in-process assertions (the
+/// chaos reconciliation invariant) read one source of truth.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the named counter. Panics if the name is already
+    /// registered as a different kind — that is a programming error,
+    /// not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("registry lock poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the named gauge (same contract as [`Self::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("registry lock poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the named histogram (same contract as [`Self::counter`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("registry lock poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.inner.lock().expect("registry lock poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Everything a [`Registry`] held at one instant, ready to export.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Prometheus text exposition format (version 0.0.4). Histograms
+    /// render cumulative `_bucket{le=...}` series (only buckets that
+    /// change the cumulative count, plus `+Inf`), `_sum`, `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let _ =
+                    writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper_bound(i));
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64_without_overlap() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound lands in that bucket, and the next
+        // value up lands in the next bucket.
+        for i in 0..BUCKETS {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i, "upper bound of bucket {i}");
+            if ub < u64::MAX {
+                assert_eq!(bucket_index(ub + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_are_exact_and_quantiles_bound_values() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum, 500_500);
+        // The p50 bucket upper bound must be >= the true median and
+        // within 2x of it (log-bucket guarantee).
+        let p50 = s.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(0.0), bucket_upper_bound(bucket_index(1)));
+        assert_eq!(s.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.buckets[bucket_index(3)], 2);
+        assert_eq!(s.buckets[bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.counter("x").get(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("x"), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        r.counter("dual");
+        r.gauge("dual");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let r = Registry::new();
+        r.counter("reqs").add(7);
+        r.gauge("depth").set(2);
+        let h = r.histogram("lat_us");
+        h.record(1);
+        h.record(1);
+        h.record(300);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE reqs counter\nreqs 7\n"), "{text}");
+        assert!(text.contains("depth 2\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"511\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_sum 302\n"), "{text}");
+        assert!(text.contains("lat_us_count 3\n"), "{text}");
+    }
+}

@@ -1,0 +1,324 @@
+//! Lock-minimal span recorder behind the `trace` feature.
+//!
+//! Production code marks timed regions with RAII guards:
+//!
+//! ```
+//! {
+//!     let mut s = nemfpga_obs::span("flow", "route");
+//!     s.set_arg("iterations", 12);
+//! } // span recorded on drop
+//! ```
+//!
+//! Recording only happens inside an armed [`TraceSession`]. The cost
+//! model mirrors `nemfpga-runtime`'s fault points:
+//!
+//! * feature off — [`span`] returns a zero-sized guard and every call
+//!   is an `#[inline(always)]` no-op the optimizer deletes;
+//! * feature on, disarmed — one relaxed-ish atomic load per site;
+//! * feature on, armed — a clock read plus a push onto a thread-local
+//!   buffer. Buffers drain into the global sink in batches of
+//!   [`FLUSH_AT`] (and on thread exit), so the sink mutex is touched
+//!   roughly once per 64 spans per thread, never per span.
+//!
+//! Long-lived threads that outlive a session (the service worker pool)
+//! call [`flush_thread`] at job boundaries so their spans are visible
+//! when the session finishes. Timestamps come from [`crate::clock`],
+//! which deterministic harnesses can pin.
+
+/// One completed span, as drained from a [`TraceSession`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Category (chrome://tracing `cat`): a coarse subsystem name.
+    pub cat: &'static str,
+    /// Span name (chrome://tracing `name`): the timed operation.
+    pub name: &'static str,
+    /// Start, in [`crate::clock::now_nanos`] nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process thread id (1-based, assignment order).
+    pub tid: u64,
+    /// Numeric annotations (e.g. `("rerouted", 37)`).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Whether the span recorder is compiled in (`trace` feature).
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "trace")
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::SpanRecord;
+    use crate::clock;
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Thread-local buffer length that triggers a drain into the sink.
+    pub const FLUSH_AT: usize = 64;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static SINK: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    /// Serializes sessions: they drain one process-global sink.
+    static SESSION: Mutex<()> = Mutex::new(());
+
+    struct ThreadBuf {
+        tid: u64,
+        buf: Vec<SpanRecord>,
+    }
+
+    impl ThreadBuf {
+        fn flush(&mut self) {
+            if self.buf.is_empty() {
+                return;
+            }
+            let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+            sink.append(&mut self.buf);
+        }
+    }
+
+    impl Drop for ThreadBuf {
+        fn drop(&mut self) {
+            self.flush();
+        }
+    }
+
+    thread_local! {
+        static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            buf: Vec::new(),
+        });
+    }
+
+    /// An open span; records itself on drop. Returned disarmed (a
+    /// no-op) when no session is active.
+    #[must_use = "a span guard measures the scope it lives in"]
+    pub struct SpanGuard(Option<OpenSpan>);
+
+    struct OpenSpan {
+        cat: &'static str,
+        name: &'static str,
+        start_ns: u64,
+        args: Vec<(&'static str, u64)>,
+    }
+
+    impl SpanGuard {
+        /// Attaches a numeric annotation (no-op when disarmed).
+        #[inline]
+        pub fn set_arg(&mut self, key: &'static str, value: u64) {
+            if let Some(open) = self.0.as_mut() {
+                open.args.push((key, value));
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let Some(open) = self.0.take() else { return };
+            let record = SpanRecord {
+                cat: open.cat,
+                name: open.name,
+                start_ns: open.start_ns,
+                dur_ns: clock::now_nanos().saturating_sub(open.start_ns),
+                tid: 0, // stamped below from the thread-local
+                args: open.args,
+            };
+            // During thread teardown the TLS slot may already be gone;
+            // fall straight through to the sink so the span survives.
+            let fallback = match TLS.try_with(|tls| {
+                let mut tls = tls.borrow_mut();
+                let mut record = record.clone();
+                record.tid = tls.tid;
+                tls.buf.push(record);
+                if tls.buf.len() >= FLUSH_AT {
+                    tls.flush();
+                }
+            }) {
+                Ok(()) => None,
+                Err(_) => Some(record),
+            };
+            if let Some(record) = fallback {
+                SINK.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+            }
+        }
+    }
+
+    /// Opens a span (armed sessions only; one atomic load otherwise).
+    #[inline]
+    pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+        if !ARMED.load(Ordering::Acquire) {
+            return SpanGuard(None);
+        }
+        SpanGuard(Some(OpenSpan { cat, name, start_ns: clock::now_nanos(), args: Vec::new() }))
+    }
+
+    /// Drains this thread's buffer into the global sink.
+    pub fn flush_thread() {
+        let _ = TLS.try_with(|tls| tls.borrow_mut().flush());
+    }
+
+    /// RAII over an armed recording window. Sessions serialize on a
+    /// process-global lock (the sink is global); dropping without
+    /// [`TraceSession::finish`] disarms and discards.
+    pub struct TraceSession {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl TraceSession {
+        /// Arms recording, starting from an empty sink.
+        pub fn begin() -> TraceSession {
+            let serial = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+            SINK.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            ARMED.store(true, Ordering::Release);
+            TraceSession { _serial: serial }
+        }
+
+        /// Disarms and returns every recorded span, ordered by
+        /// (start, tid) so output is stable under a pinned clock.
+        pub fn finish(self) -> Vec<SpanRecord> {
+            ARMED.store(false, Ordering::Release);
+            flush_thread();
+            let mut spans = std::mem::take(&mut *SINK.lock().unwrap_or_else(|e| e.into_inner()));
+            spans.sort_by_key(|s| (s.start_ns, s.tid, s.name));
+            spans
+        }
+    }
+
+    impl Drop for TraceSession {
+        fn drop(&mut self) {
+            ARMED.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::SpanRecord;
+
+    /// Zero-sized stand-in; every method folds away.
+    #[must_use = "a span guard measures the scope it lives in"]
+    pub struct SpanGuard(());
+
+    impl SpanGuard {
+        /// No-op without the `trace` feature.
+        #[inline(always)]
+        pub fn set_arg(&mut self, _key: &'static str, _value: u64) {}
+    }
+
+    /// No-op without the `trace` feature.
+    #[inline(always)]
+    pub fn span(_cat: &'static str, _name: &'static str) -> SpanGuard {
+        SpanGuard(())
+    }
+
+    /// No-op without the `trace` feature.
+    #[inline(always)]
+    pub fn flush_thread() {}
+
+    /// Inert stand-in: sessions exist so callers compile either way,
+    /// but record nothing.
+    pub struct TraceSession(());
+
+    impl TraceSession {
+        /// Returns an inert session.
+        pub fn begin() -> TraceSession {
+            TraceSession(())
+        }
+
+        /// Always empty without the `trace` feature.
+        pub fn finish(self) -> Vec<SpanRecord> {
+            Vec::new()
+        }
+    }
+}
+
+pub use imp::{flush_thread, span, SpanGuard, TraceSession};
+
+#[cfg(all(test, not(feature = "trace")))]
+mod noop_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sites_are_zero_sized_and_sessions_stay_empty() {
+        assert!(!enabled());
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        let session = TraceSession::begin();
+        {
+            let mut s = span("t", "noop");
+            s.set_arg("k", 1);
+        }
+        flush_thread();
+        assert!(session.finish().is_empty());
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::clock;
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        let _serial = crate::clock::test_globals_lock();
+        {
+            let mut s = span("t", "ignored");
+            s.set_arg("k", 1);
+        }
+        let session = TraceSession::begin();
+        assert!(session.finish().is_empty());
+    }
+
+    #[test]
+    fn armed_spans_capture_nesting_args_and_pinned_clock() {
+        let _serial = crate::clock::test_globals_lock();
+        let session = TraceSession::begin();
+        clock::install_manual_clock(1_000);
+        {
+            let mut outer = span("t", "outer");
+            outer.set_arg("n", 42);
+            clock::advance(500);
+            {
+                let _inner = span("t", "inner");
+                clock::advance(250);
+            }
+            clock::advance(250);
+        }
+        clock::use_real_clock();
+        let spans = session.finish();
+        assert_eq!(spans.len(), 2);
+        // Sorted by start: outer (1000) before inner (1500).
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].start_ns, 1_000);
+        assert_eq!(spans[0].dur_ns, 1_000);
+        assert_eq!(spans[0].args, vec![("n", 42)]);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].start_ns, 1_500);
+        assert_eq!(spans[1].dur_ns, 250);
+        assert_eq!(spans[0].tid, spans[1].tid);
+    }
+
+    #[test]
+    fn spawned_threads_flush_on_exit_with_distinct_tids() {
+        let _serial = crate::clock::test_globals_lock();
+        let session = TraceSession::begin();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("t", "worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = session.finish();
+        assert_eq!(spans.len(), 3);
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread gets its own tid");
+    }
+}

@@ -1,0 +1,89 @@
+//! chrome://tracing exporter for drained spans.
+//!
+//! Renders [`SpanRecord`]s as the Trace Event Format's JSON array form
+//! (complete events, `"ph": "X"`), loadable in `chrome://tracing`,
+//! `about:tracing`, and Perfetto. Timestamps are microseconds with
+//! nanosecond precision kept in three decimals. The writer is
+//! deterministic: span order is whatever the caller passes (sessions
+//! sort by start time) and all keys are emitted in a fixed order.
+
+use crate::span::SpanRecord;
+
+/// Renders spans as a chrome://tracing JSON document.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        out.push_str(",\"ts\":");
+        push_micros(&mut out, s.start_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, s.dur_ns);
+        out.push_str(",\"cat\":\"");
+        out.push_str(s.cat);
+        out.push_str("\",\"name\":\"");
+        out.push_str(s.name);
+        out.push('"');
+        if !s.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in s.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(k);
+                out.push_str("\":");
+                out.push_str(&v.to_string());
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes `nanos` as a decimal microsecond value (`1234567` ns →
+/// `1234.567`), avoiding float formatting so output is bit-stable.
+fn push_micros(out: &mut String, nanos: u64) {
+    let micros = nanos / 1_000;
+    let frac = nanos % 1_000;
+    out.push_str(&micros.to_string());
+    if frac != 0 {
+        out.push('.');
+        let digits = format!("{frac:03}");
+        out.push_str(digits.trim_end_matches('0'));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord { cat: "flow", name, start_ns, dur_ns, tid: 1, args: Vec::new() }
+    }
+
+    #[test]
+    fn renders_complete_events_with_micro_timestamps() {
+        let mut with_args = rec("route", 1_234_567, 2_000);
+        with_args.args.push(("iterations", 7));
+        let doc = to_chrome_trace(&[rec("pack", 0, 1_500_000), with_args]);
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains(
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":1500,\"cat\":\"flow\",\"name\":\"pack\"}"
+        ));
+        assert!(doc.contains("\"ts\":1234.567,\"dur\":2,"));
+        assert!(doc.contains("\"args\":{\"iterations\":7}"));
+        assert!(doc.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        assert_eq!(to_chrome_trace(&[]), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

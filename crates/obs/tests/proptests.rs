@@ -1,0 +1,102 @@
+//! Property tests for the histogram algebra.
+//!
+//! The service's `/v1/metrics` quantiles and the bench-side merge path
+//! both lean on three structural guarantees: counts are *exact* (every
+//! `record` is visible in exactly one bucket), merge is associative and
+//! commutative (so per-shard histograms combine in any order), and the
+//! bucket layout is monotone (so cumulative Prometheus buckets and
+//! quantile scans are well-defined).
+
+use nemfpga_obs::metrics::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
+};
+use proptest::prelude::*;
+
+fn filled(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every recorded observation lands in exactly one bucket, and the
+    /// sum tracks the (wrapping) sum of inputs.
+    #[test]
+    fn total_count_is_exact(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let s = filled(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, expected_sum);
+    }
+
+    /// Merging snapshots is associative and commutative, and merging
+    /// equals recording the concatenated stream in one histogram.
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        xs in prop::collection::vec(any::<u64>(), 0..60),
+        ys in prop::collection::vec(any::<u64>(), 0..60),
+        zs in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (a, b, c) = (filled(&xs), filled(&ys), filled(&zs));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        prop_assert_eq!(a.merged(&b).merged(&c), filled(&all));
+    }
+
+    /// `merge_from` on live histograms agrees with snapshot merge.
+    #[test]
+    fn live_merge_matches_snapshot_merge(
+        xs in prop::collection::vec(any::<u64>(), 0..60),
+        ys in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let a = Histogram::default();
+        for &v in &xs {
+            a.record(v);
+        }
+        let b = Histogram::default();
+        for &v in &ys {
+            b.record(v);
+        }
+        let expected = a.snapshot().merged(&b.snapshot());
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), expected);
+    }
+
+    /// The bucket layout is monotone: larger values never map to
+    /// earlier buckets, and each value is <= its bucket's upper bound.
+    #[test]
+    fn bucket_layout_is_monotone(v in any::<u64>(), w in any::<u64>()) {
+        let (lo, hi) = (v.min(w), v.max(w));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        prop_assert!(lo <= bucket_upper_bound(bucket_index(lo)));
+        prop_assert!(bucket_index(hi) < BUCKETS);
+    }
+
+    /// Quantiles are honest: the reported value is an upper bound on
+    /// the true order statistic and within the 2x log-bucket envelope.
+    #[test]
+    fn quantile_bounds_the_true_order_statistic(
+        values in prop::collection::vec(0u64..1_000_000, 1..150),
+        q_millis in 0u64..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let s = filled(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let reported = s.quantile(q);
+        prop_assert!(reported >= truth, "reported {reported} < true {truth}");
+        prop_assert!(
+            reported <= truth.saturating_mul(2).max(1),
+            "reported {reported} blows the 2x envelope over {truth}"
+        );
+    }
+}

@@ -91,13 +91,23 @@ pub fn implement(
     route_cfg: &RouteConfig,
     width: WidthPolicy,
 ) -> Result<Implementation, PnrError> {
-    let design = pack(netlist, params)?;
+    let design = {
+        let _span = nemfpga_obs::span("flow", "pack");
+        pack(netlist, params)?
+    };
     let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
         .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
-    let placement = place(&design, grid, place_cfg)?;
+    let placement = {
+        let _span = nemfpga_obs::span("flow", "place");
+        place(&design, grid, place_cfg)?
+    };
 
+    // Covers the whole width-resolution phase (W_min search included):
+    // dropped on every return path below.
+    let mut route_span = nemfpga_obs::span("flow", "route");
     match width {
         WidthPolicy::Fixed(w) => {
+            route_span.set_arg("width", w as u64);
             let rr = build_rr_graph(params, grid, w)
                 .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
             let routing = route(&rr, &design, &placement, route_cfg)?;
@@ -106,6 +116,7 @@ pub fn implement(
         WidthPolicy::LowStress { hint, max } => {
             let search = find_min_channel_width(params, &design, &placement, route_cfg, hint, max)?;
             let mut summary = WidthSearchSummary::from(&search);
+            route_span.set_arg("w_min", search.w_min as u64);
             // Routability is not strictly monotone in W (per-width pin/track
             // mappings differ), so walk upward a little before falling back
             // to the known-good minimum-width routing.

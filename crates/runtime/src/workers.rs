@@ -20,8 +20,13 @@ use crate::ParallelConfig;
 static FAULT_JOB: FaultPoint = FaultPoint::new("workers.job");
 
 /// A job is any one-shot closure; results travel out-of-band (the
-/// submitter keeps its own completion state).
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// submitter keeps its own completion state). The enqueue timestamp
+/// feeds the `pool.execute` span's queue-wait annotation; it is only
+/// read when a trace session is recording.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    enqueued_ns: u64,
+}
 
 /// Error returned by [`WorkerPool::try_submit`] when the bounded queue is
 /// at capacity. Carries the rejected job back so the caller can retry.
@@ -85,11 +90,13 @@ impl WorkerPool {
     ///
     /// [`PoolFull`] when `queue_capacity` jobs are already pending.
     pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolFull> {
+        let enqueued_ns =
+            if nemfpga_obs::span::enabled() { nemfpga_obs::clock::now_nanos() } else { 0 };
         let mut state = self.shared.queue.lock().expect("pool queue poisoned");
         if state.jobs.len() >= self.shared.capacity {
             return Err(PoolFull(Box::new(job)));
         }
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back(Job { run: Box::new(job), enqueued_ns });
         drop(state);
         self.shared.wake.notify_one();
         Ok(())
@@ -140,8 +147,18 @@ fn worker_loop(shared: &Shared) {
         // catches executor panics itself and records a Failed job).
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = FAULT_JOB.fire().apply_basic();
-            job();
+            let mut span = nemfpga_obs::span("pool", "pool.execute");
+            if nemfpga_obs::span::enabled() {
+                span.set_arg(
+                    "queue_wait_us",
+                    nemfpga_obs::clock::now_nanos().saturating_sub(job.enqueued_ns) / 1_000,
+                );
+            }
+            (job.run)();
         }));
+        // Workers are long-lived: drain this thread's span buffer at job
+        // granularity so an armed session sees pool spans when it ends.
+        nemfpga_obs::flush_thread();
     }
 }
 

@@ -1,0 +1,362 @@
+//! Typed client for the `/v1` API.
+//!
+//! [`ServiceClient`] is what `loadgen`, `serve --self-test`, and the
+//! integration tests speak instead of hand-rolling paths and picking
+//! JSON fields out of [`crate::json::Value`] trees. Every call maps the
+//! wire taxonomy (API.md) onto one error type:
+//!
+//! * transport failures (connect/IO/timeout) → [`ClientError::Transport`],
+//! * non-2xx responses → [`ClientError::Api`] carrying the status code
+//!   and the server's `error` message,
+//! * 2xx bodies that don't match the documented schema →
+//!   [`ClientError::Protocol`].
+//!
+//! The client does **not** follow 301s from the legacy unversioned
+//! paths — it always speaks `/v1` directly.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use nemfpga::request::ExperimentRequest;
+
+use crate::http::{http_request, ClientResponse};
+use crate::json::Value;
+use crate::key::JobKey;
+use crate::scheduler::JobState;
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The request never produced an HTTP response (connect, IO, timeout).
+    Transport(String),
+    /// The server answered with a non-2xx status.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// The server's `error` field (or the raw body when absent).
+        message: String,
+    },
+    /// The response parsed as JSON but did not match the documented schema.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(m) => write!(f, "transport error: {m}"),
+            Self::Api { status, message } => write!(f, "server returned {status}: {message}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A decoded job document (`POST /v1/jobs`, `GET /v1/jobs/:id`).
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Scheduler-assigned id.
+    pub id: u64,
+    /// Content address of the request.
+    pub key: JobKey,
+    /// Experiment wire name.
+    pub experiment: String,
+    /// Current state.
+    pub state: JobState,
+    /// Whether the job was answered from the cache.
+    pub cached: bool,
+    /// Later submissions that coalesced onto this job.
+    pub coalesced_submissions: u64,
+    /// Whether *this* submission coalesced (present on submit responses).
+    pub coalesced: Option<bool>,
+    /// Output, once `Done`.
+    pub output: Option<String>,
+    /// Error message, when `Failed` or `TimedOut`.
+    pub error: Option<String>,
+}
+
+impl JobView {
+    fn from_json(doc: &Value) -> Result<Self, ClientError> {
+        let field = |name: &str| {
+            doc.get(name).ok_or_else(|| ClientError::Protocol(format!("missing `{name}`")))
+        };
+        let id = field("job")?
+            .as_u64()
+            .ok_or_else(|| ClientError::Protocol("`job` is not an integer".into()))?;
+        let key_hex = field("key")?
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("`key` is not a string".into()))?;
+        let key = JobKey::from_hex(key_hex)
+            .ok_or_else(|| ClientError::Protocol(format!("bad job key {key_hex:?}")))?;
+        let experiment = field("experiment")?
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("`experiment` is not a string".into()))?
+            .to_owned();
+        let state_name = field("state")?
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("`state` is not a string".into()))?;
+        let state = JobState::from_name(state_name)
+            .ok_or_else(|| ClientError::Protocol(format!("unknown state {state_name:?}")))?;
+        let cached = field("cached")?
+            .as_bool()
+            .ok_or_else(|| ClientError::Protocol("`cached` is not a bool".into()))?;
+        let coalesced_submissions = field("coalesced_submissions")?.as_u64().ok_or_else(|| {
+            ClientError::Protocol("`coalesced_submissions` is not an integer".into())
+        })?;
+        Ok(Self {
+            id,
+            key,
+            experiment,
+            state,
+            cached,
+            coalesced_submissions,
+            coalesced: doc.get("coalesced").and_then(Value::as_bool),
+            output: doc.get("output").and_then(Value::as_str).map(str::to_owned),
+            error: doc.get("error").and_then(Value::as_str).map(str::to_owned),
+        })
+    }
+}
+
+/// One histogram from the metrics document.
+#[derive(Debug, Clone)]
+pub struct HistogramView {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Upper bound on the median.
+    pub p50: u64,
+    /// Upper bound on the 95th percentile.
+    pub p95: u64,
+}
+
+/// A decoded `/v1/metrics` document (schema `nemfpga.metrics.v1`).
+#[derive(Debug, Clone)]
+pub struct MetricsView {
+    /// The `schema` tag, verbatim.
+    pub schema: String,
+    /// All counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// Jobs waiting in the queue at export time.
+    pub queue_depth: u64,
+    /// Cache hit ratio over all lookups (0 when none).
+    pub cache_hit_ratio: f64,
+    /// All histograms by name.
+    pub histograms: Vec<(String, HistogramView)>,
+}
+
+impl MetricsView {
+    fn from_json(doc: &Value) -> Result<Self, ClientError> {
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("missing `schema`".into()))?
+            .to_owned();
+        let Some(Value::Obj(counter_fields)) = doc.get("counters") else {
+            return Err(ClientError::Protocol("missing `counters` object".into()));
+        };
+        let mut counters = Vec::with_capacity(counter_fields.len());
+        for (name, v) in counter_fields {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| ClientError::Protocol(format!("counter `{name}` not an integer")))?;
+            counters.push((name.clone(), v));
+        }
+        let queue_depth = doc
+            .get("gauges")
+            .and_then(|g| g.get("queue_depth"))
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing `gauges.queue_depth`".into()))?;
+        let cache_hit_ratio = doc
+            .get("derived")
+            .and_then(|d| d.get("cache_hit_ratio"))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ClientError::Protocol("missing `derived.cache_hit_ratio`".into()))?;
+        let Some(Value::Obj(histogram_fields)) = doc.get("histograms") else {
+            return Err(ClientError::Protocol("missing `histograms` object".into()));
+        };
+        let mut histograms = Vec::with_capacity(histogram_fields.len());
+        for (name, h) in histogram_fields {
+            let get = |field: &str| {
+                h.get(field).and_then(Value::as_u64).ok_or_else(|| {
+                    ClientError::Protocol(format!("histogram `{name}` missing `{field}`"))
+                })
+            };
+            histograms.push((
+                name.clone(),
+                HistogramView {
+                    count: get("count")?,
+                    sum: get("sum")?,
+                    p50: get("p50")?,
+                    p95: get("p95")?,
+                },
+            ));
+        }
+        Ok(Self { schema, counters, queue_depth, cache_hit_ratio, histograms })
+    }
+
+    /// Looks up one counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up one histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramView> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+/// Typed handle on one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl ServiceClient {
+    /// Builds a client for `addr` with a 30 s per-request timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when the address does not resolve.
+    pub fn new<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Transport(e.to_string()))?
+            .next()
+            .ok_or_else(|| ClientError::Transport("address resolves to nothing".into()))?;
+        Ok(Self { addr, timeout: Duration::from_secs(30) })
+    }
+
+    /// Replaces the per-request timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<ClientResponse, ClientError> {
+        let resp = http_request(self.addr, method, path, body, self.timeout)
+            .map_err(ClientError::Transport)?;
+        if resp.status >= 300 {
+            let message = resp
+                .body
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("(no error message)")
+                .to_owned();
+            return Err(ClientError::Api { status: resp.status, message });
+        }
+        Ok(resp)
+    }
+
+    /// `GET /v1/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `Ok(())` means the server answered `ok`.
+    pub fn healthz(&self) -> Result<(), ClientError> {
+        let resp = self.call("GET", "/v1/healthz", None)?;
+        match resp.body.get("status").and_then(Value::as_str) {
+            Some("ok") => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected health status {other:?}"))),
+        }
+    }
+
+    /// `POST /v1/jobs`. With `wait` the server blocks until the job is
+    /// terminal (or its deadline passes); without it the response may be
+    /// a `queued`/`running` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 400 (invalid request) or 429
+    /// (queue full), plus the transport/protocol cases.
+    pub fn submit(&self, request: &ExperimentRequest, wait: bool) -> Result<JobView, ClientError> {
+        let body = Value::obj(vec![
+            ("experiment", Value::Str(request.experiment.name().to_owned())),
+            ("scale", Value::F64(request.scale)),
+            ("benchmarks", Value::U64(request.benchmarks as u64)),
+            ("seed", Value::U64(request.seed)),
+            ("wait", Value::Bool(wait)),
+        ]);
+        let resp = self.call("POST", "/v1/jobs", Some(&body))?;
+        JobView::from_json(&resp.body)
+    }
+
+    /// `GET /v1/jobs/:id` — one non-blocking snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 404 once the record is evicted.
+    pub fn job(&self, id: u64) -> Result<JobView, ClientError> {
+        let resp = self.call("GET", &format!("/v1/jobs/{id}"), None)?;
+        JobView::from_json(&resp.body)
+    }
+
+    /// `GET /v1/jobs/:id?wait=true` — server-side long-poll. Blocks on
+    /// the scheduler's completion condvar until the job is terminal or
+    /// its deadline passes; never sleep-polls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::job`].
+    pub fn wait(&self, id: u64) -> Result<JobView, ClientError> {
+        let resp = self.call("GET", &format!("/v1/jobs/{id}?wait=true"), None)?;
+        JobView::from_json(&resp.body)
+    }
+
+    /// `GET /v1/results/:key` — fetch a cached result by content address.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 404 when the key is not cached.
+    pub fn result(&self, key: &JobKey) -> Result<String, ClientError> {
+        let resp = self.call("GET", &format!("/v1/results/{}", key.as_hex()), None)?;
+        resp.body
+            .get("output")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("missing `output`".into()))
+    }
+
+    /// `GET /v1/metrics` — the typed registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn metrics(&self) -> Result<MetricsView, ClientError> {
+        let resp = self.call("GET", "/v1/metrics", None)?;
+        MetricsView::from_json(&resp.body)
+    }
+
+    /// `GET /v1/metrics?format=prometheus` — the text exposition body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn metrics_prometheus(&self) -> Result<String, ClientError> {
+        // The Prometheus body is not JSON, so this speaks the raw wire.
+        let raw = crate::http::raw_request(
+            &self.addr,
+            "GET",
+            "/v1/metrics?format=prometheus",
+            None,
+            self.timeout,
+        )
+        .map_err(ClientError::Transport)?;
+        if raw.status != 200 {
+            return Err(ClientError::Api { status: raw.status, message: raw.body });
+        }
+        Ok(raw.body)
+    }
+}

@@ -4,19 +4,23 @@
 //! request per connection (`Connection: close`). That is deliberately
 //! boring: the expensive part of every request is the experiment itself,
 //! and those are bounded by the scheduler's worker pool, not by the
-//! transport. The module also ships the matching minimal client
-//! ([`http_request`]) used by `loadgen`, the integration tests, and the
-//! check-script smoke test.
+//! transport. The module also ships the minimal wire client
+//! ([`http_request`]) that backs the typed [`crate::client::ServiceClient`];
+//! everything except raw-protocol tests should go through the client.
 //!
-//! Routes:
+//! Routes (schemas and the error-code taxonomy live in `API.md`):
 //!
-//! | Method/path          | Behavior                                       |
-//! |----------------------|------------------------------------------------|
-//! | `POST /jobs`         | Submit a request; `"wait": true` (default) blocks to the job deadline |
-//! | `GET /jobs/:id`      | Poll one job                                   |
-//! | `GET /results/:key`  | Fetch a cached result by content address       |
-//! | `GET /healthz`       | Liveness                                       |
-//! | `GET /metrics`       | Counters, hit ratio, queue depth, p50/p95      |
+//! | Method/path              | Behavior                                   |
+//! |--------------------------|--------------------------------------------|
+//! | `POST /v1/jobs`          | Submit a request; `"wait": true` (default) blocks to the job deadline |
+//! | `GET /v1/jobs/:id`       | Poll one job; `?wait=true` long-polls to the job deadline |
+//! | `GET /v1/results/:key`   | Fetch a cached result by content address   |
+//! | `GET /v1/healthz`        | Liveness                                   |
+//! | `GET /v1/metrics`        | Registry snapshot (JSON); `?format=prometheus` for text |
+//!
+//! The unversioned paths from before the `/v1` mount answer
+//! `301 Moved Permanently` with a `Location` header for one release;
+//! new code must call `/v1/...` directly.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -108,7 +112,7 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, metrics: &Metrics
     let Ok(mut out) = peer_writable else { return };
     let response = match read_request(stream) {
         Ok((method, path, body)) => {
-            metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            metrics.http_requests.inc();
             route(&method, &path, &body, scheduler, metrics)
         }
         Err(e) => Response::error(400, &format!("malformed request: {e}")),
@@ -154,35 +158,69 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
     Ok((method, path, body))
 }
 
+enum Body {
+    Json(Value),
+    Text(String),
+}
+
 struct Response {
     status: u16,
-    body: Value,
+    body: Body,
+    location: Option<String>,
 }
 
 impl Response {
     fn ok(body: Value) -> Self {
-        Self { status: 200, body }
+        Self { status: 200, body: Body::Json(body), location: None }
+    }
+
+    fn text(body: String) -> Self {
+        Self { status: 200, body: Body::Text(body), location: None }
     }
 
     fn error(status: u16, message: &str) -> Self {
-        Self { status, body: Value::obj(vec![("error", Value::Str(message.to_owned()))]) }
+        Self {
+            status,
+            body: Body::Json(Value::obj(vec![("error", Value::Str(message.to_owned()))])),
+            location: None,
+        }
+    }
+
+    /// Permanent redirect to the versioned mount of the same resource.
+    fn moved(to: String) -> Self {
+        Self {
+            status: 301,
+            body: Body::Json(Value::obj(vec![
+                ("error", Value::Str("moved permanently".to_owned())),
+                ("location", Value::Str(to.clone())),
+            ])),
+            location: Some(to),
+        }
     }
 
     fn to_bytes(&self) -> Vec<u8> {
-        let body = self.body.to_json();
+        let (content_type, body) = match &self.body {
+            Body::Json(v) => ("application/json", v.to_json()),
+            Body::Text(t) => ("text/plain; version=0.0.4", t.clone()),
+        };
         let reason = match self.status {
             200 => "OK",
             202 => "Accepted",
+            301 => "Moved Permanently",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             429 => "Too Many Requests",
             _ => "Internal Server Error",
         };
+        let location =
+            self.location.as_deref().map(|to| format!("Location: {to}\r\n")).unwrap_or_default();
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\n{}Content-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             self.status,
             reason,
+            location,
+            content_type,
             body.len(),
             body
         )
@@ -190,22 +228,64 @@ impl Response {
     }
 }
 
+/// Splits `/path?k=v&k2=v2` into the path and its query pairs.
+fn split_query(raw: &str) -> (&str, Vec<(&str, &str)>) {
+    match raw.split_once('?') {
+        None => (raw, Vec::new()),
+        Some((path, query)) => {
+            let params = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.split_once('=').unwrap_or((p, "")))
+                .collect();
+            (path, params)
+        }
+    }
+}
+
+fn query_flag(params: &[(&str, &str)], name: &str) -> bool {
+    params.iter().any(|(k, v)| *k == name && matches!(*v, "1" | "true" | ""))
+}
+
 fn route(
     method: &str,
-    path: &str,
+    raw_path: &str,
     body: &str,
     scheduler: &Scheduler,
     metrics: &Metrics,
 ) -> Response {
-    match (method, path) {
+    let (path, params) = split_query(raw_path);
+
+    let Some(sub) = path.strip_prefix("/v1") else {
+        // One release of grace for the pre-`/v1` paths: permanent
+        // redirect so old scripts learn the new mount, 404 otherwise.
+        let known_legacy = matches!(path, "/healthz" | "/metrics" | "/jobs")
+            || path.starts_with("/jobs/")
+            || path.starts_with("/results/");
+        if known_legacy {
+            return Response::moved(format!("/v1{raw_path}"));
+        }
+        return Response::error(404, &format!("no route for {method} {raw_path}"));
+    };
+
+    match (method, sub) {
         ("GET", "/healthz") => {
             Response::ok(Value::obj(vec![("status", Value::Str("ok".to_owned()))]))
         }
-        ("GET", "/metrics") => Response::ok(metrics.to_json(scheduler.queue_depth())),
+        ("GET", "/metrics") => {
+            let depth = scheduler.queue_depth();
+            match params.iter().find(|(k, _)| *k == "format").map(|(_, v)| *v) {
+                None | Some("json") => Response::ok(metrics.to_json(depth)),
+                Some("prometheus") => Response::text(metrics.to_prometheus(depth)),
+                Some(other) => Response::error(400, &format!("unknown metrics format `{other}`")),
+            }
+        }
         ("POST", "/jobs") => post_jobs(body, scheduler),
-        _ if method == "GET" && path.starts_with("/jobs/") => get_job(&path[6..], scheduler),
-        _ if method == "GET" && path.starts_with("/results/") => get_result(&path[9..], scheduler),
-        ("GET" | "POST", _) => Response::error(404, &format!("no route for {method} {path}")),
+        _ if method == "GET" && sub.starts_with("/jobs/") => {
+            get_job(&sub[6..], query_flag(&params, "wait"), scheduler)
+        }
+        _ if method == "GET" && sub.starts_with("/results/") => get_result(&sub[9..], scheduler),
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {method} {raw_path}")),
         _ => Response::error(405, &format!("method {method} not supported")),
     }
 }
@@ -240,17 +320,26 @@ fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
         fields.push(("coalesced".to_owned(), Value::Bool(submission.coalesced)));
     }
     let code = if status.state.is_terminal() { 200 } else { 202 };
-    Response { status: code, body: doc }
+    Response { status: code, body: Body::Json(doc), location: None }
 }
 
-fn get_job(id_text: &str, scheduler: &Scheduler) -> Response {
+fn get_job(id_text: &str, wait: bool, scheduler: &Scheduler) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::error(400, "job id must be an integer");
     };
-    match scheduler.status(id) {
-        Some(status) => Response::ok(status_json(&status)),
-        None => Response::error(404, "no such job (ids expire after eviction)"),
-    }
+    let status = match scheduler.status(id) {
+        Some(status) => status,
+        None => return Response::error(404, "no such job (ids expire after eviction)"),
+    };
+    // Server-side long-poll: block on the scheduler's completion condvar
+    // instead of making clients sleep-and-retry. Bounded by the job
+    // deadline, after which the job is terminal anyway.
+    let status = if wait && !status.state.is_terminal() {
+        scheduler.wait_for(id, scheduler.job_timeout()).unwrap_or(status)
+    } else {
+        status
+    };
+    Response::ok(status_json(&status))
 }
 
 fn get_result(key_text: &str, scheduler: &Scheduler) -> Response {
@@ -267,7 +356,7 @@ fn get_result(key_text: &str, scheduler: &Scheduler) -> Response {
     }
 }
 
-/// Decodes the `POST /jobs` body into a request. Unknown fields are
+/// Decodes the `POST /v1/jobs` body into a request. Unknown fields are
 /// rejected so typos (`"sacle"`) fail loudly instead of hashing to a
 /// surprising cache key.
 fn parse_request(doc: &Value) -> Result<ExperimentRequest, String> {
@@ -315,7 +404,7 @@ fn status_json(status: &JobStatus) -> Value {
 }
 
 // --------------------------------------------------------------------
-// Minimal client (loadgen, tests, smoke checks)
+// Minimal wire client (the typed ServiceClient wraps this)
 // --------------------------------------------------------------------
 
 /// One client response.
@@ -325,29 +414,28 @@ pub struct ClientResponse {
     pub status: u16,
     /// Parsed JSON body.
     pub body: Value,
+    /// `Location` header, when the server sent one (301 redirects).
+    pub location: Option<String>,
 }
 
-/// Issues one HTTP request (`body = None` for GET) and parses the JSON
-/// response. Opens a fresh connection per call, matching the server's
+/// A raw response before any body interpretation.
+pub(crate) struct RawResponse {
+    pub status: u16,
+    pub location: Option<String>,
+    pub body: String,
+}
+
+/// Issues one HTTP request and returns the raw response text. Opens a
+/// fresh connection per call, matching the server's
 /// one-request-per-connection policy.
-///
-/// # Errors
-///
-/// Returns a human-readable message on connection, protocol, or JSON
-/// failures.
-pub fn http_request<A: ToSocketAddrs>(
-    addr: A,
+pub(crate) fn raw_request(
+    addr: &SocketAddr,
     method: &str,
     path: &str,
     body: Option<&Value>,
     timeout: Duration,
-) -> Result<ClientResponse, String> {
-    let addr = addr
-        .to_socket_addrs()
-        .map_err(|e| e.to_string())?
-        .next()
-        .ok_or("address resolves to nothing")?;
-    let stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| e.to_string())?;
+) -> Result<RawResponse, String> {
+    let stream = TcpStream::connect_timeout(addr, timeout).map_err(|e| e.to_string())?;
     stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
     stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
     let mut stream = stream;
@@ -371,6 +459,7 @@ pub fn http_request<A: ToSocketAddrs>(
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
 
     let mut content_length = None;
+    let mut location = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -381,6 +470,8 @@ pub fn http_request<A: ToSocketAddrs>(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("location") {
+                location = Some(value.trim().to_owned());
             }
         }
     }
@@ -394,7 +485,32 @@ pub fn http_request<A: ToSocketAddrs>(
             reader.read_to_end(&mut body_bytes).map_err(|e| e.to_string())?;
         }
     }
-    let text = String::from_utf8(body_bytes).map_err(|_| "response is not UTF-8".to_owned())?;
-    let body = json::parse(&text).map_err(|e| format!("{e} in body {text:?}"))?;
-    Ok(ClientResponse { status, body })
+    let body = String::from_utf8(body_bytes).map_err(|_| "response is not UTF-8".to_owned())?;
+    Ok(RawResponse { status, location, body })
+}
+
+/// Issues one HTTP request (`body = None` for GET) and parses the JSON
+/// response. This is the low-level wire primitive — kept public for
+/// raw-protocol tests (malformed bodies, legacy paths) and the chaos
+/// driver; application code should use [`crate::client::ServiceClient`].
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, protocol, or JSON
+/// failures.
+pub fn http_request<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+    timeout: Duration,
+) -> Result<ClientResponse, String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or("address resolves to nothing")?;
+    let raw = raw_request(&addr, method, path, body, timeout)?;
+    let body = json::parse(&raw.body).map_err(|e| format!("{e} in body {:?}", raw.body))?;
+    Ok(ClientResponse { status: raw.status, body, location: raw.location })
 }

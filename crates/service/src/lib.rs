@@ -14,8 +14,10 @@
 //! * [`scheduler`] — bounded job queue with in-flight request
 //!   deduplication, per-job timeouts, and a persistent worker pool
 //!   (`nemfpga_runtime::WorkerPool`).
-//! * [`http`] — a pure-`std` HTTP/1.1 JSON API (plus the matching
-//!   client used by `loadgen` and the tests).
+//! * [`http`] — a pure-`std` HTTP/1.1 JSON API mounted under `/v1/`
+//!   (schemas and error taxonomy in `API.md`).
+//! * [`client`] — the typed [`client::ServiceClient`] that `loadgen`,
+//!   `serve --self-test`, and the integration tests use.
 //! * [`json`] — the deterministic JSON encoder/parser everything above
 //!   shares (the workspace's serde is an offline marker shim).
 //!
@@ -41,6 +43,7 @@
 //! ```
 
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod json;
 pub mod key;
@@ -55,9 +58,10 @@ use std::time::Duration;
 use nemfpga_runtime::ParallelConfig;
 
 pub use cache::{CacheTier, CachedResult, ResultCache};
+pub use client::{ClientError, HistogramView, JobView, MetricsView, ServiceClient};
 pub use http::{http_request, ClientResponse, ServerHandle};
 pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, METRICS_SCHEMA};
 pub use scheduler::{
     Executor, JobState, JobStatus, Scheduler, SchedulerConfig, Submission, SubmitError,
 };

@@ -1,71 +1,109 @@
-//! Service counters and latency percentiles for `GET /metrics`.
+//! Service metrics: typed handles over an `nemfpga_obs` registry.
+//!
+//! [`Metrics`] owns no state of its own — every counter, gauge, and
+//! histogram lives in one [`Registry`], and the struct's public fields
+//! are shared handles into it. That makes `/v1/metrics` (JSON and
+//! Prometheus), in-process assertions (the chaos suite's reconciliation
+//! invariant), and the scheduler's recording paths read and write the
+//! *same* atomics: there is exactly one source of truth and no way for
+//! an exporter to drift from the counters the code actually bumps.
+//!
+//! Latency is kept as three log-bucketed histograms in integer
+//! microseconds (exact counts, mergeable, honest quantiles) instead of
+//! the old 4096-sample window with a 2-point percentile estimate:
+//!
+//! * `job_queue_wait_us` — submission → worker pickup,
+//! * `job_exec_us` — executor wall time,
+//! * `job_latency_us` — submission → terminal state (computed jobs;
+//!   cache hits are terminal at submit and are counted, not timed).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::Arc;
+
+use nemfpga_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::json::Value;
 
-/// How many recent job latencies the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
+/// Version tag served as the `schema` field of the `/v1/metrics` JSON
+/// body. Bump only with an additive or breaking schema change (API.md).
+pub const METRICS_SCHEMA: &str = "nemfpga.metrics.v1";
 
-/// Monotonic counters plus a sliding latency window. All methods are
-/// lock-free except latency recording/summarizing.
-#[derive(Default)]
+/// Typed handles into the service's metric registry. All operations are
+/// lock-free; the registry mutex is only touched at construction and
+/// export time.
 pub struct Metrics {
-    /// Jobs accepted by `POST /jobs` (including cache hits and coalesced).
-    pub jobs_submitted: AtomicU64,
+    registry: Arc<Registry>,
+    /// Jobs accepted by `POST /v1/jobs` (including cache hits and coalesced).
+    pub jobs_submitted: Counter,
     /// Jobs that ran to successful completion.
-    pub jobs_completed: AtomicU64,
+    pub jobs_completed: Counter,
     /// Jobs whose executor failed.
-    pub jobs_failed: AtomicU64,
+    pub jobs_failed: Counter,
     /// Jobs that hit their deadline (before or during execution).
-    pub jobs_timed_out: AtomicU64,
+    pub jobs_timed_out: Counter,
     /// Submissions rejected because the queue was full.
-    pub jobs_rejected: AtomicU64,
+    pub jobs_rejected: Counter,
     /// Submissions that coalesced onto an identical in-flight job.
-    pub coalesced: AtomicU64,
+    pub coalesced: Counter,
     /// Submissions answered from the in-memory cache tier.
-    pub cache_hits_memory: AtomicU64,
+    pub cache_hits_memory: Counter,
     /// Submissions answered from the on-disk cache tier.
-    pub cache_hits_disk: AtomicU64,
+    pub cache_hits_disk: Counter,
     /// Submissions that had to compute.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
     /// HTTP requests served (any route, any status).
-    pub http_requests: AtomicU64,
-    latencies_ms: Mutex<LatencyWindow>,
+    pub http_requests: Counter,
+    /// Jobs waiting in the queue (sampled at export time).
+    pub queue_depth: Gauge,
+    /// Submission → worker pickup, microseconds.
+    pub job_queue_wait_us: Histogram,
+    /// Executor wall time, microseconds.
+    pub job_exec_us: Histogram,
+    /// Submission → terminal state for computed jobs, microseconds.
+    pub job_latency_us: Histogram,
 }
 
-#[derive(Default)]
-struct LatencyWindow {
-    samples: Vec<f64>,
-    next: usize,
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new(Arc::new(Registry::new()))
+    }
 }
 
 impl Metrics {
-    /// Records one completed-job execution latency.
-    pub fn record_latency(&self, elapsed: Duration) {
-        let ms = elapsed.as_secs_f64() * 1e3;
-        let mut window = self.latencies_ms.lock().expect("metrics lock poisoned");
-        if window.samples.len() < LATENCY_WINDOW {
-            window.samples.push(ms);
-        } else {
-            let slot = window.next % LATENCY_WINDOW;
-            window.samples[slot] = ms;
+    /// Registers every service metric in `registry` and keeps handles.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            jobs_submitted: registry.counter("jobs_submitted"),
+            jobs_completed: registry.counter("jobs_completed"),
+            jobs_failed: registry.counter("jobs_failed"),
+            jobs_timed_out: registry.counter("jobs_timed_out"),
+            jobs_rejected: registry.counter("jobs_rejected"),
+            coalesced: registry.counter("coalesced"),
+            cache_hits_memory: registry.counter("cache_hits_memory"),
+            cache_hits_disk: registry.counter("cache_hits_disk"),
+            cache_misses: registry.counter("cache_misses"),
+            http_requests: registry.counter("http_requests"),
+            queue_depth: registry.gauge("queue_depth"),
+            job_queue_wait_us: registry.histogram("job_queue_wait_us"),
+            job_exec_us: registry.histogram("job_exec_us"),
+            job_latency_us: registry.histogram("job_latency_us"),
+            registry,
         }
-        window.next = (window.next + 1) % LATENCY_WINDOW.max(1);
+    }
+
+    /// The backing registry (shared; snapshots see every handle's writes).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Cache hits across both tiers.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits_memory.load(Ordering::Relaxed)
-            + self.cache_hits_disk.load(Ordering::Relaxed)
+        self.cache_hits_memory.get() + self.cache_hits_disk.get()
     }
 
     /// Hit ratio over all cache lookups so far (0 when none).
     pub fn hit_ratio(&self) -> f64 {
         let hits = self.cache_hits();
-        let total = hits + self.cache_misses.load(Ordering::Relaxed);
+        let total = hits + self.cache_misses.get();
         if total == 0 {
             0.0
         } else {
@@ -73,82 +111,107 @@ impl Metrics {
         }
     }
 
-    /// (p50, p95) of the recorded execution latencies, in milliseconds.
-    pub fn latency_percentiles(&self) -> (f64, f64) {
-        let window = self.latencies_ms.lock().expect("metrics lock poisoned");
-        percentiles(&window.samples)
-    }
-
-    /// Renders every counter as the `/metrics` JSON body. `queue_depth`
-    /// is a gauge sampled by the caller (the scheduler owns the queue).
+    /// Renders the registry as the `/v1/metrics` JSON body (schema
+    /// [`METRICS_SCHEMA`], documented in API.md). `queue_depth` is
+    /// sampled by the caller — the scheduler owns the queue.
     pub fn to_json(&self, queue_depth: usize) -> Value {
-        let (p50, p95) = self.latency_percentiles();
-        let load = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
+        self.queue_depth.set(queue_depth as u64);
+        let snap = self.registry.snapshot();
+        let counters = snap
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), Value::U64(v)))
+            .collect::<Vec<_>>();
+        let gauges =
+            snap.gauges.iter().map(|(name, &v)| (name.clone(), Value::U64(v))).collect::<Vec<_>>();
+        let histograms = snap
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Value::obj(vec![
+                            ("le", Value::U64(nemfpga_obs::metrics::bucket_upper_bound(i))),
+                            ("count", Value::U64(c)),
+                        ])
+                    })
+                    .collect::<Vec<_>>();
+                let body = Value::obj(vec![
+                    ("count", Value::U64(h.count())),
+                    ("sum", Value::U64(h.sum)),
+                    ("p50", Value::U64(h.quantile(0.50))),
+                    ("p95", Value::U64(h.quantile(0.95))),
+                    ("buckets", Value::Arr(buckets)),
+                ]);
+                (name.clone(), body)
+            })
+            .collect::<Vec<_>>();
         Value::obj(vec![
-            ("jobs_submitted", load(&self.jobs_submitted)),
-            ("jobs_completed", load(&self.jobs_completed)),
-            ("jobs_failed", load(&self.jobs_failed)),
-            ("jobs_timed_out", load(&self.jobs_timed_out)),
-            ("jobs_rejected", load(&self.jobs_rejected)),
-            ("coalesced", load(&self.coalesced)),
-            ("cache_hits_memory", load(&self.cache_hits_memory)),
-            ("cache_hits_disk", load(&self.cache_hits_disk)),
-            ("cache_misses", load(&self.cache_misses)),
-            ("cache_hit_ratio", Value::F64(self.hit_ratio())),
-            ("http_requests", load(&self.http_requests)),
-            ("queue_depth", Value::U64(queue_depth as u64)),
-            ("job_latency_p50_ms", Value::F64(p50)),
-            ("job_latency_p95_ms", Value::F64(p95)),
+            ("schema", Value::Str(METRICS_SCHEMA.to_owned())),
+            ("counters", Value::Obj(counters)),
+            ("gauges", Value::Obj(gauges)),
+            ("derived", Value::obj(vec![("cache_hit_ratio", Value::F64(self.hit_ratio()))])),
+            ("histograms", Value::Obj(histograms)),
         ])
     }
-}
 
-fn percentiles(samples: &[f64]) -> (f64, f64) {
-    if samples.is_empty() {
-        return (0.0, 0.0);
+    /// Renders the registry as Prometheus text exposition format
+    /// (`GET /v1/metrics?format=prometheus`).
+    pub fn to_prometheus(&self, queue_depth: usize) -> String {
+        self.queue_depth.set(queue_depth as u64);
+        self.registry.snapshot().to_prometheus()
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pick = |q: f64| {
-        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[idx.min(sorted.len() - 1)]
-    };
-    (pick(0.50), pick(0.95))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_of_known_distribution() {
-        let m = Metrics::default();
-        for i in 1..=100u64 {
-            m.record_latency(Duration::from_millis(i));
-        }
-        let (p50, p95) = m.latency_percentiles();
-        assert!((p50 - 50.0).abs() <= 1.5, "p50 = {p50}");
-        assert!((p95 - 95.0).abs() <= 1.5, "p95 = {p95}");
-    }
-
-    #[test]
-    fn window_wraps_instead_of_growing() {
-        let m = Metrics::default();
-        for _ in 0..(LATENCY_WINDOW + 100) {
-            m.record_latency(Duration::from_millis(5));
-        }
-        assert_eq!(m.latencies_ms.lock().unwrap().samples.len(), LATENCY_WINDOW);
-    }
+    use std::time::Duration;
 
     #[test]
     fn hit_ratio_counts_both_tiers() {
         let m = Metrics::default();
-        m.cache_hits_memory.store(6, Ordering::Relaxed);
-        m.cache_hits_disk.store(2, Ordering::Relaxed);
-        m.cache_misses.store(8, Ordering::Relaxed);
+        m.cache_hits_memory.add(6);
+        m.cache_hits_disk.add(2);
+        m.cache_misses.add(8);
         assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
         let doc = m.to_json(3);
-        assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
-        assert_eq!(doc.get("cache_hits_memory").unwrap().as_u64(), Some(6));
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("queue_depth").unwrap().as_u64(), Some(3));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("cache_hits_memory").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn histograms_render_with_exact_counts_and_quantiles() {
+        let m = Metrics::default();
+        for ms in 1..=100u64 {
+            m.job_exec_us.record_duration(Duration::from_millis(ms));
+        }
+        let doc = m.to_json(0);
+        let h = doc.get("histograms").unwrap().get("job_exec_us").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(100));
+        // True p50 is 50 ms = 50 000 µs; the log-bucket bound is the
+        // enclosing power-of-two upper edge, within 2x.
+        let p50 = h.get("p50").unwrap().as_u64().unwrap();
+        assert!((50_000..=100_000).contains(&p50), "p50 = {p50}");
+        let buckets = h.get("buckets").unwrap();
+        assert!(matches!(buckets, Value::Arr(b) if !b.is_empty()));
+    }
+
+    #[test]
+    fn exporters_and_handles_share_one_registry() {
+        let m = Metrics::default();
+        m.jobs_submitted.inc();
+        // The registry view (what /v1/metrics reads) sees the handle's
+        // write — same atomics, one source of truth.
+        assert_eq!(m.registry().snapshot().counters["jobs_submitted"], 1);
+        let prom = m.to_prometheus(5);
+        assert!(prom.contains("jobs_submitted 1\n"), "{prom}");
+        assert!(prom.contains("queue_depth 5\n"), "{prom}");
     }
 }

@@ -19,7 +19,6 @@
 //! asker.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -128,6 +127,18 @@ impl JobState {
             Self::TimedOut => "timed_out",
         }
     }
+
+    /// Inverse of [`JobState::name`] (used by the typed client).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "queued" => Some(Self::Queued),
+            "running" => Some(Self::Running),
+            "done" => Some(Self::Done),
+            "failed" => Some(Self::Failed),
+            "timed_out" => Some(Self::TimedOut),
+            _ => None,
+        }
+    }
 }
 
 /// A point-in-time snapshot of one job.
@@ -185,6 +196,9 @@ impl std::error::Error for SubmitError {}
 struct Record {
     status: JobStatus,
     deadline: Instant,
+    /// When the submission entered the scheduler; anchors the
+    /// queue-wait and submit→terminal latency histograms.
+    submitted_at: Instant,
 }
 
 struct Table {
@@ -251,13 +265,13 @@ impl Scheduler {
         let key = job_key(&request).map_err(|e| SubmitError::Invalid(e.to_string()))?;
         let _ = FAULT_SUBMIT.fire().apply_basic();
         let metrics = &self.shared.metrics;
-        metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        metrics.jobs_submitted.inc();
 
         // Tier 1/2: the cache.
         if let Some((hit, tier)) = self.shared.cache.get(&key) {
             match tier {
-                CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
-                CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+                CacheTier::Memory => metrics.cache_hits_memory.inc(),
+                CacheTier::Disk => metrics.cache_hits_disk.inc(),
             };
             let status = self.insert_finished(key, request, hit.output);
             let _ = OUTCOME_CACHED.fire().apply_basic();
@@ -272,7 +286,7 @@ impl Scheduler {
         if let Some(&id) = table.inflight.get(key.as_hex()) {
             let record = table.records.get_mut(&id).expect("in-flight job has a record");
             record.status.coalesced_submissions += 1;
-            metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+            metrics.coalesced.inc();
             let status = record.status.clone();
             drop(table);
             let _ = OUTCOME_COALESCED.fire().apply_basic();
@@ -290,8 +304,8 @@ impl Scheduler {
             if let Some((hit, tier)) = self.shared.cache.get(&key) {
                 drop(table);
                 match tier {
-                    CacheTier::Memory => metrics.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
-                    CacheTier::Disk => metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+                    CacheTier::Memory => metrics.cache_hits_memory.inc(),
+                    CacheTier::Disk => metrics.cache_hits_disk.inc(),
                 };
                 let status = self.insert_finished(key, request, hit.output);
                 let _ = OUTCOME_CACHED.fire().apply_basic();
@@ -299,7 +313,7 @@ impl Scheduler {
             }
         }
 
-        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        metrics.cache_misses.inc();
         let id = table.next_id;
         table.next_id += 1;
         let status = JobStatus {
@@ -312,11 +326,12 @@ impl Scheduler {
             cached: false,
             coalesced_submissions: 0,
         };
-        let mut deadline = Instant::now() + self.job_timeout;
+        let submitted_at = Instant::now();
+        let mut deadline = submitted_at + self.job_timeout;
         if let FaultAction::SkewMillis(ms) = FAULT_DEADLINE.fire() {
             deadline = deadline.checked_sub(Duration::from_millis(ms)).unwrap_or_else(Instant::now);
         }
-        table.records.insert(id, Record { status: status.clone(), deadline });
+        table.records.insert(id, Record { status: status.clone(), deadline, submitted_at });
         table.inflight.insert(key.as_hex().to_owned(), id);
 
         let shared = Arc::clone(&self.shared);
@@ -325,7 +340,7 @@ impl Scheduler {
             // Roll the record back; the submission never happened.
             table.records.remove(&id);
             table.inflight.remove(key.as_hex());
-            metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.jobs_rejected.inc();
             drop(table);
             let _ = OUTCOME_REJECTED.fire().apply_basic();
             return Err(SubmitError::QueueFull);
@@ -409,7 +424,10 @@ impl Scheduler {
             cached: true,
             coalesced_submissions: 0,
         };
-        table.records.insert(id, Record { status: status.clone(), deadline: Instant::now() });
+        let now = Instant::now();
+        table
+            .records
+            .insert(id, Record { status: status.clone(), deadline: now, submitted_at: now });
         finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
         status
     }
@@ -428,13 +446,14 @@ fn finish_bookkeeping(table: &mut Table, max_finished: usize, id: u64) {
 
 /// Worker-side execution of job `id`.
 fn run_job(shared: &Arc<Shared>, id: u64) {
-    let (request, key, deadline) = {
+    let (request, key, deadline, submitted_at) = {
         let mut table = shared.table.lock().expect("job table poisoned");
         let Some(record) = table.records.get_mut(&id) else { return };
         if Instant::now() > record.deadline {
             record.status.state = JobState::TimedOut;
             record.status.error = Some("timed out waiting in queue".to_owned());
-            shared.metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_timed_out.inc();
+            shared.metrics.job_latency_us.record_duration(record.submitted_at.elapsed());
             let key_hex = record.status.key.as_hex().to_owned();
             table.inflight.remove(&key_hex);
             finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
@@ -443,12 +462,15 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             return;
         }
         record.status.state = JobState::Running;
-        (record.status.request, record.status.key.clone(), record.deadline)
+        (record.status.request, record.status.key.clone(), record.deadline, record.submitted_at)
     };
     let _ = deadline; // Running jobs are not preempted; see module docs.
+    shared.metrics.job_queue_wait_us.record_duration(submitted_at.elapsed());
 
     let started = Instant::now();
     let executor = Arc::clone(&shared.executor);
+    let mut exec_span = nemfpga_obs::span("service", "job.execute");
+    exec_span.set_arg("job", id);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // Injected executor faults land inside the panic guard, so a
         // `Panic` action takes the same road a real executor panic would.
@@ -465,7 +487,9 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             .unwrap_or_else(|| "unknown panic".to_owned());
         Err(format!("executor panicked: {msg}"))
     });
+    drop(exec_span);
     let elapsed = started.elapsed();
+    shared.metrics.job_exec_us.record_duration(elapsed);
 
     if let Ok(output) = &outcome {
         // Cache before publishing the state so a waiter that sees `Done`
@@ -488,15 +512,15 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             Ok(output) => {
                 record.status.state = JobState::Done;
                 record.status.output = Some(output);
-                shared.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.record_latency(elapsed);
+                shared.metrics.jobs_completed.inc();
             }
             Err(error) => {
                 record.status.state = JobState::Failed;
                 record.status.error = Some(error);
-                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.jobs_failed.inc();
             }
         }
+        shared.metrics.job_latency_us.record_duration(submitted_at.elapsed());
         finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
     }
     drop(table);
@@ -507,7 +531,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
 mod tests {
     use super::*;
     use nemfpga::request::ExperimentKind;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn counting_executor(delay: Duration) -> (Executor, Arc<AtomicUsize>) {
         let count = Arc::new(AtomicUsize::new(0));

@@ -1,0 +1,60 @@
+//! Golden-file test for the `/v1/metrics` JSON schema.
+//!
+//! A fresh, zero-traffic registry renders deterministically (BTreeMap
+//! ordering, fixed key order, no timing-dependent values), so the exact
+//! bytes are pinned in `tests/golden/metrics_v1.json`. Any field
+//! addition, removal, or reordering shows up as a diff here — the
+//! `nemfpga.metrics.v1` schema cannot drift silently. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p nemfpga-service --test metrics_schema`
+//! (and bump [`nemfpga_service::METRICS_SCHEMA`] if the change is
+//! breaking; API.md documents the contract).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Executor, Metrics, Service, ServiceConfig, METRICS_SCHEMA};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_v1.json");
+
+#[test]
+fn fresh_metrics_json_matches_the_golden_file() {
+    let rendered = Metrics::default().to_json(0).to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect(
+        "tests/golden/metrics_v1.json missing — run once with UPDATE_GOLDEN=1 to create it",
+    );
+    assert_eq!(
+        rendered, golden,
+        "the /v1/metrics schema changed; if intentional, regenerate with UPDATE_GOLDEN=1 \
+         and document the change in API.md (bumping METRICS_SCHEMA if breaking)"
+    );
+    assert!(golden.contains(&format!("\"schema\":\"{METRICS_SCHEMA}\"")));
+}
+
+#[test]
+fn live_service_serves_the_same_zero_traffic_document() {
+    let executor: Executor = Arc::new(|_| Ok(String::new()));
+    let service = Service::start(
+        &ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: None,
+            ..ServiceConfig::default()
+        },
+        executor,
+    )
+    .expect("service starts");
+    let resp = http_request(service.addr(), "GET", "/v1/metrics", None, Duration::from_secs(30))
+        .expect("metrics");
+    assert_eq!(resp.status, 200);
+    // The wire document differs from the golden only in http_requests
+    // (this very request is counted before the snapshot is taken).
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file");
+    let expected = golden.replace("\"http_requests\":0", "\"http_requests\":1");
+    assert_eq!(resp.body.to_json(), expected);
+    // And the schema tag round-trips through the parser.
+    assert_eq!(resp.body.get("schema").and_then(Value::as_str), Some(METRICS_SCHEMA));
+    service.shutdown();
+}

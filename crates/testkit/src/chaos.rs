@@ -190,7 +190,7 @@ pub fn double_check_race_plan() -> FaultPlan {
 }
 
 enum Action {
-    /// A `POST /jobs`; `expect_valid` records whether the body passes
+    /// A `POST /v1/jobs`; `expect_valid` records whether the body passes
     /// validation (driving the legal-status check).
     Post {
         body: Value,
@@ -308,18 +308,24 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
                         let timeout = cfg.job_timeout + Duration::from_secs(30);
                         let outcome = match &action {
                             Action::Post { body, .. } => {
-                                http_request(addr, "POST", "/jobs", Some(body), timeout)
+                                http_request(addr, "POST", "/v1/jobs", Some(body), timeout)
                             }
                             Action::GetJob(id) => {
-                                http_request(addr, "GET", &format!("/jobs/{id}"), None, timeout)
+                                http_request(addr, "GET", &format!("/v1/jobs/{id}"), None, timeout)
                             }
-                            Action::GetResult(key) => {
-                                http_request(addr, "GET", &format!("/results/{key}"), None, timeout)
-                            }
+                            Action::GetResult(key) => http_request(
+                                addr,
+                                "GET",
+                                &format!("/v1/results/{key}"),
+                                None,
+                                timeout,
+                            ),
                             Action::GetMetrics => {
-                                http_request(addr, "GET", "/metrics", None, timeout)
+                                http_request(addr, "GET", "/v1/metrics", None, timeout)
                             }
-                            Action::Healthz => http_request(addr, "GET", "/healthz", None, timeout),
+                            Action::Healthz => {
+                                http_request(addr, "GET", "/v1/healthz", None, timeout)
+                            }
                         };
                         seen.push(Observation { action, outcome });
                     }
@@ -419,7 +425,7 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
                 let served = resp.body.get("output").and_then(Value::as_str);
                 let expected = expected_for_key(key, cfg);
                 if served.map(str::to_owned) != expected {
-                    violations.push(format!("/results/{key} served non-canonical bytes"));
+                    violations.push(format!("/v1/results/{key} served non-canonical bytes"));
                 }
             }
             _ => {}
@@ -444,17 +450,18 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         violations.push(format!("{queued} jobs still queued after drain"));
     }
 
-    // 5. Metrics honesty (read before shutdown).
+    // 5. Metrics honesty (read before shutdown). The typed handles and
+    // the `/v1/metrics` exporters share one registry, so reconciling
+    // against the handles reconciles the wire too.
     let m = service.metrics();
-    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::SeqCst);
-    let submitted = load(&m.jobs_submitted);
-    let misses = load(&m.cache_misses);
+    let submitted = m.jobs_submitted.get();
+    let misses = m.cache_misses.get();
     let hits = m.cache_hits();
-    let coalesced = load(&m.coalesced);
-    let settled = load(&m.jobs_completed)
-        + load(&m.jobs_failed)
-        + load(&m.jobs_timed_out)
-        + load(&m.jobs_rejected);
+    let coalesced = m.coalesced.get();
+    let settled = m.jobs_completed.get()
+        + m.jobs_failed.get()
+        + m.jobs_timed_out.get()
+        + m.jobs_rejected.get();
     if submitted != accepted_posts {
         violations.push(format!(
             "jobs_submitted = {submitted} but clients saw {accepted_posts} accepted posts"
@@ -470,10 +477,10 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             "miss ledger leaks: {misses} misses != {settled} completed+failed+timed_out+rejected"
         ));
     }
-    if load(&m.jobs_rejected) != rejected_posts {
+    if m.jobs_rejected.get() != rejected_posts {
         violations.push(format!(
             "jobs_rejected = {} but clients saw {rejected_posts} 429s",
-            load(&m.jobs_rejected)
+            m.jobs_rejected.get()
         ));
     }
     if coalesced != coalesced_responses {
@@ -533,13 +540,13 @@ impl Observation {
     fn describe(&self) -> String {
         match &self.action {
             Action::Post { request: Some(r), .. } => {
-                format!("POST /jobs ({} seed {})", r.experiment.name(), r.seed)
+                format!("POST /v1/jobs ({} seed {})", r.experiment.name(), r.seed)
             }
-            Action::Post { request: None, .. } => "POST /jobs (invalid)".to_owned(),
-            Action::GetJob(id) => format!("GET /jobs/{id}"),
-            Action::GetResult(key) => format!("GET /results/{}…", &key[..12.min(key.len())]),
-            Action::GetMetrics => "GET /metrics".to_owned(),
-            Action::Healthz => "GET /healthz".to_owned(),
+            Action::Post { request: None, .. } => "POST /v1/jobs (invalid)".to_owned(),
+            Action::GetJob(id) => format!("GET /v1/jobs/{id}"),
+            Action::GetResult(key) => format!("GET /v1/results/{}…", &key[..12.min(key.len())]),
+            Action::GetMetrics => "GET /v1/metrics".to_owned(),
+            Action::Healthz => "GET /v1/healthz".to_owned(),
         }
     }
 }

@@ -7,14 +7,21 @@
 # proving the invariants have teeth), the differential matrix at two
 # thread counts, and an audit that every `#[ignore]`d test is accounted
 # for in TESTING.md.
+#
+# `--obs` appends the observability stage: the obs crate's tests with
+# the `trace` feature armed, a traced `repro` run whose chrome://tracing
+# file must cover all five flow stages with stdout byte-identical to an
+# untraced run, and a smoke pass over the obs_overhead bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
+RUN_OBS=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) RUN_CHAOS=1 ;;
-        *) echo "usage: scripts/check.sh [--chaos]" >&2; exit 2 ;;
+        --obs) RUN_OBS=1 ;;
+        *) echo "usage: scripts/check.sh [--chaos] [--obs]" >&2; exit 2 ;;
     esac
 done
 
@@ -75,6 +82,32 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
             fi
         done <<< "$ignored"
     fi
+fi
+
+if [[ "$RUN_OBS" -eq 1 ]]; then
+    echo "==> obs: span recorder tests with the trace feature armed"
+    cargo test -q -p nemfpga-obs --features trace
+
+    echo "==> obs: traced repro covers all five flow stages, stdout unchanged"
+    trace_dir=$(mktemp -d)
+    trap 'rm -rf "$trace_dir"' EXIT
+    cargo run -q -p nemfpga-bench --bin repro -- fig9 > "$trace_dir/plain.txt"
+    cargo run -q -p nemfpga-bench --features obs --bin repro -- \
+        fig9 --trace-out "$trace_dir/trace.json" \
+        > "$trace_dir/traced.txt" 2> "$trace_dir/summary.txt"
+    cmp "$trace_dir/plain.txt" "$trace_dir/traced.txt" || {
+        echo "error: traced repro output diverged from the untraced run" >&2; exit 1; }
+    for stage in pack place route sta power; do
+        grep -q "\"name\":\"$stage\"" "$trace_dir/trace.json" || {
+            echo "error: trace is missing the $stage stage" >&2
+            cat "$trace_dir/summary.txt" >&2
+            exit 1
+        }
+    done
+    cat "$trace_dir/summary.txt"
+
+    echo "==> obs: obs_overhead bench (smoke, trace feature on)"
+    cargo bench -q -p nemfpga-bench --features obs --bench obs_benches -- --test
 fi
 
 echo "All checks passed."
