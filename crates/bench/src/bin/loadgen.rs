@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]
 //!         [--passes P] [--threads T] [--seed S]
+//!         [--chaos-restart] [--drain-grace-ms MS]
 //! ```
 //!
 //! Drives `N` requests per pass (default 128) drawn from a pool of `K`
@@ -25,17 +26,27 @@
 //! All traffic goes through the typed
 //! [`nemfpga_service::ServiceClient`] — loadgen is also a soak test of
 //! the same client API other tooling uses.
+//!
+//! `--chaos-restart` runs the drain/restart scenario instead: it floods
+//! an in-process journaled service with fire-and-forget submissions,
+//! drains it mid-load (`--drain-grace-ms`, default 50, then cooperative
+//! cancellation), restarts on the same cache + journal directories, and
+//! asserts zero lost jobs — after recovery quiesces, every accepted
+//! request's result must be served from `/v1/results/:key`,
+//! byte-identical to a direct render, without any resubmission. All
+//! waiting is condvar- or long-poll-based; there are no fixed sleeps to
+//! tune.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_service::{Executor, JobState, Service, ServiceClient, ServiceConfig};
+use nemfpga_service::{job_key, Executor, JobState, Service, ServiceClient, ServiceConfig};
 
-const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S]";
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS]";
 
 /// Experiments cheap enough to fan out by the dozen. The point of the
 /// load test is queue/cache/dedup behavior, not experiment runtime.
@@ -50,6 +61,8 @@ struct Options {
     passes: usize,
     threads: usize,
     seed: u64,
+    chaos_restart: bool,
+    drain_grace: Duration,
 }
 
 impl Default for Options {
@@ -62,6 +75,8 @@ impl Default for Options {
             passes: 2,
             threads: 2,
             seed: 42,
+            chaos_restart: false,
+            drain_grace: Duration::from_millis(50),
         }
     }
 }
@@ -80,7 +95,181 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if options.chaos_restart {
+        std::process::exit(run_chaos_restart(&options));
+    }
     std::process::exit(run(&options));
+}
+
+/// The drain/restart scenario: flood, drain mid-load, restart on the
+/// same state, prove no accepted job was lost.
+fn run_chaos_restart(options: &Options) -> i32 {
+    if options.addr.is_some() {
+        eprintln!("loadgen: --chaos-restart drives its own in-process service, not --addr");
+        return 2;
+    }
+    let scratch =
+        std::env::temp_dir().join(format!("nemfpga-loadgen-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        parallel: ParallelConfig::with_threads(options.threads),
+        cache_dir: Some(scratch.join("cache")),
+        journal_path: Some(scratch.join("journal.log")),
+        ..ServiceConfig::default()
+    };
+    let parallel = config.parallel;
+    let computes = Arc::new(AtomicU64::new(0));
+    let executor: Executor = {
+        let computes = Arc::clone(&computes);
+        Arc::new(move |request: &ExperimentRequest| {
+            computes.fetch_add(1, Ordering::Relaxed);
+            Ok(render_experiment(request, &parallel))
+        })
+    };
+
+    let service = match Service::start(&config, Arc::clone(&executor)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot start in-process service: {e}");
+            return 1;
+        }
+    };
+    let client = match ServiceClient::new(service.addr()) {
+        Ok(c) => c.with_timeout(Duration::from_secs(300)),
+        Err(e) => {
+            eprintln!("loadgen: bad address: {e}");
+            return 1;
+        }
+    };
+
+    // Flood with fire-and-forget submissions (wait=false returns on
+    // enqueue) while a drainer thread pulls the plug halfway through the
+    // schedule — the drain genuinely lands mid-load, so late submitters
+    // see 503/refused (legal rejections) and queued jobs get cancelled
+    // with their journal records left open.
+    let pool = Arc::new(request_pool(options.unique));
+    let schedule = workload(&pool, options.requests, options.seed);
+    let next = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(Barrier::new(options.concurrency + 1));
+    let accepted: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let halfway = schedule.len() / 2;
+    let clean = std::thread::scope(|s| {
+        for _ in 0..options.concurrency {
+            let (next, gate) = (Arc::clone(&next), Arc::clone(&gate));
+            let (accepted, rejected) = (Arc::clone(&accepted), Arc::clone(&rejected));
+            let (schedule, pool, client) = (schedule.clone(), Arc::clone(&pool), client.clone());
+            s.spawn(move || {
+                gate.wait();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&pool_index) = schedule.get(i) else { break };
+                    match client.submit(&pool[pool_index], false) {
+                        Ok(_) => accepted.lock().expect("accepted lock").push(pool_index),
+                        // Backpressure (429) and draining (503 or a
+                        // refused connection) are legal answers here;
+                        // acceptance is what creates the obligation the
+                        // restart must honor.
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        let drainer = {
+            let (next, gate) = (Arc::clone(&next), Arc::clone(&gate));
+            s.spawn(move || {
+                gate.wait();
+                while next.load(Ordering::Relaxed) < halfway {
+                    std::thread::yield_now();
+                }
+                service.drain(options.drain_grace)
+            })
+        };
+        drainer.join().expect("drainer panicked")
+    });
+    let mut accepted: Vec<usize> = accepted.lock().expect("accepted lock").clone();
+    accepted.sort_unstable();
+    accepted.dedup();
+    let computes_before = computes.load(Ordering::Relaxed);
+    println!(
+        "chaos-restart: {} accepted ({} rejected), {} computed before the mid-load drain \
+         ({}ms grace)",
+        accepted.len(),
+        rejected.load(Ordering::Relaxed),
+        computes_before,
+        options.drain_grace.as_millis()
+    );
+    if accepted.is_empty() {
+        eprintln!("loadgen: FAIL: nothing was accepted before the drain");
+        return 1;
+    }
+
+    // Restart on the same directories.
+    let service = match Service::start(&config, executor) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: restart on the same state failed: {e}");
+            return 1;
+        }
+    };
+    let recovered = service.metrics().jobs_recovered.get();
+    println!(
+        "chaos-restart: drain {}; restart recovered {} journaled job(s)",
+        if clean { "finished within grace" } else { "cancelled stragglers" },
+        recovered
+    );
+
+    // Recovery replays run on the scheduler's own workers; block on its
+    // condvar (not a sleep) until every replayed job is terminal.
+    if !service.scheduler().await_quiesce(Duration::from_secs(120)) {
+        eprintln!("loadgen: FAIL: recovered jobs did not quiesce");
+        return 1;
+    }
+
+    // Zero lost jobs: every accepted request must now be served from
+    // /v1/results — no resubmission — byte-identical to a direct render.
+    let client = match ServiceClient::new(service.addr()) {
+        Ok(c) => c.with_timeout(Duration::from_secs(300)),
+        Err(e) => {
+            eprintln!("loadgen: bad address: {e}");
+            return 1;
+        }
+    };
+    let mut lost = 0usize;
+    let mut mismatches = 0usize;
+    for &pool_index in &accepted {
+        let request = &pool[pool_index];
+        let key = job_key(request).expect("pool requests are valid");
+        match client.result(&key) {
+            Ok(output) => {
+                if output != render_experiment(request, &ParallelConfig::serial()) {
+                    mismatches += 1;
+                    eprintln!("loadgen: BYTE MISMATCH for {}", request.experiment);
+                }
+            }
+            Err(e) => {
+                lost += 1;
+                eprintln!("loadgen: LOST JOB {}: {e}", request.experiment);
+            }
+        }
+    }
+    let recomputed = computes.load(Ordering::Relaxed) - computes_before;
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if lost > 0 || mismatches > 0 {
+        eprintln!("loadgen: FAIL: {lost} lost jobs, {mismatches} byte mismatches after restart");
+        return 1;
+    }
+    println!(
+        "loadgen: OK — zero lost jobs: all {} accepted keys served byte-identical after \
+         drain+restart ({recovered} recovered, {recomputed} recomputed)",
+        accepted.len()
+    );
+    0
 }
 
 fn run(options: &Options) -> i32 {
@@ -346,6 +535,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--passes" => options.passes = parse_value(it.next(), "--passes", "a count")?,
             "--threads" => options.threads = parse_value(it.next(), "--threads", "a count")?,
             "--seed" => options.seed = parse_value(it.next(), "--seed", "an integer")?,
+            "--chaos-restart" => options.chaos_restart = true,
+            "--drain-grace-ms" => {
+                options.drain_grace = Duration::from_millis(parse_value(
+                    it.next(),
+                    "--drain-grace-ms",
+                    "milliseconds",
+                )?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }

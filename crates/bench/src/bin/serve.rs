@@ -3,14 +3,23 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]
 //!       [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]
+//!       [--journal FILE | --no-journal] [--drain-grace-secs S]
 //!       [--self-test] [--trace-out FILE]
 //! ```
 //!
 //! Stands the `nemfpga-service` subsystem up with the real experiment
 //! executor (`nemfpga_bench::render`), so every served result is
 //! byte-identical to the `repro` CLI. Defaults: `127.0.0.1:7878`, two
-//! workers, disk cache under `target/service-cache/`. The API is mounted
-//! under `/v1/` (see `API.md`).
+//! workers, disk cache under `target/service-cache/`, write-ahead job
+//! journal at `target/service-journal.log` (crash recovery replays
+//! durably accepted jobs on the next start; `--no-journal` disables it).
+//! The API is mounted under `/v1/` (see `API.md`).
+//!
+//! `SIGTERM`/`SIGINT` trigger a graceful drain: the server stops
+//! accepting (new submissions see `503` + `Retry-After`), in-flight jobs
+//! get `--drain-grace-secs` (default 30) to finish, stragglers are
+//! cooperatively cancelled with their journal records left open so a
+//! restart resumes them, and the process exits 0 on a clean drain.
 //!
 //! `--self-test` binds an ephemeral port, drives the typed
 //! [`nemfpga_service::ServiceClient`] through one health check, one job
@@ -20,6 +29,7 @@
 //! built with `--features obs`) additionally records the self-test's
 //! server-side spans as a chrome://tracing file.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,13 +38,36 @@ use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::{Executor, JobState, Service, ServiceClient, ServiceConfig};
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N] [--self-test]\n             [--trace-out FILE]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]\n             [--journal FILE | --no-journal] [--drain-grace-secs S] [--self-test]\n             [--trace-out FILE]";
 
 struct Invocation {
     config: ServiceConfig,
+    drain_grace: Duration,
     self_test: bool,
     trace_out: Option<std::path::PathBuf>,
 }
+
+/// Set from the signal handler; the main loop polls it. An atomic store
+/// is all the handler does — the only async-signal-safe option.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGINT = 2, SIGTERM = 15 (POSIX).
+    unsafe {
+        signal(2, on_signal as extern "C" fn(i32) as usize);
+        signal(15, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +107,15 @@ fn main() {
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "memory only".to_owned()),
     );
+    println!(
+        "  journal: {}",
+        invocation
+            .config
+            .journal_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "disabled".to_owned()),
+    );
 
     if invocation.self_test {
         let session = invocation.trace_out.as_ref().map(|_| nemfpga_obs::TraceSession::begin());
@@ -103,10 +145,18 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Serve until killed; jobs and the accept loop run on their own
+    // Serve until signalled; jobs and the accept loop run on their own
     // threads.
-    loop {
-        std::thread::park();
+    install_signal_handlers();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!("serve: signal received, draining (grace {}s)…", invocation.drain_grace.as_secs());
+    if service.drain(invocation.drain_grace) {
+        println!("serve: drained cleanly");
+    } else {
+        eprintln!("serve: drain grace expired; interrupted jobs will resume on restart");
+        std::process::exit(1);
     }
 }
 
@@ -168,8 +218,12 @@ fn self_test(service: &Service) -> bool {
 }
 
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
-    let mut config =
-        ServiceConfig { addr: "127.0.0.1:7878".to_owned(), ..ServiceConfig::default() };
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        journal_path: Some("target/service-journal.log".into()),
+        ..ServiceConfig::default()
+    };
+    let mut drain_grace = Duration::from_secs(30);
     let mut self_test = false;
     let mut trace_out = None;
     let mut it = args.iter();
@@ -200,20 +254,28 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--cache-capacity" => {
                 config.cache_capacity = parse_value(it.next(), "--cache-capacity", "a count")?;
             }
+            "--journal" => {
+                config.journal_path = Some(it.next().ok_or("--journal needs FILE")?.into());
+            }
+            "--no-journal" => config.journal_path = None,
+            "--drain-grace-secs" => {
+                drain_grace =
+                    Duration::from_secs(parse_value(it.next(), "--drain-grace-secs", "seconds")?);
+            }
             "--self-test" => {
                 self_test = true;
-                // Ephemeral port and a throwaway cache keep the smoke
+                // Ephemeral port and throwaway state keep the smoke
                 // test independent of running servers and past runs.
                 config.addr = "127.0.0.1:0".to_owned();
-                config.cache_dir = Some(
-                    std::env::temp_dir()
-                        .join(format!("nemfpga-serve-selftest-{}", std::process::id())),
-                );
+                let scratch = std::env::temp_dir()
+                    .join(format!("nemfpga-serve-selftest-{}", std::process::id()));
+                config.cache_dir = Some(scratch.clone());
+                config.journal_path = Some(scratch.join("journal.log"));
             }
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(Invocation { config, self_test, trace_out })
+    Ok(Invocation { config, drain_grace, self_test, trace_out })
 }
 
 fn parse_value<T: std::str::FromStr>(

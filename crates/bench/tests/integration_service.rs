@@ -5,15 +5,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::json::Value;
 use nemfpga_service::{
-    http_request, ClientError, Executor, JobState, Service, ServiceClient, ServiceConfig,
-    METRICS_SCHEMA,
+    http_request, ClientError, Executor, JobState, RetryPolicy, Service, ServiceClient,
+    ServiceConfig, METRICS_SCHEMA,
 };
 use nemfpga_testkit::{FaultScope, Gate};
 
@@ -314,7 +314,9 @@ fn client_maps_the_error_taxonomy_onto_typed_errors() {
 }
 
 #[test]
-fn legacy_unversioned_paths_redirect_to_v1() {
+fn legacy_unversioned_paths_are_gone() {
+    // The pre-/v1 mounts used to answer 301; that grace period is over.
+    // They now 404 like any other unknown path, with no Location hint.
     let (service, _) = start_counting_service(None);
     let addr = service.addr();
     for (method, path, body) in [
@@ -323,18 +325,14 @@ fn legacy_unversioned_paths_redirect_to_v1() {
         ("POST", "/jobs", Some(submit_body(ExperimentKind::Fig4))),
         ("GET", "/jobs/1", None),
         ("GET", "/results/abc", None),
+        ("GET", "/nope", None),
     ] {
         let response = http_request(addr, method, path, body.as_ref(), TIMEOUT).expect("responds");
-        assert_eq!(response.status, 301, "{method} {path}");
-        assert_eq!(
-            response.location.as_deref(),
-            Some(format!("/v1{path}").as_str()),
-            "{method} {path} must point at its /v1 mount"
-        );
+        assert_eq!(response.status, 404, "{method} {path} must be gone, not redirected");
     }
-    // Paths that never existed are 404, not redirected.
-    let gone = http_request(addr, "GET", "/nope", None, TIMEOUT).expect("responds");
-    assert_eq!(gone.status, 404);
+    // The versioned mount still answers.
+    let live = http_request(addr, "GET", "/v1/healthz", None, TIMEOUT).expect("responds");
+    assert_eq!(live.status, 200);
     service.shutdown();
 }
 
@@ -360,5 +358,202 @@ fn metrics_formats_share_one_registry() {
     // An unknown format is a 400, per the taxonomy.
     let bad = http_request(addr, "GET", "/v1/metrics?format=xml", None, TIMEOUT).expect("responds");
     assert_eq!(bad.status, 400);
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expired_jobs_are_shed_without_executing() {
+    let hold = Gate::new();
+    let (service, computations) = start_counting_service(Some(hold.clone()));
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    // Occupy both workers with gated jobs so the deadlined job sits in
+    // the queue while its (wall-clock) deadline lapses.
+    let a = client.submit(&ExperimentRequest::new(ExperimentKind::Fig4), false).expect("submit a");
+    let b =
+        client.submit(&ExperimentRequest::new(ExperimentKind::Table1), false).expect("submit b");
+    let doomed = client
+        .submit_with_deadline(&ExperimentRequest::new(ExperimentKind::Fig6), false, Some(1))
+        .expect("submit doomed");
+    assert_eq!(doomed.state, JobState::Queued);
+    std::thread::sleep(Duration::from_millis(20));
+    hold.open();
+
+    let shed = client.wait(doomed.id).expect("wait for the shed job");
+    assert_eq!(shed.state, JobState::Expired);
+    assert_eq!(shed.error.as_deref(), Some("deadline_ms exceeded before execution"));
+    for id in [a.id, b.id] {
+        assert_eq!(client.wait(id).expect("wait").state, JobState::Done);
+    }
+    // Shed means shed: the expired job never reached the executor.
+    assert_eq!(computations.load(Ordering::SeqCst), 2);
+    assert_eq!(
+        client.metrics().expect("metrics").counter("jobs_expired"),
+        Some(1),
+        "the shed job must be accounted as expired"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn delete_cancels_a_running_job_at_a_checkpoint() {
+    // An executor shaped like the real engine's inner loop: announce
+    // pickup, block at the gate, then hit a cancellation checkpoint —
+    // the same cooperative stop a PathFinder iteration boundary gives.
+    let entered = Gate::new();
+    let hold = Gate::new();
+    let (entered_tx, hold_rx) = (entered.clone(), hold.clone());
+    let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
+        entered_tx.open();
+        if !hold_rx.wait_open(TIMEOUT) {
+            return Err("test gate never opened".to_owned());
+        }
+        nemfpga_runtime::cancel::checkpoint();
+        Ok(render_experiment(request, &ParallelConfig::serial()))
+    });
+    // No disk cache: a hit from a previous run would satisfy the submit
+    // before the gated executor ever gets the job.
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(&config, executor).expect("service starts");
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    let job = client.submit(&ExperimentRequest::new(ExperimentKind::Fig4), false).expect("submit");
+    assert!(entered.wait_open(TIMEOUT), "a worker must pick the job up");
+    // Cancelling a running job is a request, not a preemption: the
+    // snapshot still says Running until the engine reaches a checkpoint.
+    let snapshot = client.cancel(job.id).expect("cancel");
+    assert_eq!(snapshot.state, JobState::Running);
+    hold.open();
+
+    let done = client.wait(job.id).expect("wait");
+    assert_eq!(done.state, JobState::Cancelled);
+    assert_eq!(done.error.as_deref(), Some("cancelled"));
+    assert!(done.output.is_none(), "a cancelled job must not publish partial output");
+    // A second DELETE is idempotent: terminal jobs are left untouched.
+    assert_eq!(client.cancel(job.id).expect("re-cancel").state, JobState::Cancelled);
+    assert_eq!(client.metrics().expect("metrics").counter("jobs_cancelled"), Some(1));
+    service.shutdown();
+}
+
+#[test]
+fn backpressure_and_drain_responses_carry_retry_after() {
+    // One worker, one queue slot: A runs (gated), B fills the queue,
+    // and C has nowhere to go.
+    let entered = Gate::new();
+    let hold = Gate::new();
+    let (entered_tx, hold_rx) = (entered.clone(), hold.clone());
+    let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
+        entered_tx.open();
+        if !hold_rx.wait_open(TIMEOUT) {
+            return Err("test gate never opened".to_owned());
+        }
+        Ok(render_experiment(request, &ParallelConfig::serial()))
+    });
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        parallel: ParallelConfig::with_threads(1),
+        queue_capacity: 1,
+        // No disk cache: a hit from a previous run bypasses the queue.
+        cache_dir: None,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(&config, executor).expect("service starts");
+    let addr = service.addr();
+
+    let nowait = |kind: ExperimentKind| {
+        Value::obj(vec![
+            ("experiment", Value::Str(kind.name().to_owned())),
+            ("wait", Value::Bool(false)),
+        ])
+    };
+    let running =
+        http_request(addr, "POST", "/v1/jobs", Some(&nowait(ExperimentKind::Fig4)), TIMEOUT)
+            .expect("submit A");
+    assert_eq!(running.status, 202);
+    assert!(entered.wait_open(TIMEOUT), "A must be running before B can queue");
+    let queued =
+        http_request(addr, "POST", "/v1/jobs", Some(&nowait(ExperimentKind::Table1)), TIMEOUT)
+            .expect("submit B");
+    assert_eq!(queued.status, 202);
+
+    let full = http_request(addr, "POST", "/v1/jobs", Some(&nowait(ExperimentKind::Fig6)), TIMEOUT)
+        .expect("submit C");
+    assert_eq!(full.status, 429, "a full queue is backpressure: {}", full.body.to_json());
+    assert_eq!(full.retry_after, Some(1), "429 must tell the client when to come back");
+
+    // Draining is the other backpressure shape: same header, 503.
+    service.scheduler().begin_drain();
+    let draining =
+        http_request(addr, "POST", "/v1/jobs", Some(&nowait(ExperimentKind::Fig2b)), TIMEOUT)
+            .expect("submit during drain");
+    assert_eq!(draining.status, 503);
+    assert_eq!(draining.retry_after, Some(1));
+
+    hold.open();
+    assert!(service.scheduler().await_quiesce(TIMEOUT), "gated jobs finish once opened");
+    service.shutdown();
+}
+
+#[test]
+fn client_circuit_breaker_opens_after_consecutive_transport_failures() {
+    // Nothing listens on port 1, so every attempt is a transport error.
+    let policy = RetryPolicy {
+        max_retries: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        seed: 7,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_secs(60),
+    };
+    let dead = ServiceClient::new("127.0.0.1:1")
+        .expect("client address parses")
+        .with_timeout(Duration::from_millis(200))
+        .with_retries(policy);
+
+    // First call: the initial attempt plus one retry both fail — two
+    // consecutive transport failures, which meets the threshold.
+    match dead.healthz() {
+        Err(ClientError::Transport(message)) => {
+            assert!(!message.contains("circuit breaker"), "the first call reaches the network");
+        }
+        other => panic!("expected Transport, got {other:?}"),
+    }
+    // Second call fails fast: the open breaker rejects it locally
+    // instead of burning the timeout against a dead host.
+    let started = Instant::now();
+    match dead.healthz() {
+        Err(ClientError::Transport(message)) => {
+            assert!(message.contains("circuit breaker open"), "got: {message}");
+        }
+        other => panic!("expected Transport, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_millis(100), "an open breaker must fail fast");
+    // Clones share the breaker state — a fan-out of clones must not
+    // re-stampede a struggling server one clone at a time.
+    match dead.clone().healthz() {
+        Err(ClientError::Transport(message)) => assert!(message.contains("circuit breaker open")),
+        other => panic!("expected Transport, got {other:?}"),
+    }
+
+    // A retrying client against a live service behaves like a plain one.
+    let (service, _) = start_counting_service(None);
+    let live = ServiceClient::new(service.addr())
+        .expect("client")
+        .with_timeout(TIMEOUT)
+        .with_retries(RetryPolicy::default());
+    live.healthz().expect("healthz through the retry path");
+    let job = live.submit(&ExperimentRequest::new(ExperimentKind::Fig11), true).expect("submit");
+    assert_eq!(job.state, JobState::Done);
+    // 4xx responses are the caller's fault: surfaced, never retried.
+    let mut bad = ExperimentRequest::new(ExperimentKind::Fig4);
+    bad.scale = 7.0;
+    match live.submit(&bad, true) {
+        Err(ClientError::Api { status: 400, .. }) => {}
+        other => panic!("expected Api 400, got {other:?}"),
+    }
     service.shutdown();
 }

@@ -380,6 +380,9 @@ fn route_core(
     let mut extra_margin = 0usize;
 
     for iter in 0..config.max_iterations {
+        // Cancellation boundary: a cancelled job (service drain, client
+        // DELETE) aborts between negotiation iterations, never mid-net.
+        nemfpga_runtime::cancel::checkpoint();
         iterations = iter + 1;
         let mut iter_span = nemfpga_obs::span("route", "route.iteration");
         iter_span.set_arg("iteration", iterations as u64);

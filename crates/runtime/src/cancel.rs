@@ -1,0 +1,164 @@
+//! Cooperative job cancellation.
+//!
+//! A [`CancelToken`] is a shared flag a controller (the service
+//! scheduler, a drain sequence, `DELETE /v1/jobs/:id`) sets to ask a
+//! running computation to stop. The computation side never threads the
+//! token through its call graph: the worker that picks a job up
+//! [`enter`]s the token for the duration of the job, and deep loops —
+//! PathFinder iterations, Monte Carlo chunks — call [`checkpoint`] at
+//! their natural boundaries. When the current token is cancelled,
+//! `checkpoint` unwinds with a [`CancelPanic`] payload; the scheduler's
+//! existing per-job panic guard catches it and records the job as
+//! cancelled instead of failed.
+//!
+//! The thread-local "current token" does **not** inherit into spawned
+//! threads. Fan-out primitives that run work on behalf of the current
+//! job ([`crate::parallel_map`]) capture [`current`] and re-[`enter`] it
+//! on each worker, so a cancel reaches every thread a job fans out to.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning yields a handle to the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; computations notice at their
+    /// next [`checkpoint`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// The panic payload [`checkpoint`] unwinds with. Catchers that want to
+/// distinguish cancellation from a real panic downcast to this type (or
+/// call [`is_cancel_payload`]).
+#[derive(Debug)]
+pub struct CancelPanic;
+
+/// True when a caught panic payload came from a cancellation
+/// [`checkpoint`].
+pub fn is_cancel_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<CancelPanic>()
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously-entered token (if any) on drop.
+pub struct CancelGuard {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Makes `token` the current token for this thread until the returned
+/// guard drops. Nests: the guard restores whatever was current before.
+pub fn enter(token: CancelToken) -> CancelGuard {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(token));
+    CancelGuard { previous }
+}
+
+/// The token entered on this thread, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Cancellation point: unwinds with [`CancelPanic`] when the current
+/// token (if any) has been cancelled. Cost when not cancelled is one
+/// thread-local read and one relaxed atomic load — cheap enough for
+/// per-iteration use in CAD loops.
+#[inline]
+pub fn checkpoint() {
+    let cancelled = CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled));
+    if cancelled {
+        std::panic::panic_any(CancelPanic);
+    }
+}
+
+/// Installs a panic hook that stays silent for [`CancelPanic`] unwinds
+/// and defers to the previous hook for everything else. Cancellation is
+/// a normal control path for a serving process; without this every
+/// cancelled job would print a spurious "thread panicked" report.
+/// Idempotent (installs once per process).
+pub fn silence_cancel_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<CancelPanic>() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_is_inert_without_a_token_or_cancel() {
+        checkpoint();
+        let token = CancelToken::new();
+        let _guard = enter(token);
+        checkpoint();
+    }
+
+    #[test]
+    fn cancelled_token_unwinds_checkpoint_with_cancel_payload() {
+        silence_cancel_panics();
+        let token = CancelToken::new();
+        token.cancel();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = enter(token.clone());
+            checkpoint();
+        }));
+        let payload = caught.expect_err("checkpoint must unwind");
+        assert!(is_cancel_payload(payload.as_ref()));
+        // The guard restored the previous (empty) state on unwind.
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        let g1 = enter(outer.clone());
+        {
+            let _g2 = enter(inner.clone());
+            inner.cancel();
+            assert!(current().expect("inner current").is_cancelled());
+        }
+        assert!(!current().expect("outer current").is_cancelled());
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn tokens_share_state_across_clones_and_threads() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        std::thread::spawn(move || clone.cancel()).join().expect("join");
+        assert!(token.is_cancelled());
+    }
+}

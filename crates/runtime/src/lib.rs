@@ -19,11 +19,13 @@
 //! are inert unless the `fault-injection` feature is on and a test has
 //! armed the registry.
 
+pub mod cancel;
 pub mod faults;
 pub mod hash;
 pub mod pool;
 pub mod workers;
 
+pub use cancel::CancelToken;
 pub use faults::{FaultAction, FaultPoint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{parallel_map, parallel_map_cfg};

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cancel;
 use crate::faults::FaultPoint;
 use crate::ParallelConfig;
 
@@ -33,30 +34,45 @@ where
 {
     let threads = cfg.effective_threads(items.len());
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                cancel::checkpoint();
+                f(i, item)
+            })
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    // Thread-locals do not inherit into scoped workers: capture the
+    // caller's cancel token so a cancel reaches the fan-out threads.
+    let token = cancel::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let f = &f;
             let cursor = &cursor;
             let done = &done;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
+            let token = token.clone();
+            scope.spawn(move || {
+                let _guard = token.map(cancel::enter);
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    cancel::checkpoint();
+                    let _ = FAULT_CHUNK.fire().apply_basic();
+                    let end = (start + CHUNK).min(items.len());
+                    let chunk: Vec<U> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, item)| f(start + offset, item))
+                        .collect();
+                    done.lock().expect("worker panicked holding results lock").push((start, chunk));
                 }
-                let _ = FAULT_CHUNK.fire().apply_basic();
-                let end = (start + CHUNK).min(items.len());
-                let chunk: Vec<U> = items[start..end]
-                    .iter()
-                    .enumerate()
-                    .map(|(offset, item)| f(start + offset, item))
-                    .collect();
-                done.lock().expect("worker panicked holding results lock").push((start, chunk));
             });
         }
     });
@@ -112,6 +128,22 @@ mod tests {
         let by_index = parallel_map_cfg(&ParallelConfig::with_threads(4), 100, |i| i * i);
         let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
         assert_eq!(by_index, expected);
+    }
+
+    #[test]
+    fn cancel_reaches_fanout_workers() {
+        crate::cancel::silence_cancel_panics();
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let items: Vec<u64> = (0..256).collect();
+        for threads in [1, 4] {
+            let token = token.clone();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = crate::cancel::enter(token);
+                parallel_map(&ParallelConfig::with_threads(threads), &items, |_, x| *x)
+            }));
+            assert!(caught.is_err(), "cancelled map must unwind (threads = {threads})");
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! path through the `cache.read_disk` / `cache.write_disk` fault points.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use nemfpga_obs::Counter;
 use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 
 use crate::json::{self, Value};
@@ -58,6 +59,10 @@ pub enum CacheTier {
 pub struct ResultCache {
     inner: Mutex<Inner>,
     disk_dir: Option<PathBuf>,
+    /// Bumped on every failed disk-tier write (tempfile write or
+    /// rename). Defaults to a detached counter; the service wires in its
+    /// `disk_write_errors` metric.
+    write_errors: Counter,
 }
 
 struct Inner {
@@ -83,7 +88,22 @@ impl ResultCache {
                 tick: 0,
             }),
             disk_dir,
+            write_errors: Counter::default(),
         }
+    }
+
+    /// Routes failed disk writes into `counter` (shared with the metric
+    /// registry) instead of the default detached counter.
+    #[must_use]
+    pub fn with_write_error_counter(mut self, counter: Counter) -> Self {
+        self.write_errors = counter;
+        self
+    }
+
+    /// Failed disk-tier writes so far (through whichever counter is
+    /// wired in).
+    pub fn write_error_count(&self) -> u64 {
+        self.write_errors.get()
     }
 
     /// Looks `key` up in memory, then on disk (promoting a disk hit into
@@ -175,16 +195,48 @@ impl ResultCache {
         ]);
         let mut encoded = doc.to_json();
         match FAULT_WRITE_DISK.fire().apply_basic() {
-            FaultAction::Err(_) => return,
+            FaultAction::Err(error) => {
+                // An injected write failure is still a failed write:
+                // count it so the metric tells the truth under chaos.
+                self.write_errors.inc();
+                eprintln!("nemfpga-service: cache write failed for {}: {error}", key.as_hex());
+                return;
+            }
             FaultAction::Corrupt => encoded = damage(encoded, false),
             FaultAction::ShortRead => encoded = damage(encoded, true),
             _ => {}
         }
         let tmp = dir.join(format!(".{}.tmp-{}", key.as_hex(), std::process::id()));
-        if std::fs::write(&tmp, encoded).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        if let Err(error) =
+            std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, &path))
+        {
+            // The entry stays compute-able and memory-cached; surface
+            // the degraded disk tier instead of dropping it silently.
+            self.write_errors.inc();
+            eprintln!("nemfpga-service: cache write failed for {}: {error}", key.as_hex());
+            let _ = std::fs::remove_file(&tmp);
         }
     }
+}
+
+/// Removes orphaned cache tempfiles (`.{key}.tmp-{pid}`) left behind by
+/// a crash between the tempfile write and its rename. Returns how many
+/// were removed. Safe to call with live writers only from startup, when
+/// this process is the sole owner of `dir`.
+pub fn gc_orphan_tmp(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.')
+            && name.contains(".tmp-")
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// Deterministic damage for injected `Corrupt`/`ShortRead` faults:
@@ -306,5 +358,38 @@ mod tests {
         let k = key(11);
         cache.put(&k, result("m"));
         assert_eq!(cache.get(&k).unwrap().1, CacheTier::Memory);
+    }
+
+    #[test]
+    fn failed_disk_writes_are_counted_and_leave_no_tempfile() {
+        let dir = temp_dir("write-errors");
+        let k = key(12);
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        // Occupy the entry path with a directory so the rename must fail.
+        std::fs::create_dir_all(dir.join(format!("{}.json", k.as_hex()))).unwrap();
+        cache.put(&k, result("w"));
+        assert_eq!(cache.write_error_count(), 1);
+        let leftover_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(leftover_tmp, 0, "failure path must clean its tempfile up");
+        // The memory tier still serves the entry.
+        assert_eq!(cache.get(&k).unwrap().1, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_orphan_tempfiles_only() {
+        let dir = temp_dir("gc");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".abc.tmp-123"), "orphan").unwrap();
+        std::fs::write(dir.join("real.json"), "keep").unwrap();
+        assert_eq!(gc_orphan_tmp(&dir), 1);
+        assert!(dir.join("real.json").exists());
+        assert!(!dir.join(".abc.tmp-123").exists());
+        assert_eq!(gc_orphan_tmp(&dir), 0, "idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,11 +11,21 @@
 //! * 2xx bodies that don't match the documented schema →
 //!   [`ClientError::Protocol`].
 //!
-//! The client does **not** follow 301s from the legacy unversioned
-//! paths — it always speaks `/v1` directly.
+//! The client always speaks `/v1` directly (the legacy unversioned
+//! paths are gone and answer 404).
+//!
+//! Resilience is **opt-in** via [`ServiceClient::with_retries`]: a
+//! plain client maps every response straight through, so load tests and
+//! chaos drivers observe real 429/503s. A retrying client re-issues
+//! transport failures and backpressure responses with exponential
+//! backoff, deterministic seeded jitter ([`nemfpga_runtime::mix_seed`]),
+//! honors the server's `Retry-After` hint, and trips a consecutive-
+//! transport-failure circuit breaker so a dead server costs one timeout
+//! per cooldown instead of one per call.
 
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use nemfpga::request::ExperimentRequest;
 
@@ -71,7 +81,7 @@ pub struct JobView {
     pub coalesced: Option<bool>,
     /// Output, once `Done`.
     pub output: Option<String>,
-    /// Error message, when `Failed` or `TimedOut`.
+    /// Error message, on any non-`Done` terminal state.
     pub error: Option<String>,
 }
 
@@ -206,11 +216,79 @@ impl MetricsView {
     }
 }
 
+/// Retry/backoff knobs for [`ServiceClient::with_retries`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Re-issues after the first attempt (so `3` = up to 4 attempts).
+    pub max_retries: u32,
+    /// First backoff; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream. Give concurrent
+    /// clients distinct seeds so their retries do not stampede in step.
+    pub seed: u64,
+    /// Consecutive transport failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before allowing a trial call.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            seed: 0,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Consecutive-transport-failure circuit breaker. Any HTTP response
+/// (even a 5xx) proves the server is alive and closes it; only
+/// connect/IO/timeout failures count toward opening.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    fn record_failure(&mut self, policy: &RetryPolicy) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= policy.breaker_threshold {
+            self.open_until = Some(Instant::now() + policy.breaker_cooldown);
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base·2^attempt`
+/// capped at `max_backoff`, scaled into [50%, 100%] by the
+/// `(seed, attempt)` jitter stream.
+fn backoff_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let doubled = policy.base_backoff.saturating_mul(1u32 << attempt.min(16));
+    let capped = doubled.min(policy.max_backoff);
+    let jitter = nemfpga_runtime::mix_seed(policy.seed, u64::from(attempt));
+    let frac = 0.5 + (jitter as f64 / u64::MAX as f64) * 0.5;
+    capped.mul_f64(frac)
+}
+
 /// Typed handle on one service instance.
 #[derive(Debug, Clone)]
 pub struct ServiceClient {
     addr: SocketAddr,
     timeout: Duration,
+    /// `Some` = retry loop + breaker armed. Clones share the breaker, so
+    /// one handle's failures protect every clone.
+    resilience: Option<(RetryPolicy, Arc<Mutex<Breaker>>)>,
 }
 
 impl ServiceClient {
@@ -225,7 +303,7 @@ impl ServiceClient {
             .map_err(|e| ClientError::Transport(e.to_string()))?
             .next()
             .ok_or_else(|| ClientError::Transport("address resolves to nothing".into()))?;
-        Ok(Self { addr, timeout: Duration::from_secs(30) })
+        Ok(Self { addr, timeout: Duration::from_secs(30), resilience: None })
     }
 
     /// Replaces the per-request timeout.
@@ -235,19 +313,33 @@ impl ServiceClient {
         self
     }
 
+    /// Arms the retry loop and circuit breaker (off by default so load
+    /// and chaos drivers see raw backpressure). Retried: transport
+    /// failures, 429, 503. The sleep between attempts is the larger of
+    /// the jittered exponential backoff and the server's `Retry-After`.
+    #[must_use]
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
+        self.resilience = Some((policy, Arc::new(Mutex::new(Breaker::default()))));
+        self
+    }
+
     /// The server address this client targets.
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    fn call(
+    /// One wire round-trip; `Err` is always [`ClientError::Transport`].
+    fn call_once(
         &self,
         method: &str,
         path: &str,
         body: Option<&Value>,
     ) -> Result<ClientResponse, ClientError> {
-        let resp = http_request(self.addr, method, path, body, self.timeout)
-            .map_err(ClientError::Transport)?;
+        http_request(self.addr, method, path, body, self.timeout).map_err(ClientError::Transport)
+    }
+
+    /// Maps a non-2xx response onto [`ClientError::Api`].
+    fn interpret(resp: ClientResponse) -> Result<ClientResponse, ClientError> {
         if resp.status >= 300 {
             let message = resp
                 .body
@@ -258,6 +350,53 @@ impl ServiceClient {
             return Err(ClientError::Api { status: resp.status, message });
         }
         Ok(resp)
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<ClientResponse, ClientError> {
+        let Some((policy, breaker)) = &self.resilience else {
+            return Self::interpret(self.call_once(method, path, body)?);
+        };
+        let mut attempt = 0u32;
+        loop {
+            {
+                let mut breaker = breaker.lock().expect("breaker poisoned");
+                if let Some(until) = breaker.open_until {
+                    if Instant::now() < until {
+                        return Err(ClientError::Transport("circuit breaker open".to_owned()));
+                    }
+                    // Cooldown over: half-open, let this trial through.
+                    breaker.open_until = None;
+                }
+            }
+            let result = self.call_once(method, path, body);
+            let mut breaker_guard = breaker.lock().expect("breaker poisoned");
+            match &result {
+                Ok(_) => breaker_guard.record_success(),
+                Err(_) => breaker_guard.record_failure(policy),
+            }
+            drop(breaker_guard);
+
+            // Retry transport failures and explicit backpressure; give
+            // everything else (including other errors) straight back.
+            let retry_after = match &result {
+                Err(ClientError::Transport(_)) => None,
+                Ok(resp) if matches!(resp.status, 429 | 503) => {
+                    resp.retry_after.map(Duration::from_secs)
+                }
+                _ => return Self::interpret(result?),
+            };
+            if attempt >= policy.max_retries {
+                return Self::interpret(result?);
+            }
+            let backoff = backoff_delay(policy, attempt);
+            std::thread::sleep(retry_after.map_or(backoff, |hint| hint.max(backoff)));
+            attempt += 1;
+        }
     }
 
     /// `GET /v1/healthz`.
@@ -282,14 +421,46 @@ impl ServiceClient {
     /// [`ClientError::Api`] with status 400 (invalid request) or 429
     /// (queue full), plus the transport/protocol cases.
     pub fn submit(&self, request: &ExperimentRequest, wait: bool) -> Result<JobView, ClientError> {
-        let body = Value::obj(vec![
+        self.submit_with_deadline(request, wait, None)
+    }
+
+    /// [`ServiceClient::submit`] with a client completion deadline in
+    /// relative milliseconds. A job still queued when it passes is shed
+    /// server-side as `expired` instead of executed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        request: &ExperimentRequest,
+        wait: bool,
+        deadline_ms: Option<u64>,
+    ) -> Result<JobView, ClientError> {
+        let mut fields = vec![
             ("experiment", Value::Str(request.experiment.name().to_owned())),
             ("scale", Value::F64(request.scale)),
             ("benchmarks", Value::U64(request.benchmarks as u64)),
             ("seed", Value::U64(request.seed)),
             ("wait", Value::Bool(wait)),
-        ]);
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", Value::U64(ms)));
+        }
+        let body = Value::obj(fields);
         let resp = self.call("POST", "/v1/jobs", Some(&body))?;
+        JobView::from_json(&resp.body)
+    }
+
+    /// `DELETE /v1/jobs/:id` — request cancellation. Queued jobs cancel
+    /// immediately; running jobs stop at the engine's next cancellation
+    /// checkpoint (poll [`ServiceClient::wait`] for the final state).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 404 once the record is evicted.
+    pub fn cancel(&self, id: u64) -> Result<JobView, ClientError> {
+        let resp = self.call("DELETE", &format!("/v1/jobs/{id}"), None)?;
         JobView::from_json(&resp.body)
     }
 

@@ -14,13 +14,15 @@
 //! |--------------------------|--------------------------------------------|
 //! | `POST /v1/jobs`          | Submit a request; `"wait": true` (default) blocks to the job deadline |
 //! | `GET /v1/jobs/:id`       | Poll one job; `?wait=true` long-polls to the job deadline |
+//! | `DELETE /v1/jobs/:id`    | Cancel a job (cooperative for running jobs) |
 //! | `GET /v1/results/:key`   | Fetch a cached result by content address   |
 //! | `GET /v1/healthz`        | Liveness                                   |
 //! | `GET /v1/metrics`        | Registry snapshot (JSON); `?format=prometheus` for text |
 //!
-//! The unversioned paths from before the `/v1` mount answer
-//! `301 Moved Permanently` with a `Location` header for one release;
-//! new code must call `/v1/...` directly.
+//! Backpressure responses (`429 Too Many Requests` for a full queue,
+//! `503 Service Unavailable` while draining) carry a `Retry-After`
+//! header in seconds. The pre-`/v1` unversioned paths had one release
+//! of `301` grace and now answer `404` like any unknown route.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,7 +35,7 @@ use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use crate::json::{self, Value};
 use crate::key::JobKey;
 use crate::metrics::Metrics;
-use crate::scheduler::{JobStatus, Scheduler, SubmitError};
+use crate::scheduler::{JobStatus, Scheduler, SubmitError, SubmitOptions};
 
 /// Hard ceiling on request bodies (requests are tiny JSON objects).
 const MAX_BODY: usize = 1 << 20;
@@ -166,36 +168,32 @@ enum Body {
 struct Response {
     status: u16,
     body: Body,
-    location: Option<String>,
+    /// `Retry-After` header value in seconds (backpressure responses).
+    retry_after: Option<u64>,
 }
 
 impl Response {
     fn ok(body: Value) -> Self {
-        Self { status: 200, body: Body::Json(body), location: None }
+        Self { status: 200, body: Body::Json(body), retry_after: None }
     }
 
     fn text(body: String) -> Self {
-        Self { status: 200, body: Body::Text(body), location: None }
+        Self { status: 200, body: Body::Text(body), retry_after: None }
     }
 
     fn error(status: u16, message: &str) -> Self {
         Self {
             status,
             body: Body::Json(Value::obj(vec![("error", Value::Str(message.to_owned()))])),
-            location: None,
+            retry_after: None,
         }
     }
 
-    /// Permanent redirect to the versioned mount of the same resource.
-    fn moved(to: String) -> Self {
-        Self {
-            status: 301,
-            body: Body::Json(Value::obj(vec![
-                ("error", Value::Str("moved permanently".to_owned())),
-                ("location", Value::Str(to.clone())),
-            ])),
-            location: Some(to),
-        }
+    /// A backpressure error (429/503): same shape as [`Response::error`]
+    /// plus a `Retry-After: {seconds}` header so well-behaved clients
+    /// pace their retries off the server's hint instead of guessing.
+    fn backpressure(status: u16, message: &str, retry_after_secs: u64) -> Self {
+        Self { retry_after: Some(retry_after_secs), ..Self::error(status, message) }
     }
 
     fn to_bytes(&self) -> Vec<u8> {
@@ -206,20 +204,20 @@ impl Response {
         let reason = match self.status {
             200 => "OK",
             202 => "Accepted",
-            301 => "Moved Permanently",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             429 => "Too Many Requests",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
-        let location =
-            self.location.as_deref().map(|to| format!("Location: {to}\r\n")).unwrap_or_default();
+        let retry_after =
+            self.retry_after.map(|secs| format!("Retry-After: {secs}\r\n")).unwrap_or_default();
         format!(
             "HTTP/1.1 {} {}\r\n{}Content-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             self.status,
             reason,
-            location,
+            retry_after,
             content_type,
             body.len(),
             body
@@ -256,15 +254,9 @@ fn route(
 ) -> Response {
     let (path, params) = split_query(raw_path);
 
+    // The pre-`/v1` unversioned paths had their release of 301 grace;
+    // they now 404 like any other unknown route.
     let Some(sub) = path.strip_prefix("/v1") else {
-        // One release of grace for the pre-`/v1` paths: permanent
-        // redirect so old scripts learn the new mount, 404 otherwise.
-        let known_legacy = matches!(path, "/healthz" | "/metrics" | "/jobs")
-            || path.starts_with("/jobs/")
-            || path.starts_with("/results/");
-        if known_legacy {
-            return Response::moved(format!("/v1{raw_path}"));
-        }
         return Response::error(404, &format!("no route for {method} {raw_path}"));
     };
 
@@ -284,8 +276,11 @@ fn route(
         _ if method == "GET" && sub.starts_with("/jobs/") => {
             get_job(&sub[6..], query_flag(&params, "wait"), scheduler)
         }
+        _ if method == "DELETE" && sub.starts_with("/jobs/") => delete_job(&sub[6..], scheduler),
         _ if method == "GET" && sub.starts_with("/results/") => get_result(&sub[9..], scheduler),
-        ("GET" | "POST", _) => Response::error(404, &format!("no route for {method} {raw_path}")),
+        ("GET" | "POST" | "DELETE", _) => {
+            Response::error(404, &format!("no route for {method} {raw_path}"))
+        }
         _ => Response::error(405, &format!("method {method} not supported")),
     }
 }
@@ -300,11 +295,19 @@ fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
         Err(e) => return Response::error(400, &e),
     };
     let wait = doc.get("wait").and_then(Value::as_bool).unwrap_or(true);
+    let mut opts = SubmitOptions::default();
+    if let Some(v) = doc.get("deadline_ms") {
+        let Some(ms) = v.as_u64() else {
+            return Response::error(400, "`deadline_ms` must be a non-negative integer");
+        };
+        opts.deadline_ms = Some(ms);
+    }
 
-    let submission = match scheduler.submit(request) {
+    let submission = match scheduler.submit_opts(request, opts) {
         Ok(s) => s,
         Err(SubmitError::Invalid(m)) => return Response::error(400, &m),
-        Err(SubmitError::QueueFull) => return Response::error(429, "job queue is full"),
+        Err(SubmitError::QueueFull) => return Response::backpressure(429, "job queue is full", 1),
+        Err(SubmitError::Draining) => return Response::backpressure(503, "service is draining", 1),
     };
 
     let status = if wait && !submission.status.state.is_terminal() {
@@ -320,7 +323,23 @@ fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
         fields.push(("coalesced".to_owned(), Value::Bool(submission.coalesced)));
     }
     let code = if status.state.is_terminal() { 200 } else { 202 };
-    Response { status: code, body: Body::Json(doc), location: None }
+    Response { status: code, body: Body::Json(doc), retry_after: None }
+}
+
+fn delete_job(id_text: &str, scheduler: &Scheduler) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, "job id must be an integer");
+    };
+    match scheduler.cancel(id) {
+        None => Response::error(404, "no such job (ids expire after eviction)"),
+        Some(status) => {
+            // 200 = already settled (including "cancelled just now");
+            // 202 = cancellation requested, the job is still winding
+            // down cooperatively.
+            let code = if status.state.is_terminal() { 200 } else { 202 };
+            Response { status: code, body: Body::Json(status_json(&status)), retry_after: None }
+        }
+    }
 }
 
 fn get_job(id_text: &str, wait: bool, scheduler: &Scheduler) -> Response {
@@ -364,7 +383,10 @@ fn parse_request(doc: &Value) -> Result<ExperimentRequest, String> {
         return Err("body must be a JSON object".to_owned());
     };
     for (name, _) in fields {
-        if !matches!(name.as_str(), "experiment" | "scale" | "benchmarks" | "seed" | "wait") {
+        if !matches!(
+            name.as_str(),
+            "experiment" | "scale" | "benchmarks" | "seed" | "wait" | "deadline_ms"
+        ) {
             return Err(format!("unknown field `{name}`"));
         }
     }
@@ -414,14 +436,15 @@ pub struct ClientResponse {
     pub status: u16,
     /// Parsed JSON body.
     pub body: Value,
-    /// `Location` header, when the server sent one (301 redirects).
-    pub location: Option<String>,
+    /// `Retry-After` header in seconds, when the server sent one
+    /// (backpressure: 429 and 503).
+    pub retry_after: Option<u64>,
 }
 
 /// A raw response before any body interpretation.
 pub(crate) struct RawResponse {
     pub status: u16,
-    pub location: Option<String>,
+    pub retry_after: Option<u64>,
     pub body: String,
 }
 
@@ -459,7 +482,7 @@ pub(crate) fn raw_request(
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
 
     let mut content_length = None;
-    let mut location = None;
+    let mut retry_after = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -470,8 +493,8 @@ pub(crate) fn raw_request(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
-            } else if name.eq_ignore_ascii_case("location") {
-                location = Some(value.trim().to_owned());
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u64>().ok();
             }
         }
     }
@@ -486,7 +509,7 @@ pub(crate) fn raw_request(
         }
     }
     let body = String::from_utf8(body_bytes).map_err(|_| "response is not UTF-8".to_owned())?;
-    Ok(RawResponse { status, location, body })
+    Ok(RawResponse { status, retry_after, body })
 }
 
 /// Issues one HTTP request (`body = None` for GET) and parses the JSON
@@ -512,5 +535,5 @@ pub fn http_request<A: ToSocketAddrs>(
         .ok_or("address resolves to nothing")?;
     let raw = raw_request(&addr, method, path, body, timeout)?;
     let body = json::parse(&raw.body).map_err(|e| format!("{e} in body {:?}", raw.body))?;
-    Ok(ClientResponse { status: raw.status, body, location: raw.location })
+    Ok(ClientResponse { status: raw.status, body, retry_after: raw.retry_after })
 }

@@ -1,0 +1,462 @@
+//! Crash-safe write-ahead job journal.
+//!
+//! The scheduler appends one checksummed JSON line per job transition —
+//! `submitted` (the full request, write-ahead of the client's ack),
+//! `started`, and `done` (any terminal state) — so a `kill -9` loses at
+//! most work the client was never told was accepted. On startup,
+//! [`Journal::open`] scans the log, tolerating a torn final record
+//! (interrupted append), folds it into a per-key state machine, and
+//! returns every job that was durably accepted but never finished; the
+//! service replays those into the scheduler and the journal is compacted
+//! down to just the still-pending records via the same tempfile+rename
+//! idiom the cache uses.
+//!
+//! Records are keyed by the request's content address ([`JobKey`] hex),
+//! not by scheduler job ids — ids restart from 1 after a crash, content
+//! addresses don't. `scale` travels as its exact `f64` bit pattern
+//! (`scale_bits`), so a recovered request hashes to the same key it was
+//! journaled under.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+
+use crate::json::{self, Value};
+use crate::sha::sha256_hex;
+
+/// Fires once per appended record. `Err` fails the append (frozen
+/// disk), `Corrupt`/`ShortRead` damage the line on its way out — the
+/// recovery scan must shrug both off as a torn tail.
+static FAULT_APPEND: FaultPoint = FaultPoint::new("journal.append");
+
+/// Milliseconds since the Unix epoch. Deadlines are journaled as wall
+/// time because monotonic instants do not survive a restart.
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO).as_millis() as u64
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A job was accepted (written before the client hears "accepted").
+    Submitted {
+        /// Content address (64-hex) of the request.
+        key: String,
+        /// Experiment wire name.
+        experiment: String,
+        /// Exact bit pattern of the request's `scale`.
+        scale_bits: u64,
+        /// Benchmark count.
+        benchmarks: u64,
+        /// Request seed.
+        seed: u64,
+        /// Client deadline as wall time, when one was given.
+        deadline_unix_ms: Option<u64>,
+    },
+    /// A worker picked the job up.
+    Started {
+        /// Content address of the request.
+        key: String,
+    },
+    /// The job reached a terminal state.
+    Done {
+        /// Content address of the request.
+        key: String,
+        /// Terminal state wire name (`done`, `failed`, `timed_out`,
+        /// `expired`, `cancelled`).
+        state: String,
+    },
+}
+
+impl JournalRecord {
+    /// Builds the `submitted` record for `request`.
+    pub fn submitted(
+        key: &str,
+        request: &ExperimentRequest,
+        deadline_unix_ms: Option<u64>,
+    ) -> Self {
+        Self::Submitted {
+            key: key.to_owned(),
+            experiment: request.experiment.name().to_owned(),
+            scale_bits: request.scale.to_bits(),
+            benchmarks: request.benchmarks as u64,
+            seed: request.seed,
+            deadline_unix_ms,
+        }
+    }
+
+    /// The content address this record is about.
+    pub fn key(&self) -> &str {
+        match self {
+            Self::Submitted { key, .. } | Self::Started { key } | Self::Done { key, .. } => key,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Submitted { key, experiment, scale_bits, benchmarks, seed, deadline_unix_ms } => {
+                let mut fields = vec![
+                    ("kind", Value::Str("submitted".to_owned())),
+                    ("key", Value::Str(key.clone())),
+                    ("experiment", Value::Str(experiment.clone())),
+                    ("scale_bits", Value::U64(*scale_bits)),
+                    ("benchmarks", Value::U64(*benchmarks)),
+                    ("seed", Value::U64(*seed)),
+                ];
+                if let Some(ms) = deadline_unix_ms {
+                    fields.push(("deadline_unix_ms", Value::U64(*ms)));
+                }
+                Value::obj(fields)
+            }
+            Self::Started { key } => Value::obj(vec![
+                ("kind", Value::Str("started".to_owned())),
+                ("key", Value::Str(key.clone())),
+            ]),
+            Self::Done { key, state } => Value::obj(vec![
+                ("kind", Value::Str("done".to_owned())),
+                ("key", Value::Str(key.clone())),
+                ("state", Value::Str(state.clone())),
+            ]),
+        }
+    }
+
+    fn from_value(doc: &Value) -> Option<Self> {
+        let key = doc.get("key")?.as_str()?.to_owned();
+        match doc.get("kind")?.as_str()? {
+            "submitted" => Some(Self::Submitted {
+                key,
+                experiment: doc.get("experiment")?.as_str()?.to_owned(),
+                scale_bits: doc.get("scale_bits")?.as_u64()?,
+                benchmarks: doc.get("benchmarks")?.as_u64()?,
+                seed: doc.get("seed")?.as_u64()?,
+                deadline_unix_ms: match doc.get("deadline_unix_ms") {
+                    None => None,
+                    Some(v) => Some(v.as_u64()?),
+                },
+            }),
+            "started" => Some(Self::Started { key }),
+            "done" => Some(Self::Done { key, state: doc.get("state")?.as_str()?.to_owned() }),
+            _ => None,
+        }
+    }
+
+    /// Encodes the record as one journal line (no trailing newline):
+    /// `{"checksum": sha256(record-json), "record": {...}}`.
+    pub fn encode_line(&self) -> String {
+        let record = self.to_value().to_json();
+        Value::obj(vec![
+            ("checksum", Value::Str(sha256_hex(record.as_bytes()))),
+            ("record", self.to_value()),
+        ])
+        .to_json()
+    }
+
+    /// Decodes and verifies one journal line. `None` for anything that
+    /// does not parse, fails its checksum, or names an unknown kind — a
+    /// torn or tampered line is skipped evidence, never a panic.
+    pub fn decode_line(line: &str) -> Option<Self> {
+        let doc = json::parse(line).ok()?;
+        let checksum = doc.get("checksum")?.as_str()?;
+        let record = doc.get("record")?;
+        // The record sub-document contains only strings and integers, so
+        // re-encoding the parsed value reproduces the appended bytes.
+        if checksum != sha256_hex(record.to_json().as_bytes()) {
+            return None;
+        }
+        Self::from_value(record)
+    }
+}
+
+/// A job the journal shows as accepted but not finished.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// The reconstructed request.
+    pub request: ExperimentRequest,
+    /// Client deadline as wall time, when one was journaled.
+    pub deadline_unix_ms: Option<u64>,
+    /// Whether a worker had picked it up before the crash.
+    pub started: bool,
+}
+
+/// What a startup recovery scan found.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Accepted, unfinished, unexpired jobs to replay into the scheduler.
+    pub pending: Vec<PendingJob>,
+    /// Accepted, unfinished jobs whose client deadline passed while the
+    /// server was down; closed out as `expired` without replaying.
+    pub expired: Vec<PendingJob>,
+    /// Records that decoded and verified.
+    pub records_scanned: usize,
+    /// True when the scan stopped at a torn or corrupt line.
+    pub torn_tail: bool,
+}
+
+/// Append handle over the journal file. All appends flush before
+/// returning — a record the scheduler believes is durable, is.
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`: scans existing
+    /// records, compacts the file down to still-pending `submitted`
+    /// records, and returns the append handle plus what was recovered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating, rewriting, or opening the file.
+    pub fn open(path: &Path) -> std::io::Result<(Self, RecoveryReport)> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let report = scan(path, now_unix_ms());
+
+        // Compact: rewrite only the pending submissions, atomically.
+        // Finished and expired keys disappear; a replayed pending job is
+        // already journaled, so the scheduler must not re-append it.
+        let tmp = path.with_extension("rewrite");
+        {
+            let mut out = std::fs::File::create(&tmp)?;
+            for job in &report.pending {
+                let key = crate::key::job_key(&job.request)
+                    .map(|k| k.as_hex().to_owned())
+                    .unwrap_or_default();
+                let record = JournalRecord::submitted(&key, &job.request, job.deadline_unix_ms);
+                out.write_all(record.encode_line().as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((Self { path: path.to_owned(), file: Mutex::new(file) }, report))
+    }
+
+    /// The journal file location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on I/O failure (or an injected
+    /// `journal.append` fault). The caller logs and counts these; the
+    /// serving path never blocks on a broken journal disk.
+    pub fn append(&self, record: &JournalRecord) -> Result<(), String> {
+        let mut line = record.encode_line();
+        match FAULT_APPEND.fire().apply_basic() {
+            FaultAction::Err(msg) => return Err(msg),
+            FaultAction::Corrupt => line = damage(line, false),
+            FaultAction::ShortRead => line = damage(line, true),
+            _ => {}
+        }
+        line.push('\n');
+        let mut file = self.file.lock().expect("journal file poisoned");
+        file.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        file.flush().map_err(|e| e.to_string())
+    }
+}
+
+/// Reads every verifiable record from `path` and folds it into pending /
+/// expired sets. Missing file = empty journal. Stops at the first line
+/// that fails to decode (torn tail); everything before it counts.
+fn scan(path: &Path, now_ms: u64) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    let Ok(text) = std::fs::read_to_string(path) else { return report };
+
+    // Insertion-ordered fold: key → (submitted info, started, done).
+    let mut order: Vec<String> = Vec::new();
+    let mut by_key: std::collections::HashMap<String, (Option<PendingJob>, bool)> =
+        std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some(record) = JournalRecord::decode_line(line) else {
+            report.torn_tail = true;
+            break;
+        };
+        report.records_scanned += 1;
+        let key = record.key().to_owned();
+        if !by_key.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let entry = by_key.entry(key).or_insert((None, false));
+        match record {
+            JournalRecord::Submitted {
+                experiment,
+                scale_bits,
+                benchmarks,
+                seed,
+                deadline_unix_ms,
+                ..
+            } => {
+                let Some(kind) = ExperimentKind::from_name(&experiment) else { continue };
+                let mut request = ExperimentRequest::new(kind);
+                request.scale = f64::from_bits(scale_bits);
+                request.benchmarks = benchmarks as usize;
+                request.seed = seed;
+                entry.0 = Some(PendingJob { request, deadline_unix_ms, started: false });
+            }
+            JournalRecord::Started { .. } => {
+                if let Some(job) = &mut entry.0 {
+                    job.started = true;
+                }
+            }
+            JournalRecord::Done { .. } => entry.1 = true,
+        }
+    }
+
+    for key in order {
+        let Some((Some(job), done)) = by_key.remove(&key) else { continue };
+        if done {
+            continue;
+        }
+        if job.deadline_unix_ms.is_some_and(|deadline| deadline <= now_ms) {
+            report.expired.push(job);
+        } else {
+            report.pending.push(job);
+        }
+    }
+    report
+}
+
+/// Deterministic damage mirroring the cache's: truncate at the midpoint
+/// or perturb the midpoint byte.
+fn damage(text: String, truncate: bool) -> String {
+    let mut bytes = text.into_bytes();
+    let mid = bytes.len() / 2;
+    if truncate {
+        bytes.truncate(mid);
+    } else if let Some(b) = bytes.get_mut(mid) {
+        *b = b.wrapping_add(1);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(seed: u64) -> ExperimentRequest {
+        ExperimentRequest { seed, ..ExperimentRequest::new(ExperimentKind::Fig4) }
+    }
+
+    fn key_of(req: &ExperimentRequest) -> String {
+        crate::key::job_key(req).expect("valid request").as_hex().to_owned()
+    }
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nemfpga-journal-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.log"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn record_lines_round_trip_and_reject_tampering() {
+        let req = request(7);
+        let rec = JournalRecord::submitted(&key_of(&req), &req, Some(123_456));
+        let line = rec.encode_line();
+        assert_eq!(JournalRecord::decode_line(&line), Some(rec));
+        let tampered = line.replace("123456", "123457");
+        assert_ne!(line, tampered);
+        assert_eq!(JournalRecord::decode_line(&tampered), None, "checksum must catch tampering");
+        assert_eq!(JournalRecord::decode_line("{ not json"), None);
+    }
+
+    #[test]
+    fn open_scan_replays_only_unfinished_jobs() {
+        let path = temp_journal("replay");
+        let (done_req, pending_req) = (request(1), request(2));
+        {
+            let (journal, report) = Journal::open(&path).expect("open fresh");
+            assert!(report.pending.is_empty() && !report.torn_tail);
+            let k1 = key_of(&done_req);
+            let k2 = key_of(&pending_req);
+            journal.append(&JournalRecord::submitted(&k1, &done_req, None)).unwrap();
+            journal.append(&JournalRecord::Started { key: k1.clone() }).unwrap();
+            journal.append(&JournalRecord::submitted(&k2, &pending_req, None)).unwrap();
+            journal.append(&JournalRecord::Done { key: k1, state: "done".to_owned() }).unwrap();
+        }
+        let (_journal, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.records_scanned, 4);
+        assert_eq!(report.pending.len(), 1);
+        assert_eq!(report.pending[0].request, pending_req);
+        assert!(!report.pending[0].started);
+        assert!(report.expired.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_compacted_away() {
+        let path = temp_journal("torn");
+        let req = request(3);
+        {
+            let (journal, _) = Journal::open(&path).expect("open");
+            journal.append(&JournalRecord::submitted(&key_of(&req), &req, None)).unwrap();
+        }
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let torn = JournalRecord::Started { key: key_of(&req) }.encode_line();
+        text.push_str(&torn[..torn.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+
+        let (_journal, report) = Journal::open(&path).expect("reopen tolerates torn tail");
+        assert!(report.torn_tail);
+        assert_eq!(report.records_scanned, 1);
+        assert_eq!(report.pending.len(), 1, "the intact submitted record survives");
+        // Compaction rewrote the file: clean to scan, no torn bytes left.
+        let (_j, second) = Journal::open(&path).expect("third open");
+        assert!(!second.torn_tail);
+        assert_eq!(second.pending.len(), 1);
+    }
+
+    #[test]
+    fn pending_jobs_past_their_wall_deadline_recover_as_expired() {
+        let path = temp_journal("expired");
+        let (stale, fresh) = (request(4), request(5));
+        {
+            let (journal, _) = Journal::open(&path).expect("open");
+            journal.append(&JournalRecord::submitted(&key_of(&stale), &stale, Some(1))).unwrap();
+            journal
+                .append(&JournalRecord::submitted(
+                    &key_of(&fresh),
+                    &fresh,
+                    Some(now_unix_ms() + 60_000),
+                ))
+                .unwrap();
+        }
+        let (_journal, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.expired.len(), 1);
+        assert_eq!(report.expired[0].request, stale);
+        assert_eq!(report.pending.len(), 1);
+        assert_eq!(report.pending[0].request, fresh);
+    }
+
+    #[test]
+    fn scale_survives_the_round_trip_bit_exactly() {
+        let path = temp_journal("scale-bits");
+        let mut req = request(6);
+        req.scale = 0.1 + 0.2; // not representable as a short decimal
+        {
+            let (journal, _) = Journal::open(&path).expect("open");
+            journal.append(&JournalRecord::submitted(&key_of(&req), &req, None)).unwrap();
+        }
+        let (_journal, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.pending[0].request.scale.to_bits(), req.scale.to_bits());
+        assert_eq!(key_of(&report.pending[0].request), key_of(&req), "same content address");
+    }
+}

@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod key;
 pub mod metrics;
@@ -57,13 +58,15 @@ use std::time::Duration;
 
 use nemfpga_runtime::ParallelConfig;
 
-pub use cache::{CacheTier, CachedResult, ResultCache};
-pub use client::{ClientError, HistogramView, JobView, MetricsView, ServiceClient};
+pub use cache::{gc_orphan_tmp, CacheTier, CachedResult, ResultCache};
+pub use client::{ClientError, HistogramView, JobView, MetricsView, RetryPolicy, ServiceClient};
 pub use http::{http_request, ClientResponse, ServerHandle};
+pub use journal::{Journal, JournalRecord, PendingJob, RecoveryReport};
 pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
 pub use metrics::{Metrics, METRICS_SCHEMA};
 pub use scheduler::{
     Executor, JobState, JobStatus, Scheduler, SchedulerConfig, Submission, SubmitError,
+    SubmitOptions,
 };
 
 /// Everything needed to stand the service up.
@@ -81,6 +84,8 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// On-disk cache directory; `None` disables the disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Write-ahead job journal file; `None` disables crash recovery.
+    pub journal_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +97,7 @@ impl Default for ServiceConfig {
             job_timeout: Duration::from_secs(300),
             cache_capacity: 256,
             cache_dir: Some(PathBuf::from("target/service-cache")),
+            journal_path: None,
         }
     }
 }
@@ -105,21 +111,98 @@ pub struct Service {
 
 impl Service {
     /// Builds the cache, scheduler, and HTTP server and starts serving.
+    /// With a `journal_path` configured, first runs crash recovery:
+    /// orphaned cache tempfiles are collected, the journal is scanned
+    /// and compacted, and every durably accepted but unfinished job is
+    /// resubmitted (`jobs_recovered`); pending jobs whose wall-clock
+    /// deadline passed while the process was down close out as
+    /// `expired` without executing.
     ///
     /// # Errors
     ///
-    /// Propagates the TCP bind failure.
+    /// Propagates the TCP bind failure and journal open failures.
     pub fn start(config: &ServiceConfig, executor: Executor) -> std::io::Result<Self> {
+        // Cancellation unwinds are normal control flow here; keep the
+        // default panic hook from screaming about them.
+        nemfpga_runtime::cancel::silence_cancel_panics();
         let metrics = Arc::new(Metrics::default());
-        let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone());
+        if let Some(dir) = &config.cache_dir {
+            let removed = cache::gc_orphan_tmp(dir);
+            if removed > 0 {
+                eprintln!("nemfpga-service: removed {removed} orphaned cache tempfile(s)");
+            }
+        }
+        let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone())
+            .with_write_error_counter(metrics.disk_write_errors.clone());
+
+        let (journal, recovery) = match &config.journal_path {
+            None => (None, RecoveryReport::default()),
+            Some(path) => {
+                let (journal, recovery) = Journal::open(path)?;
+                (Some(Arc::new(journal)), recovery)
+            }
+        };
+
         let scheduler_cfg = SchedulerConfig {
             parallel: config.parallel,
             queue_capacity: config.queue_capacity,
             job_timeout: config.job_timeout,
             max_finished_jobs: 1024,
         };
-        let scheduler =
-            Arc::new(Scheduler::new(&scheduler_cfg, cache, Arc::clone(&metrics), executor));
+        let scheduler = Arc::new(Scheduler::with_journal(
+            &scheduler_cfg,
+            cache,
+            Arc::clone(&metrics),
+            executor,
+            journal.clone(),
+        ));
+
+        // Close out jobs whose client deadline passed while we were down.
+        for job in &recovery.expired {
+            metrics.jobs_expired.inc();
+            if let (Some(journal), Ok(key)) = (&journal, key::job_key(&job.request)) {
+                if let Err(error) = journal.append(&JournalRecord::Done {
+                    key: key.as_hex().to_owned(),
+                    state: JobState::Expired.name().to_owned(),
+                }) {
+                    metrics.disk_write_errors.inc();
+                    eprintln!("nemfpga-service: journal append failed: {error}");
+                }
+            }
+        }
+        // Replay the still-live pending jobs. Replays are fire-and-forget
+        // (`wait` semantics belong to clients); a full queue backs off
+        // briefly rather than dropping a durably accepted job.
+        for job in &recovery.pending {
+            let opts = SubmitOptions {
+                deadline_ms: None,
+                deadline_unix_ms: job.deadline_unix_ms,
+                already_journaled: true,
+            };
+            for attempt in 0..50 {
+                match scheduler.submit_opts(job.request, opts) {
+                    Ok(_) => {
+                        metrics.jobs_recovered.inc();
+                        break;
+                    }
+                    Err(SubmitError::QueueFull) if attempt < 49 => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(error) => {
+                        eprintln!("nemfpga-service: could not replay journaled job: {error}");
+                        break;
+                    }
+                }
+            }
+        }
+        if !recovery.pending.is_empty() || recovery.torn_tail {
+            eprintln!(
+                "nemfpga-service: journal recovery replayed {} job(s){}",
+                recovery.pending.len(),
+                if recovery.torn_tail { " (torn tail ignored)" } else { "" }
+            );
+        }
+
         let server = http::serve(&config.addr, Arc::clone(&scheduler), Arc::clone(&metrics))?;
         Ok(Self { scheduler, metrics, server })
     }
@@ -139,7 +222,29 @@ impl Service {
         &self.metrics
     }
 
-    /// Stops the HTTP server, then drains the scheduler's workers.
+    /// Graceful drain: stop accepting new submissions, stop the HTTP
+    /// listener, give in-flight jobs `grace` to finish, then force-
+    /// cancel stragglers (their journal records stay open so a restart
+    /// resumes them). Returns true when everything finished within the
+    /// grace period.
+    pub fn drain(self, grace: Duration) -> bool {
+        self.scheduler.begin_drain();
+        self.server.shutdown();
+        let quiesced = self.scheduler.await_quiesce(grace);
+        if !quiesced {
+            let cancelled = self.scheduler.cancel_all();
+            eprintln!("nemfpga-service: drain grace expired; force-cancelled {cancelled} job(s)");
+            // Cancellation is cooperative — give the checkpoints a
+            // moment so workers are idle before the pool joins.
+            self.scheduler.await_quiesce(Duration::from_secs(5));
+        }
+        quiesced
+        // Dropping the scheduler joins the worker pool.
+    }
+
+    /// Abrupt stop: kills the HTTP server, then drops the scheduler
+    /// (which still joins in-flight workers). Use [`Service::drain`]
+    /// for the graceful path.
     pub fn shutdown(self) {
         self.server.shutdown();
         // Dropping the scheduler joins the worker pool.

@@ -40,8 +40,19 @@ pub struct Metrics {
     pub jobs_failed: Counter,
     /// Jobs that hit their deadline (before or during execution).
     pub jobs_timed_out: Counter,
+    /// Jobs shed because the client's `deadline_ms` passed before a
+    /// worker picked them up.
+    pub jobs_expired: Counter,
+    /// Jobs cancelled (client `DELETE` or drain) before finishing.
+    pub jobs_cancelled: Counter,
+    /// Journaled jobs replayed into the scheduler after a restart.
+    pub jobs_recovered: Counter,
     /// Submissions rejected because the queue was full.
     pub jobs_rejected: Counter,
+    /// Failed durable writes (cache spill or journal append). The write
+    /// is dropped and serving continues; nonzero means degraded
+    /// persistence, not lost results.
+    pub disk_write_errors: Counter,
     /// Submissions that coalesced onto an identical in-flight job.
     pub coalesced: Counter,
     /// Submissions answered from the in-memory cache tier.
@@ -76,7 +87,11 @@ impl Metrics {
             jobs_completed: registry.counter("jobs_completed"),
             jobs_failed: registry.counter("jobs_failed"),
             jobs_timed_out: registry.counter("jobs_timed_out"),
+            jobs_expired: registry.counter("jobs_expired"),
+            jobs_cancelled: registry.counter("jobs_cancelled"),
+            jobs_recovered: registry.counter("jobs_recovered"),
             jobs_rejected: registry.counter("jobs_rejected"),
+            disk_write_errors: registry.counter("disk_write_errors"),
             coalesced: registry.counter("coalesced"),
             cache_hits_memory: registry.counter("cache_hits_memory"),
             cache_hits_disk: registry.counter("cache_hits_disk"),

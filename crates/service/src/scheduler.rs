@@ -19,14 +19,17 @@
 //! asker.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nemfpga::request::ExperimentRequest;
+use nemfpga_runtime::cancel::{self, CancelToken};
 use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 use nemfpga_runtime::{ParallelConfig, WorkerPool};
 
 use crate::cache::{CacheTier, CachedResult, ResultCache};
+use crate::journal::{now_unix_ms, Journal, JournalRecord};
 use crate::key::{job_key, JobKey};
 use crate::metrics::Metrics;
 
@@ -109,12 +112,17 @@ pub enum JobState {
     Failed,
     /// Dropped after waiting in the queue past its deadline.
     TimedOut,
+    /// Shed: the client's `deadline_ms` passed before a worker picked
+    /// the job up, so running it could only produce a stale answer.
+    Expired,
+    /// Cancelled by the client (`DELETE /v1/jobs/:id`) or by a drain.
+    Cancelled,
 }
 
 impl JobState {
     /// Whether the job will make no further transitions.
     pub fn is_terminal(self) -> bool {
-        matches!(self, Self::Done | Self::Failed | Self::TimedOut)
+        matches!(self, Self::Done | Self::Failed | Self::TimedOut | Self::Expired | Self::Cancelled)
     }
 
     /// Wire name.
@@ -125,6 +133,8 @@ impl JobState {
             Self::Done => "done",
             Self::Failed => "failed",
             Self::TimedOut => "timed_out",
+            Self::Expired => "expired",
+            Self::Cancelled => "cancelled",
         }
     }
 
@@ -136,6 +146,8 @@ impl JobState {
             "done" => Some(Self::Done),
             "failed" => Some(Self::Failed),
             "timed_out" => Some(Self::TimedOut),
+            "expired" => Some(Self::Expired),
+            "cancelled" => Some(Self::Cancelled),
             _ => None,
         }
     }
@@ -180,6 +192,9 @@ pub enum SubmitError {
     Invalid(String),
     /// The bounded queue is full; retry later.
     QueueFull,
+    /// The scheduler is draining for shutdown; retry against a
+    /// replacement instance.
+    Draining,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -187,11 +202,29 @@ impl std::fmt::Display for SubmitError {
         match self {
             Self::Invalid(m) => write!(f, "invalid request: {m}"),
             Self::QueueFull => f.write_str("job queue is full"),
+            Self::Draining => f.write_str("service is draining"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Per-submission knobs beyond the request itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Client completion deadline, relative milliseconds from now. A
+    /// job still queued when it passes is shed as [`JobState::Expired`]
+    /// instead of executed. Deliberately *not* part of the job key —
+    /// identical requests with different deadlines still coalesce.
+    pub deadline_ms: Option<u64>,
+    /// Absolute wall-clock deadline (ms since the Unix epoch); used by
+    /// journal recovery, where the original relative deadline is gone.
+    /// Ignored when `deadline_ms` is set.
+    pub deadline_unix_ms: Option<u64>,
+    /// The journal already holds this job's `submitted` record (it is a
+    /// recovery replay); do not append a second one.
+    pub already_journaled: bool,
+}
 
 struct Record {
     status: JobStatus,
@@ -199,6 +232,10 @@ struct Record {
     /// When the submission entered the scheduler; anchors the
     /// queue-wait and submit→terminal latency histograms.
     submitted_at: Instant,
+    /// Client-requested completion deadline; `None` = none given.
+    client_deadline: Option<Instant>,
+    /// Cooperative cancellation flag the worker enters for the job.
+    cancel: CancelToken,
 }
 
 struct Table {
@@ -216,6 +253,24 @@ struct Shared {
     metrics: Arc<Metrics>,
     executor: Executor,
     max_finished_jobs: usize,
+    /// Write-ahead journal; `None` = durability off.
+    journal: Option<Arc<Journal>>,
+    /// Set by [`Scheduler::begin_drain`]: refuse new submissions and
+    /// skip terminal journal records for force-cancelled jobs (so a
+    /// restart resumes them).
+    draining: AtomicBool,
+}
+
+/// Appends to the journal (when one is configured), folding failures
+/// into `disk_write_errors` — a broken journal disk degrades durability,
+/// never serving.
+fn journal_append(shared: &Shared, record: &JournalRecord) {
+    if let Some(journal) = &shared.journal {
+        if let Err(error) = journal.append(record) {
+            shared.metrics.disk_write_errors.inc();
+            eprintln!("nemfpga-service: journal append failed: {error}");
+        }
+    }
 }
 
 /// The scheduler. Dropping it finishes in-flight jobs and joins workers.
@@ -226,12 +281,25 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Builds a scheduler around `cache` and `executor`.
+    /// Builds a scheduler around `cache` and `executor`, no journal.
     pub fn new(
         config: &SchedulerConfig,
         cache: ResultCache,
         metrics: Arc<Metrics>,
         executor: Executor,
+    ) -> Self {
+        Self::with_journal(config, cache, metrics, executor, None)
+    }
+
+    /// [`Scheduler::new`] plus a write-ahead journal: every accepted job
+    /// is durably recorded before the submission returns, and terminal
+    /// transitions are recorded as they happen.
+    pub fn with_journal(
+        config: &SchedulerConfig,
+        cache: ResultCache,
+        metrics: Arc<Metrics>,
+        executor: Executor,
+        journal: Option<Arc<Journal>>,
     ) -> Self {
         let shared = Arc::new(Shared {
             table: Mutex::new(Table {
@@ -245,6 +313,8 @@ impl Scheduler {
             metrics,
             executor,
             max_finished_jobs: config.max_finished_jobs.max(1),
+            journal,
+            draining: AtomicBool::new(false),
         });
         Self {
             shared,
@@ -253,26 +323,54 @@ impl Scheduler {
         }
     }
 
+    /// Submits a request with default options: no client deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit_opts`].
+    pub fn submit(&self, request: ExperimentRequest) -> Result<Submission, SubmitError> {
+        self.submit_opts(request, SubmitOptions::default())
+    }
+
     /// Submits a request: cache lookup → in-flight coalescing → fresh
     /// execution.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Invalid`] for malformed requests,
-    /// [`SubmitError::QueueFull`] when the backlog is at capacity.
-    pub fn submit(&self, request: ExperimentRequest) -> Result<Submission, SubmitError> {
+    /// [`SubmitError::QueueFull`] when the backlog is at capacity,
+    /// [`SubmitError::Draining`] once a drain has begun.
+    pub fn submit_opts(
+        &self,
+        request: ExperimentRequest,
+        opts: SubmitOptions,
+    ) -> Result<Submission, SubmitError> {
         request.validate().map_err(|e| SubmitError::Invalid(e.to_string()))?;
         let key = job_key(&request).map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        if self.shared.draining.load(AtomicOrdering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
         let _ = FAULT_SUBMIT.fire().apply_basic();
         let metrics = &self.shared.metrics;
         metrics.jobs_submitted.inc();
 
-        // Tier 1/2: the cache.
+        // Tier 1/2: the cache. A hit satisfies any deadline.
         if let Some((hit, tier)) = self.shared.cache.get(&key) {
             match tier {
                 CacheTier::Memory => metrics.cache_hits_memory.inc(),
                 CacheTier::Disk => metrics.cache_hits_disk.inc(),
             };
+            if opts.already_journaled {
+                // Recovery replay answered from the cache: close the
+                // journaled submission out so it is not replayed again.
+                journal_append(
+                    &self.shared,
+                    &JournalRecord::Done {
+                        key: key.as_hex().to_owned(),
+                        state: JobState::Done.name().to_owned(),
+                    },
+                );
+            }
             let status = self.insert_finished(key, request, hit.output);
             let _ = OUTCOME_CACHED.fire().apply_basic();
             return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
@@ -331,7 +429,30 @@ impl Scheduler {
         if let FaultAction::SkewMillis(ms) = FAULT_DEADLINE.fire() {
             deadline = deadline.checked_sub(Duration::from_millis(ms)).unwrap_or_else(Instant::now);
         }
-        table.records.insert(id, Record { status: status.clone(), deadline, submitted_at });
+        let (client_deadline, client_deadline_unix_ms) =
+            match (opts.deadline_ms, opts.deadline_unix_ms) {
+                (Some(ms), _) => (
+                    Some(submitted_at + Duration::from_millis(ms)),
+                    Some(now_unix_ms().saturating_add(ms)),
+                ),
+                (None, Some(unix_ms)) => {
+                    // Recovery: re-anchor the wall deadline on the monotonic
+                    // clock; one already in the past expires at pickup.
+                    let remaining = unix_ms.saturating_sub(now_unix_ms());
+                    (Some(submitted_at + Duration::from_millis(remaining)), Some(unix_ms))
+                }
+                (None, None) => (None, None),
+            };
+        table.records.insert(
+            id,
+            Record {
+                status: status.clone(),
+                deadline,
+                submitted_at,
+                client_deadline,
+                cancel: CancelToken::new(),
+            },
+        );
         table.inflight.insert(key.as_hex().to_owned(), id);
 
         let shared = Arc::clone(&self.shared);
@@ -345,9 +466,109 @@ impl Scheduler {
             let _ = OUTCOME_REJECTED.fire().apply_basic();
             return Err(SubmitError::QueueFull);
         }
+        // Write-ahead of the client's ack: the accepted job is durable
+        // before `submit` returns. Appended under the table lock so the
+        // journal's record order matches the scheduler's.
+        if !opts.already_journaled {
+            journal_append(
+                &self.shared,
+                &JournalRecord::submitted(key.as_hex(), &request, client_deadline_unix_ms),
+            );
+        }
         drop(table);
         let _ = OUTCOME_FRESH.fire().apply_basic();
         Ok(Submission { status, coalesced: false, cache_tier: None })
+    }
+
+    /// Requests cancellation of job `id`, returning its post-cancel
+    /// snapshot (`None` when no such job exists). Terminal jobs are
+    /// untouched; queued jobs become [`JobState::Cancelled`] immediately;
+    /// running jobs get their token cancelled and stop at the engine's
+    /// next cancellation checkpoint (PathFinder iteration or Monte Carlo
+    /// chunk boundary).
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        let record = table.records.get_mut(&id)?;
+        if record.status.state.is_terminal() {
+            return Some(record.status.clone());
+        }
+        if record.status.state == JobState::Running {
+            record.cancel.cancel();
+            return Some(record.status.clone());
+        }
+        // Queued: cancel in place — the worker's pickup sees a terminal
+        // record and returns without running anything.
+        record.cancel.cancel();
+        record.status.state = JobState::Cancelled;
+        record.status.error = Some("cancelled".to_owned());
+        let status = record.status.clone();
+        let submitted_at = record.submitted_at;
+        self.shared.metrics.jobs_cancelled.inc();
+        self.shared.metrics.job_latency_us.record_duration(submitted_at.elapsed());
+        let key_hex = status.key.as_hex().to_owned();
+        table.inflight.remove(&key_hex);
+        finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
+        if !self.shared.draining.load(AtomicOrdering::SeqCst) {
+            journal_append(
+                &self.shared,
+                &JournalRecord::Done { key: key_hex, state: JobState::Cancelled.name().to_owned() },
+            );
+        }
+        drop(table);
+        self.shared.job_done.notify_all();
+        Some(status)
+    }
+
+    /// Enters drain mode: every subsequent submission fails with
+    /// [`SubmitError::Draining`]. Jobs already accepted keep running.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, AtomicOrdering::SeqCst);
+    }
+
+    /// Whether [`Scheduler::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(AtomicOrdering::SeqCst)
+    }
+
+    /// Blocks until no job is in flight (queued or running) or `timeout`
+    /// elapses; true means quiesced.
+    pub fn await_quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        loop {
+            if table.inflight.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .job_done
+                .wait_timeout(table, deadline - now)
+                .expect("job table poisoned");
+            table = guard;
+        }
+    }
+
+    /// Cancels every non-terminal job (the drain's force phase). During
+    /// a drain the cancelled jobs' journal records stay open, so a
+    /// restart resumes them. Returns how many jobs were asked to stop.
+    pub fn cancel_all(&self) -> usize {
+        let ids: Vec<u64> = {
+            let table = self.shared.table.lock().expect("job table poisoned");
+            table
+                .records
+                .iter()
+                .filter(|(_, r)| !r.status.state.is_terminal())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for &id in &ids {
+            self.cancel(id);
+        }
+        ids.len()
     }
 
     /// Snapshot of one job, if its record still exists.
@@ -425,9 +646,16 @@ impl Scheduler {
             coalesced_submissions: 0,
         };
         let now = Instant::now();
-        table
-            .records
-            .insert(id, Record { status: status.clone(), deadline: now, submitted_at: now });
+        table.records.insert(
+            id,
+            Record {
+                status: status.clone(),
+                deadline: now,
+                submitted_at: now,
+                client_deadline: None,
+                cancel: CancelToken::new(),
+            },
+        );
         finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
         status
     }
@@ -446,25 +674,63 @@ fn finish_bookkeeping(table: &mut Table, max_finished: usize, id: u64) {
 
 /// Worker-side execution of job `id`.
 fn run_job(shared: &Arc<Shared>, id: u64) {
-    let (request, key, deadline, submitted_at) = {
+    let (request, key, submitted_at, cancel) = {
         let mut table = shared.table.lock().expect("job table poisoned");
         let Some(record) = table.records.get_mut(&id) else { return };
-        if Instant::now() > record.deadline {
+        if record.status.state.is_terminal() {
+            // Cancelled while still queued; the cancel path already did
+            // the bookkeeping and (maybe) journaled.
+            return;
+        }
+        let now = Instant::now();
+        if now > record.deadline {
+            let key_hex = record.status.key.as_hex().to_owned();
             record.status.state = JobState::TimedOut;
             record.status.error = Some("timed out waiting in queue".to_owned());
             shared.metrics.jobs_timed_out.inc();
             shared.metrics.job_latency_us.record_duration(record.submitted_at.elapsed());
-            let key_hex = record.status.key.as_hex().to_owned();
             table.inflight.remove(&key_hex);
             finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+            journal_append(
+                shared,
+                &JournalRecord::Done { key: key_hex, state: JobState::TimedOut.name().to_owned() },
+            );
+            drop(table);
+            shared.job_done.notify_all();
+            return;
+        }
+        // Deadline shedding: if the client's deadline already passed,
+        // executing could only produce an answer nobody is waiting for.
+        if record.client_deadline.is_some_and(|d| now > d) {
+            let key_hex = record.status.key.as_hex().to_owned();
+            record.status.state = JobState::Expired;
+            record.status.error = Some("deadline_ms exceeded before execution".to_owned());
+            shared.metrics.jobs_expired.inc();
+            shared.metrics.job_latency_us.record_duration(record.submitted_at.elapsed());
+            table.inflight.remove(&key_hex);
+            finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+            journal_append(
+                shared,
+                &JournalRecord::Done { key: key_hex, state: JobState::Expired.name().to_owned() },
+            );
             drop(table);
             shared.job_done.notify_all();
             return;
         }
         record.status.state = JobState::Running;
-        (record.status.request, record.status.key.clone(), record.deadline, record.submitted_at)
+        journal_append(
+            shared,
+            &JournalRecord::Started { key: record.status.key.as_hex().to_owned() },
+        );
+        (
+            record.status.request,
+            record.status.key.clone(),
+            record.submitted_at,
+            record.cancel.clone(),
+        )
     };
-    let _ = deadline; // Running jobs are not preempted; see module docs.
+    // Running jobs are not preempted by the queue deadline (see module
+    // docs); they *are* stopped cooperatively via the cancel token.
     shared.metrics.job_queue_wait_us.record_duration(submitted_at.elapsed());
 
     let started = Instant::now();
@@ -472,6 +738,10 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let mut exec_span = nemfpga_obs::span("service", "job.execute");
     exec_span.set_arg("job", id);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The executor runs with this job's cancel token current, so
+        // engine-level checkpoints (PathFinder iterations, Monte Carlo
+        // chunks) can abort it mid-computation.
+        let _guard = cancel::enter(cancel.clone());
         // Injected executor faults land inside the panic guard, so a
         // `Panic` action takes the same road a real executor panic would.
         match FAULT_EXECUTE.fire().apply_basic() {
@@ -480,12 +750,16 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         }
     }))
     .unwrap_or_else(|panic| {
-        let msg = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_owned())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "unknown panic".to_owned());
-        Err(format!("executor panicked: {msg}"))
+        if cancel::is_cancel_payload(panic.as_ref()) {
+            Err("cancelled".to_owned())
+        } else {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            Err(format!("executor panicked: {msg}"))
+        }
     });
     drop(exec_span);
     let elapsed = started.elapsed();
@@ -503,25 +777,55 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         );
     }
 
+    // A completed computation counts as Done even if a cancel raced in —
+    // the result is valid and cached. An error with the token cancelled
+    // is a cancellation, whatever the unwind path looked like (scoped
+    // fan-out threads repanic with their own payload).
+    let final_state = match &outcome {
+        Ok(_) => JobState::Done,
+        Err(_) if cancel.is_cancelled() => JobState::Cancelled,
+        Err(_) => JobState::Failed,
+    };
+
     let mut table = shared.table.lock().expect("job table poisoned");
     if BUG_LEAK_INFLIGHT.fire() != FaultAction::Trigger {
         table.inflight.remove(key.as_hex());
     }
     if let Some(record) = table.records.get_mut(&id) {
-        match outcome {
-            Ok(output) => {
+        match (final_state, outcome) {
+            (JobState::Done, Ok(output)) => {
                 record.status.state = JobState::Done;
                 record.status.output = Some(output);
                 shared.metrics.jobs_completed.inc();
             }
-            Err(error) => {
+            (JobState::Cancelled, _) => {
+                record.status.state = JobState::Cancelled;
+                record.status.error = Some("cancelled".to_owned());
+                shared.metrics.jobs_cancelled.inc();
+            }
+            (_, Err(error)) => {
                 record.status.state = JobState::Failed;
                 record.status.error = Some(error);
                 shared.metrics.jobs_failed.inc();
             }
+            _ => unreachable!("final_state derives from outcome"),
         }
         shared.metrics.job_latency_us.record_duration(submitted_at.elapsed());
         finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+    }
+    // A job force-cancelled by a drain keeps its journal record open so
+    // the restarted service resumes it; every other terminal state is
+    // recorded (still under the table lock, preserving order).
+    let drain_cancel =
+        final_state == JobState::Cancelled && shared.draining.load(AtomicOrdering::SeqCst);
+    if !drain_cancel {
+        journal_append(
+            shared,
+            &JournalRecord::Done {
+                key: key.as_hex().to_owned(),
+                state: final_state.name().to_owned(),
+            },
+        );
     }
     drop(table);
     shared.job_done.notify_all();
@@ -667,5 +971,128 @@ mod tests {
         // The scheduler survives: the next job still runs.
         let sub2 = s.submit(request(31)).unwrap();
         assert_eq!(sub2.status.state, JobState::Queued);
+    }
+
+    #[test]
+    fn queued_jobs_past_client_deadline_are_shed_as_expired() {
+        let (exec, count) = counting_executor(Duration::from_millis(250));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 4,
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let first = s.submit(request(40)).unwrap();
+        // The second job's 50ms deadline passes while the first hogs the
+        // single worker; it must be shed, never computed.
+        let second = s
+            .submit_opts(
+                request(41),
+                SubmitOptions { deadline_ms: Some(50), ..SubmitOptions::default() },
+            )
+            .unwrap();
+        let done = s.wait_for(second.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Expired);
+        assert!(done.error.unwrap().contains("deadline_ms"));
+        assert_eq!(
+            s.wait_for(first.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 1, "expired job must not execute");
+    }
+
+    #[test]
+    fn cancel_of_a_queued_job_is_immediate_and_skips_execution() {
+        let (exec, count) = counting_executor(Duration::from_millis(250));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 4,
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let first = s.submit(request(50)).unwrap();
+        let second = s.submit(request(51)).unwrap();
+        let snapshot = s.cancel(second.status.id).expect("job exists");
+        assert_eq!(snapshot.state, JobState::Cancelled);
+        assert_eq!(
+            s.wait_for(first.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 1, "cancelled job must not execute");
+        assert_eq!(s.inflight_len(), 0, "cancelled entry must leave the in-flight table");
+        // Cancelling a terminal job is a no-op returning the snapshot.
+        assert_eq!(s.cancel(second.status.id).unwrap().state, JobState::Cancelled);
+        assert!(s.cancel(999_999).is_none());
+    }
+
+    #[test]
+    fn cancel_of_a_running_job_stops_it_at_a_checkpoint() {
+        nemfpga_runtime::cancel::silence_cancel_panics();
+        let exec: Executor = Arc::new(|_| {
+            // A long computation with per-iteration checkpoints, like
+            // the PathFinder negotiation loop.
+            for _ in 0..1000 {
+                cancel::checkpoint();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok("finished uninterrupted".to_owned())
+        });
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let sub = s.submit(request(60)).unwrap();
+        // Wait until it is actually running, then cancel.
+        for _ in 0..200 {
+            if s.status(sub.status.id).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        s.cancel(sub.status.id);
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Cancelled);
+        assert_eq!(done.error.as_deref(), Some("cancelled"));
+        assert!(done.output.is_none());
+    }
+
+    #[test]
+    fn draining_refuses_new_submissions_and_quiesces() {
+        let (exec, _) = counting_executor(Duration::from_millis(50));
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let accepted = s.submit(request(70)).unwrap();
+        s.begin_drain();
+        assert!(matches!(s.submit(request(71)), Err(SubmitError::Draining)));
+        assert!(s.await_quiesce(Duration::from_secs(30)), "accepted job finishes the drain");
+        assert_eq!(
+            s.wait_for(accepted.status.id, Duration::from_secs(1)).unwrap().state,
+            JobState::Done
+        );
+    }
+
+    #[test]
+    fn journaled_jobs_close_out_and_do_not_replay() {
+        let path = std::env::temp_dir()
+            .join(format!("nemfpga-sched-journal-{}", std::process::id()))
+            .join("closeout.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, report) = Journal::open(&path).unwrap();
+            assert!(report.pending.is_empty());
+            let (exec, _) = counting_executor(Duration::ZERO);
+            let s = Scheduler::with_journal(
+                &SchedulerConfig::default(),
+                ResultCache::new(64, None),
+                Arc::new(Metrics::default()),
+                exec,
+                Some(Arc::new(journal)),
+            );
+            let sub = s.submit(request(80)).unwrap();
+            assert_eq!(
+                s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap().state,
+                JobState::Done
+            );
+        }
+        let (_journal, report) = Journal::open(&path).unwrap();
+        assert!(report.pending.is_empty(), "finished job must not replay");
+        assert!(report.records_scanned >= 3, "submitted + started + done");
+        let _ = std::fs::remove_file(&path);
     }
 }

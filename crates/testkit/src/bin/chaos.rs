@@ -10,25 +10,32 @@
 //! completion) and *inverts* the exit code: success means the chaos
 //! invariants caught the bug. This is the evidence that the invariants
 //! have teeth.
+//!
+//! `--restart` switches to the kill-and-restart scenario: each seed
+//! stages a crash mid-load (journal and cache disks die at seeded
+//! ordinals), restarts on the same state directories, and checks the
+//! recovery invariants (no durable job lost, byte-identical results,
+//! single compute per process, reconciled metrics).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
-use nemfpga_testkit::{run_chaos, ChaosConfig, FaultPlan};
+use nemfpga_testkit::{run_chaos, run_restart, ChaosConfig, FaultPlan, RestartConfig};
 
 const USAGE: &str = "usage: chaos [--seeds A..B | --seed N] [--clients N] [--requests N] \
-                     [--with-bug skip-double-check|leak-inflight]";
+                     [--with-bug skip-double-check|leak-inflight] [--restart]";
 
 struct Args {
     seeds: std::ops::Range<u64>,
     clients: usize,
     requests: usize,
     bug: Option<BugSwitch>,
+    restart: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 0..20, clients: 4, requests: 12, bug: None };
+    let mut args = Args { seeds: 0..20, clients: 4, requests: 12, bug: None, restart: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
@@ -55,13 +62,45 @@ fn parse_args() -> Result<Args, String> {
                 args.bug =
                     Some(BugSwitch::from_name(&name).ok_or(format!("unknown bug `{name}`"))?);
             }
+            "--restart" => args.restart = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.seeds.is_empty() {
         return Err("empty seed range".to_owned());
     }
+    if args.restart && args.bug.is_some() {
+        return Err("--restart and --with-bug are separate scenarios".to_owned());
+    }
     Ok(args)
+}
+
+/// The kill-and-restart scenario: one staged crash + recovery per seed.
+fn run_restart_mode(args: &Args) -> ExitCode {
+    let mut total_violations = 0usize;
+    for seed in args.seeds.clone() {
+        let cfg = RestartConfig {
+            seed,
+            jobs: args.clients * args.requests / 2,
+            ..RestartConfig::default()
+        };
+        let report = run_restart(&cfg);
+        println!("[crash plan `{}`] {}", report.plan, report.summary());
+        for violation in &report.violations {
+            println!("    VIOLATION: {violation}");
+        }
+        total_violations += report.violations.len();
+    }
+    if total_violations == 0 {
+        println!("all crash/restart plans held every recovery invariant");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{total_violations} recovery violations — replay a failing seed with \
+             `chaos --restart --seed N`"
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -73,6 +112,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.restart {
+        return run_restart_mode(&args);
+    }
 
     let mut total_violations = 0usize;
     for seed in args.seeds.clone() {

@@ -290,6 +290,7 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             job_timeout: cfg.job_timeout,
             cache_capacity: 64,
             cache_dir: cache_dir.clone(),
+            journal_path: None,
         },
         executor,
     )

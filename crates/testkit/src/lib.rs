@@ -34,9 +34,11 @@
 pub mod chaos;
 pub mod differential;
 pub mod plan;
+pub mod restart;
 pub mod sync;
 
 pub use chaos::{run_chaos, BugSwitch, ChaosConfig, ChaosReport};
 pub use differential::{case_matrix, run_case, run_matrix, shrink_case, DiffCase, Divergence};
 pub use plan::{FaultPlan, FaultRule, FaultScope, FaultSpec, FireRule};
+pub use restart::{crash_plan, run_restart, RestartConfig, RestartReport};
 pub use sync::{Gate, Probe};

@@ -75,6 +75,11 @@ pub enum FireRule {
     FirstN(u64),
     /// Hits `n, 2n, 3n, …`.
     EveryNth(u64),
+    /// Every hit strictly after the `n`-th — "the disk dies at ordinal
+    /// `n` and stays dead", the crash-freeze shape restart scenarios
+    /// use. Not in the randomized menu: a frozen site makes most plans'
+    /// invariants vacuous.
+    AfterN(u64),
     /// Deterministically pseudo-random: fires when
     /// `mix_seed(salt, ordinal) % 1000 < permille`.
     Permille { permille: u16, salt: u64 },
@@ -88,6 +93,7 @@ impl FireRule {
             Self::Nth(n) => ordinal == n,
             Self::FirstN(n) => ordinal <= n,
             Self::EveryNth(n) => n > 0 && ordinal.is_multiple_of(n),
+            Self::AfterN(n) => ordinal > n,
             Self::Permille { permille, salt } => {
                 mix_seed(salt, ordinal) % 1000 < u64::from(permille)
             }
@@ -313,6 +319,7 @@ mod tests {
         assert!(FireRule::Nth(3).fires(3) && !FireRule::Nth(3).fires(2));
         assert!(FireRule::FirstN(2).fires(2) && !FireRule::FirstN(2).fires(3));
         assert!(FireRule::EveryNth(2).fires(4) && !FireRule::EveryNth(2).fires(5));
+        assert!(FireRule::AfterN(2).fires(3) && !FireRule::AfterN(2).fires(2));
         let p = FireRule::Permille { permille: 500, salt: 7 };
         let first: Vec<bool> = (1..100).map(|n| p.fires(n)).collect();
         let second: Vec<bool> = (1..100).map(|n| p.fires(n)).collect();

@@ -8,6 +8,13 @@
 # thread counts, and an audit that every `#[ignore]`d test is accounted
 # for in TESTING.md.
 #
+# `--recovery` appends the kill-and-restart stage: 12 seeded staged
+# crashes mid-load, each restarted on the same journal + cache, with
+# every recovery invariant checked (no accepted job lost, byte-identical
+# results, one compute per key per process, reconciled metrics), plus a
+# drain-mid-flood run of the load generator over real HTTP. `--chaos`
+# implies `--recovery`.
+#
 # `--obs` appends the observability stage: the obs crate's tests with
 # the `trace` feature armed, a traced `repro` run whose chrome://tracing
 # file must cover all five flow stages with stdout byte-identical to an
@@ -16,12 +23,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
+RUN_RECOVERY=0
 RUN_OBS=0
 for arg in "$@"; do
     case "$arg" in
-        --chaos) RUN_CHAOS=1 ;;
+        --chaos) RUN_CHAOS=1; RUN_RECOVERY=1 ;;
+        --recovery) RUN_RECOVERY=1 ;;
         --obs) RUN_OBS=1 ;;
-        *) echo "usage: scripts/check.sh [--chaos] [--obs]" >&2; exit 2 ;;
+        *) echo "usage: scripts/check.sh [--chaos] [--recovery] [--obs]" >&2; exit 2 ;;
     esac
 done
 
@@ -82,6 +91,15 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
             fi
         done <<< "$ignored"
     fi
+fi
+
+if [[ "$RUN_RECOVERY" -eq 1 ]]; then
+    echo "==> recovery: 12 seeded kill-and-restart crashes, zero violations required"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- --restart --seeds 0..12
+
+    echo "==> recovery: drain mid-flood over HTTP, zero lost jobs required"
+    cargo run -q --release -p nemfpga-bench --bin loadgen -- --chaos-restart \
+        --requests 256 --unique 64 --concurrency 48 --threads 1 --drain-grace-ms 0
 fi
 
 if [[ "$RUN_OBS" -eq 1 ]]; then
