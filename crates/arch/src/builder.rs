@@ -37,6 +37,29 @@ pub fn build_rr_graph(
     grid: Grid,
     channel_width: usize,
 ) -> Result<RrGraph, ArchError> {
+    Ok(built(params, grid, channel_width)?.finish())
+}
+
+/// The same construction as [`build_rr_graph`], stopped *before* the
+/// nested adjacency lists are flattened into CSR form.
+///
+/// This is the reference representation the CSR layout is differentially
+/// tested against (see the arch proptests): `result.1[i]` must equal
+/// `rr.edges_from(RrNodeId(i))` edge-for-edge for every node.
+///
+/// # Errors
+///
+/// Same contract as [`build_rr_graph`].
+pub fn build_rr_adjacency_lists(
+    params: &ArchParams,
+    grid: Grid,
+    channel_width: usize,
+) -> Result<(Vec<RrNode>, Vec<Vec<RrEdge>>), ArchError> {
+    let b = built(params, grid, channel_width)?;
+    Ok((b.nodes, b.edges))
+}
+
+fn built(params: &ArchParams, grid: Grid, channel_width: usize) -> Result<Builder, ArchError> {
     params.validate()?;
     if channel_width == 0 {
         return Err(ArchError::InvalidParameter { name: "channel_width", value: "0".to_owned() });
@@ -46,7 +69,7 @@ pub fn build_rr_graph(
     b.build_wires();
     b.build_pin_edges();
     b.build_switch_boxes();
-    Ok(b.finish())
+    Ok(b)
 }
 
 struct Builder {
@@ -343,15 +366,40 @@ impl Builder {
         }
     }
 
+    /// Flattens the construction-time nested adjacency into the CSR form
+    /// [`RrGraph`] serves, and the tile hashmaps into dense tables.
     fn finish(self) -> RrGraph {
+        let total_edges: usize = self.edges.iter().map(Vec::len).sum();
+        assert!(total_edges <= u32::MAX as usize, "RR graph exceeds u32 edge offsets");
+        let mut edge_offsets = Vec::with_capacity(self.nodes.len() + 1);
+        let mut edges = Vec::with_capacity(total_edges);
+        edge_offsets.push(0u32);
+        for adjacency in &self.edges {
+            edges.extend_from_slice(adjacency);
+            edge_offsets.push(edges.len() as u32);
+        }
+        let tile_stride = self.grid.total_height();
+        let slots = self.grid.total_width() * tile_stride;
+        let mut tile_source = vec![RrNodeId::INVALID; slots];
+        let mut tile_sink = vec![RrNodeId::INVALID; slots];
+        for (&(x, y), &id) in &self.tile_source {
+            tile_source[x * tile_stride + y] = id;
+        }
+        for (&(x, y), &id) in &self.tile_sink {
+            tile_sink[x * tile_stride + y] = id;
+        }
+        let centers = self.nodes.iter().map(|n| n.kind.center()).collect();
         RrGraph {
             params: self.params,
             grid: self.grid,
             channel_width: self.w,
             nodes: self.nodes,
-            edges: self.edges,
-            tile_source: self.tile_source,
-            tile_sink: self.tile_sink,
+            edge_offsets,
+            edges,
+            tile_source,
+            tile_sink,
+            tile_stride,
+            centers,
         }
     }
 }

@@ -30,7 +30,7 @@ pub mod params;
 pub mod rrgraph;
 pub mod validate;
 
-pub use builder::build_rr_graph;
+pub use builder::{build_rr_adjacency_lists, build_rr_graph};
 pub use error::ArchError;
 pub use grid::{Grid, TileKind};
 pub use params::ArchParams;

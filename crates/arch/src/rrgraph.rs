@@ -8,7 +8,6 @@
 
 use crate::grid::Grid;
 use crate::params::ArchParams;
-use nemfpga_runtime::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// Index of a node within an [`RrGraph`].
@@ -16,6 +15,9 @@ use serde::{Deserialize, Serialize};
 pub struct RrNodeId(pub u32);
 
 impl RrNodeId {
+    /// Sentinel for "no node here" in the dense tile tables.
+    pub(crate) const INVALID: RrNodeId = RrNodeId(u32::MAX);
+
     /// The raw index.
     #[inline]
     pub fn index(self) -> usize {
@@ -147,7 +149,15 @@ pub struct RrEdge {
     pub switch: SwitchClass,
 }
 
-/// The routing-resource graph.
+/// The routing-resource graph, stored flat.
+///
+/// Adjacency is compressed-sparse-row: node `i`'s outgoing edges are the
+/// contiguous slice `edges[edge_offsets[i] .. edge_offsets[i + 1]]`. Tile
+/// source/sink lookup is a dense `total_width × total_height` table
+/// indexed by coordinate (sentinel [`RrNodeId::INVALID`] for empty
+/// tiles), and every node's geometric center is precomputed. The whole
+/// structure is immutable after construction and freely shared across
+/// router threads — no pointers-to-vectors, no hashing on the hot path.
 #[derive(Debug, Clone)]
 pub struct RrGraph {
     /// Architecture parameters the graph was built for.
@@ -157,9 +167,18 @@ pub struct RrGraph {
     /// Channel width `W` the graph was built with.
     pub channel_width: usize,
     pub(crate) nodes: Vec<RrNode>,
-    pub(crate) edges: Vec<Vec<RrEdge>>,
-    pub(crate) tile_source: FxHashMap<(usize, usize), RrNodeId>,
-    pub(crate) tile_sink: FxHashMap<(usize, usize), RrNodeId>,
+    /// CSR row starts; `len == nodes.len() + 1`, monotonically increasing.
+    pub(crate) edge_offsets: Vec<u32>,
+    /// All edges, grouped by source node in id order.
+    pub(crate) edges: Vec<RrEdge>,
+    /// Dense per-tile source lookup, indexed `x * tile_stride + y`.
+    pub(crate) tile_source: Vec<RrNodeId>,
+    /// Dense per-tile sink lookup, same indexing.
+    pub(crate) tile_sink: Vec<RrNodeId>,
+    /// Column stride of the tile tables (`grid.total_height()`).
+    pub(crate) tile_stride: usize,
+    /// Precomputed `kind.center()` per node (A* reads these constantly).
+    pub(crate) centers: Vec<(f64, f64)>,
 }
 
 impl RrGraph {
@@ -170,8 +189,9 @@ impl RrGraph {
     }
 
     /// Total directed edges.
+    #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 
     /// Node lookup.
@@ -184,10 +204,19 @@ impl RrGraph {
         &self.nodes[id.index()]
     }
 
-    /// Outgoing edges of `id`.
+    /// Outgoing edges of `id` (a contiguous CSR slice).
     #[inline]
     pub fn edges_from(&self, id: RrNodeId) -> &[RrEdge] {
-        &self.edges[id.index()]
+        let lo = self.edge_offsets[id.index()] as usize;
+        let hi = self.edge_offsets[id.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Precomputed geometric center of `id` (same value as
+    /// `self.node(id).kind.center()`, without re-deriving it per visit).
+    #[inline]
+    pub fn center_of(&self, id: RrNodeId) -> (f64, f64) {
+        self.centers[id.index()]
     }
 
     /// All node ids.
@@ -195,14 +224,22 @@ impl RrGraph {
         (0..self.nodes.len() as u32).map(RrNodeId)
     }
 
+    #[inline]
+    fn tile_slot(&self, x: usize, y: usize) -> Option<usize> {
+        (x < self.tile_source.len() / self.tile_stride.max(1) && y < self.tile_stride)
+            .then_some(x * self.tile_stride + y)
+    }
+
     /// The net-source node of the tile at `(x, y)`, if it is a block tile.
     pub fn source_at(&self, x: usize, y: usize) -> Option<RrNodeId> {
-        self.tile_source.get(&(x, y)).copied()
+        let id = self.tile_source[self.tile_slot(x, y)?];
+        (id != RrNodeId::INVALID).then_some(id)
     }
 
     /// The net-sink node of the tile at `(x, y)`, if it is a block tile.
     pub fn sink_at(&self, x: usize, y: usize) -> Option<RrNodeId> {
-        self.tile_sink.get(&(x, y)).copied()
+        let id = self.tile_sink[self.tile_slot(x, y)?];
+        (id != RrNodeId::INVALID).then_some(id)
     }
 
     /// Count of wire nodes (for reporting/validation).

@@ -2,10 +2,10 @@
 //! invariants hold for arbitrary grid shapes, channel widths, and segment
 //! lengths.
 
-use nemfpga_arch::builder::build_rr_graph;
+use nemfpga_arch::builder::{build_rr_adjacency_lists, build_rr_graph};
 use nemfpga_arch::grid::Grid;
 use nemfpga_arch::params::ArchParams;
-use nemfpga_arch::rrgraph::RrKind;
+use nemfpga_arch::rrgraph::{RrKind, RrNodeId};
 use nemfpga_arch::validate::validate_rr_graph;
 use proptest::prelude::*;
 
@@ -86,6 +86,34 @@ proptest! {
                 g.width,
                 g.height
             );
+        }
+    }
+
+    /// The CSR adjacency is edge-for-edge identical to the nested-`Vec`
+    /// reference build, for arbitrary fabrics: same node table, and for
+    /// every node the same outgoing edges in the same order. This is the
+    /// contract that lets the router trust `edges_from` slices after the
+    /// flattening — any reorder or off-by-one in the offsets would change
+    /// A* tie-breaking and break routing determinism.
+    #[test]
+    fn csr_adjacency_matches_nested_reference(
+        w in 1usize..6,
+        h in 1usize..6,
+        width in 2usize..20,
+        seg in 1usize..6,
+    ) {
+        let mut params = ArchParams::paper_table1();
+        params.segment_length = seg;
+        let grid = Grid::new(w, h, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+        let (nodes, nested) = build_rr_adjacency_lists(&params, grid, width).expect("builds");
+        prop_assert_eq!(rr.num_nodes(), nodes.len());
+        prop_assert_eq!(rr.num_edges(), nested.iter().map(Vec::len).sum::<usize>());
+        for (i, adjacency) in nested.iter().enumerate() {
+            let id = RrNodeId(i as u32);
+            prop_assert_eq!(rr.node(id), &nodes[i]);
+            prop_assert_eq!(rr.edges_from(id), adjacency.as_slice());
+            prop_assert_eq!(rr.center_of(id), nodes[i].kind.center());
         }
     }
 

@@ -148,6 +148,29 @@ fn bench_monte_carlo_serial_vs_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs wavefront net-parallel routing at a comfortable width —
+/// the Fig. 9 scale "independent nets really do route concurrently"
+/// speedup, on the schedule the differential suite proves bit-identical.
+fn bench_route_serial_vs_net_parallel(c: &mut Criterion) {
+    let (params, design, placement) = placed(300, 42);
+    let rr = build_rr_graph(&params, placement.grid, 64).expect("builds");
+    let mut group = c.benchmark_group("route");
+    group.sample_size(10);
+    for (name, parallel) in [
+        ("net_parallel_300_luts_serial", ParallelConfig::serial()),
+        ("net_parallel_300_luts_threads4", ParallelConfig::with_threads(4)),
+    ] {
+        let cfg = RouteConfig { parallel, ..RouteConfig::new() };
+        group.bench_function(name, |b| {
+            let mut scratch = RouterScratch::new();
+            b.iter(|| {
+                route_with_scratch(&rr, &design, &placement, &cfg, &mut scratch).expect("routes")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rr_graph,
@@ -155,11 +178,17 @@ criterion_group!(
     bench_place,
     bench_route,
     bench_route_full_vs_incremental,
+    bench_route_serial_vs_net_parallel,
     bench_sweep_serial_vs_parallel,
     bench_monte_carlo_serial_vs_parallel,
 );
 
 fn main() {
     benches();
-    criterion::write_summary_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json"));
+    // `BENCH_OUT` redirects the summary so multi-harness runs (the
+    // check.sh --bench stage) can merge per-harness files instead of
+    // last-writer-wins clobbering one path.
+    let path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json").into());
+    criterion::write_summary_json(&path);
 }

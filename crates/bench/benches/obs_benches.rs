@@ -62,5 +62,10 @@ criterion_group!(benches, bench_obs_overhead, bench_metric_primitives);
 
 fn main() {
     benches();
-    criterion::write_summary_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json"));
+    // `BENCH_OUT` redirects the summary so multi-harness runs (the
+    // check.sh --bench stage) can merge per-harness files instead of
+    // last-writer-wins clobbering one path.
+    let path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pnr.json").into());
+    criterion::write_summary_json(&path);
 }

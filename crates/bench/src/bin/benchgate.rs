@@ -1,0 +1,192 @@
+//! Benchmark summary tooling for the check.sh `--bench` stage.
+//!
+//! Two subcommands over the criterion-shim summary format (a JSON array
+//! of `{name, min_ns, median_ns, mean_ns, samples, iters_per_sample,
+//! smoke}` records):
+//!
+//! * `benchgate merge OUT IN...` — concatenates per-harness summaries
+//!   (each bench binary writes its own file via `BENCH_OUT`) into one
+//!   `BENCH_pnr.json`, preserving record order across inputs.
+//! * `benchgate compare BASELINE CURRENT [--max-regress R] [--groups
+//!   a,b,c]` — fails (exit 1) when any gated benchmark's median
+//!   regresses by more than `R` (default 0.10) against the committed
+//!   baseline, or when a gated record is a smoke run / has a zero
+//!   median (the gate exists to keep the trajectory *real*). Gated
+//!   benchmarks are those whose `group/` name prefix is listed in
+//!   `--groups` (default `route,sweep,service`). Benchmarks present on
+//!   only one side are reported but do not fail the gate, so adding or
+//!   retiring a bench does not require lockstep baseline edits.
+
+use std::process::ExitCode;
+
+use nemfpga_service::json::{parse, Value};
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    median_ns: f64,
+    smoke: bool,
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("benchgate: read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("benchgate: parse {path}: {e:?}"))?;
+    let Value::Arr(items) = doc else {
+        return Err(format!("benchgate: {path}: expected a JSON array of records"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let name = item
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("benchgate: {path}: record without a name"))?
+                .to_owned();
+            let median_ns = item
+                .get("median_ns")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("benchgate: {path}: {name} has no median_ns"))?;
+            let smoke = item.get("smoke").and_then(Value::as_bool).unwrap_or(false);
+            Ok(Record { name, median_ns, smoke })
+        })
+        .collect()
+}
+
+/// Re-renders records in the exact format `criterion::write_summary_json`
+/// emits, so merged files are indistinguishable from single-harness ones.
+fn merge(out: &str, inputs: &[String]) -> Result<(), String> {
+    let mut all: Vec<(String, String)> = Vec::new();
+    for path in inputs {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("benchgate: read {path}: {e}"))?;
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with('{') {
+                continue;
+            }
+            let record = parse(line).map_err(|e| format!("benchgate: {path}: {e:?}"))?;
+            let name = record
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("benchgate: {path}: record without a name"))?
+                .to_owned();
+            all.push((name, line.to_owned()));
+        }
+    }
+    let mut text = String::from("[\n");
+    for (i, (_, line)) in all.iter().enumerate() {
+        text.push_str("  ");
+        text.push_str(line);
+        text.push_str(if i + 1 < all.len() { ",\n" } else { "\n" });
+    }
+    text.push_str("]\n");
+    std::fs::write(out, text).map_err(|e| format!("benchgate: write {out}: {e}"))?;
+    println!("benchgate: merged {} records from {} files into {out}", all.len(), inputs.len());
+    Ok(())
+}
+
+fn compare(
+    baseline_path: &str,
+    current_path: &str,
+    max_regress: f64,
+    groups: &[String],
+) -> Result<bool, String> {
+    let gated = |name: &str| {
+        let group = name.split('/').next().unwrap_or(name);
+        groups.iter().any(|g| g == group)
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let mut ok = true;
+    for cur in current.iter().filter(|r| gated(&r.name)) {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            println!("  new       {:<42} {:>12.0} ns (no baseline)", cur.name, cur.median_ns);
+            continue;
+        };
+        if cur.smoke || base.smoke || cur.median_ns <= 0.0 || base.median_ns <= 0.0 {
+            println!("FAIL {:<47} smoke/zero median — gate needs a real run", cur.name);
+            ok = false;
+            continue;
+        }
+        let ratio = cur.median_ns / base.median_ns;
+        if ratio > 1.0 + max_regress {
+            println!(
+                "FAIL {:<47} {:>12.0} ns vs {:>12.0} ns ({:+.1}% > {:.0}% budget)",
+                cur.name,
+                cur.median_ns,
+                base.median_ns,
+                (ratio - 1.0) * 100.0,
+                max_regress * 100.0
+            );
+            ok = false;
+        } else {
+            println!(
+                "  ok        {:<42} {:>12.0} ns vs {:>12.0} ns ({:+.1}%)",
+                cur.name,
+                cur.median_ns,
+                base.median_ns,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for base in baseline.iter().filter(|r| gated(&r.name)) {
+        if !current.iter().any(|c| c.name == base.name) {
+            println!("  retired   {:<42} (in baseline, not in current)", base.name);
+        }
+    }
+    Ok(ok)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") if args.len() >= 3 => {
+            merge(&args[1], &args[2..])?;
+            Ok(true)
+        }
+        Some("compare") if args.len() >= 3 => {
+            let mut max_regress = 0.10;
+            let mut groups = vec!["route".to_owned(), "sweep".to_owned(), "service".to_owned()];
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--max-regress" => {
+                        max_regress = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("benchgate: --max-regress needs a number")?;
+                        i += 2;
+                    }
+                    "--groups" => {
+                        groups = args
+                            .get(i + 1)
+                            .ok_or("benchgate: --groups needs a comma list")?
+                            .split(',')
+                            .map(str::to_owned)
+                            .collect();
+                        i += 2;
+                    }
+                    other => return Err(format!("benchgate: unknown flag {other}")),
+                }
+            }
+            compare(&args[1], &args[2], max_regress, &groups)
+        }
+        _ => Err("usage: benchgate merge OUT IN...\n       benchgate compare BASELINE CURRENT \
+                  [--max-regress R] [--groups a,b,c]"
+            .to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("benchgate: performance gate FAILED");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -183,6 +183,10 @@ pub struct Fig9 {
 pub fn run_fig9(scale: f64, seed: u64, parallel: &ParallelConfig) -> Fig9 {
     let mut cfg = EvaluationConfig::paper_defaults(seed);
     cfg.parallel = *parallel;
+    // One variant, one netlist: the variant fan-out has nothing to chew
+    // on, so hand the threads to the router's net-parallel waves instead
+    // (bit-identical to serial by the differential contract).
+    cfg.route.parallel = *parallel;
     let netlist = scaled(nemfpga_netlist::synth::preset_by_name("frisc").expect("preset"), scale)
         .generate()
         .expect("preset generates");

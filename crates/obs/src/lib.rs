@@ -28,5 +28,7 @@ pub mod metrics;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use metrics::{
+    engine_registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
+};
 pub use span::{flush_thread, span, SpanGuard, SpanRecord, TraceSession};

@@ -17,8 +17,20 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+/// The process-global registry for *engine-side* metrics — effort
+/// counters recorded deep inside CAD kernels (router iterations, heap
+/// pushes, conflict groups) that have no service handle to thread
+/// through. Library code records here unconditionally; exporters (the
+/// service's `/v1/metrics`) merge a snapshot of this registry into
+/// their own at render time. Engine metric names are prefixed by their
+/// subsystem (`route_…`) so they can never collide with service names.
+pub fn engine_registry() -> &'static Arc<Registry> {
+    static ENGINE: OnceLock<Arc<Registry>> = OnceLock::new();
+    ENGINE.get_or_init(|| Arc::new(Registry::new()))
+}
 
 /// Number of histogram buckets: one for zero plus one per bit of u64.
 pub const BUCKETS: usize = 65;
@@ -383,6 +395,15 @@ mod tests {
         let r = Registry::new();
         r.counter("dual");
         r.gauge("dual");
+    }
+
+    #[test]
+    fn engine_registry_is_one_process_wide_instance() {
+        let c = engine_registry().counter("obs_test_engine_counter");
+        c.inc();
+        // A second lookup sees the same atomics.
+        let seen = engine_registry().snapshot().counters["obs_test_engine_counter"];
+        assert!(seen >= 1, "engine registry lost a write: {seen}");
     }
 
     #[test]

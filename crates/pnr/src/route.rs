@@ -10,7 +10,8 @@ use crate::pack::PackedDesign;
 use crate::place::Placement;
 use nemfpga_arch::rrgraph::{RrGraph, RrKind, RrNodeId, SwitchClass};
 use nemfpga_netlist::ids::NetId;
-use nemfpga_runtime::{FxHashMap, FxHashSet};
+use nemfpga_obs::{Counter, Histogram};
+use nemfpga_runtime::{parallel_map, FxHashSet, ParallelConfig, ScratchPool};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -34,6 +35,12 @@ pub struct RouteConfig {
     /// stalls). `false` restores the classic rip-up-everything PathFinder
     /// schedule; the final routing legality is identical either way.
     pub incremental: bool,
+    /// Net-level parallelism *within* each PathFinder iteration. Nets
+    /// whose search windows are disjoint route concurrently in conflict
+    /// groups (waves); results are bit-identical at any thread count.
+    /// Serial by default — callers opt in, and nested fan-outs (a sweep
+    /// already running one variant per thread) should stay serial.
+    pub parallel: ParallelConfig,
 }
 
 impl RouteConfig {
@@ -49,6 +56,7 @@ impl RouteConfig {
             astar_fac: 1.15,
             bbox_margin: 3,
             incremental: true,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -235,6 +243,14 @@ pub struct RouterScratch {
     // Sink ordering and backtrack buffers.
     ordered_sinks: Vec<RrNodeId>,
     path: Vec<(RrNodeId, SwitchClass)>,
+    // Flat per-node base costs, rebuilt per route call (pure function of
+    // the graph; the allocation is what's worth keeping).
+    base_cost: Vec<f64>,
+    // Per-worker scratches kept warm between parallel route calls.
+    workers: Vec<RouterScratch>,
+    // Heap pushes since the last flush — the router's effort metric,
+    // accumulated locally so the hot loop never touches an atomic.
+    heap_pushes: u64,
 }
 
 impl RouterScratch {
@@ -251,6 +267,9 @@ impl RouterScratch {
             heap: BinaryHeap::new(),
             ordered_sinks: Vec::new(),
             path: Vec::new(),
+            base_cost: Vec::new(),
+            workers: Vec::new(),
+            heap_pushes: 0,
         }
     }
 
@@ -337,6 +356,146 @@ fn resolve_terminals(
     Ok(terminals)
 }
 
+/// Per-call immutable routing context: the graph plus every derived
+/// table the maze expansion reads. Shared by reference across all router
+/// threads — nothing here is written during an iteration.
+struct RouteCtx<'a> {
+    rr: &'a RrGraph,
+    config: &'a RouteConfig,
+    /// Flat per-node base cost (pure function of the graph).
+    base_cost: &'a [f64],
+    /// Per-wire-class A* lower-bound table.
+    lookahead: Lookahead,
+}
+
+/// Per-wire-class geometric lookahead for the A* lower bound.
+///
+/// A wire class is a distinct channel-segment span; its figure of merit
+/// is base cost per tile of progress, and `dist × min(cost-per-tile)`
+/// is a lower bound on the remaining path cost no matter which classes
+/// the path uses. Under the current base-cost model (wire cost = span)
+/// every class collapses to exactly 1.0/tile, so the bound is
+/// bit-identical to the legacy Manhattan heuristic — the differential
+/// families pin that equality; the table becomes load-bearing the
+/// moment per-class base costs diverge (e.g. buffered long lines).
+struct Lookahead {
+    /// `(span, base-cost-per-tile)` per wire class, span-sorted.
+    classes: Vec<(usize, f64)>,
+    /// Cheapest progress rate any class offers.
+    min_cost_per_tile: f64,
+}
+
+impl Lookahead {
+    fn for_graph(rr: &RrGraph) -> Self {
+        let mut classes: Vec<(usize, f64)> = Vec::new();
+        for id in rr.node_ids() {
+            let kind = rr.node(id).kind;
+            if kind.is_wire() {
+                let span = kind.span_tiles();
+                if !classes.iter().any(|&(s, _)| s == span) {
+                    classes.push((span, base_cost_of(kind) / span as f64));
+                }
+            }
+        }
+        classes.sort_unstable_by_key(|&(s, _)| s);
+        let min = classes.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
+        let table = Self { classes, min_cost_per_tile: if min.is_finite() { min } else { 1.0 } };
+        debug_assert!(
+            table.classes.windows(2).all(|w| w[0].0 < w[1].0),
+            "one entry per distinct span"
+        );
+        table
+    }
+
+    /// The admissible-ish remaining-cost bound from `at` to `target`.
+    #[inline]
+    fn bound(&self, astar_fac: f64, at: (f64, f64), target: (f64, f64)) -> f64 {
+        astar_fac * dist(at, target) * self.min_cost_per_tile
+    }
+}
+
+/// Handles into the process-global engine registry (`nemfpga-obs`):
+/// router effort becomes visible on `/v1/metrics` and in Prometheus
+/// scrapes without threading a service handle through the CAD stack.
+struct RouteMetrics {
+    calls: Counter,
+    iterations: Counter,
+    reroutes: Counter,
+    heap_pushes: Counter,
+    conflict_groups: Counter,
+    group_size: Histogram,
+}
+
+impl RouteMetrics {
+    fn handles() -> Self {
+        let r = nemfpga_obs::engine_registry();
+        Self {
+            calls: r.counter("route_calls"),
+            iterations: r.counter("route_iterations"),
+            reroutes: r.counter("route_reroutes"),
+            heap_pushes: r.counter("route_heap_pushes"),
+            conflict_groups: r.counter("route_conflict_groups"),
+            group_size: r.histogram("route_conflict_group_size"),
+        }
+    }
+}
+
+/// A net's search window after margin inflation: the closed tile-space
+/// rectangle containing every node its maze expansion can examine.
+/// Wires are pruned to `bbox ± 1.0` around their centers; terminals lie
+/// inside the un-inflated bbox; opins/ipins/sources/sinks of *other*
+/// nets are never expanded (foreign sinks and sources are skipped, and
+/// ipins only at the net's own target tile). Two nets with disjoint
+/// windows therefore cannot observe each other's occupancy changes —
+/// the invariant wavefront scheduling builds on.
+type Window = (i64, i64, i64, i64);
+
+fn inflated_bbox(bbox: (usize, usize, usize, usize), extra: usize) -> (usize, usize, usize, usize) {
+    (bbox.0.saturating_sub(extra), bbox.1 + extra, bbox.2.saturating_sub(extra), bbox.3 + extra)
+}
+
+fn window_of(bbox: (usize, usize, usize, usize), extra: usize) -> Window {
+    let b = inflated_bbox(bbox, extra);
+    (b.0 as i64 - 1, b.1 as i64 + 1, b.2 as i64 - 1, b.3 as i64 + 1)
+}
+
+#[inline]
+fn windows_overlap(a: Window, b: Window) -> bool {
+    a.0 <= b.1 && b.0 <= a.1 && a.2 <= b.3 && b.2 <= a.3
+}
+
+/// Wavefront schedule over the nets ripped up this iteration (`windows`
+/// is in routing order): `wave(k) = 1 + max(wave(j))` over earlier nets
+/// `j` whose window overlaps `k`'s, so nets within a wave are mutually
+/// disjoint and every net's conflicting predecessors are fully merged
+/// before it routes. Routing the waves in sequence — each wave's nets
+/// in any concurrency, merged in net order — is bit-identical to the
+/// serial schedule (DESIGN.md gives the argument).
+fn plan_waves(windows: &[Window]) -> Vec<Vec<usize>> {
+    let mut wave_of = vec![0usize; windows.len()];
+    let mut n_waves = 0usize;
+    for i in 0..windows.len() {
+        let mut wave = 0usize;
+        for j in 0..i {
+            // `wave_of[j] >= wave` short-circuits the geometry test.
+            if wave_of[j] >= wave && windows_overlap(windows[i], windows[j]) {
+                wave = wave_of[j] + 1;
+            }
+        }
+        wave_of[i] = wave;
+        n_waves = n_waves.max(wave + 1);
+    }
+    let mut waves = vec![Vec::new(); n_waves];
+    for (i, &w) in wave_of.iter().enumerate() {
+        waves[w].push(i);
+    }
+    waves
+}
+
+/// Waves below this size route inline on the calling thread: spawning a
+/// fan-out for one or two nets costs more than it saves.
+const PAR_WAVE_MIN: usize = 4;
+
 /// The PathFinder loop shared by all entry points.
 ///
 /// With `keep_final_state` the last (possibly congested) routing is
@@ -350,11 +509,41 @@ fn route_core(
     scratch: &mut RouterScratch,
     keep_final_state: bool,
 ) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
+    let metrics = RouteMetrics::handles();
+    metrics.calls.inc();
+    scratch.prepare(rr.num_nodes());
+    let mut base_cost = std::mem::take(&mut scratch.base_cost);
+    base_cost.clear();
+    base_cost.extend(rr.node_ids().map(|id| base_cost_of(rr.node(id).kind)));
+    let pool = ScratchPool::from_vec(std::mem::take(&mut scratch.workers));
+    let ctx = RouteCtx { rr, config, base_cost: &base_cost, lookahead: Lookahead::for_graph(rr) };
+    let result =
+        route_core_inner(&ctx, design, placement, scratch, keep_final_state, &pool, &metrics);
+    scratch.workers = pool.into_vec();
+    let mut pushes = std::mem::take(&mut scratch.heap_pushes);
+    for worker in &mut scratch.workers {
+        pushes += std::mem::take(&mut worker.heap_pushes);
+    }
+    metrics.heap_pushes.add(pushes);
+    scratch.base_cost = base_cost;
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_core_inner(
+    ctx: &RouteCtx<'_>,
+    design: &PackedDesign,
+    placement: &Placement,
+    scratch: &mut RouterScratch,
+    keep_final_state: bool,
+    pool: &ScratchPool<RouterScratch>,
+    metrics: &RouteMetrics,
+) -> Result<(Routing, Vec<RrNodeId>), PnrError> {
+    let (rr, config) = (ctx.rr, ctx.config);
     let n_nodes = rr.num_nodes();
     let mut occupancy = vec![0u16; n_nodes];
     let mut history = vec![0.0f64; n_nodes];
     let mut pres_fac = config.pres_fac_init;
-    scratch.prepare(n_nodes);
 
     // Net routing order: largest fanout first (hardest nets claim paths
     // early), stable across iterations.
@@ -362,6 +551,9 @@ fn route_core(
     order.sort_by_key(|&i| std::cmp::Reverse(design.nets()[i].sinks.len()));
 
     let terminals = resolve_terminals(rr, design, placement, config)?;
+    // Nets route in parallel waves only when the caller opted in; the
+    // serial path below is the reference schedule the waves must match.
+    let net_parallel = config.parallel.effective_threads(design.nets().len()) > 1;
 
     let mut routed: Vec<Option<RoutedNet>> = vec![None; design.nets().len()];
     let mut iterations = 0usize;
@@ -388,42 +580,118 @@ fn route_core(
         iter_span.set_arg("iteration", iterations as u64);
 
         let mut rerouted = 0usize;
-        for &ni in &order {
-            if !dirty[ni] {
-                continue;
+        if !net_parallel {
+            for &ni in &order {
+                if !dirty[ni] {
+                    continue;
+                }
+                rerouted += 1;
+                // Rip up the previous tree.
+                if let Some(old) = routed[ni].take() {
+                    for t in &old.tree {
+                        occupancy[t.rr.index()] = occupancy[t.rr.index()].saturating_sub(1);
+                    }
+                }
+                let term = &terminals[ni];
+                let bbox = inflated_bbox(term.bbox, extra_margin);
+                let tree = route_net(
+                    ctx,
+                    term.source,
+                    &term.sinks,
+                    bbox,
+                    &occupancy,
+                    &history,
+                    pres_fac,
+                    ni as u64,
+                    scratch,
+                )?;
+                for t in &tree {
+                    occupancy[t.rr.index()] += 1;
+                }
+                routed[ni] = Some(RoutedNet { net: design.nets()[ni].net, tree });
             }
-            rerouted += 1;
-            // Rip up the previous tree.
-            if let Some(old) = routed[ni].take() {
-                for t in &old.tree {
-                    occupancy[t.rr.index()] = occupancy[t.rr.index()].saturating_sub(1);
+        } else {
+            // Wavefront net parallelism: this iteration's dirty nets, in
+            // routing order, partitioned so each wave holds mutually
+            // window-disjoint nets. Per wave: rip every old tree, route
+            // all nets against the frozen occupancy (concurrently when
+            // the wave is big enough), then commit trees in net order.
+            // Bit-identical to the serial loop above at any thread count.
+            let dirty_nets: Vec<usize> = order.iter().copied().filter(|&ni| dirty[ni]).collect();
+            rerouted = dirty_nets.len();
+            let windows: Vec<Window> =
+                dirty_nets.iter().map(|&ni| window_of(terminals[ni].bbox, extra_margin)).collect();
+            let waves = plan_waves(&windows);
+            metrics.conflict_groups.add(waves.len() as u64);
+            iter_span.set_arg("conflict_groups", waves.len() as u64);
+            // A net that fails to route aborts the call, like the serial
+            // `?` — but only after the iteration completes, so the error
+            // reported is the *first failing net in routing order* (maze
+            // failures are structural, independent of occupancy, so the
+            // failing set does not depend on the schedule).
+            let mut failure: Option<(usize, PnrError)> = None;
+            for wave in &waves {
+                metrics.group_size.record(wave.len() as u64);
+                for &wi in wave {
+                    if let Some(old) = routed[dirty_nets[wi]].take() {
+                        for t in &old.tree {
+                            occupancy[t.rr.index()] = occupancy[t.rr.index()].saturating_sub(1);
+                        }
+                    }
+                }
+                let route_one = |ws: &mut RouterScratch, ni: usize, occ: &[u16]| {
+                    let term = &terminals[ni];
+                    let bbox = inflated_bbox(term.bbox, extra_margin);
+                    route_net(
+                        ctx,
+                        term.source,
+                        &term.sinks,
+                        bbox,
+                        occ,
+                        &history,
+                        pres_fac,
+                        ni as u64,
+                        ws,
+                    )
+                };
+                let results: Vec<Result<Vec<RouteTreeNode>, PnrError>> = if wave.len()
+                    < PAR_WAVE_MIN
+                {
+                    wave.iter().map(|&wi| route_one(scratch, dirty_nets[wi], &occupancy)).collect()
+                } else {
+                    parallel_map(&config.parallel, wave, |_, &wi| {
+                        pool.with(|ws| {
+                            ws.prepare(n_nodes);
+                            route_one(ws, dirty_nets[wi], &occupancy)
+                        })
+                    })
+                };
+                // Deterministic merge: commit in net order (wave indices
+                // ascend in routing order).
+                for (&wi, result) in wave.iter().zip(results) {
+                    match result {
+                        Ok(tree) => {
+                            let ni = dirty_nets[wi];
+                            for t in &tree {
+                                occupancy[t.rr.index()] += 1;
+                            }
+                            routed[ni] = Some(RoutedNet { net: design.nets()[ni].net, tree });
+                        }
+                        Err(e) => {
+                            if failure.as_ref().is_none_or(|(fw, _)| wi < *fw) {
+                                failure = Some((wi, e));
+                            }
+                        }
+                    }
                 }
             }
-            let term = &terminals[ni];
-            let bbox = (
-                term.bbox.0.saturating_sub(extra_margin),
-                term.bbox.1 + extra_margin,
-                term.bbox.2.saturating_sub(extra_margin),
-                term.bbox.3 + extra_margin,
-            );
-            let tree = route_net(
-                rr,
-                term.source,
-                &term.sinks,
-                bbox,
-                &occupancy,
-                &history,
-                pres_fac,
-                config,
-                ni as u64,
-                scratch,
-            )?;
-            for t in &tree {
-                occupancy[t.rr.index()] += 1;
+            if let Some((_, e)) = failure {
+                return Err(e);
             }
-            routed[ni] = Some(RoutedNet { net: design.nets()[ni].net, tree });
         }
         rerouted_per_iteration.push(rerouted);
+        metrics.iterations.inc();
+        metrics.reroutes.add(rerouted as u64);
         // Incremental-reroute savings show up directly in the trace:
         // `rerouted` vs the full net count this iteration skipped.
         iter_span.set_arg("rerouted", rerouted as u64);
@@ -489,19 +757,32 @@ fn route_core(
     Err(PnrError::Unroutable { overused_nodes: overused_nodes.len(), iterations })
 }
 
-/// Node congestion cost under the current state.
+/// Congestion-free base cost of a node: a pure function of the graph,
+/// precomputed once per route call into `RouteCtx::base_cost` so the
+/// inner loop reads a flat f64 instead of re-matching on the kind.
 #[inline]
-fn node_cost(rr: &RrGraph, id: RrNodeId, occupancy: &[u16], history: &[f64], pres_fac: f64) -> f64 {
-    let node = rr.node(id);
-    let base = match node.kind {
-        RrKind::ChanX { .. } | RrKind::ChanY { .. } => node.kind.span_tiles() as f64,
+fn base_cost_of(kind: RrKind) -> f64 {
+    match kind {
+        RrKind::ChanX { .. } | RrKind::ChanY { .. } => kind.span_tiles() as f64,
         RrKind::Ipin { .. } => 0.95,
         RrKind::Sink { .. } => 0.0,
         _ => 1.0,
-    };
-    let over = (occupancy[id.index()] as i32 + 1 - node.capacity as i32).max(0) as f64;
+    }
+}
+
+/// Node congestion cost under the current state.
+#[inline]
+fn node_cost(
+    ctx: &RouteCtx<'_>,
+    id: RrNodeId,
+    occupancy: &[u16],
+    history: &[f64],
+    pres_fac: f64,
+) -> f64 {
+    let capacity = ctx.rr.node(id).capacity;
+    let over = (occupancy[id.index()] as i32 + 1 - capacity as i32).max(0) as f64;
     let pres = 1.0 + pres_fac * over;
-    (base + history[id.index()]) * pres
+    (ctx.base_cost[id.index()] + history[id.index()]) * pres
 }
 
 /// Deterministic per-(net, node) tie-breaking jitter in [0, 1): keeps two
@@ -519,17 +800,17 @@ fn jitter(salt: u64, node: RrNodeId) -> f64 {
 /// the hot path (the returned tree itself aside).
 #[allow(clippy::too_many_arguments)]
 fn route_net(
-    rr: &RrGraph,
+    ctx: &RouteCtx<'_>,
     source: RrNodeId,
     sinks: &[RrNodeId],
     bbox: (usize, usize, usize, usize),
     occupancy: &[u16],
     history: &[f64],
     pres_fac: f64,
-    config: &RouteConfig,
     net_salt: u64,
     scratch: &mut RouterScratch,
 ) -> Result<Vec<RouteTreeNode>, PnrError> {
+    let (rr, config) = (ctx.rr, ctx.config);
     let mut tree: Vec<RouteTreeNode> =
         vec![RouteTreeNode { rr: source, parent: None, entered_via: SwitchClass::Internal }];
     scratch.begin_net();
@@ -537,27 +818,32 @@ fn route_net(
     scratch.tree_epoch[source.index()] = scratch.net_epoch;
 
     // Sinks ordered near-to-far from the source (cheap heuristic).
-    let src_c = rr.node(source).kind.center();
+    let src_c = rr.center_of(source);
     scratch.ordered_sinks.clear();
     scratch.ordered_sinks.extend_from_slice(sinks);
     scratch.ordered_sinks.sort_by(|a, b| {
-        let da = dist(src_c, rr.node(*a).kind.center());
-        let db = dist(src_c, rr.node(*b).kind.center());
+        let da = dist(src_c, rr.center_of(*a));
+        let db = dist(src_c, rr.center_of(*b));
         da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
     });
 
     for si in 0..scratch.ordered_sinks.len() {
         let target = scratch.ordered_sinks[si];
-        let tgt_c = rr.node(target).kind.center();
+        let tgt_c = rr.center_of(target);
         scratch.begin_search();
-        let RouterScratch { cost_to, prev, visit_epoch, epoch, heap, .. } = &mut *scratch;
+        let RouterScratch { cost_to, prev, visit_epoch, epoch, heap, heap_pushes, .. } =
+            &mut *scratch;
         let epoch = *epoch;
 
+        // Steiner seeding: the whole already-routed tree enters the heap
+        // at cost 0, so every later sink branches from the nearest point
+        // of the existing tree rather than re-growing from the source.
         for t in &tree {
             cost_to[t.rr.index()] = 0.0;
             visit_epoch[t.rr.index()] = epoch;
-            let h = config.astar_fac * dist(rr.node(t.rr).kind.center(), tgt_c);
+            let h = ctx.lookahead.bound(config.astar_fac, rr.center_of(t.rr), tgt_c);
             heap.push(HeapEntry { priority: h, cost: 0.0, node: t.rr });
+            *heap_pushes += 1;
         }
 
         let mut found = false;
@@ -593,7 +879,7 @@ fn route_net(
                         }
                     }
                     RrKind::ChanX { .. } | RrKind::ChanY { .. } => {
-                        let (cx, cy) = kind.center();
+                        let (cx, cy) = rr.center_of(next);
                         if cx < bbox.0 as f64 - 1.0
                             || cx > bbox.1 as f64 + 1.0
                             || cy < bbox.2 as f64 - 1.0
@@ -603,7 +889,7 @@ fn route_net(
                         }
                     }
                 }
-                let step = node_cost(rr, next, occupancy, history, pres_fac)
+                let step = node_cost(ctx, next, occupancy, history, pres_fac)
                     * (1.0 + 0.002 * jitter(net_salt, next));
                 let g = entry.cost + step;
                 let seen = visit_epoch[next.index()] == epoch;
@@ -611,8 +897,9 @@ fn route_net(
                     visit_epoch[next.index()] = epoch;
                     cost_to[next.index()] = g;
                     prev[next.index()] = (entry.node, edge.switch);
-                    let h = config.astar_fac * dist(kind.center(), tgt_c);
+                    let h = ctx.lookahead.bound(config.astar_fac, rr.center_of(next), tgt_c);
                     heap.push(HeapEntry { priority: g + h, cost: g, node: next });
+                    *heap_pushes += 1;
                 }
             }
         }
@@ -684,8 +971,15 @@ pub fn utilization(rr: &RrGraph, routing: &Routing) -> RoutingUtilization {
     let mut wires_used = 0usize;
     let mut tiles = 0usize;
     let mut tiles_used = 0usize;
-    // Per channel lane (channel index, per-tile position): occupancy.
-    let mut lane_cap: FxHashMap<(bool, u16, u16), (usize, usize)> = FxHashMap::default();
+    // Per channel-tile position `(capacity, used)`, as a flat indexed
+    // table instead of a hash map keyed by `(axis, chan, pos)`: the
+    // position space is small and dense (one slot per channel tile), so
+    // hashing every span tile of every wire was pure overhead.
+    // Horizontal lanes: chan_y ∈ 0..=gh crossing columns x ∈ 1..=gw;
+    // vertical lanes: chan_x ∈ 0..=gw crossing rows y ∈ 1..=gh.
+    let (gw, gh) = (rr.grid.width, rr.grid.height);
+    let h_lanes = (gh + 1) * gw;
+    let mut lane_cap = vec![(0u32, 0u32); h_lanes + (gw + 1) * gh];
     for id in rr.node_ids() {
         let kind = rr.node(id).kind;
         if !kind.is_wire() {
@@ -699,27 +993,29 @@ pub fn utilization(rr: &RrGraph, routing: &Routing) -> RoutingUtilization {
             wires_used += 1;
             tiles_used += span;
         }
-        let positions: Vec<(bool, u16, u16)> = match kind {
+        let lanes = &mut lane_cap;
+        let mut bump = |slot: usize| {
+            lanes[slot].0 += 1;
+            if occupied {
+                lanes[slot].1 += 1;
+            }
+        };
+        match kind {
             RrKind::ChanX { chan_y, x_start, x_end, .. } => {
-                (x_start..=x_end).map(|x| (true, chan_y, x)).collect()
+                for x in x_start..=x_end {
+                    bump(chan_y as usize * gw + (x as usize - 1));
+                }
             }
             RrKind::ChanY { chan_x, y_start, y_end, .. } => {
-                (y_start..=y_end).map(|y| (false, chan_x, y)).collect()
+                for y in y_start..=y_end {
+                    bump(h_lanes + chan_x as usize * gh + (y as usize - 1));
+                }
             }
-            _ => Vec::new(),
-        };
-        for p in positions {
-            let e = lane_cap.entry(p).or_insert((0, 0));
-            e.0 += 1;
-            if occupied {
-                e.1 += 1;
-            }
+            _ => {}
         }
     }
-    let peak = lane_cap
-        .values()
-        .map(|(cap, used)| *used as f64 / (*cap).max(1) as f64)
-        .fold(0.0f64, f64::max);
+    let peak =
+        lane_cap.iter().map(|&(cap, used)| used as f64 / cap.max(1) as f64).fold(0.0f64, f64::max);
     RoutingUtilization {
         wire_utilization: wires_used as f64 / wires.max(1) as f64,
         wire_tile_utilization: tiles_used as f64 / tiles.max(1) as f64,
@@ -883,5 +1179,68 @@ mod tests {
             assert!(net.tree[0].parent.is_none());
             assert!(net.tree.iter().skip(1).all(|t| t.parent.is_some()));
         }
+    }
+
+    /// The PR 1 determinism contract extended to net-level parallelism:
+    /// the wavefront-scheduled router is *bit-identical* to the serial
+    /// reference at any thread count — full `Routing` equality, not just
+    /// a summary statistic.
+    #[test]
+    fn parallel_routing_is_bit_identical_to_serial() {
+        use nemfpga_runtime::ParallelConfig;
+        let params = ArchParams::paper_table1();
+        for (luts, w, seed) in [(40usize, 16usize, 5u64), (60, 12, 2), (80, 14, 11)] {
+            let design =
+                pack(SynthConfig::tiny("t", luts, seed).generate().unwrap(), &params).unwrap();
+            let grid =
+                Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+                    .unwrap();
+            let placement = place(&design, grid, &PlaceConfig::fast(seed)).unwrap();
+            let rr = build_rr_graph(&params, grid, w).unwrap();
+            let serial = route(&rr, &design, &placement, &RouteConfig::new());
+            for threads in [2usize, 4, 7] {
+                let cfg = RouteConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..RouteConfig::new()
+                };
+                let par = route(&rr, &design, &placement, &cfg);
+                match (&serial, &par) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "threads={threads} luts={luts}"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("outcome diverged at threads={threads}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wave_planner_orders_conflicts_and_packs_disjoint_nets() {
+        // Three pairwise-disjoint windows share wave 0.
+        let disjoint = vec![(0i64, 2i64, 0i64, 2i64), (10, 12, 0, 2), (20, 22, 0, 2)];
+        assert_eq!(plan_waves(&disjoint), vec![vec![0, 1, 2]]);
+        // A chain a∩b, b∩c (a∩c empty): b after a, c after b — the
+        // wave(k) = 1 + max rule keeps c behind b even though c ∩ a = ∅.
+        let chain = vec![(0i64, 5i64, 0i64, 5i64), (4, 9, 0, 5), (8, 13, 0, 5)];
+        assert_eq!(plan_waves(&chain), vec![vec![0], vec![1], vec![2]]);
+        // Overlap on one axis only is not a conflict.
+        let one_axis = vec![(0i64, 5i64, 0i64, 2i64), (0, 5, 10, 12)];
+        assert_eq!(plan_waves(&one_axis), vec![vec![0, 1]]);
+        assert!(plan_waves(&[]).is_empty());
+    }
+
+    #[test]
+    fn lookahead_degenerates_to_manhattan_under_span_cost() {
+        // Wire base cost is span_tiles, so every class costs exactly
+        // 1.0/tile and the A* bound equals the legacy `astar_fac * dist`
+        // bit-for-bit — the reason the serial/parallel/CSR router stack
+        // can share one differential baseline.
+        let params = ArchParams::paper_table1();
+        let rr = build_rr_graph(&params, Grid::new(4, 4, 2).unwrap(), 12).unwrap();
+        let la = Lookahead::for_graph(&rr);
+        assert!(!la.classes.is_empty());
+        assert!(la.classes.iter().all(|&(_, cpt)| cpt == 1.0));
+        assert_eq!(la.min_cost_per_tile, 1.0);
+        let (a, b) = ((0.5, 0.5), (3.25, 2.0));
+        assert_eq!(la.bound(1.15, a, b), 1.15 * dist(a, b));
     }
 }

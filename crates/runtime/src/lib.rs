@@ -23,12 +23,14 @@ pub mod cancel;
 pub mod faults;
 pub mod hash;
 pub mod pool;
+pub mod scratch;
 pub mod workers;
 
 pub use cancel::CancelToken;
 pub use faults::{FaultAction, FaultPoint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{parallel_map, parallel_map_cfg};
+pub use scratch::ScratchPool;
 pub use workers::{PoolFull, WorkerPool};
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,109 @@
+//! A pool of reusable per-worker scratch objects for parallel fan-outs.
+//!
+//! Deterministic fan-outs ([`crate::parallel_map`]) run a pure function
+//! per item, but engine kernels (the router's arena-backed maze search)
+//! carry large scratch state that is expensive to allocate per item. A
+//! [`ScratchPool`] bridges the two: workers check out a scratch object
+//! for the duration of one item, and the allocations survive across
+//! items, waves, and whole fan-out calls. The pool never blocks beyond
+//! a short mutex hold on checkout/restore — the scratch itself is used
+//! outside the lock.
+//!
+//! Determinism note: which *physical* scratch a worker gets is schedule
+//! dependent, so pooled scratch is only sound for state whose content
+//! cannot influence results — epoch-stamped arenas, capacity-carrying
+//! buffers. That is the same contract `RouterScratch` already keeps for
+//! warm-vs-fresh reuse, and the differential suite pins it.
+
+use std::sync::Mutex;
+
+/// A lock-guarded stack of reusable scratch objects.
+pub struct ScratchPool<T> {
+    inner: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool; scratches are created on demand.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    /// A pool seeded with existing scratches (e.g. ones kept warm from a
+    /// previous fan-out).
+    pub fn from_vec(items: Vec<T>) -> Self {
+        Self { inner: Mutex::new(items) }
+    }
+
+    /// Takes a scratch out of the pool, or creates a fresh one.
+    pub fn checkout(&self) -> T {
+        self.inner.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool for the next worker.
+    pub fn restore(&self, item: T) {
+        self.inner.lock().expect("scratch pool poisoned").push(item);
+    }
+
+    /// Runs `f` with a checked-out scratch, restoring it afterwards.
+    /// If `f` panics the scratch is dropped, not restored — a scratch in
+    /// an unknown state must not be reused.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut scratch = self.checkout();
+        let result = f(&mut scratch);
+        self.restore(scratch);
+        result
+    }
+
+    /// Consumes the pool, returning the scratches for safekeeping.
+    pub fn into_vec(self) -> Vec<T> {
+        self.inner.into_inner().expect("scratch pool poisoned")
+    }
+}
+
+impl<T: Default> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_map_cfg, ParallelConfig};
+
+    #[test]
+    fn checkout_reuses_restored_scratches() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let mut v = pool.checkout();
+        v.reserve(1024);
+        let cap = v.capacity();
+        pool.restore(v);
+        assert!(pool.checkout().capacity() >= cap, "allocation was not reused");
+    }
+
+    #[test]
+    fn with_restores_and_survives_fanout() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        let out = parallel_map_cfg(&ParallelConfig::with_threads(4), 64, |i| {
+            pool.with(|buf| {
+                buf.clear();
+                buf.extend(0..i as u64);
+                buf.iter().sum::<u64>()
+            })
+        });
+        let expected: Vec<u64> = (0..64).map(|i| (0..i as u64).sum()).collect();
+        assert_eq!(out, expected);
+        // Everything checked out during the fan-out came back.
+        assert!(!pool.into_vec().is_empty());
+    }
+
+    #[test]
+    fn panicking_closure_drops_the_scratch() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::from_vec(vec![vec![1, 2, 3]]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with(|_| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert!(pool.into_vec().is_empty(), "poisoned scratch must not return to the pool");
+    }
+}

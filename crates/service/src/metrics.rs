@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use nemfpga_obs::{Counter, Gauge, Histogram, Registry};
+use nemfpga_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 
 use crate::json::Value;
 
@@ -81,7 +81,23 @@ impl Default for Metrics {
 
 impl Metrics {
     /// Registers every service metric in `registry` and keeps handles.
+    ///
+    /// Also pre-registers the router's engine metrics (recorded by
+    /// `nemfpga-pnr` into [`nemfpga_obs::engine_registry`]) so the
+    /// `/v1/metrics` document always carries the full schema — zeros
+    /// before the first job routes, real effort counts after.
     pub fn new(registry: Arc<Registry>) -> Self {
+        let engine = nemfpga_obs::engine_registry();
+        for name in [
+            "route_calls",
+            "route_iterations",
+            "route_reroutes",
+            "route_heap_pushes",
+            "route_conflict_groups",
+        ] {
+            engine.counter(name);
+        }
+        engine.histogram("route_conflict_group_size");
         Self {
             jobs_submitted: registry.counter("jobs_submitted"),
             jobs_completed: registry.counter("jobs_completed"),
@@ -126,12 +142,26 @@ impl Metrics {
         }
     }
 
+    /// The service registry's snapshot merged with the engine
+    /// registry's — one export surface for both service counters and
+    /// in-kernel router effort. Name sets are disjoint by convention
+    /// (engine names carry a subsystem prefix); on a collision the
+    /// engine value wins, which the tests forbid ever mattering.
+    fn merged_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.registry.snapshot();
+        let engine = nemfpga_obs::engine_registry().snapshot();
+        snap.counters.extend(engine.counters);
+        snap.gauges.extend(engine.gauges);
+        snap.histograms.extend(engine.histograms);
+        snap
+    }
+
     /// Renders the registry as the `/v1/metrics` JSON body (schema
     /// [`METRICS_SCHEMA`], documented in API.md). `queue_depth` is
     /// sampled by the caller — the scheduler owns the queue.
     pub fn to_json(&self, queue_depth: usize) -> Value {
         self.queue_depth.set(queue_depth as u64);
-        let snap = self.registry.snapshot();
+        let snap = self.merged_snapshot();
         let counters = snap
             .counters
             .iter()
@@ -178,7 +208,7 @@ impl Metrics {
     /// (`GET /v1/metrics?format=prometheus`).
     pub fn to_prometheus(&self, queue_depth: usize) -> String {
         self.queue_depth.set(queue_depth as u64);
-        self.registry.snapshot().to_prometheus()
+        self.merged_snapshot().to_prometheus()
     }
 }
 
@@ -216,6 +246,19 @@ mod tests {
         assert!((50_000..=100_000).contains(&p50), "p50 = {p50}");
         let buckets = h.get("buckets").unwrap();
         assert!(matches!(buckets, Value::Arr(b) if !b.is_empty()));
+    }
+
+    #[test]
+    fn engine_router_metrics_appear_in_the_export() {
+        let m = Metrics::default();
+        let doc = m.to_json(0);
+        let counters = doc.get("counters").unwrap();
+        for name in ["route_calls", "route_iterations", "route_reroutes", "route_heap_pushes"] {
+            assert!(counters.get(name).is_some(), "missing engine counter {name}");
+        }
+        assert!(doc.get("histograms").unwrap().get("route_conflict_group_size").is_some());
+        // And on the Prometheus surface too.
+        assert!(m.to_prometheus(0).contains("route_heap_pushes"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   multi-iteration cases their rip-up schedules legitimately differ,
 //!   so there the contract is legality + success, not identity. See
 //!   TESTING.md.
+//! * **RouteNetParallel**: the wavefront net-parallel PathFinder (nets
+//!   within an iteration routed across threads in window-disjoint
+//!   waves) is bit-identical to the serial reference schedule — full
+//!   `Routing` equality at any thread count.
 //! * **SweepThreads** / **ComplianceThreads** / **PopulationThreads** /
 //!   **ParallelSum**: every parallel fan-out is bit-identical to its
 //!   serial schedule at any thread count.
@@ -54,6 +58,9 @@ pub enum DiffKind {
     /// Incremental vs full-reroute PathFinder: both succeed and are
     /// legal; bit-identical when both converge in one iteration.
     RouteIncrementalVsFull,
+    /// Serial router vs wavefront net-parallel router at N threads:
+    /// bit-identical (the CSR + conflict-group scheduling contract).
+    RouteNetParallel,
     /// Fig. 12 sweep, serial vs N threads: bit-identical.
     SweepThreads,
     /// Monte Carlo compliance, serial vs N threads: bit-identical.
@@ -66,10 +73,11 @@ pub enum DiffKind {
 }
 
 /// All families, in matrix round-robin order.
-pub const ALL_KINDS: [DiffKind; 7] = [
+pub const ALL_KINDS: [DiffKind; 8] = [
     DiffKind::RouteRepeat,
     DiffKind::RouteScratch,
     DiffKind::RouteIncrementalVsFull,
+    DiffKind::RouteNetParallel,
     DiffKind::SweepThreads,
     DiffKind::ComplianceThreads,
     DiffKind::PopulationThreads,
@@ -205,6 +213,35 @@ pub fn run_case(case: &DiffCase) -> Option<Divergence> {
                     case,
                     format!(
                         "success disagreement at W_min: incremental {} / full {}",
+                        if a.is_ok() { "routed" } else { "failed" },
+                        if b.is_ok() { "routed" } else { "failed" },
+                    ),
+                ),
+            }
+        }
+        DiffKind::RouteNetParallel => {
+            let luts = 24 + (case.size as usize % 12) * 2;
+            let (params, design, placement) = placed(luts, case.seed);
+            let rr = build_rr_graph(&params, placement.grid, 30).unwrap();
+            let serial = route(&rr, &design, &placement, &RouteConfig::new());
+            let mut par_cfg = RouteConfig::new();
+            par_cfg.parallel = ParallelConfig::with_threads(threads);
+            let par = route(&rr, &design, &placement, &par_cfg);
+            match (&serial, &par) {
+                (Ok(a), Ok(b)) => {
+                    if a != b {
+                        return diverged(
+                            case,
+                            format!("net-parallel routing at {threads} threads != serial"),
+                        );
+                    }
+                    None
+                }
+                (Err(_), Err(_)) => None,
+                (a, b) => diverged(
+                    case,
+                    format!(
+                        "success disagreement: serial {} / {threads}-thread {}",
                         if a.is_ok() { "routed" } else { "failed" },
                         if b.is_ok() { "routed" } else { "failed" },
                     ),
@@ -393,6 +430,12 @@ mod tests {
     fn parallel_sum_agrees_when_unperturbed() {
         clear_divergence();
         let case = DiffCase { kind: DiffKind::ParallelSum, seed: 3, size: 64, threads: 4 };
+        assert!(run_case(&case).is_none());
+    }
+
+    #[test]
+    fn route_net_parallel_family_agrees() {
+        let case = DiffCase { kind: DiffKind::RouteNetParallel, seed: 9, size: 3, threads: 7 };
         assert!(run_case(&case).is_none());
     }
 

@@ -35,14 +35,15 @@ fn small_matrix_has_no_divergences() {
 fn matrix_is_invariant_across_thread_counts() {
     let _guard = exclusive();
     clear_divergence();
-    // The thread-sensitive families only; the route families ignore
-    // `threads` and are covered above.
+    // The thread-sensitive families only; the single-schedule route
+    // families ignore `threads` and are covered above.
     let cases: Vec<DiffCase> = case_matrix(14, 20, 7)
         .into_iter()
         .filter(|c| {
             matches!(
                 c.kind,
-                DiffKind::SweepThreads
+                DiffKind::RouteNetParallel
+                    | DiffKind::SweepThreads
                     | DiffKind::ComplianceThreads
                     | DiffKind::PopulationThreads
                     | DiffKind::ParallelSum

@@ -19,18 +19,25 @@
 # the `trace` feature armed, a traced `repro` run whose chrome://tracing
 # file must cover all five flow stages with stdout byte-identical to an
 # untraced run, and a smoke pass over the obs_overhead bench.
+#
+# `--bench` appends the performance stage: the route/sweep/service
+# Criterion groups run *for real* (measured, release), their medians are
+# merged into BENCH_pnr.json, and benchgate fails the build on any
+# median more than 10% worse than the committed BENCH_baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
 RUN_RECOVERY=0
 RUN_OBS=0
+RUN_BENCH=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) RUN_CHAOS=1; RUN_RECOVERY=1 ;;
         --recovery) RUN_RECOVERY=1 ;;
         --obs) RUN_OBS=1 ;;
-        *) echo "usage: scripts/check.sh [--chaos] [--recovery] [--obs]" >&2; exit 2 ;;
+        --bench) RUN_BENCH=1 ;;
+        *) echo "usage: scripts/check.sh [--chaos] [--recovery] [--obs] [--bench]" >&2; exit 2 ;;
     esac
 done
 
@@ -126,6 +133,26 @@ if [[ "$RUN_OBS" -eq 1 ]]; then
 
     echo "==> obs: obs_overhead bench (smoke, trace feature on)"
     cargo bench -q -p nemfpga-bench --features obs --bench obs_benches -- --test
+fi
+
+if [[ "$RUN_BENCH" -eq 1 ]]; then
+    echo "==> bench: route/sweep/cad and service groups, measured for real"
+    bench_dir=$(mktemp -d)
+    # ${trace_dir:+…} keeps the --obs stage's temp dir covered: a second
+    # `trap … EXIT` replaces the first.
+    trap 'rm -rf "$bench_dir" ${trace_dir:+"$trace_dir"}' EXIT
+    BENCH_OUT="$bench_dir/cad.json" \
+        cargo bench -q -p nemfpga-bench --bench cad_benches -- route sweep cad
+    BENCH_OUT="$bench_dir/service.json" \
+        cargo bench -q -p nemfpga-bench --bench service_benches
+
+    echo "==> bench: merging medians into BENCH_pnr.json"
+    cargo run -q --release -p nemfpga-bench --bin benchgate -- merge \
+        BENCH_pnr.json "$bench_dir/cad.json" "$bench_dir/service.json"
+
+    echo "==> bench: gating against BENCH_baseline.json (>10% median regression fails)"
+    cargo run -q --release -p nemfpga-bench --bin benchgate -- compare \
+        BENCH_baseline.json BENCH_pnr.json --max-regress 0.10 --groups route,sweep,service
 fi
 
 echo "All checks passed."
