@@ -4,6 +4,7 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]
 //!         [--passes P] [--threads T] [--seed S]
 //!         [--chaos-restart] [--drain-grace-ms MS]
+//!         [--cluster] [--peers A,B,C]
 //! ```
 //!
 //! Drives `N` requests per pass (default 128) drawn from a pool of `K`
@@ -36,6 +37,17 @@
 //! byte-identical to a direct render, without any resubmission. All
 //! waiting is condvar- or long-poll-based; there are no fixed sleeps to
 //! tune.
+//!
+//! `--cluster` runs the multi-node scenario: a rendezvous-routing
+//! client (the servers' own HRW hash, client-side) floods `--unique`
+//! keys twice across a 3-node cluster — `--peers A,B,C` targets live
+//! `serve --peers` nodes, otherwise an in-process trio is stood up.
+//! Pass 1 must cost exactly one compute per key cluster-wide (the sum
+//! of every node's cache misses equals the unique-key count); the
+//! caches must then converge (byte-identical `/v1/cluster/digest` on
+//! every node); and pass 2 must add zero misses anywhere — every
+//! resubmission is a cross-node cache hit, so the aggregate pass-2 hit
+//! ratio must clear 50%.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -44,9 +56,12 @@ use std::time::{Duration, Instant};
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_service::{job_key, Executor, JobState, Service, ServiceClient, ServiceConfig};
+use nemfpga_service::{
+    http_request, job_key, ClusterSettings, Executor, JobState, Service, ServiceClient,
+    ServiceConfig,
+};
 
-const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS]";
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS] [--cluster] [--peers A,B,C]";
 
 /// Experiments cheap enough to fan out by the dozen. The point of the
 /// load test is queue/cache/dedup behavior, not experiment runtime.
@@ -63,6 +78,8 @@ struct Options {
     seed: u64,
     chaos_restart: bool,
     drain_grace: Duration,
+    cluster: bool,
+    peers: Option<Vec<String>>,
 }
 
 impl Default for Options {
@@ -77,6 +94,8 @@ impl Default for Options {
             seed: 42,
             chaos_restart: false,
             drain_grace: Duration::from_millis(50),
+            cluster: false,
+            peers: None,
         }
     }
 }
@@ -97,6 +116,9 @@ fn main() {
     };
     if options.chaos_restart {
         std::process::exit(run_chaos_restart(&options));
+    }
+    if options.cluster {
+        std::process::exit(run_cluster_mode(&options));
     }
     std::process::exit(run(&options));
 }
@@ -270,6 +292,265 @@ fn run_chaos_restart(options: &Options) -> i32 {
         accepted.len()
     );
     0
+}
+
+/// The multi-node scenario behind `--cluster`: two passes of unique
+/// keys through a rendezvous-routing client against a 3-node cluster,
+/// asserting single-compute, convergence, and cross-node cache hits.
+fn run_cluster_mode(options: &Options) -> i32 {
+    let scratch =
+        std::env::temp_dir().join(format!("nemfpga-loadgen-cluster-{}", std::process::id()));
+    let mut services: Vec<Service> = Vec::new();
+    let labels: Vec<String> = match &options.peers {
+        Some(peers) => peers.clone(),
+        None => {
+            let _ = std::fs::remove_dir_all(&scratch);
+            // Cluster labels must be known before any node binds, so
+            // reserve ephemeral ports up front.
+            let addrs: Vec<std::net::SocketAddr> = (0..3)
+                .map(|_| {
+                    let listener =
+                        std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+                    listener.local_addr().expect("reserved port")
+                })
+                .collect();
+            let labels: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+            for (i, label) in labels.iter().enumerate() {
+                let mut settings = ClusterSettings::new(label.clone(), labels.clone());
+                // Convergence is driven explicitly below, keeping the
+                // pass boundaries deterministic.
+                settings.sync_interval = Duration::from_secs(3600);
+                settings.seed = options.seed.wrapping_add(i as u64);
+                settings.max_pull_per_round = 1024;
+                let parallel = ParallelConfig::with_threads(options.threads);
+                let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
+                    Ok(render_experiment(request, &parallel))
+                });
+                let config = ServiceConfig {
+                    addr: label.clone(),
+                    parallel,
+                    cache_dir: Some(scratch.join(format!("node-{i}/cache"))),
+                    journal_path: Some(scratch.join(format!("node-{i}/journal.log"))),
+                    cluster: Some(settings),
+                    ..ServiceConfig::default()
+                };
+                match Service::start(&config, executor) {
+                    Ok(s) => services.push(s),
+                    Err(e) => {
+                        eprintln!("loadgen: cannot start cluster node {label}: {e}");
+                        return 1;
+                    }
+                }
+            }
+            labels
+        }
+    };
+    println!(
+        "loadgen: cluster mode — {} unique keys x 2 passes over {} nodes [{}]",
+        options.unique,
+        labels.len(),
+        labels.join(", ")
+    );
+
+    let client = match ServiceClient::new(labels[0].as_str())
+        .and_then(|c| c.with_timeout(Duration::from_secs(300)).with_peers(&labels))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: cannot arm cluster routing: {e}");
+            return 1;
+        }
+    };
+    let node_clients: Vec<ServiceClient> = match labels
+        .iter()
+        .map(|label| {
+            ServiceClient::new(label.as_str()).map(|c| c.with_timeout(Duration::from_secs(30)))
+        })
+        .collect::<Result<_, _>>()
+    {
+        Ok(clients) => clients,
+        Err(e) => {
+            eprintln!("loadgen: bad peer address: {e}");
+            return 1;
+        }
+    };
+
+    let pool = Arc::new(request_pool(options.unique));
+    let expected: Vec<String> =
+        pool.iter().map(|request| render_experiment(request, &ParallelConfig::serial())).collect();
+
+    let mut failed = false;
+    for pass in 1..=2usize {
+        let before = match cluster_metrics(&node_clients) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return 1;
+            }
+        };
+        let next = Arc::new(AtomicUsize::new(0));
+        let concurrency = options.concurrency.min(pool.len()).max(1);
+        let mismatches = Arc::new(AtomicUsize::new(0));
+        let failures = Arc::new(AtomicUsize::new(0));
+        let pass_start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..concurrency {
+                let next = Arc::clone(&next);
+                let (pool, client) = (Arc::clone(&pool), client.clone());
+                let (mismatches, failures) = (Arc::clone(&mismatches), Arc::clone(&failures));
+                let expected = &expected;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pool.len() {
+                        break;
+                    }
+                    match submit(&client, i, &pool[i]).output {
+                        Ok(output) if output == expected[i] => {}
+                        Ok(_) => {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("loadgen: BYTE MISMATCH for {}", pool[i].experiment);
+                        }
+                        Err(e) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("loadgen: request failed: {e}");
+                        }
+                    }
+                });
+            }
+        });
+        let wall = pass_start.elapsed();
+        let after = match cluster_metrics(&node_clients) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return 1;
+            }
+        };
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        let lookups = hits + misses;
+        let hit_ratio = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        println!(
+            "pass {pass}: {} keys in {:.1}ms  cluster-wide: {hits} hits / {misses} misses \
+             (hit ratio {:.0}%)",
+            pool.len(),
+            wall.as_secs_f64() * 1e3,
+            hit_ratio * 100.0,
+        );
+        if mismatches.load(Ordering::Relaxed) > 0 || failures.load(Ordering::Relaxed) > 0 {
+            eprintln!(
+                "loadgen: FAIL: {} byte mismatches, {} request failures in pass {pass}",
+                mismatches.load(Ordering::Relaxed),
+                failures.load(Ordering::Relaxed)
+            );
+            failed = true;
+        }
+        if pass == 1 {
+            if misses != pool.len() as u64 {
+                eprintln!(
+                    "loadgen: FAIL: pass 1 cost {misses} computes across the cluster for {} \
+                     unique keys (wanted exactly one each)",
+                    pool.len()
+                );
+                failed = true;
+            }
+            // Converge before pass 2: drive sync rounds directly for the
+            // in-process trio, wait out the background cadence for a
+            // live fleet; either way the digests must end byte-equal.
+            for _ in 0..2 {
+                for service in &services {
+                    service.cluster().expect("node is clustered").sync_now();
+                }
+            }
+            if let Err(e) = await_digest_convergence(&labels, services.is_empty()) {
+                eprintln!("loadgen: FAIL: {e}");
+                failed = true;
+            }
+        } else {
+            if misses != 0 {
+                eprintln!(
+                    "loadgen: FAIL: pass 2 recomputed {misses} keys (every resubmission must \
+                     be a cache hit somewhere in the cluster)"
+                );
+                failed = true;
+            }
+            if hit_ratio <= 0.5 {
+                eprintln!(
+                    "loadgen: FAIL: pass 2 cross-node hit ratio {:.0}% (expected > 50%)",
+                    hit_ratio * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+
+    for service in services {
+        service.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    if failed {
+        return 1;
+    }
+    println!(
+        "loadgen: OK — {} unique keys computed once cluster-wide, caches converged, \
+         second pass served entirely from cache",
+        options.unique
+    );
+    0
+}
+
+/// Sums every node's cache counters (hits = memory + disk).
+struct ClusterSnapshot {
+    hits: u64,
+    misses: u64,
+}
+
+fn cluster_metrics(node_clients: &[ServiceClient]) -> Result<ClusterSnapshot, String> {
+    let mut total = ClusterSnapshot { hits: 0, misses: 0 };
+    for client in node_clients {
+        let snapshot = fetch_metrics(client)?;
+        total.hits += snapshot.hits;
+        total.misses += snapshot.misses;
+    }
+    Ok(total)
+}
+
+/// Blocks until every node serves a byte-identical `/v1/cluster/digest`
+/// entry list. `poll` = retry on a live fleet whose background sync
+/// runs on its own cadence; an in-process trio was synced explicitly
+/// and must already agree.
+fn await_digest_convergence(labels: &[String], poll: bool) -> Result<(), String> {
+    let attempts = if poll { 100 } else { 1 };
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let mut digests = Vec::with_capacity(labels.len());
+        for label in labels {
+            use std::net::ToSocketAddrs;
+            let addr = label
+                .to_socket_addrs()
+                .map_err(|e| format!("peer `{label}`: {e}"))?
+                .next()
+                .ok_or_else(|| format!("peer `{label}` resolves to nothing"))?;
+            let resp =
+                http_request(addr, "GET", "/v1/cluster/digest", None, Duration::from_secs(30))?;
+            if resp.status != 200 {
+                return Err(format!("{label} answered {} for /v1/cluster/digest", resp.status));
+            }
+            let entries = resp
+                .body
+                .get("entries")
+                .ok_or_else(|| format!("{label} digest body missing `entries`"))?;
+            digests.push(entries.to_json());
+        }
+        if digests.windows(2).all(|pair| pair[0] == pair[1]) {
+            return Ok(());
+        }
+        last = format!("digests still diverge across [{}]", labels.join(", "));
+    }
+    Err(format!("caches did not converge: {last}"))
 }
 
 fn run(options: &Options) -> i32 {
@@ -536,6 +817,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => options.threads = parse_value(it.next(), "--threads", "a count")?,
             "--seed" => options.seed = parse_value(it.next(), "--seed", "an integer")?,
             "--chaos-restart" => options.chaos_restart = true,
+            "--cluster" => options.cluster = true,
+            "--peers" => {
+                let list = it.next().ok_or("--peers needs a comma-separated node list")?;
+                let parsed: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(Into::into)
+                    .collect();
+                if parsed.len() < 2 {
+                    return Err("--peers needs at least two nodes".to_owned());
+                }
+                options.peers = Some(parsed);
+            }
             "--drain-grace-ms" => {
                 options.drain_grace = Duration::from_millis(parse_value(
                     it.next(),
@@ -552,6 +847,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         || options.passes == 0
     {
         return Err("--requests, --concurrency, --unique, and --passes must be positive".to_owned());
+    }
+    if options.peers.is_some() && !options.cluster {
+        return Err("--peers only applies with --cluster".to_owned());
+    }
+    if options.cluster && (options.chaos_restart || options.addr.is_some()) {
+        return Err("--cluster is its own scenario (no --addr / --chaos-restart)".to_owned());
     }
     Ok(options)
 }

@@ -4,7 +4,8 @@
 //! serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]
 //!       [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]
 //!       [--journal FILE | --no-journal] [--drain-grace-secs S]
-//!       [--self-test] [--trace-out FILE]
+//!       [--peers A,B,C] [--advertise HOST:PORT] [--sync-interval-ms N]
+//!       [--cluster-seed N] [--self-test] [--trace-out FILE]
 //! ```
 //!
 //! Stands the `nemfpga-service` subsystem up with the real experiment
@@ -21,6 +22,17 @@
 //! cooperatively cancelled with their journal records left open so a
 //! restart resumes them, and the process exits 0 on a clean drain.
 //!
+//! `--peers A,B,C` clusters this node with the listed peers (the full
+//! node list, own address included — the same list ships to every
+//! node): submits for keys this node does not own proxy to their
+//! rendezvous owner, local cache misses try a peer fetch before
+//! computing, and a background anti-entropy thread replicates results
+//! until every node's cache converges. `--advertise` overrides the
+//! label peers and clients hash for this node (defaults to `--addr`);
+//! it must match this node's entry in everyone's `--peers` list.
+//! `--sync-interval-ms` tunes the anti-entropy cadence and
+//! `--cluster-seed` decorrelates the fleet's jitter streams.
+//!
 //! `--self-test` binds an ephemeral port, drives the typed
 //! [`nemfpga_service::ServiceClient`] through one health check, one job
 //! round trip (verified against a direct render), one cached
@@ -36,9 +48,9 @@ use std::time::Duration;
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
-use nemfpga_service::{Executor, JobState, Service, ServiceClient, ServiceConfig};
+use nemfpga_service::{ClusterSettings, Executor, JobState, Service, ServiceClient, ServiceConfig};
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]\n             [--journal FILE | --no-journal] [--drain-grace-secs S] [--self-test]\n             [--trace-out FILE]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]\n             [--journal FILE | --no-journal] [--drain-grace-secs S]\n             [--peers A,B,C] [--advertise HOST:PORT] [--sync-interval-ms N]\n             [--cluster-seed N] [--self-test] [--trace-out FILE]";
 
 struct Invocation {
     config: ServiceConfig,
@@ -116,6 +128,14 @@ fn main() {
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "disabled".to_owned()),
     );
+    if let Some(settings) = &invocation.config.cluster {
+        println!(
+            "  cluster: advertised as {}, node list [{}], sync every {}ms",
+            settings.advertise,
+            settings.peers.join(", "),
+            settings.sync_interval.as_millis(),
+        );
+    }
 
     if invocation.self_test {
         let session = invocation.trace_out.as_ref().map(|_| nemfpga_obs::TraceSession::begin());
@@ -226,6 +246,10 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut drain_grace = Duration::from_secs(30);
     let mut self_test = false;
     let mut trace_out = None;
+    let mut peers: Option<Vec<String>> = None;
+    let mut advertise: Option<String> = None;
+    let mut sync_interval: Option<Duration> = None;
+    let mut cluster_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -258,6 +282,32 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 config.journal_path = Some(it.next().ok_or("--journal needs FILE")?.into());
             }
             "--no-journal" => config.journal_path = None,
+            "--peers" => {
+                let list = it.next().ok_or("--peers needs a comma-separated node list")?;
+                let parsed: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(Into::into)
+                    .collect();
+                if parsed.is_empty() {
+                    return Err("--peers list is empty".to_owned());
+                }
+                peers = Some(parsed);
+            }
+            "--advertise" => {
+                advertise = Some(it.next().ok_or("--advertise needs HOST:PORT")?.clone());
+            }
+            "--sync-interval-ms" => {
+                sync_interval = Some(Duration::from_millis(parse_value(
+                    it.next(),
+                    "--sync-interval-ms",
+                    "milliseconds",
+                )?));
+            }
+            "--cluster-seed" => {
+                cluster_seed = Some(parse_value(it.next(), "--cluster-seed", "a seed")?);
+            }
             "--drain-grace-secs" => {
                 drain_grace =
                     Duration::from_secs(parse_value(it.next(), "--drain-grace-secs", "seconds")?);
@@ -274,6 +324,25 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    match peers {
+        Some(peers) => {
+            let label = advertise.unwrap_or_else(|| config.addr.clone());
+            let mut settings = ClusterSettings::new(label, peers);
+            if let Some(interval) = sync_interval {
+                settings.sync_interval = interval;
+            }
+            if let Some(seed) = cluster_seed {
+                settings.seed = seed;
+            }
+            config.cluster = Some(settings);
+        }
+        None if advertise.is_some() || sync_interval.is_some() || cluster_seed.is_some() => {
+            return Err(
+                "--advertise/--sync-interval-ms/--cluster-seed only apply with --peers".to_owned()
+            );
+        }
+        None => {}
     }
     Ok(Invocation { config, drain_grace, self_test, trace_out })
 }

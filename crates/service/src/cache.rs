@@ -1,18 +1,26 @@
 //! Two-tier, content-addressed result cache.
 //!
 //! Tier 1 is an in-memory LRU bounded by entry count; tier 2 is an
-//! on-disk JSON store (one file per key, atomically written via a
-//! tempfile + rename) that survives server restarts. A disk hit is
-//! promoted into memory. Both tiers are keyed by the canonical
+//! on-disk store of compact binary frames ([`crate::codec`], one
+//! `{key}.bin` file per entry, atomically written via a tempfile +
+//! rename) that survives server restarts. A disk hit is promoted into
+//! memory. Both tiers are keyed by the canonical
 //! [`JobKey`](crate::key::JobKey), so a cached entry is valid for *any*
 //! request that hashes to it — the cache never needs invalidation, only
 //! eviction.
 //!
-//! The disk tier trusts nothing it reads back: every entry carries a
-//! SHA-256 checksum of its output bytes, and an entry whose key or
-//! checksum does not verify — bit rot, torn writes, a hostile editor —
-//! is a **miss**, never a wrong answer. The chaos testkit drives this
-//! path through the `cache.read_disk` / `cache.write_disk` fault points.
+//! The disk tier trusts nothing it reads back: every frame ends in a
+//! SHA-256 trailer over its own bytes, and a frame whose trailer, magic,
+//! version, or embedded key does not verify — bit rot, torn writes, a
+//! hostile editor — is a **miss**, never a wrong answer. The chaos
+//! testkit drives this path through the `cache.read_disk` /
+//! `cache.write_disk` fault points.
+//!
+//! For the cluster's anti-entropy protocol the cache also exports a
+//! [`ResultCache::digest`]: the set of keys it can serve, each with its
+//! output checksum as the per-key version. Results are deterministic
+//! functions of their key, so two entries with the same key can only
+//! disagree if one is wrong — merge is plain set union.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -21,17 +29,17 @@ use std::sync::Mutex;
 use nemfpga_obs::Counter;
 use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 
-use crate::json::{self, Value};
+use crate::codec;
 use crate::key::JobKey;
 use crate::sha::sha256_hex;
 
 /// Fires per disk read. `Err` fails the read, `Corrupt` flips a byte in
-/// the loaded entry, `ShortRead` truncates it; all must degrade to a
+/// the loaded frame, `ShortRead` truncates it; all must degrade to a
 /// cache miss.
 static FAULT_READ_DISK: FaultPoint = FaultPoint::new("cache.read_disk");
 
 /// Fires per disk write. `Err` drops the write (the disk tier silently
-/// degrades), `Corrupt`/`ShortRead` persist a damaged entry that later
+/// degrades), `Corrupt`/`ShortRead` persist a damaged frame that later
 /// reads must reject.
 static FAULT_WRITE_DISK: FaultPoint = FaultPoint::new("cache.write_disk");
 
@@ -49,7 +57,7 @@ pub struct CachedResult {
 pub enum CacheTier {
     /// In-memory LRU.
     Memory,
-    /// On-disk JSON store.
+    /// On-disk binary store.
     Disk,
 }
 
@@ -58,6 +66,9 @@ pub enum CacheTier {
 /// so a single lock is not a bottleneck).
 pub struct ResultCache {
     inner: Mutex<Inner>,
+    /// Keys this cache has seen with their output checksums — the
+    /// anti-entropy advertisement. Lock order: `digest` before `inner`.
+    digest: Mutex<DigestIndex>,
     disk_dir: Option<PathBuf>,
     /// Bumped on every failed disk-tier write (tempfile write or
     /// rename). Defaults to a detached counter; the service wires in its
@@ -76,6 +87,14 @@ struct MemEntry {
     last_used: u64,
 }
 
+#[derive(Default)]
+struct DigestIndex {
+    /// key hex → output checksum hex.
+    versions: HashMap<String, String>,
+    /// Whether the one-time cold scan of the disk tier has run.
+    scanned_disk: bool,
+}
+
 impl ResultCache {
     /// Creates a cache holding at most `capacity` entries in memory, with
     /// an optional disk tier rooted at `disk_dir` (created on first
@@ -87,6 +106,7 @@ impl ResultCache {
                 capacity: capacity.max(1),
                 tick: 0,
             }),
+            digest: Mutex::new(DigestIndex::default()),
             disk_dir,
             write_errors: Counter::default(),
         }
@@ -119,12 +139,14 @@ impl ResultCache {
             }
         }
         let value = self.read_disk(key)?;
+        self.record_version(key.as_hex(), &sha256_hex(value.output.as_bytes()));
         self.insert_memory(key, value.clone());
         Some((value, CacheTier::Disk))
     }
 
-    /// Stores a result in both tiers.
+    /// Stores a result in both tiers and advertises it in the digest.
     pub fn put(&self, key: &JobKey, value: CachedResult) {
+        self.record_version(key.as_hex(), &sha256_hex(value.output.as_bytes()));
         self.write_disk(key, &value);
         self.insert_memory(key, value);
     }
@@ -132,6 +154,50 @@ impl ResultCache {
     /// Entries currently resident in memory.
     pub fn memory_len(&self) -> usize {
         self.inner.lock().expect("cache lock poisoned").entries.len()
+    }
+
+    /// Every key this cache advertises, with the SHA-256 checksum of
+    /// its output as the per-key version, sorted by key. Union of both
+    /// tiers; the first call scans the disk directory so entries that
+    /// predate this process (a rejoining node's store) are advertised
+    /// too. An advertised key can still miss later (evicted from memory
+    /// after a failed disk write) — peers treat that as "retry next
+    /// round", never as an error.
+    pub fn digest(&self) -> Vec<(String, String)> {
+        let mut digest = self.digest.lock().expect("digest lock poisoned");
+        if !digest.scanned_disk {
+            digest.scanned_disk = true;
+            if let Some(dir) = &self.disk_dir {
+                for (key, version) in scan_disk_versions(dir) {
+                    digest.versions.entry(key).or_insert(version);
+                }
+            }
+        }
+        {
+            let inner = self.inner.lock().expect("cache lock poisoned");
+            for (key, entry) in &inner.entries {
+                digest
+                    .versions
+                    .entry(key.clone())
+                    .or_insert_with(|| sha256_hex(entry.value.output.as_bytes()));
+            }
+        }
+        let mut out: Vec<(String, String)> =
+            digest.versions.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort();
+        out
+    }
+
+    /// The entry for `key` as a self-verifying codec frame — the bytes
+    /// peers transfer. `None` when the key cannot be served.
+    pub fn entry_frame(&self, key: &JobKey) -> Option<Vec<u8>> {
+        let (value, _) = self.get(key)?;
+        Some(codec::encode_entry(key.as_hex(), &value.experiment, &value.output))
+    }
+
+    fn record_version(&self, key_hex: &str, checksum: &str) {
+        let mut digest = self.digest.lock().expect("digest lock poisoned");
+        digest.versions.insert(key_hex.to_owned(), checksum.to_owned());
     }
 
     fn insert_memory(&self, key: &JobKey, value: CachedResult) {
@@ -152,32 +218,27 @@ impl ResultCache {
     }
 
     fn entry_path(&self, key: &JobKey) -> Option<PathBuf> {
-        self.disk_dir.as_ref().map(|d| d.join(format!("{}.json", key.as_hex())))
+        self.disk_dir.as_ref().map(|d| d.join(format!("{}.bin", key.as_hex())))
     }
 
     fn read_disk(&self, key: &JobKey) -> Option<CachedResult> {
-        let mut text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        let mut bytes = std::fs::read(self.entry_path(key)?).ok()?;
         match FAULT_READ_DISK.fire().apply_basic() {
             FaultAction::Err(_) => return None,
-            FaultAction::Corrupt => text = damage(text, false),
-            FaultAction::ShortRead => text = damage(text, true),
+            FaultAction::Corrupt => bytes = damage(bytes, false),
+            FaultAction::ShortRead => bytes = damage(bytes, true),
             _ => {}
         }
-        let doc = json::parse(&text).ok()?;
-        // A corrupt or truncated entry is treated as a miss; the job
-        // recomputes and overwrites it. Three independent tripwires: the
-        // JSON must parse, the embedded key must match the filename's,
-        // and the output bytes must hash to the recorded checksum (this
-        // last one catches corruption that stays inside a string
-        // literal, which the first two cannot see).
-        if doc.get("key")?.as_str()? != key.as_hex() {
+        // A corrupt or truncated frame is treated as a miss; the job
+        // recomputes and overwrites it. The codec's SHA-256 trailer
+        // covers every byte (including corruption that stays inside the
+        // output field); the key check catches a valid frame renamed to
+        // the wrong content address.
+        let entry = codec::decode_entry(&bytes)?;
+        if entry.key != key.as_hex() {
             return None;
         }
-        let output = doc.get("output")?.as_str()?.to_owned();
-        if doc.get("checksum")?.as_str()? != sha256_hex(output.as_bytes()) {
-            return None;
-        }
-        Some(CachedResult { experiment: doc.get("experiment")?.as_str()?.to_owned(), output })
+        Some(CachedResult { experiment: entry.experiment, output: entry.output })
     }
 
     fn write_disk(&self, key: &JobKey, value: &CachedResult) {
@@ -187,13 +248,7 @@ impl ResultCache {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let doc = Value::obj(vec![
-            ("key", Value::Str(key.as_hex().to_owned())),
-            ("experiment", Value::Str(value.experiment.clone())),
-            ("output", Value::Str(value.output.clone())),
-            ("checksum", Value::Str(sha256_hex(value.output.as_bytes()))),
-        ]);
-        let mut encoded = doc.to_json();
+        let mut encoded = codec::encode_entry(key.as_hex(), &value.experiment, &value.output);
         match FAULT_WRITE_DISK.fire().apply_basic() {
             FaultAction::Err(error) => {
                 // An injected write failure is still a failed write:
@@ -219,6 +274,30 @@ impl ResultCache {
     }
 }
 
+/// Scans `dir` for verifiable `{key}.bin` frames and returns their
+/// (key, output checksum) pairs. Frames that fail to decode or whose
+/// embedded key disagrees with the filename are skipped — they will
+/// read as misses anyway.
+fn scan_disk_versions(dir: &Path) -> Vec<(String, String)> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".bin") else { continue };
+        if JobKey::from_hex(stem).is_none() {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(entry.path()) else { continue };
+        let Some(decoded) = codec::decode_entry(&bytes) else { continue };
+        if decoded.key != stem {
+            continue;
+        }
+        out.push((decoded.key, sha256_hex(decoded.output.as_bytes())));
+    }
+    out
+}
+
 /// Removes orphaned cache tempfiles (`.{key}.tmp-{pid}`) left behind by
 /// a crash between the tempfile write and its rename. Returns how many
 /// were removed. Safe to call with live writers only from startup, when
@@ -241,15 +320,14 @@ pub fn gc_orphan_tmp(dir: &Path) -> usize {
 
 /// Deterministic damage for injected `Corrupt`/`ShortRead` faults:
 /// truncates at the midpoint, or perturbs the midpoint byte.
-fn damage(text: String, truncate: bool) -> String {
-    let mut bytes = text.into_bytes();
+fn damage(mut bytes: Vec<u8>, truncate: bool) -> Vec<u8> {
     let mid = bytes.len() / 2;
     if truncate {
         bytes.truncate(mid);
     } else if let Some(b) = bytes.get_mut(mid) {
         *b = b.wrapping_add(1);
     }
-    String::from_utf8_lossy(&bytes).into_owned()
+    bytes
 }
 
 #[cfg(test)]
@@ -324,8 +402,8 @@ mod tests {
             let cache = ResultCache::new(4, Some(dir.clone()));
             cache.put(&k, result("x"));
         }
-        let path = dir.join(format!("{}.json", k.as_hex()));
-        std::fs::write(&path, "{ truncated").unwrap();
+        let path = dir.join(format!("{}.bin", k.as_hex()));
+        std::fs::write(&path, b"NEMF garbage that is not a frame").unwrap();
         let cache = ResultCache::new(4, Some(dir.clone()));
         assert!(cache.get(&k).is_none());
         let _ = std::fs::remove_dir_all(&dir);
@@ -333,19 +411,25 @@ mod tests {
 
     #[test]
     fn corruption_inside_the_output_string_is_a_miss() {
-        // Valid JSON, correct key, but the output bytes were tampered
-        // with after the checksum was recorded: only the checksum
-        // tripwire can catch this, and a wrong answer is never served.
+        // A well-formed frame whose output bytes were tampered with
+        // after the trailer was computed: only the SHA-256 trailer can
+        // catch this, and a wrong answer is never served.
         let dir = temp_dir("tampered");
         let k = key(10);
         {
             let cache = ResultCache::new(4, Some(dir.clone()));
             cache.put(&k, result("original"));
         }
-        let path = dir.join(format!("{}.json", k.as_hex()));
-        let text = std::fs::read_to_string(&path).unwrap();
-        let tampered = text.replace("original", "tampered");
-        assert_ne!(text, tampered, "test must actually modify the entry");
+        let path = dir.join(format!("{}.bin", k.as_hex()));
+        let bytes = std::fs::read(&path).unwrap();
+        let needle = b"original";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("output bytes are embedded verbatim in the frame");
+        let mut tampered = bytes.clone();
+        tampered[at..at + needle.len()].copy_from_slice(b"tampered");
+        assert_ne!(bytes, tampered, "test must actually modify the entry");
         std::fs::write(&path, tampered).unwrap();
         let cache = ResultCache::new(4, Some(dir.clone()));
         assert!(cache.get(&k).is_none(), "tampered entry must read as a miss");
@@ -366,7 +450,7 @@ mod tests {
         let k = key(12);
         let cache = ResultCache::new(4, Some(dir.clone()));
         // Occupy the entry path with a directory so the rename must fail.
-        std::fs::create_dir_all(dir.join(format!("{}.json", k.as_hex()))).unwrap();
+        std::fs::create_dir_all(dir.join(format!("{}.bin", k.as_hex()))).unwrap();
         cache.put(&k, result("w"));
         assert_eq!(cache.write_error_count(), 1);
         let leftover_tmp = std::fs::read_dir(&dir)
@@ -385,11 +469,50 @@ mod tests {
         let dir = temp_dir("gc");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join(".abc.tmp-123"), "orphan").unwrap();
-        std::fs::write(dir.join("real.json"), "keep").unwrap();
+        std::fs::write(dir.join("real.bin"), "keep").unwrap();
         assert_eq!(gc_orphan_tmp(&dir), 1);
-        assert!(dir.join("real.json").exists());
+        assert!(dir.join("real.bin").exists());
         assert!(!dir.join(".abc.tmp-123").exists());
         assert_eq!(gc_orphan_tmp(&dir), 0, "idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_advertises_both_tiers_sorted_with_output_checksums() {
+        let dir = temp_dir("digest");
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        let (k1, k2) = (key(21), key(22));
+        cache.put(&k1, result("a"));
+        cache.put(&k2, result("b"));
+        let digest = cache.digest();
+        assert_eq!(digest.len(), 2);
+        assert!(digest.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        for (k, v) in [(&k1, result("a")), (&k2, result("b"))] {
+            let version = digest.iter().find(|(h, _)| h == k.as_hex()).map(|(_, v)| v.clone());
+            assert_eq!(version, Some(sha256_hex(v.output.as_bytes())));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_start_digest_scans_the_disk_tier() {
+        let dir = temp_dir("cold-digest");
+        let k = key(23);
+        {
+            let cache = ResultCache::new(4, Some(dir.clone()));
+            cache.put(&k, result("cold"));
+            // A corrupt stray frame must not be advertised.
+            std::fs::write(dir.join(format!("{}.bin", key(24).as_hex())), b"junk").unwrap();
+        }
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        let digest = cache.digest();
+        assert_eq!(digest.len(), 1, "only the verifiable frame is advertised");
+        assert_eq!(digest[0].0, k.as_hex());
+        assert_eq!(digest[0].1, sha256_hex(result("cold").output.as_bytes()));
+        // And the frame export round-trips through the codec.
+        let frame = cache.entry_frame(&k).unwrap();
+        let decoded = codec::decode_entry(&frame).unwrap();
+        assert_eq!(decoded.output, result("cold").output);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

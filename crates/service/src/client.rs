@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use nemfpga::request::ExperimentRequest;
 
+use crate::cluster::rendezvous;
 use crate::http::{http_request, ClientResponse};
 use crate::json::Value;
 use crate::key::JobKey;
@@ -281,7 +282,37 @@ fn backoff_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
     capped.mul_f64(frac)
 }
 
-/// Typed handle on one service instance.
+/// The client's static view of a serving cluster: peer labels (as the
+/// servers advertise them — routing only agrees across the fleet when
+/// both sides hash the same strings), resolved addresses, and shared
+/// per-peer down-state so one clone's transport failures route every
+/// clone around the dead node for a cooldown.
+#[derive(Debug)]
+struct ClusterView {
+    labels: Vec<String>,
+    addrs: Vec<SocketAddr>,
+    cooldown: Duration,
+    down_until: Mutex<Vec<Option<Instant>>>,
+}
+
+impl ClusterView {
+    fn is_live(&self, index: usize, now: Instant) -> bool {
+        self.down_until.lock().expect("cluster view poisoned")[index]
+            .is_none_or(|until| now >= until)
+    }
+
+    fn mark_up(&self, index: usize) {
+        self.down_until.lock().expect("cluster view poisoned")[index] = None;
+    }
+
+    fn mark_down(&self, index: usize) {
+        self.down_until.lock().expect("cluster view poisoned")[index] =
+            Some(Instant::now() + self.cooldown);
+    }
+}
+
+/// Typed handle on one service instance (or, with
+/// [`ServiceClient::with_peers`], a whole cluster).
 #[derive(Debug, Clone)]
 pub struct ServiceClient {
     addr: SocketAddr,
@@ -289,6 +320,9 @@ pub struct ServiceClient {
     /// `Some` = retry loop + breaker armed. Clones share the breaker, so
     /// one handle's failures protect every clone.
     resilience: Option<(RetryPolicy, Arc<Mutex<Breaker>>)>,
+    /// `Some` = client-side rendezvous routing armed. Clones share the
+    /// view (and its down-state).
+    cluster: Option<Arc<ClusterView>>,
 }
 
 impl ServiceClient {
@@ -303,7 +337,7 @@ impl ServiceClient {
             .map_err(|e| ClientError::Transport(e.to_string()))?
             .next()
             .ok_or_else(|| ClientError::Transport("address resolves to nothing".into()))?;
-        Ok(Self { addr, timeout: Duration::from_secs(30), resilience: None })
+        Ok(Self { addr, timeout: Duration::from_secs(30), resilience: None, cluster: None })
     }
 
     /// Replaces the per-request timeout.
@@ -321,6 +355,53 @@ impl ServiceClient {
     pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
         self.resilience = Some((policy, Arc::new(Mutex::new(Breaker::default()))));
         self
+    }
+
+    /// Arms client-side rendezvous routing over a static peer list: the
+    /// same HRW hash the servers use, computed over the same labels, so
+    /// every key-addressed call ([`ServiceClient::submit`],
+    /// [`ServiceClient::result`]) goes straight to the key's owner —
+    /// no separate router process, no proxy hop. On a transport failure
+    /// the peer is marked down for a cooldown (shared across clones)
+    /// and the call fails over to the next-ranked node.
+    ///
+    /// Labels must match the servers' `--advertise` values byte for
+    /// byte. Calls addressed by job *id* ([`ServiceClient::job`],
+    /// [`ServiceClient::wait`], [`ServiceClient::cancel`]) stay on the
+    /// primary address — ids are per-node. Routed calls rely on
+    /// failover instead of [`ServiceClient::with_retries`]'s transport
+    /// retry loop (backpressure responses are still surfaced verbatim).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when a label does not resolve;
+    /// [`ClientError::Protocol`] on an empty list.
+    pub fn with_peers<S: AsRef<str>>(mut self, peers: &[S]) -> Result<Self, ClientError> {
+        let mut labels = Vec::with_capacity(peers.len());
+        let mut addrs = Vec::with_capacity(peers.len());
+        for peer in peers {
+            let label = peer.as_ref().to_owned();
+            let addr = label
+                .to_socket_addrs()
+                .map_err(|e| ClientError::Transport(format!("peer `{label}`: {e}")))?
+                .next()
+                .ok_or_else(|| {
+                    ClientError::Transport(format!("peer `{label}` resolves to nothing"))
+                })?;
+            labels.push(label);
+            addrs.push(addr);
+        }
+        if labels.is_empty() {
+            return Err(ClientError::Protocol("peer list is empty".into()));
+        }
+        let down_until = Mutex::new(vec![None; labels.len()]);
+        self.cluster = Some(Arc::new(ClusterView {
+            labels,
+            addrs,
+            cooldown: Duration::from_secs(1),
+            down_until,
+        }));
+        Ok(self)
     }
 
     /// The server address this client targets.
@@ -399,6 +480,40 @@ impl ServiceClient {
         }
     }
 
+    /// Routes one key-addressed call through the cluster view: peers in
+    /// HRW rank order for the key, skipping those inside a down
+    /// cooldown (unless that empties the list — then every peer gets a
+    /// try, which is how a fully-marked-down view heals). A transport
+    /// failure marks the peer down and fails over; any HTTP response
+    /// marks it up and is interpreted as usual.
+    fn call_routed(
+        &self,
+        view: &ClusterView,
+        key: &JobKey,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<ClientResponse, ClientError> {
+        let ranked = rendezvous::rank(&view.labels, key);
+        let now = Instant::now();
+        let live: Vec<usize> = ranked.iter().copied().filter(|&i| view.is_live(i, now)).collect();
+        let order = if live.is_empty() { ranked } else { live };
+        let mut last_error = ClientError::Transport("no peers to route to".into());
+        for index in order {
+            match http_request(view.addrs[index], method, path, body, self.timeout) {
+                Ok(resp) => {
+                    view.mark_up(index);
+                    return Self::interpret(resp);
+                }
+                Err(message) => {
+                    view.mark_down(index);
+                    last_error = ClientError::Transport(message);
+                }
+            }
+        }
+        Err(last_error)
+    }
+
     /// `GET /v1/healthz`.
     ///
     /// # Errors
@@ -448,7 +563,12 @@ impl ServiceClient {
             fields.push(("deadline_ms", Value::U64(ms)));
         }
         let body = Value::obj(fields);
-        let resp = self.call("POST", "/v1/jobs", Some(&body))?;
+        let resp = match (&self.cluster, crate::key::job_key(request)) {
+            // Route to the key's owner. An unkeyable request falls
+            // through to the primary, whose 400 names the defect.
+            (Some(view), Ok(key)) => self.call_routed(view, &key, "POST", "/v1/jobs", Some(&body)),
+            _ => self.call("POST", "/v1/jobs", Some(&body)),
+        }?;
         JobView::from_json(&resp.body)
     }
 
@@ -492,7 +612,11 @@ impl ServiceClient {
     ///
     /// [`ClientError::Api`] with status 404 when the key is not cached.
     pub fn result(&self, key: &JobKey) -> Result<String, ClientError> {
-        let resp = self.call("GET", &format!("/v1/results/{}", key.as_hex()), None)?;
+        let path = format!("/v1/results/{}", key.as_hex());
+        let resp = match &self.cluster {
+            Some(view) => self.call_routed(view, key, "GET", &path, None),
+            None => self.call("GET", &path, None),
+        }?;
         resp.body
             .get("output")
             .and_then(Value::as_str)
@@ -525,9 +649,11 @@ impl ServiceClient {
             self.timeout,
         )
         .map_err(ClientError::Transport)?;
-        if raw.status != 200 {
-            return Err(ClientError::Api { status: raw.status, message: raw.body });
+        let status = raw.status;
+        let text = raw.text().map_err(ClientError::Transport)?;
+        if status != 200 {
+            return Err(ClientError::Api { status, message: text });
         }
-        Ok(raw.body)
+        Ok(text)
     }
 }

@@ -1,0 +1,197 @@
+//! Coordination-free anti-entropy replication.
+//!
+//! Results are deterministic functions of their content-addressed key,
+//! so replication needs no consensus, no leaders, and no conflict
+//! resolution: the replicated state is a grow-only set of `(key,
+//! output)` pairs whose merge is plain set union. Each node runs one
+//! background thread that, on a seeded-jitter interval, asks every
+//! reachable peer for its digest (`GET /v1/cluster/digest` — keys and
+//! versions only, never outputs), diffs it against the local
+//! [`ResultCache::digest`](crate::cache::ResultCache::digest), and
+//! pulls a bounded batch of missing entries
+//! (`GET /v1/cluster/entry/:key`). A pulled frame is admitted only
+//! after three checks: the codec trailer verifies, the embedded key
+//! matches the requested one, and the output hashes to the version the
+//! peer advertised — so a lying or bit-rotted peer can cost bandwidth,
+//! never correctness.
+//!
+//! The jitter (±50% around the configured interval, from the node's
+//! seed via [`nemfpga_runtime::mix_seed`]) keeps a fleet started by the
+//! same supervisor from synchronizing its rounds into load spikes.
+//! Each node GCs its cache and journal independently; an entry evicted
+//! here may flow back from a peer later, which is correct (it is the
+//! same bytes) and bounded by each node's own capacity.
+//!
+//! The `antientropy.pull` fault point fires before every wire exchange
+//! of a round (digest fetches and entry pulls), so the chaos suite can
+//! sever replication mid-flood and assert the cluster still converges
+//! once the faults lift.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+
+use super::{peer, Cluster};
+use crate::cache::CachedResult;
+use crate::codec;
+use crate::key::JobKey;
+use crate::sha::sha256_hex;
+
+/// Fires before each anti-entropy wire exchange (digest fetch or entry
+/// pull). `Err` fails that exchange like a transport error.
+static FAULT_ANTIENTROPY_PULL: FaultPoint = FaultPoint::new("antientropy.pull");
+
+fn injected_failure() -> Option<String> {
+    match FAULT_ANTIENTROPY_PULL.fire().apply_basic() {
+        FaultAction::Err(message) => Some(message),
+        _ => None,
+    }
+}
+
+/// Runs one synchronous anti-entropy round: digest-diff-pull against
+/// every reachable peer. Returns how many entries were admitted.
+pub(crate) fn sync_round(cluster: &Cluster) -> usize {
+    let settings = cluster.settings();
+    let mut local: HashSet<String> =
+        cluster.cache().digest().into_iter().map(|(key, _)| key).collect();
+    let mut pulled = 0usize;
+    'peers: for (label, addr) in cluster.membership().reachable_peers() {
+        let digest = match injected_failure()
+            .map_or_else(|| peer::fetch_digest(&addr, settings.peer_timeout), Err)
+        {
+            Ok(digest) => {
+                cluster.membership().mark_up(&label);
+                digest
+            }
+            Err(_) => {
+                cluster.membership().mark_down(&label);
+                continue;
+            }
+        };
+        for (key_hex, version) in digest {
+            if pulled >= settings.max_pull_per_round {
+                break 'peers;
+            }
+            if local.contains(&key_hex) {
+                continue;
+            }
+            let Some(key) = JobKey::from_hex(&key_hex) else { continue };
+            let bytes = match injected_failure()
+                .map_or_else(|| peer::fetch_entry(&addr, &key, settings.peer_timeout), Err)
+            {
+                Ok(Some(bytes)) => bytes,
+                // The peer advertised the key but cannot serve it right
+                // now (evicted after a failed spill); retry next round.
+                Ok(None) => continue,
+                Err(_) => {
+                    cluster.membership().mark_down(&label);
+                    continue 'peers;
+                }
+            };
+            let Some(entry) = codec::decode_entry(&bytes) else { continue };
+            if entry.key != key_hex || sha256_hex(entry.output.as_bytes()) != version {
+                continue;
+            }
+            cluster
+                .cache()
+                .put(&key, CachedResult { experiment: entry.experiment, output: entry.output });
+            local.insert(key_hex);
+            pulled += 1;
+            cluster.metrics().cluster_antientropy_entries_pulled.inc();
+        }
+    }
+    cluster.metrics().cluster_antientropy_rounds.inc();
+    pulled
+}
+
+/// The background sync thread. Dropping (or calling
+/// [`SyncHandle::stop`]) wakes and joins it promptly.
+pub(crate) struct SyncHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SyncHandle {
+    pub(crate) fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().expect("antientropy stop flag poisoned") = true;
+            cvar.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SyncHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Spawns the periodic sync loop for `cluster`.
+pub(crate) fn spawn(cluster: Arc<Cluster>) -> SyncHandle {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("nemfpga-antientropy".to_owned())
+        .spawn(move || {
+            let mut round = 0u64;
+            loop {
+                let interval = jittered_interval(
+                    cluster.settings().sync_interval,
+                    cluster.settings().seed,
+                    round,
+                );
+                {
+                    let (lock, cvar) = &*stop_flag;
+                    let guard = lock.lock().expect("antientropy stop flag poisoned");
+                    let (guard, _) = cvar
+                        .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                        .expect("antientropy stop flag poisoned");
+                    if *guard {
+                        return;
+                    }
+                }
+                sync_round(&cluster);
+                round += 1;
+            }
+        })
+        .expect("spawning the anti-entropy thread");
+    SyncHandle { stop, thread: Some(thread) }
+}
+
+/// The configured interval scaled into [50%, 150%] by the node's
+/// deterministic `(seed, round)` jitter stream.
+fn jittered_interval(interval: Duration, seed: u64, round: u64) -> Duration {
+    let jitter = nemfpga_runtime::mix_seed(seed, round);
+    let frac = 0.5 + (jitter as f64 / u64::MAX as f64);
+    interval.mul_f64(frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_half_to_threehalves() {
+        let interval = Duration::from_millis(1000);
+        for round in 0..64 {
+            let j = jittered_interval(interval, 42, round);
+            assert!(j >= Duration::from_millis(500), "round {round}: {j:?}");
+            assert!(j <= Duration::from_millis(1500), "round {round}: {j:?}");
+        }
+        // Deterministic per (seed, round); distinct seeds decorrelate.
+        assert_eq!(jittered_interval(interval, 7, 3), jittered_interval(interval, 7, 3));
+        assert_ne!(jittered_interval(interval, 7, 3), jittered_interval(interval, 8, 3));
+    }
+}

@@ -1,0 +1,236 @@
+//! Cluster membership: the static peer list plus passively-observed
+//! liveness.
+//!
+//! There is no gossip and no failure-detector protocol — peers are
+//! configuration (`serve --peers`), and liveness is learned from the
+//! traffic the node already sends: a transport failure marks the peer
+//! down for a cooldown, any successful response marks it up. After the
+//! cooldown the peer is probe-able again (half-open, exactly like the
+//! client-side circuit breaker), so a rebooted node rejoins the routing
+//! tables within one cooldown without any announcement.
+//!
+//! Ownership decisions use [`Membership::live_labels`] — self plus
+//! every *reachable* peer — so a dead node's keys fall to their HRW
+//! runner-up automatically and fall back when it returns. The testkit
+//! simulates network partitions deterministically through
+//! [`Membership::set_peer_enabled`], which severs this node's link to
+//! one peer without touching the peer's process.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use nemfpga_obs::Gauge;
+
+/// One peer as reported by `GET /v1/cluster/peers`.
+#[derive(Debug, Clone)]
+pub struct PeerInfo {
+    /// The peer's advertised label (its `host:port`).
+    pub label: String,
+    /// Resolved socket address, when the label resolves.
+    pub addr: Option<SocketAddr>,
+    /// Administrative link state (testkit partitions set this false).
+    pub enabled: bool,
+    /// Passive liveness verdict at snapshot time.
+    pub reachable: bool,
+}
+
+struct PeerEntry {
+    label: String,
+    addr: Option<SocketAddr>,
+    enabled: bool,
+    /// `None` = believed up; `Some(t)` = down, probe-able again at `t`.
+    down_until: Option<Instant>,
+}
+
+impl PeerEntry {
+    fn reachable(&self, now: Instant) -> bool {
+        self.enabled && self.down_until.is_none_or(|until| now >= until)
+    }
+}
+
+/// The node's view of the cluster: its own label and every configured
+/// peer with link + liveness state.
+pub struct Membership {
+    self_label: String,
+    peers: RwLock<Vec<PeerEntry>>,
+    down_cooldown: Duration,
+    /// Exported as `cluster_peers_up`: peers currently believed
+    /// reachable (administratively enabled and not in a down cooldown).
+    peers_up: Gauge,
+}
+
+impl Membership {
+    /// Builds a membership view around `self_label` (this node's
+    /// advertised address). Peers start empty; see
+    /// [`Membership::set_peers`].
+    pub fn new(self_label: String, down_cooldown: Duration, peers_up: Gauge) -> Self {
+        Self { self_label, peers: RwLock::new(Vec::new()), down_cooldown, peers_up }
+    }
+
+    /// This node's advertised label.
+    pub fn self_label(&self) -> &str {
+        &self.self_label
+    }
+
+    /// Replaces the peer list (initial configuration, or a node joining
+    /// or leaving). Labels equal to `self_label` are skipped so a config
+    /// that lists every node — the natural way to ship one `--peers`
+    /// flag to the whole fleet — needs no per-node editing. Liveness
+    /// state resets to "up": the next real call re-learns it.
+    pub fn set_peers(&self, labels: &[String]) {
+        let entries: Vec<PeerEntry> = labels
+            .iter()
+            .filter(|l| **l != self.self_label)
+            .map(|label| PeerEntry {
+                label: label.clone(),
+                addr: label.to_socket_addrs().ok().and_then(|mut a| a.next()),
+                enabled: true,
+                down_until: None,
+            })
+            .collect();
+        *self.peers.write().expect("membership lock poisoned") = entries;
+        self.update_gauge();
+    }
+
+    /// Severs or restores this node's link to `label` (deterministic
+    /// partition injection for the testkit; not reachable over the API).
+    pub fn set_peer_enabled(&self, label: &str, enabled: bool) {
+        {
+            let mut peers = self.peers.write().expect("membership lock poisoned");
+            for peer in peers.iter_mut().filter(|p| p.label == label) {
+                peer.enabled = enabled;
+                peer.down_until = None;
+            }
+        }
+        self.update_gauge();
+    }
+
+    /// Records a transport failure talking to `label`: the peer is
+    /// routed around until its cooldown expires.
+    pub fn mark_down(&self, label: &str) {
+        let until = Instant::now() + self.down_cooldown;
+        {
+            let mut peers = self.peers.write().expect("membership lock poisoned");
+            for peer in peers.iter_mut().filter(|p| p.label == label) {
+                peer.down_until = Some(until);
+            }
+        }
+        self.update_gauge();
+    }
+
+    /// Records a successful response from `label`.
+    pub fn mark_up(&self, label: &str) {
+        {
+            let mut peers = self.peers.write().expect("membership lock poisoned");
+            for peer in peers.iter_mut().filter(|p| p.label == label) {
+                peer.down_until = None;
+            }
+        }
+        self.update_gauge();
+    }
+
+    /// The labels ownership is computed over right now: self plus every
+    /// reachable peer. Self is always a member — a fully partitioned
+    /// node still owns (and serves) whatever hashes to it.
+    pub fn live_labels(&self) -> Vec<String> {
+        let now = Instant::now();
+        let peers = self.peers.read().expect("membership lock poisoned");
+        let mut labels = Vec::with_capacity(peers.len() + 1);
+        labels.push(self.self_label.clone());
+        labels.extend(peers.iter().filter(|p| p.reachable(now)).map(|p| p.label.clone()));
+        labels
+    }
+
+    /// Reachable peers with their resolved addresses (self excluded).
+    pub fn reachable_peers(&self) -> Vec<(String, SocketAddr)> {
+        let now = Instant::now();
+        let peers = self.peers.read().expect("membership lock poisoned");
+        peers
+            .iter()
+            .filter(|p| p.reachable(now))
+            .filter_map(|p| p.addr.map(|a| (p.label.clone(), a)))
+            .collect()
+    }
+
+    /// The resolved address of `label`, if it is a known reachable peer.
+    pub fn peer_addr(&self, label: &str) -> Option<SocketAddr> {
+        let now = Instant::now();
+        let peers = self.peers.read().expect("membership lock poisoned");
+        peers.iter().find(|p| p.label == label && p.reachable(now)).and_then(|p| p.addr)
+    }
+
+    /// Full snapshot for `GET /v1/cluster/peers`.
+    pub fn snapshot(&self) -> Vec<PeerInfo> {
+        let now = Instant::now();
+        let peers = self.peers.read().expect("membership lock poisoned");
+        peers
+            .iter()
+            .map(|p| PeerInfo {
+                label: p.label.clone(),
+                addr: p.addr,
+                enabled: p.enabled,
+                reachable: p.reachable(now),
+            })
+            .collect()
+    }
+
+    fn update_gauge(&self) {
+        let now = Instant::now();
+        let peers = self.peers.read().expect("membership lock poisoned");
+        self.peers_up.set(peers.iter().filter(|p| p.reachable(now)).count() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership() -> Membership {
+        let m = Membership::new(
+            "127.0.0.1:7000".to_owned(),
+            Duration::from_millis(40),
+            Gauge::default(),
+        );
+        m.set_peers(&[
+            "127.0.0.1:7000".to_owned(), // self: skipped
+            "127.0.0.1:7001".to_owned(),
+            "127.0.0.1:7002".to_owned(),
+        ]);
+        m
+    }
+
+    #[test]
+    fn self_is_filtered_and_always_live() {
+        let m = membership();
+        let live = m.live_labels();
+        assert_eq!(live, vec!["127.0.0.1:7000", "127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(m.snapshot().len(), 2, "self is not its own peer");
+    }
+
+    #[test]
+    fn mark_down_routes_around_until_cooldown_expires() {
+        let m = membership();
+        m.mark_down("127.0.0.1:7001");
+        assert!(!m.live_labels().contains(&"127.0.0.1:7001".to_owned()));
+        assert_eq!(m.reachable_peers().len(), 1);
+        // After the cooldown the peer is probe-able again.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(m.live_labels().contains(&"127.0.0.1:7001".to_owned()));
+        // And an explicit success clears the verdict immediately.
+        m.mark_down("127.0.0.1:7001");
+        m.mark_up("127.0.0.1:7001");
+        assert!(m.live_labels().contains(&"127.0.0.1:7001".to_owned()));
+    }
+
+    #[test]
+    fn disabled_links_stay_down_regardless_of_marks() {
+        let m = membership();
+        m.set_peer_enabled("127.0.0.1:7002", false);
+        m.mark_up("127.0.0.1:7002");
+        assert!(!m.live_labels().contains(&"127.0.0.1:7002".to_owned()));
+        assert!(m.peer_addr("127.0.0.1:7002").is_none());
+        m.set_peer_enabled("127.0.0.1:7002", true);
+        assert!(m.live_labels().contains(&"127.0.0.1:7002".to_owned()));
+    }
+}

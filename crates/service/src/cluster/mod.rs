@@ -1,0 +1,300 @@
+//! Multi-node serving: rendezvous-sharded jobs with coordination-free
+//! result replication.
+//!
+//! A cluster is a set of identical `serve` processes, each configured
+//! with the full node list (`--peers`) and its own advertised address.
+//! There is no router, no leader, and no shared state:
+//!
+//! * **Ownership** is rendezvous hashing ([`rendezvous`]) over the
+//!   content-addressed job key — a pure function of (key, live peer
+//!   set) that every node and every clustered client computes
+//!   identically. A node that receives a submit for a key it does not
+//!   own proxies it to the owner (one hop, capped by the `forwarded`
+//!   marker); clients with a `--peers` list skip even that hop.
+//! * **Replication** is anti-entropy ([`antientropy`]): deterministic
+//!   results make the replicated state a grow-only set whose merge is
+//!   set union, so background digest-diff-pull rounds converge every
+//!   cache without coordination.
+//! * **Membership** ([`membership`]) is configuration plus passive
+//!   liveness — transport failures route around a peer for a cooldown;
+//!   any response routes back. Join/leave needs no handoff: a joining
+//!   node replays its own journal, then catches up via anti-entropy; a
+//!   leaving node hands nothing off because HRW ownership is stateless.
+//!
+//! The [`Cluster`] struct owns all three plus the peer-fetch fast path:
+//! on a local miss the serving node first asks peers for the entry
+//! ([`Cluster::peer_fetch`], verified end to end by the codec trailer)
+//! and only computes when nobody has it — keeping "≤ 1 compute per key
+//! cluster-wide" true across ownership changes.
+
+pub mod antientropy;
+pub mod membership;
+pub mod peer;
+pub mod rendezvous;
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::codec;
+use crate::json::Value;
+use crate::key::JobKey;
+use crate::metrics::Metrics;
+use membership::Membership;
+
+/// Fires before each peer-result-fetch attempt (one per candidate
+/// peer). `Err` fails that attempt like a transport error.
+static FAULT_PEER_FETCH: FaultPoint = FaultPoint::new("peer.fetch");
+
+/// Cluster configuration carried in
+/// [`ServiceConfig`](crate::ServiceConfig).
+#[derive(Debug, Clone)]
+pub struct ClusterSettings {
+    /// This node's label as peers and clients see it (`host:port`).
+    pub advertise: String,
+    /// Every cluster node's label; this node's own is filtered out, so
+    /// the same list ships to the whole fleet.
+    pub peers: Vec<String>,
+    /// Anti-entropy round cadence (pre-jitter).
+    pub sync_interval: Duration,
+    /// Seed for the jitter stream (give nodes distinct seeds).
+    pub seed: u64,
+    /// Per-exchange timeout for digest and entry transfers.
+    pub peer_timeout: Duration,
+    /// Timeout for proxied submits. `None` derives "job timeout plus
+    /// grace" at service start, covering a `wait: true` long-poll.
+    pub forward_timeout: Option<Duration>,
+    /// How long a transport failure routes around a peer.
+    pub down_cooldown: Duration,
+    /// Ceiling on entries admitted per anti-entropy round (keeps a
+    /// fresh node's catch-up incremental instead of a thundering pull).
+    pub max_pull_per_round: usize,
+}
+
+impl ClusterSettings {
+    /// Settings for a node advertised as `advertise` in a cluster of
+    /// `peers`, with production defaults everywhere else.
+    pub fn new(advertise: impl Into<String>, peers: Vec<String>) -> Self {
+        Self {
+            advertise: advertise.into(),
+            peers,
+            sync_interval: Duration::from_secs(1),
+            seed: 0,
+            peer_timeout: Duration::from_secs(2),
+            forward_timeout: None,
+            down_cooldown: Duration::from_millis(500),
+            max_pull_per_round: 64,
+        }
+    }
+}
+
+/// One step of a routing chain: serve locally, or proxy to a peer.
+pub(crate) enum RouteStep {
+    /// This node is the best live owner — serve here.
+    Local,
+    /// Proxy to this peer (label, resolved address).
+    Peer(String, SocketAddr),
+}
+
+/// A node's cluster runtime: membership + routing + replication around
+/// the scheduler's own cache.
+pub struct Cluster {
+    settings: ClusterSettings,
+    membership: Membership,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    sync: Mutex<Option<antientropy::SyncHandle>>,
+}
+
+impl Cluster {
+    /// Builds the cluster runtime (no background work yet; see
+    /// [`Cluster::start_sync`]).
+    pub(crate) fn new(
+        settings: ClusterSettings,
+        cache: Arc<ResultCache>,
+        metrics: Arc<Metrics>,
+    ) -> Arc<Self> {
+        let membership = Membership::new(
+            settings.advertise.clone(),
+            settings.down_cooldown,
+            metrics.cluster_peers_up.clone(),
+        );
+        membership.set_peers(&settings.peers);
+        Arc::new(Self { settings, membership, cache, metrics, sync: Mutex::new(None) })
+    }
+
+    /// The node's membership view.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    pub(crate) fn settings(&self) -> &ClusterSettings {
+        &self.settings
+    }
+
+    pub(crate) fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Timeout for proxied submits (configured, or derived by the
+    /// service from its job timeout).
+    pub(crate) fn forward_timeout(&self) -> Duration {
+        self.settings.forward_timeout.unwrap_or(Duration::from_secs(330))
+    }
+
+    /// Replaces the peer list (a node joined or left).
+    pub fn set_peers(&self, labels: &[String]) {
+        self.membership.set_peers(labels);
+    }
+
+    /// Severs or restores the link to one peer (testkit partitions).
+    pub fn set_peer_enabled(&self, label: &str, enabled: bool) {
+        self.membership.set_peer_enabled(label, enabled);
+    }
+
+    /// Runs one synchronous anti-entropy round; returns entries pulled.
+    /// The testkit drives convergence deterministically through this
+    /// instead of waiting out the background interval.
+    pub fn sync_now(&self) -> usize {
+        antientropy::sync_round(self)
+    }
+
+    /// Starts the background anti-entropy thread (idempotent).
+    pub(crate) fn start_sync(self: &Arc<Self>) {
+        let mut sync = self.sync.lock().expect("cluster sync lock poisoned");
+        if sync.is_none() {
+            *sync = Some(antientropy::spawn(Arc::clone(self)));
+        }
+    }
+
+    /// Stops the background anti-entropy thread, joining it.
+    pub(crate) fn stop_sync(&self) {
+        if let Some(handle) = self.sync.lock().expect("cluster sync lock poisoned").take() {
+            handle.stop();
+        }
+    }
+
+    /// The routing chain for `key` over the current live membership:
+    /// candidates in HRW order, stopping at this node (serving locally
+    /// is always preferable to proxying past ourselves — the remaining
+    /// candidates rank lower than we do).
+    pub(crate) fn route_chain(&self, key: &JobKey) -> Vec<RouteStep> {
+        let labels = self.membership.live_labels();
+        let mut chain = Vec::new();
+        for index in rendezvous::rank(&labels, key) {
+            let label = &labels[index];
+            if label == self.membership.self_label() {
+                chain.push(RouteStep::Local);
+                break;
+            }
+            if let Some(addr) = self.membership.peer_addr(label) {
+                chain.push(RouteStep::Peer(label.clone(), addr));
+            }
+        }
+        chain
+    }
+
+    /// Proxies a submit body to `addr`, relaying the peer's response.
+    pub(crate) fn forward_submit(
+        &self,
+        addr: &SocketAddr,
+        body: &Value,
+    ) -> Result<(u16, Option<u64>, Value), String> {
+        peer::forward_submit(addr, body, self.forward_timeout())
+    }
+
+    /// Peer result fetch on local miss: asks reachable peers (HRW order
+    /// for the key, most-likely holders first) for the entry frame,
+    /// verifies it end to end, and admits it to the local cache.
+    /// Returns the result on a hit. Counts one `cluster_peer_fetch_hits`
+    /// or `_misses` per lookup, not per peer asked.
+    pub(crate) fn peer_fetch(&self, key: &JobKey) -> Option<CachedResult> {
+        let peers = self.membership.reachable_peers();
+        if peers.is_empty() {
+            return None;
+        }
+        let labels: Vec<String> = peers.iter().map(|(label, _)| label.clone()).collect();
+        for index in rendezvous::rank(&labels, key) {
+            let (label, addr) = &peers[index];
+            let fetched = match FAULT_PEER_FETCH.fire().apply_basic() {
+                FaultAction::Err(message) => Err(message),
+                _ => peer::fetch_entry(addr, key, self.settings.peer_timeout),
+            };
+            match fetched {
+                Ok(Some(bytes)) => {
+                    self.membership.mark_up(label);
+                    let Some(entry) = codec::decode_entry(&bytes) else { continue };
+                    if entry.key != key.as_hex() {
+                        continue;
+                    }
+                    let value = CachedResult { experiment: entry.experiment, output: entry.output };
+                    self.cache.put(key, value.clone());
+                    self.metrics.cluster_peer_fetch_hits.inc();
+                    return Some(value);
+                }
+                Ok(None) => self.membership.mark_up(label),
+                Err(_) => self.membership.mark_down(label),
+            }
+        }
+        self.metrics.cluster_peer_fetch_misses.inc();
+        None
+    }
+
+    /// The entry frame for `key` from the local cache only (the
+    /// `GET /v1/cluster/entry/:key` body). Never recurses into peers.
+    pub(crate) fn entry_frame(&self, key: &JobKey) -> Option<Vec<u8>> {
+        self.cache.entry_frame(key)
+    }
+
+    /// The `GET /v1/cluster/digest` body: this node's advertised keys
+    /// with per-key versions, sorted by key for byte-stable comparison.
+    pub(crate) fn digest_json(&self) -> Value {
+        let entries = self
+            .cache
+            .digest()
+            .into_iter()
+            .map(|(key, version)| {
+                Value::obj(vec![("key", Value::Str(key)), ("version", Value::Str(version))])
+            })
+            .collect();
+        Value::obj(vec![
+            ("node", Value::Str(self.settings.advertise.clone())),
+            ("entries", Value::Arr(entries)),
+        ])
+    }
+
+    /// The `GET /v1/cluster/peers` body: the membership snapshot.
+    pub(crate) fn peers_json(&self) -> Value {
+        let peers = self
+            .membership
+            .snapshot()
+            .into_iter()
+            .map(|p| {
+                Value::obj(vec![
+                    ("label", Value::Str(p.label)),
+                    ("enabled", Value::Bool(p.enabled)),
+                    ("reachable", Value::Bool(p.reachable)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("node", Value::Str(self.settings.advertise.clone())),
+            ("peers", Value::Arr(peers)),
+        ])
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(handle) = self.sync.lock().expect("cluster sync lock poisoned").take() {
+            handle.stop();
+        }
+    }
+}

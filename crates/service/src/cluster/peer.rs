@@ -1,0 +1,84 @@
+//! Typed wire calls between cluster nodes.
+//!
+//! Peers speak the same pure-`std` HTTP stack clients do; this module
+//! is the thin layer that knows the three peer-facing exchanges:
+//!
+//! * `GET /v1/cluster/entry/:key` — one cache entry as a binary codec
+//!   frame (`application/octet-stream`). The frame's SHA-256 trailer
+//!   makes the transfer self-verifying; the caller additionally checks
+//!   the embedded key (and, for anti-entropy, the advertised version)
+//!   before admitting it.
+//! * `GET /v1/cluster/digest` — the peer's advertised key set with
+//!   per-key versions (JSON; compact, keys only — never outputs).
+//! * `POST /v1/jobs?forwarded=1` — a submit proxied to the key's owner.
+//!   The marker caps proxy chains at one hop: a node receiving a
+//!   forwarded submit always serves it locally, even if its own
+//!   membership view disagrees about ownership.
+//!
+//! Every function maps transport failures to `Err(String)` so callers
+//! can feed [`super::membership::Membership::mark_down`]; HTTP-level
+//! misses (a 404 entry) are `Ok(None)`, which is a protocol answer,
+//! not a liveness verdict.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::http::{raw_request, RawResponse};
+use crate::json::{self, Value};
+use crate::key::JobKey;
+
+/// Fetches one entry frame from a peer. `Ok(None)` when the peer
+/// answers 404 (it cannot serve the key right now).
+pub(crate) fn fetch_entry(
+    addr: &SocketAddr,
+    key: &JobKey,
+    timeout: Duration,
+) -> Result<Option<Vec<u8>>, String> {
+    let raw =
+        raw_request(addr, "GET", &format!("/v1/cluster/entry/{}", key.as_hex()), None, timeout)?;
+    match raw.status {
+        200 => Ok(Some(raw.body)),
+        404 => Ok(None),
+        status => Err(format!("peer answered {status} for entry fetch")),
+    }
+}
+
+/// Fetches a peer's digest: sorted `(key, version)` pairs.
+pub(crate) fn fetch_digest(
+    addr: &SocketAddr,
+    timeout: Duration,
+) -> Result<Vec<(String, String)>, String> {
+    let raw = raw_request(addr, "GET", "/v1/cluster/digest", None, timeout)?;
+    if raw.status != 200 {
+        return Err(format!("peer answered {} for digest fetch", raw.status));
+    }
+    let doc = json::parse(&raw.text()?).map_err(|e| format!("bad digest body: {e}"))?;
+    let Some(Value::Arr(entries)) = doc.get("entries") else {
+        return Err("digest body missing `entries` array".to_owned());
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let (Some(key), Some(version)) = (
+            entry.get("key").and_then(Value::as_str),
+            entry.get("version").and_then(Value::as_str),
+        ) else {
+            return Err("digest entry missing `key`/`version`".to_owned());
+        };
+        out.push((key.to_owned(), version.to_owned()));
+    }
+    Ok(out)
+}
+
+/// Forwards a submit body to the owning peer and relays its raw
+/// response (status, `Retry-After`, parsed JSON body).
+pub(crate) fn forward_submit(
+    addr: &SocketAddr,
+    body: &Value,
+    timeout: Duration,
+) -> Result<(u16, Option<u64>, Value), String> {
+    let raw: RawResponse = raw_request(addr, "POST", "/v1/jobs?forwarded=1", Some(body), timeout)?;
+    let status = raw.status;
+    let retry_after = raw.retry_after;
+    let doc = json::parse(&raw.text()?).map_err(|e| format!("bad forwarded body: {e}"))?;
+    Ok((status, retry_after, doc))
+}

@@ -1,0 +1,117 @@
+//! Rendezvous (highest-random-weight) hashing over content-addressed
+//! job keys.
+//!
+//! Every node — and every clustered client — ranks the peer set for a
+//! key by `score(label, key)` and agrees, with no coordination, that
+//! the top-ranked live node owns the key. HRW's defining property is
+//! minimal disruption: removing a node reassigns exactly the keys that
+//! node owned (each to its runner-up), and adding a node claims only
+//! the keys the new node out-scores everyone on — in expectation `1/N`
+//! of the population. That is what makes join/leave safe without a
+//! handoff protocol: ownership is a pure function of (key, peer set),
+//! never state.
+//!
+//! The score is the first 8 bytes of `SHA-256("{label}\n{key}")` read
+//! big-endian, which inherits the avalanche behavior the job keys
+//! already rely on; ties (never observed with a 64-bit score, but the
+//! math does not forbid them) break toward the lexicographically
+//! larger label so the order stays total and permutation-invariant.
+
+use crate::key::JobKey;
+use crate::sha::sha256;
+
+/// The HRW weight of `label` for `key`. Pure and deterministic: both
+/// sides of every wire agree on it byte for byte.
+pub fn score(label: &str, key: &JobKey) -> u64 {
+    let mut material = Vec::with_capacity(label.len() + 1 + 64);
+    material.extend_from_slice(label.as_bytes());
+    material.push(b'\n');
+    material.extend_from_slice(key.as_hex().as_bytes());
+    let digest = sha256(&material);
+    u64::from_be_bytes(digest[..8].try_into().expect("sha256 yields at least 8 bytes"))
+}
+
+/// Indices of `labels` ranked for `key`, best owner first.
+pub fn rank(labels: &[String], key: &JobKey) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    order.sort_by(|&a, &b| {
+        (score(&labels[b], key), &labels[b]).cmp(&(score(&labels[a], key), &labels[a]))
+    });
+    order
+}
+
+/// The owning label's index for `key`, or `None` for an empty set.
+pub fn owner(labels: &[String], key: &JobKey) -> Option<usize> {
+    (0..labels.len()).max_by_key(|&i| (score(&labels[i], key), &labels[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemfpga::request::{ExperimentKind, ExperimentRequest};
+
+    fn key(seed: u64) -> JobKey {
+        crate::key::job_key(&ExperimentRequest {
+            seed,
+            ..ExperimentRequest::new(ExperimentKind::Fig4)
+        })
+        .unwrap()
+    }
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_order_invariant() {
+        let set = labels(5);
+        let mut shuffled = set.clone();
+        shuffled.rotate_left(2);
+        shuffled.swap(0, 3);
+        for seed in 0..64 {
+            let k = key(seed);
+            let a = &set[owner(&set, &k).unwrap()];
+            let b = &shuffled[owner(&shuffled, &k).unwrap()];
+            assert_eq!(a, b, "owner must not depend on list order");
+        }
+    }
+
+    #[test]
+    fn rank_starts_at_the_owner_and_permutes_all_indices() {
+        let set = labels(4);
+        for seed in 0..32 {
+            let k = key(seed);
+            let order = rank(&set, &k);
+            assert_eq!(order[0], owner(&set, &k).unwrap());
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn removing_a_node_remaps_only_its_own_keys() {
+        let set = labels(4);
+        let keys: Vec<JobKey> = (0..256).map(key).collect();
+        let survivor_set: Vec<String> = set[..3].to_vec();
+        for k in &keys {
+            let before = &set[owner(&set, k).unwrap()];
+            let after = &survivor_set[owner(&survivor_set, k).unwrap()];
+            if before != &set[3] {
+                assert_eq!(before, after, "keys not owned by the removed node must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_all_nodes() {
+        let set = labels(3);
+        let mut per_node = [0usize; 3];
+        for seed in 0..300 {
+            per_node[owner(&set, &key(seed)).unwrap()] += 1;
+        }
+        for (i, count) in per_node.iter().enumerate() {
+            assert!((40..=180).contains(count), "node {i} owns {count} of 300 keys");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Compact binary codec for cache entries and peer transfer.
+//!
+//! One frame per cached result:
+//!
+//! ```text
+//! +--------+---------+-----------------+-----------------+-----------------+----------------+
+//! | "NEMF" | version | len:u32 | key   | len:u32 | exp   | len:u32 | out   | sha256 trailer |
+//! | 4 B    | u16 LE  | LE      | bytes | LE      | bytes | LE      | bytes | 32 B           |
+//! +--------+---------+-----------------+-----------------+-----------------+----------------+
+//! ```
+//!
+//! The trailer is the SHA-256 of every byte before it, so a frame is
+//! self-verifying end to end: torn writes, bit rot, and truncated peer
+//! transfers all fail [`decode_entry`] and degrade to a cache **miss**,
+//! never a wrong answer. The same frame serves two masters — the disk
+//! tier of [`crate::cache::ResultCache`] (one `{key}.bin` file per
+//! entry) and the cluster's peer-transfer endpoint
+//! (`GET /v1/cluster/entry/:key`) — so bytes verified once on disk are
+//! the bytes shipped over the wire. JSON stays at the `/v1` API edge.
+//!
+//! Versioning: the magic + `CODEC_VERSION` pair gates decoding. A
+//! future incompatible layout bumps the version; old frames then decode
+//! as `None` (a miss) and get rewritten on the next compute, which is
+//! exactly the upgrade story a content-addressed cache wants.
+
+use crate::sha::sha256;
+
+/// Leading magic bytes of every frame.
+pub const CODEC_MAGIC: &[u8; 4] = b"NEMF";
+
+/// Current frame layout version.
+pub const CODEC_VERSION: u16 = 1;
+
+/// SHA-256 trailer length.
+const TRAILER: usize = 32;
+
+/// Hard ceiling on any single length-prefixed field (64 MiB). Decoding
+/// rejects larger claims outright so a corrupt length prefix cannot
+/// drive a huge allocation before the trailer check would catch it.
+const MAX_FIELD: usize = 64 << 20;
+
+/// A decoded cache-entry frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedEntry {
+    /// Content address (64 lowercase hex chars) the frame claims.
+    pub key: String,
+    /// Experiment wire name.
+    pub experiment: String,
+    /// The exact bytes a direct `repro` run prints to stdout.
+    pub output: String,
+}
+
+/// Encodes one cache entry as a self-verifying binary frame.
+pub fn encode_entry(key: &str, experiment: &str, output: &str) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(
+        CODEC_MAGIC.len() + 2 + 3 * 4 + key.len() + experiment.len() + output.len() + TRAILER,
+    );
+    frame.extend_from_slice(CODEC_MAGIC);
+    frame.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    for field in [key, experiment, output] {
+        frame.extend_from_slice(&(field.len() as u32).to_le_bytes());
+        frame.extend_from_slice(field.as_bytes());
+    }
+    let digest = sha256(&frame);
+    frame.extend_from_slice(&digest);
+    frame
+}
+
+/// Decodes and verifies a frame. Any defect — wrong magic, unknown
+/// version, short or oversized fields, non-UTF-8 bytes, or a trailer
+/// mismatch — returns `None`; callers treat that as a cache miss.
+pub fn decode_entry(bytes: &[u8]) -> Option<DecodedEntry> {
+    if bytes.len() < CODEC_MAGIC.len() + 2 + TRAILER {
+        return None;
+    }
+    let (frame, trailer) = bytes.split_at(bytes.len() - TRAILER);
+    if sha256(frame) != trailer {
+        return None;
+    }
+    let mut cursor = frame;
+    let magic = take(&mut cursor, CODEC_MAGIC.len())?;
+    if magic != CODEC_MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes(take(&mut cursor, 2)?.try_into().ok()?);
+    if version != CODEC_VERSION {
+        return None;
+    }
+    let key = take_field(&mut cursor)?;
+    let experiment = take_field(&mut cursor)?;
+    let output = take_field(&mut cursor)?;
+    if !cursor.is_empty() {
+        // Trailing garbage would have broken the trailer already, but
+        // be explicit: a frame is exactly its three fields.
+        return None;
+    }
+    Some(DecodedEntry { key, experiment, output })
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if cursor.len() < n {
+        return None;
+    }
+    let (head, rest) = cursor.split_at(n);
+    *cursor = rest;
+    Some(head)
+}
+
+fn take_field(cursor: &mut &[u8]) -> Option<String> {
+    let len = u32::from_le_bytes(take(cursor, 4)?.try_into().ok()?) as usize;
+    if len > MAX_FIELD {
+        return None;
+    }
+    String::from_utf8(take(cursor, len)?.to_vec()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        encode_entry(&"ab".repeat(32), "fig4", "==== banner ====\n  nominal: 6.20 V\n\tµ\n")
+    }
+
+    #[test]
+    fn round_trips_exact_bytes() {
+        let frame = sample();
+        let decoded = decode_entry(&frame).expect("clean frame decodes");
+        assert_eq!(decoded.key, "ab".repeat(32));
+        assert_eq!(decoded.experiment, "fig4");
+        assert_eq!(decoded.output, "==== banner ====\n  nominal: 6.20 V\n\tµ\n");
+        // Empty fields are legal frames too.
+        let empty = encode_entry("", "", "");
+        assert_eq!(
+            decode_entry(&empty).unwrap(),
+            DecodedEntry { key: String::new(), experiment: String::new(), output: String::new() }
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_degrades_to_a_miss() {
+        let frame = sample();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] = bad[i].wrapping_add(1);
+            assert!(decode_entry(&bad).is_none(), "flip at byte {i} must not decode");
+        }
+    }
+
+    #[test]
+    fn every_truncation_degrades_to_a_miss() {
+        let frame = sample();
+        for len in 0..frame.len() {
+            assert!(decode_entry(&frame[..len]).is_none(), "truncation to {len} must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_and_wrong_version_are_misses() {
+        let mut padded = sample();
+        padded.extend_from_slice(b"tail");
+        assert!(decode_entry(&padded).is_none());
+
+        // Re-sign a frame with a bumped version: the trailer verifies,
+        // the version gate still rejects it.
+        let frame = sample();
+        let mut future = frame[..frame.len() - TRAILER].to_vec();
+        future[4..6].copy_from_slice(&(CODEC_VERSION + 1).to_le_bytes());
+        let digest = crate::sha::sha256(&future);
+        future.extend_from_slice(&digest);
+        assert!(decode_entry(&future).is_none());
+    }
+
+    #[test]
+    fn oversized_length_claim_is_rejected_without_allocating() {
+        let frame = sample();
+        let mut bad = frame[..frame.len() - TRAILER].to_vec();
+        // Claim a 3 GiB key; re-sign so only the length gate can reject.
+        bad[6..10].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        let digest = crate::sha::sha256(&bad);
+        bad.extend_from_slice(&digest);
+        assert!(decode_entry(&bad).is_none());
+    }
+}

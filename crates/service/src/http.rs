@@ -18,11 +18,21 @@
 //! | `GET /v1/results/:key`   | Fetch a cached result by content address   |
 //! | `GET /v1/healthz`        | Liveness                                   |
 //! | `GET /v1/metrics`        | Registry snapshot (JSON); `?format=prometheus` for text |
+//! | `GET /v1/cluster/digest` | This node's advertised keys + versions (clustered nodes) |
+//! | `GET /v1/cluster/peers`  | Membership snapshot (clustered nodes)      |
+//! | `GET /v1/cluster/entry/:key` | One cache entry as a binary codec frame (peer transfer) |
 //!
 //! Backpressure responses (`429 Too Many Requests` for a full queue,
 //! `503 Service Unavailable` while draining) carry a `Retry-After`
 //! header in seconds. The pre-`/v1` unversioned paths had one release
 //! of `301` grace and now answer `404` like any unknown route.
+//!
+//! With clustering armed, `POST /v1/jobs` first routes by rendezvous
+//! hash: a node that is not the key's owner proxies the submit to the
+//! owner and relays its response verbatim (`?forwarded=1` marks the
+//! hop so chains cap at one), and the local serving path tries a peer
+//! result fetch before computing a miss. `GET /v1/results/:key` does
+//! the same peer fetch, so any node answers for any replicated key.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,6 +42,7 @@ use std::time::Duration;
 
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 
+use crate::cluster::{Cluster, RouteStep};
 use crate::json::{self, Value};
 use crate::key::JobKey;
 use crate::metrics::Metrics;
@@ -77,7 +88,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves the scheduler until shutdown.
+/// Binds `addr` and serves the scheduler until shutdown. `cluster` arms
+/// the `/v1/cluster/*` routes and owner-aware job routing.
 ///
 /// # Errors
 ///
@@ -86,6 +98,7 @@ pub fn serve(
     addr: &str,
     scheduler: Arc<Scheduler>,
     metrics: Arc<Metrics>,
+    cluster: Option<Arc<Cluster>>,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -100,22 +113,28 @@ pub fn serve(
                 let Ok(stream) = conn else { continue };
                 let scheduler = Arc::clone(&scheduler);
                 let metrics = Arc::clone(&metrics);
-                let _ = std::thread::Builder::new()
-                    .name("nemfpga-http-conn".to_owned())
-                    .spawn(move || handle_connection(stream, &scheduler, &metrics));
+                let cluster = cluster.clone();
+                let _ = std::thread::Builder::new().name("nemfpga-http-conn".to_owned()).spawn(
+                    move || handle_connection(stream, &scheduler, &metrics, cluster.as_deref()),
+                );
             }
         })?;
     Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
 }
 
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler, metrics: &Metrics) {
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    metrics: &Metrics,
+    cluster: Option<&Cluster>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let peer_writable = stream.try_clone();
     let Ok(mut out) = peer_writable else { return };
     let response = match read_request(stream) {
         Ok((method, path, body)) => {
             metrics.http_requests.inc();
-            route(&method, &path, &body, scheduler, metrics)
+            route(&method, &path, &body, scheduler, metrics, cluster)
         }
         Err(e) => Response::error(400, &format!("malformed request: {e}")),
     };
@@ -163,6 +182,8 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
 enum Body {
     Json(Value),
     Text(String),
+    /// A binary codec frame (peer entry transfer).
+    Bytes(Vec<u8>),
 }
 
 struct Response {
@@ -181,6 +202,17 @@ impl Response {
         Self { status: 200, body: Body::Text(body), retry_after: None }
     }
 
+    fn bytes(body: Vec<u8>) -> Self {
+        Self { status: 200, body: Body::Bytes(body), retry_after: None }
+    }
+
+    /// Relays a response received from a peer (proxied submit): the
+    /// parsed body re-serializes byte-identically through the
+    /// deterministic codec.
+    fn relayed(status: u16, retry_after: Option<u64>, body: Value) -> Self {
+        Self { status, body: Body::Json(body), retry_after }
+    }
+
     fn error(status: u16, message: &str) -> Self {
         Self {
             status,
@@ -197,9 +229,10 @@ impl Response {
     }
 
     fn to_bytes(&self) -> Vec<u8> {
-        let (content_type, body) = match &self.body {
-            Body::Json(v) => ("application/json", v.to_json()),
-            Body::Text(t) => ("text/plain; version=0.0.4", t.clone()),
+        let (content_type, body): (&str, Vec<u8>) = match &self.body {
+            Body::Json(v) => ("application/json", v.to_json().into_bytes()),
+            Body::Text(t) => ("text/plain; version=0.0.4", t.clone().into_bytes()),
+            Body::Bytes(b) => ("application/octet-stream", b.clone()),
         };
         let reason = match self.status {
             200 => "OK",
@@ -213,16 +246,17 @@ impl Response {
         };
         let retry_after =
             self.retry_after.map(|secs| format!("Retry-After: {secs}\r\n")).unwrap_or_default();
-        format!(
-            "HTTP/1.1 {} {}\r\n{}Content-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\n{}Content-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             reason,
             retry_after,
             content_type,
             body.len(),
-            body
         )
-        .into_bytes()
+        .into_bytes();
+        out.extend_from_slice(&body);
+        out
     }
 }
 
@@ -251,6 +285,7 @@ fn route(
     body: &str,
     scheduler: &Scheduler,
     metrics: &Metrics,
+    cluster: Option<&Cluster>,
 ) -> Response {
     let (path, params) = split_query(raw_path);
 
@@ -272,12 +307,25 @@ fn route(
                 Some(other) => Response::error(400, &format!("unknown metrics format `{other}`")),
             }
         }
-        ("POST", "/jobs") => post_jobs(body, scheduler),
+        ("POST", "/jobs") => post_jobs(body, query_flag(&params, "forwarded"), scheduler, cluster),
+        ("GET", "/cluster/digest") => match cluster {
+            Some(cluster) => Response::ok(cluster.digest_json()),
+            None => Response::error(404, "this node is not clustered"),
+        },
+        ("GET", "/cluster/peers") => match cluster {
+            Some(cluster) => Response::ok(cluster.peers_json()),
+            None => Response::error(404, "this node is not clustered"),
+        },
+        _ if method == "GET" && sub.starts_with("/cluster/entry/") => {
+            get_cluster_entry(&sub[15..], cluster)
+        }
         _ if method == "GET" && sub.starts_with("/jobs/") => {
             get_job(&sub[6..], query_flag(&params, "wait"), scheduler)
         }
         _ if method == "DELETE" && sub.starts_with("/jobs/") => delete_job(&sub[6..], scheduler),
-        _ if method == "GET" && sub.starts_with("/results/") => get_result(&sub[9..], scheduler),
+        _ if method == "GET" && sub.starts_with("/results/") => {
+            get_result(&sub[9..], scheduler, cluster)
+        }
         ("GET" | "POST" | "DELETE", _) => {
             Response::error(404, &format!("no route for {method} {raw_path}"))
         }
@@ -285,7 +333,12 @@ fn route(
     }
 }
 
-fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
+fn post_jobs(
+    body: &str,
+    forwarded: bool,
+    scheduler: &Scheduler,
+    cluster: Option<&Cluster>,
+) -> Response {
     let doc = match json::parse(body) {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, &e.to_string()),
@@ -301,6 +354,40 @@ fn post_jobs(body: &str, scheduler: &Scheduler) -> Response {
             return Response::error(400, "`deadline_ms` must be a non-negative integer");
         };
         opts.deadline_ms = Some(ms);
+    }
+
+    // Owner-aware routing. A forwarded submit is already one hop deep
+    // and always serves locally — two nodes with briefly divergent
+    // liveness views must not bounce a job between each other.
+    if let Some(cluster) = cluster {
+        if let Ok(key) = crate::key::job_key(&request) {
+            if !forwarded {
+                for step in cluster.route_chain(&key) {
+                    match step {
+                        RouteStep::Local => break,
+                        RouteStep::Peer(label, addr) => {
+                            match cluster.forward_submit(&addr, &doc) {
+                                Ok((status, retry_after, body)) => {
+                                    cluster.membership().mark_up(&label);
+                                    cluster.metrics().cluster_proxied_jobs.inc();
+                                    return Response::relayed(status, retry_after, body);
+                                }
+                                // The owner is unreachable: mark it down
+                                // and fall through to the next-ranked
+                                // candidate (possibly ourselves).
+                                Err(_) => cluster.membership().mark_down(&label),
+                            }
+                        }
+                    }
+                }
+            }
+            // Serving locally: before computing a miss, ask peers for
+            // the entry (admits straight into our cache on a hit, so
+            // the submit below answers from it).
+            if scheduler.cached_result(&key).is_none() {
+                cluster.peer_fetch(&key);
+            }
+        }
     }
 
     let submission = match scheduler.submit_opts(request, opts) {
@@ -361,17 +448,37 @@ fn get_job(id_text: &str, wait: bool, scheduler: &Scheduler) -> Response {
     Response::ok(status_json(&status))
 }
 
-fn get_result(key_text: &str, scheduler: &Scheduler) -> Response {
+fn get_result(key_text: &str, scheduler: &Scheduler, cluster: Option<&Cluster>) -> Response {
     let Some(key) = JobKey::from_hex(key_text) else {
         return Response::error(400, "result key must be 64 lowercase hex characters");
     };
-    match scheduler.cached_result(&key) {
+    // On a local miss, a clustered node asks its peers before giving
+    // up, so any node answers for any replicated key. The fetch path
+    // (`/v1/cluster/entry/:key`) only ever reads local caches — no
+    // recursion.
+    let result = scheduler
+        .cached_result(&key)
+        .or_else(|| cluster.and_then(|cluster| cluster.peer_fetch(&key)));
+    match result {
         Some(result) => Response::ok(Value::obj(vec![
             ("key", Value::Str(key.as_hex().to_owned())),
             ("experiment", Value::Str(result.experiment)),
             ("output", Value::Str(result.output)),
         ])),
         None => Response::error(404, "no cached result for this key"),
+    }
+}
+
+fn get_cluster_entry(key_text: &str, cluster: Option<&Cluster>) -> Response {
+    let Some(cluster) = cluster else {
+        return Response::error(404, "this node is not clustered");
+    };
+    let Some(key) = JobKey::from_hex(key_text) else {
+        return Response::error(400, "entry key must be 64 lowercase hex characters");
+    };
+    match cluster.entry_frame(&key) {
+        Some(frame) => Response::bytes(frame),
+        None => Response::error(404, "no cached entry for this key"),
     }
 }
 
@@ -441,11 +548,19 @@ pub struct ClientResponse {
     pub retry_after: Option<u64>,
 }
 
-/// A raw response before any body interpretation.
+/// A raw response before any body interpretation. The body stays bytes
+/// so binary peer transfers (`/v1/cluster/entry/:key`) share this path.
 pub(crate) struct RawResponse {
     pub status: u16,
     pub retry_after: Option<u64>,
-    pub body: String,
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// The body as UTF-8 text (JSON and Prometheus responses).
+    pub(crate) fn text(self) -> Result<String, String> {
+        String::from_utf8(self.body).map_err(|_| "response is not UTF-8".to_owned())
+    }
 }
 
 /// Issues one HTTP request and returns the raw response text. Opens a
@@ -508,8 +623,7 @@ pub(crate) fn raw_request(
             reader.read_to_end(&mut body_bytes).map_err(|e| e.to_string())?;
         }
     }
-    let body = String::from_utf8(body_bytes).map_err(|_| "response is not UTF-8".to_owned())?;
-    Ok(RawResponse { status, retry_after, body })
+    Ok(RawResponse { status, retry_after, body: body_bytes })
 }
 
 /// Issues one HTTP request (`body = None` for GET) and parses the JSON
@@ -534,6 +648,9 @@ pub fn http_request<A: ToSocketAddrs>(
         .next()
         .ok_or("address resolves to nothing")?;
     let raw = raw_request(&addr, method, path, body, timeout)?;
-    let body = json::parse(&raw.body).map_err(|e| format!("{e} in body {:?}", raw.body))?;
-    Ok(ClientResponse { status: raw.status, body, retry_after: raw.retry_after })
+    let status = raw.status;
+    let retry_after = raw.retry_after;
+    let text = raw.text()?;
+    let body = json::parse(&text).map_err(|e| format!("{e} in body {text:?}"))?;
+    Ok(ClientResponse { status, body, retry_after })
 }

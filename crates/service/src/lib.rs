@@ -44,6 +44,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
+pub mod codec;
 pub mod http;
 pub mod journal;
 pub mod json;
@@ -60,6 +62,8 @@ use nemfpga_runtime::ParallelConfig;
 
 pub use cache::{gc_orphan_tmp, CacheTier, CachedResult, ResultCache};
 pub use client::{ClientError, HistogramView, JobView, MetricsView, RetryPolicy, ServiceClient};
+pub use cluster::{Cluster, ClusterSettings};
+pub use codec::{decode_entry, encode_entry, DecodedEntry};
 pub use http::{http_request, ClientResponse, ServerHandle};
 pub use journal::{Journal, JournalRecord, PendingJob, RecoveryReport};
 pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
@@ -86,6 +90,8 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Write-ahead job journal file; `None` disables crash recovery.
     pub journal_path: Option<PathBuf>,
+    /// Multi-node clustering; `None` runs a plain single node.
+    pub cluster: Option<ClusterSettings>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +104,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             cache_dir: Some(PathBuf::from("target/service-cache")),
             journal_path: None,
+            cluster: None,
         }
     }
 }
@@ -107,6 +114,7 @@ pub struct Service {
     scheduler: Arc<Scheduler>,
     metrics: Arc<Metrics>,
     server: ServerHandle,
+    cluster: Option<Arc<Cluster>>,
 }
 
 impl Service {
@@ -203,8 +211,25 @@ impl Service {
             );
         }
 
-        let server = http::serve(&config.addr, Arc::clone(&scheduler), Arc::clone(&metrics))?;
-        Ok(Self { scheduler, metrics, server })
+        let cluster = config.cluster.as_ref().map(|settings| {
+            let mut settings = settings.clone();
+            if settings.forward_timeout.is_none() {
+                // Cover a proxied `wait: true` long-poll: the owner may
+                // hold the connection for a full job timeout.
+                settings.forward_timeout = Some(config.job_timeout + Duration::from_secs(15));
+            }
+            let cluster = Cluster::new(settings, scheduler.cache_handle(), Arc::clone(&metrics));
+            cluster.start_sync();
+            cluster
+        });
+
+        let server = http::serve(
+            &config.addr,
+            Arc::clone(&scheduler),
+            Arc::clone(&metrics),
+            cluster.clone(),
+        )?;
+        Ok(Self { scheduler, metrics, server, cluster })
     }
 
     /// The bound address.
@@ -222,6 +247,12 @@ impl Service {
         &self.metrics
     }
 
+    /// The cluster runtime, when this node is clustered. The testkit
+    /// uses this to drive deterministic sync rounds and partitions.
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
+    }
+
     /// Graceful drain: stop accepting new submissions, stop the HTTP
     /// listener, give in-flight jobs `grace` to finish, then force-
     /// cancel stragglers (their journal records stay open so a restart
@@ -230,6 +261,9 @@ impl Service {
     pub fn drain(self, grace: Duration) -> bool {
         self.scheduler.begin_drain();
         self.server.shutdown();
+        if let Some(cluster) = &self.cluster {
+            cluster.stop_sync();
+        }
         let quiesced = self.scheduler.await_quiesce(grace);
         if !quiesced {
             let cancelled = self.scheduler.cancel_all();
@@ -247,6 +281,9 @@ impl Service {
     /// for the graceful path.
     pub fn shutdown(self) {
         self.server.shutdown();
+        if let Some(cluster) = &self.cluster {
+            cluster.stop_sync();
+        }
         // Dropping the scheduler joins the worker pool.
     }
 }

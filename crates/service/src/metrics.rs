@@ -63,8 +63,20 @@ pub struct Metrics {
     pub cache_misses: Counter,
     /// HTTP requests served (any route, any status).
     pub http_requests: Counter,
+    /// Local misses answered by fetching the entry from a peer.
+    pub cluster_peer_fetch_hits: Counter,
+    /// Local misses no reachable peer could answer (the job computes).
+    pub cluster_peer_fetch_misses: Counter,
+    /// Anti-entropy rounds completed (background thread or `sync_now`).
+    pub cluster_antientropy_rounds: Counter,
+    /// Entries admitted from peers by anti-entropy pulls.
+    pub cluster_antientropy_entries_pulled: Counter,
+    /// Submits proxied to the key's HRW owner on another node.
+    pub cluster_proxied_jobs: Counter,
     /// Jobs waiting in the queue (sampled at export time).
     pub queue_depth: Gauge,
+    /// Peers currently believed reachable (0 when clustering is off).
+    pub cluster_peers_up: Gauge,
     /// Submission → worker pickup, microseconds.
     pub job_queue_wait_us: Histogram,
     /// Executor wall time, microseconds.
@@ -113,7 +125,14 @@ impl Metrics {
             cache_hits_disk: registry.counter("cache_hits_disk"),
             cache_misses: registry.counter("cache_misses"),
             http_requests: registry.counter("http_requests"),
+            cluster_peer_fetch_hits: registry.counter("cluster_peer_fetch_hits"),
+            cluster_peer_fetch_misses: registry.counter("cluster_peer_fetch_misses"),
+            cluster_antientropy_rounds: registry.counter("cluster_antientropy_rounds"),
+            cluster_antientropy_entries_pulled: registry
+                .counter("cluster_antientropy_entries_pulled"),
+            cluster_proxied_jobs: registry.counter("cluster_proxied_jobs"),
             queue_depth: registry.gauge("queue_depth"),
+            cluster_peers_up: registry.gauge("cluster_peers_up"),
             job_queue_wait_us: registry.histogram("job_queue_wait_us"),
             job_exec_us: registry.histogram("job_exec_us"),
             job_latency_us: registry.histogram("job_latency_us"),

@@ -249,7 +249,7 @@ struct Table {
 struct Shared {
     table: Mutex<Table>,
     job_done: Condvar,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
     executor: Executor,
     max_finished_jobs: usize,
@@ -309,7 +309,7 @@ impl Scheduler {
                 finished_order: VecDeque::new(),
             }),
             job_done: Condvar::new(),
-            cache,
+            cache: Arc::new(cache),
             metrics,
             executor,
             max_finished_jobs: config.max_finished_jobs.max(1),
@@ -624,6 +624,13 @@ impl Scheduler {
     /// The configured per-job deadline.
     pub fn job_timeout(&self) -> Duration {
         self.job_timeout
+    }
+
+    /// A shared handle on the result cache. The cluster layer uses this
+    /// to admit peer-fetched entries and to answer digest/entry-frame
+    /// requests against the same store the scheduler serves from.
+    pub fn cache_handle(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.shared.cache)
     }
 
     fn insert_finished(

@@ -16,15 +16,23 @@
 //! ordinals), restarts on the same state directories, and checks the
 //! recovery invariants (no durable job lost, byte-identical results,
 //! single compute per process, reconciled metrics).
+//!
+//! `--cluster` switches to the multi-node scenario: a 3-node in-process
+//! cluster floods unique keys in waves while one seeded node is killed
+//! and another partitioned, then heals and rejoins. Invariants: zero
+//! lost jobs, at most one compute per key cluster-wide, digest
+//! convergence after heal, byte-identical results from every node.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
-use nemfpga_testkit::{run_chaos, run_restart, ChaosConfig, FaultPlan, RestartConfig};
+use nemfpga_testkit::{
+    run_chaos, run_cluster, run_restart, ChaosConfig, ClusterConfig, FaultPlan, RestartConfig,
+};
 
 const USAGE: &str = "usage: chaos [--seeds A..B | --seed N] [--clients N] [--requests N] \
-                     [--with-bug skip-double-check|leak-inflight] [--restart]";
+                     [--with-bug skip-double-check|leak-inflight] [--restart] [--cluster]";
 
 struct Args {
     seeds: std::ops::Range<u64>,
@@ -32,10 +40,12 @@ struct Args {
     requests: usize,
     bug: Option<BugSwitch>,
     restart: bool,
+    cluster: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 0..20, clients: 4, requests: 12, bug: None, restart: false };
+    let mut args =
+        Args { seeds: 0..20, clients: 4, requests: 12, bug: None, restart: false, cluster: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
@@ -63,16 +73,44 @@ fn parse_args() -> Result<Args, String> {
                     Some(BugSwitch::from_name(&name).ok_or(format!("unknown bug `{name}`"))?);
             }
             "--restart" => args.restart = true,
+            "--cluster" => args.cluster = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.seeds.is_empty() {
         return Err("empty seed range".to_owned());
     }
-    if args.restart && args.bug.is_some() {
-        return Err("--restart and --with-bug are separate scenarios".to_owned());
+    if (args.restart || args.cluster) && args.bug.is_some() {
+        return Err("--restart/--cluster and --with-bug are separate scenarios".to_owned());
+    }
+    if args.restart && args.cluster {
+        return Err("--restart and --cluster are separate scenarios".to_owned());
     }
     Ok(args)
+}
+
+/// The multi-node scenario: kill + partition + rejoin per seed.
+fn run_cluster_mode(args: &Args) -> ExitCode {
+    let mut total_violations = 0usize;
+    for seed in args.seeds.clone() {
+        let cfg = ClusterConfig { seed, ..ClusterConfig::default() };
+        let report = run_cluster(&cfg);
+        println!("[cluster kill+partition] {}", report.summary());
+        for violation in &report.violations {
+            println!("    VIOLATION: {violation}");
+        }
+        total_violations += report.violations.len();
+    }
+    if total_violations == 0 {
+        println!("all cluster schedules held every invariant");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{total_violations} cluster violations — replay a failing seed with \
+             `chaos --cluster --seed N`"
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// The kill-and-restart scenario: one staged crash + recovery per seed.
@@ -115,6 +153,9 @@ fn main() -> ExitCode {
 
     if args.restart {
         return run_restart_mode(&args);
+    }
+    if args.cluster {
+        return run_cluster_mode(&args);
     }
 
     let mut total_violations = 0usize;

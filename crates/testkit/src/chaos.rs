@@ -291,6 +291,7 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             cache_capacity: 64,
             cache_dir: cache_dir.clone(),
             journal_path: None,
+            cluster: None,
         },
         executor,
     )

@@ -1,0 +1,422 @@
+//! The cluster chaos scenario: a 3-node in-process cluster under a
+//! seeded kill + partition schedule.
+//!
+//! Three real [`Service`] instances (each with its own cache disk,
+//! journal, and counting executor) form a rendezvous-sharded cluster. A
+//! cluster-routing [`nemfpga_service::ServiceClient`] floods unique
+//! keys in waves; between waves the driver kills one seeded node,
+//! partitions another (severing its peer links in both directions), then
+//! heals everything — rejoining the killed node on its original state
+//! directories. Anti-entropy runs only when the driver calls
+//! `sync_now`, so convergence points are deterministic and the
+//! invariants are sharp:
+//!
+//! 1. **Zero lost jobs** — every accepted submission reaches `done`
+//!    with the executor's exact bytes, through every fault.
+//! 2. **≤ 1 compute per key cluster-wide** — faults land at wave
+//!    boundaries after convergence, so nothing ever recomputes; the
+//!    per-node executor counters prove it across kill, partition, and
+//!    rejoin.
+//! 3. **Convergence after heal** — all three nodes advertise identical
+//!    digests once links are restored and sync rounds run.
+//! 4. **Byte identity everywhere** — after heal, every node serves
+//!    every key from `/v1/results/:key` with identical canonical bytes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_runtime::ParallelConfig;
+use nemfpga_service::json::Value;
+use nemfpga_service::{
+    http_request, job_key, ClusterSettings, JobState, Service, ServiceClient, ServiceConfig,
+};
+
+use crate::chaos::expected_output;
+
+/// One cluster run's shape.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Drives which node dies and which is partitioned.
+    pub seed: u64,
+    /// Unique keys submitted per wave (three waves).
+    pub keys_per_wave: usize,
+    /// Worker threads per node.
+    pub worker_threads: usize,
+    /// Per-job deadline.
+    pub job_timeout: Duration,
+    /// Root for per-node cache/journal state; each run uses
+    /// `<root>/cluster-<seed>` and removes it afterwards.
+    pub state_root: PathBuf,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            keys_per_wave: 6,
+            worker_threads: 2,
+            job_timeout: Duration::from_secs(5),
+            state_root: std::env::temp_dir()
+                .join(format!("nemfpga-cluster-{}", std::process::id())),
+        }
+    }
+}
+
+/// What one cluster run did and every invariant it broke.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Unique keys submitted across all waves.
+    pub keys: usize,
+    /// Executor invocations per key, summed across all nodes.
+    pub computes_per_key: BTreeMap<String, u64>,
+    /// Invariant violations (empty means the cluster survived).
+    pub violations: Vec<String>,
+}
+
+impl ClusterReport {
+    /// Total executor invocations cluster-wide.
+    pub fn computes(&self) -> u64 {
+        self.computes_per_key.values().sum()
+    }
+
+    /// One summary line for driver output.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {:>3}  {:>3} keys  {} computes  {}",
+            self.seed,
+            self.keys,
+            self.computes(),
+            if self.violations.is_empty() {
+                "OK".to_owned()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+}
+
+/// Per-key executor-invocation counters, shared across a node's
+/// incarnations so a rejoin cannot reset the compute ledger.
+type ComputeLedger = Arc<Mutex<HashMap<String, u64>>>;
+
+struct Node {
+    label: String,
+    addr: SocketAddr,
+    service: Option<Service>,
+    computes: ComputeLedger,
+    cache_dir: PathBuf,
+    journal_path: PathBuf,
+}
+
+/// Reserves an ephemeral port by binding and immediately releasing it —
+/// cluster labels must be known before `Service::start` binds, and a
+/// label must equal the address peers dial.
+fn reserve_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve ephemeral port");
+    listener.local_addr().expect("reserved port has an address")
+}
+
+fn counting_executor(ledger: &ComputeLedger) -> nemfpga_service::Executor {
+    let ledger = Arc::clone(ledger);
+    Arc::new(move |request: &ExperimentRequest| {
+        let key = job_key(request).map_err(|e| e.to_string())?;
+        *ledger
+            .lock()
+            .expect("compute ledger poisoned")
+            .entry(key.as_hex().to_owned())
+            .or_insert(0) += 1;
+        Ok(expected_output(request))
+    })
+}
+
+fn start_node(node: &mut Node, peers: &[String], cfg: &ClusterConfig, node_seed: u64) {
+    let mut settings = ClusterSettings::new(node.label.clone(), peers.to_vec());
+    // The driver owns convergence via sync_now; park the background
+    // thread far beyond the run so rounds never race the schedule.
+    settings.sync_interval = Duration::from_secs(3600);
+    settings.seed = node_seed;
+    settings.max_pull_per_round = 1024;
+    let config = ServiceConfig {
+        addr: node.addr.to_string(),
+        parallel: ParallelConfig::with_threads(cfg.worker_threads.max(1)),
+        queue_capacity: 64,
+        job_timeout: cfg.job_timeout,
+        cache_capacity: 256,
+        cache_dir: Some(node.cache_dir.clone()),
+        journal_path: Some(node.journal_path.clone()),
+        cluster: Some(settings),
+    };
+    let service =
+        Service::start(&config, counting_executor(&node.computes)).expect("bind cluster node");
+    node.service = Some(service);
+}
+
+/// The `i`-th unique request of the run (tiny keyspace, distinct keys).
+fn request_for(i: usize) -> ExperimentRequest {
+    let kinds = [ExperimentKind::Fig4, ExperimentKind::Table1, ExperimentKind::Fig6];
+    let mut request = ExperimentRequest::new(kinds[i % kinds.len()]);
+    request.seed = i as u64;
+    request
+}
+
+/// Builds a cluster-routing client over the given labels.
+fn cluster_client(labels: &[String], cfg: &ClusterConfig) -> ServiceClient {
+    ServiceClient::new(labels[0].as_str())
+        .expect("resolve node label")
+        .with_timeout(cfg.job_timeout + Duration::from_secs(30))
+        .with_peers(labels)
+        .expect("arm cluster routing")
+}
+
+/// Submits `requests` through the cluster client, recording violations
+/// for anything short of `done` + exact bytes.
+fn flood(
+    client: &ServiceClient,
+    requests: &[ExperimentRequest],
+    wave: &str,
+    violations: &mut Vec<String>,
+) {
+    for request in requests {
+        match client.submit(request, true) {
+            Ok(job) => {
+                if job.state != JobState::Done {
+                    violations.push(format!(
+                        "{wave}: job for seed {} ended {:?}, not done",
+                        request.seed, job.state
+                    ));
+                } else if job.output.as_deref() != Some(expected_output(request).as_str()) {
+                    violations.push(format!(
+                        "{wave}: served bytes diverge from the executor's for seed {}",
+                        request.seed
+                    ));
+                }
+            }
+            Err(error) => {
+                violations
+                    .push(format!("{wave}: submission lost for seed {}: {error}", request.seed));
+            }
+        }
+    }
+}
+
+/// Drives every live node through `rounds` anti-entropy rounds.
+fn converge(nodes: &[Node], rounds: usize) {
+    for _ in 0..rounds {
+        for node in nodes {
+            if let Some(service) = &node.service {
+                let cluster = service.cluster().expect("node is clustered");
+                cluster.sync_now();
+            }
+        }
+    }
+}
+
+/// Fetches a node's digest entries (`/v1/cluster/digest` minus the
+/// node-specific `node` field).
+fn digest_entries(node: &Node, cfg: &ClusterConfig) -> Result<Value, String> {
+    let resp = http_request(
+        node.addr,
+        "GET",
+        "/v1/cluster/digest",
+        None,
+        cfg.job_timeout + Duration::from_secs(30),
+    )?;
+    if resp.status != 200 {
+        return Err(format!("digest answered {}", resp.status));
+    }
+    resp.body.get("entries").cloned().ok_or_else(|| "digest body missing `entries`".to_owned())
+}
+
+/// Asserts all live nodes advertise byte-identical digests.
+fn check_converged(nodes: &[Node], cfg: &ClusterConfig, stage: &str, violations: &mut Vec<String>) {
+    let live: Vec<&Node> = nodes.iter().filter(|n| n.service.is_some()).collect();
+    let mut digests = Vec::with_capacity(live.len());
+    for node in &live {
+        match digest_entries(node, cfg) {
+            Ok(entries) => digests.push((node.label.clone(), entries)),
+            Err(error) => violations.push(format!("{stage}: digest from {}: {error}", node.label)),
+        }
+    }
+    for pair in digests.windows(2) {
+        if pair[0].1 != pair[1].1 {
+            violations
+                .push(format!("{stage}: digests diverge between {} and {}", pair[0].0, pair[1].0));
+        }
+    }
+}
+
+/// Runs one cluster chaos experiment. See the module docs for the
+/// schedule and invariants.
+pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    let state = cfg.state_root.join(format!("cluster-{}", cfg.seed));
+    let _ = std::fs::remove_dir_all(&state);
+
+    let mut nodes: Vec<Node> = (0..3)
+        .map(|i| {
+            let addr = reserve_addr();
+            Node {
+                label: addr.to_string(),
+                addr,
+                service: None,
+                computes: Arc::new(Mutex::new(HashMap::new())),
+                cache_dir: state.join(format!("node-{i}/cache")),
+                journal_path: state.join(format!("node-{i}/journal.log")),
+            }
+        })
+        .collect();
+    let labels: Vec<String> = nodes.iter().map(|n| n.label.clone()).collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        start_node(node, &labels, cfg, cfg.seed.wrapping_add(i as u64));
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    let client = cluster_client(&labels, cfg);
+    let requests: Vec<ExperimentRequest> = (0..cfg.keys_per_wave * 3).map(request_for).collect();
+    let (wave1, rest) = requests.split_at(cfg.keys_per_wave);
+    let (wave2, wave3) = rest.split_at(cfg.keys_per_wave);
+
+    // ── Wave 1: all nodes alive; replicate and verify convergence. ──
+    flood(&client, wave1, "wave 1", &mut violations);
+    converge(&nodes, 2);
+    check_converged(&nodes, cfg, "after wave 1", &mut violations);
+
+    // ── Kill one seeded node, then flood fresh keys through failover. ──
+    let killed = (cfg.seed % 3) as usize;
+    let partitioned = ((cfg.seed + 1) % 3) as usize;
+    if let Some(service) = nodes[killed].service.take() {
+        service.shutdown();
+    }
+    flood(&client, wave2, "wave 2 (one node down)", &mut violations);
+    // Both survivors converge before the next fault lands, keeping the
+    // single-compute invariant strict across the partition.
+    converge(&nodes, 2);
+    check_converged(&nodes, cfg, "after wave 2", &mut violations);
+
+    // ── Partition the next node: sever links in both directions. ──
+    for (i, node) in nodes.iter().enumerate() {
+        let Some(service) = &node.service else { continue };
+        let cluster = service.cluster().expect("node is clustered");
+        if i == partitioned {
+            for (j, peer) in labels.iter().enumerate() {
+                if j != i {
+                    cluster.set_peer_enabled(peer, false);
+                }
+            }
+        } else {
+            cluster.set_peer_enabled(&labels[partitioned], false);
+        }
+    }
+    flood(&client, wave3, "wave 3 (partitioned)", &mut violations);
+
+    // ── Heal: restore links, rejoin the killed node on its old state. ──
+    for node in &nodes {
+        let Some(service) = &node.service else { continue };
+        let cluster = service.cluster().expect("node is clustered");
+        for peer in &labels {
+            if peer != &node.label {
+                cluster.set_peer_enabled(peer, true);
+            }
+        }
+    }
+    // The rejoining node binds a fresh port (its old one may linger in
+    // TIME_WAIT); everyone — including the client — learns the new list.
+    let rejoin_addr = reserve_addr();
+    nodes[killed].addr = rejoin_addr;
+    nodes[killed].label = rejoin_addr.to_string();
+    let labels: Vec<String> = nodes.iter().map(|n| n.label.clone()).collect();
+    {
+        let (node, seed) = (&mut nodes[killed], cfg.seed.wrapping_add(killed as u64));
+        start_node(node, &labels, cfg, seed);
+    }
+    for node in &nodes {
+        if let Some(service) = &node.service {
+            service.cluster().expect("node is clustered").set_peers(&labels);
+        }
+    }
+    converge(&nodes, 3);
+    check_converged(&nodes, cfg, "after heal", &mut violations);
+
+    // ── Phase 3: every key answers everywhere, with zero new computes. ──
+    let computes_before = total_computes(&nodes);
+    let healed_client = cluster_client(&labels, cfg);
+    flood(&healed_client, &requests, "post-heal resubmit", &mut violations);
+    let computes_after = total_computes(&nodes);
+    if computes_after != computes_before {
+        violations.push(format!(
+            "post-heal resubmits recomputed: {} executor calls grew to {}",
+            sum(&computes_before),
+            sum(&computes_after),
+        ));
+    }
+    for request in &requests {
+        let key = job_key(request).expect("valid request has a key");
+        let expected = expected_output(request);
+        for node in &nodes {
+            let resp = http_request(
+                node.addr,
+                "GET",
+                &format!("/v1/results/{}", key.as_hex()),
+                None,
+                cfg.job_timeout + Duration::from_secs(30),
+            );
+            match resp {
+                Ok(resp) if resp.status == 200 => {
+                    if resp.body.get("output").and_then(Value::as_str) != Some(expected.as_str()) {
+                        violations.push(format!(
+                            "{} serves non-canonical bytes for seed {}",
+                            node.label, request.seed
+                        ));
+                    }
+                }
+                Ok(resp) => violations.push(format!(
+                    "{} answered {} for converged key (seed {})",
+                    node.label, resp.status, request.seed
+                )),
+                Err(error) => {
+                    violations.push(format!("{}: result fetch failed: {error}", node.label))
+                }
+            }
+        }
+    }
+
+    // ── Single compute per key, cluster-wide, across all incarnations. ──
+    let computes_per_key: BTreeMap<String, u64> =
+        computes_after.iter().map(|(key, n)| (key.clone(), *n)).collect();
+    for (key, n) in &computes_per_key {
+        if *n > 1 {
+            violations.push(format!(
+                "key {}… computed {n} times cluster-wide",
+                &key[..12.min(key.len())]
+            ));
+        }
+    }
+
+    for node in &mut nodes {
+        if let Some(service) = node.service.take() {
+            service.shutdown();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&state);
+
+    ClusterReport { seed: cfg.seed, keys: requests.len(), computes_per_key, violations }
+}
+
+fn total_computes(nodes: &[Node]) -> BTreeMap<String, u64> {
+    let mut total: BTreeMap<String, u64> = BTreeMap::new();
+    for node in nodes {
+        for (key, n) in node.computes.lock().expect("compute ledger poisoned").iter() {
+            *total.entry(key.clone()).or_insert(0) += n;
+        }
+    }
+    total
+}
+
+fn sum(computes: &BTreeMap<String, u64>) -> u64 {
+    computes.values().sum()
+}

@@ -19,6 +19,10 @@
 //! * [`chaos`] — the chaos engine: runs the full HTTP serve loop
 //!   (`Service::start` + real TCP clients) under a fault plan and
 //!   checks the invariants that must survive *any* fault sequence.
+//! * [`cluster`] — the cluster chaos scenario: a 3-node in-process
+//!   cluster under a seeded kill + partition + rejoin schedule, with
+//!   zero-loss, single-compute, convergence, and byte-identity
+//!   invariants checked at every stage.
 //! * [`differential`] — the CAD differential harness: incremental
 //!   PathFinder vs full rerouting, 1-vs-N-thread sweeps / Monte Carlo /
 //!   population sampling, across seeded random architectures, with an
@@ -32,12 +36,14 @@
 //! TESTING.md documents replay.
 
 pub mod chaos;
+pub mod cluster;
 pub mod differential;
 pub mod plan;
 pub mod restart;
 pub mod sync;
 
 pub use chaos::{run_chaos, BugSwitch, ChaosConfig, ChaosReport};
+pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
 pub use differential::{case_matrix, run_case, run_matrix, shrink_case, DiffCase, Divergence};
 pub use plan::{FaultPlan, FaultRule, FaultScope, FaultSpec, FireRule};
 pub use restart::{crash_plan, run_restart, RestartConfig, RestartReport};

@@ -231,6 +231,7 @@ pub fn run_restart(cfg: &RestartConfig) -> RestartReport {
         cache_capacity: 64,
         cache_dir: Some(cache_dir.clone()),
         journal_path: Some(journal_path.clone()),
+        cluster: None,
     };
     let budget = cfg.job_timeout + Duration::from_secs(30);
     let mut violations: Vec<String> = Vec::new();

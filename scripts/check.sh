@@ -15,6 +15,13 @@
 # drain-mid-flood run of the load generator over real HTTP. `--chaos`
 # implies `--recovery`.
 #
+# `--cluster` appends the multi-node stage: the 3-node kill + partition
+# + rejoin chaos scenario over 6 seeds, then a real 3-process fleet
+# (`serve --peers` on fixed ports) flooded twice by `loadgen --cluster`,
+# which requires exactly one compute per key cluster-wide, byte-equal
+# digests on every node, and a second pass served entirely from cache.
+# `--chaos` implies `--cluster`.
+#
 # `--obs` appends the observability stage: the obs crate's tests with
 # the `trace` feature armed, a traced `repro` run whose chrome://tracing
 # file must cover all five flow stages with stdout byte-identical to an
@@ -29,15 +36,17 @@ cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
 RUN_RECOVERY=0
+RUN_CLUSTER=0
 RUN_OBS=0
 RUN_BENCH=0
 for arg in "$@"; do
     case "$arg" in
-        --chaos) RUN_CHAOS=1; RUN_RECOVERY=1 ;;
+        --chaos) RUN_CHAOS=1; RUN_RECOVERY=1; RUN_CLUSTER=1 ;;
         --recovery) RUN_RECOVERY=1 ;;
+        --cluster) RUN_CLUSTER=1 ;;
         --obs) RUN_OBS=1 ;;
         --bench) RUN_BENCH=1 ;;
-        *) echo "usage: scripts/check.sh [--chaos] [--recovery] [--obs] [--bench]" >&2; exit 2 ;;
+        *) echo "usage: scripts/check.sh [--chaos] [--recovery] [--cluster] [--obs] [--bench]" >&2; exit 2 ;;
     esac
 done
 
@@ -107,6 +116,47 @@ if [[ "$RUN_RECOVERY" -eq 1 ]]; then
     echo "==> recovery: drain mid-flood over HTTP, zero lost jobs required"
     cargo run -q --release -p nemfpga-bench --bin loadgen -- --chaos-restart \
         --requests 256 --unique 64 --concurrency 48 --threads 1 --drain-grace-ms 0
+fi
+
+if [[ "$RUN_CLUSTER" -eq 1 ]]; then
+    echo "==> cluster: 6 seeded kill+partition+rejoin schedules, zero violations required"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- --cluster --seeds 0..6
+
+    echo "==> cluster: 3-process fleet over real HTTP, flooded twice by loadgen --cluster"
+    cluster_dir=$(mktemp -d)
+    PEERS="127.0.0.1:17871,127.0.0.1:17872,127.0.0.1:17873"
+    declare -a cluster_pids=()
+    cleanup_cluster() {
+        for pid in "${cluster_pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        for pid in "${cluster_pids[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+        rm -rf "$cluster_dir"
+    }
+    trap cleanup_cluster EXIT
+    cargo build -q --release -p nemfpga-bench --bin serve --bin loadgen
+    for i in 1 2 3; do
+        port=$((17870 + i))
+        target/release/serve --addr "127.0.0.1:$port" \
+            --peers "$PEERS" --sync-interval-ms 200 --cluster-seed "$i" \
+            --cache-dir "$cluster_dir/node-$i/cache" \
+            --journal "$cluster_dir/node-$i/journal.log" \
+            > "$cluster_dir/node-$i.log" 2>&1 &
+        cluster_pids+=($!)
+    done
+    for i in 1 2 3; do
+        port=$((17870 + i))
+        for _ in $(seq 1 100); do
+            if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then exec 3>&-; break; fi
+            sleep 0.1
+        done
+    done
+    target/release/loadgen --cluster --peers "$PEERS" --unique 24 --concurrency 12 || {
+        echo "error: loadgen --cluster failed against the serve fleet" >&2
+        for i in 1 2 3; do echo "--- node $i log ---" >&2; cat "$cluster_dir/node-$i.log" >&2; done
+        exit 1
+    }
+    cleanup_cluster
+    cluster_pids=()
+    trap - EXIT
 fi
 
 if [[ "$RUN_OBS" -eq 1 ]]; then
