@@ -26,6 +26,8 @@ fn scheduler() -> Scheduler {
         queue_capacity: 256,
         job_timeout: Duration::from_secs(30),
         max_finished_jobs: 1024,
+        event_buffer: 64,
+        qos: Default::default(),
     };
     // Memory-only cache: the bench isolates the hit path from disk I/O.
     Scheduler::new(&config, ResultCache::new(1024, None), Arc::new(Metrics::default()), executor)

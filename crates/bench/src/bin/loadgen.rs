@@ -38,6 +38,15 @@
 //! waiting is condvar- or long-poll-based; there are no fixed sleeps to
 //! tune.
 //!
+//! `--tenants` runs the fair-share scenario: three tenants with
+//! weights 3:2:1 flood an in-process service with equal backlogs of
+//! unique (uncacheable, uncoalescable) jobs, and mid-flood — while every
+//! tenant is still backlogged — the per-tenant completion counters from
+//! `/v1/metrics` must split within tolerance of the configured 1/2 :
+//! 1/3 : 1/6 shares. At quiescence every tenant's ledger must balance
+//! (all submitted jobs completed, zero rejections) and sampled results
+//! must be byte-identical to a direct render.
+//!
 //! `--cluster` runs the multi-node scenario: a rendezvous-routing
 //! client (the servers' own HRW hash, client-side) floods `--unique`
 //! keys twice across a 3-node cluster — `--peers A,B,C` targets live
@@ -57,11 +66,11 @@ use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::{
-    http_request, job_key, ClusterSettings, Executor, JobState, Service, ServiceClient,
-    ServiceConfig,
+    http_request, job_key, ClusterSettings, Executor, JobState, Lane, QosPolicy, Service,
+    ServiceClient, ServiceConfig,
 };
 
-const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS] [--cluster] [--peers A,B,C]";
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS] [--cluster] [--peers A,B,C] [--tenants]";
 
 /// Experiments cheap enough to fan out by the dozen. The point of the
 /// load test is queue/cache/dedup behavior, not experiment runtime.
@@ -80,6 +89,7 @@ struct Options {
     drain_grace: Duration,
     cluster: bool,
     peers: Option<Vec<String>>,
+    tenants: bool,
 }
 
 impl Default for Options {
@@ -96,6 +106,7 @@ impl Default for Options {
             drain_grace: Duration::from_millis(50),
             cluster: false,
             peers: None,
+            tenants: false,
         }
     }
 }
@@ -120,7 +131,198 @@ fn main() {
     if options.cluster {
         std::process::exit(run_cluster_mode(&options));
     }
+    if options.tenants {
+        std::process::exit(run_tenants_mode(&options));
+    }
     std::process::exit(run(&options));
+}
+
+/// The fair-share scenario behind `--tenants`: equal per-tenant
+/// backlogs, weighted 3:2:1 service, completion shares checked
+/// mid-flood against the configured weights.
+fn run_tenants_mode(options: &Options) -> i32 {
+    const TENANTS: [(&str, u32); 3] = [("alpha", 3), ("beta", 2), ("gamma", 1)];
+    let weight_sum: u32 = TENANTS.iter().map(|(_, w)| w).sum();
+    let per_tenant = options.requests;
+
+    let parallel = ParallelConfig::with_threads(options.threads);
+    // A few milliseconds per job keeps every tenant backlogged through
+    // the measurement window without making the run slow.
+    let executor: Executor = Arc::new(move |request: &ExperimentRequest| {
+        std::thread::sleep(Duration::from_millis(3));
+        Ok(render_experiment(request, &parallel))
+    });
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        parallel,
+        // Hold all three backlogs at once: fairness is measured on the
+        // scheduler, so admission must not clip the load first. The
+        // memory cache must also keep every result so the byte
+        // spot-check at the end can still see the earliest keys.
+        queue_capacity: TENANTS.len() * per_tenant + 16,
+        cache_capacity: TENANTS.len() * per_tenant + 16,
+        cache_dir: None,
+        qos: QosPolicy {
+            weights: TENANTS.iter().map(|(t, w)| ((*t).to_owned(), *w)).collect(),
+            ..QosPolicy::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = match Service::start(&config, executor) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot start in-process service: {e}");
+            return 1;
+        }
+    };
+    let client = match ServiceClient::new(service.addr()) {
+        Ok(c) => c.with_timeout(Duration::from_secs(300)),
+        Err(e) => {
+            eprintln!("loadgen: bad address: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "loadgen: tenants mode — {} jobs each for {} (weights {}) -> http://{}",
+        per_tenant,
+        TENANTS.map(|(t, _)| t).join("/"),
+        TENANTS.map(|(_, w)| w.to_string()).join(":"),
+        service.addr()
+    );
+
+    // Every submission is a fresh key (per-tenant seed bands), so
+    // nothing coalesces or hits the cache — each one crosses the fair
+    // queue. Fire-and-forget keeps the backlogs deep.
+    let failures = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for (index, (tenant, _)) in TENANTS.iter().enumerate() {
+            let client = client.clone();
+            let failures = Arc::clone(&failures);
+            s.spawn(move || {
+                for i in 0..per_tenant {
+                    let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+                    request.seed = (index * 1_000_000 + i) as u64;
+                    if let Err(e) = client.submit_as(&request, false, tenant, Lane::Interactive) {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("loadgen: submit as {tenant} failed: {e}");
+                    }
+                }
+            });
+        }
+    });
+    if failures.load(Ordering::Relaxed) > 0 {
+        eprintln!("loadgen: FAIL: {} submissions rejected", failures.load(Ordering::Relaxed));
+        service.shutdown();
+        return 1;
+    }
+
+    // Sample completion shares mid-flood: once a third of the total
+    // work is done, the heaviest tenant has finished at most half its
+    // backlog, so all three are still queued and the weighted shares
+    // must show. Long-poll /v1/metrics (no fixed sleeps to tune).
+    let completed = |view: &nemfpga_service::MetricsView, tenant: &str| {
+        view.counter(&format!("tenant_jobs_completed{{tenant=\"{tenant}\"}}")).unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mid: Vec<u64> = loop {
+        let view = match client.metrics() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("loadgen: GET /v1/metrics failed: {e}");
+                service.shutdown();
+                return 1;
+            }
+        };
+        let counts: Vec<u64> = TENANTS.iter().map(|(t, _)| completed(&view, t)).collect();
+        if counts.iter().sum::<u64>() >= per_tenant as u64 {
+            break counts;
+        }
+        if Instant::now() > deadline {
+            eprintln!("loadgen: FAIL: flood never reached the measurement point");
+            service.shutdown();
+            return 1;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let mid_total: u64 = mid.iter().sum();
+    let mut failed = false;
+    for ((tenant, weight), count) in TENANTS.iter().zip(&mid) {
+        let share = *count as f64 / mid_total as f64;
+        let expected = f64::from(*weight) / f64::from(weight_sum);
+        println!(
+            "  mid-flood: {tenant} completed {count} ({:.0}% of {mid_total}; weight says {:.0}%)",
+            share * 100.0,
+            expected * 100.0
+        );
+        // The pinned simulator test proves the dequeue pattern is
+        // exactly periodic; the slack here only covers sampling at an
+        // arbitrary point plus in-flight jobs.
+        if (share - expected).abs() > 0.10 {
+            eprintln!(
+                "loadgen: FAIL: {tenant} mid-flood share {:.0}% is more than 10 points from \
+                 its weighted {:.0}%",
+                share * 100.0,
+                expected * 100.0
+            );
+            failed = true;
+        }
+    }
+
+    // Drain, then the ledgers must balance: everything submitted ran to
+    // completion, nothing was rejected, nothing wedged.
+    if !service.scheduler().await_quiesce(Duration::from_secs(120)) {
+        eprintln!("loadgen: FAIL: tenant backlogs did not drain");
+        service.shutdown();
+        return 1;
+    }
+    let view = match client.metrics() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadgen: GET /v1/metrics failed: {e}");
+            service.shutdown();
+            return 1;
+        }
+    };
+    for (tenant, _) in &TENANTS {
+        let done = completed(&view, tenant);
+        let rejected =
+            view.counter(&format!("tenant_jobs_rejected{{tenant=\"{tenant}\"}}")).unwrap_or(0);
+        if done != per_tenant as u64 || rejected != 0 {
+            eprintln!(
+                "loadgen: FAIL: {tenant} ledger off at quiescence: {done}/{per_tenant} \
+                 completed, {rejected} rejected"
+            );
+            failed = true;
+        }
+    }
+
+    // Spot-check served bytes against a direct render — fairness must
+    // not have crossed any results between tenants.
+    for (index, (tenant, _)) in TENANTS.iter().enumerate() {
+        let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+        request.seed = (index * 1_000_000) as u64;
+        let key = job_key(&request).expect("pool requests are valid");
+        match client.result(&key) {
+            Ok(output) if output == render_experiment(&request, &ParallelConfig::serial()) => {}
+            Ok(_) => {
+                eprintln!("loadgen: BYTE MISMATCH for {tenant}'s seed {}", request.seed);
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("loadgen: {tenant}'s first result is missing: {e}");
+                failed = true;
+            }
+        }
+    }
+    service.shutdown();
+    if failed {
+        return 1;
+    }
+    println!(
+        "loadgen: OK — completion shares tracked the 3:2:1 weights mid-flood and every \
+         tenant's {per_tenant} jobs completed with zero rejections"
+    );
+    0
 }
 
 /// The drain/restart scenario: flood, drain mid-load, restart on the
@@ -818,6 +1020,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => options.seed = parse_value(it.next(), "--seed", "an integer")?,
             "--chaos-restart" => options.chaos_restart = true,
             "--cluster" => options.cluster = true,
+            "--tenants" => options.tenants = true,
             "--peers" => {
                 let list = it.next().ok_or("--peers needs a comma-separated node list")?;
                 let parsed: Vec<String> = list
@@ -853,6 +1056,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if options.cluster && (options.chaos_restart || options.addr.is_some()) {
         return Err("--cluster is its own scenario (no --addr / --chaos-restart)".to_owned());
+    }
+    if options.tenants && (options.cluster || options.chaos_restart || options.addr.is_some()) {
+        return Err(
+            "--tenants is its own scenario (no --addr / --cluster / --chaos-restart)".to_owned()
+        );
     }
     Ok(options)
 }

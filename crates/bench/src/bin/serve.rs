@@ -36,7 +36,9 @@
 //! `--self-test` binds an ephemeral port, drives the typed
 //! [`nemfpga_service::ServiceClient`] through one health check, one job
 //! round trip (verified against a direct render), one cached
-//! re-submission, and one metrics fetch, then shuts down cleanly — the
+//! re-submission, one metrics fetch, and one SSE progress stream (a
+//! Fig. 9 job streamed, interrupted, and resumed via `Last-Event-ID`
+//! with no duplicate or missing events), then shuts down cleanly — the
 //! check-script smoke test. `--trace-out FILE` (with `--self-test`, and
 //! built with `--features obs`) additionally records the self-test's
 //! server-side spans as a chrome://tracing file.
@@ -234,6 +236,105 @@ fn self_test(service: &Service) -> bool {
             return false;
         }
     }
+
+    // Progress streaming: a Fig. 9 evaluation runs the full CAD flow, so
+    // its event channel must carry the stage announcements, and an
+    // interrupted subscriber must resume via Last-Event-ID with no
+    // duplicate or missing sequence numbers.
+    let request = ExperimentRequest::new(ExperimentKind::Fig9);
+    let job = match client.submit(&request, false) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("self-test: streaming POST /v1/jobs failed: {e}");
+            return false;
+        }
+    };
+    let mut frames = Vec::new();
+    let mut stream = match client.events(job.id) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("self-test: GET /v1/jobs/{}/events failed: {e}", job.id);
+            return false;
+        }
+    };
+    // Hang up mid-stream after the second stage announcement, the way a
+    // flaky client would.
+    let mut stages_before_cut = 0usize;
+    for item in &mut stream {
+        let frame = match item {
+            Ok(frame) => frame,
+            Err(e) => {
+                eprintln!("self-test: event stream broke before the cut: {e}");
+                return false;
+            }
+        };
+        if frame.event == "stage" {
+            stages_before_cut += 1;
+        }
+        frames.push(frame);
+        if stages_before_cut == 2 {
+            break;
+        }
+    }
+    drop(stream);
+    if stages_before_cut != 2 {
+        eprintln!("self-test: stream ended after {stages_before_cut} stage events; expected to cut it at 2");
+        return false;
+    }
+    let cut_at = frames.last().map(|f| f.id).unwrap_or(0);
+    let resumed = match client.events_from(job.id, cut_at) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("self-test: resume with Last-Event-ID {cut_at} failed: {e}");
+            return false;
+        }
+    };
+    for item in resumed {
+        match item {
+            Ok(frame) => frames.push(frame),
+            Err(e) => {
+                eprintln!("self-test: resumed event stream failed: {e}");
+                return false;
+            }
+        }
+    }
+    // No duplicates, no loss: ids are exactly 1..=n across both
+    // connections, so the resumed stream picked up at cut_at + 1.
+    if let Some(bad) = frames.iter().enumerate().find(|(i, f)| f.id != *i as u64 + 1) {
+        eprintln!(
+            "self-test: event ids not contiguous across the interrupted stream: \
+             position {} carries id {} (cut was at id {cut_at})",
+            bad.0, bad.1.id
+        );
+        return false;
+    }
+    if frames.iter().any(|f| f.event == "dropped") {
+        eprintln!("self-test: event ring overflowed during a single Fig. 9 job");
+        return false;
+    }
+    let stages: std::collections::BTreeSet<&str> =
+        frames.iter().filter(|f| f.event == "stage").map(|f| f.data.as_str()).collect();
+    if stages.len() < 5 {
+        eprintln!(
+            "self-test: expected at least 5 distinct flow stages on the event stream, saw {}: {stages:?}",
+            stages.len()
+        );
+        return false;
+    }
+    match frames.last() {
+        Some(last) if last.event == "state" && last.data.contains("\"done\"") => {}
+        other => {
+            eprintln!(
+                "self-test: event stream did not end with the terminal state event: {other:?}"
+            );
+            return false;
+        }
+    }
+    println!(
+        "  streamed {} events ({} distinct stages), cut at id {cut_at}, resumed without loss",
+        frames.len(),
+        stages.len()
+    );
     true
 }
 

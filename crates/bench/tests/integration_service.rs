@@ -557,3 +557,78 @@ fn client_circuit_breaker_opens_after_consecutive_transport_failures() {
     }
     service.shutdown();
 }
+
+#[test]
+fn event_streams_terminate_on_cancel_and_deadline_expiry() {
+    // Cancel and deadline expiry are the two terminal paths that never
+    // reach the executor's happy exit — a subscriber holding the event
+    // stream open across either must still see a terminal `state` frame
+    // and then a clean end-of-stream, not a wedged connection.
+    let hold = Gate::new();
+    let (service, computations) = start_counting_service(Some(hold.clone()));
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    // Occupy both workers with gated jobs, so the two victims sit in
+    // the queue for their whole lives.
+    let a = client.submit(&ExperimentRequest::new(ExperimentKind::Fig4), false).expect("submit a");
+    let b =
+        client.submit(&ExperimentRequest::new(ExperimentKind::Table1), false).expect("submit b");
+    let doomed = client
+        .submit_with_deadline(&ExperimentRequest::new(ExperimentKind::Fig6), false, Some(1))
+        .expect("submit doomed");
+    let victim = client
+        .submit(&ExperimentRequest::new(ExperimentKind::Fig11), false)
+        .expect("submit victim");
+    assert_eq!(doomed.state, JobState::Queued);
+    assert_eq!(victim.state, JobState::Queued);
+
+    // Subscribe while both jobs are still queued. The iterator ends
+    // only when the server closes the stream at the terminal event.
+    let doomed_stream = client.events(doomed.id).expect("subscribe to the doomed job");
+    let victim_stream = client.events(victim.id).expect("subscribe to the victim");
+
+    let collect = |label: &'static str, stream: nemfpga_service::EventStream| {
+        std::thread::spawn(move || {
+            stream
+                .map(|frame| frame.unwrap_or_else(|e| panic!("{label} stream broke: {e}")))
+                .collect::<Vec<_>>()
+        })
+    };
+    let doomed_frames = collect("doomed", doomed_stream);
+    let victim_frames = collect("victim", victim_stream);
+
+    // Cancel the queued victim; let the deadline lapse; open the gate
+    // so the workers drain.
+    assert_eq!(client.cancel(victim.id).expect("cancel").state, JobState::Cancelled);
+    std::thread::sleep(Duration::from_millis(20));
+    hold.open();
+    assert_eq!(client.wait(doomed.id).expect("wait doomed").state, JobState::Expired);
+    for id in [a.id, b.id] {
+        assert_eq!(client.wait(id).expect("wait filler").state, JobState::Done);
+    }
+
+    // Both subscribers terminated (join blocks forever on a wedged
+    // stream; the suite harness would flag the hang), each with a
+    // contiguous queued → terminal state sequence.
+    for (handle, terminal) in [(doomed_frames, "expired"), (victim_frames, "cancelled")] {
+        let frames = handle.join().expect("subscriber thread");
+        assert!(!frames.is_empty(), "the stream must carry at least the terminal event");
+        for (index, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.id, index as u64 + 1, "event ids must be contiguous from 1");
+            assert_eq!(frame.event, "state", "queued-life jobs see only state events");
+        }
+        assert_eq!(
+            frames[0].data, "{\"state\":\"queued\"}",
+            "the stream must start at the queued transition"
+        );
+        let last = frames.last().expect("non-empty");
+        assert_eq!(
+            last.data,
+            format!("{{\"state\":\"{terminal}\"}}"),
+            "the final frame must be the terminal state"
+        );
+    }
+    // Neither victim ever reached the executor.
+    assert_eq!(computations.load(Ordering::SeqCst), 2);
+    service.shutdown();
+}

@@ -158,6 +158,7 @@ pub fn evaluate(
     }
     let benchmark = netlist.name().to_owned();
     let _flow_span = nemfpga_obs::span("flow", "evaluate");
+    nemfpga_obs::progress::stage("evaluate");
     let activities = compute_activities(&netlist, config.input_activity)?;
     let mut imp: Implementation =
         implement(netlist, &config.params, &config.place, &config.route, config.width)?;
@@ -208,6 +209,7 @@ pub fn evaluate(
     let critical_paths: Vec<Seconds> = {
         let mut sta_span = nemfpga_obs::span("flow", "sta");
         sta_span.set_arg("variants", models.len() as u64);
+        nemfpga_obs::progress::stage("sta");
         parallel_map(&config.parallel, &models, |_, model| {
             analyze_timing(&imp.rr, &imp.design, &imp.placement, &imp.routing, &model.timing)
                 .map(|report| report.critical_path)
@@ -220,6 +222,7 @@ pub fn evaluate(
     let lb_tiles = (imp.placement.grid.width * imp.placement.grid.height) as f64;
     let mut evaluations = Vec::with_capacity(models.len());
     let power_span = nemfpga_obs::span("flow", "power");
+    nemfpga_obs::progress::stage("power");
     for (model, cp) in models.iter().zip(&critical_paths) {
         let inventory = FabricInventory::from_rr_graph(&imp.rr, model.variant.sram_per_switch());
         let power = PowerReport {

@@ -1,12 +1,16 @@
 //! Observability core for the nemfpga workspace.
 //!
-//! Three pieces, deliberately decoupled:
+//! Four pieces, deliberately decoupled:
 //!
 //! * [`metrics`] — a typed metric registry ([`Counter`], [`Gauge`],
 //!   [`Histogram`]) that is **always compiled**. Histograms are
 //!   log-bucketed with exact u64 counts and merge associatively, so
 //!   quantiles come from real distributions instead of point samples
 //!   and per-shard histograms can be combined without loss.
+//! * [`progress`] — an always-compiled, thread-local progress sink the
+//!   engine announces stage starts and loop ticks to. The serving layer
+//!   installs a per-job sink and forwards events to streaming clients;
+//!   with no sink installed a site costs one thread-local read.
 //! * [`span`] — a lock-minimal span recorder behind the `trace`
 //!   feature. Spans buffer in thread-local storage and drain into a
 //!   global sink in batches; with the feature off every guard is a
@@ -25,10 +29,12 @@
 
 pub mod clock;
 pub mod metrics;
+pub mod progress;
 pub mod span;
 pub mod trace;
 
 pub use metrics::{
     engine_registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
 };
+pub use progress::{ProgressEvent, ProgressGuard, ProgressSink};
 pub use span::{flush_thread, span, SpanGuard, SpanRecord, TraceSession};

@@ -289,31 +289,66 @@ impl RegistrySnapshot {
     /// render cumulative `_bucket{le=...}` series (only buckets that
     /// change the cumulative count, plus `+Inf`), `_sum`, `_count`.
     pub fn to_prometheus(&self) -> String {
+        // Registry names may embed labels (`family{tenant="x"}`); the
+        // exposition format wants one `# TYPE` line per *family*, and
+        // histogram suffixes (`_bucket`, `_sum`, `_count`) attached to
+        // the family name with the labels following. BTreeMap order
+        // keeps a family's labeled series adjacent, so deduping TYPE
+        // lines only needs the previously emitted family.
         let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, family: &str, kind: &str| {
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last_family = family.to_owned();
+            }
+        };
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
+            let (family, _) = split_labels(name);
+            type_line(&mut out, family, "counter");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            let (family, _) = split_labels(name);
+            type_line(&mut out, family, "gauge");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            let (family, labels) = split_labels(name);
+            type_line(&mut out, family, "histogram");
+            // `{tenant="x"}` composes with `le` as `{tenant="x",le=…}`.
+            let with = |extra: &str| match (labels, extra.is_empty()) {
+                (None, true) => String::new(),
+                (None, false) => format!("{{{extra}}}"),
+                (Some(labels), true) => format!("{{{labels}}}"),
+                (Some(labels), false) => format!("{{{labels},{extra}}}"),
+            };
             let mut cumulative = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
                     continue;
                 }
                 cumulative += c;
-                let _ =
-                    writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper_bound(i));
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {cumulative}",
+                    with(&format!("le=\"{}\"", bucket_upper_bound(i)))
+                );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-            let _ = writeln!(out, "{name}_sum {}", h.sum);
-            let _ = writeln!(out, "{name}_count {cumulative}");
+            let _ = writeln!(out, "{family}_bucket{} {cumulative}", with("le=\"+Inf\""));
+            let _ = writeln!(out, "{family}_sum{} {}", with(""), h.sum);
+            let _ = writeln!(out, "{family}_count{} {cumulative}", with(""));
         }
         out
+    }
+}
+
+/// Splits a registry name into its metric family and the embedded label
+/// body, if any: `f{a="b"}` → `("f", Some("a=\"b\""))`, `f` → `("f", None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.strip_suffix('}').unwrap_or(rest))),
+        None => (name, None),
     }
 }
 
@@ -423,5 +458,24 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
         assert!(text.contains("lat_us_sum 302\n"), "{text}");
         assert!(text.contains("lat_us_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_groups_labeled_series_under_one_family() {
+        let r = Registry::new();
+        r.counter("jobs{tenant=\"a\"}").add(2);
+        r.counter("jobs{tenant=\"b\"}").add(5);
+        let h = r.histogram("lat{tenant=\"a\"}");
+        h.record(1);
+        let text = r.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE jobs counter").count(), 1, "{text}");
+        assert!(text.contains("jobs{tenant=\"a\"} 2\n"), "{text}");
+        assert!(text.contains("jobs{tenant=\"b\"} 5\n"), "{text}");
+        assert!(!text.contains("# TYPE jobs{"), "labels leaked into a TYPE line: {text}");
+        assert!(text.contains("# TYPE lat histogram\n"), "{text}");
+        assert!(text.contains("lat_bucket{tenant=\"a\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{tenant=\"a\",le=\"+Inf\"} 1\n"), "{text}");
+        assert!(text.contains("lat_sum{tenant=\"a\"} 1\n"), "{text}");
+        assert!(text.contains("lat_count{tenant=\"a\"} 1\n"), "{text}");
     }
 }

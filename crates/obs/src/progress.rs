@@ -1,0 +1,163 @@
+//! In-band job progress reporting.
+//!
+//! The span layer ([`crate::span`]) records *timing* for offline trace
+//! analysis and compiles out without the `trace` feature. Progress is
+//! the live counterpart: the engine announces "I am now packing",
+//! "router iteration 7" to whoever is watching *right now* — the
+//! serving layer forwards these to streaming clients. It is therefore
+//! **always compiled**, like metrics.
+//!
+//! The mechanism mirrors `nemfpga_runtime::cancel`: the worker that
+//! picks a job up [`install`]s a sink for the duration of the job, and
+//! instrumented sites call [`stage`] / [`tick`] without threading
+//! anything through the call graph. With no sink installed a site costs
+//! one thread-local read. The thread-local sink does not inherit into
+//! spawned threads; fan-out primitives that run work on behalf of the
+//! current job capture [`current`] and re-[`install`] it per worker,
+//! exactly as they do for the cancel token.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// One progress announcement from an instrumented engine site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A named flow stage began (`pack`, `place`, `route`, `sta`, ...).
+    Stage {
+        /// Stage name, stable across runs.
+        name: &'static str,
+    },
+    /// A counted step inside a stage (e.g. router iteration `value`).
+    Tick {
+        /// Counter name, stable across runs.
+        name: &'static str,
+        /// Current count (1-based for loop iterations).
+        value: u64,
+    },
+}
+
+/// Where progress events go. Sinks must be cheap and non-blocking: they
+/// run inline on the engine thread at stage boundaries.
+pub type ProgressSink = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+thread_local! {
+    static CURRENT: RefCell<Option<ProgressSink>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously-installed sink (if any) on drop.
+pub struct ProgressGuard {
+    previous: Option<ProgressSink>,
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Makes `sink` the current sink for this thread until the returned
+/// guard drops. Nests: the guard restores whatever was current before.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub fn install(sink: ProgressSink) -> ProgressGuard {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(sink));
+    ProgressGuard { previous }
+}
+
+/// The sink installed on this thread, if any. Fan-out primitives use
+/// this to propagate the sink onto their worker threads.
+pub fn current() -> Option<ProgressSink> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Announces the start of a named flow stage.
+#[inline]
+pub fn stage(name: &'static str) {
+    emit(&ProgressEvent::Stage { name });
+}
+
+/// Announces a counted step inside a stage.
+#[inline]
+pub fn tick(name: &'static str, value: u64) {
+    emit(&ProgressEvent::Tick { name, value });
+}
+
+fn emit(event: &ProgressEvent) {
+    CURRENT.with(|current| {
+        if let Some(sink) = current.borrow().as_ref() {
+            sink(event);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    use super::*;
+
+    fn collecting_sink() -> (ProgressSink, Arc<Mutex<Vec<ProgressEvent>>>) {
+        let seen: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |event: &ProgressEvent| {
+                seen.lock().expect("sink lock").push(event.clone());
+            })
+        };
+        (sink, seen)
+    }
+
+    #[test]
+    fn sites_are_inert_without_a_sink() {
+        stage("pack");
+        tick("route.iteration", 1);
+    }
+
+    #[test]
+    fn installed_sink_sees_events_in_order() {
+        let (sink, seen) = collecting_sink();
+        {
+            let _guard = install(sink);
+            stage("pack");
+            tick("route.iteration", 3);
+        }
+        stage("after-guard"); // must not land anywhere
+        let seen = seen.lock().expect("seen lock");
+        assert_eq!(
+            *seen,
+            vec![
+                ProgressEvent::Stage { name: "pack" },
+                ProgressEvent::Tick { name: "route.iteration", value: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let (outer, outer_seen) = collecting_sink();
+        let (inner, inner_seen) = collecting_sink();
+        let g1 = install(outer);
+        {
+            let _g2 = install(inner);
+            stage("inner");
+        }
+        stage("outer");
+        drop(g1);
+        assert!(current().is_none());
+        assert_eq!(inner_seen.lock().expect("lock").len(), 1);
+        assert_eq!(outer_seen.lock().expect("lock").len(), 1);
+    }
+
+    #[test]
+    fn current_clone_reinstalls_on_another_thread() {
+        let (sink, seen) = collecting_sink();
+        let _guard = install(sink);
+        let captured = current().expect("sink is installed");
+        std::thread::spawn(move || {
+            let _guard = install(captured);
+            stage("fanned-out");
+        })
+        .join()
+        .expect("join");
+        assert_eq!(seen.lock().expect("lock").len(), 1);
+    }
+}

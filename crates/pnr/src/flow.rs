@@ -93,18 +93,21 @@ pub fn implement(
 ) -> Result<Implementation, PnrError> {
     let design = {
         let _span = nemfpga_obs::span("flow", "pack");
+        nemfpga_obs::progress::stage("pack");
         pack(netlist, params)?
     };
     let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
         .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
     let placement = {
         let _span = nemfpga_obs::span("flow", "place");
+        nemfpga_obs::progress::stage("place");
         place(&design, grid, place_cfg)?
     };
 
     // Covers the whole width-resolution phase (W_min search included):
     // dropped on every return path below.
     let mut route_span = nemfpga_obs::span("flow", "route");
+    nemfpga_obs::progress::stage("route");
     match width {
         WidthPolicy::Fixed(w) => {
             route_span.set_arg("width", w as u64);

@@ -578,6 +578,7 @@ fn route_core_inner(
         iterations = iter + 1;
         let mut iter_span = nemfpga_obs::span("route", "route.iteration");
         iter_span.set_arg("iteration", iterations as u64);
+        nemfpga_obs::progress::tick("route.iteration", iterations as u64);
 
         let mut rerouted = 0usize;
         if !net_parallel {

@@ -47,8 +47,10 @@ where
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
     // Thread-locals do not inherit into scoped workers: capture the
-    // caller's cancel token so a cancel reaches the fan-out threads.
+    // caller's cancel token and progress sink so a cancel (and a
+    // progress announcement) reaches the fan-out threads.
     let token = cancel::current();
+    let sink = nemfpga_obs::progress::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -56,8 +58,10 @@ where
             let cursor = &cursor;
             let done = &done;
             let token = token.clone();
+            let sink = sink.clone();
             scope.spawn(move || {
                 let _guard = token.map(cancel::enter);
+                let _progress = sink.map(nemfpga_obs::progress::install);
                 loop {
                     let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                     if start >= items.len() {

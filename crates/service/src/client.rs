@@ -23,7 +23,8 @@
 //! transport-failure circuit breaker so a dead server costs one timeout
 //! per cooldown instead of one per call.
 
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,7 +34,9 @@ use crate::cluster::rendezvous;
 use crate::http::{http_request, ClientResponse};
 use crate::json::Value;
 use crate::key::JobKey;
+use crate::qos::{Lane, DEFAULT_TENANT};
 use crate::scheduler::JobState;
+use crate::sse::{SseEvent, SseParser};
 
 /// Why a client call failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +83,10 @@ pub struct JobView {
     pub coalesced_submissions: u64,
     /// Whether *this* submission coalesced (present on submit responses).
     pub coalesced: Option<bool>,
+    /// The tenant the job is billed to.
+    pub tenant: String,
+    /// The scheduling lane (`interactive` or `batch`).
+    pub priority: Lane,
     /// Output, once `Done`.
     pub output: Option<String>,
     /// Error message, on any non-`Done` terminal state.
@@ -122,6 +129,14 @@ impl JobView {
             cached,
             coalesced_submissions,
             coalesced: doc.get("coalesced").and_then(Value::as_bool),
+            // Absent on documents from pre-QoS servers: default rather
+            // than reject, so mixed-version clusters keep working.
+            tenant: doc.get("tenant").and_then(Value::as_str).unwrap_or(DEFAULT_TENANT).to_owned(),
+            priority: doc
+                .get("priority")
+                .and_then(Value::as_str)
+                .and_then(Lane::from_name)
+                .unwrap_or_default(),
             output: doc.get("output").and_then(Value::as_str).map(str::to_owned),
             error: doc.get("error").and_then(Value::as_str).map(str::to_owned),
         })
@@ -552,6 +567,36 @@ impl ServiceClient {
         wait: bool,
         deadline_ms: Option<u64>,
     ) -> Result<JobView, ClientError> {
+        self.submit_full(request, wait, deadline_ms, None, None)
+    }
+
+    /// [`ServiceClient::submit`] on behalf of a tenant in a scheduling
+    /// lane. The server bills the job to `tenant`'s fair-share account
+    /// and applies its quotas.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::submit`], plus [`ClientError::Api`] with
+    /// status 429 when the tenant is over its queue quota (the server
+    /// sets `Retry-After`).
+    pub fn submit_as(
+        &self,
+        request: &ExperimentRequest,
+        wait: bool,
+        tenant: &str,
+        priority: Lane,
+    ) -> Result<JobView, ClientError> {
+        self.submit_full(request, wait, None, Some(tenant), Some(priority))
+    }
+
+    fn submit_full(
+        &self,
+        request: &ExperimentRequest,
+        wait: bool,
+        deadline_ms: Option<u64>,
+        tenant: Option<&str>,
+        priority: Option<Lane>,
+    ) -> Result<JobView, ClientError> {
         let mut fields = vec![
             ("experiment", Value::Str(request.experiment.name().to_owned())),
             ("scale", Value::F64(request.scale)),
@@ -561,6 +606,12 @@ impl ServiceClient {
         ];
         if let Some(ms) = deadline_ms {
             fields.push(("deadline_ms", Value::U64(ms)));
+        }
+        if let Some(tenant) = tenant {
+            fields.push(("tenant", Value::Str(tenant.to_owned())));
+        }
+        if let Some(lane) = priority {
+            fields.push(("priority", Value::Str(lane.name().to_owned())));
         }
         let body = Value::obj(fields);
         let resp = match (&self.cluster, crate::key::job_key(request)) {
@@ -582,6 +633,83 @@ impl ServiceClient {
     pub fn cancel(&self, id: u64) -> Result<JobView, ClientError> {
         let resp = self.call("DELETE", &format!("/v1/jobs/{id}"), None)?;
         JobView::from_json(&resp.body)
+    }
+
+    /// `GET /v1/jobs/:id/events` — the job's progress stream from the
+    /// beginning, as an iterator of decoded SSE frames. The iterator
+    /// ends when the job reaches a terminal state (the server closes
+    /// the stream after the terminal `state` event).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 404 once the record is evicted,
+    /// plus the transport cases.
+    pub fn events(&self, id: u64) -> Result<EventStream, ClientError> {
+        self.events_from(id, 0)
+    }
+
+    /// [`ServiceClient::events`] resuming after a previously seen event:
+    /// sends `Last-Event-ID: last_event_id` so the server replays
+    /// exactly the events after it (or a `dropped` gap frame when the
+    /// buffer has already evicted them).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::events`].
+    pub fn events_from(&self, id: u64, last_event_id: u64) -> Result<EventStream, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let mut stream = stream;
+        let resume = if last_event_id > 0 {
+            format!("Last-Event-ID: {last_event_id}\r\n")
+        } else {
+            String::new()
+        };
+        let head = format!(
+            "GET /v1/jobs/{id}/events HTTP/1.1\r\nHost: nemfpga\r\n{resume}Connection: close\r\n\r\n"
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).map_err(|e| ClientError::Transport(e.to_string()))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(|e| ClientError::Transport(e.to_string()))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        if status != 200 {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).map_err(|e| ClientError::Transport(e.to_string()))?;
+            let text = String::from_utf8_lossy(&body);
+            let message = crate::json::parse(&text)
+                .ok()
+                .and_then(|doc| doc.get("error").and_then(Value::as_str).map(str::to_owned))
+                .unwrap_or_else(|| text.into_owned());
+            return Err(ClientError::Api { status, message });
+        }
+        Ok(EventStream { reader, parser: SseParser::new(), done: false })
     }
 
     /// `GET /v1/jobs/:id` — one non-blocking snapshot.
@@ -655,5 +783,54 @@ impl ServiceClient {
             return Err(ClientError::Api { status, message: text });
         }
         Ok(text)
+    }
+}
+
+/// A live `GET /v1/jobs/:id/events` connection: an iterator over the
+/// job's decoded SSE frames. Iteration ends with `None` when the server
+/// closes the stream at the job's terminal state; an abrupt connection
+/// loss surfaces as one final `Err(ClientError::Transport)` — resume
+/// with [`ServiceClient::events_from`] and the last `id` seen.
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    parser: SseParser,
+    done: bool,
+}
+
+impl Iterator for EventStream {
+    type Item = Result<SseEvent, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(event) = self.parser.next_event() {
+                return Some(Ok(event));
+            }
+            if self.done {
+                return None;
+            }
+            if self.parser.ended() {
+                // Clean end-of-stream: the zero-length chunk arrived and
+                // every buffered frame has been handed out.
+                self.done = true;
+                return None;
+            }
+            let mut buf = [0u8; 4096];
+            match self.reader.read(&mut buf) {
+                Ok(0) => {
+                    self.done = true;
+                    if self.parser.ended() {
+                        return None;
+                    }
+                    return Some(Err(ClientError::Transport(
+                        "event stream closed mid-frame".to_owned(),
+                    )));
+                }
+                Ok(n) => self.parser.push(&buf[..n]),
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ClientError::Transport(e.to_string())));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,347 @@
+//! Per-job progress event channels.
+//!
+//! Every accepted job gets a bounded [`JobChannel`]: the scheduler
+//! publishes lifecycle transitions (`queued` → `running` → terminal)
+//! and forwards the engine's [`nemfpga_obs::progress`] announcements
+//! (flow stages, router iteration ticks) into it. HTTP subscribers
+//! replay the channel over SSE (`GET /v1/jobs/:id/events`).
+//!
+//! Channels are replayable rings: events carry a 1-based per-job
+//! sequence number, the last [`EventHub::buffer`] events stay resident
+//! (even after the job finishes, until its record is evicted), and a
+//! subscriber is just a cursor — `Last-Event-ID` resume is "read from
+//! cursor + 1". When the ring overflows, the oldest events are dropped
+//! **loudly**: a subscriber whose cursor fell behind the ring gets a
+//! synthesized `dropped` gap event carrying the exact count of events
+//! it missed, and every overflow increments the `events_dropped`
+//! counter. Slow consumers lose data — they never lose *track* of it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// Default ring capacity per job. Big enough to hold a full Fig. 9
+/// evaluation (six stages plus a few hundred router iterations) so
+/// late subscribers can replay a finished job from the start.
+pub const DEFAULT_EVENT_BUFFER: usize = 4096;
+
+/// What happened, without the sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Lifecycle transition; `state` is a [`crate::JobState`] name.
+    State {
+        /// New state name (`queued`, `running`, `done`, ...).
+        state: String,
+    },
+    /// A flow stage began.
+    Stage {
+        /// Stage name (`pack`, `place`, `route`, `sta`, `power`, ...).
+        stage: String,
+    },
+    /// A counted step inside a stage.
+    Tick {
+        /// Counter name (e.g. `route.iteration`).
+        tick: String,
+        /// Current count.
+        value: u64,
+    },
+    /// Gap marker synthesized for a subscriber that fell behind the
+    /// ring: `count` events between its cursor and the ring were lost.
+    Dropped {
+        /// How many events this subscriber missed.
+        count: u64,
+    },
+}
+
+impl EventKind {
+    /// The SSE `event:` field for this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::State { .. } => "state",
+            EventKind::Stage { .. } => "stage",
+            EventKind::Tick { .. } => "tick",
+            EventKind::Dropped { .. } => "dropped",
+        }
+    }
+
+    /// The SSE `data:` payload for this kind.
+    pub fn data(&self) -> Value {
+        match self {
+            EventKind::State { state } => Value::obj(vec![("state", Value::Str(state.clone()))]),
+            EventKind::Stage { stage } => Value::obj(vec![("stage", Value::Str(stage.clone()))]),
+            EventKind::Tick { tick, value } => {
+                Value::obj(vec![("tick", Value::Str(tick.clone())), ("value", Value::U64(*value))])
+            }
+            EventKind::Dropped { count } => Value::obj(vec![("dropped", Value::U64(*count))]),
+        }
+    }
+}
+
+/// One event on a job's channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEvent {
+    /// 1-based, contiguous per job. Doubles as the SSE event id.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// What a subscriber poll returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll {
+    /// The next event past the cursor (possibly a `dropped` gap).
+    Event(JobEvent),
+    /// Channel closed and the cursor has seen everything.
+    Closed,
+    /// Nothing new within the timeout; poll again.
+    Timeout,
+}
+
+struct Ring {
+    /// Sequence number the next published event will get.
+    next_seq: u64,
+    /// Sequence number of `buf.front()` (meaningful when non-empty).
+    first_seq: u64,
+    buf: VecDeque<JobEvent>,
+    closed: bool,
+    /// Events pushed out of the ring since the channel was created.
+    dropped_total: u64,
+}
+
+/// A bounded, replayable event ring for one job. Publishers never
+/// block; subscribers wait on a condvar.
+pub struct JobChannel {
+    ring: Mutex<Ring>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+impl JobChannel {
+    /// An open channel holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(Ring {
+                next_seq: 1,
+                first_seq: 1,
+                buf: VecDeque::new(),
+                closed: false,
+                dropped_total: 0,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns the
+    /// number of events evicted (0 or 1) so the caller can count drops.
+    pub fn publish(&self, kind: EventKind) -> u64 {
+        let mut ring = self.ring.lock().expect("event ring lock");
+        if ring.closed {
+            // Terminal events close the channel; nothing legal follows.
+            return 0;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let mut dropped = 0;
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.first_seq += 1;
+            ring.dropped_total += 1;
+            dropped = 1;
+        }
+        ring.buf.push_back(JobEvent { seq, kind });
+        self.wake.notify_all();
+        dropped
+    }
+
+    /// Marks the stream complete. Buffered events stay readable so late
+    /// or resuming subscribers can still drain the tail.
+    pub fn close(&self) {
+        let mut ring = self.ring.lock().expect("event ring lock");
+        ring.closed = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether [`JobChannel::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.ring.lock().expect("event ring lock").closed
+    }
+
+    /// Total events evicted from the ring since creation.
+    pub fn dropped_total(&self) -> u64 {
+        self.ring.lock().expect("event ring lock").dropped_total
+    }
+
+    /// The next event after `cursor` (the last sequence number the
+    /// subscriber has seen; 0 = from the start). If the cursor fell
+    /// behind the ring, returns a synthesized `dropped` gap event whose
+    /// `seq` fast-forwards the cursor to just before the oldest
+    /// retained event. Blocks up to `timeout` for fresh events.
+    pub fn next_after(&self, cursor: u64, timeout: Duration) -> Poll {
+        let mut ring = self.ring.lock().expect("event ring lock");
+        loop {
+            if !ring.buf.is_empty() && cursor + 1 < ring.first_seq {
+                let missed = ring.first_seq - 1 - cursor;
+                return Poll::Event(JobEvent {
+                    seq: ring.first_seq - 1,
+                    kind: EventKind::Dropped { count: missed },
+                });
+            }
+            if cursor + 1 < ring.next_seq {
+                let index = (cursor + 1 - ring.first_seq) as usize;
+                return Poll::Event(ring.buf[index].clone());
+            }
+            if ring.closed {
+                return Poll::Closed;
+            }
+            let (guard, wait) =
+                self.wake.wait_timeout(ring, timeout).expect("event ring lock poisoned");
+            ring = guard;
+            if wait.timed_out() {
+                return Poll::Timeout;
+            }
+        }
+    }
+}
+
+/// Owns the per-job channels. Creation and removal track the
+/// scheduler's record table: a channel exists exactly as long as its
+/// job's record does.
+pub struct EventHub {
+    channels: Mutex<HashMap<u64, Arc<JobChannel>>>,
+    /// Ring capacity for new channels.
+    pub buffer: usize,
+}
+
+impl EventHub {
+    /// An empty hub creating channels of `buffer` capacity.
+    pub fn new(buffer: usize) -> Self {
+        Self { channels: Mutex::new(HashMap::new()), buffer }
+    }
+
+    /// Creates (or returns) the channel for `job`.
+    pub fn create(&self, job: u64) -> Arc<JobChannel> {
+        let mut channels = self.channels.lock().expect("event hub lock");
+        Arc::clone(channels.entry(job).or_insert_with(|| Arc::new(JobChannel::new(self.buffer))))
+    }
+
+    /// The channel for `job`, if its record is still alive.
+    pub fn channel(&self, job: u64) -> Option<Arc<JobChannel>> {
+        self.channels.lock().expect("event hub lock").get(&job).cloned()
+    }
+
+    /// Drops the channel with the job's record. The channel is closed
+    /// first so attached subscribers finish instead of wedging.
+    pub fn remove(&self, job: u64) {
+        let removed = self.channels.lock().expect("event hub lock").remove(&job);
+        if let Some(channel) = removed {
+            channel.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    fn state(name: &str) -> EventKind {
+        EventKind::State { state: name.to_owned() }
+    }
+
+    #[test]
+    fn events_replay_in_order_with_contiguous_seqs() {
+        let channel = JobChannel::new(8);
+        channel.publish(state("queued"));
+        channel.publish(EventKind::Stage { stage: "pack".to_owned() });
+        channel.publish(state("done"));
+        channel.close();
+        let mut cursor = 0;
+        let mut seen = Vec::new();
+        loop {
+            match channel.next_after(cursor, TICK) {
+                Poll::Event(event) => {
+                    cursor = event.seq;
+                    seen.push(event);
+                }
+                Poll::Closed => break,
+                Poll::Timeout => panic!("closed channel must not time out"),
+            }
+        }
+        assert_eq!(seen.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn resume_from_cursor_skips_already_seen() {
+        let channel = JobChannel::new(8);
+        for name in ["queued", "running", "done"] {
+            channel.publish(state(name));
+        }
+        channel.close();
+        match channel.next_after(2, TICK) {
+            Poll::Event(event) => assert_eq!(event.seq, 3),
+            other => panic!("expected the third event, got {other:?}"),
+        }
+        assert_eq!(channel.next_after(3, TICK), Poll::Closed);
+    }
+
+    #[test]
+    fn overflow_synthesizes_an_exact_gap_event() {
+        let channel = JobChannel::new(2);
+        let mut evicted = 0;
+        for i in 0..5u64 {
+            evicted += channel.publish(EventKind::Tick { tick: "t".to_owned(), value: i });
+        }
+        assert_eq!(evicted, 3);
+        assert_eq!(channel.dropped_total(), 3);
+        // A from-the-start subscriber missed seqs 1..=3.
+        let Poll::Event(gap) = channel.next_after(0, TICK) else { panic!("expected gap") };
+        assert_eq!(gap.seq, 3);
+        assert_eq!(gap.kind, EventKind::Dropped { count: 3 });
+        // After the gap, the surviving events follow with no further loss.
+        let Poll::Event(e4) = channel.next_after(gap.seq, TICK) else { panic!("expected seq 4") };
+        assert_eq!(e4.seq, 4);
+        let Poll::Event(e5) = channel.next_after(e4.seq, TICK) else { panic!("expected seq 5") };
+        assert_eq!(e5.seq, 5);
+        // A caught-up subscriber sees no gap.
+        assert_eq!(channel.next_after(5, TICK), Poll::Timeout);
+    }
+
+    #[test]
+    fn publish_after_close_is_ignored() {
+        let channel = JobChannel::new(4);
+        channel.publish(state("done"));
+        channel.close();
+        assert_eq!(channel.publish(state("late")), 0);
+        let Poll::Event(only) = channel.next_after(0, TICK) else { panic!("one event") };
+        assert_eq!(only.seq, 1);
+        assert_eq!(channel.next_after(1, TICK), Poll::Closed);
+    }
+
+    #[test]
+    fn waiting_subscriber_wakes_on_publish() {
+        let channel = Arc::new(JobChannel::new(4));
+        let waiter = {
+            let channel = Arc::clone(&channel);
+            std::thread::spawn(move || channel.next_after(0, Duration::from_secs(30)))
+        };
+        channel.publish(state("running"));
+        match waiter.join().expect("waiter join") {
+            Poll::Event(event) => assert_eq!(event.seq, 1),
+            other => panic!("expected the published event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hub_remove_closes_attached_subscribers() {
+        let hub = EventHub::new(4);
+        let channel = hub.create(7);
+        assert!(hub.channel(7).is_some());
+        hub.remove(7);
+        assert!(hub.channel(7).is_none());
+        assert_eq!(channel.next_after(0, TICK), Poll::Closed);
+    }
+}

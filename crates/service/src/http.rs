@@ -14,6 +14,7 @@
 //! |--------------------------|--------------------------------------------|
 //! | `POST /v1/jobs`          | Submit a request; `"wait": true` (default) blocks to the job deadline |
 //! | `GET /v1/jobs/:id`       | Poll one job; `?wait=true` long-polls to the job deadline |
+//! | `GET /v1/jobs/:id/events`| Stream the job's progress as SSE over chunked transfer; resume with `Last-Event-ID` |
 //! | `DELETE /v1/jobs/:id`    | Cancel a job (cooperative for running jobs) |
 //! | `GET /v1/results/:key`   | Fetch a cached result by content address   |
 //! | `GET /v1/healthz`        | Liveness                                   |
@@ -43,10 +44,13 @@ use std::time::Duration;
 use nemfpga::request::{ExperimentKind, ExperimentRequest};
 
 use crate::cluster::{Cluster, RouteStep};
+use crate::events::Poll;
 use crate::json::{self, Value};
 use crate::key::JobKey;
 use crate::metrics::Metrics;
+use crate::qos::Lane;
 use crate::scheduler::{JobStatus, Scheduler, SubmitError, SubmitOptions};
+use crate::sse;
 
 /// Hard ceiling on request bodies (requests are tiny JSON objects).
 const MAX_BODY: usize = 1 << 20;
@@ -132,8 +136,19 @@ fn handle_connection(
     let peer_writable = stream.try_clone();
     let Ok(mut out) = peer_writable else { return };
     let response = match read_request(stream) {
-        Ok((method, path, body)) => {
+        Ok((method, path, body, last_event_id)) => {
             metrics.http_requests.inc();
+            // The events stream writes chunks to the socket as they
+            // happen; everything else is a one-shot response.
+            let (bare_path, params) = split_query(&path);
+            if method == "GET" {
+                if let Some(id_text) =
+                    bare_path.strip_prefix("/v1/jobs/").and_then(|r| r.strip_suffix("/events"))
+                {
+                    stream_events(&mut out, id_text, &params, last_event_id, scheduler);
+                    return;
+                }
+            }
             route(&method, &path, &body, scheduler, metrics, cluster)
         }
         Err(e) => Response::error(400, &format!("malformed request: {e}")),
@@ -142,8 +157,8 @@ fn handle_connection(
     let _ = out.flush();
 }
 
-/// (method, path, body).
-fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
+/// (method, path, body, Last-Event-ID header).
+fn read_request(stream: TcpStream) -> Result<(String, String, String, Option<u64>), String> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line).map_err(|e| e.to_string())?;
@@ -156,6 +171,7 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
     }
 
     let mut content_length = 0usize;
+    let mut last_event_id = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -167,6 +183,8 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length =
                     value.trim().parse().map_err(|_| "bad Content-Length".to_owned())?;
+            } else if name.eq_ignore_ascii_case("last-event-id") {
+                last_event_id = value.trim().parse::<u64>().ok();
             }
         }
     }
@@ -176,7 +194,7 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String), String> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| e.to_string())?;
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
-    Ok((method, path, body))
+    Ok((method, path, body, last_event_id))
 }
 
 enum Body {
@@ -355,6 +373,18 @@ fn post_jobs(
         };
         opts.deadline_ms = Some(ms);
     }
+    if let Some(v) = doc.get("tenant") {
+        let Some(tenant) = v.as_str() else {
+            return Response::error(400, "`tenant` must be a string");
+        };
+        opts.tenant = Some(tenant.to_owned());
+    }
+    if let Some(v) = doc.get("priority") {
+        let Some(lane) = v.as_str().and_then(Lane::from_name) else {
+            return Response::error(400, "`priority` must be \"interactive\" or \"batch\"");
+        };
+        opts.lane = lane;
+    }
 
     // Owner-aware routing. A forwarded submit is already one hop deep
     // and always serves locally — two nodes with briefly divergent
@@ -394,6 +424,9 @@ fn post_jobs(
         Ok(s) => s,
         Err(SubmitError::Invalid(m)) => return Response::error(400, &m),
         Err(SubmitError::QueueFull) => return Response::backpressure(429, "job queue is full", 1),
+        Err(SubmitError::QuotaExceeded(q)) => {
+            return Response::backpressure(429, &q.to_string(), 1)
+        }
         Err(SubmitError::Draining) => return Response::backpressure(503, "service is draining", 1),
     };
 
@@ -411,6 +444,68 @@ fn post_jobs(
     }
     let code = if status.state.is_terminal() { 200 } else { 202 };
     Response { status: code, body: Body::Json(doc), retry_after: None }
+}
+
+/// Serves `GET /v1/jobs/:id/events`: the job's progress stream as SSE
+/// frames, one per HTTP chunk. The cursor resumes from the
+/// `Last-Event-ID` header (or the `?last_event_id=` query for clients
+/// that cannot set headers): the reply carries exactly the events after
+/// it, or an explicit `dropped` gap frame when the ring has already
+/// evicted them. The stream ends (zero-length chunk) when the job's
+/// channel closes — at its terminal state or its record's eviction — so
+/// subscribers never wedge.
+fn stream_events(
+    out: &mut TcpStream,
+    id_text: &str,
+    params: &[(&str, &str)],
+    header_cursor: Option<u64>,
+    scheduler: &Scheduler,
+) {
+    let Ok(id) = id_text.parse::<u64>() else {
+        let _ = out.write_all(&Response::error(400, "job id must be an integer").to_bytes());
+        return;
+    };
+    let Some(channel) = scheduler.event_channel(id) else {
+        let _ = out
+            .write_all(&Response::error(404, "no such job (ids expire after eviction)").to_bytes());
+        return;
+    };
+    let mut cursor = header_cursor
+        .or_else(|| {
+            params.iter().find(|(k, _)| *k == "last_event_id").and_then(|(_, v)| v.parse().ok())
+        })
+        .unwrap_or(0);
+    let _ = out.set_write_timeout(Some(Duration::from_secs(10)));
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\
+                Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if out.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        match channel.next_after(cursor, Duration::from_secs(10)) {
+            Poll::Event(event) => {
+                cursor = event.seq;
+                let frame = sse::encode_frame(&sse::SseEvent {
+                    id: event.seq,
+                    event: event.kind.name().to_owned(),
+                    data: event.kind.data().to_json(),
+                });
+                if out.write_all(&sse::encode_chunk(frame.as_bytes())).is_err()
+                    || out.flush().is_err()
+                {
+                    return; // subscriber went away
+                }
+            }
+            Poll::Closed => {
+                let _ = out.write_all(sse::END_CHUNK);
+                let _ = out.flush();
+                return;
+            }
+            // A quiet stretch (long-running stage, no new events): keep
+            // waiting. The job deadline bounds how long that can last.
+            Poll::Timeout => {}
+        }
+    }
 }
 
 fn delete_job(id_text: &str, scheduler: &Scheduler) -> Response {
@@ -492,7 +587,14 @@ fn parse_request(doc: &Value) -> Result<ExperimentRequest, String> {
     for (name, _) in fields {
         if !matches!(
             name.as_str(),
-            "experiment" | "scale" | "benchmarks" | "seed" | "wait" | "deadline_ms"
+            "experiment"
+                | "scale"
+                | "benchmarks"
+                | "seed"
+                | "wait"
+                | "deadline_ms"
+                | "tenant"
+                | "priority"
         ) {
             return Err(format!("unknown field `{name}`"));
         }
@@ -522,6 +624,8 @@ fn status_json(status: &JobStatus) -> Value {
         ("state", Value::Str(status.state.name().to_owned())),
         ("cached", Value::Bool(status.cached)),
         ("coalesced_submissions", Value::U64(status.coalesced_submissions)),
+        ("tenant", Value::Str(status.tenant.clone())),
+        ("priority", Value::Str(status.lane.name().to_owned())),
     ];
     if let Some(output) = &status.output {
         fields.push(("output", Value::Str(output.clone())));

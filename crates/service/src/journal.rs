@@ -27,6 +27,7 @@ use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 
 use crate::json::{self, Value};
+use crate::qos::{Lane, DEFAULT_TENANT};
 use crate::sha::sha256_hex;
 
 /// Fires once per appended record. `Err` fails the append (frozen
@@ -57,6 +58,11 @@ pub enum JournalRecord {
         seed: u64,
         /// Client deadline as wall time, when one was given.
         deadline_unix_ms: Option<u64>,
+        /// Submitting tenant, when not the default (optional for
+        /// backward compatibility with pre-QoS journals).
+        tenant: Option<String>,
+        /// Priority lane, when not interactive.
+        lane: Option<String>,
     },
     /// A worker picked the job up.
     Started {
@@ -74,7 +80,8 @@ pub enum JournalRecord {
 }
 
 impl JournalRecord {
-    /// Builds the `submitted` record for `request`.
+    /// Builds the `submitted` record for `request` (default tenant,
+    /// interactive lane; see [`JournalRecord::with_class`]).
     pub fn submitted(
         key: &str,
         request: &ExperimentRequest,
@@ -87,7 +94,21 @@ impl JournalRecord {
             benchmarks: request.benchmarks as u64,
             seed: request.seed,
             deadline_unix_ms,
+            tenant: None,
+            lane: None,
         }
+    }
+
+    /// Tags a `submitted` record with its scheduling class. Default
+    /// tenant and interactive lane are elided from the encoding, so
+    /// single-tenant journals look exactly like pre-QoS ones.
+    #[must_use]
+    pub fn with_class(mut self, job_tenant: &str, job_lane: Lane) -> Self {
+        if let Self::Submitted { tenant, lane, .. } = &mut self {
+            *tenant = (job_tenant != DEFAULT_TENANT).then(|| job_tenant.to_owned());
+            *lane = (job_lane != Lane::Interactive).then(|| job_lane.name().to_owned());
+        }
+        self
     }
 
     /// The content address this record is about.
@@ -99,7 +120,16 @@ impl JournalRecord {
 
     fn to_value(&self) -> Value {
         match self {
-            Self::Submitted { key, experiment, scale_bits, benchmarks, seed, deadline_unix_ms } => {
+            Self::Submitted {
+                key,
+                experiment,
+                scale_bits,
+                benchmarks,
+                seed,
+                deadline_unix_ms,
+                tenant,
+                lane,
+            } => {
                 let mut fields = vec![
                     ("kind", Value::Str("submitted".to_owned())),
                     ("key", Value::Str(key.clone())),
@@ -110,6 +140,12 @@ impl JournalRecord {
                 ];
                 if let Some(ms) = deadline_unix_ms {
                     fields.push(("deadline_unix_ms", Value::U64(*ms)));
+                }
+                if let Some(name) = tenant {
+                    fields.push(("tenant", Value::Str(name.clone())));
+                }
+                if let Some(name) = lane {
+                    fields.push(("lane", Value::Str(name.clone())));
                 }
                 Value::obj(fields)
             }
@@ -137,6 +173,14 @@ impl JournalRecord {
                 deadline_unix_ms: match doc.get("deadline_unix_ms") {
                     None => None,
                     Some(v) => Some(v.as_u64()?),
+                },
+                tenant: match doc.get("tenant") {
+                    None => None,
+                    Some(v) => Some(v.as_str()?.to_owned()),
+                },
+                lane: match doc.get("lane") {
+                    None => None,
+                    Some(v) => Some(v.as_str()?.to_owned()),
                 },
             }),
             "started" => Some(Self::Started { key }),
@@ -181,6 +225,10 @@ pub struct PendingJob {
     pub deadline_unix_ms: Option<u64>,
     /// Whether a worker had picked it up before the crash.
     pub started: bool,
+    /// Submitting tenant; `None` = the default tenant.
+    pub tenant: Option<String>,
+    /// Priority lane it was submitted in.
+    pub lane: Lane,
 }
 
 /// What a startup recovery scan found.
@@ -230,7 +278,8 @@ impl Journal {
                 let key = crate::key::job_key(&job.request)
                     .map(|k| k.as_hex().to_owned())
                     .unwrap_or_default();
-                let record = JournalRecord::submitted(&key, &job.request, job.deadline_unix_ms);
+                let record = JournalRecord::submitted(&key, &job.request, job.deadline_unix_ms)
+                    .with_class(job.tenant.as_deref().unwrap_or(DEFAULT_TENANT), job.lane);
                 out.write_all(record.encode_line().as_bytes())?;
                 out.write_all(b"\n")?;
             }
@@ -301,6 +350,8 @@ fn scan(path: &Path, now_ms: u64) -> RecoveryReport {
                 benchmarks,
                 seed,
                 deadline_unix_ms,
+                tenant,
+                lane,
                 ..
             } => {
                 let Some(kind) = ExperimentKind::from_name(&experiment) else { continue };
@@ -308,7 +359,13 @@ fn scan(path: &Path, now_ms: u64) -> RecoveryReport {
                 request.scale = f64::from_bits(scale_bits);
                 request.benchmarks = benchmarks as usize;
                 request.seed = seed;
-                entry.0 = Some(PendingJob { request, deadline_unix_ms, started: false });
+                entry.0 = Some(PendingJob {
+                    request,
+                    deadline_unix_ms,
+                    started: false,
+                    tenant,
+                    lane: lane.as_deref().and_then(Lane::from_name).unwrap_or_default(),
+                });
             }
             JournalRecord::Started { .. } => {
                 if let Some(job) = &mut entry.0 {
@@ -444,6 +501,34 @@ mod tests {
         assert_eq!(report.expired[0].request, stale);
         assert_eq!(report.pending.len(), 1);
         assert_eq!(report.pending[0].request, fresh);
+    }
+
+    #[test]
+    fn tenant_and_lane_survive_recovery_and_compaction() {
+        let path = temp_journal("tenant-lane");
+        let req = request(9);
+        {
+            let (journal, _) = Journal::open(&path).expect("open");
+            journal
+                .append(
+                    &JournalRecord::submitted(&key_of(&req), &req, None)
+                        .with_class("acme", Lane::Batch),
+                )
+                .unwrap();
+        }
+        let (_journal, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.pending[0].tenant.as_deref(), Some("acme"));
+        assert_eq!(report.pending[0].lane, Lane::Batch);
+        // Compaction rewrote the file; the class tags must survive it.
+        let (_j, second) = Journal::open(&path).expect("third open");
+        assert_eq!(second.pending[0].tenant.as_deref(), Some("acme"));
+        assert_eq!(second.pending[0].lane, Lane::Batch);
+        // Default-classed records elide the optional fields entirely, so
+        // single-tenant journals are byte-compatible with pre-QoS ones.
+        let line = JournalRecord::submitted(&key_of(&req), &req, None)
+            .with_class(DEFAULT_TENANT, Lane::Interactive)
+            .encode_line();
+        assert!(!line.contains("tenant") && !line.contains("lane"), "{line}");
     }
 
     #[test]

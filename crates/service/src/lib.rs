@@ -46,13 +46,16 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod codec;
+pub mod events;
 pub mod http;
 pub mod journal;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod qos;
 pub mod scheduler;
 pub mod sha;
+pub mod sse;
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,17 +64,22 @@ use std::time::Duration;
 use nemfpga_runtime::ParallelConfig;
 
 pub use cache::{gc_orphan_tmp, CacheTier, CachedResult, ResultCache};
-pub use client::{ClientError, HistogramView, JobView, MetricsView, RetryPolicy, ServiceClient};
+pub use client::{
+    ClientError, EventStream, HistogramView, JobView, MetricsView, RetryPolicy, ServiceClient,
+};
 pub use cluster::{Cluster, ClusterSettings};
 pub use codec::{decode_entry, encode_entry, DecodedEntry};
+pub use events::{EventHub, EventKind, JobChannel, JobEvent, Poll};
 pub use http::{http_request, ClientResponse, ServerHandle};
 pub use journal::{Journal, JournalRecord, PendingJob, RecoveryReport};
 pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
-pub use metrics::{Metrics, METRICS_SCHEMA};
+pub use metrics::{Metrics, TenantMetrics, METRICS_SCHEMA};
+pub use qos::{FairQueue, Lane, QosPolicy, QuotaExceeded, TenantStats, DEFAULT_TENANT};
 pub use scheduler::{
     Executor, JobState, JobStatus, Scheduler, SchedulerConfig, Submission, SubmitError,
     SubmitOptions,
 };
+pub use sse::{SseEvent, SseParser};
 
 /// Everything needed to stand the service up.
 #[derive(Debug, Clone)]
@@ -92,6 +100,9 @@ pub struct ServiceConfig {
     pub journal_path: Option<PathBuf>,
     /// Multi-node clustering; `None` runs a plain single node.
     pub cluster: Option<ClusterSettings>,
+    /// Multi-tenant fair-share policy (weights, quotas, lanes). The
+    /// default is single-tenant-neutral.
+    pub qos: QosPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +116,7 @@ impl Default for ServiceConfig {
             cache_dir: Some(PathBuf::from("target/service-cache")),
             journal_path: None,
             cluster: None,
+            qos: QosPolicy::default(),
         }
     }
 }
@@ -156,6 +168,8 @@ impl Service {
             queue_capacity: config.queue_capacity,
             job_timeout: config.job_timeout,
             max_finished_jobs: 1024,
+            qos: config.qos.clone(),
+            event_buffer: events::DEFAULT_EVENT_BUFFER,
         };
         let scheduler = Arc::new(Scheduler::with_journal(
             &scheduler_cfg,
@@ -186,9 +200,11 @@ impl Service {
                 deadline_ms: None,
                 deadline_unix_ms: job.deadline_unix_ms,
                 already_journaled: true,
+                tenant: job.tenant.clone(),
+                lane: job.lane,
             };
             for attempt in 0..50 {
-                match scheduler.submit_opts(job.request, opts) {
+                match scheduler.submit_opts(job.request, opts.clone()) {
                     Ok(_) => {
                         metrics.jobs_recovered.inc();
                         break;

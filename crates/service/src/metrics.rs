@@ -27,6 +27,26 @@ use crate::json::Value;
 /// body. Bump only with an additive or breaking schema change (API.md).
 pub const METRICS_SCHEMA: &str = "nemfpga.metrics.v1";
 
+/// One tenant's accounting ledger: typed handles into the shared
+/// registry, named `tenant_*{tenant="..."}`. See [`Metrics::tenant`].
+pub struct TenantMetrics {
+    /// Valid submissions attributed to the tenant (every outcome).
+    pub submitted: Counter,
+    /// Submissions bounced by the queue (full or over tenant quota).
+    pub rejected: Counter,
+    /// Submissions answered from the cache (either tier).
+    pub cache_hits: Counter,
+    /// Submissions that coalesced onto an in-flight job.
+    pub coalesced: Counter,
+    /// Fresh jobs that ran to `done`.
+    pub completed: Counter,
+    /// Fresh jobs that ended `failed`, `timed_out`, `expired`, or
+    /// `cancelled`.
+    pub errored: Counter,
+    /// Submission → terminal latency for the tenant's fresh jobs.
+    pub latency_us: Histogram,
+}
+
 /// Typed handles into the service's metric registry. All operations are
 /// lock-free; the registry mutex is only touched at construction and
 /// export time.
@@ -63,6 +83,12 @@ pub struct Metrics {
     pub cache_misses: Counter,
     /// HTTP requests served (any route, any status).
     pub http_requests: Counter,
+    /// Progress events published to job event channels (state
+    /// transitions, flow stages, router ticks).
+    pub events_emitted: Counter,
+    /// Events evicted from full per-job rings. Slow subscribers see the
+    /// loss as an explicit `dropped` gap event, never silently.
+    pub events_dropped: Counter,
     /// Local misses answered by fetching the entry from a peer.
     pub cluster_peer_fetch_hits: Counter,
     /// Local misses no reachable peer could answer (the job computes).
@@ -110,7 +136,7 @@ impl Metrics {
             engine.counter(name);
         }
         engine.histogram("route_conflict_group_size");
-        Self {
+        let metrics = Self {
             jobs_submitted: registry.counter("jobs_submitted"),
             jobs_completed: registry.counter("jobs_completed"),
             jobs_failed: registry.counter("jobs_failed"),
@@ -125,6 +151,8 @@ impl Metrics {
             cache_hits_disk: registry.counter("cache_hits_disk"),
             cache_misses: registry.counter("cache_misses"),
             http_requests: registry.counter("http_requests"),
+            events_emitted: registry.counter("events_emitted"),
+            events_dropped: registry.counter("events_dropped"),
             cluster_peer_fetch_hits: registry.counter("cluster_peer_fetch_hits"),
             cluster_peer_fetch_misses: registry.counter("cluster_peer_fetch_misses"),
             cluster_antientropy_rounds: registry.counter("cluster_antientropy_rounds"),
@@ -137,12 +165,43 @@ impl Metrics {
             job_exec_us: registry.histogram("job_exec_us"),
             job_latency_us: registry.histogram("job_latency_us"),
             registry,
-        }
+        };
+        // Pre-register the default tenant's ledger so the metrics
+        // document always carries the per-tenant schema (zeros before
+        // the first job, like the engine counters above).
+        let _ = metrics.tenant(crate::qos::DEFAULT_TENANT);
+        metrics
     }
 
     /// The backing registry (shared; snapshots see every handle's writes).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Typed handles for one tenant's accounting ledger. Series are
+    /// created on first use; names embed the tenant as a Prometheus
+    /// label (`tenant_jobs_submitted{tenant="acme"}`), which both
+    /// exporters pass through verbatim — tenant names are validated to
+    /// `[a-z0-9_-]` at submission so no escaping is ever needed.
+    ///
+    /// The ledger balances at quiescence:
+    /// `submitted == rejected + cache_hits + coalesced + completed + errored`
+    /// (the chaos `tenants` scenario asserts exactly this).
+    pub fn tenant(&self, tenant: &str) -> TenantMetrics {
+        let counter = |family: &str| {
+            self.registry.counter(&format!("tenant_{family}{{tenant=\"{tenant}\"}}"))
+        };
+        TenantMetrics {
+            submitted: counter("jobs_submitted"),
+            rejected: counter("jobs_rejected"),
+            cache_hits: counter("cache_hits"),
+            coalesced: counter("coalesced"),
+            completed: counter("jobs_completed"),
+            errored: counter("jobs_errored"),
+            latency_us: self
+                .registry
+                .histogram(&format!("tenant_job_latency_us{{tenant=\"{tenant}\"}}")),
+        }
     }
 
     /// Cache hits across both tiers.

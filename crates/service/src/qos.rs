@@ -1,0 +1,481 @@
+//! Multi-tenant fair-share queueing.
+//!
+//! [`FairQueue`] is the scheduling policy behind the scheduler's
+//! bounded queue: every accepted job is tagged with a **tenant** and a
+//! **lane** (interactive or batch), and dequeue order is decided by
+//! per-tenant *virtual time* — the discrete weighted-fair-queueing
+//! scheme. Each dequeue charges the chosen tenant
+//! `VTIME_SCALE / weight`, so a tenant with weight 3 is charged a third
+//! as much per job as a tenant with weight 1 and is therefore picked
+//! three times as often under sustained backlog. A tenant that goes
+//! idle re-enters at the current global virtual time: fairness shares
+//! the *present*, it does not bank credit for the past.
+//!
+//! The structure is deliberately pure — no clock, no threads, no
+//! atomics — so the deterministic scheduler simulator in
+//! `nemfpga-testkit` can drive the exact policy object the live
+//! scheduler uses and property-test its invariants (weighted-share
+//! convergence, batch non-starvation, quota exactness, per-class FIFO)
+//! without any wall time.
+//!
+//! Two lanes, one guarantee: interactive work is served first, but the
+//! batch lane is served at least once every `batch_every` dequeues
+//! whenever it has eligible work, so a flood of interactive jobs can
+//! never starve batch work outright.
+//!
+//! Quotas are per tenant and exact. `max_queued` bounds waiting jobs at
+//! *admission* — [`FairQueue::enqueue`] rejects the excess, which the
+//! HTTP layer surfaces as `429 Too Many Requests` + `Retry-After`.
+//! `max_inflight` bounds *running* jobs at dispatch — a tenant at its
+//! cap is simply skipped by [`FairQueue::dequeue`] until a job of its
+//! finishes, which keeps the worker pool work-conserving.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tenant label used when a submission carries no `tenant` field.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Virtual-time charge for a weight-1 dequeue. Power of two so charges
+/// for typical small weights stay exact.
+pub const VTIME_SCALE: u64 = 1 << 20;
+
+/// Priority lane of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Lane {
+    /// Latency-sensitive work; served first.
+    #[default]
+    Interactive,
+    /// Throughput work; served at least one-in-`batch_every` dequeues.
+    Batch,
+}
+
+impl Lane {
+    /// Wire name (`interactive` / `batch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire name back into a lane.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "interactive" => Some(Lane::Interactive),
+            "batch" => Some(Lane::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Fair-share policy knobs. Quota fields use `0` for "unlimited", so
+/// the default policy changes nothing for single-tenant deployments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosPolicy {
+    /// Weight for tenants not listed in `weights` (≥ 1).
+    pub default_weight: u32,
+    /// Per-tenant weight overrides.
+    pub weights: Vec<(String, u32)>,
+    /// Max *waiting* jobs per tenant; `0` = unlimited. Exceeding it
+    /// rejects the submission (HTTP 429).
+    pub max_queued: usize,
+    /// Max *running* jobs per tenant; `0` = unlimited. A tenant at the
+    /// cap keeps its jobs queued until one finishes.
+    pub max_inflight: usize,
+    /// Serve the batch lane at least once every this many dequeues
+    /// while it has eligible work; `0` disables the guarantee.
+    pub batch_every: usize,
+}
+
+impl Default for QosPolicy {
+    fn default() -> Self {
+        Self {
+            default_weight: 1,
+            weights: Vec::new(),
+            max_queued: 0,
+            max_inflight: 0,
+            batch_every: 4,
+        }
+    }
+}
+
+impl QosPolicy {
+    /// The configured weight for `tenant`, clamped to ≥ 1.
+    pub fn weight(&self, tenant: &str) -> u32 {
+        self.weights
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map_or(self.default_weight, |(_, w)| *w)
+            .max(1)
+    }
+}
+
+/// A submission rejected by the per-tenant queue quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// The over-quota tenant.
+    pub tenant: String,
+    /// Jobs the tenant already had waiting.
+    pub queued: usize,
+    /// The configured `max_queued`.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant `{}` is over its queue quota ({} queued, limit {})",
+            self.tenant, self.queued, self.limit
+        )
+    }
+}
+
+/// One dequeued job with its class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dequeued {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lane it waited in.
+    pub lane: Lane,
+    /// Scheduler job id.
+    pub job: u64,
+}
+
+/// Point-in-time accounting for one tenant, for metrics and invariant
+/// checks (the chaos `tenants` scenario asserts the peaks never exceed
+/// the quotas).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Effective weight.
+    pub weight: u32,
+    /// Jobs currently waiting.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub inflight: usize,
+    /// High-water mark of `queued`.
+    pub peak_queued: usize,
+    /// High-water mark of `inflight`.
+    pub peak_inflight: usize,
+    /// Jobs ever dequeued for this tenant.
+    pub dequeued: u64,
+    /// Of those, jobs from the batch lane.
+    pub dequeued_batch: u64,
+    /// Submissions rejected by the queue quota.
+    pub rejected: u64,
+}
+
+#[derive(Debug, Default)]
+struct Tenant {
+    weight: u32,
+    vtime: u64,
+    lanes: [VecDeque<u64>; 2],
+    inflight: usize,
+    peak_queued: usize,
+    peak_inflight: usize,
+    dequeued: u64,
+    dequeued_batch: u64,
+    rejected: u64,
+}
+
+impl Tenant {
+    fn queued(&self) -> usize {
+        self.lanes[0].len() + self.lanes[1].len()
+    }
+}
+
+fn lane_index(lane: Lane) -> usize {
+    match lane {
+        Lane::Interactive => 0,
+        Lane::Batch => 1,
+    }
+}
+
+/// Weighted fair queue over (tenant, lane) classes. See the module
+/// docs for the policy; all methods are O(tenants) or better and the
+/// whole structure is deterministic given the same call sequence.
+#[derive(Debug)]
+pub struct FairQueue {
+    policy: QosPolicy,
+    tenants: BTreeMap<String, Tenant>,
+    global_vtime: u64,
+    /// Interactive dequeues since the batch lane was last served.
+    interactive_streak: usize,
+    queued: usize,
+}
+
+impl FairQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: &QosPolicy) -> Self {
+        Self {
+            policy: policy.clone(),
+            tenants: BTreeMap::new(),
+            global_vtime: 0,
+            interactive_streak: 0,
+            queued: 0,
+        }
+    }
+
+    /// Admits `job` to `tenant`'s `lane`, or rejects it when the tenant
+    /// is at its `max_queued` quota.
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaExceeded`] when the tenant already has `max_queued` jobs
+    /// waiting (and the quota is enabled).
+    pub fn enqueue(&mut self, tenant: &str, lane: Lane, job: u64) -> Result<(), QuotaExceeded> {
+        let weight = self.policy.weight(tenant);
+        let global_vtime = self.global_vtime;
+        let state = self.tenants.entry(tenant.to_owned()).or_default();
+        state.weight = weight;
+        let queued = state.queued();
+        if self.policy.max_queued > 0 && queued >= self.policy.max_queued {
+            state.rejected += 1;
+            return Err(QuotaExceeded {
+                tenant: tenant.to_owned(),
+                queued,
+                limit: self.policy.max_queued,
+            });
+        }
+        if queued == 0 {
+            // Re-entering the backlog: no credit for idle time.
+            state.vtime = state.vtime.max(global_vtime);
+        }
+        state.lanes[lane_index(lane)].push_back(job);
+        state.peak_queued = state.peak_queued.max(state.queued());
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Whether any queued job belongs to a tenant below its inflight cap.
+    pub fn has_eligible(&self) -> bool {
+        self.tenants.values().any(|t| t.queued() > 0 && self.below_inflight_cap(t))
+    }
+
+    fn below_inflight_cap(&self, tenant: &Tenant) -> bool {
+        self.policy.max_inflight == 0 || tenant.inflight < self.policy.max_inflight
+    }
+
+    /// Min-vtime eligible tenant with work in `lane` (ties break on the
+    /// lexicographically smallest name, which `BTreeMap` order gives us).
+    fn pick(&self, lane: Lane) -> Option<String> {
+        let li = lane_index(lane);
+        self.tenants
+            .iter()
+            .filter(|(_, t)| !t.lanes[li].is_empty() && self.below_inflight_cap(t))
+            .min_by_key(|(name, t)| (t.vtime, *name))
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Pops the next job to run, or `None` when nothing is eligible
+    /// (empty, or every backlogged tenant is at its inflight cap).
+    pub fn dequeue(&mut self) -> Option<Dequeued> {
+        let batch_due =
+            self.policy.batch_every > 0 && self.interactive_streak + 1 >= self.policy.batch_every;
+        let lane = if batch_due && self.pick(Lane::Batch).is_some() {
+            Lane::Batch
+        } else if self.pick(Lane::Interactive).is_some() {
+            Lane::Interactive
+        } else {
+            Lane::Batch
+        };
+        let name = self.pick(lane)?;
+        match lane {
+            Lane::Interactive => self.interactive_streak += 1,
+            Lane::Batch => self.interactive_streak = 0,
+        }
+        let charge = {
+            let state = self.tenants.get_mut(&name).expect("picked tenant exists");
+            let job = state.lanes[lane_index(lane)].pop_front().expect("picked lane non-empty");
+            state.inflight += 1;
+            state.peak_inflight = state.peak_inflight.max(state.inflight);
+            state.dequeued += 1;
+            if lane == Lane::Batch {
+                state.dequeued_batch += 1;
+            }
+            let before = state.vtime;
+            state.vtime += VTIME_SCALE / u64::from(state.weight.max(1));
+            self.queued -= 1;
+            (before, job)
+        };
+        self.global_vtime = self.global_vtime.max(charge.0);
+        Some(Dequeued { tenant: name, lane, job: charge.1 })
+    }
+
+    /// Records that one of `tenant`'s running jobs finished, freeing an
+    /// inflight slot.
+    pub fn finish(&mut self, tenant: &str) {
+        if let Some(state) = self.tenants.get_mut(tenant) {
+            state.inflight = state.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Removes a specific waiting job (submission rollback, cancel of a
+    /// queued job). Returns whether it was found.
+    pub fn remove(&mut self, tenant: &str, lane: Lane, job: u64) -> bool {
+        let Some(state) = self.tenants.get_mut(tenant) else { return false };
+        let queue = &mut state.lanes[lane_index(lane)];
+        let Some(pos) = queue.iter().position(|&j| j == job) else { return false };
+        queue.remove(pos);
+        self.queued -= 1;
+        true
+    }
+
+    /// Total waiting jobs across all tenants.
+    pub fn queued_len(&self) -> usize {
+        self.queued
+    }
+
+    /// Per-tenant accounting, in tenant-name order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenants
+            .iter()
+            .map(|(name, t)| TenantStats {
+                tenant: name.clone(),
+                weight: t.weight,
+                queued: t.queued(),
+                inflight: t.inflight,
+                peak_queued: t.peak_queued,
+                peak_inflight: t.peak_inflight,
+                dequeued: t.dequeued,
+                dequeued_batch: t.dequeued_batch,
+                rejected: t.rejected,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(weights: &[(&str, u32)]) -> QosPolicy {
+        QosPolicy {
+            weights: weights.iter().map(|(n, w)| ((*n).to_owned(), *w)).collect(),
+            ..QosPolicy::default()
+        }
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut q = FairQueue::new(&QosPolicy::default());
+        for job in 0..5 {
+            q.enqueue("a", Lane::Interactive, job).expect("no quota");
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|d| d.job).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weights_shape_dequeue_shares() {
+        let mut q = FairQueue::new(&weighted(&[("a", 3), ("b", 2), ("c", 1)]));
+        let mut job = 0u64;
+        for _ in 0..60 {
+            for tenant in ["a", "b", "c"] {
+                q.enqueue(tenant, Lane::Interactive, job).expect("no quota");
+                job += 1;
+            }
+        }
+        let mut shares = std::collections::BTreeMap::new();
+        for _ in 0..60 {
+            let d = q.dequeue().expect("backlogged");
+            *shares.entry(d.tenant).or_insert(0u64) += 1;
+            q.finish("ignored"); // inflight is uncapped here
+        }
+        assert_eq!(shares["a"], 30);
+        assert_eq!(shares["b"], 20);
+        assert_eq!(shares["c"], 10);
+    }
+
+    #[test]
+    fn idle_tenant_reenters_at_global_vtime() {
+        let mut q = FairQueue::new(&QosPolicy::default());
+        // `a` burns virtual time while `b` is idle.
+        for job in 0..10 {
+            q.enqueue("a", Lane::Interactive, job).expect("no quota");
+        }
+        for _ in 0..10 {
+            q.dequeue().expect("a is backlogged");
+        }
+        // When `b` shows up it must not get 10 back-to-back dequeues as
+        // "owed" time: it shares from now on.
+        for job in 10..14 {
+            q.enqueue("a", Lane::Interactive, job).expect("no quota");
+            q.enqueue("b", Lane::Interactive, 100 + job).expect("no quota");
+        }
+        let mut b_streak = 0usize;
+        let mut max_b_streak = 0usize;
+        while let Some(d) = q.dequeue() {
+            if d.tenant == "b" {
+                b_streak += 1;
+                max_b_streak = max_b_streak.max(b_streak);
+            } else {
+                b_streak = 0;
+            }
+        }
+        assert!(max_b_streak <= 2, "b got {max_b_streak} consecutive dequeues");
+    }
+
+    #[test]
+    fn queue_quota_is_exact() {
+        let policy = QosPolicy { max_queued: 2, ..QosPolicy::default() };
+        let mut q = FairQueue::new(&policy);
+        q.enqueue("a", Lane::Interactive, 0).expect("under quota");
+        q.enqueue("a", Lane::Batch, 1).expect("under quota");
+        let err = q.enqueue("a", Lane::Interactive, 2).expect_err("over quota");
+        assert_eq!(err.queued, 2);
+        assert_eq!(err.limit, 2);
+        // Another tenant is unaffected.
+        q.enqueue("b", Lane::Interactive, 3).expect("separate quota");
+        // Draining one slot readmits.
+        q.dequeue().expect("work queued");
+        q.enqueue("a", Lane::Interactive, 4).expect("slot freed");
+        assert_eq!(q.tenant_stats()[0].rejected, 1);
+    }
+
+    #[test]
+    fn inflight_cap_gates_dequeue_not_admission() {
+        let policy = QosPolicy { max_inflight: 1, ..QosPolicy::default() };
+        let mut q = FairQueue::new(&policy);
+        q.enqueue("a", Lane::Interactive, 0).expect("no queue quota");
+        q.enqueue("a", Lane::Interactive, 1).expect("no queue quota");
+        assert_eq!(q.dequeue().expect("first job").job, 0);
+        assert!(q.dequeue().is_none(), "tenant is at its inflight cap");
+        assert!(!q.has_eligible());
+        q.finish("a");
+        assert!(q.has_eligible());
+        assert_eq!(q.dequeue().expect("slot freed").job, 1);
+    }
+
+    #[test]
+    fn batch_lane_is_served_one_in_n() {
+        let policy = QosPolicy { batch_every: 3, ..QosPolicy::default() };
+        let mut q = FairQueue::new(&policy);
+        for job in 0..12 {
+            q.enqueue("a", Lane::Interactive, job).expect("no quota");
+        }
+        for job in 100..104 {
+            q.enqueue("b", Lane::Batch, job).expect("no quota");
+        }
+        let lanes: Vec<Lane> = std::iter::from_fn(|| q.dequeue()).map(|d| d.lane).collect();
+        for window in lanes[..9].windows(3) {
+            assert!(
+                window.contains(&Lane::Batch),
+                "batch starved in window {window:?} of {lanes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_releases_quota() {
+        let policy = QosPolicy { max_queued: 1, ..QosPolicy::default() };
+        let mut q = FairQueue::new(&policy);
+        q.enqueue("a", Lane::Interactive, 7).expect("under quota");
+        assert!(q.remove("a", Lane::Interactive, 7));
+        assert!(!q.remove("a", Lane::Interactive, 7));
+        q.enqueue("a", Lane::Interactive, 8).expect("slot released");
+        assert_eq!(q.queued_len(), 1);
+    }
+}

@@ -29,9 +29,11 @@ use nemfpga_runtime::faults::{FaultAction, FaultPoint};
 use nemfpga_runtime::{ParallelConfig, WorkerPool};
 
 use crate::cache::{CacheTier, CachedResult, ResultCache};
+use crate::events::{EventHub, EventKind, JobChannel};
 use crate::journal::{now_unix_ms, Journal, JournalRecord};
 use crate::key::{job_key, JobKey};
 use crate::metrics::Metrics;
+use crate::qos::{FairQueue, Lane, QosPolicy, QuotaExceeded, TenantStats, DEFAULT_TENANT};
 
 /// Fires once per valid submission, before any tier is consulted. A
 /// pure probe/jitter point (the testkit's deterministic "all N clients
@@ -86,6 +88,12 @@ pub struct SchedulerConfig {
     pub job_timeout: Duration,
     /// Finished job records kept for `GET /jobs/:id` before eviction.
     pub max_finished_jobs: usize,
+    /// Multi-tenant fair-share policy (weights, lanes, quotas). The
+    /// default policy is single-tenant-neutral: weight 1 for everyone,
+    /// no quotas.
+    pub qos: QosPolicy,
+    /// Per-job progress event ring capacity.
+    pub event_buffer: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -95,6 +103,8 @@ impl Default for SchedulerConfig {
             queue_capacity: 256,
             job_timeout: Duration::from_secs(300),
             max_finished_jobs: 1024,
+            qos: QosPolicy::default(),
+            event_buffer: crate::events::DEFAULT_EVENT_BUFFER,
         }
     }
 }
@@ -172,6 +182,10 @@ pub struct JobStatus {
     pub cached: bool,
     /// How many later submissions coalesced onto this job.
     pub coalesced_submissions: u64,
+    /// Tenant that first submitted the job.
+    pub tenant: String,
+    /// Priority lane it was scheduled in.
+    pub lane: Lane,
 }
 
 /// Outcome of one submission.
@@ -192,6 +206,10 @@ pub enum SubmitError {
     Invalid(String),
     /// The bounded queue is full; retry later.
     QueueFull,
+    /// The submitting tenant is over its per-tenant queue quota; retry
+    /// later (HTTP 429, like [`SubmitError::QueueFull`], but scoped to
+    /// one tenant instead of the whole service).
+    QuotaExceeded(QuotaExceeded),
     /// The scheduler is draining for shutdown; retry against a
     /// replacement instance.
     Draining,
@@ -202,6 +220,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             Self::Invalid(m) => write!(f, "invalid request: {m}"),
             Self::QueueFull => f.write_str("job queue is full"),
+            Self::QuotaExceeded(q) => write!(f, "{q}"),
             Self::Draining => f.write_str("service is draining"),
         }
     }
@@ -210,7 +229,7 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Per-submission knobs beyond the request itself.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
     /// Client completion deadline, relative milliseconds from now. A
     /// job still queued when it passes is shed as [`JobState::Expired`]
@@ -224,6 +243,13 @@ pub struct SubmitOptions {
     /// The journal already holds this job's `submitted` record (it is a
     /// recovery replay); do not append a second one.
     pub already_journaled: bool,
+    /// Submitting tenant; `None` = the default tenant. Names are
+    /// `[a-z0-9_-]`, at most 64 bytes. Like deadlines, deliberately
+    /// *not* part of the job key — identical requests from different
+    /// tenants still coalesce onto one computation.
+    pub tenant: Option<String>,
+    /// Priority lane (interactive by default).
+    pub lane: Lane,
 }
 
 struct Record {
@@ -244,6 +270,12 @@ struct Table {
     /// key-hex → job id, for every non-terminal job.
     inflight: HashMap<String, u64>,
     finished_order: VecDeque<u64>,
+    /// Fair-share queue deciding which accepted job each pool tick runs.
+    qos: FairQueue,
+    /// Pool ticks that found nothing eligible to run (see [`run_next`]).
+    /// A finishing job repays one whenever eligible work exists, so work
+    /// blocked behind an inflight cap is always revived.
+    lost_ticks: usize,
 }
 
 struct Shared {
@@ -253,12 +285,48 @@ struct Shared {
     metrics: Arc<Metrics>,
     executor: Executor,
     max_finished_jobs: usize,
+    /// Per-job progress event channels, keyed by job id.
+    events: EventHub,
     /// Write-ahead journal; `None` = durability off.
     journal: Option<Arc<Journal>>,
     /// Set by [`Scheduler::begin_drain`]: refuse new submissions and
     /// skip terminal journal records for force-cancelled jobs (so a
     /// restart resumes them).
     draining: AtomicBool,
+}
+
+/// Publishes `kind` on `job`'s event channel (creating it on first use)
+/// and keeps the emission/drop counters honest. Ring and hub locks are
+/// leaf locks: safe to call with or without the table lock held.
+fn publish_event(shared: &Shared, job: u64, kind: EventKind) {
+    let channel = shared.events.create(job);
+    let evicted = channel.publish(kind);
+    shared.metrics.events_emitted.inc();
+    if evicted > 0 {
+        shared.metrics.events_dropped.add(evicted);
+    }
+}
+
+/// Publishes the terminal `state` event for `job`, then closes its
+/// channel: subscribers drain the buffered tail and finish instead of
+/// wedging on a stream that will never produce another event.
+fn publish_terminal(shared: &Shared, job: u64, state: JobState) {
+    publish_event(shared, job, EventKind::State { state: state.name().to_owned() });
+    if let Some(channel) = shared.events.channel(job) {
+        channel.close();
+    }
+}
+
+/// Tenant names are lowercase `[a-z0-9_-]`, 1–64 bytes — safe to embed
+/// verbatim in Prometheus label values and journal records.
+fn validate_tenant(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(format!("tenant name must be 1-64 bytes, got {} bytes", name.len()));
+    }
+    if let Some(bad) = name.chars().find(|c| !matches!(c, 'a'..='z' | '0'..='9' | '_' | '-')) {
+        return Err(format!("tenant name may only contain [a-z0-9_-], got `{bad}`"));
+    }
+    Ok(())
 }
 
 /// Appends to the journal (when one is configured), folding failures
@@ -307,12 +375,15 @@ impl Scheduler {
                 records: HashMap::new(),
                 inflight: HashMap::new(),
                 finished_order: VecDeque::new(),
+                qos: FairQueue::new(&config.qos),
+                lost_ticks: 0,
             }),
             job_done: Condvar::new(),
             cache: Arc::new(cache),
             metrics,
             executor,
             max_finished_jobs: config.max_finished_jobs.max(1),
+            events: EventHub::new(config.event_buffer.max(1)),
             journal,
             draining: AtomicBool::new(false),
         });
@@ -347,12 +418,22 @@ impl Scheduler {
     ) -> Result<Submission, SubmitError> {
         request.validate().map_err(|e| SubmitError::Invalid(e.to_string()))?;
         let key = job_key(&request).map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let tenant = match opts.tenant.as_deref() {
+            None | Some("") => DEFAULT_TENANT.to_owned(),
+            Some(name) => {
+                validate_tenant(name).map_err(SubmitError::Invalid)?;
+                name.to_owned()
+            }
+        };
+        let lane = opts.lane;
         if self.shared.draining.load(AtomicOrdering::SeqCst) {
             return Err(SubmitError::Draining);
         }
         let _ = FAULT_SUBMIT.fire().apply_basic();
         let metrics = &self.shared.metrics;
         metrics.jobs_submitted.inc();
+        let tenant_metrics = metrics.tenant(&tenant);
+        tenant_metrics.submitted.inc();
 
         // Tier 1/2: the cache. A hit satisfies any deadline.
         if let Some((hit, tier)) = self.shared.cache.get(&key) {
@@ -360,6 +441,7 @@ impl Scheduler {
                 CacheTier::Memory => metrics.cache_hits_memory.inc(),
                 CacheTier::Disk => metrics.cache_hits_disk.inc(),
             };
+            tenant_metrics.cache_hits.inc();
             if opts.already_journaled {
                 // Recovery replay answered from the cache: close the
                 // journaled submission out so it is not replayed again.
@@ -371,7 +453,7 @@ impl Scheduler {
                     },
                 );
             }
-            let status = self.insert_finished(key, request, hit.output);
+            let status = self.insert_finished(key, request, hit.output, &tenant, lane);
             let _ = OUTCOME_CACHED.fire().apply_basic();
             return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
         }
@@ -385,6 +467,7 @@ impl Scheduler {
             let record = table.records.get_mut(&id).expect("in-flight job has a record");
             record.status.coalesced_submissions += 1;
             metrics.coalesced.inc();
+            tenant_metrics.coalesced.inc();
             let status = record.status.clone();
             drop(table);
             let _ = OUTCOME_COALESCED.fire().apply_basic();
@@ -405,7 +488,8 @@ impl Scheduler {
                     CacheTier::Memory => metrics.cache_hits_memory.inc(),
                     CacheTier::Disk => metrics.cache_hits_disk.inc(),
                 };
-                let status = self.insert_finished(key, request, hit.output);
+                tenant_metrics.cache_hits.inc();
+                let status = self.insert_finished(key, request, hit.output, &tenant, lane);
                 let _ = OUTCOME_CACHED.fire().apply_basic();
                 return Ok(Submission { status, coalesced: false, cache_tier: Some(tier) });
             }
@@ -414,6 +498,15 @@ impl Scheduler {
         metrics.cache_misses.inc();
         let id = table.next_id;
         table.next_id += 1;
+        // Per-tenant admission: the queue quota rejects before any record
+        // exists, so a rejected submission leaves no trace but counters.
+        if let Err(quota) = table.qos.enqueue(&tenant, lane, id) {
+            metrics.jobs_rejected.inc();
+            tenant_metrics.rejected.inc();
+            drop(table);
+            let _ = OUTCOME_REJECTED.fire().apply_basic();
+            return Err(SubmitError::QuotaExceeded(quota));
+        }
         let status = JobStatus {
             id,
             key: key.clone(),
@@ -423,6 +516,8 @@ impl Scheduler {
             error: None,
             cached: false,
             coalesced_submissions: 0,
+            tenant: tenant.clone(),
+            lane,
         };
         let submitted_at = Instant::now();
         let mut deadline = submitted_at + self.job_timeout;
@@ -454,14 +549,24 @@ impl Scheduler {
             },
         );
         table.inflight.insert(key.as_hex().to_owned(), id);
+        // The `queued` event goes out under the table lock, so it always
+        // precedes the `running` transition published by the worker.
+        publish_event(
+            &self.shared,
+            id,
+            EventKind::State { state: JobState::Queued.name().to_owned() },
+        );
 
         let shared = Arc::clone(&self.shared);
-        let submit_result = self.pool.try_submit(move || run_job(&shared, id));
+        let submit_result = self.pool.try_submit(move || run_next(&shared));
         if submit_result.is_err() {
             // Roll the record back; the submission never happened.
             table.records.remove(&id);
             table.inflight.remove(key.as_hex());
+            table.qos.remove(&tenant, lane, id);
+            self.shared.events.remove(id);
             metrics.jobs_rejected.inc();
+            tenant_metrics.rejected.inc();
             drop(table);
             let _ = OUTCOME_REJECTED.fire().apply_basic();
             return Err(SubmitError::QueueFull);
@@ -472,7 +577,8 @@ impl Scheduler {
         if !opts.already_journaled {
             journal_append(
                 &self.shared,
-                &JournalRecord::submitted(key.as_hex(), &request, client_deadline_unix_ms),
+                &JournalRecord::submitted(key.as_hex(), &request, client_deadline_unix_ms)
+                    .with_class(&tenant, lane),
             );
         }
         drop(table);
@@ -505,9 +611,17 @@ impl Scheduler {
         let submitted_at = record.submitted_at;
         self.shared.metrics.jobs_cancelled.inc();
         self.shared.metrics.job_latency_us.record_duration(submitted_at.elapsed());
+        let tenant_metrics = self.shared.metrics.tenant(&status.tenant);
+        tenant_metrics.errored.inc();
+        tenant_metrics.latency_us.record_duration(submitted_at.elapsed());
         let key_hex = status.key.as_hex().to_owned();
         table.inflight.remove(&key_hex);
-        finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
+        // Release the tenant's queue slot. The job may already have been
+        // dequeued (its worker will see the terminal record and back
+        // off), in which case the remove is a no-op.
+        table.qos.remove(&status.tenant, status.lane, id);
+        publish_terminal(&self.shared, id, JobState::Cancelled);
+        finish_bookkeeping(&mut table, &self.shared, id);
         if !self.shared.draining.load(AtomicOrdering::SeqCst) {
             journal_append(
                 &self.shared,
@@ -600,9 +714,23 @@ impl Scheduler {
         }
     }
 
-    /// Jobs waiting in the queue right now.
+    /// Jobs waiting in the queue right now (accepted, not yet picked by
+    /// a worker) — the fair queue's count, which stays exact even when a
+    /// worker repays lost ticks by looping in place.
     pub fn queue_depth(&self) -> usize {
-        self.pool.queued()
+        self.shared.table.lock().expect("job table poisoned").qos.queued_len()
+    }
+
+    /// Per-tenant fair-share accounting (queue depths, inflight counts,
+    /// high-water marks, dequeue/rejection totals).
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared.table.lock().expect("job table poisoned").qos.tenant_stats()
+    }
+
+    /// The progress event channel for job `id`, if its record is still
+    /// alive. Subscribers poll it with a cursor ([`JobChannel::next_after`]).
+    pub fn event_channel(&self, id: u64) -> Option<Arc<JobChannel>> {
+        self.shared.events.channel(id)
     }
 
     /// Keys registered as in-flight (queued or running) right now.
@@ -638,6 +766,8 @@ impl Scheduler {
         key: JobKey,
         request: ExperimentRequest,
         output: String,
+        tenant: &str,
+        lane: Lane,
     ) -> JobStatus {
         let mut table = self.shared.table.lock().expect("job table poisoned");
         let id = table.next_id;
@@ -651,6 +781,8 @@ impl Scheduler {
             error: None,
             cached: true,
             coalesced_submissions: 0,
+            tenant: tenant.to_owned(),
+            lane,
         };
         let now = Instant::now();
         table.records.insert(
@@ -663,25 +795,59 @@ impl Scheduler {
                 cancel: CancelToken::new(),
             },
         );
-        finish_bookkeeping(&mut table, self.shared.max_finished_jobs, id);
+        // Cache-answered jobs are born terminal: their event stream is a
+        // single `done` frame so subscribers terminate immediately.
+        publish_terminal(&self.shared, id, JobState::Done);
+        finish_bookkeeping(&mut table, &self.shared, id);
         status
     }
 }
 
-/// Moves `id` into the finished ring, evicting the oldest record beyond
-/// the cap. Caller holds the table lock.
-fn finish_bookkeeping(table: &mut Table, max_finished: usize, id: u64) {
+/// Moves `id` into the finished ring, evicting the oldest record (and
+/// its event channel) beyond the cap. Caller holds the table lock.
+fn finish_bookkeeping(table: &mut Table, shared: &Shared, id: u64) {
     table.finished_order.push_back(id);
-    while table.finished_order.len() > max_finished {
+    while table.finished_order.len() > shared.max_finished_jobs {
         if let Some(old) = table.finished_order.pop_front() {
             table.records.remove(&old);
+            shared.events.remove(old);
         }
+    }
+}
+
+/// One worker-pool tick. Ticks are submitted 1:1 with accepted jobs but
+/// are *not* bound to a specific job — the fair queue decides what each
+/// tick runs. A tick that finds nothing eligible (every backlogged
+/// tenant at its inflight cap, or the queue momentarily empty after a
+/// cancel) records itself in `lost_ticks`; a finishing job repays one
+/// lost tick by looping in place whenever eligible work exists, so
+/// capped work is always revived without spawning anything.
+fn run_next(shared: &Arc<Shared>) {
+    loop {
+        let dequeued = {
+            let mut table = shared.table.lock().expect("job table poisoned");
+            match table.qos.dequeue() {
+                Some(d) => d,
+                None => {
+                    table.lost_ticks += 1;
+                    return;
+                }
+            }
+        };
+        run_job(shared, dequeued.job);
+        let mut table = shared.table.lock().expect("job table poisoned");
+        table.qos.finish(&dequeued.tenant);
+        if table.lost_ticks > 0 && table.qos.has_eligible() {
+            table.lost_ticks -= 1;
+            continue;
+        }
+        return;
     }
 }
 
 /// Worker-side execution of job `id`.
 fn run_job(shared: &Arc<Shared>, id: u64) {
-    let (request, key, submitted_at, cancel) = {
+    let (request, key, submitted_at, cancel, tenant) = {
         let mut table = shared.table.lock().expect("job table poisoned");
         let Some(record) = table.records.get_mut(&id) else { return };
         if record.status.state.is_terminal() {
@@ -696,8 +862,12 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             record.status.error = Some("timed out waiting in queue".to_owned());
             shared.metrics.jobs_timed_out.inc();
             shared.metrics.job_latency_us.record_duration(record.submitted_at.elapsed());
+            let tenant_metrics = shared.metrics.tenant(&record.status.tenant);
+            tenant_metrics.errored.inc();
+            tenant_metrics.latency_us.record_duration(record.submitted_at.elapsed());
             table.inflight.remove(&key_hex);
-            finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+            publish_terminal(shared, id, JobState::TimedOut);
+            finish_bookkeeping(&mut table, shared, id);
             journal_append(
                 shared,
                 &JournalRecord::Done { key: key_hex, state: JobState::TimedOut.name().to_owned() },
@@ -714,8 +884,12 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             record.status.error = Some("deadline_ms exceeded before execution".to_owned());
             shared.metrics.jobs_expired.inc();
             shared.metrics.job_latency_us.record_duration(record.submitted_at.elapsed());
+            let tenant_metrics = shared.metrics.tenant(&record.status.tenant);
+            tenant_metrics.errored.inc();
+            tenant_metrics.latency_us.record_duration(record.submitted_at.elapsed());
             table.inflight.remove(&key_hex);
-            finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+            publish_terminal(shared, id, JobState::Expired);
+            finish_bookkeeping(&mut table, shared, id);
             journal_append(
                 shared,
                 &JournalRecord::Done { key: key_hex, state: JobState::Expired.name().to_owned() },
@@ -725,6 +899,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             return;
         }
         record.status.state = JobState::Running;
+        publish_event(shared, id, EventKind::State { state: JobState::Running.name().to_owned() });
         journal_append(
             shared,
             &JournalRecord::Started { key: record.status.key.as_hex().to_owned() },
@@ -734,6 +909,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             record.status.key.clone(),
             record.submitted_at,
             record.cancel.clone(),
+            record.status.tenant.clone(),
         )
     };
     // Running jobs are not preempted by the queue deadline (see module
@@ -749,6 +925,22 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         // engine-level checkpoints (PathFinder iterations, Monte Carlo
         // chunks) can abort it mid-computation.
         let _guard = cancel::enter(cancel.clone());
+        // And with this job's event channel as the progress sink, so
+        // engine announcements (flow stages, router iteration ticks)
+        // stream out to subscribers while the job runs.
+        let sink_shared = Arc::clone(shared);
+        let _progress =
+            nemfpga_obs::progress::install(Arc::new(move |event: &nemfpga_obs::ProgressEvent| {
+                let kind = match event {
+                    nemfpga_obs::ProgressEvent::Stage { name } => {
+                        EventKind::Stage { stage: (*name).to_owned() }
+                    }
+                    nemfpga_obs::ProgressEvent::Tick { name, value } => {
+                        EventKind::Tick { tick: (*name).to_owned(), value: *value }
+                    }
+                };
+                publish_event(&sink_shared, id, kind);
+            }));
         // Injected executor faults land inside the panic guard, so a
         // `Panic` action takes the same road a real executor panic would.
         match FAULT_EXECUTE.fire().apply_basic() {
@@ -799,26 +991,32 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         table.inflight.remove(key.as_hex());
     }
     if let Some(record) = table.records.get_mut(&id) {
+        let tenant_metrics = shared.metrics.tenant(&tenant);
         match (final_state, outcome) {
             (JobState::Done, Ok(output)) => {
                 record.status.state = JobState::Done;
                 record.status.output = Some(output);
                 shared.metrics.jobs_completed.inc();
+                tenant_metrics.completed.inc();
             }
             (JobState::Cancelled, _) => {
                 record.status.state = JobState::Cancelled;
                 record.status.error = Some("cancelled".to_owned());
                 shared.metrics.jobs_cancelled.inc();
+                tenant_metrics.errored.inc();
             }
             (_, Err(error)) => {
                 record.status.state = JobState::Failed;
                 record.status.error = Some(error);
                 shared.metrics.jobs_failed.inc();
+                tenant_metrics.errored.inc();
             }
             _ => unreachable!("final_state derives from outcome"),
         }
         shared.metrics.job_latency_us.record_duration(submitted_at.elapsed());
-        finish_bookkeeping(&mut table, shared.max_finished_jobs, id);
+        tenant_metrics.latency_us.record_duration(submitted_at.elapsed());
+        publish_terminal(shared, id, record.status.state);
+        finish_bookkeeping(&mut table, shared, id);
     }
     // A job force-cancelled by a drain keeps its journal record open so
     // the restarted service resumes it; every other terminal state is
@@ -1072,6 +1270,172 @@ mod tests {
             s.wait_for(accepted.status.id, Duration::from_secs(1)).unwrap().state,
             JobState::Done
         );
+    }
+
+    #[test]
+    fn jobs_carry_tenant_and_lane_tags() {
+        let (exec, _) = counting_executor(Duration::ZERO);
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let default = s.submit(request(200)).unwrap();
+        assert_eq!(default.status.tenant, DEFAULT_TENANT);
+        assert_eq!(default.status.lane, Lane::Interactive);
+        let tagged = s
+            .submit_opts(
+                request(201),
+                SubmitOptions {
+                    tenant: Some("acme".to_owned()),
+                    lane: Lane::Batch,
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(tagged.status.tenant, "acme");
+        assert_eq!(tagged.status.lane, Lane::Batch);
+        let done = s.wait_for(tagged.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.tenant, "acme");
+        // Bad tenant names are rejected before any accounting.
+        let err = s
+            .submit_opts(
+                request(202),
+                SubmitOptions {
+                    tenant: Some("Bad Tenant!".to_owned()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .expect_err("invalid tenant name");
+        assert!(matches!(err, SubmitError::Invalid(_)));
+    }
+
+    #[test]
+    fn tenant_queue_quota_rejects_with_quota_exceeded() {
+        let (exec, _) = counting_executor(Duration::from_millis(300));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 16,
+            qos: QosPolicy { max_queued: 1, ..QosPolicy::default() },
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let opts = |tenant: &str| SubmitOptions {
+            tenant: Some(tenant.to_owned()),
+            ..SubmitOptions::default()
+        };
+        // First occupies the single worker (dequeued ≠ queued), second
+        // waits, third exceeds tenant `a`'s quota of one *waiting* job.
+        let first = s.submit_opts(request(210), opts("a")).unwrap();
+        let mut rejected = None;
+        for seed in 211..216 {
+            match s.submit_opts(request(seed), opts("a")) {
+                Ok(_) => {}
+                Err(SubmitError::QuotaExceeded(q)) => {
+                    rejected = Some(q);
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        let quota = rejected.expect("tenant quota must trip");
+        assert_eq!(quota.tenant, "a");
+        assert_eq!(quota.limit, 1);
+        // A different tenant still gets in: the quota is scoped.
+        s.submit_opts(request(220), opts("b")).expect("tenant b under its own quota");
+        assert_eq!(
+            s.wait_for(first.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+    }
+
+    #[test]
+    fn inflight_cap_blocks_dispatch_until_a_job_finishes() {
+        let (exec, _) = counting_executor(Duration::from_millis(50));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(4),
+            queue_capacity: 16,
+            qos: QosPolicy { max_inflight: 1, ..QosPolicy::default() },
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let subs: Vec<_> = (0..4).map(|i| s.submit(request(230 + i)).unwrap()).collect();
+        // All four finish despite 4 workers being throttled to one
+        // concurrent job: finishing jobs repay the lost ticks.
+        for sub in subs {
+            assert_eq!(
+                s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap().state,
+                JobState::Done
+            );
+        }
+        let stats = s.tenant_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].peak_inflight, 1, "inflight cap must never be exceeded");
+        assert_eq!(stats[0].dequeued, 4);
+    }
+
+    #[test]
+    fn event_stream_records_the_job_lifecycle() {
+        let (exec, _) = counting_executor(Duration::ZERO);
+        let s = scheduler(exec, &SchedulerConfig::default());
+        let sub = s.submit(request(240)).unwrap();
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        let channel = s.event_channel(sub.status.id).expect("live record has a channel");
+        let mut states = Vec::new();
+        let mut cursor = 0;
+        loop {
+            match channel.next_after(cursor, Duration::from_secs(5)) {
+                crate::events::Poll::Event(event) => {
+                    cursor = event.seq;
+                    if let EventKind::State { state } = event.kind {
+                        states.push(state);
+                    }
+                }
+                crate::events::Poll::Closed => break,
+                crate::events::Poll::Timeout => panic!("terminal job stream must close"),
+            }
+        }
+        assert_eq!(states, vec!["queued", "running", "done"]);
+        // A cached answer's stream is a single terminal frame.
+        let cached = s.submit(request(240)).unwrap();
+        assert_eq!(cached.cache_tier, Some(CacheTier::Memory));
+        let channel = s.event_channel(cached.status.id).expect("cached record has a channel");
+        let crate::events::Poll::Event(event) = channel.next_after(0, Duration::from_secs(5))
+        else {
+            panic!("expected the done event")
+        };
+        assert_eq!(event.kind, EventKind::State { state: "done".to_owned() });
+        assert_eq!(
+            channel.next_after(event.seq, Duration::from_secs(5)),
+            crate::events::Poll::Closed
+        );
+    }
+
+    #[test]
+    fn cancel_of_a_queued_job_emits_terminal_event_and_closes_stream() {
+        let (exec, _) = counting_executor(Duration::from_millis(250));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 4,
+            ..SchedulerConfig::default()
+        };
+        let s = scheduler(exec, &cfg);
+        let _first = s.submit(request(250)).unwrap();
+        let second = s.submit(request(251)).unwrap();
+        let channel = s.event_channel(second.status.id).expect("queued job has a channel");
+        s.cancel(second.status.id).expect("job exists");
+        let mut cursor = 0;
+        let mut last_state = String::new();
+        loop {
+            match channel.next_after(cursor, Duration::from_secs(5)) {
+                crate::events::Poll::Event(event) => {
+                    cursor = event.seq;
+                    if let EventKind::State { state } = event.kind {
+                        last_state = state;
+                    }
+                }
+                crate::events::Poll::Closed => break,
+                crate::events::Poll::Timeout => panic!("cancelled job stream must close"),
+            }
+        }
+        assert_eq!(last_state, "cancelled");
     }
 
     #[test]

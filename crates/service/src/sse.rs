@@ -1,0 +1,269 @@
+//! Server-Sent Events framing over HTTP/1.1 chunked transfer encoding.
+//!
+//! `GET /v1/jobs/:id/events` streams [`crate::events::JobEvent`]s as
+//! SSE frames, one frame per HTTP chunk:
+//!
+//! ```text
+//! id: 7
+//! event: stage
+//! data: {"stage":"route"}
+//! <blank line>
+//! ```
+//!
+//! The `id:` line carries the per-job sequence number, which is what
+//! makes `Last-Event-ID` resume exact: a client that reconnects with
+//! the last id it saw gets precisely the events after it (or a
+//! `dropped` gap event when the ring has moved past them).
+//!
+//! Both directions live here — the server-side encoder
+//! ([`encode_frame`], [`encode_chunk`]) and the incremental client-side
+//! parser ([`SseParser`]) — so the framing proptests can round-trip
+//! arbitrary payloads through the exact production code path, including
+//! truncation at any byte boundary.
+//!
+//! Payload constraints (met by construction server-side, where `data`
+//! is always deterministic JSON with control characters escaped):
+//! `event` must be a single line, and `data` must not contain bare
+//! carriage returns. Embedded newlines in `data` are legal and encoded
+//! as multiple `data:` lines per the SSE spec.
+
+/// One decoded SSE frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `id:` field — the per-job event sequence number.
+    pub id: u64,
+    /// The `event:` field (e.g. `state`, `stage`, `tick`, `dropped`).
+    pub event: String,
+    /// The `data:` payload; multiple `data:` lines joined with `\n`.
+    pub data: String,
+}
+
+/// Renders one frame in SSE wire format (terminated by a blank line).
+pub fn encode_frame(event: &SseEvent) -> String {
+    let mut out = String::with_capacity(event.data.len() + event.event.len() + 32);
+    out.push_str("id: ");
+    out.push_str(&event.id.to_string());
+    out.push('\n');
+    out.push_str("event: ");
+    out.push_str(&event.event);
+    out.push('\n');
+    for line in event.data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Wraps a payload in one HTTP/1.1 chunk (`<hex len>\r\n<payload>\r\n`).
+pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating zero-length chunk.
+pub const END_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// Incremental HTTP/1.1 chunked-transfer decoder. Feed raw socket
+/// bytes in; complete chunk payloads come out. Tolerates arbitrary
+/// truncation: partial chunks simply stay buffered.
+#[derive(Debug, Default)]
+pub struct ChunkDecoder {
+    buf: Vec<u8>,
+    ended: bool,
+}
+
+impl ChunkDecoder {
+    /// A decoder with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers more raw bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.ended {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Whether the zero-length terminating chunk has been decoded.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Drains every complete chunk currently buffered, concatenated.
+    pub fn decoded(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(line_end) = find(&self.buf, b"\r\n", 0) {
+            let size_text = match std::str::from_utf8(&self.buf[..line_end]) {
+                Ok(text) => text.split(';').next().unwrap_or("").trim(),
+                Err(_) => break,
+            };
+            let Ok(size) = usize::from_str_radix(size_text, 16) else { break };
+            if size == 0 {
+                self.ended = true;
+                self.buf.clear();
+                break;
+            }
+            // size line + CRLF + payload + CRLF must be fully buffered.
+            let payload_start = line_end + 2;
+            let chunk_end = payload_start + size + 2;
+            if self.buf.len() < chunk_end {
+                break;
+            }
+            out.extend_from_slice(&self.buf[payload_start..payload_start + size]);
+            self.buf.drain(..chunk_end);
+        }
+        out
+    }
+}
+
+/// Incremental SSE-over-chunked parser: the client half of the event
+/// stream. Push raw socket bytes, pull complete frames.
+#[derive(Debug, Default)]
+pub struct SseParser {
+    chunks: ChunkDecoder,
+    text: Vec<u8>,
+}
+
+impl SseParser {
+    /// A parser with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw (still chunk-encoded) socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.chunks.push(bytes);
+        let decoded = self.chunks.decoded();
+        self.text.extend_from_slice(&decoded);
+    }
+
+    /// Whether the server terminated the stream cleanly.
+    pub fn ended(&self) -> bool {
+        self.chunks.ended()
+    }
+
+    /// The next complete frame, if one is buffered.
+    pub fn next_event(&mut self) -> Option<SseEvent> {
+        // A frame ends at a blank line; accept LF, CRLF, and mixed
+        // terminators. The earliest match wins (the separators overlap).
+        const SEPARATORS: [(&[u8], usize); 3] = [(b"\r\n\r\n", 4), (b"\n\r\n", 3), (b"\n\n", 2)];
+        let (boundary, sep_len) = SEPARATORS
+            .iter()
+            .filter_map(|(sep, len)| find(&self.text, sep, 0).map(|pos| (pos, *len)))
+            .min()?;
+        let block: Vec<u8> = self.text.drain(..boundary + sep_len).collect();
+        let block = String::from_utf8_lossy(&block[..boundary]).into_owned();
+        let mut id = 0u64;
+        let mut event = String::new();
+        let mut data: Vec<&str> = Vec::new();
+        for raw_line in block.split('\n') {
+            let line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+            if let Some(value) = field(line, "id") {
+                id = value.parse().unwrap_or(0);
+            } else if let Some(value) = field(line, "event") {
+                event = value.to_owned();
+            } else if let Some(value) = field(line, "data") {
+                data.push(value);
+            }
+        }
+        Some(SseEvent { id, event, data: data.join("\n") })
+    }
+}
+
+/// SSE field accessor: `name:` prefix with one optional leading space
+/// stripped from the value, per the spec.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(name)?.strip_prefix(':')?;
+    Some(rest.strip_prefix(' ').unwrap_or(rest))
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    haystack[from..].windows(needle.len()).position(|window| window == needle).map(|pos| pos + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> SseEvent {
+        SseEvent { id, event: "stage".to_owned(), data: format!("{{\"stage\":\"s{id}\"}}") }
+    }
+
+    #[test]
+    fn frame_round_trips_through_one_chunk() {
+        let event = sample(7);
+        let mut parser = SseParser::new();
+        parser.push(&encode_chunk(encode_frame(&event).as_bytes()));
+        assert_eq!(parser.next_event(), Some(event));
+        assert_eq!(parser.next_event(), None);
+        assert!(!parser.ended());
+        parser.push(END_CHUNK);
+        assert!(parser.ended());
+    }
+
+    #[test]
+    fn multiline_data_uses_multiple_data_lines() {
+        let event = SseEvent { id: 1, event: "state".to_owned(), data: "a\nb\n\nc".to_owned() };
+        let frame = encode_frame(&event);
+        assert_eq!(frame.matches("data: ").count(), 4);
+        let mut parser = SseParser::new();
+        parser.push(&encode_chunk(frame.as_bytes()));
+        assert_eq!(parser.next_event(), Some(event));
+    }
+
+    #[test]
+    fn truncated_stream_yields_only_complete_frames() {
+        let mut wire = Vec::new();
+        for id in 1..=3 {
+            wire.extend_from_slice(&encode_chunk(encode_frame(&sample(id)).as_bytes()));
+        }
+        // Cut mid-way through the third frame's chunk.
+        let cut = wire.len() - 7;
+        let mut parser = SseParser::new();
+        parser.push(&wire[..cut]);
+        assert_eq!(parser.next_event(), Some(sample(1)));
+        assert_eq!(parser.next_event(), Some(sample(2)));
+        assert_eq!(parser.next_event(), None, "partial frame must stay buffered");
+        // The rest arrives: the buffered partial completes.
+        parser.push(&wire[cut..]);
+        assert_eq!(parser.next_event(), Some(sample(3)));
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_decodes_identically() {
+        let mut wire = Vec::new();
+        for id in 1..=2 {
+            wire.extend_from_slice(&encode_chunk(encode_frame(&sample(id)).as_bytes()));
+        }
+        wire.extend_from_slice(END_CHUNK);
+        let mut parser = SseParser::new();
+        let mut seen = Vec::new();
+        for &byte in &wire {
+            parser.push(&[byte]);
+            while let Some(event) = parser.next_event() {
+                seen.push(event);
+            }
+        }
+        assert_eq!(seen, vec![sample(1), sample(2)]);
+        assert!(parser.ended());
+    }
+
+    #[test]
+    fn chunk_extensions_and_crlf_lines_are_tolerated() {
+        let frame = "id: 9\r\nevent: tick\r\ndata: {\"value\":1}\r\n\r\n";
+        let wire = format!("{:x};ext=1\r\n{frame}\r\n0\r\n\r\n", frame.len());
+        let mut parser = SseParser::new();
+        parser.push(wire.as_bytes());
+        let event = parser.next_event().expect("frame decodes");
+        assert_eq!(event.id, 9);
+        assert_eq!(event.event, "tick");
+        assert_eq!(event.data, "{\"value\":1}");
+        assert!(parser.ended());
+    }
+}

@@ -58,3 +58,51 @@ fn live_service_serves_the_same_zero_traffic_document() {
     assert_eq!(resp.body.get("schema").and_then(Value::as_str), Some(METRICS_SCHEMA));
     service.shutdown();
 }
+
+/// The JSON and Prometheus exporters read one registry, so every
+/// counter — including the label-embedded `tenant_*` series — must
+/// agree between the two formats, and the Prometheus rendering must
+/// group labeled series under a single un-labeled `# TYPE` family line.
+#[test]
+fn prometheus_and_json_exports_agree_on_tenant_series() {
+    let metrics = Metrics::default();
+    let alpha = metrics.tenant("alpha");
+    alpha.submitted.add(7);
+    alpha.completed.add(5);
+    alpha.rejected.add(2);
+    alpha.latency_us.record(1000);
+    let beta = metrics.tenant("beta");
+    beta.submitted.add(3);
+
+    let json = metrics.to_json(0);
+    let prometheus = metrics.to_prometheus(0);
+
+    let counters = json.get("counters").expect("counters object");
+    let Value::Obj(fields) = counters else { panic!("counters is not an object") };
+    let mut tenant_series = 0usize;
+    for (name, value) in fields {
+        let Some(count) = value.as_u64() else { panic!("counter {name} is not an integer") };
+        // Every JSON counter appears verbatim (name + labels + value)
+        // as a Prometheus sample line.
+        assert!(
+            prometheus.contains(&format!("{name} {count}\n")),
+            "JSON counter {name}={count} missing from the Prometheus export:\n{prometheus}"
+        );
+        if name.starts_with("tenant_") {
+            tenant_series += 1;
+        }
+    }
+    assert!(tenant_series >= 7, "expected alpha+beta tenant series, saw {tenant_series}");
+
+    // Families deduplicate: two tenants share one TYPE line, and no
+    // TYPE line carries labels.
+    assert_eq!(prometheus.matches("# TYPE tenant_jobs_submitted counter").count(), 1);
+    assert!(!prometheus.contains("# TYPE tenant_jobs_submitted{"), "{prometheus}");
+    // Labeled histograms compose labels with `le` and keep suffixes on
+    // the family name.
+    assert!(prometheus.contains("tenant_job_latency_us_count{tenant=\"alpha\"} 1"), "{prometheus}");
+    assert!(
+        prometheus.contains("tenant_job_latency_us_bucket{tenant=\"alpha\",le=\"+Inf\"} 1"),
+        "{prometheus}"
+    );
+}

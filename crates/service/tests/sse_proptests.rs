@@ -1,0 +1,161 @@
+//! Property tests for the SSE-over-chunked event-stream framing: the
+//! `Last-Event-ID` resume contract is only as good as the framing layer
+//! underneath it, so these drive the exact production encoder/decoder
+//! pair (`sse::encode_frame`/`encode_chunk` against `SseParser`) with
+//! adversarial payloads, arbitrary delivery fragmentation, and
+//! truncation at every byte boundary.
+
+use nemfpga_service::sse::{encode_chunk, encode_frame, END_CHUNK};
+use nemfpga_service::{SseEvent, SseParser};
+use proptest::prelude::*;
+
+/// Deterministic payload generator: a string built from a seed, drawn
+/// from an alphabet chosen to stress the framing — embedded newlines
+/// (multi-`data:`-line frames), field-lookalike prefixes (`id: 9`,
+/// `data`), colons, JSON punctuation, and multi-byte UTF-8.
+fn payload_from(seed: u64, len: usize) -> String {
+    const ALPHABET: &[&str] =
+        &["a", "B", "7", " ", ":", "\n", "data", "id: 9", "event", "\u{e9}", "{", "\"", "}"];
+    let mut state = seed | 1;
+    let mut out = String::new();
+    for _ in 0..len {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push_str(ALPHABET[(state >> 33) as usize % ALPHABET.len()]);
+    }
+    out
+}
+
+/// A sequence of frames with contiguous ids starting at 1, payloads
+/// derived from the seed.
+fn events_from(seed: u64, count: usize, max_len: usize) -> Vec<SseEvent> {
+    const KINDS: &[&str] = &["state", "stage", "tick", "dropped"];
+    (1..=count as u64)
+        .map(|id| SseEvent {
+            id,
+            event: KINDS[(seed.wrapping_add(id) % KINDS.len() as u64) as usize].to_owned(),
+            data: payload_from(
+                seed.wrapping_mul(31).wrapping_add(id),
+                (id as usize) % (max_len + 1),
+            ),
+        })
+        .collect()
+}
+
+/// The wire bytes for a frame sequence: one HTTP chunk per frame, plus
+/// the terminating zero-length chunk when `terminated`.
+fn wire_for(events: &[SseEvent], terminated: bool) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for event in events {
+        wire.extend_from_slice(&encode_chunk(encode_frame(event).as_bytes()));
+    }
+    if terminated {
+        wire.extend_from_slice(END_CHUNK);
+    }
+    wire
+}
+
+/// Drains every frame currently decodable.
+fn drain(parser: &mut SseParser) -> Vec<SseEvent> {
+    let mut out = Vec::new();
+    while let Some(event) = parser.next_event() {
+        out.push(event);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary payloads survive the full encode → chunk → fragment →
+    /// parse round trip bit-exactly, for any delivery fragmentation.
+    #[test]
+    fn frames_round_trip_under_arbitrary_fragmentation(
+        seed in any::<u64>(),
+        count in 1usize..8,
+        max_len in 0usize..40,
+        frag_seed in any::<u64>(),
+    ) {
+        let events = events_from(seed, count, max_len);
+        let wire = wire_for(&events, true);
+
+        let mut parser = SseParser::new();
+        let mut received = Vec::new();
+        let mut state = frag_seed | 1;
+        let mut offset = 0;
+        while offset < wire.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let step = 1 + (state >> 33) as usize % 17;
+            let end = (offset + step).min(wire.len());
+            parser.push(&wire[offset..end]);
+            received.extend(drain(&mut parser));
+            offset = end;
+        }
+        prop_assert_eq!(received, events);
+        prop_assert!(parser.ended(), "terminating chunk must be recognized");
+    }
+
+    /// Truncation at ANY byte boundary yields a clean prefix — no
+    /// corrupt, duplicated, or reordered frame — and reconnecting with
+    /// `Last-Event-ID` = the last id seen replays exactly the remainder:
+    /// the union of both connections is the original sequence with no
+    /// duplicate and no gap.
+    #[test]
+    fn truncated_stream_resumes_via_last_event_id_without_dup_or_loss(
+        seed in any::<u64>(),
+        count in 1usize..8,
+        max_len in 0usize..40,
+        cut_point in any::<u64>(),
+    ) {
+        let events = events_from(seed, count, max_len);
+        let wire = wire_for(&events, false);
+        let cut = (cut_point as usize) % (wire.len() + 1);
+
+        // First connection: dies mid-stream at an arbitrary byte.
+        let mut parser = SseParser::new();
+        parser.push(&wire[..cut]);
+        let first = drain(&mut parser);
+        prop_assert_eq!(
+            first.as_slice(),
+            &events[..first.len()],
+            "a truncated stream must decode to an exact prefix"
+        );
+        let last_seen = first.last().map_or(0, |event| event.id);
+
+        // Reconnect: the server replays the events after `last_seen`
+        // (the ring buffer holds them all here, so no gap frame).
+        let replay: Vec<SseEvent> =
+            events.iter().filter(|event| event.id > last_seen).cloned().collect();
+        let mut parser = SseParser::new();
+        parser.push(&wire_for(&replay, true));
+        let second = drain(&mut parser);
+
+        let mut combined = first;
+        combined.extend(second);
+        prop_assert_eq!(combined, events, "resume must neither duplicate nor lose frames");
+        prop_assert!(parser.ended());
+    }
+
+    /// Interleaving a decode call between every delivered byte never
+    /// changes what is decoded (parser statefulness is observation-
+    /// invariant), and ids stay strictly increasing.
+    #[test]
+    fn byte_at_a_time_equals_one_shot(seed in any::<u64>(), count in 1usize..6) {
+        let events = events_from(seed, count, 24);
+        let wire = wire_for(&events, true);
+
+        let mut one_shot = SseParser::new();
+        one_shot.push(&wire);
+        let all_at_once = drain(&mut one_shot);
+
+        let mut trickle = SseParser::new();
+        let mut dribbled = Vec::new();
+        for &byte in &wire {
+            trickle.push(&[byte]);
+            dribbled.extend(drain(&mut trickle));
+        }
+        prop_assert_eq!(&dribbled, &all_at_once);
+        for pair in dribbled.windows(2) {
+            prop_assert!(pair[0].id < pair[1].id, "ids must be strictly increasing");
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! recovery invariants (no durable job lost, byte-identical results,
 //! single compute per process, reconciled metrics).
 //!
+//! `--tenants` switches to the multi-tenant QoS scenario: a seeded
+//! tenant flood (weighted tenants, both lanes, real quotas) under a
+//! randomized fault plan, checking quota exactness, no cross-tenant
+//! result leakage, and the per-tenant metrics ledger.
+//!
 //! `--cluster` switches to the multi-node scenario: a 3-node in-process
 //! cluster floods unique keys in waves while one seeded node is killed
 //! and another partitioned, then heals and rejoins. Invariants: zero
@@ -28,11 +33,13 @@ use std::time::Duration;
 
 use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
 use nemfpga_testkit::{
-    run_chaos, run_cluster, run_restart, ChaosConfig, ClusterConfig, FaultPlan, RestartConfig,
+    run_chaos, run_cluster, run_restart, run_tenants, ChaosConfig, ClusterConfig, FaultPlan,
+    RestartConfig, TenantsConfig,
 };
 
 const USAGE: &str = "usage: chaos [--seeds A..B | --seed N] [--clients N] [--requests N] \
-                     [--with-bug skip-double-check|leak-inflight] [--restart] [--cluster]";
+                     [--with-bug skip-double-check|leak-inflight] [--restart] [--cluster] \
+                     [--tenants]";
 
 struct Args {
     seeds: std::ops::Range<u64>,
@@ -41,11 +48,19 @@ struct Args {
     bug: Option<BugSwitch>,
     restart: bool,
     cluster: bool,
+    tenants: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { seeds: 0..20, clients: 4, requests: 12, bug: None, restart: false, cluster: false };
+    let mut args = Args {
+        seeds: 0..20,
+        clients: 4,
+        requests: 12,
+        bug: None,
+        restart: false,
+        cluster: false,
+        tenants: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
@@ -74,17 +89,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--restart" => args.restart = true,
             "--cluster" => args.cluster = true,
+            "--tenants" => args.tenants = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.seeds.is_empty() {
         return Err("empty seed range".to_owned());
     }
-    if (args.restart || args.cluster) && args.bug.is_some() {
-        return Err("--restart/--cluster and --with-bug are separate scenarios".to_owned());
+    if (args.restart || args.cluster || args.tenants) && args.bug.is_some() {
+        return Err(
+            "--restart/--cluster/--tenants and --with-bug are separate scenarios".to_owned()
+        );
     }
-    if args.restart && args.cluster {
-        return Err("--restart and --cluster are separate scenarios".to_owned());
+    if usize::from(args.restart) + usize::from(args.cluster) + usize::from(args.tenants) > 1 {
+        return Err("--restart, --cluster, and --tenants are separate scenarios".to_owned());
     }
     Ok(args)
 }
@@ -108,6 +126,36 @@ fn run_cluster_mode(args: &Args) -> ExitCode {
         println!(
             "{total_violations} cluster violations — replay a failing seed with \
              `chaos --cluster --seed N`"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The multi-tenant QoS scenario: a weighted tenant flood per seed.
+fn run_tenants_mode(args: &Args) -> ExitCode {
+    let mut total_violations = 0usize;
+    for seed in args.seeds.clone() {
+        let plan = FaultPlan::randomized(seed);
+        let cfg = TenantsConfig {
+            seed,
+            clients: args.clients.max(2),
+            requests_per_client: args.requests,
+            ..TenantsConfig::default()
+        };
+        let report = run_tenants(&cfg, &plan);
+        println!("[tenants {}] {}", plan.describe(), report.summary());
+        for violation in &report.violations {
+            println!("    VIOLATION: {violation}");
+        }
+        total_violations += report.violations.len();
+    }
+    if total_violations == 0 {
+        println!("all tenant floods held every QoS invariant");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{total_violations} QoS violations — replay a failing seed with \
+             `chaos --tenants --seed N`"
         );
         ExitCode::FAILURE
     }
@@ -156,6 +204,9 @@ fn main() -> ExitCode {
     }
     if args.cluster {
         return run_cluster_mode(&args);
+    }
+    if args.tenants {
+        return run_tenants_mode(&args);
     }
 
     let mut total_violations = 0usize;

@@ -292,6 +292,7 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             cache_dir: cache_dir.clone(),
             journal_path: None,
             cluster: None,
+            qos: Default::default(),
         },
         executor,
     )

@@ -151,6 +151,7 @@ fn start_node(node: &mut Node, peers: &[String], cfg: &ClusterConfig, node_seed:
         cache_dir: Some(node.cache_dir.clone()),
         journal_path: Some(node.journal_path.clone()),
         cluster: Some(settings),
+        qos: Default::default(),
     };
     let service =
         Service::start(&config, counting_executor(&node.computes)).expect("bind cluster node");

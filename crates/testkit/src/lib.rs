@@ -23,6 +23,12 @@
 //!   cluster under a seeded kill + partition + rejoin schedule, with
 //!   zero-loss, single-compute, convergence, and byte-identity
 //!   invariants checked at every stage.
+//! * [`sim`] — the deterministic scheduler simulator: drives the live
+//!   scheduler's exact fair-share policy object
+//!   (`nemfpga_service::FairQueue`) under an injected virtual clock
+//!   with scripted arrivals, so weighted-share convergence, batch
+//!   non-starvation, quota exactness, per-class FIFO, and
+//!   work conservation are property-tested with zero wall time.
 //! * [`differential`] — the CAD differential harness: incremental
 //!   PathFinder vs full rerouting, 1-vs-N-thread sweeps / Monte Carlo /
 //!   population sampling, across seeded random architectures, with an
@@ -40,11 +46,15 @@ pub mod cluster;
 pub mod differential;
 pub mod plan;
 pub mod restart;
+pub mod sim;
 pub mod sync;
+pub mod tenants;
 
 pub use chaos::{run_chaos, BugSwitch, ChaosConfig, ChaosReport};
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
 pub use differential::{case_matrix, run_case, run_matrix, shrink_case, DiffCase, Divergence};
 pub use plan::{FaultPlan, FaultRule, FaultScope, FaultSpec, FireRule};
 pub use restart::{crash_plan, run_restart, RestartConfig, RestartReport};
+pub use sim::{simulate, SimCompletion, SimConfig, SimDispatch, SimJob, SimRejection, SimReport};
 pub use sync::{Gate, Probe};
+pub use tenants::{run_tenants, TenantsConfig, TenantsReport};

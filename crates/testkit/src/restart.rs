@@ -172,6 +172,7 @@ fn ground_truth(path: &Path, now_ms: u64) -> (BTreeMap<String, DurableJob>, bool
                 benchmarks,
                 seed,
                 deadline_unix_ms,
+                ..
             } => {
                 let Some(kind) = ExperimentKind::from_name(&experiment) else { continue };
                 let mut request = ExperimentRequest::new(kind);
@@ -232,6 +233,7 @@ pub fn run_restart(cfg: &RestartConfig) -> RestartReport {
         cache_dir: Some(cache_dir.clone()),
         journal_path: Some(journal_path.clone()),
         cluster: None,
+        qos: Default::default(),
     };
     let budget = cfg.job_timeout + Duration::from_secs(30);
     let mut violations: Vec<String> = Vec::new();

@@ -1,0 +1,348 @@
+//! The multi-tenant chaos scenario: a seeded tenant flood under a fault
+//! plan, with QoS-specific invariants.
+//!
+//! Where [`crate::chaos`] storms one anonymous population at the
+//! serving stack, this scenario partitions the storm into named tenants
+//! with distinct weights and disjoint request keyspaces, runs it
+//! against a service with real quotas armed, and checks what must hold
+//! for *any* interleaving and any fault schedule:
+//!
+//! 1. **Quota exactness** — the scheduler's own high-water marks never
+//!    exceed `max_queued` / `max_inflight`, and every 429 the clients
+//!    saw is matched by the per-tenant `rejected` counter.
+//! 2. **No cross-tenant leakage** — each tenant's keyspace is disjoint
+//!    by construction, every response echoes the submitting tenant, and
+//!    every `done` output is byte-identical to the executor's output
+//!    for that exact request. A result served across tenants would
+//!    surface as a byte divergence or a tenant-echo mismatch.
+//! 3. **Per-tenant ledger** — at quiescence, for every tenant:
+//!    `submitted == rejected + cache_hits + coalesced + completed +
+//!    errored`. Nothing double-billed, nothing unaccounted.
+//! 4. **Protocol sanity and no wedged state**, as in the base scenario.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
+use nemfpga_runtime::{mix_seed, ParallelConfig};
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Lane, QosPolicy, Service, ServiceConfig, TenantStats};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::chaos::expected_output;
+use crate::plan::{FaultPlan, FaultScope};
+
+/// One multi-tenant chaos run's shape.
+#[derive(Debug, Clone)]
+pub struct TenantsConfig {
+    /// Seed for the request schedule.
+    pub seed: u64,
+    /// Tenants and their fair-share weights.
+    pub tenants: Vec<(String, u32)>,
+    /// Concurrent client threads (each sticks to one tenant,
+    /// round-robin over `tenants`).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Distinct request seeds per tenant (disjoint keyspaces).
+    pub distinct_seeds: u64,
+    /// Per-tenant `max_queued` quota (0 = unlimited).
+    pub max_queued: usize,
+    /// Per-tenant `max_inflight` quota (0 = unlimited).
+    pub max_inflight: usize,
+    /// Scheduler queue bound.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub worker_threads: usize,
+    /// Per-job deadline.
+    pub job_timeout: Duration,
+}
+
+impl Default for TenantsConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            tenants: vec![("alpha".to_owned(), 3), ("beta".to_owned(), 2), ("gamma".to_owned(), 1)],
+            clients: 6,
+            requests_per_client: 10,
+            distinct_seeds: 12,
+            max_queued: 4,
+            max_inflight: 2,
+            queue_capacity: 64,
+            worker_threads: 2,
+            job_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one run did and every invariant it broke (empty = survived).
+#[derive(Debug, Clone)]
+pub struct TenantsReport {
+    /// The armed plan's name.
+    pub plan: String,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Requests issued across all clients.
+    pub requests: usize,
+    /// Responses per HTTP status.
+    pub responses_by_status: BTreeMap<u16, usize>,
+    /// The scheduler's per-tenant accounting at quiescence.
+    pub stats: Vec<TenantStats>,
+    /// Invariant violations (empty means the stack survived).
+    pub violations: Vec<String>,
+}
+
+impl TenantsReport {
+    /// One summary line for driver output.
+    pub fn summary(&self) -> String {
+        let statuses: Vec<String> =
+            self.responses_by_status.iter().map(|(s, n)| format!("{n}×{s}")).collect();
+        let shares: Vec<String> =
+            self.stats.iter().map(|t| format!("{}:{}", t.tenant, t.dequeued)).collect();
+        format!(
+            "seed {:>3}  {:>3} requests [{}]  dequeues {{{}}}  {}",
+            self.seed,
+            self.requests,
+            statuses.join(" "),
+            shares.join(" "),
+            if self.violations.is_empty() {
+                "OK".to_owned()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+}
+
+/// A request in `tenant_index`'s disjoint keyspace: the seed band
+/// `[index * 1000, index * 1000 + distinct_seeds)` is unique to the
+/// tenant, so identical bytes can never legitimately serve two tenants.
+fn tenant_request(
+    rng: &mut ChaCha8Rng,
+    tenant_index: usize,
+    distinct_seeds: u64,
+) -> ExperimentRequest {
+    let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+    request.seed = tenant_index as u64 * 1000 + rng.gen_range(0..distinct_seeds.max(1));
+    request
+}
+
+struct Seen {
+    tenant: String,
+    request: ExperimentRequest,
+    status: u16,
+    body: Value,
+    retry_after: Option<u64>,
+}
+
+/// Runs one multi-tenant chaos experiment under `plan`. See the module
+/// docs for the invariants.
+pub fn run_tenants(cfg: &TenantsConfig, plan: &FaultPlan) -> TenantsReport {
+    let scope = FaultScope::begin();
+    scope.arm_plan(plan);
+
+    let executor: nemfpga_service::Executor = Arc::new(move |req: &ExperimentRequest| {
+        // A few ms of service time so queues actually build under the
+        // flood and the quota/fairness machinery gets exercised.
+        std::thread::sleep(Duration::from_millis(3));
+        Ok(expected_output(req))
+    });
+
+    let qos = QosPolicy {
+        weights: cfg.tenants.clone(),
+        max_queued: cfg.max_queued,
+        max_inflight: cfg.max_inflight,
+        ..QosPolicy::default()
+    };
+    let service = Service::start(
+        &ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            parallel: ParallelConfig::with_threads(cfg.worker_threads.max(1)),
+            queue_capacity: cfg.queue_capacity,
+            job_timeout: cfg.job_timeout,
+            cache_capacity: 64,
+            cache_dir: None,
+            journal_path: None,
+            cluster: None,
+            qos,
+        },
+        executor,
+    )
+    .expect("bind tenants service");
+    let addr = service.addr();
+
+    // Storm phase: each client floods on behalf of one tenant.
+    let observations: Vec<Result<Seen, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let tenants = &cfg.tenants;
+                s.spawn(move || {
+                    let tenant_index = client % tenants.len();
+                    let tenant = tenants[tenant_index].0.clone();
+                    let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(cfg.seed, client as u64));
+                    let timeout = cfg.job_timeout + Duration::from_secs(30);
+                    let mut seen = Vec::new();
+                    for _ in 0..cfg.requests_per_client {
+                        let request = tenant_request(&mut rng, tenant_index, cfg.distinct_seeds);
+                        let lane = if rng.gen_bool(0.3) { Lane::Batch } else { Lane::Interactive };
+                        let body = Value::obj(vec![
+                            ("experiment", Value::Str(request.experiment.name().to_owned())),
+                            ("seed", Value::U64(request.seed)),
+                            // Mostly fire-and-forget so per-tenant
+                            // queues actually build and quotas bite.
+                            ("wait", Value::Bool(rng.gen_bool(0.3))),
+                            ("tenant", Value::Str(tenant.clone())),
+                            ("priority", Value::Str(lane.name().to_owned())),
+                        ]);
+                        let outcome = http_request(addr, "POST", "/v1/jobs", Some(&body), timeout)
+                            .map(|resp| Seen {
+                                tenant: tenant.clone(),
+                                request,
+                                status: resp.status,
+                                body: resp.body,
+                                retry_after: resp.retry_after,
+                            });
+                        seen.push(outcome);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("tenant client panicked")).collect()
+    });
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut responses_by_status: BTreeMap<u16, usize> = BTreeMap::new();
+
+    // Drain phase: every accepted job must reach a terminal state.
+    let drain_budget = cfg.job_timeout + Duration::from_secs(30);
+    let mut job_ids: Vec<u64> = observations
+        .iter()
+        .filter_map(|o| o.as_ref().ok())
+        .filter_map(|seen| seen.body.get("job").and_then(Value::as_u64))
+        .collect();
+    job_ids.sort_unstable();
+    job_ids.dedup();
+    for &id in &job_ids {
+        if let Some(status) = service.scheduler().wait_for(id, drain_budget) {
+            if !status.state.is_terminal() {
+                violations
+                    .push(format!("job {id} still {:?} after the drain budget", status.state));
+            }
+        }
+    }
+
+    // Response checks: protocol sanity, tenant echo, byte identity.
+    let mut rejected_429: BTreeMap<String, u64> = BTreeMap::new();
+    for outcome in &observations {
+        let seen = match outcome {
+            Ok(seen) => seen,
+            Err(e) => {
+                violations.push(format!("transport failure: {e}"));
+                continue;
+            }
+        };
+        *responses_by_status.entry(seen.status).or_insert(0) += 1;
+        match seen.status {
+            200 | 202 => {
+                let echoed = seen.body.get("tenant").and_then(Value::as_str);
+                if echoed != Some(seen.tenant.as_str()) {
+                    violations.push(format!(
+                        "tenant `{}` submission echoed tenant {echoed:?}",
+                        seen.tenant
+                    ));
+                }
+                if seen.body.get("state").and_then(Value::as_str) == Some("done") {
+                    let served = seen.body.get("output").and_then(Value::as_str);
+                    if served != Some(expected_output(&seen.request).as_str()) {
+                        violations.push(format!(
+                            "cross-tenant leakage or corruption: tenant `{}` seed {} \
+                             served non-canonical bytes",
+                            seen.tenant, seen.request.seed
+                        ));
+                    }
+                }
+            }
+            429 => {
+                if seen.retry_after.is_none() {
+                    violations.push("429 without a Retry-After header".to_owned());
+                }
+                *rejected_429.entry(seen.tenant.clone()).or_insert(0) += 1;
+            }
+            other => violations.push(format!("illegal status {other} for a tenant submission")),
+        }
+    }
+
+    // 1. Quota exactness, from the scheduler's own high-water marks.
+    let stats = service.scheduler().tenant_stats();
+    for tenant in &stats {
+        if cfg.max_queued > 0 && tenant.peak_queued > cfg.max_queued {
+            violations.push(format!(
+                "tenant `{}` peaked at {} queued (quota {})",
+                tenant.tenant, tenant.peak_queued, cfg.max_queued
+            ));
+        }
+        if cfg.max_inflight > 0 && tenant.peak_inflight > cfg.max_inflight {
+            violations.push(format!(
+                "tenant `{}` peaked at {} inflight (cap {})",
+                tenant.tenant, tenant.peak_inflight, cfg.max_inflight
+            ));
+        }
+    }
+
+    // No wedged state at quiescence.
+    let inflight = service.scheduler().inflight_len();
+    if inflight != 0 {
+        violations.push(format!("{inflight} in-flight entries wedged after drain"));
+    }
+    let queued = service.scheduler().queue_depth();
+    if queued != 0 {
+        violations.push(format!("{queued} jobs still queued after drain"));
+    }
+
+    // 3. Per-tenant metrics ledger, against the same registry the wire
+    // exporters read.
+    let metrics = service.metrics();
+    for (name, _) in &cfg.tenants {
+        let t = metrics.tenant(name);
+        let submitted = t.submitted.get();
+        let settled = t.rejected.get()
+            + t.cache_hits.get()
+            + t.coalesced.get()
+            + t.completed.get()
+            + t.errored.get();
+        if submitted != settled {
+            violations.push(format!(
+                "tenant `{name}` ledger leaks: {submitted} submitted != {} rejected + {} hits \
+                 + {} coalesced + {} completed + {} errored",
+                t.rejected.get(),
+                t.cache_hits.get(),
+                t.coalesced.get(),
+                t.completed.get(),
+                t.errored.get()
+            ));
+        }
+        // Client-observed 429s match the tenant's rejected counter.
+        let observed = rejected_429.get(name).copied().unwrap_or(0);
+        if t.rejected.get() != observed {
+            violations.push(format!(
+                "tenant `{name}`: rejected counter {} but clients saw {observed} 429s",
+                t.rejected.get()
+            ));
+        }
+    }
+
+    service.shutdown();
+    drop(scope);
+
+    TenantsReport {
+        plan: plan.name.clone(),
+        seed: cfg.seed,
+        requests: cfg.clients * cfg.requests_per_client,
+        responses_by_status,
+        stats,
+        violations,
+    }
+}

@@ -8,7 +8,9 @@
 use std::time::Duration;
 
 use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
-use nemfpga_testkit::{run_chaos, ChaosConfig, ChaosReport, FaultPlan, FaultSpec, FireRule};
+use nemfpga_testkit::{
+    run_chaos, run_tenants, ChaosConfig, ChaosReport, FaultPlan, FaultSpec, FireRule, TenantsConfig,
+};
 
 fn cfg(seed: u64) -> ChaosConfig {
     ChaosConfig {
@@ -107,6 +109,23 @@ fn skip_double_check_bug_is_caught_by_the_compute_invariant() {
     // And the guard, present, makes the same storm clean.
     config.bug = None;
     assert_clean(&run_chaos(&config, &plan));
+}
+
+#[test]
+fn tenant_floods_hold_every_qos_invariant() {
+    // One clean and one randomized-fault flood; the seeded sweep lives
+    // in `chaos --tenants` (scripts/check.sh --chaos).
+    for (seed, plan) in [(200, FaultPlan::named("no-faults")), (201, FaultPlan::randomized(201))] {
+        let config = TenantsConfig { seed, ..TenantsConfig::default() };
+        let report = run_tenants(&config, &plan);
+        assert!(
+            report.violations.is_empty(),
+            "tenants plan `{}` seed {} broke QoS invariants:\n  {}",
+            report.plan,
+            report.seed,
+            report.violations.join("\n  ")
+        );
+    }
 }
 
 #[test]

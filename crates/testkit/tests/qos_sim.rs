@@ -1,0 +1,270 @@
+//! Property tests for the fair-share scheduling policy, run through the
+//! deterministic simulator (`nemfpga_testkit::sim`). Every test here is
+//! pure virtual time: no threads, no sleeps, no wall clock — the same
+//! inputs produce the same [`SimReport`] bit-for-bit.
+
+use nemfpga_service::{Lane, QosPolicy};
+use nemfpga_testkit::{simulate, SimConfig, SimJob, SimReport};
+use proptest::prelude::*;
+
+fn weighted(weights: &[(&str, u32)]) -> QosPolicy {
+    QosPolicy {
+        weights: weights.iter().map(|(name, w)| ((*name).to_owned(), *w)).collect(),
+        ..QosPolicy::default()
+    }
+}
+
+/// A deterministic job list from an integer seed: arrivals, tenants,
+/// lanes, and service times all derived by LCG, no RNG crate needed.
+fn jobs_from(
+    seed: u64,
+    count: usize,
+    tenants: &[&str],
+    horizon: u64,
+    max_service: u64,
+) -> Vec<SimJob> {
+    let mut state = seed | 1;
+    let mut step = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..count)
+        .map(|_| SimJob {
+            arrival: step() % horizon.max(1),
+            tenant: tenants[step() as usize % tenants.len()].to_owned(),
+            lane: if step() % 3 == 0 { Lane::Batch } else { Lane::Interactive },
+            service: 1 + step() % max_service.max(1),
+        })
+        .collect()
+}
+
+/// Saturating backlog: everyone arrives at t=0 with unit service, so
+/// dispatch order is a pure function of the fairness policy.
+fn backlog(tenants: &[(&str, usize)]) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for &(tenant, count) in tenants {
+        for _ in 0..count {
+            jobs.push(SimJob {
+                arrival: 0,
+                tenant: tenant.to_owned(),
+                lane: Lane::Interactive,
+                service: 1,
+            });
+        }
+    }
+    jobs
+}
+
+fn assert_healthy(report: &SimReport) {
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Work conservation and completeness hold for arbitrary schedules:
+    /// every admitted job completes, no worker idles while eligible
+    /// work waits, and nothing is left queued at quiescence.
+    #[test]
+    fn arbitrary_schedules_are_work_conserving(
+        seed in any::<u64>(),
+        count in 1usize..60,
+        workers in 1usize..5,
+        max_queued in 0usize..6,
+        max_inflight in 0usize..4,
+    ) {
+        let policy = QosPolicy { max_queued, max_inflight, ..QosPolicy::default() };
+        let jobs = jobs_from(seed, count, &["a", "b", "c"], 40, 7);
+        let report = simulate(&SimConfig { policy, workers }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        prop_assert_eq!(report.completions.len() + report.rejections.len(), jobs.len());
+    }
+
+    /// Under sustained backlog, 3:2:1 weights converge to 3:2:1
+    /// completion shares within 10% over any window long enough to
+    /// smooth the discretization.
+    #[test]
+    fn weighted_shares_converge_to_the_configured_ratio(
+        per_tenant in 30usize..90,
+        workers in 1usize..4,
+    ) {
+        let policy = weighted(&[("a", 3), ("b", 2), ("c", 1)]);
+        let jobs = backlog(&[("a", per_tenant), ("b", per_tenant), ("c", per_tenant)]);
+        let report = simulate(&SimConfig { policy, workers }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+
+        // Measure over the window where every tenant is still
+        // backlogged: the first 6/10 of all dispatches (the lightest
+        // tenant holds per_tenant jobs = 1/6 of the window).
+        let window = report.dispatches.len() * 6 / 10;
+        let mut counts = std::collections::BTreeMap::new();
+        for dispatch in &report.dispatches[..window] {
+            *counts.entry(dispatch.tenant.as_str()).or_insert(0usize) += 1;
+        }
+        let total = window as f64;
+        for (tenant, expected) in [("a", 3.0 / 6.0), ("b", 2.0 / 6.0), ("c", 1.0 / 6.0)] {
+            let got = *counts.get(tenant).unwrap_or(&0) as f64 / total;
+            prop_assert!(
+                (got - expected).abs() <= 0.10,
+                "tenant {tenant}: share {got:.3}, expected {expected:.3} ± 0.10"
+            );
+        }
+    }
+
+    /// A flood of interactive work cannot starve the batch lane: with
+    /// `batch_every = n`, every window of `n` consecutive dispatches
+    /// contains a batch job while batch work is pending.
+    #[test]
+    fn batch_lane_is_never_starved(
+        interactive in 20usize..60,
+        batch in 4usize..12,
+        batch_every in 2usize..6,
+    ) {
+        let policy = QosPolicy { batch_every, ..QosPolicy::default() };
+        let mut jobs = backlog(&[("flood", interactive)]);
+        for _ in 0..batch {
+            jobs.push(SimJob {
+                arrival: 0,
+                tenant: "slow".to_owned(),
+                lane: Lane::Batch,
+                service: 1,
+            });
+        }
+        let report = simulate(&SimConfig { policy, workers: 1 }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+
+        // While batch jobs remain pending, no `batch_every`-wide window
+        // of dispatches is all-interactive.
+        let batch_positions: Vec<usize> = report
+            .dispatches
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.lane == Lane::Batch)
+            .map(|(index, _)| index)
+            .collect();
+        prop_assert_eq!(batch_positions.len(), batch);
+        let mut last = None;
+        for &position in &batch_positions {
+            let gap = position - last.map_or(0, |p: usize| p + 1);
+            prop_assert!(
+                gap < batch_every,
+                "batch lane waited {gap} dispatches (batch_every = {batch_every})"
+            );
+            last = Some(position);
+        }
+    }
+
+    /// Queue quotas are exact: a tenant's waiting depth never exceeds
+    /// `max_queued` (checked against the queue's own high-water mark),
+    /// and every submission beyond the cap is rejected, not dropped.
+    #[test]
+    fn queue_quota_is_exact_under_bursts(
+        seed in any::<u64>(),
+        count in 10usize..80,
+        max_queued in 1usize..5,
+    ) {
+        let policy = QosPolicy { max_queued, ..QosPolicy::default() };
+        // Single worker + bursty arrivals forces queue buildup.
+        let jobs = jobs_from(seed, count, &["a", "b"], 10, 4);
+        let report = simulate(&SimConfig { policy, workers: 1 }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        for stats in &report.stats {
+            prop_assert!(
+                stats.peak_queued <= max_queued,
+                "tenant {} peaked at {} queued (quota {})",
+                stats.tenant, stats.peak_queued, max_queued
+            );
+        }
+        let rejected: u64 = report.stats.iter().map(|s| s.rejected).sum();
+        prop_assert_eq!(rejected as usize, report.rejections.len());
+        prop_assert_eq!(report.completions.len() + report.rejections.len(), jobs.len());
+    }
+
+    /// Inflight caps hold at every instant: with `max_inflight = m`, a
+    /// tenant never has more than `m` jobs running concurrently.
+    #[test]
+    fn inflight_cap_holds_at_every_instant(
+        seed in any::<u64>(),
+        count in 10usize..60,
+        workers in 2usize..6,
+        max_inflight in 1usize..3,
+    ) {
+        let policy = QosPolicy { max_inflight, ..QosPolicy::default() };
+        let jobs = jobs_from(seed, count, &["a", "b"], 20, 6);
+        let report = simulate(&SimConfig { policy, workers }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        for stats in &report.stats {
+            prop_assert!(
+                stats.peak_inflight <= max_inflight,
+                "tenant {} peaked at {} inflight (cap {})",
+                stats.tenant, stats.peak_inflight, max_inflight
+            );
+        }
+    }
+
+    /// Within one (tenant, lane) class, dispatch order is FIFO by
+    /// submission order — fairness reorders *across* classes only.
+    #[test]
+    fn dispatch_is_fifo_within_a_class(
+        seed in any::<u64>(),
+        count in 5usize..80,
+        workers in 1usize..4,
+    ) {
+        let jobs = jobs_from(seed, count, &["a", "b", "c"], 1, 5); // all arrive at t=0
+        let report = simulate(&SimConfig { policy: QosPolicy::default(), workers }, &jobs);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        let mut last_in_class: std::collections::BTreeMap<(String, Lane), u64> =
+            std::collections::BTreeMap::new();
+        for dispatch in &report.dispatches {
+            let class = (dispatch.tenant.clone(), dispatch.lane);
+            if let Some(&previous) = last_in_class.get(&class) {
+                prop_assert!(
+                    previous < dispatch.job,
+                    "class {class:?} dispatched job {} after job {previous}",
+                    dispatch.job
+                );
+            }
+            last_in_class.insert(class, dispatch.job);
+        }
+    }
+
+    /// The whole simulation is bit-reproducible: identical inputs give
+    /// identical reports — dispatch order, completions, rejections,
+    /// stats, everything.
+    #[test]
+    fn reports_are_bit_reproducible_from_the_seed(
+        seed in any::<u64>(),
+        count in 1usize..60,
+        workers in 1usize..5,
+    ) {
+        let policy = QosPolicy {
+            weights: vec![("a".to_owned(), 3), ("b".to_owned(), 2)],
+            max_queued: 4,
+            max_inflight: 2,
+            ..QosPolicy::default()
+        };
+        let jobs = jobs_from(seed, count, &["a", "b", "c"], 25, 6);
+        let config = SimConfig { policy, workers };
+        let first = simulate(&config, &jobs);
+        let second = simulate(&config, &jobs);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Pinned end-to-end example (not a property): 3:2:1 weights over a
+/// three-tenant backlog on one worker give exactly 3:2:1 dispatches in
+/// every aligned window of six — the discrete WFQ schedule is periodic.
+#[test]
+fn pinned_example_schedule_is_periodic() {
+    let policy = weighted(&[("a", 3), ("b", 2), ("c", 1)]);
+    let jobs = backlog(&[("a", 30), ("b", 20), ("c", 10)]);
+    let report = simulate(&SimConfig { policy, workers: 1 }, &jobs);
+    assert_healthy(&report);
+    assert_eq!(report.completions.len(), 60);
+    for window in report.dispatches[..60].chunks(6) {
+        let a = window.iter().filter(|d| d.tenant == "a").count();
+        let b = window.iter().filter(|d| d.tenant == "b").count();
+        let c = window.iter().filter(|d| d.tenant == "c").count();
+        assert_eq!((a, b, c), (3, 2, 1), "window {window:?}");
+    }
+}

@@ -4,7 +4,8 @@
 #
 # `--chaos` appends the adversarial stage: the chaos driver over 20
 # fixed seeds, both guarded-bug detection runs (which must FAIL loudly,
-# proving the invariants have teeth), the differential matrix at two
+# proving the invariants have teeth), 8 seeded multi-tenant floods plus
+# the weighted fair-share load test, the differential matrix at two
 # thread counts, and an audit that every `#[ignore]`d test is accounted
 # for in TESTING.md.
 #
@@ -87,6 +88,12 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
         --seeds 0..3 --with-bug skip-double-check
     cargo run -q --release -p nemfpga-testkit --bin chaos -- \
         --seeds 0..3 --with-bug leak-inflight
+
+    echo "==> chaos: 8 seeded multi-tenant floods, every QoS invariant required"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- --tenants --seeds 0..8
+
+    echo "==> qos: weighted fair-share under load (loadgen --tenants)"
+    cargo run -q --release -p nemfpga-bench --bin loadgen -- --tenants
 
     echo "==> differential: CAD equivalence matrix at 2 thread counts"
     cargo run -q --release -p nemfpga-testkit --bin differential -- --cases 56 --threads 4
