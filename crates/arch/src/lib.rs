@@ -8,6 +8,11 @@
 //! * [`rrgraph`] — routing-resource-graph types ([`rrgraph::RrGraph`]).
 //! * [`builder`] — RRG construction ([`builder::build_rr_graph`]).
 //! * [`validate`] — structural RRG checks.
+//! * [`store`] — process-global content-addressed graph store
+//!   ([`store::shared_rr_graph`]): each distinct `(params, grid, W)`
+//!   graph is built exactly once and `Arc`-shared across jobs.
+//! * [`snapshot`] — versioned `NEMG` zero-copy CSR snapshot codec, the
+//!   store's on-disk persistence format.
 //!
 //! # Examples
 //!
@@ -28,6 +33,8 @@ pub mod error;
 pub mod grid;
 pub mod params;
 pub mod rrgraph;
+pub mod snapshot;
+pub mod store;
 pub mod validate;
 
 pub use builder::{build_rr_adjacency_lists, build_rr_graph};
@@ -35,4 +42,6 @@ pub use error::ArchError;
 pub use grid::{Grid, TileKind};
 pub use params::ArchParams;
 pub use rrgraph::{RrEdge, RrGraph, RrKind, RrNode, RrNodeId, SwitchClass};
+pub use snapshot::{decode_snapshot, encode_snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use store::{graph_digest, shared_rr_graph, GraphStore, GraphStoreEntry};
 pub use validate::validate_rr_graph;

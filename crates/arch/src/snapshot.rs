@@ -1,0 +1,482 @@
+//! Versioned zero-copy CSR snapshot format for [`RrGraph`] (`NEMG`).
+//!
+//! The graph store persists each built graph so a later process serving
+//! the same architecture can load the CSR arrays straight from disk
+//! instead of re-deriving them from [`ArchParams`]. The frame is
+//! designed to be *mmap-ready*: after the fixed header every array is
+//! 8-byte aligned and little-endian, so a future PR can map the file
+//! and point the CSR slices at it without a deserialization pass.
+//! Today's loader still copies into `Vec`s — the layout is the contract,
+//! the zero-copy reader is the roadmap.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! offset  0  magic  b"NEMG"
+//! offset  4  version u16 (=1), reserved u16 (=0)
+//! offset  8  header: 16 × u64
+//!            [num_nodes, num_edges, tile_slots, tile_stride,
+//!             channel_width, grid.width, grid.height, grid.io_rate,
+//!             cluster_size, lut_inputs, lb_inputs, segment_length,
+//!             fc_in.to_bits(), fc_out.to_bits(), fs, params.io_rate]
+//! offset 136 nodes        num_nodes × 16 B   (tag u8, pad, 4×u16 payload,
+//!                                             capacity u16, pad to 16)
+//!        ... edge_offsets (num_nodes+1) × u32, zero-padded to 8 B
+//!        ... edges        num_edges × 8 B    (to u32, switch u8, pad)
+//!        ... tile_source  tile_slots × u32, zero-padded to 8 B
+//!        ... tile_sink    tile_slots × u32, zero-padded to 8 B
+//!        ... centers      num_nodes × 16 B   (x f64 bits, y f64 bits)
+//!  trailer    SHA-256 over every preceding byte
+//! ```
+//!
+//! Same trailer discipline as the service's result-cache codec: decode
+//! verifies the digest *first*, then magic, version, header sanity, and
+//! structural invariants (monotone CSR offsets, in-range edge targets,
+//! valid tags). **Any** defect yields `None` — the store rebuilds from
+//! params; a snapshot can never crash the process or smuggle in an
+//! inconsistent graph.
+
+use crate::grid::Grid;
+use crate::params::ArchParams;
+use crate::rrgraph::{RrEdge, RrGraph, RrKind, RrNode, RrNodeId, SwitchClass};
+use nemfpga_runtime::sha::sha256;
+
+/// Frame magic: NEM-relay Graph.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"NEMG";
+
+/// Current frame version. Bump on any layout change; old frames then
+/// decode as misses and are rebuilt + rewritten.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// SHA-256 trailer length.
+const TRAILER: usize = 32;
+
+/// Header word count (see module docs).
+const HEADER_WORDS: usize = 16;
+
+/// Byte offset of the first array (magic + version + reserved + header).
+const ARRAYS_START: usize = 8 + HEADER_WORDS * 8;
+
+/// Per-node record size.
+const NODE_RECORD: usize = 16;
+
+/// Per-edge record size.
+const EDGE_RECORD: usize = 8;
+
+/// Per-node center record size (two f64 bit patterns).
+const CENTER_RECORD: usize = 16;
+
+/// Node kind tags.
+const TAG_SOURCE: u8 = 0;
+const TAG_SINK: u8 = 1;
+const TAG_OPIN: u8 = 2;
+const TAG_IPIN: u8 = 3;
+const TAG_CHANX: u8 = 4;
+const TAG_CHANY: u8 = 5;
+
+/// Switch class tags.
+const SW_INTERNAL: u8 = 0;
+const SW_OUTPUT_DRIVER: u8 = 1;
+const SW_SWITCH_BOX: u8 = 2;
+const SW_CONNECTION_BOX: u8 = 3;
+
+fn kind_fields(kind: RrKind) -> (u8, [u16; 4]) {
+    match kind {
+        RrKind::Source { x, y } => (TAG_SOURCE, [x, y, 0, 0]),
+        RrKind::Sink { x, y } => (TAG_SINK, [x, y, 0, 0]),
+        RrKind::Opin { x, y, pin } => (TAG_OPIN, [x, y, pin, 0]),
+        RrKind::Ipin { x, y, pin } => (TAG_IPIN, [x, y, pin, 0]),
+        RrKind::ChanX { chan_y, x_start, x_end, track } => {
+            (TAG_CHANX, [chan_y, x_start, x_end, track])
+        }
+        RrKind::ChanY { chan_x, y_start, y_end, track } => {
+            (TAG_CHANY, [chan_x, y_start, y_end, track])
+        }
+    }
+}
+
+fn kind_from_fields(tag: u8, f: [u16; 4]) -> Option<RrKind> {
+    Some(match tag {
+        TAG_SOURCE => RrKind::Source { x: f[0], y: f[1] },
+        TAG_SINK => RrKind::Sink { x: f[0], y: f[1] },
+        TAG_OPIN => RrKind::Opin { x: f[0], y: f[1], pin: f[2] },
+        TAG_IPIN => RrKind::Ipin { x: f[0], y: f[1], pin: f[2] },
+        TAG_CHANX => RrKind::ChanX { chan_y: f[0], x_start: f[1], x_end: f[2], track: f[3] },
+        TAG_CHANY => RrKind::ChanY { chan_x: f[0], y_start: f[1], y_end: f[2], track: f[3] },
+        _ => return None,
+    })
+}
+
+fn switch_tag(sw: SwitchClass) -> u8 {
+    match sw {
+        SwitchClass::Internal => SW_INTERNAL,
+        SwitchClass::OutputDriver => SW_OUTPUT_DRIVER,
+        SwitchClass::SwitchBox => SW_SWITCH_BOX,
+        SwitchClass::ConnectionBox => SW_CONNECTION_BOX,
+    }
+}
+
+fn switch_from_tag(tag: u8) -> Option<SwitchClass> {
+    Some(match tag {
+        SW_INTERNAL => SwitchClass::Internal,
+        SW_OUTPUT_DRIVER => SwitchClass::OutputDriver,
+        SW_SWITCH_BOX => SwitchClass::SwitchBox,
+        SW_CONNECTION_BOX => SwitchClass::ConnectionBox,
+        _ => return None,
+    })
+}
+
+/// Rounds a byte length up to the next 8-byte boundary.
+fn align8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// Exact frame length for the given array dimensions (without trailer).
+fn body_len(num_nodes: usize, num_edges: usize, tile_slots: usize) -> Option<usize> {
+    let nodes = num_nodes.checked_mul(NODE_RECORD)?;
+    let offsets = align8(num_nodes.checked_add(1)?.checked_mul(4)?);
+    let edges = num_edges.checked_mul(EDGE_RECORD)?;
+    let tiles = align8(tile_slots.checked_mul(4)?);
+    let centers = num_nodes.checked_mul(CENTER_RECORD)?;
+    ARRAYS_START
+        .checked_add(nodes)?
+        .checked_add(offsets)?
+        .checked_add(edges)?
+        .checked_add(tiles)?
+        .checked_add(tiles)?
+        .checked_add(centers)
+}
+
+/// Serializes `rr` into a self-verifying `NEMG` frame.
+#[must_use]
+pub fn encode_snapshot(rr: &RrGraph) -> Vec<u8> {
+    let num_nodes = rr.nodes.len();
+    let tile_slots = rr.tile_source.len();
+    let total = body_len(num_nodes, rr.edges.len(), tile_slots)
+        .expect("in-memory graph dimensions cannot overflow a frame length")
+        + TRAILER;
+    let mut out = Vec::with_capacity(total);
+
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    let header: [u64; HEADER_WORDS] = [
+        num_nodes as u64,
+        rr.edges.len() as u64,
+        tile_slots as u64,
+        rr.tile_stride as u64,
+        rr.channel_width as u64,
+        rr.grid.width as u64,
+        rr.grid.height as u64,
+        rr.grid.io_rate as u64,
+        rr.params.cluster_size as u64,
+        rr.params.lut_inputs as u64,
+        rr.params.lb_inputs as u64,
+        rr.params.segment_length as u64,
+        rr.params.fc_in.to_bits(),
+        rr.params.fc_out.to_bits(),
+        rr.params.fs as u64,
+        rr.params.io_rate as u64,
+    ];
+    for word in header {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+
+    for node in &rr.nodes {
+        let (tag, fields) = kind_fields(node.kind);
+        out.push(tag);
+        out.push(0);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out.extend_from_slice(&node.capacity.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+    }
+
+    for offset in &rr.edge_offsets {
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    while out.len() % 8 != 0 {
+        out.push(0);
+    }
+
+    for edge in &rr.edges {
+        out.extend_from_slice(&edge.to.0.to_le_bytes());
+        out.push(switch_tag(edge.switch));
+        out.extend_from_slice(&[0u8; 3]);
+    }
+
+    for table in [&rr.tile_source, &rr.tile_sink] {
+        for id in table.iter() {
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+    }
+
+    for &(x, y) in &rr.centers {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+        out.extend_from_slice(&y.to_bits().to_le_bytes());
+    }
+
+    debug_assert_eq!(out.len() + TRAILER, total);
+    let digest = sha256(&out);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Cursor over the array region.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn skip_align8(&mut self) -> Option<()> {
+        while !self.pos.is_multiple_of(8) {
+            self.take(1)?;
+        }
+        Some(())
+    }
+}
+
+fn u16_at(b: &[u8], i: usize) -> u16 {
+    u16::from_le_bytes([b[i], b[i + 1]])
+}
+
+fn u32_at(b: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]])
+}
+
+fn u64_at(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte slice"))
+}
+
+/// Deserializes a `NEMG` frame back into an [`RrGraph`].
+///
+/// Returns `None` on *any* defect — bad digest, wrong magic or version,
+/// impossible dimensions, or structural inconsistency. Callers treat
+/// `None` as "rebuild from params".
+#[must_use]
+pub fn decode_snapshot(data: &[u8]) -> Option<RrGraph> {
+    // Trailer first: a frame that fails its own digest gets no further
+    // interpretation.
+    if data.len() < ARRAYS_START + TRAILER {
+        return None;
+    }
+    let (body, trailer) = data.split_at(data.len() - TRAILER);
+    if sha256(body) != *<&[u8; 32]>::try_from(trailer).expect("trailer is 32 bytes") {
+        return None;
+    }
+    if body[0..4] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    if u16_at(body, 4) != SNAPSHOT_VERSION || u16_at(body, 6) != 0 {
+        return None;
+    }
+
+    let word = |i: usize| u64_at(body, 8 + i * 8);
+    let as_usize = |v: u64| usize::try_from(v).ok();
+    let num_nodes = as_usize(word(0))?;
+    let num_edges = as_usize(word(1))?;
+    let tile_slots = as_usize(word(2))?;
+    let tile_stride = as_usize(word(3))?;
+    let channel_width = as_usize(word(4))?;
+    let grid =
+        Grid { width: as_usize(word(5))?, height: as_usize(word(6))?, io_rate: as_usize(word(7))? };
+    let params = ArchParams {
+        cluster_size: as_usize(word(8))?,
+        lut_inputs: as_usize(word(9))?,
+        lb_inputs: as_usize(word(10))?,
+        segment_length: as_usize(word(11))?,
+        fc_in: f64::from_bits(word(12)),
+        fc_out: f64::from_bits(word(13)),
+        fs: as_usize(word(14))?,
+        io_rate: as_usize(word(15))?,
+    };
+
+    // The claimed dimensions must account for every byte of the body —
+    // checked arithmetic means an absurd length claim fails cleanly
+    // instead of allocating.
+    if body_len(num_nodes, num_edges, tile_slots)? != body.len() {
+        return None;
+    }
+    // The graph must describe a coherent architecture: valid params, a
+    // nonzero channel, and tile tables matching the grid footprint.
+    params.validate().ok()?;
+    if channel_width == 0
+        || tile_stride != grid.total_height()
+        || tile_slots != grid.total_width().checked_mul(tile_stride)?
+    {
+        return None;
+    }
+
+    let mut cur = Cursor { data: body, pos: ARRAYS_START };
+
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let rec = cur.take(NODE_RECORD)?;
+        let fields = [u16_at(rec, 2), u16_at(rec, 4), u16_at(rec, 6), u16_at(rec, 8)];
+        let kind = kind_from_fields(rec[0], fields)?;
+        nodes.push(RrNode { kind, capacity: u16_at(rec, 10) });
+    }
+
+    let mut edge_offsets = Vec::with_capacity(num_nodes + 1);
+    let raw = cur.take((num_nodes + 1) * 4)?;
+    for i in 0..=num_nodes {
+        edge_offsets.push(u32_at(raw, i * 4));
+    }
+    cur.skip_align8()?;
+    if edge_offsets.first() != Some(&0)
+        || edge_offsets.last().map(|&v| v as usize) != Some(num_edges)
+        || edge_offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return None;
+    }
+
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let rec = cur.take(EDGE_RECORD)?;
+        let to = u32_at(rec, 0);
+        if to as usize >= num_nodes {
+            return None;
+        }
+        edges.push(RrEdge { to: RrNodeId(to), switch: switch_from_tag(rec[4])? });
+    }
+
+    let mut tables = [Vec::with_capacity(tile_slots), Vec::with_capacity(tile_slots)];
+    for table in &mut tables {
+        let raw = cur.take(tile_slots * 4)?;
+        for i in 0..tile_slots {
+            let id = u32_at(raw, i * 4);
+            if id != u32::MAX && id as usize >= num_nodes {
+                return None;
+            }
+            table.push(RrNodeId(id));
+        }
+        cur.skip_align8()?;
+    }
+    let [tile_source, tile_sink] = tables;
+
+    let mut centers = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let rec = cur.take(CENTER_RECORD)?;
+        centers.push((f64::from_bits(u64_at(rec, 0)), f64::from_bits(u64_at(rec, 8))));
+    }
+
+    if cur.pos != body.len() {
+        return None;
+    }
+
+    Some(RrGraph {
+        params,
+        grid,
+        channel_width,
+        nodes,
+        edge_offsets,
+        edges,
+        tile_source,
+        tile_sink,
+        tile_stride,
+        centers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_rr_graph;
+
+    fn sample() -> RrGraph {
+        let params = ArchParams::paper_table1();
+        let grid = Grid { width: 4, height: 4, io_rate: params.io_rate };
+        build_rr_graph(&params, grid, 6).expect("sample graph builds")
+    }
+
+    /// Structural equality for graphs (RrGraph doesn't derive PartialEq;
+    /// the snapshot tests compare every field explicitly).
+    fn assert_same(a: &RrGraph, b: &RrGraph) {
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.grid.width, b.grid.width);
+        assert_eq!(a.grid.height, b.grid.height);
+        assert_eq!(a.grid.io_rate, b.grid.io_rate);
+        assert_eq!(a.channel_width, b.channel_width);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edge_offsets, b.edge_offsets);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.tile_source, b.tile_source);
+        assert_eq!(a.tile_sink, b.tile_sink);
+        assert_eq!(a.tile_stride, b.tile_stride);
+        // Centers must be *bit*-identical, not just approximately equal.
+        for (ca, cb) in a.centers.iter().zip(&b.centers) {
+            assert_eq!(ca.0.to_bits(), cb.0.to_bits());
+            assert_eq!(ca.1.to_bits(), cb.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let rr = sample();
+        let frame = encode_snapshot(&rr);
+        let decoded = decode_snapshot(&frame).expect("intact frame decodes");
+        assert_same(&rr, &decoded);
+        // Re-encoding the decoded graph reproduces the frame byte-for-byte.
+        assert_eq!(encode_snapshot(&decoded), frame);
+    }
+
+    #[test]
+    fn arrays_are_eight_byte_aligned() {
+        let rr = sample();
+        let frame = encode_snapshot(&rr);
+        assert_eq!(ARRAYS_START % 8, 0);
+        assert_eq!((frame.len() - TRAILER - rr.nodes.len() * CENTER_RECORD) % 8, 0);
+    }
+
+    #[test]
+    fn every_truncation_is_a_miss() {
+        let frame = encode_snapshot(&sample());
+        for len in 0..frame.len() {
+            assert!(decode_snapshot(&frame[..len]).is_none(), "truncation at {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_resigned_is_a_miss() {
+        let mut frame = encode_snapshot(&sample());
+        frame[4] = SNAPSHOT_VERSION as u8 + 1;
+        // Re-sign so only the version check can reject it.
+        let body_end = frame.len() - TRAILER;
+        let digest = sha256(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&digest);
+        assert!(decode_snapshot(&frame).is_none());
+    }
+
+    #[test]
+    fn oversized_length_claim_is_rejected_without_allocating() {
+        let mut frame = encode_snapshot(&sample());
+        // Claim an absurd node count and re-sign: the length equation
+        // fails before any allocation is attempted.
+        frame[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_end = frame.len() - TRAILER;
+        let digest = sha256(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&digest);
+        assert!(decode_snapshot(&frame).is_none());
+    }
+
+    #[test]
+    fn dangling_edge_target_is_a_miss() {
+        let rr = sample();
+        let mut broken = rr.clone();
+        broken.edges[0].to = RrNodeId(rr.nodes.len() as u32);
+        let frame = encode_snapshot(&broken);
+        assert!(decode_snapshot(&frame).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! Process-global, content-addressed architecture graph store.
+//!
+//! The paper's workload shape — few architectures, many evaluations —
+//! means a fleet serving the two FPGA variants asks for the *same* CSR
+//! [`RrGraph`] thousands of times (once per W_min probe, per sweep
+//! point, per Monte-Carlo shard). The store builds each distinct
+//! `(params, grid, W)` graph exactly once and hands every caller an
+//! `Arc`-shared immutable reference:
+//!
+//! * **Keying** is content-addressed: a SHA-256 digest over a canonical
+//!   newline encoding of the parameters (floats as exact IEEE-754 bit
+//!   patterns), mirroring the service's job-key discipline. Same inputs
+//!   → same digest, in any process, forever.
+//! * **Coalescing**: concurrent requests for the same digest park on a
+//!   per-key `OnceLock`; exactly one performs the build, the rest share
+//!   its result. Build *errors* are cached too — params are immutable,
+//!   so a failed build stays failed.
+//! * **Snapshots**: when a snapshot directory is configured (the service
+//!   points it at `<cache_dir>/archs`), a cold miss first tries to load
+//!   `<digest>.nemg` (see [`crate::snapshot`]) and persists the frame
+//!   after building. Corrupt or truncated snapshots degrade to a
+//!   rebuild — never a crash.
+//!
+//! Engine metrics: `graph_builds` (full CSR constructions),
+//! `graph_store_hits` (requests served without building), and
+//! `graph_store_bytes` (snapshot bytes written or loaded).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use nemfpga_obs::engine_registry;
+use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+use nemfpga_runtime::sha::sha256_hex;
+
+use crate::builder::build_rr_graph;
+use crate::error::ArchError;
+use crate::grid::Grid;
+use crate::params::ArchParams;
+use crate::rrgraph::RrGraph;
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+
+/// Fires once per cold miss, before the snapshot tier is consulted.
+/// `Err` skips the snapshot load *and* store (memory-only degradation),
+/// `Corrupt` flips a byte in the loaded frame, `ShortRead` truncates it
+/// — all must degrade to a rebuild, never a crash.
+static FAULT_STORE: FaultPoint = FaultPoint::new("graph.store");
+
+/// Version prefix of the canonical digest encoding. Bump when the
+/// encoding (not the graph!) changes shape, so old snapshot files are
+/// simply never referenced again.
+const DIGEST_ENCODING_VERSION: &str = "nemfpga-arch-graph v1";
+
+/// Canonical encoding of a graph identity, hashed into the digest.
+///
+/// Same discipline as the service's job keys: versioned, fixed field
+/// order, newline separated, floats as `{:016x}` IEEE-754 bit patterns
+/// (exact, locale-free, total). Two graph requests collide iff every
+/// field is bit-identical — which is exactly when sharing is sound.
+fn canonical_encoding(params: &ArchParams, grid: Grid, channel_width: usize) -> String {
+    format!(
+        "{DIGEST_ENCODING_VERSION}\n\
+         cluster_size={}\nlut_inputs={}\nlb_inputs={}\nsegment_length={}\n\
+         fc_in_bits={:016x}\nfc_out_bits={:016x}\nfs={}\nio_rate={}\n\
+         grid_width={}\ngrid_height={}\ngrid_io_rate={}\n\
+         channel_width={}\n",
+        params.cluster_size,
+        params.lut_inputs,
+        params.lb_inputs,
+        params.segment_length,
+        params.fc_in.to_bits(),
+        params.fc_out.to_bits(),
+        params.fs,
+        params.io_rate,
+        grid.width,
+        grid.height,
+        grid.io_rate,
+        channel_width,
+    )
+}
+
+/// Content digest of a `(params, grid, W)` graph identity (64 hex chars).
+#[must_use]
+pub fn graph_digest(params: &ArchParams, grid: Grid, channel_width: usize) -> String {
+    sha256_hex(canonical_encoding(params, grid, channel_width).as_bytes())
+}
+
+/// One store slot: the build-once cell plus per-entry stats.
+struct Slot {
+    cell: OnceLock<Result<Arc<RrGraph>, ArchError>>,
+    /// Requests served from this slot without building.
+    hits: AtomicU64,
+    /// Snapshot frame size on disk (0 when memory-only).
+    snapshot_bytes: AtomicU64,
+    /// Whether the graph was loaded from a snapshot instead of built.
+    from_snapshot: AtomicBool,
+}
+
+/// Public per-entry view, the backing data of `GET /v1/archs`.
+#[derive(Debug, Clone)]
+pub struct GraphStoreEntry {
+    /// Content digest (hex), the resource id.
+    pub digest: String,
+    /// Architecture parameters the graph was built for.
+    pub params: ArchParams,
+    /// Tile grid.
+    pub grid: Grid,
+    /// Channel width `W`.
+    pub channel_width: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Requests served from the store without building.
+    pub hits: u64,
+    /// `true` if this process loaded the graph from a snapshot file.
+    pub from_snapshot: bool,
+    /// Snapshot frame size in bytes (0 when not persisted).
+    pub snapshot_bytes: u64,
+}
+
+/// The store. Use [`GraphStore::global`] (or the [`shared_rr_graph`]
+/// shorthand); per-instance construction exists for isolated tests.
+pub struct GraphStore {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+    snapshot_dir: Mutex<Option<PathBuf>>,
+}
+
+impl GraphStore {
+    /// An empty store with no snapshot directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { slots: Mutex::new(HashMap::new()), snapshot_dir: Mutex::new(None) }
+    }
+
+    /// The process-global store every job shares.
+    pub fn global() -> &'static GraphStore {
+        static GLOBAL: OnceLock<GraphStore> = OnceLock::new();
+        GLOBAL.get_or_init(GraphStore::new)
+    }
+
+    /// Points the snapshot tier at `dir` (`None` disables persistence).
+    /// Creates the directory eagerly; failure to create disables the
+    /// tier rather than erroring — the store always works memory-only.
+    pub fn set_snapshot_dir(&self, dir: Option<PathBuf>) {
+        let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        *self.snapshot_dir.lock().expect("graph store dir lock") = dir;
+    }
+
+    /// The shared graph for `(params, grid, channel_width)`, building
+    /// (or loading a snapshot) at most once per distinct identity.
+    pub fn get(
+        &self,
+        params: &ArchParams,
+        grid: Grid,
+        channel_width: usize,
+    ) -> Result<Arc<RrGraph>, ArchError> {
+        let digest = graph_digest(params, grid, channel_width);
+        let slot = {
+            let mut slots = self.slots.lock().expect("graph store slot lock");
+            Arc::clone(slots.entry(digest.clone()).or_insert_with(|| {
+                Arc::new(Slot {
+                    cell: OnceLock::new(),
+                    hits: AtomicU64::new(0),
+                    snapshot_bytes: AtomicU64::new(0),
+                    from_snapshot: AtomicBool::new(false),
+                })
+            }))
+        };
+
+        // `OnceLock::get_or_init` runs the closure exactly once per
+        // slot; racing callers block and then share the result. The
+        // flag tells this caller whether it was the builder.
+        let mut built_here = false;
+        let result = slot.cell.get_or_init(|| {
+            built_here = true;
+            self.build_or_load(params, grid, channel_width, &digest, &slot)
+        });
+        if !built_here {
+            slot.hits.fetch_add(1, Ordering::Relaxed);
+            metrics().store_hits.inc();
+        }
+        result.clone()
+    }
+
+    /// Cold-miss path: snapshot load, else build + persist.
+    fn build_or_load(
+        &self,
+        params: &ArchParams,
+        grid: Grid,
+        channel_width: usize,
+        digest: &str,
+        slot: &Slot,
+    ) -> Result<Arc<RrGraph>, ArchError> {
+        let mut snapshot_tier = self.snapshot_path(digest);
+        match FAULT_STORE.fire().apply_basic() {
+            // An injected store failure downgrades to memory-only for
+            // this entry; the build itself must still succeed.
+            FaultAction::Err(_) => snapshot_tier = None,
+            action @ (FaultAction::Corrupt | FaultAction::ShortRead) => {
+                if let Some(path) = &snapshot_tier {
+                    if let Ok(bytes) = std::fs::read(path) {
+                        let damaged = damage(bytes, matches!(action, FaultAction::ShortRead));
+                        let _ = std::fs::write(path, damaged);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        if let Some(path) = &snapshot_tier {
+            if let Ok(bytes) = std::fs::read(path) {
+                if let Some(rr) = decode_snapshot(&bytes) {
+                    // The digest in the filename must match the content
+                    // — a renamed frame is a miss, like the result cache.
+                    if graph_digest(&rr.params, rr.grid, rr.channel_width) == digest {
+                        metrics().store_hits.inc();
+                        metrics().store_bytes.add(bytes.len() as u64);
+                        slot.snapshot_bytes.store(bytes.len() as u64, Ordering::Relaxed);
+                        slot.from_snapshot.store(true, Ordering::Relaxed);
+                        return Ok(Arc::new(rr));
+                    }
+                }
+            }
+        }
+
+        metrics().builds.inc();
+        let rr = Arc::new(build_rr_graph(params, grid, channel_width)?);
+        if let Some(path) = &snapshot_tier {
+            let frame = encode_snapshot(&rr);
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            match std::fs::write(&tmp, &frame).and_then(|()| std::fs::rename(&tmp, path)) {
+                Ok(()) => {
+                    metrics().store_bytes.add(frame.len() as u64);
+                    slot.snapshot_bytes.store(frame.len() as u64, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Persistence is best-effort: the graph stays
+                    // memory-shared either way.
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+        }
+        Ok(rr)
+    }
+
+    fn snapshot_path(&self, digest: &str) -> Option<PathBuf> {
+        let dir = self.snapshot_dir.lock().expect("graph store dir lock");
+        dir.as_ref().map(|d| d.join(format!("{digest}.nemg")))
+    }
+
+    /// All successfully built entries, digest-sorted (stable listing
+    /// order for the `/v1/archs` resource).
+    pub fn entries(&self) -> Vec<GraphStoreEntry> {
+        let slots = self.slots.lock().expect("graph store slot lock");
+        let mut out: Vec<GraphStoreEntry> =
+            slots.iter().filter_map(|(digest, slot)| entry_view(digest, slot)).collect();
+        out.sort_by(|a, b| a.digest.cmp(&b.digest));
+        out
+    }
+
+    /// The entry for `digest`, if that graph has been built.
+    pub fn entry(&self, digest: &str) -> Option<GraphStoreEntry> {
+        let slots = self.slots.lock().expect("graph store slot lock");
+        slots.get(digest).and_then(|slot| entry_view(digest, slot))
+    }
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn entry_view(digest: &str, slot: &Slot) -> Option<GraphStoreEntry> {
+    let rr = slot.cell.get()?.as_ref().ok()?;
+    Some(GraphStoreEntry {
+        digest: digest.to_owned(),
+        params: rr.params,
+        grid: rr.grid,
+        channel_width: rr.channel_width,
+        nodes: rr.num_nodes(),
+        edges: rr.num_edges(),
+        hits: slot.hits.load(Ordering::Relaxed),
+        from_snapshot: slot.from_snapshot.load(Ordering::Relaxed),
+        snapshot_bytes: slot.snapshot_bytes.load(Ordering::Relaxed),
+    })
+}
+
+/// Shared engine-metric handles (get-or-create is lock-protected; cache
+/// the handles once).
+struct StoreMetrics {
+    builds: nemfpga_obs::Counter,
+    store_hits: nemfpga_obs::Counter,
+    store_bytes: nemfpga_obs::Counter,
+}
+
+fn metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = engine_registry();
+        StoreMetrics {
+            builds: registry.counter("graph_builds"),
+            store_hits: registry.counter("graph_store_hits"),
+            store_bytes: registry.counter("graph_store_bytes"),
+        }
+    })
+}
+
+/// Deterministic damage for injected `Corrupt`/`ShortRead` faults:
+/// truncates at the midpoint, or perturbs the midpoint byte.
+fn damage(mut bytes: Vec<u8>, truncate: bool) -> Vec<u8> {
+    let mid = bytes.len() / 2;
+    if truncate {
+        bytes.truncate(mid);
+    } else if let Some(b) = bytes.get_mut(mid) {
+        *b = b.wrapping_add(1);
+    }
+    bytes
+}
+
+/// Shorthand for [`GraphStore::global`]`.get(...)` — the call every
+/// routing path uses in place of [`build_rr_graph`].
+pub fn shared_rr_graph(
+    params: &ArchParams,
+    grid: Grid,
+    channel_width: usize,
+) -> Result<Arc<RrGraph>, ArchError> {
+    GraphStore::global().get(params, grid, channel_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ArchParams {
+        ArchParams::paper_table1()
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let grid = Grid { width: 4, height: 4, io_rate: 2 };
+        let d1 = graph_digest(&params(), grid, 8);
+        assert_eq!(d1.len(), 64);
+        assert_eq!(d1, graph_digest(&params(), grid, 8));
+        assert_ne!(d1, graph_digest(&params(), grid, 9));
+        let mut p2 = params();
+        p2.fc_in = 0.25;
+        assert_ne!(d1, graph_digest(&p2, grid, 8));
+        let g2 = Grid { width: 5, ..grid };
+        assert_ne!(d1, graph_digest(&params(), g2, 8));
+    }
+
+    #[test]
+    fn same_identity_shares_one_graph() {
+        let store = GraphStore::new();
+        let grid = Grid { width: 3, height: 3, io_rate: 2 };
+        let a = store.get(&params(), grid, 6).expect("builds");
+        let b = store.get(&params(), grid, 6).expect("hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        let entry = store.entry(&graph_digest(&params(), grid, 6)).expect("entry exists");
+        assert_eq!(entry.hits, 1);
+        assert_eq!(entry.nodes, a.num_nodes());
+        assert!(!entry.from_snapshot);
+    }
+
+    #[test]
+    fn build_errors_are_cached_results() {
+        let store = GraphStore::new();
+        let grid = Grid { width: 3, height: 3, io_rate: 2 };
+        assert!(store.get(&params(), grid, 0).is_err());
+        assert!(store.get(&params(), grid, 0).is_err());
+        // Errored slots never appear in the resource listing.
+        assert!(store.entry(&graph_digest(&params(), grid, 0)).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_corruption_degrade() {
+        let dir = std::env::temp_dir().join(format!("nemg-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = Grid { width: 3, height: 3, io_rate: 2 };
+
+        let store = GraphStore::new();
+        store.set_snapshot_dir(Some(dir.clone()));
+        let built = store.get(&params(), grid, 6).expect("builds and persists");
+        let digest = graph_digest(&params(), grid, 6);
+        let path = dir.join(format!("{digest}.nemg"));
+        let frame = std::fs::read(&path).expect("snapshot persisted");
+
+        // A fresh store (fresh process, conceptually) loads the
+        // snapshot instead of rebuilding.
+        let fresh = GraphStore::new();
+        fresh.set_snapshot_dir(Some(dir.clone()));
+        let loaded = fresh.get(&params(), grid, 6).expect("loads snapshot");
+        assert_eq!(loaded.num_nodes(), built.num_nodes());
+        assert_eq!(loaded.num_edges(), built.num_edges());
+        let entry = fresh.entry(&digest).expect("entry");
+        assert!(entry.from_snapshot);
+        assert_eq!(entry.snapshot_bytes, frame.len() as u64);
+
+        // Corrupt the file: the next fresh store rebuilds and rewrites.
+        let mut bad = frame.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        std::fs::write(&path, &bad).expect("write corrupt frame");
+        let recovering = GraphStore::new();
+        recovering.set_snapshot_dir(Some(dir.clone()));
+        let rebuilt = recovering.get(&params(), grid, 6).expect("rebuilds");
+        assert_eq!(rebuilt.num_nodes(), built.num_nodes());
+        assert!(!recovering.entry(&digest).expect("entry").from_snapshot);
+        // And the rewrite restored a valid frame.
+        let restored = std::fs::read(&path).expect("rewritten");
+        assert!(crate::snapshot::decode_snapshot(&restored).is_some());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

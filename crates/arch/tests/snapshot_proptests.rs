@@ -1,0 +1,104 @@
+//! Property-based tests of the `NEMG` CSR snapshot codec: for arbitrary
+//! fabrics the frame round-trips bit-identically against the in-memory
+//! build, and *any* single-byte flip or truncation degrades to a miss
+//! (`None`) rather than a crash or a silently different graph.
+
+use nemfpga_arch::builder::build_rr_graph;
+use nemfpga_arch::grid::Grid;
+use nemfpga_arch::params::ArchParams;
+use nemfpga_arch::rrgraph::RrNodeId;
+use nemfpga_arch::snapshot::{decode_snapshot, encode_snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// decode(encode(g)) reproduces every field of the in-memory build,
+    /// and re-encoding the decoded graph is byte-identical — the frame
+    /// is a canonical encoding, not just a lossless one.
+    #[test]
+    fn round_trip_is_bit_identical(
+        w in 1usize..5,
+        h in 1usize..5,
+        width in 2usize..16,
+        seg in 1usize..5,
+    ) {
+        let mut params = ArchParams::paper_table1();
+        params.segment_length = seg;
+        let grid = Grid::new(w, h, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+
+        let frame = encode_snapshot(&rr);
+        let decoded = decode_snapshot(&frame).expect("intact frame decodes");
+
+        prop_assert_eq!(decoded.params, rr.params);
+        prop_assert_eq!(decoded.grid, rr.grid);
+        prop_assert_eq!(decoded.channel_width, rr.channel_width);
+        prop_assert_eq!(decoded.num_nodes(), rr.num_nodes());
+        prop_assert_eq!(decoded.num_edges(), rr.num_edges());
+        for id in rr.node_ids() {
+            prop_assert_eq!(decoded.node(id), rr.node(id));
+            prop_assert_eq!(decoded.edges_from(id), rr.edges_from(id));
+            let (ax, ay) = rr.center_of(id);
+            let (bx, by) = decoded.center_of(id);
+            prop_assert_eq!(ax.to_bits(), bx.to_bits());
+            prop_assert_eq!(ay.to_bits(), by.to_bits());
+        }
+        for x in 0..grid.total_width() {
+            for y in 0..grid.total_height() {
+                prop_assert_eq!(decoded.source_at(x, y), rr.source_at(x, y));
+                prop_assert_eq!(decoded.sink_at(x, y), rr.sink_at(x, y));
+            }
+        }
+        prop_assert_eq!(encode_snapshot(&decoded), frame);
+    }
+
+    /// Flipping any single bit of the frame makes it a miss: the SHA-256
+    /// trailer covers every byte (and a flip inside the trailer breaks
+    /// the digest check itself). Samples byte positions to keep the case
+    /// count bounded; the unit tests sweep every *truncation* length.
+    #[test]
+    fn any_bit_flip_degrades_to_a_miss(
+        width in 2usize..10,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let params = ArchParams::paper_table1();
+        let grid = Grid::new(2, 2, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+        let mut frame = encode_snapshot(&rr);
+        let pos = ((frame.len() - 1) as f64 * byte_frac) as usize;
+        frame[pos] ^= 1 << bit;
+        prop_assert!(decode_snapshot(&frame).is_none(), "flip at byte {pos} bit {bit}");
+    }
+
+    /// Every truncation of the frame — including cutting mid-array and
+    /// mid-header — is a miss, never a panic.
+    #[test]
+    fn any_truncation_degrades_to_a_miss(
+        width in 2usize..10,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let params = ArchParams::paper_table1();
+        let grid = Grid::new(2, 2, 2).expect("grid builds");
+        let rr = build_rr_graph(&params, grid, width).expect("fabric builds");
+        let frame = encode_snapshot(&rr);
+        let len = (frame.len() as f64 * len_frac) as usize;
+        prop_assert!(len < frame.len());
+        prop_assert!(decode_snapshot(&frame[..len]).is_none(), "truncation at {len}");
+    }
+}
+
+/// A decoded graph must be *usable* — this pins that the CSR accessors
+/// work on a loaded graph exactly as on a built one (the store hands
+/// decoded graphs straight to the router).
+#[test]
+fn decoded_graph_serves_csr_queries() {
+    let params = ArchParams::paper_table1();
+    let grid = Grid::new(3, 3, 2).expect("grid builds");
+    let rr = build_rr_graph(&params, grid, 8).expect("fabric builds");
+    let decoded = decode_snapshot(&encode_snapshot(&rr)).expect("decodes");
+    nemfpga_arch::validate::validate_rr_graph(&decoded).expect("decoded graph validates");
+    let first = RrNodeId(0);
+    assert_eq!(decoded.edges_from(first), rr.edges_from(first));
+}

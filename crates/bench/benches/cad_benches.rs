@@ -109,6 +109,24 @@ fn bench_route_full_vs_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Repeated W_min binary searches over one architecture — the paper's
+/// fleet shape (few architectures, many evaluations). With the graph
+/// store every probe width after the first search is an `Arc` cache
+/// hit; the store-less baseline rebuilt the RR graph once per probe,
+/// which is what `BENCH_baseline.json` records for this entry.
+fn bench_graph_store_wmin(c: &mut Criterion) {
+    let (params, design, placement) = placed(120, 7);
+    let cfg = RouteConfig::new();
+    let mut group = c.benchmark_group("route");
+    group.sample_size(10);
+    group.bench_function("graph_store_wmin", |b| {
+        b.iter(|| {
+            find_min_channel_width(&params, &design, &placement, &cfg, 8, 256).expect("finds W_min")
+        })
+    });
+    group.finish();
+}
+
 /// The Fig. 12 sweep (8 variants through model build + timing + power)
 /// serial vs. fanned out — the speedup `--threads` buys in `repro`.
 fn bench_sweep_serial_vs_parallel(c: &mut Criterion) {
@@ -179,6 +197,7 @@ criterion_group!(
     bench_route,
     bench_route_full_vs_incremental,
     bench_route_serial_vs_net_parallel,
+    bench_graph_store_wmin,
     bench_sweep_serial_vs_parallel,
     bench_monte_carlo_serial_vs_parallel,
 );

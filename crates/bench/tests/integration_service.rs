@@ -212,7 +212,10 @@ fn invalid_requests_are_rejected_with_400() {
         let response =
             http_request(addr, "POST", "/v1/jobs", Some(body), TIMEOUT).expect("responds");
         assert_eq!(response.status, 400, "for {}: {}", body.to_json(), response.body.to_json());
-        assert!(field(&response.body, "error").as_str().is_some());
+        // Every rejection speaks the unified envelope.
+        let envelope = field(&response.body, "error");
+        assert_eq!(envelope.get("code").and_then(Value::as_str), Some("bad_request"));
+        assert!(envelope.get("message").and_then(Value::as_str).is_some());
     }
     assert_eq!(computations.load(Ordering::SeqCst), 0, "rejected jobs must never run");
 
@@ -283,9 +286,9 @@ fn client_maps_the_error_taxonomy_onto_typed_errors() {
     let (service, _) = start_counting_service(None);
     let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
 
-    // Unknown job id → 404.
+    // Unknown job id → 404 with the envelope's machine code.
     match client.job(999_999) {
-        Err(ClientError::Api { status: 404, .. }) => {}
+        Err(ClientError::Api { status: 404, code, .. }) => assert_eq!(code, "not_found"),
         other => panic!("expected Api 404, got {other:?}"),
     }
     // Uncached key → 404.
@@ -296,10 +299,11 @@ fn client_maps_the_error_taxonomy_onto_typed_errors() {
         Err(ClientError::Api { status: 404, .. }) => {}
         other => panic!("expected Api 404, got {other:?}"),
     }
-    // Invalid request body → 400 with the server's message preserved.
+    // Invalid request body → 400 with the server's code and message.
     request.scale = 7.0;
     match client.submit(&request, true) {
-        Err(ClientError::Api { status: 400, message }) => {
+        Err(ClientError::Api { status: 400, code, message }) => {
+            assert_eq!(code, "bad_request");
             assert!(!message.is_empty());
         }
         other => panic!("expected Api 400, got {other:?}"),
@@ -630,5 +634,141 @@ fn event_streams_terminate_on_cancel_and_deadline_expiry() {
     }
     // Neither victim ever reached the executor.
     assert_eq!(computations.load(Ordering::SeqCst), 2);
+    service.shutdown();
+}
+
+/// The `/v1/archs` resource mirrors the process-global graph store:
+/// every graph the CAD engine shares shows up with its digest, the
+/// detail document echoes the exact parameters, and unknown digests
+/// map onto the envelope's `not_found` code.
+#[test]
+fn archs_resource_round_trips_the_graph_store() {
+    use nemfpga_arch::{graph_digest, shared_rr_graph, ArchParams, Grid};
+
+    // Warm the (process-global) store with two distinct identities.
+    let params = ArchParams::paper_table1();
+    let grid = Grid::new(4, 4, 2).expect("grid");
+    shared_rr_graph(&params, grid, 9).expect("warm graph A");
+    let mut long_segments = params;
+    long_segments.segment_length = 2;
+    shared_rr_graph(&long_segments, grid, 9).expect("warm graph B");
+    let digest_a = graph_digest(&params, grid, 9);
+    let digest_b = graph_digest(&long_segments, grid, 9);
+    assert_ne!(digest_a, digest_b);
+
+    let (service, _) = start_counting_service(None);
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    // The listing carries both digests (other tests in this process may
+    // have warmed more), each as a summary document without the echo.
+    let listing = client.archs().expect("list archs");
+    for digest in [&digest_a, &digest_b] {
+        let entry = listing
+            .iter()
+            .find(|a| &a.digest == digest)
+            .unwrap_or_else(|| panic!("digest {digest} missing from /v1/archs"));
+        assert!(entry.params.is_none(), "listing documents are summaries");
+        assert!(entry.nodes > 0 && entry.edges > 0);
+    }
+    // Listing order is digest-sorted, so repeat listings are stable.
+    let digests: Vec<_> = listing.iter().map(|a| a.digest.clone()).collect();
+    let mut sorted = digests.clone();
+    sorted.sort();
+    assert_eq!(digests, sorted, "/v1/archs must list in stable digest order");
+
+    // The detail document echoes the exact identity it was keyed on.
+    let detail = client.arch(&digest_a).expect("arch detail");
+    assert_eq!(detail.channel_width, 9);
+    assert_eq!(detail.params.expect("params echo"), params);
+    assert_eq!(detail.grid.expect("grid echo"), grid);
+
+    match client.arch("0000000000000000000000000000000000000000000000000000000000000000") {
+        Err(ClientError::Api { status: 404, code, .. }) => assert_eq!(code, "not_found"),
+        other => panic!("expected Api 404 not_found, got {other:?}"),
+    }
+    service.shutdown();
+}
+
+/// `GET /v1/jobs`: stable id-ordered listing, tenant/state filters, and
+/// cursor pagination that partitions the full listing without overlap —
+/// through both the one-page call and the cursor-following iterator.
+#[test]
+fn job_listing_filters_and_paginates_with_stable_cursors() {
+    let executor: Executor = Arc::new(|_| Ok("listed\n".to_owned()));
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(&config, executor).expect("service starts");
+    let client = ServiceClient::new(service.addr()).expect("client").with_timeout(TIMEOUT);
+
+    // Five distinct jobs across two tenants (distinct seeds defeat
+    // coalescing and caching).
+    let mut acme_ids = Vec::new();
+    let mut globex_ids = Vec::new();
+    for seed in 0..5u64 {
+        let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+        request.seed = 1000 + seed;
+        let tenant = if seed < 3 { "acme" } else { "globex" };
+        let job = client
+            .submit_as(&request, true, tenant, nemfpga_service::Lane::Interactive)
+            .expect("submit");
+        assert_eq!(job.state, JobState::Done);
+        if tenant == "acme" {
+            acme_ids.push(job.id);
+        } else {
+            globex_ids.push(job.id);
+        }
+    }
+
+    // Unfiltered listing: every job, ascending by id.
+    let all = client.jobs_page(None, None, 100, None).expect("list all");
+    assert!(all.next.is_none(), "five jobs fit one page");
+    let ids: Vec<u64> = all.jobs.iter().map(|j| j.id).collect();
+    let mut ascending = ids.clone();
+    ascending.sort_unstable();
+    assert_eq!(ids, ascending, "listing must be id-ordered");
+    assert_eq!(ids.len(), 5);
+
+    // Tenant and state filters.
+    let acme = client.jobs_page(Some("acme"), None, 100, None).expect("list acme");
+    assert_eq!(acme.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), acme_ids);
+    assert!(acme.jobs.iter().all(|j| j.tenant == "acme"));
+    let done = client.jobs_page(None, Some(JobState::Done), 100, None).expect("list done");
+    assert_eq!(done.jobs.len(), 5);
+    let queued = client.jobs_page(None, Some(JobState::Queued), 100, None).expect("list queued");
+    assert!(queued.jobs.is_empty(), "no job is still queued");
+
+    // Cursor pagination partitions the listing: pages of ≤2, no
+    // overlap, same ids in the same order.
+    let mut paged = Vec::new();
+    let mut cursor: Option<String> = None;
+    loop {
+        let page = client.jobs_page(None, None, 2, cursor.as_deref()).expect("page");
+        assert!(page.jobs.len() <= 2);
+        paged.extend(page.jobs.iter().map(|j| j.id));
+        match page.next {
+            Some(next) => cursor = Some(next),
+            None => break,
+        }
+    }
+    assert_eq!(paged, ids, "pages must partition the listing exactly");
+
+    // The iterator walks the same sequence lazily.
+    let walked: Vec<u64> =
+        client.jobs(None, None, 2).map(|j| j.expect("iterator item").id).collect();
+    assert_eq!(walked, ids);
+    let globex_walked: Vec<u64> = client
+        .jobs(Some("globex"), Some(JobState::Done), 1)
+        .map(|j| j.expect("iterator item").id)
+        .collect();
+    assert_eq!(globex_walked, globex_ids);
+
+    // Listing rejections speak the envelope.
+    match client.jobs_page(None, None, 0, None) {
+        Err(ClientError::Api { status: 400, code, .. }) => assert_eq!(code, "bad_request"),
+        other => panic!("expected Api 400 bad_request, got {other:?}"),
+    }
     service.shutdown();
 }

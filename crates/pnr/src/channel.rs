@@ -9,8 +9,8 @@ use crate::error::PnrError;
 use crate::pack::PackedDesign;
 use crate::place::Placement;
 use crate::route::{route_with_scratch, RouteConfig, RouterScratch, Routing};
-use nemfpga_arch::builder::build_rr_graph;
 use nemfpga_arch::params::ArchParams;
+use nemfpga_arch::store::shared_rr_graph;
 use serde::{Deserialize, Serialize};
 
 /// Result of a minimum-width search.
@@ -74,7 +74,10 @@ pub fn find_min_channel_width(
     // reuses the previous run's allocations.
     let mut scratch = RouterScratch::new();
     let mut try_width = |w: usize, attempts: &mut Vec<(usize, bool)>| -> Option<Routing> {
-        let rr = match build_rr_graph(params, placement.grid, w) {
+        // The graph store builds each probed width at most once per
+        // process — repeated searches over one architecture (sweeps,
+        // Monte-Carlo shards) reuse the shared CSR graphs.
+        let rr = match shared_rr_graph(params, placement.grid, w) {
             Ok(rr) => rr,
             Err(_) => return None,
         };

@@ -5,12 +5,13 @@ use crate::error::PnrError;
 use crate::pack::{pack, PackedDesign};
 use crate::place::{place, PlaceConfig, Placement};
 use crate::route::{route, route_with_scratch, RouteConfig, RouterScratch, Routing};
-use nemfpga_arch::builder::build_rr_graph;
 use nemfpga_arch::grid::Grid;
 use nemfpga_arch::params::ArchParams;
 use nemfpga_arch::rrgraph::RrGraph;
+use nemfpga_arch::store::shared_rr_graph;
 use nemfpga_netlist::netlist::Netlist;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How to choose the channel width.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,8 +34,9 @@ pub struct Implementation {
     pub design: PackedDesign,
     /// Block placement.
     pub placement: Placement,
-    /// The routing-resource graph at the operating width.
-    pub rr: RrGraph,
+    /// The routing-resource graph at the operating width, shared with
+    /// every other job on the same architecture via the graph store.
+    pub rr: Arc<RrGraph>,
     /// The routing at the operating width.
     pub routing: Routing,
     /// Result of the width search, when one ran.
@@ -111,7 +113,7 @@ pub fn implement(
     match width {
         WidthPolicy::Fixed(w) => {
             route_span.set_arg("width", w as u64);
-            let rr = build_rr_graph(params, grid, w)
+            let rr = shared_rr_graph(params, grid, w)
                 .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
             let routing = route(&rr, &design, &placement, route_cfg)?;
             Ok(Implementation { design, placement, rr, routing, width_search: None })
@@ -125,7 +127,7 @@ pub fn implement(
             // to the known-good minimum-width routing.
             let mut scratch = RouterScratch::new();
             for w in [0usize, 2, 4, 8].map(|d| summary.operating_width + d) {
-                if let Ok(rr) = build_rr_graph(params, grid, w) {
+                if let Ok(rr) = shared_rr_graph(params, grid, w) {
                     if let Ok(routing) =
                         route_with_scratch(&rr, &design, &placement, route_cfg, &mut scratch)
                     {
@@ -141,7 +143,7 @@ pub fn implement(
                 }
             }
             summary.operating_width = search.w_min;
-            let rr = build_rr_graph(params, grid, search.w_min)
+            let rr = shared_rr_graph(params, grid, search.w_min)
                 .map_err(|e| PnrError::BadNetlist { message: e.to_string() })?;
             Ok(Implementation {
                 design,

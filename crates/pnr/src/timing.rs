@@ -450,7 +450,7 @@ mod tests {
         luts: usize,
         seed: u64,
     ) -> (
-        nemfpga_arch::RrGraph,
+        std::sync::Arc<nemfpga_arch::RrGraph>,
         crate::pack::PackedDesign,
         crate::place::Placement,
         crate::route::Routing,

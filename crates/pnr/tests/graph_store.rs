@@ -1,0 +1,79 @@
+//! Integration contract of the architecture graph store against the
+//! routing flow: a full W_min binary search performs exactly one CSR
+//! build per *distinct* `(params, grid, W)` identity — verified through
+//! the `graph_builds` engine counter — and N racing requesters coalesce
+//! onto a single build.
+//!
+//! Engine counters are process-global, so everything lives in one
+//! sequential `#[test]` (Rust runs tests within a binary concurrently;
+//! a second test would race the counter deltas).
+
+use nemfpga_arch::store::{graph_digest, shared_rr_graph, GraphStore};
+use nemfpga_arch::{ArchParams, Grid};
+use nemfpga_netlist::synth::SynthConfig;
+use nemfpga_obs::engine_registry;
+use nemfpga_pnr::channel::find_min_channel_width;
+use nemfpga_pnr::pack::pack;
+use nemfpga_pnr::place::{place, PlaceConfig};
+use nemfpga_pnr::route::RouteConfig;
+
+#[test]
+fn wmin_search_builds_each_distinct_graph_once() {
+    let builds = engine_registry().counter("graph_builds");
+    let hits = engine_registry().counter("graph_store_hits");
+
+    // --- Part 1: N racing requesters, exactly one build. -------------
+    let params = ArchParams::paper_table1();
+    let race_grid = Grid::new(3, 3, 2).expect("grid builds");
+    let before = builds.get();
+    let hits_before = hits.get();
+    const RACERS: usize = 8;
+    let graphs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| scope.spawn(|| shared_rr_graph(&params, race_grid, 7).expect("builds")))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    assert_eq!(builds.get() - before, 1, "racing requesters must coalesce onto one build");
+    assert_eq!(hits.get() - hits_before, RACERS as u64 - 1);
+    for pair in graphs.windows(2) {
+        assert!(std::sync::Arc::ptr_eq(&pair[0], &pair[1]), "all racers share one graph");
+    }
+    let entry = GraphStore::global()
+        .entry(&graph_digest(&params, race_grid, 7))
+        .expect("built graph is listed");
+    assert_eq!(entry.hits, RACERS as u64 - 1);
+    assert_eq!(entry.channel_width, 7);
+
+    // --- Part 2: a full W_min search builds one graph per distinct W. -
+    // Distinct segment length keeps these identities disjoint from the
+    // race above (and from anything else this process touched).
+    let mut params = ArchParams::paper_table1();
+    params.segment_length = 3;
+    let design =
+        pack(SynthConfig::tiny("t", 60, 9).generate().expect("generates"), &params).expect("packs");
+    let grid = Grid::for_design(design.num_logic_blocks(), design.num_pads(), params.io_rate)
+        .expect("grid");
+    let placement = place(&design, grid, &PlaceConfig::fast(9)).expect("places");
+
+    let before = builds.get();
+    let search = find_min_channel_width(&params, &design, &placement, &RouteConfig::new(), 8, 256)
+        .expect("finds W_min");
+    let distinct: std::collections::HashSet<usize> =
+        search.attempts.iter().map(|&(w, _)| w).collect();
+    assert_eq!(
+        builds.get() - before,
+        distinct.len() as u64,
+        "one build per distinct probed width: attempts {:?}",
+        search.attempts
+    );
+
+    // A second identical search is all hits — zero new builds.
+    let before = builds.get();
+    let hits_before = hits.get();
+    let again = find_min_channel_width(&params, &design, &placement, &RouteConfig::new(), 8, 256)
+        .expect("finds W_min again");
+    assert_eq!(builds.get() - before, 0, "repeat search must not rebuild");
+    assert_eq!(hits.get() - hits_before, again.attempts.len() as u64);
+    assert_eq!(again.w_min, search.w_min);
+}

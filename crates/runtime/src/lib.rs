@@ -24,6 +24,7 @@ pub mod faults;
 pub mod hash;
 pub mod pool;
 pub mod scratch;
+pub mod sha;
 pub mod workers;
 
 pub use cancel::CancelToken;

@@ -7,7 +7,8 @@
 //!
 //! * transport failures (connect/IO/timeout) → [`ClientError::Transport`],
 //! * non-2xx responses → [`ClientError::Api`] carrying the status code
-//!   and the server's `error` message,
+//!   plus the machine-readable `error.code` and human `error.message`
+//!   from the unified error envelope,
 //! * 2xx bodies that don't match the documented schema →
 //!   [`ClientError::Protocol`].
 //!
@@ -47,7 +48,10 @@ pub enum ClientError {
     Api {
         /// HTTP status code.
         status: u16,
-        /// The server's `error` field (or the raw body when absent).
+        /// The envelope's `error.code` (API.md error taxonomy), or the
+        /// empty string when the body carried no recognizable code.
+        code: String,
+        /// The envelope's `error.message` (or the raw body when absent).
         message: String,
     },
     /// The response parsed as JSON but did not match the documented schema.
@@ -58,13 +62,35 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Transport(m) => write!(f, "transport error: {m}"),
-            Self::Api { status, message } => write!(f, "server returned {status}: {message}"),
+            Self::Api { status, code, message } if code.is_empty() => {
+                write!(f, "server returned {status}: {message}")
+            }
+            Self::Api { status, code, message } => {
+                write!(f, "server returned {status} ({code}): {message}")
+            }
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// Decodes a non-2xx body into [`ClientError::Api`]. Understands the
+/// unified envelope `{"error": {"code", "message"}}`; a legacy flat
+/// `{"error": "text"}` (pre-envelope servers in a mixed-version
+/// cluster) still yields the message with an empty code.
+fn api_error(status: u16, body: &Value) -> ClientError {
+    if let Some(envelope) = body.get("error") {
+        if let Some(message) = envelope.get("message").and_then(Value::as_str) {
+            let code = envelope.get("code").and_then(Value::as_str).unwrap_or_default().to_owned();
+            return ClientError::Api { status, code, message: message.to_owned() };
+        }
+        if let Some(message) = envelope.as_str() {
+            return ClientError::Api { status, code: String::new(), message: message.to_owned() };
+        }
+    }
+    ClientError::Api { status, code: String::new(), message: "(no error message)".to_owned() }
+}
 
 /// A decoded job document (`POST /v1/jobs`, `GET /v1/jobs/:id`).
 #[derive(Debug, Clone)]
@@ -139,6 +165,109 @@ impl JobView {
                 .unwrap_or_default(),
             output: doc.get("output").and_then(Value::as_str).map(str::to_owned),
             error: doc.get("error").and_then(Value::as_str).map(str::to_owned),
+        })
+    }
+}
+
+/// One page of the `GET /v1/jobs` listing.
+#[derive(Debug, Clone)]
+pub struct JobsPage {
+    /// The page's job documents, oldest first.
+    pub jobs: Vec<JobView>,
+    /// Opaque cursor for the next page; `None` on the last page.
+    pub next: Option<String>,
+}
+
+/// A decoded architecture-graph document (`GET /v1/archs`,
+/// `GET /v1/archs/:digest`).
+#[derive(Debug, Clone)]
+pub struct ArchView {
+    /// Content address over the canonical (params, grid, W) encoding.
+    pub digest: String,
+    /// Routing channel width the graph was built for.
+    pub channel_width: usize,
+    /// CSR node count.
+    pub nodes: usize,
+    /// CSR edge count.
+    pub edges: usize,
+    /// Requests served from this entry without rebuilding.
+    pub hits: u64,
+    /// Whether the resident graph was loaded from a disk snapshot.
+    pub from_snapshot: bool,
+    /// Size of the on-disk snapshot (0 with the disk tier off).
+    pub snapshot_bytes: u64,
+    /// Full parameter echo; present only on the detail document.
+    pub params: Option<nemfpga_arch::ArchParams>,
+    /// Grid echo; present only on the detail document.
+    pub grid: Option<nemfpga_arch::Grid>,
+}
+
+impl ArchView {
+    fn from_json(doc: &Value) -> Result<Self, ClientError> {
+        let require_u64 = |name: &str| {
+            doc.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing integer `{name}`")))
+        };
+        let digest = doc
+            .get("digest")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("missing `digest`".into()))?
+            .to_owned();
+        let from_snapshot = doc
+            .get("from_snapshot")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| ClientError::Protocol("missing `from_snapshot`".into()))?;
+        let params = match doc.get("params") {
+            None => None,
+            Some(p) => {
+                let u = |name: &str| {
+                    p.get(name).and_then(Value::as_u64).ok_or_else(|| {
+                        ClientError::Protocol(format!("missing integer `params.{name}`"))
+                    })
+                };
+                let f = |name: &str| {
+                    p.get(name).and_then(Value::as_f64).ok_or_else(|| {
+                        ClientError::Protocol(format!("missing number `params.{name}`"))
+                    })
+                };
+                Some(nemfpga_arch::ArchParams {
+                    cluster_size: u("cluster_size")? as usize,
+                    lut_inputs: u("lut_inputs")? as usize,
+                    lb_inputs: u("lb_inputs")? as usize,
+                    segment_length: u("segment_length")? as usize,
+                    fc_in: f("fc_in")?,
+                    fc_out: f("fc_out")?,
+                    fs: u("fs")? as usize,
+                    io_rate: u("io_rate")? as usize,
+                })
+            }
+        };
+        let grid = match doc.get("grid") {
+            None => None,
+            Some(g) => {
+                let u = |name: &str| {
+                    g.get(name).and_then(Value::as_u64).ok_or_else(|| {
+                        ClientError::Protocol(format!("missing integer `grid.{name}`"))
+                    })
+                };
+                Some(nemfpga_arch::Grid {
+                    width: u("width")? as usize,
+                    height: u("height")? as usize,
+                    io_rate: u("io_rate")? as usize,
+                })
+            }
+        };
+        Ok(Self {
+            digest,
+            channel_width: require_u64("channel_width")? as usize,
+            nodes: require_u64("nodes")? as usize,
+            edges: require_u64("edges")? as usize,
+            hits: require_u64("hits")?,
+            from_snapshot,
+            snapshot_bytes: require_u64("snapshot_bytes")?,
+            params,
+            grid,
         })
     }
 }
@@ -437,13 +566,7 @@ impl ServiceClient {
     /// Maps a non-2xx response onto [`ClientError::Api`].
     fn interpret(resp: ClientResponse) -> Result<ClientResponse, ClientError> {
         if resp.status >= 300 {
-            let message = resp
-                .body
-                .get("error")
-                .and_then(Value::as_str)
-                .unwrap_or("(no error message)")
-                .to_owned();
-            return Err(ClientError::Api { status: resp.status, message });
+            return Err(api_error(resp.status, &resp.body));
         }
         Ok(resp)
     }
@@ -703,11 +826,12 @@ impl ServiceClient {
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body).map_err(|e| ClientError::Transport(e.to_string()))?;
             let text = String::from_utf8_lossy(&body);
-            let message = crate::json::parse(&text)
-                .ok()
-                .and_then(|doc| doc.get("error").and_then(Value::as_str).map(str::to_owned))
-                .unwrap_or_else(|| text.into_owned());
-            return Err(ClientError::Api { status, message });
+            return Err(match crate::json::parse(&text) {
+                Ok(doc) => api_error(status, &doc),
+                Err(_) => {
+                    ClientError::Api { status, code: String::new(), message: text.into_owned() }
+                }
+            });
         }
         Ok(EventStream { reader, parser: SseParser::new(), done: false })
     }
@@ -780,9 +904,138 @@ impl ServiceClient {
         let status = raw.status;
         let text = raw.text().map_err(ClientError::Transport)?;
         if status != 200 {
-            return Err(ClientError::Api { status, message: text });
+            return Err(match crate::json::parse(&text) {
+                Ok(doc) => api_error(status, &doc),
+                Err(_) => ClientError::Api { status, code: String::new(), message: text },
+            });
         }
         Ok(text)
+    }
+
+    /// `GET /v1/jobs` — one page of the job listing, oldest first.
+    /// `limit` is clamped server-side to 1..=1000; pass the `next`
+    /// cursor from the previous page to continue.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with code `bad_request` for an unknown
+    /// state name, out-of-range limit, or malformed cursor.
+    pub fn jobs_page(
+        &self,
+        tenant: Option<&str>,
+        state: Option<JobState>,
+        limit: usize,
+        cursor: Option<&str>,
+    ) -> Result<JobsPage, ClientError> {
+        let mut query = Vec::new();
+        if let Some(tenant) = tenant {
+            query.push(format!("tenant={tenant}"));
+        }
+        if let Some(state) = state {
+            query.push(format!("state={}", state.name()));
+        }
+        query.push(format!("limit={limit}"));
+        if let Some(cursor) = cursor {
+            query.push(format!("cursor={cursor}"));
+        }
+        let path = format!("/v1/jobs?{}", query.join("&"));
+        let resp = self.call("GET", &path, None)?;
+        let Some(Value::Arr(items)) = resp.body.get("jobs") else {
+            return Err(ClientError::Protocol("missing `jobs` array".into()));
+        };
+        let jobs = items.iter().map(JobView::from_json).collect::<Result<Vec<_>, _>>()?;
+        let next = resp.body.get("next").and_then(Value::as_str).map(str::to_owned);
+        Ok(JobsPage { jobs, next })
+    }
+
+    /// `GET /v1/jobs` as a lazy iterator over every matching job,
+    /// following `next` cursors page by page. The first error (any
+    /// [`ClientError`]) is yielded once and ends the iteration.
+    pub fn jobs(
+        &self,
+        tenant: Option<&str>,
+        state: Option<JobState>,
+        page_size: usize,
+    ) -> JobsIter<'_> {
+        JobsIter {
+            client: self,
+            tenant: tenant.map(str::to_owned),
+            state,
+            page_size,
+            cursor: None,
+            page: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// `GET /v1/archs` — every architecture graph resident in this
+    /// process's graph store (summary documents; no params echo).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn archs(&self) -> Result<Vec<ArchView>, ClientError> {
+        let resp = self.call("GET", "/v1/archs", None)?;
+        let Some(Value::Arr(items)) = resp.body.get("archs") else {
+            return Err(ClientError::Protocol("missing `archs` array".into()));
+        };
+        items.iter().map(ArchView::from_json).collect()
+    }
+
+    /// `GET /v1/archs/:digest` — one graph-store entry with the full
+    /// parameter and grid echo.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with code `not_found` for an unknown digest.
+    pub fn arch(&self, digest: &str) -> Result<ArchView, ClientError> {
+        let resp = self.call("GET", &format!("/v1/archs/{digest}"), None)?;
+        ArchView::from_json(&resp.body)
+    }
+}
+
+/// Lazy pagination over `GET /v1/jobs` (see [`ServiceClient::jobs`]).
+pub struct JobsIter<'a> {
+    client: &'a ServiceClient,
+    tenant: Option<String>,
+    state: Option<JobState>,
+    page_size: usize,
+    cursor: Option<String>,
+    page: Vec<JobView>,
+    exhausted: bool,
+}
+
+impl Iterator for JobsIter<'_> {
+    type Item = Result<JobView, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(job) = (!self.page.is_empty()).then(|| self.page.remove(0)) {
+                return Some(Ok(job));
+            }
+            if self.exhausted {
+                return None;
+            }
+            match self.client.jobs_page(
+                self.tenant.as_deref(),
+                self.state,
+                self.page_size,
+                self.cursor.as_deref(),
+            ) {
+                Ok(page) => {
+                    self.cursor = page.next;
+                    self.exhausted = self.cursor.is_none();
+                    self.page = page.jobs;
+                    if self.page.is_empty() && self.exhausted {
+                        return None;
+                    }
+                }
+                Err(error) => {
+                    self.exhausted = true;
+                    return Some(Err(error));
+                }
+            }
+        }
     }
 }
 

@@ -17,16 +17,23 @@
 //! | `GET /v1/jobs/:id/events`| Stream the job's progress as SSE over chunked transfer; resume with `Last-Event-ID` |
 //! | `DELETE /v1/jobs/:id`    | Cancel a job (cooperative for running jobs) |
 //! | `GET /v1/results/:key`   | Fetch a cached result by content address   |
+//! | `GET /v1/jobs?tenant=&state=&limit=&cursor=` | Stable id-ordered job listing with an opaque `next` cursor |
+//! | `GET /v1/archs`          | Architecture graph store listing (digest + build stats) |
+//! | `GET /v1/archs/:digest`  | One store entry: params echo, node/edge counts, snapshot size |
 //! | `GET /v1/healthz`        | Liveness                                   |
 //! | `GET /v1/metrics`        | Registry snapshot (JSON); `?format=prometheus` for text |
 //! | `GET /v1/cluster/digest` | This node's advertised keys + versions (clustered nodes) |
 //! | `GET /v1/cluster/peers`  | Membership snapshot (clustered nodes)      |
 //! | `GET /v1/cluster/entry/:key` | One cache entry as a binary codec frame (peer transfer) |
 //!
-//! Backpressure responses (`429 Too Many Requests` for a full queue,
-//! `503 Service Unavailable` while draining) carry a `Retry-After`
-//! header in seconds. The pre-`/v1` unversioned paths had one release
-//! of `301` grace and now answer `404` like any unknown route.
+//! Every non-2xx response carries the unified error envelope
+//! `{"error": {"code", "message", "retry_after_ms"?}}` — see
+//! [`ErrorCode`] for the code enum. Backpressure responses (`429 Too
+//! Many Requests` for a full queue or quota, `503 Service Unavailable`
+//! while draining) additionally carry a `Retry-After` header in seconds
+//! and `retry_after_ms` inside the envelope. The pre-`/v1` unversioned
+//! paths had one release of `301` grace and now answer `404` like any
+//! other unknown route.
 //!
 //! With clustering armed, `POST /v1/jobs` first routes by rendezvous
 //! hash: a node that is not the key's owner proxies the submit to the
@@ -151,7 +158,7 @@ fn handle_connection(
             }
             route(&method, &path, &body, scheduler, metrics, cluster)
         }
-        Err(e) => Response::error(400, &format!("malformed request: {e}")),
+        Err(e) => Response::error(400, ErrorCode::BadRequest, &format!("malformed request: {e}")),
     };
     let _ = out.write_all(response.to_bytes().as_slice());
     let _ = out.flush();
@@ -197,6 +204,46 @@ fn read_request(stream: TcpStream) -> Result<(String, String, String, Option<u64
     Ok((method, path, body, last_event_id))
 }
 
+/// Machine-readable error codes of the unified `/v1` error envelope.
+///
+/// Every non-2xx response body is exactly
+/// `{"error": {"code": <one of these>, "message": <human text>,
+/// "retry_after_ms"?: <u64>}}`. The code set is part of the wire
+/// contract (documented in API.md); clients branch on the code, never
+/// on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request is malformed: bad JSON, unknown or mistyped fields,
+    /// an unparsable id/key/cursor, or an unknown query value.
+    BadRequest,
+    /// The route, job, result, entry, or architecture does not exist
+    /// (job ids also expire after record eviction).
+    NotFound,
+    /// The method is not supported anywhere on the API surface.
+    MethodNotAllowed,
+    /// The bounded job queue is full; retry after the hinted delay.
+    QueueFull,
+    /// The submitting tenant is over its fair-share quota; retry after
+    /// the hinted delay (scoped to the tenant, unlike `queue_full`).
+    QuotaExceeded,
+    /// The service is draining for shutdown; resubmit elsewhere.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The wire name (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad_request",
+            Self::NotFound => "not_found",
+            Self::MethodNotAllowed => "method_not_allowed",
+            Self::QueueFull => "queue_full",
+            Self::QuotaExceeded => "quota_exceeded",
+            Self::Draining => "draining",
+        }
+    }
+}
+
 enum Body {
     Json(Value),
     Text(String),
@@ -231,19 +278,36 @@ impl Response {
         Self { status, body: Body::Json(body), retry_after }
     }
 
-    fn error(status: u16, message: &str) -> Self {
-        Self {
-            status,
-            body: Body::Json(Value::obj(vec![("error", Value::Str(message.to_owned()))])),
-            retry_after: None,
-        }
+    /// The unified error envelope:
+    /// `{"error": {"code", "message"}}` (plus `retry_after_ms` via
+    /// [`Response::backpressure`]). Every non-2xx body flows through
+    /// here, so the shape cannot drift per route.
+    fn error(status: u16, code: ErrorCode, message: &str) -> Self {
+        let envelope = Value::obj(vec![(
+            "error",
+            Value::obj(vec![
+                ("code", Value::Str(code.as_str().to_owned())),
+                ("message", Value::Str(message.to_owned())),
+            ]),
+        )]);
+        Self { status, body: Body::Json(envelope), retry_after: None }
     }
 
-    /// A backpressure error (429/503): same shape as [`Response::error`]
-    /// plus a `Retry-After: {seconds}` header so well-behaved clients
-    /// pace their retries off the server's hint instead of guessing.
-    fn backpressure(status: u16, message: &str, retry_after_secs: u64) -> Self {
-        Self { retry_after: Some(retry_after_secs), ..Self::error(status, message) }
+    /// A backpressure error (429/503): the envelope gains
+    /// `retry_after_ms` and the response a `Retry-After: {seconds}`
+    /// header, so well-behaved clients pace their retries off the
+    /// server's hint instead of guessing.
+    fn backpressure(status: u16, code: ErrorCode, message: &str, retry_after_secs: u64) -> Self {
+        let mut response = Self::error(status, code, message);
+        if let Body::Json(Value::Obj(fields)) = &mut response.body {
+            if let Some(Value::Obj(inner)) =
+                fields.iter_mut().find(|(k, _)| k == "error").map(|(_, v)| v)
+            {
+                inner.push(("retry_after_ms".to_owned(), Value::U64(retry_after_secs * 1000)));
+            }
+        }
+        response.retry_after = Some(retry_after_secs);
+        response
     }
 
     fn to_bytes(&self) -> Vec<u8> {
@@ -310,7 +374,11 @@ fn route(
     // The pre-`/v1` unversioned paths had their release of 301 grace;
     // they now 404 like any other unknown route.
     let Some(sub) = path.strip_prefix("/v1") else {
-        return Response::error(404, &format!("no route for {method} {raw_path}"));
+        return Response::error(
+            404,
+            ErrorCode::NotFound,
+            &format!("no route for {method} {raw_path}"),
+        );
     };
 
     match (method, sub) {
@@ -322,17 +390,24 @@ fn route(
             match params.iter().find(|(k, _)| *k == "format").map(|(_, v)| *v) {
                 None | Some("json") => Response::ok(metrics.to_json(depth)),
                 Some("prometheus") => Response::text(metrics.to_prometheus(depth)),
-                Some(other) => Response::error(400, &format!("unknown metrics format `{other}`")),
+                Some(other) => Response::error(
+                    400,
+                    ErrorCode::BadRequest,
+                    &format!("unknown metrics format `{other}`"),
+                ),
             }
         }
         ("POST", "/jobs") => post_jobs(body, query_flag(&params, "forwarded"), scheduler, cluster),
+        ("GET", "/jobs") => list_jobs(&params, scheduler),
+        ("GET", "/archs") => list_archs(),
+        _ if method == "GET" && sub.starts_with("/archs/") => get_arch(&sub[7..]),
         ("GET", "/cluster/digest") => match cluster {
             Some(cluster) => Response::ok(cluster.digest_json()),
-            None => Response::error(404, "this node is not clustered"),
+            None => Response::error(404, ErrorCode::NotFound, "this node is not clustered"),
         },
         ("GET", "/cluster/peers") => match cluster {
             Some(cluster) => Response::ok(cluster.peers_json()),
-            None => Response::error(404, "this node is not clustered"),
+            None => Response::error(404, ErrorCode::NotFound, "this node is not clustered"),
         },
         _ if method == "GET" && sub.starts_with("/cluster/entry/") => {
             get_cluster_entry(&sub[15..], cluster)
@@ -345,9 +420,13 @@ fn route(
             get_result(&sub[9..], scheduler, cluster)
         }
         ("GET" | "POST" | "DELETE", _) => {
-            Response::error(404, &format!("no route for {method} {raw_path}"))
+            Response::error(404, ErrorCode::NotFound, &format!("no route for {method} {raw_path}"))
         }
-        _ => Response::error(405, &format!("method {method} not supported")),
+        _ => Response::error(
+            405,
+            ErrorCode::MethodNotAllowed,
+            &format!("method {method} not supported"),
+        ),
     }
 }
 
@@ -359,29 +438,37 @@ fn post_jobs(
 ) -> Response {
     let doc = match json::parse(body) {
         Ok(doc) => doc,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => return Response::error(400, ErrorCode::BadRequest, &e.to_string()),
     };
     let request = match parse_request(&doc) {
         Ok(r) => r,
-        Err(e) => return Response::error(400, &e),
+        Err(e) => return Response::error(400, ErrorCode::BadRequest, &e),
     };
     let wait = doc.get("wait").and_then(Value::as_bool).unwrap_or(true);
     let mut opts = SubmitOptions::default();
     if let Some(v) = doc.get("deadline_ms") {
         let Some(ms) = v.as_u64() else {
-            return Response::error(400, "`deadline_ms` must be a non-negative integer");
+            return Response::error(
+                400,
+                ErrorCode::BadRequest,
+                "`deadline_ms` must be a non-negative integer",
+            );
         };
         opts.deadline_ms = Some(ms);
     }
     if let Some(v) = doc.get("tenant") {
         let Some(tenant) = v.as_str() else {
-            return Response::error(400, "`tenant` must be a string");
+            return Response::error(400, ErrorCode::BadRequest, "`tenant` must be a string");
         };
         opts.tenant = Some(tenant.to_owned());
     }
     if let Some(v) = doc.get("priority") {
         let Some(lane) = v.as_str().and_then(Lane::from_name) else {
-            return Response::error(400, "`priority` must be \"interactive\" or \"batch\"");
+            return Response::error(
+                400,
+                ErrorCode::BadRequest,
+                "`priority` must be \"interactive\" or \"batch\"",
+            );
         };
         opts.lane = lane;
     }
@@ -422,12 +509,16 @@ fn post_jobs(
 
     let submission = match scheduler.submit_opts(request, opts) {
         Ok(s) => s,
-        Err(SubmitError::Invalid(m)) => return Response::error(400, &m),
-        Err(SubmitError::QueueFull) => return Response::backpressure(429, "job queue is full", 1),
-        Err(SubmitError::QuotaExceeded(q)) => {
-            return Response::backpressure(429, &q.to_string(), 1)
+        Err(SubmitError::Invalid(m)) => return Response::error(400, ErrorCode::BadRequest, &m),
+        Err(SubmitError::QueueFull) => {
+            return Response::backpressure(429, ErrorCode::QueueFull, "job queue is full", 1)
         }
-        Err(SubmitError::Draining) => return Response::backpressure(503, "service is draining", 1),
+        Err(SubmitError::QuotaExceeded(q)) => {
+            return Response::backpressure(429, ErrorCode::QuotaExceeded, &q.to_string(), 1)
+        }
+        Err(SubmitError::Draining) => {
+            return Response::backpressure(503, ErrorCode::Draining, "service is draining", 1)
+        }
     };
 
     let status = if wait && !submission.status.state.is_terminal() {
@@ -462,12 +553,16 @@ fn stream_events(
     scheduler: &Scheduler,
 ) {
     let Ok(id) = id_text.parse::<u64>() else {
-        let _ = out.write_all(&Response::error(400, "job id must be an integer").to_bytes());
+        let _ = out.write_all(
+            &Response::error(400, ErrorCode::BadRequest, "job id must be an integer").to_bytes(),
+        );
         return;
     };
     let Some(channel) = scheduler.event_channel(id) else {
-        let _ = out
-            .write_all(&Response::error(404, "no such job (ids expire after eviction)").to_bytes());
+        let _ = out.write_all(
+            &Response::error(404, ErrorCode::NotFound, "no such job (ids expire after eviction)")
+                .to_bytes(),
+        );
         return;
     };
     let mut cursor = header_cursor
@@ -510,10 +605,12 @@ fn stream_events(
 
 fn delete_job(id_text: &str, scheduler: &Scheduler) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
-        return Response::error(400, "job id must be an integer");
+        return Response::error(400, ErrorCode::BadRequest, "job id must be an integer");
     };
     match scheduler.cancel(id) {
-        None => Response::error(404, "no such job (ids expire after eviction)"),
+        None => {
+            Response::error(404, ErrorCode::NotFound, "no such job (ids expire after eviction)")
+        }
         Some(status) => {
             // 200 = already settled (including "cancelled just now");
             // 202 = cancellation requested, the job is still winding
@@ -526,11 +623,17 @@ fn delete_job(id_text: &str, scheduler: &Scheduler) -> Response {
 
 fn get_job(id_text: &str, wait: bool, scheduler: &Scheduler) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
-        return Response::error(400, "job id must be an integer");
+        return Response::error(400, ErrorCode::BadRequest, "job id must be an integer");
     };
     let status = match scheduler.status(id) {
         Some(status) => status,
-        None => return Response::error(404, "no such job (ids expire after eviction)"),
+        None => {
+            return Response::error(
+                404,
+                ErrorCode::NotFound,
+                "no such job (ids expire after eviction)",
+            )
+        }
     };
     // Server-side long-poll: block on the scheduler's completion condvar
     // instead of making clients sleep-and-retry. Bounded by the job
@@ -545,7 +648,11 @@ fn get_job(id_text: &str, wait: bool, scheduler: &Scheduler) -> Response {
 
 fn get_result(key_text: &str, scheduler: &Scheduler, cluster: Option<&Cluster>) -> Response {
     let Some(key) = JobKey::from_hex(key_text) else {
-        return Response::error(400, "result key must be 64 lowercase hex characters");
+        return Response::error(
+            400,
+            ErrorCode::BadRequest,
+            "result key must be 64 lowercase hex characters",
+        );
     };
     // On a local miss, a clustered node asks its peers before giving
     // up, so any node answers for any replicated key. The fetch path
@@ -560,21 +667,137 @@ fn get_result(key_text: &str, scheduler: &Scheduler, cluster: Option<&Cluster>) 
             ("experiment", Value::Str(result.experiment)),
             ("output", Value::Str(result.output)),
         ])),
-        None => Response::error(404, "no cached result for this key"),
+        None => Response::error(404, ErrorCode::NotFound, "no cached result for this key"),
     }
 }
 
 fn get_cluster_entry(key_text: &str, cluster: Option<&Cluster>) -> Response {
     let Some(cluster) = cluster else {
-        return Response::error(404, "this node is not clustered");
+        return Response::error(404, ErrorCode::NotFound, "this node is not clustered");
     };
     let Some(key) = JobKey::from_hex(key_text) else {
-        return Response::error(400, "entry key must be 64 lowercase hex characters");
+        return Response::error(
+            400,
+            ErrorCode::BadRequest,
+            "entry key must be 64 lowercase hex characters",
+        );
     };
     match cluster.entry_frame(&key) {
         Some(frame) => Response::bytes(frame),
-        None => Response::error(404, "no cached entry for this key"),
+        None => Response::error(404, ErrorCode::NotFound, "no cached entry for this key"),
     }
+}
+
+/// Serves `GET /v1/jobs?tenant=&state=&limit=&cursor=`: a stable,
+/// id-ordered page of job snapshots with an opaque `next` cursor, so
+/// loadgen/chaos drivers stop tracking job ids out-of-band.
+fn list_jobs(params: &[(&str, &str)], scheduler: &Scheduler) -> Response {
+    let find = |name: &str| params.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+    let tenant = find("tenant");
+    let state = match find("state") {
+        None => None,
+        Some(text) => match crate::scheduler::JobState::from_name(text) {
+            Some(state) => Some(state),
+            None => {
+                return Response::error(
+                    400,
+                    ErrorCode::BadRequest,
+                    &format!("unknown state `{text}`"),
+                )
+            }
+        },
+    };
+    let limit = match find("limit") {
+        None => 100,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if (1..=1000).contains(&n) => n,
+            _ => {
+                return Response::error(
+                    400,
+                    ErrorCode::BadRequest,
+                    "`limit` must be an integer in 1..=1000",
+                )
+            }
+        },
+    };
+    let after = match find("cursor") {
+        None => None,
+        Some(text) => match decode_cursor(text) {
+            Some(id) => Some(id),
+            None => return Response::error(400, ErrorCode::BadRequest, "malformed `cursor`"),
+        },
+    };
+    let (page, next) = scheduler.list_jobs(tenant, state, after, limit);
+    let mut fields = vec![("jobs", Value::Arr(page.iter().map(status_json).collect()))];
+    if let Some(id) = next {
+        fields.push(("next", Value::Str(encode_cursor(id))));
+    }
+    Response::ok(Value::obj(fields))
+}
+
+/// The listing cursor is opaque on the wire: a fixed-width hex encoding
+/// of the last-returned job id. Clients must echo it verbatim.
+fn encode_cursor(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn decode_cursor(text: &str) -> Option<u64> {
+    (text.len() == 16).then(|| u64::from_str_radix(text, 16).ok()).flatten()
+}
+
+/// Serves `GET /v1/archs`: every architecture graph the process-global
+/// store has built, digest-sorted, with build/hit stats.
+fn list_archs() -> Response {
+    let entries = nemfpga_arch::GraphStore::global().entries();
+    Response::ok(Value::obj(vec![(
+        "archs",
+        Value::Arr(entries.iter().map(|e| arch_json(e, false)).collect()),
+    )]))
+}
+
+/// Serves `GET /v1/archs/:digest`: one store entry with the full
+/// parameter echo.
+fn get_arch(digest: &str) -> Response {
+    match nemfpga_arch::GraphStore::global().entry(digest) {
+        Some(entry) => Response::ok(arch_json(&entry, true)),
+        None => Response::error(404, ErrorCode::NotFound, "no architecture graph for this digest"),
+    }
+}
+
+fn arch_json(entry: &nemfpga_arch::GraphStoreEntry, detail: bool) -> Value {
+    let mut fields = vec![
+        ("digest", Value::Str(entry.digest.clone())),
+        ("channel_width", Value::U64(entry.channel_width as u64)),
+        ("nodes", Value::U64(entry.nodes as u64)),
+        ("edges", Value::U64(entry.edges as u64)),
+        ("hits", Value::U64(entry.hits)),
+        ("from_snapshot", Value::Bool(entry.from_snapshot)),
+        ("snapshot_bytes", Value::U64(entry.snapshot_bytes)),
+    ];
+    if detail {
+        fields.push((
+            "params",
+            Value::obj(vec![
+                ("cluster_size", Value::U64(entry.params.cluster_size as u64)),
+                ("lut_inputs", Value::U64(entry.params.lut_inputs as u64)),
+                ("lb_inputs", Value::U64(entry.params.lb_inputs as u64)),
+                ("segment_length", Value::U64(entry.params.segment_length as u64)),
+                ("fc_in", Value::F64(entry.params.fc_in)),
+                ("fc_out", Value::F64(entry.params.fc_out)),
+                ("fs", Value::U64(entry.params.fs as u64)),
+                ("io_rate", Value::U64(entry.params.io_rate as u64)),
+            ]),
+        ));
+        fields.push((
+            "grid",
+            Value::obj(vec![
+                ("width", Value::U64(entry.grid.width as u64)),
+                ("height", Value::U64(entry.grid.height as u64)),
+                ("io_rate", Value::U64(entry.grid.io_rate as u64)),
+            ]),
+        ));
+    }
+    Value::obj(fields)
 }
 
 /// Decodes the `POST /v1/jobs` body into a request. Unknown fields are

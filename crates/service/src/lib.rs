@@ -65,7 +65,8 @@ use nemfpga_runtime::ParallelConfig;
 
 pub use cache::{gc_orphan_tmp, CacheTier, CachedResult, ResultCache};
 pub use client::{
-    ClientError, EventStream, HistogramView, JobView, MetricsView, RetryPolicy, ServiceClient,
+    ArchView, ClientError, EventStream, HistogramView, JobView, JobsIter, JobsPage, MetricsView,
+    RetryPolicy, ServiceClient,
 };
 pub use cluster::{Cluster, ClusterSettings};
 pub use codec::{decode_entry, encode_entry, DecodedEntry};
@@ -152,6 +153,12 @@ impl Service {
                 eprintln!("nemfpga-service: removed {removed} orphaned cache tempfile(s)");
             }
         }
+        // The architecture graph store persists CSR snapshots next to
+        // the result cache; a restarted service then loads each graph
+        // from disk instead of re-deriving it from params. The store
+        // itself is process-global — this only points its disk tier.
+        nemfpga_arch::GraphStore::global()
+            .set_snapshot_dir(config.cache_dir.as_ref().map(|d| d.join("archs")));
         let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone())
             .with_write_error_counter(metrics.disk_write_errors.clone());
 

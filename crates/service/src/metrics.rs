@@ -120,10 +120,12 @@ impl Default for Metrics {
 impl Metrics {
     /// Registers every service metric in `registry` and keeps handles.
     ///
-    /// Also pre-registers the router's engine metrics (recorded by
-    /// `nemfpga-pnr` into [`nemfpga_obs::engine_registry`]) so the
-    /// `/v1/metrics` document always carries the full schema — zeros
-    /// before the first job routes, real effort counts after.
+    /// Also pre-registers the engine metrics (the router's, recorded by
+    /// `nemfpga-pnr`, and the architecture graph store's `graph_*`
+    /// counters, recorded by `nemfpga-arch`, into
+    /// [`nemfpga_obs::engine_registry`]) so the `/v1/metrics` document
+    /// always carries the full schema — zeros before the first job
+    /// routes, real effort counts after.
     pub fn new(registry: Arc<Registry>) -> Self {
         let engine = nemfpga_obs::engine_registry();
         for name in [
@@ -132,6 +134,9 @@ impl Metrics {
             "route_reroutes",
             "route_heap_pushes",
             "route_conflict_groups",
+            "graph_builds",
+            "graph_store_hits",
+            "graph_store_bytes",
         ] {
             engine.counter(name);
         }

@@ -691,6 +691,41 @@ impl Scheduler {
         table.records.get(&id).map(|r| r.status.clone())
     }
 
+    /// Filtered, stably-ordered page of job snapshots (`GET /v1/jobs`).
+    ///
+    /// Jobs sort by ascending id — ids are monotonic, so this is
+    /// submission order and stable across calls. `after` is the
+    /// exclusive lower bound (decoded from the wire cursor); the
+    /// returned cursor is the last id of a full page, `None` once the
+    /// listing is exhausted. Records evicted between pages simply drop
+    /// out; ids never reorder.
+    pub fn list_jobs(
+        &self,
+        tenant: Option<&str>,
+        state: Option<JobState>,
+        after: Option<u64>,
+        limit: usize,
+    ) -> (Vec<JobStatus>, Option<u64>) {
+        let table = self.shared.table.lock().expect("job table poisoned");
+        let floor = after.map_or(0, |a| a.saturating_add(1));
+        let mut ids: Vec<u64> = table
+            .records
+            .iter()
+            .filter(|(id, r)| {
+                **id >= floor
+                    && tenant.is_none_or(|t| r.status.tenant == t)
+                    && state.is_none_or(|s| r.status.state == s)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        let has_more = ids.len() > limit;
+        ids.truncate(limit);
+        let next = if has_more { ids.last().copied() } else { None };
+        let page = ids.iter().map(|id| table.records[id].status.clone()).collect();
+        (page, next)
+    }
+
     /// Blocks until job `id` reaches a terminal state or `max_wait`
     /// elapses, returning the final snapshot either way.
     pub fn wait_for(&self, id: u64, max_wait: Duration) -> Option<JobStatus> {

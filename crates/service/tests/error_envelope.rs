@@ -1,0 +1,132 @@
+//! Golden-file test for the unified `/v1` error envelope.
+//!
+//! Every non-2xx response on the API carries exactly one shape:
+//! `{"error": {"code", "message"[, "retry_after_ms"]}}` with `code`
+//! drawn from the documented taxonomy (API.md). The exact bytes for a
+//! representative probe of every code are pinned in
+//! `tests/golden/error_envelope.json`, so an ad-hoc error body (or a
+//! silent code rename) shows up as a diff instead of shipping.
+//! Regenerate intentional changes with
+//! `UPDATE_GOLDEN=1 cargo test -p nemfpga-service --test error_envelope`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemfpga_service::json::Value;
+use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/error_envelope.json");
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The documented `error.code` enum, verbatim from API.md.
+const CODES: &[&str] =
+    &["bad_request", "not_found", "method_not_allowed", "queue_full", "quota_exceeded", "draining"];
+
+fn start() -> Service {
+    let executor: Executor = Arc::new(|_| Ok(String::new()));
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        ..ServiceConfig::default()
+    };
+    Service::start(&config, executor).expect("service starts")
+}
+
+/// Asserts the structural contract on one non-2xx body and returns it:
+/// a single `error` object whose `code` is in the documented enum,
+/// whose `message` is a non-empty string, and whose only other
+/// permitted member is an integer `retry_after_ms`.
+fn check_envelope(name: &str, status: u16, body: &Value) -> Value {
+    assert!(status >= 400, "{name}: probe unexpectedly succeeded with {status}");
+    let Value::Obj(top) = body else { panic!("{name}: body is not an object: {body:?}") };
+    assert_eq!(top.len(), 1, "{name}: top level must be exactly {{\"error\"}}: {body:?}");
+    let Some(Value::Obj(fields)) = body.get("error") else {
+        panic!("{name}: `error` is not an object: {body:?}");
+    };
+    let code = body.get("error").and_then(|e| e.get("code")).and_then(Value::as_str);
+    let code = code.unwrap_or_else(|| panic!("{name}: missing `error.code`: {body:?}"));
+    assert!(CODES.contains(&code), "{name}: code `{code}` is not in the documented taxonomy");
+    let message = body.get("error").and_then(|e| e.get("message")).and_then(Value::as_str);
+    assert!(!message.unwrap_or_default().is_empty(), "{name}: missing `error.message`: {body:?}");
+    for (field, value) in fields {
+        match field.as_str() {
+            "code" | "message" => {}
+            "retry_after_ms" => {
+                assert!(value.as_u64().is_some(), "{name}: `retry_after_ms` not an integer");
+            }
+            other => panic!("{name}: undocumented envelope field `{other}`"),
+        }
+    }
+    body.clone()
+}
+
+#[test]
+fn every_error_code_renders_the_unified_envelope() {
+    let service = start();
+    let addr = service.addr();
+    let call = |method: &str, path: &str, body: Option<&Value>| {
+        http_request(addr, method, path, body, TIMEOUT).expect("transport")
+    };
+
+    let bad_body =
+        Value::obj(vec![("experiment", Value::Str("fig4".to_owned())), ("sacle", Value::F64(1.0))]);
+    let mut probes = vec![
+        ("job id not found", call("GET", "/v1/jobs/999999", None)),
+        ("unknown route", call("GET", "/v1/unknown", None)),
+        ("method not allowed", call("PATCH", "/v1/jobs", None)),
+        ("unknown field in submit body", call("POST", "/v1/jobs", Some(&bad_body))),
+        ("bad listing state filter", call("GET", "/v1/jobs?state=bogus", None)),
+        ("bad listing cursor", call("GET", "/v1/jobs?cursor=zzz", None)),
+        ("arch digest not found", call("GET", "/v1/archs/deadbeef", None)),
+        ("result key malformed", call("GET", "/v1/results/not-hex", None)),
+    ];
+
+    // Draining backpressure: the envelope grows `retry_after_ms` and the
+    // transport-level `Retry-After` header agrees with it.
+    service.scheduler().begin_drain();
+    let good_body = Value::obj(vec![
+        ("experiment", Value::Str("fig4".to_owned())),
+        ("scale", Value::F64(1.0)),
+        ("benchmarks", Value::U64(1)),
+        ("seed", Value::U64(1)),
+        ("wait", Value::Bool(false)),
+    ]);
+    let draining = call("POST", "/v1/jobs", Some(&good_body));
+    assert_eq!(draining.status, 503);
+    let header_secs = draining.retry_after.expect("Retry-After header on 503");
+    let envelope_ms = draining
+        .body
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_u64)
+        .expect("retry_after_ms inside the envelope");
+    assert_eq!(header_secs * 1000, envelope_ms);
+    probes.push(("draining", draining));
+
+    let rendered = Value::Arr(
+        probes
+            .iter()
+            .map(|(name, resp)| {
+                Value::obj(vec![
+                    ("probe", Value::Str((*name).to_owned())),
+                    ("status", Value::U64(u64::from(resp.status))),
+                    ("body", check_envelope(name, resp.status, &resp.body)),
+                ])
+            })
+            .collect(),
+    )
+    .to_json();
+    service.shutdown();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect(
+        "tests/golden/error_envelope.json missing — run once with UPDATE_GOLDEN=1 to create it",
+    );
+    assert_eq!(
+        rendered, golden,
+        "an error body changed shape; if intentional, regenerate with UPDATE_GOLDEN=1 and \
+         update API.md's error-taxonomy section"
+    );
+}

@@ -130,6 +130,10 @@ pub struct FaultPlan {
 const RANDOM_MENU: &[(&str, &[FaultSpec])] = &[
     ("cache.read_disk", &[FaultSpec::IoError, FaultSpec::CorruptBytes, FaultSpec::ShortRead]),
     ("cache.write_disk", &[FaultSpec::IoError, FaultSpec::CorruptBytes, FaultSpec::ShortRead]),
+    // Architecture graph snapshots are a derived cache: every fault
+    // here degrades to an in-memory rebuild, never a changed result,
+    // so the site does not widen `allows_recompute`.
+    ("graph.store", &[FaultSpec::IoError, FaultSpec::CorruptBytes, FaultSpec::ShortRead]),
     ("scheduler.execute", &[FaultSpec::DelayMillis(0), FaultSpec::Panic, FaultSpec::ExecError]),
     ("scheduler.pre_table_lock", &[FaultSpec::DelayMillis(0)]),
     ("scheduler.deadline", &[FaultSpec::SkewMillis(0)]),

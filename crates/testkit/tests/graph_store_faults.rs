@@ -1,0 +1,119 @@
+//! Fault-injection coverage for the `graph.store` site: snapshot-tier
+//! failures must degrade the architecture graph store to an in-memory
+//! rebuild — never a crash, never a wrong graph — and the build-once
+//! coalescing guarantee must hold even while the disk tier is hostile.
+//!
+//! The store is exercised through isolated `GraphStore` instances (the
+//! process-global one belongs to the serving stack), with firing
+//! verified through the armed [`FaultScope`].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nemfpga_arch::{graph_digest, ArchParams, GraphStore, Grid};
+use nemfpga_testkit::{FaultPlan, FaultSpec, FireRule};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nemfpga-graph-faults-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn identity() -> (ArchParams, Grid) {
+    (ArchParams::paper_table1(), Grid::new(3, 3, 2).expect("grid"))
+}
+
+/// One sequential test: the fault registry and the store's snapshot
+/// files are shared state, so the scenarios run in a fixed order.
+#[test]
+fn snapshot_faults_degrade_to_rebuilds_and_builds_stay_coalesced() {
+    let (params, grid) = identity();
+    let digest = graph_digest(&params, grid, 7);
+
+    // An injected I/O error drops the snapshot tier for that entry:
+    // the build still succeeds and no snapshot file appears.
+    let dir = temp_dir("io-error");
+    {
+        let plan =
+            FaultPlan::named("io").with_rule("graph.store", FireRule::Always, FaultSpec::IoError);
+        let scope = plan.arm();
+        let store = GraphStore::new();
+        store.set_snapshot_dir(Some(dir.clone()));
+        let rr = store.get(&params, grid, 7).expect("build survives the fault");
+        assert_eq!(rr.channel_width, 7);
+        assert_eq!(scope.hits("graph.store"), 1, "the site must have fired");
+        assert!(
+            !dir.join(format!("{digest}.nemg")).exists(),
+            "an errored snapshot tier must not leave a file behind"
+        );
+    }
+
+    // Seed a valid snapshot, then corrupt it in flight: the load is a
+    // miss, the graph is rebuilt, and a fresh valid frame replaces the
+    // damaged one (the next faultless store loads it).
+    let dir = temp_dir("corrupt");
+    {
+        let baseline = GraphStore::new();
+        baseline.set_snapshot_dir(Some(dir.clone()));
+        baseline.get(&params, grid, 7).expect("seed snapshot");
+        let entry = baseline.entry(&digest).expect("entry");
+        assert!(!entry.from_snapshot, "first build cannot come from disk");
+        assert!(entry.snapshot_bytes > 0, "seeding must persist a frame");
+
+        for spec in [FaultSpec::CorruptBytes, FaultSpec::ShortRead] {
+            let plan = FaultPlan::named("damage").with_rule("graph.store", FireRule::Nth(1), spec);
+            let _scope = plan.arm();
+            let store = GraphStore::new();
+            store.set_snapshot_dir(Some(dir.clone()));
+            let rr = store.get(&params, grid, 7).expect("rebuild after damage");
+            assert_eq!(rr.channel_width, 7);
+            let entry = store.entry(&digest).expect("entry");
+            assert!(!entry.from_snapshot, "{spec:?}: a damaged frame must read as a miss");
+        }
+
+        // The last faulted rebuild rewrote a valid frame.
+        let recovered = GraphStore::new();
+        recovered.set_snapshot_dir(Some(dir.clone()));
+        recovered.get(&params, grid, 7).expect("load rewritten snapshot");
+        let entry = recovered.entry(&digest).expect("entry");
+        assert!(entry.from_snapshot, "the rewritten snapshot must load cleanly");
+    }
+
+    // N racing requests with the disk tier failing under them still
+    // coalesce onto exactly one build.
+    let dir = temp_dir("race");
+    {
+        let plan = FaultPlan::named("racing-io").with_rule(
+            "graph.store",
+            FireRule::Always,
+            FaultSpec::IoError,
+        );
+        let _scope = plan.arm();
+        let store = Arc::new(GraphStore::new());
+        store.set_snapshot_dir(Some(dir.clone()));
+        const RACERS: usize = 8;
+        let graphs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || store.get(&params, grid, 7).expect("racing get"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("racer")).collect()
+        });
+        for rr in &graphs[1..] {
+            assert!(Arc::ptr_eq(&graphs[0], rr), "all racers must share one graph");
+        }
+        let entry = store.entry(&digest).expect("entry");
+        assert_eq!(
+            entry.hits,
+            (RACERS - 1) as u64,
+            "exactly one racer may build; the rest are hits"
+        );
+    }
+
+    for name in ["io-error", "corrupt", "race"] {
+        let _ = std::fs::remove_dir_all(temp_dir(name));
+    }
+}

@@ -32,6 +32,10 @@
 # Criterion groups run *for real* (measured, release), their medians are
 # merged into BENCH_pnr.json, and benchgate fails the build on any
 # median more than 10% worse than the committed BENCH_baseline.json.
+# The route group includes `route/graph_store_wmin`, pinning the
+# graph-store speedup of the W_min binary search (its baseline entry
+# was measured store-less, so a store regression shows up as a miss of
+# the committed ≥20% win, not just noise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
