@@ -28,6 +28,7 @@ fn scheduler() -> Scheduler {
         max_finished_jobs: 1024,
         event_buffer: 64,
         qos: Default::default(),
+        hardening: Default::default(),
     };
     // Memory-only cache: the bench isolates the hit path from disk I/O.
     Scheduler::new(&config, ResultCache::new(1024, None), Arc::new(Metrics::default()), executor)

@@ -47,6 +47,16 @@
 //! (all submitted jobs completed, zero rejections) and sampled results
 //! must be byte-identical to a direct render.
 //!
+//! `--overload` runs the brownout scenario: a single slow worker is
+//! flooded far past its capacity, and the adaptive overload controller
+//! must degrade in stages — batch-lane sheds first, then fresh
+//! computes, then a full 503 `overloaded` reject — before recovering
+//! hysteretically once the backlog drains and a cached-only trickle
+//! re-evaluates it back to normal. The run reconciles the ledger
+//! exactly: every POST is either admitted (a hit, coalesce, or miss)
+//! or shed (one of the three `overload_shed_*` counters); nothing is
+//! double-counted and nothing vanishes.
+//!
 //! `--cluster` runs the multi-node scenario: a rendezvous-routing
 //! client (the servers' own HRW hash, client-side) floods `--unique`
 //! keys twice across a 3-node cluster — `--peers A,B,C` targets live
@@ -70,7 +80,7 @@ use nemfpga_service::{
     ServiceClient, ServiceConfig,
 };
 
-const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS] [--cluster] [--peers A,B,C] [--tenants]";
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--unique K]\n               [--passes P] [--threads T] [--seed S] [--chaos-restart]\n               [--drain-grace-ms MS] [--cluster] [--peers A,B,C] [--tenants]\n               [--overload]";
 
 /// Experiments cheap enough to fan out by the dozen. The point of the
 /// load test is queue/cache/dedup behavior, not experiment runtime.
@@ -90,6 +100,7 @@ struct Options {
     cluster: bool,
     peers: Option<Vec<String>>,
     tenants: bool,
+    overload: bool,
 }
 
 impl Default for Options {
@@ -107,6 +118,7 @@ impl Default for Options {
             cluster: false,
             peers: None,
             tenants: false,
+            overload: false,
         }
     }
 }
@@ -133,6 +145,9 @@ fn main() {
     }
     if options.tenants {
         std::process::exit(run_tenants_mode(&options));
+    }
+    if options.overload {
+        std::process::exit(run_overload_mode(&options));
     }
     std::process::exit(run(&options));
 }
@@ -321,6 +336,221 @@ fn run_tenants_mode(options: &Options) -> i32 {
     println!(
         "loadgen: OK — completion shares tracked the 3:2:1 weights mid-flood and every \
          tenant's {per_tenant} jobs completed with zero rejections"
+    );
+    0
+}
+
+/// The brownout scenario behind `--overload`: flood one slow worker,
+/// watch the controller shed in stages up to a full reject, then prove
+/// hysteretic recovery and reconcile the admission ledger exactly.
+fn run_overload_mode(options: &Options) -> i32 {
+    use nemfpga_service::json::Value;
+    use nemfpga_service::{HardeningConfig, OverloadPolicy};
+
+    // One worker, 25ms per job: a back-to-back flood outruns capacity
+    // immediately, so queue waits blow through the 20ms enter threshold
+    // within a handful of pickups.
+    let executor: Executor = Arc::new(|request: &ExperimentRequest| {
+        std::thread::sleep(Duration::from_millis(25));
+        Ok(format!("overload-{}", request.seed))
+    });
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        parallel: ParallelConfig::with_threads(1),
+        queue_capacity: 4096,
+        cache_capacity: 4096,
+        cache_dir: None,
+        hardening: HardeningConfig {
+            overload: OverloadPolicy {
+                enter_wait_ms: 20,
+                sample_ttl: Duration::from_millis(1200),
+                min_dwell: Duration::from_millis(40),
+                ..OverloadPolicy::default()
+            },
+            ..HardeningConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = match Service::start(&config, executor) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot start in-process service: {e}");
+            return 1;
+        }
+    };
+    let addr = service.addr();
+    println!("loadgen: overload mode — flooding 1 worker at http://{addr} until stage reject");
+
+    // Raw POSTs, not the typed client: the client's retry loop would
+    // honor Retry-After on 503s and hide the sheds being measured.
+    let post = |seed: u64, lane: &str, wait: bool| {
+        let body = Value::obj(vec![
+            ("experiment", Value::Str("fig4".to_owned())),
+            ("seed", Value::U64(seed)),
+            ("priority", Value::Str(lane.to_owned())),
+            ("wait", Value::Bool(wait)),
+        ]);
+        http_request(addr, "POST", "/v1/jobs", Some(&body), Duration::from_secs(300))
+    };
+    let shed_message = |resp: &nemfpga_service::ClientResponse| {
+        resp.body
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned()
+    };
+
+    // ── Flood: alternate lanes until the reject stage answers ─────────
+    let mut posts = 0u64;
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    let mut saw_reject = false;
+    let flood_cap = (options.requests as u64).max(64) * 10;
+    for seed in 0..flood_cap {
+        let lane = if seed % 2 == 0 { "interactive" } else { "batch" };
+        let resp = match post(seed, lane, false) {
+            Ok(resp) => resp,
+            Err(e) => {
+                eprintln!("loadgen: flood POST failed: {e}");
+                service.shutdown();
+                return 1;
+            }
+        };
+        posts += 1;
+        match resp.status {
+            s if s < 300 => admitted += 1,
+            503 => {
+                shed += 1;
+                if shed_message(&resp).contains("stage reject") {
+                    saw_reject = true;
+                    if seed + 1 >= options.requests as u64 {
+                        break;
+                    }
+                }
+            }
+            other => {
+                eprintln!("loadgen: FAIL: flood POST answered unexpected {other}");
+                service.shutdown();
+                return 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    let peak_stage = service.scheduler().overload_stage();
+    println!(
+        "flood: {posts} posts -> {admitted} admitted, {shed} shed (stage {peak_stage} at peak)"
+    );
+    if !saw_reject {
+        eprintln!("loadgen: FAIL: the flood never drove the controller to its reject stage");
+        service.shutdown();
+        return 1;
+    }
+
+    // ── Recovery: drain the backlog, then trickle cached requests ─────
+    if !service.scheduler().await_quiesce(Duration::from_secs(120)) {
+        eprintln!("loadgen: FAIL: the flooded backlog did not drain");
+        service.shutdown();
+        return 1;
+    }
+    // With the queue idle nothing re-evaluates the controller on its
+    // own; a cached-key trickle supplies the heartbeat while the hot
+    // wait samples age out and the stage steps back down one dwell at
+    // a time.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = match post(0, "interactive", false) {
+            Ok(resp) => resp,
+            Err(e) => {
+                eprintln!("loadgen: trickle POST failed: {e}");
+                service.shutdown();
+                return 1;
+            }
+        };
+        posts += 1;
+        match resp.status {
+            s if s < 300 => admitted += 1,
+            503 => shed += 1,
+            other => {
+                eprintln!("loadgen: FAIL: trickle POST answered unexpected {other}");
+                service.shutdown();
+                return 1;
+            }
+        }
+        if service.scheduler().overload_stage() == 0 {
+            break;
+        }
+        if Instant::now() > deadline {
+            eprintln!(
+                "loadgen: FAIL: controller stuck at stage {} after the backlog drained",
+                service.scheduler().overload_stage()
+            );
+            service.shutdown();
+            return 1;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Back to normal: a fresh compute must be admitted end-to-end.
+    let resp = match post(999_999, "interactive", true) {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("loadgen: post-recovery POST failed: {e}");
+            service.shutdown();
+            return 1;
+        }
+    };
+    posts += 1;
+    let mut failed = false;
+    if resp.status < 300
+        && resp.body.get("state").and_then(Value::as_str) == Some("done")
+        && resp.body.get("output").and_then(Value::as_str) == Some("overload-999999")
+    {
+        admitted += 1;
+    } else {
+        eprintln!(
+            "loadgen: FAIL: post-recovery submit answered {} (state {:?})",
+            resp.status,
+            resp.body.get("state").and_then(Value::as_str)
+        );
+        failed = true;
+    }
+
+    // ── Ledger reconciliation: exact, not approximate ─────────────────
+    let metrics = service.metrics();
+    let shed_batch = metrics.overload_shed_batch.get();
+    let shed_fresh = metrics.overload_shed_fresh.get();
+    let shed_reject = metrics.overload_shed_reject.get();
+    let shed_total = shed_batch + shed_fresh + shed_reject;
+    let transitions = metrics.overload_transitions.get();
+    let submitted = metrics.jobs_submitted.get();
+    let served = metrics.cache_hits() + metrics.coalesced.get() + metrics.cache_misses.get();
+    println!(
+        "ledger: {submitted} submitted = {served} served + {shed_total} shed \
+         ({shed_batch} batch / {shed_fresh} fresh / {shed_reject} reject), \
+         {transitions} stage transitions"
+    );
+    let checks: [(&str, bool); 6] = [
+        ("every POST reached the scheduler", submitted == posts),
+        ("server sheds match client 503s", shed_total == shed),
+        ("admitted = hits + coalesced + misses", served == admitted),
+        ("the ledger splits without loss", submitted == served + shed_total),
+        ("batch lane shed before fresh computes", shed_batch > 0 && shed_fresh > 0),
+        ("the controller both climbed and recovered", transitions >= 2),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            eprintln!("loadgen: FAIL: {what}");
+            failed = true;
+        }
+    }
+    service.shutdown();
+    if failed {
+        return 1;
+    }
+    println!(
+        "loadgen: OK — staged brownout shed {shed_total} of {posts} posts, recovered to \
+         normal, and the admission ledger reconciled exactly"
     );
     0
 }
@@ -1021,6 +1251,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--chaos-restart" => options.chaos_restart = true,
             "--cluster" => options.cluster = true,
             "--tenants" => options.tenants = true,
+            "--overload" => options.overload = true,
             "--peers" => {
                 let list = it.next().ok_or("--peers needs a comma-separated node list")?;
                 let parsed: Vec<String> = list
@@ -1061,6 +1292,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err(
             "--tenants is its own scenario (no --addr / --cluster / --chaos-restart)".to_owned()
         );
+    }
+    if options.overload
+        && (options.tenants || options.cluster || options.chaos_restart || options.addr.is_some())
+    {
+        return Err("--overload is its own scenario (it drives an in-process service)".to_owned());
     }
     Ok(options)
 }

@@ -6,6 +6,8 @@
 //!       [--journal FILE | --no-journal] [--drain-grace-secs S]
 //!       [--peers A,B,C] [--advertise HOST:PORT] [--sync-interval-ms N]
 //!       [--cluster-seed N] [--self-test] [--trace-out FILE]
+//!       [--quarantine-after N] [--watchdog-factor N] [--job-budget-mb N]
+//!       [--overload-enter-ms MS] [--overload-memory-mb N]
 //! ```
 //!
 //! Stands the `nemfpga-service` subsystem up with the real experiment
@@ -33,6 +35,14 @@
 //! `--sync-interval-ms` tunes the anti-entropy cadence and
 //! `--cluster-seed` decorrelates the fleet's jitter streams.
 //!
+//! Execution hardening is tunable per deployment: `--quarantine-after`
+//! pins a key after N abnormal failures (0 disables), `--watchdog-factor`
+//! hard-kills a job making no progress for N deadlines (0 disables),
+//! `--job-budget-mb` caps per-job allocations, and `--overload-enter-ms`
+//! arms the adaptive brownout once p99 queue wait crosses the threshold
+//! (`--overload-memory-mb` adds an in-flight memory trigger). Defaults:
+//! quarantine after 3, watchdog at 4x, budgets and brownout off.
+//!
 //! `--self-test` binds an ephemeral port, drives the typed
 //! [`nemfpga_service::ServiceClient`] through one health check, one job
 //! round trip (verified against a direct render), one cached
@@ -52,7 +62,7 @@ use nemfpga_bench::render::render_experiment;
 use nemfpga_runtime::ParallelConfig;
 use nemfpga_service::{ClusterSettings, Executor, JobState, Service, ServiceClient, ServiceConfig};
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]\n             [--journal FILE | --no-journal] [--drain-grace-secs S]\n             [--peers A,B,C] [--advertise HOST:PORT] [--sync-interval-ms N]\n             [--cluster-seed N] [--self-test] [--trace-out FILE]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads T] [--queue N] [--timeout-secs S]\n             [--cache-dir DIR | --no-disk-cache] [--cache-capacity N]\n             [--journal FILE | --no-journal] [--drain-grace-secs S]\n             [--peers A,B,C] [--advertise HOST:PORT] [--sync-interval-ms N]\n             [--cluster-seed N] [--self-test] [--trace-out FILE]\n             [--quarantine-after N] [--watchdog-factor N] [--job-budget-mb N]\n             [--overload-enter-ms MS] [--overload-memory-mb N]";
 
 struct Invocation {
     config: ServiceConfig,
@@ -129,6 +139,26 @@ fn main() {
             .as_ref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "disabled".to_owned()),
+    );
+    let hardening = &invocation.config.hardening;
+    println!(
+        "  hardening: quarantine after {}, watchdog {}x, budget {}, brownout {}",
+        if hardening.quarantine_threshold == 0 {
+            "off".to_owned()
+        } else {
+            format!("{} failures", hardening.quarantine_threshold)
+        },
+        hardening.watchdog_factor,
+        if hardening.job_budget_bytes == 0 {
+            "off".to_owned()
+        } else {
+            format!("{} MiB/job", hardening.job_budget_bytes >> 20)
+        },
+        if hardening.overload.enter_wait_ms == 0 && hardening.overload.memory_limit_bytes == 0 {
+            "off".to_owned()
+        } else {
+            format!("enter at p99 {}ms", hardening.overload.enter_wait_ms)
+        },
     );
     if let Some(settings) = &invocation.config.cluster {
         println!(
@@ -408,6 +438,26 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--cluster-seed" => {
                 cluster_seed = Some(parse_value(it.next(), "--cluster-seed", "a seed")?);
+            }
+            "--quarantine-after" => {
+                config.hardening.quarantine_threshold =
+                    parse_value(it.next(), "--quarantine-after", "a count (0 disables)")?;
+            }
+            "--watchdog-factor" => {
+                config.hardening.watchdog_factor =
+                    parse_value(it.next(), "--watchdog-factor", "a multiplier (0 disables)")?;
+            }
+            "--job-budget-mb" => {
+                let mb: usize = parse_value(it.next(), "--job-budget-mb", "megabytes")?;
+                config.hardening.job_budget_bytes = mb << 20;
+            }
+            "--overload-enter-ms" => {
+                config.hardening.overload.enter_wait_ms =
+                    parse_value(it.next(), "--overload-enter-ms", "milliseconds")?;
+            }
+            "--overload-memory-mb" => {
+                let mb: u64 = parse_value(it.next(), "--overload-memory-mb", "megabytes")?;
+                config.hardening.overload.memory_limit_bytes = (mb << 20) as usize;
             }
             "--drain-grace-secs" => {
                 drain_grace =

@@ -1,0 +1,313 @@
+//! Per-job memory budgets via a thread-scoped tracking allocator.
+//!
+//! [`TrackingAlloc`] wraps the system allocator and, on threads that
+//! have a [`BudgetCell`] installed ([`enter`]), accounts every
+//! allocation and deallocation against it. The allocator itself only
+//! *tracks* — an allocator must never unwind (that is undefined
+//! behavior), so a breached ceiling is recorded as a flag and enforced
+//! at the job's cooperative checkpoints: [`checkpoint`] (called from
+//! `cancel::checkpoint`, so every existing cancellation point is also a
+//! budget gate) unwinds with a [`BudgetPanic`] payload, and the worker
+//! pool watchdog independently observes the breached flag so a job that
+//! allocates wildly without ever checkpointing is still cancelled.
+//!
+//! Accounting is a thread-local raw-pointer read plus two relaxed
+//! atomics per allocation — cheap enough to leave on unconditionally.
+//! The cell does not inherit into spawned threads; fan-out primitives
+//! that work on behalf of a job would re-[`enter`] a clone of the cell
+//! handle per worker, the same pattern `cancel` and `obs::progress`
+//! use.
+//!
+//! Fault site: `budget.breach` (Trigger) forces the current cell's
+//! breached flag on at the next [`checkpoint`], letting tests exercise
+//! the breach path without actually allocating gigabytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::faults::{FaultAction, FaultPoint};
+
+static FAULT_BREACH: FaultPoint = FaultPoint::new("budget.breach");
+
+/// Live and peak allocation accounting for one job, with an optional
+/// ceiling. Shared between the job's worker thread (writer), the
+/// watchdog monitor (reader), and the scheduler's overload controller
+/// (reader).
+#[derive(Debug, Default)]
+pub struct BudgetCell {
+    /// Net live bytes. Signed: a job may free memory its thread did not
+    /// allocate under this cell (e.g. buffers handed in from outside),
+    /// so the counter must tolerate going negative.
+    current: AtomicIsize,
+    /// High-water mark of `current`.
+    peak: AtomicUsize,
+    /// Peak-bytes ceiling; 0 = unlimited.
+    limit: usize,
+    /// Set once `peak` exceeds `limit`. Never cleared.
+    breached: AtomicBool,
+}
+
+impl BudgetCell {
+    /// A fresh cell with a peak-bytes ceiling (`0` = track only).
+    pub fn new(limit: usize) -> Self {
+        Self { limit, ..Self::default() }
+    }
+
+    /// The configured ceiling (`0` = unlimited).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Net live bytes currently attributed to this cell (clamped at 0).
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Whether the ceiling has been exceeded (sticky).
+    pub fn is_breached(&self) -> bool {
+        self.breached.load(Ordering::Relaxed)
+    }
+
+    /// Marks the cell breached regardless of accounting (watchdog and
+    /// fault-injection entry point).
+    pub fn force_breach(&self) {
+        self.breached.store(true, Ordering::Relaxed);
+    }
+
+    /// Called from the allocator. Must not panic or allocate.
+    fn record(&self, delta: isize) {
+        let now = self.current.fetch_add(delta, Ordering::Relaxed) + delta;
+        if delta > 0 {
+            let now = now.max(0) as usize;
+            let mut peak = self.peak.load(Ordering::Relaxed);
+            while now > peak {
+                match self.peak.compare_exchange_weak(
+                    peak,
+                    now,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => peak = seen,
+                }
+            }
+            if self.limit > 0 && now > self.limit {
+                self.breached.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+thread_local! {
+    // Raw pointer (not an Arc) so the allocator path is const-init,
+    // Drop-free, and allocation-free. The guard that installed the
+    // pointer owns an Arc keeping the cell alive for the duration.
+    static CURRENT: Cell<*const BudgetCell> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Uninstalls the cell (restoring the previous one) on drop.
+pub struct BudgetGuard {
+    previous: *const BudgetCell,
+    /// `Arc::into_raw` of the installed cell; released on drop.
+    installed: *const BudgetCell,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        let _ = CURRENT.try_with(|c| c.set(previous));
+        // SAFETY: `installed` came from `Arc::into_raw` in `enter` and
+        // is released exactly once, here.
+        unsafe { drop(Arc::from_raw(self.installed)) };
+    }
+}
+
+/// Attributes this thread's allocations to `cell` until the guard
+/// drops. Nests: the guard restores whatever was current before.
+#[must_use = "dropping the guard immediately stops the accounting"]
+pub fn enter(cell: Arc<BudgetCell>) -> BudgetGuard {
+    let installed = Arc::into_raw(cell);
+    let previous = CURRENT.with(|c| {
+        let previous = c.get();
+        c.set(installed);
+        previous
+    });
+    BudgetGuard { previous, installed }
+}
+
+/// The cell installed on this thread, if any.
+pub fn current() -> Option<Arc<BudgetCell>> {
+    CURRENT.with(|c| {
+        let ptr = c.get();
+        if ptr.is_null() {
+            None
+        } else {
+            // The guard holding the Arc is live while the pointer is
+            // installed, so reconstructing a new strong count is sound.
+            unsafe {
+                Arc::increment_strong_count(ptr);
+                Some(Arc::from_raw(ptr))
+            }
+        }
+    })
+}
+
+/// The panic payload [`checkpoint`] unwinds with on a breached budget.
+#[derive(Debug)]
+pub struct BudgetPanic {
+    /// Peak bytes observed when the breach was enforced.
+    pub peak_bytes: usize,
+    /// The ceiling that was exceeded.
+    pub limit_bytes: usize,
+}
+
+/// True when a caught panic payload came from a budget [`checkpoint`].
+pub fn is_budget_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<BudgetPanic>()
+}
+
+/// Budget enforcement point: unwinds with [`BudgetPanic`] when the
+/// current cell (if any) has breached its ceiling. Wired into
+/// `cancel::checkpoint`, so CAD loops need no new instrumentation.
+#[inline]
+pub fn checkpoint() {
+    let breached = CURRENT.with(|c| {
+        let ptr = c.get();
+        if ptr.is_null() {
+            return None;
+        }
+        let cell = unsafe { &*ptr };
+        if matches!(FAULT_BREACH.fire(), FaultAction::Trigger) {
+            cell.force_breach();
+        }
+        cell.is_breached().then(|| (cell.peak_bytes(), cell.limit()))
+    });
+    if let Some((peak_bytes, limit_bytes)) = breached {
+        std::panic::panic_any(BudgetPanic { peak_bytes, limit_bytes });
+    }
+}
+
+/// The process allocator: the system allocator plus per-thread budget
+/// accounting. Installed workspace-wide by this crate.
+pub struct TrackingAlloc;
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+fn record(delta: isize) {
+    // `try_with` keeps allocation during TLS teardown safe; a dead
+    // thread-local simply stops accounting.
+    let _ = CURRENT.try_with(|c| {
+        let ptr = c.get();
+        if !ptr.is_null() {
+            unsafe { &*ptr }.record(delta);
+        }
+    });
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the
+// accounting side never panics, never allocates, and never dereferences
+// an installed pointer past its guard's lifetime.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            record(layout.size() as isize);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            record(layout.size() as isize);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        record(-(layout.size() as isize));
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            record(new_size as isize - layout.size() as isize);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracking_accounts_allocations_against_the_entered_cell() {
+        let cell = Arc::new(BudgetCell::new(0));
+        {
+            let _guard = enter(Arc::clone(&cell));
+            let block = vec![0u8; 64 * 1024];
+            assert!(cell.current_bytes() >= 64 * 1024);
+            assert!(cell.peak_bytes() >= 64 * 1024);
+            drop(block);
+        }
+        // Freed: live usage returns to (near) zero, peak stays.
+        assert!(cell.current_bytes() < 64 * 1024);
+        assert!(cell.peak_bytes() >= 64 * 1024);
+        assert!(!cell.is_breached());
+    }
+
+    #[test]
+    fn breach_is_detected_and_enforced_at_checkpoint() {
+        let cell = Arc::new(BudgetCell::new(16 * 1024));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = enter(Arc::clone(&cell));
+            let _block = vec![0u8; 64 * 1024];
+            checkpoint();
+        }));
+        let payload = caught.expect_err("checkpoint must unwind on breach");
+        assert!(is_budget_payload(payload.as_ref()));
+        assert!(cell.is_breached());
+        // Off-thread (no cell installed) checkpoints stay inert.
+        checkpoint();
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer = Arc::new(BudgetCell::new(0));
+        let inner = Arc::new(BudgetCell::new(0));
+        let g1 = enter(Arc::clone(&outer));
+        {
+            let _g2 = enter(Arc::clone(&inner));
+            let current = current().expect("inner installed");
+            assert!(Arc::ptr_eq(&current, &inner));
+        }
+        let current_cell = current().expect("outer restored");
+        assert!(Arc::ptr_eq(&current_cell, &outer));
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn unentered_threads_cost_nothing_and_track_nothing() {
+        let cell = Arc::new(BudgetCell::new(0));
+        let _guard = enter(Arc::clone(&cell));
+        let before = cell.current_bytes();
+        std::thread::spawn(|| {
+            let _block = vec![0u8; 256 * 1024];
+        })
+        .join()
+        .expect("join");
+        // The spawned thread had no cell: its allocations are invisible.
+        assert!(cell.current_bytes() < before + 256 * 1024);
+    }
+}

@@ -84,11 +84,19 @@ pub fn current() -> Option<CancelToken> {
 }
 
 /// Cancellation point: unwinds with [`CancelPanic`] when the current
-/// token (if any) has been cancelled. Cost when not cancelled is one
-/// thread-local read and one relaxed atomic load — cheap enough for
+/// token (if any) has been cancelled. Cost when not cancelled is a few
+/// thread-local reads and relaxed atomic loads — cheap enough for
 /// per-iteration use in CAD loops.
+///
+/// Every checkpoint is also a watchdog heartbeat and a budget gate:
+/// reaching one proves the job is making progress
+/// ([`crate::watchdog::beat`]) and enforces its memory ceiling
+/// ([`crate::budget::checkpoint`], which unwinds with its own payload
+/// on a breach).
 #[inline]
 pub fn checkpoint() {
+    crate::watchdog::beat();
+    crate::budget::checkpoint();
     let cancelled = CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled));
     if cancelled {
         std::panic::panic_any(CancelPanic);
@@ -105,7 +113,9 @@ pub fn silence_cancel_panics() {
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !info.payload().is::<CancelPanic>() {
+            let expected = info.payload().is::<CancelPanic>()
+                || info.payload().is::<crate::budget::BudgetPanic>();
+            if !expected {
                 previous(info);
             }
         }));

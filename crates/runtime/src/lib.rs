@@ -19,19 +19,23 @@
 //! are inert unless the `fault-injection` feature is on and a test has
 //! armed the registry.
 
+pub mod budget;
 pub mod cancel;
 pub mod faults;
 pub mod hash;
 pub mod pool;
 pub mod scratch;
 pub mod sha;
+pub mod watchdog;
 pub mod workers;
 
+pub use budget::BudgetCell;
 pub use cancel::CancelToken;
 pub use faults::{FaultAction, FaultPoint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{parallel_map, parallel_map_cfg};
 pub use scratch::ScratchPool;
+pub use watchdog::Watchdog;
 pub use workers::{PoolFull, WorkerPool};
 
 use serde::{Deserialize, Serialize};

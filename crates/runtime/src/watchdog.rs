@@ -1,0 +1,319 @@
+//! Non-cooperative job supervision.
+//!
+//! Cancellation ([`crate::cancel`]) and budgets ([`crate::budget`]) are
+//! cooperative: a job only notices them at its own checkpoints. The
+//! [`Watchdog`] is the backstop for jobs that never get there — a
+//! monitor thread owned by the worker pool tracks a per-job heartbeat
+//! (fed by every cancel checkpoint and obs progress tick) and, when a
+//! job goes longer than its quiet limit without a beat, *fires*: it
+//! records why and cancels the job's token, so the next checkpoint
+//! anywhere in the job's call graph unwinds it. The scheduler reads the
+//! fired reason after the unwind and books the job as watchdog-killed
+//! (or budget-breached) instead of user-cancelled.
+//!
+//! The monitor also observes each job's [`BudgetCell`] breached flag,
+//! so a job that blows its memory ceiling between checkpoints is
+//! reined in on the next poll rather than at process OOM.
+//!
+//! Fault site: `watchdog.fire` (Trigger) forces every watched job to
+//! fire as `Stalled` on the next poll — the deterministic handle the
+//! hardening tests use.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::budget::BudgetCell;
+use crate::cancel::CancelToken;
+use crate::faults::{FaultAction, FaultPoint};
+
+static FAULT_FIRE: FaultPoint = FaultPoint::new("watchdog.fire");
+
+/// Milliseconds since the process-wide heartbeat epoch.
+fn now_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Why the watchdog fired on a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogFired {
+    /// No heartbeat within the quiet limit.
+    Stalled,
+    /// The job's [`BudgetCell`] reported a breached ceiling.
+    BudgetBreached,
+}
+
+struct Watched {
+    heartbeat: Arc<AtomicU64>,
+    quiet_limit: Duration,
+    cancel: CancelToken,
+    budget: Arc<BudgetCell>,
+    /// 0 = not fired, 1 = stalled, 2 = budget (see [`WatchdogFired`]).
+    fired: Arc<AtomicU8>,
+}
+
+struct Inner {
+    jobs: Mutex<HashMap<u64, Watched>>,
+    shutdown: AtomicBool,
+    wake: Condvar,
+    /// Guarded by `jobs`' mutex via `wait_timeout`.
+    poll: Duration,
+    fired_total: AtomicU64,
+}
+
+/// Handle to the monitor. Cloning shares the same monitor thread.
+#[derive(Clone)]
+pub struct Watchdog {
+    inner: Arc<Inner>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Watchdog {
+    /// Spawns the monitor thread, polling every `poll`. The thread
+    /// exits when [`Watchdog::stop`] is called (the owning worker pool
+    /// does this on drop).
+    pub fn spawn(poll: Duration) -> Self {
+        let inner = Arc::new(Inner {
+            jobs: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            wake: Condvar::new(),
+            poll: poll.max(Duration::from_millis(1)),
+            fired_total: AtomicU64::new(0),
+        });
+        let monitor = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("nemfpga-watchdog".to_owned())
+            .spawn(move || monitor_loop(&monitor))
+            .expect("spawn watchdog monitor");
+        Self { inner, next_id: Arc::new(AtomicU64::new(1)) }
+    }
+
+    /// Puts a job under watch. `quiet_limit` is the maximum wall-clock
+    /// between heartbeats (zero disables the stall check; the budget
+    /// flag is still observed). Dropping the returned guard removes the
+    /// job from the watch list.
+    pub fn watch(
+        &self,
+        quiet_limit: Duration,
+        cancel: CancelToken,
+        budget: Arc<BudgetCell>,
+    ) -> WatchGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let heartbeat = Arc::new(AtomicU64::new(now_ms()));
+        let fired = Arc::new(AtomicU8::new(0));
+        let watched = Watched {
+            heartbeat: Arc::clone(&heartbeat),
+            quiet_limit,
+            cancel,
+            budget,
+            fired: Arc::clone(&fired),
+        };
+        self.inner.jobs.lock().expect("watchdog job table").insert(id, watched);
+        WatchGuard { inner: Arc::clone(&self.inner), id, heartbeat, fired }
+    }
+
+    /// Jobs fired (stall or budget) since the monitor started.
+    pub fn fired_total(&self) -> u64 {
+        self.inner.fired_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently under watch.
+    pub fn watched(&self) -> usize {
+        self.inner.jobs.lock().expect("watchdog job table").len()
+    }
+
+    /// Stops the monitor thread. Watched jobs are left untouched.
+    pub fn stop(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let _guard = self.inner.jobs.lock().expect("watchdog job table");
+        self.inner.wake.notify_all();
+    }
+}
+
+fn monitor_loop(inner: &Inner) {
+    let mut jobs = inner.jobs.lock().expect("watchdog job table");
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let forced = matches!(FAULT_FIRE.fire(), FaultAction::Trigger);
+        let now = now_ms();
+        for watched in jobs.values() {
+            if watched.fired.load(Ordering::Relaxed) != 0 {
+                continue;
+            }
+            let reason = if watched.budget.is_breached() {
+                Some(WatchdogFired::BudgetBreached)
+            } else if forced {
+                Some(WatchdogFired::Stalled)
+            } else if !watched.quiet_limit.is_zero() {
+                let quiet_ms = watched.quiet_limit.as_millis() as u64;
+                let last = watched.heartbeat.load(Ordering::Relaxed);
+                (now.saturating_sub(last) > quiet_ms).then_some(WatchdogFired::Stalled)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                let code = match reason {
+                    WatchdogFired::Stalled => 1,
+                    WatchdogFired::BudgetBreached => 2,
+                };
+                watched.fired.store(code, Ordering::Relaxed);
+                inner.fired_total.fetch_add(1, Ordering::Relaxed);
+                watched.cancel.cancel();
+            }
+        }
+        let (guard, _timeout) =
+            inner.wake.wait_timeout(jobs, inner.poll).expect("watchdog job table poisoned");
+        jobs = guard;
+    }
+}
+
+/// One job's registration with the watchdog. Also the handle the
+/// scheduler uses, post-unwind, to learn whether (and why) the
+/// watchdog fired on this job.
+pub struct WatchGuard {
+    inner: Arc<Inner>,
+    id: u64,
+    heartbeat: Arc<AtomicU64>,
+    fired: Arc<AtomicU8>,
+}
+
+impl WatchGuard {
+    /// The heartbeat slot [`beat`] updates on the job's worker thread.
+    pub fn heartbeat(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.heartbeat)
+    }
+
+    /// Whether (and why) the watchdog fired on this job.
+    pub fn fired(&self) -> Option<WatchdogFired> {
+        match self.fired.load(Ordering::Relaxed) {
+            1 => Some(WatchdogFired::Stalled),
+            2 => Some(WatchdogFired::BudgetBreached),
+            _ => None,
+        }
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.inner.jobs.lock().expect("watchdog job table").remove(&self.id);
+    }
+}
+
+thread_local! {
+    // Heartbeat slot of the job running on this thread, if any. A raw
+    // pointer kept alive by the `HeartbeatGuard`'s Arc, so `beat()` is
+    // const-init and allocation-free.
+    static CURRENT: std::cell::Cell<*const AtomicU64> = const { std::cell::Cell::new(std::ptr::null()) };
+}
+
+/// Restores the previous heartbeat slot on drop.
+pub struct HeartbeatGuard {
+    previous: *const AtomicU64,
+    installed: *const AtomicU64,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        let _ = CURRENT.try_with(|c| c.set(previous));
+        // SAFETY: `installed` came from `Arc::into_raw` in `enter` and
+        // is released exactly once, here.
+        unsafe { drop(Arc::from_raw(self.installed)) };
+    }
+}
+
+/// Makes `heartbeat` the slot [`beat`] updates on this thread until the
+/// guard drops. Nests; fan-out primitives re-enter per worker.
+#[must_use = "dropping the guard immediately detaches the heartbeat"]
+pub fn enter(heartbeat: Arc<AtomicU64>) -> HeartbeatGuard {
+    let installed = Arc::into_raw(heartbeat);
+    let previous = CURRENT.with(|c| {
+        let previous = c.get();
+        c.set(installed);
+        previous
+    });
+    HeartbeatGuard { previous, installed }
+}
+
+/// Records progress for the job on this thread. Called from every
+/// cancel checkpoint and progress tick; a no-op off job threads.
+#[inline]
+pub fn beat() {
+    let _ = CURRENT.try_with(|c| {
+        let ptr = c.get();
+        if !ptr.is_null() {
+            unsafe { &*ptr }.store(now_ms(), Ordering::Relaxed);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_job_is_fired_and_cancelled() {
+        let dog = Watchdog::spawn(Duration::from_millis(2));
+        let token = CancelToken::new();
+        let guard =
+            dog.watch(Duration::from_millis(10), token.clone(), Arc::new(BudgetCell::new(0)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while guard.fired().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(guard.fired(), Some(WatchdogFired::Stalled));
+        assert!(token.is_cancelled());
+        assert_eq!(dog.fired_total(), 1);
+        dog.stop();
+    }
+
+    #[test]
+    fn heartbeats_keep_a_job_alive() {
+        let dog = Watchdog::spawn(Duration::from_millis(2));
+        let token = CancelToken::new();
+        let guard =
+            dog.watch(Duration::from_millis(40), token.clone(), Arc::new(BudgetCell::new(0)));
+        let _beat_guard = enter(guard.heartbeat());
+        let until = Instant::now() + Duration::from_millis(120);
+        while Instant::now() < until {
+            beat();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(guard.fired(), None, "a beating job must never fire");
+        assert!(!token.is_cancelled());
+        dog.stop();
+    }
+
+    #[test]
+    fn breached_budget_is_fired_without_any_allocation() {
+        let dog = Watchdog::spawn(Duration::from_millis(2));
+        let token = CancelToken::new();
+        let budget = Arc::new(BudgetCell::new(1));
+        let guard = dog.watch(Duration::ZERO, token.clone(), Arc::clone(&budget));
+        budget.force_breach();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while guard.fired().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(guard.fired(), Some(WatchdogFired::BudgetBreached));
+        assert!(token.is_cancelled());
+        dog.stop();
+    }
+
+    #[test]
+    fn dropped_guard_stops_the_watch() {
+        let dog = Watchdog::spawn(Duration::from_millis(2));
+        let token = CancelToken::new();
+        let guard = dog.watch(Duration::ZERO, token.clone(), Arc::new(BudgetCell::new(0)));
+        assert_eq!(dog.watched(), 1);
+        drop(guard);
+        assert_eq!(dog.watched(), 0);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!token.is_cancelled(), "an unwatched job must not be fired");
+        dog.stop();
+    }
+}

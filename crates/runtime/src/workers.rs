@@ -59,6 +59,7 @@ struct State {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<crate::watchdog::Watchdog>,
 }
 
 impl WorkerPool {
@@ -80,7 +81,21 @@ impl WorkerPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { shared, workers }
+        Self { shared, workers, watchdog: None }
+    }
+
+    /// Spawns the pool's [`crate::watchdog::Watchdog`] monitor thread
+    /// (idempotent) and returns a handle. Submitters register the jobs
+    /// they want supervised; the monitor stops when the pool drops.
+    pub fn enable_watchdog(&mut self, poll: std::time::Duration) -> crate::watchdog::Watchdog {
+        let dog =
+            self.watchdog.get_or_insert_with(|| crate::watchdog::Watchdog::spawn(poll)).clone();
+        dog
+    }
+
+    /// The pool's watchdog, if [`WorkerPool::enable_watchdog`] ran.
+    pub fn watchdog(&self) -> Option<&crate::watchdog::Watchdog> {
+        self.watchdog.as_ref()
     }
 
     /// Enqueues a job, or returns it inside [`PoolFull`] when the queue is
@@ -122,6 +137,9 @@ impl Drop for WorkerPool {
         self.shared.wake.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(dog) = &self.watchdog {
+            dog.stop();
         }
     }
 }

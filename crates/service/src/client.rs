@@ -602,9 +602,17 @@ impl ServiceClient {
 
             // Retry transport failures and explicit backpressure; give
             // everything else (including other errors) straight back.
+            // `quarantined` rides a 503 but is terminal — retrying a
+            // poisoned key only re-serves the same pin — so it is
+            // surfaced immediately.
             let retry_after = match &result {
                 Err(ClientError::Transport(_)) => None,
                 Ok(resp) if matches!(resp.status, 429 | 503) => {
+                    let code =
+                        resp.body.get("error").and_then(|e| e.get("code")).and_then(Value::as_str);
+                    if code == Some("quarantined") {
+                        return Self::interpret(result?);
+                    }
                     resp.retry_after.map(Duration::from_secs)
                 }
                 _ => return Self::interpret(result?),

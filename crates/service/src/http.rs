@@ -228,6 +228,14 @@ pub enum ErrorCode {
     QuotaExceeded,
     /// The service is draining for shutdown; resubmit elsewhere.
     Draining,
+    /// The service is in overload brownout and shed this submission;
+    /// retry after the hinted delay (the brownout stage recovers as
+    /// load drains).
+    Overloaded,
+    /// The job key is quarantined: it failed abnormally (panic,
+    /// watchdog kill, budget breach) too many times in a row and will
+    /// not be executed again. Not retryable — fix the input.
+    Quarantined,
 }
 
 impl ErrorCode {
@@ -240,6 +248,8 @@ impl ErrorCode {
             Self::QueueFull => "queue_full",
             Self::QuotaExceeded => "quota_exceeded",
             Self::Draining => "draining",
+            Self::Overloaded => "overloaded",
+            Self::Quarantined => "quarantined",
         }
     }
 }
@@ -519,6 +529,9 @@ fn post_jobs(
         Err(SubmitError::Draining) => {
             return Response::backpressure(503, ErrorCode::Draining, "service is draining", 1)
         }
+        Err(error @ SubmitError::Overloaded(_)) => {
+            return Response::backpressure(503, ErrorCode::Overloaded, &error.to_string(), 2)
+        }
     };
 
     let status = if wait && !submission.status.state.is_terminal() {
@@ -667,7 +680,12 @@ fn get_result(key_text: &str, scheduler: &Scheduler, cluster: Option<&Cluster>) 
             ("experiment", Value::Str(result.experiment)),
             ("output", Value::Str(result.output)),
         ])),
-        None => Response::error(404, ErrorCode::NotFound, "no cached result for this key"),
+        // A quarantined key will never produce a result; tell the
+        // client why instead of an indistinguishable 404.
+        None => match scheduler.quarantine_error(&key) {
+            Some(error) => Response::error(503, ErrorCode::Quarantined, &error),
+            None => Response::error(404, ErrorCode::NotFound, "no cached result for this key"),
+        },
     }
 }
 

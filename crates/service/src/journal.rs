@@ -3,13 +3,25 @@
 //! The scheduler appends one checksummed JSON line per job transition —
 //! `submitted` (the full request, write-ahead of the client's ack),
 //! `started`, and `done` (any terminal state) — so a `kill -9` loses at
-//! most work the client was never told was accepted. On startup,
-//! [`Journal::open`] scans the log, tolerating a torn final record
-//! (interrupted append), folds it into a per-key state machine, and
-//! returns every job that was durably accepted but never finished; the
-//! service replays those into the scheduler and the journal is compacted
-//! down to just the still-pending records via the same tempfile+rename
-//! idiom the cache uses.
+//! most work the client was never told was accepted. Two further record
+//! kinds make poison jobs durable facts rather than per-process memory:
+//! `attempt` (an abnormal failure — executor panic, watchdog kill, or
+//! budget breach — with its ordinal and reason) and `quarantined` (the
+//! scheduler has pinned the key; it must never execute again). On
+//! startup, [`Journal::open`] scans the log, tolerating a torn final
+//! record (interrupted append), folds it into a per-key state machine,
+//! and returns every job that was durably accepted but never finished
+//! plus the surviving attempt counts and quarantine pins; the service
+//! replays the pending jobs into the scheduler and the journal is
+//! compacted down to just the still-meaningful records via the same
+//! tempfile+rename idiom the cache uses.
+//!
+//! Compaction also runs **live**: with [`Journal::with_compact_bytes`]
+//! configured, an append that pushes the file past the threshold
+//! rewrites it in place (pending submissions + attempt counts +
+//! quarantine pins), so a long-running server's journal stays
+//! proportional to its open work instead of its history. Each rewrite
+//! bumps the `journal_compactions` counter when one is attached.
 //!
 //! Records are keyed by the request's content address ([`JobKey`] hex),
 //! not by scheduler job ids — ids restart from 1 after a crash, content
@@ -17,6 +29,7 @@
 //! (`scale_bits`), so a recovered request hashes to the same key it was
 //! journaled under.
 
+use std::collections::{HashMap, HashSet};
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -69,12 +82,34 @@ pub enum JournalRecord {
         /// Content address of the request.
         key: String,
     },
+    /// The job failed abnormally (executor panic, watchdog kill, or
+    /// budget breach). Attempts accumulate per key across restarts; a
+    /// successful `done` clears them.
+    Attempt {
+        /// Content address of the request.
+        key: String,
+        /// Ordinal of this failed attempt (1-based). The fold takes the
+        /// max per key, so compaction can collapse a run of attempts
+        /// into one record without losing the count.
+        attempt: u32,
+        /// Human-readable failure reason (panic message, "watchdog:
+        /// ...", "budget: ...").
+        reason: String,
+    },
+    /// The key is pinned: it reached the quarantine threshold and must
+    /// never execute again. Sticky — preserved by every compaction.
+    Quarantined {
+        /// Content address of the request.
+        key: String,
+        /// The structured error served to waiters and result lookups.
+        error: String,
+    },
     /// The job reached a terminal state.
     Done {
         /// Content address of the request.
         key: String,
         /// Terminal state wire name (`done`, `failed`, `timed_out`,
-        /// `expired`, `cancelled`).
+        /// `expired`, `cancelled`, `quarantined`).
         state: String,
     },
 }
@@ -114,7 +149,11 @@ impl JournalRecord {
     /// The content address this record is about.
     pub fn key(&self) -> &str {
         match self {
-            Self::Submitted { key, .. } | Self::Started { key } | Self::Done { key, .. } => key,
+            Self::Submitted { key, .. }
+            | Self::Started { key }
+            | Self::Attempt { key, .. }
+            | Self::Quarantined { key, .. }
+            | Self::Done { key, .. } => key,
         }
     }
 
@@ -153,6 +192,17 @@ impl JournalRecord {
                 ("kind", Value::Str("started".to_owned())),
                 ("key", Value::Str(key.clone())),
             ]),
+            Self::Attempt { key, attempt, reason } => Value::obj(vec![
+                ("kind", Value::Str("attempt".to_owned())),
+                ("key", Value::Str(key.clone())),
+                ("attempt", Value::U64(u64::from(*attempt))),
+                ("reason", Value::Str(reason.clone())),
+            ]),
+            Self::Quarantined { key, error } => Value::obj(vec![
+                ("kind", Value::Str("quarantined".to_owned())),
+                ("key", Value::Str(key.clone())),
+                ("error", Value::Str(error.clone())),
+            ]),
             Self::Done { key, state } => Value::obj(vec![
                 ("kind", Value::Str("done".to_owned())),
                 ("key", Value::Str(key.clone())),
@@ -184,6 +234,14 @@ impl JournalRecord {
                 },
             }),
             "started" => Some(Self::Started { key }),
+            "attempt" => Some(Self::Attempt {
+                key,
+                attempt: u32::try_from(doc.get("attempt")?.as_u64()?).ok()?,
+                reason: doc.get("reason")?.as_str()?.to_owned(),
+            }),
+            "quarantined" => {
+                Some(Self::Quarantined { key, error: doc.get("error")?.as_str()?.to_owned() })
+            }
             "done" => Some(Self::Done { key, state: doc.get("state")?.as_str()?.to_owned() }),
             _ => None,
         }
@@ -239,23 +297,145 @@ pub struct RecoveryReport {
     /// Accepted, unfinished jobs whose client deadline passed while the
     /// server was down; closed out as `expired` without replaying.
     pub expired: Vec<PendingJob>,
+    /// Surviving abnormal-failure counts: `(key, attempts, last
+    /// reason)`. The service preloads these into the scheduler so the
+    /// quarantine threshold counts across restarts.
+    pub attempts: Vec<(String, u32, String)>,
+    /// Quarantine pins: `(key, error)`. Pinned keys are excluded from
+    /// `pending` — they must never execute again.
+    pub quarantined: Vec<(String, String)>,
     /// Records that decoded and verified.
     pub records_scanned: usize,
     /// True when the scan stopped at a torn or corrupt line.
     pub torn_tail: bool,
 }
 
+/// The per-key fold the journal maintains: everything a compaction
+/// needs to rewrite. Updated incrementally on every append so a live
+/// rewrite never has to re-read the file it is about to replace.
+#[derive(Default)]
+struct FoldState {
+    /// Keys in first-submission order (may hold keys later settled;
+    /// emission filters on map presence and dedups).
+    pending_order: Vec<String>,
+    /// key → its `submitted` record, for still-open jobs.
+    pending: HashMap<String, JournalRecord>,
+    attempt_order: Vec<String>,
+    /// key → (max attempt ordinal seen, last reason).
+    attempts: HashMap<String, (u32, String)>,
+    quarantine_order: Vec<String>,
+    /// key → quarantine error (first pin wins; pins are sticky).
+    quarantined: HashMap<String, String>,
+}
+
+impl FoldState {
+    fn apply(&mut self, record: &JournalRecord) {
+        match record {
+            JournalRecord::Submitted { key, .. } => {
+                if !self.quarantined.contains_key(key) && !self.pending.contains_key(key) {
+                    self.pending_order.push(key.clone());
+                    self.pending.insert(key.clone(), record.clone());
+                }
+            }
+            JournalRecord::Started { .. } => {}
+            JournalRecord::Attempt { key, attempt, reason } => {
+                if self.quarantined.contains_key(key) {
+                    return;
+                }
+                let entry = self.attempts.entry(key.clone()).or_insert_with(|| {
+                    self.attempt_order.push(key.clone());
+                    (0, String::new())
+                });
+                entry.0 = entry.0.max(*attempt);
+                entry.1 = reason.clone();
+            }
+            JournalRecord::Quarantined { key, error } => {
+                if !self.quarantined.contains_key(key) {
+                    self.quarantine_order.push(key.clone());
+                    self.quarantined.insert(key.clone(), error.clone());
+                }
+                // A pinned key's open submission and attempt tally are
+                // subsumed by the pin: nothing will ever replay it.
+                self.pending.remove(key);
+                self.attempts.remove(key);
+            }
+            JournalRecord::Done { key, state } => {
+                self.pending.remove(key);
+                // A successful completion proves the key is not poison;
+                // any other terminal state leaves the tally standing.
+                if state == "done" {
+                    self.attempts.remove(key);
+                }
+            }
+        }
+    }
+
+    /// The compacted journal image: one line per still-meaningful record.
+    fn rewrite_lines(&self) -> String {
+        let mut out = String::new();
+        let mut seen = HashSet::new();
+        for key in &self.pending_order {
+            if let Some(record) = self.pending.get(key) {
+                if seen.insert(key.clone()) {
+                    out.push_str(&record.encode_line());
+                    out.push('\n');
+                }
+            }
+        }
+        seen.clear();
+        for key in &self.attempt_order {
+            if let Some((attempt, reason)) = self.attempts.get(key) {
+                if seen.insert(key.clone()) {
+                    let record = JournalRecord::Attempt {
+                        key: key.clone(),
+                        attempt: *attempt,
+                        reason: reason.clone(),
+                    };
+                    out.push_str(&record.encode_line());
+                    out.push('\n');
+                }
+            }
+        }
+        seen.clear();
+        for key in &self.quarantine_order {
+            if let Some(error) = self.quarantined.get(key) {
+                if seen.insert(key.clone()) {
+                    let record =
+                        JournalRecord::Quarantined { key: key.clone(), error: error.clone() };
+                    out.push_str(&record.encode_line());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The append handle's file-side state, guarded by one mutex so the
+/// fold can never drift from the bytes on disk.
+struct JournalFile {
+    file: std::fs::File,
+    /// Bytes appended since the file was last rewritten.
+    bytes_since_compact: u64,
+    fold: FoldState,
+}
+
 /// Append handle over the journal file. All appends flush before
 /// returning — a record the scheduler believes is durable, is.
 pub struct Journal {
     path: PathBuf,
-    file: Mutex<std::fs::File>,
+    inner: Mutex<JournalFile>,
+    /// Live-compaction threshold in appended bytes; 0 = startup-only.
+    compact_bytes: u64,
+    /// Bumped once per live rewrite, when attached.
+    compactions: Option<nemfpga_obs::Counter>,
 }
 
 impl Journal {
     /// Opens (creating if needed) the journal at `path`: scans existing
-    /// records, compacts the file down to still-pending `submitted`
-    /// records, and returns the append handle plus what was recovered.
+    /// records, compacts the file down to the still-meaningful set
+    /// (pending `submitted` records, attempt tallies, quarantine pins),
+    /// and returns the append handle plus what was recovered.
     ///
     /// # Errors
     ///
@@ -266,29 +446,36 @@ impl Journal {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let report = scan(path, now_unix_ms());
+        let (report, fold) = scan(path, now_unix_ms());
 
-        // Compact: rewrite only the pending submissions, atomically.
-        // Finished and expired keys disappear; a replayed pending job is
-        // already journaled, so the scheduler must not re-append it.
+        // Compact atomically. Finished and expired keys disappear; a
+        // replayed pending job is already journaled, so the scheduler
+        // must not re-append it.
         let tmp = path.with_extension("rewrite");
-        {
-            let mut out = std::fs::File::create(&tmp)?;
-            for job in &report.pending {
-                let key = crate::key::job_key(&job.request)
-                    .map(|k| k.as_hex().to_owned())
-                    .unwrap_or_default();
-                let record = JournalRecord::submitted(&key, &job.request, job.deadline_unix_ms)
-                    .with_class(job.tenant.as_deref().unwrap_or(DEFAULT_TENANT), job.lane);
-                out.write_all(record.encode_line().as_bytes())?;
-                out.write_all(b"\n")?;
-            }
-            out.flush()?;
-        }
+        std::fs::write(&tmp, fold.rewrite_lines())?;
         std::fs::rename(&tmp, path)?;
 
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok((Self { path: path.to_owned(), file: Mutex::new(file) }, report))
+        let inner = Mutex::new(JournalFile { file, bytes_since_compact: 0, fold });
+        Ok((Self { path: path.to_owned(), inner, compact_bytes: 0, compactions: None }, report))
+    }
+
+    /// Arms live compaction: once more than `bytes` have been appended
+    /// since the last rewrite, the next append rewrites the file down
+    /// to the still-meaningful record set. `0` (the default) keeps the
+    /// startup-only behavior.
+    #[must_use]
+    pub fn with_compact_bytes(mut self, bytes: u64) -> Self {
+        self.compact_bytes = bytes;
+        self
+    }
+
+    /// Attaches the counter bumped once per live rewrite
+    /// (`journal_compactions`).
+    #[must_use]
+    pub fn with_compaction_counter(mut self, counter: nemfpga_obs::Counter) -> Self {
+        self.compactions = Some(counter);
+        self
     }
 
     /// The journal file location.
@@ -296,7 +483,8 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record and flushes it to the OS. May trigger a live
+    /// compaction (see [`Journal::with_compact_bytes`]).
     ///
     /// # Errors
     ///
@@ -312,23 +500,46 @@ impl Journal {
             _ => {}
         }
         line.push('\n');
-        let mut file = self.file.lock().expect("journal file poisoned");
-        file.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
-        file.flush().map_err(|e| e.to_string())
+        let mut inner = self.inner.lock().expect("journal file poisoned");
+        inner.file.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        inner.file.flush().map_err(|e| e.to_string())?;
+        inner.bytes_since_compact += line.len() as u64;
+        // The fold tracks intent even when an injected fault damaged the
+        // physical line — a later compaction then rewrites it clean,
+        // which is strictly better evidence than the damaged bytes.
+        inner.fold.apply(record);
+        if self.compact_bytes > 0 && inner.bytes_since_compact >= self.compact_bytes {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the file down to the fold's still-meaningful records.
+    /// Caller holds the inner lock; appends observe either the old file
+    /// or the fully-swapped new one.
+    fn compact_locked(&self, inner: &mut JournalFile) -> Result<(), String> {
+        let tmp = self.path.with_extension("rewrite");
+        std::fs::write(&tmp, inner.fold.rewrite_lines()).map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| e.to_string())?;
+        inner.file = OpenOptions::new().append(true).open(&self.path).map_err(|e| e.to_string())?;
+        inner.bytes_since_compact = 0;
+        if let Some(counter) = &self.compactions {
+            counter.inc();
+        }
+        Ok(())
     }
 }
 
-/// Reads every verifiable record from `path` and folds it into pending /
-/// expired sets. Missing file = empty journal. Stops at the first line
-/// that fails to decode (torn tail); everything before it counts.
-fn scan(path: &Path, now_ms: u64) -> RecoveryReport {
+/// Reads every verifiable record from `path` and folds it into the
+/// recovery report plus the compaction fold. Missing file = empty
+/// journal. Stops at the first line that fails to decode (torn tail);
+/// everything before it counts.
+fn scan(path: &Path, now_ms: u64) -> (RecoveryReport, FoldState) {
     let mut report = RecoveryReport::default();
-    let Ok(text) = std::fs::read_to_string(path) else { return report };
+    let mut fold = FoldState::default();
+    let Ok(text) = std::fs::read_to_string(path) else { return (report, fold) };
 
-    // Insertion-ordered fold: key → (submitted info, started, done).
-    let mut order: Vec<String> = Vec::new();
-    let mut by_key: std::collections::HashMap<String, (Option<PendingJob>, bool)> =
-        std::collections::HashMap::new();
+    let mut started: HashSet<String> = HashSet::new();
     for line in text.lines() {
         if line.is_empty() {
             continue;
@@ -338,56 +549,79 @@ fn scan(path: &Path, now_ms: u64) -> RecoveryReport {
             break;
         };
         report.records_scanned += 1;
-        let key = record.key().to_owned();
-        if !by_key.contains_key(&key) {
-            order.push(key.clone());
+        if let JournalRecord::Started { key } = &record {
+            started.insert(key.clone());
         }
-        let entry = by_key.entry(key).or_insert((None, false));
-        match record {
-            JournalRecord::Submitted {
-                experiment,
-                scale_bits,
-                benchmarks,
-                seed,
-                deadline_unix_ms,
-                tenant,
-                lane,
-                ..
-            } => {
-                let Some(kind) = ExperimentKind::from_name(&experiment) else { continue };
-                let mut request = ExperimentRequest::new(kind);
-                request.scale = f64::from_bits(scale_bits);
-                request.benchmarks = benchmarks as usize;
-                request.seed = seed;
-                entry.0 = Some(PendingJob {
-                    request,
-                    deadline_unix_ms,
-                    started: false,
-                    tenant,
-                    lane: lane.as_deref().and_then(Lane::from_name).unwrap_or_default(),
-                });
-            }
-            JournalRecord::Started { .. } => {
-                if let Some(job) = &mut entry.0 {
-                    job.started = true;
-                }
-            }
-            JournalRecord::Done { .. } => entry.1 = true,
-        }
+        fold.apply(&record);
     }
 
-    for key in order {
-        let Some((Some(job), done)) = by_key.remove(&key) else { continue };
-        if done {
+    // Decode the fold's open submissions into replayable jobs. Keys
+    // that fail to decode (unknown experiment from a future version)
+    // are dropped from the fold so compaction retires them.
+    let mut emitted = HashSet::new();
+    let mut dropped: Vec<String> = Vec::new();
+    for key in &fold.pending_order {
+        let Some(JournalRecord::Submitted {
+            experiment,
+            scale_bits,
+            benchmarks,
+            seed,
+            deadline_unix_ms,
+            tenant,
+            lane,
+            ..
+        }) = fold.pending.get(key)
+        else {
+            continue;
+        };
+        if !emitted.insert(key.clone()) {
             continue;
         }
+        let Some(kind) = ExperimentKind::from_name(experiment) else {
+            dropped.push(key.clone());
+            continue;
+        };
+        let mut request = ExperimentRequest::new(kind);
+        request.scale = f64::from_bits(*scale_bits);
+        request.benchmarks = *benchmarks as usize;
+        request.seed = *seed;
+        let job = PendingJob {
+            request,
+            deadline_unix_ms: *deadline_unix_ms,
+            started: started.contains(key),
+            tenant: tenant.clone(),
+            lane: lane.as_deref().and_then(Lane::from_name).unwrap_or_default(),
+        };
         if job.deadline_unix_ms.is_some_and(|deadline| deadline <= now_ms) {
+            // Expired while down: the service closes these out with a
+            // `done` record; drop them from the rewrite image now.
+            dropped.push(key.clone());
             report.expired.push(job);
         } else {
             report.pending.push(job);
         }
     }
-    report
+    for key in dropped {
+        fold.pending.remove(&key);
+    }
+
+    let mut seen = HashSet::new();
+    for key in &fold.attempt_order {
+        if let Some((attempt, reason)) = fold.attempts.get(key) {
+            if seen.insert(key.clone()) {
+                report.attempts.push((key.clone(), *attempt, reason.clone()));
+            }
+        }
+    }
+    seen.clear();
+    for key in &fold.quarantine_order {
+        if let Some(error) = fold.quarantined.get(key) {
+            if seen.insert(key.clone()) {
+                report.quarantined.push((key.clone(), error.clone()));
+            }
+        }
+    }
+    (report, fold)
 }
 
 /// Deterministic damage mirroring the cache's: truncate at the midpoint
@@ -433,6 +667,21 @@ mod tests {
         assert_ne!(line, tampered);
         assert_eq!(JournalRecord::decode_line(&tampered), None, "checksum must catch tampering");
         assert_eq!(JournalRecord::decode_line("{ not json"), None);
+    }
+
+    #[test]
+    fn attempt_and_quarantine_records_round_trip() {
+        let attempt = JournalRecord::Attempt {
+            key: "ab".repeat(32),
+            attempt: 2,
+            reason: "executor panicked: boom".to_owned(),
+        };
+        assert_eq!(JournalRecord::decode_line(&attempt.encode_line()), Some(attempt));
+        let pin = JournalRecord::Quarantined {
+            key: "cd".repeat(32),
+            error: "quarantined after 3 failed attempts".to_owned(),
+        };
+        assert_eq!(JournalRecord::decode_line(&pin.encode_line()), Some(pin));
     }
 
     #[test]
@@ -543,5 +792,96 @@ mod tests {
         let (_journal, report) = Journal::open(&path).expect("reopen");
         assert_eq!(report.pending[0].request.scale.to_bits(), req.scale.to_bits());
         assert_eq!(key_of(&report.pending[0].request), key_of(&req), "same content address");
+    }
+
+    #[test]
+    fn attempts_and_quarantine_survive_restart_and_compaction() {
+        let path = temp_journal("quarantine");
+        let (poison, healthy) = (request(11), request(12));
+        let (pk, hk) = (key_of(&poison), key_of(&healthy));
+        {
+            let (journal, _) = Journal::open(&path).expect("open");
+            journal.append(&JournalRecord::submitted(&pk, &poison, None)).unwrap();
+            journal
+                .append(&JournalRecord::Attempt {
+                    key: pk.clone(),
+                    attempt: 1,
+                    reason: "executor panicked: boom".to_owned(),
+                })
+                .unwrap();
+            journal
+                .append(&JournalRecord::Done { key: pk.clone(), state: "failed".to_owned() })
+                .unwrap();
+            // A healthy key's attempt is cleared by its successful done.
+            journal.append(&JournalRecord::submitted(&hk, &healthy, None)).unwrap();
+            journal
+                .append(&JournalRecord::Attempt {
+                    key: hk.clone(),
+                    attempt: 1,
+                    reason: "transient".to_owned(),
+                })
+                .unwrap();
+            journal
+                .append(&JournalRecord::Done { key: hk.clone(), state: "done".to_owned() })
+                .unwrap();
+        }
+        let (journal, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.attempts, vec![(pk.clone(), 1, "executor panicked: boom".to_owned())]);
+        assert!(report.quarantined.is_empty());
+        assert!(report.pending.is_empty());
+        // Second failed attempt, then the pin.
+        journal.append(&JournalRecord::submitted(&pk, &poison, None)).unwrap();
+        journal
+            .append(&JournalRecord::Attempt {
+                key: pk.clone(),
+                attempt: 2,
+                reason: "executor panicked: boom".to_owned(),
+            })
+            .unwrap();
+        journal
+            .append(&JournalRecord::Quarantined {
+                key: pk.clone(),
+                error: "quarantined after 2 failed attempts".to_owned(),
+            })
+            .unwrap();
+        journal
+            .append(&JournalRecord::Done { key: pk.clone(), state: "quarantined".to_owned() })
+            .unwrap();
+        drop(journal);
+        let (_j, report) = Journal::open(&path).expect("third open");
+        assert!(report.attempts.is_empty(), "the pin subsumes the tally");
+        assert_eq!(
+            report.quarantined,
+            vec![(pk.clone(), "quarantined after 2 failed attempts".to_owned())]
+        );
+        assert!(report.pending.is_empty(), "a pinned key must never replay");
+        // And the pin survives yet another compaction cycle.
+        let (_j, again) = Journal::open(&path).expect("fourth open");
+        assert_eq!(again.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn live_compaction_bounds_the_file_and_counts() {
+        let path = temp_journal("live-compact");
+        let counter = nemfpga_obs::Registry::new().counter("journal_compactions");
+        let (journal, _) = Journal::open(&path).expect("open");
+        let journal = journal.with_compact_bytes(2048).with_compaction_counter(counter.clone());
+        // Many settled jobs: the fold retires each, so rewrites shrink
+        // the file back to (near) empty every time the threshold trips.
+        for seed in 0..64 {
+            let req = request(1000 + seed);
+            let key = key_of(&req);
+            journal.append(&JournalRecord::submitted(&key, &req, None)).unwrap();
+            journal.append(&JournalRecord::Started { key: key.clone() }).unwrap();
+            journal.append(&JournalRecord::Done { key, state: "done".to_owned() }).unwrap();
+        }
+        assert!(counter.get() >= 1, "threshold must have tripped at least once");
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        assert!(bytes < 8192, "journal stayed bounded, got {bytes} bytes");
+        // The compacted file is still a valid journal.
+        drop(journal);
+        let (_j, report) = Journal::open(&path).expect("reopen after live compaction");
+        assert!(!report.torn_tail);
+        assert!(report.pending.is_empty());
     }
 }

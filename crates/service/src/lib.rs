@@ -52,6 +52,7 @@ pub mod journal;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod overload;
 pub mod qos;
 pub mod scheduler;
 pub mod sha;
@@ -75,10 +76,11 @@ pub use http::{http_request, ClientResponse, ServerHandle};
 pub use journal::{Journal, JournalRecord, PendingJob, RecoveryReport};
 pub use key::{canonical_encoding, canonical_f64, job_key, JobKey, KeyError};
 pub use metrics::{Metrics, TenantMetrics, METRICS_SCHEMA};
+pub use overload::{OverloadController, OverloadPolicy};
 pub use qos::{FairQueue, Lane, QosPolicy, QuotaExceeded, TenantStats, DEFAULT_TENANT};
 pub use scheduler::{
-    Executor, JobState, JobStatus, Scheduler, SchedulerConfig, Submission, SubmitError,
-    SubmitOptions,
+    Executor, HardeningConfig, JobState, JobStatus, Scheduler, SchedulerConfig, Submission,
+    SubmitError, SubmitOptions,
 };
 pub use sse::{SseEvent, SseParser};
 
@@ -104,6 +106,13 @@ pub struct ServiceConfig {
     /// Multi-tenant fair-share policy (weights, quotas, lanes). The
     /// default is single-tenant-neutral.
     pub qos: QosPolicy,
+    /// Execution hardening: poison-job quarantine, non-cooperative
+    /// watchdog, per-job memory budgets, and overload brownout.
+    pub hardening: HardeningConfig,
+    /// Rewrite the journal in place once it grows past this many bytes
+    /// since the last compaction (`0` disables live compaction; the
+    /// journal is still compacted once at every startup).
+    pub journal_compact_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +127,8 @@ impl Default for ServiceConfig {
             journal_path: None,
             cluster: None,
             qos: QosPolicy::default(),
+            hardening: HardeningConfig::default(),
+            journal_compact_bytes: 4 << 20,
         }
     }
 }
@@ -166,6 +177,9 @@ impl Service {
             None => (None, RecoveryReport::default()),
             Some(path) => {
                 let (journal, recovery) = Journal::open(path)?;
+                let journal = journal
+                    .with_compact_bytes(config.journal_compact_bytes)
+                    .with_compaction_counter(metrics.journal_compactions.clone());
                 (Some(Arc::new(journal)), recovery)
             }
         };
@@ -177,6 +191,7 @@ impl Service {
             max_finished_jobs: 1024,
             qos: config.qos.clone(),
             event_buffer: events::DEFAULT_EVENT_BUFFER,
+            hardening: config.hardening.clone(),
         };
         let scheduler = Arc::new(Scheduler::with_journal(
             &scheduler_cfg,
@@ -185,6 +200,10 @@ impl Service {
             executor,
             journal.clone(),
         ));
+        // Attempt tallies and quarantine pins are durable: seed the live
+        // table with what the journal recovered so a crash-looping key
+        // cannot reset its count by crashing the whole process.
+        scheduler.preload_hardening(&recovery.attempts, &recovery.quarantined);
 
         // Close out jobs whose client deadline passed while we were down.
         for job in &recovery.expired {

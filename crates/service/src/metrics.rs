@@ -69,6 +69,28 @@ pub struct Metrics {
     pub jobs_recovered: Counter,
     /// Submissions rejected because the queue was full.
     pub jobs_rejected: Counter,
+    /// Jobs pinned as poison: they reached the quarantine threshold of
+    /// abnormal failures (panic, watchdog kill, budget breach) and
+    /// finished `quarantined` instead of being retried forever.
+    pub jobs_quarantined: Counter,
+    /// Submissions refused without executing because their key is
+    /// already quarantined.
+    pub quarantine_hits: Counter,
+    /// Jobs hard-failed by the watchdog for making no progress within
+    /// their quiet limit.
+    pub watchdog_fired: Counter,
+    /// Jobs hard-failed for exceeding their per-job memory budget.
+    pub budget_breached: Counter,
+    /// Live journal rewrites triggered by the size threshold.
+    pub journal_compactions: Counter,
+    /// Batch-lane submissions shed at overload stage ≥ 1.
+    pub overload_shed_batch: Counter,
+    /// Fresh computes shed at overload stage ≥ 2 (cached-only).
+    pub overload_shed_fresh: Counter,
+    /// Submissions rejected outright at overload stage 3.
+    pub overload_shed_reject: Counter,
+    /// Brownout stage changes, either direction.
+    pub overload_transitions: Counter,
     /// Failed durable writes (cache spill or journal append). The write
     /// is dropped and serving continues; nonzero means degraded
     /// persistence, not lost results.
@@ -103,12 +125,16 @@ pub struct Metrics {
     pub queue_depth: Gauge,
     /// Peers currently believed reachable (0 when clustering is off).
     pub cluster_peers_up: Gauge,
+    /// Current brownout stage (0 normal … 3 reject).
+    pub overload_stage: Gauge,
     /// Submission → worker pickup, microseconds.
     pub job_queue_wait_us: Histogram,
     /// Executor wall time, microseconds.
     pub job_exec_us: Histogram,
     /// Submission → terminal state for computed jobs, microseconds.
     pub job_latency_us: Histogram,
+    /// Peak tracked bytes per computed job (from its budget cell).
+    pub job_peak_bytes: Histogram,
 }
 
 impl Default for Metrics {
@@ -150,6 +176,15 @@ impl Metrics {
             jobs_cancelled: registry.counter("jobs_cancelled"),
             jobs_recovered: registry.counter("jobs_recovered"),
             jobs_rejected: registry.counter("jobs_rejected"),
+            jobs_quarantined: registry.counter("jobs_quarantined"),
+            quarantine_hits: registry.counter("quarantine_hits"),
+            watchdog_fired: registry.counter("watchdog_fired"),
+            budget_breached: registry.counter("budget_breached"),
+            journal_compactions: registry.counter("journal_compactions"),
+            overload_shed_batch: registry.counter("overload_shed_batch"),
+            overload_shed_fresh: registry.counter("overload_shed_fresh"),
+            overload_shed_reject: registry.counter("overload_shed_reject"),
+            overload_transitions: registry.counter("overload_transitions"),
             disk_write_errors: registry.counter("disk_write_errors"),
             coalesced: registry.counter("coalesced"),
             cache_hits_memory: registry.counter("cache_hits_memory"),
@@ -166,9 +201,11 @@ impl Metrics {
             cluster_proxied_jobs: registry.counter("cluster_proxied_jobs"),
             queue_depth: registry.gauge("queue_depth"),
             cluster_peers_up: registry.gauge("cluster_peers_up"),
+            overload_stage: registry.gauge("overload_stage"),
             job_queue_wait_us: registry.histogram("job_queue_wait_us"),
             job_exec_us: registry.histogram("job_exec_us"),
             job_latency_us: registry.histogram("job_latency_us"),
+            job_peak_bytes: registry.histogram("job_peak_bytes"),
             registry,
         };
         // Pre-register the default tenant's ledger so the metrics

@@ -1,0 +1,307 @@
+//! Adaptive overload brownout.
+//!
+//! Backpressure (`429 queue_full`) only fires when the worker queue is
+//! physically full — by then every queued job is already stale. The
+//! [`OverloadController`] watches two leading indicators instead: the
+//! p99 of recent *queue-wait* times (how long jobs sat before a worker
+//! picked them up) and the tracked live memory of running jobs (summed
+//! from their budget cells). When either crosses its threshold the
+//! service degrades in stages rather than falling over:
+//!
+//! | stage | name         | effect                                              |
+//! |-------|--------------|-----------------------------------------------------|
+//! | 0     | `normal`     | full service                                        |
+//! | 1     | `shed_batch` | batch-lane submissions are refused                  |
+//! | 2     | `cached_only`| fresh computes refused; cache hits + coalesces serve|
+//! | 3     | `reject`     | every new submission refused                        |
+//!
+//! Refused submissions get `503 overloaded` with a `Retry-After`, so
+//! well-behaved clients back off instead of hammering a melting server.
+//!
+//! Transitions are hysteretic: degradation requires the p99 to exceed
+//! `enter_wait_ms`, recovery requires it to fall below the (lower)
+//! `exit_wait_ms`, and the controller moves at most one stage per
+//! `min_dwell` in either direction — a load spike ramps 0→3 over three
+//! dwells and drains 3→0 the same way, with no flapping in between.
+//! Wait samples age out after `sample_ttl`, so an idle server always
+//! drifts back to `normal`.
+//!
+//! The controller is passive: the scheduler feeds it
+//! ([`OverloadController::record_wait`]) at every job pickup and
+//! evaluates it ([`OverloadController::evaluate`]) on every submission,
+//! exporting transitions and the live stage through `overload_*`
+//! metrics. Stage reads on the submit path are a single relaxed atomic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Full service.
+pub const STAGE_NORMAL: u8 = 0;
+/// Batch-lane submissions are shed.
+pub const STAGE_SHED_BATCH: u8 = 1;
+/// Only cache hits and coalesces are served; fresh computes are shed.
+pub const STAGE_CACHED_ONLY: u8 = 2;
+/// Every new submission is shed.
+pub const STAGE_REJECT: u8 = 3;
+
+/// Wire name of an overload stage.
+pub fn stage_name(stage: u8) -> &'static str {
+    match stage {
+        STAGE_SHED_BATCH => "shed_batch",
+        STAGE_CACHED_ONLY => "cached_only",
+        STAGE_REJECT => "reject",
+        _ => "normal",
+    }
+}
+
+/// Brownout thresholds. The default (`enter_wait_ms = 0`,
+/// `memory_limit_bytes = 0`) disables the controller entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Degrade one stage when the p99 queue wait reaches this (ms).
+    /// `0` disables the wait signal.
+    pub enter_wait_ms: u64,
+    /// Recover one stage when the p99 queue wait is at or below this
+    /// (ms). `0` = half of `enter_wait_ms`. Clamped below `enter`.
+    pub exit_wait_ms: u64,
+    /// Degrade when the summed live bytes of running jobs reach this.
+    /// `0` disables the memory signal.
+    pub memory_limit_bytes: usize,
+    /// Queue-wait samples older than this no longer count.
+    pub sample_ttl: Duration,
+    /// Minimum time between stage transitions (either direction).
+    pub min_dwell: Duration,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            enter_wait_ms: 0,
+            exit_wait_ms: 0,
+            memory_limit_bytes: 0,
+            sample_ttl: Duration::from_secs(10),
+            min_dwell: Duration::from_millis(500),
+        }
+    }
+}
+
+struct Window {
+    /// (sampled-at, queue-wait-ms), oldest first.
+    samples: VecDeque<(Instant, u64)>,
+    last_transition: Option<Instant>,
+}
+
+/// Hysteretic staged-brownout state machine. See the module docs.
+pub struct OverloadController {
+    policy: OverloadPolicy,
+    /// Current stage; read lock-free on the submit path.
+    stage: AtomicU8,
+    window: Mutex<Window>,
+}
+
+impl OverloadController {
+    /// Builds a controller (normalizing `exit_wait_ms`, see
+    /// [`OverloadPolicy`]).
+    pub fn new(mut policy: OverloadPolicy) -> Self {
+        if policy.enter_wait_ms > 0 {
+            if policy.exit_wait_ms == 0 {
+                policy.exit_wait_ms = policy.enter_wait_ms / 2;
+            }
+            policy.exit_wait_ms = policy.exit_wait_ms.min(policy.enter_wait_ms.saturating_sub(1));
+        }
+        Self {
+            policy,
+            stage: AtomicU8::new(STAGE_NORMAL),
+            window: Mutex::new(Window { samples: VecDeque::new(), last_transition: None }),
+        }
+    }
+
+    /// Whether any signal is armed. A disabled controller stays at
+    /// stage 0 forever and costs one atomic load per submission.
+    pub fn enabled(&self) -> bool {
+        self.policy.enter_wait_ms > 0 || self.policy.memory_limit_bytes > 0
+    }
+
+    /// The current brownout stage (lock-free).
+    pub fn stage(&self) -> u8 {
+        self.stage.load(Ordering::Relaxed)
+    }
+
+    /// Records one job's queue wait (submission → worker pickup).
+    pub fn record_wait(&self, wait_ms: u64) {
+        self.record_wait_at(Instant::now(), wait_ms);
+    }
+
+    fn record_wait_at(&self, now: Instant, wait_ms: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut window = self.window.lock().expect("overload window poisoned");
+        window.samples.push_back((now, wait_ms));
+        let ttl = self.policy.sample_ttl;
+        while window.samples.front().is_some_and(|(at, _)| now.duration_since(*at) > ttl) {
+            window.samples.pop_front();
+        }
+    }
+
+    /// The p99 queue wait over the live sample window (ms; 0 if empty).
+    pub fn p99_wait_ms(&self) -> u64 {
+        self.p99_at(Instant::now())
+    }
+
+    fn p99_at(&self, now: Instant) -> u64 {
+        let window = self.window.lock().expect("overload window poisoned");
+        let ttl = self.policy.sample_ttl;
+        let mut waits: Vec<u64> = window
+            .samples
+            .iter()
+            .filter(|(at, _)| now.duration_since(*at) <= ttl)
+            .map(|(_, ms)| *ms)
+            .collect();
+        if waits.is_empty() {
+            return 0;
+        }
+        waits.sort_unstable();
+        waits[((waits.len() * 99) / 100).min(waits.len() - 1)]
+    }
+
+    /// Re-evaluates the stage against the live signals. Returns
+    /// `(previous, current)`; the caller exports a transition when they
+    /// differ. Moves at most one stage per call and per `min_dwell`.
+    pub fn evaluate(&self, memory_bytes: usize) -> (u8, u8) {
+        self.evaluate_at(Instant::now(), memory_bytes)
+    }
+
+    fn evaluate_at(&self, now: Instant, memory_bytes: usize) -> (u8, u8) {
+        let old = self.stage.load(Ordering::Relaxed);
+        if !self.enabled() {
+            return (old, old);
+        }
+        let p99 = self.p99_at(now);
+        let mem_hot =
+            self.policy.memory_limit_bytes > 0 && memory_bytes >= self.policy.memory_limit_bytes;
+        let wait_hot = self.policy.enter_wait_ms > 0 && p99 >= self.policy.enter_wait_ms;
+        let wait_calm = self.policy.enter_wait_ms == 0 || p99 <= self.policy.exit_wait_ms;
+
+        let mut window = self.window.lock().expect("overload window poisoned");
+        if window.last_transition.is_some_and(|at| now.duration_since(at) < self.policy.min_dwell) {
+            return (old, old);
+        }
+        let new = if (mem_hot || wait_hot) && old < STAGE_REJECT {
+            old + 1
+        } else if wait_calm && !mem_hot && old > STAGE_NORMAL {
+            old - 1
+        } else {
+            old
+        };
+        if new != old {
+            self.stage.store(new, Ordering::Relaxed);
+            window.last_transition = Some(now);
+        }
+        (old, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(enter: u64, exit: u64, mem: usize) -> OverloadController {
+        OverloadController::new(OverloadPolicy {
+            enter_wait_ms: enter,
+            exit_wait_ms: exit,
+            memory_limit_bytes: mem,
+            sample_ttl: Duration::from_secs(10),
+            min_dwell: Duration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn disabled_controller_never_leaves_normal() {
+        let c = OverloadController::new(OverloadPolicy::default());
+        assert!(!c.enabled());
+        c.record_wait(10_000);
+        assert_eq!(c.evaluate(usize::MAX), (STAGE_NORMAL, STAGE_NORMAL));
+        assert_eq!(c.stage(), STAGE_NORMAL);
+    }
+
+    #[test]
+    fn hot_waits_ramp_one_stage_per_dwell_and_calm_drains_back() {
+        let c = controller(100, 20, 0);
+        let t0 = Instant::now();
+        for i in 0..100 {
+            c.record_wait_at(t0, 50 + i * 2); // p99 ≈ 248
+        }
+        assert!(c.p99_at(t0) >= 100);
+        // One stage per dwell on the way up…
+        let mut now = t0;
+        for expect in [STAGE_SHED_BATCH, STAGE_CACHED_ONLY, STAGE_REJECT] {
+            let (_, new) = c.evaluate_at(now, 0);
+            assert_eq!(new, expect);
+            // Within the dwell the stage holds even though still hot.
+            assert_eq!(c.evaluate_at(now + Duration::from_millis(50), 0), (expect, expect));
+            now += Duration::from_millis(150);
+        }
+        // Stage 3 is the ceiling.
+        let (_, held) = c.evaluate_at(now, 0);
+        assert_eq!(held, STAGE_REJECT);
+        // …then the window ages out, p99 drops to 0, and it drains down.
+        now += Duration::from_secs(11);
+        for expect in [STAGE_CACHED_ONLY, STAGE_SHED_BATCH, STAGE_NORMAL] {
+            let (_, new) = c.evaluate_at(now, 0);
+            assert_eq!(new, expect);
+            now += Duration::from_millis(150);
+        }
+        assert_eq!(c.stage(), STAGE_NORMAL);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_stage() {
+        let c = controller(100, 20, 0);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            c.record_wait_at(t0, 200);
+        }
+        assert_eq!(c.evaluate_at(t0, 0).1, STAGE_SHED_BATCH);
+        // New samples land between exit (20) and enter (100): too calm
+        // to degrade further, too hot to recover — the stage holds.
+        let later = t0 + Duration::from_secs(11);
+        for _ in 0..10 {
+            c.record_wait_at(later, 50);
+        }
+        assert_eq!(c.evaluate_at(later, 0), (STAGE_SHED_BATCH, STAGE_SHED_BATCH));
+    }
+
+    #[test]
+    fn memory_pressure_alone_degrades_and_release_recovers() {
+        let c = controller(0, 0, 1 << 20);
+        assert!(c.enabled());
+        let t0 = Instant::now();
+        assert_eq!(c.evaluate_at(t0, 2 << 20).1, STAGE_SHED_BATCH);
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(c.evaluate_at(t1, 2 << 20).1, STAGE_CACHED_ONLY);
+        // Memory released → stages drain.
+        let t2 = t1 + Duration::from_millis(150);
+        assert_eq!(c.evaluate_at(t2, 0).1, STAGE_SHED_BATCH);
+        let t3 = t2 + Duration::from_millis(150);
+        assert_eq!(c.evaluate_at(t3, 0).1, STAGE_NORMAL);
+    }
+
+    #[test]
+    fn exit_threshold_is_normalized_below_enter() {
+        let c = OverloadController::new(OverloadPolicy {
+            enter_wait_ms: 100,
+            exit_wait_ms: 0,
+            ..OverloadPolicy::default()
+        });
+        assert_eq!(c.policy.exit_wait_ms, 50);
+        let c = OverloadController::new(OverloadPolicy {
+            enter_wait_ms: 100,
+            exit_wait_ms: 500,
+            ..OverloadPolicy::default()
+        });
+        assert_eq!(c.policy.exit_wait_ms, 99);
+    }
+}

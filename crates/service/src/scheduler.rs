@@ -24,8 +24,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nemfpga::request::ExperimentRequest;
+use nemfpga_runtime::budget::{self, BudgetCell};
 use nemfpga_runtime::cancel::{self, CancelToken};
 use nemfpga_runtime::faults::{FaultAction, FaultPoint};
+use nemfpga_runtime::watchdog::{self, Watchdog, WatchdogFired};
 use nemfpga_runtime::{ParallelConfig, WorkerPool};
 
 use crate::cache::{CacheTier, CachedResult, ResultCache};
@@ -33,6 +35,7 @@ use crate::events::{EventHub, EventKind, JobChannel};
 use crate::journal::{now_unix_ms, Journal, JournalRecord};
 use crate::key::{job_key, JobKey};
 use crate::metrics::Metrics;
+use crate::overload::{self, OverloadController, OverloadPolicy};
 use crate::qos::{FairQueue, Lane, QosPolicy, QuotaExceeded, TenantStats, DEFAULT_TENANT};
 
 /// Fires once per valid submission, before any tier is consulted. A
@@ -62,6 +65,7 @@ static OUTCOME_CACHED: FaultPoint = FaultPoint::new("scheduler.outcome.cached");
 static OUTCOME_COALESCED: FaultPoint = FaultPoint::new("scheduler.outcome.coalesced");
 static OUTCOME_FRESH: FaultPoint = FaultPoint::new("scheduler.outcome.fresh");
 static OUTCOME_REJECTED: FaultPoint = FaultPoint::new("scheduler.outcome.rejected");
+static OUTCOME_QUARANTINED: FaultPoint = FaultPoint::new("scheduler.outcome.quarantined");
 
 /// Bug-reintroduction switch: `Trigger` disables the under-lock cache
 /// double-check. Exists so the chaos suite can prove the guard is
@@ -94,6 +98,9 @@ pub struct SchedulerConfig {
     pub qos: QosPolicy,
     /// Per-job progress event ring capacity.
     pub event_buffer: usize,
+    /// Execution-hardening knobs (quarantine, watchdog, budgets,
+    /// brownout).
+    pub hardening: HardeningConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -105,6 +112,43 @@ impl Default for SchedulerConfig {
             max_finished_jobs: 1024,
             qos: QosPolicy::default(),
             event_buffer: crate::events::DEFAULT_EVENT_BUFFER,
+            hardening: HardeningConfig::default(),
+        }
+    }
+}
+
+/// Defense-in-depth execution hardening: how the scheduler contains
+/// jobs that panic, stall, or eat memory, and how it degrades under
+/// sustained overload.
+#[derive(Debug, Clone)]
+pub struct HardeningConfig {
+    /// Abnormal failures (executor panic, watchdog kill, budget breach)
+    /// a key may accumulate — journaled, so the count survives
+    /// restarts — before the key is quarantined and never executed
+    /// again. `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// Watchdog quiet limit as a multiple of `job_timeout`: a running
+    /// job that goes `watchdog_factor × job_timeout` without a
+    /// heartbeat (cancel checkpoint or progress tick) is hard-failed.
+    /// `0` disables the watchdog thread entirely.
+    pub watchdog_factor: u32,
+    /// Watchdog poll cadence.
+    pub watchdog_poll: Duration,
+    /// Per-job peak tracked-bytes ceiling, enforced at checkpoints and
+    /// observed by the watchdog. `0` = track only, never enforce.
+    pub job_budget_bytes: usize,
+    /// Adaptive brownout thresholds (disabled by default).
+    pub overload: OverloadPolicy,
+}
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        Self {
+            quarantine_threshold: 3,
+            watchdog_factor: 4,
+            watchdog_poll: Duration::from_millis(50),
+            job_budget_bytes: 0,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -127,12 +171,16 @@ pub enum JobState {
     Expired,
     /// Cancelled by the client (`DELETE /v1/jobs/:id`) or by a drain.
     Cancelled,
+    /// Pinned as poison: the key reached the quarantine threshold of
+    /// abnormal failures and will never execute again. Sticky across
+    /// restarts (journaled); resubmissions short-circuit to this state.
+    Quarantined,
 }
 
 impl JobState {
     /// Whether the job will make no further transitions.
     pub fn is_terminal(self) -> bool {
-        matches!(self, Self::Done | Self::Failed | Self::TimedOut | Self::Expired | Self::Cancelled)
+        !matches!(self, Self::Queued | Self::Running)
     }
 
     /// Wire name.
@@ -145,6 +193,7 @@ impl JobState {
             Self::TimedOut => "timed_out",
             Self::Expired => "expired",
             Self::Cancelled => "cancelled",
+            Self::Quarantined => "quarantined",
         }
     }
 
@@ -158,6 +207,7 @@ impl JobState {
             "timed_out" => Some(Self::TimedOut),
             "expired" => Some(Self::Expired),
             "cancelled" => Some(Self::Cancelled),
+            "quarantined" => Some(Self::Quarantined),
             _ => None,
         }
     }
@@ -213,6 +263,9 @@ pub enum SubmitError {
     /// The scheduler is draining for shutdown; retry against a
     /// replacement instance.
     Draining,
+    /// The brownout controller shed this submission (HTTP 503 with a
+    /// `Retry-After`). Carries the stage that refused it.
+    Overloaded(u8),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -222,6 +275,9 @@ impl std::fmt::Display for SubmitError {
             Self::QueueFull => f.write_str("job queue is full"),
             Self::QuotaExceeded(q) => write!(f, "{q}"),
             Self::Draining => f.write_str("service is draining"),
+            Self::Overloaded(stage) => {
+                write!(f, "service is overloaded (stage {})", overload::stage_name(*stage))
+            }
         }
     }
 }
@@ -262,6 +318,9 @@ struct Record {
     client_deadline: Option<Instant>,
     /// Cooperative cancellation flag the worker enters for the job.
     cancel: CancelToken,
+    /// Memory accounting for the job's worker thread; summed across
+    /// running jobs by the overload controller's memory signal.
+    budget: Arc<BudgetCell>,
 }
 
 struct Table {
@@ -269,6 +328,12 @@ struct Table {
     records: HashMap<u64, Record>,
     /// key-hex → job id, for every non-terminal job.
     inflight: HashMap<String, u64>,
+    /// key-hex → (abnormal failures so far, last reason). Cleared by a
+    /// successful completion; promoted to `quarantined` at the
+    /// threshold. Preloaded from the journal on recovery.
+    attempts: HashMap<String, (u32, String)>,
+    /// key-hex → structured error, for keys pinned as poison.
+    quarantined: HashMap<String, String>,
     finished_order: VecDeque<u64>,
     /// Fair-share queue deciding which accepted job each pool tick runs.
     qos: FairQueue,
@@ -293,6 +358,15 @@ struct Shared {
     /// skip terminal journal records for force-cancelled jobs (so a
     /// restart resumes them).
     draining: AtomicBool,
+    /// Hardening knobs (quarantine threshold, budgets, …).
+    hardening: HardeningConfig,
+    /// The pool's watchdog monitor handle, when `watchdog_factor > 0`.
+    watchdog: Option<Watchdog>,
+    /// Maximum heartbeat silence before the watchdog fires
+    /// (`watchdog_factor × job_timeout`).
+    watchdog_quiet: Duration,
+    /// Staged brownout state machine (see [`crate::overload`]).
+    overload: OverloadController,
 }
 
 /// Publishes `kind` on `job`'s event channel (creating it on first use)
@@ -369,11 +443,16 @@ impl Scheduler {
         executor: Executor,
         journal: Option<Arc<Journal>>,
     ) -> Self {
+        let mut pool = WorkerPool::new(&config.parallel, config.queue_capacity);
+        let watchdog = (config.hardening.watchdog_factor > 0)
+            .then(|| pool.enable_watchdog(config.hardening.watchdog_poll));
         let shared = Arc::new(Shared {
             table: Mutex::new(Table {
                 next_id: 1,
                 records: HashMap::new(),
                 inflight: HashMap::new(),
+                attempts: HashMap::new(),
+                quarantined: HashMap::new(),
                 finished_order: VecDeque::new(),
                 qos: FairQueue::new(&config.qos),
                 lost_ticks: 0,
@@ -386,12 +465,14 @@ impl Scheduler {
             events: EventHub::new(config.event_buffer.max(1)),
             journal,
             draining: AtomicBool::new(false),
+            watchdog,
+            watchdog_quiet: config
+                .job_timeout
+                .saturating_mul(config.hardening.watchdog_factor.max(1)),
+            overload: OverloadController::new(config.hardening.overload.clone()),
+            hardening: config.hardening.clone(),
         });
-        Self {
-            shared,
-            pool: WorkerPool::new(&config.parallel, config.queue_capacity),
-            job_timeout: config.job_timeout,
-        }
+        Self { shared, pool, job_timeout: config.job_timeout }
     }
 
     /// Submits a request with default options: no client deadline.
@@ -434,6 +515,23 @@ impl Scheduler {
         metrics.jobs_submitted.inc();
         let tenant_metrics = metrics.tenant(&tenant);
         tenant_metrics.submitted.inc();
+
+        // Brownout admission: re-evaluate the controller against the
+        // live signals, then shed by stage. Stage 3 refuses everything;
+        // stage 1+ refuses the batch lane before any tier is consulted.
+        let stage = evaluate_overload(&self.shared);
+        if stage >= overload::STAGE_REJECT {
+            metrics.overload_shed_reject.inc();
+            tenant_metrics.rejected.inc();
+            let _ = OUTCOME_REJECTED.fire().apply_basic();
+            return Err(SubmitError::Overloaded(stage));
+        }
+        if stage >= overload::STAGE_SHED_BATCH && lane == Lane::Batch {
+            metrics.overload_shed_batch.inc();
+            tenant_metrics.rejected.inc();
+            let _ = OUTCOME_REJECTED.fire().apply_basic();
+            return Err(SubmitError::Overloaded(stage));
+        }
 
         // Tier 1/2: the cache. A hit satisfies any deadline.
         if let Some((hit, tier)) = self.shared.cache.get(&key) {
@@ -495,6 +593,91 @@ impl Scheduler {
             }
         }
 
+        // Poison short-circuit: a quarantined key (or one that crossed
+        // the threshold in a previous incarnation and is pinned on this
+        // resubmission) never executes again — the submission lands on a
+        // born-terminal `quarantined` record carrying the structured
+        // error. Checked under the table lock, after coalescing, so a
+        // key's last in-flight attempt and its pin cannot race.
+        let threshold = self.shared.hardening.quarantine_threshold;
+        if threshold > 0 {
+            let mut pinned = table.quarantined.get(key.as_hex()).cloned();
+            if pinned.is_none() {
+                if let Some((count, reason)) =
+                    table.attempts.get(key.as_hex()).filter(|(count, _)| *count >= threshold)
+                {
+                    let error = quarantine_message(*count, reason);
+                    table.attempts.remove(key.as_hex());
+                    table.quarantined.insert(key.as_hex().to_owned(), error.clone());
+                    metrics.jobs_quarantined.inc();
+                    journal_append(
+                        &self.shared,
+                        &JournalRecord::Quarantined {
+                            key: key.as_hex().to_owned(),
+                            error: error.clone(),
+                        },
+                    );
+                    pinned = Some(error);
+                }
+            }
+            if let Some(error) = pinned {
+                metrics.quarantine_hits.inc();
+                tenant_metrics.errored.inc();
+                if opts.already_journaled {
+                    // A recovery replay of a poisoned pending job: close
+                    // its journaled submission out as quarantined.
+                    journal_append(
+                        &self.shared,
+                        &JournalRecord::Done {
+                            key: key.as_hex().to_owned(),
+                            state: JobState::Quarantined.name().to_owned(),
+                        },
+                    );
+                }
+                let id = table.next_id;
+                table.next_id += 1;
+                let status = JobStatus {
+                    id,
+                    key: key.clone(),
+                    request,
+                    state: JobState::Quarantined,
+                    output: None,
+                    error: Some(error),
+                    cached: false,
+                    coalesced_submissions: 0,
+                    tenant: tenant.clone(),
+                    lane,
+                };
+                let now = Instant::now();
+                table.records.insert(
+                    id,
+                    Record {
+                        status: status.clone(),
+                        deadline: now,
+                        submitted_at: now,
+                        client_deadline: None,
+                        cancel: CancelToken::new(),
+                        budget: Arc::new(BudgetCell::new(0)),
+                    },
+                );
+                publish_terminal(&self.shared, id, JobState::Quarantined);
+                finish_bookkeeping(&mut table, &self.shared, id);
+                drop(table);
+                let _ = OUTCOME_QUARANTINED.fire().apply_basic();
+                return Ok(Submission { status, coalesced: false, cache_tier: None });
+            }
+        }
+
+        // Stage 2 (cached-only): everything above — hits, coalesces,
+        // quarantine answers — still serves; a fresh compute does not.
+        if stage >= overload::STAGE_CACHED_ONLY {
+            drop(table);
+            metrics.overload_shed_fresh.inc();
+            tenant_metrics.rejected.inc();
+            let _ = OUTCOME_REJECTED.fire().apply_basic();
+            return Err(SubmitError::Overloaded(stage));
+        }
+
         metrics.cache_misses.inc();
         let id = table.next_id;
         table.next_id += 1;
@@ -546,6 +729,7 @@ impl Scheduler {
                 submitted_at,
                 client_deadline,
                 cancel: CancelToken::new(),
+                budget: Arc::new(BudgetCell::new(self.shared.hardening.job_budget_bytes)),
             },
         );
         table.inflight.insert(key.as_hex().to_owned(), id);
@@ -796,6 +980,39 @@ impl Scheduler {
         Arc::clone(&self.shared.cache)
     }
 
+    /// Seeds the quarantine state from a journal recovery report so
+    /// attempt counts and pins survive restarts. Call before replaying
+    /// pending jobs — a replayed poison job must short-circuit.
+    pub fn preload_hardening(
+        &self,
+        attempts: &[(String, u32, String)],
+        quarantined: &[(String, String)],
+    ) {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        for (key, count, reason) in attempts {
+            table.attempts.insert(key.clone(), (*count, reason.clone()));
+        }
+        for (key, error) in quarantined {
+            table.quarantined.insert(key.clone(), error.clone());
+        }
+    }
+
+    /// The structured error for a quarantined key, if it is pinned
+    /// (`GET /v1/results/:key` serves this as `503 quarantined`).
+    pub fn quarantine_error(&self, key: &JobKey) -> Option<String> {
+        self.shared.table.lock().expect("job table poisoned").quarantined.get(key.as_hex()).cloned()
+    }
+
+    /// Keys currently pinned as poison.
+    pub fn quarantined_len(&self) -> usize {
+        self.shared.table.lock().expect("job table poisoned").quarantined.len()
+    }
+
+    /// The brownout controller's current stage (0 normal … 3 reject).
+    pub fn overload_stage(&self) -> u8 {
+        self.shared.overload.stage()
+    }
+
     fn insert_finished(
         &self,
         key: JobKey,
@@ -828,6 +1045,7 @@ impl Scheduler {
                 submitted_at: now,
                 client_deadline: None,
                 cancel: CancelToken::new(),
+                budget: Arc::new(BudgetCell::new(0)),
             },
         );
         // Cache-answered jobs are born terminal: their event stream is a
@@ -836,6 +1054,49 @@ impl Scheduler {
         finish_bookkeeping(&mut table, &self.shared, id);
         status
     }
+}
+
+/// How a job's unwind was classified when it did not complete normally.
+/// Abnormal endings count toward the poison-quarantine threshold; a
+/// plain user cancel does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abnormal {
+    /// The executor panicked with its own payload.
+    Panic,
+    /// The watchdog killed the job for lack of progress.
+    Watchdog,
+    /// The job exceeded its memory budget.
+    Budget,
+}
+
+/// The structured error a quarantined key serves forever after.
+fn quarantine_message(attempts: u32, last_reason: &str) -> String {
+    format!("quarantined after {attempts} failed attempts; last failure: {last_reason}")
+}
+
+/// Re-evaluates the brownout controller against the live signals (queue
+/// waits already sampled; running-job memory summed here) and exports
+/// any transition. Returns the current stage. Takes the table lock
+/// briefly; callers must not hold it.
+fn evaluate_overload(shared: &Shared) -> u8 {
+    if !shared.overload.enabled() {
+        return overload::STAGE_NORMAL;
+    }
+    let memory: usize = {
+        let table = shared.table.lock().expect("job table poisoned");
+        table
+            .inflight
+            .values()
+            .filter_map(|id| table.records.get(id))
+            .map(|r| r.budget.current_bytes())
+            .sum()
+    };
+    let (old, new) = shared.overload.evaluate(memory);
+    if old != new {
+        shared.metrics.overload_transitions.inc();
+        shared.metrics.overload_stage.set(u64::from(new));
+    }
+    new
 }
 
 /// Moves `id` into the finished ring, evicting the oldest record (and
@@ -882,7 +1143,7 @@ fn run_next(shared: &Arc<Shared>) {
 
 /// Worker-side execution of job `id`.
 fn run_job(shared: &Arc<Shared>, id: u64) {
-    let (request, key, submitted_at, cancel, tenant) = {
+    let (request, key, submitted_at, cancel, tenant, budget) = {
         let mut table = shared.table.lock().expect("job table poisoned");
         let Some(record) = table.records.get_mut(&id) else { return };
         if record.status.state.is_terminal() {
@@ -945,27 +1206,51 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             record.submitted_at,
             record.cancel.clone(),
             record.status.tenant.clone(),
+            Arc::clone(&record.budget),
         )
     };
     // Running jobs are not preempted by the queue deadline (see module
     // docs); they *are* stopped cooperatively via the cancel token.
-    shared.metrics.job_queue_wait_us.record_duration(submitted_at.elapsed());
+    let queue_wait = submitted_at.elapsed();
+    shared.metrics.job_queue_wait_us.record_duration(queue_wait);
+    // Every pickup feeds the brownout controller a queue-wait sample and
+    // re-evaluates it — this is what drains the stages back down once
+    // the backlog clears.
+    if shared.overload.enabled() {
+        shared.overload.record_wait(queue_wait.as_millis() as u64);
+        evaluate_overload(shared);
+    }
+
+    // Non-cooperative supervision: the watchdog observes this job's
+    // heartbeat (fed by every cancel checkpoint and progress tick) and
+    // its budget cell, and cancels the token when either trips.
+    let watch = shared
+        .watchdog
+        .as_ref()
+        .map(|dog| dog.watch(shared.watchdog_quiet, cancel.clone(), Arc::clone(&budget)));
 
     let started = Instant::now();
     let executor = Arc::clone(&shared.executor);
     let mut exec_span = nemfpga_obs::span("service", "job.execute");
     exec_span.set_arg("job", id);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // The executor runs with this job's cancel token current, so
         // engine-level checkpoints (PathFinder iterations, Monte Carlo
         // chunks) can abort it mid-computation.
         let _guard = cancel::enter(cancel.clone());
+        // Its allocations are accounted against the job's budget cell,
+        // and every checkpoint doubles as a watchdog heartbeat.
+        let _budget_guard = budget::enter(Arc::clone(&budget));
+        let _beat_guard = watch.as_ref().map(|w| watchdog::enter(w.heartbeat()));
         // And with this job's event channel as the progress sink, so
         // engine announcements (flow stages, router iteration ticks)
         // stream out to subscribers while the job runs.
         let sink_shared = Arc::clone(shared);
         let _progress =
             nemfpga_obs::progress::install(Arc::new(move |event: &nemfpga_obs::ProgressEvent| {
+                // A progress tick is proof of life even between cancel
+                // checkpoints.
+                watchdog::beat();
                 let kind = match event {
                     nemfpga_obs::ProgressEvent::Stage { name } => {
                         EventKind::Stage { stage: (*name).to_owned() }
@@ -982,22 +1267,58 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             FaultAction::Err(msg) => Err(msg),
             _ => executor(&request),
         }
-    }))
-    .unwrap_or_else(|panic| {
-        if cancel::is_cancel_payload(panic.as_ref()) {
-            Err("cancelled".to_owned())
-        } else {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_owned());
-            Err(format!("executor panicked: {msg}"))
+    }));
+    // Post-unwind classification. A cancel-payload unwind is only a user
+    // cancellation when the watchdog did NOT fire — the watchdog kills
+    // jobs *through* the cancel token, and those must be booked as
+    // abnormal failures (they feed the quarantine tally), never as
+    // cancellations.
+    let fired = watch.as_ref().and_then(|w| w.fired());
+    let (outcome, abnormal): (Result<String, String>, Option<Abnormal>) = match caught {
+        Ok(result) => (result, None),
+        Err(panic) => {
+            if let Some(breach) = panic.downcast_ref::<budget::BudgetPanic>() {
+                (
+                    Err(format!(
+                        "budget exceeded: peak {} bytes over {}-byte limit",
+                        breach.peak_bytes, breach.limit_bytes
+                    )),
+                    Some(Abnormal::Budget),
+                )
+            } else if cancel::is_cancel_payload(panic.as_ref()) {
+                match fired {
+                    Some(WatchdogFired::Stalled) => (
+                        Err(format!(
+                            "watchdog: no progress within {} ms",
+                            shared.watchdog_quiet.as_millis()
+                        )),
+                        Some(Abnormal::Watchdog),
+                    ),
+                    Some(WatchdogFired::BudgetBreached) => (
+                        Err(format!(
+                            "budget exceeded: peak {} bytes over {}-byte limit",
+                            budget.peak_bytes(),
+                            budget.limit()
+                        )),
+                        Some(Abnormal::Budget),
+                    ),
+                    None => (Err("cancelled".to_owned()), None),
+                }
+            } else {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                (Err(format!("executor panicked: {msg}")), Some(Abnormal::Panic))
+            }
         }
-    });
+    };
+    drop(watch);
     drop(exec_span);
     let elapsed = started.elapsed();
     shared.metrics.job_exec_us.record_duration(elapsed);
+    shared.metrics.job_peak_bytes.record(budget.peak_bytes() as u64);
 
     if let Ok(output) = &outcome {
         // Cache before publishing the state so a waiter that sees `Done`
@@ -1013,17 +1334,63 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
 
     // A completed computation counts as Done even if a cancel raced in —
     // the result is valid and cached. An error with the token cancelled
-    // is a cancellation, whatever the unwind path looked like (scoped
-    // fan-out threads repanic with their own payload).
-    let final_state = match &outcome {
-        Ok(_) => JobState::Done,
-        Err(_) if cancel.is_cancelled() => JobState::Cancelled,
-        Err(_) => JobState::Failed,
+    // is a cancellation *only* when the unwind was not abnormal — the
+    // watchdog kills jobs through that same token.
+    let mut final_state = match (&outcome, &abnormal) {
+        (Ok(_), _) => JobState::Done,
+        (Err(_), None) if cancel.is_cancelled() => JobState::Cancelled,
+        (Err(_), _) => JobState::Failed,
     };
 
     let mut table = shared.table.lock().expect("job table poisoned");
     if BUG_LEAK_INFLIGHT.fire() != FaultAction::Trigger {
         table.inflight.remove(key.as_hex());
+    }
+    // Poison accounting. A success clears the key's tally (it is
+    // provably not poison); an abnormal failure — panic, watchdog kill,
+    // budget breach — journals an `attempt` and, at the threshold, pins
+    // the key so it never executes again.
+    let mut quarantine_error = None;
+    if outcome.is_ok() {
+        // The trailing `Done{done}` journal record below also clears the
+        // key's durable attempt tally on replay.
+        table.attempts.remove(key.as_hex());
+    } else if let (Some(kind), Err(reason)) = (&abnormal, &outcome) {
+        match kind {
+            Abnormal::Watchdog => shared.metrics.watchdog_fired.inc(),
+            Abnormal::Budget => shared.metrics.budget_breached.inc(),
+            Abnormal::Panic => {}
+        }
+        let threshold = shared.hardening.quarantine_threshold;
+        if threshold > 0 {
+            let entry = table.attempts.entry(key.as_hex().to_owned()).or_insert((0, String::new()));
+            entry.0 += 1;
+            entry.1 = reason.clone();
+            let count = entry.0;
+            journal_append(
+                shared,
+                &JournalRecord::Attempt {
+                    key: key.as_hex().to_owned(),
+                    attempt: count,
+                    reason: reason.clone(),
+                },
+            );
+            if count >= threshold {
+                let error = quarantine_message(count, reason);
+                table.attempts.remove(key.as_hex());
+                table.quarantined.insert(key.as_hex().to_owned(), error.clone());
+                shared.metrics.jobs_quarantined.inc();
+                journal_append(
+                    shared,
+                    &JournalRecord::Quarantined {
+                        key: key.as_hex().to_owned(),
+                        error: error.clone(),
+                    },
+                );
+                final_state = JobState::Quarantined;
+                quarantine_error = Some(error);
+            }
+        }
     }
     if let Some(record) = table.records.get_mut(&id) {
         let tenant_metrics = shared.metrics.tenant(&tenant);
@@ -1038,6 +1405,11 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                 record.status.state = JobState::Cancelled;
                 record.status.error = Some("cancelled".to_owned());
                 shared.metrics.jobs_cancelled.inc();
+                tenant_metrics.errored.inc();
+            }
+            (JobState::Quarantined, Err(_)) => {
+                record.status.state = JobState::Quarantined;
+                record.status.error = quarantine_error.clone();
                 tenant_metrics.errored.inc();
             }
             (_, Err(error)) => {
@@ -1500,5 +1872,171 @@ mod tests {
         assert!(report.pending.is_empty(), "finished job must not replay");
         assert!(report.records_scanned >= 3, "submitted + started + done");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poison_job_is_quarantined_at_the_threshold_and_never_reruns() {
+        nemfpga_runtime::cancel::silence_cancel_panics();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let exec: Executor = Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+            panic!("poison");
+        });
+        let cfg = SchedulerConfig {
+            hardening: HardeningConfig { quarantine_threshold: 2, ..HardeningConfig::default() },
+            ..SchedulerConfig::default()
+        };
+        let metrics = Arc::new(Metrics::default());
+        let s = Scheduler::new(&cfg, ResultCache::new(64, None), Arc::clone(&metrics), exec);
+        // Attempt 1: a plain failure, below the threshold.
+        let first = s.submit(request(300)).unwrap();
+        let done = s.wait_for(first.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Failed);
+        // Attempt 2: crosses the threshold — the job itself lands
+        // `quarantined` with the structured error.
+        let second = s.submit(request(300)).unwrap();
+        let done = s.wait_for(second.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Quarantined);
+        let error = done.error.expect("quarantined jobs carry the structured error");
+        assert!(error.contains("quarantined after 2"), "error: {error}");
+        assert!(error.contains("poison"), "error: {error}");
+        // Attempt 3: short-circuits at submission; the executor never
+        // runs a third time.
+        let third = s.submit(request(300)).unwrap();
+        assert_eq!(third.status.state, JobState::Quarantined);
+        assert!(third.status.error.is_some());
+        assert_eq!(count.load(Ordering::SeqCst), 2, "pinned key must not execute");
+        assert_eq!(metrics.jobs_quarantined.get(), 1);
+        assert_eq!(metrics.quarantine_hits.get(), 1);
+        assert_eq!(s.quarantined_len(), 1);
+        let key = job_key(&request(300)).unwrap();
+        assert!(s.quarantine_error(&key).is_some());
+        // An unrelated key is unaffected.
+        assert!(s.quarantine_error(&job_key(&request(301)).unwrap()).is_none());
+    }
+
+    #[test]
+    fn budget_breach_fails_the_job_with_a_structured_error() {
+        nemfpga_runtime::cancel::silence_cancel_panics();
+        let exec: Executor = Arc::new(|_| {
+            // Allocate well past the 1 MiB ceiling, then hit a normal
+            // engine checkpoint — enforcement is cooperative.
+            let buf = vec![7u8; 4 << 20];
+            cancel::checkpoint();
+            Ok(format!("never returned ({})", buf.len()))
+        });
+        let cfg = SchedulerConfig {
+            hardening: HardeningConfig {
+                quarantine_threshold: 0,
+                job_budget_bytes: 1 << 20,
+                ..HardeningConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let metrics = Arc::new(Metrics::default());
+        let s = Scheduler::new(&cfg, ResultCache::new(64, None), Arc::clone(&metrics), exec);
+        let sub = s.submit(request(310)).unwrap();
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Failed, "a breach is a job failure, not an OOM");
+        let error = done.error.expect("budget breaches carry an error");
+        assert!(error.contains("budget exceeded"), "error: {error}");
+        assert_eq!(metrics.budget_breached.get(), 1);
+        // The next job (under budget) runs normally on the same workers.
+        let ok: Executor = Arc::new(|_| Ok("fine\n".to_owned()));
+        let s2 = Scheduler::new(&cfg, ResultCache::new(64, None), Arc::new(Metrics::default()), ok);
+        let sub = s2.submit(request(311)).unwrap();
+        assert_eq!(
+            s2.wait_for(sub.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
+    }
+
+    #[test]
+    fn watchdog_kills_a_stalled_job_without_cooperation() {
+        nemfpga_runtime::cancel::silence_cancel_panics();
+        let exec: Executor = Arc::new(|_| {
+            // Stall far past the quiet limit without a single heartbeat,
+            // then reach a checkpoint: the watchdog has already
+            // cancelled the token, so the job unwinds here.
+            std::thread::sleep(Duration::from_millis(500));
+            cancel::checkpoint();
+            Ok("survived".to_owned())
+        });
+        let cfg = SchedulerConfig {
+            job_timeout: Duration::from_millis(50),
+            hardening: HardeningConfig {
+                quarantine_threshold: 0,
+                watchdog_factor: 1,
+                watchdog_poll: Duration::from_millis(5),
+                ..HardeningConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let metrics = Arc::new(Metrics::default());
+        let s = Scheduler::new(&cfg, ResultCache::new(64, None), Arc::clone(&metrics), exec);
+        let sub = s.submit(request(320)).unwrap();
+        let done = s.wait_for(sub.status.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Failed, "a watchdog kill is a failure, not a cancel");
+        let error = done.error.expect("watchdog kills carry an error");
+        assert!(error.contains("watchdog"), "error: {error}");
+        assert_eq!(metrics.watchdog_fired.get(), 1);
+    }
+
+    #[test]
+    fn overload_sheds_in_stages_and_recovers_when_the_backlog_drains() {
+        let (exec, _) = counting_executor(Duration::from_millis(100));
+        let cfg = SchedulerConfig {
+            parallel: ParallelConfig::with_threads(1),
+            queue_capacity: 64,
+            hardening: HardeningConfig {
+                overload: OverloadPolicy {
+                    enter_wait_ms: 30,
+                    sample_ttl: Duration::from_millis(300),
+                    min_dwell: Duration::from_millis(1),
+                    ..OverloadPolicy::default()
+                },
+                ..HardeningConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let metrics = Arc::new(Metrics::default());
+        let s = Scheduler::new(&cfg, ResultCache::new(64, None), Arc::clone(&metrics), exec);
+        // Flood one slow worker with distinct jobs: queue waits build,
+        // the p99 crosses the enter threshold, and later submissions are
+        // shed with `Overloaded`.
+        let mut shed = 0;
+        for seed in 0..30 {
+            match s.submit(request(400 + seed)) {
+                Ok(_) => {}
+                Err(SubmitError::Overloaded(stage)) => {
+                    assert!(
+                        stage >= overload::STAGE_CACHED_ONLY,
+                        "interactive fresh computes shed at stage 2+"
+                    );
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        assert!(shed > 0, "sustained backlog must trip the brownout");
+        assert!(metrics.overload_shed_fresh.get() > 0);
+        assert!(metrics.overload_transitions.get() >= 2);
+        assert!(s.overload_stage() >= overload::STAGE_SHED_BATCH);
+        // Recovery: the backlog drains, the stale wait samples age out,
+        // and repeated evaluations walk the stage back to normal.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while s.overload_stage() != overload::STAGE_NORMAL {
+            assert!(Instant::now() < deadline, "brownout must recover hysteretically");
+            // Cache-hit submissions still evaluate the controller.
+            let _ = s.submit(request(400));
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let after = s.submit(request(777)).expect("recovered service accepts fresh work");
+        assert_eq!(
+            s.wait_for(after.status.id, Duration::from_secs(30)).unwrap().state,
+            JobState::Done
+        );
     }
 }

@@ -12,15 +12,26 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use nemfpga::request::{ExperimentKind, ExperimentRequest};
 use nemfpga_service::json::Value;
-use nemfpga_service::{http_request, Executor, Service, ServiceConfig};
+use nemfpga_service::{
+    http_request, job_key, Executor, HardeningConfig, OverloadPolicy, Service, ServiceConfig,
+};
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/error_envelope.json");
 const TIMEOUT: Duration = Duration::from_secs(30);
 
 /// The documented `error.code` enum, verbatim from API.md.
-const CODES: &[&str] =
-    &["bad_request", "not_found", "method_not_allowed", "queue_full", "quota_exceeded", "draining"];
+const CODES: &[&str] = &[
+    "bad_request",
+    "not_found",
+    "method_not_allowed",
+    "queue_full",
+    "quota_exceeded",
+    "draining",
+    "overloaded",
+    "quarantined",
+];
 
 fn start() -> Service {
     let executor: Executor = Arc::new(|_| Ok(String::new()));
@@ -102,6 +113,99 @@ fn every_error_code_renders_the_unified_envelope() {
         .expect("retry_after_ms inside the envelope");
     assert_eq!(header_secs * 1000, envelope_ms);
     probes.push(("draining", draining));
+
+    // Quarantined: a dedicated service whose executor always panics and
+    // whose quarantine threshold is 1 — one wait=true submission pins the
+    // key, and `/v1/results/:key` then serves the structured error.
+    {
+        let executor: Executor = Arc::new(|_| panic!("probe poison"));
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: None,
+            hardening: HardeningConfig { quarantine_threshold: 1, ..HardeningConfig::default() },
+            ..ServiceConfig::default()
+        };
+        let service = Service::start(&config, executor).expect("quarantine probe service");
+        let addr = service.addr();
+        let wait_body = Value::obj(vec![
+            ("experiment", Value::Str("fig4".to_owned())),
+            ("scale", Value::F64(1.0)),
+            ("benchmarks", Value::U64(1)),
+            ("seed", Value::U64(1)),
+            ("wait", Value::Bool(true)),
+        ]);
+        let poisoned =
+            http_request(addr, "POST", "/v1/jobs", Some(&wait_body), TIMEOUT).expect("transport");
+        assert_eq!(poisoned.status, 200, "a quarantined job is a terminal 200 snapshot");
+        assert_eq!(poisoned.body.get("state").and_then(Value::as_str), Some("quarantined"));
+        let mut request = ExperimentRequest::new(ExperimentKind::Fig4);
+        request.scale = 1.0;
+        request.benchmarks = 1;
+        request.seed = 1;
+        let key = job_key(&request).expect("valid request");
+        let path = format!("/v1/results/{}", key.as_hex());
+        let quarantined = http_request(addr, "GET", &path, None, TIMEOUT).expect("transport");
+        assert_eq!(quarantined.status, 503);
+        assert!(quarantined.retry_after.is_none(), "quarantined is terminal: no Retry-After hint");
+        service.shutdown();
+        probes.push(("quarantined result", quarantined));
+    }
+
+    // Overloaded: drive the brownout to its steady reject stage — one
+    // slow worker, a hot queue-wait sample, zero dwell — and pin the
+    // stage-3 envelope (the steady state, so the bytes are stable).
+    {
+        let executor: Executor = Arc::new(|_| {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(String::new())
+        });
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            parallel: nemfpga_runtime::ParallelConfig::with_threads(1),
+            cache_dir: None,
+            hardening: HardeningConfig {
+                overload: OverloadPolicy {
+                    enter_wait_ms: 1,
+                    sample_ttl: Duration::from_secs(600),
+                    min_dwell: Duration::ZERO,
+                    ..OverloadPolicy::default()
+                },
+                ..HardeningConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = Service::start(&config, executor).expect("overload probe service");
+        let addr = service.addr();
+        let submit = |seed: u64, wait: bool| {
+            let body = Value::obj(vec![
+                ("experiment", Value::Str("fig4".to_owned())),
+                ("seed", Value::U64(seed)),
+                ("wait", Value::Bool(wait)),
+            ]);
+            http_request(addr, "POST", "/v1/jobs", Some(&body), TIMEOUT).expect("transport")
+        };
+        // Two distinct jobs on one worker: the second's pickup records a
+        // ~150ms queue wait, arming the hot signal.
+        assert!(submit(100, false).status < 300);
+        assert!(submit(101, true).status < 300);
+        // Each further submission re-evaluates the (permanently hot)
+        // controller one stage; within a few probes it parks at reject.
+        let mut overloaded = None;
+        for seed in 102..112 {
+            let resp = submit(seed, false);
+            if resp.status == 503
+                && resp.body.get("error").and_then(|e| e.get("message")).and_then(Value::as_str)
+                    == Some("service is overloaded (stage reject)")
+            {
+                overloaded = Some(resp);
+                break;
+            }
+        }
+        let overloaded = overloaded.expect("brownout must reach its reject stage");
+        assert_eq!(overloaded.retry_after, Some(2), "overload sheds carry a Retry-After");
+        service.shutdown();
+        probes.push(("overloaded submit", overloaded));
+    }
 
     let rendered = Value::Arr(
         probes

@@ -46,12 +46,19 @@ proptest! {
         seed in any::<u64>(),
         deadline in any::<u64>(),
         with_deadline in any::<bool>(),
+        attempt in 1u32..100,
+        reason_seed in any::<u64>(),
     ) {
+        // Reasons carry quotes, backslashes, and newlines in practice
+        // (panic payloads), so bake all three into the generated string.
+        let reason = format!("panic \"#{reason_seed:x}\" at src\\lib.rs\nline 2");
         let request = request_from(kind_index, scale, benchmarks, seed);
         let key = key_of(&request);
         let records = [
             JournalRecord::submitted(&key, &request, with_deadline.then_some(deadline)),
             JournalRecord::Started { key: key.clone() },
+            JournalRecord::Attempt { key: key.clone(), attempt, reason: reason.clone() },
+            JournalRecord::Quarantined { key: key.clone(), error: reason },
             JournalRecord::Done { key: key.clone(), state: "done".to_owned() },
         ];
         for record in records {
@@ -137,6 +144,76 @@ proptest! {
         let (_second, clean) = Journal::open(&path).expect("reopen after compaction");
         prop_assert!(!clean.torn_tail, "compaction must leave a cleanly scannable file");
         prop_assert_eq!(clean.pending.len(), report.pending.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Attempt tallies and quarantine pins survive truncation without
+    /// ever being invented: a recovered attempt count never exceeds what
+    /// was journaled, and a key only recovers as quarantined if its pin
+    /// record survived the cut intact.
+    #[test]
+    fn attempt_and_quarantine_folds_tolerate_truncation(
+        seeds in 1u64..5,
+        scale in 0.0001f64..1.0,
+        attempts_per_key in 1u32..4,
+        pin_last in any::<bool>(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let path = scratch("poison");
+        let requests: Vec<ExperimentRequest> =
+            (0..seeds).map(|s| request_from(s as usize, scale, 24, s)).collect();
+        let keys: Vec<String> = requests.iter().map(key_of).collect();
+        {
+            let (journal, _) = Journal::open(&path).expect("open fresh");
+            for (request, key) in requests.iter().zip(&keys) {
+                journal
+                    .append(&JournalRecord::submitted(key, request, None))
+                    .expect("append");
+                for ordinal in 1..=attempts_per_key {
+                    journal
+                        .append(&JournalRecord::Attempt {
+                            key: key.clone(),
+                            attempt: ordinal,
+                            reason: "executor panicked: poison".to_owned(),
+                        })
+                        .expect("append");
+                }
+            }
+            if pin_last {
+                journal
+                    .append(&JournalRecord::Quarantined {
+                        key: keys[0].clone(),
+                        error: "quarantined after repeated failures".to_owned(),
+                    })
+                    .expect("append");
+            }
+        }
+        let bytes = std::fs::read(&path).expect("journal bytes");
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        std::fs::write(&path, &bytes[..cut.min(bytes.len())]).expect("truncate");
+
+        let (_journal, report) = Journal::open(&path).expect("truncation must not fail open");
+        for (key, count, reason) in &report.attempts {
+            prop_assert!(keys.contains(key), "recovery fabricated an attempt tally");
+            prop_assert!(
+                *count <= attempts_per_key,
+                "recovered count {} exceeds the {} journaled attempts",
+                count,
+                attempts_per_key
+            );
+            prop_assert_eq!(reason.as_str(), "executor panicked: poison");
+        }
+        for (key, error) in &report.quarantined {
+            prop_assert!(pin_last, "a pin recovered that was never journaled");
+            prop_assert_eq!(key.as_str(), keys[0].as_str());
+            prop_assert_eq!(error.as_str(), "quarantined after repeated failures");
+        }
+        // A quarantined key is terminal: it never doubles as pending work
+        // or a live attempt tally.
+        for (key, _) in &report.quarantined {
+            prop_assert!(!report.pending.iter().any(|j| &key_of(&j.request) == key));
+            prop_assert!(!report.attempts.iter().any(|(k, ..)| k == key));
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -22,6 +22,13 @@
 //! randomized fault plan, checking quota exactness, no cross-tenant
 //! result leakage, and the per-tenant metrics ledger.
 //!
+//! `--crash-loop` switches to the poison-job quarantine scenario: a
+//! request whose executor always panics is resubmitted across repeated
+//! process restarts on the same journal, and the run proves the
+//! journal-persisted attempt tally pins the key after exactly the
+//! quarantine threshold's worth of executor runs — with live journal
+//! compaction forced mid-run and normal traffic byte-identical.
+//!
 //! `--cluster` switches to the multi-node scenario: a 3-node in-process
 //! cluster floods unique keys in waves while one seeded node is killed
 //! and another partitioned, then heals and rejoins. Invariants: zero
@@ -33,13 +40,13 @@ use std::time::Duration;
 
 use nemfpga_testkit::chaos::{double_check_race_plan, BugSwitch};
 use nemfpga_testkit::{
-    run_chaos, run_cluster, run_restart, run_tenants, ChaosConfig, ClusterConfig, FaultPlan,
-    RestartConfig, TenantsConfig,
+    run_chaos, run_cluster, run_crash_loop, run_restart, run_tenants, ChaosConfig, ClusterConfig,
+    CrashLoopConfig, FaultPlan, RestartConfig, TenantsConfig,
 };
 
 const USAGE: &str = "usage: chaos [--seeds A..B | --seed N] [--clients N] [--requests N] \
                      [--with-bug skip-double-check|leak-inflight] [--restart] [--cluster] \
-                     [--tenants]";
+                     [--tenants] [--crash-loop]";
 
 struct Args {
     seeds: std::ops::Range<u64>,
@@ -49,6 +56,7 @@ struct Args {
     restart: bool,
     cluster: bool,
     tenants: bool,
+    crash_loop: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         restart: false,
         cluster: false,
         tenants: false,
+        crash_loop: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,19 +99,27 @@ fn parse_args() -> Result<Args, String> {
             "--restart" => args.restart = true,
             "--cluster" => args.cluster = true,
             "--tenants" => args.tenants = true,
+            "--crash-loop" => args.crash_loop = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.seeds.is_empty() {
         return Err("empty seed range".to_owned());
     }
-    if (args.restart || args.cluster || args.tenants) && args.bug.is_some() {
+    if (args.restart || args.cluster || args.tenants || args.crash_loop) && args.bug.is_some() {
         return Err(
-            "--restart/--cluster/--tenants and --with-bug are separate scenarios".to_owned()
+            "--restart/--cluster/--tenants/--crash-loop and --with-bug are separate scenarios"
+                .to_owned(),
         );
     }
-    if usize::from(args.restart) + usize::from(args.cluster) + usize::from(args.tenants) > 1 {
-        return Err("--restart, --cluster, and --tenants are separate scenarios".to_owned());
+    let scenarios = usize::from(args.restart)
+        + usize::from(args.cluster)
+        + usize::from(args.tenants)
+        + usize::from(args.crash_loop);
+    if scenarios > 1 {
+        return Err(
+            "--restart, --cluster, --tenants, and --crash-loop are separate scenarios".to_owned()
+        );
     }
     Ok(args)
 }
@@ -161,6 +178,30 @@ fn run_tenants_mode(args: &Args) -> ExitCode {
     }
 }
 
+/// The poison-job quarantine scenario: one crash loop per seed.
+fn run_crash_loop_mode(args: &Args) -> ExitCode {
+    let mut total_violations = 0usize;
+    for seed in args.seeds.clone() {
+        let cfg = CrashLoopConfig { seed, ..CrashLoopConfig::default() };
+        let report = run_crash_loop(&cfg);
+        println!("[crash-loop quarantine] {}", report.summary());
+        for violation in &report.violations {
+            println!("    VIOLATION: {violation}");
+        }
+        total_violations += report.violations.len();
+    }
+    if total_violations == 0 {
+        println!("all crash loops quarantined their poison key on schedule");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{total_violations} quarantine violations — replay a failing seed with \
+             `chaos --crash-loop --seed N`"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// The kill-and-restart scenario: one staged crash + recovery per seed.
 fn run_restart_mode(args: &Args) -> ExitCode {
     let mut total_violations = 0usize;
@@ -207,6 +248,9 @@ fn main() -> ExitCode {
     }
     if args.tenants {
         return run_tenants_mode(&args);
+    }
+    if args.crash_loop {
+        return run_crash_loop_mode(&args);
     }
 
     let mut total_violations = 0usize;

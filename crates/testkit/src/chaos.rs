@@ -293,6 +293,12 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             journal_path: None,
             cluster: None,
             qos: Default::default(),
+            // Default hardening: quarantine + watchdog armed. Plans that
+            // panic `scheduler.execute` repeatedly on one key drive real
+            // quarantines mid-storm, and the invariants below must hold
+            // through them.
+            hardening: Default::default(),
+            journal_compact_bytes: 0,
         },
         executor,
     )
@@ -384,7 +390,9 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             Action::Post { request: Some(_), .. } => &[200, 202, 429],
             Action::Post { request: None, .. } => &[400],
             Action::GetJob(_) => &[200, 404],
-            Action::GetResult(_) => &[200, 404],
+            // 503: the key was quarantined mid-storm; the structured
+            // `quarantined` error replaces an indistinguishable 404.
+            Action::GetResult(_) => &[200, 404, 503],
             Action::GetMetrics | Action::Healthz => &[200],
         };
         if !legal.contains(&resp.status) {
@@ -419,7 +427,7 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
                 if let (Some(id), Some(state)) =
                     (resp.body.get("job").and_then(Value::as_u64), state)
                 {
-                    if matches!(state, "done" | "failed" | "timed_out") {
+                    if matches!(state, "done" | "failed" | "timed_out" | "quarantined") {
                         by_job.entry(id).or_default().push((state.to_owned(), output));
                     }
                 }
@@ -461,23 +469,28 @@ pub fn run_chaos(cfg: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     let misses = m.cache_misses.get();
     let hits = m.cache_hits();
     let coalesced = m.coalesced.get();
+    let quarantine_hits = m.quarantine_hits.get();
     let settled = m.jobs_completed.get()
         + m.jobs_failed.get()
         + m.jobs_timed_out.get()
-        + m.jobs_rejected.get();
+        + m.jobs_rejected.get()
+        + m.jobs_quarantined.get();
     if submitted != accepted_posts {
         violations.push(format!(
             "jobs_submitted = {submitted} but clients saw {accepted_posts} accepted posts"
         ));
     }
-    if submitted != hits + coalesced + misses {
+    // A quarantine-pinned submission is none of hit/coalesce/miss: it is
+    // answered from the pin, and counts in `quarantine_hits`.
+    if submitted != hits + coalesced + misses + quarantine_hits {
         violations.push(format!(
-            "submission ledger leaks: {submitted} submitted != {hits} hits + {coalesced} coalesced + {misses} misses"
+            "submission ledger leaks: {submitted} submitted != {hits} hits + {coalesced} coalesced + {misses} misses + {quarantine_hits} quarantine hits"
         ));
     }
+    // A miss that ends pinned settles as `jobs_quarantined`, not failed.
     if misses != settled {
         violations.push(format!(
-            "miss ledger leaks: {misses} misses != {settled} completed+failed+timed_out+rejected"
+            "miss ledger leaks: {misses} misses != {settled} completed+failed+timed_out+rejected+quarantined"
         ));
     }
     if m.jobs_rejected.get() != rejected_posts {

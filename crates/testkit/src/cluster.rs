@@ -152,6 +152,8 @@ fn start_node(node: &mut Node, peers: &[String], cfg: &ClusterConfig, node_seed:
         journal_path: Some(node.journal_path.clone()),
         cluster: Some(settings),
         qos: Default::default(),
+        hardening: Default::default(),
+        journal_compact_bytes: 0,
     };
     let service =
         Service::start(&config, counting_executor(&node.computes)).expect("bind cluster node");

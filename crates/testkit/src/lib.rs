@@ -23,6 +23,11 @@
 //!   cluster under a seeded kill + partition + rejoin schedule, with
 //!   zero-loss, single-compute, convergence, and byte-identity
 //!   invariants checked at every stage.
+//! * [`hardening`] — the crash-loop scenario: a poison request that
+//!   panics every run, resubmitted across repeated process restarts,
+//!   proving the journal-persisted attempt tally quarantines the key
+//!   after exactly N executor runs while normal traffic stays
+//!   byte-identical — with live journal compaction forced mid-run.
 //! * [`sim`] — the deterministic scheduler simulator: drives the live
 //!   scheduler's exact fair-share policy object
 //!   (`nemfpga_service::FairQueue`) under an injected virtual clock
@@ -44,6 +49,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod differential;
+pub mod hardening;
 pub mod plan;
 pub mod restart;
 pub mod sim;
@@ -53,6 +59,7 @@ pub mod tenants;
 pub use chaos::{run_chaos, BugSwitch, ChaosConfig, ChaosReport};
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
 pub use differential::{case_matrix, run_case, run_matrix, shrink_case, DiffCase, Divergence};
+pub use hardening::{run_crash_loop, CrashLoopConfig, CrashLoopReport};
 pub use plan::{FaultPlan, FaultRule, FaultScope, FaultSpec, FireRule};
 pub use restart::{crash_plan, run_restart, RestartConfig, RestartReport};
 pub use sim::{simulate, SimCompletion, SimConfig, SimDispatch, SimJob, SimRejection, SimReport};

@@ -181,7 +181,10 @@ fn ground_truth(path: &Path, now_ms: u64) -> (BTreeMap<String, DurableJob>, bool
                 request.seed = seed;
                 submitted.insert(key, (request, deadline_unix_ms));
             }
-            JournalRecord::Started { .. } => {}
+            JournalRecord::Started { .. } | JournalRecord::Attempt { .. } => {}
+            // A pinned key never executes again; drop it from ground
+            // truth the same way a `done` record would.
+            JournalRecord::Quarantined { key, .. } => done.push(key),
             JournalRecord::Done { key, .. } => done.push(key),
         }
     }
@@ -234,6 +237,8 @@ pub fn run_restart(cfg: &RestartConfig) -> RestartReport {
         journal_path: Some(journal_path.clone()),
         cluster: None,
         qos: Default::default(),
+        hardening: Default::default(),
+        journal_compact_bytes: 0,
     };
     let budget = cfg.job_timeout + Duration::from_secs(30);
     let mut violations: Vec<String> = Vec::new();

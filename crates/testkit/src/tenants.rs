@@ -167,6 +167,8 @@ pub fn run_tenants(cfg: &TenantsConfig, plan: &FaultPlan) -> TenantsReport {
             journal_path: None,
             cluster: None,
             qos,
+            hardening: Default::default(),
+            journal_compact_bytes: 0,
         },
         executor,
     )

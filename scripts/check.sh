@@ -9,6 +9,11 @@
 # thread counts, and an audit that every `#[ignore]`d test is accounted
 # for in TESTING.md.
 #
+# `--chaos` also appends the hardening stage: 4 seeded crash loops
+# proving journal-persisted poison-job quarantine, plus the staged
+# overload brownout run of `loadgen --overload` with its exact
+# admission ledger.
+#
 # `--recovery` appends the kill-and-restart stage: 12 seeded staged
 # crashes mid-load, each restarted on the same journal + cache, with
 # every recovery invariant checked (no accepted job lost, byte-identical
@@ -98,6 +103,12 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
 
     echo "==> qos: weighted fair-share under load (loadgen --tenants)"
     cargo run -q --release -p nemfpga-bench --bin loadgen -- --tenants
+
+    echo "==> hardening: 4 seeded crash loops, poison keys quarantined on schedule"
+    cargo run -q --release -p nemfpga-testkit --bin chaos -- --crash-loop --seeds 0..4
+
+    echo "==> hardening: staged overload brownout with exact ledger (loadgen --overload)"
+    cargo run -q --release -p nemfpga-bench --bin loadgen -- --overload
 
     echo "==> differential: CAD equivalence matrix at 2 thread counts"
     cargo run -q --release -p nemfpga-testkit --bin differential -- --cases 56 --threads 4
